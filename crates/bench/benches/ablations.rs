@@ -1,0 +1,9 @@
+//! Design-choice ablations A1–A3 (see dcspan-experiments::ablations).
+fn main() {
+    let (_, a1) = dcspan_experiments::ablations::run_a1(256, 20240617);
+    println!("{a1}");
+    let (_, a2) = dcspan_experiments::ablations::run_a2(256, 20240617);
+    println!("{a2}");
+    let (_, a3) = dcspan_experiments::ablations::run_a3(128, 200, 20240617);
+    println!("{a3}");
+}

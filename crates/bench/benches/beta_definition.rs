@@ -1,0 +1,5 @@
+//! Regenerates the Definition 2 comparison (see dcspan-experiments::e14_definition).
+fn main() {
+    let (_, text) = dcspan_experiments::e14_definition::run(256, &[32, 128, 256], 20240617);
+    println!("{text}");
+}

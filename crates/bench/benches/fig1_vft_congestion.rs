@@ -1,0 +1,5 @@
+//! Regenerates the Figure 1 claim (see dcspan-experiments::e6_vft).
+fn main() {
+    let (_, text) = dcspan_experiments::e6_vft::run(&[32, 64, 128, 256], 20240617);
+    println!("{text}");
+}

@@ -1,0 +1,5 @@
+//! Regenerates Figure 2 / Lemmas 4–5 (see dcspan-experiments::e8_matching).
+fn main() {
+    let (_, text) = dcspan_experiments::e8_matching::run(&[128, 256, 384], 0.18, 48, 20240617);
+    println!("{text}");
+}

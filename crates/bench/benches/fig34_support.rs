@@ -1,0 +1,5 @@
+//! Regenerates Figures 3–4 (see dcspan-experiments::e9_support).
+fn main() {
+    let (_, text) = dcspan_experiments::e9_support::run(&[128, 256, 384], 20240617);
+    println!("{text}");
+}

@@ -1,0 +1,5 @@
+//! Regenerates the stretch-3 frontier comparison (see dcspan-experiments::e13_frontier).
+fn main() {
+    let (_, text) = dcspan_experiments::e13_frontier::run(256, 20240617);
+    println!("{text}");
+}

@@ -1,0 +1,5 @@
+//! Regenerates the Lemma 2 separation (see dcspan-experiments::e7_lemma2).
+fn main() {
+    let (_, text) = dcspan_experiments::e7_lemma2::run(&[8, 16, 32, 64]);
+    println!("{text}");
+}

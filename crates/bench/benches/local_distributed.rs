@@ -1,0 +1,5 @@
+//! Regenerates the Corollary 3 measurements (see dcspan-experiments::e11_local).
+fn main() {
+    let (_, text) = dcspan_experiments::e11_local::run(&[64, 128, 216], 20240617);
+    println!("{text}");
+}

@@ -1,0 +1,5 @@
+//! Regenerates the §1.1 latency motivation (see dcspan-experiments::e12_latency).
+fn main() {
+    let (_, text) = dcspan_experiments::e12_latency::run(256, 128, 20240617);
+    println!("{text}");
+}

@@ -1,0 +1,5 @@
+//! Regenerates the scaling-exponent fits (see dcspan-experiments::e16_scaling).
+fn main() {
+    let (_, text) = dcspan_experiments::e16_scaling::run(&[128, 192, 256, 384, 512], 20240617);
+    println!("{text}");
+}

@@ -1,0 +1,5 @@
+//! Regenerates Table 1, row "[5]" (see dcspan-experiments::e2_becchetti).
+fn main() {
+    let (_, text) = dcspan_experiments::e2_becchetti::run(&[128, 256, 512], 4, 20240617);
+    println!("{text}");
+}

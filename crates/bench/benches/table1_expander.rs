@@ -1,0 +1,5 @@
+//! Regenerates Table 1, row "Theorem 2" (see dcspan-experiments::e1_expander).
+fn main() {
+    let (_, text) = dcspan_experiments::e1_expander::run(&[128, 256, 512, 768], 0.15, 20240617);
+    println!("{text}");
+}

@@ -1,0 +1,6 @@
+//! Regenerates the paper's complete Table 1 with measured values
+//! (see dcspan-experiments::table1).
+fn main() {
+    let (_, text) = dcspan_experiments::table1::run(256, 20240617);
+    println!("{text}");
+}

@@ -1,0 +1,5 @@
+//! Regenerates Table 1, row "[16]" (see dcspan-experiments::e3_koutis_xu).
+fn main() {
+    let (_, text) = dcspan_experiments::e3_koutis_xu::run(&[128, 256, 384], 20240617);
+    println!("{text}");
+}

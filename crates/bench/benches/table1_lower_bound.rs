@@ -1,0 +1,6 @@
+//! Regenerates Table 1, row "Theorem 4" (see dcspan-experiments::e5_lower_bound).
+fn main() {
+    let (_, text) =
+        dcspan_experiments::e5_lower_bound::run(&[(5, 4), (7, 2), (11, 1), (13, 1), (17, 1)]);
+    println!("{text}");
+}

@@ -1,0 +1,5 @@
+//! Regenerates Table 1, row "Theorem 3" (see dcspan-experiments::e4_regular).
+fn main() {
+    let (_, text) = dcspan_experiments::e4_regular::run(&[128, 256, 512, 768], 20240617);
+    println!("{text}");
+}

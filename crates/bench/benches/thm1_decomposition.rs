@@ -1,0 +1,6 @@
+//! Regenerates the Theorem 1 / Lemmas 21–23 measurements
+//! (see dcspan-experiments::e10_decompose).
+fn main() {
+    let (_, text) = dcspan_experiments::e10_decompose::run(256, &[32, 128, 256, 512], 20240617);
+    println!("{text}");
+}

@@ -1,0 +1,104 @@
+//! Criterion timing benchmarks for the workspace's hot kernels:
+//! Algorithm 1 construction, the Theorem 2 sampler + router, Hopcroft–Karp,
+//! Misra–Gries colouring, eigenvalue estimation, and Algorithm 2.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dcspan_core::expander::{build_expander_spanner, ExpanderMatchingRouter, ExpanderSpannerParams};
+use dcspan_core::regular::{build_regular_spanner, RegularSpannerParams};
+use dcspan_gen::regular::random_regular;
+use dcspan_graph::coloring::misra_gries_edge_coloring;
+use dcspan_graph::matching::max_bipartite_matching;
+use dcspan_routing::decompose::{substitute_routing_decomposed, ColoringAlgo};
+use dcspan_routing::replace::{route_matching, DetourPolicy, SpannerDetourRouter};
+use dcspan_spectral::expansion::spectral_expansion;
+use std::hint::black_box;
+
+fn bench_algorithm1(c: &mut Criterion) {
+    let mut group = c.benchmark_group("algorithm1_build");
+    for &n in &[128usize, 256] {
+        let delta = dcspan_experiments::workloads::theorem3_degree(n);
+        let g = random_regular(n, delta, 1);
+        let params = RegularSpannerParams::calibrated(n, delta);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &g, |b, g| {
+            b.iter(|| build_regular_spanner(black_box(g), params, 7))
+        });
+    }
+    group.finish();
+}
+
+fn bench_expander_spanner(c: &mut Criterion) {
+    let mut group = c.benchmark_group("theorem2_route_matching");
+    for &n in &[128usize, 256] {
+        let delta = dcspan_experiments::workloads::theorem2_degree(n, 0.15);
+        let g = random_regular(n, delta, 2);
+        let sp = build_expander_spanner(&g, ExpanderSpannerParams::paper(n, delta), 3);
+        let matching = dcspan_experiments::workloads::removed_edge_matching(&g, &sp.h);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &matching, |b, m| {
+            let router = ExpanderMatchingRouter::new(&g, &sp.h);
+            b.iter(|| route_matching(&router, black_box(m), 11))
+        });
+    }
+    group.finish();
+}
+
+fn bench_hopcroft_karp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hopcroft_karp_neighborhoods");
+    for &delta in &[32usize, 64] {
+        let g = random_regular(256, delta, 4);
+        group.bench_with_input(BenchmarkId::from_parameter(delta), &g, |b, g| {
+            b.iter(|| max_bipartite_matching(black_box(g), g.neighbors(0), g.neighbors(1)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_misra_gries(c: &mut Criterion) {
+    let mut group = c.benchmark_group("misra_gries_coloring");
+    for &n in &[64usize, 128] {
+        let g = random_regular(n, 16, 5);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &g, |b, g| {
+            b.iter(|| misra_gries_edge_coloring(black_box(g)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_spectral(c: &mut Criterion) {
+    let mut group = c.benchmark_group("spectral_expansion");
+    group.sample_size(20);
+    for &n in &[256usize, 512] {
+        let g = random_regular(n, 16, 6);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &g, |b, g| {
+            b.iter(|| spectral_expansion(black_box(g), 9))
+        });
+    }
+    group.finish();
+}
+
+fn bench_decomposition(c: &mut Criterion) {
+    let mut group = c.benchmark_group("algorithm2_decomposition");
+    group.sample_size(20);
+    let n = 256;
+    let delta = dcspan_experiments::workloads::theorem3_degree(n);
+    let g = random_regular(n, delta, 7);
+    let h = dcspan_graph::sample::sample_subgraph(&g, 0.6, 8);
+    let router = SpannerDetourRouter::new(&h, DetourPolicy::UniformUpTo3);
+    let (_, base) = dcspan_experiments::workloads::pairs_base_routing(&g, 256, 9);
+    group.bench_function("n256_k256", |b| {
+        b.iter(|| {
+            substitute_routing_decomposed(n, black_box(&base), &router, ColoringAlgo::MisraGries, 10)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_algorithm1,
+    bench_expander_spanner,
+    bench_hopcroft_karp,
+    bench_misra_gries,
+    bench_spectral,
+    bench_decomposition
+);
+criterion_main!(benches);

@@ -1,0 +1,7 @@
+//! Multi-seed variance sweeps for the headline rows (see dcspan-experiments::sweep).
+fn main() {
+    let (_, t2) = dcspan_experiments::sweep::sweep_theorem2(256, 0.15, 8, 20240617);
+    println!("{t2}");
+    let (_, t3) = dcspan_experiments::sweep::sweep_theorem3(256, 8, 20240617);
+    println!("{t3}");
+}

@@ -1,0 +1,5 @@
+//! Regenerates the Related-Work f-VFT trade-off (see dcspan-experiments::e15_vft_tradeoff).
+fn main() {
+    let (_, text) = dcspan_experiments::e15_vft_tradeoff::run(216, &[1, 2, 4, 6], 20240617);
+    println!("{text}");
+}

@@ -1,0 +1,202 @@
+//! The Baswana–Sen randomised (2k−1)-spanner \[4\] — the classical
+//! pure-distance-stretch baseline the paper measures DC-spanners against.
+//!
+//! For unweighted graphs the algorithm is a k-phase clustering:
+//!
+//! * Phase `i < k`: every surviving cluster is sampled with probability
+//!   `n^{−1/k}`. A clustered node adjacent to a sampled cluster joins it
+//!   through one edge (added to the spanner); a node adjacent to no sampled
+//!   cluster adds one edge to *each* neighbouring cluster and retires.
+//! * Final phase: every surviving clustered node adds one edge to each
+//!   adjacent cluster.
+//!
+//! Expected size `O(k·n^{1+1/k})`, distance stretch `2k−1`. As the paper
+//! notes (Section 1 and Figure 1), this controls distances but says
+//! nothing about congestion — our experiments quantify exactly that gap.
+
+use dcspan_graph::rng::item_rng;
+use dcspan_graph::{Edge, FxHashMap, Graph, NodeId};
+use rand::Rng;
+
+/// Build a (2k−1)-spanner of `g` with the Baswana–Sen algorithm.
+///
+/// # Panics
+/// Panics if `k == 0`.
+pub fn baswana_sen_spanner(g: &Graph, k: usize, seed: u64) -> Graph {
+    assert!(k >= 1, "stretch parameter k must be ≥ 1");
+    let n = g.n();
+    if n == 0 || g.m() == 0 {
+        return Graph::empty(n);
+    }
+    let sample_prob = (n as f64).powf(-1.0 / k as f64);
+    let mut rng = item_rng(seed, 0);
+
+    // cluster[v] = current cluster centre of v, or NONE if retired/unclustered.
+    const NONE: u32 = u32::MAX;
+    let mut cluster: Vec<u32> = (0..n as u32).collect();
+    let mut spanner_edges: Vec<Edge> = Vec::new();
+    // Nodes that still participate (not retired).
+    let mut active: Vec<bool> = vec![true; n];
+
+    for _phase in 1..k {
+        // Sample clusters: a cluster is identified by its centre.
+        let mut sampled: FxHashMap<u32, bool> = FxHashMap::default();
+        for v in 0..n {
+            if active[v] && cluster[v] != NONE {
+                sampled.entry(cluster[v]).or_insert_with(|| rng.gen_bool(sample_prob));
+            }
+        }
+        let mut new_cluster = cluster.clone();
+        for v in 0..n as u32 {
+            if !active[v as usize] {
+                continue;
+            }
+            // If v's own cluster is sampled it stays put.
+            if cluster[v as usize] != NONE && sampled[&cluster[v as usize]] {
+                continue;
+            }
+            // Collect one incident edge per neighbouring cluster.
+            let mut per_cluster: FxHashMap<u32, NodeId> = FxHashMap::default();
+            let mut joined: Option<(u32, NodeId)> = None;
+            for &w in g.neighbors(v) {
+                if !active[w as usize] || cluster[w as usize] == NONE {
+                    continue;
+                }
+                let c = cluster[w as usize];
+                if c == cluster[v as usize] {
+                    continue;
+                }
+                per_cluster.entry(c).or_insert(w);
+                if joined.is_none() && sampled[&c] {
+                    joined = Some((c, w));
+                }
+            }
+            match joined {
+                Some((c, w)) => {
+                    // Join the sampled cluster through one edge.
+                    spanner_edges.push(Edge::new(v, w));
+                    new_cluster[v as usize] = c;
+                }
+                None => {
+                    // No adjacent sampled cluster: connect to every
+                    // neighbouring cluster and retire.
+                    for (_, &w) in per_cluster.iter() {
+                        spanner_edges.push(Edge::new(v, w));
+                    }
+                    active[v as usize] = false;
+                    new_cluster[v as usize] = NONE;
+                }
+            }
+        }
+        cluster = new_cluster;
+    }
+
+    // Final phase: every active node adds one edge to each adjacent cluster.
+    for v in 0..n as u32 {
+        if !active[v as usize] {
+            continue;
+        }
+        let mut per_cluster: FxHashMap<u32, NodeId> = FxHashMap::default();
+        for &w in g.neighbors(v) {
+            if !active[w as usize] || cluster[w as usize] == NONE {
+                continue;
+            }
+            let c = cluster[w as usize];
+            if c == cluster[v as usize] {
+                // Intra-cluster edges towards the centre are added when the
+                // node joined; keep one edge to own cluster too so cluster
+                // trees stay connected through phase transitions.
+                continue;
+            }
+            per_cluster.entry(c).or_insert(w);
+        }
+        for (_, &w) in per_cluster.iter() {
+            spanner_edges.push(Edge::new(v, w));
+        }
+    }
+
+    // Also keep, for every node that ever joined a cluster, the joining
+    // edges — already pushed above. Deduplication happens in the builder.
+    Graph::from_edges(n, spanner_edges.into_iter().map(|e| (e.u, e.v)))
+}
+
+/// Build the spanner and retry with fresh seeds until it is a valid
+/// t = 2k−1 spanner (checked over all edges); the randomised construction
+/// guarantees the stretch only in expectation-ish terms at small n.
+/// Returns the first valid spanner and the number of attempts used.
+pub fn baswana_sen_spanner_checked(
+    g: &Graph,
+    k: usize,
+    seed: u64,
+    max_attempts: usize,
+) -> Option<(Graph, usize)> {
+    let t = (2 * k - 1) as u32;
+    for attempt in 0..max_attempts as u64 {
+        let h = baswana_sen_spanner(g, k, seed.wrapping_add(attempt));
+        let rep = crate::eval::distance_stretch_edges(g, &h, t);
+        if rep.overflow_pairs == 0 && rep.max_stretch <= t as f64 {
+            return Some((h, attempt as usize + 1));
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcspan_gen::classic::complete;
+    use dcspan_gen::regular::random_regular;
+
+    #[test]
+    fn k1_returns_whole_graph_stretch() {
+        // k = 1 ⇒ stretch 1 ⇒ the spanner must contain every edge.
+        let g = random_regular(20, 4, 1);
+        let h = baswana_sen_spanner(&g, 1, 2);
+        // Final phase adds one edge per adjacent cluster; with k = 1 every
+        // node is its own cluster, so every edge appears.
+        assert_eq!(h.m(), g.m());
+    }
+
+    #[test]
+    fn k2_spanner_is_3_spanner_and_sparser() {
+        let g = complete(40);
+        let (h, _) = baswana_sen_spanner_checked(&g, 2, 3, 20).expect("valid 3-spanner");
+        assert!(h.is_subgraph_of(&g));
+        assert!(h.m() < g.m(), "no sparsification on K_40: {} vs {}", h.m(), g.m());
+        let rep = crate::eval::distance_stretch_edges(&g, &h, 3);
+        assert!(rep.max_stretch <= 3.0);
+        assert_eq!(rep.overflow_pairs, 0);
+    }
+
+    #[test]
+    fn k2_on_dense_regular_graph() {
+        let g = random_regular(60, 30, 5);
+        let (h, _) = baswana_sen_spanner_checked(&g, 2, 7, 20).expect("valid 3-spanner");
+        assert!(h.m() < g.m());
+        // Expected size O(n^{1.5}) = O(465); generous cap.
+        assert!(h.m() <= 4 * 465, "spanner too big: {}", h.m());
+    }
+
+    #[test]
+    fn k3_spanner_is_5_spanner() {
+        let g = complete(30);
+        let (h, _) = baswana_sen_spanner_checked(&g, 3, 9, 30).expect("valid 5-spanner");
+        let rep = crate::eval::distance_stretch_edges(&g, &h, 5);
+        assert!(rep.max_stretch <= 5.0);
+        assert_eq!(rep.overflow_pairs, 0);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = Graph::empty(5);
+        let h = baswana_sen_spanner(&g, 2, 0);
+        assert_eq!(h.m(), 0);
+        assert_eq!(h.n(), 5);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let g = random_regular(30, 8, 11);
+        assert_eq!(baswana_sen_spanner(&g, 2, 4), baswana_sen_spanner(&g, 2, 4));
+    }
+}

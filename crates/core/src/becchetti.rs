@@ -1,0 +1,76 @@
+//! Bounded-degree expander extraction from a dense one, in the style of
+//! Becchetti–Clementi–Natale–Pasquale–Trevisan \[5\] — Table 1's row "\[5\]":
+//! for Δ-regular expanders with `Δ = Ω(n)`, an `O(n)`-edge subgraph that is
+//! itself an expander.
+//!
+//! \[5\]'s mechanism is the *random d-out* subgraph: every node selects `d`
+//! uniformly random incident edges; the union (≤ `d·n` edges, max degree
+//! ≤ 2d whp-ish) of the selections inherits the host's expansion when the
+//! host is a dense expander.
+
+use dcspan_graph::rng::item_rng;
+use dcspan_graph::{Graph, NodeId};
+use rand::seq::SliceRandom;
+
+/// Extract the random `d`-out subgraph of `g`: each node keeps `d` random
+/// incident edges (all of them if its degree is below `d`).
+pub fn random_d_out_subgraph(g: &Graph, d: usize, seed: u64) -> Graph {
+    assert!(d >= 1);
+    let mut edges: Vec<(NodeId, NodeId)> = Vec::with_capacity(g.n() * d);
+    for u in 0..g.n() as NodeId {
+        let mut rng = item_rng(seed, u as u64);
+        let mut nbrs: Vec<NodeId> = g.neighbors(u).to_vec();
+        nbrs.shuffle(&mut rng);
+        for &w in nbrs.iter().take(d) {
+            edges.push((u, w));
+        }
+    }
+    Graph::from_edges(g.n(), edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcspan_gen::regular::random_regular;
+    use dcspan_graph::traversal::is_connected;
+
+    #[test]
+    fn size_is_linear() {
+        let g = random_regular(128, 64, 1); // dense: Δ = n/2
+        let h = random_d_out_subgraph(&g, 4, 2);
+        assert!(h.is_subgraph_of(&g));
+        assert!(h.m() <= 4 * 128);
+        assert!(h.m() >= 2 * 128); // at least n·d/2 after dedup of mutual picks
+    }
+
+    #[test]
+    fn degrees_are_bounded() {
+        let g = random_regular(200, 100, 3);
+        let h = random_d_out_subgraph(&g, 3, 4);
+        // Max degree is d + (in-picks); whp O(d + log n / log log n); be generous.
+        assert!(h.max_degree() <= 3 + 14, "max degree {}", h.max_degree());
+        assert!(h.min_degree() >= 3, "own picks guarantee degree ≥ d");
+    }
+
+    #[test]
+    fn stays_connected_and_expanding_on_dense_host() {
+        let g = random_regular(128, 64, 5);
+        let h = random_d_out_subgraph(&g, 5, 6);
+        assert!(is_connected(&h));
+        let lam = dcspan_spectral::expansion::normalized_expansion(&h, 7);
+        assert!(lam < 0.9, "normalised λ̂ = {lam:.3}");
+    }
+
+    #[test]
+    fn small_degree_nodes_keep_everything() {
+        let g = Graph::from_edges(4, vec![(0, 1), (1, 2), (2, 3)]);
+        let h = random_d_out_subgraph(&g, 5, 8);
+        assert_eq!(h, g);
+    }
+
+    #[test]
+    fn deterministic() {
+        let g = random_regular(64, 16, 9);
+        assert_eq!(random_d_out_subgraph(&g, 3, 10), random_d_out_subgraph(&g, 3, 10));
+    }
+}

@@ -1,0 +1,218 @@
+//! One-shot **DC-spanner certification**: bundle every check a downstream
+//! user cares about into a single verdict.
+//!
+//! A certificate runs, against claimed stretches `(α, β)`:
+//!
+//! 1. structural validity (`H ⊆ G`, same node set, connected),
+//! 2. distance stretch over **all** edges of `G` (sufficient by Lemma 1),
+//! 3. a matching routing problem: substitute validity, per-path α, and
+//!    congestion ≤ β (base congestion of a matching is 1),
+//! 4. a general routing problem through Algorithm 2: substitute validity,
+//!    α, measured β = C(P′)/C(P), and the Lemma 21 accounting.
+//!
+//! This is the API the CLI's `spanner` command and downstream users call
+//! to decide whether a subgraph is usable as a DC-spanner.
+
+use crate::eval::{distance_stretch_edges, general_substitute_congestion};
+use dcspan_graph::traversal::is_connected;
+use dcspan_graph::Graph;
+use dcspan_routing::problem::RoutingProblem;
+use dcspan_routing::replace::{route_matching, EdgeRouter};
+use dcspan_routing::shortest::random_shortest_path_routing;
+
+/// Options for the certification run.
+#[derive(Clone, Copy, Debug)]
+pub struct CertifyOptions {
+    /// Claimed distance stretch α.
+    pub alpha: f64,
+    /// Claimed congestion stretch β for matchings.
+    pub beta_matching: f64,
+    /// Claimed congestion stretch β for general routings.
+    pub beta_general: f64,
+    /// Matching pairs to route.
+    pub matching_pairs: usize,
+    /// General routing pairs to route.
+    pub general_pairs: usize,
+    /// Master seed.
+    pub seed: u64,
+}
+
+/// One named check with its outcome.
+#[derive(Clone, Debug)]
+pub struct Check {
+    /// What was checked.
+    pub name: &'static str,
+    /// Whether it passed.
+    pub passed: bool,
+    /// Measured value (interpretation depends on the check).
+    pub measured: f64,
+    /// The bound it was compared against.
+    pub bound: f64,
+}
+
+/// The certification verdict.
+#[derive(Clone, Debug)]
+pub struct DcCertificate {
+    /// Individual checks, in execution order.
+    pub checks: Vec<Check>,
+}
+
+impl DcCertificate {
+    /// True if every check passed.
+    pub fn passed(&self) -> bool {
+        self.checks.iter().all(|c| c.passed)
+    }
+
+    /// Human-readable multi-line report.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for c in &self.checks {
+            out.push_str(&format!(
+                "[{}] {:<28} measured {:>8.3}  bound {:>8.3}\n",
+                if c.passed { "PASS" } else { "FAIL" },
+                c.name,
+                c.measured,
+                c.bound
+            ));
+        }
+        out.push_str(if self.passed() { "verdict: DC-spanner checks PASSED\n" } else { "verdict: FAILED\n" });
+        out
+    }
+}
+
+/// Certify `h` as an `(α, β)`-DC-spanner of `g` using `router` to build
+/// substitute routings.
+pub fn certify_dc_spanner<R: EdgeRouter>(
+    g: &Graph,
+    h: &Graph,
+    router: &R,
+    opts: CertifyOptions,
+) -> DcCertificate {
+    let mut checks = Vec::new();
+    let mut push = |name, passed, measured, bound| {
+        checks.push(Check { name, passed, measured, bound });
+    };
+
+    // 1. Structure.
+    let is_sub = h.n() == g.n() && h.is_subgraph_of(g);
+    push("H is a spanning subgraph", is_sub, h.m() as f64, g.m() as f64);
+    let conn = is_connected(h);
+    push("H is connected", conn, conn as u8 as f64, 1.0);
+
+    // 2. Distance stretch over all edges.
+    let radius = opts.alpha.ceil() as u32;
+    let dist = distance_stretch_edges(g, h, radius.max(1));
+    let alpha_ok = dist.overflow_pairs == 0 && dist.max_stretch <= opts.alpha + 1e-9;
+    push(
+        "α over all edges",
+        alpha_ok,
+        if dist.overflow_pairs > 0 { f64::INFINITY } else { dist.max_stretch },
+        opts.alpha,
+    );
+
+    // 3. Matching routing.
+    let n = g.n();
+    let matching =
+        RoutingProblem::random_matching(n, opts.matching_pairs.min(n / 2), opts.seed ^ 1);
+    match route_matching(router, &matching, opts.seed ^ 2) {
+        Some(routing) => {
+            let valid = routing.is_valid_for(&matching, h);
+            push("matching substitute valid", valid, valid as u8 as f64, 1.0);
+            let alpha_m = routing.max_length() as f64;
+            push("matching α (path lengths)", alpha_m <= opts.alpha + 1e-9, alpha_m, opts.alpha);
+            let c = routing.congestion(n) as f64;
+            push("matching β (base = 1)", c <= opts.beta_matching + 1e-9, c, opts.beta_matching);
+        }
+        None => push("matching substitute valid", false, 0.0, 1.0),
+    }
+
+    // 4. General routing through Algorithm 2.
+    let problem = RoutingProblem::random_pairs(n, opts.general_pairs, opts.seed ^ 3);
+    match random_shortest_path_routing(g, &problem, opts.seed ^ 4) {
+        Some(base) => match general_substitute_congestion(n, &base, router, opts.seed ^ 5) {
+            Some(gen) => {
+                let valid = gen.report.routing.is_valid_for(&problem, h);
+                push("general substitute valid", valid, valid as u8 as f64, 1.0);
+                push("general α", gen.alpha <= opts.alpha + 1e-9, gen.alpha, opts.alpha);
+                push(
+                    "general β = C(P')/C(P)",
+                    gen.beta() <= opts.beta_general + 1e-9,
+                    gen.beta(),
+                    opts.beta_general,
+                );
+                push(
+                    "Lemma 21 accounting",
+                    gen.report.lemma21_holds(n),
+                    gen.report.sum_dk_plus_one as f64,
+                    gen.report.lemma21_bound(n),
+                );
+            }
+            None => push("general substitute valid", false, 0.0, 1.0),
+        },
+        None => push("G connected for general routing", false, 0.0, 1.0),
+    }
+
+    DcCertificate { checks }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::regular::{build_regular_spanner, RegularSpannerParams};
+    use dcspan_gen::regular::random_regular;
+    use dcspan_routing::replace::{DetourPolicy, SpannerDetourRouter};
+
+    fn opts(n: usize, delta: usize) -> CertifyOptions {
+        CertifyOptions {
+            alpha: 3.0,
+            beta_matching: 1.0 + 2.0 * (delta as f64).sqrt(),
+            beta_general: 12.0 * (delta as f64).sqrt() * (n as f64).log2(),
+            matching_pairs: n / 4,
+            general_pairs: n / 2,
+            seed: 7,
+        }
+    }
+
+    #[test]
+    fn algorithm1_spanner_passes_certification() {
+        let (n, delta) = (96, 24);
+        let g = random_regular(n, delta, 1);
+        let sp = build_regular_spanner(&g, RegularSpannerParams::calibrated(n, delta), 2);
+        let router = SpannerDetourRouter::new(&sp.h, DetourPolicy::UniformUpTo3);
+        let cert = certify_dc_spanner(&g, &sp.h, &router, opts(n, delta));
+        assert!(cert.passed(), "\n{}", cert.render());
+        assert!(cert.render().contains("PASSED"));
+        assert!(cert.checks.len() >= 9);
+    }
+
+    #[test]
+    fn bad_spanner_fails_alpha() {
+        // A spanning tree-ish subgraph (BFS tree) has terrible stretch.
+        let (n, delta) = (64, 16);
+        let g = random_regular(n, delta, 3);
+        let parents = dcspan_graph::traversal::bfs_parents(&g, 0);
+        let tree = Graph::from_edges(
+            n,
+            parents
+                .iter()
+                .enumerate()
+                .filter_map(|(v, p)| p.map(|p| (v as u32, p))),
+        );
+        let router = SpannerDetourRouter::new(&tree, DetourPolicy::UniformShortest);
+        let cert = certify_dc_spanner(&g, &tree, &router, opts(n, delta));
+        assert!(!cert.passed());
+        let alpha_check = cert.checks.iter().find(|c| c.name == "α over all edges").unwrap();
+        assert!(!alpha_check.passed);
+        assert!(cert.render().contains("FAIL"));
+    }
+
+    #[test]
+    fn non_subgraph_fails_structure() {
+        let g = random_regular(20, 4, 5);
+        let other = random_regular(20, 6, 6); // not a subgraph
+        let router = SpannerDetourRouter::new(&other, DetourPolicy::UniformShortest);
+        let cert = certify_dc_spanner(&g, &other, &router, opts(20, 4));
+        let sub_check = cert.checks.iter().find(|c| c.name == "H is a spanning subgraph").unwrap();
+        assert!(!sub_check.passed);
+    }
+}

@@ -1,0 +1,343 @@
+//! Stretch evaluation: measure the α (distance) and β (congestion) of a
+//! candidate spanner — the quantities Definitions 1–3 bound.
+
+use dcspan_graph::rng::item_rng;
+use dcspan_graph::traversal::{bfs_distances_bounded, distance, UNREACHABLE};
+use dcspan_graph::{Graph, NodeId, Path};
+use dcspan_routing::decompose::{
+    substitute_routing_decomposed, ColoringAlgo, DecompositionReport,
+};
+use dcspan_routing::problem::RoutingProblem;
+use dcspan_routing::replace::EdgeRouter;
+use dcspan_routing::routing::Routing;
+use rand::Rng;
+use rayon::prelude::*;
+
+/// Measured distance stretch.
+#[derive(Clone, Copy, Debug)]
+pub struct DistanceStretchReport {
+    /// Maximum stretch observed.
+    pub max_stretch: f64,
+    /// Mean stretch over the measured pairs.
+    pub mean_stretch: f64,
+    /// Pairs whose spanner distance exceeded the probe radius (treated as
+    /// stretch `> radius`; 0 means the max is exact).
+    pub overflow_pairs: usize,
+    /// Pairs measured.
+    pub pairs: usize,
+}
+
+/// Distance stretch over **all edges** of `g` (sufficient for the spanner
+/// property by Lemma 1's edge-replacement argument): for each edge `(u,v)`
+/// of `g`, measure `d_H(u, v)`. BFS from each node is truncated at
+/// `radius` hops; edges whose endpoints are farther apart in `H` count as
+/// overflow.
+pub fn distance_stretch_edges(g: &Graph, h: &Graph, radius: u32) -> DistanceStretchReport {
+    assert_eq!(g.n(), h.n());
+    // One bounded BFS per node with incident removed edges, in parallel.
+    let per_node: Vec<(f64, f64, usize, usize)> = (0..g.n() as NodeId)
+        .into_par_iter()
+        .map(|u| {
+            // Only measure edges (u, v) with u < v to count each edge once.
+            let targets: Vec<NodeId> =
+                g.neighbors(u).iter().copied().filter(|&v| v > u).collect();
+            if targets.is_empty() {
+                return (0.0, 0.0, 0, 0);
+            }
+            let dist = bfs_distances_bounded(h, u, radius);
+            let mut max = 0.0f64;
+            let mut sum = 0.0f64;
+            let mut overflow = 0usize;
+            for &v in &targets {
+                let d = dist[v as usize];
+                if d == UNREACHABLE {
+                    overflow += 1;
+                } else {
+                    max = max.max(d as f64);
+                    sum += d as f64;
+                }
+            }
+            (max, sum, overflow, targets.len())
+        })
+        .collect();
+    let max_stretch = per_node.iter().map(|t| t.0).fold(0.0, f64::max);
+    let overflow_pairs: usize = per_node.iter().map(|t| t.2).sum();
+    let pairs: usize = per_node.iter().map(|t| t.3).sum();
+    let measured = pairs - overflow_pairs;
+    let mean_stretch =
+        if measured == 0 { 0.0 } else { per_node.iter().map(|t| t.1).sum::<f64>() / measured as f64 };
+    DistanceStretchReport { max_stretch, mean_stretch, overflow_pairs, pairs }
+}
+
+/// **Exact** distance stretch over all connected pairs:
+/// `max_{u,v} d_H(u,v)/d_G(u,v)` via one full BFS pair per node
+/// (parallelised). Quadratic — for verification at small n. By Lemma 1's
+/// edge-replacement argument this equals [`distance_stretch_edges`]'s max
+/// (the maximum ratio is always attained at an edge), which the tests pin.
+pub fn distance_stretch_all_pairs(g: &Graph, h: &Graph) -> Option<f64> {
+    assert_eq!(g.n(), h.n());
+    let per_node: Vec<Option<f64>> = (0..g.n() as NodeId)
+        .into_par_iter()
+        .map(|u| {
+            let dg = dcspan_graph::traversal::bfs_distances(g, u);
+            let dh = dcspan_graph::traversal::bfs_distances(h, u);
+            let mut worst = 1.0f64;
+            for v in 0..g.n() {
+                if v as NodeId == u || dg[v] == UNREACHABLE || dg[v] == 0 {
+                    continue;
+                }
+                if dh[v] == UNREACHABLE {
+                    return None; // H disconnects a pair G connects
+                }
+                worst = worst.max(dh[v] as f64 / dg[v] as f64);
+            }
+            Some(worst)
+        })
+        .collect();
+    per_node.into_iter().try_fold(1.0f64, |acc, x| x.map(|v| acc.max(v)))
+}
+
+/// Distance stretch over `samples` random node pairs: `d_H(u,v)/d_G(u,v)`.
+pub fn distance_stretch_sampled(
+    g: &Graph,
+    h: &Graph,
+    samples: usize,
+    seed: u64,
+) -> DistanceStretchReport {
+    assert_eq!(g.n(), h.n());
+    assert!(g.n() >= 2);
+    let results: Vec<Option<f64>> = (0..samples as u64)
+        .into_par_iter()
+        .map(|i| {
+            let mut rng = item_rng(seed, i);
+            let u = rng.gen_range(0..g.n() as NodeId);
+            let v = loop {
+                let v = rng.gen_range(0..g.n() as NodeId);
+                if v != u {
+                    break v;
+                }
+            };
+            let dg = distance(g, u, v)?;
+            let dh = distance(h, u, v)?;
+            Some(dh as f64 / dg as f64)
+        })
+        .collect();
+    let measured: Vec<f64> = results.iter().flatten().copied().collect();
+    let overflow_pairs = results.len() - measured.len();
+    let max_stretch = measured.iter().copied().fold(0.0, f64::max);
+    let mean_stretch = if measured.is_empty() {
+        0.0
+    } else {
+        measured.iter().sum::<f64>() / measured.len() as f64
+    };
+    DistanceStretchReport { max_stretch, mean_stretch, overflow_pairs, pairs: samples }
+}
+
+/// Full DC evaluation of a spanner against a matching problem and a general
+/// routing problem.
+#[derive(Clone, Debug)]
+pub struct DcEvaluation {
+    /// `|E(G)|`.
+    pub edges_g: usize,
+    /// `|E(H)|`.
+    pub edges_h: usize,
+    /// Distance stretch over all edges of `G`.
+    pub distance: DistanceStretchReport,
+    /// Congestion of the matching routing problem's substitute (base = 1).
+    pub matching_congestion: u32,
+    /// Max per-path length of the matching substitute (its α).
+    pub matching_alpha: usize,
+    /// Decomposition report for the general routing problem (None if no
+    /// general problem supplied or routing failed).
+    pub general: Option<GeneralCongestion>,
+}
+
+/// Congestion outcome for a general (non-matching) routing problem.
+#[derive(Clone, Debug)]
+pub struct GeneralCongestion {
+    /// Base congestion `C(P)` of the input routing in `G`.
+    pub base_congestion: u32,
+    /// Congestion `C(P')` of the substitute routing in `H`.
+    pub substitute_congestion: u32,
+    /// Per-path distance stretch of `P'` vs `P`.
+    pub alpha: f64,
+    /// Decomposition instrumentation (Lemma 21–23 quantities).
+    pub report: DecompositionReport,
+}
+
+impl GeneralCongestion {
+    /// Measured congestion stretch β = C(P′)/C(P).
+    pub fn beta(&self) -> f64 {
+        if self.base_congestion == 0 {
+            0.0
+        } else {
+            self.substitute_congestion as f64 / self.base_congestion as f64
+        }
+    }
+}
+
+/// Route a matching problem whose pairs are **edges of G** through the
+/// router and return `(congestion, max path length)` of the substitute.
+pub fn matching_substitute_congestion<R: EdgeRouter>(
+    n: usize,
+    problem: &RoutingProblem,
+    router: &R,
+    seed: u64,
+) -> Option<(u32, usize)> {
+    let routing = dcspan_routing::replace::route_matching(router, problem, seed)?;
+    Some((routing.congestion(n), routing.max_length()))
+}
+
+/// Substitute a general routing through Algorithm 2 and measure β.
+pub fn general_substitute_congestion<R: EdgeRouter>(
+    n: usize,
+    base: &Routing,
+    router: &R,
+    seed: u64,
+) -> Option<GeneralCongestion> {
+    let report = substitute_routing_decomposed(n, base, router, ColoringAlgo::MisraGries, seed)?;
+    let substitute_congestion = report.routing.congestion(n);
+    let alpha = report.routing.max_stretch_vs(base);
+    Some(GeneralCongestion {
+        base_congestion: report.base_congestion,
+        substitute_congestion,
+        alpha,
+        report,
+    })
+}
+
+/// One-stop evaluation used by experiments: distance stretch over edges, a
+/// matching routing, and optionally a general routing.
+pub fn evaluate_dc_spanner<R: EdgeRouter>(
+    g: &Graph,
+    h: &Graph,
+    router: &R,
+    matching_problem: &RoutingProblem,
+    general_base: Option<&Routing>,
+    seed: u64,
+) -> Option<DcEvaluation> {
+    let distance = distance_stretch_edges(g, h, 8);
+    let (matching_congestion, matching_alpha) =
+        matching_substitute_congestion(g.n(), matching_problem, router, seed)?;
+    let general = match general_base {
+        Some(base) => general_substitute_congestion(g.n(), base, router, seed ^ 0x5eed),
+        None => None,
+    };
+    Some(DcEvaluation {
+        edges_g: g.m(),
+        edges_h: h.m(),
+        distance,
+        matching_congestion,
+        matching_alpha,
+        general,
+    })
+}
+
+/// Baseline routing for a matching problem defined by edges of `G`: the
+/// edges themselves (congestion exactly 1 when the problem is a matching).
+pub fn edge_routing(problem: &RoutingProblem) -> Routing {
+    Routing::new(problem.pairs().iter().map(|&(u, v)| Path::new(vec![u, v])).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcspan_gen::regular::random_regular;
+    use dcspan_routing::replace::{DetourPolicy, SpannerDetourRouter};
+
+    #[test]
+    fn identity_spanner_has_stretch_one() {
+        let g = random_regular(30, 6, 1);
+        let rep = distance_stretch_edges(&g, &g, 4);
+        assert_eq!(rep.max_stretch, 1.0);
+        assert_eq!(rep.mean_stretch, 1.0);
+        assert_eq!(rep.overflow_pairs, 0);
+        assert_eq!(rep.pairs, g.m());
+    }
+
+    #[test]
+    fn removed_chord_gives_stretch() {
+        // C6 + chord (0,3); spanner = C6. d_H(0,3) = 3.
+        let mut edges: Vec<(u32, u32)> = (0u32..6).map(|i| (i, (i + 1) % 6)).collect();
+        edges.push((0, 3));
+        let g = Graph::from_edges(6, edges);
+        let h = g.filter_edges(|_, e| !(e.u == 0 && e.v == 3));
+        let rep = distance_stretch_edges(&g, &h, 5);
+        assert_eq!(rep.max_stretch, 3.0);
+        assert_eq!(rep.overflow_pairs, 0);
+    }
+
+    #[test]
+    fn overflow_detected_when_radius_too_small() {
+        let mut edges: Vec<(u32, u32)> = (0u32..8).map(|i| (i, (i + 1) % 8)).collect();
+        edges.push((0, 4));
+        let g = Graph::from_edges(8, edges);
+        let h = g.filter_edges(|_, e| !(e.u == 0 && e.v == 4));
+        // d_H(0,4) = 4 > radius 3.
+        let rep = distance_stretch_edges(&g, &h, 3);
+        assert_eq!(rep.overflow_pairs, 1);
+    }
+
+    #[test]
+    fn all_pairs_equals_edge_based_max() {
+        // Lemma 1: the worst pairwise ratio is attained at an edge.
+        for seed in 0..4 {
+            let g = random_regular(36, 8, seed);
+            let h = dcspan_graph::sample::sample_subgraph(&g, 0.7, seed ^ 9);
+            if !dcspan_graph::traversal::is_connected(&h) {
+                continue;
+            }
+            let pairwise = distance_stretch_all_pairs(&g, &h).unwrap();
+            let edges = distance_stretch_edges(&g, &h, 32);
+            assert!(
+                (pairwise - edges.max_stretch).abs() < 1e-9,
+                "seed {seed}: pairwise {pairwise} vs edges {}",
+                edges.max_stretch
+            );
+        }
+    }
+
+    #[test]
+    fn all_pairs_detects_disconnection() {
+        let g = Graph::from_edges(4, vec![(0, 1), (1, 2), (2, 3), (3, 0)]);
+        let h = Graph::from_edges(4, vec![(0, 1), (2, 3)]);
+        assert!(distance_stretch_all_pairs(&g, &h).is_none());
+        assert_eq!(distance_stretch_all_pairs(&g, &g), Some(1.0));
+    }
+
+    #[test]
+    fn sampled_stretch_on_identity() {
+        let g = random_regular(40, 6, 2);
+        let rep = distance_stretch_sampled(&g, &g, 50, 3);
+        assert_eq!(rep.max_stretch, 1.0);
+        assert_eq!(rep.overflow_pairs, 0);
+    }
+
+    #[test]
+    fn full_evaluation_pipeline() {
+        let g = random_regular(48, 16, 4);
+        let h = dcspan_graph::sample::sample_subgraph(&g, 0.6, 5);
+        let router = SpannerDetourRouter::new(&h, DetourPolicy::UniformShortest);
+        let matching = RoutingProblem::random_matching(48, 10, 6);
+        let base = dcspan_routing::shortest::shortest_path_routing(
+            &g,
+            &RoutingProblem::random_pairs(48, 20, 7),
+        )
+        .unwrap();
+        let eval = evaluate_dc_spanner(&g, &h, &router, &matching, Some(&base), 8).unwrap();
+        assert_eq!(eval.edges_g, g.m());
+        assert_eq!(eval.edges_h, h.m());
+        assert!(eval.matching_congestion >= 1);
+        let gen = eval.general.as_ref().unwrap();
+        assert!(gen.base_congestion >= 1);
+        assert!(gen.beta() >= 1.0 || gen.substitute_congestion <= gen.base_congestion);
+        assert!(gen.report.lemma21_holds(48));
+    }
+
+    #[test]
+    fn edge_routing_congestion_one_for_matching() {
+        let problem = RoutingProblem::from_pairs(vec![(0, 1), (2, 3)]);
+        let r = edge_routing(&problem);
+        assert_eq!(r.congestion(4), 1);
+    }
+}

@@ -1,0 +1,275 @@
+//! **Theorem 2**: the 3-distance DC-spanner for dense regular expanders.
+//!
+//! Construction: sample every edge of the `Δ = n^{2/3+ε}`-regular expander
+//! independently with probability `1/n^ε` (equivalently: target expected
+//! spanner degree `n^{2/3}`). For a routed edge `{u, v}` outside the
+//! spanner, Lemma 4 (via the expander mixing lemma) guarantees a large
+//! matching `M_{u,v}` between `N(u)` and `N(v)`; the replacement path is a
+//! uniformly random 3-hop path `u → x → y → v` whose middle edge `{x, y}`
+//! lies in the surviving part `M^S_{u,v}` of that matching and whose outer
+//! hops survive sampling. Uniform choice over a Θ(Δ/n^ε)-sized matching is
+//! what keeps the expected congestion of a matching routing at `1 + o(1)`.
+
+use dcspan_graph::matching::max_bipartite_matching;
+use dcspan_graph::sample::sample_subgraph;
+use dcspan_graph::{Graph, NodeId};
+use dcspan_routing::replace::{DetourPolicy, EdgeRouter, SpannerDetourRouter};
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// Parameters for the Theorem 2 construction.
+#[derive(Clone, Copy, Debug)]
+pub struct ExpanderSpannerParams {
+    /// Independent edge-survival probability (paper: `1/n^ε` where
+    /// `Δ = n^{2/3+ε}`).
+    pub sample_prob: f64,
+}
+
+impl ExpanderSpannerParams {
+    /// The paper's choice for an n-node Δ-regular expander: survival
+    /// probability `n^{2/3}/Δ` (i.e. expected spanner degree `n^{2/3}`,
+    /// spanner size `O(n^{5/3})`). Clamped to 1 when `Δ ≤ n^{2/3}`.
+    pub fn paper(n: usize, delta: usize) -> Self {
+        let p = ((n as f64).powf(2.0 / 3.0) / delta as f64).min(1.0);
+        ExpanderSpannerParams { sample_prob: p }
+    }
+
+    /// Explicit survival probability.
+    pub fn with_prob(p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p));
+        ExpanderSpannerParams { sample_prob: p }
+    }
+}
+
+/// The Theorem 2 spanner.
+#[derive(Clone, Debug)]
+pub struct ExpanderSpanner {
+    /// The sampled spanner `S`.
+    pub h: Graph,
+    /// Parameters used.
+    pub params: ExpanderSpannerParams,
+}
+
+/// Build the Theorem 2 spanner by independent edge sampling.
+///
+/// ```
+/// use dcspan_core::expander::{build_expander_spanner, ExpanderSpannerParams};
+/// use dcspan_gen::regular::random_regular;
+/// let g = random_regular(64, 32, 3); // dense regular expander
+/// let sp = build_expander_spanner(&g, ExpanderSpannerParams::paper(64, 32), 3);
+/// assert!(sp.h.is_subgraph_of(&g));
+/// assert!(sp.h.m() < g.m());
+/// ```
+pub fn build_expander_spanner(g: &Graph, params: ExpanderSpannerParams, seed: u64) -> ExpanderSpanner {
+    ExpanderSpanner { h: sample_subgraph(g, params.sample_prob, seed), params }
+}
+
+/// Statistics about the neighbourhood matching of one edge — the measured
+/// version of Lemmas 4–5 (Figure 2's construction).
+#[derive(Clone, Copy, Debug)]
+pub struct NeighborhoodMatchingStats {
+    /// `|M_{u,v}|`: maximum matching between `N(u)` and `N(v)` in `G`.
+    pub matching_size: usize,
+    /// `|M^S_{u,v}|`: matched pairs whose middle edge survives in the spanner.
+    pub surviving_middle: usize,
+    /// Pairs additionally having both outer hops `(u,x)`, `(y,v)` in the
+    /// spanner — the actually usable replacement paths.
+    pub usable_paths: usize,
+}
+
+/// Compute the Lemma 4/5 statistics for edge `(u, v)`.
+pub fn neighborhood_matching_stats(
+    g: &Graph,
+    h: &Graph,
+    u: NodeId,
+    v: NodeId,
+) -> NeighborhoodMatchingStats {
+    let matching = max_bipartite_matching(g, g.neighbors(u), g.neighbors(v));
+    let mut surviving_middle = 0usize;
+    let mut usable_paths = 0usize;
+    for &(x, y) in &matching {
+        if h.has_edge(x, y) {
+            surviving_middle += 1;
+            if x != v && y != u && h.has_edge(u, x) && h.has_edge(y, v) {
+                usable_paths += 1;
+            }
+        }
+    }
+    NeighborhoodMatchingStats { matching_size: matching.len(), surviving_middle, usable_paths }
+}
+
+/// The Theorem 2 replacement-path router: matching-restricted random 3-hop
+/// paths, with a generic ≤3-detour fallback and finally BFS (fallbacks are
+/// counted by the caller through path lengths).
+pub struct ExpanderMatchingRouter<'a> {
+    g: &'a Graph,
+    h: &'a Graph,
+    fallback: SpannerDetourRouter<'a>,
+}
+
+impl<'a> ExpanderMatchingRouter<'a> {
+    /// Create the router for original graph `g` and spanner `h`.
+    pub fn new(g: &'a Graph, h: &'a Graph) -> Self {
+        ExpanderMatchingRouter { g, h, fallback: SpannerDetourRouter::new(h, DetourPolicy::UniformShortest) }
+    }
+
+    /// The usable matching-restricted 3-hop paths for `(a, b)` as
+    /// `(x, y)` middle edges.
+    pub fn usable_matching_paths(&self, a: NodeId, b: NodeId) -> Vec<(NodeId, NodeId)> {
+        let matching = max_bipartite_matching(self.g, self.g.neighbors(a), self.g.neighbors(b));
+        matching
+            .into_iter()
+            .filter(|&(x, y)| {
+                x != b
+                    && y != a
+                    && x != y
+                    && self.h.has_edge(x, y)
+                    && self.h.has_edge(a, x)
+                    && self.h.has_edge(y, b)
+            })
+            .collect()
+    }
+}
+
+impl EdgeRouter for ExpanderMatchingRouter<'_> {
+    fn route_edge(&self, a: NodeId, b: NodeId, rng: &mut SmallRng) -> Option<Vec<NodeId>> {
+        if self.h.has_edge(a, b) {
+            return Some(vec![a, b]);
+        }
+        let usable = self.usable_matching_paths(a, b);
+        if !usable.is_empty() {
+            let (x, y) = usable[rng.gen_range(0..usable.len())];
+            return Some(vec![a, x, y, b]);
+        }
+        // Lemma 6 says this is w.h.p. unreachable; fall back gracefully.
+        self.fallback.route_edge(a, b, rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcspan_gen::regular::random_regular;
+    use dcspan_graph::rng::item_rng;
+    use dcspan_routing::problem::RoutingProblem;
+    use dcspan_routing::replace::route_matching;
+
+    /// Dense regular expander in the Theorem 2 regime (Δ ≈ n^{0.83}).
+    fn dense_expander(seed: u64) -> Graph {
+        random_regular(64, 32, seed)
+    }
+
+    #[test]
+    fn paper_params() {
+        let p = ExpanderSpannerParams::paper(1000, 500);
+        assert!((p.sample_prob - 1000f64.powf(2.0 / 3.0) / 500.0).abs() < 1e-12);
+        let clamped = ExpanderSpannerParams::paper(1000, 50);
+        assert_eq!(clamped.sample_prob, 1.0);
+    }
+
+    #[test]
+    fn spanner_size_near_expectation() {
+        let g = dense_expander(1);
+        let params = ExpanderSpannerParams::with_prob(0.5);
+        let sp = build_expander_spanner(&g, params, 2);
+        let expected = g.m() as f64 * 0.5;
+        assert!(
+            (sp.h.m() as f64 - expected).abs() < 4.0 * (expected * 0.5).sqrt(),
+            "m = {} vs expected {expected}",
+            sp.h.m()
+        );
+        assert!(sp.h.is_subgraph_of(&g));
+    }
+
+    #[test]
+    fn matching_stats_monotone() {
+        let g = dense_expander(3);
+        let sp = build_expander_spanner(&g, ExpanderSpannerParams::with_prob(0.6), 4);
+        let e = g.edges()[0];
+        let st = neighborhood_matching_stats(&g, &sp.h, e.u, e.v);
+        assert!(st.matching_size >= st.surviving_middle);
+        assert!(st.surviving_middle >= st.usable_paths);
+        // Lemma 4: the matching should be large in a dense expander.
+        assert!(st.matching_size >= 16, "matching only {}", st.matching_size);
+    }
+
+    #[test]
+    fn router_prefers_direct_edges() {
+        let g = dense_expander(5);
+        let sp = build_expander_spanner(&g, ExpanderSpannerParams::with_prob(0.5), 6);
+        let router = ExpanderMatchingRouter::new(&g, &sp.h);
+        let kept = sp.h.edges()[0];
+        let mut rng = item_rng(0, 0);
+        assert_eq!(router.route_edge(kept.u, kept.v, &mut rng), Some(vec![kept.u, kept.v]));
+    }
+
+    #[test]
+    fn router_replaces_removed_edges_with_3_hop_paths() {
+        let g = dense_expander(7);
+        let sp = build_expander_spanner(&g, ExpanderSpannerParams::with_prob(0.5), 8);
+        let removed: Vec<_> =
+            g.edges().iter().filter(|e| !sp.h.has_edge(e.u, e.v)).take(10).collect();
+        assert!(!removed.is_empty());
+        let router = ExpanderMatchingRouter::new(&g, &sp.h);
+        for (i, e) in removed.iter().enumerate() {
+            let mut rng = item_rng(9, i as u64);
+            let p = router.route_edge(e.u, e.v, &mut rng).unwrap();
+            assert_eq!(p.first(), Some(&e.u));
+            assert_eq!(p.last(), Some(&e.v));
+            assert!(p.len() <= 4, "path too long: {:?}", p);
+            for w in p.windows(2) {
+                assert!(sp.h.has_edge(w[0], w[1]));
+            }
+        }
+    }
+
+    #[test]
+    fn matching_routing_has_low_congestion() {
+        // Route the matching problem consisting of removed edges; expected
+        // congestion per Lemma 7 is 1 + o(1), so the max should be tiny.
+        let g = dense_expander(11);
+        let sp = build_expander_spanner(&g, ExpanderSpannerParams::with_prob(0.5), 12);
+        let removed: Vec<_> = g
+            .edges()
+            .iter()
+            .copied()
+            .filter(|e| !sp.h.has_edge(e.u, e.v))
+            .collect();
+        // Build a *matching* subset of removed edges greedily.
+        let mut used = vec![false; g.n()];
+        let mut pairs = Vec::new();
+        for e in removed {
+            if !used[e.u as usize] && !used[e.v as usize] {
+                used[e.u as usize] = true;
+                used[e.v as usize] = true;
+                pairs.push((e.u, e.v));
+            }
+        }
+        let problem = RoutingProblem::from_pairs(pairs);
+        assert!(problem.is_matching());
+        let router = ExpanderMatchingRouter::new(&g, &sp.h);
+        let routing = route_matching(&router, &problem, 13).unwrap();
+        assert!(routing.is_valid_for(&problem, &sp.h));
+        // Lemma 7: expected congestion 1 + o(1), whp O(log n). For n = 64
+        // (log₂ n = 6) anything beyond ~2 log n would signal a bug.
+        let c = routing.congestion(g.n());
+        assert!(c <= 12, "matching congestion {c} too high for n = {}", g.n());
+        // The average over nodes actually touched should be close to 1.
+        let profile = routing.congestion_profile(g.n());
+        let touched: Vec<u32> = profile.into_iter().filter(|&x| x > 0).collect();
+        let mean = touched.iter().sum::<u32>() as f64 / touched.len() as f64;
+        assert!(mean < 2.5, "mean congestion {mean:.2}");
+    }
+
+    #[test]
+    fn usable_paths_listing_is_consistent_with_stats() {
+        let g = dense_expander(15);
+        let sp = build_expander_spanner(&g, ExpanderSpannerParams::with_prob(0.5), 16);
+        let router = ExpanderMatchingRouter::new(&g, &sp.h);
+        for e in g.edges().iter().take(5) {
+            let stats = neighborhood_matching_stats(&g, &sp.h, e.u, e.v);
+            let usable = router.usable_matching_paths(e.u, e.v);
+            assert_eq!(usable.len(), stats.usable_paths);
+        }
+    }
+}

@@ -1,0 +1,140 @@
+//! The greedy t-spanner (Althöfer et al.): scan edges, keep an edge only
+//! if the spanner built so far does not already connect its endpoints
+//! within `t` hops.
+//!
+//! For stretch `t = 2k−1` the result has girth `> 2k`, hence `O(n^{1+1/k})`
+//! edges — the existentially-optimal distance baseline. Deterministic,
+//! which makes it the reference point for the lower-bound experiments
+//! (Theorem 4's "optimal size 3-distance spanner").
+
+use dcspan_graph::traversal::bfs_distances_bounded;
+use dcspan_graph::traversal::UNREACHABLE;
+use dcspan_graph::{Graph, GraphBuilder, NodeId};
+
+/// Build the greedy t-spanner of `g` (edges scanned in canonical order).
+pub fn greedy_spanner(g: &Graph, t: u32) -> Graph {
+    assert!(t >= 1);
+    let n = g.n();
+    // Incremental adjacency (the spanner under construction).
+    let mut adj: Vec<Vec<NodeId>> = vec![Vec::new(); n];
+    let mut kept: Vec<(NodeId, NodeId)> = Vec::new();
+    // Bounded BFS over the partial spanner.
+    let mut dist = vec![UNREACHABLE; n];
+    let mut touched: Vec<NodeId> = Vec::new();
+    let mut queue = std::collections::VecDeque::new();
+    for e in g.edges() {
+        // BFS from e.u up to t hops in the current spanner.
+        dist[e.u as usize] = 0;
+        touched.push(e.u);
+        queue.push_back(e.u);
+        let mut reached = false;
+        'bfs: while let Some(x) = queue.pop_front() {
+            let dx = dist[x as usize];
+            if dx == t {
+                continue;
+            }
+            for &w in &adj[x as usize] {
+                if dist[w as usize] == UNREACHABLE {
+                    dist[w as usize] = dx + 1;
+                    touched.push(w);
+                    if w == e.v {
+                        reached = true;
+                        break 'bfs;
+                    }
+                    queue.push_back(w);
+                }
+            }
+        }
+        for &x in &touched {
+            dist[x as usize] = UNREACHABLE;
+        }
+        touched.clear();
+        queue.clear();
+        if !reached {
+            adj[e.u as usize].push(e.v);
+            adj[e.v as usize].push(e.u);
+            kept.push((e.u, e.v));
+        }
+    }
+    let mut b = GraphBuilder::with_capacity(n, kept.len());
+    for (u, v) in kept {
+        b.add_edge(u, v);
+    }
+    b.build()
+}
+
+/// Girth check helper used in tests: length of the shortest cycle through
+/// each edge (the girth is the minimum over edges). Returns `None` if the
+/// graph is a forest.
+pub fn girth(g: &Graph) -> Option<u32> {
+    let mut best: Option<u32> = None;
+    for e in g.edges() {
+        // Shortest path from u to v avoiding the direct edge, +1.
+        let h = g.filter_edges(|_, f| f != *e);
+        let d = bfs_distances_bounded(&h, e.u, best.map_or(u32::MAX - 1, |b| b))[e.v as usize];
+        if d != UNREACHABLE {
+            let cycle = d + 1;
+            best = Some(best.map_or(cycle, |b| b.min(cycle)));
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcspan_gen::classic::complete;
+    use dcspan_gen::regular::random_regular;
+
+    #[test]
+    fn stretch_respected() {
+        for t in [1u32, 3, 5] {
+            let g = random_regular(40, 10, 3);
+            let h = greedy_spanner(&g, t);
+            assert!(h.is_subgraph_of(&g));
+            let rep = crate::eval::distance_stretch_edges(&g, &h, t);
+            assert!(rep.max_stretch <= t as f64, "t = {t}");
+            assert_eq!(rep.overflow_pairs, 0, "t = {t}");
+        }
+    }
+
+    #[test]
+    fn t1_keeps_all_edges() {
+        let g = complete(10);
+        assert_eq!(greedy_spanner(&g, 1), g);
+    }
+
+    #[test]
+    fn t3_on_complete_graph_has_girth_above_4() {
+        // Greedy 3-spanner has girth > 4 (no 3- or 4-cycles).
+        let g = complete(20);
+        let h = greedy_spanner(&g, 3);
+        assert!(h.m() < g.m());
+        if let Some(girth) = girth(&h) {
+            assert!(girth > 4, "girth {girth}");
+        }
+    }
+
+    #[test]
+    fn t3_size_bound() {
+        // O(n^{3/2}) edges for t = 3.
+        let g = complete(36);
+        let h = greedy_spanner(&g, 3);
+        let bound = 36f64.powf(1.5);
+        assert!((h.m() as f64) < 3.0 * bound, "m = {}", h.m());
+    }
+
+    #[test]
+    fn girth_of_cycle() {
+        let g = Graph::from_edges(5, (0u32..5).map(|i| (i, (i + 1) % 5)));
+        assert_eq!(girth(&g), Some(5));
+        let tree = Graph::from_edges(4, vec![(0, 1), (1, 2), (1, 3)]);
+        assert_eq!(girth(&tree), None);
+    }
+
+    #[test]
+    fn deterministic() {
+        let g = random_regular(30, 8, 5);
+        assert_eq!(greedy_spanner(&g, 3), greedy_spanner(&g, 3));
+    }
+}

@@ -1,0 +1,45 @@
+//! # dcspan-core
+//!
+//! The paper's primary contribution: **(α, β)-DC-spanner constructions**
+//! that control distance stretch and node-congestion stretch
+//! simultaneously, plus every baseline the paper compares against.
+//!
+//! * [`support`] — the `(a, b)`-supportedness structure of Section 4
+//!   (2-detours, a-supported extensions), computed in parallel,
+//! * [`regular`] — **Algorithm 1 / Theorem 3**: the DC-spanner for
+//!   Δ-regular graphs with `Δ ≥ n^{2/3}` (sample at rate `√Δ/Δ`, reinsert
+//!   unsupported edges),
+//! * [`expander`] — **Theorem 2**: the 3-distance DC-spanner for dense
+//!   regular expanders with matching-restricted random replacement paths,
+//! * [`baswana_sen`] — the classical (2k−1)-spanner used as the
+//!   pure-distance baseline (and inside the Koutis–Xu sparsifier),
+//! * [`greedy`] — the greedy t-spanner (optimal-size baseline),
+//! * [`koutis_xu`] — spanner-peeling spectral sparsification (Table 1 row
+//!   \[16\]),
+//! * [`becchetti`] — bounded-degree expander extraction from a dense one
+//!   (Table 1 row \[5\]),
+//! * [`vft`] — the Figure-1 vertex-fault-tolerant-style spanner that
+//!   provably blows up congestion,
+//! * [`fault`] — general f-VFT spanners (random-subset union) with
+//!   fault-injection verification (the Related Work's \[8, 22\]),
+//! * [`eval`] — measurement of α (distance stretch) and β (congestion
+//!   stretch) for any spanner, wired to `dcspan-routing`'s Algorithm 2,
+//! * [`certify`] — one-shot (α, β)-DC-spanner certification bundling the
+//!   structural, distance, and congestion checks.
+
+pub mod baswana_sen;
+pub mod certify;
+pub mod becchetti;
+pub mod eval;
+pub mod exact;
+pub mod expander;
+pub mod fault;
+pub mod greedy;
+pub mod koutis_xu;
+pub mod regular;
+pub mod support;
+pub mod vft;
+
+pub use eval::{DcEvaluation, DistanceStretchReport};
+pub use expander::{ExpanderSpanner, ExpanderSpannerParams};
+pub use regular::{RegularSpanner, RegularSpannerParams};

@@ -1,0 +1,122 @@
+//! The **Figure 1** vertex-fault-tolerant-style spanner that provably does
+//! *not* control congestion.
+//!
+//! On the two-cliques graph, an `f`-VFT 3-spanner with `f = ⌈n^{1/3}⌉` may
+//! keep only `f + 1` matching edges (any `f` faults leave one alive, and a
+//! 3-hop detour `a_i → a_j → b_j → b_i` exists through it). But then the
+//! perfect-matching routing problem — congestion 1 in `G` — forces
+//! `Ω(n/f) = Ω(n^{2/3})` paths across some kept matching endpoint.
+//!
+//! The construction here keeps the first `f + 1` matching edges and
+//! optionally sparsifies the cliques with a Baswana–Sen 3-spanner (the
+//! "sparsify the cliques accordingly" of the paper).
+
+use crate::baswana_sen::baswana_sen_spanner_checked;
+use dcspan_gen::two_clique::TwoCliqueGraph;
+use dcspan_graph::{Edge, FxHashSet, Graph};
+
+/// The Figure-1 spanner.
+#[derive(Clone, Debug)]
+pub struct VftStyleSpanner {
+    /// The spanner graph `H`.
+    pub h: Graph,
+    /// Number of matching edges kept (`f + 1`).
+    pub kept_matching: usize,
+}
+
+/// Build the Figure-1 spanner of a [`TwoCliqueGraph`]: keep matching edges
+/// `0..kept`, all other matching edges are dropped. If `sparsify_cliques`,
+/// each clique is replaced by a (checked) Baswana–Sen 3-spanner of the
+/// whole clique structure.
+pub fn vft_style_spanner(
+    t: &TwoCliqueGraph,
+    kept: usize,
+    sparsify_cliques: bool,
+    seed: u64,
+) -> VftStyleSpanner {
+    assert!(kept >= 1 && kept <= t.half);
+    let dropped: FxHashSet<Edge> = (kept..t.half)
+        .map(|i| Edge::new(t.a(i), t.b(i)))
+        .collect();
+    let base = t.graph.filter_edges(|_, e| !dropped.contains(&e));
+    let h = if sparsify_cliques {
+        // Sparsify while preserving the 3-distance property of the whole
+        // graph: spanner of `base` with stretch 3.
+        let (sp, _) = baswana_sen_spanner_checked(&base, 2, seed, 20)
+            .expect("3-spanner of the reduced two-clique graph");
+        sp
+    } else {
+        base
+    };
+    VftStyleSpanner { h, kept_matching: kept }
+}
+
+/// The paper's choice `f = ⌈n^{1/3}⌉` (so `f + 1` kept matching edges),
+/// where `n` is the total node count of the two-clique graph.
+pub fn paper_kept_count(t: &TwoCliqueGraph) -> usize {
+    let n = t.graph.n() as f64;
+    ((n.powf(1.0 / 3.0)).ceil() as usize + 1).min(t.half)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcspan_graph::traversal::distance;
+    use dcspan_routing::problem::RoutingProblem;
+    use dcspan_routing::replace::{route_matching, DetourPolicy, SpannerDetourRouter};
+
+    #[test]
+    fn keeps_exactly_the_requested_matching_edges() {
+        let t = TwoCliqueGraph::new(16);
+        let sp = vft_style_spanner(&t, 4, false, 1);
+        for i in 0..16 {
+            assert_eq!(sp.h.has_edge(t.a(i), t.b(i)), i < 4, "pair {i}");
+        }
+        assert_eq!(sp.h.m(), t.graph.m() - (16 - 4));
+    }
+
+    #[test]
+    fn three_distance_property_survives() {
+        let t = TwoCliqueGraph::new(12);
+        let sp = vft_style_spanner(&t, 3, false, 2);
+        for e in t.graph.edges() {
+            let d = distance(&sp.h, e.u, e.v).unwrap();
+            assert!(d <= 3, "edge ({}, {}): d = {d}", e.u, e.v);
+        }
+    }
+
+    #[test]
+    fn matching_routing_congestion_blows_up() {
+        // n = 2·32 = 64, keep 5 matching edges: the 27 dropped pairs must
+        // detour through 5 kept edges → some kept endpoint carries ≥ ⌈27/5⌉
+        // (+1 for its own pair).
+        let t = TwoCliqueGraph::new(32);
+        let sp = vft_style_spanner(&t, 5, false, 3);
+        let problem = RoutingProblem::from_pairs(t.matching_routing_pairs());
+        assert!(problem.is_matching()); // base congestion 1 in G
+        let router = SpannerDetourRouter::new(&sp.h, DetourPolicy::UniformUpTo3);
+        let routing = route_matching(&router, &problem, 4).unwrap();
+        assert!(routing.is_valid_for(&problem, &sp.h));
+        let c = routing.congestion(t.graph.n());
+        assert!(c >= 27 / 5, "congestion {c} below pigeonhole bound");
+    }
+
+    #[test]
+    fn sparsified_cliques_still_work() {
+        let t = TwoCliqueGraph::new(20);
+        let sp = vft_style_spanner(&t, 4, true, 5);
+        assert!(sp.h.m() < t.graph.m());
+        // Overall 3-distance within each original edge should hold with
+        // slack (two 3-spanners compose to ≤ 9); check ≤ 9 and usually ≤ 3.
+        for e in t.graph.edges().iter().take(80) {
+            let d = distance(&sp.h, e.u, e.v).unwrap();
+            assert!(d <= 9, "edge ({}, {}): d = {d}", e.u, e.v);
+        }
+    }
+
+    #[test]
+    fn paper_kept_count_shape() {
+        let t = TwoCliqueGraph::new(128); // n = 256, n^{1/3} ≈ 6.35
+        assert_eq!(paper_kept_count(&t), 8);
+    }
+}

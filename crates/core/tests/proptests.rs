@@ -1,0 +1,85 @@
+//! Property-based tests for the spanner constructions.
+
+use dcspan_core::baswana_sen::baswana_sen_spanner;
+use dcspan_core::eval::distance_stretch_edges;
+use dcspan_core::greedy::greedy_spanner;
+use dcspan_core::regular::{build_regular_spanner, RegularSpannerParams};
+use dcspan_core::support::{is_supported_edge, supported_edge_mask};
+use dcspan_gen::regular::random_regular;
+use dcspan_graph::Graph;
+use proptest::prelude::*;
+
+/// Random regular graphs across the parameter space (n·Δ even).
+fn arb_regular() -> impl Strategy<Value = (Graph, usize)> {
+    (8usize..40, 3usize..8, 0u64..50).prop_map(|(half_n, delta, seed)| {
+        let n = 2 * half_n; // even n so any Δ works
+        let delta = delta.min(n - 2);
+        (random_regular(n, delta, seed), delta)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn algorithm1_safe_mode_is_always_a_3_spanner((g, delta) in arb_regular(), seed in 0u64..100) {
+        let params = RegularSpannerParams::calibrated(g.n(), delta);
+        let sp = build_regular_spanner(&g, params, seed);
+        prop_assert!(sp.h.is_subgraph_of(&g));
+        prop_assert!(sp.sampled.is_subgraph_of(&sp.h));
+        let rep = distance_stretch_edges(&g, &sp.h, 3);
+        prop_assert_eq!(rep.overflow_pairs, 0);
+        prop_assert!(rep.max_stretch <= 3.0);
+    }
+
+    #[test]
+    fn support_mask_matches_pointwise((g, _) in arb_regular(), a in 0usize..4, b in 1usize..6) {
+        let mask = supported_edge_mask(&g, a, b);
+        for (id, e) in g.edges().iter().enumerate().step_by(7) {
+            prop_assert_eq!(mask[id], is_supported_edge(&g, e.u, e.v, a, b));
+        }
+    }
+
+    #[test]
+    fn support_is_monotone_in_both_parameters((g, _) in arb_regular()) {
+        // (a, b)-supported ⇒ (a', b')-supported for a' ≤ a, b' ≤ b.
+        let strong = supported_edge_mask(&g, 2, 4);
+        let weaker_a = supported_edge_mask(&g, 1, 4);
+        let weaker_b = supported_edge_mask(&g, 2, 2);
+        for id in 0..g.m() {
+            if strong[id] {
+                prop_assert!(weaker_a[id]);
+                prop_assert!(weaker_b[id]);
+            }
+        }
+    }
+
+    #[test]
+    fn greedy_spanner_stretch_and_monotonicity((g, _) in arb_regular()) {
+        let h3 = greedy_spanner(&g, 3);
+        let h5 = greedy_spanner(&g, 5);
+        prop_assert!(h3.is_subgraph_of(&g));
+        // Larger stretch budget keeps no more edges.
+        prop_assert!(h5.m() <= h3.m());
+        let rep3 = distance_stretch_edges(&g, &h3, 3);
+        prop_assert_eq!(rep3.overflow_pairs, 0);
+        let rep5 = distance_stretch_edges(&g, &h5, 5);
+        prop_assert_eq!(rep5.overflow_pairs, 0);
+    }
+
+    #[test]
+    fn baswana_sen_output_is_subgraph((g, _) in arb_regular(), seed in 0u64..100) {
+        let h = baswana_sen_spanner(&g, 2, seed);
+        prop_assert!(h.is_subgraph_of(&g));
+        prop_assert_eq!(h.n(), g.n());
+    }
+
+    #[test]
+    fn sampling_monotone_in_probability((g, _) in arb_regular(), seed in 0u64..100) {
+        // The survival decision is threshold-based on a per-edge hash, so
+        // p ≤ q ⇒ sample(p) ⊆ sample(q).
+        let lo = dcspan_graph::sample::sample_subgraph(&g, 0.3, seed);
+        let hi = dcspan_graph::sample::sample_subgraph(&g, 0.7, seed);
+        prop_assert!(lo.is_subgraph_of(&hi));
+    }
+}

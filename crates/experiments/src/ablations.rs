@@ -1,0 +1,202 @@
+//! **A1–A3 — design-choice ablations** for the constructions' moving
+//! parts (see DESIGN.md's experiment index).
+//!
+//! * **A1** — Algorithm 1 without edge reinsertion: how often does the
+//!   3-distance property break, and what does reinsertion cost in edges?
+//! * **A2** — replacement-path selection policy: uniform-over-all vs
+//!   uniform-shortest vs deterministic-first; effect on matching
+//!   congestion (the paper's randomisation is what keeps β small).
+//! * **A3** — Misra–Gries (`d_k+1` colours) vs greedy (`2d_k−1`) edge
+//!   colouring inside Algorithm 2: effect on the matching count and the
+//!   measured congestion.
+
+use crate::table::{f2, Table};
+use crate::workloads;
+use dcspan_core::eval::distance_stretch_edges;
+use dcspan_core::regular::{build_regular_spanner, RegularSpannerParams};
+use dcspan_routing::decompose::{substitute_routing_decomposed, ColoringAlgo};
+use dcspan_routing::replace::{route_matching, DetourPolicy, SpannerDetourRouter};
+
+/// A1: reinsertion on/off.
+#[derive(Clone, Debug, serde::Serialize)]
+pub struct A1Row {
+    /// Variant name.
+    pub variant: &'static str,
+    /// Spanner edges.
+    pub edges: usize,
+    /// Max edge stretch (9.0 flag = some edge unreachable within radius).
+    pub alpha: f64,
+    /// Edges of G with no ≤3-hop substitute in H.
+    pub broken_edges: usize,
+}
+
+/// Run A1 on one graph.
+pub fn run_a1(n: usize, seed: u64) -> (Vec<A1Row>, String) {
+    let delta = workloads::theorem3_degree(n);
+    let g = workloads::regime_expander(n, delta, seed);
+    let params = RegularSpannerParams::calibrated(n, delta);
+    let mut rows = Vec::new();
+
+    // Full Algorithm 1.
+    let full = build_regular_spanner(&g, params, seed ^ 1);
+    // No reinsertion: E' only.
+    let sampled_only = full.sampled.clone();
+    // No safe mode.
+    let mut p2 = params;
+    p2.safe_reinsert = false;
+    let no_safe = build_regular_spanner(&g, p2, seed ^ 1);
+
+    for (variant, h) in [
+        ("full (E' ∪ E'' ∪ safe)", &full.h),
+        ("no safe mode (E' ∪ E'')", &no_safe.h),
+        ("sample only (E')", &sampled_only),
+    ] {
+        let rep = distance_stretch_edges(&g, h, 3);
+        rows.push(A1Row {
+            variant,
+            edges: h.m(),
+            alpha: rep.max_stretch,
+            broken_edges: rep.overflow_pairs,
+        });
+    }
+    let mut t = Table::new(["variant", "|E(H)|", "α(≤3 measured)", "edges w/o ≤3-hop substitute"]);
+    for r in &rows {
+        t.add_row([r.variant.to_string(), r.edges.to_string(), f2(r.alpha), r.broken_edges.to_string()]);
+    }
+    let text = format!(
+        "{}{}\nReinsertion is what repairs the sampled graph's broken edges; safe mode \
+         covers the (rare) supported edges whose detours all failed to survive.\n",
+        crate::banner("A1", "ablation: Algorithm 1 reinsertion"),
+        t.render()
+    );
+    (rows, text)
+}
+
+/// A2: detour selection policy.
+#[derive(Clone, Debug, serde::Serialize)]
+pub struct A2Row {
+    /// Policy name.
+    pub policy: &'static str,
+    /// Matching congestion under this policy.
+    pub congestion: u32,
+    /// Max substitute path length.
+    pub max_len: usize,
+}
+
+/// Run A2 on one graph.
+pub fn run_a2(n: usize, seed: u64) -> (Vec<A2Row>, String) {
+    let delta = workloads::theorem3_degree(n);
+    let g = workloads::regime_expander(n, delta, seed);
+    let h = dcspan_graph::sample::sample_subgraph(&g, 1.0 / (delta as f64).sqrt(), seed ^ 1);
+    let matching = workloads::removed_edge_matching(&g, &h);
+    let mut rows = Vec::new();
+    for (name, policy) in [
+        ("uniform over ≤3-hop", DetourPolicy::UniformUpTo3),
+        ("uniform shortest", DetourPolicy::UniformShortest),
+        ("first found (no randomness)", DetourPolicy::FirstFound),
+    ] {
+        let router = SpannerDetourRouter::new(&h, policy);
+        let routing = route_matching(&router, &matching, seed ^ 2).expect("routable");
+        rows.push(A2Row {
+            policy: name,
+            congestion: routing.congestion(n),
+            max_len: routing.max_length(),
+        });
+    }
+    let mut t = Table::new(["policy", "matching congestion", "max path len"]);
+    for r in &rows {
+        t.add_row([r.policy.to_string(), r.congestion.to_string(), r.max_len.to_string()]);
+    }
+    let text = format!(
+        "{}{}\nThe paper's uniform random choice among detours is the congestion-control \
+         mechanism; deterministic selection concentrates load.\n",
+        crate::banner("A2", "ablation: replacement-path selection"),
+        t.render()
+    );
+    (rows, text)
+}
+
+/// A3: colouring algorithm inside Algorithm 2.
+#[derive(Clone, Debug, serde::Serialize)]
+pub struct A3Row {
+    /// Colouring name.
+    pub coloring: &'static str,
+    /// Total matchings produced.
+    pub matchings: usize,
+    /// Substitute congestion.
+    pub congestion: u32,
+    /// Σ(d_k+1) instrumentation.
+    pub sum_dk1: usize,
+}
+
+/// Run A3 on one graph.
+pub fn run_a3(n: usize, pairs: usize, seed: u64) -> (Vec<A3Row>, String) {
+    let delta = workloads::theorem3_degree(n);
+    let g = workloads::regime_expander(n, delta, seed);
+    let h = dcspan_graph::sample::sample_subgraph(&g, 0.6, seed ^ 1);
+    let router = SpannerDetourRouter::new(&h, DetourPolicy::UniformUpTo3);
+    let (_, base) = workloads::pairs_base_routing(&g, pairs, seed ^ 2);
+    let mut rows = Vec::new();
+    for (name, algo) in
+        [("Misra–Gries (d+1)", ColoringAlgo::MisraGries), ("greedy (2d−1)", ColoringAlgo::Greedy)]
+    {
+        let rep = substitute_routing_decomposed(n, &base, &router, algo, seed ^ 3)
+            .expect("routable");
+        rows.push(A3Row {
+            coloring: name,
+            matchings: rep.num_matchings,
+            congestion: rep.routing.congestion(n),
+            sum_dk1: rep.sum_dk_plus_one,
+        });
+    }
+    let mut t = Table::new(["colouring", "matchings", "C(P')", "Σ(d_k+1)"]);
+    for r in &rows {
+        t.add_row([
+            r.coloring.to_string(),
+            r.matchings.to_string(),
+            r.congestion.to_string(),
+            r.sum_dk1.to_string(),
+        ]);
+    }
+    let text = format!(
+        "{}{}\nMisra–Gries realises the m_k ≤ d_k+1 bound Lemma 22's constant relies on; \
+         greedy at most doubles the matching count.\n",
+        crate::banner("A3", "ablation: edge colouring in Algorithm 2"),
+        t.render()
+    );
+    (rows, text)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn a1_reinsertion_repairs_brokenness() {
+        let (rows, _) = run_a1(80, 3);
+        let full = &rows[0];
+        let sample_only = &rows[2];
+        assert_eq!(full.broken_edges, 0, "full Algorithm 1 must be a 3-spanner");
+        assert!(full.edges >= sample_only.edges);
+        // Pure sampling at 1/√Δ typically breaks at least one edge at this
+        // scale; if not, the assertion on ordering above still holds.
+    }
+
+    #[test]
+    fn a2_randomisation_helps_or_ties() {
+        let (rows, _) = run_a2(96, 5);
+        let uniform = rows[0].congestion;
+        let first = rows[2].congestion;
+        assert!(uniform <= first, "uniform {uniform} worse than deterministic {first}");
+        for r in &rows {
+            assert!(r.max_len <= 3 || r.max_len <= 8, "policy {} len {}", r.policy, r.max_len);
+        }
+    }
+
+    #[test]
+    fn a3_misra_gries_uses_fewer_or_equal_matchings() {
+        let (rows, _) = run_a3(64, 50, 7);
+        assert!(rows[0].matchings <= rows[1].matchings);
+        assert_eq!(rows[0].sum_dk1, rows[1].sum_dk1); // instrumentation identical
+    }
+}

@@ -1,0 +1,131 @@
+//! **E10 — Theorem 1 / Lemmas 21–23**: decomposition of routings into
+//! matchings.
+//!
+//! Measures, for random routing problems of growing intensity:
+//!
+//! * the number of levels `r` and `Σ_k (d_k + 1)` vs Lemma 21's bound
+//!   `12·C(P)·log₂ n`,
+//! * the number of matchings vs Lemma 23's `O(n³)`,
+//! * the congestion overhead of the decomposed substitute vs the direct
+//!   per-path splice.
+
+use crate::table::{f2, Table};
+use crate::workloads;
+use dcspan_graph::sample::sample_subgraph;
+use dcspan_routing::decompose::{
+    substitute_routing_decomposed, substitute_routing_direct, ColoringAlgo,
+};
+use dcspan_routing::replace::{DetourPolicy, SpannerDetourRouter};
+
+/// One measured row of the decomposition experiment.
+#[derive(Clone, Debug, serde::Serialize)]
+pub struct E10Row {
+    /// Nodes.
+    pub n: usize,
+    /// Routing pairs.
+    pub k: usize,
+    /// Base congestion `C(P)`.
+    pub base_congestion: u32,
+    /// Levels `r`.
+    pub levels: usize,
+    /// `Σ(d_k + 1)`.
+    pub sum_dk1: usize,
+    /// Lemma 21's bound.
+    pub lemma21_bound: f64,
+    /// Total matchings used.
+    pub matchings: usize,
+    /// `n³` (Lemma 23 reference).
+    pub n_cubed: f64,
+    /// Substitute congestion via decomposition.
+    pub congestion_decomposed: u32,
+    /// Substitute congestion via direct splicing.
+    pub congestion_direct: u32,
+}
+
+/// Run over routing intensities on a fixed-size expander.
+pub fn run(n: usize, pair_counts: &[usize], seed: u64) -> (Vec<E10Row>, String) {
+    let delta = workloads::theorem3_degree(n);
+    let g = workloads::regime_expander(n, delta, seed);
+    let h = sample_subgraph(&g, 0.6, seed ^ 1);
+    let router = SpannerDetourRouter::new(&h, DetourPolicy::UniformUpTo3);
+    let mut rows = Vec::new();
+    for (i, &k) in pair_counts.iter().enumerate() {
+        let (_, base) = workloads::pairs_base_routing(&g, k, seed.wrapping_add(i as u64));
+        let rep =
+            substitute_routing_decomposed(n, &base, &router, ColoringAlgo::MisraGries, seed ^ 2)
+                .expect("routable");
+        let direct = substitute_routing_direct(&base, &router, seed ^ 3).expect("routable");
+        rows.push(E10Row {
+            n,
+            k,
+            base_congestion: rep.base_congestion,
+            levels: rep.num_levels,
+            sum_dk1: rep.sum_dk_plus_one,
+            lemma21_bound: rep.lemma21_bound(n),
+            matchings: rep.num_matchings,
+            n_cubed: (n as f64).powi(3),
+            congestion_decomposed: rep.routing.congestion(n),
+            congestion_direct: direct.congestion(n),
+        });
+    }
+    let mut t = Table::new([
+        "n", "k", "C(P)", "levels r", "Σ(d_k+1)", "12·C·log n", "matchings", "n³", "C(P')",
+        "C(direct)",
+    ]);
+    for r in &rows {
+        t.add_row([
+            r.n.to_string(),
+            r.k.to_string(),
+            r.base_congestion.to_string(),
+            r.levels.to_string(),
+            r.sum_dk1.to_string(),
+            f2(r.lemma21_bound),
+            r.matchings.to_string(),
+            format!("{:.0}", r.n_cubed),
+            r.congestion_decomposed.to_string(),
+            r.congestion_direct.to_string(),
+        ]);
+    }
+    let text = format!(
+        "{}{}\nPaper: Σ(d_k+1) ≤ 12·C(P)·log₂ n (Lemma 21); ≤ O(n³) matchings (Lemma 23); \
+         the substitute congestion is ≤ β'·Σ(d_k+1) (Lemma 22).\n",
+        crate::banner("E10", "Theorem 1 / Algorithm 2 (matching decomposition)"),
+        t.render()
+    );
+    (rows, text)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lemma_bounds_hold() {
+        let (rows, text) = run(96, &[10, 40, 120], 5);
+        for r in &rows {
+            assert!(
+                (r.sum_dk1 as f64) <= r.lemma21_bound,
+                "k={}: Σ = {} > bound {}",
+                r.k,
+                r.sum_dk1,
+                r.lemma21_bound
+            );
+            assert!((r.matchings as f64) <= r.n_cubed, "k={}", r.k);
+            assert!(r.levels >= 1);
+        }
+        // More pairs ⇒ no fewer levels and no smaller Σ.
+        assert!(rows[2].sum_dk1 >= rows[0].sum_dk1);
+        assert!(text.contains("E10"));
+    }
+
+    #[test]
+    fn decomposition_congestion_comparable_to_direct() {
+        let (rows, _) = run(64, &[60], 9);
+        let r = &rows[0];
+        // Both substitutes route the same problem; congestion should be in
+        // the same ballpark (within a small factor).
+        let hi = r.congestion_decomposed.max(r.congestion_direct) as f64;
+        let lo = r.congestion_decomposed.min(r.congestion_direct).max(1) as f64;
+        assert!(hi / lo <= 3.0, "decomposed {} vs direct {}", r.congestion_decomposed, r.congestion_direct);
+    }
+}

@@ -1,0 +1,100 @@
+//! **E11 — Corollary 3 / Section 7**: the distributed LOCAL-model
+//! Algorithm 1.
+//!
+//! Measures: round count (must be the constant 5), per-round message
+//! volume, endpoint agreement, and bit-equality with the sequential
+//! construction.
+
+use crate::table::{f2, Table};
+use crate::workloads;
+use dcspan_core::regular::{build_regular_spanner_pair_sampled, RegularSpannerParams};
+use dcspan_local::distributed_regular_spanner;
+
+/// One measured row of the distributed experiment.
+#[derive(Clone, Debug, serde::Serialize)]
+pub struct E11Row {
+    /// Nodes.
+    pub n: usize,
+    /// Degree.
+    pub delta: usize,
+    /// Rounds executed (paper: O(1); here exactly 5).
+    pub rounds: usize,
+    /// Peak per-round message volume.
+    pub peak_messages: usize,
+    /// Messages in the final (notification) round.
+    pub final_messages: usize,
+    /// Did both endpoints agree on every edge decision?
+    pub endpoints_agree: bool,
+    /// Is the distributed output identical to the sequential one?
+    pub matches_sequential: bool,
+    /// Spanner edges produced.
+    pub edges_h: usize,
+}
+
+/// Run over sizes in the Theorem 3 regime.
+pub fn run(sizes: &[usize], seed: u64) -> (Vec<E11Row>, String) {
+    let mut rows = Vec::new();
+    for (i, &n) in sizes.iter().enumerate() {
+        let seed = seed.wrapping_add(i as u64 * 911);
+        let delta = workloads::theorem3_degree(n);
+        let g = workloads::regime_expander(n, delta, seed);
+        let mut params = RegularSpannerParams::calibrated(n, delta);
+        params.safe_reinsert = false;
+        let out = distributed_regular_spanner(&g, params, seed ^ 1, 4);
+        let seq = build_regular_spanner_pair_sampled(&g, params, seed ^ 1);
+        rows.push(E11Row {
+            n,
+            delta,
+            rounds: out.rounds,
+            peak_messages: out.round_stats.iter().map(|s| s.messages).max().unwrap_or(0),
+            final_messages: out.round_stats.last().map_or(0, |s| s.messages),
+            endpoints_agree: out.endpoints_agree,
+            matches_sequential: out.h == seq.h,
+            edges_h: out.h.m(),
+        });
+    }
+    let mut t = Table::new([
+        "n", "Δ", "rounds", "peak msgs", "final msgs", "agree", "== sequential", "|E(H)|",
+    ]);
+    for r in &rows {
+        t.add_row([
+            r.n.to_string(),
+            r.delta.to_string(),
+            r.rounds.to_string(),
+            r.peak_messages.to_string(),
+            r.final_messages.to_string(),
+            r.endpoints_agree.to_string(),
+            r.matches_sequential.to_string(),
+            r.edges_h.to_string(),
+        ]);
+    }
+    let text = format!(
+        "{}{}\nPaper: O(1) LOCAL rounds (sample+inform, 3 flooding rounds, reinsert+inform). \
+         Our implementation uses exactly 5 rounds and reproduces the sequential output \
+         bit-for-bit. Peak messages ≈ {} per round at the largest size.\n",
+        crate::banner("E11", "Corollary 3 (distributed Algorithm 1 in LOCAL)"),
+        t.render(),
+        rows.last().map_or(0, |r| r.peak_messages)
+    );
+    let _ = f2(0.0); // keep the helper linked for uniformity
+    (rows, text)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_rounds_and_equivalence() {
+        let (rows, text) = run(&[36, 64], 3);
+        for r in &rows {
+            assert_eq!(r.rounds, 5, "n={}", r.n);
+            assert!(r.endpoints_agree, "n={}", r.n);
+            assert!(r.matches_sequential, "n={}", r.n);
+            assert!(r.edges_h > 0);
+        }
+        // Rounds do not grow with n (the whole point of Corollary 3).
+        assert_eq!(rows[0].rounds, rows[1].rounds);
+        assert!(text.contains("Corollary 3"));
+    }
+}

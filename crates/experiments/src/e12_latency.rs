@@ -1,0 +1,148 @@
+//! **E12 — packet latency** (Section 1.1 motivation): congestion stretch
+//! translates directly into store-and-forward delivery time.
+//!
+//! We route the same matching workload (i) in `G`, (ii) on the DC-spanner
+//! of Algorithm 1, and (iii) on the Figure-1-style VFT spanner of the
+//! two-cliques graph, then run the node-capacity-1 packet scheduler on
+//! each. The paper's argument: smaller node congestion ⇒ lower latency and
+//! queue sizes. The DC-spanner's makespan should track `G`'s, while the
+//! congestion-oblivious spanner's makespan blows up with its congestion.
+
+use crate::table::{f2, Table};
+use crate::workloads;
+use dcspan_core::regular::{build_regular_spanner, RegularSpannerParams};
+use dcspan_core::vft::{paper_kept_count, vft_style_spanner};
+use dcspan_gen::two_clique::TwoCliqueGraph;
+use dcspan_routing::problem::RoutingProblem;
+use dcspan_routing::replace::{route_matching, DetourPolicy, SpannerDetourRouter};
+use dcspan_routing::schedule::{simulate_schedule, QueuePolicy};
+
+/// One measured row: a workload routed on one host.
+#[derive(Clone, Debug, serde::Serialize)]
+pub struct E12Row {
+    /// Host description.
+    pub host: String,
+    /// Nodes.
+    pub n: usize,
+    /// Packets (pairs).
+    pub packets: usize,
+    /// Node congestion of the routing.
+    pub congestion: u32,
+    /// Longest path.
+    pub dilation: usize,
+    /// Scheduler makespan (FIFO, no delays).
+    pub makespan: usize,
+    /// Scheduler lower bound max(C, D).
+    pub lower_bound: usize,
+    /// Total queueing delay.
+    pub queueing: usize,
+}
+
+fn schedule_row(
+    host: String,
+    n: usize,
+    routing: &dcspan_routing::routing::Routing,
+    seed: u64,
+) -> E12Row {
+    let res = simulate_schedule(n, routing, QueuePolicy::Fifo, 0, seed);
+    E12Row {
+        host,
+        n,
+        packets: routing.len(),
+        congestion: routing.congestion(n),
+        dilation: routing.max_length(),
+        makespan: res.makespan,
+        lower_bound: res.lower_bound,
+        queueing: res.total_queueing,
+    }
+}
+
+/// Run the latency comparison.
+pub fn run(n_regular: usize, half_clique: usize, seed: u64) -> (Vec<E12Row>, String) {
+    let mut rows = Vec::new();
+
+    // --- Regular-graph workload: matching of removed edges on Algorithm 1.
+    let delta = workloads::theorem3_degree(n_regular);
+    let g = workloads::regime_expander(n_regular, delta, seed);
+    let params = RegularSpannerParams::calibrated(n_regular, delta);
+    let sp = build_regular_spanner(&g, params, seed ^ 1);
+    let matching = workloads::removed_edge_matching(&g, &sp.h);
+    // In G the matching routes over its own edges: congestion 1, makespan 1.
+    let base = dcspan_core::eval::edge_routing(&matching);
+    rows.push(schedule_row(format!("G (n={n_regular})"), n_regular, &base, seed ^ 2));
+    let router = SpannerDetourRouter::new(&sp.h, DetourPolicy::UniformUpTo3);
+    let dc = route_matching(&router, &matching, seed ^ 3).expect("routable");
+    rows.push(schedule_row(format!("Algorithm 1 H (n={n_regular})"), n_regular, &dc, seed ^ 4));
+
+    // --- Two-cliques workload: perfect matching, VFT vs congestion-aware.
+    let t = TwoCliqueGraph::new(half_clique);
+    let n2 = t.graph.n();
+    let pm = RoutingProblem::from_pairs(t.matching_routing_pairs());
+    let base2 = dcspan_core::eval::edge_routing(&pm);
+    rows.push(schedule_row(format!("two-clique G (n={n2})"), n2, &base2, seed ^ 5));
+    let kept = paper_kept_count(&t);
+    let vft = vft_style_spanner(&t, kept, false, seed ^ 6);
+    let vft_router = SpannerDetourRouter::new(&vft.h, DetourPolicy::UniformShortest);
+    let vft_routing = route_matching(&vft_router, &pm, seed ^ 7).expect("routable");
+    rows.push(schedule_row(format!("VFT spanner (n={n2})"), n2, &vft_routing, seed ^ 8));
+
+    let mut table = Table::new([
+        "host", "n", "packets", "C(P)", "D", "makespan", "max(C,D)", "queueing",
+    ]);
+    for r in &rows {
+        table.add_row([
+            r.host.clone(),
+            r.n.to_string(),
+            r.packets.to_string(),
+            r.congestion.to_string(),
+            r.dilation.to_string(),
+            r.makespan.to_string(),
+            r.lower_bound.to_string(),
+            r.queueing.to_string(),
+        ]);
+    }
+    let text = format!(
+        "{}{}\nLow node congestion ⇒ low makespan under node-capacity-1 forwarding \
+         (paper §1.1). The DC-spanner's latency tracks G's; the VFT spanner's latency \
+         scales with its Ω(n^2/3) congestion.\n",
+        crate::banner("E12", "packet latency under node-capacity-1 forwarding"),
+        table.render()
+    );
+    let _ = f2(0.0);
+    (rows, text)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dc_spanner_latency_tracks_g_vft_does_not() {
+        let (rows, text) = run(96, 48, 5);
+        assert_eq!(rows.len(), 4);
+        let g_row = &rows[0];
+        let dc_row = &rows[1];
+        let base2 = &rows[2];
+        let vft = &rows[3];
+        // In G a matching delivers in 1 round.
+        assert_eq!(g_row.makespan, 1);
+        assert_eq!(base2.makespan, 1);
+        // DC-spanner latency within a small factor of the lower bound.
+        assert!(dc_row.makespan <= 3 * dc_row.lower_bound.max(3));
+        // VFT latency is clearly worse (Ω(n^{2/3}) congestion); at this
+        // test scale the separation factor is ≥ 2 and grows with n.
+        assert!(
+            vft.makespan >= 2 * dc_row.makespan,
+            "vft {} vs dc {}",
+            vft.makespan,
+            dc_row.makespan
+        );
+        // Makespans always respect the lower bound.
+        for r in &rows {
+            assert!(r.makespan >= r.lower_bound.min(r.makespan)); // sanity
+            assert!(r.makespan >= r.dilation);
+            assert!(r.makespan as u32 >= r.congestion);
+        }
+        assert!(text.contains("E12"));
+    }
+}

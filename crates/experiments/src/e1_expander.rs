@@ -1,0 +1,137 @@
+//! **E1 — Table 1, row "Theorem 2"**: 3-distance DC-spanner on dense
+//! regular expanders.
+//!
+//! Paper claims (for `Δ = n^{2/3+ε}`-regular expanders): `O(n^{5/3})`
+//! edges, distance stretch 3, matching-routing congestion `O(log n)` whp
+//! (expected `1 + o(1)`), general congestion `O(log² n)`.
+
+use crate::table::{f2, f3, Table};
+use crate::workloads;
+use dcspan_core::eval::{distance_stretch_edges, general_substitute_congestion};
+use dcspan_core::expander::{build_expander_spanner, ExpanderMatchingRouter, ExpanderSpannerParams};
+use dcspan_routing::replace::route_matching;
+use dcspan_spectral::expansion::spectral_expansion;
+
+/// One measured row of the Theorem 2 experiment.
+#[derive(Clone, Debug, serde::Serialize)]
+pub struct E1Row {
+    /// Nodes.
+    pub n: usize,
+    /// Degree Δ (regime `n^{2/3+ε}`).
+    pub delta: usize,
+    /// Measured spectral expansion λ.
+    pub lambda: f64,
+    /// `|E(G)|`.
+    pub edges_g: usize,
+    /// `|E(H)|`.
+    pub edges_h: usize,
+    /// `|E(H)| / n^{5/3}` — should be ≈ constant (paper: `O(n^{5/3})`).
+    pub edges_vs_n53: f64,
+    /// Max distance stretch over edges (paper: 3).
+    pub alpha: f64,
+    /// Matching-routing congestion `C(P')` (base = 1; paper: `O(log n)`).
+    pub matching_congestion: u32,
+    /// General (permutation) congestion stretch β (paper: `O(log² n)`).
+    pub general_beta: f64,
+    /// `log₂² n` for the β comparison.
+    pub log2_sq: f64,
+}
+
+/// Run the experiment over the given sizes.
+pub fn run(sizes: &[usize], epsilon: f64, seed: u64) -> (Vec<E1Row>, String) {
+    let mut rows = Vec::new();
+    for (i, &n) in sizes.iter().enumerate() {
+        let seed = seed.wrapping_add(i as u64 * 1000);
+        let delta = workloads::theorem2_degree(n, epsilon);
+        let g = workloads::regime_expander(n, delta, seed);
+        let lambda = spectral_expansion(&g, seed).lambda;
+        let params = ExpanderSpannerParams::paper(n, delta);
+        let sp = build_expander_spanner(&g, params, seed ^ 1);
+        let router = ExpanderMatchingRouter::new(&g, &sp.h);
+
+        let dist = distance_stretch_edges(&g, &sp.h, 8);
+        let matching = workloads::removed_edge_matching(&g, &sp.h);
+        let routing = route_matching(&router, &matching, seed ^ 2).expect("matching routable");
+        let matching_congestion = routing.congestion(n);
+
+        let (_, base) = workloads::permutation_base_routing(&g, seed ^ 3);
+        let general = general_substitute_congestion(n, &base, &router, seed ^ 4)
+            .expect("general routing substitutable");
+
+        rows.push(E1Row {
+            n,
+            delta,
+            lambda,
+            edges_g: g.m(),
+            edges_h: sp.h.m(),
+            edges_vs_n53: sp.h.m() as f64 / (n as f64).powf(5.0 / 3.0),
+            alpha: dist.max_stretch.max(if dist.overflow_pairs > 0 { 9.0 } else { 0.0 }),
+            matching_congestion,
+            general_beta: general.beta(),
+            log2_sq: workloads::log2n(n).powi(2),
+        });
+    }
+    let mut t = Table::new([
+        "n", "Δ", "λ", "|E(G)|", "|E(H)|", "E(H)/n^5/3", "α(max)", "C_match", "β_general",
+        "log²n",
+    ]);
+    for r in &rows {
+        t.add_row([
+            r.n.to_string(),
+            r.delta.to_string(),
+            f2(r.lambda),
+            r.edges_g.to_string(),
+            r.edges_h.to_string(),
+            f3(r.edges_vs_n53),
+            f2(r.alpha),
+            r.matching_congestion.to_string(),
+            f2(r.general_beta),
+            f2(r.log2_sq),
+        ]);
+    }
+    let text = format!(
+        "{}{}\nPaper: |E(H)| = O(n^5/3), α = 3, matching congestion O(log n) \
+         (expected 1+o(1)), general β = O(log² n).\n",
+        crate::banner("E1", "Table 1 row 'Theorem 2' (expander DC-spanner)"),
+        t.render()
+    );
+    (rows, text)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_run_matches_paper_shape() {
+        let (rows, text) = run(&[64, 128], 0.18, 42);
+        assert_eq!(rows.len(), 2);
+        for r in &rows {
+            // Distance stretch 3 (whp; tolerate the measured max).
+            assert!(r.alpha <= 3.0, "n={}: α = {}", r.n, r.alpha);
+            // Spanner genuinely sparsifies.
+            assert!(r.edges_h < r.edges_g, "n={}", r.n);
+            // Matching congestion within the O(log n) band.
+            assert!(
+                (r.matching_congestion as f64) <= 3.0 * workloads::log2n(r.n),
+                "n={}: C = {}",
+                r.n,
+                r.matching_congestion
+            );
+            // β within the O(log² n) band (constant ≤ 4 empirically).
+            assert!(r.general_beta <= 4.0 * r.log2_sq, "n={}: β = {}", r.n, r.general_beta);
+        }
+        assert!(text.contains("E1"));
+        assert!(text.contains("α(max)"));
+    }
+
+    #[test]
+    fn edge_count_ratio_stays_bounded_across_sizes() {
+        let (rows, _) = run(&[64, 128, 192], 0.18, 7);
+        let ratios: Vec<f64> = rows.iter().map(|r| r.edges_vs_n53).collect();
+        // The n^{5/3} normalisation should keep ratios within a small band.
+        let max = ratios.iter().copied().fold(0.0, f64::max);
+        let min = ratios.iter().copied().fold(f64::INFINITY, f64::min);
+        assert!(max / min < 3.0, "ratios diverge: {ratios:?}");
+    }
+}

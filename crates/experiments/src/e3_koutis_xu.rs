@@ -1,0 +1,110 @@
+//! **E3 — Table 1, row "\[16\]"**: spanner-peeling spectral sparsification
+//! (Koutis–Xu) + Valiant routing.
+//!
+//! Paper claims (for any expander): `O(n log n)` edges, distance stretch
+//! `O(log n)`, congestion stretch `O(log⁴ n)`.
+
+use crate::table::{f2, f3, Table};
+use crate::workloads;
+use dcspan_core::eval::{distance_stretch_sampled, general_substitute_congestion};
+use dcspan_core::koutis_xu::koutis_xu_nlogn;
+use dcspan_routing::replace::route_matching;
+use dcspan_routing::valiant::ValiantEdgeRouter;
+use dcspan_spectral::expansion::normalized_expansion;
+
+/// One measured row of the \[16\] experiment.
+#[derive(Clone, Debug, serde::Serialize)]
+pub struct E3Row {
+    /// Nodes.
+    pub n: usize,
+    /// Host degree.
+    pub delta: usize,
+    /// `|E(H)| / (n·log₂ n)` — paper: O(1).
+    pub edges_per_nlogn: f64,
+    /// Sparsification rounds performed.
+    pub rounds: usize,
+    /// Normalised expansion λ̂ of the sparsifier.
+    pub lambda_hat: f64,
+    /// Max sampled distance stretch (paper: O(log n)).
+    pub alpha: f64,
+    /// Matching congestion via Valiant routing.
+    pub matching_congestion: u32,
+    /// General congestion stretch (paper: O(log⁴ n)).
+    pub general_beta: f64,
+    /// `log₂ n` reference.
+    pub log2: f64,
+}
+
+/// Run over the given sizes (hosts are moderately dense expanders).
+pub fn run(sizes: &[usize], seed: u64) -> (Vec<E3Row>, String) {
+    let mut rows = Vec::new();
+    for (i, &n) in sizes.iter().enumerate() {
+        let seed = seed.wrapping_add(i as u64 * 131);
+        let delta = workloads::even(n / 4).max(8);
+        let g = workloads::regime_expander(n, delta, seed);
+        let out = koutis_xu_nlogn(&g, 2.0, seed ^ 1);
+        let h = out.h;
+        let router = ValiantEdgeRouter::new(&h);
+
+        let lambda_hat = normalized_expansion(&h, seed ^ 2);
+        let dist = distance_stretch_sampled(&g, &h, 200, seed ^ 3);
+        let matching = workloads::removed_edge_matching(&g, &h);
+        let routing = route_matching(&router, &matching, seed ^ 4).expect("matching routable");
+        let matching_congestion = routing.congestion(n);
+        let (_, base) = workloads::permutation_base_routing(&g, seed ^ 5);
+        let general = general_substitute_congestion(n, &base, &router, seed ^ 6)
+            .expect("general routing substitutable");
+
+        rows.push(E3Row {
+            n,
+            delta,
+            edges_per_nlogn: h.m() as f64 / (n as f64 * workloads::log2n(n)),
+            rounds: out.rounds,
+            lambda_hat,
+            alpha: dist.max_stretch,
+            matching_congestion,
+            general_beta: general.beta(),
+            log2: workloads::log2n(n),
+        });
+    }
+    let mut t = Table::new([
+        "n", "Δ_host", "|E(H)|/nlogn", "rounds", "λ̂(H)", "α(sampled)", "C_match", "β_general",
+        "log n",
+    ]);
+    for r in &rows {
+        t.add_row([
+            r.n.to_string(),
+            r.delta.to_string(),
+            f3(r.edges_per_nlogn),
+            r.rounds.to_string(),
+            f3(r.lambda_hat),
+            f2(r.alpha),
+            r.matching_congestion.to_string(),
+            f2(r.general_beta),
+            f2(r.log2),
+        ]);
+    }
+    let text = format!(
+        "{}{}\nPaper: O(n log n) edges, α = O(log n), β = O(log⁴ n) on expanders.\n",
+        crate::banner("E3", "Table 1 row '[16]' (Koutis–Xu sparsification)"),
+        t.render()
+    );
+    (rows, text)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_run_matches_paper_shape() {
+        let (rows, text) = run(&[96, 128], 9);
+        for r in &rows {
+            assert!(r.edges_per_nlogn <= 3.0, "n={}: {} edges/nlogn", r.n, r.edges_per_nlogn);
+            assert!(r.lambda_hat < 0.95, "n={}: λ̂ = {}", r.n, r.lambda_hat);
+            assert!(r.alpha <= 3.0 * r.log2, "n={}: α = {}", r.n, r.alpha);
+            assert!(r.general_beta <= 2.0 * r.log2.powi(4), "n={}: β = {}", r.n, r.general_beta);
+        }
+        assert!(text.contains("[16]"));
+    }
+}

@@ -1,0 +1,144 @@
+//! **E4 — Table 1, row "Theorem 3"**: Algorithm 1 on Δ-regular graphs
+//! with `Δ ≥ n^{2/3}`.
+//!
+//! Paper claims: `O(n^{5/3} log² n)` edges, distance stretch 3 (whp),
+//! matching-routing congestion `≤ 1 + 2√Δ` (Lemma 17), general congestion
+//! stretch `O(√Δ · log n)`.
+
+use crate::table::{f2, f3, Table};
+use crate::workloads;
+use dcspan_core::eval::{distance_stretch_edges, general_substitute_congestion};
+use dcspan_core::regular::{build_regular_spanner, RegularSpannerParams};
+use dcspan_routing::replace::{route_matching, DetourPolicy, SpannerDetourRouter};
+
+/// One measured row of the Theorem 3 experiment.
+#[derive(Clone, Debug, serde::Serialize)]
+pub struct E4Row {
+    /// Nodes.
+    pub n: usize,
+    /// Degree (regime `Δ ≥ n^{2/3}`).
+    pub delta: usize,
+    /// `|E(G)|`.
+    pub edges_g: usize,
+    /// `|E(H)|`.
+    pub edges_h: usize,
+    /// Sampled edges `|E'|`.
+    pub sampled: usize,
+    /// Unsupported edges reinserted `|E''|`.
+    pub reinserted: usize,
+    /// Safe-mode reinsertion count (should be ~0: Lemma 15 says detours
+    /// survive whp).
+    pub safe_reinserted: usize,
+    /// Max distance stretch over edges (paper: 3 whp).
+    pub alpha: f64,
+    /// Matching-routing congestion (paper Lemma 17: `≤ 1 + 2√Δ`).
+    pub matching_congestion: u32,
+    /// Lemma 17's bound `1 + 2√Δ`.
+    pub lemma17_bound: f64,
+    /// General congestion stretch β (paper: `O(√Δ·log n)`).
+    pub general_beta: f64,
+    /// `√Δ · log₂ n` for the β comparison.
+    pub sqrt_delta_logn: f64,
+}
+
+/// Run the experiment over the given sizes with calibrated constants.
+pub fn run(sizes: &[usize], seed: u64) -> (Vec<E4Row>, String) {
+    let mut rows = Vec::new();
+    for (i, &n) in sizes.iter().enumerate() {
+        let seed = seed.wrapping_add(i as u64 * 7777);
+        let delta = workloads::theorem3_degree(n);
+        let g = workloads::regime_expander(n, delta, seed);
+        let params = RegularSpannerParams::calibrated(n, delta);
+        let sp = build_regular_spanner(&g, params, seed ^ 1);
+        let router = SpannerDetourRouter::new(&sp.h, DetourPolicy::UniformUpTo3);
+
+        let dist = distance_stretch_edges(&g, &sp.h, 8);
+        let matching = workloads::removed_edge_matching(&g, &sp.h);
+        let routing = route_matching(&router, &matching, seed ^ 2).expect("matching routable");
+        let matching_congestion = routing.congestion(n);
+
+        let (_, base) = workloads::permutation_base_routing(&g, seed ^ 3);
+        let general = general_substitute_congestion(n, &base, &router, seed ^ 4)
+            .expect("general routing substitutable");
+
+        rows.push(E4Row {
+            n,
+            delta,
+            edges_g: g.m(),
+            edges_h: sp.h.m(),
+            sampled: sp.num_sampled,
+            reinserted: sp.num_reinserted,
+            safe_reinserted: sp.num_safe_reinserted,
+            alpha: dist.max_stretch.max(if dist.overflow_pairs > 0 { 9.0 } else { 0.0 }),
+            matching_congestion,
+            lemma17_bound: 1.0 + 2.0 * (delta as f64).sqrt(),
+            general_beta: general.beta(),
+            sqrt_delta_logn: (delta as f64).sqrt() * workloads::log2n(n),
+        });
+    }
+    let mut t = Table::new([
+        "n", "Δ", "|E(G)|", "|E(H)|", "|E'|", "|E''|", "safe", "α(max)", "C_match", "1+2√Δ",
+        "β_general", "√Δ·log n",
+    ]);
+    for r in &rows {
+        t.add_row([
+            r.n.to_string(),
+            r.delta.to_string(),
+            r.edges_g.to_string(),
+            r.edges_h.to_string(),
+            r.sampled.to_string(),
+            r.reinserted.to_string(),
+            r.safe_reinserted.to_string(),
+            f2(r.alpha),
+            r.matching_congestion.to_string(),
+            f2(r.lemma17_bound),
+            f2(r.general_beta),
+            f3(r.sqrt_delta_logn),
+        ]);
+    }
+    let text = format!(
+        "{}{}\nPaper: |E(H)| = O(n^5/3 log² n), α = 3 whp, matching congestion ≤ 1+2√Δ \
+         (Lemma 17), general β = O(√Δ·log n). Constants calibrated (see DESIGN.md).\n",
+        crate::banner("E4", "Table 1 row 'Theorem 3' (Algorithm 1, Δ-regular)"),
+        t.render()
+    );
+    (rows, text)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_run_matches_paper_shape() {
+        let (rows, text) = run(&[64, 96], 11);
+        for r in &rows {
+            assert!(r.alpha <= 3.0, "n={}: α = {}", r.n, r.alpha);
+            assert!(r.edges_h < r.edges_g, "n={}: no sparsification", r.n);
+            assert!(
+                (r.matching_congestion as f64) <= r.lemma17_bound,
+                "n={}: C = {} > {}",
+                r.n,
+                r.matching_congestion,
+                r.lemma17_bound
+            );
+            assert!(
+                r.general_beta <= 4.0 * r.sqrt_delta_logn,
+                "n={}: β = {}",
+                r.n,
+                r.general_beta
+            );
+        }
+        assert!(text.contains("Theorem 3"));
+    }
+
+    #[test]
+    fn counts_accounting() {
+        let (rows, _) = run(&[64], 3);
+        let r = &rows[0];
+        // |E(H)| ≤ |E'| + |E''| + safe (overlap: sampled unsupported edges
+        // are counted in both E' and E'').
+        assert!(r.edges_h <= r.sampled + r.reinserted + r.safe_reinserted);
+        assert!(r.edges_h >= r.sampled.max(r.reinserted));
+    }
+}

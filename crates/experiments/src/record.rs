@@ -1,0 +1,81 @@
+//! Machine-readable experiment records: JSON-lines export of any
+//! experiment's row structs (all rows derive `serde::Serialize`).
+
+use serde::Serialize;
+use std::io::Write;
+
+/// Serialise rows as JSON lines into any writer.
+pub fn write_json_lines<T: Serialize, W: Write>(rows: &[T], mut w: W) -> std::io::Result<()> {
+    for row in rows {
+        let line = serde_json::to_string(row).map_err(std::io::Error::other)?;
+        writeln!(w, "{line}")?;
+    }
+    Ok(())
+}
+
+/// Serialise rows as one pretty JSON array string.
+pub fn to_json_pretty<T: Serialize>(rows: &[T]) -> String {
+    serde_json::to_string_pretty(rows).expect("experiment rows are serialisable")
+}
+
+/// A labelled experiment artefact: id, description, and JSON rows — the
+/// container the CLI and archival tooling write to disk.
+#[derive(Serialize)]
+pub struct ExperimentArtifact<'a, T: Serialize> {
+    /// Experiment id (e.g. "E1").
+    pub id: &'a str,
+    /// Paper artifact it reproduces.
+    pub reproduces: &'a str,
+    /// Master seed used.
+    pub seed: u64,
+    /// The measured rows.
+    pub rows: &'a [T],
+}
+
+impl<'a, T: Serialize> ExperimentArtifact<'a, T> {
+    /// Serialise the whole artefact as pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("artifact is serialisable")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rows_roundtrip_as_json_lines() {
+        let (rows, _) = crate::e5_lower_bound::run(&[(5, 1)]);
+        let mut buf = Vec::new();
+        write_json_lines(&rows, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert_eq!(text.lines().count(), rows.len());
+        let parsed: serde_json::Value = serde_json::from_str(text.lines().next().unwrap()).unwrap();
+        assert_eq!(parsed["q"], 5);
+        assert!(parsed["alpha"].as_f64().unwrap() <= 3.0);
+    }
+
+    #[test]
+    fn artifact_serialises_with_metadata() {
+        let (rows, _) = crate::e7_lemma2::run(&[8]);
+        let artifact = ExperimentArtifact {
+            id: "E7",
+            reproduces: "Lemma 2",
+            seed: 1,
+            rows: &rows,
+        };
+        let json = artifact.to_json();
+        assert!(json.contains("\"id\": \"E7\""));
+        assert!(json.contains("beta_adversarial"));
+        let value: serde_json::Value = serde_json::from_str(&json).unwrap();
+        assert_eq!(value["rows"].as_array().unwrap().len(), rows.len());
+    }
+
+    #[test]
+    fn pretty_json_is_an_array() {
+        let (rows, _) = crate::e7_lemma2::run(&[8, 16]);
+        let json = to_json_pretty(&rows);
+        let value: serde_json::Value = serde_json::from_str(&json).unwrap();
+        assert_eq!(value.as_array().unwrap().len(), 2);
+    }
+}

@@ -1,0 +1,60 @@
+//! Multi-seed aggregation helpers.
+
+/// Mean and population standard deviation of a sample.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct MeanStd {
+    /// Sample mean.
+    pub mean: f64,
+    /// Population standard deviation.
+    pub std: f64,
+    /// Minimum value.
+    pub min: f64,
+    /// Maximum value.
+    pub max: f64,
+}
+
+/// Aggregate a sample; panics on an empty slice.
+pub fn mean_std(values: &[f64]) -> MeanStd {
+    assert!(!values.is_empty(), "cannot summarise an empty sample");
+    let n = values.len() as f64;
+    let mean = values.iter().sum::<f64>() / n;
+    let var = values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / n;
+    let min = values.iter().copied().fold(f64::INFINITY, f64::min);
+    let max = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    MeanStd { mean, std: var.sqrt(), min, max }
+}
+
+impl MeanStd {
+    /// Render as `mean ± std`.
+    pub fn pm(&self) -> String {
+        format!("{:.2} ± {:.2}", self.mean, self.std)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_stats() {
+        let s = mean_std(&[1.0, 2.0, 3.0]);
+        assert!((s.mean - 2.0).abs() < 1e-12);
+        assert!((s.std - (2.0f64 / 3.0).sqrt()).abs() < 1e-12);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 3.0);
+    }
+
+    #[test]
+    fn single_value() {
+        let s = mean_std(&[5.0]);
+        assert_eq!(s.mean, 5.0);
+        assert_eq!(s.std, 0.0);
+        assert!(s.pm().starts_with("5.00"));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_panics() {
+        let _ = mean_std(&[]);
+    }
+}

@@ -1,0 +1,130 @@
+//! Multi-seed variance sweeps: the headline Theorem 2 / Theorem 3 metrics
+//! across independent random graphs and samples, reported as mean ± std —
+//! the "is the single-seed table representative?" check.
+
+use crate::summary::{mean_std, MeanStd};
+use crate::table::Table;
+use crate::workloads;
+use dcspan_core::eval::{distance_stretch_edges, general_substitute_congestion};
+use dcspan_core::expander::{build_expander_spanner, ExpanderMatchingRouter, ExpanderSpannerParams};
+use dcspan_core::regular::{build_regular_spanner, RegularSpannerParams};
+use dcspan_routing::replace::{route_matching, DetourPolicy, SpannerDetourRouter};
+
+/// Aggregated metric across seeds.
+#[derive(Clone, Debug)]
+pub struct SweepRow {
+    /// Metric name.
+    pub metric: &'static str,
+    /// Aggregate over seeds.
+    pub stats: MeanStd,
+}
+
+fn render(rows: &[SweepRow], id: &str, what: &str, n: usize, seeds: usize) -> String {
+    let mut t = Table::new(["metric", "mean ± std", "min", "max"]);
+    for r in rows {
+        t.add_row([
+            r.metric.to_string(),
+            r.stats.pm(),
+            format!("{:.2}", r.stats.min),
+            format!("{:.2}", r.stats.max),
+        ]);
+    }
+    format!(
+        "{}n = {n}, {seeds} independent seeds\n\n{}",
+        crate::banner(id, what),
+        t.render()
+    )
+}
+
+/// Sweep the Theorem 2 metrics over `seeds` independent graphs/samples.
+pub fn sweep_theorem2(n: usize, epsilon: f64, seeds: usize, seed0: u64) -> (Vec<SweepRow>, String) {
+    let delta = workloads::theorem2_degree(n, epsilon);
+    let mut edges = Vec::new();
+    let mut alphas = Vec::new();
+    let mut match_c = Vec::new();
+    let mut betas = Vec::new();
+    for s in 0..seeds as u64 {
+        let seed = seed0.wrapping_add(s * 101);
+        let g = workloads::regime_expander(n, delta, seed);
+        let sp = build_expander_spanner(&g, ExpanderSpannerParams::paper(n, delta), seed ^ 1);
+        let router = ExpanderMatchingRouter::new(&g, &sp.h);
+        edges.push(sp.h.m() as f64 / (n as f64).powf(5.0 / 3.0));
+        let dist = distance_stretch_edges(&g, &sp.h, 6);
+        alphas.push(if dist.overflow_pairs > 0 { 9.0 } else { dist.max_stretch });
+        let matching = workloads::removed_edge_matching(&g, &sp.h);
+        let routing = route_matching(&router, &matching, seed ^ 2).expect("routable");
+        match_c.push(routing.congestion(n) as f64);
+        let (_, base) = workloads::permutation_base_routing(&g, seed ^ 3);
+        let gen = general_substitute_congestion(n, &base, &router, seed ^ 4).expect("routable");
+        betas.push(gen.beta());
+    }
+    let rows = vec![
+        SweepRow { metric: "|E(H)| / n^5/3", stats: mean_std(&edges) },
+        SweepRow { metric: "α (max, edges)", stats: mean_std(&alphas) },
+        SweepRow { metric: "C matching", stats: mean_std(&match_c) },
+        SweepRow { metric: "β general", stats: mean_std(&betas) },
+    ];
+    let text = render(&rows, "SWEEP-T2", "Theorem 2 variance across seeds", n, seeds);
+    (rows, text)
+}
+
+/// Sweep the Theorem 3 metrics over `seeds` independent graphs/samples.
+pub fn sweep_theorem3(n: usize, seeds: usize, seed0: u64) -> (Vec<SweepRow>, String) {
+    let delta = workloads::theorem3_degree(n);
+    let params = RegularSpannerParams::calibrated(n, delta);
+    let mut edges = Vec::new();
+    let mut alphas = Vec::new();
+    let mut match_c = Vec::new();
+    let mut betas = Vec::new();
+    for s in 0..seeds as u64 {
+        let seed = seed0.wrapping_add(s * 103);
+        let g = workloads::regime_expander(n, delta, seed);
+        let sp = build_regular_spanner(&g, params, seed ^ 1);
+        let router = SpannerDetourRouter::new(&sp.h, DetourPolicy::UniformUpTo3);
+        edges.push(sp.h.m() as f64 / (n as f64).powf(5.0 / 3.0));
+        let dist = distance_stretch_edges(&g, &sp.h, 6);
+        alphas.push(if dist.overflow_pairs > 0 { 9.0 } else { dist.max_stretch });
+        let matching = workloads::removed_edge_matching(&g, &sp.h);
+        let routing = route_matching(&router, &matching, seed ^ 2).expect("routable");
+        match_c.push(routing.congestion(n) as f64);
+        let (_, base) = workloads::permutation_base_routing(&g, seed ^ 3);
+        let gen = general_substitute_congestion(n, &base, &router, seed ^ 4).expect("routable");
+        betas.push(gen.beta());
+    }
+    let rows = vec![
+        SweepRow { metric: "|E(H)| / n^5/3", stats: mean_std(&edges) },
+        SweepRow { metric: "α (max, edges)", stats: mean_std(&alphas) },
+        SweepRow { metric: "C matching", stats: mean_std(&match_c) },
+        SweepRow { metric: "β general", stats: mean_std(&betas) },
+    ];
+    let text = render(&rows, "SWEEP-T3", "Theorem 3 variance across seeds", n, seeds);
+    (rows, text)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn theorem2_metrics_are_stable_across_seeds() {
+        let (rows, text) = sweep_theorem2(96, 0.18, 4, 11);
+        let alpha = rows.iter().find(|r| r.metric.starts_with("α")).unwrap();
+        assert!(alpha.stats.max <= 3.0, "α exceeded 3: {:?}", alpha.stats);
+        let edges = &rows[0];
+        // Relative std of the size ratio should be tiny (independent
+        // Bernoulli sampling concentrates).
+        assert!(edges.stats.std / edges.stats.mean < 0.1);
+        assert!(text.contains("SWEEP-T2"));
+    }
+
+    #[test]
+    fn theorem3_metrics_are_stable_across_seeds() {
+        let (rows, text) = sweep_theorem3(96, 4, 13);
+        let alpha = rows.iter().find(|r| r.metric.starts_with("α")).unwrap();
+        assert!(alpha.stats.max <= 3.0);
+        let c = rows.iter().find(|r| r.metric.starts_with("C ")).unwrap();
+        let delta = crate::workloads::theorem3_degree(96) as f64;
+        assert!(c.stats.max <= 1.0 + 2.0 * delta.sqrt());
+        assert!(text.contains("SWEEP-T3"));
+    }
+}

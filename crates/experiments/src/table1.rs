@@ -1,0 +1,221 @@
+//! **The complete Table 1**, regenerated in the paper's own format.
+//!
+//! The paper's summary table has columns *Result / Number of Edges /
+//! Distance Stretch / Congestion Stretch / Assumptions*; this module runs
+//! all five rows at one size and prints the paper's asymptotic claim next
+//! to the measured value — the one-glance reproduction summary.
+
+use crate::table::{f2, Table};
+use crate::workloads;
+use dcspan_core::becchetti::random_d_out_subgraph;
+use dcspan_core::eval::{distance_stretch_edges, distance_stretch_sampled, general_substitute_congestion};
+use dcspan_core::expander::{build_expander_spanner, ExpanderMatchingRouter, ExpanderSpannerParams};
+use dcspan_core::koutis_xu::koutis_xu_nlogn;
+use dcspan_core::regular::{build_regular_spanner, RegularSpannerParams};
+use dcspan_gen::lower_bound::LowerBoundGraph;
+use dcspan_graph::Path;
+use dcspan_routing::problem::RoutingProblem;
+use dcspan_routing::replace::{DetourPolicy, EdgeRouter, SpannerDetourRouter};
+use dcspan_routing::routing::Routing;
+use dcspan_routing::shortest::shortest_path_routing;
+use dcspan_routing::valiant::ValiantEdgeRouter;
+
+/// One regenerated Table 1 row.
+#[derive(Clone, Debug, serde::Serialize)]
+pub struct Table1Row {
+    /// Paper row label.
+    pub result: &'static str,
+    /// Paper's edge bound.
+    pub paper_edges: &'static str,
+    /// Measured edges (as a formatted expression).
+    pub measured_edges: String,
+    /// Paper's distance stretch.
+    pub paper_alpha: &'static str,
+    /// Measured α.
+    pub measured_alpha: String,
+    /// Paper's congestion stretch.
+    pub paper_beta: &'static str,
+    /// Measured β (general routing through the DC pipeline).
+    pub measured_beta: String,
+    /// Paper's assumption column.
+    pub assumptions: &'static str,
+}
+
+fn beta_of<R: EdgeRouter>(
+    g: &dcspan_graph::Graph,
+    router: &R,
+    seed: u64,
+) -> f64 {
+    let (_, base) = workloads::permutation_base_routing(g, seed);
+    general_substitute_congestion(g.n(), &base, router, seed ^ 1)
+        .map_or(f64::NAN, |gen| gen.beta())
+}
+
+/// Regenerate all five Table 1 rows at size `n`.
+pub fn run(n: usize, seed: u64) -> (Vec<Table1Row>, String) {
+    let mut rows = Vec::new();
+    let n53 = (n as f64).powf(5.0 / 3.0);
+
+    // Row 1: Theorem 2.
+    {
+        let delta = workloads::theorem2_degree(n, 0.15);
+        let g = workloads::regime_expander(n, delta, seed);
+        let sp = build_expander_spanner(&g, ExpanderSpannerParams::paper(n, delta), seed ^ 1);
+        let router = ExpanderMatchingRouter::new(&g, &sp.h);
+        let dist = distance_stretch_edges(&g, &sp.h, 6);
+        rows.push(Table1Row {
+            result: "Theorem 2",
+            paper_edges: "O(n^5/3)",
+            measured_edges: format!("{} = {:.2}·n^5/3", sp.h.m(), sp.h.m() as f64 / n53),
+            paper_alpha: "3",
+            measured_alpha: f2(dist.max_stretch),
+            paper_beta: "O(log² n)",
+            measured_beta: f2(beta_of(&g, &router, seed ^ 2)),
+            assumptions: "expander",
+        });
+    }
+
+    // Row 2: [5] — bounded-degree extraction from a dense expander.
+    {
+        let delta = workloads::even(n / 2);
+        let g = workloads::regime_expander(n, delta, seed ^ 3);
+        let h = random_d_out_subgraph(&g, 4, seed ^ 4);
+        let router = ValiantEdgeRouter::new(&h);
+        let dist = distance_stretch_sampled(&g, &h, 150, seed ^ 5);
+        rows.push(Table1Row {
+            result: "[5]",
+            paper_edges: "O(n)",
+            measured_edges: format!("{} = {:.2}·n", h.m(), h.m() as f64 / n as f64),
+            paper_alpha: "O(log n)",
+            measured_alpha: f2(dist.max_stretch),
+            paper_beta: "O(log³ n)",
+            measured_beta: f2(beta_of(&g, &router, seed ^ 6)),
+            assumptions: "expander, Δ = Ω(n)",
+        });
+    }
+
+    // Row 3: [16] — Koutis–Xu sparsification.
+    {
+        let delta = workloads::even(n / 4).max(8);
+        let g = workloads::regime_expander(n, delta, seed ^ 7);
+        let h = koutis_xu_nlogn(&g, 2.0, seed ^ 8).h;
+        let router = ValiantEdgeRouter::new(&h);
+        let dist = distance_stretch_sampled(&g, &h, 150, seed ^ 9);
+        rows.push(Table1Row {
+            result: "[16]",
+            paper_edges: "O(n log n)",
+            measured_edges: format!(
+                "{} = {:.2}·n·log n",
+                h.m(),
+                h.m() as f64 / (n as f64 * workloads::log2n(n))
+            ),
+            paper_alpha: "O(log n)",
+            measured_alpha: f2(dist.max_stretch),
+            paper_beta: "O(log⁴ n)",
+            measured_beta: f2(beta_of(&g, &router, seed ^ 10)),
+            assumptions: "expander",
+        });
+    }
+
+    // Row 4: Theorem 3 — Algorithm 1.
+    {
+        let delta = workloads::theorem3_degree(n);
+        let g = workloads::regime_expander(n, delta, seed ^ 11);
+        let sp = build_regular_spanner(&g, RegularSpannerParams::calibrated(n, delta), seed ^ 12);
+        let router = SpannerDetourRouter::new(&sp.h, DetourPolicy::UniformUpTo3);
+        let dist = distance_stretch_edges(&g, &sp.h, 6);
+        rows.push(Table1Row {
+            result: "Theorem 3",
+            paper_edges: "O(n^5/3 log² n)",
+            measured_edges: format!("{} = {:.2}·n^5/3", sp.h.m(), sp.h.m() as f64 / n53),
+            paper_alpha: "3",
+            measured_alpha: f2(dist.max_stretch),
+            paper_beta: "O(√Δ·log n)",
+            measured_beta: f2(beta_of(&g, &router, seed ^ 13)),
+            assumptions: "Δ-regular, Δ ≥ n^2/3",
+        });
+    }
+
+    // Row 5: Theorem 4 — lower bound (β measured on the adversarial
+    // instance, not a permutation). Use a fan height q with k ≥ 2 so the
+    // per-instance bound (2k−1)/4 is non-trivial at this scale.
+    {
+        let q = if n >= 200 { 11 } else { 5 };
+        let lb = LowerBoundGraph::new(q, 1);
+        let h = lb.optimal_spanner();
+        let dist = distance_stretch_edges(&lb.graph, &h, 4);
+        let pairs = lb.adversarial_routing_pairs(0);
+        let beta = if pairs.is_empty() {
+            f64::NAN
+        } else {
+            let problem = RoutingProblem::from_pairs(pairs.clone());
+            let base =
+                Routing::new(pairs.iter().map(|&(u, v)| Path::new(vec![u, v])).collect());
+            let sub = shortest_path_routing(&h, &problem).expect("connected per instance");
+            sub.congestion(lb.graph.n()) as f64 / base.congestion(lb.graph.n()).max(1) as f64
+        };
+        let n76 = (lb.graph.n() as f64).powf(7.0 / 6.0);
+        rows.push(Table1Row {
+            result: "Theorem 4",
+            paper_edges: "Ω(n^7/6)",
+            measured_edges: format!("{} = {:.2}·n^7/6", h.m(), h.m() as f64 / n76),
+            paper_alpha: "3",
+            measured_alpha: f2(dist.max_stretch),
+            paper_beta: "Ω(n^1/6)",
+            measured_beta: format!(
+                "{} (n^1/6 = {:.2})",
+                f2(beta),
+                (lb.graph.n() as f64).powf(1.0 / 6.0)
+            ),
+            assumptions: "Θ(n^1/6) degrees",
+        });
+    }
+
+    let mut t = Table::new([
+        "Result", "Edges (paper)", "Edges (measured)", "α (paper)", "α (meas)", "β (paper)",
+        "β (meas)", "Assumptions",
+    ]);
+    for r in &rows {
+        t.add_row([
+            r.result.to_string(),
+            r.paper_edges.to_string(),
+            r.measured_edges.clone(),
+            r.paper_alpha.to_string(),
+            r.measured_alpha.clone(),
+            r.paper_beta.to_string(),
+            r.measured_beta.clone(),
+            r.assumptions.to_string(),
+        ]);
+    }
+    let text = format!(
+        "{}{}\nThe paper's summary table with measured values substituted (β for rows 1–4 \
+         is the permutation-routing congestion stretch through Algorithm 2; row 5's β is \
+         the adversarial instance's).\n",
+        crate::banner("TABLE 1", "the paper's complete summary table, measured"),
+        t.render()
+    );
+    (rows, text)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_table_regenerates() {
+        let (rows, text) = run(96, 31);
+        assert_eq!(rows.len(), 5);
+        assert_eq!(rows[0].result, "Theorem 2");
+        assert_eq!(rows[4].result, "Theorem 4");
+        // Stretch-3 rows really measure 3.
+        for r in [&rows[0], &rows[3], &rows[4]] {
+            assert_eq!(r.measured_alpha, "3.00", "{}: α = {}", r.result, r.measured_alpha);
+        }
+        // All β values parsed as finite.
+        for r in &rows {
+            let lead: f64 = r.measured_beta.split_whitespace().next().unwrap().parse().unwrap();
+            assert!(lead.is_finite() && lead >= 1.0, "{}: β = {}", r.result, r.measured_beta);
+        }
+        assert!(text.contains("TABLE 1"));
+    }
+}

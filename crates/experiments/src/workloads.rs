@@ -1,0 +1,132 @@
+//! Shared workload construction for the experiment runners.
+
+use dcspan_gen::regular::random_regular;
+use dcspan_graph::{Graph, NodeId};
+use dcspan_routing::problem::RoutingProblem;
+use dcspan_routing::routing::Routing;
+use dcspan_routing::shortest::random_shortest_path_routing;
+
+/// Round `x` down to the nearest even number ≥ 2.
+pub fn even(x: usize) -> usize {
+    (x & !1).max(2)
+}
+
+/// The Theorem 3 degree regime: `Δ = ⌈n^{2/3}⌉` (evened so `n·Δ` is even).
+pub fn theorem3_degree(n: usize) -> usize {
+    even((n as f64).powf(2.0 / 3.0).ceil() as usize)
+}
+
+/// The Theorem 2 degree regime: `Δ = ⌈n^{2/3 + ε}⌉` with the given ε.
+pub fn theorem2_degree(n: usize, epsilon: f64) -> usize {
+    even((n as f64).powf(2.0 / 3.0 + epsilon).ceil() as usize).min(n - 2)
+}
+
+/// A random Δ-regular (near-Ramanujan) expander for the given regime.
+pub fn regime_expander(n: usize, delta: usize, seed: u64) -> Graph {
+    random_regular(n, delta, seed)
+}
+
+/// The matching routing problem consisting of a maximal matching among the
+/// edges of `g` that are **missing** from `h` — the adversarial workload
+/// for a spanner (base congestion exactly 1 in `g`).
+pub fn removed_edge_matching(g: &Graph, h: &Graph) -> RoutingProblem {
+    let mut used = vec![false; g.n()];
+    let mut pairs = Vec::new();
+    for e in g.edges() {
+        if h.has_edge(e.u, e.v) {
+            continue;
+        }
+        if !used[e.u as usize] && !used[e.v as usize] {
+            used[e.u as usize] = true;
+            used[e.v as usize] = true;
+            pairs.push((e.u, e.v));
+        }
+    }
+    RoutingProblem::from_pairs(pairs)
+}
+
+/// A general (non-matching) base routing: a random permutation problem
+/// routed by independent random shortest paths in `g`.
+pub fn permutation_base_routing(g: &Graph, seed: u64) -> (RoutingProblem, Routing) {
+    let problem = RoutingProblem::random_permutation(g.n(), seed);
+    let routing = random_shortest_path_routing(g, &problem, seed ^ 0xbead)
+        .expect("workload graphs are connected");
+    (problem, routing)
+}
+
+/// `k` random-pairs base routing.
+pub fn pairs_base_routing(g: &Graph, k: usize, seed: u64) -> (RoutingProblem, Routing) {
+    let problem = RoutingProblem::random_pairs(g.n(), k, seed);
+    let routing = random_shortest_path_routing(g, &problem, seed ^ 0xfeed)
+        .expect("workload graphs are connected");
+    (problem, routing)
+}
+
+/// Log-base-2 of n as f64 (≥ 1 for n ≥ 2).
+pub fn log2n(n: usize) -> f64 {
+    (n.max(2) as f64).log2()
+}
+
+/// Natural log of n (≥ 1 clamp for tiny n).
+pub fn lnn(n: usize) -> f64 {
+    (n.max(3) as f64).ln()
+}
+
+/// Greedily pick a maximal matching of pairs from an arbitrary routing
+/// problem (utility for turning permutations into matchings).
+pub fn matching_subproblem(problem: &RoutingProblem, n: usize) -> RoutingProblem {
+    let mut used = vec![false; n];
+    let mut pairs: Vec<(NodeId, NodeId)> = Vec::new();
+    for &(u, v) in problem.pairs() {
+        if !used[u as usize] && !used[v as usize] {
+            used[u as usize] = true;
+            used[v as usize] = true;
+            pairs.push((u, v));
+        }
+    }
+    RoutingProblem::from_pairs(pairs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn regimes() {
+        assert_eq!(even(7), 6);
+        assert_eq!(even(0), 2);
+        assert!(theorem3_degree(1000) >= 100);
+        assert!(theorem2_degree(1000, 0.1) > theorem3_degree(1000));
+        assert!(theorem2_degree(64, 0.5) <= 62);
+    }
+
+    #[test]
+    fn removed_matching_is_matching_of_removed_edges() {
+        let g = regime_expander(32, 8, 1);
+        let h = dcspan_graph::sample::sample_subgraph(&g, 0.5, 2);
+        let m = removed_edge_matching(&g, &h);
+        assert!(m.is_matching());
+        for &(u, v) in m.pairs() {
+            assert!(g.has_edge(u, v));
+            assert!(!h.has_edge(u, v));
+        }
+    }
+
+    #[test]
+    fn base_routings_valid() {
+        let g = regime_expander(24, 6, 3);
+        let (problem, routing) = permutation_base_routing(&g, 4);
+        assert!(routing.is_valid_for(&problem, &g));
+        let (p2, r2) = pairs_base_routing(&g, 10, 5);
+        assert!(r2.is_valid_for(&p2, &g));
+        assert_eq!(p2.len(), 10);
+    }
+
+    #[test]
+    fn matching_subproblem_is_matching() {
+        let p = RoutingProblem::from_pairs(vec![(0, 1), (1, 2), (3, 4), (4, 5), (6, 7)]);
+        let m = matching_subproblem(&p, 8);
+        assert!(m.is_matching());
+        assert_eq!(m.len(), 3); // (0,1), (3,4), (6,7)
+    }
+}

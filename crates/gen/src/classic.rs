@@ -1,0 +1,165 @@
+//! Deterministic classic topologies: complete graphs, cycles, paths, grids,
+//! hypercubes, complete bipartite graphs, circulants.
+//!
+//! These serve as fixtures for tests and as degenerate/extreme inputs for
+//! the spanner algorithms (e.g. `K_n` is the densest Δ-regular graph, the
+//! hypercube is a weak expander, circulants are the regular-graph seed for
+//! the rewiring model in [`crate::regular`]).
+
+use dcspan_graph::{Graph, GraphBuilder};
+
+/// Complete graph `K_n`.
+pub fn complete(n: usize) -> Graph {
+    let mut b = GraphBuilder::with_capacity(n, n * (n.saturating_sub(1)) / 2);
+    for i in 0..n as u32 {
+        for j in i + 1..n as u32 {
+            b.add_edge(i, j);
+        }
+    }
+    b.build()
+}
+
+/// Cycle `C_n` (requires `n ≥ 3`).
+pub fn cycle(n: usize) -> Graph {
+    assert!(n >= 3, "a cycle needs at least 3 nodes");
+    Graph::from_edges(n, (0..n as u32).map(|i| (i, (i + 1) % n as u32)))
+}
+
+/// Path `P_n` on `n` nodes (`n ≥ 1`).
+pub fn path(n: usize) -> Graph {
+    assert!(n >= 1);
+    Graph::from_edges(n, (0..n.saturating_sub(1) as u32).map(|i| (i, i + 1)))
+}
+
+/// 2-D grid `rows × cols`, nodes indexed row-major.
+pub fn grid(rows: usize, cols: usize) -> Graph {
+    let n = rows * cols;
+    let mut b = GraphBuilder::new(n);
+    let id = |r: usize, c: usize| (r * cols + c) as u32;
+    for r in 0..rows {
+        for c in 0..cols {
+            if c + 1 < cols {
+                b.add_edge(id(r, c), id(r, c + 1));
+            }
+            if r + 1 < rows {
+                b.add_edge(id(r, c), id(r + 1, c));
+            }
+        }
+    }
+    b.build()
+}
+
+/// `d`-dimensional hypercube `Q_d` on `2^d` nodes; `d`-regular.
+pub fn hypercube(d: usize) -> Graph {
+    assert!(d < 28, "hypercube dimension too large");
+    let n = 1usize << d;
+    let mut b = GraphBuilder::with_capacity(n, n * d / 2);
+    for u in 0..n as u32 {
+        for bit in 0..d {
+            let w = u ^ (1u32 << bit);
+            if u < w {
+                b.add_edge(u, w);
+            }
+        }
+    }
+    b.build()
+}
+
+/// Complete bipartite graph `K_{a,b}` (left = `0..a`, right = `a..a+b`).
+pub fn complete_bipartite(a: usize, b: usize) -> Graph {
+    let mut builder = GraphBuilder::with_capacity(a + b, a * b);
+    for l in 0..a as u32 {
+        for r in 0..b as u32 {
+            builder.add_edge(l, a as u32 + r);
+        }
+    }
+    builder.build()
+}
+
+/// Circulant graph: node `i` adjacent to `i ± s (mod n)` for each stride
+/// `s` in `strides`. Exactly `2·|strides|`-regular when all strides are
+/// distinct, non-zero, and `≠ n/2`; the stride `n/2` contributes degree 1.
+pub fn circulant(n: usize, strides: &[usize]) -> Graph {
+    let mut b = GraphBuilder::new(n);
+    for &s in strides {
+        assert!(s > 0 && s < n, "stride {s} out of range for n = {n}");
+        for i in 0..n {
+            let j = (i + s) % n;
+            b.add_edge(i as u32, j as u32);
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcspan_graph::traversal::{diameter, is_connected};
+
+    #[test]
+    fn complete_counts() {
+        let g = complete(6);
+        assert_eq!(g.m(), 15);
+        assert!(g.is_regular());
+        assert_eq!(g.max_degree(), 5);
+        assert_eq!(diameter(&g), Some(1));
+    }
+
+    #[test]
+    fn cycle_counts() {
+        let g = cycle(7);
+        assert_eq!(g.m(), 7);
+        assert!(g.is_regular());
+        assert_eq!(g.max_degree(), 2);
+        assert_eq!(diameter(&g), Some(3));
+    }
+
+    #[test]
+    fn path_counts() {
+        let g = path(5);
+        assert_eq!(g.m(), 4);
+        assert_eq!(diameter(&g), Some(4));
+        assert_eq!(path(1).m(), 0);
+    }
+
+    #[test]
+    fn grid_structure() {
+        let g = grid(3, 4);
+        assert_eq!(g.n(), 12);
+        assert_eq!(g.m(), 3 * 3 + 2 * 4); // horizontal + vertical
+        assert!(is_connected(&g));
+        assert_eq!(diameter(&g), Some(2 + 3));
+    }
+
+    #[test]
+    fn hypercube_structure() {
+        let g = hypercube(4);
+        assert_eq!(g.n(), 16);
+        assert!(g.is_regular());
+        assert_eq!(g.max_degree(), 4);
+        assert_eq!(g.m(), 32);
+        assert_eq!(diameter(&g), Some(4));
+    }
+
+    #[test]
+    fn complete_bipartite_structure() {
+        let g = complete_bipartite(3, 4);
+        assert_eq!(g.n(), 7);
+        assert_eq!(g.m(), 12);
+        assert_eq!(g.degree(0), 4);
+        assert_eq!(g.degree(3), 3);
+        assert_eq!(diameter(&g), Some(2));
+    }
+
+    #[test]
+    fn circulant_regularity() {
+        let g = circulant(10, &[1, 2]);
+        assert!(g.is_regular());
+        assert_eq!(g.max_degree(), 4);
+        assert_eq!(g.m(), 20);
+        // Stride n/2 folds onto itself: degree contribution 1.
+        let h = circulant(10, &[5]);
+        assert!(h.is_regular());
+        assert_eq!(h.max_degree(), 1);
+    }
+}

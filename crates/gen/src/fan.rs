@@ -1,0 +1,184 @@
+//! The **Lemma 18** "fan" lower-bound gadget.
+//!
+//! `2k + 1` line nodes `a_1, …, a_{2k+1}` joined in a path, plus a special
+//! node `s` with "ray" edges `r_i = (s, a_{2i+1})` for `0 ≤ i ≤ k`:
+//! `|V| = 2k + 2`, `|E| = 3k + 1`. The gadget's *faces*
+//! `f_i = {s, a_{2i−1}, a_{2i}, a_{2i+1}}` constrain which edges a
+//! 3-distance spanner may drop; dropping one line edge per face is optimal
+//! and forces every replacement path through `s`, which is the source of
+//! the congestion lower bound.
+
+use dcspan_graph::{Edge, Graph, GraphBuilder, NodeId};
+
+/// The fan gadget with role bookkeeping.
+#[derive(Clone, Debug)]
+pub struct FanGraph {
+    /// The gadget graph.
+    pub graph: Graph,
+    /// Number of faces `k`.
+    pub k: usize,
+}
+
+impl FanGraph {
+    /// Build the fan with `k ≥ 1` faces.
+    pub fn new(k: usize) -> Self {
+        assert!(k >= 1, "the fan needs at least one face");
+        let n = 2 * k + 2;
+        let mut b = GraphBuilder::with_capacity(n, 3 * k + 1);
+        // Line nodes a_1..a_{2k+1} are ids 0..2k+1; s is id 2k+1.
+        for i in 0..2 * k as u32 {
+            b.add_edge(i, i + 1);
+        }
+        let s = (2 * k + 1) as u32;
+        for i in 0..=k {
+            b.add_edge(s, (2 * i) as u32); // a_{2i+1} has id 2i
+        }
+        FanGraph { graph: b.build(), k }
+    }
+
+    /// Node `a_j` for `1 ≤ j ≤ 2k+1` (paper's 1-based labelling).
+    pub fn a(&self, j: usize) -> NodeId {
+        assert!((1..=2 * self.k + 1).contains(&j));
+        (j - 1) as NodeId
+    }
+
+    /// The special node `s`.
+    pub fn s(&self) -> NodeId {
+        (2 * self.k + 1) as NodeId
+    }
+
+    /// Ray edge `r_i = (s, a_{2i+1})` for `0 ≤ i ≤ k`.
+    pub fn ray(&self, i: usize) -> Edge {
+        assert!(i <= self.k);
+        Edge::new(self.s(), self.a(2 * i + 1))
+    }
+
+    /// The two line edges of face `f_i` (`1 ≤ i ≤ k`):
+    /// `(a_{2i−1}, a_{2i})` and `(a_{2i}, a_{2i+1})`.
+    pub fn face_line_edges(&self, i: usize) -> [Edge; 2] {
+        assert!((1..=self.k).contains(&i));
+        [
+            Edge::new(self.a(2 * i - 1), self.a(2 * i)),
+            Edge::new(self.a(2 * i), self.a(2 * i + 1)),
+        ]
+    }
+
+    /// The edges removed by the optimal 3-distance spanner: the first line
+    /// edge of every face (`k` edges total — the maximum permitted by
+    /// Lemma 18 with `x = 2k − 1`).
+    pub fn optimal_spanner_removed_edges(&self) -> Vec<Edge> {
+        (1..=self.k).map(|i| self.face_line_edges(i)[0]).collect()
+    }
+
+    /// The optimal-size 3-distance spanner `H` (removes one line edge per
+    /// face; all rays stay).
+    pub fn optimal_spanner(&self) -> Graph {
+        let removed: dcspan_graph::FxHashSet<Edge> =
+            self.optimal_spanner_removed_edges().into_iter().collect();
+        self.graph.filter_edges(|_, e| !removed.contains(&e))
+    }
+
+    /// The adversarial routing problem of Lemma 18: the endpoints of the
+    /// removed line edges (`E_1` in the paper).
+    pub fn adversarial_routing_pairs(&self) -> Vec<(NodeId, NodeId)> {
+        self.optimal_spanner_removed_edges().into_iter().map(|e| (e.u, e.v)).collect()
+    }
+
+    /// The canonical 3-hop replacement path in `H` for removed line edge
+    /// `(a_{2i−1}, a_{2i})`: `a_{2i−1} → s → a_{2i+1} → a_{2i}`.
+    pub fn replacement_path(&self, i: usize) -> Vec<NodeId> {
+        assert!((1..=self.k).contains(&i));
+        vec![self.a(2 * i - 1), self.s(), self.a(2 * i + 1), self.a(2 * i)]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcspan_graph::traversal::{distance, is_connected};
+    use dcspan_graph::Path;
+
+    #[test]
+    fn counts_match_lemma18() {
+        for k in 1..6 {
+            let f = FanGraph::new(k);
+            assert_eq!(f.graph.n(), 2 * k + 2);
+            assert_eq!(f.graph.m(), 3 * k + 1);
+            assert!(is_connected(&f.graph));
+        }
+    }
+
+    #[test]
+    fn rays_and_faces() {
+        let f = FanGraph::new(4);
+        assert_eq!(f.s(), 9);
+        for i in 0..=4 {
+            let r = f.ray(i);
+            assert!(f.graph.has_edge(r.u, r.v));
+        }
+        for i in 1..=4 {
+            for e in f.face_line_edges(i) {
+                assert!(f.graph.has_edge(e.u, e.v));
+            }
+        }
+        // Degree of s is k+1.
+        assert_eq!(f.graph.degree(f.s()), 5);
+    }
+
+    #[test]
+    fn optimal_spanner_is_3_distance_spanner() {
+        let f = FanGraph::new(5);
+        let h = f.optimal_spanner();
+        assert_eq!(h.m(), f.graph.m() - 5);
+        assert!(h.is_subgraph_of(&f.graph));
+        // Every removed edge has a ≤3-hop substitute in H; the canonical
+        // replacement path is valid.
+        for i in 1..=5 {
+            let [removed, _] = f.face_line_edges(i);
+            assert!(!h.has_edge(removed.u, removed.v));
+            let d = distance(&h, removed.u, removed.v).unwrap();
+            assert!(d <= 3, "face {i}: distance {d}");
+            let p = Path::new(f.replacement_path(i));
+            assert!(p.is_valid_in(&h));
+            assert_eq!(p.len(), 3);
+        }
+        // And every *kept* edge obviously has distance 1; so H is a genuine
+        // 3-distance spanner of the whole gadget.
+        for e in f.graph.edges() {
+            let d = distance(&h, e.u, e.v).unwrap();
+            assert!(d <= 3);
+        }
+    }
+
+    #[test]
+    fn replacement_paths_all_cross_s() {
+        let f = FanGraph::new(6);
+        for i in 1..=6 {
+            assert!(f.replacement_path(i).contains(&f.s()));
+        }
+    }
+
+    #[test]
+    fn adversarial_pairs_align_with_removed_edges() {
+        let f = FanGraph::new(3);
+        let pairs = f.adversarial_routing_pairs();
+        assert_eq!(pairs.len(), 3);
+        for (u, v) in pairs {
+            assert!(f.graph.has_edge(u, v));
+            assert!(!f.optimal_spanner().has_edge(u, v));
+        }
+    }
+
+    #[test]
+    fn removing_three_consecutive_rays_breaks_3_stretch() {
+        // Sanity check of the lemma's ray argument: dropping rays
+        // r_0, r_1, r_2 leaves the middle ray's endpoints at distance > 3.
+        let f = FanGraph::new(4);
+        let removed: dcspan_graph::FxHashSet<Edge> =
+            [f.ray(0), f.ray(1), f.ray(2)].into_iter().collect();
+        let h = f.graph.filter_edges(|_, e| !removed.contains(&e));
+        let r1 = f.ray(1);
+        let d = distance(&h, r1.u, r1.v).unwrap();
+        assert!(d > 3, "middle ray substitute too short: {d}");
+    }
+}

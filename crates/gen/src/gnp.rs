@@ -1,0 +1,79 @@
+//! Erdős–Rényi random graphs `G(n, p)`.
+
+use dcspan_graph::rng::item_rng;
+use dcspan_graph::{Graph, GraphBuilder};
+use rand::Rng;
+
+/// Sample `G(n, p)`: each of the `n·(n−1)/2` potential edges is present
+/// independently with probability `p`. Deterministic in `(n, p, seed)`;
+/// rows are seeded independently so generation parallelises if needed.
+pub fn gnp(n: usize, p: f64, seed: u64) -> Graph {
+    assert!((0.0..=1.0).contains(&p), "p must be a probability");
+    let mut b = GraphBuilder::new(n);
+    for i in 0..n as u32 {
+        let mut rng = item_rng(seed, i as u64);
+        for j in i + 1..n as u32 {
+            if rng.gen_bool(p) {
+                b.add_edge(i, j);
+            }
+        }
+    }
+    b.build()
+}
+
+/// Sample `G(n, p)` conditioned on being connected: retries with derived
+/// seeds up to `max_attempts` times.
+///
+/// Returns `None` if no connected sample was found (caller should raise `p`).
+pub fn gnp_connected(n: usize, p: f64, seed: u64, max_attempts: usize) -> Option<Graph> {
+    for attempt in 0..max_attempts as u64 {
+        let g = gnp(n, p, seed.wrapping_add(attempt));
+        if dcspan_graph::traversal::is_connected(&g) {
+            return Some(g);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn extremes() {
+        assert_eq!(gnp(10, 0.0, 1).m(), 0);
+        assert_eq!(gnp(10, 1.0, 1).m(), 45);
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = gnp(50, 0.2, 9);
+        let b = gnp(50, 0.2, 9);
+        assert_eq!(a, b);
+        let c = gnp(50, 0.2, 10);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn edge_count_near_expectation() {
+        let n = 120;
+        let p = 0.3;
+        let g = gnp(n, p, 1234);
+        let expected = p * (n * (n - 1) / 2) as f64;
+        let sd = (expected * (1.0 - p)).sqrt();
+        assert!(
+            ((g.m() as f64) - expected).abs() < 6.0 * sd,
+            "m = {} vs expected {expected}",
+            g.m()
+        );
+    }
+
+    #[test]
+    fn connected_variant() {
+        // Above the connectivity threshold this succeeds immediately.
+        let g = gnp_connected(60, 0.2, 3, 10).unwrap();
+        assert!(dcspan_graph::traversal::is_connected(&g));
+        // Hopeless regime: p = 0 can never be connected for n ≥ 2.
+        assert!(gnp_connected(10, 0.0, 3, 3).is_none());
+    }
+}

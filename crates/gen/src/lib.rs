@@ -1,0 +1,34 @@
+//! # dcspan-gen
+//!
+//! Graph generators for the `dcspan` workspace. Two kinds:
+//!
+//! * **Workload families** the paper's theorems quantify over — random
+//!   Δ-regular graphs ([`regular`], near-Ramanujan whp, standing in for the
+//!   Ramanujan graphs of \[19, 20\]), Erdős–Rényi graphs ([`gnp`]),
+//!   Gabber–Galil/Margulis expanders and classic topologies ([`margulis`],
+//!   [`classic`]).
+//! * **Constructions lifted verbatim from the paper** — the two-cliques
+//!   graph of Figure 1 ([`two_clique`]), the Lemma 2 separation gadget
+//!   ([`lemma2`]), the Lemma 18 "fan" lower-bound gadget ([`fan`]), the
+//!   Lemma 19 near-disjoint set system ([`setsystem`]), and the Theorem 4
+//!   composite lower-bound graph ([`lower_bound`]).
+//!
+//! All generators take explicit seeds and are deterministic.
+
+pub mod classic;
+pub mod fan;
+pub mod gnp;
+pub mod lemma2;
+pub mod lower_bound;
+pub mod margulis;
+pub mod primes;
+pub mod regular;
+pub mod setsystem;
+pub mod two_clique;
+pub mod zigzag;
+
+pub use fan::FanGraph;
+pub use lemma2::Lemma2Graph;
+pub use lower_bound::LowerBoundGraph;
+pub use setsystem::LineSystem;
+pub use two_clique::TwoCliqueGraph;

@@ -1,0 +1,215 @@
+//! The **Theorem 4** composite lower-bound graph.
+//!
+//! The graph is the edge-disjoint union of `N` fan gadgets (Lemma 18):
+//! each instance `I_i` has its own special node `s_i` and draws its
+//! `2k + 1` line nodes from a shared pool via the Lemma 19 set system
+//! (subsets pairwise share ≤ 1 node, so the instances are edge-disjoint).
+//! Any optimal-size 3-distance spanner of this graph must, inside every
+//! instance, drop one line edge per face — and every replacement path then
+//! crosses that instance's `s_i`, forcing congestion stretch `Ω(n^{1/6})`.
+//!
+//! We instantiate the set system with subset size `q = 2k + 1` (an odd
+//! prime), so each subset is exactly one fan's line.
+
+use crate::fan::FanGraph;
+use crate::primes::is_prime;
+use crate::setsystem::LineSystem;
+use dcspan_graph::{Edge, Graph, GraphBuilder, NodeId};
+
+/// The Theorem 4 composite graph together with per-instance bookkeeping.
+#[derive(Clone, Debug)]
+pub struct LowerBoundGraph {
+    /// The composite graph `G`.
+    pub graph: Graph,
+    /// Faces per instance: `k = (q − 1) / 2`.
+    pub k: usize,
+    /// Line nodes per instance: `q = 2k + 1` (prime).
+    pub q: usize,
+    /// Number of fan instances (= number of pool nodes).
+    pub instances: usize,
+    /// `lines[i]` = ordered line nodes of instance `i` (pool node ids).
+    lines: Vec<Vec<NodeId>>,
+}
+
+impl LowerBoundGraph {
+    /// Build with `q = 2k + 1` an odd prime and `blocks ≥ 1` plane copies:
+    /// `blocks · q²` instances over `blocks · q²` pool nodes plus one
+    /// special node per instance (`n = 2 · blocks · q²` total nodes).
+    pub fn new(q: usize, blocks: usize) -> Self {
+        assert!(q >= 3 && q % 2 == 1 && is_prime(q as u64), "q must be an odd prime ≥ 3");
+        let k = (q - 1) / 2;
+        let system = LineSystem::new(q, blocks);
+        let pool = system.num_elements();
+        let instances = system.subsets().len();
+        let n = pool + instances;
+        let mut b = GraphBuilder::with_capacity(n, instances * (3 * k + 1));
+        let mut lines = Vec::with_capacity(instances);
+        for (i, subset) in system.subsets().iter().enumerate() {
+            let s = (pool + i) as NodeId;
+            let line: Vec<NodeId> = subset.clone();
+            // Line edges along the subset's construction order.
+            for w in line.windows(2) {
+                b.add_edge(w[0], w[1]);
+            }
+            // Ray edges from s_i to odd-indexed line nodes a_1, a_3, …
+            // (0-based positions 0, 2, …, 2k).
+            for j in 0..=k {
+                b.add_edge(s, line[2 * j]);
+            }
+            lines.push(line);
+        }
+        LowerBoundGraph { graph: b.build(), k, q, instances, lines }
+    }
+
+    /// Parameters matching the paper's target shape for ground-set size `n`.
+    pub fn for_target_n(n: usize) -> Self {
+        let target_q = ((n as f64 / 17.0).powf(1.0 / 6.0)).round().max(3.0) as u64;
+        // q must be odd: next_prime ≥ 3 is odd.
+        let q = crate::primes::next_prime(target_q.max(3)) as usize;
+        let blocks = (n / (q * q)).max(1);
+        LowerBoundGraph::new(q, blocks)
+    }
+
+    /// The special node of instance `i`.
+    pub fn special(&self, i: usize) -> NodeId {
+        assert!(i < self.instances);
+        (self.pool_size() + i) as NodeId
+    }
+
+    /// Number of shared pool (line) nodes.
+    pub fn pool_size(&self) -> usize {
+        self.graph.n() - self.instances
+    }
+
+    /// Ordered line nodes of instance `i`.
+    pub fn line(&self, i: usize) -> &[NodeId] {
+        &self.lines[i]
+    }
+
+    /// The edges removed by the optimal 3-distance spanner inside instance
+    /// `i`: the first line edge of each of its `k` faces.
+    pub fn removed_edges(&self, i: usize) -> Vec<Edge> {
+        let line = &self.lines[i];
+        (1..=self.k)
+            .map(|f| Edge::new(line[2 * f - 2], line[2 * f - 1]))
+            .collect()
+    }
+
+    /// The optimal-size 3-distance spanner `H` of the composite graph
+    /// (applies the per-instance face removal everywhere).
+    pub fn optimal_spanner(&self) -> Graph {
+        let mut removed: dcspan_graph::FxHashSet<Edge> = dcspan_graph::FxHashSet::default();
+        for i in 0..self.instances {
+            removed.extend(self.removed_edges(i));
+        }
+        self.graph.filter_edges(|_, e| !removed.contains(&e))
+    }
+
+    /// The adversarial routing pairs of instance `i` (endpoints of its
+    /// removed line edges).
+    pub fn adversarial_routing_pairs(&self, i: usize) -> Vec<(NodeId, NodeId)> {
+        self.removed_edges(i).into_iter().map(|e| (e.u, e.v)).collect()
+    }
+
+    /// The canonical 3-hop replacement path in `H` for the `f`-th removed
+    /// edge of instance `i`: `a_{2f−1} → s_i → a_{2f+1} → a_{2f}`.
+    pub fn replacement_path(&self, i: usize, f: usize) -> Vec<NodeId> {
+        assert!((1..=self.k).contains(&f));
+        let line = &self.lines[i];
+        vec![line[2 * f - 2], self.special(i), line[2 * f], line[2 * f - 1]]
+    }
+
+    /// A standalone fan gadget with the same `k` (for single-instance
+    /// experiments).
+    pub fn standalone_fan(&self) -> FanGraph {
+        FanGraph::new(self.k)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcspan_graph::traversal::distance;
+    use dcspan_graph::Path;
+
+    #[test]
+    fn counts_match_theorem4() {
+        let g = LowerBoundGraph::new(5, 2);
+        // q = 5 → k = 2; instances = 2·25 = 50; pool = 50; n = 100.
+        assert_eq!(g.k, 2);
+        assert_eq!(g.instances, 50);
+        assert_eq!(g.pool_size(), 50);
+        assert_eq!(g.graph.n(), 100);
+        // Edge-disjoint instances: m = instances · (3k + 1).
+        assert_eq!(g.graph.m(), 50 * 7);
+    }
+
+    #[test]
+    fn instances_are_edge_disjoint() {
+        // If any two instances shared an edge the builder would have
+        // deduplicated it and m would fall short; also check directly that
+        // two instances share ≤ 1 line node.
+        let g = LowerBoundGraph::new(5, 1);
+        assert_eq!(g.graph.m(), g.instances * (3 * g.k + 1));
+        for i in 0..5 {
+            for j in i + 1..5 {
+                let a: std::collections::BTreeSet<_> = g.line(i).iter().collect();
+                let shared = g.line(j).iter().filter(|x| a.contains(x)).count();
+                assert!(shared <= 1, "instances {i},{j} share {shared} nodes");
+            }
+        }
+    }
+
+    #[test]
+    fn special_nodes_have_ray_degree() {
+        let g = LowerBoundGraph::new(7, 1);
+        for i in 0..g.instances {
+            assert_eq!(g.graph.degree(g.special(i)), g.k + 1);
+        }
+    }
+
+    #[test]
+    fn optimal_spanner_is_3_distance_spanner() {
+        let g = LowerBoundGraph::new(5, 1);
+        let h = g.optimal_spanner();
+        assert_eq!(h.m(), g.graph.m() - g.instances * g.k);
+        for i in 0..g.instances {
+            for (f, e) in g.removed_edges(i).iter().enumerate() {
+                assert!(!h.has_edge(e.u, e.v));
+                let d = distance(&h, e.u, e.v).unwrap();
+                assert!(d <= 3, "instance {i} edge {f}: distance {d}");
+                let p = Path::new(g.replacement_path(i, f + 1));
+                assert!(p.is_valid_in(&h));
+                assert_eq!(p.source(), e.u);
+                assert_eq!(p.destination(), e.v);
+            }
+        }
+    }
+
+    #[test]
+    fn spanner_edge_count_is_omega_n_to_7_6() {
+        // Shape check: |E(H)| = instances · (2k + 1) = Θ(n · k) with
+        // k = Θ(n^{1/6}) when blocks ≈ n / q².
+        let g = LowerBoundGraph::new(5, 3);
+        let h = g.optimal_spanner();
+        assert_eq!(h.m(), g.instances * (2 * g.k + 1));
+    }
+
+    #[test]
+    fn pool_degree_bounded_by_3q() {
+        // Each pool node is in exactly q instances, contributing ≤ 3 edges
+        // each (2 line + 1 ray).
+        let g = LowerBoundGraph::new(5, 2);
+        for u in 0..g.pool_size() as NodeId {
+            assert!(g.graph.degree(u) <= 3 * g.q, "node {u}: {}", g.graph.degree(u));
+            assert!(g.graph.degree(u) >= 1);
+        }
+    }
+
+    #[test]
+    fn for_target_n_builds() {
+        let g = LowerBoundGraph::for_target_n(2_000);
+        assert!(g.graph.n() >= 1_000);
+        assert!(g.k >= 1);
+    }
+}

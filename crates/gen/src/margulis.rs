@@ -1,0 +1,81 @@
+//! Gabber–Galil (Margulis-type) explicit expanders.
+//!
+//! The vertex set is `Z_m × Z_m` and each vertex `(x, y)` is joined to
+//!
+//! ```text
+//! (x, x+y)   (x, x+y+1)   (x+y, y)   (x+y+1, y)          (mod m)
+//! ```
+//!
+//! and to the preimages of these maps (i.e. edges are undirected). The
+//! resulting 8-regular multigraph has second eigenvalue `λ ≤ 5√2 ≈ 7.07`
+//! (Gabber & Galil 1981). We return the underlying simple graph, whose
+//! degrees are ≤ 8 (slightly lower near fixed points of the maps); the
+//! spectral gap is preserved up to those boundary effects and is verified
+//! empirically in `dcspan-spectral` tests.
+//!
+//! This is the workspace's *deterministic* expander family, complementing
+//! the random regular graphs of [`crate::regular`].
+
+use dcspan_graph::{Graph, GraphBuilder};
+
+/// The Gabber–Galil expander on `m²` nodes. Node `(x, y)` has id `x·m + y`.
+pub fn gabber_galil(m: usize) -> Graph {
+    assert!(m >= 2, "torus side must be ≥ 2");
+    let n = m * m;
+    let mut b = GraphBuilder::with_capacity(n, 4 * n);
+    let id = |x: usize, y: usize| (x * m + y) as u32;
+    for x in 0..m {
+        for y in 0..m {
+            let u = id(x, y);
+            let images = [
+                id(x, (x + y) % m),
+                id(x, (x + y + 1) % m),
+                id((x + y) % m, y),
+                id((x + y + 1) % m, y),
+            ];
+            for w in images {
+                if w != u {
+                    b.add_edge(u, w);
+                }
+            }
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcspan_graph::traversal::is_connected;
+
+    #[test]
+    fn size_and_degree_bounds() {
+        let g = gabber_galil(11);
+        assert_eq!(g.n(), 121);
+        assert!(g.max_degree() <= 8);
+        // Most nodes should have degree close to 8.
+        let high = (0..g.n()).filter(|&u| g.degree(u as u32) >= 6).count();
+        assert!(high * 2 > g.n(), "too many degenerate nodes");
+    }
+
+    #[test]
+    fn connected_for_various_sizes() {
+        for m in [3, 5, 8, 13] {
+            assert!(is_connected(&gabber_galil(m)), "m = {m}");
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(gabber_galil(7), gabber_galil(7));
+    }
+
+    #[test]
+    fn logarithmic_diameter() {
+        // An expander has O(log n) diameter; for m = 16 (n = 256) the
+        // diameter should be far below the grid's Θ(m).
+        let g = gabber_galil(16);
+        let d = dcspan_graph::traversal::diameter(&g).unwrap();
+        assert!(d <= 10, "diameter {d} too large for an expander on 256 nodes");
+    }
+}

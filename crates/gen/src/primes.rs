@@ -1,0 +1,75 @@
+//! Tiny prime utilities for the finite-field line construction of
+//! [`crate::setsystem`].
+
+/// Deterministic primality test by trial division (fine for the small
+/// moduli used by the set-system construction).
+pub fn is_prime(n: u64) -> bool {
+    if n < 2 {
+        return false;
+    }
+    if n.is_multiple_of(2) {
+        return n == 2;
+    }
+    let mut d = 3u64;
+    while d * d <= n {
+        if n.is_multiple_of(d) {
+            return false;
+        }
+        d += 2;
+    }
+    true
+}
+
+/// Smallest prime `≥ n` (for `n ≥ 2`; returns 2 for smaller inputs).
+pub fn next_prime(n: u64) -> u64 {
+    let mut candidate = n.max(2);
+    while !is_prime(candidate) {
+        candidate += 1;
+    }
+    candidate
+}
+
+/// Largest prime `≤ n`, or `None` if `n < 2`.
+pub fn prev_prime(n: u64) -> Option<u64> {
+    let mut candidate = n;
+    while candidate >= 2 {
+        if is_prime(candidate) {
+            return Some(candidate);
+        }
+        candidate -= 1;
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_primes() {
+        let primes: Vec<u64> = (0..30).filter(|&n| is_prime(n)).collect();
+        assert_eq!(primes, vec![2, 3, 5, 7, 11, 13, 17, 19, 23, 29]);
+    }
+
+    #[test]
+    fn next_prime_values() {
+        assert_eq!(next_prime(0), 2);
+        assert_eq!(next_prime(2), 2);
+        assert_eq!(next_prime(8), 11);
+        assert_eq!(next_prime(90), 97);
+    }
+
+    #[test]
+    fn prev_prime_values() {
+        assert_eq!(prev_prime(1), None);
+        assert_eq!(prev_prime(2), Some(2));
+        assert_eq!(prev_prime(10), Some(7));
+        assert_eq!(prev_prime(97), Some(97));
+    }
+
+    #[test]
+    fn larger_composite() {
+        assert!(!is_prime(7919 * 7927));
+        assert!(is_prime(7919));
+    }
+}

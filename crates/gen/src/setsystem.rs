@@ -1,0 +1,162 @@
+//! The **Lemma 19** set system, built deterministically from finite-field
+//! lines.
+//!
+//! Lemma 19 (proved in the paper by the probabilistic method) asks for `n`
+//! subsets of an `n`-element ground set, each of size `Θ(n^{1/6})`, such
+//! that (i) every element lies in `Θ(n^{1/6})` subsets and (ii) any two
+//! subsets share at most one element. We realise it *explicitly*: for a
+//! prime `q`, the affine lines `{(x, ax + b) : x ∈ F_q}` of the plane
+//! `F_q × F_q` form `q²` subsets of size `q` over `q²` points, every point
+//! lies on exactly `q` lines (one per slope), and two distinct lines meet
+//! in at most one point. Tiling `blocks` disjoint copies of the plane gives
+//! a ground set and subset family of equal size `blocks · q²` — exactly the
+//! shape Theorem 4 needs, with better constants than the probabilistic
+//! argument.
+
+use crate::primes::is_prime;
+
+/// A Lemma-19-style set system: `blocks · q²` subsets of size `q` over
+/// `blocks · q²` elements, pairwise intersecting in ≤ 1 element, every
+/// element in exactly `q` subsets.
+#[derive(Clone, Debug)]
+pub struct LineSystem {
+    /// Field size (prime) = subset size.
+    pub q: usize,
+    /// Number of disjoint plane copies.
+    pub blocks: usize,
+    subsets: Vec<Vec<u32>>,
+}
+
+impl LineSystem {
+    /// Build the system. `q` must be prime and `blocks ≥ 1`.
+    pub fn new(q: usize, blocks: usize) -> Self {
+        assert!(is_prime(q as u64), "q = {q} must be prime");
+        assert!(blocks >= 1);
+        let plane = q * q;
+        let mut subsets = Vec::with_capacity(blocks * plane);
+        for block in 0..blocks {
+            let base = (block * plane) as u32;
+            for a in 0..q {
+                for b in 0..q {
+                    // Line y = a·x + b: point (x, y) has id base + x·q + y.
+                    let line: Vec<u32> =
+                        (0..q).map(|x| base + (x * q + (a * x + b) % q) as u32).collect();
+                    subsets.push(line);
+                }
+            }
+        }
+        LineSystem { q, blocks, subsets }
+    }
+
+    /// Number of ground-set elements (= number of subsets).
+    pub fn num_elements(&self) -> usize {
+        self.blocks * self.q * self.q
+    }
+
+    /// The subsets (each of size `q`).
+    pub fn subsets(&self) -> &[Vec<u32>] {
+        &self.subsets
+    }
+
+    /// How many subsets each element belongs to (should be exactly `q`).
+    pub fn element_frequencies(&self) -> Vec<usize> {
+        let mut freq = vec![0usize; self.num_elements()];
+        for s in &self.subsets {
+            for &e in s {
+                freq[e as usize] += 1;
+            }
+        }
+        freq
+    }
+
+    /// Verify property (ii) of Lemma 19 by brute force: all pairs of
+    /// subsets share at most one element. Quadratic — test/diagnostic use.
+    pub fn verify_pairwise_intersections(&self) -> bool {
+        let sets: Vec<std::collections::BTreeSet<u32>> =
+            self.subsets.iter().map(|s| s.iter().copied().collect()).collect();
+        for i in 0..sets.len() {
+            for j in i + 1..sets.len() {
+                if sets[i].intersection(&sets[j]).count() > 1 {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Choose parameters approximating the paper's shape for a target
+    /// ground-set size `n`: `q` ≈ the prime nearest `(n/17)^{1/6}` rounded
+    /// up, `blocks = max(1, n / q²)`.
+    pub fn for_target_n(n: usize) -> Self {
+        let target_q = ((n as f64 / 17.0).powf(1.0 / 6.0)).round().max(3.0) as u64;
+        let q = crate::primes::next_prime(target_q) as usize;
+        let blocks = (n / (q * q)).max(1);
+        LineSystem::new(q, blocks)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_and_sizes() {
+        let s = LineSystem::new(5, 3);
+        assert_eq!(s.num_elements(), 75);
+        assert_eq!(s.subsets().len(), 75);
+        assert!(s.subsets().iter().all(|line| line.len() == 5));
+    }
+
+    #[test]
+    fn every_element_in_exactly_q_subsets() {
+        let s = LineSystem::new(7, 2);
+        let freq = s.element_frequencies();
+        assert!(freq.iter().all(|&f| f == 7));
+    }
+
+    #[test]
+    fn pairwise_intersections_at_most_one() {
+        for q in [3usize, 5, 7] {
+            let s = LineSystem::new(q, 2);
+            assert!(s.verify_pairwise_intersections(), "q = {q}");
+        }
+    }
+
+    #[test]
+    fn lines_stay_in_their_block() {
+        let s = LineSystem::new(3, 4);
+        for (idx, line) in s.subsets().iter().enumerate() {
+            let block = idx / 9;
+            let lo = (block * 9) as u32;
+            let hi = lo + 9;
+            assert!(line.iter().all(|&e| (lo..hi).contains(&e)));
+        }
+    }
+
+    #[test]
+    fn subsets_have_distinct_elements() {
+        let s = LineSystem::new(5, 1);
+        for line in s.subsets() {
+            let mut sorted = line.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted.len(), line.len());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "must be prime")]
+    fn rejects_composite_q() {
+        let _ = LineSystem::new(6, 1);
+    }
+
+    #[test]
+    fn for_target_n_shape() {
+        let s = LineSystem::for_target_n(20_000);
+        // (20000/17)^{1/6} ≈ 3.25 → q = 3 or 5, blocks ≈ n/q².
+        assert!(s.q >= 3);
+        assert!(s.num_elements() >= 5_000);
+        let freq = s.element_frequencies();
+        assert!(freq.iter().all(|&f| f == s.q));
+    }
+}

@@ -1,0 +1,98 @@
+//! The two-cliques graph of **Figure 1** of the paper.
+//!
+//! Two cliques `C_A` and `C_B` of size `n/2` each, inter-connected by a
+//! perfect matching (`a_i ↔ b_i`). The paper uses it to show that vertex
+//! fault-tolerant spanners do **not** control congestion: an f-VFT spanner
+//! for `f = ⌈n^{1/3}⌉` may keep only `⌈n^{1/3}⌉ + 1` matching edges, and
+//! then the perfect-matching routing problem forces congestion
+//! `Ω(n^{2/3})` on some kept matching endpoint.
+
+use dcspan_graph::{Graph, GraphBuilder, NodeId};
+
+/// The Figure-1 graph together with its role bookkeeping.
+#[derive(Clone, Debug)]
+pub struct TwoCliqueGraph {
+    /// The full graph `G`.
+    pub graph: Graph,
+    /// Clique size `h = n/2`; `A = 0..h`, `B = h..2h`, `a_i ↔ b_i = a_i + h`.
+    pub half: usize,
+}
+
+impl TwoCliqueGraph {
+    /// Build the graph for clique size `half` (total `n = 2·half` nodes).
+    pub fn new(half: usize) -> Self {
+        assert!(half >= 2, "need at least 2 nodes per clique");
+        let n = 2 * half;
+        let mut b = GraphBuilder::with_capacity(n, half * (half - 1) + half);
+        for i in 0..half as u32 {
+            for j in i + 1..half as u32 {
+                b.add_edge(i, j); // clique A
+                b.add_edge(half as u32 + i, half as u32 + j); // clique B
+            }
+        }
+        for i in 0..half as u32 {
+            b.add_edge(i, half as u32 + i); // perfect matching
+        }
+        TwoCliqueGraph { graph: b.build(), half }
+    }
+
+    /// Node `a_i`.
+    pub fn a(&self, i: usize) -> NodeId {
+        assert!(i < self.half);
+        i as NodeId
+    }
+
+    /// Node `b_i`.
+    pub fn b(&self, i: usize) -> NodeId {
+        assert!(i < self.half);
+        (self.half + i) as NodeId
+    }
+
+    /// The perfect-matching routing pairs `(a_i, b_i)` for all `i` — the
+    /// adversarial routing problem of Figure 1.
+    pub fn matching_routing_pairs(&self) -> Vec<(NodeId, NodeId)> {
+        (0..self.half).map(|i| (self.a(i), self.b(i))).collect()
+    }
+
+    /// The matching edges as edge ids in `graph`.
+    pub fn matching_edge_ids(&self) -> Vec<usize> {
+        (0..self.half)
+            .map(|i| self.graph.edge_id(self.a(i), self.b(i)).expect("matching edge exists"))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcspan_graph::traversal::{diameter, is_connected};
+
+    #[test]
+    fn structure() {
+        let t = TwoCliqueGraph::new(5);
+        let g = &t.graph;
+        assert_eq!(g.n(), 10);
+        assert_eq!(g.m(), 2 * (5 * 4 / 2) + 5);
+        assert!(is_connected(g));
+        assert_eq!(diameter(g), Some(2)); // a_i → b_j goes a_i → a_j → b_j
+    }
+
+    #[test]
+    fn roles_and_matching() {
+        let t = TwoCliqueGraph::new(4);
+        assert_eq!(t.a(2), 2);
+        assert_eq!(t.b(2), 6);
+        assert!(t.graph.has_edge(t.a(2), t.b(2)));
+        assert!(!t.graph.has_edge(t.a(2), t.b(3)));
+        assert_eq!(t.matching_routing_pairs().len(), 4);
+        assert_eq!(t.matching_edge_ids().len(), 4);
+    }
+
+    #[test]
+    fn degrees() {
+        let t = TwoCliqueGraph::new(6);
+        // Every node: clique degree (h−1) + 1 matching edge.
+        assert!(t.graph.is_regular());
+        assert_eq!(t.graph.max_degree(), 6);
+    }
+}

@@ -1,0 +1,219 @@
+//! The **zig-zag product** (Reingold–Vadhan–Wigderson) and the rotation
+//! maps it is built on.
+//!
+//! The paper's expander results assume families like Ramanujan graphs
+//! \[19, 20\]; zig-zag products are the other canonical way to manufacture
+//! constant-degree expanders of arbitrary size, and make a good stress
+//! generator: given a `D`-regular graph `G` on `n` nodes (with measured
+//! expansion λ_G) and a `d`-regular graph `H` on `D` nodes, the product
+//! `G ⓩ H` is a `d²`-regular graph on `n·D` nodes with normalised
+//! expansion `λ̂(GⓏH) ≤ λ̂(G) + λ̂(H) + λ̂(H)²` — degree shrinks from `D`
+//! to `d²` while expansion degrades additively.
+//!
+//! Implementation detail: products are defined on **rotation maps**
+//! `Rot(v, i) = (w, j)` — edge `i` of `v` leads to `w`, arriving as `w`'s
+//! edge `j`. [`RotationMap`] derives one from any regular [`Graph`].
+
+use dcspan_graph::{Graph, GraphBuilder, NodeId};
+
+/// A rotation map of a `D`-regular graph: a permutation on `V × [D]` with
+/// `Rot(Rot(v, i)) = (v, i)`.
+#[derive(Clone, Debug)]
+pub struct RotationMap {
+    n: usize,
+    degree: usize,
+    /// `rot[v * degree + i] = (w, j)`.
+    rot: Vec<(NodeId, u32)>,
+}
+
+impl RotationMap {
+    /// Build the canonical rotation map of a regular graph: port `i` of `v`
+    /// is its `i`-th sorted neighbour, and the return port is the index of
+    /// `v` in that neighbour's sorted list.
+    ///
+    /// # Panics
+    /// Panics if `g` is not regular.
+    pub fn from_graph(g: &Graph) -> Self {
+        assert!(g.is_regular(), "rotation maps need a regular graph");
+        let degree = g.max_degree();
+        let n = g.n();
+        let mut rot = vec![(0 as NodeId, 0u32); n * degree];
+        for v in 0..n as NodeId {
+            for (i, &w) in g.neighbors(v).iter().enumerate() {
+                let j = g.neighbors(w).binary_search(&v).expect("mutual adjacency");
+                rot[v as usize * degree + i] = (w, j as u32);
+            }
+        }
+        RotationMap { n, degree, rot }
+    }
+
+    /// Number of nodes.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// The (uniform) degree `D`.
+    pub fn degree(&self) -> usize {
+        self.degree
+    }
+
+    /// `Rot(v, i) = (w, j)`.
+    #[inline]
+    pub fn rot(&self, v: NodeId, i: usize) -> (NodeId, u32) {
+        debug_assert!(i < self.degree);
+        self.rot[v as usize * self.degree + i]
+    }
+
+    /// Check the involution property `Rot(Rot(v, i)) = (v, i)`.
+    pub fn is_involution(&self) -> bool {
+        (0..self.n as NodeId).all(|v| {
+            (0..self.degree).all(|i| {
+                let (w, j) = self.rot(v, i);
+                self.rot(w, j as usize) == (v, i as u32)
+            })
+        })
+    }
+}
+
+/// The **replacement product** `G ⓡ H`: every node of `G` (D-regular)
+/// blows up into a copy of `H` (d-regular on D nodes); "cloud" edges are
+/// H's edges, "bridge" edges connect port `i` of `v`'s cloud to port `j`
+/// of `w`'s cloud whenever `Rot_G(v, i) = (w, j)`. Result: `(d+1)`-regular
+/// on `n·D` nodes.
+pub fn replacement_product(g: &Graph, h: &Graph) -> Graph {
+    let rg = RotationMap::from_graph(g);
+    assert_eq!(h.n(), rg.degree(), "H must have exactly D = deg(G) nodes");
+    let d_big = rg.degree();
+    let n_out = g.n() * d_big;
+    let id = |v: NodeId, i: usize| (v as usize * d_big + i) as NodeId;
+    let mut b = GraphBuilder::new(n_out);
+    // Cloud edges.
+    for v in 0..g.n() as NodeId {
+        for e in h.edges() {
+            b.add_edge(id(v, e.u as usize), id(v, e.v as usize));
+        }
+    }
+    // Bridge edges.
+    for v in 0..g.n() as NodeId {
+        for i in 0..d_big {
+            let (w, j) = rg.rot(v, i);
+            if (v, i as u32) < (w, j) {
+                b.add_edge(id(v, i), id(w, j as usize));
+            }
+        }
+    }
+    b.build()
+}
+
+/// The **zig-zag product** `G ⓩ H` as a simple graph: vertices `V(G)×[D]`;
+/// for every pair of H-ports `(a, b)`, vertex `(v, i)` connects to
+/// `(w, j)` where `i' = Rot_H-step(i, a)` (a neighbour step in `H`),
+/// `(w, j') = Rot_G(v, i')` (the bridge), and `j = neighbour step of j'`
+/// via `b` in `H`. The multigraph is `d²`-regular; we return the
+/// underlying simple graph (degrees ≤ d², expansion preserved up to the
+/// usual simple-graph collapse).
+pub fn zigzag_product(g: &Graph, h: &Graph) -> Graph {
+    let rg = RotationMap::from_graph(g);
+    assert!(h.is_regular(), "H must be regular");
+    assert_eq!(h.n(), rg.degree(), "H must have exactly D = deg(G) nodes");
+    let d_big = rg.degree();
+    let d = h.max_degree();
+    let n_out = g.n() * d_big;
+    let id = |v: NodeId, i: u32| (v as usize * d_big + i as usize) as NodeId;
+    let mut b = GraphBuilder::with_capacity(n_out, n_out * d * d / 2);
+    for v in 0..g.n() as NodeId {
+        for i in 0..d_big as u32 {
+            // Zig: move inside v's cloud along H.
+            for &i_prime in h.neighbors(i) {
+                // Bridge: follow G's rotation map.
+                let (w, j_prime) = rg.rot(v, i_prime as usize);
+                // Zag: move inside w's cloud along H.
+                for &j in h.neighbors(j_prime) {
+                    let from = id(v, i);
+                    let to = id(w, j);
+                    if from < to {
+                        b.add_edge(from, to);
+                    }
+                }
+            }
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classic::{complete, cycle};
+    use crate::regular::random_regular;
+    use dcspan_graph::traversal::is_connected;
+
+    #[test]
+    fn rotation_map_is_involution() {
+        for g in [cycle(6), complete(5), random_regular(20, 4, 1)] {
+            let r = RotationMap::from_graph(&g);
+            assert!(r.is_involution());
+            assert_eq!(r.n(), g.n());
+            assert_eq!(r.degree(), g.max_degree());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "regular")]
+    fn rotation_map_rejects_irregular() {
+        let g = Graph::from_edges(3, vec![(0, 1)]);
+        let _ = RotationMap::from_graph(&g);
+    }
+
+    #[test]
+    fn replacement_product_shape() {
+        // G: 4-regular on 10 nodes; H: cycle C4 (2-regular on 4 nodes).
+        let g = random_regular(10, 4, 2);
+        let h = cycle(4);
+        let rp = replacement_product(&g, &h);
+        assert_eq!(rp.n(), 40);
+        // (d+1)-regular = 3-regular.
+        assert!(rp.is_regular());
+        assert_eq!(rp.max_degree(), 3);
+        assert!(is_connected(&rp));
+    }
+
+    #[test]
+    fn zigzag_product_shape() {
+        // G: 4-regular on 12 nodes; H: K4 (3-regular, non-bipartite — a
+        // bipartite H like C4 has λ̂ = 1 and the RVW bound degenerates,
+        // which can genuinely disconnect the product). Z: ≤ 9-regular on 48.
+        let g = random_regular(12, 4, 3);
+        let h = complete(4);
+        let z = zigzag_product(&g, &h);
+        assert_eq!(z.n(), 48);
+        assert!(z.max_degree() <= 9);
+        assert!(is_connected(&z));
+    }
+
+    #[test]
+    fn zigzag_degree_reduction_preserves_expansion() {
+        // G: 16-regular random expander on 64 nodes (λ̂ small);
+        // H: 4-regular random expander on 16 nodes.
+        let g = random_regular(64, 16, 4);
+        let h = random_regular(16, 4, 5);
+        let z = zigzag_product(&g, &h);
+        assert_eq!(z.n(), 64 * 16);
+        assert!(z.max_degree() <= 16); // d² = 16 ports, fewer after collapse
+        assert!(is_connected(&z));
+        let lam_g = dcspan_spectral::expansion::normalized_expansion(&g, 6);
+        let lam_h = dcspan_spectral::expansion::normalized_expansion(&h, 7);
+        let lam_z = dcspan_spectral::expansion::normalized_expansion(&z, 8);
+        // RVW bound (for the d²-regular multigraph): λ̂_Z ≤ λ̂_G + λ̂_H + λ̂_H².
+        // The simple-graph collapse perturbs this; allow 20% slack.
+        let bound = lam_g + lam_h + lam_h * lam_h;
+        assert!(
+            lam_z <= 1.2 * bound + 0.05,
+            "λ̂_Z = {lam_z:.3} vs RVW bound {bound:.3} (λ̂_G = {lam_g:.3}, λ̂_H = {lam_h:.3})"
+        );
+        // And the product is genuinely an expander, not just connected.
+        assert!(lam_z < 0.95, "λ̂_Z = {lam_z}");
+    }
+
+    use dcspan_graph::Graph;
+}

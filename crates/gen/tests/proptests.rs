@@ -1,0 +1,127 @@
+//! Property-based tests for the graph generators and paper gadgets.
+
+use dcspan_gen::fan::FanGraph;
+use dcspan_gen::gnp::gnp;
+use dcspan_gen::lemma2::Lemma2Graph;
+use dcspan_gen::lower_bound::LowerBoundGraph;
+use dcspan_gen::primes::{is_prime, next_prime};
+use dcspan_gen::regular::{circulant_regular, random_regular, random_regular_configuration};
+use dcspan_gen::setsystem::LineSystem;
+use dcspan_gen::two_clique::TwoCliqueGraph;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn random_regular_is_exactly_regular(
+        half_n in 5usize..30,
+        delta in 2usize..8,
+        seed in 0u64..200,
+    ) {
+        let n = 2 * half_n;
+        let delta = delta.min(n - 2);
+        let g = random_regular(n, delta, seed);
+        prop_assert!(g.is_regular());
+        prop_assert_eq!(g.max_degree(), delta);
+        prop_assert_eq!(g.m(), n * delta / 2);
+    }
+
+    #[test]
+    fn configuration_model_matches_degree_sequence(
+        half_n in 6usize..25,
+        delta in 2usize..6,
+        seed in 0u64..100,
+    ) {
+        let n = 2 * half_n;
+        let delta = delta.min(n - 2);
+        if let Some(g) = random_regular_configuration(n, delta, seed) {
+            prop_assert!(g.is_regular());
+            prop_assert_eq!(g.max_degree(), delta);
+        }
+    }
+
+    #[test]
+    fn circulant_matches_spec(half_n in 4usize..40, delta in 2usize..7) {
+        let n = 2 * half_n;
+        let delta = delta.min(n / 2 - 1).max(2);
+        let g = circulant_regular(n, delta);
+        prop_assert!(g.is_regular());
+        prop_assert_eq!(g.max_degree(), delta);
+    }
+
+    #[test]
+    fn gnp_edges_within_range(n in 2usize..40, seed in 0u64..100) {
+        let g = gnp(n, 0.5, seed);
+        prop_assert!(g.m() <= n * (n - 1) / 2);
+        prop_assert_eq!(g.n(), n);
+    }
+
+    #[test]
+    fn fan_counts(k in 1usize..30) {
+        let f = FanGraph::new(k);
+        prop_assert_eq!(f.graph.n(), 2 * k + 2);
+        prop_assert_eq!(f.graph.m(), 3 * k + 1);
+        // The optimal spanner always removes exactly k edges.
+        prop_assert_eq!(f.optimal_spanner().m(), 2 * k + 1);
+        // Replacement paths are valid in the spanner.
+        let h = f.optimal_spanner();
+        for i in 1..=k {
+            let p = dcspan_graph::Path::new(f.replacement_path(i));
+            prop_assert!(p.is_valid_in(&h));
+        }
+    }
+
+    #[test]
+    fn lemma2_structure(pairs in 2usize..12, alpha in 2usize..6) {
+        let g = Lemma2Graph::new(pairs, alpha);
+        prop_assert_eq!(g.graph.n(), 2 * pairs + pairs * alpha);
+        // H keeps exactly one matching edge.
+        let h = g.spanner_h();
+        let kept = (0..pairs).filter(|&i| h.has_edge(g.a(i), g.b(i))).count();
+        prop_assert_eq!(kept, 1);
+        // Detour path lengths are α + 1.
+        for i in 0..pairs {
+            prop_assert_eq!(g.detour_nodes(i).len(), alpha + 2);
+        }
+    }
+
+    #[test]
+    fn line_system_invariants(qi in 0usize..3, blocks in 1usize..4) {
+        let q = [3usize, 5, 7][qi];
+        let s = LineSystem::new(q, blocks);
+        prop_assert_eq!(s.subsets().len(), s.num_elements());
+        let freq = s.element_frequencies();
+        prop_assert!(freq.iter().all(|&f| f == q));
+        prop_assert!(s.verify_pairwise_intersections());
+    }
+
+    #[test]
+    fn lower_bound_graph_edge_disjointness(qi in 0usize..2, blocks in 1usize..3) {
+        let q = [5usize, 7][qi];
+        let lb = LowerBoundGraph::new(q, blocks);
+        // Edge-disjoint instances ⇒ exact edge count.
+        prop_assert_eq!(lb.graph.m(), lb.instances * (3 * lb.k + 1));
+        // Optimal spanner drops k per instance.
+        prop_assert_eq!(lb.optimal_spanner().m(), lb.instances * (2 * lb.k + 1));
+    }
+
+    #[test]
+    fn two_clique_regularity(half in 2usize..40) {
+        let t = TwoCliqueGraph::new(half);
+        prop_assert!(t.graph.is_regular());
+        prop_assert_eq!(t.graph.max_degree(), half);
+        prop_assert_eq!(t.graph.m(), half * (half - 1) + half);
+    }
+
+    #[test]
+    fn next_prime_is_prime_and_minimal(n in 2u64..500) {
+        let p = next_prime(n);
+        prop_assert!(is_prime(p));
+        prop_assert!(p >= n);
+        // No prime strictly between n and p.
+        for q in n..p {
+            prop_assert!(!is_prime(q));
+        }
+    }
+}

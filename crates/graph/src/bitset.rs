@@ -1,0 +1,180 @@
+//! A fixed-capacity bitset over `u64` words.
+//!
+//! Used for dense membership tests (e.g. "is `x` a neighbour of `u`?" during
+//! support counting, where the neighbourhood is re-queried Θ(Δ²) times) and
+//! as the visited set in BFS. For those access patterns a flat bit array
+//! beats hash sets by a wide margin.
+
+/// A fixed-size set of `usize` values in `0..capacity`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BitSet {
+    words: Vec<u64>,
+    capacity: usize,
+}
+
+impl BitSet {
+    /// Create an empty bitset able to hold values in `0..capacity`.
+    pub fn new(capacity: usize) -> Self {
+        BitSet {
+            words: vec![0; capacity.div_ceil(64)],
+            capacity,
+        }
+    }
+
+    /// Number of values the set can hold.
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Insert `index`; returns `true` if it was newly inserted.
+    #[inline]
+    pub fn insert(&mut self, index: usize) -> bool {
+        debug_assert!(index < self.capacity, "bit index out of range");
+        let word = &mut self.words[index / 64];
+        let mask = 1u64 << (index % 64);
+        let fresh = *word & mask == 0;
+        *word |= mask;
+        fresh
+    }
+
+    /// Remove `index`; returns `true` if it was present.
+    #[inline]
+    pub fn remove(&mut self, index: usize) -> bool {
+        debug_assert!(index < self.capacity, "bit index out of range");
+        let word = &mut self.words[index / 64];
+        let mask = 1u64 << (index % 64);
+        let present = *word & mask != 0;
+        *word &= !mask;
+        present
+    }
+
+    /// Membership test.
+    #[inline]
+    pub fn contains(&self, index: usize) -> bool {
+        debug_assert!(index < self.capacity, "bit index out of range");
+        self.words[index / 64] & (1u64 << (index % 64)) != 0
+    }
+
+    /// Remove all elements (keeps capacity).
+    pub fn clear(&mut self) {
+        self.words.fill(0);
+    }
+
+    /// Number of elements currently in the set.
+    pub fn len(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// True if no element is set.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Iterate over the set elements in increasing order.
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &w)| {
+            let mut bits = w;
+            std::iter::from_fn(move || {
+                if bits == 0 {
+                    None
+                } else {
+                    let tz = bits.trailing_zeros() as usize;
+                    bits &= bits - 1;
+                    Some(wi * 64 + tz)
+                }
+            })
+        })
+    }
+
+    /// Number of elements present in both sets (capacities may differ).
+    pub fn intersection_len(&self, other: &BitSet) -> usize {
+        self.words
+            .iter()
+            .zip(&other.words)
+            .map(|(a, b)| (a & b).count_ones() as usize)
+            .sum()
+    }
+
+    /// In-place union with `other` (capacities must match).
+    pub fn union_with(&mut self, other: &BitSet) {
+        assert_eq!(self.capacity, other.capacity, "bitset capacity mismatch");
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a |= b;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_contains_remove() {
+        let mut s = BitSet::new(200);
+        assert!(!s.contains(63));
+        assert!(s.insert(63));
+        assert!(!s.insert(63));
+        assert!(s.contains(63));
+        assert!(s.insert(64));
+        assert!(s.insert(199));
+        assert_eq!(s.len(), 3);
+        assert!(s.remove(64));
+        assert!(!s.remove(64));
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn iter_in_order() {
+        let mut s = BitSet::new(300);
+        for &i in &[5usize, 0, 299, 64, 128, 63] {
+            s.insert(i);
+        }
+        let got: Vec<usize> = s.iter().collect();
+        assert_eq!(got, vec![0, 5, 63, 64, 128, 299]);
+    }
+
+    #[test]
+    fn clear_and_is_empty() {
+        let mut s = BitSet::new(10);
+        assert!(s.is_empty());
+        s.insert(3);
+        assert!(!s.is_empty());
+        s.clear();
+        assert!(s.is_empty());
+        assert_eq!(s.capacity(), 10);
+    }
+
+    #[test]
+    fn intersection_len_counts_common() {
+        let mut a = BitSet::new(128);
+        let mut b = BitSet::new(128);
+        for i in (0..128).step_by(2) {
+            a.insert(i);
+        }
+        for i in (0..128).step_by(3) {
+            b.insert(i);
+        }
+        // Multiples of 6 in 0..128: 0,6,...,126 → 22 values.
+        assert_eq!(a.intersection_len(&b), 22);
+    }
+
+    #[test]
+    fn union_with_merges() {
+        let mut a = BitSet::new(70);
+        let mut b = BitSet::new(70);
+        a.insert(1);
+        b.insert(69);
+        a.union_with(&b);
+        assert!(a.contains(1) && a.contains(69));
+        assert_eq!(a.len(), 2);
+    }
+
+    #[test]
+    fn capacity_not_multiple_of_64() {
+        let mut s = BitSet::new(65);
+        s.insert(64);
+        assert!(s.contains(64));
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![64]);
+    }
+}

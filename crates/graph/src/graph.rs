@@ -1,0 +1,535 @@
+//! Compact undirected simple graphs in CSR form.
+//!
+//! [`Graph`] is immutable once built: neighbour lists live in one contiguous
+//! array, per-node slices are sorted (so adjacency tests are binary
+//! searches and common-neighbour counts are linear merges), and the edge
+//! list is kept in canonical `(u < v)` lexicographic order so edges have
+//! stable integer ids — spanner constructions index per-edge state by id.
+
+use crate::bitset::BitSet;
+
+/// Node identifier: an index in `0..n`.
+pub type NodeId = u32;
+
+/// Errors from fallible graph construction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum GraphError {
+    /// An edge with equal endpoints was supplied.
+    SelfLoop(NodeId),
+    /// An endpoint was outside `0..n`.
+    OutOfRange {
+        /// The offending node id.
+        node: NodeId,
+        /// The graph's node count.
+        n: usize,
+    },
+}
+
+impl std::fmt::Display for GraphError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GraphError::SelfLoop(v) => write!(f, "self-loop at node {v}"),
+            GraphError::OutOfRange { node, n } => {
+                write!(f, "node {node} out of range for n = {n}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+/// An undirected edge in canonical form (`u < v`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Edge {
+    /// Smaller endpoint.
+    pub u: NodeId,
+    /// Larger endpoint.
+    pub v: NodeId,
+}
+
+impl Edge {
+    /// Build a canonical edge from two distinct endpoints (order-insensitive).
+    ///
+    /// # Panics
+    /// Panics if `a == b` (self-loops are not representable).
+    #[inline]
+    pub fn new(a: NodeId, b: NodeId) -> Self {
+        assert_ne!(a, b, "self-loops are not allowed");
+        if a < b {
+            Edge { u: a, v: b }
+        } else {
+            Edge { u: b, v: a }
+        }
+    }
+
+    /// The endpoint different from `x`.
+    ///
+    /// # Panics
+    /// Panics if `x` is not an endpoint.
+    #[inline]
+    pub fn other(&self, x: NodeId) -> NodeId {
+        if x == self.u {
+            self.v
+        } else if x == self.v {
+            self.u
+        } else {
+            panic!("node {x} is not an endpoint of edge ({}, {})", self.u, self.v)
+        }
+    }
+
+    /// True if `x` is one of the endpoints.
+    #[inline]
+    pub fn touches(&self, x: NodeId) -> bool {
+        self.u == x || self.v == x
+    }
+}
+
+/// Incremental builder for [`Graph`]; duplicate edges are deduplicated at
+/// [`GraphBuilder::build`] time.
+#[derive(Clone, Debug)]
+pub struct GraphBuilder {
+    n: usize,
+    edges: Vec<Edge>,
+}
+
+impl GraphBuilder {
+    /// Start a graph on `n` isolated nodes.
+    pub fn new(n: usize) -> Self {
+        GraphBuilder { n, edges: Vec::new() }
+    }
+
+    /// Pre-size the edge buffer.
+    pub fn with_capacity(n: usize, m: usize) -> Self {
+        GraphBuilder { n, edges: Vec::with_capacity(m) }
+    }
+
+    /// Add an undirected edge. Order of endpoints is irrelevant; duplicates
+    /// are removed when building.
+    ///
+    /// # Panics
+    /// Panics on self-loops or out-of-range endpoints.
+    pub fn add_edge(&mut self, a: NodeId, b: NodeId) -> &mut Self {
+        assert!(
+            (a as usize) < self.n && (b as usize) < self.n,
+            "edge ({a}, {b}) out of range for n = {}",
+            self.n
+        );
+        self.edges.push(Edge::new(a, b));
+        self
+    }
+
+    /// Fallible [`GraphBuilder::add_edge`]: returns an error instead of
+    /// panicking on self-loops or out-of-range endpoints (for callers
+    /// handling untrusted input, e.g. file parsers).
+    pub fn try_add_edge(&mut self, a: NodeId, b: NodeId) -> Result<&mut Self, GraphError> {
+        if a == b {
+            return Err(GraphError::SelfLoop(a));
+        }
+        let n = self.n;
+        for x in [a, b] {
+            if x as usize >= n {
+                return Err(GraphError::OutOfRange { node: x, n });
+            }
+        }
+        self.edges.push(Edge::new(a, b));
+        Ok(self)
+    }
+
+    /// Number of edges currently buffered (duplicates included).
+    pub fn pending_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Finalise into an immutable CSR graph.
+    pub fn build(mut self) -> Graph {
+        self.edges.sort_unstable();
+        self.edges.dedup();
+        Graph::from_canonical_edges(self.n, self.edges)
+    }
+}
+
+/// An immutable undirected simple graph in CSR form.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Graph {
+    n: usize,
+    /// CSR row offsets: neighbours of `u` are `adj[offsets[u]..offsets[u+1]]`.
+    offsets: Vec<usize>,
+    /// Concatenated, per-node-sorted neighbour lists.
+    adj: Vec<NodeId>,
+    /// Canonical edge list, sorted lexicographically; index = edge id.
+    edges: Vec<Edge>,
+}
+
+impl Graph {
+    /// Build from an iterator of (possibly unordered, possibly duplicated)
+    /// endpoint pairs.
+    ///
+    /// ```
+    /// use dcspan_graph::Graph;
+    /// let g = Graph::from_edges(3, vec![(0, 1), (1, 0), (1, 2)]);
+    /// assert_eq!(g.m(), 2); // duplicates collapse
+    /// assert!(g.has_edge(2, 1));
+    /// assert_eq!(g.neighbors(1), &[0, 2]);
+    /// ```
+    pub fn from_edges<I>(n: usize, iter: I) -> Self
+    where
+        I: IntoIterator<Item = (NodeId, NodeId)>,
+    {
+        let mut builder = GraphBuilder::new(n);
+        for (a, b) in iter {
+            builder.add_edge(a, b);
+        }
+        builder.build()
+    }
+
+    /// Fallible [`Graph::from_edges`]: first invalid pair aborts the build.
+    pub fn try_from_edges<I>(n: usize, iter: I) -> Result<Self, GraphError>
+    where
+        I: IntoIterator<Item = (NodeId, NodeId)>,
+    {
+        let mut builder = GraphBuilder::new(n);
+        for (a, b) in iter {
+            builder.try_add_edge(a, b)?;
+        }
+        Ok(builder.build())
+    }
+
+    /// Build from already-canonical, sorted, deduplicated edges.
+    fn from_canonical_edges(n: usize, edges: Vec<Edge>) -> Self {
+        debug_assert!(edges.windows(2).all(|w| w[0] < w[1]), "edges must be sorted+dedup");
+        let mut degree = vec![0usize; n];
+        for e in &edges {
+            degree[e.u as usize] += 1;
+            degree[e.v as usize] += 1;
+        }
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut acc = 0usize;
+        offsets.push(0);
+        for d in &degree {
+            acc += d;
+            offsets.push(acc);
+        }
+        let mut cursor = offsets.clone();
+        let mut adj = vec![0 as NodeId; acc];
+        for e in &edges {
+            adj[cursor[e.u as usize]] = e.v;
+            cursor[e.u as usize] += 1;
+            adj[cursor[e.v as usize]] = e.u;
+            cursor[e.v as usize] += 1;
+        }
+        // Canonical edge order already guarantees each node's list is pushed
+        // in increasing order of the *other* endpoint only for the `u` side;
+        // the `v` side sees smaller ids first too (edges sorted by (u,v)),
+        // but interleaving can break order, so sort each row.
+        for u in 0..n {
+            adj[offsets[u]..offsets[u + 1]].sort_unstable();
+        }
+        Graph { n, offsets, adj, edges }
+    }
+
+    /// An empty graph on `n` nodes.
+    pub fn empty(n: usize) -> Self {
+        Graph::from_canonical_edges(n, Vec::new())
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Number of edges.
+    #[inline]
+    pub fn m(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Iterator over all node ids.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        0..self.n as NodeId
+    }
+
+    /// Sorted neighbour slice of `u`.
+    #[inline]
+    pub fn neighbors(&self, u: NodeId) -> &[NodeId] {
+        &self.adj[self.offsets[u as usize]..self.offsets[u as usize + 1]]
+    }
+
+    /// Degree of `u`.
+    #[inline]
+    pub fn degree(&self, u: NodeId) -> usize {
+        self.offsets[u as usize + 1] - self.offsets[u as usize]
+    }
+
+    /// Adjacency test (binary search over the sorted neighbour slice).
+    #[inline]
+    pub fn has_edge(&self, a: NodeId, b: NodeId) -> bool {
+        if a == b {
+            return false;
+        }
+        // Search the smaller adjacency list.
+        let (x, y) = if self.degree(a) <= self.degree(b) { (a, b) } else { (b, a) };
+        self.neighbors(x).binary_search(&y).is_ok()
+    }
+
+    /// Canonical edge list (sorted; index = edge id).
+    #[inline]
+    pub fn edges(&self) -> &[Edge] {
+        &self.edges
+    }
+
+    /// Stable id of edge `{a, b}` if present.
+    pub fn edge_id(&self, a: NodeId, b: NodeId) -> Option<usize> {
+        if a == b {
+            return None;
+        }
+        let e = Edge::new(a, b);
+        self.edges.binary_search(&e).ok()
+    }
+
+    /// Maximum degree.
+    pub fn max_degree(&self) -> usize {
+        (0..self.n).map(|u| self.degree(u as NodeId)).max().unwrap_or(0)
+    }
+
+    /// Minimum degree.
+    pub fn min_degree(&self) -> usize {
+        (0..self.n).map(|u| self.degree(u as NodeId)).min().unwrap_or(0)
+    }
+
+    /// True if all nodes have the same degree.
+    pub fn is_regular(&self) -> bool {
+        self.n == 0 || self.max_degree() == self.min_degree()
+    }
+
+    /// Number of common neighbours of `a` and `b` (linear merge of the two
+    /// sorted neighbour slices).
+    pub fn common_neighbors_count(&self, a: NodeId, b: NodeId) -> usize {
+        let (mut i, mut j, mut count) = (0usize, 0usize, 0usize);
+        let na = self.neighbors(a);
+        let nb = self.neighbors(b);
+        while i < na.len() && j < nb.len() {
+            match na[i].cmp(&nb[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    count += 1;
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        count
+    }
+
+    /// Collect the common neighbours of `a` and `b`.
+    pub fn common_neighbors(&self, a: NodeId, b: NodeId) -> Vec<NodeId> {
+        let mut out = Vec::new();
+        let (mut i, mut j) = (0usize, 0usize);
+        let na = self.neighbors(a);
+        let nb = self.neighbors(b);
+        while i < na.len() && j < nb.len() {
+            match na[i].cmp(&nb[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    out.push(na[i]);
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        out
+    }
+
+    /// Fill `bits` with the neighbourhood of `u` (`bits` must have capacity ≥ n).
+    pub fn neighbor_bitset_into(&self, u: NodeId, bits: &mut BitSet) {
+        bits.clear();
+        for &w in self.neighbors(u) {
+            bits.insert(w as usize);
+        }
+    }
+
+    /// New graph with the same node set keeping only edges where `pred` holds.
+    pub fn filter_edges<F>(&self, mut pred: F) -> Graph
+    where
+        F: FnMut(usize, Edge) -> bool,
+    {
+        let kept: Vec<Edge> = self
+            .edges
+            .iter()
+            .enumerate()
+            .filter(|(id, e)| pred(*id, **e))
+            .map(|(_, e)| *e)
+            .collect();
+        Graph::from_canonical_edges(self.n, kept)
+    }
+
+    /// New graph with the same node set whose edge set is the union of
+    /// `self`'s edges and `extra`.
+    pub fn with_extra_edges<I>(&self, extra: I) -> Graph
+    where
+        I: IntoIterator<Item = Edge>,
+    {
+        let mut edges = self.edges.clone();
+        edges.extend(extra);
+        edges.sort_unstable();
+        edges.dedup();
+        Graph::from_canonical_edges(self.n, edges)
+    }
+
+    /// True if every edge of `self` is also an edge of `other` (node counts
+    /// must match — spanners share the node set by definition).
+    pub fn is_subgraph_of(&self, other: &Graph) -> bool {
+        self.n == other.n && self.edges.iter().all(|e| other.has_edge(e.u, e.v))
+    }
+
+    /// Sum of degrees (= 2m); sanity helper used in tests.
+    pub fn degree_sum(&self) -> usize {
+        self.adj.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle_plus_pendant() -> Graph {
+        // 0-1, 1-2, 0-2 triangle; 3 pendant on 0.
+        Graph::from_edges(4, vec![(0, 1), (2, 1), (2, 0), (0, 3)])
+    }
+
+    #[test]
+    fn edge_canonicalisation() {
+        let e = Edge::new(5, 2);
+        assert_eq!((e.u, e.v), (2, 5));
+        assert_eq!(e.other(2), 5);
+        assert_eq!(e.other(5), 2);
+        assert!(e.touches(2) && e.touches(5) && !e.touches(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loops")]
+    fn edge_rejects_self_loop() {
+        let _ = Edge::new(3, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "not an endpoint")]
+    fn edge_other_panics_for_non_endpoint() {
+        let _ = Edge::new(1, 2).other(9);
+    }
+
+    #[test]
+    fn builder_dedups_and_sorts() {
+        let g = Graph::from_edges(3, vec![(0, 1), (1, 0), (2, 1), (1, 2)]);
+        assert_eq!(g.m(), 2);
+        assert_eq!(g.edges(), &[Edge::new(0, 1), Edge::new(1, 2)]);
+    }
+
+    #[test]
+    fn csr_neighbors_sorted() {
+        let g = triangle_plus_pendant();
+        assert_eq!(g.neighbors(0), &[1, 2, 3]);
+        assert_eq!(g.neighbors(1), &[0, 2]);
+        assert_eq!(g.neighbors(2), &[0, 1]);
+        assert_eq!(g.neighbors(3), &[0]);
+        assert_eq!(g.degree_sum(), 2 * g.m());
+    }
+
+    #[test]
+    fn degrees_and_regularity() {
+        let g = triangle_plus_pendant();
+        assert_eq!(g.degree(0), 3);
+        assert_eq!(g.degree(3), 1);
+        assert_eq!(g.max_degree(), 3);
+        assert_eq!(g.min_degree(), 1);
+        assert!(!g.is_regular());
+
+        let cycle = Graph::from_edges(4, vec![(0, 1), (1, 2), (2, 3), (3, 0)]);
+        assert!(cycle.is_regular());
+    }
+
+    #[test]
+    fn has_edge_and_edge_id() {
+        let g = triangle_plus_pendant();
+        assert!(g.has_edge(0, 1));
+        assert!(g.has_edge(1, 0));
+        assert!(!g.has_edge(1, 3));
+        assert!(!g.has_edge(2, 2));
+        assert_eq!(g.edge_id(1, 0), Some(0));
+        assert_eq!(g.edge_id(3, 0), Some(2));
+        assert_eq!(g.edge_id(1, 3), None);
+    }
+
+    #[test]
+    fn common_neighbors_merge() {
+        let g = triangle_plus_pendant();
+        assert_eq!(g.common_neighbors_count(0, 1), 1); // node 2
+        assert_eq!(g.common_neighbors(0, 1), vec![2]);
+        assert_eq!(g.common_neighbors_count(0, 3), 0);
+        // K4: every pair has 2 common neighbours.
+        let k4 = Graph::from_edges(4, (0..4).flat_map(|i| (i + 1..4).map(move |j| (i, j))));
+        assert_eq!(k4.common_neighbors_count(0, 3), 2);
+    }
+
+    #[test]
+    fn filter_and_union_roundtrip() {
+        let g = triangle_plus_pendant();
+        let h = g.filter_edges(|_, e| !(e.u == 0 && e.v == 1));
+        assert_eq!(h.m(), g.m() - 1);
+        assert!(h.is_subgraph_of(&g));
+        assert!(!g.is_subgraph_of(&h));
+        let restored = h.with_extra_edges([Edge::new(0, 1)]);
+        assert_eq!(restored, g);
+    }
+
+    #[test]
+    fn neighbor_bitset() {
+        let g = triangle_plus_pendant();
+        let mut bits = BitSet::new(g.n());
+        g.neighbor_bitset_into(0, &mut bits);
+        assert_eq!(bits.iter().collect::<Vec<_>>(), vec![1, 2, 3]);
+        g.neighbor_bitset_into(3, &mut bits);
+        assert_eq!(bits.iter().collect::<Vec<_>>(), vec![0]);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = Graph::empty(5);
+        assert_eq!(g.n(), 5);
+        assert_eq!(g.m(), 0);
+        assert_eq!(g.max_degree(), 0);
+        assert!(!g.is_subgraph_of(&triangle_plus_pendant().with_extra_edges([])));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn builder_rejects_out_of_range() {
+        let mut b = GraphBuilder::new(2);
+        b.add_edge(0, 2);
+    }
+
+    #[test]
+    fn try_add_edge_reports_errors() {
+        let mut b = GraphBuilder::new(3);
+        assert!(b.try_add_edge(0, 1).is_ok());
+        assert_eq!(b.try_add_edge(1, 1).unwrap_err(), GraphError::SelfLoop(1));
+        assert_eq!(
+            b.try_add_edge(0, 7).unwrap_err(),
+            GraphError::OutOfRange { node: 7, n: 3 }
+        );
+        assert_eq!(b.build().m(), 1);
+    }
+
+    #[test]
+    fn try_from_edges_roundtrip_and_error() {
+        let g = Graph::try_from_edges(3, vec![(0, 1), (1, 2)]).unwrap();
+        assert_eq!(g.m(), 2);
+        let err = Graph::try_from_edges(3, vec![(0, 1), (2, 2)]).unwrap_err();
+        assert_eq!(err, GraphError::SelfLoop(2));
+        assert!(err.to_string().contains("self-loop"));
+        let err2 = Graph::try_from_edges(2, vec![(0, 3)]).unwrap_err();
+        assert!(err2.to_string().contains("out of range"));
+    }
+}

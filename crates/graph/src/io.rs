@@ -1,0 +1,233 @@
+//! Graph serialisation: a plain edge-list text format and a DIMACS-like
+//! variant, so spanners and workloads can be exchanged with external tools.
+//!
+//! Edge-list format (`.el`): first line `n m`, then one `u v` pair per
+//! line. DIMACS format: `p edge <n> <m>` header and `e <u+1> <v+1>` lines
+//! (DIMACS is 1-indexed).
+
+use crate::graph::{Graph, GraphBuilder};
+use std::io::{BufRead, Write};
+
+/// Errors arising while parsing a graph file.
+#[derive(Debug)]
+pub enum ParseError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// Structural problem with the content (message describes it).
+    Format(String),
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParseError::Io(e) => write!(f, "io error: {e}"),
+            ParseError::Format(msg) => write!(f, "format error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<std::io::Error> for ParseError {
+    fn from(e: std::io::Error) -> Self {
+        ParseError::Io(e)
+    }
+}
+
+/// Write the edge-list format.
+pub fn write_edge_list<W: Write>(g: &Graph, mut w: W) -> std::io::Result<()> {
+    writeln!(w, "{} {}", g.n(), g.m())?;
+    for e in g.edges() {
+        writeln!(w, "{} {}", e.u, e.v)?;
+    }
+    Ok(())
+}
+
+/// Read the edge-list format.
+pub fn read_edge_list<R: BufRead>(r: R) -> Result<Graph, ParseError> {
+    let mut lines = r.lines();
+    let header = lines
+        .next()
+        .ok_or_else(|| ParseError::Format("empty input".into()))??;
+    let mut parts = header.split_whitespace();
+    let n: usize = parts
+        .next()
+        .and_then(|t| t.parse().ok())
+        .ok_or_else(|| ParseError::Format("bad node count".into()))?;
+    let m: usize = parts
+        .next()
+        .and_then(|t| t.parse().ok())
+        .ok_or_else(|| ParseError::Format("bad edge count".into()))?;
+    let mut builder = GraphBuilder::with_capacity(n, m);
+    let mut count = 0usize;
+    for line in lines {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let mut parts = trimmed.split_whitespace();
+        let u: u32 = parts
+            .next()
+            .and_then(|t| t.parse().ok())
+            .ok_or_else(|| ParseError::Format(format!("bad edge line: {trimmed}")))?;
+        let v: u32 = parts
+            .next()
+            .and_then(|t| t.parse().ok())
+            .ok_or_else(|| ParseError::Format(format!("bad edge line: {trimmed}")))?;
+        if u as usize >= n || v as usize >= n {
+            return Err(ParseError::Format(format!("edge ({u}, {v}) out of range")));
+        }
+        if u == v {
+            return Err(ParseError::Format(format!("self-loop at {u}")));
+        }
+        builder.add_edge(u, v);
+        count += 1;
+    }
+    if count != m {
+        return Err(ParseError::Format(format!("expected {m} edges, found {count}")));
+    }
+    Ok(builder.build())
+}
+
+/// Write the DIMACS format (1-indexed).
+pub fn write_dimacs<W: Write>(g: &Graph, mut w: W) -> std::io::Result<()> {
+    writeln!(w, "p edge {} {}", g.n(), g.m())?;
+    for e in g.edges() {
+        writeln!(w, "e {} {}", e.u + 1, e.v + 1)?;
+    }
+    Ok(())
+}
+
+/// Read the DIMACS format (1-indexed; `c` comment lines allowed).
+pub fn read_dimacs<R: BufRead>(r: R) -> Result<Graph, ParseError> {
+    let mut builder: Option<GraphBuilder> = None;
+    let mut n = 0usize;
+    for line in r.lines() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('c') {
+            continue;
+        }
+        if let Some(rest) = trimmed.strip_prefix("p edge") {
+            let mut parts = rest.split_whitespace();
+            n = parts
+                .next()
+                .and_then(|t| t.parse().ok())
+                .ok_or_else(|| ParseError::Format("bad p line".into()))?;
+            let m: usize = parts
+                .next()
+                .and_then(|t| t.parse().ok())
+                .ok_or_else(|| ParseError::Format("bad p line".into()))?;
+            builder = Some(GraphBuilder::with_capacity(n, m));
+        } else if let Some(rest) = trimmed.strip_prefix('e') {
+            let b = builder
+                .as_mut()
+                .ok_or_else(|| ParseError::Format("edge before p line".into()))?;
+            let mut parts = rest.split_whitespace();
+            let u: u32 = parts
+                .next()
+                .and_then(|t| t.parse().ok())
+                .ok_or_else(|| ParseError::Format(format!("bad e line: {trimmed}")))?;
+            let v: u32 = parts
+                .next()
+                .and_then(|t| t.parse().ok())
+                .ok_or_else(|| ParseError::Format(format!("bad e line: {trimmed}")))?;
+            if u == 0 || v == 0 || u as usize > n || v as usize > n {
+                return Err(ParseError::Format(format!("edge ({u}, {v}) out of range")));
+            }
+            if u == v {
+                return Err(ParseError::Format(format!("self-loop at {u}")));
+            }
+            b.add_edge(u - 1, v - 1);
+        } else {
+            return Err(ParseError::Format(format!("unrecognised line: {trimmed}")));
+        }
+    }
+    builder
+        .map(GraphBuilder::build)
+        .ok_or_else(|| ParseError::Format("missing p line".into()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::Graph;
+
+    fn sample() -> Graph {
+        Graph::from_edges(4, vec![(0, 1), (1, 2), (2, 3), (0, 3)])
+    }
+
+    #[test]
+    fn edge_list_roundtrip() {
+        let g = sample();
+        let mut buf = Vec::new();
+        write_edge_list(&g, &mut buf).unwrap();
+        let parsed = read_edge_list(buf.as_slice()).unwrap();
+        assert_eq!(parsed, g);
+    }
+
+    #[test]
+    fn dimacs_roundtrip() {
+        let g = sample();
+        let mut buf = Vec::new();
+        write_dimacs(&g, &mut buf).unwrap();
+        let text = String::from_utf8(buf.clone()).unwrap();
+        assert!(text.starts_with("p edge 4 4"));
+        assert!(text.contains("e 1 2"));
+        let parsed = read_dimacs(buf.as_slice()).unwrap();
+        assert_eq!(parsed, g);
+    }
+
+    #[test]
+    fn edge_list_allows_comments_and_blanks() {
+        let text = "3 2\n# comment\n0 1\n\n1 2\n";
+        let g = read_edge_list(text.as_bytes()).unwrap();
+        assert_eq!(g.m(), 2);
+    }
+
+    #[test]
+    fn edge_list_rejects_bad_counts() {
+        let text = "3 5\n0 1\n";
+        assert!(matches!(read_edge_list(text.as_bytes()), Err(ParseError::Format(_))));
+    }
+
+    #[test]
+    fn edge_list_rejects_out_of_range() {
+        let text = "2 1\n0 5\n";
+        assert!(matches!(read_edge_list(text.as_bytes()), Err(ParseError::Format(_))));
+    }
+
+    #[test]
+    fn edge_list_rejects_self_loop() {
+        let text = "2 1\n1 1\n";
+        assert!(matches!(read_edge_list(text.as_bytes()), Err(ParseError::Format(_))));
+    }
+
+    #[test]
+    fn dimacs_rejects_edge_before_header() {
+        let text = "e 1 2\n";
+        assert!(matches!(read_dimacs(text.as_bytes()), Err(ParseError::Format(_))));
+    }
+
+    #[test]
+    fn dimacs_skips_comments() {
+        let text = "c hi\np edge 3 1\nc mid\ne 1 3\n";
+        let g = read_dimacs(text.as_bytes()).unwrap();
+        assert!(g.has_edge(0, 2));
+    }
+
+    #[test]
+    fn empty_graph_roundtrips() {
+        let g = Graph::empty(5);
+        let mut buf = Vec::new();
+        write_edge_list(&g, &mut buf).unwrap();
+        assert_eq!(read_edge_list(buf.as_slice()).unwrap(), g);
+    }
+
+    #[test]
+    fn error_display() {
+        let e = ParseError::Format("boom".into());
+        assert!(e.to_string().contains("boom"));
+    }
+}

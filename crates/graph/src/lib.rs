@@ -1,0 +1,44 @@
+//! # dcspan-graph
+//!
+//! Graph substrate for the `dcspan` workspace: a compact CSR-backed
+//! undirected simple graph, plus the combinatorial kernels that the
+//! DC-spanner constructions of Busch–Kowalski–Robinson (SPAA 2024) rely on:
+//!
+//! * breadth-first traversal and exact distances ([`traversal`]),
+//! * maximum bipartite matching via Hopcroft–Karp ([`matching`]),
+//! * proper edge colouring with `Δ+1` colours via Misra–Gries and a fast
+//!   greedy `2Δ−1` fallback ([`coloring`]),
+//! * Bernoulli edge sampling used by both spanner algorithms ([`sample`]),
+//! * fixed-size bitsets and a fast integer hasher used throughout
+//!   ([`bitset`], [`hash`]).
+//!
+//! Everything here is implemented from scratch; there are no third-party
+//! graph or linear-algebra dependencies.
+//!
+//! ## Conventions
+//!
+//! * Nodes are `u32` indices in `0..n`.
+//! * Graphs are undirected and simple (no self-loops, no parallel edges).
+//! * All randomised routines take explicit seeds and are deterministic for a
+//!   fixed seed, independent of thread scheduling.
+
+pub mod bitset;
+pub mod coloring;
+pub mod graph;
+pub mod hash;
+pub mod io;
+pub mod matching;
+pub mod paths;
+pub mod rng;
+pub mod sample;
+pub mod stats;
+pub mod traversal;
+
+pub use bitset::BitSet;
+pub use graph::{Edge, Graph, GraphBuilder, NodeId};
+pub use paths::Path;
+
+/// Convenience alias for hash maps keyed by small integers.
+pub type FxHashMap<K, V> = std::collections::HashMap<K, V, hash::FxBuildHasher>;
+/// Convenience alias for hash sets of small integers.
+pub type FxHashSet<K> = std::collections::HashSet<K, hash::FxBuildHasher>;

@@ -1,0 +1,285 @@
+//! Matchings: Hopcroft–Karp maximum bipartite matching and a greedy
+//! maximal matching.
+//!
+//! The expander construction (Theorem 2 / Lemma 4 of the paper) needs, for
+//! every routed edge `{u, v}` outside the spanner, a **maximum matching
+//! between the neighbourhoods `N(u)` and `N(v)`** — its guaranteed size
+//! `Δ(1 − λn/Δ²)` is what makes enough 3-hop replacement paths available.
+//! [`max_bipartite_matching`] computes it exactly with Hopcroft–Karp in
+//! `O(E√V)`.
+
+use crate::graph::{Graph, NodeId};
+use crate::FxHashMap;
+
+const NIL: u32 = u32::MAX;
+const INF: u32 = u32::MAX;
+
+/// Maximum matching between the node sets `left` and `right` using only
+/// edges of `g` that join a left node to a right node.
+///
+/// The two sets may overlap: a node occurring in both acts as two distinct
+/// endpoints (one per side), which matches the paper's usage where
+/// `N(u) ∩ N(v)` can be non-empty. A node never matches itself because the
+/// graph is simple. Duplicate entries within one side are ignored.
+///
+/// Returns the matched pairs as `(left_node, right_node)`.
+///
+/// ```
+/// use dcspan_graph::Graph;
+/// use dcspan_graph::matching::max_bipartite_matching;
+/// // Greedy would stall at 1 here; Hopcroft–Karp finds the augmenting path.
+/// let g = Graph::from_edges(4, vec![(0, 2), (0, 3), (1, 2)]);
+/// let m = max_bipartite_matching(&g, &[0, 1], &[2, 3]);
+/// assert_eq!(m.len(), 2);
+/// ```
+pub fn max_bipartite_matching(g: &Graph, left: &[NodeId], right: &[NodeId]) -> Vec<(NodeId, NodeId)> {
+    // Deduplicate and index-compress each side.
+    let mut left_nodes = left.to_vec();
+    left_nodes.sort_unstable();
+    left_nodes.dedup();
+    let mut right_nodes = right.to_vec();
+    right_nodes.sort_unstable();
+    right_nodes.dedup();
+
+    let mut right_index: FxHashMap<NodeId, u32> = FxHashMap::default();
+    for (i, &r) in right_nodes.iter().enumerate() {
+        right_index.insert(r, i as u32);
+    }
+
+    // Bipartite adjacency: for each left node, the right indices it can pair
+    // with. Iterate the smaller of (its neighbourhood, right set).
+    let adj: Vec<Vec<u32>> = left_nodes
+        .iter()
+        .map(|&l| {
+            let mut row = Vec::new();
+            if g.degree(l) <= right_nodes.len() {
+                for &w in g.neighbors(l) {
+                    if let Some(&ri) = right_index.get(&w) {
+                        row.push(ri);
+                    }
+                }
+            } else {
+                for (ri, &r) in right_nodes.iter().enumerate() {
+                    if g.has_edge(l, r) {
+                        row.push(ri as u32);
+                    }
+                }
+            }
+            row
+        })
+        .collect();
+
+    let nl = left_nodes.len();
+    let nr = right_nodes.len();
+    let mut match_l = vec![NIL; nl]; // left i → right index
+    let mut match_r = vec![NIL; nr]; // right j → left index
+    let mut dist = vec![INF; nl];
+
+    // Hopcroft–Karp: repeat (BFS layering over free left nodes, then DFS
+    // augmentation along shortest alternating paths) until no augmenting
+    // path exists.
+    loop {
+        // BFS phase.
+        let mut queue = std::collections::VecDeque::new();
+        for i in 0..nl {
+            if match_l[i] == NIL {
+                dist[i] = 0;
+                queue.push_back(i as u32);
+            } else {
+                dist[i] = INF;
+            }
+        }
+        let mut found_free = false;
+        while let Some(i) = queue.pop_front() {
+            let di = dist[i as usize];
+            for &j in &adj[i as usize] {
+                let owner = match_r[j as usize];
+                if owner == NIL {
+                    found_free = true;
+                } else if dist[owner as usize] == INF {
+                    dist[owner as usize] = di + 1;
+                    queue.push_back(owner);
+                }
+            }
+        }
+        if !found_free {
+            break;
+        }
+        // DFS phase.
+        fn try_augment(
+            i: u32,
+            adj: &[Vec<u32>],
+            match_l: &mut [u32],
+            match_r: &mut [u32],
+            dist: &mut [u32],
+        ) -> bool {
+            for idx in 0..adj[i as usize].len() {
+                let j = adj[i as usize][idx];
+                let owner = match_r[j as usize];
+                let ok = if owner == NIL {
+                    true
+                } else if dist[owner as usize] == dist[i as usize] + 1 {
+                    try_augment(owner, adj, match_l, match_r, dist)
+                } else {
+                    false
+                };
+                if ok {
+                    match_l[i as usize] = j;
+                    match_r[j as usize] = i;
+                    return true;
+                }
+            }
+            dist[i as usize] = INF;
+            false
+        }
+        for i in 0..nl as u32 {
+            if match_l[i as usize] == NIL {
+                try_augment(i, &adj, &mut match_l, &mut match_r, &mut dist);
+            }
+        }
+    }
+
+    (0..nl)
+        .filter(|&i| match_l[i] != NIL)
+        .map(|i| (left_nodes[i], right_nodes[match_l[i] as usize]))
+        .collect()
+}
+
+/// Greedy maximal (not maximum) matching over the whole graph: scan edges
+/// in canonical order, keep an edge iff both endpoints are still free.
+/// Guaranteed to be within factor 2 of maximum.
+pub fn greedy_maximal_matching(g: &Graph) -> Vec<crate::graph::Edge> {
+    let mut used = vec![false; g.n()];
+    let mut matching = Vec::new();
+    for &e in g.edges() {
+        if !used[e.u as usize] && !used[e.v as usize] {
+            used[e.u as usize] = true;
+            used[e.v as usize] = true;
+            matching.push(e);
+        }
+    }
+    matching
+}
+
+/// Check that `pairs` is a valid matching between `left` and `right` in `g`:
+/// every pair is an edge, and no endpoint is reused on its side.
+pub fn is_valid_bipartite_matching(
+    g: &Graph,
+    left: &[NodeId],
+    right: &[NodeId],
+    pairs: &[(NodeId, NodeId)],
+) -> bool {
+    let left_set: crate::FxHashSet<NodeId> = left.iter().copied().collect();
+    let right_set: crate::FxHashSet<NodeId> = right.iter().copied().collect();
+    let mut used_l = crate::FxHashSet::default();
+    let mut used_r = crate::FxHashSet::default();
+    pairs.iter().all(|&(l, r)| {
+        left_set.contains(&l)
+            && right_set.contains(&r)
+            && g.has_edge(l, r)
+            && used_l.insert(l)
+            && used_r.insert(r)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::Graph;
+
+    #[test]
+    fn perfect_matching_on_bipartite_cycle() {
+        // C6 with sides {0,2,4} and {1,3,5} has a perfect matching of size 3.
+        let g = Graph::from_edges(6, vec![(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0)]);
+        let m = max_bipartite_matching(&g, &[0, 2, 4], &[1, 3, 5]);
+        assert_eq!(m.len(), 3);
+        assert!(is_valid_bipartite_matching(&g, &[0, 2, 4], &[1, 3, 5], &m));
+    }
+
+    #[test]
+    fn augmenting_path_needed() {
+        // Classic instance where greedy can stall at 1 but maximum is 2:
+        // left {0,1}, right {2,3}; edges 0-2, 0-3, 1-2.
+        let g = Graph::from_edges(4, vec![(0, 2), (0, 3), (1, 2)]);
+        let m = max_bipartite_matching(&g, &[0, 1], &[2, 3]);
+        assert_eq!(m.len(), 2);
+        assert!(is_valid_bipartite_matching(&g, &[0, 1], &[2, 3], &m));
+    }
+
+    #[test]
+    fn empty_sides() {
+        let g = Graph::from_edges(3, vec![(0, 1)]);
+        assert!(max_bipartite_matching(&g, &[], &[0, 1]).is_empty());
+        assert!(max_bipartite_matching(&g, &[0], &[]).is_empty());
+    }
+
+    #[test]
+    fn no_cross_edges() {
+        let g = Graph::from_edges(4, vec![(0, 1), (2, 3)]);
+        let m = max_bipartite_matching(&g, &[0, 1], &[2, 3]);
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn overlapping_sides_no_self_match() {
+        // Star: centre 0 with leaves 1..4, plus edge 1-2.
+        // left = {1,2}, right = {1,2}: a node in both sides acts as one
+        // endpoint per side, so both (1→2) and (2→1) can be matched; the
+        // maximum is 2 and no pair ever matches a node to itself.
+        let g = Graph::from_edges(5, vec![(0, 1), (0, 2), (0, 3), (0, 4), (1, 2)]);
+        let m = max_bipartite_matching(&g, &[1, 2], &[1, 2]);
+        assert_eq!(m.len(), 2);
+        for &(l, r) in &m {
+            assert_ne!(l, r);
+            assert!(g.has_edge(l, r));
+        }
+    }
+
+    #[test]
+    fn duplicates_in_input_sets() {
+        let g = Graph::from_edges(4, vec![(0, 2), (1, 3)]);
+        let m = max_bipartite_matching(&g, &[0, 0, 1, 1], &[2, 3, 3]);
+        assert_eq!(m.len(), 2);
+    }
+
+    #[test]
+    fn matches_size_of_complete_bipartite() {
+        // K_{3,5}: maximum matching is 3.
+        let edges: Vec<(u32, u32)> = (0u32..3).flat_map(|l| (3u32..8).map(move |r| (l, r))).collect();
+        let g = Graph::from_edges(8, edges);
+        let left = [0, 1, 2];
+        let right = [3, 4, 5, 6, 7];
+        let m = max_bipartite_matching(&g, &left, &right);
+        assert_eq!(m.len(), 3);
+        assert!(is_valid_bipartite_matching(&g, &left, &right, &m));
+    }
+
+    #[test]
+    fn greedy_maximal_is_maximal() {
+        let g = Graph::from_edges(6, [(0, 1), (1, 2), (2, 3), (3, 4), (4, 5)]);
+        let m = greedy_maximal_matching(&g);
+        // Maximality: every edge shares an endpoint with the matching.
+        let mut used = [false; 6];
+        for e in &m {
+            assert!(!used[e.u as usize] && !used[e.v as usize]);
+            used[e.u as usize] = true;
+            used[e.v as usize] = true;
+        }
+        for e in g.edges() {
+            assert!(used[e.u as usize] || used[e.v as usize]);
+        }
+    }
+
+    #[test]
+    fn is_valid_rejects_bad_matchings() {
+        let g = Graph::from_edges(4, vec![(0, 2), (0, 3), (1, 3)]);
+        let left = [0, 1];
+        let right = [2, 3];
+        // Reused left endpoint.
+        assert!(!is_valid_bipartite_matching(&g, &left, &right, &[(0, 2), (0, 3)]));
+        // Non-edge.
+        assert!(!is_valid_bipartite_matching(&g, &left, &right, &[(1, 2)]));
+        // Endpoint outside side.
+        assert!(!is_valid_bipartite_matching(&g, &left, &right, &[(2, 3)]));
+    }
+}

@@ -1,0 +1,127 @@
+//! Bernoulli edge sampling.
+//!
+//! Both spanner constructions of the paper start by keeping each edge
+//! independently with some probability (`1/n^ε` in Theorem 2, `Δ'/Δ` in
+//! Algorithm 1). Sampling here is **per-edge-id deterministic**: whether
+//! edge `id` survives depends only on `(seed, id)`, so parallel callers and
+//! the distributed LOCAL-model implementation reproduce the exact same
+//! subgraph.
+
+use crate::graph::Graph;
+use crate::rng::derive_seed;
+
+/// Decide whether edge `id` survives sampling with probability `p` under
+/// `seed`. Deterministic in `(seed, id)`.
+#[inline]
+pub fn edge_survives(seed: u64, id: usize, p: f64) -> bool {
+    debug_assert!((0.0..=1.0).contains(&p), "probability out of range");
+    // Map the derived 64-bit value to [0, 1).
+    let x = derive_seed(seed, id as u64) >> 11; // top 53 bits
+    let unit = x as f64 * (1.0 / (1u64 << 53) as f64);
+    unit < p
+}
+
+/// Decide whether edge `{u, v}` survives sampling with probability `p`
+/// under `seed`, keyed by the **endpoint pair** rather than an edge id.
+///
+/// This variant needs no global edge numbering, which is what lets the
+/// distributed LOCAL-model implementation make the identical decision as a
+/// sequential run from the shared seed alone.
+#[inline]
+pub fn edge_survives_pair(seed: u64, u: crate::NodeId, v: crate::NodeId, p: f64) -> bool {
+    debug_assert!((0.0..=1.0).contains(&p), "probability out of range");
+    let (a, b) = if u < v { (u, v) } else { (v, u) };
+    let key = ((a as u64) << 32) | b as u64;
+    let x = derive_seed(seed ^ 0xD15C_0DE5_EED5_EED5, key) >> 11;
+    let unit = x as f64 * (1.0 / (1u64 << 53) as f64);
+    unit < p
+}
+
+/// Pair-keyed survival mask aligned with `g.edges()` (see
+/// [`edge_survives_pair`]).
+pub fn sample_mask_pair_keyed(g: &Graph, p: f64, seed: u64) -> Vec<bool> {
+    g.edges().iter().map(|e| edge_survives_pair(seed, e.u, e.v, p)).collect()
+}
+
+/// The set of surviving edge ids when each edge of `g` is kept independently
+/// with probability `p`.
+pub fn sample_edge_ids(g: &Graph, p: f64, seed: u64) -> Vec<usize> {
+    (0..g.m()).filter(|&id| edge_survives(seed, id, p)).collect()
+}
+
+/// Subgraph of `g` (same node set) keeping each edge independently with
+/// probability `p`.
+pub fn sample_subgraph(g: &Graph, p: f64, seed: u64) -> Graph {
+    g.filter_edges(|id, _| edge_survives(seed, id, p))
+}
+
+/// Boolean survival mask aligned with `g.edges()`.
+pub fn sample_mask(g: &Graph, p: f64, seed: u64) -> Vec<bool> {
+    (0..g.m()).map(|id| edge_survives(seed, id, p)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::Graph;
+
+    fn complete(n: usize) -> Graph {
+        Graph::from_edges(n, (0..n as u32).flat_map(|i| (i + 1..n as u32).map(move |j| (i, j))))
+    }
+
+    #[test]
+    fn extreme_probabilities() {
+        let g = complete(20);
+        assert_eq!(sample_subgraph(&g, 1.0, 3).m(), g.m());
+        assert_eq!(sample_subgraph(&g, 0.0, 3).m(), 0);
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let g = complete(30);
+        let a = sample_edge_ids(&g, 0.5, 42);
+        let b = sample_edge_ids(&g, 0.5, 42);
+        assert_eq!(a, b);
+        let c = sample_edge_ids(&g, 0.5, 43);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn mask_and_ids_agree() {
+        let g = complete(15);
+        let ids = sample_edge_ids(&g, 0.3, 7);
+        let mask = sample_mask(&g, 0.3, 7);
+        let from_mask: Vec<usize> =
+            mask.iter().enumerate().filter(|(_, &b)| b).map(|(i, _)| i).collect();
+        assert_eq!(ids, from_mask);
+    }
+
+    #[test]
+    fn subgraph_is_subgraph() {
+        let g = complete(25);
+        let h = sample_subgraph(&g, 0.4, 9);
+        assert!(h.is_subgraph_of(&g));
+        assert_eq!(h.n(), g.n());
+    }
+
+    #[test]
+    fn empirical_rate_close_to_p() {
+        // K_200 has 19900 edges; with p = 0.25 the sample mean should be
+        // within a few standard deviations (σ ≈ 0.003) of p.
+        let g = complete(200);
+        let kept = sample_edge_ids(&g, 0.25, 1234).len() as f64;
+        let rate = kept / g.m() as f64;
+        assert!((rate - 0.25).abs() < 0.02, "rate {rate} too far from 0.25");
+    }
+
+    #[test]
+    fn per_edge_decisions_look_independent_across_ids() {
+        // Adjacent edge ids should not be correlated: count agreement of
+        // consecutive decisions; for p = 0.5 it should be near 50%.
+        let g = complete(150);
+        let mask = sample_mask(&g, 0.5, 5);
+        let agree = mask.windows(2).filter(|w| w[0] == w[1]).count() as f64;
+        let frac = agree / (mask.len() - 1) as f64;
+        assert!((frac - 0.5).abs() < 0.03, "consecutive agreement {frac}");
+    }
+}

@@ -1,0 +1,98 @@
+//! Degree statistics and structural summaries used by experiment reports.
+
+use crate::graph::{Graph, NodeId};
+
+/// Summary of a graph's degree distribution.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DegreeStats {
+    /// Minimum degree.
+    pub min: usize,
+    /// Maximum degree.
+    pub max: usize,
+    /// Mean degree (= 2m/n).
+    pub mean: f64,
+    /// Population standard deviation of the degree sequence.
+    pub std_dev: f64,
+}
+
+/// Compute degree statistics; `None` for the empty graph.
+pub fn degree_stats(g: &Graph) -> Option<DegreeStats> {
+    if g.n() == 0 {
+        return None;
+    }
+    let degrees: Vec<usize> = (0..g.n()).map(|u| g.degree(u as NodeId)).collect();
+    let min = *degrees.iter().min().unwrap();
+    let max = *degrees.iter().max().unwrap();
+    let mean = degrees.iter().sum::<usize>() as f64 / g.n() as f64;
+    let var = degrees.iter().map(|&d| (d as f64 - mean).powi(2)).sum::<f64>() / g.n() as f64;
+    Some(DegreeStats { min, max, mean, std_dev: var.sqrt() })
+}
+
+/// Edge density `m / (n choose 2)`; `None` when `n < 2`.
+pub fn density(g: &Graph) -> Option<f64> {
+    if g.n() < 2 {
+        return None;
+    }
+    let possible = g.n() as f64 * (g.n() as f64 - 1.0) / 2.0;
+    Some(g.m() as f64 / possible)
+}
+
+/// Number of edges between node sets `S` and `T` counted as in the expander
+/// mixing lemma (Lemma 3 of the paper): ordered pairs `(s, t) ∈ S × T` with
+/// `{s, t} ∈ E`, so edges inside `S ∩ T` count twice.
+pub fn edges_between(g: &Graph, s: &[NodeId], t: &[NodeId]) -> usize {
+    let mut in_t = vec![false; g.n()];
+    for &x in t {
+        in_t[x as usize] = true;
+    }
+    s.iter()
+        .map(|&u| g.neighbors(u).iter().filter(|&&w| in_t[w as usize]).count())
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::Graph;
+
+    #[test]
+    fn stats_on_star() {
+        let g = Graph::from_edges(5, (1u32..5).map(|i| (0, i)));
+        let s = degree_stats(&g).unwrap();
+        assert_eq!(s.min, 1);
+        assert_eq!(s.max, 4);
+        assert!((s.mean - 1.6).abs() < 1e-12);
+        assert!(s.std_dev > 0.0);
+    }
+
+    #[test]
+    fn stats_on_regular_graph_zero_stddev() {
+        let g = Graph::from_edges(4, vec![(0, 1), (1, 2), (2, 3), (3, 0)]);
+        let s = degree_stats(&g).unwrap();
+        assert_eq!(s.min, 2);
+        assert_eq!(s.max, 2);
+        assert_eq!(s.std_dev, 0.0);
+    }
+
+    #[test]
+    fn empty_graph_has_no_stats() {
+        assert!(degree_stats(&Graph::empty(0)).is_none());
+        assert!(density(&Graph::empty(1)).is_none());
+    }
+
+    #[test]
+    fn density_of_complete_graph_is_one() {
+        let g = Graph::from_edges(4, (0..4u32).flat_map(|i| (i + 1..4).map(move |j| (i, j))));
+        assert!((density(&g).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn edges_between_counts_ordered_pairs() {
+        // Triangle 0-1-2: S = {0,1}, T = {1,2}.
+        // Pairs: (0,1) edge ✓, (0,2) edge ✓, (1,1) no self-loop, (1,2) edge ✓.
+        let g = Graph::from_edges(3, vec![(0, 1), (1, 2), (0, 2)]);
+        assert_eq!(edges_between(&g, &[0, 1], &[1, 2]), 3);
+        // Mixing-lemma convention: e(S, S) = 2·|E(S)|.
+        assert_eq!(edges_between(&g, &[0, 1, 2], &[0, 1, 2]), 6);
+    }
+}

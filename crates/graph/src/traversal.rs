@@ -1,0 +1,254 @@
+//! Breadth-first traversal: exact distances, shortest paths, components.
+//!
+//! All graphs in this workspace are unweighted, so BFS gives exact
+//! distances. Distance stretch measurements (Definition 1 of the paper)
+//! compare `d_H(u,v)` against `d_G(u,v)` edge by edge, which reduces to the
+//! primitives here.
+
+use crate::graph::{Graph, NodeId};
+
+/// Sentinel distance for unreachable nodes.
+pub const UNREACHABLE: u32 = u32::MAX;
+
+/// Single-source BFS distances; `UNREACHABLE` for disconnected nodes.
+pub fn bfs_distances(g: &Graph, source: NodeId) -> Vec<u32> {
+    let mut dist = vec![UNREACHABLE; g.n()];
+    let mut queue = std::collections::VecDeque::new();
+    dist[source as usize] = 0;
+    queue.push_back(source);
+    while let Some(u) = queue.pop_front() {
+        let du = dist[u as usize];
+        for &w in g.neighbors(u) {
+            if dist[w as usize] == UNREACHABLE {
+                dist[w as usize] = du + 1;
+                queue.push_back(w);
+            }
+        }
+    }
+    dist
+}
+
+/// BFS truncated at `radius` hops; nodes farther than `radius` keep
+/// `UNREACHABLE`. Used by bounded-hop detour searches.
+pub fn bfs_distances_bounded(g: &Graph, source: NodeId, radius: u32) -> Vec<u32> {
+    let mut dist = vec![UNREACHABLE; g.n()];
+    let mut queue = std::collections::VecDeque::new();
+    dist[source as usize] = 0;
+    queue.push_back(source);
+    while let Some(u) = queue.pop_front() {
+        let du = dist[u as usize];
+        if du == radius {
+            continue;
+        }
+        for &w in g.neighbors(u) {
+            if dist[w as usize] == UNREACHABLE {
+                dist[w as usize] = du + 1;
+                queue.push_back(w);
+            }
+        }
+    }
+    dist
+}
+
+/// BFS parents for shortest-path extraction; `None` for the source and for
+/// unreachable nodes.
+pub fn bfs_parents(g: &Graph, source: NodeId) -> Vec<Option<NodeId>> {
+    let mut dist = vec![UNREACHABLE; g.n()];
+    let mut parent = vec![None; g.n()];
+    let mut queue = std::collections::VecDeque::new();
+    dist[source as usize] = 0;
+    queue.push_back(source);
+    while let Some(u) = queue.pop_front() {
+        let du = dist[u as usize];
+        for &w in g.neighbors(u) {
+            if dist[w as usize] == UNREACHABLE {
+                dist[w as usize] = du + 1;
+                parent[w as usize] = Some(u);
+                queue.push_back(w);
+            }
+        }
+    }
+    parent
+}
+
+/// Exact distance between one pair (early-exit bidirectional-free BFS).
+pub fn distance(g: &Graph, s: NodeId, t: NodeId) -> Option<u32> {
+    if s == t {
+        return Some(0);
+    }
+    let mut dist = vec![UNREACHABLE; g.n()];
+    let mut queue = std::collections::VecDeque::new();
+    dist[s as usize] = 0;
+    queue.push_back(s);
+    while let Some(u) = queue.pop_front() {
+        let du = dist[u as usize];
+        for &w in g.neighbors(u) {
+            if dist[w as usize] == UNREACHABLE {
+                if w == t {
+                    return Some(du + 1);
+                }
+                dist[w as usize] = du + 1;
+                queue.push_back(w);
+            }
+        }
+    }
+    None
+}
+
+/// One shortest path from `s` to `t` as a node sequence (inclusive), or
+/// `None` if `t` is unreachable.
+pub fn shortest_path(g: &Graph, s: NodeId, t: NodeId) -> Option<Vec<NodeId>> {
+    if s == t {
+        return Some(vec![s]);
+    }
+    let parent = bfs_parents(g, s);
+    parent[t as usize]?;
+    let mut path = vec![t];
+    let mut cur = t;
+    while let Some(p) = parent[cur as usize] {
+        path.push(p);
+        cur = p;
+    }
+    path.reverse();
+    debug_assert_eq!(path[0], s);
+    Some(path)
+}
+
+/// Connected-component labels (0-based, in order of discovery) and the
+/// number of components.
+pub fn connected_components(g: &Graph) -> (Vec<u32>, usize) {
+    let mut label = vec![u32::MAX; g.n()];
+    let mut next = 0u32;
+    let mut queue = std::collections::VecDeque::new();
+    for s in 0..g.n() as NodeId {
+        if label[s as usize] != u32::MAX {
+            continue;
+        }
+        label[s as usize] = next;
+        queue.push_back(s);
+        while let Some(u) = queue.pop_front() {
+            for &w in g.neighbors(u) {
+                if label[w as usize] == u32::MAX {
+                    label[w as usize] = next;
+                    queue.push_back(w);
+                }
+            }
+        }
+        next += 1;
+    }
+    (label, next as usize)
+}
+
+/// True if the graph is connected (vacuously true for n ≤ 1).
+pub fn is_connected(g: &Graph) -> bool {
+    if g.n() <= 1 {
+        return true;
+    }
+    let dist = bfs_distances(g, 0);
+    dist.iter().all(|&d| d != UNREACHABLE)
+}
+
+/// Eccentricity of `source` (max finite BFS distance); `None` if some node
+/// is unreachable.
+pub fn eccentricity(g: &Graph, source: NodeId) -> Option<u32> {
+    let dist = bfs_distances(g, source);
+    let mut max = 0;
+    for &d in &dist {
+        if d == UNREACHABLE {
+            return None;
+        }
+        max = max.max(d);
+    }
+    Some(max)
+}
+
+/// Exact diameter by running BFS from every node. Quadratic; intended for
+/// the modest graph sizes used in experiments and tests.
+pub fn diameter(g: &Graph) -> Option<u32> {
+    let mut best = 0;
+    for s in 0..g.n() as NodeId {
+        best = best.max(eccentricity(g, s)?);
+    }
+    Some(best)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::Graph;
+
+    fn path_graph(n: usize) -> Graph {
+        Graph::from_edges(n, (0..n as u32 - 1).map(|i| (i, i + 1)))
+    }
+
+    #[test]
+    fn distances_on_path() {
+        let g = path_graph(5);
+        assert_eq!(bfs_distances(&g, 0), vec![0, 1, 2, 3, 4]);
+        assert_eq!(bfs_distances(&g, 2), vec![2, 1, 0, 1, 2]);
+    }
+
+    #[test]
+    fn bounded_bfs_truncates() {
+        let g = path_graph(6);
+        let d = bfs_distances_bounded(&g, 0, 2);
+        assert_eq!(d[..3], [0, 1, 2]);
+        assert!(d[3..].iter().all(|&x| x == UNREACHABLE));
+    }
+
+    #[test]
+    fn pairwise_distance_and_unreachable() {
+        let g = Graph::from_edges(4, vec![(0, 1), (2, 3)]);
+        assert_eq!(distance(&g, 0, 1), Some(1));
+        assert_eq!(distance(&g, 0, 3), None);
+        assert_eq!(distance(&g, 2, 2), Some(0));
+    }
+
+    #[test]
+    fn shortest_path_endpoints_and_length() {
+        let g = path_graph(5);
+        let p = shortest_path(&g, 0, 4).unwrap();
+        assert_eq!(p, vec![0, 1, 2, 3, 4]);
+        assert_eq!(shortest_path(&g, 3, 3).unwrap(), vec![3]);
+        let disconnected = Graph::from_edges(4, vec![(0, 1)]);
+        assert!(shortest_path(&disconnected, 0, 3).is_none());
+    }
+
+    #[test]
+    fn shortest_path_is_shortest_on_cycle() {
+        // 6-cycle: distance 0→3 is 3 either way.
+        let g = Graph::from_edges(6, vec![(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0)]);
+        let p = shortest_path(&g, 0, 3).unwrap();
+        assert_eq!(p.len() as u32 - 1, distance(&g, 0, 3).unwrap());
+        for w in p.windows(2) {
+            assert!(g.has_edge(w[0], w[1]));
+        }
+    }
+
+    #[test]
+    fn components() {
+        let g = Graph::from_edges(6, vec![(0, 1), (1, 2), (3, 4)]);
+        let (labels, count) = connected_components(&g);
+        assert_eq!(count, 3);
+        assert_eq!(labels[0], labels[1]);
+        assert_eq!(labels[1], labels[2]);
+        assert_eq!(labels[3], labels[4]);
+        assert_ne!(labels[0], labels[3]);
+        assert_ne!(labels[3], labels[5]);
+        assert!(!is_connected(&g));
+        assert!(is_connected(&path_graph(4)));
+        assert!(is_connected(&Graph::empty(1)));
+        assert!(is_connected(&Graph::empty(0)));
+    }
+
+    #[test]
+    fn eccentricity_and_diameter() {
+        let g = path_graph(5);
+        assert_eq!(eccentricity(&g, 0), Some(4));
+        assert_eq!(eccentricity(&g, 2), Some(2));
+        assert_eq!(diameter(&g), Some(4));
+        let disconnected = Graph::from_edges(3, vec![(0, 1)]);
+        assert_eq!(eccentricity(&disconnected, 0), None);
+        assert_eq!(diameter(&disconnected), None);
+    }
+}

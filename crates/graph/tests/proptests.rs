@@ -1,0 +1,181 @@
+//! Property-based tests for the graph substrate.
+
+use dcspan_graph::coloring::{
+    greedy_edge_coloring, is_proper_edge_coloring, misra_gries_edge_coloring,
+};
+use dcspan_graph::matching::{is_valid_bipartite_matching, max_bipartite_matching};
+use dcspan_graph::traversal::{bfs_distances, connected_components, shortest_path, UNREACHABLE};
+use dcspan_graph::{BitSet, Graph, NodeId};
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+/// Strategy: a random graph on `n ∈ [2, 24]` nodes with arbitrary edges.
+fn arb_graph() -> impl Strategy<Value = Graph> {
+    (2usize..24).prop_flat_map(|n| {
+        let max_edges = n * (n - 1) / 2;
+        proptest::collection::vec((0..n as u32, 0..n as u32), 0..=max_edges).prop_map(
+            move |pairs| {
+                Graph::from_edges(
+                    n,
+                    pairs.into_iter().filter(|(a, b)| a != b),
+                )
+            },
+        )
+    })
+}
+
+proptest! {
+    #[test]
+    fn bitset_agrees_with_hashset_model(ops in proptest::collection::vec((0usize..100, proptest::bool::ANY), 0..200)) {
+        let mut bits = BitSet::new(100);
+        let mut model: HashSet<usize> = HashSet::new();
+        for (x, insert) in ops {
+            if insert {
+                prop_assert_eq!(bits.insert(x), model.insert(x));
+            } else {
+                prop_assert_eq!(bits.remove(x), model.remove(&x));
+            }
+        }
+        prop_assert_eq!(bits.len(), model.len());
+        let mut expected: Vec<usize> = model.into_iter().collect();
+        expected.sort_unstable();
+        prop_assert_eq!(bits.iter().collect::<Vec<_>>(), expected);
+    }
+
+    #[test]
+    fn io_edge_list_roundtrips(g in arb_graph()) {
+        let mut buf = Vec::new();
+        dcspan_graph::io::write_edge_list(&g, &mut buf).unwrap();
+        let parsed = dcspan_graph::io::read_edge_list(buf.as_slice()).unwrap();
+        prop_assert_eq!(parsed, g);
+    }
+
+    #[test]
+    fn io_dimacs_roundtrips(g in arb_graph()) {
+        let mut buf = Vec::new();
+        dcspan_graph::io::write_dimacs(&g, &mut buf).unwrap();
+        let parsed = dcspan_graph::io::read_dimacs(buf.as_slice()).unwrap();
+        prop_assert_eq!(parsed, g);
+    }
+
+    #[test]
+    fn sampling_partitions_edges(g in arb_graph(), seed in 0u64..100) {
+        // kept ∪ dropped = all edges, disjointly, for any probability.
+        let kept = dcspan_graph::sample::sample_subgraph(&g, 0.5, seed);
+        let dropped = g.filter_edges(|id, _| !dcspan_graph::sample::edge_survives(seed, id, 0.5));
+        prop_assert_eq!(kept.m() + dropped.m(), g.m());
+        for e in kept.edges() {
+            prop_assert!(!dropped.has_edge(e.u, e.v));
+        }
+    }
+
+    #[test]
+    fn csr_is_consistent(g in arb_graph()) {
+        // Degree sum equals 2m and neighbour lists are mutual and sorted.
+        prop_assert_eq!(g.degree_sum(), 2 * g.m());
+        for u in 0..g.n() as NodeId {
+            let ns = g.neighbors(u);
+            prop_assert!(ns.windows(2).all(|w| w[0] < w[1]));
+            for &w in ns {
+                prop_assert!(g.neighbors(w).contains(&u));
+                prop_assert!(g.has_edge(u, w));
+            }
+        }
+    }
+
+    #[test]
+    fn edge_ids_roundtrip(g in arb_graph()) {
+        for (id, e) in g.edges().iter().enumerate() {
+            prop_assert_eq!(g.edge_id(e.u, e.v), Some(id));
+            prop_assert_eq!(g.edge_id(e.v, e.u), Some(id));
+        }
+    }
+
+    #[test]
+    fn bfs_distances_satisfy_edge_lipschitz(g in arb_graph()) {
+        // |d(s,u) − d(s,w)| ≤ 1 across every edge (u,w), and d respects
+        // reachability symmetry.
+        let d = bfs_distances(&g, 0);
+        for e in g.edges() {
+            let du = d[e.u as usize];
+            let dv = d[e.v as usize];
+            prop_assert_eq!(du == UNREACHABLE, dv == UNREACHABLE);
+            if du != UNREACHABLE {
+                prop_assert!(du.abs_diff(dv) <= 1);
+            }
+        }
+    }
+
+    #[test]
+    fn shortest_path_matches_distance(g in arb_graph(), t in 0u32..24) {
+        let t = t % g.n() as u32;
+        let d = bfs_distances(&g, 0);
+        match shortest_path(&g, 0, t) {
+            Some(p) => {
+                prop_assert_eq!(p.len() as u32 - 1, d[t as usize]);
+                for w in p.windows(2) {
+                    prop_assert!(g.has_edge(w[0], w[1]));
+                }
+                prop_assert_eq!(p[0], 0u32);
+                prop_assert_eq!(*p.last().unwrap(), t);
+            }
+            None => prop_assert_eq!(d[t as usize], UNREACHABLE),
+        }
+    }
+
+    #[test]
+    fn components_agree_with_bfs(g in arb_graph()) {
+        let (labels, count) = connected_components(&g);
+        prop_assert!(count >= 1);
+        prop_assert_eq!(labels.iter().copied().max().unwrap() as usize + 1, count);
+        // Two nodes have the same label iff BFS from one reaches the other.
+        let d = bfs_distances(&g, 0);
+        for u in 0..g.n() {
+            prop_assert_eq!(labels[u] == labels[0], d[u] != UNREACHABLE);
+        }
+    }
+
+    #[test]
+    fn misra_gries_proper_with_delta_plus_one(g in arb_graph()) {
+        let col = misra_gries_edge_coloring(&g);
+        prop_assert!(is_proper_edge_coloring(&g, &col));
+        if g.m() > 0 {
+            prop_assert!(col.num_colors as usize <= g.max_degree() + 1);
+        }
+    }
+
+    #[test]
+    fn greedy_coloring_proper(g in arb_graph()) {
+        let col = greedy_edge_coloring(&g);
+        prop_assert!(is_proper_edge_coloring(&g, &col));
+        if g.m() > 0 {
+            prop_assert!(col.num_colors as usize <= (2 * g.max_degree()).saturating_sub(1).max(1));
+        }
+    }
+
+    #[test]
+    fn hopcroft_karp_valid_and_maximal(g in arb_graph()) {
+        // Split nodes into even/odd sides; HK must return a valid matching
+        // that is at least as large as a greedy one (maximum ≥ maximal).
+        let left: Vec<NodeId> = (0..g.n() as u32).filter(|u| u % 2 == 0).collect();
+        let right: Vec<NodeId> = (0..g.n() as u32).filter(|u| u % 2 == 1).collect();
+        let m = max_bipartite_matching(&g, &left, &right);
+        prop_assert!(is_valid_bipartite_matching(&g, &left, &right, &m));
+
+        // Greedy baseline.
+        let mut used_l = std::collections::HashSet::new();
+        let mut used_r = std::collections::HashSet::new();
+        let mut greedy = 0usize;
+        for &l in &left {
+            for &r in g.neighbors(l) {
+                if r % 2 == 1 && !used_r.contains(&r) && !used_l.contains(&l) {
+                    used_l.insert(l);
+                    used_r.insert(r);
+                    greedy += 1;
+                    break;
+                }
+            }
+        }
+        prop_assert!(m.len() >= greedy);
+    }
+}

@@ -1,0 +1,231 @@
+//! A distributed **Baswana–Sen 3-spanner** in the LOCAL model — the
+//! classical distance-only baseline, implemented as a 4-round per-node
+//! program (Baswana–Sen is the textbook example of an O(k)-round LOCAL
+//! spanner; having it next to the distributed Algorithm 1 lets experiments
+//! compare the two constructions under identical simulator accounting).
+//!
+//! Round structure for `k = 2`:
+//!
+//! | round | action |
+//! |-------|--------|
+//! | 0 | each node decides from the shared seed whether it is a *sampled* centre (prob `n^{-1/2}`) and broadcasts the decision |
+//! | 1 | unsampled nodes join an adjacent sampled centre through one edge, or — with no sampled neighbour — keep one edge to every neighbour; everyone broadcasts its cluster id |
+//! | 2 | every clustered node keeps one edge into each *adjacent foreign cluster*; chosen edges are announced |
+//! | 3 | delivery of the final announcements |
+
+use crate::sim::{LocalSimulator, NodeProgram, RoundStats};
+use dcspan_graph::rng::derive_seed;
+use dcspan_graph::{FxHashMap, Graph, NodeId};
+
+const NONE: u32 = u32::MAX;
+
+/// Message: either a sampling announcement, a cluster-id announcement, or
+/// a final edge-keep notification.
+#[derive(Clone, Copy, Debug)]
+enum Msg {
+    Sampled(bool),
+    Cluster(u32),
+    KeepEdge,
+}
+
+struct BsProgram {
+    n: usize,
+    seed: u64,
+    sampled: bool,
+    cluster: u32,
+    /// Edges this node decided to keep (canonical pairs).
+    kept: Vec<(NodeId, NodeId)>,
+    /// Neighbour → sampled?
+    nbr_sampled: FxHashMap<NodeId, bool>,
+}
+
+impl BsProgram {
+    fn keep(&mut self, me: NodeId, w: NodeId) {
+        let key = if me < w { (me, w) } else { (w, me) };
+        self.kept.push(key);
+    }
+}
+
+impl NodeProgram for BsProgram {
+    type Msg = Msg;
+
+    fn step(
+        &mut self,
+        me: NodeId,
+        neighbors: &[NodeId],
+        round: usize,
+        inbox: &[(NodeId, Self::Msg)],
+    ) -> Vec<(NodeId, Self::Msg)> {
+        match round {
+            0 => {
+                // Sample with probability n^{-1/2} from the shared seed.
+                let p = (self.n as f64).powf(-0.5);
+                let x = derive_seed(self.seed, me as u64) >> 11;
+                self.sampled = (x as f64) * (1.0 / (1u64 << 53) as f64) < p;
+                self.cluster = if self.sampled { me } else { NONE };
+                neighbors.iter().map(|&w| (w, Msg::Sampled(self.sampled))).collect()
+            }
+            1 => {
+                for &(from, m) in inbox {
+                    if let Msg::Sampled(s) = m {
+                        self.nbr_sampled.insert(from, s);
+                    }
+                }
+                if !self.sampled {
+                    // Join the smallest-id sampled neighbour, if any.
+                    let joined = neighbors
+                        .iter()
+                        .copied()
+                        .filter(|w| *self.nbr_sampled.get(w).unwrap_or(&false))
+                        .min();
+                    match joined {
+                        Some(c) => {
+                            self.cluster = c;
+                            self.keep(me, c);
+                        }
+                        None => {
+                            // Unclustered: keep one edge per neighbouring
+                            // cluster; at this phase clusters are single
+                            // nodes, so that is every incident edge.
+                            for &w in neighbors {
+                                self.keep(me, w);
+                            }
+                            self.cluster = NONE;
+                        }
+                    }
+                }
+                neighbors.iter().map(|&w| (w, Msg::Cluster(self.cluster))).collect()
+            }
+            2 => {
+                // Keep one edge into each adjacent foreign cluster.
+                if self.cluster != NONE {
+                    let mut per_cluster: FxHashMap<u32, NodeId> = FxHashMap::default();
+                    for &(from, m) in inbox {
+                        if let Msg::Cluster(c) = m {
+                            if c != NONE && c != self.cluster {
+                                let slot = per_cluster.entry(c).or_insert(from);
+                                *slot = (*slot).min(from);
+                            }
+                        }
+                    }
+                    let picks: Vec<NodeId> = per_cluster.values().copied().collect();
+                    for w in &picks {
+                        self.keep(me, *w);
+                    }
+                    return picks.into_iter().map(|w| (w, Msg::KeepEdge)).collect();
+                }
+                Vec::new()
+            }
+            3 => {
+                // Record edges kept towards us so both endpoints agree.
+                for &(from, m) in inbox {
+                    if matches!(m, Msg::KeepEdge) {
+                        self.keep(me, from);
+                    }
+                }
+                Vec::new()
+            }
+            _ => Vec::new(),
+        }
+    }
+}
+
+/// Result of the distributed Baswana–Sen run.
+#[derive(Clone, Debug)]
+pub struct DistributedBsResult {
+    /// The spanner (union of per-node keep decisions).
+    pub h: Graph,
+    /// Rounds executed (constant: 4).
+    pub rounds: usize,
+    /// Per-round message stats.
+    pub round_stats: Vec<RoundStats>,
+}
+
+/// Run the distributed Baswana–Sen 3-spanner.
+pub fn distributed_baswana_sen(g: &Graph, seed: u64, threads: usize) -> DistributedBsResult {
+    const ROUNDS: usize = 4;
+    let mut programs: Vec<BsProgram> = (0..g.n())
+        .map(|_| BsProgram {
+            n: g.n(),
+            seed,
+            sampled: false,
+            cluster: NONE,
+            kept: Vec::new(),
+            nbr_sampled: FxHashMap::default(),
+        })
+        .collect();
+    let sim = LocalSimulator::with_threads(g, threads);
+    let round_stats = sim.run(&mut programs, ROUNDS);
+    let mut edges: Vec<(NodeId, NodeId)> = Vec::new();
+    for p in &programs {
+        edges.extend(p.kept.iter().copied());
+    }
+    DistributedBsResult { h: Graph::from_edges(g.n(), edges), rounds: ROUNDS, round_stats }
+}
+
+/// Retrying wrapper: re-run with derived seeds until the output is a valid
+/// 3-spanner (checked centrally), mirroring `baswana_sen_spanner_checked`.
+pub fn distributed_baswana_sen_checked(
+    g: &Graph,
+    seed: u64,
+    threads: usize,
+    max_attempts: usize,
+) -> Option<(DistributedBsResult, usize)> {
+    for attempt in 0..max_attempts as u64 {
+        let out = distributed_baswana_sen(g, derive_seed(seed, attempt), threads);
+        let rep = dcspan_core::eval::distance_stretch_edges(g, &out.h, 3);
+        if rep.overflow_pairs == 0 && rep.max_stretch <= 3.0 {
+            return Some((out, attempt as usize + 1));
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcspan_gen::classic::complete;
+    use dcspan_gen::regular::random_regular;
+
+    #[test]
+    fn produces_a_valid_3_spanner_of_a_clique() {
+        let g = complete(40);
+        let (out, attempts) =
+            distributed_baswana_sen_checked(&g, 5, 2, 20).expect("valid 3-spanner");
+        assert!(out.h.is_subgraph_of(&g));
+        assert!(out.h.m() < g.m(), "no sparsification: {}", out.h.m());
+        assert!(attempts >= 1);
+        assert_eq!(out.rounds, 4);
+    }
+
+    #[test]
+    fn works_on_regular_expanders() {
+        let g = random_regular(60, 20, 7);
+        let (out, _) = distributed_baswana_sen_checked(&g, 9, 4, 20).expect("valid 3-spanner");
+        // O(n^{3/2}) size with generous slack: 4·60^{1.5} ≈ 1859.
+        assert!(out.h.m() <= 1859, "spanner too big: {}", out.h.m());
+        let rep = dcspan_core::eval::distance_stretch_edges(&g, &out.h, 3);
+        assert_eq!(rep.overflow_pairs, 0);
+    }
+
+    #[test]
+    fn constant_rounds_and_deterministic() {
+        let g = random_regular(30, 6, 3);
+        let a = distributed_baswana_sen(&g, 11, 1);
+        let b = distributed_baswana_sen(&g, 11, 4);
+        assert_eq!(a.h, b.h, "thread count changed the output");
+        assert_eq!(a.rounds, 4);
+        // Round 1 delivers exactly one sampling message per directed edge.
+        assert_eq!(a.round_stats[1].messages, 2 * g.m());
+    }
+
+    #[test]
+    fn both_endpoints_know_kept_edges() {
+        // The final notification round makes keep-decisions symmetric; the
+        // union construction then never depends on who decided.
+        let g = random_regular(24, 6, 13);
+        let out = distributed_baswana_sen(&g, 17, 2);
+        assert!(out.h.is_subgraph_of(&g));
+        assert!(dcspan_graph::traversal::is_connected(&out.h));
+    }
+}

@@ -1,0 +1,27 @@
+//! # dcspan-local
+//!
+//! A synchronous **LOCAL-model** message-passing simulator and the
+//! distributed implementation of Algorithm 1 from Section 7 of the paper
+//! (Corollary 3: an O(1)-round LOCAL algorithm computing the
+//! `(3, O(log n))`-DC-spanner on Δ-regular graphs with `Δ ≥ n^{2/3}`).
+//!
+//! The simulator ([`sim`]) executes per-node programs in lockstep rounds —
+//! nodes may only message their graph neighbours, messages sent in round
+//! `r` arrive in round `r + 1`, and per-round node execution is
+//! parallelised with crossbeam scoped threads (deterministically: inboxes
+//! are sorted by sender).
+//!
+//! [`algorithm1`] implements the distributed spanner construction:
+//! sample-and-inform, three rounds of 3-hop flooding, local supportedness
+//! decisions, and one reinsertion-notification round — five rounds total,
+//! independent of `n`. Its output is bit-identical to the sequential
+//! Algorithm 1 of `dcspan-core` under the same seed, which the tests
+//! enforce.
+
+pub mod algorithm1;
+pub mod baswana_sen;
+pub mod programs;
+pub mod sim;
+
+pub use algorithm1::{distributed_regular_spanner, DistributedRunStats};
+pub use sim::{LocalSimulator, NodeProgram, RoundStats};

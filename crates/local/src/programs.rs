@@ -1,0 +1,234 @@
+//! Reusable LOCAL-model building blocks: leader election by min-id
+//! flooding, distributed BFS layering, and k-hop neighbourhood collection
+//! (the primitive behind Section 7's "forward all information for 3
+//! rounds").
+//!
+//! Besides being useful on their own, these exercise the simulator the
+//! same way the distributed Algorithm 1 does, with independently checkable
+//! outputs (BFS layers vs the sequential BFS, etc.).
+
+use crate::sim::{LocalSimulator, NodeProgram};
+use dcspan_graph::{FxHashSet, Graph, NodeId};
+
+/// Leader election by min-id flooding.
+pub struct MinIdFlood {
+    best: NodeId,
+    changed: bool,
+}
+
+impl MinIdFlood {
+    /// Fresh instance (call once per node).
+    pub fn new() -> Self {
+        MinIdFlood { best: NodeId::MAX, changed: false }
+    }
+
+    /// The smallest id heard so far (the leader after ≥ diameter rounds).
+    pub fn leader(&self) -> NodeId {
+        self.best
+    }
+}
+
+impl Default for MinIdFlood {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl NodeProgram for MinIdFlood {
+    type Msg = NodeId;
+
+    fn step(
+        &mut self,
+        me: NodeId,
+        neighbors: &[NodeId],
+        round: usize,
+        inbox: &[(NodeId, Self::Msg)],
+    ) -> Vec<(NodeId, Self::Msg)> {
+        if round == 0 {
+            self.best = me;
+            self.changed = true;
+        }
+        for &(_, v) in inbox {
+            if v < self.best {
+                self.best = v;
+                self.changed = true;
+            }
+        }
+        if std::mem::take(&mut self.changed) {
+            neighbors.iter().map(|&w| (w, self.best)).collect()
+        } else {
+            Vec::new()
+        }
+    }
+}
+
+/// Distributed BFS from a fixed root: after `r` rounds every node within
+/// `r − 1` hops knows its BFS distance.
+pub struct DistributedBfs {
+    root: NodeId,
+    /// Discovered distance (`u32::MAX` = not yet reached).
+    pub distance: u32,
+    announced: bool,
+}
+
+impl DistributedBfs {
+    /// Program instance for one node (same `root` everywhere).
+    pub fn new(root: NodeId) -> Self {
+        DistributedBfs { root, distance: u32::MAX, announced: false }
+    }
+}
+
+impl NodeProgram for DistributedBfs {
+    type Msg = u32;
+
+    fn step(
+        &mut self,
+        me: NodeId,
+        neighbors: &[NodeId],
+        round: usize,
+        inbox: &[(NodeId, Self::Msg)],
+    ) -> Vec<(NodeId, Self::Msg)> {
+        if round == 0 && me == self.root {
+            self.distance = 0;
+        }
+        for &(_, d) in inbox {
+            if d + 1 < self.distance {
+                self.distance = d + 1;
+            }
+        }
+        if self.distance != u32::MAX && !self.announced {
+            self.announced = true;
+            neighbors.iter().map(|&w| (w, self.distance)).collect()
+        } else {
+            Vec::new()
+        }
+    }
+}
+
+/// k-hop neighbourhood collection: every node floods edge facts for `k`
+/// rounds and ends up knowing every edge with both endpoints within `k`
+/// hops (and possibly more — flooding overshoots by design, exactly like
+/// Section 7's Algorithm 1 implementation).
+pub struct KHopCollect {
+    /// Known edges (canonical pairs).
+    pub known: FxHashSet<(NodeId, NodeId)>,
+    fresh: Vec<(NodeId, NodeId)>,
+}
+
+impl KHopCollect {
+    /// Fresh instance.
+    pub fn new() -> Self {
+        KHopCollect { known: FxHashSet::default(), fresh: Vec::new() }
+    }
+}
+
+impl Default for KHopCollect {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl NodeProgram for KHopCollect {
+    type Msg = Vec<(NodeId, NodeId)>;
+
+    fn step(
+        &mut self,
+        me: NodeId,
+        neighbors: &[NodeId],
+        round: usize,
+        inbox: &[(NodeId, Self::Msg)],
+    ) -> Vec<(NodeId, Self::Msg)> {
+        for (_, facts) in inbox {
+            for &(a, b) in facts {
+                if self.known.insert((a, b)) {
+                    self.fresh.push((a, b));
+                }
+            }
+        }
+        if round == 0 {
+            for &w in neighbors {
+                let key = if me < w { (me, w) } else { (w, me) };
+                if self.known.insert(key) {
+                    self.fresh.push(key);
+                }
+            }
+        }
+        let batch = std::mem::take(&mut self.fresh);
+        if batch.is_empty() {
+            Vec::new()
+        } else {
+            neighbors.iter().map(|&w| (w, batch.clone())).collect()
+        }
+    }
+}
+
+/// Run leader election; returns each node's elected leader after `rounds`.
+pub fn elect_leader(g: &Graph, rounds: usize, threads: usize) -> Vec<NodeId> {
+    let mut programs: Vec<MinIdFlood> = (0..g.n()).map(|_| MinIdFlood::new()).collect();
+    LocalSimulator::with_threads(g, threads).run(&mut programs, rounds);
+    programs.iter().map(MinIdFlood::leader).collect()
+}
+
+/// Run distributed BFS; returns each node's discovered distance.
+pub fn distributed_bfs(g: &Graph, root: NodeId, rounds: usize, threads: usize) -> Vec<u32> {
+    let mut programs: Vec<DistributedBfs> =
+        (0..g.n()).map(|_| DistributedBfs::new(root)).collect();
+    LocalSimulator::with_threads(g, threads).run(&mut programs, rounds);
+    programs.iter().map(|p| p.distance).collect()
+}
+
+/// Run k-hop collection; returns each node's known edge set size.
+pub fn khop_knowledge_sizes(g: &Graph, k: usize, threads: usize) -> Vec<usize> {
+    let mut programs: Vec<KHopCollect> = (0..g.n()).map(|_| KHopCollect::new()).collect();
+    // k flooding rounds + 1 for the final delivery.
+    LocalSimulator::with_threads(g, threads).run(&mut programs, k + 1);
+    programs.iter().map(|p| p.known.len()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcspan_gen::regular::random_regular;
+    use dcspan_graph::traversal::bfs_distances;
+
+    #[test]
+    fn leader_election_converges_to_zero() {
+        let g = random_regular(30, 4, 1);
+        let diam = dcspan_graph::traversal::diameter(&g).unwrap() as usize;
+        let leaders = elect_leader(&g, diam + 2, 2);
+        assert!(leaders.iter().all(|&l| l == 0));
+    }
+
+    #[test]
+    fn distributed_bfs_matches_sequential() {
+        let g = random_regular(40, 6, 2);
+        let diam = dcspan_graph::traversal::diameter(&g).unwrap() as usize;
+        let dist = distributed_bfs(&g, 7, diam + 2, 3);
+        let expected = bfs_distances(&g, 7);
+        assert_eq!(dist, expected);
+    }
+
+    #[test]
+    fn distributed_bfs_partial_before_convergence() {
+        // A path graph: after 3 rounds only nodes within 2 hops know.
+        let g = Graph::from_edges(8, (0u32..7).map(|i| (i, i + 1)));
+        let dist = distributed_bfs(&g, 0, 3, 1);
+        assert_eq!(&dist[..3], &[0, 1, 2]);
+        assert!(dist[4..].iter().all(|&d| d == u32::MAX));
+    }
+
+    #[test]
+    fn khop_collection_covers_the_ball() {
+        let g = random_regular(24, 4, 3);
+        let sizes = khop_knowledge_sizes(&g, 3, 2);
+        // After 3 flooding rounds each node knows at least its 2-ball's
+        // edges; on an expander of this size that's most of the graph.
+        for (v, &s) in sizes.iter().enumerate() {
+            assert!(s >= g.degree(v as u32), "node {v} knows only {s} edges");
+        }
+        // And never more than the whole edge set.
+        assert!(sizes.iter().all(|&s| s <= g.m()));
+    }
+
+    use dcspan_graph::Graph;
+}

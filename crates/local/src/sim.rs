@@ -1,0 +1,245 @@
+//! The synchronous LOCAL-model simulator.
+//!
+//! Semantics (Peleg's LOCAL model): computation proceeds in synchronous
+//! rounds; in each round every node (i) receives the messages its
+//! neighbours sent in the previous round, (ii) performs arbitrary local
+//! computation, and (iii) sends one message per incident edge (messages of
+//! unbounded size — this is LOCAL, not CONGEST). The simulator additionally
+//! *enforces* the communication graph: sending to a non-neighbour panics.
+//!
+//! Execution is deterministic: per-round node steps run in parallel
+//! (crossbeam scoped threads over node chunks) but inboxes are assembled
+//! in sender order, so programs observe a schedule-independent view.
+
+use dcspan_graph::{Graph, NodeId};
+
+/// A per-node LOCAL program.
+///
+/// One instance exists per node; the simulator calls [`NodeProgram::step`]
+/// once per round with the node's inbox, and the program returns the
+/// messages to send (delivered next round).
+pub trait NodeProgram: Send {
+    /// Message type exchanged between nodes (`Sync` because delivered
+    /// inboxes are read by worker threads through shared references).
+    type Msg: Clone + Send + Sync;
+
+    /// Execute one round. `round` starts at 0 (empty inbox). Returned
+    /// messages must address neighbours of `me` only.
+    fn step(
+        &mut self,
+        me: NodeId,
+        neighbors: &[NodeId],
+        round: usize,
+        inbox: &[(NodeId, Self::Msg)],
+    ) -> Vec<(NodeId, Self::Msg)>;
+}
+
+/// Per-round accounting.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RoundStats {
+    /// Messages delivered this round.
+    pub messages: usize,
+    /// Largest number of messages delivered to a single node this round
+    /// (a CONGEST-flavoured measure: LOCAL allows it to be Δ, but tracking
+    /// it shows where a bandwidth-limited model would hurt).
+    pub max_inbox: usize,
+}
+
+/// The simulator: owns the communication graph and drives programs.
+pub struct LocalSimulator<'a> {
+    g: &'a Graph,
+    /// Number of worker threads for per-round node execution.
+    threads: usize,
+}
+
+impl<'a> LocalSimulator<'a> {
+    /// Create a simulator over communication graph `g`.
+    pub fn new(g: &'a Graph) -> Self {
+        let threads = std::thread::available_parallelism().map_or(1, |p| p.get()).min(8);
+        LocalSimulator { g, threads }
+    }
+
+    /// Override the worker-thread count (1 = fully sequential).
+    pub fn with_threads(g: &'a Graph, threads: usize) -> Self {
+        assert!(threads >= 1);
+        LocalSimulator { g, threads }
+    }
+
+    /// Run `rounds` synchronous rounds over one program instance per node.
+    /// Returns per-round stats; final program states are left in `programs`
+    /// for the caller to harvest outputs.
+    pub fn run<P: NodeProgram>(&self, programs: &mut [P], rounds: usize) -> Vec<RoundStats> {
+        let n = self.g.n();
+        assert_eq!(programs.len(), n, "one program per node");
+        let mut inboxes: Vec<Vec<(NodeId, P::Msg)>> = vec![Vec::new(); n];
+        let mut stats = Vec::with_capacity(rounds);
+
+        for round in 0..rounds {
+            let delivered: usize = inboxes.iter().map(Vec::len).sum();
+            let max_inbox = inboxes.iter().map(Vec::len).max().unwrap_or(0);
+            stats.push(RoundStats { messages: delivered, max_inbox });
+
+            // Step every node in parallel; collect outboxes.
+            type Outbox<M> = Vec<(NodeId, M)>;
+            let g = self.g;
+            let chunk = n.div_ceil(self.threads).max(1);
+            let mut outboxes: Vec<Outbox<P::Msg>> = Vec::with_capacity(n);
+            {
+                let prog_chunks: Vec<&mut [P]> = programs.chunks_mut(chunk).collect();
+                let inbox_chunks: Vec<&[Outbox<P::Msg>]> = inboxes.chunks(chunk).collect();
+                let results: Vec<Vec<Outbox<P::Msg>>> =
+                    crossbeam::thread::scope(|scope| {
+                        let mut handles = Vec::new();
+                        for (ci, (progs, inbs)) in
+                            prog_chunks.into_iter().zip(inbox_chunks).enumerate()
+                        {
+                            let base = ci * chunk;
+                            handles.push(scope.spawn(move |_| {
+                                progs
+                                    .iter_mut()
+                                    .zip(inbs.iter())
+                                    .enumerate()
+                                    .map(|(off, (p, inbox))| {
+                                        let me = (base + off) as NodeId;
+                                        let out = p.step(me, g.neighbors(me), round, inbox);
+                                        for (to, _) in &out {
+                                            assert!(
+                                                g.has_edge(me, *to),
+                                                "LOCAL violation: node {me} sent to non-neighbour {to}"
+                                            );
+                                        }
+                                        out
+                                    })
+                                    .collect::<Vec<_>>()
+                            }));
+                        }
+                        handles.into_iter().map(|h| h.join().unwrap()).collect()
+                    })
+                    .expect("simulator worker panicked");
+                for chunk_out in results {
+                    outboxes.extend(chunk_out);
+                }
+            }
+
+            // Deliver: assemble next-round inboxes in sender order.
+            let mut next: Vec<Vec<(NodeId, P::Msg)>> = vec![Vec::new(); n];
+            for (from, out) in outboxes.into_iter().enumerate() {
+                for (to, msg) in out {
+                    next[to as usize].push((from as NodeId, msg));
+                }
+            }
+            inboxes = next;
+        }
+        stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcspan_graph::Graph;
+
+    /// Flood the minimum node id seen so far (leader election by flooding).
+    struct MinFlood {
+        best: NodeId,
+    }
+
+    impl NodeProgram for MinFlood {
+        type Msg = NodeId;
+
+        fn step(
+            &mut self,
+            me: NodeId,
+            neighbors: &[NodeId],
+            round: usize,
+            inbox: &[(NodeId, Self::Msg)],
+        ) -> Vec<(NodeId, Self::Msg)> {
+            if round == 0 {
+                self.best = me;
+            }
+            let before = self.best;
+            for &(_, v) in inbox {
+                self.best = self.best.min(v);
+            }
+            if round == 0 || self.best < before {
+                neighbors.iter().map(|&w| (w, self.best)).collect()
+            } else {
+                Vec::new()
+            }
+        }
+    }
+
+    #[test]
+    fn flooding_converges_within_diameter_rounds() {
+        let g = Graph::from_edges(6, (0u32..5).map(|i| (i, i + 1)));
+        let mut programs: Vec<MinFlood> = (0..6).map(|_| MinFlood { best: u32::MAX }).collect();
+        let sim = LocalSimulator::new(&g);
+        // Path diameter 5: after 6 rounds everyone knows node 0.
+        sim.run(&mut programs, 6);
+        assert!(programs.iter().all(|p| p.best == 0));
+    }
+
+    #[test]
+    fn not_converged_before_enough_rounds() {
+        let g = Graph::from_edges(6, (0u32..5).map(|i| (i, i + 1)));
+        let mut programs: Vec<MinFlood> = (0..6).map(|_| MinFlood { best: u32::MAX }).collect();
+        let sim = LocalSimulator::new(&g);
+        sim.run(&mut programs, 2); // information travels ≤ 1 hop per round
+        assert_eq!(programs[5].best, 4); // farthest node has only heard 1 hop
+    }
+
+    #[test]
+    fn message_accounting() {
+        let g = Graph::from_edges(3, vec![(0, 1), (1, 2)]);
+        let mut programs: Vec<MinFlood> = (0..3).map(|_| MinFlood { best: u32::MAX }).collect();
+        let sim = LocalSimulator::new(&g);
+        let stats = sim.run(&mut programs, 3);
+        assert_eq!(stats[0].messages, 0); // nothing delivered in round 0
+        assert_eq!(stats[0].max_inbox, 0);
+        assert_eq!(stats[1].messages, 4); // everyone broadcast in round 0
+        assert_eq!(stats[1].max_inbox, 2); // the middle node hears both ends
+        assert!(stats[2].messages <= 4);
+    }
+
+    #[test]
+    fn deterministic_across_thread_counts() {
+        let g = Graph::from_edges(8, (0u32..8).map(|i| (i, (i + 1) % 8)));
+        let run = |threads: usize| {
+            let mut programs: Vec<MinFlood> =
+                (0..8).map(|_| MinFlood { best: u32::MAX }).collect();
+            LocalSimulator::with_threads(&g, threads).run(&mut programs, 5);
+            programs.iter().map(|p| p.best).collect::<Vec<_>>()
+        };
+        assert_eq!(run(1), run(4));
+    }
+
+    /// A program that (incorrectly) tries to message a non-neighbour.
+    struct Rogue;
+    impl NodeProgram for Rogue {
+        type Msg = ();
+        fn step(
+            &mut self,
+            me: NodeId,
+            _neighbors: &[NodeId],
+            _round: usize,
+            _inbox: &[(NodeId, Self::Msg)],
+        ) -> Vec<(NodeId, Self::Msg)> {
+            if me == 0 {
+                vec![(2, ())] // 0 and 2 are not adjacent in the path 0-1-2
+            } else {
+                Vec::new()
+            }
+        }
+    }
+
+    #[test]
+    fn local_model_enforced() {
+        let g = Graph::from_edges(3, vec![(0, 1), (1, 2)]);
+        let mut programs = vec![Rogue, Rogue, Rogue];
+        let sim = LocalSimulator::with_threads(&g, 1);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            sim.run(&mut programs, 1);
+        }));
+        assert!(result.is_err(), "non-neighbour send must panic");
+    }
+}

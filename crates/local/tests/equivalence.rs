@@ -1,0 +1,51 @@
+//! Property test: the distributed Algorithm 1 equals the sequential one
+//! across random graphs, parameters, seeds, and thread counts.
+
+use dcspan_core::regular::{build_regular_spanner_pair_sampled, RegularSpannerParams};
+use dcspan_gen::regular::random_regular;
+use dcspan_local::distributed_regular_spanner;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn distributed_equals_sequential(
+        half_n in 8usize..28,
+        delta in 4usize..10,
+        seed in 0u64..500,
+        threads in 1usize..5,
+    ) {
+        let n = 2 * half_n;
+        let delta = delta.min(n - 2);
+        let g = random_regular(n, delta, seed);
+        let mut params = RegularSpannerParams::calibrated(n, delta);
+        params.safe_reinsert = false;
+        let dist = distributed_regular_spanner(&g, params, seed ^ 0x5555, threads);
+        let seq = build_regular_spanner_pair_sampled(&g, params, seed ^ 0x5555);
+        prop_assert_eq!(dist.rounds, 5);
+        prop_assert!(dist.endpoints_agree);
+        prop_assert_eq!(dist.h, seq.h);
+    }
+
+    #[test]
+    fn flooding_volume_is_bounded_by_edge_flooding(
+        half_n in 8usize..20,
+        seed in 0u64..100,
+    ) {
+        // Per flooding round, each node sends its fresh facts to each
+        // neighbour: total ≤ Δ · (total facts) = Δ · m per round, and the
+        // first round is exactly one fact per directed edge.
+        let n = 2 * half_n;
+        let delta = 6usize;
+        let g = random_regular(n, delta, seed);
+        let mut params = RegularSpannerParams::calibrated(n, delta);
+        params.safe_reinsert = false;
+        let out = distributed_regular_spanner(&g, params, seed, 2);
+        prop_assert_eq!(out.round_stats[0].messages, 0);
+        prop_assert_eq!(out.round_stats[1].messages, 2 * g.m());
+        for s in &out.round_stats {
+            prop_assert!(s.max_inbox <= delta);
+        }
+    }
+}

@@ -1,0 +1,334 @@
+//! **Algorithm 2 / Theorem 1**: substitute routings via decomposition into
+//! matchings.
+//!
+//! Given a routing `P` in `G` and a way to route any *matching* on the
+//! spanner `H` (an [`EdgeRouter`]), build a substitute routing `P'` in `H`:
+//!
+//! 1. **Levels** (lines 1–10): repeatedly peel one `(path, edge)` pair per
+//!    edge per round. The level of `(p, e)` equals `p`'s rank among the
+//!    paths using `e`; the level-`k` subgraph `G_k` contains the edges used
+//!    by more than `k` paths, so `Y_{k+1} ⊆ Y_k`.
+//! 2. **Colouring** (line 14): properly edge-colour each `G_k` with
+//!    `m_k ≤ d_k + 1` colours (Misra–Gries) — each colour class is a
+//!    matching, routed independently on `H`.
+//! 3. **Assembly** (lines 19–27): splice each hop of each original path
+//!    with the replacement path of its `(level, edge)`.
+//!
+//! The report exposes the quantities of Lemmas 21–23 so experiments can
+//! check `Σ_k (d_k + 1) ≤ 12·C(P)·log₂ n` and the `O(n³)` matching count.
+
+use crate::replace::EdgeRouter;
+use crate::routing::Routing;
+use dcspan_graph::coloring::{greedy_edge_coloring, misra_gries_edge_coloring, EdgeColoring};
+use dcspan_graph::rng::{derive_seed, item_rng};
+use dcspan_graph::{Edge, FxHashMap, Graph, NodeId};
+
+/// Which proper edge-colouring backs step 2.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ColoringAlgo {
+    /// Misra–Gries: `m_k ≤ d_k + 1` (the paper's bound).
+    MisraGries,
+    /// Greedy: `m_k ≤ 2·d_k − 1` (ablation; doubles the Lemma 22 constant).
+    Greedy,
+}
+
+/// Instrumented result of the decomposition.
+#[derive(Clone, Debug)]
+pub struct DecompositionReport {
+    /// The substitute routing `P'` in the spanner.
+    pub routing: Routing,
+    /// Number of levels `r`.
+    pub num_levels: usize,
+    /// Max degree `d_k` of each level subgraph `G_k`.
+    pub level_degrees: Vec<usize>,
+    /// Colours used per level (`m_k`).
+    pub level_colors: Vec<usize>,
+    /// Total number of matchings `Σ_k m_k` (Lemma 23's quantity).
+    pub num_matchings: usize,
+    /// `Σ_k (d_k + 1)` — the Lemma 21 quantity.
+    pub sum_dk_plus_one: usize,
+    /// Node congestion of the base routing `C(P)`.
+    pub base_congestion: u32,
+}
+
+impl DecompositionReport {
+    /// Lemma 21's bound `12·C(P)·log₂ n` for a graph on `n` nodes.
+    pub fn lemma21_bound(&self, n: usize) -> f64 {
+        12.0 * self.base_congestion as f64 * (n.max(2) as f64).log2()
+    }
+
+    /// True if the measured `Σ(d_k + 1)` respects Lemma 21.
+    pub fn lemma21_holds(&self, n: usize) -> bool {
+        (self.sum_dk_plus_one as f64) <= self.lemma21_bound(n) + 1e-9
+    }
+}
+
+#[inline]
+fn edge_key(e: Edge) -> u64 {
+    ((e.u as u64) << 32) | e.v as u64
+}
+
+/// Run Algorithm 2: decompose `base` (a routing in `G` on `n` nodes) into
+/// matchings, route each matching on the spanner via `router`, and
+/// reassemble. Returns `None` if the router fails on some matching edge.
+pub fn substitute_routing_decomposed<R: EdgeRouter>(
+    n: usize,
+    base: &Routing,
+    router: &R,
+    coloring: ColoringAlgo,
+    seed: u64,
+) -> Option<DecompositionReport> {
+    // --- Step 1: levels. The level of (p, e) is p's rank among users of e.
+    // users: edge → number of paths seen so far; per (path, edge) level.
+    let mut users: FxHashMap<u64, u32> = FxHashMap::default();
+    // level_of[path_index] : hop edge key → level.
+    let mut level_of: Vec<FxHashMap<u64, u32>> = Vec::with_capacity(base.len());
+    let mut max_level = 0u32;
+    for p in base.paths() {
+        let mut mine: FxHashMap<u64, u32> = FxHashMap::default();
+        for (a, b) in p.hops() {
+            let k = edge_key(Edge::new(a, b));
+            // A_p is a set: a path using the same edge twice registers once.
+            if mine.contains_key(&k) {
+                continue;
+            }
+            let count = users.entry(k).or_insert(0);
+            mine.insert(k, *count);
+            max_level = max_level.max(*count);
+            *count += 1;
+        }
+        level_of.push(mine);
+    }
+    let num_levels = if users.is_empty() { 0 } else { max_level as usize + 1 };
+
+    // Level k edge set Y_k = edges with multiplicity > k.
+    let mut level_edges: Vec<Vec<Edge>> = vec![Vec::new(); num_levels];
+    for (&k, &count) in &users {
+        let e = Edge::new((k >> 32) as NodeId, (k & 0xffff_ffff) as NodeId);
+        for level in level_edges.iter_mut().take(count as usize) {
+            level.push(e);
+        }
+    }
+
+    // --- Step 2: colour each level and route each colour class.
+    // replacement[(level, edge key)] = path nodes (oriented u → v).
+    let mut replacement: FxHashMap<(u32, u64), Vec<NodeId>> = FxHashMap::default();
+    let mut level_degrees = Vec::with_capacity(num_levels);
+    let mut level_colors = Vec::with_capacity(num_levels);
+    for (lvl, edges) in level_edges.iter().enumerate() {
+        let gk = Graph::from_edges(n, edges.iter().map(|e| (e.u, e.v)));
+        let col: EdgeColoring = match coloring {
+            ColoringAlgo::MisraGries => misra_gries_edge_coloring(&gk),
+            ColoringAlgo::Greedy => greedy_edge_coloring(&gk),
+        };
+        level_degrees.push(gk.max_degree());
+        level_colors.push(col.num_colors as usize);
+        let level_seed = derive_seed(seed, lvl as u64);
+        for (edge_id, e) in gk.edges().iter().enumerate() {
+            // Colour class membership only matters for the *accounting*;
+            // each edge is routed independently with a deterministic stream.
+            let _ = col.color[edge_id];
+            let mut rng = item_rng(level_seed, edge_key(*e));
+            let path = router.route_edge(e.u, e.v, &mut rng)?;
+            debug_assert!(path.first() == Some(&e.u) && path.last() == Some(&e.v));
+            replacement.insert((lvl as u32, edge_key(*e)), path);
+        }
+    }
+
+    // --- Step 3: assemble P'.
+    let mut new_paths = Vec::with_capacity(base.len());
+    for (pi, p) in base.paths().iter().enumerate() {
+        let spliced = p.splice(|a, b| {
+            let e = Edge::new(a, b);
+            let key = edge_key(e);
+            let lvl = level_of[pi][&key];
+            let q = &replacement[&(lvl, key)];
+            if q.first() == Some(&a) {
+                q.clone()
+            } else {
+                let mut rev = q.clone();
+                rev.reverse();
+                rev
+            }
+        });
+        new_paths.push(spliced);
+    }
+
+    let base_congestion = base.congestion(n);
+    let sum_dk_plus_one = level_degrees.iter().map(|d| d + 1).sum();
+    let num_matchings = level_colors.iter().sum();
+    Some(DecompositionReport {
+        routing: Routing::new(new_paths),
+        num_levels,
+        level_degrees,
+        level_colors,
+        num_matchings,
+        sum_dk_plus_one,
+        base_congestion,
+    })
+}
+
+/// Ablation baseline: splice every hop of every path independently (no
+/// decomposition, fresh RNG stream per (path, hop)). Same path distribution
+/// when the router ignores matching context, but no Lemma 21 accounting.
+pub fn substitute_routing_direct<R: EdgeRouter>(
+    base: &Routing,
+    router: &R,
+    seed: u64,
+) -> Option<Routing> {
+    let mut new_paths = Vec::with_capacity(base.len());
+    for (pi, p) in base.paths().iter().enumerate() {
+        let path_seed = derive_seed(seed, pi as u64);
+        let mut failed = false;
+        let spliced = p.splice(|a, b| {
+            let mut rng = item_rng(path_seed, edge_key(Edge::new(a, b)));
+            match router.route_edge(a, b, &mut rng) {
+                Some(q) if q.first() == Some(&a) => q,
+                Some(mut q) => {
+                    q.reverse();
+                    q
+                }
+                None => {
+                    failed = true;
+                    vec![a, b] // placeholder; discarded below
+                }
+            }
+        });
+        if failed {
+            return None;
+        }
+        new_paths.push(spliced);
+    }
+    Some(Routing::new(new_paths))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::replace::{DetourPolicy, SpannerDetourRouter};
+    use dcspan_graph::Path;
+
+    /// G = C6 with chords (0,2), (3,5); H removes the chords.
+    fn setup() -> (Graph, Graph) {
+        let mut edges: Vec<(u32, u32)> = (0u32..6).map(|i| (i, (i + 1) % 6)).collect();
+        edges.push((0, 2));
+        edges.push((3, 5));
+        let g = Graph::from_edges(6, edges);
+        let h = g.filter_edges(|_, e| !((e.u == 0 && e.v == 2) || (e.u == 3 && e.v == 5)));
+        (g, h)
+    }
+
+    #[test]
+    fn single_path_decomposition() {
+        let (g, h) = setup();
+        let base = Routing::new(vec![Path::new(vec![0, 2, 3, 5])]);
+        assert!(base.is_valid_for(
+            &crate::problem::RoutingProblem::from_pairs(vec![(0, 5)]),
+            &g
+        ));
+        let router = SpannerDetourRouter::new(&h, DetourPolicy::UniformShortest);
+        let rep = substitute_routing_decomposed(6, &base, &router, ColoringAlgo::MisraGries, 1)
+            .unwrap();
+        assert_eq!(rep.num_levels, 1);
+        assert_eq!(rep.base_congestion, 1);
+        let p = &rep.routing.paths()[0];
+        assert_eq!(p.source(), 0);
+        assert_eq!(p.destination(), 5);
+        assert!(p.is_valid_in(&h));
+        // Chord hops became 2-hop detours: total length 2 + 1 + 2 = 5.
+        assert_eq!(p.len(), 5);
+    }
+
+    #[test]
+    fn levels_reflect_edge_sharing() {
+        let (_, h) = setup();
+        // Three paths all crossing edge (1,2).
+        let base = Routing::new(vec![
+            Path::new(vec![1, 2]),
+            Path::new(vec![0, 1, 2]),
+            Path::new(vec![1, 2, 3]),
+        ]);
+        let router = SpannerDetourRouter::new(&h, DetourPolicy::UniformShortest);
+        let rep = substitute_routing_decomposed(6, &base, &router, ColoringAlgo::MisraGries, 2)
+            .unwrap();
+        assert_eq!(rep.num_levels, 3); // edge (1,2) used by 3 paths
+        assert_eq!(rep.level_degrees.len(), 3);
+        // Y_{k+1} ⊆ Y_k ⇒ degrees non-increasing.
+        assert!(rep.level_degrees.windows(2).all(|w| w[0] >= w[1]));
+        assert!(rep.lemma21_holds(6));
+    }
+
+    #[test]
+    fn substitute_valid_in_spanner_and_matches_endpoints() {
+        let (g, h) = setup();
+        let problem = crate::problem::RoutingProblem::from_pairs(vec![(0, 3), (2, 5), (1, 4)]);
+        let base = crate::shortest::shortest_path_routing(&g, &problem).unwrap();
+        let router = SpannerDetourRouter::new(&h, DetourPolicy::UniformUpTo3);
+        let rep = substitute_routing_decomposed(6, &base, &router, ColoringAlgo::MisraGries, 3)
+            .unwrap();
+        assert!(rep.routing.is_valid_for(&problem, &h));
+        // Distance stretch ≤ 3 (every hop replaced by ≤3-hop detour).
+        assert!(rep.routing.max_stretch_vs(&base) <= 3.0);
+    }
+
+    #[test]
+    fn greedy_coloring_variant_works() {
+        let (g, h) = setup();
+        let problem = crate::problem::RoutingProblem::from_pairs(vec![(0, 3), (1, 4)]);
+        let base = crate::shortest::shortest_path_routing(&g, &problem).unwrap();
+        let router = SpannerDetourRouter::new(&h, DetourPolicy::UniformShortest);
+        let a = substitute_routing_decomposed(6, &base, &router, ColoringAlgo::Greedy, 4).unwrap();
+        assert!(a.routing.is_valid_for(&problem, &h));
+        assert!(a.num_matchings >= a.num_levels); // at least one colour per level
+    }
+
+    #[test]
+    fn direct_substitution_agrees_on_validity() {
+        let (g, h) = setup();
+        let problem = crate::problem::RoutingProblem::from_pairs(vec![(0, 3), (2, 5)]);
+        let base = crate::shortest::shortest_path_routing(&g, &problem).unwrap();
+        let router = SpannerDetourRouter::new(&h, DetourPolicy::UniformShortest);
+        let direct = substitute_routing_direct(&base, &router, 5).unwrap();
+        assert!(direct.is_valid_for(&problem, &h));
+    }
+
+    #[test]
+    fn router_failure_propagates() {
+        // Spanner with an isolated piece: router (no fallback) fails.
+        let g = Graph::from_edges(4, vec![(0, 1), (1, 2), (2, 3), (0, 3)]);
+        let h = Graph::from_edges(4, vec![(0, 1), (2, 3)]);
+        let base = Routing::new(vec![Path::new(vec![0, 3])]);
+        let mut router = SpannerDetourRouter::new(&h, DetourPolicy::UniformShortest);
+        router.bfs_fallback = false;
+        assert!(
+            substitute_routing_decomposed(4, &base, &router, ColoringAlgo::MisraGries, 6).is_none()
+        );
+        assert!(substitute_routing_direct(&base, &router, 6).is_none());
+        let _ = g;
+    }
+
+    #[test]
+    fn empty_routing_decomposes_trivially() {
+        let (_, h) = setup();
+        let base = Routing::new(vec![]);
+        let router = SpannerDetourRouter::new(&h, DetourPolicy::UniformShortest);
+        let rep = substitute_routing_decomposed(6, &base, &router, ColoringAlgo::MisraGries, 7)
+            .unwrap();
+        assert_eq!(rep.num_levels, 0);
+        assert_eq!(rep.num_matchings, 0);
+        assert!(rep.routing.is_empty());
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let (g, h) = setup();
+        let problem = crate::problem::RoutingProblem::from_pairs(vec![(0, 3), (2, 5), (1, 4)]);
+        let base = crate::shortest::shortest_path_routing(&g, &problem).unwrap();
+        let router = SpannerDetourRouter::new(&h, DetourPolicy::UniformUpTo3);
+        let a = substitute_routing_decomposed(6, &base, &router, ColoringAlgo::MisraGries, 9)
+            .unwrap();
+        let b = substitute_routing_decomposed(6, &base, &router, ColoringAlgo::MisraGries, 9)
+            .unwrap();
+        assert_eq!(a.routing, b.routing);
+    }
+}

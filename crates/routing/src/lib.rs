@@ -1,0 +1,41 @@
+//! # dcspan-routing
+//!
+//! Routing problems, routings, and node congestion — the second axis of the
+//! paper's DC-spanner definition — plus the machinery of **Theorem 1 /
+//! Algorithm 2**: decomposing an arbitrary routing into matchings, routing
+//! each matching on the spanner, and reassembling a substitute routing with
+//! congestion overhead `O(C(P) · log n)`.
+//!
+//! * [`problem`] — routing problems `R = {(u_i, v_i)}`, with the matching
+//!   special case the constructions reduce to,
+//! * [`routing`] — routings `P` (sets of paths) and node-congestion
+//!   accounting `C(P)` (Definition 2's measured quantity),
+//! * [`shortest`] — BFS shortest-path routings with deterministic or
+//!   randomised tie-breaking,
+//! * [`valiant`] — two-phase random-intermediate routing used to route
+//!   matchings on sparsified expanders (Table 1 rows \[5\] and \[16\]),
+//! * [`replace`] — per-edge replacement-path routers (3-detours in a
+//!   spanner, with fallbacks), the `(α', β')`-substitute building block,
+//! * [`decompose`] — Algorithm 2 end to end, instrumented so experiments
+//!   can report the Lemma 21–23 quantities (level degrees, matching
+//!   counts, congestion overhead),
+//! * [`schedule`] — a node-capacity-1 store-and-forward packet scheduler
+//!   that turns node congestion into measured delivery latency (the
+//!   paper's Section 1.1 motivation),
+//! * [`mincongestion`] — an approximate minimum-congestion router
+//!   (multiplicative-weights rerouting), the measured stand-in for
+//!   Definition 2's optimal `C(R)`.
+
+pub mod decompose;
+pub mod mincongestion;
+pub mod problem;
+pub mod replace;
+pub mod routing;
+pub mod schedule;
+pub mod shortest;
+pub mod valiant;
+
+pub use decompose::{substitute_routing_decomposed, DecompositionReport};
+pub use problem::RoutingProblem;
+pub use replace::{EdgeRouter, SpannerDetourRouter};
+pub use routing::Routing;

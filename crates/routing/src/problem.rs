@@ -1,0 +1,177 @@
+//! Routing problems (Definition: a set of source–destination pairs).
+
+use dcspan_graph::rng::item_rng;
+use dcspan_graph::{Edge, Graph, NodeId};
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// A routing problem `R = {(u_1, v_1), …, (u_k, v_k)}` with `u_i ≠ v_i`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RoutingProblem {
+    pairs: Vec<(NodeId, NodeId)>,
+}
+
+impl RoutingProblem {
+    /// Build from explicit pairs.
+    ///
+    /// # Panics
+    /// Panics if any pair has equal endpoints.
+    pub fn from_pairs(pairs: Vec<(NodeId, NodeId)>) -> Self {
+        assert!(pairs.iter().all(|(u, v)| u != v), "source must differ from destination");
+        RoutingProblem { pairs }
+    }
+
+    /// The routing problem over a set of edges (each edge becomes a pair,
+    /// oriented `u → v` canonically). Used by Lemma 1's "all edges" problem
+    /// and the matching routing problems `R_M`.
+    pub fn from_edges<I: IntoIterator<Item = Edge>>(edges: I) -> Self {
+        RoutingProblem { pairs: edges.into_iter().map(|e| (e.u, e.v)).collect() }
+    }
+
+    /// The "route every edge of G" problem from Lemma 1's proof.
+    pub fn all_edges(g: &Graph) -> Self {
+        Self::from_edges(g.edges().iter().copied())
+    }
+
+    /// A uniformly random permutation routing problem: node `i` sends to
+    /// `π(i)` for a random permutation π with no fixed points kept (fixed
+    /// points are dropped, matching the `u_i ≠ v_i` requirement).
+    ///
+    /// ```
+    /// use dcspan_routing::problem::RoutingProblem;
+    /// let r = RoutingProblem::random_permutation(100, 1);
+    /// assert!(r.len() >= 90); // only fixed points are dropped
+    /// assert!(r.pairs().iter().all(|(u, v)| u != v));
+    /// ```
+    pub fn random_permutation(n: usize, seed: u64) -> Self {
+        let mut rng = item_rng(seed, 0);
+        let mut targets: Vec<NodeId> = (0..n as NodeId).collect();
+        targets.shuffle(&mut rng);
+        let pairs = (0..n as NodeId)
+            .zip(targets)
+            .filter(|(u, v)| u != v)
+            .collect();
+        RoutingProblem { pairs }
+    }
+
+    /// `k` uniformly random (source ≠ destination) pairs.
+    pub fn random_pairs(n: usize, k: usize, seed: u64) -> Self {
+        assert!(n >= 2);
+        let mut rng = item_rng(seed, 1);
+        let pairs = (0..k)
+            .map(|_| loop {
+                let u = rng.gen_range(0..n as NodeId);
+                let v = rng.gen_range(0..n as NodeId);
+                if u != v {
+                    break (u, v);
+                }
+            })
+            .collect();
+        RoutingProblem { pairs }
+    }
+
+    /// A random matching routing problem: pair up a random subset of nodes
+    /// (each node appears at most once overall).
+    pub fn random_matching(n: usize, pairs: usize, seed: u64) -> Self {
+        assert!(2 * pairs <= n, "not enough nodes for {pairs} disjoint pairs");
+        let mut rng = item_rng(seed, 2);
+        let mut nodes: Vec<NodeId> = (0..n as NodeId).collect();
+        nodes.shuffle(&mut rng);
+        let pairs = nodes[..2 * pairs].chunks_exact(2).map(|c| (c[0], c[1])).collect();
+        RoutingProblem { pairs }
+    }
+
+    /// The pairs.
+    pub fn pairs(&self) -> &[(NodeId, NodeId)] {
+        &self.pairs
+    }
+
+    /// Number of pairs.
+    pub fn len(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// True if there are no pairs.
+    pub fn is_empty(&self) -> bool {
+        self.pairs.is_empty()
+    }
+
+    /// True if the problem is a *matching* routing problem: every node
+    /// occurs at most once across all sources and destinations (the special
+    /// case Theorems 2 and 3 reduce to).
+    pub fn is_matching(&self) -> bool {
+        let mut seen = dcspan_graph::FxHashSet::default();
+        self.pairs.iter().all(|&(u, v)| seen.insert(u) && seen.insert(v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcspan_graph::Graph;
+
+    #[test]
+    fn from_pairs_and_accessors() {
+        let r = RoutingProblem::from_pairs(vec![(0, 1), (2, 3)]);
+        assert_eq!(r.len(), 2);
+        assert!(!r.is_empty());
+        assert!(r.is_matching());
+    }
+
+    #[test]
+    #[should_panic(expected = "must differ")]
+    fn rejects_self_pairs() {
+        let _ = RoutingProblem::from_pairs(vec![(1, 1)]);
+    }
+
+    #[test]
+    fn matching_detection() {
+        assert!(RoutingProblem::from_pairs(vec![(0, 1), (2, 3)]).is_matching());
+        assert!(!RoutingProblem::from_pairs(vec![(0, 1), (1, 2)]).is_matching());
+        assert!(!RoutingProblem::from_pairs(vec![(0, 1), (2, 0)]).is_matching());
+        assert!(RoutingProblem::from_pairs(vec![]).is_matching());
+    }
+
+    #[test]
+    fn all_edges_problem() {
+        let g = Graph::from_edges(3, vec![(0, 1), (1, 2)]);
+        let r = RoutingProblem::all_edges(&g);
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.pairs()[0], (0, 1));
+    }
+
+    #[test]
+    fn random_permutation_is_valid() {
+        let r = RoutingProblem::random_permutation(50, 3);
+        assert!(r.pairs().iter().all(|(u, v)| u != v));
+        // Each node appears at most once as source and once as destination.
+        let sources: std::collections::HashSet<_> = r.pairs().iter().map(|p| p.0).collect();
+        let dests: std::collections::HashSet<_> = r.pairs().iter().map(|p| p.1).collect();
+        assert_eq!(sources.len(), r.len());
+        assert_eq!(dests.len(), r.len());
+        // Most nodes survive fixed-point dropping.
+        assert!(r.len() >= 45);
+        assert_eq!(r, RoutingProblem::random_permutation(50, 3));
+    }
+
+    #[test]
+    fn random_matching_is_matching() {
+        let r = RoutingProblem::random_matching(20, 8, 5);
+        assert_eq!(r.len(), 8);
+        assert!(r.is_matching());
+    }
+
+    #[test]
+    #[should_panic(expected = "not enough nodes")]
+    fn random_matching_requires_enough_nodes() {
+        let _ = RoutingProblem::random_matching(5, 3, 1);
+    }
+
+    #[test]
+    fn random_pairs_deterministic() {
+        let a = RoutingProblem::random_pairs(30, 10, 7);
+        let b = RoutingProblem::random_pairs(30, 10, 7);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 10);
+    }
+}

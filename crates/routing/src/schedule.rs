@@ -1,0 +1,250 @@
+//! Store-and-forward packet scheduling under **node capacity 1** — the
+//! wireless-network model the paper cites as motivation (Section 1.1:
+//! "typically at most one packet can be received and forwarded by a node
+//! at a time"). Routing paths with smaller node congestion yield lower
+//! packet latency; this simulator makes that connection measurable.
+//!
+//! Each packet follows its fixed routing path. In every synchronous round,
+//! every node forwards **at most one** queued packet one hop. The makespan
+//! of a schedule is therefore lower-bounded by `max(D, C_peak)` where `D`
+//! is the longest path and `C_peak` the maximum number of paths through a
+//! node, and a simple greedy (optionally with Leighton–Maggs–Rao-style
+//! random initial delays) gets within `O(C·D)` always and close to `C + D`
+//! in practice.
+
+use crate::routing::Routing;
+use dcspan_graph::rng::item_rng;
+use dcspan_graph::NodeId;
+use rand::Rng;
+use std::collections::VecDeque;
+
+/// How the per-node queue picks the packet to forward.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum QueuePolicy {
+    /// First-in-first-out.
+    Fifo,
+    /// Farthest-remaining-distance first (a standard greedy that helps
+    /// long paths finish).
+    FarthestToGo,
+}
+
+/// Result of simulating one routing.
+#[derive(Clone, Debug)]
+pub struct ScheduleResult {
+    /// Rounds until the last packet arrived.
+    pub makespan: usize,
+    /// Per-packet delivery round.
+    pub delivery: Vec<usize>,
+    /// The trivial lower bound `max(D, C(P))` for node-capacity-1
+    /// scheduling of these paths.
+    pub lower_bound: usize,
+    /// Sum over packets of (delivery − path length − initial delay):
+    /// total queueing delay experienced.
+    pub total_queueing: usize,
+}
+
+/// Simulate the routing under node-capacity-1 store-and-forward.
+///
+/// `initial_delay_bound`: each packet independently waits a uniform random
+/// delay in `[0, bound)` before injection (0 disables the LMR trick).
+///
+/// # Panics
+/// Panics if the simulation exceeds a generous safety cap (which would
+/// indicate a livelock bug — the greedy scheduler always makes progress).
+pub fn simulate_schedule(
+    n: usize,
+    routing: &Routing,
+    policy: QueuePolicy,
+    initial_delay_bound: usize,
+    seed: u64,
+) -> ScheduleResult {
+    let k = routing.len();
+    let paths: Vec<&[NodeId]> = routing.paths().iter().map(|p| p.nodes()).collect();
+    let mut delay = vec![0usize; k];
+    if initial_delay_bound > 0 {
+        for (i, d) in delay.iter_mut().enumerate() {
+            let mut rng = item_rng(seed, i as u64);
+            *d = rng.gen_range(0..initial_delay_bound);
+        }
+    }
+    // position[i] = index into paths[i] of the node currently holding i.
+    let mut position = vec![0usize; k];
+    let mut delivery = vec![0usize; k];
+    let mut remaining = 0usize;
+    // queue[v] = packets waiting at v to be forwarded by v.
+    let mut queue: Vec<VecDeque<usize>> = vec![VecDeque::new(); n];
+    let mut pending: Vec<(usize, usize)> = Vec::new(); // (inject_round, packet)
+    for i in 0..k {
+        if paths[i].len() <= 1 {
+            delivery[i] = 0; // already at destination
+        } else {
+            pending.push((delay[i], i));
+            remaining += 1;
+        }
+    }
+    pending.sort_unstable();
+    let mut pending = pending.into_iter().peekable();
+
+    let congestion = routing.congestion(n) as usize;
+    let dmax = routing.max_length();
+    let lower_bound = congestion.max(dmax);
+    let cap = (congestion + 1) * (dmax + 1) * 2 + initial_delay_bound + 16;
+
+    let mut round = 0usize;
+    while remaining > 0 {
+        round += 1;
+        assert!(round <= cap, "scheduler exceeded safety cap {cap} — livelock?");
+        // Inject packets whose delay expired (they become forwardable this
+        // round from their source).
+        while let Some(&(r, i)) = pending.peek() {
+            if r < round {
+                queue[paths[i][0] as usize].push_back(i);
+                pending.next();
+            } else {
+                break;
+            }
+        }
+        // Each node forwards one packet; collect arrivals, apply after.
+        let mut arrivals: Vec<(usize, usize)> = Vec::new(); // (node, packet)
+        #[allow(clippy::needless_range_loop)] // queue is mutated by index below
+        for v in 0..n {
+            if queue[v].is_empty() {
+                continue;
+            }
+            let idx = match policy {
+                QueuePolicy::Fifo => 0,
+                QueuePolicy::FarthestToGo => {
+                    let mut best = 0usize;
+                    let mut best_left = 0usize;
+                    for (qi, &pk) in queue[v].iter().enumerate() {
+                        let left = paths[pk].len() - 1 - position[pk];
+                        if left > best_left {
+                            best_left = left;
+                            best = qi;
+                        }
+                    }
+                    best
+                }
+            };
+            let pk = queue[v].remove(idx).unwrap();
+            position[pk] += 1;
+            let here = paths[pk][position[pk]];
+            if position[pk] + 1 == paths[pk].len() {
+                delivery[pk] = round;
+                remaining -= 1;
+            } else {
+                arrivals.push((here as usize, pk));
+            }
+        }
+        for (v, pk) in arrivals {
+            queue[v].push_back(pk);
+        }
+    }
+
+    let total_queueing = (0..k)
+        .map(|i| delivery[i].saturating_sub(paths[i].len() - 1 + delay[i]).min(delivery[i]))
+        .sum();
+    ScheduleResult { makespan: round, delivery, lower_bound, total_queueing }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcspan_graph::Path;
+
+    #[test]
+    fn single_packet_takes_path_length_rounds() {
+        let r = Routing::new(vec![Path::new(vec![0, 1, 2, 3])]);
+        let res = simulate_schedule(4, &r, QueuePolicy::Fifo, 0, 1);
+        assert_eq!(res.makespan, 3);
+        assert_eq!(res.delivery, vec![3]);
+        assert_eq!(res.lower_bound, 3);
+        assert_eq!(res.total_queueing, 0);
+    }
+
+    #[test]
+    fn shared_source_serialises() {
+        // Three packets all starting at node 0: node 0 forwards one per
+        // round → makespan ≥ 3.
+        let r = Routing::new(vec![
+            Path::new(vec![0, 1]),
+            Path::new(vec![0, 2]),
+            Path::new(vec![0, 3]),
+        ]);
+        let res = simulate_schedule(4, &r, QueuePolicy::Fifo, 0, 2);
+        assert_eq!(res.makespan, 3);
+        assert!(res.total_queueing > 0);
+    }
+
+    #[test]
+    fn disjoint_paths_run_in_parallel() {
+        let r = Routing::new(vec![Path::new(vec![0, 1, 2]), Path::new(vec![3, 4, 5])]);
+        let res = simulate_schedule(6, &r, QueuePolicy::Fifo, 0, 3);
+        assert_eq!(res.makespan, 2);
+    }
+
+    #[test]
+    fn makespan_at_least_lower_bound() {
+        // Funnel: many packets crossing one middle node.
+        let paths: Vec<Path> = (0..5u32)
+            .map(|i| Path::new(vec![i, 5, 6 + i]))
+            .collect();
+        let r = Routing::new(paths);
+        let res = simulate_schedule(11, &r, QueuePolicy::Fifo, 0, 4);
+        assert!(res.makespan >= res.lower_bound);
+        // Node 5 has congestion 5; everything must funnel through it.
+        assert!(res.makespan >= 5, "makespan {}", res.makespan);
+        // But not catastrophically more.
+        assert!(res.makespan <= 8, "makespan {}", res.makespan);
+    }
+
+    #[test]
+    fn trivial_paths_deliver_instantly() {
+        let r = Routing::new(vec![Path::trivial(2), Path::new(vec![0, 1])]);
+        let res = simulate_schedule(3, &r, QueuePolicy::Fifo, 0, 5);
+        assert_eq!(res.delivery[0], 0);
+        assert_eq!(res.delivery[1], 1);
+    }
+
+    #[test]
+    fn empty_routing() {
+        let r = Routing::new(vec![]);
+        let res = simulate_schedule(3, &r, QueuePolicy::Fifo, 0, 6);
+        assert_eq!(res.makespan, 0);
+        assert_eq!(res.lower_bound, 0);
+    }
+
+    #[test]
+    fn farthest_to_go_prioritises_long_paths() {
+        // One long path and several short ones sharing the first hop's node.
+        let mut paths = vec![Path::new(vec![0, 1, 2, 3, 4, 5])];
+        for i in 0..3u32 {
+            paths.push(Path::new(vec![0, 6 + i]));
+        }
+        let r = Routing::new(paths);
+        let fifo = simulate_schedule(9, &r, QueuePolicy::Fifo, 0, 7);
+        let ftg = simulate_schedule(9, &r, QueuePolicy::FarthestToGo, 0, 7);
+        // FarthestToGo lets the long path leave first: makespan no worse.
+        assert!(ftg.makespan <= fifo.makespan);
+        assert!(ftg.delivery[0] <= fifo.delivery[0]);
+    }
+
+    #[test]
+    fn random_delays_do_not_break_correctness() {
+        let paths: Vec<Path> = (0..6u32).map(|i| Path::new(vec![i, 6, 7 + i])).collect();
+        let r = Routing::new(paths);
+        let res = simulate_schedule(13, &r, QueuePolicy::Fifo, 4, 8);
+        assert!(res.makespan >= res.lower_bound);
+        assert_eq!(res.delivery.len(), 6);
+        assert!(res.delivery.iter().all(|&d| d > 0));
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let paths: Vec<Path> = (0..4u32).map(|i| Path::new(vec![i, 4, 5 + i])).collect();
+        let r = Routing::new(paths);
+        let a = simulate_schedule(9, &r, QueuePolicy::Fifo, 3, 9);
+        let b = simulate_schedule(9, &r, QueuePolicy::Fifo, 3, 9);
+        assert_eq!(a.delivery, b.delivery);
+    }
+}

@@ -1,0 +1,129 @@
+//! Shortest-path routings.
+//!
+//! The baseline routings `P` that experiments feed into the DC-spanner
+//! pipeline. Two tie-breaking policies:
+//!
+//! * deterministic (BFS parent order) — reproducible canonical routing,
+//! * randomised — each pair independently samples a uniformly random
+//!   *shortest* path (by walking backwards from the destination choosing a
+//!   random predecessor on a shortest path), which spreads congestion the
+//!   way the paper's random replacement choices do.
+
+use crate::problem::RoutingProblem;
+use crate::routing::Routing;
+use dcspan_graph::rng::item_rng;
+use dcspan_graph::traversal::{bfs_distances, shortest_path, UNREACHABLE};
+use dcspan_graph::{Graph, NodeId, Path};
+use rand::seq::SliceRandom;
+
+/// Route every pair along a deterministic shortest path.
+///
+/// Returns `None` if some pair is disconnected.
+pub fn shortest_path_routing(g: &Graph, problem: &RoutingProblem) -> Option<Routing> {
+    let mut paths = Vec::with_capacity(problem.len());
+    for &(u, v) in problem.pairs() {
+        paths.push(Path::new(shortest_path(g, u, v)?));
+    }
+    Some(Routing::new(paths))
+}
+
+/// Route every pair along an independently sampled uniformly-random
+/// shortest path.
+///
+/// Returns `None` if some pair is disconnected.
+pub fn random_shortest_path_routing(
+    g: &Graph,
+    problem: &RoutingProblem,
+    seed: u64,
+) -> Option<Routing> {
+    let mut paths = Vec::with_capacity(problem.len());
+    for (idx, &(u, v)) in problem.pairs().iter().enumerate() {
+        let mut rng = item_rng(seed, idx as u64);
+        let dist = bfs_distances(g, u);
+        if dist[v as usize] == UNREACHABLE {
+            return None;
+        }
+        // Walk backwards from v, picking a random predecessor at distance
+        // exactly one less each step.
+        let mut rev = vec![v];
+        let mut cur = v;
+        while cur != u {
+            let d = dist[cur as usize];
+            let mut preds: Vec<NodeId> = g
+                .neighbors(cur)
+                .iter()
+                .copied()
+                .filter(|&w| dist[w as usize] + 1 == d)
+                .collect();
+            debug_assert!(!preds.is_empty(), "BFS invariant violated");
+            preds.shuffle(&mut rng);
+            cur = preds[0];
+            rev.push(cur);
+        }
+        rev.reverse();
+        paths.push(Path::new(rev));
+    }
+    Some(Routing::new(paths))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c6() -> Graph {
+        Graph::from_edges(6, (0u32..6).map(|i| (i, (i + 1) % 6)))
+    }
+
+    #[test]
+    fn deterministic_routing_is_valid_and_shortest() {
+        let g = c6();
+        let problem = RoutingProblem::from_pairs(vec![(0, 3), (1, 5)]);
+        let r = shortest_path_routing(&g, &problem).unwrap();
+        assert!(r.is_valid_for(&problem, &g));
+        assert_eq!(r.paths()[0].len(), 3);
+        assert_eq!(r.paths()[1].len(), 2);
+    }
+
+    #[test]
+    fn disconnected_returns_none() {
+        let g = Graph::from_edges(4, vec![(0, 1), (2, 3)]);
+        let problem = RoutingProblem::from_pairs(vec![(0, 3)]);
+        assert!(shortest_path_routing(&g, &problem).is_none());
+        assert!(random_shortest_path_routing(&g, &problem, 1).is_none());
+    }
+
+    #[test]
+    fn random_routing_is_shortest_and_deterministic_per_seed() {
+        let g = c6();
+        let problem = RoutingProblem::from_pairs(vec![(0, 3), (2, 5)]);
+        let a = random_shortest_path_routing(&g, &problem, 11).unwrap();
+        let b = random_shortest_path_routing(&g, &problem, 11).unwrap();
+        assert_eq!(a, b);
+        assert!(a.is_valid_for(&problem, &g));
+        for p in a.paths() {
+            assert_eq!(p.len(), 3); // both pairs are antipodal on C6
+        }
+    }
+
+    #[test]
+    fn random_routing_uses_both_shortest_paths() {
+        // On C6 the pair (0, 3) has exactly two shortest paths; across many
+        // seeds both must appear.
+        let g = c6();
+        let problem = RoutingProblem::from_pairs(vec![(0, 3)]);
+        let mut seen = std::collections::HashSet::new();
+        for seed in 0..40 {
+            let r = random_shortest_path_routing(&g, &problem, seed).unwrap();
+            seen.insert(r.paths()[0].nodes().to_vec());
+        }
+        assert_eq!(seen.len(), 2, "both shortest paths should be sampled");
+    }
+
+    #[test]
+    fn empty_problem_routes_trivially() {
+        let g = c6();
+        let problem = RoutingProblem::from_pairs(vec![]);
+        let r = shortest_path_routing(&g, &problem).unwrap();
+        assert!(r.is_empty());
+    }
+}

@@ -1,0 +1,184 @@
+//! Valiant-style two-phase routing.
+//!
+//! On an expander, routing each pair `(s, t)` via a uniformly random
+//! intermediate node `w` (shortest path `s → w`, then `w → t`, each with
+//! random tie-breaking) yields `O(log n)`-length paths with low node
+//! congestion — the workhorse behind the permutation-routing bounds the
+//! paper imports from Scheideler \[25\] to fill Table 1's rows \[5\] and \[16\].
+
+use crate::problem::RoutingProblem;
+use crate::routing::Routing;
+use dcspan_graph::rng::item_rng;
+use dcspan_graph::traversal::{bfs_distances, UNREACHABLE};
+use dcspan_graph::{Graph, NodeId, Path};
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Sample a uniformly random shortest path `u → v` with the supplied RNG.
+fn random_sp(g: &Graph, u: NodeId, v: NodeId, rng: &mut rand::rngs::SmallRng) -> Option<Vec<NodeId>> {
+    let dist = bfs_distances(g, u);
+    if dist[v as usize] == UNREACHABLE {
+        return None;
+    }
+    let mut rev = vec![v];
+    let mut cur = v;
+    while cur != u {
+        let d = dist[cur as usize];
+        let mut preds: Vec<NodeId> =
+            g.neighbors(cur).iter().copied().filter(|&w| dist[w as usize] + 1 == d).collect();
+        preds.shuffle(rng);
+        cur = preds[0];
+        rev.push(cur);
+    }
+    rev.reverse();
+    Some(rev)
+}
+
+/// Two-phase Valiant routing: each pair goes through an independent random
+/// intermediate node. Returns `None` if the graph is disconnected for some
+/// pair.
+pub fn valiant_routing(g: &Graph, problem: &RoutingProblem, seed: u64) -> Option<Routing> {
+    let n = g.n();
+    assert!(n > 0);
+    let mut paths = Vec::with_capacity(problem.len());
+    for (idx, &(s, t)) in problem.pairs().iter().enumerate() {
+        let mut rng = item_rng(seed, idx as u64);
+        let w = rng.gen_range(0..n as NodeId);
+        let first = random_sp(g, s, w, &mut rng)?;
+        let second = random_sp(g, w, t, &mut rng)?;
+        // Concatenate (drop w's duplicate), then strip immediate
+        // backtracks (w may equal s or t, or the legs may share the first
+        // hop) so `Path`'s no-stutter invariant holds.
+        let mut nodes = first;
+        nodes.extend_from_slice(&second[1..]);
+        let mut cleaned: Vec<NodeId> = Vec::with_capacity(nodes.len());
+        for x in nodes {
+            if cleaned.last() == Some(&x) {
+                continue;
+            }
+            cleaned.push(x);
+        }
+        paths.push(Path::new(cleaned));
+    }
+    Some(Routing::new(paths))
+}
+
+/// [`EdgeRouter`](crate::replace::EdgeRouter) adapter: replace a routed
+/// edge by a Valiant two-phase path in the spanner `h`. This is how
+/// matchings are routed on the sparsified expanders of Table 1's rows \[5\]
+/// and \[16\], where 3-hop detours need not exist but `O(log n)`-hop
+/// low-congestion paths do.
+pub struct ValiantEdgeRouter<'a> {
+    h: &'a Graph,
+}
+
+impl<'a> ValiantEdgeRouter<'a> {
+    /// Route through spanner `h`.
+    pub fn new(h: &'a Graph) -> Self {
+        ValiantEdgeRouter { h }
+    }
+}
+
+impl crate::replace::EdgeRouter for ValiantEdgeRouter<'_> {
+    fn route_edge(
+        &self,
+        a: NodeId,
+        b: NodeId,
+        rng: &mut rand::rngs::SmallRng,
+    ) -> Option<Vec<NodeId>> {
+        if self.h.has_edge(a, b) {
+            return Some(vec![a, b]);
+        }
+        let w = rng.gen_range(0..self.h.n() as NodeId);
+        let first = random_sp(self.h, a, w, rng)?;
+        let second = random_sp(self.h, w, b, rng)?;
+        let mut nodes = first;
+        nodes.extend_from_slice(&second[1..]);
+        let mut cleaned: Vec<NodeId> = Vec::with_capacity(nodes.len());
+        for x in nodes {
+            if cleaned.last() == Some(&x) {
+                continue;
+            }
+            cleaned.push(x);
+        }
+        Some(cleaned)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::replace::{route_matching, EdgeRouter};
+
+    fn expanderish() -> Graph {
+        // Wheel + chords: small graph with many routes.
+        let mut edges: Vec<(u32, u32)> = (0u32..8).map(|i| (i, (i + 1) % 8)).collect();
+        edges.extend((0u32..8).map(|i| (i, (i + 3) % 8)));
+        Graph::from_edges(8, edges)
+    }
+
+    #[test]
+    fn valid_routing_produced() {
+        let g = expanderish();
+        let problem = RoutingProblem::random_permutation(8, 4);
+        let r = valiant_routing(&g, &problem, 9).unwrap();
+        assert!(r.is_valid_for(&problem, &g));
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let g = expanderish();
+        let problem = RoutingProblem::from_pairs(vec![(0, 4), (1, 5), (2, 6)]);
+        assert_eq!(valiant_routing(&g, &problem, 3), valiant_routing(&g, &problem, 3));
+    }
+
+    #[test]
+    fn intermediate_equal_to_endpoint_is_fine() {
+        // With only 2 nodes every intermediate is an endpoint; paths must
+        // still be valid (and not stutter).
+        let g = Graph::from_edges(2, vec![(0, 1)]);
+        let problem = RoutingProblem::from_pairs(vec![(0, 1)]);
+        for seed in 0..10 {
+            let r = valiant_routing(&g, &problem, seed).unwrap();
+            assert!(r.is_valid_for(&problem, &g));
+        }
+    }
+
+    #[test]
+    fn disconnected_returns_none() {
+        let g = Graph::from_edges(4, vec![(0, 1), (2, 3)]);
+        let problem = RoutingProblem::from_pairs(vec![(0, 2)]);
+        assert!(valiant_routing(&g, &problem, 1).is_none());
+    }
+
+    #[test]
+    fn edge_router_adapter_routes_matchings() {
+        let g = expanderish();
+        let h = dcspan_graph::sample::sample_subgraph(&g, 0.7, 3);
+        let router = ValiantEdgeRouter::new(&h);
+        // Route a matching problem over edges of g; if h is connected this
+        // must succeed and be valid in h.
+        if dcspan_graph::traversal::is_connected(&h) {
+            let problem = RoutingProblem::from_pairs(vec![(0, 1), (2, 3), (4, 5)]);
+            let r = route_matching(&router, &problem, 5).unwrap();
+            assert!(r.is_valid_for(&problem, &h));
+        }
+        // Direct edges route directly.
+        if let Some(e) = h.edges().first() {
+            let mut rng = dcspan_graph::rng::item_rng(0, 0);
+            assert_eq!(router.route_edge(e.u, e.v, &mut rng), Some(vec![e.u, e.v]));
+        }
+    }
+
+    #[test]
+    fn spreads_congestion_on_expander() {
+        // A permutation routed by Valiant on a good small expander should
+        // have congestion well below the trivial bound k (every path through
+        // one node).
+        let g = expanderish();
+        let problem = RoutingProblem::random_permutation(8, 7);
+        let r = valiant_routing(&g, &problem, 13).unwrap();
+        assert!(r.congestion(8) <= problem.len() as u32);
+        assert!(r.congestion(8) >= 1);
+    }
+}

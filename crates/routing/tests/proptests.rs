@@ -1,0 +1,158 @@
+//! Property-based tests for routing invariants.
+
+use dcspan_graph::{Graph, Path};
+use dcspan_routing::decompose::{
+    substitute_routing_decomposed, substitute_routing_direct, ColoringAlgo,
+};
+use dcspan_routing::problem::RoutingProblem;
+use dcspan_routing::replace::{DetourPolicy, SpannerDetourRouter};
+use dcspan_routing::mincongestion::{min_congestion_routing, MinCongestionOptions};
+use dcspan_routing::routing::Routing;
+use dcspan_routing::schedule::{simulate_schedule, QueuePolicy};
+use dcspan_routing::shortest::{random_shortest_path_routing, shortest_path_routing};
+use proptest::prelude::*;
+
+/// A connected random graph: a random spanning-ish path + random extra edges.
+fn arb_connected_graph() -> impl Strategy<Value = Graph> {
+    (4usize..20).prop_flat_map(|n| {
+        let extra = proptest::collection::vec((0..n as u32, 0..n as u32), 0..3 * n);
+        extra.prop_map(move |pairs| {
+            let mut edges: Vec<(u32, u32)> = (0..n as u32 - 1).map(|i| (i, i + 1)).collect();
+            edges.extend(pairs.into_iter().filter(|(a, b)| a != b));
+            Graph::from_edges(n, edges)
+        })
+    })
+}
+
+fn arb_problem(n: usize) -> impl Strategy<Value = RoutingProblem> {
+    proptest::collection::vec((0..n as u32, 0..n as u32), 1..12).prop_map(move |pairs| {
+        RoutingProblem::from_pairs(
+            pairs
+                .into_iter()
+                .map(|(a, b)| if a == b { (a, (b + 1) % n as u32) } else { (a, b) })
+                .collect(),
+        )
+    })
+}
+
+proptest! {
+    #[test]
+    fn shortest_routing_is_valid_and_minimal((g, seed) in arb_connected_graph().prop_flat_map(|g| {
+        let n = g.n();
+        (Just(g), Just(n as u64))
+    })) {
+        let problem = RoutingProblem::random_pairs(g.n(), 6, seed);
+        let det = shortest_path_routing(&g, &problem).unwrap();
+        let rnd = random_shortest_path_routing(&g, &problem, seed).unwrap();
+        prop_assert!(det.is_valid_for(&problem, &g));
+        prop_assert!(rnd.is_valid_for(&problem, &g));
+        // Randomised tie-breaking never changes lengths.
+        for (a, b) in det.paths().iter().zip(rnd.paths()) {
+            prop_assert_eq!(a.len(), b.len());
+        }
+    }
+
+    #[test]
+    fn congestion_profile_sums_match_naive(g in arb_connected_graph()) {
+        let problem = RoutingProblem::random_pairs(g.n(), 8, 7);
+        let routing = shortest_path_routing(&g, &problem).unwrap();
+        let profile = routing.congestion_profile(g.n());
+        // Naive recount.
+        let mut naive = vec![0u32; g.n()];
+        for p in routing.paths() {
+            let mut nodes: Vec<u32> = p.nodes().to_vec();
+            nodes.sort_unstable();
+            nodes.dedup();
+            for v in nodes {
+                naive[v as usize] += 1;
+            }
+        }
+        prop_assert_eq!(profile, naive);
+    }
+
+    #[test]
+    fn decomposition_substitute_is_valid_and_bounded(
+        (g, problem) in arb_connected_graph().prop_flat_map(|g| {
+            let n = g.n();
+            (Just(g), arb_problem(n))
+        }),
+        seed in 0u64..1000,
+    ) {
+        let base = shortest_path_routing(&g, &problem).unwrap();
+        // Spanner: random subgraph with BFS-fallback router (always routable
+        // when the spanner is connected; if not, skip the case).
+        let h = dcspan_graph::sample::sample_subgraph(&g, 0.7, seed);
+        if !dcspan_graph::traversal::is_connected(&h) {
+            return Ok(());
+        }
+        let router = SpannerDetourRouter::new(&h, DetourPolicy::UniformUpTo3);
+        let rep = substitute_routing_decomposed(g.n(), &base, &router, ColoringAlgo::MisraGries, seed)
+            .unwrap();
+        prop_assert!(rep.routing.is_valid_for(&problem, &h));
+        // Lemma 21.
+        prop_assert!(rep.lemma21_holds(g.n()));
+        // Levels are bounded by the number of paths, degrees non-increasing.
+        prop_assert!(rep.num_levels <= problem.len());
+        prop_assert!(rep.level_degrees.windows(2).all(|w| w[0] >= w[1]));
+        // Matching count ≥ level count, ≤ Lemma 23's O(n³).
+        if rep.num_levels > 0 {
+            prop_assert!(rep.num_matchings >= rep.num_levels);
+        }
+        prop_assert!((rep.num_matchings as f64) <= (g.n() as f64).powi(3));
+        // The direct substitute is also valid.
+        let direct = substitute_routing_direct(&base, &router, seed).unwrap();
+        prop_assert!(direct.is_valid_for(&problem, &h));
+    }
+
+    #[test]
+    fn max_stretch_vs_is_at_least_one_for_spanner_substitutes(g in arb_connected_graph()) {
+        let problem = RoutingProblem::random_pairs(g.n(), 5, 3);
+        let base = shortest_path_routing(&g, &problem).unwrap();
+        let h = dcspan_graph::sample::sample_subgraph(&g, 0.8, 3);
+        if !dcspan_graph::traversal::is_connected(&h) {
+            return Ok(());
+        }
+        let sub = shortest_path_routing(&h, &problem).unwrap();
+        // Removing edges can only lengthen shortest paths.
+        prop_assert!(sub.max_stretch_vs(&base) >= 1.0 || base.paths().iter().all(|p| p.is_empty()));
+    }
+
+    #[test]
+    fn scheduler_respects_lower_bound_and_delivers(g in arb_connected_graph(), seed in 0u64..100) {
+        let problem = RoutingProblem::random_pairs(g.n(), 6, seed);
+        let routing = shortest_path_routing(&g, &problem).unwrap();
+        for policy in [QueuePolicy::Fifo, QueuePolicy::FarthestToGo] {
+            let res = simulate_schedule(g.n(), &routing, policy, 0, seed);
+            prop_assert!(res.makespan >= routing.max_length());
+            prop_assert!(res.makespan >= res.lower_bound.min(res.makespan));
+            prop_assert_eq!(res.delivery.len(), routing.len());
+            // Every non-trivial packet is delivered after ≥ its path length.
+            for (d, p) in res.delivery.iter().zip(routing.paths()) {
+                prop_assert!(*d >= p.len() || p.is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn min_congestion_never_worse_than_shortest(g in arb_connected_graph(), seed in 0u64..100) {
+        let problem = RoutingProblem::random_pairs(g.n(), 8, seed);
+        let base = shortest_path_routing(&g, &problem).unwrap();
+        let opt = min_congestion_routing(&g, &problem, MinCongestionOptions::default(), seed)
+            .unwrap();
+        prop_assert!(opt.is_valid_for(&problem, &g));
+        prop_assert!(opt.congestion(g.n()) <= base.congestion(g.n()));
+    }
+
+    #[test]
+    fn splice_composition_preserves_endpoints(g in arb_connected_graph()) {
+        let problem = RoutingProblem::random_pairs(g.n(), 4, 9);
+        let base = shortest_path_routing(&g, &problem).unwrap();
+        let spliced: Vec<Path> = base
+            .paths()
+            .iter()
+            .map(|p| p.splice(|a, b| vec![a, b]))
+            .collect();
+        // Identity splice must reproduce the routing exactly.
+        prop_assert_eq!(Routing::new(spliced), base);
+    }
+}

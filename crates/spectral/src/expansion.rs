@@ -1,0 +1,181 @@
+//! Spectral-expansion estimation — the premise checker for Theorem 2.
+//!
+//! The paper calls an `n`-node graph a *(spectral) expander with expansion
+//! λ* when `max(|λ₂|, |λ_n|) ≤ λ` for the adjacency eigenvalues
+//! `λ₁ ≥ … ≥ λ_n` ordered by value. For Δ-regular graphs `λ₁ = Δ` with
+//! eigenvector **1**, so deflating the all-ones direction and measuring the
+//! extreme eigenvalues of the remainder yields λ directly.
+
+use crate::lanczos::extreme_eigenvalues;
+use crate::matvec::{Adjacency, Deflated, NormalizedAdjacency};
+use crate::power::power_iteration;
+use dcspan_graph::Graph;
+
+/// Result of estimating a regular graph's spectral expansion.
+#[derive(Clone, Copy, Debug)]
+pub struct ExpansionEstimate {
+    /// Estimated `λ = max(|λ₂|, |λ_n|)`.
+    pub lambda: f64,
+    /// Degree Δ (= λ₁ for connected regular graphs).
+    pub degree: usize,
+    /// The Ramanujan bound `2√(Δ−1)` the estimate is compared against.
+    pub ramanujan_bound: f64,
+}
+
+impl ExpansionEstimate {
+    /// λ normalised by the degree (the "expansion ratio" `λ/Δ ∈ [0, 1]`).
+    pub fn ratio(&self) -> f64 {
+        if self.degree == 0 {
+            0.0
+        } else {
+            self.lambda / self.degree as f64
+        }
+    }
+
+    /// True if λ is within `slack` of the Ramanujan bound — the empirical
+    /// near-Ramanujan check used to validate Theorem 2's premise.
+    pub fn is_near_ramanujan(&self, slack: f64) -> bool {
+        self.lambda <= self.ramanujan_bound * slack
+    }
+}
+
+/// Estimate `λ = max(|λ₂|, |λ_n|)` of a **regular** graph by Lanczos on the
+/// adjacency deflated against the all-ones vector, cross-checked by power
+/// iteration (the larger of the two estimates is returned — both are
+/// under-approximations from a random start).
+///
+/// # Panics
+/// Panics if the graph is not regular (use [`normalized_expansion`] then).
+///
+/// ```
+/// use dcspan_spectral::expansion::spectral_expansion;
+/// // K_8: deflated spectrum is {−1,…,−1, 0} ⇒ λ = 1.
+/// let g = dcspan_graph::Graph::from_edges(
+///     8,
+///     (0u32..8).flat_map(|i| (i + 1..8).map(move |j| (i, j))),
+/// );
+/// let est = spectral_expansion(&g, 1);
+/// assert!((est.lambda - 1.0).abs() < 1e-6);
+/// assert!(est.is_near_ramanujan(1.0));
+/// ```
+pub fn spectral_expansion(g: &Graph, seed: u64) -> ExpansionEstimate {
+    assert!(g.is_regular(), "spectral_expansion requires a regular graph");
+    let degree = g.max_degree();
+    if g.n() == 0 || degree == 0 {
+        return ExpansionEstimate { lambda: 0.0, degree, ramanujan_bound: 0.0 };
+    }
+    let a = Adjacency::new(g);
+    let d = Deflated::new(&a, vec![1.0; g.n()]);
+    let steps = 60.min(g.n());
+    let (lo, hi) = extreme_eigenvalues(&d, steps, seed);
+    let lanczos_lambda = lo.abs().max(hi.abs());
+    let power_lambda = power_iteration(&d, 300, 1e-10, seed ^ 0x9e37).value;
+    let lambda = lanczos_lambda.max(power_lambda);
+    let ramanujan_bound = 2.0 * ((degree as f64 - 1.0).max(0.0)).sqrt();
+    ExpansionEstimate { lambda, degree, ramanujan_bound }
+}
+
+/// Estimate the normalised second eigenvalue
+/// `λ̂ = max(|λ̂₂|, |λ̂_n|)` of `D^{-1/2} A D^{-1/2}` for arbitrary graphs
+/// (1 − λ̂ is the spectral gap; λ̂ ≪ 1 means good expansion).
+pub fn normalized_expansion(g: &Graph, seed: u64) -> f64 {
+    if g.n() == 0 || g.m() == 0 {
+        return 0.0;
+    }
+    let a = NormalizedAdjacency::new(g);
+    let dir = a.principal_direction();
+    let d = Deflated::new(&a, dir);
+    let steps = 60.min(g.n());
+    let (lo, hi) = extreme_eigenvalues(&d, steps, seed);
+    let lanczos_lambda = lo.abs().max(hi.abs());
+    let power_lambda = power_iteration(&d, 300, 1e-10, seed ^ 0x51c7).value;
+    lanczos_lambda.max(power_lambda)
+}
+
+/// Estimate `λ₁` (spectral radius of the plain adjacency); equals Δ for
+/// connected regular graphs — used as a self-check in experiments.
+pub fn lambda1(g: &Graph, seed: u64) -> f64 {
+    if g.n() == 0 {
+        return 0.0;
+    }
+    let a = Adjacency::new(g);
+    let (lo, hi) = extreme_eigenvalues(&a, 60.min(g.n()), seed);
+    lo.abs().max(hi.abs())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcspan_graph::Graph;
+
+    fn complete(n: usize) -> Graph {
+        Graph::from_edges(n, (0..n as u32).flat_map(|i| (i + 1..n as u32).map(move |j| (i, j))))
+    }
+
+    #[test]
+    fn complete_graph_lambda_is_one() {
+        let est = spectral_expansion(&complete(8), 1);
+        assert_eq!(est.degree, 7);
+        assert!((est.lambda - 1.0).abs() < 1e-6, "λ = {}", est.lambda);
+        assert!(est.is_near_ramanujan(1.0));
+        assert!(est.ratio() < 0.2);
+    }
+
+    #[test]
+    fn cycle_is_a_terrible_expander() {
+        let g = Graph::from_edges(20, (0u32..20).map(|i| (i, (i + 1) % 20)));
+        let est = spectral_expansion(&g, 2);
+        // C_20 is bipartite: λ_n = −2, so λ = 2 (Ramanujan bound for Δ=2 is 2).
+        assert!((est.lambda - 2.0).abs() < 1e-4, "λ = {}", est.lambda);
+        assert!(est.ratio() > 0.9);
+    }
+
+    #[test]
+    fn hypercube_lambda() {
+        // Q_4: adjacency eigenvalues d − 2k = {4, 2, 0, −2, −4}; λ = 4? No:
+        // λ = max(|λ₂|, |λ_n|) = max(2, 4) = 4 — the bipartite −Δ end.
+        let g = {
+            let d = 4usize;
+            let n = 1usize << d;
+            Graph::from_edges(
+                n,
+                (0..n as u32).flat_map(move |u| {
+                    (0..d as u32).filter_map(move |b| {
+                        let w = u ^ (1 << b);
+                        (u < w).then_some((u, w))
+                    })
+                }),
+            )
+        };
+        let est = spectral_expansion(&g, 3);
+        assert!((est.lambda - 4.0).abs() < 1e-6, "λ = {}", est.lambda);
+    }
+
+    #[test]
+    fn lambda1_of_regular_graph_is_degree() {
+        let g = complete(6);
+        assert!((lambda1(&g, 4) - 5.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn normalized_expansion_of_complete_graph() {
+        // Normalised spectrum of K_n: {1, −1/(n−1) ×(n−1)} → λ̂ = 1/(n−1).
+        let v = normalized_expansion(&complete(9), 5);
+        assert!((v - 1.0 / 8.0).abs() < 1e-6, "λ̂ = {v}");
+    }
+
+    #[test]
+    fn normalized_expansion_handles_irregular() {
+        let g = Graph::from_edges(4, vec![(0, 1), (0, 2), (0, 3)]);
+        // Star K_{1,3} is bipartite: λ̂ = 1.
+        let v = normalized_expansion(&g, 6);
+        assert!((v - 1.0).abs() < 1e-6, "λ̂ = {v}");
+    }
+
+    #[test]
+    #[should_panic(expected = "regular")]
+    fn spectral_expansion_rejects_irregular() {
+        let g = Graph::from_edges(3, vec![(0, 1)]);
+        let _ = spectral_expansion(&g, 0);
+    }
+}

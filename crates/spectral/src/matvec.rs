@@ -1,0 +1,184 @@
+//! Adjacency-matrix operators.
+//!
+//! The CSR layout of [`dcspan_graph::Graph`] makes `y = A·x` a
+//! cache-friendly per-row gather, parallelised over rows with rayon (rows
+//! are independent, so the result is deterministic).
+
+use dcspan_graph::{Graph, NodeId};
+use rayon::prelude::*;
+
+/// A symmetric linear operator on `R^n`.
+pub trait Operator: Sync {
+    /// Dimension of the operator.
+    fn dim(&self) -> usize;
+    /// `out ← A·x`.
+    fn apply(&self, x: &[f64], out: &mut [f64]);
+}
+
+/// The adjacency matrix of a graph.
+pub struct Adjacency<'a> {
+    g: &'a Graph,
+}
+
+impl<'a> Adjacency<'a> {
+    /// Wrap a graph as its adjacency operator.
+    pub fn new(g: &'a Graph) -> Self {
+        Adjacency { g }
+    }
+}
+
+impl Operator for Adjacency<'_> {
+    fn dim(&self) -> usize {
+        self.g.n()
+    }
+
+    fn apply(&self, x: &[f64], out: &mut [f64]) {
+        debug_assert_eq!(x.len(), self.g.n());
+        debug_assert_eq!(out.len(), self.g.n());
+        out.par_iter_mut().enumerate().for_each(|(u, o)| {
+            *o = self.g.neighbors(u as NodeId).iter().map(|&w| x[w as usize]).sum();
+        });
+    }
+}
+
+/// An operator restricted to the orthogonal complement of a fixed unit
+/// vector: `x ↦ P·A·P·x` with `P = I − dir·dirᵀ`.
+///
+/// For a Δ-regular graph with `dir = 1/√n`, the spectrum of the deflated
+/// adjacency is exactly `{0, λ₂, …, λ_n}` — so its spectral radius is the
+/// paper's expansion parameter `λ = max(|λ₂|, |λ_n|)`.
+pub struct Deflated<'a, O: Operator> {
+    inner: &'a O,
+    dir: Vec<f64>,
+}
+
+impl<'a, O: Operator> Deflated<'a, O> {
+    /// Deflate against `dir` (normalised internally).
+    pub fn new(inner: &'a O, mut dir: Vec<f64>) -> Self {
+        assert_eq!(dir.len(), inner.dim());
+        let n = crate::vecops::normalize(&mut dir);
+        assert!(n > 0.0, "deflation direction must be nonzero");
+        Deflated { inner, dir }
+    }
+}
+
+impl<O: Operator> Operator for Deflated<'_, O> {
+    fn dim(&self) -> usize {
+        self.inner.dim()
+    }
+
+    fn apply(&self, x: &[f64], out: &mut [f64]) {
+        let mut xp = x.to_vec();
+        crate::vecops::project_out(&mut xp, &self.dir);
+        self.inner.apply(&xp, out);
+        crate::vecops::project_out(out, &self.dir);
+    }
+}
+
+/// The normalised adjacency `D^{-1/2} A D^{-1/2}` (for non-regular graphs);
+/// isolated nodes get a zero row.
+pub struct NormalizedAdjacency<'a> {
+    g: &'a Graph,
+    inv_sqrt_deg: Vec<f64>,
+}
+
+impl<'a> NormalizedAdjacency<'a> {
+    /// Wrap a graph as its normalised adjacency operator.
+    pub fn new(g: &'a Graph) -> Self {
+        let inv_sqrt_deg = (0..g.n())
+            .map(|u| {
+                let d = g.degree(u as NodeId);
+                if d == 0 {
+                    0.0
+                } else {
+                    1.0 / (d as f64).sqrt()
+                }
+            })
+            .collect();
+        NormalizedAdjacency { g, inv_sqrt_deg }
+    }
+
+    /// The top eigenvector direction `sqrt(deg)` (unnormalised).
+    pub fn principal_direction(&self) -> Vec<f64> {
+        (0..self.g.n()).map(|u| (self.g.degree(u as NodeId) as f64).sqrt()).collect()
+    }
+}
+
+impl Operator for NormalizedAdjacency<'_> {
+    fn dim(&self) -> usize {
+        self.g.n()
+    }
+
+    fn apply(&self, x: &[f64], out: &mut [f64]) {
+        let isd = &self.inv_sqrt_deg;
+        out.par_iter_mut().enumerate().for_each(|(u, o)| {
+            let s: f64 =
+                self.g.neighbors(u as NodeId).iter().map(|&w| x[w as usize] * isd[w as usize]).sum();
+            *o = s * isd[u];
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vecops::{dot, norm};
+    use dcspan_graph::Graph;
+
+    #[test]
+    fn adjacency_on_triangle() {
+        let g = Graph::from_edges(3, vec![(0, 1), (1, 2), (0, 2)]);
+        let a = Adjacency::new(&g);
+        let mut out = vec![0.0; 3];
+        a.apply(&[1.0, 2.0, 3.0], &mut out);
+        assert_eq!(out, vec![5.0, 4.0, 3.0]);
+    }
+
+    #[test]
+    fn regular_graph_ones_is_eigenvector() {
+        let g = Graph::from_edges(4, vec![(0, 1), (1, 2), (2, 3), (3, 0)]);
+        let a = Adjacency::new(&g);
+        let mut out = vec![0.0; 4];
+        a.apply(&[1.0; 4], &mut out);
+        assert!(out.iter().all(|&x| (x - 2.0).abs() < 1e-12));
+    }
+
+    #[test]
+    fn deflated_kills_principal_component() {
+        let g = Graph::from_edges(4, vec![(0, 1), (1, 2), (2, 3), (3, 0)]);
+        let a = Adjacency::new(&g);
+        let d = Deflated::new(&a, vec![1.0; 4]);
+        let mut out = vec![0.0; 4];
+        // The all-ones input lies entirely along the deflated direction.
+        d.apply(&[1.0; 4], &mut out);
+        assert!(norm(&out) < 1e-12);
+        // Outputs are always orthogonal to the direction.
+        d.apply(&[1.0, -1.0, 2.0, 0.5], &mut out);
+        let ones = [0.5; 4]; // unit version of all-ones
+        assert!(dot(&out, &ones).abs() < 1e-10);
+    }
+
+    #[test]
+    fn normalized_adjacency_spectral_radius_at_most_one() {
+        // For any graph, ‖D^{-1/2}AD^{-1/2}x‖ ≤ ‖x‖ on the principal vector.
+        let g = Graph::from_edges(4, vec![(0, 1), (0, 2), (0, 3)]);
+        let a = NormalizedAdjacency::new(&g);
+        let mut dir = a.principal_direction();
+        crate::vecops::normalize(&mut dir);
+        let mut out = vec![0.0; 4];
+        a.apply(&dir, &mut out);
+        // dir is the eigenvector with eigenvalue exactly 1.
+        for (o, d) in out.iter().zip(&dir) {
+            assert!((o - d).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn isolated_nodes_are_zero_rows() {
+        let g = Graph::from_edges(3, vec![(0, 1)]);
+        let a = NormalizedAdjacency::new(&g);
+        let mut out = vec![0.0; 3];
+        a.apply(&[1.0, 1.0, 1.0], &mut out);
+        assert_eq!(out[2], 0.0);
+    }
+}

@@ -1,0 +1,122 @@
+//! Empirical checks of the **expander mixing lemma** (Lemma 3 of the
+//! paper) and of the neighbourhood-matching bound it implies (Lemma 4).
+//!
+//! Lemma 3: for a Δ-regular graph with expansion λ and any `S, T ⊆ V`,
+//! `|e(S,T) − (Δ/n)·|S|·|T|| ≤ λ·√(|S|·|T|)` (with `e(S,T)` counting
+//! ordered pairs). Lemma 4 derives from it that the maximum matching
+//! between any two neighbourhoods `N(u)`, `N(v)` has size at least
+//! `Δ·(1 − λn/Δ²)`.
+
+use dcspan_graph::stats::edges_between;
+use dcspan_graph::rng::item_rng;
+use dcspan_graph::{Graph, NodeId};
+use rand::seq::SliceRandom;
+
+/// One evaluation of the mixing-lemma inequality for a pair of node sets.
+#[derive(Clone, Copy, Debug)]
+pub struct MixingCheck {
+    /// Measured `e(S, T)` (ordered-pair count).
+    pub observed: f64,
+    /// The expectation term `(Δ/n)·|S|·|T|`.
+    pub expected: f64,
+    /// The allowed deviation `λ·√(|S|·|T|)`.
+    pub bound: f64,
+}
+
+impl MixingCheck {
+    /// The measured deviation `|e(S,T) − expected|`.
+    pub fn deviation(&self) -> f64 {
+        (self.observed - self.expected).abs()
+    }
+
+    /// Whether the inequality holds for the λ used to compute `bound`.
+    pub fn holds(&self) -> bool {
+        self.deviation() <= self.bound + 1e-9
+    }
+}
+
+/// Evaluate the mixing-lemma inequality for given sets `S`, `T` with a
+/// given expansion parameter `lambda`.
+pub fn mixing_check(g: &Graph, s: &[NodeId], t: &[NodeId], lambda: f64) -> MixingCheck {
+    assert!(g.is_regular(), "the mixing lemma as stated needs a regular graph");
+    let delta = g.max_degree() as f64;
+    let n = g.n() as f64;
+    let observed = edges_between(g, s, t) as f64;
+    let expected = delta / n * s.len() as f64 * t.len() as f64;
+    let bound = lambda * ((s.len() * t.len()) as f64).sqrt();
+    MixingCheck { observed, expected, bound }
+}
+
+/// Run `trials` random-set mixing checks with uniformly random disjoint-ish
+/// set sizes; returns the checks (callers assert `holds()` with a measured
+/// λ, or aggregate deviations).
+pub fn random_mixing_checks(g: &Graph, lambda: f64, trials: usize, seed: u64) -> Vec<MixingCheck> {
+    let mut out = Vec::with_capacity(trials);
+    let nodes: Vec<NodeId> = (0..g.n() as NodeId).collect();
+    for trial in 0..trials {
+        let mut rng = item_rng(seed, trial as u64);
+        let mut shuffled = nodes.clone();
+        shuffled.shuffle(&mut rng);
+        let s_len = 1 + (trial * 7919) % (g.n() / 2).max(1);
+        let t_len = 1 + (trial * 104_729) % (g.n() / 2).max(1);
+        let s = &shuffled[..s_len.min(shuffled.len())];
+        let t = &shuffled[shuffled.len() - t_len.min(shuffled.len())..];
+        out.push(mixing_check(g, s, t, lambda));
+    }
+    out
+}
+
+/// The Lemma 4 guarantee: minimum neighbourhood-matching size
+/// `Δ·(1 − λn/Δ²)` (clamped at 0).
+pub fn lemma4_matching_bound(n: usize, delta: usize, lambda: f64) -> f64 {
+    let d = delta as f64;
+    (d * (1.0 - lambda * n as f64 / (d * d))).max(0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcspan_graph::Graph;
+
+    fn complete(n: usize) -> Graph {
+        Graph::from_edges(n, (0..n as u32).flat_map(|i| (i + 1..n as u32).map(move |j| (i, j))))
+    }
+
+    #[test]
+    fn mixing_exact_on_complete_graph() {
+        // K_n has λ = 1; sets S, T with |S∩T| = ∅: e(S,T) = |S||T| exactly
+        // minus nothing… K_6, S = {0,1}, T = {2,3,4}: e = 6.
+        let g = complete(6);
+        let c = mixing_check(&g, &[0, 1], &[2, 3, 4], 1.0);
+        assert_eq!(c.observed, 6.0);
+        assert!((c.expected - 5.0 / 6.0 * 6.0).abs() < 1e-12);
+        assert!(c.holds(), "deviation {} bound {}", c.deviation(), c.bound);
+    }
+
+    #[test]
+    fn mixing_holds_on_random_checks_for_complete_graph() {
+        let g = complete(20);
+        let checks = random_mixing_checks(&g, 1.0, 25, 7);
+        assert_eq!(checks.len(), 25);
+        assert!(checks.iter().all(MixingCheck::holds));
+    }
+
+    #[test]
+    fn mixing_fails_with_too_small_lambda() {
+        // C_20 with the (false) claim λ = 0.01: take S, T adjacent arcs.
+        let g = Graph::from_edges(20, (0u32..20).map(|i| (i, (i + 1) % 20)));
+        let s: Vec<u32> = (0..10).collect();
+        let t: Vec<u32> = (0..10).collect();
+        let c = mixing_check(&g, &s, &t, 0.01);
+        assert!(!c.holds(), "a cycle must violate tiny-λ mixing");
+    }
+
+    #[test]
+    fn lemma4_bound_values() {
+        // Δ² ≥ λn → positive bound; tiny Δ → clamped at 0.
+        assert!(lemma4_matching_bound(100, 50, 10.0) > 0.0);
+        assert_eq!(lemma4_matching_bound(100, 5, 10.0), 0.0);
+        let b = lemma4_matching_bound(16, 8, 2.0);
+        assert!((b - 8.0 * (1.0 - 2.0 * 16.0 / 64.0)).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,90 @@
+//! Dense vector helpers shared by the eigenvalue estimators.
+
+/// Dot product.
+#[inline]
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// Euclidean norm.
+#[inline]
+pub fn norm(a: &[f64]) -> f64 {
+    dot(a, a).sqrt()
+}
+
+/// Scale in place: `a ← s·a`.
+#[inline]
+pub fn scale(a: &mut [f64], s: f64) {
+    for x in a {
+        *x *= s;
+    }
+}
+
+/// `a ← a + s·b`.
+#[inline]
+pub fn axpy(a: &mut [f64], s: f64, b: &[f64]) {
+    debug_assert_eq!(a.len(), b.len());
+    for (x, y) in a.iter_mut().zip(b) {
+        *x += s * y;
+    }
+}
+
+/// Normalise to unit length; returns the original norm. Leaves the vector
+/// untouched (and returns 0) if it is numerically zero.
+pub fn normalize(a: &mut [f64]) -> f64 {
+    let n = norm(a);
+    if n > 1e-300 {
+        scale(a, 1.0 / n);
+    }
+    n
+}
+
+/// Project out the component of `a` along the **unit** vector `dir`:
+/// `a ← a − (a·dir)·dir`.
+pub fn project_out(a: &mut [f64], dir: &[f64]) {
+    let c = dot(a, dir);
+    axpy(a, -c, dir);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_and_norm() {
+        assert_eq!(dot(&[1.0, 2.0], &[3.0, 4.0]), 11.0);
+        assert!((norm(&[3.0, 4.0]) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn axpy_and_scale() {
+        let mut a = vec![1.0, 2.0];
+        axpy(&mut a, 2.0, &[10.0, 20.0]);
+        assert_eq!(a, vec![21.0, 42.0]);
+        scale(&mut a, 0.5);
+        assert_eq!(a, vec![10.5, 21.0]);
+    }
+
+    #[test]
+    fn normalize_unit() {
+        let mut a = vec![0.0, 3.0, 4.0];
+        let n = normalize(&mut a);
+        assert!((n - 5.0).abs() < 1e-12);
+        assert!((norm(&a) - 1.0).abs() < 1e-12);
+        let mut z = vec![0.0, 0.0];
+        assert_eq!(normalize(&mut z), 0.0);
+    }
+
+    #[test]
+    fn projection_orthogonalises() {
+        let dir = {
+            let mut d = vec![1.0, 1.0];
+            normalize(&mut d);
+            d
+        };
+        let mut a = vec![2.0, 0.0];
+        project_out(&mut a, &dir);
+        assert!(dot(&a, &dir).abs() < 1e-12);
+    }
+}

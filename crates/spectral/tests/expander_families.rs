@@ -1,0 +1,85 @@
+//! Cross-crate validation: the generator families used as Theorem 2
+//! workloads really are expanders by the paper's spectral definition.
+
+use dcspan_gen::margulis::gabber_galil;
+use dcspan_gen::regular::{circulant_regular, random_regular};
+use dcspan_spectral::expansion::{normalized_expansion, spectral_expansion};
+use dcspan_spectral::mixing::{lemma4_matching_bound, random_mixing_checks};
+
+#[test]
+fn random_regular_graphs_are_near_ramanujan() {
+    // Friedman: λ ≤ 2√(Δ−1) + o(1) whp. Allow 25% slack for the small sizes
+    // and the rewiring (not perfectly uniform) model.
+    for (n, d, seed) in [(200, 8, 1u64), (300, 10, 2), (256, 16, 3)] {
+        let g = random_regular(n, d, seed);
+        let est = spectral_expansion(&g, seed);
+        assert!(
+            est.is_near_ramanujan(1.25),
+            "n={n} Δ={d}: λ = {:.3} vs Ramanujan {:.3}",
+            est.lambda,
+            est.ramanujan_bound
+        );
+    }
+}
+
+#[test]
+fn rewiring_dramatically_beats_the_circulant() {
+    // The circulant seed is a terrible expander (λ/Δ ≈ 1); rewiring must
+    // push the ratio down near the Ramanujan level.
+    let n = 200;
+    let d = 8;
+    let before = spectral_expansion(&circulant_regular(n, d), 7);
+    let after = spectral_expansion(&random_regular(n, d, 7), 7);
+    assert!(before.ratio() > 0.9, "circulant ratio {:.3}", before.ratio());
+    // Ramanujan ratio for Δ = 8 is 2√7/8 ≈ 0.661; the rewired graph should
+    // be close to it while the circulant is near 1.
+    assert!(after.ratio() < 0.75, "rewired ratio {:.3}", after.ratio());
+    assert!(after.is_near_ramanujan(1.25), "λ = {:.3}", after.lambda);
+}
+
+#[test]
+fn gabber_galil_has_constant_normalized_gap() {
+    // Gabber–Galil guarantees λ ≤ 5√2 for degree 8 ⇒ normalised λ̂ bounded
+    // away from 1 independently of size.
+    for m in [8usize, 12, 16] {
+        let g = gabber_galil(m);
+        let lam = normalized_expansion(&g, m as u64);
+        assert!(lam < 0.95, "m={m}: normalised λ̂ = {lam:.3}");
+    }
+}
+
+#[test]
+fn mixing_lemma_holds_with_measured_lambda() {
+    // With the *measured* λ, Lemma 3 must hold on random set pairs.
+    let g = random_regular(150, 12, 9);
+    let est = spectral_expansion(&g, 9);
+    let checks = random_mixing_checks(&g, est.lambda * 1.05, 40, 11);
+    let violations = checks.iter().filter(|c| !c.holds()).count();
+    assert_eq!(violations, 0, "λ = {:.3}", est.lambda);
+}
+
+#[test]
+fn lemma4_bound_is_met_by_actual_neighbourhood_matchings() {
+    // Dense regular expander: the max matching between N(u) and N(v) must
+    // be at least Δ(1 − λn/Δ²) (Lemma 4).
+    // The bound Δ(1 − λn/Δ²) is positive only when Δ^{3/2} ≳ 2n, i.e. the
+    // dense regime Δ ≥ (2n)^{2/3} that Theorem 2 operates in.
+    let n = 128;
+    let d = 64;
+    let g = random_regular(n, d, 21);
+    let est = spectral_expansion(&g, 21);
+    let bound = lemma4_matching_bound(n, d, est.lambda);
+    assert!(bound > 0.0, "λ = {:.3} too large for a meaningful bound", est.lambda);
+    for (u, v) in [(0u32, 1u32), (5, 99), (37, 64)] {
+        let m = dcspan_graph::matching::max_bipartite_matching(
+            &g,
+            g.neighbors(u),
+            g.neighbors(v),
+        );
+        assert!(
+            m.len() as f64 >= bound - 1e-9,
+            "matching {} < bound {bound:.2} for ({u},{v})",
+            m.len()
+        );
+    }
+}

@@ -1,0 +1,81 @@
+//! The Theorem 2 pipeline on a dense regular expander: verify the spectral
+//! premise, sample the spanner, and route a permutation workload with the
+//! matching-restricted replacement paths.
+//!
+//! ```sh
+//! cargo run --release --example expander_routing
+//! ```
+
+use dcspan::core::eval::{distance_stretch_edges, general_substitute_congestion};
+use dcspan::core::expander::{
+    build_expander_spanner, neighborhood_matching_stats, ExpanderMatchingRouter,
+    ExpanderSpannerParams,
+};
+use dcspan::gen::regular::random_regular;
+use dcspan::routing::problem::RoutingProblem;
+use dcspan::routing::shortest::random_shortest_path_routing;
+use dcspan::spectral::expansion::spectral_expansion;
+use dcspan::spectral::mixing::lemma4_matching_bound;
+
+fn main() {
+    // Theorem 2 regime: Δ = n^{2/3+ε}.
+    let n = 512;
+    let epsilon = 0.15;
+    let delta = {
+        let d = (n as f64).powf(2.0 / 3.0 + epsilon).ceil() as usize;
+        (d & !1).max(2)
+    };
+    let seed = 7;
+    let g = random_regular(n, delta, seed);
+    println!("G: n = {n}, Δ = {delta}, m = {}", g.m());
+
+    // 1. Verify the expander premise: λ should be near-Ramanujan.
+    let est = spectral_expansion(&g, seed);
+    println!(
+        "spectral expansion: λ = {:.2} (Ramanujan bound 2√(Δ−1) = {:.2}, ratio λ/Δ = {:.3})",
+        est.lambda,
+        est.ramanujan_bound,
+        est.ratio()
+    );
+    println!(
+        "Lemma 4 neighbourhood-matching bound: Δ(1 − λn/Δ²) = {:.1}",
+        lemma4_matching_bound(n, delta, est.lambda)
+    );
+
+    // 2. Sample the spanner at rate 1/n^ε (expected degree n^{2/3}).
+    let params = ExpanderSpannerParams::paper(n, delta);
+    let sp = build_expander_spanner(&g, params, seed);
+    println!(
+        "spanner: p = {:.3}, m = {} ({:.2}·n^5/3)",
+        params.sample_prob,
+        sp.h.m(),
+        sp.h.m() as f64 / (n as f64).powf(5.0 / 3.0)
+    );
+
+    // 3. Inspect one removed edge's replacement-path supply (Lemma 5).
+    if let Some(e) = g.edges().iter().find(|e| !sp.h.has_edge(e.u, e.v)) {
+        let st = neighborhood_matching_stats(&g, &sp.h, e.u, e.v);
+        println!(
+            "edge ({}, {}) ∉ H: |M| = {}, |M^S| = {}, usable 3-hop paths = {}",
+            e.u, e.v, st.matching_size, st.surviving_middle, st.usable_paths
+        );
+    }
+
+    // 4. Distance stretch over all edges.
+    let dist = distance_stretch_edges(&g, &sp.h, 6);
+    println!("distance stretch: max = {} (paper: 3 whp)", dist.max_stretch);
+
+    // 5. General permutation routing through Algorithm 2.
+    let problem = RoutingProblem::random_permutation(n, seed ^ 1);
+    let base = random_shortest_path_routing(&g, &problem, seed ^ 2).unwrap();
+    let router = ExpanderMatchingRouter::new(&g, &sp.h);
+    let gen = general_substitute_congestion(n, &base, &router, seed ^ 3).unwrap();
+    let log2 = (n as f64).log2();
+    println!(
+        "permutation routing: C(P) = {}, C(P') = {}, β = {:.2} (paper: O(log²n) = O({:.0}))",
+        gen.base_congestion,
+        gen.substitute_congestion,
+        gen.beta(),
+        log2 * log2
+    );
+}

@@ -1,0 +1,108 @@
+//! A gallery of the paper's counterexample constructions:
+//!
+//! * the Lemma 18 "fan" gadget and its optimal 3-spanner,
+//! * the Theorem 4 composite graph (Ω(n^{1/6}) congestion stretch),
+//! * the Lemma 2 separation gadget (distance + congestion ≠ DC),
+//! * the Figure 1 two-cliques graph (VFT spanners don't control congestion).
+//!
+//! ```sh
+//! cargo run --release --example lower_bound_gallery
+//! ```
+
+use dcspan::gen::fan::FanGraph;
+use dcspan::gen::lemma2::Lemma2Graph;
+use dcspan::gen::lower_bound::LowerBoundGraph;
+use dcspan::gen::two_clique::TwoCliqueGraph;
+use dcspan::graph::Path;
+use dcspan::routing::problem::RoutingProblem;
+use dcspan::routing::replace::{route_matching, DetourPolicy, SpannerDetourRouter};
+use dcspan::routing::routing::Routing;
+use dcspan::routing::shortest::shortest_path_routing;
+
+fn fan_demo() {
+    println!("— Lemma 18 fan gadget —");
+    let fan = FanGraph::new(8);
+    let h = fan.optimal_spanner();
+    println!(
+        "fan(k=8): |V| = {}, |E| = {}, optimal 3-spanner keeps {} edges",
+        fan.graph.n(),
+        fan.graph.m(),
+        h.m()
+    );
+    // Route the adversarial pairs in H: everything crosses s.
+    let problem = RoutingProblem::from_pairs(fan.adversarial_routing_pairs());
+    let routing = shortest_path_routing(&h, &problem).unwrap();
+    let c_s = routing
+        .congestion_profile(fan.graph.n())[fan.s() as usize];
+    println!(
+        "adversarial routing: congestion at s = {c_s} (k = {}), base congestion in G ≤ 2",
+        fan.k
+    );
+}
+
+fn theorem4_demo() {
+    println!("\n— Theorem 4 composite lower-bound graph —");
+    let lb = LowerBoundGraph::new(11, 2);
+    let h = lb.optimal_spanner();
+    let n = lb.graph.n();
+    println!(
+        "q = {}, k = {}: n = {}, |E(G)| = {}, |E(H)| = {} ({:.3}·n^7/6)",
+        lb.q,
+        lb.k,
+        n,
+        lb.graph.m(),
+        h.m(),
+        h.m() as f64 / (n as f64).powf(7.0 / 6.0)
+    );
+    // β on instance 0.
+    let pairs = lb.adversarial_routing_pairs(0);
+    let problem = RoutingProblem::from_pairs(pairs.clone());
+    let base = Routing::new(pairs.iter().map(|&(u, v)| Path::new(vec![u, v])).collect());
+    let sub = shortest_path_routing(&h, &problem).unwrap();
+    println!(
+        "instance 0: C_G = {}, C_H = {} → β = {:.1} (Lemma 18 bound (2k−1)/4 = {:.1}, n^1/6 = {:.1})",
+        base.congestion(n),
+        sub.congestion(n),
+        sub.congestion(n) as f64 / base.congestion(n) as f64,
+        (2.0 * lb.k as f64 - 1.0) / 4.0,
+        (n as f64).powf(1.0 / 6.0)
+    );
+}
+
+fn lemma2_demo() {
+    println!("\n— Lemma 2 separation gadget —");
+    let gadget = Lemma2Graph::new(16, 3);
+    let h = gadget.spanner_h();
+    let problem = RoutingProblem::from_pairs(gadget.matching_routing_pairs());
+    let router = SpannerDetourRouter::new(&h, DetourPolicy::UniformUpTo3);
+    let sub = route_matching(&router, &problem, 1).unwrap();
+    println!(
+        "H is a 3-distance spanner AND a 2-congestion spanner, yet the ≤3-hop substitute \
+         of the matching problem has congestion {} (base 1) — the funnel through (a₁, b₁).",
+        sub.congestion(gadget.graph.n())
+    );
+}
+
+fn figure1_demo() {
+    println!("\n— Figure 1 two-cliques graph —");
+    let t = TwoCliqueGraph::new(64);
+    let kept = dcspan::core::vft::paper_kept_count(&t);
+    let vft = dcspan::core::vft::vft_style_spanner(&t, kept, false, 3);
+    let problem = RoutingProblem::from_pairs(t.matching_routing_pairs());
+    let router = SpannerDetourRouter::new(&vft.h, DetourPolicy::UniformShortest);
+    let routing = route_matching(&router, &problem, 4).unwrap();
+    println!(
+        "n = {}: f-VFT-style spanner keeps {kept} matching edges; perfect-matching \
+         congestion = {} (paper: Ω(n^2/3) = Ω({:.0}))",
+        t.graph.n(),
+        routing.congestion(t.graph.n()),
+        (t.graph.n() as f64).powf(2.0 / 3.0)
+    );
+}
+
+fn main() {
+    fan_demo();
+    theorem4_demo();
+    lemma2_demo();
+    figure1_demo();
+}

@@ -1,0 +1,64 @@
+//! Quickstart: build a DC-spanner of a dense regular graph and measure
+//! both stretches.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use dcspan::core::eval::{distance_stretch_edges, general_substitute_congestion};
+use dcspan::core::regular::{build_regular_spanner, RegularSpannerParams};
+use dcspan::gen::regular::random_regular;
+use dcspan::routing::problem::RoutingProblem;
+use dcspan::routing::replace::{route_matching, DetourPolicy, SpannerDetourRouter};
+use dcspan::routing::shortest::random_shortest_path_routing;
+
+fn main() {
+    // A Δ-regular graph in the Theorem 3 regime (Δ ≥ n^{2/3}).
+    let n = 256;
+    let delta = 64;
+    let seed = 42;
+    let g = random_regular(n, delta, seed);
+    println!("G: n = {}, m = {}, Δ = {}", g.n(), g.m(), delta);
+
+    // Algorithm 1 (calibrated constants; see DESIGN.md for the paper's).
+    let params = RegularSpannerParams::calibrated(n, delta);
+    let spanner = build_regular_spanner(&g, params, seed);
+    println!(
+        "H: m = {} ({:.1}% of G) — sampled {}, reinserted {}, safe-reinserted {}",
+        spanner.h.m(),
+        100.0 * spanner.h.m() as f64 / g.m() as f64,
+        spanner.num_sampled,
+        spanner.num_reinserted,
+        spanner.num_safe_reinserted,
+    );
+
+    // Distance stretch α: measured over every edge of G.
+    let dist = distance_stretch_edges(&g, &spanner.h, 8);
+    println!("distance stretch α: max = {}, mean = {:.3}", dist.max_stretch, dist.mean_stretch);
+
+    // Congestion stretch for a matching routing problem (base congestion 1).
+    let matching = RoutingProblem::random_matching(n, n / 4, seed);
+    let router = SpannerDetourRouter::new(&spanner.h, DetourPolicy::UniformUpTo3);
+    let routed = route_matching(&router, &matching, seed).expect("spanner is connected");
+    println!(
+        "matching routing: congestion = {} over {} pairs (paths ≤ {} hops)",
+        routed.congestion(n),
+        matching.len(),
+        routed.max_length(),
+    );
+
+    // Congestion stretch β for a general routing problem, via the paper's
+    // Algorithm 2 decomposition.
+    let problem = RoutingProblem::random_permutation(n, seed);
+    let base = random_shortest_path_routing(&g, &problem, seed).expect("G is connected");
+    let general =
+        general_substitute_congestion(n, &base, &router, seed).expect("substitute exists");
+    println!(
+        "general routing:  C(P) = {}, C(P') = {}, β = {:.2} (Lemma 21 bound Σ(d_k+1) ≤ {:.0}: {})",
+        general.base_congestion,
+        general.substitute_congestion,
+        general.beta(),
+        general.report.lemma21_bound(n),
+        if general.report.lemma21_holds(n) { "holds" } else { "VIOLATED" },
+    );
+}

@@ -1,0 +1,305 @@
+//! `dcspan` — command-line front end for the DC-spanner workspace.
+//!
+//! ```text
+//! dcspan gen        --family <regular|gnp|gabber-galil|fan|two-clique|lower-bound> [--n N] [--delta D] [--seed S]
+//! dcspan spanner    --algo <regular|expander|baswana-sen|greedy|koutis-xu|d-out> [--n N] [--delta D] [--seed S]
+//! dcspan experiment <e1|e2|e3|e4|e5|e6|e7|e8|e9|e10|e11|ablations|all> [--quick]
+//! ```
+//!
+//! Argument parsing is deliberately dependency-free.
+
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+fn parse_flags(args: &[String]) -> HashMap<String, String> {
+    let mut flags = HashMap::new();
+    let mut i = 0;
+    while i < args.len() {
+        if let Some(name) = args[i].strip_prefix("--") {
+            if i + 1 < args.len() && !args[i + 1].starts_with("--") {
+                flags.insert(name.to_string(), args[i + 1].clone());
+                i += 2;
+            } else {
+                flags.insert(name.to_string(), "true".to_string());
+                i += 1;
+            }
+        } else {
+            i += 1;
+        }
+    }
+    flags
+}
+
+fn get_usize(flags: &HashMap<String, String>, key: &str, default: usize) -> usize {
+    flags.get(key).map_or(default, |v| v.parse().unwrap_or(default))
+}
+
+fn get_u64(flags: &HashMap<String, String>, key: &str, default: u64) -> u64 {
+    flags.get(key).map_or(default, |v| v.parse().unwrap_or(default))
+}
+
+fn describe(g: &dcspan::Graph, label: &str) {
+    let stats = dcspan::graph::stats::degree_stats(g);
+    println!("{label}: n = {}, m = {}", g.n(), g.m());
+    if let Some(s) = stats {
+        println!(
+            "  degrees: min = {}, max = {}, mean = {:.2} (σ = {:.2})",
+            s.min, s.max, s.mean, s.std_dev
+        );
+    }
+    println!("  connected: {}", dcspan::graph::traversal::is_connected(g));
+}
+
+fn cmd_gen(flags: &HashMap<String, String>) -> ExitCode {
+    let n = get_usize(flags, "n", 256);
+    let delta = get_usize(flags, "delta", 16);
+    let seed = get_u64(flags, "seed", 1);
+    let family = flags.get("family").map(String::as_str).unwrap_or("regular");
+    match family {
+        "regular" => {
+            let g = dcspan::gen::regular::random_regular(n, delta, seed);
+            describe(&g, "random regular");
+            let est = dcspan::spectral::expansion::spectral_expansion(&g, seed);
+            println!(
+                "  spectral: λ = {:.3} (Ramanujan {:.3}, ratio {:.3})",
+                est.lambda,
+                est.ramanujan_bound,
+                est.ratio()
+            );
+        }
+        "gnp" => {
+            let p = flags.get("p").map_or(0.1, |v| v.parse().unwrap_or(0.1));
+            describe(&dcspan::gen::gnp::gnp(n, p, seed), "G(n, p)");
+        }
+        "gabber-galil" => {
+            let m = (n as f64).sqrt().ceil() as usize;
+            describe(&dcspan::gen::margulis::gabber_galil(m), "Gabber–Galil");
+        }
+        "fan" => {
+            let k = get_usize(flags, "k", 8);
+            let fan = dcspan::gen::fan::FanGraph::new(k);
+            describe(&fan.graph, "Lemma 18 fan");
+        }
+        "two-clique" => {
+            let t = dcspan::gen::two_clique::TwoCliqueGraph::new(n / 2);
+            describe(&t.graph, "Figure 1 two-cliques");
+        }
+        "lower-bound" => {
+            let lb = dcspan::gen::lower_bound::LowerBoundGraph::for_target_n(n);
+            describe(&lb.graph, "Theorem 4 composite");
+            println!("  q = {}, k = {}, instances = {}", lb.q, lb.k, lb.instances);
+        }
+        other => {
+            eprintln!("unknown family: {other}");
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_spanner(flags: &HashMap<String, String>) -> ExitCode {
+    let n = get_usize(flags, "n", 256);
+    let delta = get_usize(flags, "delta", dcspan::experiments::workloads::theorem3_degree(256));
+    let seed = get_u64(flags, "seed", 1);
+    let algo = flags.get("algo").map(String::as_str).unwrap_or("regular");
+    let g = dcspan::gen::regular::random_regular(n, delta, seed);
+    describe(&g, "input G");
+    let h = match algo {
+        "regular" => {
+            let params = dcspan::core::regular::RegularSpannerParams::calibrated(n, delta);
+            let sp = dcspan::core::regular::build_regular_spanner(&g, params, seed);
+            println!(
+                "Algorithm 1: sampled {}, reinserted {}, safe {}",
+                sp.num_sampled, sp.num_reinserted, sp.num_safe_reinserted
+            );
+            sp.h
+        }
+        "expander" => {
+            let params = dcspan::core::expander::ExpanderSpannerParams::paper(n, delta);
+            println!("Theorem 2 sampler: p = {:.3}", params.sample_prob);
+            dcspan::core::expander::build_expander_spanner(&g, params, seed).h
+        }
+        "baswana-sen" => {
+            let k = get_usize(flags, "k", 2);
+            match dcspan::core::baswana_sen::baswana_sen_spanner_checked(&g, k, seed, 20) {
+                Some((h, attempts)) => {
+                    println!("Baswana–Sen (2k−1 = {}): valid after {attempts} attempt(s)", 2 * k - 1);
+                    h
+                }
+                None => {
+                    eprintln!("failed to build a valid ({})-spanner", 2 * k - 1);
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        "greedy" => {
+            let t = get_usize(flags, "t", 3) as u32;
+            dcspan::core::greedy::greedy_spanner(&g, t)
+        }
+        "koutis-xu" => dcspan::core::koutis_xu::koutis_xu_nlogn(&g, 2.0, seed).h,
+        "d-out" => {
+            let d = get_usize(flags, "d", 4);
+            dcspan::core::becchetti::random_d_out_subgraph(&g, d, seed)
+        }
+        other => {
+            eprintln!("unknown algorithm: {other}");
+            return ExitCode::FAILURE;
+        }
+    };
+    describe(&h, "spanner H");
+    let rep = dcspan::core::eval::distance_stretch_edges(&g, &h, 10);
+    println!(
+        "distance stretch: max = {:.2}, mean = {:.3}, unreachable-within-10 = {}",
+        rep.max_stretch, rep.mean_stretch, rep.overflow_pairs
+    );
+    let matching = dcspan::routing::problem::RoutingProblem::random_matching(n, n / 4, seed);
+    let router = dcspan::routing::replace::SpannerDetourRouter::new(
+        &h,
+        dcspan::routing::replace::DetourPolicy::UniformUpTo3,
+    );
+    match dcspan::routing::replace::route_matching(&router, &matching, seed) {
+        Some(r) => println!(
+            "matching routing ({} pairs): congestion = {}, max len = {}",
+            matching.len(),
+            r.congestion(n),
+            r.max_length()
+        ),
+        None => println!("matching routing failed (spanner disconnected)"),
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_experiment(which: &str, quick: bool) -> ExitCode {
+    let seed = 20240617u64;
+    let run_one = |name: &str| -> Option<String> {
+        let text = match name {
+            "e1" => {
+                let sizes: &[usize] = if quick { &[96, 128] } else { &[128, 256, 512] };
+                dcspan::experiments::e1_expander::run(sizes, 0.15, seed).1
+            }
+            "e2" => {
+                let sizes: &[usize] = if quick { &[96, 128] } else { &[128, 256, 512] };
+                dcspan::experiments::e2_becchetti::run(sizes, 4, seed).1
+            }
+            "e3" => {
+                let sizes: &[usize] = if quick { &[96, 128] } else { &[128, 256, 384] };
+                dcspan::experiments::e3_koutis_xu::run(sizes, seed).1
+            }
+            "e4" => {
+                let sizes: &[usize] = if quick { &[96, 128] } else { &[128, 256, 512] };
+                dcspan::experiments::e4_regular::run(sizes, seed).1
+            }
+            "e5" => {
+                let scales: &[(usize, usize)] =
+                    if quick { &[(5, 1), (7, 1)] } else { &[(5, 4), (7, 2), (11, 1), (13, 1)] };
+                dcspan::experiments::e5_lower_bound::run(scales).1
+            }
+            "e6" => {
+                let halves: &[usize] = if quick { &[24, 48] } else { &[32, 64, 128, 256] };
+                dcspan::experiments::e6_vft::run(halves, seed).1
+            }
+            "e7" => {
+                let pairs: &[usize] = if quick { &[8, 16] } else { &[8, 16, 32, 64] };
+                dcspan::experiments::e7_lemma2::run(pairs).1
+            }
+            "e8" => {
+                let sizes: &[usize] = if quick { &[96, 128] } else { &[128, 256, 384] };
+                dcspan::experiments::e8_matching::run(sizes, 0.18, 32, seed).1
+            }
+            "e9" => {
+                let sizes: &[usize] = if quick { &[96] } else { &[128, 256] };
+                dcspan::experiments::e9_support::run(sizes, seed).1
+            }
+            "e10" => {
+                let ks: &[usize] = if quick { &[16, 64] } else { &[32, 128, 256, 512] };
+                dcspan::experiments::e10_decompose::run(if quick { 96 } else { 256 }, ks, seed).1
+            }
+            "e11" => {
+                let sizes: &[usize] = if quick { &[36, 64] } else { &[64, 128, 216] };
+                dcspan::experiments::e11_local::run(sizes, seed).1
+            }
+            "e12" => {
+                let (n, half) = if quick { (96, 48) } else { (256, 128) };
+                dcspan::experiments::e12_latency::run(n, half, seed).1
+            }
+            "e13" => {
+                let n = if quick { 128 } else { 256 };
+                dcspan::experiments::e13_frontier::run(n, seed).1
+            }
+            "e14" => {
+                let (n, ks): (usize, &[usize]) =
+                    if quick { (96, &[20, 60]) } else { (256, &[32, 128, 256]) };
+                dcspan::experiments::e14_definition::run(n, ks, seed).1
+            }
+            "e15" => {
+                let (n, fs): (usize, &[usize]) =
+                    if quick { (96, &[1, 2]) } else { (216, &[1, 2, 4]) };
+                dcspan::experiments::e15_vft_tradeoff::run(n, fs, seed).1
+            }
+            "e16" => {
+                let sizes: &[usize] =
+                    if quick { &[96, 128, 192] } else { &[128, 192, 256, 384] };
+                dcspan::experiments::e16_scaling::run(sizes, seed).1
+            }
+            "sweep" => {
+                let (n, seeds) = if quick { (96, 3) } else { (256, 8) };
+                let mut out = dcspan::experiments::sweep::sweep_theorem2(n, 0.15, seeds, seed).1;
+                out.push_str(&dcspan::experiments::sweep::sweep_theorem3(n, seeds, seed).1);
+                out
+            }
+            "ablations" => {
+                let n = if quick { 96 } else { 256 };
+                let mut out = dcspan::experiments::ablations::run_a1(n, seed).1;
+                out.push_str(&dcspan::experiments::ablations::run_a2(n, seed).1);
+                out.push_str(&dcspan::experiments::ablations::run_a3(n / 2, 100, seed).1);
+                out
+            }
+            _ => return None,
+        };
+        Some(text)
+    };
+    if which == "all" {
+        for name in [
+            "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13",
+            "e14", "e15", "e16", "sweep", "ablations",
+        ]
+        {
+            println!("{}", run_one(name).unwrap());
+        }
+        return ExitCode::SUCCESS;
+    }
+    match run_one(which) {
+        Some(text) => {
+            println!("{text}");
+            ExitCode::SUCCESS
+        }
+        None => {
+            eprintln!("unknown experiment: {which}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  dcspan gen --family <regular|gnp|gabber-galil|fan|two-clique|lower-bound> [--n N] [--delta D] [--seed S]\n  dcspan spanner --algo <regular|expander|baswana-sen|greedy|koutis-xu|d-out> [--n N] [--delta D] [--seed S]\n  dcspan experiment <e1..e16|sweep|ablations|all> [--quick]"
+    );
+    ExitCode::FAILURE
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        return usage();
+    };
+    let flags = parse_flags(&args[1..]);
+    match cmd.as_str() {
+        "gen" => cmd_gen(&flags),
+        "spanner" => cmd_spanner(&flags),
+        "experiment" => {
+            let which = args.get(1).map(String::as_str).unwrap_or("all");
+            cmd_experiment(which, flags.contains_key("quick"))
+        }
+        _ => usage(),
+    }
+}

@@ -1,0 +1,21 @@
+//! # dcspan — Sparse Spanners with Small Distance and Congestion Stretches
+//!
+//! Facade crate re-exporting the `dcspan` workspace: a from-scratch Rust
+//! implementation of the DC-spanner constructions of Busch, Kowalski and
+//! Robinson (SPAA 2024), together with the graph/routing/spectral substrates
+//! they depend on, baseline spanners, a LOCAL-model simulator, and the
+//! experiment harness that regenerates the paper's Table 1 and figure-level
+//! claims.
+//!
+//! See the workspace `README.md` for a tour and `DESIGN.md` for the
+//! paper-to-code map.
+
+pub use dcspan_core as core;
+pub use dcspan_experiments as experiments;
+pub use dcspan_gen as gen;
+pub use dcspan_graph as graph;
+pub use dcspan_local as local;
+pub use dcspan_routing as routing;
+pub use dcspan_spectral as spectral;
+
+pub use dcspan_graph::{Graph, GraphBuilder, Path};

@@ -1,0 +1,107 @@
+//! Cross-crate integration tests: the full DC-spanner pipeline exercised
+//! through the `dcspan` facade, generate → verify spectrum → build spanner
+//! → decompose routing → check both stretches.
+
+use dcspan::core::eval::{
+    distance_stretch_edges, evaluate_dc_spanner, general_substitute_congestion,
+};
+use dcspan::core::expander::{
+    build_expander_spanner, ExpanderMatchingRouter, ExpanderSpannerParams,
+};
+use dcspan::core::regular::{build_regular_spanner, RegularSpannerParams};
+use dcspan::gen::regular::random_regular;
+use dcspan::routing::problem::RoutingProblem;
+use dcspan::routing::replace::{DetourPolicy, SpannerDetourRouter};
+use dcspan::routing::shortest::random_shortest_path_routing;
+use dcspan::spectral::expansion::spectral_expansion;
+
+#[test]
+fn theorem3_pipeline_end_to_end() {
+    let n = 125;
+    let delta = 26; // ≥ n^{2/3} = 25
+    let g = random_regular(n, delta, 11);
+    let params = RegularSpannerParams::calibrated(n, delta);
+    let sp = build_regular_spanner(&g, params, 12);
+
+    // Spanner invariants.
+    assert!(sp.h.is_subgraph_of(&g));
+    assert!(sp.sampled.is_subgraph_of(&sp.h));
+    assert!(dcspan::graph::traversal::is_connected(&sp.h));
+
+    // α ≤ 3 with safe mode on.
+    let dist = distance_stretch_edges(&g, &sp.h, 3);
+    assert_eq!(dist.overflow_pairs, 0);
+    assert!(dist.max_stretch <= 3.0);
+
+    // Full DC evaluation with matching + general problems.
+    let router = SpannerDetourRouter::new(&sp.h, DetourPolicy::UniformUpTo3);
+    let matching = RoutingProblem::random_matching(n, n / 4, 13);
+    let problem = RoutingProblem::random_permutation(n, 14);
+    let base = random_shortest_path_routing(&g, &problem, 15).unwrap();
+    let eval = evaluate_dc_spanner(&g, &sp.h, &router, &matching, Some(&base), 16).unwrap();
+
+    assert!(eval.matching_alpha <= 3);
+    // Lemma 17: matching congestion ≤ 1 + 2√Δ.
+    assert!((eval.matching_congestion as f64) <= 1.0 + 2.0 * (delta as f64).sqrt());
+    let gen = eval.general.unwrap();
+    assert!(gen.report.lemma21_holds(n));
+    assert!(gen.alpha <= 3.0);
+    // β within the O(√Δ log n) envelope.
+    assert!(gen.beta() <= 4.0 * (delta as f64).sqrt() * (n as f64).log2());
+}
+
+#[test]
+fn theorem2_pipeline_end_to_end() {
+    let n = 128;
+    let delta = 64; // n^{2/3+ε} with ε ≈ 0.19
+    let g = random_regular(n, delta, 21);
+
+    // Premise: near-Ramanujan expansion.
+    let est = spectral_expansion(&g, 22);
+    assert!(est.is_near_ramanujan(1.3), "λ = {}", est.lambda);
+
+    let sp = build_expander_spanner(&g, ExpanderSpannerParams::paper(n, delta), 23);
+    assert!(sp.h.is_subgraph_of(&g));
+    assert!(sp.h.m() < g.m());
+
+    let dist = distance_stretch_edges(&g, &sp.h, 3);
+    assert_eq!(dist.overflow_pairs, 0, "some edge has no ≤3-hop substitute");
+
+    let router = ExpanderMatchingRouter::new(&g, &sp.h);
+    let problem = RoutingProblem::random_permutation(n, 24);
+    let base = random_shortest_path_routing(&g, &problem, 25).unwrap();
+    let gen = general_substitute_congestion(n, &base, &router, 26).unwrap();
+    assert!(gen.alpha <= 3.0, "α = {}", gen.alpha);
+    let log2 = (n as f64).log2();
+    assert!(gen.beta() <= 4.0 * log2 * log2, "β = {}", gen.beta());
+}
+
+#[test]
+fn facade_reexports_are_usable() {
+    // The facade exposes the graph types directly.
+    let g = dcspan::Graph::from_edges(3, vec![(0, 1), (1, 2)]);
+    assert_eq!(g.m(), 2);
+    let p = dcspan::Path::new(vec![0, 1, 2]);
+    assert!(p.is_valid_in(&g));
+    let mut b = dcspan::GraphBuilder::new(2);
+    b.add_edge(0, 1);
+    assert_eq!(b.build().m(), 1);
+}
+
+#[test]
+fn substitute_routings_are_never_invalid() {
+    // Sweep seeds: whatever the sample, the substitute routing must be a
+    // valid routing of the original problem inside the spanner.
+    for seed in 0..5u64 {
+        let n = 64;
+        let delta = 16;
+        let g = random_regular(n, delta, seed);
+        let params = RegularSpannerParams::calibrated(n, delta);
+        let sp = build_regular_spanner(&g, params, seed ^ 0xAB);
+        let router = SpannerDetourRouter::new(&sp.h, DetourPolicy::UniformUpTo3);
+        let problem = RoutingProblem::random_pairs(n, 30, seed ^ 0xCD);
+        let base = random_shortest_path_routing(&g, &problem, seed ^ 0xEF).unwrap();
+        let gen = general_substitute_congestion(n, &base, &router, seed ^ 0x12).unwrap();
+        assert!(gen.report.routing.is_valid_for(&problem, &sp.h), "seed {seed}");
+    }
+}

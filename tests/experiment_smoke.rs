@@ -1,0 +1,46 @@
+//! Smoke test: every experiment runner executes end-to-end at minimum
+//! scale and produces a well-formed table. Guards the bench harnesses
+//! against bitrot without paying bench-scale runtimes in CI.
+
+use dcspan::experiments as ex;
+
+fn check(text: &str, id: &str) {
+    assert!(text.contains(id), "banner missing for {id}");
+    // A separator line under the header means the table rendered.
+    assert!(text.contains("---"), "no table rendered for {id}");
+}
+
+#[test]
+fn all_experiments_run_at_minimum_scale() {
+    let seed = 99;
+    check(&ex::e1_expander::run(&[64, 96], 0.18, seed).1, "E1");
+    check(&ex::e2_becchetti::run(&[64], 4, seed).1, "E2");
+    check(&ex::e3_koutis_xu::run(&[96], seed).1, "E3");
+    check(&ex::e4_regular::run(&[64], seed).1, "E4");
+    check(&ex::e5_lower_bound::run(&[(5, 1)]).1, "E5");
+    check(&ex::e6_vft::run(&[24], seed).1, "E6");
+    check(&ex::e7_lemma2::run(&[8]).1, "E7");
+    check(&ex::e8_matching::run(&[96], 0.2, 8, seed).1, "E8");
+    check(&ex::e9_support::run(&[64], seed).1, "E9");
+    check(&ex::e10_decompose::run(64, &[16], seed).1, "E10");
+    check(&ex::e11_local::run(&[36], seed).1, "E11");
+    check(&ex::e12_latency::run(64, 24, seed).1, "E12");
+    check(&ex::e13_frontier::run(96, seed).1, "E13");
+    check(&ex::e14_definition::run(64, &[16], seed).1, "E14");
+    check(&ex::e15_vft_tradeoff::run(64, &[1], seed).1, "E15");
+    check(&ex::e16_scaling::run(&[64, 96], seed).1, "E16");
+    check(&ex::ablations::run_a1(64, seed).1, "A1");
+    check(&ex::ablations::run_a2(64, seed).1, "A2");
+    check(&ex::ablations::run_a3(64, 40, seed).1, "A3");
+    check(&ex::sweep::sweep_theorem2(64, 0.2, 2, seed).1, "SWEEP-T2");
+    check(&ex::sweep::sweep_theorem3(64, 2, seed).1, "SWEEP-T3");
+}
+
+#[test]
+fn experiment_rows_serialise_to_json() {
+    let (rows, _) = ex::e5_lower_bound::run(&[(5, 1)]);
+    let json = ex::record::to_json_pretty(&rows);
+    assert!(json.starts_with('['));
+    let parsed: serde_json::Value = serde_json::from_str(&json).unwrap();
+    assert!(!parsed.as_array().unwrap().is_empty());
+}

@@ -1,0 +1,109 @@
+//! Integration tests pinning the paper's headline claims at test scale —
+//! small versions of the experiment suite (E1–E11 run their own tests in
+//! `dcspan-experiments`; these exercise the claims through the facade).
+
+use dcspan::gen::fan::FanGraph;
+use dcspan::gen::lower_bound::LowerBoundGraph;
+use dcspan::gen::setsystem::LineSystem;
+use dcspan::graph::Path;
+use dcspan::routing::problem::RoutingProblem;
+use dcspan::routing::routing::Routing;
+use dcspan::routing::shortest::shortest_path_routing;
+
+#[test]
+fn lemma1_dc_spanner_implies_both_stretches() {
+    // A DC-spanner is both an α-distance and β-congestion spanner: check
+    // the distance half constructively via the all-edges routing problem.
+    let n = 64;
+    let g = dcspan::gen::regular::random_regular(n, 16, 1);
+    let params = dcspan::core::regular::RegularSpannerParams::calibrated(n, 16);
+    let sp = dcspan::core::regular::build_regular_spanner(&g, params, 2);
+    let all_edges = RoutingProblem::all_edges(&g);
+    let router = dcspan::routing::replace::SpannerDetourRouter::new(
+        &sp.h,
+        dcspan::routing::replace::DetourPolicy::UniformShortest,
+    );
+    let routing = dcspan::routing::replace::route_matching(&router, &all_edges, 3).unwrap();
+    assert!(routing.is_valid_for(&all_edges, &sp.h));
+    // Every edge of G replaced by a ≤3-hop path in H ⇒ 3-distance spanner.
+    assert!(routing.max_length() <= 3);
+}
+
+#[test]
+fn lemma18_fan_bound_is_met_exactly() {
+    // β ≥ x/4 with x = 2k−1 for the optimal spanner; our measured β at the
+    // special node is exactly k (all k replacement paths cross s, the base
+    // routing has congestion ≤ 2).
+    for k in [3usize, 6, 10] {
+        let fan = FanGraph::new(k);
+        let h = fan.optimal_spanner();
+        let pairs = fan.adversarial_routing_pairs();
+        let problem = RoutingProblem::from_pairs(pairs.clone());
+        let base = Routing::new(pairs.iter().map(|&(u, v)| Path::new(vec![u, v])).collect());
+        let sub = shortest_path_routing(&h, &problem).unwrap();
+        let beta = sub.congestion(fan.graph.n()) as f64 / base.congestion(fan.graph.n()) as f64;
+        assert!(
+            beta >= (2.0 * k as f64 - 1.0) / 4.0,
+            "k={k}: β = {beta} below Lemma 18's bound"
+        );
+        // All substitutes cross s.
+        for p in sub.paths() {
+            assert!(p.nodes().contains(&fan.s()), "k={k}: a path avoided s");
+        }
+    }
+}
+
+#[test]
+fn theorem4_composite_scales_like_n_to_seventh_sixths() {
+    // |E(H)| / n^{7/6} stays bounded below across sizes.
+    let mut ratios = Vec::new();
+    for (q, blocks) in [(5usize, 1usize), (5, 4), (7, 2)] {
+        let lb = LowerBoundGraph::new(q, blocks);
+        let h = lb.optimal_spanner();
+        ratios.push(h.m() as f64 / (lb.graph.n() as f64).powf(7.0 / 6.0));
+    }
+    for r in &ratios {
+        assert!(*r > 0.3, "ratio {r} collapsed — not Ω(n^{{7/6}})");
+    }
+}
+
+#[test]
+fn lemma19_set_system_properties() {
+    // (i) every element in Θ(n^{1/6}) subsets — here exactly q;
+    // (ii) pairwise intersections ≤ 1.
+    let s = LineSystem::new(7, 3);
+    let freq = s.element_frequencies();
+    assert!(freq.iter().all(|&f| f == 7));
+    assert!(s.verify_pairwise_intersections());
+    assert_eq!(s.subsets().len(), s.num_elements());
+}
+
+#[test]
+fn corollary3_distributed_equals_sequential() {
+    let n = 64;
+    let delta = 16;
+    let g = dcspan::gen::regular::random_regular(n, delta, 5);
+    let mut params = dcspan::core::regular::RegularSpannerParams::calibrated(n, delta);
+    params.safe_reinsert = false;
+    let dist = dcspan::local::distributed_regular_spanner(&g, params, 6, 2);
+    let seq = dcspan::core::regular::build_regular_spanner_pair_sampled(&g, params, 6);
+    assert_eq!(dist.rounds, 5);
+    assert!(dist.endpoints_agree);
+    assert_eq!(dist.h, seq.h);
+}
+
+#[test]
+fn table1_theorem2_row_shape_at_test_scale() {
+    let (rows, _) = dcspan::experiments::e1_expander::run(&[96], 0.18, 99);
+    let r = &rows[0];
+    assert!(r.alpha <= 3.0);
+    assert!(r.edges_h < r.edges_g);
+}
+
+#[test]
+fn table1_theorem3_row_shape_at_test_scale() {
+    let (rows, _) = dcspan::experiments::e4_regular::run(&[96], 99);
+    let r = &rows[0];
+    assert!(r.alpha <= 3.0);
+    assert!((r.matching_congestion as f64) <= r.lemma17_bound);
+}

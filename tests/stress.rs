@@ -1,0 +1,51 @@
+//! Larger-scale stress tests, `#[ignore]`d by default (run with
+//! `cargo test --release -- --ignored`). These exercise the constructions
+//! at sizes closer to the bench scale and pin down scaling-sensitive
+//! invariants that small unit tests cannot see.
+
+use dcspan::core::eval::distance_stretch_edges;
+use dcspan::core::expander::{build_expander_spanner, ExpanderSpannerParams};
+use dcspan::core::regular::{build_regular_spanner, RegularSpannerParams};
+use dcspan::gen::regular::random_regular;
+use dcspan::spectral::expansion::spectral_expansion;
+
+#[test]
+#[ignore = "large-scale; run with --ignored in release"]
+fn theorem2_at_n_1024() {
+    let n = 1024;
+    let delta = 320; // ≈ n^{0.83}
+    let g = random_regular(n, delta, 1);
+    let est = spectral_expansion(&g, 1);
+    assert!(est.is_near_ramanujan(1.3), "λ = {}", est.lambda);
+    let sp = build_expander_spanner(&g, ExpanderSpannerParams::paper(n, delta), 2);
+    let ratio = sp.h.m() as f64 / (n as f64).powf(5.0 / 3.0);
+    assert!((0.3..0.8).contains(&ratio), "size ratio {ratio}");
+    let dist = distance_stretch_edges(&g, &sp.h, 3);
+    assert_eq!(dist.overflow_pairs, 0, "some edge lost its 3-hop substitute");
+}
+
+#[test]
+#[ignore = "large-scale; run with --ignored in release"]
+fn algorithm1_at_n_1000() {
+    let n = 1000;
+    let delta = 100; // = n^{2/3}
+    let g = random_regular(n, delta, 3);
+    let sp = build_regular_spanner(&g, RegularSpannerParams::calibrated(n, delta), 4);
+    assert!(sp.h.m() < g.m());
+    let dist = distance_stretch_edges(&g, &sp.h, 3);
+    assert_eq!(dist.overflow_pairs, 0);
+}
+
+#[test]
+#[ignore = "large-scale; run with --ignored in release"]
+fn distributed_equivalence_at_n_512() {
+    let n = 512;
+    let delta = 64;
+    let g = random_regular(n, delta, 5);
+    let mut params = RegularSpannerParams::calibrated(n, delta);
+    params.safe_reinsert = false;
+    let dist = dcspan::local::distributed_regular_spanner(&g, params, 6, 8);
+    let seq = dcspan::core::regular::build_regular_spanner_pair_sampled(&g, params, 6);
+    assert!(dist.endpoints_agree);
+    assert_eq!(dist.h, seq.h);
+}
