@@ -3,7 +3,9 @@
 //! Misra–Gries colouring, eigenvalue estimation, and Algorithm 2.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use dcspan_core::expander::{build_expander_spanner, ExpanderMatchingRouter, ExpanderSpannerParams};
+use dcspan_core::expander::{
+    build_expander_spanner, ExpanderMatchingRouter, ExpanderSpannerParams,
+};
 use dcspan_core::regular::{build_regular_spanner, RegularSpannerParams};
 use dcspan_gen::regular::random_regular;
 use dcspan_graph::coloring::misra_gries_edge_coloring;
@@ -20,7 +22,7 @@ fn bench_algorithm1(c: &mut Criterion) {
         let g = random_regular(n, delta, 1);
         let params = RegularSpannerParams::calibrated(n, delta);
         group.bench_with_input(BenchmarkId::from_parameter(n), &g, |b, g| {
-            b.iter(|| build_regular_spanner(black_box(g), params, 7))
+            b.iter(|| build_regular_spanner(black_box(g), params, 7));
         });
     }
     group.finish();
@@ -35,7 +37,7 @@ fn bench_expander_spanner(c: &mut Criterion) {
         let matching = dcspan_experiments::workloads::removed_edge_matching(&g, &sp.h);
         group.bench_with_input(BenchmarkId::from_parameter(n), &matching, |b, m| {
             let router = ExpanderMatchingRouter::new(&g, &sp.h);
-            b.iter(|| route_matching(&router, black_box(m), 11))
+            b.iter(|| route_matching(&router, black_box(m), 11));
         });
     }
     group.finish();
@@ -46,7 +48,7 @@ fn bench_hopcroft_karp(c: &mut Criterion) {
     for &delta in &[32usize, 64] {
         let g = random_regular(256, delta, 4);
         group.bench_with_input(BenchmarkId::from_parameter(delta), &g, |b, g| {
-            b.iter(|| max_bipartite_matching(black_box(g), g.neighbors(0), g.neighbors(1)))
+            b.iter(|| max_bipartite_matching(black_box(g), g.neighbors(0), g.neighbors(1)));
         });
     }
     group.finish();
@@ -57,7 +59,7 @@ fn bench_misra_gries(c: &mut Criterion) {
     for &n in &[64usize, 128] {
         let g = random_regular(n, 16, 5);
         group.bench_with_input(BenchmarkId::from_parameter(n), &g, |b, g| {
-            b.iter(|| misra_gries_edge_coloring(black_box(g)))
+            b.iter(|| misra_gries_edge_coloring(black_box(g)));
         });
     }
     group.finish();
@@ -69,7 +71,7 @@ fn bench_spectral(c: &mut Criterion) {
     for &n in &[256usize, 512] {
         let g = random_regular(n, 16, 6);
         group.bench_with_input(BenchmarkId::from_parameter(n), &g, |b, g| {
-            b.iter(|| spectral_expansion(black_box(g), 9))
+            b.iter(|| spectral_expansion(black_box(g), 9));
         });
     }
     group.finish();
@@ -86,8 +88,14 @@ fn bench_decomposition(c: &mut Criterion) {
     let (_, base) = dcspan_experiments::workloads::pairs_base_routing(&g, 256, 9);
     group.bench_function("n256_k256", |b| {
         b.iter(|| {
-            substitute_routing_decomposed(n, black_box(&base), &router, ColoringAlgo::MisraGries, 10)
-        })
+            substitute_routing_decomposed(
+                n,
+                black_box(&base),
+                &router,
+                ColoringAlgo::MisraGries,
+                10,
+            )
+        });
     });
     group.finish();
 }

@@ -1,1 +1,12 @@
-pub fn placeholder() {}
+//! # dcspan-bench
+//!
+//! Criterion benchmark harnesses for the `dcspan` workspace — one bench
+//! target per paper table/figure (see `benches/`), plus wall-clock timing
+//! benches for the construction and routing kernels.
+//!
+//! The library crate itself is intentionally empty: every harness lives in
+//! `benches/` so that `cargo bench -p dcspan-bench --bench <name>` maps
+//! one-to-one onto a paper artefact.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]

@@ -18,7 +18,8 @@ use dcspan_graph::rng::item_rng;
 use dcspan_graph::{Edge, FxHashMap, Graph, NodeId};
 use rand::Rng;
 
-/// Build a (2k−1)-spanner of `g` with the Baswana–Sen algorithm.
+/// Build a (2k−1)-spanner of `g` with the Baswana–Sen algorithm — the
+/// baseline distance spanner the paper contrasts with (Section 1, Figure 1).
 ///
 /// # Panics
 /// Panics if `k == 0`.
@@ -43,7 +44,9 @@ pub fn baswana_sen_spanner(g: &Graph, k: usize, seed: u64) -> Graph {
         let mut sampled: FxHashMap<u32, bool> = FxHashMap::default();
         for v in 0..n {
             if active[v] && cluster[v] != NONE {
-                sampled.entry(cluster[v]).or_insert_with(|| rng.gen_bool(sample_prob));
+                sampled
+                    .entry(cluster[v])
+                    .or_insert_with(|| rng.gen_bool(sample_prob));
             }
         }
         let mut new_cluster = cluster.clone();
@@ -80,7 +83,7 @@ pub fn baswana_sen_spanner(g: &Graph, k: usize, seed: u64) -> Graph {
                 None => {
                     // No adjacent sampled cluster: connect to every
                     // neighbouring cluster and retire.
-                    for (_, &w) in per_cluster.iter() {
+                    for &w in per_cluster.values() {
                         spanner_edges.push(Edge::new(v, w));
                     }
                     active[v as usize] = false;
@@ -110,7 +113,7 @@ pub fn baswana_sen_spanner(g: &Graph, k: usize, seed: u64) -> Graph {
             }
             per_cluster.entry(c).or_insert(w);
         }
-        for (_, &w) in per_cluster.iter() {
+        for &w in per_cluster.values() {
             spanner_edges.push(Edge::new(v, w));
         }
     }
@@ -123,7 +126,8 @@ pub fn baswana_sen_spanner(g: &Graph, k: usize, seed: u64) -> Graph {
 /// Build the spanner and retry with fresh seeds until it is a valid
 /// t = 2k−1 spanner (checked over all edges); the randomised construction
 /// guarantees the stretch only in expectation-ish terms at small n.
-/// Returns the first valid spanner and the number of attempts used.
+/// Returns the first valid spanner and the number of attempts used. Used
+/// as the clique sparsifier of the Figure 1 construction.
 pub fn baswana_sen_spanner_checked(
     g: &Graph,
     k: usize,
@@ -162,7 +166,12 @@ mod tests {
         let g = complete(40);
         let (h, _) = baswana_sen_spanner_checked(&g, 2, 3, 20).expect("valid 3-spanner");
         assert!(h.is_subgraph_of(&g));
-        assert!(h.m() < g.m(), "no sparsification on K_40: {} vs {}", h.m(), g.m());
+        assert!(
+            h.m() < g.m(),
+            "no sparsification on K_40: {} vs {}",
+            h.m(),
+            g.m()
+        );
         let rep = crate::eval::distance_stretch_edges(&g, &h, 3);
         assert!(rep.max_stretch <= 3.0);
         assert_eq!(rep.overflow_pairs, 0);

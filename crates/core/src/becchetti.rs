@@ -12,8 +12,9 @@ use dcspan_graph::rng::item_rng;
 use dcspan_graph::{Graph, NodeId};
 use rand::seq::SliceRandom;
 
-/// Extract the random `d`-out subgraph of `g`: each node keeps `d` random
-/// incident edges (all of them if its degree is below `d`).
+/// Extract the random `d`-out subgraph of `g` (Table 1, row \[5\]): each
+/// node keeps `d` random incident edges (all of them if its degree is
+/// below `d`).
 pub fn random_d_out_subgraph(g: &Graph, d: usize, seed: u64) -> Graph {
     assert!(d >= 1);
     let mut edges: Vec<(NodeId, NodeId)> = Vec::with_capacity(g.n() * d);
@@ -71,6 +72,9 @@ mod tests {
     #[test]
     fn deterministic() {
         let g = random_regular(64, 16, 9);
-        assert_eq!(random_d_out_subgraph(&g, 3, 10), random_d_out_subgraph(&g, 3, 10));
+        assert_eq!(
+            random_d_out_subgraph(&g, 3, 10),
+            random_d_out_subgraph(&g, 3, 10)
+        );
     }
 }

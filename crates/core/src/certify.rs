@@ -14,6 +14,7 @@
 //! to decide whether a subgraph is usable as a DC-spanner.
 
 use crate::eval::{distance_stretch_edges, general_substitute_congestion};
+use dcspan_graph::invariants;
 use dcspan_graph::traversal::is_connected;
 use dcspan_graph::Graph;
 use dcspan_routing::problem::RoutingProblem;
@@ -58,12 +59,13 @@ pub struct DcCertificate {
 }
 
 impl DcCertificate {
-    /// True if every check passed.
+    /// True if every check passed — `h` met all bounds of the
+    /// (α, β)-DC-spanner definition (Section 2).
     pub fn passed(&self) -> bool {
         self.checks.iter().all(|c| c.passed)
     }
 
-    /// Human-readable multi-line report.
+    /// Human-readable multi-line report, one line per Section 2 bound.
     pub fn render(&self) -> String {
         let mut out = String::new();
         for c in &self.checks {
@@ -75,27 +77,45 @@ impl DcCertificate {
                 c.bound
             ));
         }
-        out.push_str(if self.passed() { "verdict: DC-spanner checks PASSED\n" } else { "verdict: FAILED\n" });
+        out.push_str(if self.passed() {
+            "verdict: DC-spanner checks PASSED\n"
+        } else {
+            "verdict: FAILED\n"
+        });
         out
     }
 }
 
-/// Certify `h` as an `(α, β)`-DC-spanner of `g` using `router` to build
-/// substitute routings.
+/// Certify `h` as an `(α, β)`-DC-spanner of `g` (Definition in
+/// Section 2) using `router` to build substitute routings.
 pub fn certify_dc_spanner<R: EdgeRouter>(
     g: &Graph,
     h: &Graph,
     router: &R,
     opts: CertifyOptions,
 ) -> DcCertificate {
+    // Both graphs must be structurally sound before we measure anything;
+    // subgraph-ness is deliberately NOT asserted — it is a reported check.
+    invariants::assert_graph_contract(g, "certify_dc_spanner: host");
+    invariants::assert_graph_contract(h, "certify_dc_spanner: spanner");
     let mut checks = Vec::new();
     let mut push = |name, passed, measured, bound| {
-        checks.push(Check { name, passed, measured, bound });
+        checks.push(Check {
+            name,
+            passed,
+            measured,
+            bound,
+        });
     };
 
     // 1. Structure.
     let is_sub = h.n() == g.n() && h.is_subgraph_of(g);
-    push("H is a spanning subgraph", is_sub, h.m() as f64, g.m() as f64);
+    push(
+        "H is a spanning subgraph",
+        is_sub,
+        h.m() as f64,
+        g.m() as f64,
+    );
     let conn = is_connected(h);
     push("H is connected", conn, conn as u8 as f64, 1.0);
 
@@ -106,7 +126,11 @@ pub fn certify_dc_spanner<R: EdgeRouter>(
     push(
         "α over all edges",
         alpha_ok,
-        if dist.overflow_pairs > 0 { f64::INFINITY } else { dist.max_stretch },
+        if dist.overflow_pairs > 0 {
+            f64::INFINITY
+        } else {
+            dist.max_stretch
+        },
         opts.alpha,
     );
 
@@ -119,9 +143,19 @@ pub fn certify_dc_spanner<R: EdgeRouter>(
             let valid = routing.is_valid_for(&matching, h);
             push("matching substitute valid", valid, valid as u8 as f64, 1.0);
             let alpha_m = routing.max_length() as f64;
-            push("matching α (path lengths)", alpha_m <= opts.alpha + 1e-9, alpha_m, opts.alpha);
+            push(
+                "matching α (path lengths)",
+                alpha_m <= opts.alpha + 1e-9,
+                alpha_m,
+                opts.alpha,
+            );
             let c = routing.congestion(n) as f64;
-            push("matching β (base = 1)", c <= opts.beta_matching + 1e-9, c, opts.beta_matching);
+            push(
+                "matching β (base = 1)",
+                c <= opts.beta_matching + 1e-9,
+                c,
+                opts.beta_matching,
+            );
         }
         None => push("matching substitute valid", false, 0.0, 1.0),
     }
@@ -133,7 +167,12 @@ pub fn certify_dc_spanner<R: EdgeRouter>(
             Some(gen) => {
                 let valid = gen.report.routing.is_valid_for(&problem, h);
                 push("general substitute valid", valid, valid as u8 as f64, 1.0);
-                push("general α", gen.alpha <= opts.alpha + 1e-9, gen.alpha, opts.alpha);
+                push(
+                    "general α",
+                    gen.alpha <= opts.alpha + 1e-9,
+                    gen.alpha,
+                    opts.alpha,
+                );
                 push(
                     "general β = C(P')/C(P)",
                     gen.beta() <= opts.beta_general + 1e-9,
@@ -201,7 +240,11 @@ mod tests {
         let router = SpannerDetourRouter::new(&tree, DetourPolicy::UniformShortest);
         let cert = certify_dc_spanner(&g, &tree, &router, opts(n, delta));
         assert!(!cert.passed());
-        let alpha_check = cert.checks.iter().find(|c| c.name == "α over all edges").unwrap();
+        let alpha_check = cert
+            .checks
+            .iter()
+            .find(|c| c.name == "α over all edges")
+            .unwrap();
         assert!(!alpha_check.passed);
         assert!(cert.render().contains("FAIL"));
     }
@@ -212,7 +255,11 @@ mod tests {
         let other = random_regular(20, 6, 6); // not a subgraph
         let router = SpannerDetourRouter::new(&other, DetourPolicy::UniformShortest);
         let cert = certify_dc_spanner(&g, &other, &router, opts(20, 4));
-        let sub_check = cert.checks.iter().find(|c| c.name == "H is a spanning subgraph").unwrap();
+        let sub_check = cert
+            .checks
+            .iter()
+            .find(|c| c.name == "H is a spanning subgraph")
+            .unwrap();
         assert!(!sub_check.passed);
     }
 }

@@ -4,9 +4,7 @@
 use dcspan_graph::rng::item_rng;
 use dcspan_graph::traversal::{bfs_distances_bounded, distance, UNREACHABLE};
 use dcspan_graph::{Graph, NodeId, Path};
-use dcspan_routing::decompose::{
-    substitute_routing_decomposed, ColoringAlgo, DecompositionReport,
-};
+use dcspan_routing::decompose::{substitute_routing_decomposed, ColoringAlgo, DecompositionReport};
 use dcspan_routing::problem::RoutingProblem;
 use dcspan_routing::replace::EdgeRouter;
 use dcspan_routing::routing::Routing;
@@ -39,8 +37,7 @@ pub fn distance_stretch_edges(g: &Graph, h: &Graph, radius: u32) -> DistanceStre
         .into_par_iter()
         .map(|u| {
             // Only measure edges (u, v) with u < v to count each edge once.
-            let targets: Vec<NodeId> =
-                g.neighbors(u).iter().copied().filter(|&v| v > u).collect();
+            let targets: Vec<NodeId> = g.neighbors(u).iter().copied().filter(|&v| v > u).collect();
             if targets.is_empty() {
                 return (0.0, 0.0, 0, 0);
             }
@@ -64,9 +61,17 @@ pub fn distance_stretch_edges(g: &Graph, h: &Graph, radius: u32) -> DistanceStre
     let overflow_pairs: usize = per_node.iter().map(|t| t.2).sum();
     let pairs: usize = per_node.iter().map(|t| t.3).sum();
     let measured = pairs - overflow_pairs;
-    let mean_stretch =
-        if measured == 0 { 0.0 } else { per_node.iter().map(|t| t.1).sum::<f64>() / measured as f64 };
-    DistanceStretchReport { max_stretch, mean_stretch, overflow_pairs, pairs }
+    let mean_stretch = if measured == 0 {
+        0.0
+    } else {
+        per_node.iter().map(|t| t.1).sum::<f64>() / measured as f64
+    };
+    DistanceStretchReport {
+        max_stretch,
+        mean_stretch,
+        overflow_pairs,
+        pairs,
+    }
 }
 
 /// **Exact** distance stretch over all connected pairs:
@@ -94,10 +99,13 @@ pub fn distance_stretch_all_pairs(g: &Graph, h: &Graph) -> Option<f64> {
             Some(worst)
         })
         .collect();
-    per_node.into_iter().try_fold(1.0f64, |acc, x| x.map(|v| acc.max(v)))
+    per_node
+        .into_iter()
+        .try_fold(1.0f64, |acc, x| x.map(|v| acc.max(v)))
 }
 
-/// Distance stretch over `samples` random node pairs: `d_H(u,v)/d_G(u,v)`.
+/// Distance stretch α (Section 2) over `samples` random node pairs:
+/// `d_H(u,v)/d_G(u,v)`.
 pub fn distance_stretch_sampled(
     g: &Graph,
     h: &Graph,
@@ -130,7 +138,12 @@ pub fn distance_stretch_sampled(
     } else {
         measured.iter().sum::<f64>() / measured.len() as f64
     };
-    DistanceStretchReport { max_stretch, mean_stretch, overflow_pairs, pairs: samples }
+    DistanceStretchReport {
+        max_stretch,
+        mean_stretch,
+        overflow_pairs,
+        pairs: samples,
+    }
 }
 
 /// Full DC evaluation of a spanner against a matching problem and a general
@@ -166,7 +179,7 @@ pub struct GeneralCongestion {
 }
 
 impl GeneralCongestion {
-    /// Measured congestion stretch β = C(P′)/C(P).
+    /// Measured congestion stretch β = C(P′)/C(P) (Section 2).
     pub fn beta(&self) -> f64 {
         if self.base_congestion == 0 {
             0.0
@@ -176,8 +189,9 @@ impl GeneralCongestion {
     }
 }
 
-/// Route a matching problem whose pairs are **edges of G** through the
-/// router and return `(congestion, max path length)` of the substitute.
+/// Route a matching problem whose pairs are **edges of G** — the
+/// adversarial workload of Theorems 2 and 3 — through the router and
+/// return `(congestion, max path length)` of the substitute.
 pub fn matching_substitute_congestion<R: EdgeRouter>(
     n: usize,
     problem: &RoutingProblem,
@@ -206,8 +220,9 @@ pub fn general_substitute_congestion<R: EdgeRouter>(
     })
 }
 
-/// One-stop evaluation used by experiments: distance stretch over edges, a
-/// matching routing, and optionally a general routing.
+/// One-stop evaluation used by experiments (the Table 1 columns):
+/// distance stretch over edges, a matching routing, and optionally a
+/// general routing.
 pub fn evaluate_dc_spanner<R: EdgeRouter>(
     g: &Graph,
     h: &Graph,
@@ -233,10 +248,17 @@ pub fn evaluate_dc_spanner<R: EdgeRouter>(
     })
 }
 
-/// Baseline routing for a matching problem defined by edges of `G`: the
-/// edges themselves (congestion exactly 1 when the problem is a matching).
+/// Baseline routing `P` (Section 2) for a matching problem defined by
+/// edges of `G`: the edges themselves (congestion exactly 1 when the
+/// problem is a matching).
 pub fn edge_routing(problem: &RoutingProblem) -> Routing {
-    Routing::new(problem.pairs().iter().map(|&(u, v)| Path::new(vec![u, v])).collect())
+    Routing::new(
+        problem
+            .pairs()
+            .iter()
+            .map(|&(u, v)| Path::new(vec![u, v]))
+            .collect(),
+    )
 }
 
 #[cfg(test)]

@@ -30,8 +30,8 @@ fn removal_keeps_t_spanner(g: &Graph, removed: &[usize], t: u32) -> bool {
 }
 
 /// The maximum number of edges removable from `g` while keeping a
-/// t-distance spanner, found by exhaustive branch-and-bound. Also returns
-/// one witness set.
+/// t-distance spanner, found by exhaustive branch-and-bound — the exact
+/// verifier for the Lemma 18 gadget claims. Also returns one witness set.
 ///
 /// Exponential in the worst case — intended for gadget-sized graphs
 /// (`m ≲ 25`); the `node_budget` caps explored states as a safety valve

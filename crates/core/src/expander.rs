@@ -10,6 +10,7 @@
 //! hops survive sampling. Uniform choice over a Θ(Δ/n^ε)-sized matching is
 //! what keeps the expected congestion of a matching routing at `1 + o(1)`.
 
+use dcspan_graph::invariants;
 use dcspan_graph::matching::max_bipartite_matching;
 use dcspan_graph::sample::sample_subgraph;
 use dcspan_graph::{Graph, NodeId};
@@ -26,7 +27,7 @@ pub struct ExpanderSpannerParams {
 }
 
 impl ExpanderSpannerParams {
-    /// The paper's choice for an n-node Δ-regular expander: survival
+    /// The Theorem 2 choice for an n-node Δ-regular expander: survival
     /// probability `n^{2/3}/Δ` (i.e. expected spanner degree `n^{2/3}`,
     /// spanner size `O(n^{5/3})`). Clamped to 1 when `Δ ≤ n^{2/3}`.
     pub fn paper(n: usize, delta: usize) -> Self {
@@ -34,7 +35,7 @@ impl ExpanderSpannerParams {
         ExpanderSpannerParams { sample_prob: p }
     }
 
-    /// Explicit survival probability.
+    /// Explicit survival probability (overriding the Theorem 2 choice).
     pub fn with_prob(p: f64) -> Self {
         assert!((0.0..=1.0).contains(&p));
         ExpanderSpannerParams { sample_prob: p }
@@ -60,8 +61,15 @@ pub struct ExpanderSpanner {
 /// assert!(sp.h.is_subgraph_of(&g));
 /// assert!(sp.h.m() < g.m());
 /// ```
-pub fn build_expander_spanner(g: &Graph, params: ExpanderSpannerParams, seed: u64) -> ExpanderSpanner {
-    ExpanderSpanner { h: sample_subgraph(g, params.sample_prob, seed), params }
+pub fn build_expander_spanner(
+    g: &Graph,
+    params: ExpanderSpannerParams,
+    seed: u64,
+) -> ExpanderSpanner {
+    invariants::assert_graph_contract(g, "build_expander_spanner: input");
+    let h = sample_subgraph(g, params.sample_prob, seed);
+    invariants::assert_subgraph(&h, g, "build_expander_spanner: output");
+    ExpanderSpanner { h, params }
 }
 
 /// Statistics about the neighbourhood matching of one edge — the measured
@@ -95,7 +103,11 @@ pub fn neighborhood_matching_stats(
             }
         }
     }
-    NeighborhoodMatchingStats { matching_size: matching.len(), surviving_middle, usable_paths }
+    NeighborhoodMatchingStats {
+        matching_size: matching.len(),
+        surviving_middle,
+        usable_paths,
+    }
 }
 
 /// The Theorem 2 replacement-path router: matching-restricted random 3-hop
@@ -108,13 +120,18 @@ pub struct ExpanderMatchingRouter<'a> {
 }
 
 impl<'a> ExpanderMatchingRouter<'a> {
-    /// Create the router for original graph `g` and spanner `h`.
+    /// Create the Theorem 2 matching-detour router for original graph `g`
+    /// and spanner `h`.
     pub fn new(g: &'a Graph, h: &'a Graph) -> Self {
-        ExpanderMatchingRouter { g, h, fallback: SpannerDetourRouter::new(h, DetourPolicy::UniformShortest) }
+        ExpanderMatchingRouter {
+            g,
+            h,
+            fallback: SpannerDetourRouter::new(h, DetourPolicy::UniformShortest),
+        }
     }
 
-    /// The usable matching-restricted 3-hop paths for `(a, b)` as
-    /// `(x, y)` middle edges.
+    /// The usable matching-restricted 3-hop paths (the Theorem 2
+    /// detours) for `(a, b)` as `(x, y)` middle edges.
     pub fn usable_matching_paths(&self, a: NodeId, b: NodeId) -> Vec<(NodeId, NodeId)> {
         let matching = max_bipartite_matching(self.g, self.g.neighbors(a), self.g.neighbors(b));
         matching
@@ -200,15 +217,22 @@ mod tests {
         let router = ExpanderMatchingRouter::new(&g, &sp.h);
         let kept = sp.h.edges()[0];
         let mut rng = item_rng(0, 0);
-        assert_eq!(router.route_edge(kept.u, kept.v, &mut rng), Some(vec![kept.u, kept.v]));
+        assert_eq!(
+            router.route_edge(kept.u, kept.v, &mut rng),
+            Some(vec![kept.u, kept.v])
+        );
     }
 
     #[test]
     fn router_replaces_removed_edges_with_3_hop_paths() {
         let g = dense_expander(7);
         let sp = build_expander_spanner(&g, ExpanderSpannerParams::with_prob(0.5), 8);
-        let removed: Vec<_> =
-            g.edges().iter().filter(|e| !sp.h.has_edge(e.u, e.v)).take(10).collect();
+        let removed: Vec<_> = g
+            .edges()
+            .iter()
+            .filter(|e| !sp.h.has_edge(e.u, e.v))
+            .take(10)
+            .collect();
         assert!(!removed.is_empty());
         let router = ExpanderMatchingRouter::new(&g, &sp.h);
         for (i, e) in removed.iter().enumerate() {
@@ -216,7 +240,7 @@ mod tests {
             let p = router.route_edge(e.u, e.v, &mut rng).unwrap();
             assert_eq!(p.first(), Some(&e.u));
             assert_eq!(p.last(), Some(&e.v));
-            assert!(p.len() <= 4, "path too long: {:?}", p);
+            assert!(p.len() <= 4, "path too long: {p:?}");
             for w in p.windows(2) {
                 assert!(sp.h.has_edge(w[0], w[1]));
             }
@@ -253,7 +277,11 @@ mod tests {
         // Lemma 7: expected congestion 1 + o(1), whp O(log n). For n = 64
         // (log₂ n = 6) anything beyond ~2 log n would signal a bug.
         let c = routing.congestion(g.n());
-        assert!(c <= 12, "matching congestion {c} too high for n = {}", g.n());
+        assert!(
+            c <= 12,
+            "matching congestion {c} too high for n = {}",
+            g.n()
+        );
         // The average over nodes actually touched should be close to 1.
         let profile = routing.congestion_profile(g.n());
         let touched: Vec<u32> = profile.into_iter().filter(|&x| x > 0).collect();

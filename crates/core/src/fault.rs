@@ -37,15 +37,20 @@ pub struct VftParams {
 
 impl VftParams {
     /// Default repetitions `⌈c·(f+2)²·ln n⌉` matching the coverage
-    /// analysis, with `c = 2`.
+    /// analysis (see the module docs and Section 1.1), with `c = 2`.
     pub fn standard(n: usize, f: usize, k: usize) -> Self {
         let ln_n = (n.max(2) as f64).ln();
         let reps = (2.0 * ((f + 2) * (f + 2)) as f64 * ln_n).ceil() as usize;
-        VftParams { f, k, repetitions: reps.max(1) }
+        VftParams {
+            f,
+            k,
+            repetitions: reps.max(1),
+        }
     }
 }
 
-/// Build the union VFT spanner.
+/// Build the union VFT spanner the paper's Section 1.1 comparison is
+/// about.
 ///
 /// For `f = 0` this degenerates to a single plain (2k−1)-spanner.
 pub fn vft_union_spanner(g: &Graph, params: VftParams, seed: u64) -> Graph {
@@ -79,9 +84,10 @@ pub struct FaultTrialReport {
     pub worst_stretch: f64,
 }
 
-/// Fault-injection verification: sample `trials` fault sets of size ≤ `f`
-/// and `pairs_per_trial` random pairs each; check the residual stretch
-/// `d_{H∖F}(u,v) ≤ t · d_{G∖F}(u,v)` for `t = 2k−1`.
+/// Fault-injection verification of the Section 1.1 VFT property: sample
+/// `trials` fault sets of size ≤ `f` and `pairs_per_trial` random pairs
+/// each; check the residual stretch `d_{H∖F}(u,v) ≤ t · d_{G∖F}(u,v)`
+/// for `t = 2k−1`.
 pub fn verify_vft(
     g: &Graph,
     h: &Graph,
@@ -125,15 +131,22 @@ pub fn verify_vft(
             }
             pairs_checked += 1;
             let dh = bfs_distances(&h_res, u)[v as usize];
-            let stretch =
-                if dh == UNREACHABLE { f64::INFINITY } else { dh as f64 / dg as f64 };
+            let stretch = if dh == UNREACHABLE {
+                f64::INFINITY
+            } else {
+                dh as f64 / dg as f64
+            };
             worst = worst.max(stretch);
             if stretch > t + 1e-9 {
                 violations += 1;
             }
         }
     }
-    FaultTrialReport { pairs_checked, violations, worst_stretch: worst }
+    FaultTrialReport {
+        pairs_checked,
+        violations,
+        worst_stretch: worst,
+    }
 }
 
 #[cfg(test)]
@@ -144,7 +157,11 @@ mod tests {
     #[test]
     fn f0_is_a_plain_spanner() {
         let g = random_regular(40, 10, 1);
-        let params = VftParams { f: 0, k: 2, repetitions: 5 };
+        let params = VftParams {
+            f: 0,
+            k: 2,
+            repetitions: 5,
+        };
         let h = vft_union_spanner(&g, params, 2);
         assert!(h.is_subgraph_of(&g));
         assert!(h.m() <= g.m());
@@ -196,20 +213,18 @@ mod tests {
         // vertices die. Use the two-cliques graph with only a few matching
         // edges — killing their endpoints stretches pairs arbitrarily.
         let t = dcspan_gen::two_clique::TwoCliqueGraph::new(16);
-        let keep: Vec<dcspan_graph::Edge> = t
-            .graph
-            .edges()
-            .iter()
-            .copied()
-            .filter(|e| {
-                // Keep cliques + exactly one matching edge (pair 0).
-                !(e.v as usize >= 16 && (e.u as usize) < 16) || (e.u == 0 && e.v == 16)
-            })
-            .collect();
-        let h = Graph::from_edges(t.graph.n(), keep.into_iter().map(|e| (e.u, e.v)));
+        let keep = t.graph.edges().iter().copied().filter(|e| {
+            // Keep cliques + exactly one matching edge (pair 0).
+            !(e.v as usize >= 16 && (e.u as usize) < 16) || (e.u == 0 && e.v == 16)
+        });
+        let h = Graph::from_edges(t.graph.n(), keep.map(|e| (e.u, e.v)));
         // Faults hitting {a_0} or {b_0} disconnect the short route between
         // the cliques: residual stretch explodes.
         let report = verify_vft(&t.graph, &h, 1, 2, 40, 8, 9);
-        assert!(report.worst_stretch > 3.0, "worst = {}", report.worst_stretch);
+        assert!(
+            report.worst_stretch > 3.0,
+            "worst = {}",
+            report.worst_stretch
+        );
     }
 }

@@ -11,7 +11,8 @@ use dcspan_graph::traversal::bfs_distances_bounded;
 use dcspan_graph::traversal::UNREACHABLE;
 use dcspan_graph::{Graph, GraphBuilder, NodeId};
 
-/// Build the greedy t-spanner of `g` (edges scanned in canonical order).
+/// Build the greedy t-spanner of `g` (edges scanned in canonical order)
+/// — the optimal-size 3-distance baseline of Theorem 4.
 pub fn greedy_spanner(g: &Graph, t: u32) -> Graph {
     assert!(t >= 1);
     let n = g.n();
@@ -63,9 +64,10 @@ pub fn greedy_spanner(g: &Graph, t: u32) -> Graph {
     b.build()
 }
 
-/// Girth check helper used in tests: length of the shortest cycle through
-/// each edge (the girth is the minimum over edges). Returns `None` if the
-/// graph is a forest.
+/// Girth check helper used in tests (girth > t+1 certifies that a
+/// Theorem 4 greedy t-spanner kept no redundant edge): length of the
+/// shortest cycle through each edge (the girth is the minimum over
+/// edges). Returns `None` if the graph is a forest.
 pub fn girth(g: &Graph) -> Option<u32> {
     let mut best: Option<u32> = None;
     for e in g.edges() {

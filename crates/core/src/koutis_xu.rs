@@ -24,7 +24,7 @@ pub struct KoutisXuSparsifier {
     pub rounds: usize,
 }
 
-/// Sparsify `g` down to roughly `target_m` edges.
+/// Sparsify `g` down to roughly `target_m` edges (Table 1, row \[16\]).
 ///
 /// Each round: `spanners_per_round` Baswana–Sen spanners (stretch
 /// `2k−1` with `k = spanner_k`) are pinned into the output, and the
@@ -71,7 +71,7 @@ pub fn koutis_xu_sparsify(
     KoutisXuSparsifier { h, rounds }
 }
 
-/// The paper-shaped call: target `c · n · log₂ n` edges. The inner spanners
+/// The Table 1 paper-shaped call: target `c · n · log₂ n` edges. The inner spanners
 /// use `k = Θ(log n)` (stretch `O(log n)`, size `O(n·polylog)`), matching
 /// \[16\]'s use of logarithmic-stretch spanners — constant-stretch inner
 /// spanners would already exceed the `n log n` budget on their own.

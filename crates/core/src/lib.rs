@@ -27,9 +27,12 @@
 //! * [`certify`] — one-shot (α, β)-DC-spanner certification bundling the
 //!   structural, distance, and congestion checks.
 
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
 pub mod baswana_sen;
-pub mod certify;
 pub mod becchetti;
+pub mod certify;
 pub mod eval;
 pub mod exact;
 pub mod expander;

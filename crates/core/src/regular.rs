@@ -22,6 +22,7 @@
 //! non-degenerate spanners at experiment scale. EXPERIMENTS.md reports both.
 
 use crate::support::{supported_edge_mask, surviving_three_detours};
+use dcspan_graph::invariants;
 use dcspan_graph::sample::sample_mask;
 use dcspan_graph::{Edge, Graph};
 
@@ -43,7 +44,7 @@ pub struct RegularSpannerParams {
 }
 
 impl RegularSpannerParams {
-    /// The paper's literal constants (`c₁ = 1/2`): `λ = 2⁷ ln²n / c₁`,
+    /// The literal Theorem 3 constants (`c₁ = 1/2`): `λ = 2⁷ ln²n / c₁`,
     /// `a = λ√Δ`, `b = c₁Δ`, `ρ = 1/√Δ`.
     pub fn paper(n: usize, delta: usize) -> Self {
         let c1 = 0.5f64;
@@ -59,8 +60,9 @@ impl RegularSpannerParams {
     }
 
     /// Calibrated constants for laptop-scale n: same ρ and the same
-    /// asymptotic shape, with the log² factor scaled so that the support
-    /// threshold is satisfiable (`a ≈ min(ln n, Δ/4)`, `b = Δ/4`).
+    /// asymptotic shape as Algorithm 1, with the log² factor scaled so
+    /// that the support threshold is satisfiable
+    /// (`a ≈ min(ln n, Δ/4)`, `b = Δ/4`).
     pub fn calibrated(n: usize, delta: usize) -> Self {
         let ln_n = (n.max(2) as f64).ln();
         let a = (ln_n.ceil() as usize).min(delta / 4).max(1);
@@ -93,7 +95,7 @@ pub struct RegularSpanner {
 }
 
 impl RegularSpanner {
-    /// Edge-count ratio `|E(H)| / |E(G)|`.
+    /// Edge-count ratio `|E(H)| / |E(G)|` (the size column of Table 1).
     pub fn sparsification_ratio(&self, g: &Graph) -> f64 {
         self.h.m() as f64 / g.m() as f64
     }
@@ -137,6 +139,7 @@ pub fn build_regular_spanner_from_mask(
     keep: Vec<bool>,
 ) -> RegularSpanner {
     assert_eq!(keep.len(), g.m());
+    invariants::assert_graph_contract(g, "build_regular_spanner: input");
     // Step 2: supportedness of every edge of G.
     let supported = supported_edge_mask(g, params.a, params.b);
     // E(H) = E' ∪ (E \ Ê).
@@ -168,10 +171,19 @@ pub fn build_regular_spanner_from_mask(
 
     let sampled = g.filter_edges(|id, _| keep[id]);
     let h = g.filter_edges(|id, _| in_h[id]);
-    RegularSpanner { h, sampled, num_sampled, num_reinserted, num_safe_reinserted, params }
+    invariants::assert_subgraph(&h, g, "build_regular_spanner: output");
+    RegularSpanner {
+        h,
+        sampled,
+        num_sampled,
+        num_reinserted,
+        num_safe_reinserted,
+        params,
+    }
 }
 
-/// Convenience: collect the reinserted edges (those in `H` but not `G'`).
+/// Convenience: collect the reinserted edges (those in `H` but not `G'`;
+/// the unsupported edges Algorithm 1 adds back).
 pub fn reinserted_edges(spanner: &RegularSpanner) -> Vec<Edge> {
     spanner
         .h
@@ -213,7 +225,12 @@ mod tests {
         let g = random_regular(64, 32, 2);
         let params = RegularSpannerParams::calibrated(64, 32);
         let sp = build_regular_spanner(&g, params, 3);
-        assert!(sp.h.m() < g.m(), "no sparsification: {} vs {}", sp.h.m(), g.m());
+        assert!(
+            sp.h.m() < g.m(),
+            "no sparsification: {} vs {}",
+            sp.h.m(),
+            g.m()
+        );
         assert!(sp.h.is_subgraph_of(&g));
         assert!(sp.sampled.is_subgraph_of(&sp.h));
         assert!(is_connected(&sp.h));
@@ -256,7 +273,12 @@ mod tests {
     #[test]
     fn rho_one_keeps_everything() {
         let g = random_regular(30, 8, 10);
-        let params = RegularSpannerParams { rho: 1.0, a: 1, b: 1, safe_reinsert: false };
+        let params = RegularSpannerParams {
+            rho: 1.0,
+            a: 1,
+            b: 1,
+            safe_reinsert: false,
+        };
         let sp = build_regular_spanner(&g, params, 1);
         assert_eq!(sp.h, g);
         assert_eq!(sp.num_sampled, g.m());

@@ -15,10 +15,12 @@
 //! 3-detours, which is what lets a removed edge pick a random replacement
 //! without concentrating congestion.
 
+use dcspan_graph::invariants;
 use dcspan_graph::{Graph, NodeId};
 use rayon::prelude::*;
 
-/// Number of a-supported extensions of `(u, v)` toward `v`:
+/// Number of a-supported extensions of `(u, v)` toward `v` (the support
+/// count behind Algorithm 1, line 8):
 /// `|{z ∈ N(v) \ {u} : |N(u) ∩ N(z)| ≥ a + 1}|`.
 pub fn supported_extensions_toward(g: &Graph, u: NodeId, v: NodeId, a: usize) -> usize {
     g.neighbors(v)
@@ -37,7 +39,8 @@ pub fn extension_support_profile(g: &Graph, u: NodeId, v: NodeId) -> Vec<usize> 
         .collect()
 }
 
-/// Is edge `(u, v)` `(a, b)`-supported toward `v`?
+/// Is edge `(u, v)` `(a, b)`-supported toward `v`? (One direction of the
+/// Algorithm 1, line 8 test.)
 pub fn is_supported_toward(g: &Graph, u: NodeId, v: NodeId, a: usize, b: usize) -> bool {
     if b == 0 {
         return true;
@@ -61,9 +64,11 @@ pub fn is_supported_edge(g: &Graph, u: NodeId, v: NodeId, a: usize, b: usize) ->
     is_supported_toward(g, u, v, a, b) || is_supported_toward(g, v, u, a, b)
 }
 
-/// The support mask over all edges of `g`: `mask[id]` is true iff edge `id`
-/// is `(a, b)`-supported in at least one direction. Parallel over edges.
+/// The support mask over all edges of `g` (Algorithm 1, line 8, applied
+/// to every edge): `mask[id]` is true iff edge `id` is `(a, b)`-supported
+/// in at least one direction. Parallel over edges.
 pub fn supported_edge_mask(g: &Graph, a: usize, b: usize) -> Vec<bool> {
+    invariants::assert_graph_contract(g, "supported_edge_mask: input");
     g.edges()
         .par_iter()
         .map(|e| is_supported_edge(g, e.u, e.v, a, b))
@@ -96,7 +101,10 @@ mod tests {
     use dcspan_graph::Graph;
 
     fn complete(n: usize) -> Graph {
-        Graph::from_edges(n, (0..n as u32).flat_map(|i| (i + 1..n as u32).map(move |j| (i, j))))
+        Graph::from_edges(
+            n,
+            (0..n as u32).flat_map(|i| (i + 1..n as u32).map(move |j| (i, j))),
+        )
     }
 
     #[test]

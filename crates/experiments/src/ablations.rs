@@ -59,9 +59,19 @@ pub fn run_a1(n: usize, seed: u64) -> (Vec<A1Row>, String) {
             broken_edges: rep.overflow_pairs,
         });
     }
-    let mut t = Table::new(["variant", "|E(H)|", "α(≤3 measured)", "edges w/o ≤3-hop substitute"]);
+    let mut t = Table::new([
+        "variant",
+        "|E(H)|",
+        "α(≤3 measured)",
+        "edges w/o ≤3-hop substitute",
+    ]);
     for r in &rows {
-        t.add_row([r.variant.to_string(), r.edges.to_string(), f2(r.alpha), r.broken_edges.to_string()]);
+        t.add_row([
+            r.variant.to_string(),
+            r.edges.to_string(),
+            f2(r.alpha),
+            r.broken_edges.to_string(),
+        ]);
     }
     let text = format!(
         "{}{}\nReinsertion is what repairs the sampled graph's broken edges; safe mode \
@@ -96,7 +106,7 @@ pub fn run_a2(n: usize, seed: u64) -> (Vec<A2Row>, String) {
         ("first found (no randomness)", DetourPolicy::FirstFound),
     ] {
         let router = SpannerDetourRouter::new(&h, policy);
-        let routing = route_matching(&router, &matching, seed ^ 2).expect("routable");
+        let routing = route_matching(&router, &matching, seed ^ 2).expect("routable"); // xtask: allow(no_panic) — runner: infeasible experiment config is unrecoverable
         rows.push(A2Row {
             policy: name,
             congestion: routing.congestion(n),
@@ -105,7 +115,11 @@ pub fn run_a2(n: usize, seed: u64) -> (Vec<A2Row>, String) {
     }
     let mut t = Table::new(["policy", "matching congestion", "max path len"]);
     for r in &rows {
-        t.add_row([r.policy.to_string(), r.congestion.to_string(), r.max_len.to_string()]);
+        t.add_row([
+            r.policy.to_string(),
+            r.congestion.to_string(),
+            r.max_len.to_string(),
+        ]);
     }
     let text = format!(
         "{}{}\nThe paper's uniform random choice among detours is the congestion-control \
@@ -137,11 +151,12 @@ pub fn run_a3(n: usize, pairs: usize, seed: u64) -> (Vec<A3Row>, String) {
     let router = SpannerDetourRouter::new(&h, DetourPolicy::UniformUpTo3);
     let (_, base) = workloads::pairs_base_routing(&g, pairs, seed ^ 2);
     let mut rows = Vec::new();
-    for (name, algo) in
-        [("Misra–Gries (d+1)", ColoringAlgo::MisraGries), ("greedy (2d−1)", ColoringAlgo::Greedy)]
-    {
-        let rep = substitute_routing_decomposed(n, &base, &router, algo, seed ^ 3)
-            .expect("routable");
+    for (name, algo) in [
+        ("Misra–Gries (d+1)", ColoringAlgo::MisraGries),
+        ("greedy (2d−1)", ColoringAlgo::Greedy),
+    ] {
+        let rep =
+            substitute_routing_decomposed(n, &base, &router, algo, seed ^ 3).expect("routable"); // xtask: allow(no_panic) — runner: infeasible experiment config is unrecoverable
         rows.push(A3Row {
             coloring: name,
             matchings: rep.num_matchings,
@@ -187,9 +202,17 @@ mod tests {
         let (rows, _) = run_a2(96, 5);
         let uniform = rows[0].congestion;
         let first = rows[2].congestion;
-        assert!(uniform <= first, "uniform {uniform} worse than deterministic {first}");
+        assert!(
+            uniform <= first,
+            "uniform {uniform} worse than deterministic {first}"
+        );
         for r in &rows {
-            assert!(r.max_len <= 3 || r.max_len <= 8, "policy {} len {}", r.policy, r.max_len);
+            assert!(
+                r.max_len <= 3 || r.max_len <= 8,
+                "policy {} len {}",
+                r.policy,
+                r.max_len
+            );
         }
     }
 

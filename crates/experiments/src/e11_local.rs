@@ -46,7 +46,12 @@ pub fn run(sizes: &[usize], seed: u64) -> (Vec<E11Row>, String) {
             n,
             delta,
             rounds: out.rounds,
-            peak_messages: out.round_stats.iter().map(|s| s.messages).max().unwrap_or(0),
+            peak_messages: out
+                .round_stats
+                .iter()
+                .map(|s| s.messages)
+                .max()
+                .unwrap_or(0),
             final_messages: out.round_stats.last().map_or(0, |s| s.messages),
             endpoints_agree: out.endpoints_agree,
             matches_sequential: out.h == seq.h,
@@ -54,7 +59,14 @@ pub fn run(sizes: &[usize], seed: u64) -> (Vec<E11Row>, String) {
         });
     }
     let mut t = Table::new([
-        "n", "Δ", "rounds", "peak msgs", "final msgs", "agree", "== sequential", "|E(H)|",
+        "n",
+        "Δ",
+        "rounds",
+        "peak msgs",
+        "final msgs",
+        "agree",
+        "== sequential",
+        "|E(H)|",
     ]);
     for r in &rows {
         t.add_row([

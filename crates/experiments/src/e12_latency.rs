@@ -69,22 +69,42 @@ pub fn run(n_regular: usize, half_clique: usize, seed: u64) -> (Vec<E12Row>, Str
     let matching = workloads::removed_edge_matching(&g, &sp.h);
     // In G the matching routes over its own edges: congestion 1, makespan 1.
     let base = dcspan_core::eval::edge_routing(&matching);
-    rows.push(schedule_row(format!("G (n={n_regular})"), n_regular, &base, seed ^ 2));
+    rows.push(schedule_row(
+        format!("G (n={n_regular})"),
+        n_regular,
+        &base,
+        seed ^ 2,
+    ));
     let router = SpannerDetourRouter::new(&sp.h, DetourPolicy::UniformUpTo3);
-    let dc = route_matching(&router, &matching, seed ^ 3).expect("routable");
-    rows.push(schedule_row(format!("Algorithm 1 H (n={n_regular})"), n_regular, &dc, seed ^ 4));
+    let dc = route_matching(&router, &matching, seed ^ 3).expect("routable"); // xtask: allow(no_panic) — runner: infeasible experiment config is unrecoverable
+    rows.push(schedule_row(
+        format!("Algorithm 1 H (n={n_regular})"),
+        n_regular,
+        &dc,
+        seed ^ 4,
+    ));
 
     // --- Two-cliques workload: perfect matching, VFT vs congestion-aware.
     let t = TwoCliqueGraph::new(half_clique);
     let n2 = t.graph.n();
     let pm = RoutingProblem::from_pairs(t.matching_routing_pairs());
     let base2 = dcspan_core::eval::edge_routing(&pm);
-    rows.push(schedule_row(format!("two-clique G (n={n2})"), n2, &base2, seed ^ 5));
+    rows.push(schedule_row(
+        format!("two-clique G (n={n2})"),
+        n2,
+        &base2,
+        seed ^ 5,
+    ));
     let kept = paper_kept_count(&t);
     let vft = vft_style_spanner(&t, kept, false, seed ^ 6);
     let vft_router = SpannerDetourRouter::new(&vft.h, DetourPolicy::UniformShortest);
-    let vft_routing = route_matching(&vft_router, &pm, seed ^ 7).expect("routable");
-    rows.push(schedule_row(format!("VFT spanner (n={n2})"), n2, &vft_routing, seed ^ 8));
+    let vft_routing = route_matching(&vft_router, &pm, seed ^ 7).expect("routable"); // xtask: allow(no_panic) — runner: infeasible experiment config is unrecoverable
+    rows.push(schedule_row(
+        format!("VFT spanner (n={n2})"),
+        n2,
+        &vft_routing,
+        seed ^ 8,
+    ));
 
     let mut table = Table::new([
         "host", "n", "packets", "C(P)", "D", "makespan", "max(C,D)", "queueing",

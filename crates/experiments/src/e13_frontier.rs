@@ -44,12 +44,14 @@ fn measure<R: EdgeRouter>(
 ) -> E13Row {
     let dist = distance_stretch_edges(g, h, 8);
     let matching = workloads::removed_edge_matching(g, h);
-    let routed = route_matching(router, &matching, seed).expect("spanner connected");
+    let routed = route_matching(router, &matching, seed).expect("spanner connected"); // xtask: allow(no_panic) — runner: infeasible experiment config is unrecoverable
     E13Row {
         algorithm: name,
         edges: h.m(),
         kept_fraction: h.m() as f64 / g.m() as f64,
-        alpha: dist.max_stretch.max(if dist.overflow_pairs > 0 { 99.0 } else { 0.0 }),
+        alpha: dist
+            .max_stretch
+            .max(if dist.overflow_pairs > 0 { 99.0 } else { 0.0 }),
         matching_congestion: routed.congestion(g.n()),
         matching_max_len: routed.max_length(),
     }
@@ -64,13 +66,25 @@ pub fn run(n: usize, seed: u64) -> (Vec<E13Row>, String) {
     // Theorem 2 expander DC-spanner.
     let sp2 = build_expander_spanner(&g, ExpanderSpannerParams::paper(n, delta), seed ^ 1);
     let router2 = ExpanderMatchingRouter::new(&g, &sp2.h);
-    rows.push(measure("Theorem 2 (expander DC)", &g, &sp2.h, &router2, seed ^ 2));
+    rows.push(measure(
+        "Theorem 2 (expander DC)",
+        &g,
+        &sp2.h,
+        &router2,
+        seed ^ 2,
+    ));
 
     // Algorithm 1 DC-spanner.
     let params = RegularSpannerParams::calibrated(n, delta);
     let sp1 = build_regular_spanner(&g, params, seed ^ 3);
     let router1 = SpannerDetourRouter::new(&sp1.h, DetourPolicy::UniformUpTo3);
-    rows.push(measure("Theorem 3 (Algorithm 1)", &g, &sp1.h, &router1, seed ^ 4));
+    rows.push(measure(
+        "Theorem 3 (Algorithm 1)",
+        &g,
+        &sp1.h,
+        &router1,
+        seed ^ 4,
+    ));
 
     // Baswana–Sen 3-spanner (distance only).
     if let Some((bs, _)) = baswana_sen_spanner_checked(&g, 2, seed ^ 5, 30) {
@@ -84,7 +98,12 @@ pub fn run(n: usize, seed: u64) -> (Vec<E13Row>, String) {
     rows.push(measure("greedy t=3", &g, &gr, &router, seed ^ 7));
 
     let mut t = Table::new([
-        "algorithm", "|E(H)|", "kept", "α(max)", "C_match", "max len",
+        "algorithm",
+        "|E(H)|",
+        "kept",
+        "α(max)",
+        "C_match",
+        "max len",
     ]);
     for r in &rows {
         t.add_row([
@@ -114,8 +133,14 @@ mod tests {
     fn dc_spanners_beat_distance_spanners_on_congestion() {
         let (rows, text) = run(128, 7);
         assert!(rows.len() >= 3);
-        let thm2 = rows.iter().find(|r| r.algorithm.starts_with("Theorem 2")).unwrap();
-        let greedy = rows.iter().find(|r| r.algorithm.starts_with("greedy")).unwrap();
+        let thm2 = rows
+            .iter()
+            .find(|r| r.algorithm.starts_with("Theorem 2"))
+            .unwrap();
+        let greedy = rows
+            .iter()
+            .find(|r| r.algorithm.starts_with("greedy"))
+            .unwrap();
         // All are genuine 3-spanners.
         for r in &rows {
             assert!(r.alpha <= 3.0, "{}: α = {}", r.algorithm, r.alpha);

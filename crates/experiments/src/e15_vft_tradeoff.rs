@@ -11,7 +11,9 @@
 
 use crate::table::{f2, Table};
 use crate::workloads;
-use dcspan_core::expander::{build_expander_spanner, ExpanderMatchingRouter, ExpanderSpannerParams};
+use dcspan_core::expander::{
+    build_expander_spanner, ExpanderMatchingRouter, ExpanderSpannerParams,
+};
 use dcspan_core::fault::{verify_vft, vft_union_spanner, VftParams};
 use dcspan_routing::replace::{route_matching, DetourPolicy, SpannerDetourRouter};
 
@@ -46,7 +48,7 @@ pub fn run(n: usize, fs: &[usize], seed: u64) -> (Vec<E15Row>, String) {
     let dc = build_expander_spanner(&g, ExpanderSpannerParams::paper(n, delta), seed ^ 1);
     let dc_router = ExpanderMatchingRouter::new(&g, &dc.h);
     let matching = workloads::removed_edge_matching(&g, &dc.h);
-    let dc_routing = route_matching(&dc_router, &matching, seed ^ 2).expect("routable");
+    let dc_routing = route_matching(&dc_router, &matching, seed ^ 2).expect("routable"); // xtask: allow(no_panic) — runner: infeasible experiment config is unrecoverable
     rows.push(E15Row {
         n,
         f: 0,
@@ -63,7 +65,7 @@ pub fn run(n: usize, fs: &[usize], seed: u64) -> (Vec<E15Row>, String) {
         let report = verify_vft(&g, &h, f, 2, 8, 8, seed ^ 4);
         let router = SpannerDetourRouter::new(&h, DetourPolicy::UniformShortest);
         let m2 = workloads::removed_edge_matching(&g, &h);
-        let routing = route_matching(&router, &m2, seed ^ 5).expect("routable");
+        let routing = route_matching(&router, &m2, seed ^ 5).expect("routable"); // xtask: allow(no_panic) — runner: infeasible experiment config is unrecoverable
         rows.push(E15Row {
             n,
             f,
@@ -75,10 +77,21 @@ pub fn run(n: usize, fs: &[usize], seed: u64) -> (Vec<E15Row>, String) {
         });
     }
 
-    let mut t = Table::new(["spanner", "f", "|E(H)|", "E(H)/n^5/3", "fault viol.", "C_match"]);
+    let mut t = Table::new([
+        "spanner",
+        "f",
+        "|E(H)|",
+        "E(H)/n^5/3",
+        "fault viol.",
+        "C_match",
+    ]);
     for r in &rows {
         t.add_row([
-            if r.is_dc { "Theorem 2 DC".to_string() } else { "f-VFT union".to_string() },
+            if r.is_dc {
+                "Theorem 2 DC".to_string()
+            } else {
+                "f-VFT union".to_string()
+            },
             r.f.to_string(),
             r.edges.to_string(),
             f2(r.edges_vs_n53),

@@ -8,7 +8,9 @@
 use crate::table::{f2, f3, Table};
 use crate::workloads;
 use dcspan_core::eval::{distance_stretch_edges, general_substitute_congestion};
-use dcspan_core::expander::{build_expander_spanner, ExpanderMatchingRouter, ExpanderSpannerParams};
+use dcspan_core::expander::{
+    build_expander_spanner, ExpanderMatchingRouter, ExpanderSpannerParams,
+};
 use dcspan_routing::replace::route_matching;
 use dcspan_spectral::expansion::spectral_expansion;
 
@@ -51,12 +53,12 @@ pub fn run(sizes: &[usize], epsilon: f64, seed: u64) -> (Vec<E1Row>, String) {
 
         let dist = distance_stretch_edges(&g, &sp.h, 8);
         let matching = workloads::removed_edge_matching(&g, &sp.h);
-        let routing = route_matching(&router, &matching, seed ^ 2).expect("matching routable");
+        let routing = route_matching(&router, &matching, seed ^ 2).expect("matching routable"); // xtask: allow(no_panic) — runner: infeasible experiment config is unrecoverable
         let matching_congestion = routing.congestion(n);
 
         let (_, base) = workloads::permutation_base_routing(&g, seed ^ 3);
         let general = general_substitute_congestion(n, &base, &router, seed ^ 4)
-            .expect("general routing substitutable");
+            .expect("general routing substitutable"); // xtask: allow(no_panic) — runner: infeasible experiment config is unrecoverable
 
         rows.push(E1Row {
             n,
@@ -65,14 +67,24 @@ pub fn run(sizes: &[usize], epsilon: f64, seed: u64) -> (Vec<E1Row>, String) {
             edges_g: g.m(),
             edges_h: sp.h.m(),
             edges_vs_n53: sp.h.m() as f64 / (n as f64).powf(5.0 / 3.0),
-            alpha: dist.max_stretch.max(if dist.overflow_pairs > 0 { 9.0 } else { 0.0 }),
+            alpha: dist
+                .max_stretch
+                .max(if dist.overflow_pairs > 0 { 9.0 } else { 0.0 }),
             matching_congestion,
             general_beta: general.beta(),
             log2_sq: workloads::log2n(n).powi(2),
         });
     }
     let mut t = Table::new([
-        "n", "Δ", "λ", "|E(G)|", "|E(H)|", "E(H)/n^5/3", "α(max)", "C_match", "β_general",
+        "n",
+        "Δ",
+        "λ",
+        "|E(G)|",
+        "|E(H)|",
+        "E(H)/n^5/3",
+        "α(max)",
+        "C_match",
+        "β_general",
         "log²n",
     ]);
     for r in &rows {
@@ -119,7 +131,12 @@ mod tests {
                 r.matching_congestion
             );
             // β within the O(log² n) band (constant ≤ 4 empirically).
-            assert!(r.general_beta <= 4.0 * r.log2_sq, "n={}: β = {}", r.n, r.general_beta);
+            assert!(
+                r.general_beta <= 4.0 * r.log2_sq,
+                "n={}: β = {}",
+                r.n,
+                r.general_beta
+            );
         }
         assert!(text.contains("E1"));
         assert!(text.contains("α(max)"));

@@ -46,11 +46,11 @@ pub fn run(sizes: &[usize], d_out: usize, seed: u64) -> (Vec<E2Row>, String) {
         let lambda_hat = normalized_expansion(&h, seed ^ 2);
         let dist = distance_stretch_sampled(&g, &h, 200, seed ^ 3);
         let matching = workloads::removed_edge_matching(&g, &h);
-        let routing = route_matching(&router, &matching, seed ^ 4).expect("matching routable");
+        let routing = route_matching(&router, &matching, seed ^ 4).expect("matching routable"); // xtask: allow(no_panic) — runner: infeasible experiment config is unrecoverable
         let matching_congestion = routing.congestion(n);
         let (_, base) = workloads::permutation_base_routing(&g, seed ^ 5);
         let general = general_substitute_congestion(n, &base, &router, seed ^ 6)
-            .expect("general routing substitutable");
+            .expect("general routing substitutable"); // xtask: allow(no_panic) — runner: infeasible experiment config is unrecoverable
 
         rows.push(E2Row {
             n,
@@ -64,7 +64,14 @@ pub fn run(sizes: &[usize], d_out: usize, seed: u64) -> (Vec<E2Row>, String) {
         });
     }
     let mut t = Table::new([
-        "n", "Δ_host", "|E(H)|/n", "λ̂(H)", "α(sampled)", "C_match", "β_general", "log n",
+        "n",
+        "Δ_host",
+        "|E(H)|/n",
+        "λ̂(H)",
+        "α(sampled)",
+        "C_match",
+        "β_general",
+        "log n",
     ]);
     for r in &rows {
         t.add_row([
@@ -80,7 +87,10 @@ pub fn run(sizes: &[usize], d_out: usize, seed: u64) -> (Vec<E2Row>, String) {
     }
     let text = format!(
         "{}{}\nPaper: O(n) edges, α = O(log n), β = O(log³ n) on Δ = Ω(n) expanders.\n",
-        crate::banner("E2", "Table 1 row '[5]' (bounded-degree expander extraction)"),
+        crate::banner(
+            "E2",
+            "Table 1 row '[5]' (bounded-degree expander extraction)"
+        ),
         t.render()
     );
     (rows, text)
@@ -94,7 +104,12 @@ mod tests {
     fn small_run_matches_paper_shape() {
         let (rows, text) = run(&[64, 128], 4, 5);
         for r in &rows {
-            assert!(r.edges_per_node <= 4.0 + 0.5, "n={}: {} edges/node", r.n, r.edges_per_node);
+            assert!(
+                r.edges_per_node <= 4.0 + 0.5,
+                "n={}: {} edges/node",
+                r.n,
+                r.edges_per_node
+            );
             assert!(r.lambda_hat < 0.95, "n={}: λ̂ = {}", r.n, r.lambda_hat);
             assert!(r.alpha <= 3.0 * r.log2, "n={}: α = {}", r.n, r.alpha);
             assert!(
@@ -103,7 +118,12 @@ mod tests {
                 r.n,
                 r.matching_congestion
             );
-            assert!(r.general_beta <= 4.0 * r.log2.powi(3), "n={}: β = {}", r.n, r.general_beta);
+            assert!(
+                r.general_beta <= 4.0 * r.log2.powi(3),
+                "n={}: β = {}",
+                r.n,
+                r.general_beta
+            );
         }
         assert!(text.contains("[5]"));
     }

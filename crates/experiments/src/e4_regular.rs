@@ -54,12 +54,12 @@ pub fn run(sizes: &[usize], seed: u64) -> (Vec<E4Row>, String) {
 
         let dist = distance_stretch_edges(&g, &sp.h, 8);
         let matching = workloads::removed_edge_matching(&g, &sp.h);
-        let routing = route_matching(&router, &matching, seed ^ 2).expect("matching routable");
+        let routing = route_matching(&router, &matching, seed ^ 2).expect("matching routable"); // xtask: allow(no_panic) — runner: infeasible experiment config is unrecoverable
         let matching_congestion = routing.congestion(n);
 
         let (_, base) = workloads::permutation_base_routing(&g, seed ^ 3);
         let general = general_substitute_congestion(n, &base, &router, seed ^ 4)
-            .expect("general routing substitutable");
+            .expect("general routing substitutable"); // xtask: allow(no_panic) — runner: infeasible experiment config is unrecoverable
 
         rows.push(E4Row {
             n,
@@ -69,7 +69,9 @@ pub fn run(sizes: &[usize], seed: u64) -> (Vec<E4Row>, String) {
             sampled: sp.num_sampled,
             reinserted: sp.num_reinserted,
             safe_reinserted: sp.num_safe_reinserted,
-            alpha: dist.max_stretch.max(if dist.overflow_pairs > 0 { 9.0 } else { 0.0 }),
+            alpha: dist
+                .max_stretch
+                .max(if dist.overflow_pairs > 0 { 9.0 } else { 0.0 }),
             matching_congestion,
             lemma17_bound: 1.0 + 2.0 * (delta as f64).sqrt(),
             general_beta: general.beta(),
@@ -77,8 +79,18 @@ pub fn run(sizes: &[usize], seed: u64) -> (Vec<E4Row>, String) {
         });
     }
     let mut t = Table::new([
-        "n", "Δ", "|E(G)|", "|E(H)|", "|E'|", "|E''|", "safe", "α(max)", "C_match", "1+2√Δ",
-        "β_general", "√Δ·log n",
+        "n",
+        "Δ",
+        "|E(G)|",
+        "|E(H)|",
+        "|E'|",
+        "|E''|",
+        "safe",
+        "α(max)",
+        "C_match",
+        "1+2√Δ",
+        "β_general",
+        "√Δ·log n",
     ]);
     for r in &rows {
         t.add_row([

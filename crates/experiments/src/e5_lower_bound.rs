@@ -53,7 +53,7 @@ fn instance_beta(lb: &LowerBoundGraph, h: &dcspan_graph::Graph, i: usize) -> f64
     let c_g = base.congestion(lb.graph.n()).max(1);
     // Substitute routing in H: shortest paths (all of which must detour
     // through s_i — there is no other 3-hop connection).
-    let sub = shortest_path_routing(h, &problem).expect("H is connected per instance");
+    let sub = shortest_path_routing(h, &problem).expect("H is connected per instance"); // xtask: allow(no_panic) — runner: infeasible experiment config is unrecoverable
     let c_h = sub.congestion(lb.graph.n());
     c_h as f64 / c_g as f64
 }
@@ -66,7 +66,9 @@ pub fn run(scales: &[(usize, usize)]) -> (Vec<E5Row>, String) {
         let h = lb.optimal_spanner();
         let n = lb.graph.n();
         let dist = dcspan_core::eval::distance_stretch_edges(&lb.graph, &h, 4);
-        let alpha = dist.max_stretch.max(if dist.overflow_pairs > 0 { 9.0 } else { 0.0 });
+        let alpha = dist
+            .max_stretch
+            .max(if dist.overflow_pairs > 0 { 9.0 } else { 0.0 });
         // β on a sample of instances (they are symmetric; take several).
         let sample = lb.instances.min(16);
         let beta_worst = (0..sample)
@@ -86,7 +88,15 @@ pub fn run(scales: &[(usize, usize)]) -> (Vec<E5Row>, String) {
         });
     }
     let mut t = Table::new([
-        "q", "blocks", "n", "|E(G)|", "|E(H)|", "E(H)/n^7/6", "α(max)", "β(worst)", "(2k−1)/4",
+        "q",
+        "blocks",
+        "n",
+        "|E(G)|",
+        "|E(H)|",
+        "E(H)/n^7/6",
+        "α(max)",
+        "β(worst)",
+        "(2k−1)/4",
         "n^1/6",
     ]);
     for r in &rows {

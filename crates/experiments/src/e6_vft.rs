@@ -41,8 +41,8 @@ pub struct E6Row {
 /// sparsify each clique with a checked 3-spanner.
 fn congestion_aware_alternative(t: &TwoCliqueGraph, seed: u64) -> Graph {
     let (h, _) = baswana_sen_spanner_checked(&t.graph, 2, seed, 20)
-        .expect("3-spanner of the two-clique graph");
-    // Re-add every matching edge (Baswana–Sen may have dropped some).
+        .expect("3-spanner of the two-clique graph"); // xtask: allow(no_panic) — runner: infeasible experiment config is unrecoverable
+                                                      // Re-add every matching edge (Baswana–Sen may have dropped some).
     h.with_extra_edges((0..t.half).map(|i| dcspan_graph::Edge::new(t.a(i), t.b(i))))
 }
 
@@ -61,13 +61,13 @@ pub fn run(halves: &[usize], seed: u64) -> (Vec<E6Row>, String) {
         // edges have no 2-hop detours in this graph, so the choice is
         // uniform over the 3-hop detours through the kept matching edges.
         let router = SpannerDetourRouter::new(&vft.h, DetourPolicy::UniformShortest);
-        let routing = route_matching(&router, &problem, seed ^ 1).expect("matching routable");
+        let routing = route_matching(&router, &problem, seed ^ 1).expect("matching routable"); // xtask: allow(no_panic) — runner: infeasible experiment config is unrecoverable
         let congestion_vft = routing.congestion(n);
 
         let alt = congestion_aware_alternative(&t, seed ^ 2);
         let alt_router = SpannerDetourRouter::new(&alt, DetourPolicy::UniformShortest);
         let alt_routing =
-            route_matching(&alt_router, &problem, seed ^ 3).expect("matching routable");
+            route_matching(&alt_router, &problem, seed ^ 3).expect("matching routable"); // xtask: allow(no_panic) — runner: infeasible experiment config is unrecoverable
         let congestion_alt = alt_routing.congestion(n);
 
         rows.push(E6Row {
@@ -82,7 +82,14 @@ pub fn run(halves: &[usize], seed: u64) -> (Vec<E6Row>, String) {
         });
     }
     let mut t = Table::new([
-        "n", "kept(f+1)", "|E_vft|", "C_vft", "pigeonhole", "n^2/3", "|E_alt|", "C_alt",
+        "n",
+        "kept(f+1)",
+        "|E_vft|",
+        "C_vft",
+        "pigeonhole",
+        "n^2/3",
+        "|E_alt|",
+        "C_alt",
     ]);
     for r in &rows {
         t.add_row([
@@ -120,8 +127,17 @@ mod tests {
                 r.congestion_vft,
                 r.pigeonhole
             );
-            assert!(r.congestion_alt <= 2, "n={}: alternative C = {}", r.n, r.congestion_alt);
-            assert!(r.congestion_vft > 2 * r.congestion_alt, "n={}: no separation", r.n);
+            assert!(
+                r.congestion_alt <= 2,
+                "n={}: alternative C = {}",
+                r.n,
+                r.congestion_alt
+            );
+            assert!(
+                r.congestion_vft > 2 * r.congestion_alt,
+                "n={}: no separation",
+                r.n
+            );
         }
         // Congestion grows with n for VFT (Ω(n^{2/3})) but not for alt.
         assert!(rows[1].congestion_vft > rows[0].congestion_vft);

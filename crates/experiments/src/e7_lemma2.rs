@@ -45,12 +45,14 @@ pub fn run(pair_counts: &[usize]) -> (Vec<E7Row>, String) {
         let problem = RoutingProblem::from_pairs(gadget.matching_routing_pairs());
 
         let dist = dcspan_core::eval::distance_stretch_edges(&gadget.graph, &h, 4);
-        let alpha = dist.max_stretch.max(if dist.overflow_pairs > 0 { 9.0 } else { 0.0 });
+        let alpha = dist
+            .max_stretch
+            .max(if dist.overflow_pairs > 0 { 9.0 } else { 0.0 });
 
         // Substitute with ≤3-hop detours (the DC-spanner's obligation when
         // α = 3): everything must cross (a_1, b_1).
         let router = SpannerDetourRouter::new(&h, DetourPolicy::UniformUpTo3);
-        let sub = route_matching(&router, &problem, 1).expect("routable");
+        let sub = route_matching(&router, &problem, 1).expect("routable"); // xtask: allow(no_panic) — runner: infeasible experiment config is unrecoverable
         let beta_adversarial = sub.congestion(gadget.graph.n());
 
         // If paths may be long (use the private (α+1)-length detours),
@@ -76,7 +78,13 @@ pub fn run(pair_counts: &[usize]) -> (Vec<E7Row>, String) {
         });
     }
     let mut t = Table::new([
-        "pairs", "|V|", "α(max)", "β_adv(≤3-hop)", "C(long detours)", "len(long)", "|V|/2(α−1)",
+        "pairs",
+        "|V|",
+        "α(max)",
+        "β_adv(≤3-hop)",
+        "C(long detours)",
+        "len(long)",
+        "|V|/2(α−1)",
     ]);
     for r in &rows {
         t.add_row([

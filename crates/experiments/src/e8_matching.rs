@@ -8,7 +8,9 @@
 use crate::summary::mean_std;
 use crate::table::{f2, Table};
 use crate::workloads;
-use dcspan_core::expander::{build_expander_spanner, neighborhood_matching_stats, ExpanderSpannerParams};
+use dcspan_core::expander::{
+    build_expander_spanner, neighborhood_matching_stats, ExpanderSpannerParams,
+};
 use dcspan_spectral::expansion::spectral_expansion;
 use dcspan_spectral::mixing::lemma4_matching_bound;
 
@@ -70,7 +72,15 @@ pub fn run(sizes: &[usize], epsilon: f64, edges_sampled: usize, seed: u64) -> (V
         });
     }
     let mut t = Table::new([
-        "n", "Δ", "λ", "Lem4 bound", "|M| min", "|M| mean", "|M^S| mean", "usable mean", "p",
+        "n",
+        "Δ",
+        "λ",
+        "Lem4 bound",
+        "|M| min",
+        "|M| mean",
+        "|M^S| mean",
+        "usable mean",
+        "p",
     ]);
     for r in &rows {
         t.add_row([

@@ -52,8 +52,7 @@ pub fn run(sizes: &[usize], seed: u64) -> (Vec<E9Row>, String) {
         let lnn = workloads::lnn(n);
         for a in [1usize, lnn.ceil() as usize, (2.0 * lnn).ceil() as usize] {
             let mask = supported_edge_mask(&g, a, b);
-            let supported_fraction =
-                mask.iter().filter(|&&s| s).count() as f64 / mask.len() as f64;
+            let supported_fraction = mask.iter().filter(|&&s| s).count() as f64 / mask.len() as f64;
 
             let step = (g.m() / 32).max(1);
             let mut ext_means = Vec::new();
@@ -61,12 +60,12 @@ pub fn run(sizes: &[usize], seed: u64) -> (Vec<E9Row>, String) {
             for e in g.edges().iter().step_by(step).take(32) {
                 let profile = extension_support_profile(&g, e.u, e.v);
                 if !profile.is_empty() {
-                    ext_means
-                        .push(profile.iter().sum::<usize>() as f64 / profile.len() as f64);
+                    ext_means.push(profile.iter().sum::<usize>() as f64 / profile.len() as f64);
                 }
                 survivors.push(
                     (surviving_three_detours(&g, &g_prime, e.u, e.v)
-                        + surviving_three_detours(&g, &g_prime, e.v, e.u)) as f64,
+                        + surviving_three_detours(&g, &g_prime, e.v, e.u))
+                        as f64,
                 );
             }
             let sd = mean_std(&survivors);
@@ -83,7 +82,13 @@ pub fn run(sizes: &[usize], seed: u64) -> (Vec<E9Row>, String) {
         }
     }
     let mut t = Table::new([
-        "n", "Δ", "a", "b", "frac supported", "mean ext-support", "3-detours surv (mean)",
+        "n",
+        "Δ",
+        "a",
+        "b",
+        "frac supported",
+        "mean ext-support",
+        "3-detours surv (mean)",
         "3-detours surv (min)",
     ]);
     for r in &rows {
@@ -119,7 +124,11 @@ mod tests {
         assert!(rows[0].supported_fraction >= rows[1].supported_fraction);
         assert!(rows[1].supported_fraction >= rows[2].supported_fraction);
         // At a = 1 a dense regular expander should be mostly supported.
-        assert!(rows[0].supported_fraction > 0.9, "frac = {}", rows[0].supported_fraction);
+        assert!(
+            rows[0].supported_fraction > 0.9,
+            "frac = {}",
+            rows[0].supported_fraction
+        );
         assert!(text.contains("E9"));
     }
 
@@ -128,6 +137,10 @@ mod tests {
         let (rows, _) = run(&[128], 7);
         // In the Theorem 3 regime (Δ = n^{2/3} = 26 at n = 128) the mean
         // number of surviving 3-detours should be comfortably positive.
-        assert!(rows[0].surviving_detours_mean >= 1.0, "mean = {}", rows[0].surviving_detours_mean);
+        assert!(
+            rows[0].surviving_detours_mean >= 1.0,
+            "mean = {}",
+            rows[0].surviving_detours_mean
+        );
     }
 }

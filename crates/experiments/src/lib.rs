@@ -27,6 +27,9 @@
 //! | [`table1`] | the complete Table 1, measured |
 //! | [`ablations`] | design-choice ablations (A1–A3) |
 
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
 pub mod ablations;
 pub mod e10_decompose;
 pub mod e11_local;
@@ -47,8 +50,8 @@ pub mod e9_support;
 pub mod record;
 pub mod summary;
 pub mod sweep;
-pub mod table1;
 pub mod table;
+pub mod table1;
 pub mod workloads;
 
 /// Render a standard experiment banner.

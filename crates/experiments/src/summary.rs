@@ -21,7 +21,12 @@ pub fn mean_std(values: &[f64]) -> MeanStd {
     let var = values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / n;
     let min = values.iter().copied().fold(f64::INFINITY, f64::min);
     let max = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
-    MeanStd { mean, std: var.sqrt(), min, max }
+    MeanStd {
+        mean,
+        std: var.sqrt(),
+        min,
+        max,
+    }
 }
 
 impl MeanStd {

@@ -6,7 +6,9 @@ use crate::summary::{mean_std, MeanStd};
 use crate::table::Table;
 use crate::workloads;
 use dcspan_core::eval::{distance_stretch_edges, general_substitute_congestion};
-use dcspan_core::expander::{build_expander_spanner, ExpanderMatchingRouter, ExpanderSpannerParams};
+use dcspan_core::expander::{
+    build_expander_spanner, ExpanderMatchingRouter, ExpanderSpannerParams,
+};
 use dcspan_core::regular::{build_regular_spanner, RegularSpannerParams};
 use dcspan_routing::replace::{route_matching, DetourPolicy, SpannerDetourRouter};
 
@@ -50,21 +52,43 @@ pub fn sweep_theorem2(n: usize, epsilon: f64, seeds: usize, seed0: u64) -> (Vec<
         let router = ExpanderMatchingRouter::new(&g, &sp.h);
         edges.push(sp.h.m() as f64 / (n as f64).powf(5.0 / 3.0));
         let dist = distance_stretch_edges(&g, &sp.h, 6);
-        alphas.push(if dist.overflow_pairs > 0 { 9.0 } else { dist.max_stretch });
+        alphas.push(if dist.overflow_pairs > 0 {
+            9.0
+        } else {
+            dist.max_stretch
+        });
         let matching = workloads::removed_edge_matching(&g, &sp.h);
-        let routing = route_matching(&router, &matching, seed ^ 2).expect("routable");
+        let routing = route_matching(&router, &matching, seed ^ 2).expect("routable"); // xtask: allow(no_panic) — runner: infeasible experiment config is unrecoverable
         match_c.push(routing.congestion(n) as f64);
         let (_, base) = workloads::permutation_base_routing(&g, seed ^ 3);
-        let gen = general_substitute_congestion(n, &base, &router, seed ^ 4).expect("routable");
+        let gen = general_substitute_congestion(n, &base, &router, seed ^ 4).expect("routable"); // xtask: allow(no_panic) — runner: infeasible experiment config is unrecoverable
         betas.push(gen.beta());
     }
     let rows = vec![
-        SweepRow { metric: "|E(H)| / n^5/3", stats: mean_std(&edges) },
-        SweepRow { metric: "α (max, edges)", stats: mean_std(&alphas) },
-        SweepRow { metric: "C matching", stats: mean_std(&match_c) },
-        SweepRow { metric: "β general", stats: mean_std(&betas) },
+        SweepRow {
+            metric: "|E(H)| / n^5/3",
+            stats: mean_std(&edges),
+        },
+        SweepRow {
+            metric: "α (max, edges)",
+            stats: mean_std(&alphas),
+        },
+        SweepRow {
+            metric: "C matching",
+            stats: mean_std(&match_c),
+        },
+        SweepRow {
+            metric: "β general",
+            stats: mean_std(&betas),
+        },
     ];
-    let text = render(&rows, "SWEEP-T2", "Theorem 2 variance across seeds", n, seeds);
+    let text = render(
+        &rows,
+        "SWEEP-T2",
+        "Theorem 2 variance across seeds",
+        n,
+        seeds,
+    );
     (rows, text)
 }
 
@@ -83,21 +107,43 @@ pub fn sweep_theorem3(n: usize, seeds: usize, seed0: u64) -> (Vec<SweepRow>, Str
         let router = SpannerDetourRouter::new(&sp.h, DetourPolicy::UniformUpTo3);
         edges.push(sp.h.m() as f64 / (n as f64).powf(5.0 / 3.0));
         let dist = distance_stretch_edges(&g, &sp.h, 6);
-        alphas.push(if dist.overflow_pairs > 0 { 9.0 } else { dist.max_stretch });
+        alphas.push(if dist.overflow_pairs > 0 {
+            9.0
+        } else {
+            dist.max_stretch
+        });
         let matching = workloads::removed_edge_matching(&g, &sp.h);
-        let routing = route_matching(&router, &matching, seed ^ 2).expect("routable");
+        let routing = route_matching(&router, &matching, seed ^ 2).expect("routable"); // xtask: allow(no_panic) — runner: infeasible experiment config is unrecoverable
         match_c.push(routing.congestion(n) as f64);
         let (_, base) = workloads::permutation_base_routing(&g, seed ^ 3);
-        let gen = general_substitute_congestion(n, &base, &router, seed ^ 4).expect("routable");
+        let gen = general_substitute_congestion(n, &base, &router, seed ^ 4).expect("routable"); // xtask: allow(no_panic) — runner: infeasible experiment config is unrecoverable
         betas.push(gen.beta());
     }
     let rows = vec![
-        SweepRow { metric: "|E(H)| / n^5/3", stats: mean_std(&edges) },
-        SweepRow { metric: "α (max, edges)", stats: mean_std(&alphas) },
-        SweepRow { metric: "C matching", stats: mean_std(&match_c) },
-        SweepRow { metric: "β general", stats: mean_std(&betas) },
+        SweepRow {
+            metric: "|E(H)| / n^5/3",
+            stats: mean_std(&edges),
+        },
+        SweepRow {
+            metric: "α (max, edges)",
+            stats: mean_std(&alphas),
+        },
+        SweepRow {
+            metric: "C matching",
+            stats: mean_std(&match_c),
+        },
+        SweepRow {
+            metric: "β general",
+            stats: mean_std(&betas),
+        },
     ];
-    let text = render(&rows, "SWEEP-T3", "Theorem 3 variance across seeds", n, seeds);
+    let text = render(
+        &rows,
+        "SWEEP-T3",
+        "Theorem 3 variance across seeds",
+        n,
+        seeds,
+    );
     (rows, text)
 }
 

@@ -8,8 +8,12 @@
 use crate::table::{f2, Table};
 use crate::workloads;
 use dcspan_core::becchetti::random_d_out_subgraph;
-use dcspan_core::eval::{distance_stretch_edges, distance_stretch_sampled, general_substitute_congestion};
-use dcspan_core::expander::{build_expander_spanner, ExpanderMatchingRouter, ExpanderSpannerParams};
+use dcspan_core::eval::{
+    distance_stretch_edges, distance_stretch_sampled, general_substitute_congestion,
+};
+use dcspan_core::expander::{
+    build_expander_spanner, ExpanderMatchingRouter, ExpanderSpannerParams,
+};
 use dcspan_core::koutis_xu::koutis_xu_nlogn;
 use dcspan_core::regular::{build_regular_spanner, RegularSpannerParams};
 use dcspan_gen::lower_bound::LowerBoundGraph;
@@ -41,14 +45,9 @@ pub struct Table1Row {
     pub assumptions: &'static str,
 }
 
-fn beta_of<R: EdgeRouter>(
-    g: &dcspan_graph::Graph,
-    router: &R,
-    seed: u64,
-) -> f64 {
+fn beta_of<R: EdgeRouter>(g: &dcspan_graph::Graph, router: &R, seed: u64) -> f64 {
     let (_, base) = workloads::permutation_base_routing(g, seed);
-    general_substitute_congestion(g.n(), &base, router, seed ^ 1)
-        .map_or(f64::NAN, |gen| gen.beta())
+    general_substitute_congestion(g.n(), &base, router, seed ^ 1).map_or(f64::NAN, |gen| gen.beta())
 }
 
 /// Regenerate all five Table 1 rows at size `n`.
@@ -149,9 +148,8 @@ pub fn run(n: usize, seed: u64) -> (Vec<Table1Row>, String) {
             f64::NAN
         } else {
             let problem = RoutingProblem::from_pairs(pairs.clone());
-            let base =
-                Routing::new(pairs.iter().map(|&(u, v)| Path::new(vec![u, v])).collect());
-            let sub = shortest_path_routing(&h, &problem).expect("connected per instance");
+            let base = Routing::new(pairs.iter().map(|&(u, v)| Path::new(vec![u, v])).collect());
+            let sub = shortest_path_routing(&h, &problem).expect("connected per instance"); // xtask: allow(no_panic) — runner: infeasible experiment config is unrecoverable
             sub.congestion(lb.graph.n()) as f64 / base.congestion(lb.graph.n()).max(1) as f64
         };
         let n76 = (lb.graph.n() as f64).powf(7.0 / 6.0);
@@ -172,8 +170,14 @@ pub fn run(n: usize, seed: u64) -> (Vec<Table1Row>, String) {
     }
 
     let mut t = Table::new([
-        "Result", "Edges (paper)", "Edges (measured)", "α (paper)", "α (meas)", "β (paper)",
-        "β (meas)", "Assumptions",
+        "Result",
+        "Edges (paper)",
+        "Edges (measured)",
+        "α (paper)",
+        "α (meas)",
+        "β (paper)",
+        "β (meas)",
+        "Assumptions",
     ]);
     for r in &rows {
         t.add_row([
@@ -209,12 +213,27 @@ mod tests {
         assert_eq!(rows[4].result, "Theorem 4");
         // Stretch-3 rows really measure 3.
         for r in [&rows[0], &rows[3], &rows[4]] {
-            assert_eq!(r.measured_alpha, "3.00", "{}: α = {}", r.result, r.measured_alpha);
+            assert_eq!(
+                r.measured_alpha, "3.00",
+                "{}: α = {}",
+                r.result, r.measured_alpha
+            );
         }
         // All β values parsed as finite.
         for r in &rows {
-            let lead: f64 = r.measured_beta.split_whitespace().next().unwrap().parse().unwrap();
-            assert!(lead.is_finite() && lead >= 1.0, "{}: β = {}", r.result, r.measured_beta);
+            let lead: f64 = r
+                .measured_beta
+                .split_whitespace()
+                .next()
+                .unwrap()
+                .parse()
+                .unwrap();
+            assert!(
+                lead.is_finite() && lead >= 1.0,
+                "{}: β = {}",
+                r.result,
+                r.measured_beta
+            );
         }
         assert!(text.contains("TABLE 1"));
     }

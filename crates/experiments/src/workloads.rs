@@ -50,7 +50,7 @@ pub fn removed_edge_matching(g: &Graph, h: &Graph) -> RoutingProblem {
 pub fn permutation_base_routing(g: &Graph, seed: u64) -> (RoutingProblem, Routing) {
     let problem = RoutingProblem::random_permutation(g.n(), seed);
     let routing = random_shortest_path_routing(g, &problem, seed ^ 0xbead)
-        .expect("workload graphs are connected");
+        .expect("workload graphs are connected"); // xtask: allow(no_panic) — runner: infeasible experiment config is unrecoverable
     (problem, routing)
 }
 
@@ -58,7 +58,7 @@ pub fn permutation_base_routing(g: &Graph, seed: u64) -> (RoutingProblem, Routin
 pub fn pairs_base_routing(g: &Graph, k: usize, seed: u64) -> (RoutingProblem, Routing) {
     let problem = RoutingProblem::random_pairs(g.n(), k, seed);
     let routing = random_shortest_path_routing(g, &problem, seed ^ 0xfeed)
-        .expect("workload graphs are connected");
+        .expect("workload graphs are connected"); // xtask: allow(no_panic) — runner: infeasible experiment config is unrecoverable
     (problem, routing)
 }
 

@@ -33,7 +33,10 @@ impl FanGraph {
         for i in 0..=k {
             b.add_edge(s, (2 * i) as u32); // a_{2i+1} has id 2i
         }
-        FanGraph { graph: b.build(), k }
+        FanGraph {
+            graph: b.build(),
+            k,
+        }
     }
 
     /// Node `a_j` for `1 ≤ j ≤ 2k+1` (paper's 1-based labelling).
@@ -81,14 +84,22 @@ impl FanGraph {
     /// The adversarial routing problem of Lemma 18: the endpoints of the
     /// removed line edges (`E_1` in the paper).
     pub fn adversarial_routing_pairs(&self) -> Vec<(NodeId, NodeId)> {
-        self.optimal_spanner_removed_edges().into_iter().map(|e| (e.u, e.v)).collect()
+        self.optimal_spanner_removed_edges()
+            .into_iter()
+            .map(|e| (e.u, e.v))
+            .collect()
     }
 
     /// The canonical 3-hop replacement path in `H` for removed line edge
     /// `(a_{2i−1}, a_{2i})`: `a_{2i−1} → s → a_{2i+1} → a_{2i}`.
     pub fn replacement_path(&self, i: usize) -> Vec<NodeId> {
         assert!((1..=self.k).contains(&i));
-        vec![self.a(2 * i - 1), self.s(), self.a(2 * i + 1), self.a(2 * i)]
+        vec![
+            self.a(2 * i - 1),
+            self.s(),
+            self.a(2 * i + 1),
+            self.a(2 * i),
+        ]
     }
 }
 

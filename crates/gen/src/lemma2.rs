@@ -59,7 +59,11 @@ impl Lemma2Graph {
             }
             b.add_edge(d(i, interior - 1), bb(i));
         }
-        Lemma2Graph { graph: b.build(), pairs, alpha }
+        Lemma2Graph {
+            graph: b.build(),
+            pairs,
+            alpha,
+        }
     }
 
     /// Node `a_i` (0-based).
@@ -85,7 +89,8 @@ impl Lemma2Graph {
     pub fn spanner_h(&self) -> Graph {
         let removed: dcspan_graph::FxHashSet<(NodeId, NodeId)> =
             (1..self.pairs).map(|i| (self.a(i), self.b(i))).collect();
-        self.graph.filter_edges(|_, e| !removed.contains(&(e.u, e.v)))
+        self.graph
+            .filter_edges(|_, e| !removed.contains(&(e.u, e.v)))
     }
 
     /// The adversarial matching routing problem `R = {(a_i, b_i)}`.

@@ -15,6 +15,9 @@
 //!
 //! All generators take explicit seeds and are deterministic.
 
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
 pub mod classic;
 pub mod fan;
 pub mod gnp;

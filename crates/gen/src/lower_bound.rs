@@ -36,7 +36,10 @@ impl LowerBoundGraph {
     /// `blocks · q²` instances over `blocks · q²` pool nodes plus one
     /// special node per instance (`n = 2 · blocks · q²` total nodes).
     pub fn new(q: usize, blocks: usize) -> Self {
-        assert!(q >= 3 && q % 2 == 1 && is_prime(q as u64), "q must be an odd prime ≥ 3");
+        assert!(
+            q >= 3 && q % 2 == 1 && is_prime(q as u64),
+            "q must be an odd prime ≥ 3"
+        );
         let k = (q - 1) / 2;
         let system = LineSystem::new(q, blocks);
         let pool = system.num_elements();
@@ -58,7 +61,13 @@ impl LowerBoundGraph {
             }
             lines.push(line);
         }
-        LowerBoundGraph { graph: b.build(), k, q, instances, lines }
+        LowerBoundGraph {
+            graph: b.build(),
+            k,
+            q,
+            instances,
+            lines,
+        }
     }
 
     /// Parameters matching the paper's target shape for ground-set size `n`.
@@ -108,7 +117,10 @@ impl LowerBoundGraph {
     /// The adversarial routing pairs of instance `i` (endpoints of its
     /// removed line edges).
     pub fn adversarial_routing_pairs(&self, i: usize) -> Vec<(NodeId, NodeId)> {
-        self.removed_edges(i).into_iter().map(|e| (e.u, e.v)).collect()
+        self.removed_edges(i)
+            .into_iter()
+            .map(|e| (e.u, e.v))
+            .collect()
     }
 
     /// The canonical 3-hop replacement path in `H` for the `f`-th removed
@@ -116,7 +128,12 @@ impl LowerBoundGraph {
     pub fn replacement_path(&self, i: usize, f: usize) -> Vec<NodeId> {
         assert!((1..=self.k).contains(&f));
         let line = &self.lines[i];
-        vec![line[2 * f - 2], self.special(i), line[2 * f], line[2 * f - 1]]
+        vec![
+            line[2 * f - 2],
+            self.special(i),
+            line[2 * f],
+            line[2 * f - 1],
+        ]
     }
 
     /// A standalone fan gadget with the same `k` (for single-instance
@@ -201,7 +218,11 @@ mod tests {
         // each (2 line + 1 ray).
         let g = LowerBoundGraph::new(5, 2);
         for u in 0..g.pool_size() as NodeId {
-            assert!(g.graph.degree(u) <= 3 * g.q, "node {u}: {}", g.graph.degree(u));
+            assert!(
+                g.graph.degree(u) <= 3 * g.q,
+                "node {u}: {}",
+                g.graph.degree(u)
+            );
             assert!(g.graph.degree(u) >= 1);
         }
     }

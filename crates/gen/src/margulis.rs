@@ -76,6 +76,9 @@ mod tests {
         // diameter should be far below the grid's Θ(m).
         let g = gabber_galil(16);
         let d = dcspan_graph::traversal::diameter(&g).unwrap();
-        assert!(d <= 10, "diameter {d} too large for an expander on 256 nodes");
+        assert!(
+            d <= 10,
+            "diameter {d} too large for an expander on 256 nodes"
+        );
     }
 }

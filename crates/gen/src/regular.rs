@@ -23,7 +23,10 @@ use rand::Rng;
 
 fn check_params(n: usize, delta: usize) {
     assert!(delta < n, "Δ = {delta} must be < n = {n}");
-    assert!((n * delta).is_multiple_of(2), "n·Δ must be even (n = {n}, Δ = {delta})");
+    assert!(
+        (n * delta).is_multiple_of(2),
+        "n·Δ must be even (n = {n}, Δ = {delta})"
+    );
     assert!(delta >= 1, "Δ must be ≥ 1");
 }
 
@@ -33,7 +36,10 @@ fn check_params(n: usize, delta: usize) {
 /// (requires `n` even — guaranteed by the `n·Δ` even precondition).
 pub fn circulant_regular(n: usize, delta: usize) -> Graph {
     check_params(n, delta);
-    assert!(delta / 2 < n.div_ceil(2), "Δ too large for a distinct-stride circulant");
+    assert!(
+        delta / 2 < n.div_ceil(2),
+        "Δ too large for a distinct-stride circulant"
+    );
     let mut strides: Vec<usize> = (1..=delta / 2).collect();
     if delta % 2 == 1 {
         strides.push(n / 2);
@@ -114,7 +120,9 @@ pub fn random_regular_configuration(n: usize, delta: usize, seed: u64) -> Option
     check_params(n, delta);
     let mut rng = item_rng(seed, 1);
     // Stubs: node u appears Δ times.
-    let mut stubs: Vec<u32> = (0..n as u32).flat_map(|u| std::iter::repeat_n(u, delta)).collect();
+    let mut stubs: Vec<u32> = (0..n as u32)
+        .flat_map(|u| std::iter::repeat_n(u, delta))
+        .collect();
     // Fisher–Yates shuffle.
     for i in (1..stubs.len()).rev() {
         let j = rng.gen_range(0..=i);
@@ -234,8 +242,16 @@ mod tests {
         let mixed = random_regular(50, 4, 3);
         assert_ne!(base, mixed);
         // Hamming distance between edge sets should be substantial.
-        let common = mixed.edges().iter().filter(|e| base.has_edge(e.u, e.v)).count();
-        assert!(common < base.m() / 2, "only {common} of {} edges moved", base.m());
+        let common = mixed
+            .edges()
+            .iter()
+            .filter(|e| base.has_edge(e.u, e.v))
+            .count();
+        assert!(
+            common < base.m() / 2,
+            "only {common} of {} edges moved",
+            base.m()
+        );
     }
 
     #[test]

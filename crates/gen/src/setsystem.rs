@@ -39,8 +39,9 @@ impl LineSystem {
             for a in 0..q {
                 for b in 0..q {
                     // Line y = a·x + b: point (x, y) has id base + x·q + y.
-                    let line: Vec<u32> =
-                        (0..q).map(|x| base + (x * q + (a * x + b) % q) as u32).collect();
+                    let line: Vec<u32> = (0..q)
+                        .map(|x| base + (x * q + (a * x + b) % q) as u32)
+                        .collect();
                     subsets.push(line);
                 }
             }
@@ -72,8 +73,11 @@ impl LineSystem {
     /// Verify property (ii) of Lemma 19 by brute force: all pairs of
     /// subsets share at most one element. Quadratic — test/diagnostic use.
     pub fn verify_pairwise_intersections(&self) -> bool {
-        let sets: Vec<std::collections::BTreeSet<u32>> =
-            self.subsets.iter().map(|s| s.iter().copied().collect()).collect();
+        let sets: Vec<std::collections::BTreeSet<u32>> = self
+            .subsets
+            .iter()
+            .map(|s| s.iter().copied().collect())
+            .collect();
         for i in 0..sets.len() {
             for j in i + 1..sets.len() {
                 if sets[i].intersection(&sets[j]).count() > 1 {

@@ -40,7 +40,7 @@ impl RotationMap {
         let mut rot = vec![(0 as NodeId, 0u32); n * degree];
         for v in 0..n as NodeId {
             for (i, &w) in g.neighbors(v).iter().enumerate() {
-                let j = g.neighbors(w).binary_search(&v).expect("mutual adjacency");
+                let j = g.neighbors(w).binary_search(&v).expect("mutual adjacency"); // xtask: allow(no_panic) — CSR adjacency is symmetric
                 rot[v as usize * degree + i] = (w, j as u32);
             }
         }

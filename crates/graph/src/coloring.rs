@@ -46,7 +46,7 @@ pub fn is_proper_edge_coloring(g: &Graph, coloring: &EdgeColoring) -> bool {
     let mut seen: Vec<u32> = vec![u32::MAX; coloring.num_colors as usize];
     for u in 0..g.n() as NodeId {
         for &w in g.neighbors(u) {
-            let id = g.edge_id(u, w).expect("neighbour implies edge");
+            let id = g.edge_id(u, w).expect("neighbour implies edge"); // xtask: allow(no_panic) — w came from neighbors(u)
             let c = coloring.color[id] as usize;
             if seen[c] == u {
                 return false;
@@ -72,13 +72,16 @@ pub fn greedy_edge_coloring(g: &Graph) -> EdgeColoring {
         let base_v = e.v as usize * palette;
         let c = (0..palette)
             .find(|&c| !used[base_u + c] && !used[base_v + c])
-            .expect("2Δ−1 colours always suffice greedily");
+            .expect("2Δ−1 colours always suffice greedily"); // xtask: allow(no_panic) — pigeonhole: 2Δ−1 colours, ≤ 2Δ−2 blocked
         used[base_u + c] = true;
         used[base_v + c] = true;
         color[id] = c as u32;
         max_color = max_color.max(c as u32);
     }
-    EdgeColoring { color, num_colors: if g.m() == 0 { 0 } else { max_color + 1 } }
+    EdgeColoring {
+        color,
+        num_colors: if g.m() == 0 { 0 } else { max_color + 1 },
+    }
 }
 
 const NONE: u32 = u32::MAX;
@@ -95,7 +98,11 @@ struct MgState {
 
 impl MgState {
     fn new(n: usize, m: usize, palette: usize) -> Self {
-        MgState { palette, at: vec![NONE; n * palette], color: vec![NONE; m] }
+        MgState {
+            palette,
+            at: vec![NONE; n * palette],
+            color: vec![NONE; m],
+        }
     }
 
     #[inline]
@@ -111,7 +118,7 @@ impl MgState {
     fn free_color(&self, u: NodeId) -> u32 {
         (0..self.palette as u32)
             .find(|&c| self.is_free(u, c))
-            .expect("a node of degree ≤ Δ always has a free colour among Δ+1")
+            .expect("a node of degree ≤ Δ always has a free colour among Δ+1") // xtask: allow(no_panic) — pigeonhole: Δ+1 colours, degree ≤ Δ
     }
 
     fn set(&mut self, g: &Graph, id: u32, c: u32) {
@@ -147,7 +154,10 @@ impl MgState {
 pub fn misra_gries_edge_coloring(g: &Graph) -> EdgeColoring {
     let delta = g.max_degree();
     if g.m() == 0 {
-        return EdgeColoring { color: Vec::new(), num_colors: 0 };
+        return EdgeColoring {
+            color: Vec::new(),
+            num_colors: 0,
+        };
     }
     let palette = delta + 1;
     let mut st = MgState::new(g.n(), g.m(), palette);
@@ -157,7 +167,10 @@ pub fn misra_gries_edge_coloring(g: &Graph) -> EdgeColoring {
     }
 
     let max_color = st.color.iter().copied().max().unwrap_or(0);
-    EdgeColoring { color: st.color, num_colors: max_color + 1 }
+    EdgeColoring {
+        color: st.color,
+        num_colors: max_color + 1,
+    }
 }
 
 /// Colour the single edge `id = (u, v)` using a Vizing fan at `u`.
@@ -176,13 +189,13 @@ fn color_one_edge(g: &Graph, st: &mut MgState, id: u32) {
         let mut in_fan = crate::FxHashSet::default();
         in_fan.insert(v);
         loop {
-            let last = *fan.last().unwrap();
+            let last = *fan.last().unwrap(); // xtask: allow(no_panic) — fan starts non-empty
             let mut extended = false;
             for &w in g.neighbors(u) {
                 if w == v || in_fan.contains(&w) {
                     continue;
                 }
-                let wid = g.edge_id(u, w).expect("neighbour implies edge") as u32;
+                let wid = g.edge_id(u, w).expect("neighbour implies edge") as u32; // xtask: allow(no_panic) — w came from neighbors(u)
                 let wc = st.color[wid as usize];
                 if wc != NONE && st.is_free(last, wc) {
                     fan.push(w);
@@ -197,7 +210,7 @@ fn color_one_edge(g: &Graph, st: &mut MgState, id: u32) {
         }
 
         let c = st.free_color(u);
-        let d = st.free_color(*fan.last().unwrap());
+        let d = st.free_color(*fan.last().unwrap()); // xtask: allow(no_panic) — fan starts non-empty
 
         if c != d {
             invert_cd_path(g, st, u, c, d);
@@ -211,7 +224,7 @@ fn color_one_edge(g: &Graph, st: &mut MgState, id: u32) {
         for k in 0..fan.len() {
             if k > 0 {
                 // Fan property for the prefix: colour of (u, F[k]) free on F[k-1].
-                let kid = g.edge_id(u, fan[k]).unwrap() as u32;
+                let kid = g.edge_id(u, fan[k]).unwrap() as u32; // xtask: allow(no_panic) — fan[k] is a neighbour of u
                 let kc = st.color[kid as usize];
                 if kc == NONE || !st.is_free(fan[k - 1], kc) {
                     prefix_ok = false;
@@ -222,7 +235,7 @@ fn color_one_edge(g: &Graph, st: &mut MgState, id: u32) {
             }
             if st.is_free(fan[k], d) {
                 rotate_fan(g, st, u, &fan[..=k]);
-                let tip_id = g.edge_id(u, fan[k]).unwrap() as u32;
+                let tip_id = g.edge_id(u, fan[k]).unwrap() as u32; // xtask: allow(no_panic) — fan[k] is a neighbour of u
                 debug_assert_eq!(st.color[tip_id as usize], NONE);
                 st.set(g, tip_id, d);
                 return;
@@ -232,6 +245,7 @@ fn color_one_edge(g: &Graph, st: &mut MgState, id: u32) {
         // updated colouring — the inversion changed the neighbourhood, so the
         // next fan differs.
     }
+    // xtask: allow(no_panic) — guards against an impossible state
     panic!("Misra–Gries failed to colour edge {id}; colouring state is inconsistent");
 }
 
@@ -269,8 +283,8 @@ fn invert_cd_path(g: &Graph, st: &mut MgState, u: NodeId, c: u32, d: u32) {
 /// fan tip and leave the tip edge uncoloured.
 fn rotate_fan(g: &Graph, st: &mut MgState, u: NodeId, fan: &[NodeId]) {
     for j in 0..fan.len() - 1 {
-        let id_j = g.edge_id(u, fan[j]).unwrap() as u32;
-        let id_j1 = g.edge_id(u, fan[j + 1]).unwrap() as u32;
+        let id_j = g.edge_id(u, fan[j]).unwrap() as u32; // xtask: allow(no_panic) — fan nodes are neighbours of u
+        let id_j1 = g.edge_id(u, fan[j + 1]).unwrap() as u32; // xtask: allow(no_panic) — fan nodes are neighbours of u
         let next_color = st.color[id_j1 as usize];
         debug_assert_ne!(next_color, NONE);
         if st.color[id_j as usize] != NONE {
@@ -330,8 +344,9 @@ mod tests {
     #[test]
     fn misra_gries_on_complete_graphs() {
         for n in 2..9 {
-            let edges: Vec<(u32, u32)> =
-                (0..n as u32).flat_map(|i| (i + 1..n as u32).map(move |j| (i, j))).collect();
+            let edges: Vec<(u32, u32)> = (0..n as u32)
+                .flat_map(|i| (i + 1..n as u32).map(move |j| (i, j)))
+                .collect();
             let g = Graph::from_edges(n, edges);
             let col = misra_gries_edge_coloring(&g);
             assert!(is_proper_edge_coloring(&g, &col));
@@ -392,11 +407,20 @@ mod tests {
     #[test]
     fn verifier_rejects_improper() {
         let g = Graph::from_edges(3, vec![(0, 1), (1, 2)]);
-        let bad = EdgeColoring { color: vec![0, 0], num_colors: 1 };
+        let bad = EdgeColoring {
+            color: vec![0, 0],
+            num_colors: 1,
+        };
         assert!(!is_proper_edge_coloring(&g, &bad));
-        let wrong_len = EdgeColoring { color: vec![0], num_colors: 1 };
+        let wrong_len = EdgeColoring {
+            color: vec![0],
+            num_colors: 1,
+        };
         assert!(!is_proper_edge_coloring(&g, &wrong_len));
-        let out_of_range = EdgeColoring { color: vec![0, 5], num_colors: 2 };
+        let out_of_range = EdgeColoring {
+            color: vec![0, 5],
+            num_colors: 2,
+        };
         assert!(!is_proper_edge_coloring(&g, &out_of_range));
     }
 }

@@ -73,7 +73,11 @@ impl Edge {
         } else if x == self.v {
             self.u
         } else {
-            panic!("node {x} is not an endpoint of edge ({}, {})", self.u, self.v)
+            // xtask: allow(no_panic) — documented under # Panics
+            panic!(
+                "node {x} is not an endpoint of edge ({}, {})",
+                self.u, self.v
+            )
         }
     }
 
@@ -95,12 +99,18 @@ pub struct GraphBuilder {
 impl GraphBuilder {
     /// Start a graph on `n` isolated nodes.
     pub fn new(n: usize) -> Self {
-        GraphBuilder { n, edges: Vec::new() }
+        GraphBuilder {
+            n,
+            edges: Vec::new(),
+        }
     }
 
     /// Pre-size the edge buffer.
     pub fn with_capacity(n: usize, m: usize) -> Self {
-        GraphBuilder { n, edges: Vec::with_capacity(m) }
+        GraphBuilder {
+            n,
+            edges: Vec::with_capacity(m),
+        }
     }
 
     /// Add an undirected edge. Order of endpoints is irrelevant; duplicates
@@ -153,11 +163,12 @@ impl GraphBuilder {
 pub struct Graph {
     n: usize,
     /// CSR row offsets: neighbours of `u` are `adj[offsets[u]..offsets[u+1]]`.
-    offsets: Vec<usize>,
+    /// `pub(crate)` so [`crate::invariants`] can audit the raw structure.
+    pub(crate) offsets: Vec<usize>,
     /// Concatenated, per-node-sorted neighbour lists.
-    adj: Vec<NodeId>,
+    pub(crate) adj: Vec<NodeId>,
     /// Canonical edge list, sorted lexicographically; index = edge id.
-    edges: Vec<Edge>,
+    pub(crate) edges: Vec<Edge>,
 }
 
 impl Graph {
@@ -196,7 +207,10 @@ impl Graph {
 
     /// Build from already-canonical, sorted, deduplicated edges.
     fn from_canonical_edges(n: usize, edges: Vec<Edge>) -> Self {
-        debug_assert!(edges.windows(2).all(|w| w[0] < w[1]), "edges must be sorted+dedup");
+        debug_assert!(
+            edges.windows(2).all(|w| w[0] < w[1]),
+            "edges must be sorted+dedup"
+        );
         let mut degree = vec![0usize; n];
         for e in &edges {
             degree[e.u as usize] += 1;
@@ -224,7 +238,12 @@ impl Graph {
         for u in 0..n {
             adj[offsets[u]..offsets[u + 1]].sort_unstable();
         }
-        Graph { n, offsets, adj, edges }
+        Graph {
+            n,
+            offsets,
+            adj,
+            edges,
+        }
     }
 
     /// An empty graph on `n` nodes.
@@ -252,12 +271,14 @@ impl Graph {
     /// Sorted neighbour slice of `u`.
     #[inline]
     pub fn neighbors(&self, u: NodeId) -> &[NodeId] {
+        // xtask: allow(checked_index) — this IS the checked accessor
         &self.adj[self.offsets[u as usize]..self.offsets[u as usize + 1]]
     }
 
     /// Degree of `u`.
     #[inline]
     pub fn degree(&self, u: NodeId) -> usize {
+        // xtask: allow(checked_index) — this IS the checked accessor
         self.offsets[u as usize + 1] - self.offsets[u as usize]
     }
 
@@ -268,7 +289,11 @@ impl Graph {
             return false;
         }
         // Search the smaller adjacency list.
-        let (x, y) = if self.degree(a) <= self.degree(b) { (a, b) } else { (b, a) };
+        let (x, y) = if self.degree(a) <= self.degree(b) {
+            (a, b)
+        } else {
+            (b, a)
+        };
         self.neighbors(x).binary_search(&y).is_ok()
     }
 
@@ -289,12 +314,18 @@ impl Graph {
 
     /// Maximum degree.
     pub fn max_degree(&self) -> usize {
-        (0..self.n).map(|u| self.degree(u as NodeId)).max().unwrap_or(0)
+        (0..self.n)
+            .map(|u| self.degree(u as NodeId))
+            .max()
+            .unwrap_or(0)
     }
 
     /// Minimum degree.
     pub fn min_degree(&self) -> usize {
-        (0..self.n).map(|u| self.degree(u as NodeId)).min().unwrap_or(0)
+        (0..self.n)
+            .map(|u| self.degree(u as NodeId))
+            .min()
+            .unwrap_or(0)
     }
 
     /// True if all nodes have the same degree.

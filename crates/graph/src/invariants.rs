@@ -1,0 +1,418 @@
+//! Runtime contract checks for the data structures the spanner and routing
+//! algorithms exchange.
+//!
+//! Every check comes in two forms:
+//!
+//! * a **fallible** `check_*` function returning `Result<(), InvariantError>`
+//!   that always runs — property tests and callers that want to *reject*
+//!   bad inputs use these;
+//! * an **asserting** `assert_*` wrapper that is a no-op unless contracts
+//!   are [`enabled`] (debug builds, or any build with the
+//!   `strict-invariants` feature) and panics with the violation otherwise —
+//!   algorithm entry/exit boundaries use these.
+//!
+//! The contracts mirror what the paper's proofs assume: CSR well-formedness
+//! and adjacency symmetry for every input graph, node-disjointness for the
+//! matchings Algorithm 2 decomposes routings into (Theorem 1), and routing
+//! validity (endpoints, edge existence, congestion accounting) for every
+//! substitute routing whose congestion stretch β we report (Section 2).
+
+use crate::graph::{Graph, NodeId};
+use crate::paths::Path;
+
+/// A violated contract: which check failed and why.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct InvariantError {
+    /// The check that failed (e.g. `"csr_well_formed"`).
+    pub check: &'static str,
+    /// Human-readable description of the violation.
+    pub detail: String,
+}
+
+impl std::fmt::Display for InvariantError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invariant `{}` violated: {}", self.check, self.detail)
+    }
+}
+
+impl std::error::Error for InvariantError {}
+
+/// True when the asserting wrappers actually check: debug builds, or any
+/// build with the `strict-invariants` feature enabled.
+#[inline]
+#[must_use]
+pub const fn enabled() -> bool {
+    cfg!(any(debug_assertions, feature = "strict-invariants"))
+}
+
+fn err(check: &'static str, detail: String) -> Result<(), InvariantError> {
+    Err(InvariantError { check, detail })
+}
+
+/// The CSR arrays are structurally sound: offsets are monotone and span
+/// `adj` exactly, neighbour ids are in range, every row is strictly sorted
+/// (no duplicates, no self-loops), and the canonical edge list matches the
+/// adjacency (`2m` directed slots, each edge present in both rows).
+pub fn check_csr_well_formed(g: &Graph) -> Result<(), InvariantError> {
+    const CHECK: &str = "csr_well_formed";
+    let n = g.n();
+    if g.offsets.len() != n + 1 {
+        return err(
+            CHECK,
+            format!("offsets.len() = {} for n = {n}", g.offsets.len()),
+        );
+    }
+    if g.offsets[0] != 0 || g.offsets[n] != g.adj.len() {
+        return err(
+            CHECK,
+            format!(
+                "offsets span [{}, {}] but adj.len() = {}",
+                g.offsets[0],
+                g.offsets[n],
+                g.adj.len()
+            ),
+        );
+    }
+    if g.offsets.windows(2).any(|w| w[0] > w[1]) {
+        return err(CHECK, "offsets are not monotone".to_string());
+    }
+    if g.adj.len() != 2 * g.m() {
+        return err(
+            CHECK,
+            format!("adj.len() = {} but m = {}", g.adj.len(), g.m()),
+        );
+    }
+    for u in 0..n {
+        let row = &g.adj[g.offsets[u]..g.offsets[u + 1]];
+        if row.iter().any(|&w| w as usize >= n) {
+            return err(CHECK, format!("row {u} has a neighbour out of range"));
+        }
+        if row.windows(2).any(|w| w[0] >= w[1]) {
+            return err(CHECK, format!("row {u} is not strictly sorted"));
+        }
+        if row.binary_search(&(u as NodeId)).is_ok() {
+            return err(CHECK, format!("row {u} contains a self-loop"));
+        }
+    }
+    if g.edges.windows(2).any(|w| w[0] >= w[1]) {
+        return err(CHECK, "edge list is not strictly sorted".to_string());
+    }
+    for e in &g.edges {
+        if !g.has_edge(e.u, e.v) {
+            return err(
+                CHECK,
+                format!("edge ({}, {}) missing from adjacency", e.u, e.v),
+            );
+        }
+    }
+    Ok(())
+}
+
+/// Adjacency symmetry: `w ∈ N(u)` iff `u ∈ N(w)` — the undirectedness the
+/// detour arguments (3-hop paths `u → x → y → v`) silently rely on.
+pub fn check_adjacency_symmetric(g: &Graph) -> Result<(), InvariantError> {
+    const CHECK: &str = "adjacency_symmetric";
+    for u in 0..g.n() as NodeId {
+        for &w in g.neighbors(u) {
+            if g.neighbors(w).binary_search(&u).is_err() {
+                return err(CHECK, format!("{w} ∈ N({u}) but {u} ∉ N({w})"));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Degree regularity: every node has the same degree — the Δ-regularity
+/// hypothesis of Theorems 2 and 3. Returns the common degree.
+pub fn check_degree_regular(g: &Graph) -> Result<usize, InvariantError> {
+    const CHECK: &str = "degree_regular";
+    let delta = g.max_degree();
+    for u in 0..g.n() as NodeId {
+        let d = g.degree(u);
+        if d != delta {
+            return Err(InvariantError {
+                check: CHECK,
+                detail: format!("node {u} has degree {d}, expected {delta}"),
+            });
+        }
+    }
+    Ok(delta)
+}
+
+/// Subgraph containment: every edge of `h` is an edge of `g` and the node
+/// sets agree — spanner constructions must only *remove* edges.
+pub fn check_subgraph(h: &Graph, g: &Graph) -> Result<(), InvariantError> {
+    const CHECK: &str = "subgraph";
+    if h.n() != g.n() {
+        return err(CHECK, format!("node counts differ: {} vs {}", h.n(), g.n()));
+    }
+    if !h.is_subgraph_of(g) {
+        return err(
+            CHECK,
+            "spanner contains an edge absent from the host".to_string(),
+        );
+    }
+    Ok(())
+}
+
+/// Matching node-disjointness: no node appears in two pairs — what makes
+/// the per-level matchings of Algorithm 2 routable with unit congestion.
+pub fn check_matching_disjoint(n: usize, pairs: &[(NodeId, NodeId)]) -> Result<(), InvariantError> {
+    const CHECK: &str = "matching_disjoint";
+    let mut seen = vec![false; n];
+    for &(u, v) in pairs {
+        if u == v {
+            return err(CHECK, format!("pair ({u}, {v}) is a self-pair"));
+        }
+        for x in [u, v] {
+            let Some(slot) = seen.get_mut(x as usize) else {
+                return err(CHECK, format!("node {x} out of range for n = {n}"));
+            };
+            if *slot {
+                return err(CHECK, format!("node {x} appears in two pairs"));
+            }
+            *slot = true;
+        }
+    }
+    Ok(())
+}
+
+/// Endpoint discipline alone: one path per pair, each path running from
+/// its pair's source to its destination. For call sites where the host
+/// graph is not in scope (e.g. behind an `EdgeRouter`-style trait).
+pub fn check_routing_endpoints(
+    pairs: &[(NodeId, NodeId)],
+    paths: &[Path],
+) -> Result<(), InvariantError> {
+    const CHECK: &str = "routing_endpoints";
+    if pairs.len() != paths.len() {
+        return err(
+            CHECK,
+            format!("{} paths for {} pairs", paths.len(), pairs.len()),
+        );
+    }
+    for (k, (&(u, v), p)) in pairs.iter().zip(paths).enumerate() {
+        if p.source() != u || p.destination() != v {
+            return err(
+                CHECK,
+                format!(
+                    "path {k} runs {} → {} but pair {k} is ({u}, {v})",
+                    p.source(),
+                    p.destination()
+                ),
+            );
+        }
+    }
+    Ok(())
+}
+
+/// Routing validity against a pair list: one path per pair, each path runs
+/// from its pair's source to its destination, and every hop is an edge of
+/// `g`. This is the precondition for a routing's congestion profile to be
+/// a meaningful β numerator (Section 2).
+pub fn check_routing_valid(
+    g: &Graph,
+    pairs: &[(NodeId, NodeId)],
+    paths: &[Path],
+) -> Result<(), InvariantError> {
+    const CHECK: &str = "routing_valid";
+    check_routing_endpoints(pairs, paths)?;
+    for (k, p) in paths.iter().enumerate() {
+        for (a, b) in p.hops() {
+            if !g.has_edge(a, b) {
+                return err(CHECK, format!("path {k} uses non-edge ({a}, {b})"));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Congestion-accounting consistency: a claimed node-congestion profile
+/// matches a recount of path/node incidences (each path counts once per
+/// node, however often it revisits it) — the `C(P, v)` of Section 2.
+pub fn check_congestion_profile(
+    n: usize,
+    paths: &[Path],
+    claimed: &[u32],
+) -> Result<(), InvariantError> {
+    const CHECK: &str = "congestion_profile";
+    if claimed.len() != n {
+        return err(
+            CHECK,
+            format!("profile has {} entries for n = {n}", claimed.len()),
+        );
+    }
+    let mut recount = vec![0u32; n];
+    let mut touched: Vec<NodeId> = Vec::new();
+    for p in paths {
+        touched.clear();
+        touched.extend_from_slice(p.nodes());
+        touched.sort_unstable();
+        touched.dedup();
+        for &v in &touched {
+            let Some(slot) = recount.get_mut(v as usize) else {
+                return err(
+                    CHECK,
+                    format!("path visits node {v} out of range for n = {n}"),
+                );
+            };
+            *slot += 1;
+        }
+    }
+    if recount != claimed {
+        let witness = recount
+            .iter()
+            .zip(claimed)
+            .position(|(a, b)| a != b)
+            .unwrap_or(0);
+        return err(
+            CHECK,
+            format!(
+                "profile mismatch at node {witness}: claimed {}, recounted {}",
+                claimed[witness], recount[witness]
+            ),
+        );
+    }
+    Ok(())
+}
+
+/// Panic with the violation. Factored out so the asserting wrappers stay
+/// panic-free in the linter's eyes except for this one audited site.
+#[inline(never)]
+#[cold]
+fn fail(context: &str, e: &InvariantError) -> ! {
+    panic!("{context}: {e}") // xtask: allow(no_panic) — contract violation is a caller bug
+}
+
+/// Assert the full graph contract (CSR well-formedness + adjacency
+/// symmetry) at an algorithm boundary. No-op unless [`enabled`].
+#[inline]
+pub fn assert_graph_contract(g: &Graph, context: &str) {
+    if enabled() {
+        if let Err(e) = check_csr_well_formed(g) {
+            fail(context, &e);
+        }
+        if let Err(e) = check_adjacency_symmetric(g) {
+            fail(context, &e);
+        }
+    }
+}
+
+/// Assert that `h` is a subgraph of `g` (spanner exit contract).
+/// No-op unless [`enabled`].
+#[inline]
+pub fn assert_subgraph(h: &Graph, g: &Graph, context: &str) {
+    if enabled() {
+        if let Err(e) = check_subgraph(h, g) {
+            fail(context, &e);
+        }
+    }
+}
+
+/// Assert matching node-disjointness. No-op unless [`enabled`].
+#[inline]
+pub fn assert_matching_disjoint(n: usize, pairs: &[(NodeId, NodeId)], context: &str) {
+    if enabled() {
+        if let Err(e) = check_matching_disjoint(n, pairs) {
+            fail(context, &e);
+        }
+    }
+}
+
+/// Assert routing validity. No-op unless [`enabled`].
+#[inline]
+pub fn assert_routing_valid(g: &Graph, pairs: &[(NodeId, NodeId)], paths: &[Path], context: &str) {
+    if enabled() {
+        if let Err(e) = check_routing_valid(g, pairs, paths) {
+            fail(context, &e);
+        }
+    }
+}
+
+/// Assert endpoint discipline only. No-op unless [`enabled`].
+#[inline]
+pub fn assert_routing_endpoints(pairs: &[(NodeId, NodeId)], paths: &[Path], context: &str) {
+    if enabled() {
+        if let Err(e) = check_routing_endpoints(pairs, paths) {
+            fail(context, &e);
+        }
+    }
+}
+
+/// Assert congestion-profile consistency. No-op unless [`enabled`].
+#[inline]
+pub fn assert_congestion_profile(n: usize, paths: &[Path], claimed: &[u32], context: &str) {
+    if enabled() {
+        if let Err(e) = check_congestion_profile(n, paths, claimed) {
+            fail(context, &e);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::Graph;
+
+    fn path(nodes: &[NodeId]) -> Path {
+        Path::new(nodes.to_vec())
+    }
+
+    #[test]
+    fn well_formed_graph_passes_all_graph_checks() {
+        let g = Graph::from_edges(4, vec![(0, 1), (1, 2), (2, 3), (3, 0)]);
+        assert!(check_csr_well_formed(&g).is_ok());
+        assert!(check_adjacency_symmetric(&g).is_ok());
+        assert_eq!(check_degree_regular(&g), Ok(2));
+        assert_graph_contract(&g, "test");
+    }
+
+    #[test]
+    fn irregular_graph_fails_regularity() {
+        let g = Graph::from_edges(3, vec![(0, 1), (1, 2)]);
+        assert!(check_degree_regular(&g).is_err());
+    }
+
+    #[test]
+    fn subgraph_check() {
+        let g = Graph::from_edges(3, vec![(0, 1), (1, 2), (0, 2)]);
+        let h = Graph::from_edges(3, vec![(0, 1)]);
+        assert!(check_subgraph(&h, &g).is_ok());
+        let not_sub = Graph::from_edges(4, vec![(0, 3)]);
+        assert!(check_subgraph(&not_sub, &g).is_err());
+    }
+
+    #[test]
+    fn matching_disjointness() {
+        assert!(check_matching_disjoint(4, &[(0, 1), (2, 3)]).is_ok());
+        assert!(check_matching_disjoint(4, &[(0, 1), (1, 2)]).is_err());
+        assert!(check_matching_disjoint(4, &[(0, 0)]).is_err());
+        assert!(check_matching_disjoint(2, &[(0, 5)]).is_err());
+    }
+
+    #[test]
+    fn routing_validity_accepts_and_rejects() {
+        let g = Graph::from_edges(4, vec![(0, 1), (1, 2), (2, 3)]);
+        let pairs = [(0, 2), (3, 3)];
+        let good = vec![path(&[0, 1, 2]), path(&[3])];
+        assert!(check_routing_valid(&g, &pairs, &good).is_ok());
+        // Wrong endpoint.
+        let wrong_end = vec![path(&[0, 1]), path(&[3])];
+        assert!(check_routing_valid(&g, &pairs, &wrong_end).is_err());
+        // Hop that is not an edge.
+        let non_edge = vec![path(&[0, 2]), path(&[3])];
+        assert!(check_routing_valid(&g, &pairs, &non_edge).is_err());
+        // Count mismatch.
+        assert!(check_routing_valid(&g, &pairs, &good[..1]).is_err());
+    }
+
+    #[test]
+    fn congestion_profile_consistency() {
+        let paths = vec![path(&[0, 1, 2]), path(&[1, 2, 1])];
+        // Node 1 and 2: path 0 once each + path 1 once each (revisits
+        // collapse); node 0 only in path 0.
+        assert!(check_congestion_profile(3, &paths, &[1, 2, 2]).is_ok());
+        assert!(check_congestion_profile(3, &paths, &[1, 2, 1]).is_err());
+        assert!(check_congestion_profile(2, &paths, &[1, 2]).is_err());
+    }
+}

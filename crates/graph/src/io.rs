@@ -85,7 +85,9 @@ pub fn read_edge_list<R: BufRead>(r: R) -> Result<Graph, ParseError> {
         count += 1;
     }
     if count != m {
-        return Err(ParseError::Format(format!("expected {m} edges, found {count}")));
+        return Err(ParseError::Format(format!(
+            "expected {m} edges, found {count}"
+        )));
     }
     Ok(builder.build())
 }
@@ -189,25 +191,37 @@ mod tests {
     #[test]
     fn edge_list_rejects_bad_counts() {
         let text = "3 5\n0 1\n";
-        assert!(matches!(read_edge_list(text.as_bytes()), Err(ParseError::Format(_))));
+        assert!(matches!(
+            read_edge_list(text.as_bytes()),
+            Err(ParseError::Format(_))
+        ));
     }
 
     #[test]
     fn edge_list_rejects_out_of_range() {
         let text = "2 1\n0 5\n";
-        assert!(matches!(read_edge_list(text.as_bytes()), Err(ParseError::Format(_))));
+        assert!(matches!(
+            read_edge_list(text.as_bytes()),
+            Err(ParseError::Format(_))
+        ));
     }
 
     #[test]
     fn edge_list_rejects_self_loop() {
         let text = "2 1\n1 1\n";
-        assert!(matches!(read_edge_list(text.as_bytes()), Err(ParseError::Format(_))));
+        assert!(matches!(
+            read_edge_list(text.as_bytes()),
+            Err(ParseError::Format(_))
+        ));
     }
 
     #[test]
     fn dimacs_rejects_edge_before_header() {
         let text = "e 1 2\n";
-        assert!(matches!(read_dimacs(text.as_bytes()), Err(ParseError::Format(_))));
+        assert!(matches!(
+            read_dimacs(text.as_bytes()),
+            Err(ParseError::Format(_))
+        ));
     }
 
     #[test]

@@ -10,7 +10,9 @@
 //!   greedy `2Δ−1` fallback ([`coloring`]),
 //! * Bernoulli edge sampling used by both spanner algorithms ([`sample`]),
 //! * fixed-size bitsets and a fast integer hasher used throughout
-//!   ([`bitset`], [`hash`]).
+//!   ([`bitset`], [`hash`]),
+//! * runtime contract checks at algorithm boundaries ([`invariants`]),
+//!   active in debug builds or under the `strict-invariants` feature.
 //!
 //! Everything here is implemented from scratch; there are no third-party
 //! graph or linear-algebra dependencies.
@@ -22,10 +24,14 @@
 //! * All randomised routines take explicit seeds and are deterministic for a
 //!   fixed seed, independent of thread scheduling.
 
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
 pub mod bitset;
 pub mod coloring;
 pub mod graph;
 pub mod hash;
+pub mod invariants;
 pub mod io;
 pub mod matching;
 pub mod paths;

@@ -32,7 +32,11 @@ const INF: u32 = u32::MAX;
 /// let m = max_bipartite_matching(&g, &[0, 1], &[2, 3]);
 /// assert_eq!(m.len(), 2);
 /// ```
-pub fn max_bipartite_matching(g: &Graph, left: &[NodeId], right: &[NodeId]) -> Vec<(NodeId, NodeId)> {
+pub fn max_bipartite_matching(
+    g: &Graph,
+    left: &[NodeId],
+    right: &[NodeId],
+) -> Vec<(NodeId, NodeId)> {
     // Deduplicate and index-compress each side.
     let mut left_nodes = left.to_vec();
     left_nodes.sort_unstable();
@@ -245,7 +249,9 @@ mod tests {
     #[test]
     fn matches_size_of_complete_bipartite() {
         // K_{3,5}: maximum matching is 3.
-        let edges: Vec<(u32, u32)> = (0u32..3).flat_map(|l| (3u32..8).map(move |r| (l, r))).collect();
+        let edges: Vec<(u32, u32)> = (0u32..3)
+            .flat_map(|l| (3u32..8).map(move |r| (l, r)))
+            .collect();
         let g = Graph::from_edges(8, edges);
         let left = [0, 1, 2];
         let right = [3, 4, 5, 6, 7];
@@ -276,7 +282,12 @@ mod tests {
         let left = [0, 1];
         let right = [2, 3];
         // Reused left endpoint.
-        assert!(!is_valid_bipartite_matching(&g, &left, &right, &[(0, 2), (0, 3)]));
+        assert!(!is_valid_bipartite_matching(
+            &g,
+            &left,
+            &right,
+            &[(0, 2), (0, 3)]
+        ));
         // Non-edge.
         assert!(!is_valid_bipartite_matching(&g, &left, &right, &[(1, 2)]));
         // Endpoint outside side.

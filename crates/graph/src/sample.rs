@@ -40,13 +40,18 @@ pub fn edge_survives_pair(seed: u64, u: crate::NodeId, v: crate::NodeId, p: f64)
 /// Pair-keyed survival mask aligned with `g.edges()` (see
 /// [`edge_survives_pair`]).
 pub fn sample_mask_pair_keyed(g: &Graph, p: f64, seed: u64) -> Vec<bool> {
-    g.edges().iter().map(|e| edge_survives_pair(seed, e.u, e.v, p)).collect()
+    g.edges()
+        .iter()
+        .map(|e| edge_survives_pair(seed, e.u, e.v, p))
+        .collect()
 }
 
 /// The set of surviving edge ids when each edge of `g` is kept independently
 /// with probability `p`.
 pub fn sample_edge_ids(g: &Graph, p: f64, seed: u64) -> Vec<usize> {
-    (0..g.m()).filter(|&id| edge_survives(seed, id, p)).collect()
+    (0..g.m())
+        .filter(|&id| edge_survives(seed, id, p))
+        .collect()
 }
 
 /// Subgraph of `g` (same node set) keeping each edge independently with
@@ -66,7 +71,10 @@ mod tests {
     use crate::graph::Graph;
 
     fn complete(n: usize) -> Graph {
-        Graph::from_edges(n, (0..n as u32).flat_map(|i| (i + 1..n as u32).map(move |j| (i, j))))
+        Graph::from_edges(
+            n,
+            (0..n as u32).flat_map(|i| (i + 1..n as u32).map(move |j| (i, j))),
+        )
     }
 
     #[test]
@@ -91,8 +99,12 @@ mod tests {
         let g = complete(15);
         let ids = sample_edge_ids(&g, 0.3, 7);
         let mask = sample_mask(&g, 0.3, 7);
-        let from_mask: Vec<usize> =
-            mask.iter().enumerate().filter(|(_, &b)| b).map(|(i, _)| i).collect();
+        let from_mask: Vec<usize> = mask
+            .iter()
+            .enumerate()
+            .filter(|(_, &b)| b)
+            .map(|(i, _)| i)
+            .collect();
         assert_eq!(ids, from_mask);
     }
 

@@ -21,11 +21,20 @@ pub fn degree_stats(g: &Graph) -> Option<DegreeStats> {
         return None;
     }
     let degrees: Vec<usize> = (0..g.n()).map(|u| g.degree(u as NodeId)).collect();
-    let min = *degrees.iter().min().unwrap();
-    let max = *degrees.iter().max().unwrap();
+    let min = degrees.iter().copied().min().unwrap_or(0);
+    let max = degrees.iter().copied().max().unwrap_or(0);
     let mean = degrees.iter().sum::<usize>() as f64 / g.n() as f64;
-    let var = degrees.iter().map(|&d| (d as f64 - mean).powi(2)).sum::<f64>() / g.n() as f64;
-    Some(DegreeStats { min, max, mean, std_dev: var.sqrt() })
+    let var = degrees
+        .iter()
+        .map(|&d| (d as f64 - mean).powi(2))
+        .sum::<f64>()
+        / g.n() as f64;
+    Some(DegreeStats {
+        min,
+        max,
+        mean,
+        std_dev: var.sqrt(),
+    })
 }
 
 /// Edge density `m / (n choose 2)`; `None` when `n < 2`.

@@ -3,9 +3,14 @@
 use dcspan_graph::coloring::{
     greedy_edge_coloring, is_proper_edge_coloring, misra_gries_edge_coloring,
 };
-use dcspan_graph::matching::{is_valid_bipartite_matching, max_bipartite_matching};
+use dcspan_graph::invariants::{
+    check_congestion_profile, check_matching_disjoint, check_routing_valid,
+};
+use dcspan_graph::matching::{
+    greedy_maximal_matching, is_valid_bipartite_matching, max_bipartite_matching,
+};
 use dcspan_graph::traversal::{bfs_distances, connected_components, shortest_path, UNREACHABLE};
-use dcspan_graph::{BitSet, Graph, NodeId};
+use dcspan_graph::{BitSet, Graph, NodeId, Path};
 use proptest::prelude::*;
 use std::collections::HashSet;
 
@@ -13,14 +18,8 @@ use std::collections::HashSet;
 fn arb_graph() -> impl Strategy<Value = Graph> {
     (2usize..24).prop_flat_map(|n| {
         let max_edges = n * (n - 1) / 2;
-        proptest::collection::vec((0..n as u32, 0..n as u32), 0..=max_edges).prop_map(
-            move |pairs| {
-                Graph::from_edges(
-                    n,
-                    pairs.into_iter().filter(|(a, b)| a != b),
-                )
-            },
-        )
+        proptest::collection::vec((0..n as u32, 0..n as u32), 0..=max_edges)
+            .prop_map(move |pairs| Graph::from_edges(n, pairs.into_iter().filter(|(a, b)| a != b)))
     })
 }
 
@@ -177,5 +176,86 @@ proptest! {
             }
         }
         prop_assert!(m.len() >= greedy);
+    }
+
+    #[test]
+    fn matchings_are_node_disjoint(g in arb_graph()) {
+        // Both matching algorithms must satisfy the Algorithm 2 contract:
+        // no node appears in two pairs.
+        let left: Vec<NodeId> = (0..g.n() as u32).filter(|u| u % 2 == 0).collect();
+        let right: Vec<NodeId> = (0..g.n() as u32).filter(|u| u % 2 == 1).collect();
+        let hk = max_bipartite_matching(&g, &left, &right);
+        prop_assert!(check_matching_disjoint(g.n(), &hk).is_ok());
+
+        let greedy: Vec<(NodeId, NodeId)> =
+            greedy_maximal_matching(&g).into_iter().map(|e| (e.u, e.v)).collect();
+        prop_assert!(check_matching_disjoint(g.n(), &greedy).is_ok());
+    }
+
+    #[test]
+    fn shortest_path_routings_satisfy_routing_validity(g in arb_graph()) {
+        // Route every reachable pair (s, t) with s < t by BFS shortest
+        // paths; the invariant checker must accept the whole routing.
+        let mut pairs = Vec::new();
+        let mut paths = Vec::new();
+        for s in 0..g.n() as NodeId {
+            let d = bfs_distances(&g, s);
+            for t in (s + 1)..g.n() as NodeId {
+                if d[t as usize] == UNREACHABLE {
+                    continue;
+                }
+                if let Some(p) = shortest_path(&g, s, t) {
+                    pairs.push((s, t));
+                    paths.push(Path::new(p));
+                }
+            }
+        }
+        prop_assert!(check_routing_valid(&g, &pairs, &paths).is_ok());
+
+        // And the serial congestion recount must match a naive profile.
+        let mut profile = vec![0u32; g.n()];
+        for p in &paths {
+            let mut nodes: Vec<NodeId> = p.nodes().to_vec();
+            nodes.sort_unstable();
+            nodes.dedup();
+            for v in nodes {
+                profile[v as usize] += 1;
+            }
+        }
+        prop_assert!(check_congestion_profile(g.n(), &paths, &profile).is_ok());
+        if let Some(v) = profile.iter().position(|&c| c > 0) {
+            profile[v] -= 1;
+            prop_assert!(check_congestion_profile(g.n(), &paths, &profile).is_err());
+        }
+    }
+
+    #[test]
+    fn mutated_routings_are_rejected(g in arb_graph()) {
+        // Take the first routable pair and mutate the routing two ways:
+        // retarget the pair (wrong endpoint) and delete a traversed edge
+        // from the graph (missing edge). Both must be rejected.
+        let mut found = None;
+        'outer: for s in 0..g.n() as NodeId {
+            for t in (s + 1)..g.n() as NodeId {
+                if let Some(p) = shortest_path(&g, s, t) {
+                    found = Some((s, t, p));
+                    break 'outer;
+                }
+            }
+        }
+        let Some((s, t, p)) = found else { return Ok(()) };
+        let paths = vec![Path::new(p)];
+        prop_assert!(check_routing_valid(&g, &[(s, t)], &paths).is_ok());
+
+        // Wrong endpoint: the pair now names a different destination.
+        let wrong_t = (0..g.n() as NodeId).find(|&w| w != t);
+        if let Some(w) = wrong_t {
+            prop_assert!(check_routing_valid(&g, &[(s, w)], &paths).is_err());
+        }
+
+        // Missing edge: remove the first hop's edge from the graph.
+        let (a, b) = (paths[0].nodes()[0], paths[0].nodes()[1]);
+        let g2 = g.filter_edges(|_, e| !(e.u == a.min(b) && e.v == a.max(b)));
+        prop_assert!(check_routing_valid(&g2, &[(s, t)], &paths).is_err());
     }
 }

@@ -94,9 +94,9 @@ impl NodeProgram for SpannerProgram {
                 let view = self.local_graph();
                 for &w in neighbors {
                     let key = if me < w { (me, w) } else { (w, me) };
-                    let sampled = *self.known.get(&key).expect("own edge fact must be known");
-                    let keep = sampled
-                        || !is_supported_edge(&view, me, w, self.params.a, self.params.b);
+                    let sampled = *self.known.get(&key).expect("own edge fact must be known"); // xtask: allow(no_panic) — round 1 stored every incident edge fact
+                    let keep =
+                        sampled || !is_supported_edge(&view, me, w, self.params.a, self.params.b);
                     if keep {
                         self.in_h.push(key);
                     }
@@ -161,7 +161,12 @@ pub fn distributed_regular_spanner(
     }
     let endpoints_agree = claims.values().all(|&c| c == 2);
     let h = Graph::from_edges(g.n(), claims.keys().copied());
-    DistributedRunStats { h, rounds: ROUNDS, round_stats, endpoints_agree }
+    DistributedRunStats {
+        h,
+        rounds: ROUNDS,
+        round_stats,
+        endpoints_agree,
+    }
 }
 
 #[cfg(test)]

@@ -63,7 +63,10 @@ impl NodeProgram for BsProgram {
                 let x = derive_seed(self.seed, me as u64) >> 11;
                 self.sampled = (x as f64) * (1.0 / (1u64 << 53) as f64) < p;
                 self.cluster = if self.sampled { me } else { NONE };
-                neighbors.iter().map(|&w| (w, Msg::Sampled(self.sampled))).collect()
+                neighbors
+                    .iter()
+                    .map(|&w| (w, Msg::Sampled(self.sampled)))
+                    .collect()
             }
             1 => {
                 for &(from, m) in inbox {
@@ -94,7 +97,10 @@ impl NodeProgram for BsProgram {
                         }
                     }
                 }
-                neighbors.iter().map(|&w| (w, Msg::Cluster(self.cluster))).collect()
+                neighbors
+                    .iter()
+                    .map(|&w| (w, Msg::Cluster(self.cluster)))
+                    .collect()
             }
             2 => {
                 // Keep one edge into each adjacent foreign cluster.
@@ -160,7 +166,11 @@ pub fn distributed_baswana_sen(g: &Graph, seed: u64, threads: usize) -> Distribu
     for p in &programs {
         edges.extend(p.kept.iter().copied());
     }
-    DistributedBsResult { h: Graph::from_edges(g.n(), edges), rounds: ROUNDS, round_stats }
+    DistributedBsResult {
+        h: Graph::from_edges(g.n(), edges),
+        rounds: ROUNDS,
+        round_stats,
+    }
 }
 
 /// Retrying wrapper: re-run with derived seeds until the output is a valid

@@ -18,6 +18,9 @@
 //! Algorithm 1 of `dcspan-core` under the same seed, which the tests
 //! enforce.
 
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
 pub mod algorithm1;
 pub mod baswana_sen;
 pub mod programs;

@@ -19,7 +19,10 @@ pub struct MinIdFlood {
 impl MinIdFlood {
     /// Fresh instance (call once per node).
     pub fn new() -> Self {
-        MinIdFlood { best: NodeId::MAX, changed: false }
+        MinIdFlood {
+            best: NodeId::MAX,
+            changed: false,
+        }
     }
 
     /// The smallest id heard so far (the leader after ≥ diameter rounds).
@@ -74,7 +77,11 @@ pub struct DistributedBfs {
 impl DistributedBfs {
     /// Program instance for one node (same `root` everywhere).
     pub fn new(root: NodeId) -> Self {
-        DistributedBfs { root, distance: u32::MAX, announced: false }
+        DistributedBfs {
+            root,
+            distance: u32::MAX,
+            announced: false,
+        }
     }
 }
 
@@ -118,7 +125,10 @@ pub struct KHopCollect {
 impl KHopCollect {
     /// Fresh instance.
     pub fn new() -> Self {
-        KHopCollect { known: FxHashSet::default(), fresh: Vec::new() }
+        KHopCollect {
+            known: FxHashSet::default(),
+            fresh: Vec::new(),
+        }
     }
 }
 
@@ -171,8 +181,7 @@ pub fn elect_leader(g: &Graph, rounds: usize, threads: usize) -> Vec<NodeId> {
 
 /// Run distributed BFS; returns each node's discovered distance.
 pub fn distributed_bfs(g: &Graph, root: NodeId, rounds: usize, threads: usize) -> Vec<u32> {
-    let mut programs: Vec<DistributedBfs> =
-        (0..g.n()).map(|_| DistributedBfs::new(root)).collect();
+    let mut programs: Vec<DistributedBfs> = (0..g.n()).map(|_| DistributedBfs::new(root)).collect();
     LocalSimulator::with_threads(g, threads).run(&mut programs, rounds);
     programs.iter().map(|p| p.distance).collect()
 }

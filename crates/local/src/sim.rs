@@ -55,7 +55,9 @@ pub struct LocalSimulator<'a> {
 impl<'a> LocalSimulator<'a> {
     /// Create a simulator over communication graph `g`.
     pub fn new(g: &'a Graph) -> Self {
-        let threads = std::thread::available_parallelism().map_or(1, |p| p.get()).min(8);
+        let threads = std::thread::available_parallelism()
+            .map_or(1, std::num::NonZero::get)
+            .min(8);
         LocalSimulator { g, threads }
     }
 
@@ -77,7 +79,10 @@ impl<'a> LocalSimulator<'a> {
         for round in 0..rounds {
             let delivered: usize = inboxes.iter().map(Vec::len).sum();
             let max_inbox = inboxes.iter().map(Vec::len).max().unwrap_or(0);
-            stats.push(RoundStats { messages: delivered, max_inbox });
+            stats.push(RoundStats {
+                messages: delivered,
+                max_inbox,
+            });
 
             // Step every node in parallel; collect outboxes.
             type Outbox<M> = Vec<(NodeId, M)>;
@@ -87,35 +92,40 @@ impl<'a> LocalSimulator<'a> {
             {
                 let prog_chunks: Vec<&mut [P]> = programs.chunks_mut(chunk).collect();
                 let inbox_chunks: Vec<&[Outbox<P::Msg>]> = inboxes.chunks(chunk).collect();
-                let results: Vec<Vec<Outbox<P::Msg>>> =
-                    crossbeam::thread::scope(|scope| {
-                        let mut handles = Vec::new();
-                        for (ci, (progs, inbs)) in
-                            prog_chunks.into_iter().zip(inbox_chunks).enumerate()
-                        {
-                            let base = ci * chunk;
-                            handles.push(scope.spawn(move |_| {
-                                progs
-                                    .iter_mut()
-                                    .zip(inbs.iter())
-                                    .enumerate()
-                                    .map(|(off, (p, inbox))| {
-                                        let me = (base + off) as NodeId;
-                                        let out = p.step(me, g.neighbors(me), round, inbox);
-                                        for (to, _) in &out {
-                                            assert!(
-                                                g.has_edge(me, *to),
-                                                "LOCAL violation: node {me} sent to non-neighbour {to}"
-                                            );
-                                        }
-                                        out
-                                    })
-                                    .collect::<Vec<_>>()
-                            }));
-                        }
-                        handles.into_iter().map(|h| h.join().unwrap()).collect()
-                    })
-                    .expect("simulator worker panicked");
+                let results: Vec<Vec<Outbox<P::Msg>>> = crossbeam::thread::scope(|scope| {
+                    let mut handles = Vec::new();
+                    for (ci, (progs, inbs)) in prog_chunks.into_iter().zip(inbox_chunks).enumerate()
+                    {
+                        let base = ci * chunk;
+                        handles.push(scope.spawn(move |_| {
+                            progs
+                                .iter_mut()
+                                .zip(inbs.iter())
+                                .enumerate()
+                                .map(|(off, (p, inbox))| {
+                                    let me = (base + off) as NodeId;
+                                    let out = p.step(me, g.neighbors(me), round, inbox);
+                                    for (to, _) in &out {
+                                        assert!(
+                                            g.has_edge(me, *to),
+                                            "LOCAL violation: node {me} sent to non-neighbour {to}"
+                                        );
+                                    }
+                                    out
+                                })
+                                .collect::<Vec<_>>()
+                        }));
+                    }
+                    handles
+                        .into_iter()
+                        .map(|h| {
+                            // Propagate a worker's original panic payload
+                            // instead of masking it behind a generic unwrap.
+                            h.join().unwrap_or_else(|e| std::panic::resume_unwind(e))
+                        })
+                        .collect()
+                })
+                .unwrap_or_else(|e| std::panic::resume_unwind(e));
                 for chunk_out in results {
                     outboxes.extend(chunk_out);
                 }
@@ -205,8 +215,7 @@ mod tests {
     fn deterministic_across_thread_counts() {
         let g = Graph::from_edges(8, (0u32..8).map(|i| (i, (i + 1) % 8)));
         let run = |threads: usize| {
-            let mut programs: Vec<MinFlood> =
-                (0..8).map(|_| MinFlood { best: u32::MAX }).collect();
+            let mut programs: Vec<MinFlood> = (0..8).map(|_| MinFlood { best: u32::MAX }).collect();
             LocalSimulator::with_threads(&g, threads).run(&mut programs, 5);
             programs.iter().map(|p| p.best).collect::<Vec<_>>()
         };

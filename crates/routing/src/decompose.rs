@@ -20,6 +20,7 @@
 use crate::replace::EdgeRouter;
 use crate::routing::Routing;
 use dcspan_graph::coloring::{greedy_edge_coloring, misra_gries_edge_coloring, EdgeColoring};
+use dcspan_graph::invariants;
 use dcspan_graph::rng::{derive_seed, item_rng};
 use dcspan_graph::{Edge, FxHashMap, Graph, NodeId};
 
@@ -99,7 +100,11 @@ pub fn substitute_routing_decomposed<R: EdgeRouter>(
         }
         level_of.push(mine);
     }
-    let num_levels = if users.is_empty() { 0 } else { max_level as usize + 1 };
+    let num_levels = if users.is_empty() {
+        0
+    } else {
+        max_level as usize + 1
+    };
 
     // Level k edge set Y_k = edges with multiplicity > k.
     let mut level_edges: Vec<Vec<Edge>> = vec![Vec::new(); num_levels];
@@ -123,6 +128,21 @@ pub fn substitute_routing_decomposed<R: EdgeRouter>(
         };
         level_degrees.push(gk.max_degree());
         level_colors.push(col.num_colors as usize);
+        if invariants::enabled() {
+            // Contract: every colour class of the proper edge colouring is a
+            // node-disjoint matching — what Algorithm 2 routes per round.
+            let mut classes: Vec<Vec<(NodeId, NodeId)>> = vec![Vec::new(); col.num_colors as usize];
+            for (edge_id, e) in gk.edges().iter().enumerate() {
+                classes[col.color[edge_id] as usize].push((e.u, e.v));
+            }
+            for class in &classes {
+                invariants::assert_matching_disjoint(
+                    n,
+                    class,
+                    "substitute_routing_decomposed: colour class",
+                );
+            }
+        }
         let level_seed = derive_seed(seed, lvl as u64);
         for (edge_id, e) in gk.edges().iter().enumerate() {
             // Colour class membership only matters for the *accounting*;
@@ -154,11 +174,33 @@ pub fn substitute_routing_decomposed<R: EdgeRouter>(
         new_paths.push(spliced);
     }
 
+    let routing = Routing::new(new_paths);
+    if invariants::enabled() {
+        // Exit contract: splicing preserved every pair's endpoints, and the
+        // parallel congestion accounting agrees with a serial recount.
+        let pairs: Vec<(NodeId, NodeId)> = base
+            .paths()
+            .iter()
+            .map(|p| (p.source(), p.destination()))
+            .collect();
+        invariants::assert_routing_endpoints(
+            &pairs,
+            routing.paths(),
+            "substitute_routing_decomposed: endpoints",
+        );
+        invariants::assert_congestion_profile(
+            n,
+            routing.paths(),
+            &routing.congestion_profile_par(n),
+            "substitute_routing_decomposed: congestion accounting",
+        );
+    }
+
     let base_congestion = base.congestion(n);
     let sum_dk_plus_one = level_degrees.iter().map(|d| d + 1).sum();
     let num_matchings = level_colors.iter().sum();
     Some(DecompositionReport {
-        routing: Routing::new(new_paths),
+        routing,
         num_levels,
         level_degrees,
         level_colors,
@@ -227,8 +269,8 @@ mod tests {
             &g
         ));
         let router = SpannerDetourRouter::new(&h, DetourPolicy::UniformShortest);
-        let rep = substitute_routing_decomposed(6, &base, &router, ColoringAlgo::MisraGries, 1)
-            .unwrap();
+        let rep =
+            substitute_routing_decomposed(6, &base, &router, ColoringAlgo::MisraGries, 1).unwrap();
         assert_eq!(rep.num_levels, 1);
         assert_eq!(rep.base_congestion, 1);
         let p = &rep.routing.paths()[0];
@@ -249,8 +291,8 @@ mod tests {
             Path::new(vec![1, 2, 3]),
         ]);
         let router = SpannerDetourRouter::new(&h, DetourPolicy::UniformShortest);
-        let rep = substitute_routing_decomposed(6, &base, &router, ColoringAlgo::MisraGries, 2)
-            .unwrap();
+        let rep =
+            substitute_routing_decomposed(6, &base, &router, ColoringAlgo::MisraGries, 2).unwrap();
         assert_eq!(rep.num_levels, 3); // edge (1,2) used by 3 paths
         assert_eq!(rep.level_degrees.len(), 3);
         // Y_{k+1} ⊆ Y_k ⇒ degrees non-increasing.
@@ -264,8 +306,8 @@ mod tests {
         let problem = crate::problem::RoutingProblem::from_pairs(vec![(0, 3), (2, 5), (1, 4)]);
         let base = crate::shortest::shortest_path_routing(&g, &problem).unwrap();
         let router = SpannerDetourRouter::new(&h, DetourPolicy::UniformUpTo3);
-        let rep = substitute_routing_decomposed(6, &base, &router, ColoringAlgo::MisraGries, 3)
-            .unwrap();
+        let rep =
+            substitute_routing_decomposed(6, &base, &router, ColoringAlgo::MisraGries, 3).unwrap();
         assert!(rep.routing.is_valid_for(&problem, &h));
         // Distance stretch ≤ 3 (every hop replaced by ≤3-hop detour).
         assert!(rep.routing.max_stretch_vs(&base) <= 3.0);
@@ -312,8 +354,8 @@ mod tests {
         let (_, h) = setup();
         let base = Routing::new(vec![]);
         let router = SpannerDetourRouter::new(&h, DetourPolicy::UniformShortest);
-        let rep = substitute_routing_decomposed(6, &base, &router, ColoringAlgo::MisraGries, 7)
-            .unwrap();
+        let rep =
+            substitute_routing_decomposed(6, &base, &router, ColoringAlgo::MisraGries, 7).unwrap();
         assert_eq!(rep.num_levels, 0);
         assert_eq!(rep.num_matchings, 0);
         assert!(rep.routing.is_empty());
@@ -325,10 +367,10 @@ mod tests {
         let problem = crate::problem::RoutingProblem::from_pairs(vec![(0, 3), (2, 5), (1, 4)]);
         let base = crate::shortest::shortest_path_routing(&g, &problem).unwrap();
         let router = SpannerDetourRouter::new(&h, DetourPolicy::UniformUpTo3);
-        let a = substitute_routing_decomposed(6, &base, &router, ColoringAlgo::MisraGries, 9)
-            .unwrap();
-        let b = substitute_routing_decomposed(6, &base, &router, ColoringAlgo::MisraGries, 9)
-            .unwrap();
+        let a =
+            substitute_routing_decomposed(6, &base, &router, ColoringAlgo::MisraGries, 9).unwrap();
+        let b =
+            substitute_routing_decomposed(6, &base, &router, ColoringAlgo::MisraGries, 9).unwrap();
         assert_eq!(a.routing, b.routing);
     }
 }

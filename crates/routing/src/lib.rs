@@ -26,6 +26,9 @@
 //!   (multiplicative-weights rerouting), the measured stand-in for
 //!   Definition 2's optimal `C(R)`.
 
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
 pub mod decompose;
 pub mod mincongestion;
 pub mod problem;

@@ -32,7 +32,10 @@ pub struct MinCongestionOptions {
 
 impl Default for MinCongestionOptions {
     fn default() -> Self {
-        MinCongestionOptions { sweeps: 8, penalty_base: 2.0 }
+        MinCongestionOptions {
+            sweeps: 8,
+            penalty_base: 2.0,
+        }
     }
 }
 
@@ -76,9 +79,7 @@ fn weighted_path(g: &Graph, s: NodeId, t: NodeId, cost: &[f64]) -> Option<Vec<No
         for &w in g.neighbors(u) {
             let nd = d + cost[w as usize];
             let nh = h + 1;
-            if nd < dist[w as usize]
-                || (nd == dist[w as usize] && nh < hops[w as usize])
-            {
+            if nd < dist[w as usize] || (nd == dist[w as usize] && nh < hops[w as usize]) {
                 dist[w as usize] = nd;
                 hops[w as usize] = nh;
                 parent[w as usize] = u;
@@ -109,7 +110,10 @@ pub fn min_congestion_routing(
     opts: MinCongestionOptions,
     seed: u64,
 ) -> Option<Routing> {
-    assert!(opts.penalty_base >= 1.1, "penalty base too small to differentiate loads");
+    assert!(
+        opts.penalty_base >= 1.1,
+        "penalty base too small to differentiate loads"
+    );
     let n = g.n();
     let k = problem.len();
     // Initial routing: plain shortest paths.
@@ -164,7 +168,9 @@ pub fn min_congestion_routing(
             best_paths = paths.clone();
         }
     }
-    Some(Routing::new(best_paths.into_iter().map(Path::new).collect()))
+    Some(Routing::new(
+        best_paths.into_iter().map(Path::new).collect(),
+    ))
 }
 
 /// Approximate `C_G(R)`: the congestion of the optimised routing.
@@ -185,7 +191,10 @@ mod tests {
     /// Two parallel corridors between s-side and t-side.
     fn two_corridors() -> Graph {
         // 0 → {1, 2} → 3 and a longer corridor 0 → 4 → 5 → 3.
-        Graph::from_edges(6, vec![(0, 1), (1, 3), (0, 2), (2, 3), (0, 4), (4, 5), (5, 3)])
+        Graph::from_edges(
+            6,
+            vec![(0, 1), (1, 3), (0, 2), (2, 3), (0, 4), (4, 5), (5, 3)],
+        )
     }
 
     #[test]
@@ -194,7 +203,10 @@ mod tests {
         let mut cost = vec![1.0; 6];
         cost[1] = 100.0;
         let p = weighted_path(&g, 0, 3, &cost).unwrap();
-        assert!(!p.contains(&1), "path {p:?} should avoid the expensive node");
+        assert!(
+            !p.contains(&1),
+            "path {p:?} should avoid the expensive node"
+        );
         assert_eq!(p.first(), Some(&0));
         assert_eq!(p.last(), Some(&3));
     }
@@ -240,7 +252,9 @@ mod tests {
     fn never_worse_than_plain_shortest_paths() {
         let g = dcspan_graph::Graph::from_edges(
             8,
-            (0u32..8).flat_map(|i| (i + 1..8).map(move |j| (i, j))).filter(|&(i, j)| (i + j) % 3 != 0),
+            (0u32..8)
+                .flat_map(|i| (i + 1..8).map(move |j| (i, j)))
+                .filter(|&(i, j)| (i + j) % 3 != 0),
         );
         let problem = RoutingProblem::random_pairs(8, 12, 5);
         let base = crate::shortest::shortest_path_routing(&g, &problem).unwrap();

@@ -17,7 +17,10 @@ impl RoutingProblem {
     /// # Panics
     /// Panics if any pair has equal endpoints.
     pub fn from_pairs(pairs: Vec<(NodeId, NodeId)>) -> Self {
-        assert!(pairs.iter().all(|(u, v)| u != v), "source must differ from destination");
+        assert!(
+            pairs.iter().all(|(u, v)| u != v),
+            "source must differ from destination"
+        );
         RoutingProblem { pairs }
     }
 
@@ -25,7 +28,9 @@ impl RoutingProblem {
     /// oriented `u → v` canonically). Used by Lemma 1's "all edges" problem
     /// and the matching routing problems `R_M`.
     pub fn from_edges<I: IntoIterator<Item = Edge>>(edges: I) -> Self {
-        RoutingProblem { pairs: edges.into_iter().map(|e| (e.u, e.v)).collect() }
+        RoutingProblem {
+            pairs: edges.into_iter().map(|e| (e.u, e.v)).collect(),
+        }
     }
 
     /// The "route every edge of G" problem from Lemma 1's proof.
@@ -73,11 +78,17 @@ impl RoutingProblem {
     /// A random matching routing problem: pair up a random subset of nodes
     /// (each node appears at most once overall).
     pub fn random_matching(n: usize, pairs: usize, seed: u64) -> Self {
-        assert!(2 * pairs <= n, "not enough nodes for {pairs} disjoint pairs");
+        assert!(
+            2 * pairs <= n,
+            "not enough nodes for {pairs} disjoint pairs"
+        );
         let mut rng = item_rng(seed, 2);
         let mut nodes: Vec<NodeId> = (0..n as NodeId).collect();
         nodes.shuffle(&mut rng);
-        let pairs = nodes[..2 * pairs].chunks_exact(2).map(|c| (c[0], c[1])).collect();
+        let pairs = nodes[..2 * pairs]
+            .chunks_exact(2)
+            .map(|c| (c[0], c[1]))
+            .collect();
         RoutingProblem { pairs }
     }
 
@@ -101,7 +112,9 @@ impl RoutingProblem {
     /// case Theorems 2 and 3 reduce to).
     pub fn is_matching(&self) -> bool {
         let mut seen = dcspan_graph::FxHashSet::default();
-        self.pairs.iter().all(|&(u, v)| seen.insert(u) && seen.insert(v))
+        self.pairs
+            .iter()
+            .all(|&(u, v)| seen.insert(u) && seen.insert(v))
     }
 }
 

@@ -140,7 +140,10 @@ impl Routing {
 
     /// Maximum edge congestion over the edges of `g`.
     pub fn edge_congestion(&self, g: &Graph) -> u32 {
-        self.edge_congestion_profile(g).into_iter().max().unwrap_or(0)
+        self.edge_congestion_profile(g)
+            .into_iter()
+            .max()
+            .unwrap_or(0)
     }
 
     /// Per-path stretch against a baseline routing (`self[i].len() /
@@ -148,7 +151,11 @@ impl Routing {
     /// skipped. Returns the maximum ratio (the paper's distance-stretch α
     /// for this routing pair).
     pub fn max_stretch_vs(&self, base: &Routing) -> f64 {
-        assert_eq!(self.len(), base.len(), "routings must cover the same problem");
+        assert_eq!(
+            self.len(),
+            base.len(),
+            "routings must cover the same problem"
+        );
         self.paths
             .iter()
             .zip(&base.paths)

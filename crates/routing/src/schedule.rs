@@ -59,7 +59,11 @@ pub fn simulate_schedule(
     seed: u64,
 ) -> ScheduleResult {
     let k = routing.len();
-    let paths: Vec<&[NodeId]> = routing.paths().iter().map(|p| p.nodes()).collect();
+    let paths: Vec<&[NodeId]> = routing
+        .paths()
+        .iter()
+        .map(dcspan_graph::Path::nodes)
+        .collect();
     let mut delay = vec![0usize; k];
     if initial_delay_bound > 0 {
         for (i, d) in delay.iter_mut().enumerate() {
@@ -93,7 +97,10 @@ pub fn simulate_schedule(
     let mut round = 0usize;
     while remaining > 0 {
         round += 1;
-        assert!(round <= cap, "scheduler exceeded safety cap {cap} — livelock?");
+        assert!(
+            round <= cap,
+            "scheduler exceeded safety cap {cap} — livelock?"
+        );
         // Inject packets whose delay expired (they become forwardable this
         // round from their source).
         while let Some(&(r, i)) = pending.peek() {
@@ -126,7 +133,7 @@ pub fn simulate_schedule(
                     best
                 }
             };
-            let pk = queue[v].remove(idx).unwrap();
+            let pk = queue[v].remove(idx).unwrap(); // xtask: allow(no_panic) — idx chosen from queue[v] above
             position[pk] += 1;
             let here = paths[pk][position[pk]];
             if position[pk] + 1 == paths[pk].len() {
@@ -142,9 +149,18 @@ pub fn simulate_schedule(
     }
 
     let total_queueing = (0..k)
-        .map(|i| delivery[i].saturating_sub(paths[i].len() - 1 + delay[i]).min(delivery[i]))
+        .map(|i| {
+            delivery[i]
+                .saturating_sub(paths[i].len() - 1 + delay[i])
+                .min(delivery[i])
+        })
         .sum();
-    ScheduleResult { makespan: round, delivery, lower_bound, total_queueing }
+    ScheduleResult {
+        makespan: round,
+        delivery,
+        lower_bound,
+        total_queueing,
+    }
 }
 
 #[cfg(test)]
@@ -186,9 +202,7 @@ mod tests {
     #[test]
     fn makespan_at_least_lower_bound() {
         // Funnel: many packets crossing one middle node.
-        let paths: Vec<Path> = (0..5u32)
-            .map(|i| Path::new(vec![i, 5, 6 + i]))
-            .collect();
+        let paths: Vec<Path> = (0..5u32).map(|i| Path::new(vec![i, 5, 6 + i])).collect();
         let r = Routing::new(paths);
         let res = simulate_schedule(11, &r, QueuePolicy::Fifo, 0, 4);
         assert!(res.makespan >= res.lower_bound);

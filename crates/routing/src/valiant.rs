@@ -15,7 +15,12 @@ use rand::seq::SliceRandom;
 use rand::Rng;
 
 /// Sample a uniformly random shortest path `u → v` with the supplied RNG.
-fn random_sp(g: &Graph, u: NodeId, v: NodeId, rng: &mut rand::rngs::SmallRng) -> Option<Vec<NodeId>> {
+fn random_sp(
+    g: &Graph,
+    u: NodeId,
+    v: NodeId,
+    rng: &mut rand::rngs::SmallRng,
+) -> Option<Vec<NodeId>> {
     let dist = bfs_distances(g, u);
     if dist[v as usize] == UNREACHABLE {
         return None;
@@ -24,8 +29,12 @@ fn random_sp(g: &Graph, u: NodeId, v: NodeId, rng: &mut rand::rngs::SmallRng) ->
     let mut cur = v;
     while cur != u {
         let d = dist[cur as usize];
-        let mut preds: Vec<NodeId> =
-            g.neighbors(cur).iter().copied().filter(|&w| dist[w as usize] + 1 == d).collect();
+        let mut preds: Vec<NodeId> = g
+            .neighbors(cur)
+            .iter()
+            .copied()
+            .filter(|&w| dist[w as usize] + 1 == d)
+            .collect();
         preds.shuffle(rng);
         cur = preds[0];
         rev.push(cur);
@@ -129,7 +138,10 @@ mod tests {
     fn deterministic_per_seed() {
         let g = expanderish();
         let problem = RoutingProblem::from_pairs(vec![(0, 4), (1, 5), (2, 6)]);
-        assert_eq!(valiant_routing(&g, &problem, 3), valiant_routing(&g, &problem, 3));
+        assert_eq!(
+            valiant_routing(&g, &problem, 3),
+            valiant_routing(&g, &problem, 3)
+        );
     }
 
     #[test]

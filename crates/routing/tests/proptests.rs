@@ -4,9 +4,9 @@ use dcspan_graph::{Graph, Path};
 use dcspan_routing::decompose::{
     substitute_routing_decomposed, substitute_routing_direct, ColoringAlgo,
 };
+use dcspan_routing::mincongestion::{min_congestion_routing, MinCongestionOptions};
 use dcspan_routing::problem::RoutingProblem;
 use dcspan_routing::replace::{DetourPolicy, SpannerDetourRouter};
-use dcspan_routing::mincongestion::{min_congestion_routing, MinCongestionOptions};
 use dcspan_routing::routing::Routing;
 use dcspan_routing::schedule::{simulate_schedule, QueuePolicy};
 use dcspan_routing::shortest::{random_shortest_path_routing, shortest_path_routing};
@@ -29,7 +29,13 @@ fn arb_problem(n: usize) -> impl Strategy<Value = RoutingProblem> {
         RoutingProblem::from_pairs(
             pairs
                 .into_iter()
-                .map(|(a, b)| if a == b { (a, (b + 1) % n as u32) } else { (a, b) })
+                .map(|(a, b)| {
+                    if a == b {
+                        (a, (b + 1) % n as u32)
+                    } else {
+                        (a, b)
+                    }
+                })
                 .collect(),
         )
     })
@@ -114,7 +120,7 @@ proptest! {
         }
         let sub = shortest_path_routing(&h, &problem).unwrap();
         // Removing edges can only lengthen shortest paths.
-        prop_assert!(sub.max_stretch_vs(&base) >= 1.0 || base.paths().iter().all(|p| p.is_empty()));
+        prop_assert!(sub.max_stretch_vs(&base) >= 1.0 || base.paths().iter().all(Path::is_empty));
     }
 
     #[test]

@@ -25,7 +25,11 @@ pub fn conductance(g: &Graph, s: &[NodeId]) -> Option<f64> {
     for v in 0..g.n() as NodeId {
         if in_s[v as usize] {
             vol_s += g.degree(v);
-            cut += g.neighbors(v).iter().filter(|&&w| !in_s[w as usize]).count();
+            cut += g
+                .neighbors(v)
+                .iter()
+                .filter(|&&w| !in_s[w as usize])
+                .count();
         }
     }
     let vol_rest = 2 * g.m() - vol_s;
@@ -129,7 +133,10 @@ mod tests {
     #[test]
     fn expander_has_large_sweep_conductance() {
         // Complete graph: every cut has conductance ≥ 1/2-ish.
-        let g = Graph::from_edges(10, (0u32..10).flat_map(|i| (i + 1..10).map(move |j| (i, j))));
+        let g = Graph::from_edges(
+            10,
+            (0u32..10).flat_map(|i| (i + 1..10).map(move |j| (i, j))),
+        );
         let phi = sweep_conductance(&g, 2).unwrap();
         assert!(phi > 0.4, "sweep φ = {phi}");
     }

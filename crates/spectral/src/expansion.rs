@@ -59,10 +59,17 @@ impl ExpansionEstimate {
 /// assert!(est.is_near_ramanujan(1.0));
 /// ```
 pub fn spectral_expansion(g: &Graph, seed: u64) -> ExpansionEstimate {
-    assert!(g.is_regular(), "spectral_expansion requires a regular graph");
+    assert!(
+        g.is_regular(),
+        "spectral_expansion requires a regular graph"
+    );
     let degree = g.max_degree();
     if g.n() == 0 || degree == 0 {
-        return ExpansionEstimate { lambda: 0.0, degree, ramanujan_bound: 0.0 };
+        return ExpansionEstimate {
+            lambda: 0.0,
+            degree,
+            ramanujan_bound: 0.0,
+        };
     }
     let a = Adjacency::new(g);
     let d = Deflated::new(&a, vec![1.0; g.n()]);
@@ -72,7 +79,11 @@ pub fn spectral_expansion(g: &Graph, seed: u64) -> ExpansionEstimate {
     let power_lambda = power_iteration(&d, 300, 1e-10, seed ^ 0x9e37).value;
     let lambda = lanczos_lambda.max(power_lambda);
     let ramanujan_bound = 2.0 * ((degree as f64 - 1.0).max(0.0)).sqrt();
-    ExpansionEstimate { lambda, degree, ramanujan_bound }
+    ExpansionEstimate {
+        lambda,
+        degree,
+        ramanujan_bound,
+    }
 }
 
 /// Estimate the normalised second eigenvalue
@@ -109,7 +120,10 @@ mod tests {
     use dcspan_graph::Graph;
 
     fn complete(n: usize) -> Graph {
-        Graph::from_edges(n, (0..n as u32).flat_map(|i| (i + 1..n as u32).map(move |j| (i, j))))
+        Graph::from_edges(
+            n,
+            (0..n as u32).flat_map(|i| (i + 1..n as u32).map(move |j| (i, j))),
+        )
     }
 
     #[test]

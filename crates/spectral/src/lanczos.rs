@@ -48,7 +48,11 @@ impl Tridiagonal {
         let mut count = 0usize;
         let mut d = 1.0f64;
         for i in 0..self.diag.len() {
-            let off2 = if i > 0 { self.off[i - 1] * self.off[i - 1] } else { 0.0 };
+            let off2 = if i > 0 {
+                self.off[i - 1] * self.off[i - 1]
+            } else {
+                0.0
+            };
             d = self.diag[i] - x - off2 / d;
             if d == 0.0 {
                 d = -1e-300; // nudge off the breakdown
@@ -151,13 +155,19 @@ mod tests {
     use dcspan_graph::Graph;
 
     fn complete(n: usize) -> Graph {
-        Graph::from_edges(n, (0..n as u32).flat_map(|i| (i + 1..n as u32).map(move |j| (i, j))))
+        Graph::from_edges(
+            n,
+            (0..n as u32).flat_map(|i| (i + 1..n as u32).map(move |j| (i, j))),
+        )
     }
 
     #[test]
     fn sturm_count_on_known_matrix() {
         // T = [[2, 1], [1, 2]]: eigenvalues {1, 3}.
-        let t = Tridiagonal { diag: vec![2.0, 2.0], off: vec![1.0] };
+        let t = Tridiagonal {
+            diag: vec![2.0, 2.0],
+            off: vec![1.0],
+        };
         assert_eq!(t.count_less(0.0), 0);
         assert_eq!(t.count_less(2.0), 1);
         assert_eq!(t.count_less(4.0), 2);
@@ -167,7 +177,10 @@ mod tests {
 
     #[test]
     fn diagonal_matrix_eigenvalues() {
-        let t = Tridiagonal { diag: vec![-1.0, 0.5, 7.0], off: vec![0.0, 0.0] };
+        let t = Tridiagonal {
+            diag: vec![-1.0, 0.5, 7.0],
+            off: vec![0.0, 0.0],
+        };
         assert!((t.eigenvalue(0) + 1.0).abs() < 1e-9);
         assert!((t.eigenvalue(1) - 0.5).abs() < 1e-9);
         assert!((t.eigenvalue(2) - 7.0).abs() < 1e-9);

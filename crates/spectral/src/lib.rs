@@ -17,6 +17,9 @@
 //!
 //! Everything is dense-vector arithmetic implemented from scratch (no BLAS).
 
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
 pub mod conductance;
 pub mod expansion;
 pub mod lanczos;

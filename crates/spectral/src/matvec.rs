@@ -36,7 +36,12 @@ impl Operator for Adjacency<'_> {
         debug_assert_eq!(x.len(), self.g.n());
         debug_assert_eq!(out.len(), self.g.n());
         out.par_iter_mut().enumerate().for_each(|(u, o)| {
-            *o = self.g.neighbors(u as NodeId).iter().map(|&w| x[w as usize]).sum();
+            *o = self
+                .g
+                .neighbors(u as NodeId)
+                .iter()
+                .map(|&w| x[w as usize])
+                .sum();
         });
     }
 }
@@ -100,7 +105,9 @@ impl<'a> NormalizedAdjacency<'a> {
 
     /// The top eigenvector direction `sqrt(deg)` (unnormalised).
     pub fn principal_direction(&self) -> Vec<f64> {
-        (0..self.g.n()).map(|u| (self.g.degree(u as NodeId) as f64).sqrt()).collect()
+        (0..self.g.n())
+            .map(|u| (self.g.degree(u as NodeId) as f64).sqrt())
+            .collect()
     }
 }
 
@@ -112,8 +119,12 @@ impl Operator for NormalizedAdjacency<'_> {
     fn apply(&self, x: &[f64], out: &mut [f64]) {
         let isd = &self.inv_sqrt_deg;
         out.par_iter_mut().enumerate().for_each(|(u, o)| {
-            let s: f64 =
-                self.g.neighbors(u as NodeId).iter().map(|&w| x[w as usize] * isd[w as usize]).sum();
+            let s: f64 = self
+                .g
+                .neighbors(u as NodeId)
+                .iter()
+                .map(|&w| x[w as usize] * isd[w as usize])
+                .sum();
             *o = s * isd[u];
         });
     }

@@ -7,8 +7,8 @@
 //! between any two neighbourhoods `N(u)`, `N(v)` has size at least
 //! `Δ·(1 − λn/Δ²)`.
 
-use dcspan_graph::stats::edges_between;
 use dcspan_graph::rng::item_rng;
+use dcspan_graph::stats::edges_between;
 use dcspan_graph::{Graph, NodeId};
 use rand::seq::SliceRandom;
 
@@ -38,13 +38,20 @@ impl MixingCheck {
 /// Evaluate the mixing-lemma inequality for given sets `S`, `T` with a
 /// given expansion parameter `lambda`.
 pub fn mixing_check(g: &Graph, s: &[NodeId], t: &[NodeId], lambda: f64) -> MixingCheck {
-    assert!(g.is_regular(), "the mixing lemma as stated needs a regular graph");
+    assert!(
+        g.is_regular(),
+        "the mixing lemma as stated needs a regular graph"
+    );
     let delta = g.max_degree() as f64;
     let n = g.n() as f64;
     let observed = edges_between(g, s, t) as f64;
     let expected = delta / n * s.len() as f64 * t.len() as f64;
     let bound = lambda * ((s.len() * t.len()) as f64).sqrt();
-    MixingCheck { observed, expected, bound }
+    MixingCheck {
+        observed,
+        expected,
+        bound,
+    }
 }
 
 /// Run `trials` random-set mixing checks with uniformly random disjoint-ish
@@ -79,7 +86,10 @@ mod tests {
     use dcspan_graph::Graph;
 
     fn complete(n: usize) -> Graph {
-        Graph::from_edges(n, (0..n as u32).flat_map(|i| (i + 1..n as u32).map(move |j| (i, j))))
+        Graph::from_edges(
+            n,
+            (0..n as u32).flat_map(|i| (i + 1..n as u32).map(move |j| (i, j))),
+        )
     }
 
     #[test]

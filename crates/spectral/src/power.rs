@@ -51,15 +51,27 @@ pub fn power_iteration<O: Operator>(op: &O, max_iters: usize, tol: f64, seed: u6
         let moved = normalize(&mut y);
         if moved <= 1e-300 {
             // x is in the kernel of A²: spectral radius 0 on this component.
-            return PowerResult { value: 0.0, vector: x, iterations };
+            return PowerResult {
+                value: 0.0,
+                vector: x,
+                iterations,
+            };
         }
         x = y;
         if (value - prev).abs() <= tol * value.max(1.0) && it > 4 {
-            return PowerResult { value, vector: x, iterations };
+            return PowerResult {
+                value,
+                vector: x,
+                iterations,
+            };
         }
         prev = value;
     }
-    PowerResult { value: prev, vector: x, iterations }
+    PowerResult {
+        value: prev,
+        vector: x,
+        iterations,
+    }
 }
 
 #[cfg(test)]

@@ -30,7 +30,11 @@ fn rewiring_dramatically_beats_the_circulant() {
     let d = 8;
     let before = spectral_expansion(&circulant_regular(n, d), 7);
     let after = spectral_expansion(&random_regular(n, d, 7), 7);
-    assert!(before.ratio() > 0.9, "circulant ratio {:.3}", before.ratio());
+    assert!(
+        before.ratio() > 0.9,
+        "circulant ratio {:.3}",
+        before.ratio()
+    );
     // Ramanujan ratio for Δ = 8 is 2√7/8 ≈ 0.661; the rewired graph should
     // be close to it while the circulant is near 1.
     assert!(after.ratio() < 0.75, "rewired ratio {:.3}", after.ratio());
@@ -69,13 +73,13 @@ fn lemma4_bound_is_met_by_actual_neighbourhood_matchings() {
     let g = random_regular(n, d, 21);
     let est = spectral_expansion(&g, 21);
     let bound = lemma4_matching_bound(n, d, est.lambda);
-    assert!(bound > 0.0, "λ = {:.3} too large for a meaningful bound", est.lambda);
+    assert!(
+        bound > 0.0,
+        "λ = {:.3} too large for a meaningful bound",
+        est.lambda
+    );
     for (u, v) in [(0u32, 1u32), (5, 99), (37, 64)] {
-        let m = dcspan_graph::matching::max_bipartite_matching(
-            &g,
-            g.neighbors(u),
-            g.neighbors(v),
-        );
+        let m = dcspan_graph::matching::max_bipartite_matching(&g, g.neighbors(u), g.neighbors(v));
         assert!(
             m.len() as f64 >= bound - 1e-9,
             "matching {} < bound {bound:.2} for ({u},{v})",

@@ -63,7 +63,10 @@ fn main() {
 
     // 4. Distance stretch over all edges.
     let dist = distance_stretch_edges(&g, &sp.h, 6);
-    println!("distance stretch: max = {} (paper: 3 whp)", dist.max_stretch);
+    println!(
+        "distance stretch: max = {} (paper: 3 whp)",
+        dist.max_stretch
+    );
 
     // 5. General permutation routing through Algorithm 2.
     let problem = RoutingProblem::random_permutation(n, seed ^ 1);

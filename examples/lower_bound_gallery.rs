@@ -32,8 +32,7 @@ fn fan_demo() {
     // Route the adversarial pairs in H: everything crosses s.
     let problem = RoutingProblem::from_pairs(fan.adversarial_routing_pairs());
     let routing = shortest_path_routing(&h, &problem).unwrap();
-    let c_s = routing
-        .congestion_profile(fan.graph.n())[fan.s() as usize];
+    let c_s = routing.congestion_profile(fan.graph.n())[fan.s() as usize];
     println!(
         "adversarial routing: congestion at s = {c_s} (k = {}), base congestion in G ≤ 2",
         fan.k

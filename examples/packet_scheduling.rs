@@ -17,12 +17,19 @@ fn main() {
     let t = TwoCliqueGraph::new(128);
     let n = t.graph.n();
     let problem = RoutingProblem::from_pairs(t.matching_routing_pairs());
-    println!("two-cliques graph: n = {n}, perfect-matching workload ({} packets)", problem.len());
+    println!(
+        "two-cliques graph: n = {n}, perfect-matching workload ({} packets)",
+        problem.len()
+    );
 
     // In G: each pair has its own edge — congestion 1, one round.
     let base = edge_routing(&problem);
     let res = simulate_schedule(n, &base, QueuePolicy::Fifo, 0, 1);
-    println!("\nG itself:        C = {}, makespan = {}", base.congestion(n), res.makespan);
+    println!(
+        "\nG itself:        C = {}, makespan = {}",
+        base.congestion(n),
+        res.makespan
+    );
 
     // Congestion-oblivious f-VFT-style spanner: everything funnels through
     // the few kept matching edges.

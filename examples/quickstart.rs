@@ -34,7 +34,10 @@ fn main() {
 
     // Distance stretch α: measured over every edge of G.
     let dist = distance_stretch_edges(&g, &spanner.h, 8);
-    println!("distance stretch α: max = {}, mean = {:.3}", dist.max_stretch, dist.mean_stretch);
+    println!(
+        "distance stretch α: max = {}, mean = {:.3}",
+        dist.max_stretch, dist.mean_stretch
+    );
 
     // Congestion stretch for a matching routing problem (base congestion 1).
     let matching = RoutingProblem::random_matching(n, n / 4, seed);
@@ -59,6 +62,10 @@ fn main() {
         general.substitute_congestion,
         general.beta(),
         general.report.lemma21_bound(n),
-        if general.report.lemma21_holds(n) { "holds" } else { "VIOLATED" },
+        if general.report.lemma21_holds(n) {
+            "holds"
+        } else {
+            "VIOLATED"
+        },
     );
 }

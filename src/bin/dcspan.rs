@@ -31,11 +31,15 @@ fn parse_flags(args: &[String]) -> HashMap<String, String> {
 }
 
 fn get_usize(flags: &HashMap<String, String>, key: &str, default: usize) -> usize {
-    flags.get(key).map_or(default, |v| v.parse().unwrap_or(default))
+    flags
+        .get(key)
+        .map_or(default, |v| v.parse().unwrap_or(default))
 }
 
 fn get_u64(flags: &HashMap<String, String>, key: &str, default: u64) -> u64 {
-    flags.get(key).map_or(default, |v| v.parse().unwrap_or(default))
+    flags
+        .get(key)
+        .map_or(default, |v| v.parse().unwrap_or(default))
 }
 
 fn describe(g: &dcspan::Graph, label: &str) {
@@ -54,7 +58,7 @@ fn cmd_gen(flags: &HashMap<String, String>) -> ExitCode {
     let n = get_usize(flags, "n", 256);
     let delta = get_usize(flags, "delta", 16);
     let seed = get_u64(flags, "seed", 1);
-    let family = flags.get("family").map(String::as_str).unwrap_or("regular");
+    let family = flags.get("family").map_or("regular", String::as_str);
     match family {
         "regular" => {
             let g = dcspan::gen::regular::random_regular(n, delta, seed);
@@ -99,9 +103,13 @@ fn cmd_gen(flags: &HashMap<String, String>) -> ExitCode {
 
 fn cmd_spanner(flags: &HashMap<String, String>) -> ExitCode {
     let n = get_usize(flags, "n", 256);
-    let delta = get_usize(flags, "delta", dcspan::experiments::workloads::theorem3_degree(256));
+    let delta = get_usize(
+        flags,
+        "delta",
+        dcspan::experiments::workloads::theorem3_degree(256),
+    );
     let seed = get_u64(flags, "seed", 1);
-    let algo = flags.get("algo").map(String::as_str).unwrap_or("regular");
+    let algo = flags.get("algo").map_or("regular", String::as_str);
     let g = dcspan::gen::regular::random_regular(n, delta, seed);
     describe(&g, "input G");
     let h = match algo {
@@ -123,7 +131,10 @@ fn cmd_spanner(flags: &HashMap<String, String>) -> ExitCode {
             let k = get_usize(flags, "k", 2);
             match dcspan::core::baswana_sen::baswana_sen_spanner_checked(&g, k, seed, 20) {
                 Some((h, attempts)) => {
-                    println!("Baswana–Sen (2k−1 = {}): valid after {attempts} attempt(s)", 2 * k - 1);
+                    println!(
+                        "Baswana–Sen (2k−1 = {}): valid after {attempts} attempt(s)",
+                        2 * k - 1
+                    );
                     h
                 }
                 None => {
@@ -190,12 +201,19 @@ fn cmd_experiment(which: &str, quick: bool) -> ExitCode {
                 dcspan::experiments::e4_regular::run(sizes, seed).1
             }
             "e5" => {
-                let scales: &[(usize, usize)] =
-                    if quick { &[(5, 1), (7, 1)] } else { &[(5, 4), (7, 2), (11, 1), (13, 1)] };
+                let scales: &[(usize, usize)] = if quick {
+                    &[(5, 1), (7, 1)]
+                } else {
+                    &[(5, 4), (7, 2), (11, 1), (13, 1)]
+                };
                 dcspan::experiments::e5_lower_bound::run(scales).1
             }
             "e6" => {
-                let halves: &[usize] = if quick { &[24, 48] } else { &[32, 64, 128, 256] };
+                let halves: &[usize] = if quick {
+                    &[24, 48]
+                } else {
+                    &[32, 64, 128, 256]
+                };
                 dcspan::experiments::e6_vft::run(halves, seed).1
             }
             "e7" => {
@@ -211,7 +229,11 @@ fn cmd_experiment(which: &str, quick: bool) -> ExitCode {
                 dcspan::experiments::e9_support::run(sizes, seed).1
             }
             "e10" => {
-                let ks: &[usize] = if quick { &[16, 64] } else { &[32, 128, 256, 512] };
+                let ks: &[usize] = if quick {
+                    &[16, 64]
+                } else {
+                    &[32, 128, 256, 512]
+                };
                 dcspan::experiments::e10_decompose::run(if quick { 96 } else { 256 }, ks, seed).1
             }
             "e11" => {
@@ -227,18 +249,27 @@ fn cmd_experiment(which: &str, quick: bool) -> ExitCode {
                 dcspan::experiments::e13_frontier::run(n, seed).1
             }
             "e14" => {
-                let (n, ks): (usize, &[usize]) =
-                    if quick { (96, &[20, 60]) } else { (256, &[32, 128, 256]) };
+                let (n, ks): (usize, &[usize]) = if quick {
+                    (96, &[20, 60])
+                } else {
+                    (256, &[32, 128, 256])
+                };
                 dcspan::experiments::e14_definition::run(n, ks, seed).1
             }
             "e15" => {
-                let (n, fs): (usize, &[usize]) =
-                    if quick { (96, &[1, 2]) } else { (216, &[1, 2, 4]) };
+                let (n, fs): (usize, &[usize]) = if quick {
+                    (96, &[1, 2])
+                } else {
+                    (216, &[1, 2, 4])
+                };
                 dcspan::experiments::e15_vft_tradeoff::run(n, fs, seed).1
             }
             "e16" => {
-                let sizes: &[usize] =
-                    if quick { &[96, 128, 192] } else { &[128, 192, 256, 384] };
+                let sizes: &[usize] = if quick {
+                    &[96, 128, 192]
+                } else {
+                    &[128, 192, 256, 384]
+                };
                 dcspan::experiments::e16_scaling::run(sizes, seed).1
             }
             "sweep" => {
@@ -260,10 +291,25 @@ fn cmd_experiment(which: &str, quick: bool) -> ExitCode {
     };
     if which == "all" {
         for name in [
-            "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13",
-            "e14", "e15", "e16", "sweep", "ablations",
-        ]
-        {
+            "e1",
+            "e2",
+            "e3",
+            "e4",
+            "e5",
+            "e6",
+            "e7",
+            "e8",
+            "e9",
+            "e10",
+            "e11",
+            "e12",
+            "e13",
+            "e14",
+            "e15",
+            "e16",
+            "sweep",
+            "ablations",
+        ] {
             println!("{}", run_one(name).unwrap());
         }
         return ExitCode::SUCCESS;
@@ -297,7 +343,7 @@ fn main() -> ExitCode {
         "gen" => cmd_gen(&flags),
         "spanner" => cmd_spanner(&flags),
         "experiment" => {
-            let which = args.get(1).map(String::as_str).unwrap_or("all");
+            let which = args.get(1).map_or("all", String::as_str);
             cmd_experiment(which, flags.contains_key("quick"))
         }
         _ => usage(),

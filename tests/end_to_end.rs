@@ -102,6 +102,9 @@ fn substitute_routings_are_never_invalid() {
         let problem = RoutingProblem::random_pairs(n, 30, seed ^ 0xCD);
         let base = random_shortest_path_routing(&g, &problem, seed ^ 0xEF).unwrap();
         let gen = general_substitute_congestion(n, &base, &router, seed ^ 0x12).unwrap();
-        assert!(gen.report.routing.is_valid_for(&problem, &sp.h), "seed {seed}");
+        assert!(
+            gen.report.routing.is_valid_for(&problem, &sp.h),
+            "seed {seed}"
+        );
     }
 }

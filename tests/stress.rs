@@ -21,7 +21,10 @@ fn theorem2_at_n_1024() {
     let ratio = sp.h.m() as f64 / (n as f64).powf(5.0 / 3.0);
     assert!((0.3..0.8).contains(&ratio), "size ratio {ratio}");
     let dist = distance_stretch_edges(&g, &sp.h, 3);
-    assert_eq!(dist.overflow_pairs, 0, "some edge lost its 3-hop substitute");
+    assert_eq!(
+        dist.overflow_pairs, 0,
+        "some edge lost its 3-hop substitute"
+    );
 }
 
 #[test]

@@ -1,0 +1,107 @@
+//! Workspace automation tasks (`cargo xtask <task>`).
+//!
+//! The only task so far is `lint`: a project-specific static-analysis pass
+//! enforcing rules a generic linter cannot express — panic-freedom in
+//! library code, the RNG determinism gate, checked CSR accessors in hot
+//! paths, and paper-anchor doc comments on the algorithm API. See
+//! `DESIGN.md` § Correctness tooling.
+//!
+//! Dependency-free by design so it builds offline.
+
+mod report;
+mod rules;
+mod scan;
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: cargo xtask lint [--json] [--fix-report <path>] [--root <dir>]\n\
+         \n\
+         tasks:\n\
+         \x20 lint    run the project-specific static-analysis rules over crates/*/src\n\
+         \n\
+         options:\n\
+         \x20 --json               print the machine-readable JSON report to stdout\n\
+         \x20 --fix-report <path>  also write the JSON report to <path>\n\
+         \x20 --root <dir>         workspace root (default: xtask's parent directory)"
+    );
+    std::process::exit(2);
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(task) = args.first() else { usage() };
+    match task.as_str() {
+        "lint" => lint(&args[1..]),
+        "help" | "--help" | "-h" => usage(),
+        other => {
+            eprintln!("unknown task `{other}`");
+            usage();
+        }
+    }
+}
+
+fn lint(args: &[String]) -> ExitCode {
+    let mut json_stdout = false;
+    let mut fix_report: Option<PathBuf> = None;
+    let mut root: Option<PathBuf> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--json" => json_stdout = true,
+            "--fix-report" => match it.next() {
+                Some(p) => fix_report = Some(PathBuf::from(p)),
+                None => usage(),
+            },
+            "--root" => match it.next() {
+                Some(p) => root = Some(PathBuf::from(p)),
+                None => usage(),
+            },
+            _ => usage(),
+        }
+    }
+
+    let root = root.unwrap_or_else(|| {
+        // xtask lives at <workspace>/xtask.
+        PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+            .parent()
+            .expect("xtask has a parent directory")
+            .to_path_buf()
+    });
+
+    let files = match scan::collect_sources(&root) {
+        Ok(files) => files,
+        Err(e) => {
+            eprintln!("error: failed to scan {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+
+    let mut violations = Vec::new();
+    for file in &files {
+        rules::check_file(file, &mut violations);
+    }
+    violations.sort_by(|a, b| (&a.file, a.line, &a.rule).cmp(&(&b.file, b.line, &b.rule)));
+
+    if json_stdout {
+        println!("{}", report::to_json(&violations, files.len()));
+    } else {
+        report::print_text(&violations, files.len());
+    }
+    if let Some(path) = fix_report {
+        let json = report::to_json(&violations, files.len());
+        if let Err(e) = std::fs::write(&path, json) {
+            eprintln!("error: cannot write {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+        eprintln!("wrote JSON report to {}", path.display());
+    }
+
+    if violations.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

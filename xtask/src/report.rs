@@ -1,0 +1,94 @@
+//! Violation reporting: human-readable text and machine-readable JSON
+//! (the `--json` / `--fix-report` modes).
+
+use crate::rules::Violation;
+
+/// Print the human-readable report to stdout/stderr.
+pub(crate) fn print_text(violations: &[Violation], files_scanned: usize) {
+    for v in violations {
+        eprintln!("{}:{}: [{}] {}", v.file, v.line, v.rule, v.message);
+    }
+    if violations.is_empty() {
+        eprintln!("xtask lint: {files_scanned} files scanned, no violations");
+    } else {
+        eprintln!(
+            "xtask lint: {files_scanned} files scanned, {} violation(s)",
+            violations.len()
+        );
+    }
+}
+
+/// Render the JSON report:
+/// `{"files_scanned":N,"violations":[{"file":..,"line":..,"rule":..,"message":..}],"total":N}`.
+pub(crate) fn to_json(violations: &[Violation], files_scanned: usize) -> String {
+    let mut out = String::new();
+    out.push_str("{\n  \"files_scanned\": ");
+    out.push_str(&files_scanned.to_string());
+    out.push_str(",\n  \"total\": ");
+    out.push_str(&violations.len().to_string());
+    out.push_str(",\n  \"violations\": [");
+    for (i, v) in violations.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("\n    {\"file\": ");
+        push_json_str(&mut out, &v.file);
+        out.push_str(", \"line\": ");
+        out.push_str(&v.line.to_string());
+        out.push_str(", \"rule\": ");
+        push_json_str(&mut out, v.rule);
+        out.push_str(", \"message\": ");
+        push_json_str(&mut out, &v.message);
+        out.push('}');
+    }
+    if !violations.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str("]\n}\n");
+    out
+}
+
+fn push_json_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_escapes_and_counts() {
+        let v = vec![Violation {
+            file: "crates/x/src/a.rs".into(),
+            line: 7,
+            rule: "no_panic",
+            message: "say \"no\"".into(),
+        }];
+        let json = to_json(&v, 3);
+        assert!(json.contains("\"files_scanned\": 3"));
+        assert!(json.contains("\"total\": 1"));
+        assert!(json.contains("\\\"no\\\""));
+        assert!(json.contains("\"line\": 7"));
+    }
+
+    #[test]
+    fn json_empty_report() {
+        let json = to_json(&[], 5);
+        assert!(json.contains("\"violations\": []"));
+        assert!(json.contains("\"total\": 0"));
+    }
+}

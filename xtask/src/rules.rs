@@ -1,0 +1,384 @@
+//! The four project-specific lint rules.
+//!
+//! | rule            | scope                                   | enforces |
+//! |-----------------|------------------------------------------|----------|
+//! | `no_panic`      | all `crates/*/src`, non-test code        | no `.unwrap()` / `.expect(...)` / `panic!` family in library paths |
+//! | `rng_gate`      | all `crates/*/src` except `graph/src/rng.rs`, non-test | RNG construction only via `dcspan_graph::rng` (determinism) |
+//! | `checked_index` | `crates/graph/src` (except `invariants.rs`), `crates/routing/src`, non-test | no direct `.adj[...]` / `.offsets[...]` CSR indexing outside the checked accessors |
+//! | `doc_anchor`    | `crates/core/src` algorithm modules      | every `pub fn` doc references a paper anchor (Theorem/Lemma/Algorithm/…) |
+//!
+//! Deliberate exceptions carry an inline `// xtask: allow(<rule>) — why`
+//! directive; the directive is itself the audit trail.
+
+use crate::scan::SourceFile;
+
+/// One rule violation.
+pub(crate) struct Violation {
+    /// Workspace-relative file path.
+    pub(crate) file: String,
+    /// 1-based line number.
+    pub(crate) line: usize,
+    /// Rule identifier (`no_panic`, `rng_gate`, `checked_index`, `doc_anchor`).
+    pub(crate) rule: &'static str,
+    /// Human-readable description.
+    pub(crate) message: String,
+}
+
+/// Panicking constructs forbidden in library (non-test) code.
+const PANIC_PATTERNS: &[(&str, &str)] = &[
+    (".unwrap()", "`.unwrap()` in library code — return a `Result`, use a checked accessor, or justify with `xtask: allow(no_panic)`"),
+    (".expect(", "`.expect(...)` in library code — return a `Result` or justify with `xtask: allow(no_panic)`"),
+    ("panic!", "`panic!` in library code — return an error or justify with `xtask: allow(no_panic)`"),
+    ("unreachable!", "`unreachable!` in library code — prove it or justify with `xtask: allow(no_panic)`"),
+    ("todo!", "`todo!` must not ship in library code"),
+    ("unimplemented!", "`unimplemented!` must not ship in library code"),
+];
+
+/// RNG constructors that bypass the `dcspan_graph::rng` determinism gate.
+const RNG_PATTERNS: &[(&str, &str)] = &[
+    (
+        "seed_from_u64(",
+        "direct RNG construction — derive per-item RNGs via `dcspan_graph::rng::item_rng`",
+    ),
+    (
+        "from_entropy",
+        "entropy-seeded RNG breaks reproducibility — all randomness must flow from explicit seeds",
+    ),
+    (
+        "thread_rng",
+        "`thread_rng` is nondeterministic — all randomness must flow from explicit seeds",
+    ),
+    (
+        "StdRng",
+        "only `SmallRng` seeded via `dcspan_graph::rng` is permitted",
+    ),
+    ("OsRng", "OS randomness breaks reproducibility"),
+];
+
+/// Direct CSR-array indexing in hot paths (use the checked accessors).
+const INDEX_PATTERNS: &[(&str, &str)] = &[
+    (".adj[", "direct adjacency-array indexing — use `Graph::neighbors`/`Graph::degree` (checked accessors)"),
+    (".offsets[", "direct CSR-offset indexing — use `Graph::neighbors`/`Graph::degree` (checked accessors)"),
+];
+
+/// Paper anchors accepted by `doc_anchor`.
+const ANCHOR_WORDS: &[&str] = &[
+    "Theorem",
+    "Lemma",
+    "Algorithm",
+    "Corollary",
+    "Definition",
+    "Section",
+    "Figure",
+    "Table",
+    "Claim",
+    "Proposition",
+];
+
+/// `crates/core/src` modules whose public API must cite paper anchors.
+const CORE_ALGORITHM_MODULES: &[&str] = &[
+    "crates/core/src/baswana_sen.rs",
+    "crates/core/src/becchetti.rs",
+    "crates/core/src/certify.rs",
+    "crates/core/src/eval.rs",
+    "crates/core/src/exact.rs",
+    "crates/core/src/expander.rs",
+    "crates/core/src/fault.rs",
+    "crates/core/src/greedy.rs",
+    "crates/core/src/koutis_xu.rs",
+    "crates/core/src/regular.rs",
+    "crates/core/src/support.rs",
+    "crates/core/src/vft.rs",
+];
+
+/// Run every applicable rule over one file.
+pub(crate) fn check_file(file: &SourceFile, out: &mut Vec<Violation>) {
+    no_panic(file, out);
+    rng_gate(file, out);
+    checked_index(file, out);
+    doc_anchor(file, out);
+}
+
+fn push(out: &mut Vec<Violation>, file: &SourceFile, idx: usize, rule: &'static str, msg: &str) {
+    out.push(Violation {
+        file: file.rel.clone(),
+        line: idx + 1,
+        rule,
+        message: msg.to_string(),
+    });
+}
+
+fn allowed(file: &SourceFile, idx: usize, rule: &str) -> bool {
+    file.lines[idx].allows.iter().any(|a| a == rule)
+}
+
+fn no_panic(file: &SourceFile, out: &mut Vec<Violation>) {
+    for (idx, line) in file.lines.iter().enumerate() {
+        if line.in_test || allowed(file, idx, "no_panic") {
+            continue;
+        }
+        for (pat, msg) in PANIC_PATTERNS {
+            if let Some(pos) = line.code.find(pat) {
+                // `.expect(` must not also fire on `.expect_err(`; none of
+                // the other patterns have prefix collisions.
+                if *pat == "panic!" {
+                    // Skip attribute forms like #[should_panic] (already
+                    // code-only, but `debug_assert!`/`assert!` contain no
+                    // `panic!` substring, so nothing else to exclude).
+                    let before = &line.code[..pos];
+                    if before.trim_end().ends_with("should_") {
+                        continue;
+                    }
+                }
+                push(out, file, idx, "no_panic", msg);
+            }
+        }
+    }
+}
+
+fn rng_gate(file: &SourceFile, out: &mut Vec<Violation>) {
+    if file.rel == "crates/graph/src/rng.rs" {
+        return; // the gate itself
+    }
+    for (idx, line) in file.lines.iter().enumerate() {
+        if line.in_test || allowed(file, idx, "rng_gate") {
+            continue;
+        }
+        for (pat, msg) in RNG_PATTERNS {
+            if line.code.contains(pat) {
+                push(out, file, idx, "rng_gate", msg);
+            }
+        }
+    }
+}
+
+fn checked_index(file: &SourceFile, out: &mut Vec<Violation>) {
+    let hot =
+        file.rel.starts_with("crates/graph/src") || file.rel.starts_with("crates/routing/src");
+    if !hot {
+        return;
+    }
+    // The invariant checkers audit the raw CSR arrays by design — they are
+    // the module that *validates* what the checked accessors assume.
+    if file.rel == "crates/graph/src/invariants.rs" {
+        return;
+    }
+    for (idx, line) in file.lines.iter().enumerate() {
+        if line.in_test || allowed(file, idx, "checked_index") {
+            continue;
+        }
+        for (pat, msg) in INDEX_PATTERNS {
+            // A match preceded by another `.` is the range operator
+            // (`0..adj[i]` on a local variable), not a field access.
+            let fires = line
+                .code
+                .match_indices(pat)
+                .any(|(pos, _)| pos == 0 || line.code.as_bytes()[pos - 1] != b'.');
+            if fires {
+                push(out, file, idx, "checked_index", msg);
+            }
+        }
+    }
+}
+
+fn doc_anchor(file: &SourceFile, out: &mut Vec<Violation>) {
+    if !CORE_ALGORITHM_MODULES.contains(&file.rel.as_str()) {
+        return;
+    }
+    for (idx, line) in file.lines.iter().enumerate() {
+        if line.in_test || allowed(file, idx, "doc_anchor") {
+            continue;
+        }
+        let t = line.code.trim_start();
+        if !t.starts_with("pub fn ") {
+            continue;
+        }
+        // Gather the contiguous doc block above (skipping attributes).
+        let mut has_anchor = false;
+        let mut j = idx;
+        while j > 0 {
+            j -= 1;
+            let above = file.lines[j].raw.trim_start();
+            if above.starts_with("#[") || above.starts_with("#![") {
+                continue; // attributes may sit between docs and the fn
+            }
+            if above.starts_with("///") {
+                if contains_anchor(&file.docs[j]) {
+                    has_anchor = true;
+                    break;
+                }
+                continue;
+            }
+            break; // end of the doc/attribute block
+        }
+        if !has_anchor {
+            let name = t["pub fn ".len()..]
+                .split(['(', '<'])
+                .next()
+                .unwrap_or("?")
+                .trim()
+                .to_string();
+            push(
+                out,
+                file,
+                idx,
+                "doc_anchor",
+                &format!(
+                    "`pub fn {name}` lacks a paper anchor in its doc comment \
+                     (cite a Theorem/Lemma/Algorithm/Definition/Section/Figure/Table)"
+                ),
+            );
+        }
+    }
+}
+
+fn contains_anchor(doc: &str) -> bool {
+    ANCHOR_WORDS.iter().any(|w| doc.contains(w))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scan::parse_source;
+
+    fn check(rel: &str, src: &str) -> Vec<Violation> {
+        let file = parse_source(rel.into(), src);
+        let mut out = Vec::new();
+        check_file(&file, &mut out);
+        out
+    }
+
+    #[test]
+    fn unwrap_in_lib_flagged() {
+        let v = check("crates/gen/src/x.rs", "pub fn f() { g().unwrap(); }\n");
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, "no_panic");
+        assert_eq!(v[0].line, 1);
+    }
+
+    #[test]
+    fn unwrap_or_else_not_flagged() {
+        let v = check(
+            "crates/gen/src/x.rs",
+            "pub fn f() -> u32 { g().unwrap_or(0).max(h().unwrap_or_else(|| 1)) }\n",
+        );
+        assert!(
+            v.is_empty(),
+            "{:?}",
+            v.iter().map(|v| &v.message).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn unwrap_in_test_module_ok() {
+        let v = check(
+            "crates/gen/src/x.rs",
+            "#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { g().unwrap(); }\n}\n",
+        );
+        assert!(v.is_empty());
+    }
+
+    #[test]
+    fn unwrap_in_string_or_comment_ok() {
+        let v = check(
+            "crates/gen/src/x.rs",
+            "pub fn f() -> &'static str { \".unwrap()\" } // calls .unwrap()\n",
+        );
+        assert!(v.is_empty());
+    }
+
+    #[test]
+    fn allow_directive_suppresses() {
+        let v = check(
+            "crates/gen/src/x.rs",
+            "pub fn f() { // xtask: allow(no_panic) — infallible by construction\n    g().unwrap();\n}\n",
+        );
+        assert!(v.is_empty());
+    }
+
+    #[test]
+    fn expect_flagged_expect_err_not() {
+        let v = check(
+            "crates/gen/src/x.rs",
+            "pub fn f() { g().expect(\"reason\"); }\npub fn h() { g().expect_err(\"no\"); }\n",
+        );
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].line, 1);
+    }
+
+    #[test]
+    fn rng_construction_outside_gate_flagged() {
+        let v = check(
+            "crates/core/src/x.rs",
+            "pub fn f() { let rng = SmallRng::seed_from_u64(7); }\n",
+        );
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, "rng_gate");
+    }
+
+    #[test]
+    fn rng_gate_file_itself_exempt() {
+        let v = check(
+            "crates/graph/src/rng.rs",
+            "pub fn item_rng(s: u64) -> SmallRng { SmallRng::seed_from_u64(s) }\n",
+        );
+        assert!(v.is_empty());
+    }
+
+    #[test]
+    fn rng_in_tests_ok() {
+        let v = check(
+            "crates/core/src/x.rs",
+            "#[cfg(test)]\nmod tests {\n    fn t() { let r = SmallRng::seed_from_u64(1); }\n}\n",
+        );
+        assert!(v.is_empty());
+    }
+
+    #[test]
+    fn csr_indexing_flagged_in_hot_crates_only() {
+        let hot = check(
+            "crates/graph/src/x.rs",
+            "pub fn f(&self) { self.adj[0]; }\n",
+        );
+        assert_eq!(hot.len(), 1);
+        assert_eq!(hot[0].rule, "checked_index");
+        let cold = check("crates/gen/src/x.rs", "pub fn f(&self) { self.adj[0]; }\n");
+        assert!(cold.is_empty());
+    }
+
+    #[test]
+    fn range_over_local_adj_not_flagged() {
+        let v = check(
+            "crates/graph/src/x.rs",
+            "fn f(adj: &[Vec<u32>]) { for i in 0..adj[0].len() { let _ = i; } }\n",
+        );
+        assert!(v.is_empty());
+    }
+
+    #[test]
+    fn doc_anchor_required_in_core_modules() {
+        let bad = check(
+            "crates/core/src/regular.rs",
+            "/// Does things.\npub fn f() {}\n",
+        );
+        assert_eq!(bad.len(), 1);
+        assert_eq!(bad[0].rule, "doc_anchor");
+        let good = check(
+            "crates/core/src/regular.rs",
+            "/// Runs Algorithm 1 (Theorem 3).\npub fn f() {}\n",
+        );
+        assert!(good.is_empty());
+        // Attributes between the doc and the fn are fine.
+        let attr = check(
+            "crates/core/src/regular.rs",
+            "/// Per Lemma 7.\n#[inline]\npub fn f() {}\n",
+        );
+        assert!(attr.is_empty());
+    }
+
+    #[test]
+    fn doc_anchor_not_applied_outside_core() {
+        let v = check("crates/graph/src/x.rs", "/// Plain docs.\npub fn f() {}\n");
+        assert!(v.is_empty());
+    }
+}
