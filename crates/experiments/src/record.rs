@@ -13,10 +13,11 @@ pub fn write_json_lines<T: Serialize, W: Write>(rows: &[T], mut w: W) -> std::io
     Ok(())
 }
 
-/// Serialise rows as one pretty JSON array string.
-pub fn to_json_pretty<T: Serialize>(rows: &[T]) -> String {
-    // xtask: allow(no_panic) — JSON encoding of plain data rows cannot fail
-    serde_json::to_string_pretty(rows).expect("experiment rows are serialisable")
+/// Serialise rows as one pretty JSON array string. Encoding failures (a
+/// row type whose `Serialize` impl errors, e.g. a map with non-string
+/// keys) surface as `io::Error` like every other sink failure.
+pub fn to_json_pretty<T: Serialize>(rows: &[T]) -> Result<String, std::io::Error> {
+    serde_json::to_string_pretty(rows).map_err(std::io::Error::other)
 }
 
 /// A labelled experiment artefact: id, description, and JSON rows — the
@@ -34,9 +35,10 @@ pub struct ExperimentArtifact<'a, T: Serialize> {
 }
 
 impl<'a, T: Serialize> ExperimentArtifact<'a, T> {
-    /// Serialise the whole artefact as pretty JSON.
-    pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(self).expect("artifact is serialisable") // xtask: allow(no_panic) — JSON encoding of plain data rows cannot fail
+    /// Serialise the whole artefact as pretty JSON; encoding failures
+    /// surface as `io::Error`.
+    pub fn to_json(&self) -> Result<String, std::io::Error> {
+        serde_json::to_string_pretty(self).map_err(std::io::Error::other)
     }
 }
 
@@ -65,7 +67,7 @@ mod tests {
             seed: 1,
             rows: &rows,
         };
-        let json = artifact.to_json();
+        let json = artifact.to_json().unwrap();
         assert!(json.contains("\"id\": \"E7\""));
         assert!(json.contains("beta_adversarial"));
         let value: serde_json::Value = serde_json::from_str(&json).unwrap();
@@ -75,7 +77,7 @@ mod tests {
     #[test]
     fn pretty_json_is_an_array() {
         let (rows, _) = crate::e7_lemma2::run(&[8, 16]);
-        let json = to_json_pretty(&rows);
+        let json = to_json_pretty(&rows).unwrap();
         let value: serde_json::Value = serde_json::from_str(&json).unwrap();
         assert_eq!(value.as_array().unwrap().len(), 2);
     }

@@ -11,6 +11,8 @@
 //! * Bernoulli edge sampling used by both spanner algorithms ([`sample`]),
 //! * fixed-size bitsets and a fast integer hasher used throughout
 //!   ([`bitset`], [`hash`]),
+//! * generic CSR-packed jagged tables for precomputed per-edge indexes
+//!   ([`csr`]),
 //! * runtime contract checks at algorithm boundaries ([`invariants`]),
 //!   active in debug builds or under the `strict-invariants` feature.
 //!
@@ -29,6 +31,7 @@
 
 pub mod bitset;
 pub mod coloring;
+pub mod csr;
 pub mod graph;
 pub mod hash;
 pub mod invariants;
@@ -41,6 +44,7 @@ pub mod stats;
 pub mod traversal;
 
 pub use bitset::BitSet;
+pub use csr::CsrTable;
 pub use graph::{Edge, Graph, GraphBuilder, NodeId};
 pub use paths::Path;
 

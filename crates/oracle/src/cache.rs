@@ -1,0 +1,212 @@
+//! A sharded LRU cache for hot query results.
+//!
+//! Only *deterministic* results are ever cached (BFS shortest paths for
+//! pairs that are not edges of `G`, including negative "disconnected"
+//! answers), so a cache hit can never change what the oracle returns —
+//! it only changes how fast. That property is what keeps oracle output
+//! bit-identical across thread counts and cache configurations.
+//!
+//! Sharding: keys are spread over independently locked shards by a
+//! SplitMix64 hash of the canonical pair, so concurrent readers of
+//! different hot keys do not serialise on one lock. Each shard runs a
+//! small last-use-stamped map; eviction scans the shard (shards are small
+//! by construction: total capacity / shard count).
+
+use dcspan_graph::rng::splitmix64;
+use dcspan_graph::{FxHashMap, NodeId};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, PoisonError};
+
+/// A cached answer: the shortest path in `H` for a canonical pair, or
+/// `None` when the pair is disconnected in `H` (negative caching).
+type CachedPath = Option<Vec<NodeId>>;
+
+struct Shard {
+    map: FxHashMap<(NodeId, NodeId), (CachedPath, u64)>,
+    /// Logical clock for last-use stamps (per shard, monotone).
+    tick: u64,
+    cap: usize,
+}
+
+impl Shard {
+    fn get(&mut self, key: (NodeId, NodeId)) -> Option<CachedPath> {
+        self.tick += 1;
+        let tick = self.tick;
+        self.map.get_mut(&key).map(|entry| {
+            entry.1 = tick;
+            entry.0.clone()
+        })
+    }
+
+    fn insert(&mut self, key: (NodeId, NodeId), value: CachedPath) {
+        if self.cap == 0 {
+            return;
+        }
+        self.tick += 1;
+        if self.map.len() >= self.cap && !self.map.contains_key(&key) {
+            // Evict the least-recently-used entry (shards are small, so a
+            // scan is cheaper than maintaining an intrusive list).
+            if let Some(&lru) = self
+                .map
+                .iter()
+                .min_by_key(|(_, (_, stamp))| *stamp)
+                .map(|(k, _)| k)
+            {
+                self.map.remove(&lru);
+            }
+        }
+        self.map.insert(key, (value, self.tick));
+    }
+}
+
+/// Sharded LRU cache keyed by canonical node pairs.
+pub struct ShardedLru {
+    shards: Vec<Mutex<Shard>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl ShardedLru {
+    /// A cache holding up to `capacity` entries spread over `shards`
+    /// independently locked shards (`shards` is clamped to ≥ 1; a zero
+    /// `capacity` disables caching entirely).
+    pub fn new(capacity: usize, shards: usize) -> Self {
+        let shards = shards.max(1);
+        let per_shard = capacity.div_ceil(shards);
+        ShardedLru {
+            shards: (0..shards)
+                .map(|_| {
+                    Mutex::new(Shard {
+                        map: FxHashMap::default(),
+                        tick: 0,
+                        cap: per_shard,
+                    })
+                })
+                .collect(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    fn canonical(u: NodeId, v: NodeId) -> (NodeId, NodeId) {
+        if u <= v {
+            (u, v)
+        } else {
+            (v, u)
+        }
+    }
+
+    fn shard_index(&self, key: (NodeId, NodeId)) -> usize {
+        let packed = (u64::from(key.0) << 32) | u64::from(key.1);
+        (splitmix64(packed) as usize) % self.shards.len()
+    }
+
+    fn lock(&self, idx: usize) -> std::sync::MutexGuard<'_, Shard> {
+        // A poisoned shard only means another thread panicked mid-insert;
+        // the map itself is still structurally sound, so recover it.
+        self.shards[idx]
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Look up the cached answer for `{u, v}`. Outer `None` = cache miss;
+    /// `Some(None)` = cached "disconnected".
+    pub fn get(&self, u: NodeId, v: NodeId) -> Option<CachedPath> {
+        let key = Self::canonical(u, v);
+        let found = self.lock(self.shard_index(key)).get(key);
+        match found {
+            Some(hit) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(hit)
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Store the answer for `{u, v}` (stored under the canonical
+    /// orientation; callers re-orient on read).
+    pub fn insert(&self, u: NodeId, v: NodeId, value: CachedPath) {
+        let key = Self::canonical(u, v);
+        self.lock(self.shard_index(key)).insert(key, value);
+    }
+
+    /// Entries currently cached, across all shards.
+    pub fn len(&self) -> usize {
+        (0..self.shards.len()).map(|i| self.lock(i).map.len()).sum()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Lifetime cache hits.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lifetime cache misses.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Hits / (hits + misses); 0.0 before any lookup.
+    pub fn hit_rate(&self) -> f64 {
+        let h = self.hits() as f64;
+        let m = self.misses() as f64;
+        if h + m == 0.0 {
+            0.0
+        } else {
+            h / (h + m)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canonical_orientation_shares_entries() {
+        let cache = ShardedLru::new(16, 4);
+        cache.insert(3, 1, Some(vec![1, 2, 3]));
+        assert_eq!(cache.get(1, 3), Some(Some(vec![1, 2, 3])));
+        assert_eq!(cache.get(3, 1), Some(Some(vec![1, 2, 3])));
+        assert_eq!(cache.hits(), 2);
+        assert_eq!(cache.misses(), 0);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn negative_results_are_cached() {
+        let cache = ShardedLru::new(16, 2);
+        assert_eq!(cache.get(0, 9), None); // miss
+        cache.insert(0, 9, None);
+        assert_eq!(cache.get(0, 9), Some(None)); // cached "disconnected"
+        assert!((cache.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let cache = ShardedLru::new(0, 4);
+        cache.insert(0, 1, Some(vec![0, 1]));
+        assert_eq!(cache.get(0, 1), None);
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn eviction_prefers_least_recently_used() {
+        let cache = ShardedLru::new(2, 1); // one shard, two slots
+        cache.insert(0, 1, Some(vec![0, 1]));
+        cache.insert(0, 2, Some(vec![0, 2]));
+        let _ = cache.get(0, 1); // touch (0,1) so (0,2) is LRU
+        cache.insert(0, 3, Some(vec![0, 3]));
+        assert_eq!(cache.len(), 2);
+        assert!(cache.get(0, 1).is_some());
+        assert!(cache.get(0, 3).is_some());
+        assert_eq!(cache.get(0, 2), None); // evicted
+    }
+}

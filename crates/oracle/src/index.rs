@@ -1,0 +1,267 @@
+//! The precomputed detour index: per-missing-edge 2-hop and 3-hop detour
+//! tables in CSR layout.
+//!
+//! `SpannerDetourRouter` recomputes neighbourhood intersections on every
+//! `route_edge` call; for a long-lived serving process that work is the
+//! same on every repeat of a hot edge. [`DetourIndex::build`] pays it once
+//! — in parallel over the missing edges with rayon — and packs the
+//! candidate sets into two [`CsrTable`]s, so a query becomes a binary
+//! search plus a slice borrow. Candidate sets are stored in exactly the
+//! order the shared enumeration helpers (`dcspan_routing::detour`) produce,
+//! which makes [`IndexedDetourRouter`] behaviourally identical to the
+//! naive router for every query and RNG stream.
+
+use dcspan_graph::{invariants, CsrTable, Edge, Graph, NodeId};
+use dcspan_routing::detour::{
+    needs_three_hop, select_from_sets, three_hop_pairs, two_hop_midpoints,
+};
+use dcspan_routing::replace::{DetourPolicy, EdgeRouter};
+use rand::rngs::SmallRng;
+use rayon::prelude::*;
+
+/// Size/shape summary of a built [`DetourIndex`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct IndexStats {
+    /// Edges of `G` absent from `H` (rows in each table).
+    pub missing_edges: usize,
+    /// Total stored 2-hop midpoints.
+    pub two_hop_entries: usize,
+    /// Total stored 3-hop `(x, z)` pairs.
+    pub three_hop_entries: usize,
+    /// Missing edges with neither a 2-hop nor a 3-hop detour (these will
+    /// hit the BFS fallback at query time).
+    pub uncovered_edges: usize,
+    /// Approximate heap footprint of the tables in bytes.
+    pub heap_bytes: usize,
+}
+
+/// Precomputed ≤3-hop detour tables for every edge of `G` missing from the
+/// spanner `H`.
+#[derive(Clone, Debug)]
+pub struct DetourIndex {
+    /// Missing edges in canonical sorted order; position = row id.
+    missing: Vec<Edge>,
+    /// Row `i`: 2-hop midpoints of `missing[i]` in `H`.
+    two: CsrTable<NodeId>,
+    /// Row `i`: 3-hop `(x, z)` pairs of `missing[i]` in `H`.
+    three: CsrTable<(NodeId, NodeId)>,
+}
+
+impl DetourIndex {
+    /// Build the index from the host graph and its spanner. Rows are
+    /// computed in parallel; output is deterministic (row order is the
+    /// canonical edge order of `G`).
+    pub fn build(g: &Graph, h: &Graph) -> DetourIndex {
+        invariants::assert_graph_contract(g, "DetourIndex::build: host");
+        invariants::assert_graph_contract(h, "DetourIndex::build: spanner");
+        invariants::assert_subgraph(h, g, "DetourIndex::build");
+        let missing: Vec<Edge> = g
+            .edges()
+            .par_iter()
+            .filter(|e| !h.has_edge(e.u, e.v))
+            .copied()
+            .collect();
+        let two = CsrTable::build_par(missing.len(), |i| {
+            two_hop_midpoints(h, missing[i].u, missing[i].v)
+        });
+        let three = CsrTable::build_par(missing.len(), |i| {
+            three_hop_pairs(h, missing[i].u, missing[i].v)
+        });
+        DetourIndex {
+            missing,
+            two,
+            three,
+        }
+    }
+
+    /// The missing edges, canonically sorted (row id = position).
+    #[inline]
+    pub fn missing_edges(&self) -> &[Edge] {
+        &self.missing
+    }
+
+    /// Row id of missing edge `{a, b}`, if `{a, b}` is indexed.
+    #[inline]
+    pub fn lookup(&self, a: NodeId, b: NodeId) -> Option<usize> {
+        if a == b {
+            return None;
+        }
+        self.missing.binary_search(&Edge::new(a, b)).ok()
+    }
+
+    /// Precomputed 2-hop midpoints for row `id`.
+    #[inline]
+    pub fn two_hop(&self, id: usize) -> &[NodeId] {
+        self.two.row(id)
+    }
+
+    /// Precomputed 3-hop `(x, z)` pairs for row `id`.
+    #[inline]
+    pub fn three_hop(&self, id: usize) -> &[(NodeId, NodeId)] {
+        self.three.row(id)
+    }
+
+    /// Size/shape summary.
+    pub fn stats(&self) -> IndexStats {
+        let uncovered = (0..self.missing.len())
+            .filter(|&i| self.two.row(i).is_empty() && self.three.row(i).is_empty())
+            .count();
+        IndexStats {
+            missing_edges: self.missing.len(),
+            two_hop_entries: self.two.total_entries(),
+            three_hop_entries: self.three.total_entries(),
+            uncovered_edges: uncovered,
+            heap_bytes: self.missing.len() * std::mem::size_of::<Edge>()
+                + self.two.heap_bytes()
+                + self.three.heap_bytes(),
+        }
+    }
+}
+
+/// An [`EdgeRouter`] answering from a prebuilt [`DetourIndex`].
+///
+/// Drop-in replacement for `SpannerDetourRouter`: for any query and any
+/// RNG stream it returns exactly the path the naive router would (indexed
+/// edges answer from the tables; kept edges and non-edges of `G` fall back
+/// to the shared on-the-fly enumeration, which only triggers off the
+/// serving hot path).
+pub struct IndexedDetourRouter<'a> {
+    h: &'a Graph,
+    index: &'a DetourIndex,
+    policy: DetourPolicy,
+    /// Allow a BFS fallback when no ≤3-hop detour exists.
+    pub bfs_fallback: bool,
+}
+
+impl<'a> IndexedDetourRouter<'a> {
+    /// Create a router over spanner `h` answering from `index`.
+    pub fn new(h: &'a Graph, index: &'a DetourIndex, policy: DetourPolicy) -> Self {
+        IndexedDetourRouter {
+            h,
+            index,
+            policy,
+            bfs_fallback: true,
+        }
+    }
+
+    /// The selection policy.
+    #[inline]
+    pub fn policy(&self) -> DetourPolicy {
+        self.policy
+    }
+
+    fn pick_detour(&self, a: NodeId, b: NodeId, rng: &mut SmallRng) -> Option<Vec<NodeId>> {
+        let direct = self.h.has_edge(a, b);
+        if let Some(id) = self.index.lookup(a, b) {
+            // Hot path: a missing edge of G answers from the tables.
+            return select_from_sets(
+                a,
+                b,
+                direct,
+                self.index.two_hop(id),
+                self.index.three_hop(id),
+                self.policy,
+                rng,
+            );
+        }
+        // Kept edge or non-edge of G: enumerate on the fly exactly as the
+        // naive router does (same helpers, same order, same RNG draws).
+        let two = if direct && self.policy != DetourPolicy::UniformUpTo3 {
+            Vec::new()
+        } else {
+            two_hop_midpoints(self.h, a, b)
+        };
+        let three = if needs_three_hop(self.policy, direct, two.len()) {
+            three_hop_pairs(self.h, a, b)
+        } else {
+            Vec::new()
+        };
+        select_from_sets(a, b, direct, &two, &three, self.policy, rng)
+    }
+}
+
+impl EdgeRouter for IndexedDetourRouter<'_> {
+    fn route_edge(&self, a: NodeId, b: NodeId, rng: &mut SmallRng) -> Option<Vec<NodeId>> {
+        if let Some(path) = self.pick_detour(a, b, rng) {
+            return Some(path);
+        }
+        if self.bfs_fallback {
+            return dcspan_graph::traversal::shortest_path(self.h, a, b);
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcspan_graph::rng::item_rng;
+    use dcspan_routing::replace::SpannerDetourRouter;
+
+    fn setup() -> (Graph, Graph) {
+        // K5 minus nothing, spanner drops (0,1) and (2,3).
+        let g = Graph::from_edges(5, (0u32..5).flat_map(|i| (i + 1..5).map(move |j| (i, j))));
+        let h = g.filter_edges(|_, e| !matches!((e.u, e.v), (0, 1) | (2, 3)));
+        (g, h)
+    }
+
+    #[test]
+    fn index_rows_match_naive_enumeration() {
+        let (g, h) = setup();
+        let idx = DetourIndex::build(&g, &h);
+        assert_eq!(idx.missing_edges().len(), 2);
+        let naive = SpannerDetourRouter::new(&h, DetourPolicy::UniformUpTo3);
+        for (i, e) in idx.missing_edges().iter().enumerate() {
+            assert_eq!(idx.lookup(e.u, e.v), Some(i));
+            assert_eq!(idx.two_hop(i), naive.two_hop_detours(e.u, e.v).as_slice());
+            assert_eq!(
+                idx.three_hop(i),
+                naive.three_hop_detours(e.u, e.v).as_slice()
+            );
+        }
+        let stats = idx.stats();
+        assert_eq!(stats.missing_edges, 2);
+        assert_eq!(stats.uncovered_edges, 0);
+        assert!(stats.heap_bytes > 0);
+    }
+
+    #[test]
+    fn indexed_router_equals_naive_router() {
+        let (g, h) = setup();
+        let idx = DetourIndex::build(&g, &h);
+        for policy in [
+            DetourPolicy::UniformShortest,
+            DetourPolicy::UniformUpTo3,
+            DetourPolicy::FirstFound,
+        ] {
+            let naive = SpannerDetourRouter::new(&h, policy);
+            let fast = IndexedDetourRouter::new(&h, &idx, policy);
+            for a in 0..5u32 {
+                for b in 0..5u32 {
+                    if a == b {
+                        continue;
+                    }
+                    for s in 0..20 {
+                        let mut r1 = item_rng(s, 7);
+                        let mut r2 = item_rng(s, 7);
+                        assert_eq!(
+                            naive.route_edge(a, b, &mut r1),
+                            fast.route_edge(a, b, &mut r2),
+                            "divergence at ({a}, {b}) policy {policy:?} seed {s}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn lookup_misses_kept_edges_and_non_edges() {
+        let (g, h) = setup();
+        let idx = DetourIndex::build(&g, &h);
+        assert_eq!(idx.lookup(0, 2), None); // kept edge
+        assert_eq!(idx.lookup(0, 0), None); // degenerate
+        assert!(idx.lookup(0, 1).is_some());
+        assert!(idx.lookup(1, 0).is_some()); // orientation-insensitive
+    }
+}

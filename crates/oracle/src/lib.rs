@@ -1,0 +1,30 @@
+//! # dcspan-oracle
+//!
+//! The serving layer: a DC-spanner `H` of `G` exists so that `H` can
+//! *stand in for* `G` at routing time (Definition 3, Theorems 2–3) — this
+//! crate turns a built spanner into a long-lived, concurrent
+//! **substitute-routing query engine** in the build-once/query-many shape
+//! of distance oracles and compact routing schemes:
+//!
+//! * [`index`] — [`DetourIndex`]: per-missing-edge 2-/3-hop detour tables,
+//!   CSR-packed and built in parallel, plus [`IndexedDetourRouter`], an
+//!   `EdgeRouter` answering from the tables that is path-for-path
+//!   identical to the naive intersection router,
+//! * [`cache`] — [`ShardedLru`]: a sharded LRU over deterministic BFS
+//!   answers for non-adjacent pairs (hits change latency, never results),
+//! * [`oracle`] — [`Oracle`]: shared-immutable query state serving
+//!   `route(u, v)` and `substitute_routing(P)` across threads, with
+//!   deterministic per-query RNG streams and atomic per-node load counters
+//!   so the live congestion `C(P')` is queryable while traffic is in
+//!   flight.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+pub mod cache;
+pub mod index;
+pub mod oracle;
+
+pub use cache::ShardedLru;
+pub use index::{DetourIndex, IndexStats, IndexedDetourRouter};
+pub use oracle::{Oracle, OracleConfig, OracleStatsSnapshot, RouteKind, RouteResponse};

@@ -1,0 +1,460 @@
+//! The concurrent substitute-routing oracle.
+//!
+//! An [`Oracle`] owns everything a serving process needs to answer
+//! substitute-routing queries against a spanner `H` of `G` (Definition 3:
+//! `H` stands in for `G` at routing time): the spanner itself, the
+//! precomputed [`DetourIndex`], a sharded cache for the BFS answers of
+//! non-adjacent pairs, and per-node atomic load counters tracking the live
+//! congestion `C(P')` of all traffic routed so far. All query state is
+//! either immutable or atomic, so one oracle is shared freely across
+//! threads (`&Oracle` is `Send + Sync`).
+//!
+//! **Determinism:** query `q` draws randomness from
+//! `SplitMix64(seed, q)` (the workspace's `item_rng` derivation), never
+//! from ambient state, and the cache only stores deterministic BFS
+//! results — so for a fixed seed the answer to `(u, v, q)` is identical
+//! no matter how many threads are serving or how the cache is sized.
+
+use crate::cache::ShardedLru;
+use crate::index::{DetourIndex, IndexedDetourRouter};
+use dcspan_core::serve::{build_spanner, BuiltSpanner, SpannerAlgo};
+use dcspan_graph::rng::item_rng;
+use dcspan_graph::traversal::shortest_path;
+use dcspan_graph::{invariants, Graph, NodeId, Path};
+use dcspan_routing::replace::{DetourPolicy, EdgeRouter};
+use dcspan_routing::{Routing, RoutingProblem};
+use rayon::prelude::*;
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+
+/// Construction-time configuration for an [`Oracle`].
+#[derive(Clone, Copy, Debug)]
+pub struct OracleConfig {
+    /// How to choose among a missing edge's detours.
+    pub policy: DetourPolicy,
+    /// Master seed; query `q` uses the derived stream `item_rng(seed, q)`.
+    pub seed: u64,
+    /// Total entries in the BFS result cache (0 disables caching).
+    pub cache_capacity: usize,
+    /// Lock shards the cache is spread over.
+    pub cache_shards: usize,
+    /// Answer with a BFS path when no ≤3-hop detour exists (off ⇒ such
+    /// queries return `None`).
+    pub bfs_fallback: bool,
+}
+
+impl Default for OracleConfig {
+    fn default() -> Self {
+        OracleConfig {
+            policy: DetourPolicy::UniformShortest,
+            seed: 0,
+            cache_capacity: 4096,
+            cache_shards: 16,
+            bfs_fallback: true,
+        }
+    }
+}
+
+/// How a query was answered.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RouteKind {
+    /// The pair is an edge of `H` and routed as itself.
+    SpannerEdge,
+    /// A 2-hop detour from the index.
+    TwoHop,
+    /// A 3-hop detour from the index.
+    ThreeHop,
+    /// A BFS shortest path (non-adjacent pair, or a missing edge with no
+    /// ≤3-hop detour).
+    Bfs,
+}
+
+/// One answered query.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RouteResponse {
+    /// The substitute path in `H` from `u` to `v`.
+    pub path: Path,
+    /// How the answer was produced.
+    pub kind: RouteKind,
+    /// Whether a cache lookup answered the BFS portion.
+    pub cache_hit: bool,
+}
+
+impl RouteResponse {
+    /// Path length in hops — the per-query distance stretch against the
+    /// unit-length edge it substitutes (when the query was an edge of `G`).
+    #[inline]
+    pub fn hops(&self) -> usize {
+        self.path.len()
+    }
+}
+
+/// Monotone lifetime counters, readable while traffic is in flight.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct OracleStatsSnapshot {
+    /// Total `route` calls answered (including failures).
+    pub queries: u64,
+    /// Queries answered as a spanner edge.
+    pub spanner_edge: u64,
+    /// Queries answered with an indexed 2-hop detour.
+    pub two_hop: u64,
+    /// Queries answered with an indexed 3-hop detour.
+    pub three_hop: u64,
+    /// Queries answered by BFS (fallback or non-adjacent pair).
+    pub bfs: u64,
+    /// Queries with no answer (disconnected in `H`, fallback disabled).
+    pub unroutable: u64,
+    /// BFS cache hits.
+    pub cache_hits: u64,
+    /// BFS cache misses.
+    pub cache_misses: u64,
+}
+
+impl OracleStatsSnapshot {
+    /// Cache hits / lookups; 0.0 before any BFS-path query.
+    pub fn cache_hit_rate(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / total as f64
+        }
+    }
+}
+
+#[derive(Default)]
+struct Counters {
+    queries: AtomicU64,
+    spanner_edge: AtomicU64,
+    two_hop: AtomicU64,
+    three_hop: AtomicU64,
+    bfs: AtomicU64,
+    unroutable: AtomicU64,
+}
+
+/// A long-lived, thread-safe substitute-routing query engine over a
+/// spanner `H ⊆ G`.
+pub struct Oracle {
+    h: Graph,
+    index: DetourIndex,
+    config: OracleConfig,
+    cache: ShardedLru,
+    /// Live per-node load: how many answered paths touch each node — the
+    /// running `C(P', v)` of everything routed since the last reset.
+    load: Vec<AtomicU32>,
+    counters: Counters,
+}
+
+impl Oracle {
+    /// Build an oracle from a host graph and an already-built spanner.
+    /// Precomputes the detour index (in parallel) and validates the
+    /// spanner contract.
+    pub fn build(g: &Graph, h: Graph, config: OracleConfig) -> Oracle {
+        invariants::assert_graph_contract(g, "Oracle::build: host");
+        invariants::assert_graph_contract(&h, "Oracle::build: spanner");
+        invariants::assert_subgraph(&h, g, "Oracle::build");
+        let index = DetourIndex::build(g, &h);
+        let load = (0..g.n()).map(|_| AtomicU32::new(0)).collect();
+        Oracle {
+            h,
+            index,
+            cache: ShardedLru::new(config.cache_capacity, config.cache_shards),
+            config,
+            load,
+            counters: Counters::default(),
+        }
+    }
+
+    /// Build the chosen DC-spanner construction for `g`, then the oracle
+    /// over it (the `build → Oracle` path of the Theorem 2 / Theorem 3
+    /// constructions).
+    pub fn from_algo(g: &Graph, algo: SpannerAlgo, config: OracleConfig) -> Oracle {
+        let h = build_spanner(g, algo, config.seed);
+        Self::build(g, h, config)
+    }
+
+    /// Build an oracle from any construction's output record.
+    pub fn from_built<S: BuiltSpanner>(g: &Graph, built: S, config: OracleConfig) -> Oracle {
+        Self::build(g, built.into_spanner(), config)
+    }
+
+    /// The spanner being served.
+    #[inline]
+    pub fn spanner(&self) -> &Graph {
+        &self.h
+    }
+
+    /// The precomputed detour index.
+    #[inline]
+    pub fn index(&self) -> &DetourIndex {
+        &self.index
+    }
+
+    /// The configuration the oracle was built with.
+    #[inline]
+    pub fn config(&self) -> &OracleConfig {
+        &self.config
+    }
+
+    /// Answer a single substitute-routing query: a path in `H` standing in
+    /// for `(u, v)`. `query_id` individualises the RNG stream — callers
+    /// assign each logical request a distinct id and get answers that are
+    /// reproducible and scheduling-independent.
+    ///
+    /// Returns `None` for degenerate queries (`u == v`, out of range) and
+    /// for pairs the spanner cannot serve (disconnected, with
+    /// `bfs_fallback` off).
+    pub fn route(&self, u: NodeId, v: NodeId, query_id: u64) -> Option<RouteResponse> {
+        self.counters.queries.fetch_add(1, Ordering::Relaxed);
+        let n = self.h.n();
+        if u == v || u as usize >= n || v as usize >= n {
+            self.counters.unroutable.fetch_add(1, Ordering::Relaxed);
+            return None;
+        }
+        let response = self.answer(u, v, query_id);
+        match response {
+            Some(resp) => {
+                self.account(&resp);
+                Some(resp)
+            }
+            None => {
+                self.counters.unroutable.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    fn answer(&self, u: NodeId, v: NodeId, query_id: u64) -> Option<RouteResponse> {
+        if self.h.has_edge(u, v) {
+            return self.finish(u, v, vec![u, v], RouteKind::SpannerEdge, false);
+        }
+        if self.index.lookup(u, v).is_some() {
+            let mut router = IndexedDetourRouter::new(&self.h, &self.index, self.config.policy);
+            router.bfs_fallback = self.config.bfs_fallback;
+            let mut rng = item_rng(self.config.seed, query_id);
+            let nodes = router.route_edge(u, v, &mut rng)?;
+            // A BFS fallback only fires when no ≤3-hop detour exists, in
+            // which case d_H(u, v) ≥ 4 — so length classifies the source.
+            let kind = match nodes.len() {
+                3 => RouteKind::TwoHop,
+                4 => RouteKind::ThreeHop,
+                _ => RouteKind::Bfs,
+            };
+            return self.finish(u, v, nodes, kind, false);
+        }
+        // Non-adjacent pair: deterministic BFS in H, served from the cache.
+        let (cached, hit) = match self.cache.get(u, v) {
+            Some(answer) => (answer, true),
+            None => {
+                let fresh = shortest_path(&self.h, u.min(v), u.max(v));
+                self.cache.insert(u, v, fresh.clone());
+                (fresh, false)
+            }
+        };
+        let mut nodes = cached?;
+        if nodes.first() != Some(&u) {
+            nodes.reverse();
+        }
+        self.finish(u, v, nodes, RouteKind::Bfs, hit)
+    }
+
+    fn finish(
+        &self,
+        u: NodeId,
+        v: NodeId,
+        nodes: Vec<NodeId>,
+        kind: RouteKind,
+        cache_hit: bool,
+    ) -> Option<RouteResponse> {
+        let path = Path::new(nodes);
+        // Exit contract: every answered path runs u → v inside H.
+        if invariants::enabled() {
+            invariants::assert_routing_valid(
+                &self.h,
+                &[(u, v)],
+                std::slice::from_ref(&path),
+                "Oracle::route",
+            );
+        }
+        Some(RouteResponse {
+            path,
+            kind,
+            cache_hit,
+        })
+    }
+
+    fn account(&self, resp: &RouteResponse) {
+        match resp.kind {
+            RouteKind::SpannerEdge => &self.counters.spanner_edge,
+            RouteKind::TwoHop => &self.counters.two_hop,
+            RouteKind::ThreeHop => &self.counters.three_hop,
+            RouteKind::Bfs => &self.counters.bfs,
+        }
+        .fetch_add(1, Ordering::Relaxed);
+        for v in resp.path.distinct_nodes() {
+            self.load[v as usize].fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Route a whole problem concurrently (rayon), pair `i` using query id
+    /// `base_query_id + i`. Output is identical for any thread count.
+    /// `None` if any pair is unroutable.
+    pub fn substitute_routing(
+        &self,
+        problem: &RoutingProblem,
+        base_query_id: u64,
+    ) -> Option<Routing> {
+        let paths: Option<Vec<Path>> = problem
+            .pairs()
+            .par_iter()
+            .enumerate()
+            .map(|(i, &(u, v))| {
+                self.route(u, v, base_query_id.wrapping_add(i as u64))
+                    .map(|r| r.path)
+            })
+            .collect();
+        let paths = paths?;
+        invariants::assert_routing_endpoints(problem.pairs(), &paths, "Oracle::substitute_routing");
+        Some(Routing::new(paths))
+    }
+
+    /// Live load of one node: how many answered paths touched `v` since
+    /// the last [`Oracle::reset_load`] — `C(P', v)` with `P'` the traffic
+    /// so far.
+    pub fn node_load(&self, v: NodeId) -> u32 {
+        self.load
+            .get(v as usize)
+            .map_or(0, |c| c.load(Ordering::Relaxed))
+    }
+
+    /// Live congestion `C(P') = max_v C(P', v)` over all traffic routed so
+    /// far. Safe to call while other threads are routing.
+    pub fn live_congestion(&self) -> u32 {
+        self.load
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Snapshot of the whole per-node load profile.
+    pub fn load_profile(&self) -> Vec<u32> {
+        self.load
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .collect()
+    }
+
+    /// Zero the live load counters (start a new accounting epoch).
+    pub fn reset_load(&self) {
+        for c in &self.load {
+            c.store(0, Ordering::Relaxed);
+        }
+    }
+
+    /// Snapshot the lifetime query counters (merged with the cache's
+    /// hit/miss counts).
+    pub fn stats(&self) -> OracleStatsSnapshot {
+        OracleStatsSnapshot {
+            queries: self.counters.queries.load(Ordering::Relaxed),
+            spanner_edge: self.counters.spanner_edge.load(Ordering::Relaxed),
+            two_hop: self.counters.two_hop.load(Ordering::Relaxed),
+            three_hop: self.counters.three_hop.load(Ordering::Relaxed),
+            bfs: self.counters.bfs.load(Ordering::Relaxed),
+            unroutable: self.counters.unroutable.load(Ordering::Relaxed),
+            cache_hits: self.cache.hits(),
+            cache_misses: self.cache.misses(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// C5 plus chord (0,2); spanner drops the chord.
+    fn small_oracle(policy: DetourPolicy) -> Oracle {
+        let g = Graph::from_edges(5, vec![(0, 1), (1, 2), (2, 3), (3, 4), (4, 0), (0, 2)]);
+        let h = g.filter_edges(|_, e| !(e.u == 0 && e.v == 2));
+        Oracle::build(
+            &g,
+            h,
+            OracleConfig {
+                policy,
+                ..OracleConfig::default()
+            },
+        )
+    }
+
+    #[test]
+    fn spanner_edge_routes_directly() {
+        let oracle = small_oracle(DetourPolicy::UniformShortest);
+        let r = oracle.route(0, 1, 0).unwrap();
+        assert_eq!(r.path.nodes(), &[0, 1]);
+        assert_eq!(r.kind, RouteKind::SpannerEdge);
+        assert_eq!(oracle.stats().spanner_edge, 1);
+    }
+
+    #[test]
+    fn missing_edge_uses_index() {
+        let oracle = small_oracle(DetourPolicy::UniformShortest);
+        let r = oracle.route(0, 2, 1).unwrap();
+        assert_eq!(r.path.nodes(), &[0, 1, 2]);
+        assert_eq!(r.kind, RouteKind::TwoHop);
+        assert_eq!(oracle.node_load(1), 1);
+        assert_eq!(oracle.live_congestion(), 1);
+    }
+
+    #[test]
+    fn non_adjacent_pair_is_cached_bfs() {
+        let oracle = small_oracle(DetourPolicy::UniformShortest);
+        let first = oracle.route(1, 4, 2).unwrap();
+        assert_eq!(first.kind, RouteKind::Bfs);
+        assert!(!first.cache_hit);
+        let again = oracle.route(1, 4, 3).unwrap();
+        assert!(again.cache_hit);
+        assert_eq!(first.path, again.path);
+        // Reverse orientation shares the entry and re-orients the path.
+        let rev = oracle.route(4, 1, 4).unwrap();
+        assert!(rev.cache_hit);
+        assert_eq!(rev.path.source(), 4);
+        assert_eq!(rev.path.destination(), 1);
+        assert!((oracle.stats().cache_hit_rate() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_queries_fail_cleanly() {
+        let oracle = small_oracle(DetourPolicy::UniformShortest);
+        assert!(oracle.route(2, 2, 0).is_none());
+        assert!(oracle.route(0, 99, 0).is_none());
+        assert_eq!(oracle.stats().unroutable, 2);
+    }
+
+    #[test]
+    fn fixed_query_id_is_reproducible() {
+        let oracle = small_oracle(DetourPolicy::UniformUpTo3);
+        let a = oracle.route(0, 2, 42).unwrap();
+        let b = oracle.route(0, 2, 42).unwrap();
+        assert_eq!(a.path, b.path);
+    }
+
+    #[test]
+    fn substitute_routing_matches_sequential_routes() {
+        let oracle = small_oracle(DetourPolicy::UniformShortest);
+        let problem = RoutingProblem::from_pairs(vec![(0, 2), (3, 1), (4, 2)]);
+        let routing = oracle.substitute_routing(&problem, 100).unwrap();
+        for (i, &(u, v)) in problem.pairs().iter().enumerate() {
+            let solo = oracle.route(u, v, 100 + i as u64).unwrap();
+            assert_eq!(routing.paths()[i], solo.path);
+        }
+    }
+
+    #[test]
+    fn load_reset_starts_a_new_epoch() {
+        let oracle = small_oracle(DetourPolicy::UniformShortest);
+        let _ = oracle.route(0, 2, 0);
+        assert!(oracle.live_congestion() > 0);
+        oracle.reset_load();
+        assert_eq!(oracle.live_congestion(), 0);
+        assert_eq!(oracle.load_profile(), vec![0; 5]);
+    }
+}

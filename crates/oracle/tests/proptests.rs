@@ -1,0 +1,108 @@
+//! Property tests for the detour routers: every returned detour is a
+//! valid ≤3-hop path in `H` with the queried endpoints, and the
+//! index-backed router is observationally equivalent to the naive
+//! intersection router — per-draw (same RNG stream ⇒ same path) and
+//! per-set (same reachable answer sets over many streams).
+
+use dcspan_gen::gnp::gnp;
+use dcspan_graph::rng::{item_rng, splitmix64};
+use dcspan_graph::Graph;
+use dcspan_oracle::{DetourIndex, IndexedDetourRouter};
+use dcspan_routing::replace::{DetourPolicy, EdgeRouter, SpannerDetourRouter};
+use proptest::prelude::*;
+
+const POLICIES: [DetourPolicy; 3] = [
+    DetourPolicy::UniformShortest,
+    DetourPolicy::UniformUpTo3,
+    DetourPolicy::FirstFound,
+];
+
+/// A random host graph and a random spanner of it: `G ~ G(n, p)` with
+/// edges dropped independently (seeded, reproducible under shrinking).
+fn host_and_spanner(n: usize, p: f64, seed: u64) -> (Graph, Graph) {
+    let g = gnp(n, p, seed);
+    let h = g.filter_edges(|i, _| splitmix64(seed ^ 0xD57 ^ (i as u64)) % 10 < 6);
+    (g, h)
+}
+
+/// Check one answered detour against the routing contract: endpoints
+/// `a → b`, at most 3 hops, every hop an edge of `h`.
+fn assert_valid_detour(h: &Graph, a: u32, b: u32, path: &[u32]) {
+    assert_eq!(path.first(), Some(&a), "path must start at a");
+    assert_eq!(path.last(), Some(&b), "path must end at b");
+    assert!(path.len() >= 2 && path.len() <= 4, "detour of ≤3 hops");
+    for w in path.windows(2) {
+        assert!(h.has_edge(w[0], w[1]), "non-edge {}-{} used", w[0], w[1]);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every path either router returns (BFS fallback off) is a valid
+    /// ≤3-hop detour in `H`, for all three policies — and the two
+    /// routers agree draw-for-draw on the same RNG stream.
+    #[test]
+    fn every_routed_path_is_a_short_valid_detour(
+        n in 5usize..18,
+        p in 0.25f64..0.85,
+        seed in 0u64..500,
+    ) {
+        let (g, h) = host_and_spanner(n, p, seed);
+        let index = DetourIndex::build(&g, &h);
+        for policy in POLICIES {
+            let naive = {
+                let mut r = SpannerDetourRouter::new(&h, policy);
+                r.bfs_fallback = false;
+                r
+            };
+            let indexed = {
+                let mut r = IndexedDetourRouter::new(&h, &index, policy);
+                r.bfs_fallback = false;
+                r
+            };
+            for a in 0..n as u32 {
+                for b in (a + 1)..n as u32 {
+                    for stream in 0..4u64 {
+                        let got_naive = naive.route_edge(a, b, &mut item_rng(seed, stream));
+                        let got_indexed = indexed.route_edge(a, b, &mut item_rng(seed, stream));
+                        prop_assert_eq!(&got_naive, &got_indexed,
+                            "router divergence at ({}, {})", a, b);
+                        if let Some(path) = &got_naive {
+                            assert_valid_detour(&h, a, b, path);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Set equivalence: over many RNG streams, the *set* of answers the
+    /// indexed router can produce for a missing edge equals the naive
+    /// router's answer set (same support, not just same draws).
+    #[test]
+    fn answer_sets_match_on_missing_edges(
+        n in 5usize..14,
+        p in 0.35f64..0.85,
+        seed in 0u64..500,
+    ) {
+        let (g, h) = host_and_spanner(n, p, seed);
+        let index = DetourIndex::build(&g, &h);
+        for policy in POLICIES {
+            let naive = SpannerDetourRouter::new(&h, policy);
+            let indexed = IndexedDetourRouter::new(&h, &index, policy);
+            for e in index.missing_edges() {
+                let collect = |router: &dyn EdgeRouter| -> std::collections::BTreeSet<Vec<u32>> {
+                    (0..32u64)
+                        .filter_map(|s| router.route_edge(e.u, e.v, &mut item_rng(seed ^ 0xA5, s)))
+                        .collect()
+                };
+                prop_assert_eq!(
+                    collect(&naive),
+                    collect(&indexed),
+                    "answer-set divergence on missing edge ({}, {})", e.u, e.v
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,172 @@
+//! The single audited implementation of ≤3-hop detour enumeration and
+//! policy-driven detour selection.
+//!
+//! Both the naive per-query router ([`crate::replace::SpannerDetourRouter`])
+//! and the precomputed serving index (`dcspan-oracle`'s `DetourIndex`) draw
+//! their detour sets from the two enumeration helpers here and choose among
+//! them with [`select_from_sets`]. Keeping enumeration *and* selection in
+//! one place guarantees that an index-backed router and the naive router
+//! see the same candidate sets **in the same order**, so for a fixed RNG
+//! stream they return identical paths — the property the serving layer's
+//! cross-thread determinism tests pin down.
+
+use crate::replace::DetourPolicy;
+use dcspan_graph::{Graph, NodeId};
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// All 2-hop detour midpoints `x` with `a → x → b` in `h`, in ascending
+/// node order (the order `Graph::common_neighbors` produces).
+#[inline]
+pub fn two_hop_midpoints(h: &Graph, a: NodeId, b: NodeId) -> Vec<NodeId> {
+    h.common_neighbors(a, b)
+}
+
+/// All 3-hop detours `a → x → z → b` in `h` as `(x, z)` pairs, excluding
+/// degenerate midpoints (`x = b`, `z = a`, `x = z`). Enumeration order is
+/// deterministic: outer loop over `N_h(a)` ascending, inner loop over
+/// `N_h(x) ∩ N_h(b)` ascending.
+pub fn three_hop_pairs(h: &Graph, a: NodeId, b: NodeId) -> Vec<(NodeId, NodeId)> {
+    let mut out = Vec::new();
+    for &x in h.neighbors(a) {
+        if x == b {
+            continue;
+        }
+        // z ∈ N_h(x) ∩ N_h(b), z ∉ {a, b}.
+        for z in h.common_neighbors(x, b) {
+            if z != a && z != b && x != z {
+                out.push((x, z));
+            }
+        }
+    }
+    out
+}
+
+/// Choose a replacement path for `(a, b)` from already-enumerated detour
+/// sets under `policy`. `direct` says whether `{a, b}` is itself an edge of
+/// the spanner. Returns `None` when the policy finds no candidate.
+///
+/// Callers that enumerate lazily may pass an empty `three` slice whenever
+/// the policy cannot reach it (`UniformShortest`/`FirstFound` with `direct`
+/// or a non-empty `two`); `UniformUpTo3` always needs both sets.
+pub fn select_from_sets(
+    a: NodeId,
+    b: NodeId,
+    direct: bool,
+    two: &[NodeId],
+    three: &[(NodeId, NodeId)],
+    policy: DetourPolicy,
+    rng: &mut SmallRng,
+) -> Option<Vec<NodeId>> {
+    match policy {
+        DetourPolicy::UniformShortest => {
+            if direct {
+                return Some(vec![a, b]);
+            }
+            if !two.is_empty() {
+                let x = two[rng.gen_range(0..two.len())];
+                return Some(vec![a, x, b]);
+            }
+            if !three.is_empty() {
+                let (x, z) = three[rng.gen_range(0..three.len())];
+                return Some(vec![a, x, z, b]);
+            }
+            None
+        }
+        DetourPolicy::UniformUpTo3 => {
+            // Uniform over: {direct} ∪ 2-hop ∪ 3-hop.
+            let total = usize::from(direct) + two.len() + three.len();
+            if total == 0 {
+                return None;
+            }
+            let mut k = rng.gen_range(0..total);
+            if direct {
+                if k == 0 {
+                    return Some(vec![a, b]);
+                }
+                k -= 1;
+            }
+            if k < two.len() {
+                return Some(vec![a, two[k], b]);
+            }
+            let (x, z) = three[k - two.len()];
+            Some(vec![a, x, z, b])
+        }
+        DetourPolicy::FirstFound => {
+            if direct {
+                return Some(vec![a, b]);
+            }
+            if let Some(&x) = two.first() {
+                return Some(vec![a, x, b]);
+            }
+            three.first().map(|&(x, z)| vec![a, x, z, b])
+        }
+    }
+}
+
+/// True when `policy` can need the 3-hop set given `direct` and the 2-hop
+/// set size — lets lazy callers skip the (much more expensive) 3-hop
+/// enumeration on the fast path.
+#[inline]
+pub fn needs_three_hop(policy: DetourPolicy, direct: bool, two_len: usize) -> bool {
+    match policy {
+        DetourPolicy::UniformUpTo3 => true,
+        DetourPolicy::UniformShortest | DetourPolicy::FirstFound => !direct && two_len == 0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcspan_graph::rng::item_rng;
+
+    fn k4_minus(a: NodeId, b: NodeId) -> Graph {
+        let g = Graph::from_edges(4, (0u32..4).flat_map(|i| (i + 1..4).map(move |j| (i, j))));
+        g.filter_edges(|_, e| !(e.u == a.min(b) && e.v == a.max(b)))
+    }
+
+    #[test]
+    fn enumeration_is_sorted_and_degenerate_free() {
+        let h = k4_minus(0, 1);
+        let two = two_hop_midpoints(&h, 0, 1);
+        assert_eq!(two, vec![2, 3]);
+        let three = three_hop_pairs(&h, 0, 1);
+        for &(x, z) in &three {
+            assert!(x != z && x != 1 && z != 0);
+            assert!(h.has_edge(0, x) && h.has_edge(x, z) && h.has_edge(z, 1));
+        }
+        // Outer loop ascending in x.
+        assert!(three.windows(2).all(|w| w[0].0 <= w[1].0));
+    }
+
+    #[test]
+    fn select_respects_policy_ordering() {
+        let mut rng = item_rng(0, 0);
+        // Direct edge wins under UniformShortest and FirstFound.
+        let p = select_from_sets(
+            0,
+            1,
+            true,
+            &[2],
+            &[],
+            DetourPolicy::UniformShortest,
+            &mut rng,
+        );
+        assert_eq!(p, Some(vec![0, 1]));
+        let p = select_from_sets(0, 1, true, &[2], &[], DetourPolicy::FirstFound, &mut rng);
+        assert_eq!(p, Some(vec![0, 1]));
+        // No candidates at all.
+        let p = select_from_sets(0, 1, false, &[], &[], DetourPolicy::UniformUpTo3, &mut rng);
+        assert_eq!(p, None);
+    }
+
+    #[test]
+    fn needs_three_hop_matrix() {
+        assert!(needs_three_hop(DetourPolicy::UniformUpTo3, true, 5));
+        assert!(!needs_three_hop(DetourPolicy::UniformShortest, true, 0));
+        assert!(!needs_three_hop(DetourPolicy::UniformShortest, false, 3));
+        assert!(needs_three_hop(DetourPolicy::UniformShortest, false, 0));
+        assert!(needs_three_hop(DetourPolicy::FirstFound, false, 0));
+        assert!(!needs_three_hop(DetourPolicy::FirstFound, false, 1));
+    }
+}

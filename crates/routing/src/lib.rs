@@ -16,6 +16,8 @@
 //!   matchings on sparsified expanders (Table 1 rows \[5\] and \[16\]),
 //! * [`replace`] — per-edge replacement-path routers (3-detours in a
 //!   spanner, with fallbacks), the `(α', β')`-substitute building block,
+//! * [`detour`] — the shared ≤3-hop detour enumeration and policy
+//!   selection both the naive router and the serving index build on,
 //! * [`decompose`] — Algorithm 2 end to end, instrumented so experiments
 //!   can report the Lemma 21–23 quantities (level degrees, matching
 //!   counts, congestion overhead),
@@ -30,6 +32,7 @@
 #![deny(missing_docs)]
 
 pub mod decompose;
+pub mod detour;
 pub mod mincongestion;
 pub mod problem;
 pub mod replace;

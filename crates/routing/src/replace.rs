@@ -8,6 +8,7 @@
 //! any spanner; the Theorem 2 construction layers its matching-restricted
 //! variant on top (in `dcspan-core`).
 
+use crate::detour::{needs_three_hop, select_from_sets, three_hop_pairs, two_hop_midpoints};
 use crate::problem::RoutingProblem;
 use crate::routing::Routing;
 use dcspan_graph::invariants;
@@ -15,7 +16,6 @@ use dcspan_graph::rng::item_rng;
 use dcspan_graph::traversal::shortest_path;
 use dcspan_graph::{Graph, NodeId, Path};
 use rand::rngs::SmallRng;
-use rand::Rng;
 
 /// Something that can produce a replacement path in a spanner for a single
 /// routed edge of the original graph.
@@ -63,80 +63,34 @@ impl<'a> SpannerDetourRouter<'a> {
         }
     }
 
-    /// All 2-hop detours `a → x → b` in `H`.
+    /// All 2-hop detours `a → x → b` in `H`. Thin wrapper over
+    /// [`crate::detour::two_hop_midpoints`], the shared implementation.
     pub fn two_hop_detours(&self, a: NodeId, b: NodeId) -> Vec<NodeId> {
-        self.h.common_neighbors(a, b)
+        two_hop_midpoints(self.h, a, b)
     }
 
-    /// All 3-hop detours `a → x → z → b` in `H`, as `(x, z)` pairs.
+    /// All 3-hop detours `a → x → z → b` in `H`, as `(x, z)` pairs. Thin
+    /// wrapper over [`crate::detour::three_hop_pairs`], the shared
+    /// implementation.
     pub fn three_hop_detours(&self, a: NodeId, b: NodeId) -> Vec<(NodeId, NodeId)> {
-        let mut out = Vec::new();
-        for &x in self.h.neighbors(a) {
-            if x == b {
-                continue;
-            }
-            // z ∈ N_H(x) ∩ N_H(b), z ∉ {a, b}.
-            for z in self.h.common_neighbors(x, b) {
-                if z != a && z != b && x != z {
-                    out.push((x, z));
-                }
-            }
-        }
-        out
+        three_hop_pairs(self.h, a, b)
     }
 
     fn pick_detour(&self, a: NodeId, b: NodeId, rng: &mut SmallRng) -> Option<Vec<NodeId>> {
         let direct = self.h.has_edge(a, b);
-        match self.policy {
-            DetourPolicy::UniformShortest => {
-                if direct {
-                    return Some(vec![a, b]);
-                }
-                let two = self.two_hop_detours(a, b);
-                if !two.is_empty() {
-                    let x = two[rng.gen_range(0..two.len())];
-                    return Some(vec![a, x, b]);
-                }
-                let three = self.three_hop_detours(a, b);
-                if !three.is_empty() {
-                    let (x, z) = three[rng.gen_range(0..three.len())];
-                    return Some(vec![a, x, z, b]);
-                }
-                None
-            }
-            DetourPolicy::UniformUpTo3 => {
-                // Uniform over: {direct} ∪ 2-hop ∪ 3-hop.
-                let two = self.two_hop_detours(a, b);
-                let three = self.three_hop_detours(a, b);
-                let total = usize::from(direct) + two.len() + three.len();
-                if total == 0 {
-                    return None;
-                }
-                let mut k = rng.gen_range(0..total);
-                if direct {
-                    if k == 0 {
-                        return Some(vec![a, b]);
-                    }
-                    k -= 1;
-                }
-                if k < two.len() {
-                    return Some(vec![a, two[k], b]);
-                }
-                let (x, z) = three[k - two.len()];
-                Some(vec![a, x, z, b])
-            }
-            DetourPolicy::FirstFound => {
-                if direct {
-                    return Some(vec![a, b]);
-                }
-                if let Some(&x) = self.two_hop_detours(a, b).first() {
-                    return Some(vec![a, x, b]);
-                }
-                self.three_hop_detours(a, b)
-                    .first()
-                    .map(|&(x, z)| vec![a, x, z, b])
-            }
-        }
+        // Enumerate lazily: the 3-hop set is the expensive one, so only
+        // build it when the policy can actually reach it.
+        let two = if direct && self.policy != DetourPolicy::UniformUpTo3 {
+            Vec::new()
+        } else {
+            self.two_hop_detours(a, b)
+        };
+        let three = if needs_three_hop(self.policy, direct, two.len()) {
+            self.three_hop_detours(a, b)
+        } else {
+            Vec::new()
+        };
+        select_from_sets(a, b, direct, &two, &three, self.policy, rng)
     }
 }
 

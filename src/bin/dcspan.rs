@@ -4,11 +4,16 @@
 //! dcspan gen        --family <regular|gnp|gabber-galil|fan|two-clique|lower-bound> [--n N] [--delta D] [--seed S]
 //! dcspan spanner    --algo <regular|expander|baswana-sen|greedy|koutis-xu|d-out> [--n N] [--delta D] [--seed S]
 //! dcspan experiment <e1|e2|e3|e4|e5|e6|e7|e8|e9|e10|e11|ablations|all> [--quick]
+//! dcspan build      [--algo <theorem2|theorem3>] [--n N] [--delta D] [--seed S] [--out FILE]
+//! dcspan query      [--requests FILE] [oracle flags]       # JSONL {"u":..,"v":..} on stdin/file
+//! dcspan bench      [--smoke] [--out FILE] [--sizes N,N] [--threads T,T] [--queries Q]
 //! ```
 //!
 //! Argument parsing is deliberately dependency-free.
 
+use dcspan::oracle::{Oracle, OracleConfig, RouteKind};
 use std::collections::HashMap;
+use std::io::BufRead;
 use std::process::ExitCode;
 
 fn parse_flags(args: &[String]) -> HashMap<String, String> {
@@ -272,6 +277,15 @@ fn cmd_experiment(which: &str, quick: bool) -> ExitCode {
                 };
                 dcspan::experiments::e16_scaling::run(sizes, seed).1
             }
+            "e17" => {
+                let (sizes, threads): (&[usize], &[usize]) = if quick {
+                    (&[96], &[1, 2])
+                } else {
+                    (&[128, 256], &[1, 2, 4])
+                };
+                let queries = if quick { 300 } else { 2000 };
+                dcspan::experiments::e17_oracle::run(sizes, 0.15, threads, queries, seed).1
+            }
             "sweep" => {
                 let (n, seeds) = if quick { (96, 3) } else { (256, 8) };
                 let mut out = dcspan::experiments::sweep::sweep_theorem2(n, 0.15, seeds, seed).1;
@@ -307,6 +321,7 @@ fn cmd_experiment(which: &str, quick: bool) -> ExitCode {
             "e14",
             "e15",
             "e16",
+            "e17",
             "sweep",
             "ablations",
         ] {
@@ -326,9 +341,215 @@ fn cmd_experiment(which: &str, quick: bool) -> ExitCode {
     }
 }
 
+/// Parse a comma-separated `usize` list flag, falling back to `default`
+/// when absent or unparseable.
+fn get_list(flags: &HashMap<String, String>, key: &str, default: &[usize]) -> Vec<usize> {
+    flags.get(key).map_or_else(
+        || default.to_vec(),
+        |v| {
+            let parsed: Vec<usize> = v.split(',').filter_map(|s| s.trim().parse().ok()).collect();
+            if parsed.is_empty() {
+                default.to_vec()
+            } else {
+                parsed
+            }
+        },
+    )
+}
+
+fn route_kind_str(kind: RouteKind) -> &'static str {
+    match kind {
+        RouteKind::SpannerEdge => "spanner_edge",
+        RouteKind::TwoHop => "two_hop",
+        RouteKind::ThreeHop => "three_hop",
+        RouteKind::Bfs => "bfs",
+    }
+}
+
+/// Shared oracle construction for `build`/`query`: a Theorem 2 regime
+/// expander of the requested size, the chosen spanner construction, and
+/// the serving engine over them. Returns `(G, oracle, build millis)`.
+fn build_oracle(flags: &HashMap<String, String>) -> Result<(dcspan::Graph, Oracle, f64), String> {
+    let n = get_usize(flags, "n", 256);
+    let delta = get_usize(
+        flags,
+        "delta",
+        dcspan::experiments::workloads::theorem2_degree(n, 0.15),
+    );
+    let seed = get_u64(flags, "seed", 1);
+    let algo_name = flags.get("algo").map_or("theorem2", String::as_str);
+    let algo = dcspan::core::serve::SpannerAlgo::parse(algo_name)
+        .ok_or_else(|| format!("unknown spanner algorithm: {algo_name}"))?;
+    let policy = match flags
+        .get("policy")
+        .map_or("uniform-shortest", String::as_str)
+    {
+        "uniform-shortest" => dcspan::routing::replace::DetourPolicy::UniformShortest,
+        "uniform-up-to-3" => dcspan::routing::replace::DetourPolicy::UniformUpTo3,
+        "first-found" => dcspan::routing::replace::DetourPolicy::FirstFound,
+        other => return Err(format!("unknown detour policy: {other}")),
+    };
+    let config = OracleConfig {
+        policy,
+        seed,
+        cache_capacity: get_usize(flags, "cache", 4096),
+        ..OracleConfig::default()
+    };
+    let g = dcspan::gen::regular::random_regular(n, delta, seed);
+    let start = std::time::Instant::now();
+    let oracle = Oracle::from_algo(&g, algo, config);
+    Ok((g, oracle, start.elapsed().as_secs_f64() * 1e3))
+}
+
+fn cmd_build(flags: &HashMap<String, String>) -> ExitCode {
+    let (g, oracle, build_ms) = match build_oracle(flags) {
+        Ok(built) => built,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let stats = oracle.index().stats();
+    let json = format!(
+        "{{\"n\":{},\"delta\":{},\"edges_g\":{},\"edges_h\":{},\"missing_edges\":{},\
+         \"two_hop_entries\":{},\"three_hop_entries\":{},\"uncovered_edges\":{},\
+         \"index_heap_bytes\":{},\"build_ms\":{:.3}}}",
+        g.n(),
+        g.max_degree(),
+        g.m(),
+        oracle.spanner().m(),
+        stats.missing_edges,
+        stats.two_hop_entries,
+        stats.three_hop_entries,
+        stats.uncovered_edges,
+        stats.heap_bytes,
+        build_ms,
+    );
+    if let Some(out) = flags.get("out") {
+        if let Err(e) = std::fs::write(out, format!("{json}\n")) {
+            eprintln!("cannot write {out}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("wrote {out}");
+    } else {
+        println!("{json}");
+    }
+    ExitCode::SUCCESS
+}
+
+/// Answer one parsed JSONL request; returns the response hops (0 when
+/// unroutable) and prints one JSON object per request.
+fn answer_request(oracle: &Oracle, id: u64, u: u32, v: u32) -> usize {
+    match oracle.route(u, v, id) {
+        Some(resp) => {
+            println!(
+                "{{\"id\":{id},\"u\":{u},\"v\":{v},\"ok\":true,\"hops\":{},\"kind\":\"{}\",\
+                 \"cache_hit\":{},\"path\":{:?}}}",
+                resp.hops(),
+                route_kind_str(resp.kind),
+                resp.cache_hit,
+                resp.path.nodes(),
+            );
+            resp.hops()
+        }
+        None => {
+            println!("{{\"id\":{id},\"u\":{u},\"v\":{v},\"ok\":false}}");
+            0
+        }
+    }
+}
+
+fn cmd_query(flags: &HashMap<String, String>) -> ExitCode {
+    let (_, oracle, _) = match build_oracle(flags) {
+        Ok(built) => built,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let reader: Box<dyn BufRead> = match flags.get("requests") {
+        Some(path) => match std::fs::File::open(path) {
+            Ok(f) => Box::new(std::io::BufReader::new(f)),
+            Err(e) => {
+                eprintln!("cannot open {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => Box::new(std::io::BufReader::new(std::io::stdin())),
+    };
+    let mut max_hops = 0usize;
+    let mut next_id = 0u64;
+    for line in reader.lines() {
+        let Ok(line) = line else { break };
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let Ok(value) = serde_json::from_str::<serde_json::Value>(line) else {
+            eprintln!("skipping malformed request: {line}");
+            continue;
+        };
+        let (Some(u), Some(v)) = (value["u"].as_u64(), value["v"].as_u64()) else {
+            eprintln!("skipping request without u/v: {line}");
+            continue;
+        };
+        let id = value["id"].as_u64().unwrap_or(next_id);
+        next_id = next_id.max(id) + 1;
+        max_hops = max_hops.max(answer_request(&oracle, id, u as u32, v as u32));
+    }
+    let stats = oracle.stats();
+    println!(
+        "{{\"summary\":{{\"queries\":{},\"spanner_edge\":{},\"two_hop\":{},\"three_hop\":{},\
+         \"bfs\":{},\"unroutable\":{},\"cache_hit_rate\":{:.4},\"max_hops\":{max_hops},\
+         \"live_congestion\":{}}}}}",
+        stats.queries,
+        stats.spanner_edge,
+        stats.two_hop,
+        stats.three_hop,
+        stats.bfs,
+        stats.unroutable,
+        stats.cache_hit_rate(),
+        oracle.live_congestion(),
+    );
+    ExitCode::SUCCESS
+}
+
+fn cmd_bench(flags: &HashMap<String, String>) -> ExitCode {
+    let smoke = flags.contains_key("smoke");
+    let seed = get_u64(flags, "seed", 20240617);
+    let default_sizes: &[usize] = if smoke { &[64, 96] } else { &[128, 256] };
+    let sizes = get_list(flags, "sizes", default_sizes);
+    let hw = std::thread::available_parallelism().map_or(4, std::num::NonZeroUsize::get);
+    let threads = get_list(flags, "threads", &[1, hw.max(2)]);
+    let queries = get_usize(flags, "queries", if smoke { 400 } else { 10_000 });
+    let (rows, text) = dcspan::experiments::e17_oracle::run(&sizes, 0.15, &threads, queries, seed);
+    println!("{text}");
+    if let Some(out) = flags.get("out") {
+        let artifact = dcspan::experiments::record::ExperimentArtifact {
+            id: "E17",
+            reproduces: "serving subsystem: Definition 3 at query time",
+            seed,
+            rows: &rows,
+        };
+        let json = match artifact.to_json() {
+            Ok(json) => json,
+            Err(e) => {
+                eprintln!("cannot serialise bench rows: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        if let Err(e) = std::fs::write(out, format!("{json}\n")) {
+            eprintln!("cannot write {out}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("wrote {out}");
+    }
+    ExitCode::SUCCESS
+}
+
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  dcspan gen --family <regular|gnp|gabber-galil|fan|two-clique|lower-bound> [--n N] [--delta D] [--seed S]\n  dcspan spanner --algo <regular|expander|baswana-sen|greedy|koutis-xu|d-out> [--n N] [--delta D] [--seed S]\n  dcspan experiment <e1..e16|sweep|ablations|all> [--quick]"
+        "usage:\n  dcspan gen --family <regular|gnp|gabber-galil|fan|two-clique|lower-bound> [--n N] [--delta D] [--seed S]\n  dcspan spanner --algo <regular|expander|baswana-sen|greedy|koutis-xu|d-out> [--n N] [--delta D] [--seed S]\n  dcspan experiment <e1..e17|sweep|ablations|all> [--quick]\n  dcspan build [--algo <theorem2|theorem3>] [--n N] [--delta D] [--seed S] [--out FILE]\n  dcspan query [--requests FILE] [--policy <uniform-shortest|uniform-up-to-3|first-found>] [oracle flags]\n  dcspan bench [--smoke] [--out FILE] [--sizes N,N] [--threads T,T] [--queries Q]"
     );
     ExitCode::FAILURE
 }
@@ -346,6 +567,9 @@ fn main() -> ExitCode {
             let which = args.get(1).map_or("all", String::as_str);
             cmd_experiment(which, flags.contains_key("quick"))
         }
+        "build" => cmd_build(&flags),
+        "query" => cmd_query(&flags),
+        "bench" => cmd_bench(&flags),
         _ => usage(),
     }
 }

@@ -15,6 +15,7 @@ pub use dcspan_experiments as experiments;
 pub use dcspan_gen as gen;
 pub use dcspan_graph as graph;
 pub use dcspan_local as local;
+pub use dcspan_oracle as oracle;
 pub use dcspan_routing as routing;
 pub use dcspan_spectral as spectral;
 

@@ -29,6 +29,10 @@ fn all_experiments_run_at_minimum_scale() {
     check(&ex::e14_definition::run(64, &[16], seed).1, "E14");
     check(&ex::e15_vft_tradeoff::run(64, &[1], seed).1, "E15");
     check(&ex::e16_scaling::run(&[64, 96], seed).1, "E16");
+    check(
+        &ex::e17_oracle::run(&[64], 0.18, &[1, 2], 100, seed).1,
+        "E17",
+    );
     check(&ex::ablations::run_a1(64, seed).1, "A1");
     check(&ex::ablations::run_a2(64, seed).1, "A2");
     check(&ex::ablations::run_a3(64, 40, seed).1, "A3");
@@ -39,7 +43,7 @@ fn all_experiments_run_at_minimum_scale() {
 #[test]
 fn experiment_rows_serialise_to_json() {
     let (rows, _) = ex::e5_lower_bound::run(&[(5, 1)]);
-    let json = ex::record::to_json_pretty(&rows);
+    let json = ex::record::to_json_pretty(&rows).unwrap();
     assert!(json.starts_with('['));
     let parsed: serde_json::Value = serde_json::from_str(&json).unwrap();
     assert!(!parsed.as_array().unwrap().is_empty());

@@ -1,0 +1,69 @@
+//! Serving-subsystem acceptance test (ISSUE acceptance criteria): a
+//! 10 000-query matching workload against an oracle over an `n = 3000`
+//! expander measures distance stretch α ≤ 3, and `substitute_routing`
+//! returns bit-identical answers under 1-thread and 4-thread rayon
+//! pools for a fixed seed.
+
+use dcspan::core::serve::SpannerAlgo;
+use dcspan::experiments::workloads;
+use dcspan::oracle::{Oracle, OracleConfig};
+
+const N: usize = 3000;
+const DELTA: usize = 64;
+const SEED: u64 = 20240617;
+
+#[test]
+fn matching_workload_serves_10k_queries_with_stretch_three() {
+    let g = workloads::regime_expander(N, DELTA, SEED);
+    // Survival probability 0.55 keeps ~14 three-hop detours per missing
+    // edge in expectation — α ≤ 3 with overwhelming margin at this seed.
+    let oracle = Oracle::from_algo(
+        &g,
+        SpannerAlgo::Theorem2WithProb(0.55),
+        OracleConfig {
+            seed: SEED ^ 0xACCE55,
+            ..OracleConfig::default()
+        },
+    );
+    assert!(oracle.spanner().m() < g.m(), "spanner must sparsify");
+
+    let matching = workloads::removed_edge_matching(&g, oracle.spanner());
+    let pairs = matching.pairs().len();
+    assert!(pairs > 0, "expander regime must shed edges");
+
+    // 10k queries: cycle the missing-edge matching with fresh query ids.
+    let cycles = 10_000usize.div_ceil(pairs);
+    let mut max_hops = 0usize;
+    for cycle in 0..cycles {
+        let routing = oracle
+            .substitute_routing(&matching, (cycle * pairs) as u64)
+            .expect("matching must be routable in the spanner");
+        max_hops = max_hops.max(routing.max_length());
+    }
+
+    let stats = oracle.stats();
+    assert!(stats.queries >= 10_000, "served {} queries", stats.queries);
+    assert_eq!(stats.unroutable, 0);
+    assert!(max_hops <= 3, "measured α = {max_hops} > 3");
+    // Matching traffic goes through the index, never the BFS fallback.
+    assert_eq!(stats.bfs, 0, "{} queries fell back to BFS", stats.bfs);
+    assert!(oracle.live_congestion() >= 1);
+
+    // Determinism across pool widths: same query ids ⇒ same paths,
+    // whether one worker serves the whole problem or four share it.
+    let pool1 = rayon::ThreadPoolBuilder::new()
+        .num_threads(1)
+        .build()
+        .unwrap();
+    let pool4 = rayon::ThreadPoolBuilder::new()
+        .num_threads(4)
+        .build()
+        .unwrap();
+    let serial = pool1
+        .install(|| oracle.substitute_routing(&matching, 777))
+        .unwrap();
+    let parallel = pool4
+        .install(|| oracle.substitute_routing(&matching, 777))
+        .unwrap();
+    assert_eq!(serial.paths(), parallel.paths());
+}

@@ -87,6 +87,7 @@ const CORE_ALGORITHM_MODULES: &[&str] = &[
     "crates/core/src/greedy.rs",
     "crates/core/src/koutis_xu.rs",
     "crates/core/src/regular.rs",
+    "crates/core/src/serve.rs",
     "crates/core/src/support.rs",
     "crates/core/src/vft.rs",
 ];
