@@ -217,9 +217,21 @@ mod tests {
     }
 
     #[test]
-    fn a3_misra_gries_uses_fewer_or_equal_matchings() {
+    fn a3_colorings_respect_their_matching_bounds() {
         let (rows, _) = run_a3(64, 50, 7);
-        assert!(rows[0].matchings <= rows[1].matchings);
-        assert_eq!(rows[0].sum_dk1, rows[1].sum_dk1); // instrumentation identical
+        // Misra–Gries guarantees m_k ≤ d_k + 1 per level (Lemma 22's
+        // constant); greedy guarantees m_k ≤ 2d_k − 1. Greedy can still
+        // beat d_k + 1 on sparse levels, so the two totals are not
+        // ordered — each is only held to its own bound.
+        let mg = &rows[0];
+        let greedy = &rows[1];
+        assert!(
+            mg.matchings <= mg.sum_dk1,
+            "MG {} > Σ(d_k+1) {}",
+            mg.matchings,
+            mg.sum_dk1
+        );
+        assert!(greedy.matchings <= 2 * greedy.sum_dk1);
+        assert_eq!(mg.sum_dk1, greedy.sum_dk1); // instrumentation identical
     }
 }

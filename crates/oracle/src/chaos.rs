@@ -1,0 +1,969 @@
+//! Deterministic multi-threaded chaos harness for the serving oracle.
+//!
+//! The harness drives a seeded schedule of fault injections — random
+//! spanner-edge kills, node crashes, burst overload, heal waves — against
+//! a live [`Oracle`] from N concurrent worker threads, and validates
+//! every single answer against the frozen fault set of its step:
+//! answered paths must run inside `H`, avoid every failed element, and
+//! (on the detour rungs) respect the paper's α ≤ 3 distance stretch
+//! (Theorems 2–3); typed rejections must be *justified* (a
+//! `DeadEndpoint` names a really-dead endpoint, a `Partitioned` pair is
+//! really disconnected in the surviving spanner). Nothing is allowed to
+//! disappear silently.
+//!
+//! **Determinism.** The fault schedule and the query workload both
+//! derive from the config seed through the workspace's `item_rng`
+//! streams, so a chaos run is reproducible: same seed → same kills, same
+//! queries, same per-step fault sets (thread scheduling may reorder
+//! admission-control sheds within a burst step, but never changes any
+//! routing answer).
+//!
+//! **Step discipline.** Faults only mutate *between* barriers: the main
+//! thread applies each step's kill set while the workers are parked,
+//! then everyone crosses the start barrier together and the fault set
+//! stays frozen until the end barrier. Every response can therefore be
+//! checked strictly against the step's epoch, and epoch observations
+//! must be monotone across steps.
+
+use crate::fault::{bounded_survivor_bfs, SurvivorSearch};
+use crate::oracle::{Oracle, RouteError, RouteKind, RouteResponse};
+use dcspan_graph::rng::{item_rng, splitmix64};
+use dcspan_graph::{Edge, NodeId, Path};
+use rand::Rng;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Barrier;
+use std::time::{Duration, Instant};
+
+/// Domain separators for the harness's two RNG universes (fault
+/// schedule vs query workload), keeping them uncorrelated with each
+/// other and with the oracle's own per-query streams.
+const FAULT_DOMAIN: u64 = 0xFA17_5EED_0000_0001;
+const WORKLOAD_DOMAIN: u64 = 0x0B5E_55ED_0000_0002;
+
+/// Cap on recorded violation messages (counts are always exact).
+const MAX_RECORDED_VIOLATIONS: usize = 40;
+
+/// Retry discipline for queries shed by admission control
+/// ([`RouteError::Overloaded`]): exponential backoff with deterministic
+/// per-query jitter drawn from the query's own RNG stream.
+#[derive(Clone, Copy, Debug)]
+pub struct RetryPolicy {
+    /// Additional attempts after the first (0 = never retry).
+    pub max_retries: u32,
+    /// Base backoff in microseconds; attempt `k` sleeps
+    /// `base · 2^(k-1) + jitter`, `jitter ∈ [0, base)`.
+    pub base_delay_us: u64,
+}
+
+impl RetryPolicy {
+    /// Never retry; a shed query is immediately reported shed.
+    pub fn none() -> Self {
+        RetryPolicy {
+            max_retries: 0,
+            base_delay_us: 0,
+        }
+    }
+
+    /// Retry up to `max_retries` times with jittered exponential backoff.
+    pub fn jittered(max_retries: u32, base_delay_us: u64) -> Self {
+        RetryPolicy {
+            max_retries,
+            base_delay_us,
+        }
+    }
+
+    /// Backoff before retry attempt `attempt` (1-based), with jitter
+    /// from `rng`.
+    pub fn delay(&self, attempt: u32, rng: &mut rand::rngs::SmallRng) -> Duration {
+        if self.base_delay_us == 0 {
+            return Duration::ZERO;
+        }
+        let expo = self
+            .base_delay_us
+            .saturating_mul(1u64 << attempt.saturating_sub(1).min(16));
+        let jitter = rng.gen_range(0..self.base_delay_us);
+        Duration::from_micros(expo.saturating_add(jitter))
+    }
+}
+
+/// Configuration for one chaos run.
+#[derive(Clone, Copy, Debug)]
+pub struct ChaosConfig {
+    /// Concurrent serving threads.
+    pub threads: usize,
+    /// Logical queries per normal step (burst steps issue
+    /// `queries_per_step × burst_factor`).
+    pub queries_per_step: usize,
+    /// Number of light edge-kill steps.
+    pub light_steps: usize,
+    /// Edge-failure rate for the light steps (fraction of `H`'s edges).
+    pub edge_kill_rate: f64,
+    /// Edge-failure rate for the heavy step.
+    pub heavy_kill_rate: f64,
+    /// Node-crash rate for the node-crash step (fraction of nodes).
+    pub node_kill_rate: f64,
+    /// Query multiplier for the burst-overload step.
+    pub burst_factor: usize,
+    /// Master seed for the fault schedule and the query workload.
+    pub seed: u64,
+    /// Retry discipline for shed queries.
+    pub retry: RetryPolicy,
+    /// Independently re-verify every `Partitioned` rejection with an
+    /// unbounded survivor BFS (strict; intended for smoke-scale runs).
+    pub validate_partitions: bool,
+}
+
+impl ChaosConfig {
+    /// The CI smoke configuration: small, strict, fixed seed, ~seconds.
+    pub fn smoke() -> Self {
+        ChaosConfig {
+            threads: 4,
+            queries_per_step: 400,
+            light_steps: 3,
+            edge_kill_rate: 0.01,
+            heavy_kill_rate: 0.20,
+            node_kill_rate: 0.02,
+            burst_factor: 8,
+            seed: 18,
+            retry: RetryPolicy::jittered(2, 50),
+            validate_partitions: true,
+        }
+    }
+}
+
+/// What a step does to the fault overlay before its query batch.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Probe {
+    /// Record every outcome (the healthy baseline).
+    Record,
+    /// Re-issue the recorded step's query ids and demand bit-identical
+    /// answers (heal-then-route ≡ never-failed).
+    Compare,
+    /// No probe bookkeeping.
+    Off,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct StepPlan {
+    label: &'static str,
+    edge_rate: f64,
+    node_rate: f64,
+    mult: usize,
+    /// Concentrate the step's queries on a small slice of the edge pool
+    /// (a hotspot), so burst demand actually collides with the per-node
+    /// admission cap instead of diffusing over the whole graph.
+    hotspot: bool,
+    probe: Probe,
+}
+
+fn build_plan(cfg: &ChaosConfig) -> Vec<StepPlan> {
+    let mut plans = vec![StepPlan {
+        label: "healthy-probe",
+        edge_rate: 0.0,
+        node_rate: 0.0,
+        mult: 1,
+        hotspot: false,
+        probe: Probe::Record,
+    }];
+    for _ in 0..cfg.light_steps {
+        plans.push(StepPlan {
+            label: "light-kill",
+            edge_rate: cfg.edge_kill_rate,
+            node_rate: 0.0,
+            mult: 1,
+            hotspot: false,
+            probe: Probe::Off,
+        });
+    }
+    plans.push(StepPlan {
+        label: "node-crash",
+        edge_rate: 0.0,
+        node_rate: cfg.node_kill_rate,
+        mult: 1,
+        hotspot: false,
+        probe: Probe::Off,
+    });
+    plans.push(StepPlan {
+        label: "burst-overload",
+        edge_rate: 0.0,
+        node_rate: 0.0,
+        mult: cfg.burst_factor.max(1),
+        hotspot: true,
+        probe: Probe::Off,
+    });
+    plans.push(StepPlan {
+        label: "heavy-kill",
+        edge_rate: cfg.heavy_kill_rate,
+        node_rate: 0.0,
+        mult: 1,
+        hotspot: false,
+        probe: Probe::Off,
+    });
+    plans.push(StepPlan {
+        label: "heal-reprobe",
+        edge_rate: 0.0,
+        node_rate: 0.0,
+        mult: 1,
+        hotspot: false,
+        probe: Probe::Compare,
+    });
+    plans
+}
+
+/// Merged per-step observation counters.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ChaosStepStats {
+    /// Step index in the schedule.
+    pub step: usize,
+    /// Schedule phase label (`healthy-probe`, `light-kill`, …).
+    pub label: &'static str,
+    /// Edge-kill rate this step was planned with.
+    pub edge_kill_rate: f64,
+    /// Node-crash rate this step was planned with.
+    pub node_kill_rate: f64,
+    /// Failed spanner edges while the batch ran.
+    pub failed_edges: u64,
+    /// Failed nodes while the batch ran.
+    pub failed_nodes: u64,
+    /// Fault-overlay epoch the batch ran under.
+    pub epoch: u64,
+    /// Logical queries issued (retries not double-counted).
+    pub queries: u64,
+    /// Served by rung: surviving spanner edge.
+    pub spanner_edge: u64,
+    /// Served by rung: indexed 2-hop detour.
+    pub two_hop: u64,
+    /// Served by rung: indexed 3-hop detour.
+    pub three_hop: u64,
+    /// Served by rung: fault-filtered 2-hop detour.
+    pub filtered_two_hop: u64,
+    /// Served by rung: fault-filtered 3-hop detour.
+    pub filtered_three_hop: u64,
+    /// Served by rung: fault-free BFS (uncovered edges).
+    pub bfs: u64,
+    /// Served by rung: bounded BFS in the surviving spanner.
+    pub degraded_bfs: u64,
+    /// Rejected: dead endpoint (verified).
+    pub dead_endpoint: u64,
+    /// Rejected: disconnected in the surviving spanner.
+    pub partitioned: u64,
+    /// Rejected: shed by admission control after retries.
+    pub shed: u64,
+    /// Rejected: per-query budget exhausted.
+    pub budget_exceeded: u64,
+    /// Retry attempts provoked by sheds.
+    pub retries: u64,
+    /// Longest path served from a detour rung (α observability; ≤ 3 on
+    /// a passing run).
+    pub max_detour_hops: u64,
+    /// Longest served path on any rung.
+    pub max_hops: u64,
+    /// Peak per-node load committed during the step.
+    pub max_node_load: u32,
+    /// Sum of per-attempt route latencies, nanoseconds.
+    pub latency_ns_sum: u64,
+    /// Slowest single route attempt, nanoseconds.
+    pub latency_ns_max: u64,
+}
+
+impl ChaosStepStats {
+    /// Queries answered with a path this step.
+    pub fn served(&self) -> u64 {
+        self.spanner_edge
+            + self.two_hop
+            + self.three_hop
+            + self.filtered_two_hop
+            + self.filtered_three_hop
+            + self.bfs
+            + self.degraded_bfs
+    }
+
+    /// Fraction of issued queries served by the healthy indexed rungs.
+    pub fn indexed_fraction(&self) -> f64 {
+        if self.queries == 0 {
+            0.0
+        } else {
+            (self.spanner_edge + self.two_hop + self.three_hop) as f64 / self.queries as f64
+        }
+    }
+
+    /// Fraction of issued queries shed by admission control.
+    pub fn shed_rate(&self) -> f64 {
+        if self.queries == 0 {
+            0.0
+        } else {
+            self.shed as f64 / self.queries as f64
+        }
+    }
+
+    /// Mean route-attempt latency in nanoseconds.
+    pub fn latency_ns_mean(&self) -> u64 {
+        let attempts = self.queries + self.retries;
+        self.latency_ns_sum.checked_div(attempts).unwrap_or(0)
+    }
+
+    fn absorb(&mut self, other: &ChaosStepStats) {
+        self.queries += other.queries;
+        self.spanner_edge += other.spanner_edge;
+        self.two_hop += other.two_hop;
+        self.three_hop += other.three_hop;
+        self.filtered_two_hop += other.filtered_two_hop;
+        self.filtered_three_hop += other.filtered_three_hop;
+        self.bfs += other.bfs;
+        self.degraded_bfs += other.degraded_bfs;
+        self.dead_endpoint += other.dead_endpoint;
+        self.partitioned += other.partitioned;
+        self.shed += other.shed;
+        self.budget_exceeded += other.budget_exceeded;
+        self.retries += other.retries;
+        self.max_detour_hops = self.max_detour_hops.max(other.max_detour_hops);
+        self.max_hops = self.max_hops.max(other.max_hops);
+        self.latency_ns_sum += other.latency_ns_sum;
+        self.latency_ns_max = self.latency_ns_max.max(other.latency_ns_max);
+    }
+}
+
+/// Outcome of a chaos run: per-step observations plus every recorded
+/// invariant or acceptance violation. A passing run has no violations.
+#[derive(Clone, Debug)]
+pub struct ChaosReport {
+    /// Per-step merged stats, in schedule order.
+    pub steps: Vec<ChaosStepStats>,
+    /// Invariant and acceptance violations (`invariant:` / `acceptance:`
+    /// prefixed). Message list is capped; the count is exact.
+    pub violations: Vec<String>,
+    /// Exact number of violations observed (≥ `violations.len()`).
+    pub violation_count: u64,
+    /// Logical queries issued across all steps.
+    pub total_queries: u64,
+    /// Retry attempts across all steps.
+    pub total_retries: u64,
+    /// Wall-clock time of the whole run, milliseconds.
+    pub wall_ms: u64,
+}
+
+impl ChaosReport {
+    /// True when the run observed no invariant or acceptance violation.
+    pub fn passed(&self) -> bool {
+        self.violation_count == 0
+    }
+
+    /// Human-readable per-step table plus the verdict.
+    pub fn render_table(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:>4}  {:<15} {:>6} {:>7} {:>7} {:>8} {:>8} {:>6} {:>6} {:>6} {:>9} {:>10}",
+            "step",
+            "phase",
+            "fail_e",
+            "fail_v",
+            "queries",
+            "indexed%",
+            "filtered",
+            "dbfs",
+            "rej",
+            "shed",
+            "max_load",
+            "lat_us(avg)"
+        );
+        for s in &self.steps {
+            let rejected = s.dead_endpoint + s.partitioned + s.budget_exceeded;
+            let _ = writeln!(
+                out,
+                "{:>4}  {:<15} {:>6} {:>7} {:>7} {:>7.1}% {:>8} {:>6} {:>6} {:>6} {:>9} {:>10.1}",
+                s.step,
+                s.label,
+                s.failed_edges,
+                s.failed_nodes,
+                s.queries,
+                100.0 * s.indexed_fraction(),
+                s.filtered_two_hop + s.filtered_three_hop,
+                s.degraded_bfs,
+                rejected,
+                s.shed,
+                s.max_node_load,
+                s.latency_ns_mean() as f64 / 1000.0
+            );
+        }
+        let _ = writeln!(
+            out,
+            "total: {} queries, {} retries, {} violation(s), {} ms",
+            self.total_queries, self.total_retries, self.violation_count, self.wall_ms
+        );
+        if self.passed() {
+            let _ = writeln!(out, "chaos: PASS");
+        } else {
+            let _ = writeln!(out, "chaos: FAIL");
+            for v in &self.violations {
+                let _ = writeln!(out, "  {v}");
+            }
+        }
+        out
+    }
+}
+
+/// One worker's accumulated output.
+struct WorkerOut {
+    steps: Vec<ChaosStepStats>,
+    violations: Vec<String>,
+    violation_count: u64,
+}
+
+struct WorkerCtx<'a> {
+    oracle: &'a Oracle,
+    cfg: &'a ChaosConfig,
+    plans: &'a [StepPlan],
+    pool: &'a [Edge],
+    epochs: &'a [AtomicU64],
+    start: &'a Barrier,
+    end: &'a Barrier,
+    workload_master: u64,
+}
+
+fn record_violation(out: &mut WorkerOut, msg: String) {
+    out.violation_count += 1;
+    if out.violations.len() < MAX_RECORDED_VIOLATIONS {
+        out.violations.push(msg);
+    }
+}
+
+/// Strict in-H validity: endpoints match and every hop is an edge of the
+/// spanner. (Independent of the oracle's own debug-mode invariants, so
+/// release-mode chaos runs still verify every answer.)
+fn path_in_spanner(oracle: &Oracle, u: NodeId, v: NodeId, path: &Path) -> bool {
+    let nodes = path.nodes();
+    nodes.first() == Some(&u)
+        && nodes.last() == Some(&v)
+        && nodes.windows(2).all(|w| match w {
+            [a, b] => oracle.spanner().has_edge(*a, *b),
+            _ => true,
+        })
+}
+
+fn validate_served(
+    ctx: &WorkerCtx<'_>,
+    out: &mut WorkerOut,
+    step: usize,
+    u: NodeId,
+    v: NodeId,
+    expected_epoch: u64,
+    resp: &RouteResponse,
+) {
+    if !path_in_spanner(ctx.oracle, u, v, &resp.path) {
+        record_violation(
+            out,
+            format!("invariant: step {step} ({u},{v}): served path not a u→v walk in H"),
+        );
+    }
+    if resp.epoch != expected_epoch {
+        record_violation(
+            out,
+            format!(
+                "invariant: step {step} ({u},{v}): response epoch {} != frozen step epoch {expected_epoch}",
+                resp.epoch
+            ),
+        );
+    }
+    if !ctx
+        .oracle
+        .faults()
+        .path_clear(ctx.oracle.spanner(), resp.path.nodes())
+    {
+        record_violation(
+            out,
+            format!(
+                "invariant: step {step} ({u},{v}): served path traverses a failed element ({:?})",
+                resp.kind
+            ),
+        );
+    }
+    if resp.kind.is_detour() && resp.hops() > 3 {
+        record_violation(
+            out,
+            format!(
+                "invariant: step {step} ({u},{v}): detour rung {:?} returned {} hops > α = 3",
+                resp.kind,
+                resp.hops()
+            ),
+        );
+    }
+}
+
+fn tally_served(acc: &mut ChaosStepStats, resp: &RouteResponse) {
+    match resp.kind {
+        RouteKind::SpannerEdge => acc.spanner_edge += 1,
+        RouteKind::TwoHop => acc.two_hop += 1,
+        RouteKind::ThreeHop => acc.three_hop += 1,
+        RouteKind::FilteredTwoHop => acc.filtered_two_hop += 1,
+        RouteKind::FilteredThreeHop => acc.filtered_three_hop += 1,
+        RouteKind::Bfs => acc.bfs += 1,
+        RouteKind::DegradedBfs => acc.degraded_bfs += 1,
+    }
+    let hops = resp.hops() as u64;
+    acc.max_hops = acc.max_hops.max(hops);
+    if resp.kind.is_detour() {
+        acc.max_detour_hops = acc.max_detour_hops.max(hops);
+    }
+}
+
+fn validate_rejection(
+    ctx: &WorkerCtx<'_>,
+    out: &mut WorkerOut,
+    acc: &mut ChaosStepStats,
+    step: usize,
+    u: NodeId,
+    v: NodeId,
+    err: RouteError,
+) {
+    let oracle = ctx.oracle;
+    match err {
+        RouteError::DeadEndpoint => {
+            acc.dead_endpoint += 1;
+            if !oracle.faults().is_node_failed(u) && !oracle.faults().is_node_failed(v) {
+                record_violation(
+                    out,
+                    format!(
+                        "invariant: step {step} ({u},{v}): DeadEndpoint but both endpoints alive"
+                    ),
+                );
+            }
+        }
+        RouteError::Partitioned => {
+            acc.partitioned += 1;
+            if ctx.cfg.validate_partitions {
+                let check = bounded_survivor_bfs(oracle.spanner(), oracle.faults(), u, v, u32::MAX);
+                if !matches!(check, SurvivorSearch::Disconnected) {
+                    record_violation(
+                        out,
+                        format!(
+                            "invariant: step {step} ({u},{v}): Partitioned but surviving spanner connects the pair"
+                        ),
+                    );
+                }
+            }
+        }
+        RouteError::Overloaded => {
+            acc.shed += 1;
+            if oracle.config().per_node_cap.is_none() {
+                record_violation(
+                    out,
+                    format!(
+                        "invariant: step {step} ({u},{v}): shed with admission control disabled"
+                    ),
+                );
+            }
+        }
+        RouteError::BudgetExceeded => {
+            acc.budget_exceeded += 1;
+            if oracle.config().bfs_fallback && oracle.config().fallback_depth == u32::MAX {
+                record_violation(
+                    out,
+                    format!(
+                        "invariant: step {step} ({u},{v}): BudgetExceeded with an unbounded fallback budget"
+                    ),
+                );
+            }
+        }
+        RouteError::InvalidQuery => {
+            record_violation(
+                out,
+                format!("invariant: step {step} ({u},{v}): workload query rejected as invalid"),
+            );
+        }
+    }
+}
+
+/// Probe memory: `(path, kind)` per served healthy-baseline query, `None`
+/// for rejected ones, in this worker's slice order.
+type ProbeLog = Vec<Option<(Path, RouteKind)>>;
+
+fn chaos_worker(ctx: &WorkerCtx<'_>, worker_id: usize) -> WorkerOut {
+    let mut out = WorkerOut {
+        steps: vec![ChaosStepStats::default(); ctx.plans.len()],
+        violations: Vec::new(),
+        violation_count: 0,
+    };
+    let mut probe: ProbeLog = Vec::new();
+    for (step, plan) in ctx.plans.iter().enumerate() {
+        ctx.start.wait();
+        let expected_epoch = ctx
+            .epochs
+            .get(step)
+            .map_or(0, |e| e.load(Ordering::Acquire));
+        let q_total = ctx.cfg.queries_per_step * plan.mult;
+        // Hotspot steps draw from a 1/16 slice of the pool so demand
+        // piles onto few nodes and collides with the admission cap.
+        let pool: &[Edge] = if plan.hotspot {
+            ctx.pool
+                .get(..(ctx.pool.len() / 16).max(1))
+                .unwrap_or(ctx.pool)
+        } else {
+            ctx.pool
+        };
+        let mut probe_slot = 0usize;
+        let mut acc = ChaosStepStats::default();
+        let mut i = worker_id;
+        while i < q_total {
+            // The heal-reprobe step re-issues the healthy baseline's
+            // query ids so answers must be bit-identical post-heal.
+            let qid = if plan.probe == Probe::Compare {
+                i as u64
+            } else {
+                ((step as u64) << 32) | i as u64
+            };
+            let mut wrng = item_rng(ctx.workload_master, qid);
+            let pick = wrng.gen_range(0..pool.len().max(1));
+            let e = pool.get(pick).copied().unwrap_or(Edge { u: 0, v: 1 });
+            let (u, v) = if wrng.gen_bool(0.5) {
+                (e.u, e.v)
+            } else {
+                (e.v, e.u)
+            };
+            acc.queries += 1;
+            let mut attempt = 0u32;
+            // A panic inside `route` must not strand the other workers at
+            // the step barrier: catch it, record the violation, move on.
+            // (&Oracle is all atomics; a mid-route panic can at worst
+            // leak a partial load commit, never corrupt memory.)
+            let outcome = loop {
+                let t0 = Instant::now();
+                let routed = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    ctx.oracle.route(u, v, qid)
+                }));
+                let dt = t0.elapsed().as_nanos() as u64;
+                acc.latency_ns_sum += dt;
+                acc.latency_ns_max = acc.latency_ns_max.max(dt);
+                match routed {
+                    Ok(Err(RouteError::Overloaded)) if attempt < ctx.cfg.retry.max_retries => {
+                        attempt += 1;
+                        acc.retries += 1;
+                        std::thread::sleep(ctx.cfg.retry.delay(attempt, &mut wrng));
+                    }
+                    Ok(other) => break Some(other),
+                    Err(_) => {
+                        record_violation(
+                            &mut out,
+                            format!("invariant: step {step} ({u},{v}): route panicked"),
+                        );
+                        break None;
+                    }
+                }
+            };
+            match &outcome {
+                Some(Ok(resp)) => {
+                    tally_served(&mut acc, resp);
+                    validate_served(ctx, &mut out, step, u, v, expected_epoch, resp);
+                }
+                Some(Err(err)) => validate_rejection(ctx, &mut out, &mut acc, step, u, v, *err),
+                None => {}
+            }
+            match plan.probe {
+                Probe::Record => {
+                    probe.push(outcome.and_then(Result::ok).map(|r| (r.path, r.kind)));
+                }
+                Probe::Compare => {
+                    let now = outcome.and_then(Result::ok).map(|r| (r.path, r.kind));
+                    let then = probe.get(probe_slot);
+                    if then.is_none_or(|t| *t != now) {
+                        record_violation(
+                            &mut out,
+                            format!(
+                                "invariant: step {step} ({u},{v}) qid {qid}: heal-then-route diverged from the healthy baseline"
+                            ),
+                        );
+                    }
+                    probe_slot += 1;
+                }
+                Probe::Off => {}
+            }
+            i += ctx.cfg.threads.max(1);
+        }
+        if let Some(slot) = out.steps.get_mut(step) {
+            *slot = acc;
+        }
+        ctx.end.wait();
+    }
+    out
+}
+
+/// Sample and apply this step's kill set; returns when the planned
+/// number of distinct elements is dead (clamped to half the population).
+fn inject_faults(oracle: &Oracle, plan: &StepPlan, step: usize, fault_master: u64) {
+    let mut frng = item_rng(fault_master, step as u64);
+    let m = oracle.spanner().m();
+    let n = oracle.spanner().n();
+    let edge_kills = ((plan.edge_rate * m as f64).round() as usize).min(m / 2);
+    let node_kills = ((plan.node_rate * n as f64).round() as usize).min(n / 4);
+    let mut done = 0;
+    let mut fuel = 64 * m.max(1);
+    while done < edge_kills && fuel > 0 {
+        fuel -= 1;
+        if oracle.faults().fail_edge_id(frng.gen_range(0..m.max(1))) {
+            done += 1;
+        }
+    }
+    done = 0;
+    fuel = 64 * n.max(1);
+    while done < node_kills && fuel > 0 {
+        fuel -= 1;
+        if oracle.fail_node(frng.gen_range(0..n.max(1)) as NodeId) {
+            done += 1;
+        }
+    }
+}
+
+/// Drive the full chaos schedule against `oracle` from
+/// `config.threads` worker threads. The workload is random oriented
+/// edges of the host graph `G` (spanner edges plus indexed missing
+/// edges), the substitute-routing population of Theorems 2–3.
+pub fn run(oracle: &Oracle, config: &ChaosConfig) -> ChaosReport {
+    let t0 = Instant::now();
+    let plans = build_plan(config);
+    let threads = config.threads.max(1);
+    let cfg = ChaosConfig { threads, ..*config };
+    // G's edges = H's edges ∪ the index's missing edges.
+    let mut pool: Vec<Edge> = oracle.spanner().edges().to_vec();
+    pool.extend_from_slice(oracle.index().missing_edges());
+    let epochs: Vec<AtomicU64> = (0..plans.len()).map(|_| AtomicU64::new(0)).collect();
+    let start = Barrier::new(threads + 1);
+    let end = Barrier::new(threads + 1);
+    let fault_master = splitmix64(cfg.seed ^ FAULT_DOMAIN);
+    let workload_master = splitmix64(cfg.seed ^ WORKLOAD_DOMAIN);
+    let ctx = WorkerCtx {
+        oracle,
+        cfg: &cfg,
+        plans: &plans,
+        pool: &pool,
+        epochs: &epochs,
+        start: &start,
+        end: &end,
+        workload_master,
+    };
+
+    let mut merged: Vec<ChaosStepStats> = plans
+        .iter()
+        .enumerate()
+        .map(|(i, p)| ChaosStepStats {
+            step: i,
+            label: p.label,
+            edge_kill_rate: p.edge_rate,
+            node_kill_rate: p.node_rate,
+            ..ChaosStepStats::default()
+        })
+        .collect();
+    let mut violations: Vec<String> = Vec::new();
+    let mut violation_count = 0u64;
+
+    let worker_outs: Vec<Option<WorkerOut>> = std::thread::scope(|scope| {
+        let ctx_ref = &ctx;
+        // Spawn eagerly: every worker must be parked at the start barrier
+        // before the schedule loop mutates the fault set.
+        let mut handles = Vec::with_capacity(threads);
+        for t in 0..threads {
+            handles.push(scope.spawn(move || chaos_worker(ctx_ref, t)));
+        }
+        let mut last_epoch = 0u64;
+        for (step, plan) in plans.iter().enumerate() {
+            // Mutations happen only here, while every worker is parked
+            // before the start barrier.
+            oracle.heal_all();
+            inject_faults(oracle, plan, step, fault_master);
+            oracle.reset_load();
+            let epoch = oracle.faults().epoch();
+            if epoch <= last_epoch {
+                violation_count += 1;
+                violations.push(format!(
+                    "invariant: step {step}: epoch did not advance ({last_epoch} → {epoch})"
+                ));
+            }
+            last_epoch = epoch;
+            if let Some(slot) = epochs.get(step) {
+                slot.store(epoch, Ordering::Release);
+            }
+            if let Some(stats) = merged.get_mut(step) {
+                stats.epoch = epoch;
+                stats.failed_edges = oracle.faults().failed_edge_count();
+                stats.failed_nodes = oracle.faults().failed_node_count();
+            }
+            start.wait();
+            // Fault set frozen: the workers serve the batch.
+            end.wait();
+            if let Some(stats) = merged.get_mut(step) {
+                stats.max_node_load = oracle.live_congestion();
+            }
+        }
+        handles.into_iter().map(|h| h.join().ok()).collect()
+    });
+
+    for out in worker_outs {
+        match out {
+            Some(out) => {
+                for (slot, worker_step) in merged.iter_mut().zip(&out.steps) {
+                    slot.absorb(worker_step);
+                }
+                violation_count += out.violation_count;
+                for v in out.violations {
+                    if violations.len() < MAX_RECORDED_VIOLATIONS {
+                        violations.push(v);
+                    }
+                }
+            }
+            None => {
+                violation_count += 1;
+                violations.push("invariant: a chaos worker thread panicked".to_string());
+            }
+        }
+    }
+
+    // Acceptance sweeps over the merged per-step stats.
+    for s in &merged {
+        let mut accept = |ok: bool, msg: String| {
+            if !ok {
+                violation_count += 1;
+                if violations.len() < MAX_RECORDED_VIOLATIONS {
+                    violations.push(msg);
+                }
+            }
+        };
+        match s.label {
+            "healthy-probe" | "heal-reprobe" => accept(
+                s.served() == s.queries,
+                format!(
+                    "acceptance: step {} ({}): {} of {} healthy queries not served",
+                    s.step,
+                    s.label,
+                    s.queries - s.served().min(s.queries),
+                    s.queries
+                ),
+            ),
+            "light-kill" => accept(
+                s.indexed_fraction() >= 0.90,
+                format!(
+                    "acceptance: step {} (light-kill): indexed rung served {:.1}% < 90%",
+                    s.step,
+                    100.0 * s.indexed_fraction()
+                ),
+            ),
+            "heavy-kill" => accept(
+                s.shed == 0 && s.budget_exceeded == 0,
+                format!(
+                    "acceptance: step {} (heavy-kill): {} shed + {} budget-exceeded — a connected query went unanswered",
+                    s.step, s.shed, s.budget_exceeded
+                ),
+            ),
+            _ => {}
+        }
+        if let Some(cap) = oracle.config().per_node_cap {
+            accept(
+                s.max_node_load <= cap,
+                format!(
+                    "acceptance: step {} ({}): committed load {} exceeds cap {}",
+                    s.step, s.label, s.max_node_load, cap
+                ),
+            );
+        }
+    }
+
+    let total_queries = merged.iter().map(|s| s.queries).sum();
+    let total_retries = merged.iter().map(|s| s.retries).sum();
+    ChaosReport {
+        steps: merged,
+        violations,
+        violation_count,
+        total_queries,
+        total_retries,
+        wall_ms: t0.elapsed().as_millis() as u64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle::OracleConfig;
+    use dcspan_core::serve::SpannerAlgo;
+    use dcspan_gen::regular::random_regular;
+    use dcspan_graph::Graph;
+
+    fn tiny_oracle() -> Oracle {
+        // Dense enough that ~every missing edge keeps a ≤3-hop detour in
+        // the sampled spanner — the indexed-rung acceptance thresholds
+        // are calibrated for instances with paper-regime coverage, not
+        // for sparse toys.
+        let g = random_regular(160, 24, 7);
+        let config = OracleConfig::default().with_beta_budget(g.n(), g.max_degree(), 6.0);
+        Oracle::from_algo(&g, SpannerAlgo::Theorem2WithProb(0.7), config)
+    }
+
+    #[test]
+    fn smoke_schedule_has_all_phases() {
+        let plans = build_plan(&ChaosConfig::smoke());
+        let labels: Vec<_> = plans.iter().map(|p| p.label).collect();
+        assert_eq!(labels.first(), Some(&"healthy-probe"));
+        assert_eq!(labels.last(), Some(&"heal-reprobe"));
+        assert!(labels.contains(&"heavy-kill"));
+        assert!(labels.contains(&"burst-overload"));
+        assert!(labels.contains(&"node-crash"));
+        assert_eq!(labels.iter().filter(|l| **l == "light-kill").count(), 3);
+    }
+
+    #[test]
+    fn retry_policy_backoff_grows() {
+        let p = RetryPolicy::jittered(3, 100);
+        let mut rng = dcspan_graph::rng::item_rng(1, 2);
+        let d1 = p.delay(1, &mut rng);
+        let d3 = p.delay(3, &mut rng);
+        assert!(d3 >= d1);
+        assert_eq!(
+            RetryPolicy::none().delay(1, &mut rng),
+            std::time::Duration::ZERO
+        );
+    }
+
+    #[test]
+    fn mini_chaos_run_passes_and_heals() {
+        let oracle = tiny_oracle();
+        let cfg = ChaosConfig {
+            threads: 3,
+            queries_per_step: 60,
+            light_steps: 1,
+            burst_factor: 4,
+            seed: 5,
+            ..ChaosConfig::smoke()
+        };
+        let report = run(&oracle, &cfg);
+        assert!(report.passed(), "violations: {:#?}", report.violations);
+        assert_eq!(report.steps.len(), 6);
+        assert!(report.total_queries >= 60 * 6);
+        assert!(!oracle.faults().faults_present(), "run must end healed");
+        assert!(report.render_table().contains("chaos: PASS"));
+    }
+
+    #[test]
+    fn single_threaded_run_is_supported() {
+        let g = Graph::from_edges(
+            6,
+            vec![(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0), (0, 2)],
+        );
+        let h = g.filter_edges(|_, e| !(e.u == 0 && e.v == 2));
+        let oracle = Oracle::build(&g, h, OracleConfig::default());
+        let cfg = ChaosConfig {
+            threads: 1,
+            queries_per_step: 20,
+            light_steps: 1,
+            burst_factor: 2,
+            seed: 11,
+            validate_partitions: true,
+            ..ChaosConfig::smoke()
+        };
+        let report = run(&oracle, &cfg);
+        // A 6-node graph under kills may legitimately partition; only
+        // invariant violations are fatal here, acceptance thresholds are
+        // tuned for expander-scale runs.
+        assert!(report
+            .violations
+            .iter()
+            .all(|v| !v.starts_with("invariant:")));
+    }
+}

@@ -1,0 +1,392 @@
+//! Lock-free, epoch-versioned fault overlay for a serving oracle.
+//!
+//! The paper's DC-spanner is a routing-around-*missing*-edges object
+//! (Theorems 2–3: 3-hop detours substitute for every edge dropped from
+//! `G`), which makes the serving layer's failure model a natural
+//! extension: at query time, edges and nodes of the spanner `H` itself
+//! may be dead, and a correct oracle must never hand out a path that
+//! traverses a dead element.
+//!
+//! [`FaultState`] is that overlay. It is a pair of atomic bitsets (one
+//! bit per node of `H`, one bit per edge of `H`, addressed by the
+//! spanner's canonical edge ids) plus a monotone **epoch** counter that
+//! advances on every mutation. All reads are plain atomic loads — no
+//! `Mutex`/`RwLock` anywhere — so the `route()` hot path can consult the
+//! overlay on every hop without serialising queries. Writers
+//! (`fail_*`/`heal_*`) are `fetch_or`/`fetch_and` bit flips followed by
+//! an epoch bump, so a kill or revive is atomic per element and globally
+//! ordered by the epoch.
+//!
+//! **Epoch-stable reads.** A concurrent query observes the overlay at no
+//! single instant; what it gets is the guarantee that if the epoch did
+//! not change while the query ran, the query saw exactly the fault set
+//! of that epoch. Callers that need strict validation (the chaos
+//! harness, the stress tests) compare the epoch recorded in the response
+//! against the current epoch and only assert on epoch-stable responses.
+
+use dcspan_graph::traversal::bfs_distances;
+use dcspan_graph::{Graph, NodeId};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Atomic bitset word width.
+const WORD: usize = 64;
+
+fn word_count(bits: usize) -> usize {
+    bits.div_ceil(WORD)
+}
+
+/// Epoch-versioned kill/revive overlay over a spanner's nodes and edges.
+///
+/// Reads are lock-free atomic loads; mutations are atomic bit flips that
+/// bump the [`FaultState::epoch`]. One instance is shared by reference
+/// across every serving thread.
+pub struct FaultState {
+    /// Monotone version: bumped (with `Release`) on every mutation.
+    epoch: AtomicU64,
+    /// One bit per node; set = failed.
+    node_bits: Vec<AtomicU64>,
+    /// One bit per spanner edge id; set = failed.
+    edge_bits: Vec<AtomicU64>,
+    /// Live count of failed nodes (fast "any faults?" check).
+    failed_nodes: AtomicU64,
+    /// Live count of failed edges.
+    failed_edges: AtomicU64,
+}
+
+impl FaultState {
+    /// A fully healthy overlay for a spanner with `n` nodes and `m`
+    /// edges.
+    pub fn new(n: usize, m: usize) -> FaultState {
+        FaultState {
+            epoch: AtomicU64::new(0),
+            node_bits: (0..word_count(n)).map(|_| AtomicU64::new(0)).collect(),
+            edge_bits: (0..word_count(m)).map(|_| AtomicU64::new(0)).collect(),
+            failed_nodes: AtomicU64::new(0),
+            failed_edges: AtomicU64::new(0),
+        }
+    }
+
+    /// Current epoch. Monotone non-decreasing; advances on every
+    /// successful `fail_*`/`heal_*` and on every `heal_all`.
+    #[inline]
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Acquire)
+    }
+
+    /// True when at least one node or edge is currently failed. One
+    /// branch + two relaxed loads — the healthy hot path's only cost.
+    #[inline]
+    pub fn faults_present(&self) -> bool {
+        self.failed_nodes.load(Ordering::Relaxed) != 0
+            || self.failed_edges.load(Ordering::Relaxed) != 0
+    }
+
+    /// Number of currently failed nodes.
+    #[inline]
+    pub fn failed_node_count(&self) -> u64 {
+        self.failed_nodes.load(Ordering::Relaxed)
+    }
+
+    /// Number of currently failed spanner edges.
+    #[inline]
+    pub fn failed_edge_count(&self) -> u64 {
+        self.failed_edges.load(Ordering::Relaxed)
+    }
+
+    #[inline]
+    fn bit_set(bits: &[AtomicU64], idx: usize) -> bool {
+        bits.get(idx / WORD)
+            .is_some_and(|w| w.load(Ordering::Acquire) & (1 << (idx % WORD)) != 0)
+    }
+
+    /// Set bit `idx`; returns true when the bit was previously clear.
+    #[inline]
+    fn bit_raise(bits: &[AtomicU64], idx: usize) -> bool {
+        bits.get(idx / WORD).is_some_and(|w| {
+            w.fetch_or(1 << (idx % WORD), Ordering::AcqRel) & (1 << (idx % WORD)) == 0
+        })
+    }
+
+    /// Clear bit `idx`; returns true when the bit was previously set.
+    #[inline]
+    fn bit_clear(bits: &[AtomicU64], idx: usize) -> bool {
+        bits.get(idx / WORD).is_some_and(|w| {
+            w.fetch_and(!(1 << (idx % WORD)), Ordering::AcqRel) & (1 << (idx % WORD)) != 0
+        })
+    }
+
+    #[inline]
+    fn bump(&self) {
+        self.epoch.fetch_add(1, Ordering::Release);
+    }
+
+    /// True when node `v` is currently failed (out-of-range ids read as
+    /// healthy).
+    #[inline]
+    pub fn is_node_failed(&self, v: NodeId) -> bool {
+        Self::bit_set(&self.node_bits, v as usize)
+    }
+
+    /// True when spanner edge `id` is currently failed.
+    #[inline]
+    pub fn is_edge_failed(&self, id: usize) -> bool {
+        Self::bit_set(&self.edge_bits, id)
+    }
+
+    /// Kill node `v`. Returns true when the state changed (the node was
+    /// alive); a repeat kill is a no-op that does not advance the epoch.
+    pub fn fail_node(&self, v: NodeId) -> bool {
+        let changed = Self::bit_raise(&self.node_bits, v as usize);
+        if changed {
+            self.failed_nodes.fetch_add(1, Ordering::Relaxed);
+            self.bump();
+        }
+        changed
+    }
+
+    /// Revive node `v`. Returns true when the state changed.
+    pub fn heal_node(&self, v: NodeId) -> bool {
+        let changed = Self::bit_clear(&self.node_bits, v as usize);
+        if changed {
+            self.failed_nodes.fetch_sub(1, Ordering::Relaxed);
+            self.bump();
+        }
+        changed
+    }
+
+    /// Kill spanner edge `id`. Returns true when the state changed.
+    pub fn fail_edge_id(&self, id: usize) -> bool {
+        let changed = Self::bit_raise(&self.edge_bits, id);
+        if changed {
+            self.failed_edges.fetch_add(1, Ordering::Relaxed);
+            self.bump();
+        }
+        changed
+    }
+
+    /// Revive spanner edge `id`. Returns true when the state changed.
+    pub fn heal_edge_id(&self, id: usize) -> bool {
+        let changed = Self::bit_clear(&self.edge_bits, id);
+        if changed {
+            self.failed_edges.fetch_sub(1, Ordering::Relaxed);
+            self.bump();
+        }
+        changed
+    }
+
+    /// Revive everything in one wave. Always advances the epoch (a heal
+    /// wave is an observable scheduling event even when nothing was
+    /// dead).
+    pub fn heal_all(&self) {
+        for w in &self.node_bits {
+            w.store(0, Ordering::Release);
+        }
+        for w in &self.edge_bits {
+            w.store(0, Ordering::Release);
+        }
+        self.failed_nodes.store(0, Ordering::Relaxed);
+        self.failed_edges.store(0, Ordering::Relaxed);
+        self.bump();
+    }
+
+    /// True when the hop `a → b` is usable in spanner `h` under this
+    /// overlay: both endpoints alive, the edge exists in `h`, and its
+    /// edge id is not failed.
+    #[inline]
+    pub fn hop_usable(&self, h: &Graph, a: NodeId, b: NodeId) -> bool {
+        !self.is_node_failed(a)
+            && !self.is_node_failed(b)
+            && h.edge_id(a, b).is_some_and(|id| !self.is_edge_failed(id))
+    }
+
+    /// True when `path` (a node sequence) traverses no failed node or
+    /// edge of `h`.
+    pub fn path_clear(&self, h: &Graph, path: &[NodeId]) -> bool {
+        if path.iter().any(|&v| self.is_node_failed(v)) {
+            return false;
+        }
+        path.windows(2).all(|w| {
+            h.edge_id(w[0], w[1])
+                .is_some_and(|id| !self.is_edge_failed(id))
+        })
+    }
+}
+
+/// Outcome of a bounded-depth BFS over the surviving spanner.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SurvivorSearch {
+    /// A path avoiding every failed element, `s → … → t`.
+    Found(Vec<NodeId>),
+    /// The search frontier died out: `t` is unreachable in the surviving
+    /// spanner (a true partition).
+    Disconnected,
+    /// The depth budget expired before the frontier died out; `t` may or
+    /// may not be reachable.
+    Truncated,
+}
+
+/// Breadth-first search in `h` that skips failed nodes and edges, giving
+/// a shortest surviving path from `s` to `t` of at most `max_depth`
+/// hops. This is the degradation ladder's last serving rung: when the
+/// precomputed ≤3-hop structure (Theorems 2–3) is broken by faults, the
+/// query is still answered from whatever of `H` survives — at the cost
+/// of an O(m) walk bounded by the caller's per-query budget.
+pub fn bounded_survivor_bfs(
+    h: &Graph,
+    faults: &FaultState,
+    s: NodeId,
+    t: NodeId,
+    max_depth: u32,
+) -> SurvivorSearch {
+    let n = h.n();
+    if s as usize >= n || t as usize >= n || faults.is_node_failed(s) || faults.is_node_failed(t) {
+        return SurvivorSearch::Disconnected;
+    }
+    if s == t {
+        return SurvivorSearch::Found(vec![s]);
+    }
+    const NONE: u32 = u32::MAX;
+    let mut parent = vec![NONE; n];
+    parent[s as usize] = s;
+    let mut frontier = vec![s];
+    let mut next = Vec::new();
+    let mut depth = 0u32;
+    while !frontier.is_empty() {
+        if depth >= max_depth {
+            return SurvivorSearch::Truncated;
+        }
+        depth += 1;
+        for &u in &frontier {
+            for &w in h.neighbors(u) {
+                if parent[w as usize] != NONE
+                    || faults.is_node_failed(w)
+                    || h.edge_id(u, w).is_none_or(|id| faults.is_edge_failed(id))
+                {
+                    continue;
+                }
+                parent[w as usize] = u;
+                if w == t {
+                    let mut path = vec![t];
+                    let mut cur = t;
+                    while cur != s {
+                        cur = parent[cur as usize];
+                        path.push(cur);
+                    }
+                    path.reverse();
+                    return SurvivorSearch::Found(path);
+                }
+                next.push(w);
+            }
+        }
+        frontier.clear();
+        std::mem::swap(&mut frontier, &mut next);
+    }
+    SurvivorSearch::Disconnected
+}
+
+/// True when `t` is reachable from `s` in `h` ignoring the fault
+/// overlay — used by validators to tell a genuine [`SurvivorSearch`]
+/// partition apart from one induced by faults.
+pub fn reachable_ignoring_faults(h: &Graph, s: NodeId, t: NodeId) -> bool {
+    (s as usize) < h.n()
+        && (t as usize) < h.n()
+        && bfs_distances(h, s)
+            .get(t as usize)
+            .is_some_and(|&d| d != u32::MAX)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path_graph(n: u32) -> Graph {
+        Graph::from_edges(n as usize, (0..n - 1).map(|i| (i, i + 1)))
+    }
+
+    #[test]
+    fn kill_and_revive_round_trip_with_epochs() {
+        let f = FaultState::new(8, 7);
+        assert!(!f.faults_present());
+        assert_eq!(f.epoch(), 0);
+        assert!(f.fail_node(3));
+        assert!(!f.fail_node(3), "repeat kill must be a no-op");
+        assert!(f.is_node_failed(3));
+        assert_eq!(f.epoch(), 1);
+        assert!(f.fail_edge_id(5));
+        assert_eq!(f.failed_edge_count(), 1);
+        assert_eq!(f.epoch(), 2);
+        assert!(f.heal_node(3));
+        assert!(f.heal_edge_id(5));
+        assert!(!f.faults_present());
+        assert_eq!(f.epoch(), 4);
+        f.heal_all();
+        assert_eq!(f.epoch(), 5, "heal waves always advance the epoch");
+    }
+
+    #[test]
+    fn out_of_range_reads_are_healthy_and_writes_are_noops() {
+        let f = FaultState::new(4, 2);
+        assert!(!f.is_node_failed(1000));
+        assert!(!f.fail_node(1000));
+        assert!(!f.fail_edge_id(99));
+        assert_eq!(f.epoch(), 0);
+    }
+
+    #[test]
+    fn hop_usable_and_path_clear_respect_the_overlay() {
+        let h = path_graph(5);
+        let f = FaultState::new(5, 4);
+        assert!(f.hop_usable(&h, 1, 2));
+        assert!(!f.hop_usable(&h, 0, 2), "non-edges are never usable");
+        assert!(f.path_clear(&h, &[0, 1, 2, 3]));
+        let id = h.edge_id(1, 2).unwrap();
+        f.fail_edge_id(id);
+        assert!(!f.hop_usable(&h, 1, 2));
+        assert!(!f.path_clear(&h, &[0, 1, 2, 3]));
+        f.heal_all();
+        f.fail_node(2);
+        assert!(!f.path_clear(&h, &[0, 1, 2, 3]));
+        assert!(f.path_clear(&h, &[0, 1]));
+    }
+
+    #[test]
+    fn survivor_bfs_routes_around_failures() {
+        // Cycle of 6: killing one edge leaves the long way round.
+        let h = Graph::from_edges(6, vec![(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (0, 5)]);
+        let f = FaultState::new(6, 6);
+        match bounded_survivor_bfs(&h, &f, 0, 3, 64) {
+            SurvivorSearch::Found(p) => assert_eq!(p.len(), 4),
+            other => panic!("expected a path, got {other:?}"),
+        }
+        f.fail_edge_id(h.edge_id(1, 2).unwrap());
+        match bounded_survivor_bfs(&h, &f, 0, 3, 64) {
+            SurvivorSearch::Found(p) => assert_eq!(p, vec![0, 5, 4, 3]),
+            other => panic!("expected the detour, got {other:?}"),
+        }
+        f.fail_edge_id(h.edge_id(4, 5).unwrap());
+        assert_eq!(
+            bounded_survivor_bfs(&h, &f, 0, 3, 64),
+            SurvivorSearch::Disconnected
+        );
+        assert!(reachable_ignoring_faults(&h, 0, 3));
+    }
+
+    #[test]
+    fn survivor_bfs_honours_the_depth_budget() {
+        let h = path_graph(10);
+        let f = FaultState::new(10, 9);
+        assert_eq!(
+            bounded_survivor_bfs(&h, &f, 0, 9, 4),
+            SurvivorSearch::Truncated
+        );
+        match bounded_survivor_bfs(&h, &f, 0, 9, 9) {
+            SurvivorSearch::Found(p) => assert_eq!(p.len(), 10),
+            other => panic!("budget of 9 suffices, got {other:?}"),
+        }
+        f.fail_node(9);
+        assert_eq!(
+            bounded_survivor_bfs(&h, &f, 0, 9, 64),
+            SurvivorSearch::Disconnected
+        );
+    }
+}

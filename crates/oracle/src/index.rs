@@ -101,6 +101,42 @@ impl DetourIndex {
         self.three.row(id)
     }
 
+    /// Row `id`'s 2-hop midpoints whose both hops pass `usable` — the
+    /// fault-filtered candidate row for missing edge `{a, b}`, in stored
+    /// (selection-stable) order.
+    pub fn two_hop_surviving(
+        &self,
+        id: usize,
+        a: NodeId,
+        b: NodeId,
+        mut usable: impl FnMut(NodeId, NodeId) -> bool,
+    ) -> Vec<NodeId> {
+        self.two
+            .row(id)
+            .iter()
+            .copied()
+            .filter(|&x| usable(a, x) && usable(x, b))
+            .collect()
+    }
+
+    /// Row `id`'s 3-hop `(x, z)` pairs whose all three hops pass `usable`
+    /// — the fault-filtered candidate row for missing edge `{a, b}`, in
+    /// stored (selection-stable) order.
+    pub fn three_hop_surviving(
+        &self,
+        id: usize,
+        a: NodeId,
+        b: NodeId,
+        mut usable: impl FnMut(NodeId, NodeId) -> bool,
+    ) -> Vec<(NodeId, NodeId)> {
+        self.three
+            .row(id)
+            .iter()
+            .copied()
+            .filter(|&(x, z)| usable(a, x) && usable(x, z) && usable(z, b))
+            .collect()
+    }
+
     /// Size/shape summary.
     pub fn stats(&self) -> IndexStats {
         let uncovered = (0..self.missing.len())
@@ -153,30 +189,43 @@ impl<'a> IndexedDetourRouter<'a> {
     fn pick_detour(&self, a: NodeId, b: NodeId, rng: &mut SmallRng) -> Option<Vec<NodeId>> {
         let direct = self.h.has_edge(a, b);
         if let Some(id) = self.index.lookup(a, b) {
-            // Hot path: a missing edge of G answers from the tables.
-            return select_from_sets(
-                a,
-                b,
+            // Hot path: a missing edge of G answers from the tables. Rows
+            // are stored for the canonical (min, max) orientation — select
+            // canonically and flip the path for reversed queries.
+            let (ca, cb) = (a.min(b), a.max(b));
+            let mut nodes = select_from_sets(
+                ca,
+                cb,
                 direct,
                 self.index.two_hop(id),
                 self.index.three_hop(id),
                 self.policy,
                 rng,
-            );
+            )?;
+            if ca != a {
+                nodes.reverse();
+            }
+            return Some(nodes);
         }
         // Kept edge or non-edge of G: enumerate on the fly exactly as the
-        // naive router does (same helpers, same order, same RNG draws).
+        // naive router does (same helpers, same canonical orientation,
+        // same order, same RNG draws).
+        let (ca, cb) = (a.min(b), a.max(b));
         let two = if direct && self.policy != DetourPolicy::UniformUpTo3 {
             Vec::new()
         } else {
-            two_hop_midpoints(self.h, a, b)
+            two_hop_midpoints(self.h, ca, cb)
         };
         let three = if needs_three_hop(self.policy, direct, two.len()) {
-            three_hop_pairs(self.h, a, b)
+            three_hop_pairs(self.h, ca, cb)
         } else {
             Vec::new()
         };
-        select_from_sets(a, b, direct, &two, &three, self.policy, rng)
+        let mut nodes = select_from_sets(ca, cb, direct, &two, &three, self.policy, rng)?;
+        if ca != a {
+            nodes.reverse();
+        }
+        Some(nodes)
     }
 }
 
@@ -253,6 +302,39 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn surviving_rows_filter_and_preserve_order() {
+        let (g, h) = setup();
+        let idx = DetourIndex::build(&g, &h);
+        let e = idx.missing_edges()[0];
+        let id = idx.lookup(e.u, e.v).unwrap();
+        // Everything usable: filtered rows equal the stored rows.
+        assert_eq!(
+            idx.two_hop_surviving(id, e.u, e.v, |_, _| true),
+            idx.two_hop(id)
+        );
+        assert_eq!(
+            idx.three_hop_surviving(id, e.u, e.v, |_, _| true),
+            idx.three_hop(id)
+        );
+        // Nothing usable: both rows empty.
+        assert!(idx.two_hop_surviving(id, e.u, e.v, |_, _| false).is_empty());
+        assert!(idx
+            .three_hop_surviving(id, e.u, e.v, |_, _| false)
+            .is_empty());
+        // Kill one midpoint: it vanishes, the rest keep their order.
+        let dead = idx.two_hop(id)[0];
+        let filtered = idx.two_hop_surviving(id, e.u, e.v, |x, y| x != dead && y != dead);
+        assert!(!filtered.contains(&dead));
+        let expected: Vec<_> = idx
+            .two_hop(id)
+            .iter()
+            .copied()
+            .filter(|&x| x != dead)
+            .collect();
+        assert_eq!(filtered, expected);
     }
 
     #[test]

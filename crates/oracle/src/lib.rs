@@ -4,7 +4,8 @@
 //! *stand in for* `G` at routing time (Definition 3, Theorems 2–3) — this
 //! crate turns a built spanner into a long-lived, concurrent
 //! **substitute-routing query engine** in the build-once/query-many shape
-//! of distance oracles and compact routing schemes:
+//! of distance oracles and compact routing schemes, and keeps it correct
+//! under live failures and overload:
 //!
 //! * [`index`] — [`DetourIndex`]: per-missing-edge 2-/3-hop detour tables,
 //!   CSR-packed and built in parallel, plus [`IndexedDetourRouter`], an
@@ -12,19 +13,32 @@
 //!   identical to the naive intersection router,
 //! * [`cache`] — [`ShardedLru`]: a sharded LRU over deterministic BFS
 //!   answers for non-adjacent pairs (hits change latency, never results),
+//! * [`fault`] — [`FaultState`]: an epoch-versioned, lock-free overlay of
+//!   dead nodes and spanner edges (atomic kill/revive, readable from every
+//!   concurrent `route` call without a lock),
 //! * [`oracle`] — [`Oracle`]: shared-immutable query state serving
 //!   `route(u, v)` and `substitute_routing(P)` across threads, with
-//!   deterministic per-query RNG streams and atomic per-node load counters
-//!   so the live congestion `C(P')` is queryable while traffic is in
-//!   flight.
+//!   deterministic per-query RNG streams, atomic per-node load counters,
+//!   a fault-degradation ladder ([`RouteKind`]) and typed rejections
+//!   ([`RouteError`]), plus β-budget admission control,
+//! * [`chaos`] — a deterministic multi-threaded chaos harness driving
+//!   seeded fault schedules (edge kills, node crashes, heal waves, burst
+//!   overload) against a live oracle and validating every answer.
 
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
 pub mod cache;
+pub mod chaos;
+pub mod fault;
 pub mod index;
 pub mod oracle;
 
 pub use cache::ShardedLru;
+pub use chaos::{ChaosConfig, ChaosReport, ChaosStepStats, RetryPolicy};
+pub use fault::{bounded_survivor_bfs, FaultState, SurvivorSearch};
 pub use index::{DetourIndex, IndexStats, IndexedDetourRouter};
-pub use oracle::{Oracle, OracleConfig, OracleStatsSnapshot, RouteKind, RouteResponse};
+pub use oracle::{
+    Oracle, OracleConfig, OracleStatsSnapshot, RouteError, RouteKind, RouteResponse,
+    SubstituteReport,
+};

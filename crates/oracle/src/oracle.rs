@@ -1,27 +1,45 @@
-//! The concurrent substitute-routing oracle.
+//! The concurrent, fault-tolerant substitute-routing oracle.
 //!
 //! An [`Oracle`] owns everything a serving process needs to answer
 //! substitute-routing queries against a spanner `H` of `G` (Definition 3:
 //! `H` stands in for `G` at routing time): the spanner itself, the
 //! precomputed [`DetourIndex`], a sharded cache for the BFS answers of
-//! non-adjacent pairs, and per-node atomic load counters tracking the live
+//! non-adjacent pairs, a lock-free [`FaultState`] overlay of dead nodes
+//! and edges, and per-node atomic load counters tracking the live
 //! congestion `C(P')` of all traffic routed so far. All query state is
 //! either immutable or atomic, so one oracle is shared freely across
 //! threads (`&Oracle` is `Send + Sync`).
 //!
+//! **Degradation ladder.** Under faults a query descends through rungs
+//! until one serves it: (1) the healthy indexed ≤3-hop detour, if every
+//! element of it survives; (2) the detour row re-filtered to surviving
+//! candidates; (3) a bounded-depth BFS in the surviving spanner; (4) a
+//! typed rejection ([`RouteError`]). [`RouteKind`] records the rung that
+//! answered, so degradation is observable per query and in the stats.
+//!
+//! **Admission control.** An optional per-node congestion cap — the
+//! paper's `β = O(√Δ·log n)` budget via [`OracleConfig::beta_budget`], or
+//! any explicit cap — sheds queries whose chosen path would push a node
+//! past the cap ([`RouteError::Overloaded`]); committed loads never
+//! exceed the cap, even under concurrent admission.
+//!
 //! **Determinism:** query `q` draws randomness from
 //! `SplitMix64(seed, q)` (the workspace's `item_rng` derivation), never
 //! from ambient state, and the cache only stores deterministic BFS
-//! results — so for a fixed seed the answer to `(u, v, q)` is identical
-//! no matter how many threads are serving or how the cache is sized.
+//! results computed while the overlay was fault-free — so for a fixed
+//! seed and fault set the answer to `(u, v, q)` is identical no matter
+//! how many threads are serving, and heal-then-route is bit-identical to
+//! never-failed routing.
 
 use crate::cache::ShardedLru;
-use crate::index::{DetourIndex, IndexedDetourRouter};
+use crate::fault::{bounded_survivor_bfs, FaultState, SurvivorSearch};
+use crate::index::DetourIndex;
 use dcspan_core::serve::{build_spanner, BuiltSpanner, SpannerAlgo};
 use dcspan_graph::rng::item_rng;
 use dcspan_graph::traversal::shortest_path;
 use dcspan_graph::{invariants, Graph, NodeId, Path};
-use dcspan_routing::replace::{DetourPolicy, EdgeRouter};
+use dcspan_routing::detour::select_from_sets;
+use dcspan_routing::replace::DetourPolicy;
 use dcspan_routing::{Routing, RoutingProblem};
 use rayon::prelude::*;
 use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
@@ -38,8 +56,17 @@ pub struct OracleConfig {
     /// Lock shards the cache is spread over.
     pub cache_shards: usize,
     /// Answer with a BFS path when no ≤3-hop detour exists (off ⇒ such
-    /// queries return `None`).
+    /// queries are rejected with [`RouteError::BudgetExceeded`]: a
+    /// disabled fallback is a zero fallback budget).
     pub bfs_fallback: bool,
+    /// Admission-control cap on any node's live load; `None` disables
+    /// shedding. See [`OracleConfig::beta_budget`] for the paper-derived
+    /// default.
+    pub per_node_cap: Option<u32>,
+    /// Per-query budget for the BFS fallback rung, in BFS depth layers;
+    /// searches that exhaust it are rejected with
+    /// [`RouteError::BudgetExceeded`]. `u32::MAX` = unbounded.
+    pub fallback_depth: u32,
 }
 
 impl Default for OracleConfig {
@@ -50,33 +77,148 @@ impl Default for OracleConfig {
             cache_capacity: 4096,
             cache_shards: 16,
             bfs_fallback: true,
+            per_node_cap: None,
+            fallback_depth: u32::MAX,
         }
     }
 }
 
-/// How a query was answered.
+impl OracleConfig {
+    /// The paper's congestion budget shape for admission control:
+    /// `⌈c·√Δ·ln n⌉`, clamped to ≥ 1. Theorems 2–3 bound the congestion
+    /// stretch of substitute routing by `Õ(√Δ)` / `O(log² n)` factors;
+    /// serving adopts the same envelope as the per-node live-load cap,
+    /// with `c` absorbing the constants.
+    pub fn beta_budget(n: usize, delta: usize, c: f64) -> u32 {
+        let bound = c * (delta.max(1) as f64).sqrt() * (n.max(2) as f64).ln();
+        bound.ceil().max(1.0) as u32
+    }
+
+    /// This configuration with admission control set to the
+    /// [`OracleConfig::beta_budget`] cap for an `(n, Δ)` instance.
+    #[must_use]
+    pub fn with_beta_budget(mut self, n: usize, delta: usize, c: f64) -> Self {
+        self.per_node_cap = Some(Self::beta_budget(n, delta, c));
+        self
+    }
+}
+
+/// How a query was answered — which rung of the degradation ladder
+/// served it.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum RouteKind {
-    /// The pair is an edge of `H` and routed as itself.
+    /// The pair is a surviving edge of `H` and routed as itself.
     SpannerEdge,
-    /// A 2-hop detour from the index.
+    /// A 2-hop detour from the index (the healthy selection).
     TwoHop,
-    /// A 3-hop detour from the index.
+    /// A 3-hop detour from the index (the healthy selection).
     ThreeHop,
-    /// A BFS shortest path (non-adjacent pair, or a missing edge with no
-    /// ≤3-hop detour).
+    /// A 2-hop detour re-selected from the fault-filtered row (the
+    /// healthy selection was dead).
+    FilteredTwoHop,
+    /// A 3-hop detour re-selected from the fault-filtered row.
+    FilteredThreeHop,
+    /// A fault-free BFS shortest path (non-adjacent pair, or a missing
+    /// edge with no ≤3-hop detour in `H`).
     Bfs,
+    /// A bounded-depth BFS in the surviving spanner — the last serving
+    /// rung under faults.
+    DegradedBfs,
 }
+
+impl RouteKind {
+    /// True for the rungs served from the precomputed ≤3-hop structure
+    /// with the *healthy* selection (no re-filtering, no fallback) — the
+    /// rungs whose answers carry the paper's α ≤ 3 guarantee verbatim.
+    #[inline]
+    pub fn is_indexed(self) -> bool {
+        matches!(
+            self,
+            RouteKind::SpannerEdge | RouteKind::TwoHop | RouteKind::ThreeHop
+        )
+    }
+
+    /// True for every detour rung (≤ 3 hops by construction), filtered
+    /// or not.
+    #[inline]
+    pub fn is_detour(self) -> bool {
+        !matches!(self, RouteKind::Bfs | RouteKind::DegradedBfs)
+    }
+
+    /// Stable lowercase label (CLI/JSON output).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            RouteKind::SpannerEdge => "spanner_edge",
+            RouteKind::TwoHop => "two_hop",
+            RouteKind::ThreeHop => "three_hop",
+            RouteKind::FilteredTwoHop => "filtered_two_hop",
+            RouteKind::FilteredThreeHop => "filtered_three_hop",
+            RouteKind::Bfs => "bfs",
+            RouteKind::DegradedBfs => "degraded_bfs",
+        }
+    }
+}
+
+/// Why a query was rejected — the bottom of the degradation ladder.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum RouteError {
+    /// Degenerate request: `u == v` or an endpoint out of range.
+    InvalidQuery,
+    /// An endpoint is currently a failed node.
+    DeadEndpoint,
+    /// No path exists in the surviving spanner (the BFS frontier died
+    /// out before reaching the destination).
+    Partitioned,
+    /// Admission control shed the query: its path would push a node past
+    /// the configured per-node cap. Retryable once load drains.
+    Overloaded,
+    /// The per-query budget expired before an answer was found (BFS
+    /// fallback disabled, or its depth budget exhausted). The pair may
+    /// still be connected.
+    BudgetExceeded,
+}
+
+impl RouteError {
+    /// Stable lowercase label (CLI/JSON output).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            RouteError::InvalidQuery => "invalid_query",
+            RouteError::DeadEndpoint => "dead_endpoint",
+            RouteError::Partitioned => "partitioned",
+            RouteError::Overloaded => "overloaded",
+            RouteError::BudgetExceeded => "budget_exceeded",
+        }
+    }
+
+    /// True when retrying later can succeed without topology changes
+    /// (only load has to drain).
+    #[inline]
+    pub fn is_retryable(self) -> bool {
+        matches!(self, RouteError::Overloaded)
+    }
+}
+
+impl std::fmt::Display for RouteError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl std::error::Error for RouteError {}
 
 /// One answered query.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct RouteResponse {
     /// The substitute path in `H` from `u` to `v`.
     pub path: Path,
-    /// How the answer was produced.
+    /// Which rung of the degradation ladder produced the answer.
     pub kind: RouteKind,
     /// Whether a cache lookup answered the BFS portion.
     pub cache_hit: bool,
+    /// Fault-overlay epoch observed when the query started. If it still
+    /// equals [`FaultState::epoch`] after the call, the answer is
+    /// epoch-stable: it reflects exactly that epoch's fault set.
+    pub epoch: u64,
 }
 
 impl RouteResponse {
@@ -91,18 +233,32 @@ impl RouteResponse {
 /// Monotone lifetime counters, readable while traffic is in flight.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct OracleStatsSnapshot {
-    /// Total `route` calls answered (including failures).
+    /// Total `route` calls answered (including rejections).
     pub queries: u64,
-    /// Queries answered as a spanner edge.
+    /// Queries answered as a surviving spanner edge.
     pub spanner_edge: u64,
     /// Queries answered with an indexed 2-hop detour.
     pub two_hop: u64,
     /// Queries answered with an indexed 3-hop detour.
     pub three_hop: u64,
-    /// Queries answered by BFS (fallback or non-adjacent pair).
+    /// Queries answered from the fault-filtered 2-hop row.
+    pub filtered_two_hop: u64,
+    /// Queries answered from the fault-filtered 3-hop row.
+    pub filtered_three_hop: u64,
+    /// Queries answered by fault-free BFS (fallback or non-adjacent pair).
     pub bfs: u64,
-    /// Queries with no answer (disconnected in `H`, fallback disabled).
-    pub unroutable: u64,
+    /// Queries answered by bounded BFS in the surviving spanner.
+    pub degraded_bfs: u64,
+    /// Rejections: degenerate queries.
+    pub invalid: u64,
+    /// Rejections: an endpoint was a failed node.
+    pub dead_endpoint: u64,
+    /// Rejections: disconnected in the surviving spanner.
+    pub partitioned: u64,
+    /// Rejections: shed by admission control.
+    pub shed: u64,
+    /// Rejections: per-query budget exhausted.
+    pub budget_exceeded: u64,
     /// BFS cache hits.
     pub cache_hits: u64,
     /// BFS cache misses.
@@ -119,6 +275,33 @@ impl OracleStatsSnapshot {
             self.cache_hits as f64 / total as f64
         }
     }
+
+    /// Queries answered with a path (any rung).
+    pub fn served(&self) -> u64 {
+        self.spanner_edge
+            + self.two_hop
+            + self.three_hop
+            + self.filtered_two_hop
+            + self.filtered_three_hop
+            + self.bfs
+            + self.degraded_bfs
+    }
+
+    /// Queries rejected with a [`RouteError`] (any variant).
+    pub fn rejected(&self) -> u64 {
+        self.invalid + self.dead_endpoint + self.partitioned + self.shed + self.budget_exceeded
+    }
+
+    /// Fraction of served queries answered by the healthy indexed rungs
+    /// (`SpannerEdge`/`TwoHop`/`ThreeHop`); 0.0 before any serve.
+    pub fn indexed_fraction(&self) -> f64 {
+        let served = self.served();
+        if served == 0 {
+            0.0
+        } else {
+            (self.spanner_edge + self.two_hop + self.three_hop) as f64 / served as f64
+        }
+    }
 }
 
 #[derive(Default)]
@@ -127,17 +310,81 @@ struct Counters {
     spanner_edge: AtomicU64,
     two_hop: AtomicU64,
     three_hop: AtomicU64,
+    filtered_two_hop: AtomicU64,
+    filtered_three_hop: AtomicU64,
     bfs: AtomicU64,
-    unroutable: AtomicU64,
+    degraded_bfs: AtomicU64,
+    invalid: AtomicU64,
+    dead_endpoint: AtomicU64,
+    partitioned: AtomicU64,
+    shed: AtomicU64,
+    budget_exceeded: AtomicU64,
+}
+
+/// Per-pair outcomes of a batched [`Oracle::substitute_routing`] call —
+/// failed pairs are aggregated, never silently dropped.
+#[derive(Clone, Debug)]
+pub struct SubstituteReport {
+    responses: Vec<Result<RouteResponse, RouteError>>,
+}
+
+impl SubstituteReport {
+    /// Per-pair outcomes, in problem order.
+    #[inline]
+    pub fn responses(&self) -> &[Result<RouteResponse, RouteError>] {
+        &self.responses
+    }
+
+    /// Pairs that were served with a path.
+    pub fn ok_count(&self) -> usize {
+        self.responses.iter().filter(|r| r.is_ok()).count()
+    }
+
+    /// Pairs that were rejected.
+    pub fn error_count(&self) -> usize {
+        self.responses.len() - self.ok_count()
+    }
+
+    /// `(pair index, error)` for every rejected pair.
+    pub fn errors(&self) -> impl Iterator<Item = (usize, RouteError)> + '_ {
+        self.responses
+            .iter()
+            .enumerate()
+            .filter_map(|(i, r)| r.as_ref().err().map(|&e| (i, e)))
+    }
+
+    /// Histogram of rejection reasons, in first-seen order.
+    pub fn error_counts(&self) -> Vec<(RouteError, usize)> {
+        let mut hist: Vec<(RouteError, usize)> = Vec::new();
+        for (_, e) in self.errors() {
+            match hist.iter_mut().find(|(k, _)| *k == e) {
+                Some((_, c)) => *c += 1,
+                None => hist.push((e, 1)),
+            }
+        }
+        hist
+    }
+
+    /// The whole batch as a [`Routing`]; `Err` with the first rejection
+    /// when any pair failed.
+    pub fn into_routing(self) -> Result<Routing, RouteError> {
+        let mut paths = Vec::with_capacity(self.responses.len());
+        for r in self.responses {
+            paths.push(r?.path);
+        }
+        Ok(Routing::new(paths))
+    }
 }
 
 /// A long-lived, thread-safe substitute-routing query engine over a
-/// spanner `H ⊆ G`.
+/// spanner `H ⊆ G`, serving correctly under live edge/node failures and
+/// overload.
 pub struct Oracle {
     h: Graph,
     index: DetourIndex,
     config: OracleConfig,
     cache: ShardedLru,
+    faults: FaultState,
     /// Live per-node load: how many answered paths touch each node — the
     /// running `C(P', v)` of everything routed since the last reset.
     load: Vec<AtomicU32>,
@@ -147,20 +394,22 @@ pub struct Oracle {
 impl Oracle {
     /// Build an oracle from a host graph and an already-built spanner.
     /// Precomputes the detour index (in parallel) and validates the
-    /// spanner contract.
+    /// spanner contract. The fault overlay starts fully healthy.
     pub fn build(g: &Graph, h: Graph, config: OracleConfig) -> Oracle {
         invariants::assert_graph_contract(g, "Oracle::build: host");
         invariants::assert_graph_contract(&h, "Oracle::build: spanner");
         invariants::assert_subgraph(&h, g, "Oracle::build");
         let index = DetourIndex::build(g, &h);
         let load = (0..g.n()).map(|_| AtomicU32::new(0)).collect();
+        let faults = FaultState::new(h.n(), h.m());
         Oracle {
-            h,
             index,
             cache: ShardedLru::new(config.cache_capacity, config.cache_shards),
             config,
+            faults,
             load,
             counters: Counters::default(),
+            h,
         }
     }
 
@@ -195,51 +444,130 @@ impl Oracle {
         &self.config
     }
 
-    /// Answer a single substitute-routing query: a path in `H` standing in
-    /// for `(u, v)`. `query_id` individualises the RNG stream — callers
-    /// assign each logical request a distinct id and get answers that are
-    /// reproducible and scheduling-independent.
+    /// The live fault overlay (lock-free reads; see [`FaultState`]).
+    #[inline]
+    pub fn faults(&self) -> &FaultState {
+        &self.faults
+    }
+
+    /// Kill spanner edge `{a, b}`. Returns false (and changes nothing)
+    /// when `{a, b}` is not an edge of `H` or is already dead.
+    pub fn fail_edge(&self, a: NodeId, b: NodeId) -> bool {
+        if a == b {
+            return false;
+        }
+        self.h
+            .edge_id(a, b)
+            .is_some_and(|id| self.faults.fail_edge_id(id))
+    }
+
+    /// Revive spanner edge `{a, b}`. Returns false when it was not dead.
+    pub fn heal_edge(&self, a: NodeId, b: NodeId) -> bool {
+        if a == b {
+            return false;
+        }
+        self.h
+            .edge_id(a, b)
+            .is_some_and(|id| self.faults.heal_edge_id(id))
+    }
+
+    /// Kill node `v` (every query touching it will route around or be
+    /// rejected). Returns false when out of range or already dead.
+    pub fn fail_node(&self, v: NodeId) -> bool {
+        (v as usize) < self.h.n() && self.faults.fail_node(v)
+    }
+
+    /// Revive node `v`. Returns false when it was not dead.
+    pub fn heal_node(&self, v: NodeId) -> bool {
+        self.faults.heal_node(v)
+    }
+
+    /// Revive every failed node and edge in one wave.
+    pub fn heal_all(&self) {
+        self.faults.heal_all();
+    }
+
+    /// Answer a single substitute-routing query: a path in the surviving
+    /// spanner standing in for `(u, v)`. `query_id` individualises the
+    /// RNG stream — callers assign each logical request a distinct id
+    /// and get answers that are reproducible and scheduling-independent.
     ///
-    /// Returns `None` for degenerate queries (`u == v`, out of range) and
-    /// for pairs the spanner cannot serve (disconnected, with
-    /// `bfs_fallback` off).
-    pub fn route(&self, u: NodeId, v: NodeId, query_id: u64) -> Option<RouteResponse> {
+    /// Healthy overlays serve exactly the PR-2 fast path; under faults
+    /// the query descends the degradation ladder (see module docs) and
+    /// unservable queries come back as a typed [`RouteError`].
+    pub fn route(&self, u: NodeId, v: NodeId, query_id: u64) -> Result<RouteResponse, RouteError> {
         self.counters.queries.fetch_add(1, Ordering::Relaxed);
         let n = self.h.n();
         if u == v || u as usize >= n || v as usize >= n {
-            self.counters.unroutable.fetch_add(1, Ordering::Relaxed);
-            return None;
+            self.counters.invalid.fetch_add(1, Ordering::Relaxed);
+            return Err(RouteError::InvalidQuery);
         }
-        let response = self.answer(u, v, query_id);
-        match response {
-            Some(resp) => {
-                self.account(&resp);
-                Some(resp)
+        let epoch = self.faults.epoch();
+        let degraded = self.faults.faults_present();
+        let outcome = if degraded {
+            if self.faults.is_node_failed(u) || self.faults.is_node_failed(v) {
+                Err(RouteError::DeadEndpoint)
+            } else {
+                self.answer_degraded(u, v, query_id, epoch)
             }
-            None => {
-                self.counters.unroutable.fetch_add(1, Ordering::Relaxed);
-                None
+        } else {
+            self.answer_healthy(u, v, query_id, epoch)
+        };
+        match outcome {
+            Ok(resp) => {
+                if !self.admit(&resp) {
+                    self.counters.shed.fetch_add(1, Ordering::Relaxed);
+                    return Err(RouteError::Overloaded);
+                }
+                self.tally(resp.kind);
+                Ok(resp)
+            }
+            Err(err) => {
+                self.tally_error(err);
+                Err(err)
             }
         }
     }
 
-    fn answer(&self, u: NodeId, v: NodeId, query_id: u64) -> Option<RouteResponse> {
+    /// Healthy fast path — no fault filtering, cache enabled. Identical
+    /// answers (and RNG draws) to the pre-fault-overlay oracle.
+    fn answer_healthy(
+        &self,
+        u: NodeId,
+        v: NodeId,
+        query_id: u64,
+        epoch: u64,
+    ) -> Result<RouteResponse, RouteError> {
         if self.h.has_edge(u, v) {
-            return self.finish(u, v, vec![u, v], RouteKind::SpannerEdge, false);
+            return Ok(self.finish(u, v, vec![u, v], RouteKind::SpannerEdge, false, epoch));
         }
-        if self.index.lookup(u, v).is_some() {
-            let mut router = IndexedDetourRouter::new(&self.h, &self.index, self.config.policy);
-            router.bfs_fallback = self.config.bfs_fallback;
+        if let Some(id) = self.index.lookup(u, v) {
             let mut rng = item_rng(self.config.seed, query_id);
-            let nodes = router.route_edge(u, v, &mut rng)?;
-            // A BFS fallback only fires when no ≤3-hop detour exists, in
-            // which case d_H(u, v) ≥ 4 — so length classifies the source.
-            let kind = match nodes.len() {
-                3 => RouteKind::TwoHop,
-                4 => RouteKind::ThreeHop,
-                _ => RouteKind::Bfs,
-            };
-            return self.finish(u, v, nodes, kind, false);
+            // Rows are stored for the canonical (min, max) orientation;
+            // select canonically, then flip the path for reversed queries.
+            let (a, b) = (u.min(v), u.max(v));
+            if let Some(mut nodes) = select_from_sets(
+                a,
+                b,
+                false,
+                self.index.two_hop(id),
+                self.index.three_hop(id),
+                self.config.policy,
+                &mut rng,
+            ) {
+                if a != u {
+                    nodes.reverse();
+                }
+                // A missing edge always selects a 2- or 3-hop detour.
+                let kind = if nodes.len() == 3 {
+                    RouteKind::TwoHop
+                } else {
+                    RouteKind::ThreeHop
+                };
+                return Ok(self.finish(u, v, nodes, kind, false, epoch));
+            }
+            // Uncovered edge (no ≤3-hop detour in H): BFS under budget.
+            return self.fallback_bfs(u, v, epoch, RouteKind::Bfs);
         }
         // Non-adjacent pair: deterministic BFS in H, served from the cache.
         let (cached, hit) = match self.cache.get(u, v) {
@@ -250,11 +578,96 @@ impl Oracle {
                 (fresh, false)
             }
         };
-        let mut nodes = cached?;
+        let Some(mut nodes) = cached else {
+            return Err(RouteError::Partitioned);
+        };
         if nodes.first() != Some(&u) {
             nodes.reverse();
         }
-        self.finish(u, v, nodes, RouteKind::Bfs, hit)
+        Ok(self.finish(u, v, nodes, RouteKind::Bfs, hit, epoch))
+    }
+
+    /// The degradation ladder: healthy indexed selection → re-filtered
+    /// detour row → bounded surviving-spanner BFS → typed rejection.
+    fn answer_degraded(
+        &self,
+        u: NodeId,
+        v: NodeId,
+        query_id: u64,
+        epoch: u64,
+    ) -> Result<RouteResponse, RouteError> {
+        // Rung 1a: a surviving spanner edge still routes as itself.
+        if self.h.has_edge(u, v) && self.faults.hop_usable(&self.h, u, v) {
+            return Ok(self.finish(u, v, vec![u, v], RouteKind::SpannerEdge, false, epoch));
+        }
+        if let Some(id) = self.index.lookup(u, v) {
+            let mut rng = item_rng(self.config.seed, query_id);
+            // Rows are stored canonically (min, max): select canonically
+            // and flip the answer for reversed queries, exactly like the
+            // healthy path.
+            let (a, b) = (u.min(v), u.max(v));
+            // Rung 1b: the healthy selection, served verbatim when every
+            // element of it survives (same RNG draws as the fast path, so
+            // heal-then-route is bit-identical to never-failed routing).
+            let two = self.index.two_hop(id);
+            let three = self.index.three_hop(id);
+            if let Some(mut nodes) =
+                select_from_sets(a, b, false, two, three, self.config.policy, &mut rng)
+            {
+                if self.faults.path_clear(&self.h, &nodes) {
+                    if a != u {
+                        nodes.reverse();
+                    }
+                    let kind = if nodes.len() == 3 {
+                        RouteKind::TwoHop
+                    } else {
+                        RouteKind::ThreeHop
+                    };
+                    return Ok(self.finish(u, v, nodes, kind, false, epoch));
+                }
+                // Rung 2: re-filter the row to surviving candidates and
+                // re-select (continuing the same per-query RNG stream).
+                let usable = |x: NodeId, y: NodeId| self.faults.hop_usable(&self.h, x, y);
+                let two_f = self.index.two_hop_surviving(id, a, b, usable);
+                let three_f = self.index.three_hop_surviving(id, a, b, usable);
+                if let Some(mut nodes) =
+                    select_from_sets(a, b, false, &two_f, &three_f, self.config.policy, &mut rng)
+                {
+                    if a != u {
+                        nodes.reverse();
+                    }
+                    let kind = if nodes.len() == 3 {
+                        RouteKind::FilteredTwoHop
+                    } else {
+                        RouteKind::FilteredThreeHop
+                    };
+                    return Ok(self.finish(u, v, nodes, kind, false, epoch));
+                }
+            }
+        }
+        // Rung 3: bounded-depth BFS over whatever of H survives. Covers
+        // dead spanner edges, exhausted detour rows, and non-adjacent
+        // pairs (the cache is bypassed: it only stores healthy answers).
+        self.fallback_bfs(u, v, epoch, RouteKind::DegradedBfs)
+    }
+
+    /// The BFS fallback rung, honouring `bfs_fallback` and the per-query
+    /// depth budget.
+    fn fallback_bfs(
+        &self,
+        u: NodeId,
+        v: NodeId,
+        epoch: u64,
+        kind: RouteKind,
+    ) -> Result<RouteResponse, RouteError> {
+        if !self.config.bfs_fallback {
+            return Err(RouteError::BudgetExceeded);
+        }
+        match bounded_survivor_bfs(&self.h, &self.faults, u, v, self.config.fallback_depth) {
+            SurvivorSearch::Found(nodes) => Ok(self.finish(u, v, nodes, kind, false, epoch)),
+            SurvivorSearch::Disconnected => Err(RouteError::Partitioned),
+            SurvivorSearch::Truncated => Err(RouteError::BudgetExceeded),
+        }
     }
 
     fn finish(
@@ -264,9 +677,12 @@ impl Oracle {
         nodes: Vec<NodeId>,
         kind: RouteKind,
         cache_hit: bool,
-    ) -> Option<RouteResponse> {
+        epoch: u64,
+    ) -> RouteResponse {
         let path = Path::new(nodes);
-        // Exit contract: every answered path runs u → v inside H.
+        // Exit contract: every answered path runs u → v inside H, and —
+        // when the overlay did not move under the query — avoids every
+        // element failed at the observed epoch.
         if invariants::enabled() {
             invariants::assert_routing_valid(
                 &self.h,
@@ -274,47 +690,99 @@ impl Oracle {
                 std::slice::from_ref(&path),
                 "Oracle::route",
             );
+            assert!(
+                self.faults.epoch() != epoch || self.faults.path_clear(&self.h, path.nodes()),
+                "Oracle::route: epoch-stable answer traverses a failed element"
+            );
         }
-        Some(RouteResponse {
+        RouteResponse {
             path,
             kind,
             cache_hit,
-        })
+            epoch,
+        }
     }
 
-    fn account(&self, resp: &RouteResponse) {
-        match resp.kind {
+    /// Account the response's load, enforcing the per-node cap when one
+    /// is configured. Returns false (leaving the counters as they were)
+    /// when admission control sheds the query. Committed loads never
+    /// exceed the cap: a concurrent over-admission is detected by the
+    /// `fetch_add` return value and rolled back.
+    fn admit(&self, resp: &RouteResponse) -> bool {
+        let nodes = resp.path.distinct_nodes();
+        match self.config.per_node_cap {
+            None => {
+                for &w in &nodes {
+                    self.load[w as usize].fetch_add(1, Ordering::Relaxed);
+                }
+                true
+            }
+            Some(cap) => {
+                for (i, &w) in nodes.iter().enumerate() {
+                    if self.load[w as usize].fetch_add(1, Ordering::AcqRel) >= cap {
+                        // Would exceed the cap: roll back this prefix.
+                        for &x in &nodes[..=i] {
+                            self.load[x as usize].fetch_sub(1, Ordering::AcqRel);
+                        }
+                        return false;
+                    }
+                }
+                true
+            }
+        }
+    }
+
+    fn tally(&self, kind: RouteKind) {
+        match kind {
             RouteKind::SpannerEdge => &self.counters.spanner_edge,
             RouteKind::TwoHop => &self.counters.two_hop,
             RouteKind::ThreeHop => &self.counters.three_hop,
+            RouteKind::FilteredTwoHop => &self.counters.filtered_two_hop,
+            RouteKind::FilteredThreeHop => &self.counters.filtered_three_hop,
             RouteKind::Bfs => &self.counters.bfs,
+            RouteKind::DegradedBfs => &self.counters.degraded_bfs,
         }
         .fetch_add(1, Ordering::Relaxed);
-        for v in resp.path.distinct_nodes() {
-            self.load[v as usize].fetch_add(1, Ordering::Relaxed);
-        }
     }
 
-    /// Route a whole problem concurrently (rayon), pair `i` using query id
-    /// `base_query_id + i`. Output is identical for any thread count.
-    /// `None` if any pair is unroutable.
+    fn tally_error(&self, err: RouteError) {
+        match err {
+            RouteError::InvalidQuery => &self.counters.invalid,
+            RouteError::DeadEndpoint => &self.counters.dead_endpoint,
+            RouteError::Partitioned => &self.counters.partitioned,
+            RouteError::Overloaded => &self.counters.shed,
+            RouteError::BudgetExceeded => &self.counters.budget_exceeded,
+        }
+        .fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Route a whole problem concurrently (rayon), pair `i` using query
+    /// id `base_query_id + i`. Output is identical for any thread count.
+    /// Every pair's outcome — served or rejected — is aggregated into
+    /// the returned [`SubstituteReport`]; nothing is dropped silently.
     pub fn substitute_routing(
         &self,
         problem: &RoutingProblem,
         base_query_id: u64,
-    ) -> Option<Routing> {
-        let paths: Option<Vec<Path>> = problem
+    ) -> SubstituteReport {
+        let responses: Vec<Result<RouteResponse, RouteError>> = problem
             .pairs()
             .par_iter()
             .enumerate()
-            .map(|(i, &(u, v))| {
-                self.route(u, v, base_query_id.wrapping_add(i as u64))
-                    .map(|r| r.path)
-            })
+            .map(|(i, &(u, v))| self.route(u, v, base_query_id.wrapping_add(i as u64)))
             .collect();
-        let paths = paths?;
-        invariants::assert_routing_endpoints(problem.pairs(), &paths, "Oracle::substitute_routing");
-        Some(Routing::new(paths))
+        if invariants::enabled() {
+            for (&(u, v), resp) in problem.pairs().iter().zip(&responses) {
+                if let Ok(resp) = resp {
+                    invariants::assert_routing_endpoints(
+                        &[(u, v)],
+                        std::slice::from_ref(&resp.path),
+                        "Oracle::substitute_routing",
+                    );
+                }
+            }
+        }
+        SubstituteReport { responses }
     }
 
     /// Live load of one node: how many answered paths touched `v` since
@@ -359,8 +827,15 @@ impl Oracle {
             spanner_edge: self.counters.spanner_edge.load(Ordering::Relaxed),
             two_hop: self.counters.two_hop.load(Ordering::Relaxed),
             three_hop: self.counters.three_hop.load(Ordering::Relaxed),
+            filtered_two_hop: self.counters.filtered_two_hop.load(Ordering::Relaxed),
+            filtered_three_hop: self.counters.filtered_three_hop.load(Ordering::Relaxed),
             bfs: self.counters.bfs.load(Ordering::Relaxed),
-            unroutable: self.counters.unroutable.load(Ordering::Relaxed),
+            degraded_bfs: self.counters.degraded_bfs.load(Ordering::Relaxed),
+            invalid: self.counters.invalid.load(Ordering::Relaxed),
+            dead_endpoint: self.counters.dead_endpoint.load(Ordering::Relaxed),
+            partitioned: self.counters.partitioned.load(Ordering::Relaxed),
+            shed: self.counters.shed.load(Ordering::Relaxed),
+            budget_exceeded: self.counters.budget_exceeded.load(Ordering::Relaxed),
             cache_hits: self.cache.hits(),
             cache_misses: self.cache.misses(),
         }
@@ -373,16 +848,13 @@ mod tests {
 
     /// C5 plus chord (0,2); spanner drops the chord.
     fn small_oracle(policy: DetourPolicy) -> Oracle {
+        small_oracle_with(policy, OracleConfig::default())
+    }
+
+    fn small_oracle_with(policy: DetourPolicy, config: OracleConfig) -> Oracle {
         let g = Graph::from_edges(5, vec![(0, 1), (1, 2), (2, 3), (3, 4), (4, 0), (0, 2)]);
         let h = g.filter_edges(|_, e| !(e.u == 0 && e.v == 2));
-        Oracle::build(
-            &g,
-            h,
-            OracleConfig {
-                policy,
-                ..OracleConfig::default()
-            },
-        )
+        Oracle::build(&g, h, OracleConfig { policy, ..config })
     }
 
     #[test]
@@ -424,9 +896,10 @@ mod tests {
     #[test]
     fn degenerate_queries_fail_cleanly() {
         let oracle = small_oracle(DetourPolicy::UniformShortest);
-        assert!(oracle.route(2, 2, 0).is_none());
-        assert!(oracle.route(0, 99, 0).is_none());
-        assert_eq!(oracle.stats().unroutable, 2);
+        assert_eq!(oracle.route(2, 2, 0), Err(RouteError::InvalidQuery));
+        assert_eq!(oracle.route(0, 99, 0), Err(RouteError::InvalidQuery));
+        assert_eq!(oracle.stats().invalid, 2);
+        assert_eq!(oracle.stats().rejected(), 2);
     }
 
     #[test]
@@ -441,11 +914,28 @@ mod tests {
     fn substitute_routing_matches_sequential_routes() {
         let oracle = small_oracle(DetourPolicy::UniformShortest);
         let problem = RoutingProblem::from_pairs(vec![(0, 2), (3, 1), (4, 2)]);
-        let routing = oracle.substitute_routing(&problem, 100).unwrap();
+        let report = oracle.substitute_routing(&problem, 100);
+        assert_eq!(report.ok_count(), 3);
+        let routing = report.into_routing().unwrap();
         for (i, &(u, v)) in problem.pairs().iter().enumerate() {
             let solo = oracle.route(u, v, 100 + i as u64).unwrap();
             assert_eq!(routing.paths()[i], solo.path);
         }
+    }
+
+    #[test]
+    fn substitute_routing_aggregates_errors() {
+        let oracle = small_oracle(DetourPolicy::UniformShortest);
+        oracle.fail_node(3);
+        let problem = RoutingProblem::from_pairs(vec![(0, 2), (3, 1), (7, 9)]);
+        let report = oracle.substitute_routing(&problem, 0);
+        assert_eq!(report.ok_count(), 1);
+        assert_eq!(report.error_count(), 2);
+        let errs: Vec<_> = report.errors().collect();
+        assert_eq!(errs[0], (1, RouteError::DeadEndpoint));
+        assert_eq!(errs[1], (2, RouteError::InvalidQuery));
+        assert_eq!(report.error_counts().len(), 2);
+        assert!(report.into_routing().is_err());
     }
 
     #[test]
@@ -456,5 +946,115 @@ mod tests {
         oracle.reset_load();
         assert_eq!(oracle.live_congestion(), 0);
         assert_eq!(oracle.load_profile(), vec![0; 5]);
+    }
+
+    #[test]
+    fn dead_endpoint_is_rejected() {
+        let oracle = small_oracle(DetourPolicy::UniformShortest);
+        assert!(oracle.fail_node(2));
+        assert_eq!(oracle.route(2, 4, 0), Err(RouteError::DeadEndpoint));
+        assert_eq!(oracle.stats().dead_endpoint, 1);
+        assert!(oracle.heal_node(2));
+        assert!(oracle.route(2, 4, 1).is_ok());
+    }
+
+    #[test]
+    fn dead_detour_falls_to_filtered_rung_then_bfs() {
+        // The only 2-hop detour for (0,2) runs through node 1; killing
+        // edge (0,1) forces the filtered rung (3-hop via 4,3), and
+        // killing that too forces the degraded BFS rung.
+        let oracle = small_oracle(DetourPolicy::UniformShortest);
+        assert!(oracle.fail_edge(0, 1));
+        let r = oracle.route(0, 2, 7).unwrap();
+        assert_eq!(r.kind, RouteKind::FilteredThreeHop);
+        assert_eq!(r.path.nodes(), &[0, 4, 3, 2]);
+        assert!(oracle.fail_edge(3, 4));
+        assert_eq!(oracle.route(0, 2, 8), Err(RouteError::Partitioned));
+        oracle.heal_all();
+        let healed = oracle.route(0, 2, 9).unwrap();
+        assert_eq!(healed.kind, RouteKind::TwoHop);
+        assert_eq!(healed.path.nodes(), &[0, 1, 2]);
+    }
+
+    #[test]
+    fn heal_then_route_is_bit_identical() {
+        let oracle = small_oracle(DetourPolicy::UniformUpTo3);
+        let before: Vec<_> = (0..20u64).map(|q| oracle.route(0, 2, q)).collect();
+        oracle.fail_edge(0, 1);
+        let _ = oracle.route(0, 2, 99);
+        oracle.heal_all();
+        for (q, b) in before.iter().enumerate() {
+            let after = oracle.route(0, 2, q as u64);
+            assert_eq!(
+                after.as_ref().map(|r| (&r.path, r.kind)),
+                b.as_ref().map(|r| (&r.path, r.kind)),
+                "query {q} diverged after heal"
+            );
+        }
+    }
+
+    #[test]
+    fn spanner_edge_killed_routes_around() {
+        let oracle = small_oracle(DetourPolicy::UniformShortest);
+        assert!(oracle.fail_edge(3, 4));
+        let r = oracle.route(3, 4, 0).unwrap();
+        assert_eq!(r.kind, RouteKind::DegradedBfs);
+        assert_eq!(r.path.source(), 3);
+        assert_eq!(r.path.destination(), 4);
+        assert!(r.hops() > 1);
+    }
+
+    #[test]
+    fn fallback_depth_budget_is_enforced() {
+        let oracle = small_oracle_with(
+            DetourPolicy::UniformShortest,
+            OracleConfig {
+                fallback_depth: 1,
+                ..OracleConfig::default()
+            },
+        );
+        oracle.fail_edge(3, 4);
+        // Routing around the dead edge needs 4 hops > depth budget 1.
+        assert_eq!(oracle.route(3, 4, 0), Err(RouteError::BudgetExceeded));
+        assert_eq!(oracle.stats().budget_exceeded, 1);
+    }
+
+    #[test]
+    fn admission_control_sheds_at_the_cap() {
+        let oracle = small_oracle_with(
+            DetourPolicy::UniformShortest,
+            OracleConfig {
+                per_node_cap: Some(2),
+                ..OracleConfig::default()
+            },
+        );
+        assert!(oracle.route(0, 1, 0).is_ok());
+        assert!(oracle.route(0, 1, 1).is_ok());
+        assert_eq!(oracle.route(0, 1, 2), Err(RouteError::Overloaded));
+        assert!(RouteError::Overloaded.is_retryable());
+        assert_eq!(oracle.stats().shed, 1);
+        assert!(oracle.live_congestion() <= 2);
+        // Draining the load re-admits the same query.
+        oracle.reset_load();
+        assert!(oracle.route(0, 1, 3).is_ok());
+    }
+
+    #[test]
+    fn beta_budget_is_monotone_and_positive() {
+        assert!(OracleConfig::beta_budget(2, 1, 1.0) >= 1);
+        let small = OracleConfig::beta_budget(256, 16, 2.0);
+        let large = OracleConfig::beta_budget(256, 64, 2.0);
+        assert!(large > small);
+        let cfg = OracleConfig::default().with_beta_budget(256, 16, 2.0);
+        assert_eq!(cfg.per_node_cap, Some(small));
+    }
+
+    #[test]
+    fn fail_edge_rejects_non_spanner_edges() {
+        let oracle = small_oracle(DetourPolicy::UniformShortest);
+        assert!(!oracle.fail_edge(0, 2), "missing edge of H cannot fail");
+        assert!(!oracle.fail_edge(1, 1));
+        assert!(!oracle.fail_node(99));
+        assert_eq!(oracle.faults().epoch(), 0);
     }
 }

@@ -1,0 +1,160 @@
+//! Property tests for the fault overlay and the degradation ladder:
+//! served paths never traverse failed elements, healing restores the
+//! healthy answer stream bit-for-bit, and admission control never lets
+//! a committed per-node load past the configured β cap.
+
+use dcspan_core::serve::SpannerAlgo;
+use dcspan_gen::gnp::gnp;
+use dcspan_graph::rng::splitmix64;
+use dcspan_oracle::{Oracle, OracleConfig, RouteError};
+use proptest::prelude::*;
+
+/// A small oracle over `G ~ G(n, p)` with a Theorem 2-style sampled
+/// spanner; `cap` switches admission control on.
+fn oracle_for(n: usize, p: f64, seed: u64, cap: Option<u32>) -> Oracle {
+    let g = gnp(n, p, seed);
+    Oracle::from_algo(
+        &g,
+        SpannerAlgo::Theorem2WithProb(0.6),
+        OracleConfig {
+            seed: seed ^ 0xFA17,
+            per_node_cap: cap,
+            ..OracleConfig::default()
+        },
+    )
+}
+
+/// Inject a seeded pseudo-random fault set: `edge_kills` draws over the
+/// spanner edge-id space and `node_kills` draws over the node space
+/// (duplicates collapse, so these are upper bounds).
+fn inject(oracle: &Oracle, kill_seed: u64, edge_kills: usize, node_kills: usize) {
+    let h = oracle.spanner();
+    let faults = oracle.faults();
+    if h.m() > 0 {
+        for k in 0..edge_kills {
+            faults.fail_edge_id(splitmix64(kill_seed ^ k as u64) as usize % h.m());
+        }
+    }
+    for k in 0..node_kills {
+        faults.fail_node((splitmix64(kill_seed ^ 0x0DE5 ^ k as u64) as usize % h.n()) as u32);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Under an arbitrary fault set, every served path avoids every
+    /// failed node and edge, and `DeadEndpoint` is only reported when
+    /// an endpoint really is dead. No other rejection can appear with
+    /// unbounded fallback and no cap.
+    #[test]
+    fn routes_never_traverse_failed_elements(
+        n in 6usize..20,
+        p in 0.3f64..0.8,
+        seed in 0u64..400,
+        edge_kills in 0usize..10,
+        node_kills in 0usize..4,
+        kill_seed in 0u64..1000,
+    ) {
+        let oracle = oracle_for(n, p, seed, None);
+        inject(&oracle, kill_seed, edge_kills, node_kills);
+        let faults = oracle.faults();
+        let h = oracle.spanner();
+        let mut qid = 0u64;
+        for u in 0..n as u32 {
+            for v in (u + 1)..n as u32 {
+                qid += 1;
+                match oracle.route(u, v, qid) {
+                    Ok(resp) => {
+                        prop_assert_eq!(resp.path.source(), u);
+                        prop_assert_eq!(resp.path.destination(), v);
+                        for (a, b) in resp.path.hops() {
+                            prop_assert!(
+                                faults.hop_usable(h, a, b),
+                                "served path uses failed element on hop {}-{}", a, b
+                            );
+                        }
+                    }
+                    Err(RouteError::DeadEndpoint) => {
+                        prop_assert!(faults.is_node_failed(u) || faults.is_node_failed(v));
+                    }
+                    Err(RouteError::Partitioned) => {
+                        // Cross-checked exactly (survivor BFS) by the
+                        // chaos harness; here it is a legal outcome.
+                    }
+                    Err(e) => prop_assert!(false, "unexpected rejection: {e:?}"),
+                }
+            }
+        }
+    }
+
+    /// Fail, route through the degraded ladder, heal — then the oracle
+    /// answers the original query ids with exactly the healthy paths
+    /// and rungs again.
+    #[test]
+    fn heal_then_route_restores_the_healthy_stream(
+        n in 6usize..16,
+        p in 0.35f64..0.8,
+        seed in 0u64..300,
+        edge_kills in 1usize..8,
+        kill_seed in 0u64..500,
+    ) {
+        let oracle = oracle_for(n, p, seed, None);
+        let pairs: Vec<(u32, u32)> = (0..n as u32)
+            .flat_map(|u| ((u + 1)..n as u32).map(move |v| (u, v)))
+            .collect();
+        let baseline: Vec<_> = pairs
+            .iter()
+            .enumerate()
+            .map(|(i, &(u, v))| oracle.route(u, v, i as u64).map(|r| (r.path, r.kind)))
+            .collect();
+        inject(&oracle, kill_seed, edge_kills, 1);
+        for (i, &(u, v)) in pairs.iter().enumerate() {
+            let _ = oracle.route(u, v, 10_000 + i as u64);
+        }
+        oracle.heal_all();
+        for (i, &(u, v)) in pairs.iter().enumerate() {
+            let again = oracle.route(u, v, i as u64).map(|r| (r.path, r.kind));
+            prop_assert_eq!(&again, &baseline[i], "query {} diverged after heal", i);
+        }
+    }
+
+    /// With a per-node cap configured, committed loads never exceed the
+    /// cap no matter how much traffic is pushed, sheds are typed
+    /// `Overloaded`, and the stats ledger balances.
+    #[test]
+    fn committed_loads_never_exceed_the_cap(
+        n in 8usize..18,
+        p in 0.4f64..0.8,
+        seed in 0u64..300,
+        cap in 1u32..4,
+    ) {
+        let oracle = oracle_for(n, p, seed, Some(cap));
+        let mut served = 0u64;
+        let mut shed = 0u64;
+        let mut qid = 0u64;
+        for _round in 0..3 {
+            for u in 0..n as u32 {
+                for v in (u + 1)..n as u32 {
+                    qid += 1;
+                    match oracle.route(u, v, qid) {
+                        Ok(_) => served += 1,
+                        Err(RouteError::Overloaded) => shed += 1,
+                        Err(RouteError::Partitioned) => {}
+                        Err(e) => prop_assert!(false, "unexpected rejection: {e:?}"),
+                    }
+                }
+            }
+            prop_assert!(
+                oracle.load_profile().iter().all(|&l| l <= cap),
+                "committed load exceeded the cap {}", cap
+            );
+        }
+        let stats = oracle.stats();
+        prop_assert_eq!(stats.shed, shed);
+        prop_assert_eq!(stats.served(), served);
+        prop_assert_eq!(stats.served() + stats.rejected(), stats.queries);
+        // Every served path commits ≥ 2 node slots out of `cap · n`.
+        prop_assert!(2 * served <= u64::from(cap) * n as u64);
+    }
+}

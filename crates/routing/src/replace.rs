@@ -77,20 +77,30 @@ impl<'a> SpannerDetourRouter<'a> {
     }
 
     fn pick_detour(&self, a: NodeId, b: NodeId, rng: &mut SmallRng) -> Option<Vec<NodeId>> {
-        let direct = self.h.has_edge(a, b);
+        // Detour answers are orientation-covariant: enumerate and select
+        // for the canonical (min, max) orientation, then flip the path for
+        // reversed queries. Every router (naive, index-backed, oracle)
+        // shares this convention, so a pair gets bit-identical paths no
+        // matter which way round it is asked.
+        let (ca, cb) = (a.min(b), a.max(b));
+        let direct = self.h.has_edge(ca, cb);
         // Enumerate lazily: the 3-hop set is the expensive one, so only
         // build it when the policy can actually reach it.
         let two = if direct && self.policy != DetourPolicy::UniformUpTo3 {
             Vec::new()
         } else {
-            self.two_hop_detours(a, b)
+            self.two_hop_detours(ca, cb)
         };
         let three = if needs_three_hop(self.policy, direct, two.len()) {
-            self.three_hop_detours(a, b)
+            self.three_hop_detours(ca, cb)
         } else {
             Vec::new()
         };
-        select_from_sets(a, b, direct, &two, &three, self.policy, rng)
+        let mut nodes = select_from_sets(ca, cb, direct, &two, &three, self.policy, rng)?;
+        if ca != a {
+            nodes.reverse();
+        }
+        Some(nodes)
     }
 }
 

@@ -7,14 +7,74 @@
 //! dcspan build      [--algo <theorem2|theorem3>] [--n N] [--delta D] [--seed S] [--out FILE]
 //! dcspan query      [--requests FILE] [oracle flags]       # JSONL {"u":..,"v":..} on stdin/file
 //! dcspan bench      [--smoke] [--out FILE] [--sizes N,N] [--threads T,T] [--queries Q]
+//! dcspan chaos      [--smoke] [--out FILE] [--n N] [--threads T] [--queries Q] [--seed S] [--cap-c C]
 //! ```
 //!
-//! Argument parsing is deliberately dependency-free.
+//! Argument parsing is deliberately dependency-free. Every failure is a
+//! typed [`CliError`] mapped to a nonzero exit code in `main`.
 
-use dcspan::oracle::{Oracle, OracleConfig, RouteKind};
+use dcspan::oracle::{ChaosConfig, Oracle, OracleConfig};
 use std::collections::HashMap;
 use std::io::BufRead;
 use std::process::ExitCode;
+
+/// Everything that can go wrong in a `dcspan` invocation; `main` prints
+/// the error and maps it to a nonzero exit code.
+#[derive(Debug)]
+enum CliError {
+    /// Missing/unknown subcommand: print usage, exit 1.
+    Usage,
+    /// Unknown `--family` value.
+    UnknownFamily(String),
+    /// Unknown spanner algorithm name.
+    UnknownAlgorithm(String),
+    /// Unknown detour policy name.
+    UnknownPolicy(String),
+    /// Unknown experiment name.
+    UnknownExperiment(String),
+    /// A spanner construction failed to produce a valid output.
+    SpannerFailed(String),
+    /// A file could not be read or written.
+    Io {
+        path: String,
+        source: std::io::Error,
+    },
+    /// Artifact rows could not be serialised.
+    Serialize(std::io::Error),
+    /// A chaos run finished but observed invariant/acceptance violations.
+    ChaosViolations(u64),
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CliError::Usage => write!(f, "missing or unknown subcommand"),
+            CliError::UnknownFamily(name) => write!(f, "unknown family: {name}"),
+            CliError::UnknownAlgorithm(name) => write!(f, "unknown spanner algorithm: {name}"),
+            CliError::UnknownPolicy(name) => write!(f, "unknown detour policy: {name}"),
+            CliError::UnknownExperiment(name) => write!(f, "unknown experiment: {name}"),
+            CliError::SpannerFailed(msg) => write!(f, "spanner construction failed: {msg}"),
+            CliError::Io { path, source } => write!(f, "cannot access {path}: {source}"),
+            CliError::Serialize(e) => write!(f, "cannot serialise artifact rows: {e}"),
+            CliError::ChaosViolations(count) => {
+                write!(f, "chaos run observed {count} violation(s)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl CliError {
+    /// Nonzero process exit code: 2 for a failed chaos verdict (the run
+    /// itself completed), 1 for everything else.
+    fn exit_code(&self) -> u8 {
+        match self {
+            CliError::ChaosViolations(_) => 2,
+            _ => 1,
+        }
+    }
+}
 
 fn parse_flags(args: &[String]) -> HashMap<String, String> {
     let mut flags = HashMap::new();
@@ -59,7 +119,7 @@ fn describe(g: &dcspan::Graph, label: &str) {
     println!("  connected: {}", dcspan::graph::traversal::is_connected(g));
 }
 
-fn cmd_gen(flags: &HashMap<String, String>) -> ExitCode {
+fn cmd_gen(flags: &HashMap<String, String>) -> Result<(), CliError> {
     let n = get_usize(flags, "n", 256);
     let delta = get_usize(flags, "delta", 16);
     let seed = get_u64(flags, "seed", 1);
@@ -98,15 +158,12 @@ fn cmd_gen(flags: &HashMap<String, String>) -> ExitCode {
             describe(&lb.graph, "Theorem 4 composite");
             println!("  q = {}, k = {}, instances = {}", lb.q, lb.k, lb.instances);
         }
-        other => {
-            eprintln!("unknown family: {other}");
-            return ExitCode::FAILURE;
-        }
+        other => return Err(CliError::UnknownFamily(other.to_string())),
     }
-    ExitCode::SUCCESS
+    Ok(())
 }
 
-fn cmd_spanner(flags: &HashMap<String, String>) -> ExitCode {
+fn cmd_spanner(flags: &HashMap<String, String>) -> Result<(), CliError> {
     let n = get_usize(flags, "n", 256);
     let delta = get_usize(
         flags,
@@ -143,8 +200,10 @@ fn cmd_spanner(flags: &HashMap<String, String>) -> ExitCode {
                     h
                 }
                 None => {
-                    eprintln!("failed to build a valid ({})-spanner", 2 * k - 1);
-                    return ExitCode::FAILURE;
+                    return Err(CliError::SpannerFailed(format!(
+                        "no valid ({})-spanner after 20 attempts",
+                        2 * k - 1
+                    )));
                 }
             }
         }
@@ -157,10 +216,7 @@ fn cmd_spanner(flags: &HashMap<String, String>) -> ExitCode {
             let d = get_usize(flags, "d", 4);
             dcspan::core::becchetti::random_d_out_subgraph(&g, d, seed)
         }
-        other => {
-            eprintln!("unknown algorithm: {other}");
-            return ExitCode::FAILURE;
-        }
+        other => return Err(CliError::UnknownAlgorithm(other.to_string())),
     };
     describe(&h, "spanner H");
     let rep = dcspan::core::eval::distance_stretch_edges(&g, &h, 10);
@@ -182,10 +238,10 @@ fn cmd_spanner(flags: &HashMap<String, String>) -> ExitCode {
         ),
         None => println!("matching routing failed (spanner disconnected)"),
     }
-    ExitCode::SUCCESS
+    Ok(())
 }
 
-fn cmd_experiment(which: &str, quick: bool) -> ExitCode {
+fn cmd_experiment(which: &str, quick: bool) -> Result<(), CliError> {
     let seed = 20240617u64;
     let run_one = |name: &str| -> Option<String> {
         let text = match name {
@@ -286,6 +342,18 @@ fn cmd_experiment(which: &str, quick: bool) -> ExitCode {
                 let queries = if quick { 300 } else { 2000 };
                 dcspan::experiments::e17_oracle::run(sizes, 0.15, threads, queries, seed).1
             }
+            "e18" => {
+                let n = if quick { 96 } else { 256 };
+                let cfg = ChaosConfig {
+                    threads: 2,
+                    queries_per_step: if quick { 100 } else { 300 },
+                    light_steps: 2,
+                    burst_factor: 4,
+                    seed,
+                    ..ChaosConfig::smoke()
+                };
+                dcspan::experiments::e18_chaos::run(n, 0.15, 6.0, &cfg).text
+            }
             "sweep" => {
                 let (n, seeds) = if quick { (96, 3) } else { (256, 8) };
                 let mut out = dcspan::experiments::sweep::sweep_theorem2(n, 0.15, seeds, seed).1;
@@ -322,22 +390,22 @@ fn cmd_experiment(which: &str, quick: bool) -> ExitCode {
             "e15",
             "e16",
             "e17",
+            "e18",
             "sweep",
             "ablations",
         ] {
-            println!("{}", run_one(name).unwrap());
+            let text =
+                run_one(name).ok_or_else(|| CliError::UnknownExperiment(name.to_string()))?;
+            println!("{text}");
         }
-        return ExitCode::SUCCESS;
+        return Ok(());
     }
     match run_one(which) {
         Some(text) => {
             println!("{text}");
-            ExitCode::SUCCESS
+            Ok(())
         }
-        None => {
-            eprintln!("unknown experiment: {which}");
-            ExitCode::FAILURE
-        }
+        None => Err(CliError::UnknownExperiment(which.to_string())),
     }
 }
 
@@ -357,19 +425,10 @@ fn get_list(flags: &HashMap<String, String>, key: &str, default: &[usize]) -> Ve
     )
 }
 
-fn route_kind_str(kind: RouteKind) -> &'static str {
-    match kind {
-        RouteKind::SpannerEdge => "spanner_edge",
-        RouteKind::TwoHop => "two_hop",
-        RouteKind::ThreeHop => "three_hop",
-        RouteKind::Bfs => "bfs",
-    }
-}
-
 /// Shared oracle construction for `build`/`query`: a Theorem 2 regime
 /// expander of the requested size, the chosen spanner construction, and
 /// the serving engine over them. Returns `(G, oracle, build millis)`.
-fn build_oracle(flags: &HashMap<String, String>) -> Result<(dcspan::Graph, Oracle, f64), String> {
+fn build_oracle(flags: &HashMap<String, String>) -> Result<(dcspan::Graph, Oracle, f64), CliError> {
     let n = get_usize(flags, "n", 256);
     let delta = get_usize(
         flags,
@@ -379,7 +438,7 @@ fn build_oracle(flags: &HashMap<String, String>) -> Result<(dcspan::Graph, Oracl
     let seed = get_u64(flags, "seed", 1);
     let algo_name = flags.get("algo").map_or("theorem2", String::as_str);
     let algo = dcspan::core::serve::SpannerAlgo::parse(algo_name)
-        .ok_or_else(|| format!("unknown spanner algorithm: {algo_name}"))?;
+        .ok_or_else(|| CliError::UnknownAlgorithm(algo_name.to_string()))?;
     let policy = match flags
         .get("policy")
         .map_or("uniform-shortest", String::as_str)
@@ -387,7 +446,7 @@ fn build_oracle(flags: &HashMap<String, String>) -> Result<(dcspan::Graph, Oracl
         "uniform-shortest" => dcspan::routing::replace::DetourPolicy::UniformShortest,
         "uniform-up-to-3" => dcspan::routing::replace::DetourPolicy::UniformUpTo3,
         "first-found" => dcspan::routing::replace::DetourPolicy::FirstFound,
-        other => return Err(format!("unknown detour policy: {other}")),
+        other => return Err(CliError::UnknownPolicy(other.to_string())),
     };
     let config = OracleConfig {
         policy,
@@ -401,14 +460,16 @@ fn build_oracle(flags: &HashMap<String, String>) -> Result<(dcspan::Graph, Oracl
     Ok((g, oracle, start.elapsed().as_secs_f64() * 1e3))
 }
 
-fn cmd_build(flags: &HashMap<String, String>) -> ExitCode {
-    let (g, oracle, build_ms) = match build_oracle(flags) {
-        Ok(built) => built,
-        Err(msg) => {
-            eprintln!("{msg}");
-            return ExitCode::FAILURE;
-        }
-    };
+/// Write `contents` to `path`, wrapping failures as [`CliError::Io`].
+fn write_file(path: &str, contents: String) -> Result<(), CliError> {
+    std::fs::write(path, contents).map_err(|source| CliError::Io {
+        path: path.to_string(),
+        source,
+    })
+}
+
+fn cmd_build(flags: &HashMap<String, String>) -> Result<(), CliError> {
+    let (g, oracle, build_ms) = build_oracle(flags)?;
     let stats = oracle.index().stats();
     let json = format!(
         "{{\"n\":{},\"delta\":{},\"edges_g\":{},\"edges_h\":{},\"missing_edges\":{},\
@@ -426,53 +487,51 @@ fn cmd_build(flags: &HashMap<String, String>) -> ExitCode {
         build_ms,
     );
     if let Some(out) = flags.get("out") {
-        if let Err(e) = std::fs::write(out, format!("{json}\n")) {
-            eprintln!("cannot write {out}: {e}");
-            return ExitCode::FAILURE;
-        }
+        write_file(out, format!("{json}\n"))?;
         println!("wrote {out}");
     } else {
         println!("{json}");
     }
-    ExitCode::SUCCESS
+    Ok(())
 }
 
-/// Answer one parsed JSONL request; returns the response hops (0 when
-/// unroutable) and prints one JSON object per request.
+/// Answer one parsed JSONL request; returns the response hops (0 on a
+/// typed rejection) and prints one JSON object per request.
 fn answer_request(oracle: &Oracle, id: u64, u: u32, v: u32) -> usize {
     match oracle.route(u, v, id) {
-        Some(resp) => {
+        Ok(resp) => {
             println!(
                 "{{\"id\":{id},\"u\":{u},\"v\":{v},\"ok\":true,\"hops\":{},\"kind\":\"{}\",\
-                 \"cache_hit\":{},\"path\":{:?}}}",
+                 \"cache_hit\":{},\"epoch\":{},\"path\":{:?}}}",
                 resp.hops(),
-                route_kind_str(resp.kind),
+                resp.kind.as_str(),
                 resp.cache_hit,
+                resp.epoch,
                 resp.path.nodes(),
             );
             resp.hops()
         }
-        None => {
-            println!("{{\"id\":{id},\"u\":{u},\"v\":{v},\"ok\":false}}");
+        Err(err) => {
+            println!(
+                "{{\"id\":{id},\"u\":{u},\"v\":{v},\"ok\":false,\"error\":\"{}\",\"retryable\":{}}}",
+                err.as_str(),
+                err.is_retryable(),
+            );
             0
         }
     }
 }
 
-fn cmd_query(flags: &HashMap<String, String>) -> ExitCode {
-    let (_, oracle, _) = match build_oracle(flags) {
-        Ok(built) => built,
-        Err(msg) => {
-            eprintln!("{msg}");
-            return ExitCode::FAILURE;
-        }
-    };
+fn cmd_query(flags: &HashMap<String, String>) -> Result<(), CliError> {
+    let (_, oracle, _) = build_oracle(flags)?;
     let reader: Box<dyn BufRead> = match flags.get("requests") {
         Some(path) => match std::fs::File::open(path) {
             Ok(f) => Box::new(std::io::BufReader::new(f)),
-            Err(e) => {
-                eprintln!("cannot open {path}: {e}");
-                return ExitCode::FAILURE;
+            Err(source) => {
+                return Err(CliError::Io {
+                    path: path.clone(),
+                    source,
+                })
             }
         },
         None => Box::new(std::io::BufReader::new(std::io::stdin())),
@@ -500,21 +559,24 @@ fn cmd_query(flags: &HashMap<String, String>) -> ExitCode {
     let stats = oracle.stats();
     println!(
         "{{\"summary\":{{\"queries\":{},\"spanner_edge\":{},\"two_hop\":{},\"three_hop\":{},\
-         \"bfs\":{},\"unroutable\":{},\"cache_hit_rate\":{:.4},\"max_hops\":{max_hops},\
-         \"live_congestion\":{}}}}}",
+         \"filtered\":{},\"bfs\":{},\"degraded_bfs\":{},\"rejected\":{},\"shed\":{},\
+         \"cache_hit_rate\":{:.4},\"max_hops\":{max_hops},\"live_congestion\":{}}}}}",
         stats.queries,
         stats.spanner_edge,
         stats.two_hop,
         stats.three_hop,
+        stats.filtered_two_hop + stats.filtered_three_hop,
         stats.bfs,
-        stats.unroutable,
+        stats.degraded_bfs,
+        stats.rejected(),
+        stats.shed,
         stats.cache_hit_rate(),
         oracle.live_congestion(),
     );
-    ExitCode::SUCCESS
+    Ok(())
 }
 
-fn cmd_bench(flags: &HashMap<String, String>) -> ExitCode {
+fn cmd_bench(flags: &HashMap<String, String>) -> Result<(), CliError> {
     let smoke = flags.contains_key("smoke");
     let seed = get_u64(flags, "seed", 20240617);
     let default_sizes: &[usize] = if smoke { &[64, 96] } else { &[128, 256] };
@@ -531,25 +593,60 @@ fn cmd_bench(flags: &HashMap<String, String>) -> ExitCode {
             seed,
             rows: &rows,
         };
-        let json = match artifact.to_json() {
-            Ok(json) => json,
-            Err(e) => {
-                eprintln!("cannot serialise bench rows: {e}");
-                return ExitCode::FAILURE;
-            }
-        };
-        if let Err(e) = std::fs::write(out, format!("{json}\n")) {
-            eprintln!("cannot write {out}: {e}");
-            return ExitCode::FAILURE;
-        }
+        let json = artifact.to_json().map_err(CliError::Serialize)?;
+        write_file(out, format!("{json}\n"))?;
         println!("wrote {out}");
     }
-    ExitCode::SUCCESS
+    Ok(())
+}
+
+/// `dcspan chaos`: drive the deterministic fault-injection schedule
+/// against a live oracle and fail (exit 2) on any invariant or
+/// acceptance violation. `--smoke` is the strict CI configuration.
+fn cmd_chaos(flags: &HashMap<String, String>) -> Result<(), CliError> {
+    let smoke = flags.contains_key("smoke");
+    let n = get_usize(flags, "n", if smoke { 384 } else { 600 });
+    let seed = get_u64(flags, "seed", 18);
+    let cap_c = flags
+        .get("cap-c")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(2.0);
+    let mut config = ChaosConfig::smoke();
+    config.seed = seed;
+    config.threads = get_usize(flags, "threads", config.threads);
+    config.queries_per_step = get_usize(flags, "queries", config.queries_per_step);
+    if !smoke {
+        // Full runs scale the load up and skip the O(n·m) re-verification
+        // of every Partitioned verdict (smoke keeps it on).
+        config.queries_per_step = get_usize(flags, "queries", 1000);
+        config.validate_partitions = false;
+    }
+    let out = dcspan::experiments::e18_chaos::run(n, 0.15, cap_c, &config);
+    println!("{}", out.text);
+    for v in &out.violations {
+        eprintln!("{v}");
+    }
+    if let Some(path) = flags.get("out") {
+        let artifact = dcspan::experiments::record::ExperimentArtifact {
+            id: "E18",
+            reproduces: "chaos serving: degraded-mode substitute routing under live faults",
+            seed,
+            rows: &out.rows,
+        };
+        let json = artifact.to_json().map_err(CliError::Serialize)?;
+        write_file(path, format!("{json}\n"))?;
+        println!("wrote {path}");
+    }
+    if out.passed {
+        Ok(())
+    } else {
+        Err(CliError::ChaosViolations(out.violations.len().max(1) as u64))
+    }
 }
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  dcspan gen --family <regular|gnp|gabber-galil|fan|two-clique|lower-bound> [--n N] [--delta D] [--seed S]\n  dcspan spanner --algo <regular|expander|baswana-sen|greedy|koutis-xu|d-out> [--n N] [--delta D] [--seed S]\n  dcspan experiment <e1..e17|sweep|ablations|all> [--quick]\n  dcspan build [--algo <theorem2|theorem3>] [--n N] [--delta D] [--seed S] [--out FILE]\n  dcspan query [--requests FILE] [--policy <uniform-shortest|uniform-up-to-3|first-found>] [oracle flags]\n  dcspan bench [--smoke] [--out FILE] [--sizes N,N] [--threads T,T] [--queries Q]"
+        "usage:\n  dcspan gen --family <regular|gnp|gabber-galil|fan|two-clique|lower-bound> [--n N] [--delta D] [--seed S]\n  dcspan spanner --algo <regular|expander|baswana-sen|greedy|koutis-xu|d-out> [--n N] [--delta D] [--seed S]\n  dcspan experiment <e1..e18|sweep|ablations|all> [--quick]\n  dcspan build [--algo <theorem2|theorem3>] [--n N] [--delta D] [--seed S] [--out FILE]\n  dcspan query [--requests FILE] [--policy <uniform-shortest|uniform-up-to-3|first-found>] [oracle flags]\n  dcspan bench [--smoke] [--out FILE] [--sizes N,N] [--threads T,T] [--queries Q]\n  dcspan chaos [--smoke] [--out FILE] [--n N] [--threads T] [--queries Q] [--seed S] [--cap-c C]"
     );
     ExitCode::FAILURE
 }
@@ -560,7 +657,7 @@ fn main() -> ExitCode {
         return usage();
     };
     let flags = parse_flags(&args[1..]);
-    match cmd.as_str() {
+    let result = match cmd.as_str() {
         "gen" => cmd_gen(&flags),
         "spanner" => cmd_spanner(&flags),
         "experiment" => {
@@ -570,6 +667,15 @@ fn main() -> ExitCode {
         "build" => cmd_build(&flags),
         "query" => cmd_query(&flags),
         "bench" => cmd_bench(&flags),
-        _ => usage(),
+        "chaos" => cmd_chaos(&flags),
+        _ => Err(CliError::Usage),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(CliError::Usage) => usage(),
+        Err(err) => {
+            eprintln!("dcspan: {err}");
+            ExitCode::from(err.exit_code())
+        }
     }
 }

@@ -35,15 +35,22 @@ fn matching_workload_serves_10k_queries_with_stretch_three() {
     let cycles = 10_000usize.div_ceil(pairs);
     let mut max_hops = 0usize;
     for cycle in 0..cycles {
-        let routing = oracle
-            .substitute_routing(&matching, (cycle * pairs) as u64)
+        let report = oracle.substitute_routing(&matching, (cycle * pairs) as u64);
+        assert_eq!(
+            report.error_count(),
+            0,
+            "errors: {:?}",
+            report.error_counts()
+        );
+        let routing = report
+            .into_routing()
             .expect("matching must be routable in the spanner");
         max_hops = max_hops.max(routing.max_length());
     }
 
     let stats = oracle.stats();
     assert!(stats.queries >= 10_000, "served {} queries", stats.queries);
-    assert_eq!(stats.unroutable, 0);
+    assert_eq!(stats.rejected(), 0);
     assert!(max_hops <= 3, "measured α = {max_hops} > 3");
     // Matching traffic goes through the index, never the BFS fallback.
     assert_eq!(stats.bfs, 0, "{} queries fell back to BFS", stats.bfs);
@@ -61,9 +68,11 @@ fn matching_workload_serves_10k_queries_with_stretch_three() {
         .unwrap();
     let serial = pool1
         .install(|| oracle.substitute_routing(&matching, 777))
+        .into_routing()
         .unwrap();
     let parallel = pool4
         .install(|| oracle.substitute_routing(&matching, 777))
+        .into_routing()
         .unwrap();
     assert_eq!(serial.paths(), parallel.paths());
 }

@@ -6,8 +6,100 @@
 use dcspan::core::eval::distance_stretch_edges;
 use dcspan::core::expander::{build_expander_spanner, ExpanderSpannerParams};
 use dcspan::core::regular::{build_regular_spanner, RegularSpannerParams};
+use dcspan::core::serve::SpannerAlgo;
 use dcspan::gen::regular::random_regular;
+use dcspan::graph::rng::splitmix64;
+use dcspan::oracle::{Oracle, OracleConfig};
 use dcspan::spectral::expansion::spectral_expansion;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Barrier;
+
+/// Concurrent fault churn: one mutator thread fails/heals spanner edges
+/// and nodes while three router threads serve queries the whole time.
+/// Not `#[ignore]`d — this is the serving subsystem's core concurrency
+/// contract: no panics, every served path stays inside `H`, and the
+/// fault-overlay epoch each thread observes through `RouteResponse` is
+/// monotone non-decreasing.
+#[test]
+fn concurrent_fail_heal_route_interleaving() {
+    let n = 240usize;
+    let g = random_regular(n, 12, 9);
+    let oracle = Oracle::from_algo(
+        &g,
+        SpannerAlgo::Theorem2WithProb(0.6),
+        OracleConfig {
+            seed: 0x57_AE55,
+            ..OracleConfig::default()
+        },
+    );
+    let stop = AtomicBool::new(false);
+    let start = Barrier::new(4);
+    let (total_served, max_epoch) = std::thread::scope(|s| {
+        let mutator = {
+            let (oracle, stop, start) = (&oracle, &stop, &start);
+            s.spawn(move || {
+                start.wait();
+                let edges = oracle.spanner().edges().to_vec();
+                for round in 0..400u64 {
+                    let e = edges[splitmix64(round ^ 0xFA17) as usize % edges.len()];
+                    oracle.fail_edge(e.u, e.v);
+                    oracle.fail_node((splitmix64(round ^ 0xC0DE) as usize % n) as u32);
+                    if round % 5 == 4 {
+                        oracle.heal_all();
+                    }
+                    std::thread::yield_now();
+                }
+                oracle.heal_all();
+                stop.store(true, Ordering::Release);
+            })
+        };
+        let workers: Vec<_> = (0..3u64)
+            .map(|t| {
+                let (oracle, stop, start) = (&oracle, &stop, &start);
+                s.spawn(move || {
+                    start.wait();
+                    let mut last_epoch = 0u64;
+                    let mut served = 0u64;
+                    let mut q = t << 48;
+                    while !stop.load(Ordering::Acquire) {
+                        q += 1;
+                        let a = (splitmix64(q) as usize % n) as u32;
+                        let b = (splitmix64(q ^ 0xB0B) as usize % n) as u32;
+                        if a == b {
+                            continue;
+                        }
+                        // Either outcome is legal under churn; panics and
+                        // paths leaving `H` are not.
+                        if let Ok(resp) = oracle.route(a, b, q) {
+                            assert!(
+                                resp.epoch >= last_epoch,
+                                "epoch went backwards: {} after {}",
+                                resp.epoch,
+                                last_epoch
+                            );
+                            last_epoch = resp.epoch;
+                            assert_eq!(resp.path.source(), a);
+                            assert_eq!(resp.path.destination(), b);
+                            assert!(resp.path.is_valid_in(oracle.spanner()));
+                            served += 1;
+                        }
+                    }
+                    (served, last_epoch)
+                })
+            })
+            .collect();
+        mutator.join().expect("mutator must not panic");
+        workers.into_iter().fold((0u64, 0u64), |acc, w| {
+            let (served, epoch) = w.join().expect("worker must not panic");
+            (acc.0 + served, acc.1.max(epoch))
+        })
+    });
+    assert!(total_served > 0, "churn must not starve the routers");
+    assert!(max_epoch > 0, "workers must observe fault mutations");
+    // The final heal leaves a fault-free oracle that still serves.
+    assert!(!oracle.faults().faults_present());
+    assert!(oracle.route(0, 1, u64::MAX).is_ok());
+}
 
 #[test]
 #[ignore = "large-scale; run with --ignored in release"]
