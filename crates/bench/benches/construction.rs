@@ -1,0 +1,105 @@
+//! Criterion benchmarks for the construction side of Algorithm 1: the
+//! `supported_edge_mask` support sweep (triangle kernel vs. the naive
+//! merge-per-probe reference) across an `(n, Δ)` grid in the paper's own
+//! `Δ = ⌈n^{2/3}⌉` regime, the safe-reinsert sweep serial vs. parallel,
+//! and the serving-side `DetourIndex` build.
+//!
+//! The acceptance headline lives at `n = 2000, Δ = ⌈n^{2/3}⌉ = 158`:
+//! the kernel mask must be ≥ 5× faster than the naive sweep with a
+//! bit-identical mask (enforced at the end of every comparison bench).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dcspan_core::regular::{build_regular_spanner, RegularSpannerParams};
+use dcspan_core::support::{
+    safe_reinsert_flags, safe_reinsert_flags_serial, supported_edge_mask, supported_edge_mask_naive,
+};
+use dcspan_experiments::workloads::theorem3_degree;
+use dcspan_gen::regular::random_regular;
+use dcspan_graph::sample::sample_mask;
+use dcspan_graph::Graph;
+use dcspan_oracle::DetourIndex;
+use std::hint::black_box;
+
+/// A Theorem 3 regime instance with its calibrated parameters.
+fn regime(n: usize) -> (Graph, RegularSpannerParams) {
+    let delta = theorem3_degree(n);
+    (
+        random_regular(n, delta, 42),
+        RegularSpannerParams::calibrated(n, delta),
+    )
+}
+
+/// The headline grid: `supported_edge_mask` kernel vs. naive at
+/// `Δ = ⌈n^{2/3}⌉`, including the `n = 2000` acceptance point.
+fn bench_supported_mask(c: &mut Criterion) {
+    let mut group = c.benchmark_group("construction_supported_mask");
+    group.sample_size(10);
+    for &n in &[256usize, 512, 1000, 2000] {
+        let (g, p) = regime(n);
+        group.bench_with_input(BenchmarkId::new("naive", n), &g, |b, g| {
+            b.iter(|| supported_edge_mask_naive(black_box(g), p.a, p.b));
+        });
+        group.bench_with_input(BenchmarkId::new("kernel", n), &g, |b, g| {
+            b.iter(|| supported_edge_mask(black_box(g), p.a, p.b));
+        });
+        assert_eq!(
+            supported_edge_mask(&g, p.a, p.b),
+            supported_edge_mask_naive(&g, p.a, p.b),
+            "kernel mask diverged at n={n}"
+        );
+    }
+    group.finish();
+}
+
+/// The Algorithm 1 safe-reinsert sweep: original serial loop vs. the
+/// parallel chunked kernel sweep, over the sampled survivor graph.
+fn bench_safe_reinsert(c: &mut Criterion) {
+    let mut group = c.benchmark_group("construction_safe_reinsert");
+    group.sample_size(10);
+    for &n in &[512usize, 1000] {
+        let (g, p) = regime(n);
+        let keep = sample_mask(&g, p.rho, 7);
+        let g_prime = g.filter_edges(|id, _| keep[id]);
+        let supported = supported_edge_mask(&g, p.a, p.b);
+        let candidate: Vec<bool> = keep
+            .iter()
+            .zip(&supported)
+            .map(|(&kept, &sup)| !kept && sup)
+            .collect();
+        group.bench_with_input(BenchmarkId::new("serial", n), &g, |b, g| {
+            b.iter(|| safe_reinsert_flags_serial(black_box(g), &g_prime, &candidate));
+        });
+        group.bench_with_input(BenchmarkId::new("parallel", n), &g, |b, g| {
+            b.iter(|| safe_reinsert_flags(black_box(g), &g_prime, &candidate));
+        });
+        assert_eq!(
+            safe_reinsert_flags(&g, &g_prime, &candidate),
+            safe_reinsert_flags_serial(&g, &g_prime, &candidate),
+            "safe-reinsert flags diverged at n={n}"
+        );
+    }
+    group.finish();
+}
+
+/// `DetourIndex::build` over the calibrated Theorem 3 spanner — the
+/// serving-side startup cost the kernel also accelerates.
+fn bench_index_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("construction_index_build");
+    group.sample_size(10);
+    for &n in &[512usize, 1000] {
+        let (g, p) = regime(n);
+        let sp = build_regular_spanner(&g, p, 11);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &g, |b, g| {
+            b.iter(|| DetourIndex::build(black_box(g), &sp.h));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_supported_mask,
+    bench_safe_reinsert,
+    bench_index_build
+);
+criterion_main!(benches);

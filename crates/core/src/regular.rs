@@ -21,7 +21,7 @@
 //! (`a = Θ(log² n)`-capped-to-feasible, `b = Θ(Δ)`) while producing
 //! non-degenerate spanners at experiment scale. EXPERIMENTS.md reports both.
 
-use crate::support::{supported_edge_mask, surviving_three_detours};
+use crate::support::{safe_reinsert_flags, supported_edge_mask};
 use dcspan_graph::invariants;
 use dcspan_graph::sample::sample_mask;
 use dcspan_graph::{Edge, Graph};
@@ -153,16 +153,17 @@ pub fn build_regular_spanner_from_mask(
 
     // Safe mode: a supported, removed edge whose 3-detours all failed to
     // survive in G' would break the 3-distance guarantee; reinsert it.
+    // Each removed edge's verdict is independent of the others, so the
+    // sweep runs as one parallel batch over the triangle kernel.
     let mut num_safe_reinserted = 0usize;
     if params.safe_reinsert {
         let g_prime = g.filter_edges(|id, _| keep[id]);
-        for (id, e) in g.edges().iter().enumerate() {
-            if in_h[id] {
-                continue;
-            }
-            if surviving_three_detours(g, &g_prime, e.u, e.v) == 0
-                && surviving_three_detours(g, &g_prime, e.v, e.u) == 0
-            {
+        let candidate: Vec<bool> = in_h.iter().map(|&kept| !kept).collect();
+        for (id, &reinsert) in safe_reinsert_flags(g, &g_prime, &candidate)
+            .iter()
+            .enumerate()
+        {
+            if reinsert {
                 in_h[id] = true;
                 num_safe_reinserted += 1;
             }

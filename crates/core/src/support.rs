@@ -14,7 +14,24 @@
 //! either direction; each `(a, b)`-supported edge owns `a·b` candidate
 //! 3-detours, which is what lets a removed edge pick a random replacement
 //! without concentrating congestion.
+//!
+//! ## Fast path
+//!
+//! The hot entry point, [`supported_edge_mask`], no longer re-merges
+//! neighbour lists per probe. It runs in two batched phases over the
+//! shared triangle kernel ([`dcspan_graph::intersect`]):
+//!
+//! 1. build a [`StrongPairTable`] — one degree-adaptive, early-exiting
+//!    `|N(u) ∩ N(z)| > a` test **per unordered 2-hop pair** `{u, z}`
+//!    (the naive sweep recomputes that count once per common neighbour);
+//! 2. sweep edges in parallel, answering each direction with `O(1)`
+//!    pair lookups and a two-sided early exit against `b`.
+//!
+//! [`supported_edge_mask_naive`] preserves the original merge-per-probe
+//! sweep as the differential-test and benchmark reference; both produce
+//! bit-identical masks.
 
+use dcspan_graph::intersect::{IntersectKernel, StrongPairTable};
 use dcspan_graph::invariants;
 use dcspan_graph::{Graph, NodeId};
 use rayon::prelude::*;
@@ -23,19 +40,21 @@ use rayon::prelude::*;
 /// count behind Algorithm 1, line 8):
 /// `|{z ∈ N(v) \ {u} : |N(u) ∩ N(z)| ≥ a + 1}|`.
 pub fn supported_extensions_toward(g: &Graph, u: NodeId, v: NodeId, a: usize) -> usize {
+    let kernel = IntersectKernel::lean(g);
     g.neighbors(v)
         .iter()
-        .filter(|&&z| z != u && g.common_neighbors_count(u, z) > a)
+        .filter(|&&z| z != u && kernel.count_at_least(u, z, a.saturating_add(1)))
         .count()
 }
 
 /// The common-neighbour counts `|N(u) ∩ N(z)|` for each extension
 /// candidate `z ∈ N(v) \ {u}` — the raw distribution behind Figures 3–4.
 pub fn extension_support_profile(g: &Graph, u: NodeId, v: NodeId) -> Vec<usize> {
+    let kernel = IntersectKernel::lean(g);
     g.neighbors(v)
         .iter()
         .filter(|&&z| z != u)
-        .map(|&z| g.common_neighbors_count(u, z))
+        .map(|&z| kernel.count(u, z))
         .collect()
 }
 
@@ -45,10 +64,16 @@ pub fn is_supported_toward(g: &Graph, u: NodeId, v: NodeId, a: usize, b: usize) 
     if b == 0 {
         return true;
     }
-    // Early-exit count.
+    let kernel = IntersectKernel::lean(g);
+    let threshold = a.saturating_add(1);
+    // Two-sided early exit against b.
+    let candidates = g.neighbors(v);
     let mut count = 0usize;
-    for &z in g.neighbors(v) {
-        if z != u && g.common_neighbors_count(u, z) > a {
+    for (idx, &z) in candidates.iter().enumerate() {
+        if count + (candidates.len() - idx) < b {
+            return false;
+        }
+        if z != u && kernel.count_at_least(u, z, threshold) {
             count += 1;
             if count >= b {
                 return true;
@@ -64,35 +89,178 @@ pub fn is_supported_edge(g: &Graph, u: NodeId, v: NodeId, a: usize, b: usize) ->
     is_supported_toward(g, u, v, a, b) || is_supported_toward(g, v, u, a, b)
 }
 
+/// One direction of the Algorithm 1, line 8 test answered from a
+/// precomputed [`StrongPairTable`] (strength `a` baked into the table):
+/// `(u, v)` is supported toward `v` iff ≥ `b` of the `z ∈ N(v) \ {u}`
+/// form a strong base `{u, z}`. `O(deg v)` pair lookups, two-sided
+/// early exit.
+pub fn is_supported_toward_with(
+    table: &StrongPairTable,
+    g: &Graph,
+    u: NodeId,
+    v: NodeId,
+    b: usize,
+) -> bool {
+    if b == 0 {
+        return true;
+    }
+    let candidates = g.neighbors(v);
+    let mut count = 0usize;
+    for (idx, &z) in candidates.iter().enumerate() {
+        if count + (candidates.len() - idx) < b {
+            return false;
+        }
+        if table.is_strong(u, z) {
+            count += 1;
+            if count >= b {
+                return true;
+            }
+        }
+    }
+    false
+}
+
 /// The support mask over all edges of `g` (Algorithm 1, line 8, applied
 /// to every edge): `mask[id]` is true iff edge `id` is `(a, b)`-supported
-/// in at least one direction. Parallel over edges.
+/// in at least one direction.
+///
+/// Batched fast path: one [`StrongPairTable`] build (each base pair
+/// `{u, z}` counted once, degree-adaptively, with threshold early-exit)
+/// followed by a parallel per-edge sweep of `O(1)` lookups —
+/// `O(#2-hop-pairs · Δ/64 + m·Δ)` instead of the naive `O(m·Δ²)`.
+/// Bit-identical to [`supported_edge_mask_naive`].
 pub fn supported_edge_mask(g: &Graph, a: usize, b: usize) -> Vec<bool> {
     invariants::assert_graph_contract(g, "supported_edge_mask: input");
+    let kernel = IntersectKernel::new(g);
+    let table = StrongPairTable::build(&kernel, a);
     g.edges()
         .par_iter()
-        .map(|e| is_supported_edge(g, e.u, e.v, a, b))
+        .map(|e| {
+            is_supported_toward_with(&table, g, e.u, e.v, b)
+                || is_supported_toward_with(&table, g, e.v, e.u, b)
+        })
+        .collect()
+}
+
+/// The original merge-per-probe support sweep (Algorithm 1, line 8,
+/// recomputing `|N(u) ∩ N(z)|` by sorted merge for every probe) — kept as
+/// the reference implementation for differential tests and the
+/// construction benchmark. `O(m·Δ²)`; bit-identical to
+/// [`supported_edge_mask`].
+pub fn supported_edge_mask_naive(g: &Graph, a: usize, b: usize) -> Vec<bool> {
+    invariants::assert_graph_contract(g, "supported_edge_mask_naive: input");
+    let naive_toward = |u: NodeId, v: NodeId| {
+        if b == 0 {
+            return true;
+        }
+        let mut count = 0usize;
+        for &z in g.neighbors(v) {
+            if z != u && g.common_neighbors_count(u, z) > a {
+                count += 1;
+                if count >= b {
+                    return true;
+                }
+            }
+        }
+        false
+    };
+    g.edges()
+        .par_iter()
+        .map(|e| naive_toward(e.u, e.v) || naive_toward(e.v, e.u))
         .collect()
 }
 
 /// Count the 3-detours of edge `(u, v)` toward `v` that survive in the
-/// subgraph `h ⊆ g`: pairs `(z, x)` with `z ∈ N_g(v)`, `x ∈ N_g(u) ∩
-/// N_g(z)`, and all three hop edges `(u, x), (x, z), (z, v)` present in `h`.
+/// subgraph `h ⊆ g`: pairs `(z, x)` with `z ∈ N_g(v) \ {u}`,
+/// `x ∈ (N_g(u) ∩ N_g(z)) \ {v}`, and all three hop edges
+/// `(u, x), (x, z), (z, v)` present in `h`.
 ///
-/// (The detour replaces `(u, v)` by `u → x → z → v`; see Figure 3.c.)
+/// (The detour replaces `(u, v)` by `u → x → z → v`; see Figure 3.c.
+/// The exclusions make the walk a genuine detour: `z ≠ u` and `x ≠ v`
+/// keep both interior nodes off the endpoints, and since `x ∈ N(u)` and
+/// `z ∈ N(v)` force `x ≠ u`, `z ≠ v`, no hop can be the edge `(u, v)`
+/// itself.)
 pub fn surviving_three_detours(g: &Graph, h: &Graph, u: NodeId, v: NodeId) -> usize {
+    let kernel = IntersectKernel::lean(g);
+    let mut scratch = Vec::new();
+    surviving_three_detours_with(&kernel, h, u, v, &mut scratch)
+}
+
+/// [`surviving_three_detours`] over a caller-held triangle kernel and
+/// scratch buffer, for hot loops (the Algorithm 1 safe-reinsert sweep)
+/// that count detours for many edges: no per-call allocation, and the
+/// kernel's pinned bit-rows make each `N(u) ∩ N(z)` a membership scan.
+pub fn surviving_three_detours_with(
+    kernel: &IntersectKernel<'_>,
+    h: &Graph,
+    u: NodeId,
+    v: NodeId,
+    scratch: &mut Vec<NodeId>,
+) -> usize {
+    let g = kernel.graph();
     let mut count = 0usize;
     for &z in g.neighbors(v) {
         if z == u || !h.has_edge(z, v) {
             continue;
         }
-        for x in g.common_neighbors(u, z) {
+        kernel.common_into(u, z, scratch);
+        for &x in scratch.iter() {
             if x != v && h.has_edge(u, x) && h.has_edge(x, z) {
                 count += 1;
             }
         }
     }
     count
+}
+
+/// The Algorithm 1 safe-mode reinsert sweep, batched: for every edge `id`
+/// with `candidate[id]` true, decide whether **both** directions of the
+/// edge have zero surviving 3-detours in `h ⊆ g` (such an edge must be
+/// reinserted to keep the 3-distance guarantee of Theorem 3
+/// deterministic). Parallel over edge chunks with per-chunk scratch and a
+/// shared triangle kernel; `flags[id]` is false wherever `candidate[id]`
+/// is false. Chunk boundaries never affect the output.
+pub fn safe_reinsert_flags(g: &Graph, h: &Graph, candidate: &[bool]) -> Vec<bool> {
+    assert_eq!(candidate.len(), g.m());
+    let kernel = IntersectKernel::new(g);
+    let m = g.m();
+    let tasks = rayon::current_num_threads().saturating_mul(8).max(1);
+    let chunk = m.div_ceil(tasks).max(1);
+    let chunks: Vec<Vec<bool>> = (0..m.div_ceil(chunk))
+        .into_par_iter()
+        .map(|c| {
+            let mut scratch = Vec::new();
+            let lo = c * chunk;
+            let hi = ((c + 1) * chunk).min(m);
+            g.edges()[lo..hi]
+                .iter()
+                .enumerate()
+                .map(|(off, e)| {
+                    candidate[lo + off]
+                        && surviving_three_detours_with(&kernel, h, e.u, e.v, &mut scratch) == 0
+                        && surviving_three_detours_with(&kernel, h, e.v, e.u, &mut scratch) == 0
+                })
+                .collect()
+        })
+        .collect();
+    chunks.into_iter().flatten().collect()
+}
+
+/// Serial reference for [`safe_reinsert_flags`] (the original Algorithm 1
+/// safe-mode loop, one merge-allocated detour count per edge direction) —
+/// kept for differential tests and the serial-vs-parallel construction
+/// benchmark. Bit-identical to [`safe_reinsert_flags`].
+pub fn safe_reinsert_flags_serial(g: &Graph, h: &Graph, candidate: &[bool]) -> Vec<bool> {
+    assert_eq!(candidate.len(), g.m());
+    g.edges()
+        .iter()
+        .enumerate()
+        .map(|(id, e)| {
+            candidate[id]
+                && surviving_three_detours(g, h, e.u, e.v) == 0
+                && surviving_three_detours(g, h, e.v, e.u) == 0
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -150,6 +318,21 @@ mod tests {
     }
 
     #[test]
+    fn fast_mask_matches_naive_reference() {
+        let g = complete(9);
+        let path = Graph::from_edges(8, (0u32..7).map(|i| (i, i + 1)));
+        for g in [&g, &path] {
+            for (a, b) in [(0, 0), (0, 1), (1, 2), (3, 4), (7, 1), (1, 100)] {
+                assert_eq!(
+                    supported_edge_mask(g, a, b),
+                    supported_edge_mask_naive(g, a, b),
+                    "a={a} b={b}"
+                );
+            }
+        }
+    }
+
+    #[test]
     fn b_zero_is_vacuous() {
         let g = Graph::from_edges(2, vec![(0, 1)]);
         assert!(is_supported_toward(&g, 0, 1, 5, 0));
@@ -160,14 +343,32 @@ mod tests {
         // K_5, remove edge (0,1) from H plus edge (2,3).
         let g = complete(5);
         let h = g.filter_edges(|_, e| !((e.u == 0 && e.v == 1) || (e.u == 2 && e.v == 3)));
-        // 3-detours for (0,1) toward 1: z ∈ {2,3,4}, x ∈ N(0)∩N(z)\{1}.
-        // Full K5 count: z has |N(0)∩N(z)\{1}| = 2 choices → 6 detours.
+        // 3-detours for (0,1) toward 1: z ∈ N(1)\{0} = {2,3,4}, and
+        // x ∈ (N(0)∩N(z))\{1} — two choices per z in K5 → 6 in total.
         assert_eq!(surviving_three_detours(&g, &g, 0, 1), 6);
-        let surv = surviving_three_detours(&g, &h, 0, 1);
-        // Removing (2,3) kills detours using hop (2,3) or (3,2): x=2,z=3 and
-        // x=3,z=2 → 4 survive; minus those using edge (0,1) itself: the hop
-        // (u,x) with x=1 is excluded already (x ≠ v not enforced for u side…)
-        assert!((3..6).contains(&surv), "survived: {surv}");
+        // In H the hop (x,z) ∈ {(2,3),(3,2)} is gone, killing exactly the
+        // two detours 0→2→3→1 and 0→3→2→1; the hop (z,1) endpoints stay
+        // intact for every z. Survivors (z; x): (2; 4), (3; 4), (4; 2),
+        // (4; 3) — exactly 4. Note the exclusions x ≠ 1 (= v) and z ≠ 0
+        // (= u) mean no surviving walk can use the removed edge (0,1):
+        // hops (u,x) and (z,v) always have exactly one endpoint in {0,1}.
+        assert_eq!(surviving_three_detours(&g, &h, 0, 1), 4);
+        // Symmetric direction: the same two detours die reversed.
+        assert_eq!(surviving_three_detours(&g, &h, 1, 0), 4);
+    }
+
+    #[test]
+    fn safe_reinsert_flags_match_serial() {
+        let g = complete(7);
+        // Sparse survivor subgraph: keep the even-id edges only.
+        let h = g.filter_edges(|id, _| id % 2 == 0);
+        let all = vec![true; g.m()];
+        let par = safe_reinsert_flags(&g, &h, &all);
+        let ser = safe_reinsert_flags_serial(&g, &h, &all);
+        assert_eq!(par, ser);
+        // Candidates are respected: nothing flagged where candidate=false.
+        let none = vec![false; g.m()];
+        assert!(safe_reinsert_flags(&g, &h, &none).iter().all(|&f| !f));
     }
 
     #[test]

@@ -1,0 +1,159 @@
+//! Differential tests: the batched triangle-kernel support paths vs. the
+//! naive merge-per-probe references, over random regular and (non-regular)
+//! G(n, p) inputs.
+//!
+//! The kernel (`dcspan_graph::intersect`) must be **bit-identical** to the
+//! naive implementations everywhere it is wired in — the Algorithm 1
+//! support mask, the per-direction extension counts, 3-detour survival
+//! counting, the safe-reinsert sweep, and the final `RegularSpanner::h` —
+//! including the degenerate thresholds `a = 0`, `b = 0`, and `b > Δ`.
+
+use dcspan_core::regular::{build_regular_spanner, RegularSpannerParams};
+use dcspan_core::support::{
+    safe_reinsert_flags, safe_reinsert_flags_serial, supported_edge_mask,
+    supported_edge_mask_naive, supported_extensions_toward, surviving_three_detours,
+};
+use dcspan_gen::gnp::gnp;
+use dcspan_gen::regular::random_regular;
+use dcspan_graph::sample::sample_mask;
+use dcspan_graph::{Graph, NodeId};
+use proptest::prelude::*;
+
+/// Naive `supported_extensions_toward`: fresh sorted-merge count per probe.
+fn naive_extensions_toward(g: &Graph, u: NodeId, v: NodeId, a: usize) -> usize {
+    g.neighbors(v)
+        .iter()
+        .filter(|&&z| z != u && g.common_neighbors_count(u, z) > a)
+        .count()
+}
+
+/// Naive `surviving_three_detours`: allocating `common_neighbors` per pair.
+fn naive_surviving(g: &Graph, h: &Graph, u: NodeId, v: NodeId) -> usize {
+    let mut count = 0usize;
+    for &z in g.neighbors(v) {
+        if z == u || !h.has_edge(z, v) {
+            continue;
+        }
+        for x in g.common_neighbors(u, z) {
+            if x != v && h.has_edge(u, x) && h.has_edge(x, z) {
+                count += 1;
+            }
+        }
+    }
+    count
+}
+
+/// Algorithm 1 steps 2–3 rebuilt entirely on the naive references
+/// (naive mask + serial safe-reinsert sweep) — the pre-kernel pipeline.
+fn naive_spanner_h(g: &Graph, params: RegularSpannerParams, seed: u64) -> Graph {
+    let keep = sample_mask(g, params.rho, seed);
+    let supported = supported_edge_mask_naive(g, params.a, params.b);
+    let mut in_h: Vec<bool> = keep
+        .iter()
+        .zip(&supported)
+        .map(|(&kept, &sup)| kept || !sup)
+        .collect();
+    if params.safe_reinsert {
+        let g_prime = g.filter_edges(|id, _| keep[id]);
+        let candidate: Vec<bool> = in_h.iter().map(|&b| !b).collect();
+        for (id, &f) in safe_reinsert_flags_serial(g, &g_prime, &candidate)
+            .iter()
+            .enumerate()
+        {
+            if f {
+                in_h[id] = true;
+            }
+        }
+    }
+    g.filter_edges(|id, _| in_h[id])
+}
+
+/// Regular and deliberately non-regular graphs, with the degree bound for
+/// threshold edge cases.
+fn arb_graph() -> impl Strategy<Value = Graph> {
+    (0u8..2, 6usize..20, 3usize..8, 0u64..50).prop_map(|(kind, half_n, k, seed)| {
+        let n = 2 * half_n;
+        if kind == 0 {
+            random_regular(n, k.min(n - 2), seed)
+        } else {
+            gnp(n, k as f64 / 10.0, seed)
+        }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn mask_matches_naive_including_degenerate_thresholds(
+        g in arb_graph(),
+        a in 0usize..5,
+        b in 0usize..6,
+    ) {
+        // Sweep b through 0, small values, and past the maximum degree.
+        for b in [b, 0, g.max_degree() + 1] {
+            prop_assert_eq!(
+                supported_edge_mask(&g, a, b),
+                supported_edge_mask_naive(&g, a, b),
+                "a={} b={}", a, b
+            );
+        }
+    }
+
+    #[test]
+    fn extensions_toward_matches_naive(g in arb_graph(), a in 0usize..5) {
+        for e in g.edges().iter().take(40) {
+            for a in [a, 0] {
+                prop_assert_eq!(
+                    supported_extensions_toward(&g, e.u, e.v, a),
+                    naive_extensions_toward(&g, e.u, e.v, a),
+                    "edge ({}, {}) a={}", e.u, e.v, a
+                );
+                prop_assert_eq!(
+                    supported_extensions_toward(&g, e.v, e.u, a),
+                    naive_extensions_toward(&g, e.v, e.u, a),
+                    "edge ({}, {}) a={}", e.v, e.u, a
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn surviving_detours_matches_naive(g in arb_graph(), hseed in 0u64..100) {
+        // A random subgraph H ⊆ G as the survivor set.
+        let h = dcspan_graph::sample::sample_subgraph(&g, 0.6, hseed);
+        for e in g.edges().iter().take(40) {
+            prop_assert_eq!(
+                surviving_three_detours(&g, &h, e.u, e.v),
+                naive_surviving(&g, &h, e.u, e.v),
+                "edge ({}, {})", e.u, e.v
+            );
+            prop_assert_eq!(
+                surviving_three_detours(&g, &h, e.v, e.u),
+                naive_surviving(&g, &h, e.v, e.u),
+                "edge ({}, {})", e.v, e.u
+            );
+        }
+    }
+
+    #[test]
+    fn safe_reinsert_parallel_matches_serial(g in arb_graph(), hseed in 0u64..100) {
+        let h = dcspan_graph::sample::sample_subgraph(&g, 0.5, hseed);
+        let all = vec![true; g.m()];
+        prop_assert_eq!(
+            safe_reinsert_flags(&g, &h, &all),
+            safe_reinsert_flags_serial(&g, &h, &all)
+        );
+    }
+
+    #[test]
+    fn regular_spanner_h_is_bit_identical_to_naive_pipeline(
+        g in arb_graph(),
+        seed in 0u64..100,
+    ) {
+        let delta = g.max_degree().max(4);
+        let params = RegularSpannerParams::calibrated(g.n(), delta);
+        let sp = build_regular_spanner(&g, params, seed);
+        prop_assert_eq!(sp.h, naive_spanner_h(&g, params, seed));
+    }
+}

@@ -1,0 +1,188 @@
+//! **E19 — construction-side performance**: wall time of the Algorithm 1
+//! build pipeline, kernel vs. naive, in the paper's own `Δ = ⌈n^{2/3}⌉`
+//! regime (Theorem 3).
+//!
+//! Measured per `(n, Δ)` cell:
+//!
+//! * `supported_edge_mask` — the batched triangle-kernel path against the
+//!   merge-per-probe reference, with the masks compared bit-for-bit;
+//! * the safe-reinsert sweep — parallel chunked kernel vs. the original
+//!   serial loop, flags compared bit-for-bit;
+//! * the full calibrated `build_regular_spanner`;
+//! * the serving-side `DetourIndex::build` over the resulting spanner.
+//!
+//! This is the construction-side counterpart of E17: E17 answers "how fast
+//! does the oracle serve", E19 answers "how long until it can start".
+
+use crate::table::{f2, Table};
+use crate::workloads;
+use dcspan_core::regular::{build_regular_spanner, RegularSpannerParams};
+use dcspan_core::support::{
+    safe_reinsert_flags, safe_reinsert_flags_serial, supported_edge_mask, supported_edge_mask_naive,
+};
+use dcspan_graph::sample::sample_mask;
+use dcspan_oracle::DetourIndex;
+use std::time::Instant;
+
+/// One measured `(n, Δ)` cell of the construction sweep.
+#[derive(Clone, Debug, serde::Serialize)]
+pub struct BuildBenchRow {
+    /// Nodes.
+    pub n: usize,
+    /// Degree Δ (regime `⌈n^{2/3}⌉` unless overridden).
+    pub delta: usize,
+    /// Edges of the host graph.
+    pub m: usize,
+    /// Support strength `a` used (calibrated).
+    pub a: usize,
+    /// Support breadth `b` used (calibrated).
+    pub b: usize,
+    /// `supported_edge_mask` via the merge-per-probe reference, ms.
+    pub mask_naive_ms: f64,
+    /// `supported_edge_mask` via the triangle kernel, ms.
+    pub mask_kernel_ms: f64,
+    /// `mask_naive_ms / mask_kernel_ms`.
+    pub mask_speedup: f64,
+    /// Kernel mask bit-identical to the naive mask.
+    pub masks_equal: bool,
+    /// Safe-reinsert sweep, original serial loop, ms.
+    pub safe_serial_ms: f64,
+    /// Safe-reinsert sweep, parallel chunked kernel, ms.
+    pub safe_parallel_ms: f64,
+    /// Parallel safe-reinsert flags bit-identical to the serial loop.
+    pub safe_equal: bool,
+    /// Full calibrated `build_regular_spanner`, ms.
+    pub spanner_ms: f64,
+    /// Spanner edges kept.
+    pub spanner_m: usize,
+    /// `DetourIndex::build` over the spanner, ms.
+    pub index_build_ms: f64,
+}
+
+fn ms(t: Instant) -> f64 {
+    t.elapsed().as_secs_f64() * 1e3
+}
+
+/// Run the construction sweep over explicit `(n, Δ)` cells (pass
+/// `Δ = 0` to use the Theorem 3 regime `⌈n^{2/3}⌉`).
+pub fn run(cells: &[(usize, usize)], seed: u64) -> (Vec<BuildBenchRow>, String) {
+    let mut rows = Vec::new();
+    for (i, &(n, delta)) in cells.iter().enumerate() {
+        let seed = seed.wrapping_add(i as u64 * 1000);
+        let delta = if delta == 0 {
+            workloads::theorem3_degree(n)
+        } else {
+            workloads::even(delta).min(n - 2)
+        };
+        let g = workloads::regime_expander(n, delta, seed);
+        let params = RegularSpannerParams::calibrated(n, delta);
+
+        let t0 = Instant::now();
+        let naive = supported_edge_mask_naive(&g, params.a, params.b);
+        let mask_naive_ms = ms(t0);
+        let t0 = Instant::now();
+        let kernel = supported_edge_mask(&g, params.a, params.b);
+        let mask_kernel_ms = ms(t0);
+        let masks_equal = naive == kernel;
+
+        // Safe-reinsert sweep over the sampled survivor graph, exactly as
+        // build_regular_spanner_from_mask frames it.
+        let keep = sample_mask(&g, params.rho, seed);
+        let g_prime = g.filter_edges(|id, _| keep[id]);
+        let candidate: Vec<bool> = keep
+            .iter()
+            .zip(&kernel)
+            .map(|(&kept, &sup)| !kept && sup)
+            .collect();
+        let t0 = Instant::now();
+        let serial = safe_reinsert_flags_serial(&g, &g_prime, &candidate);
+        let safe_serial_ms = ms(t0);
+        let t0 = Instant::now();
+        let parallel = safe_reinsert_flags(&g, &g_prime, &candidate);
+        let safe_parallel_ms = ms(t0);
+        let safe_equal = serial == parallel;
+
+        let t0 = Instant::now();
+        let sp = build_regular_spanner(&g, params, seed);
+        let spanner_ms = ms(t0);
+        let t0 = Instant::now();
+        let index = DetourIndex::build(&g, &sp.h);
+        let index_build_ms = ms(t0);
+        let _ = index.stats();
+
+        rows.push(BuildBenchRow {
+            n,
+            delta,
+            m: g.m(),
+            a: params.a,
+            b: params.b,
+            mask_naive_ms,
+            mask_kernel_ms,
+            mask_speedup: mask_naive_ms / mask_kernel_ms.max(1e-9),
+            masks_equal,
+            safe_serial_ms,
+            safe_parallel_ms,
+            safe_equal,
+            spanner_ms,
+            spanner_m: sp.h.m(),
+            index_build_ms,
+        });
+    }
+    let mut t = Table::new([
+        "n",
+        "Δ",
+        "m",
+        "mask naive ms",
+        "mask kernel ms",
+        "speedup",
+        "equal",
+        "safe ser ms",
+        "safe par ms",
+        "spanner ms",
+        "index ms",
+    ]);
+    for r in &rows {
+        t.add_row([
+            r.n.to_string(),
+            r.delta.to_string(),
+            r.m.to_string(),
+            f2(r.mask_naive_ms),
+            f2(r.mask_kernel_ms),
+            format!("{:.1}x", r.mask_speedup),
+            (r.masks_equal && r.safe_equal).to_string(),
+            f2(r.safe_serial_ms),
+            f2(r.safe_parallel_ms),
+            f2(r.spanner_ms),
+            f2(r.index_build_ms),
+        ]);
+    }
+    let text = format!(
+        "{}{}\nConstruction contract: kernel mask and parallel safe-reinsert \
+         flags are bit-identical to the naive references on every cell.\n",
+        crate::banner("E19", "construction: triangle-kernel build pipeline"),
+        t.render()
+    );
+    (rows, text)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_cells_measure_and_stay_bit_identical() {
+        let (rows, text) = run(&[(96, 0), (128, 24)], 5);
+        assert_eq!(rows.len(), 2);
+        for r in &rows {
+            assert!(r.masks_equal, "n={}: kernel mask diverged", r.n);
+            assert!(r.safe_equal, "n={}: safe-reinsert flags diverged", r.n);
+            assert!(r.mask_kernel_ms > 0.0 && r.mask_naive_ms > 0.0);
+            assert!(r.spanner_m <= r.m);
+            assert_eq!(r.delta % 2, 0);
+        }
+        assert_eq!(rows[0].delta, workloads::theorem3_degree(96));
+        assert_eq!(rows[1].delta, 24);
+        assert!(text.contains("E19"));
+        assert!(text.contains("speedup"));
+    }
+}

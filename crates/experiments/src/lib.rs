@@ -26,6 +26,7 @@
 //! | [`e16_scaling`] | empirical size-law exponents (5/3, 7/6) |
 //! | [`e17_oracle`] | serving: oracle throughput/latency (Definition 3 at query time) |
 //! | [`e18_chaos`] | serving robustness: fault injection, degraded-mode routing, admission control |
+//! | [`e19_build`] | construction cost: triangle-kernel build pipeline vs. naive (Theorem 3 regime) |
 //! | [`table1`] | the complete Table 1, measured |
 //! | [`ablations`] | design-choice ablations (A1–A3) |
 
@@ -42,6 +43,7 @@ pub mod e15_vft_tradeoff;
 pub mod e16_scaling;
 pub mod e17_oracle;
 pub mod e18_chaos;
+pub mod e19_build;
 pub mod e1_expander;
 pub mod e2_becchetti;
 pub mod e3_koutis_xu;

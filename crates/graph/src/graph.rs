@@ -353,9 +353,11 @@ impl Graph {
         count
     }
 
-    /// Collect the common neighbours of `a` and `b`.
-    pub fn common_neighbors(&self, a: NodeId, b: NodeId) -> Vec<NodeId> {
-        let mut out = Vec::new();
+    /// Collect the common neighbours of `a` and `b` into `out` (cleared
+    /// first), in ascending node order. Allocation-free when `out` has
+    /// capacity — the variant hot loops reuse a scratch buffer with.
+    pub fn common_neighbors_into(&self, a: NodeId, b: NodeId, out: &mut Vec<NodeId>) {
+        out.clear();
         let (mut i, mut j) = (0usize, 0usize);
         let na = self.neighbors(a);
         let nb = self.neighbors(b);
@@ -370,6 +372,13 @@ impl Graph {
                 }
             }
         }
+    }
+
+    /// Collect the common neighbours of `a` and `b`. Thin allocating
+    /// wrapper over [`Graph::common_neighbors_into`].
+    pub fn common_neighbors(&self, a: NodeId, b: NodeId) -> Vec<NodeId> {
+        let mut out = Vec::new();
+        self.common_neighbors_into(a, b, &mut out);
         out
     }
 
@@ -502,6 +511,18 @@ mod tests {
         // K4: every pair has 2 common neighbours.
         let k4 = Graph::from_edges(4, (0..4).flat_map(|i| (i + 1..4).map(move |j| (i, j))));
         assert_eq!(k4.common_neighbors_count(0, 3), 2);
+    }
+
+    #[test]
+    fn common_neighbors_into_reuses_and_clears() {
+        let g = triangle_plus_pendant();
+        let mut buf = vec![99, 98, 97]; // stale contents must be cleared
+        g.common_neighbors_into(0, 1, &mut buf);
+        assert_eq!(buf, vec![2]);
+        g.common_neighbors_into(0, 3, &mut buf);
+        assert!(buf.is_empty());
+        g.common_neighbors_into(1, 2, &mut buf);
+        assert_eq!(buf, g.common_neighbors(1, 2));
     }
 
     #[test]

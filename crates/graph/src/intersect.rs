@@ -1,0 +1,643 @@
+//! The shared triangle/intersection kernel: degree-adaptive
+//! common-neighbour counting with threshold early-exit.
+//!
+//! Every common-neighbour hot path in the workspace — the Algorithm 1
+//! support test, 3-detour survival counting, detour enumeration, and the
+//! serving-side `DetourIndex` build — reduces to the same primitive:
+//! *"how large is `N(a) ∩ N(b)`?"*, usually compared against a threshold.
+//! [`IntersectKernel`] answers it with the cheapest applicable strategy:
+//!
+//! * **linear merge** of the two sorted neighbour slices (the baseline,
+//!   best when the degrees are short and similar),
+//! * **galloping search** — iterate the shorter list, exponential +
+//!   binary search in the longer — when the degrees are skewed,
+//! * **word-parallel popcount** over pinned neighbourhood bit-rows
+//!   (`u64` AND + `count_ones`, 64 candidates per instruction) when the
+//!   graph is dense enough that both neighbour lists are longer than the
+//!   bit-row.
+//!
+//! Thresholded queries ([`IntersectKernel::count_at_least`]) additionally
+//! **early-exit** in both directions: success as soon as the running count
+//! reaches the threshold (so `count > a` stops after `a + 1` hits instead
+//! of completing the count), and failure as soon as the elements still
+//! unscanned cannot close the gap.
+//!
+//! [`StrongPairTable`] layers pair deduplication on top: for a fixed
+//! threshold `a` it computes, **once per unordered base pair `{u, z}`**,
+//! whether `|N(u) ∩ N(z)| > a` — whereas the naive support sweep recomputes
+//! that count once per common neighbour of `u` and `z`. All strategies are
+//! exact; callers see bit-identical results to the naive merge.
+
+use crate::bitset::BitSet;
+use crate::graph::{Graph, NodeId};
+use rayon::prelude::*;
+
+/// Skew ratio at which galloping search beats the linear merge:
+/// gallop when `|small| * GALLOP_SKEW < |large|`.
+const GALLOP_SKEW: usize = 8;
+
+/// Cost factor of the word-parallel path: one bit-row costs
+/// `words_per_row` word ops; prefer it when the merge would touch more
+/// than `WORD_COST_FACTOR * words_per_row` list elements.
+const WORD_COST_FACTOR: usize = 3;
+
+/// Upper bound on the memory spent pinning every neighbourhood as a
+/// bit-row (64 MiB — n ≲ 23k nodes).
+const DENSE_ROWS_BUDGET_BYTES: usize = 64 << 20;
+
+/// Every neighbourhood of a graph pinned as a fixed-stride bit matrix:
+/// row `u` holds bit `z` iff `z ∈ N(u)`.
+struct RowBits {
+    /// Words per row (`⌈n / 64⌉`); row `u` is `words[u·stride..(u+1)·stride]`.
+    stride: usize,
+    words: Vec<u64>,
+}
+
+impl RowBits {
+    /// Pin all rows of `g` (parallel over rows; rows are concatenated in
+    /// node order, so the result is schedule-independent).
+    fn build(g: &Graph) -> RowBits {
+        let n = g.n();
+        let stride = n.div_ceil(64).max(1);
+        let rows: Vec<Vec<u64>> = (0..n as u32)
+            .into_par_iter()
+            .map(|u| {
+                let mut row = vec![0u64; stride];
+                for &z in g.neighbors(u) {
+                    row[z as usize / 64] |= 1u64 << (z as usize % 64);
+                }
+                row
+            })
+            .collect();
+        let mut words = Vec::with_capacity(n * stride);
+        for row in rows {
+            words.extend_from_slice(&row);
+        }
+        RowBits { stride, words }
+    }
+
+    /// The bit-row of node `u`.
+    #[inline]
+    fn row(&self, u: NodeId) -> &[u64] {
+        let start = u as usize * self.stride;
+        &self.words[start..start + self.stride]
+    }
+}
+
+/// Degree-adaptive common-neighbour kernel over one graph.
+///
+/// [`IntersectKernel::new`] pins every neighbourhood as a bit-row when the
+/// graph is small/dense enough for the word-parallel path to pay off;
+/// [`IntersectKernel::lean`] skips the pinning for one-off queries. Both
+/// return exactly the counts the naive sorted merge would.
+pub struct IntersectKernel<'g> {
+    g: &'g Graph,
+    rows: Option<RowBits>,
+}
+
+impl<'g> IntersectKernel<'g> {
+    /// Kernel with automatic strategy selection: bit-rows are pinned iff
+    /// they fit the memory budget *and* some pair of neighbour lists is
+    /// long enough for the word-parallel path to ever be chosen.
+    pub fn new(g: &'g Graph) -> Self {
+        let n = g.n();
+        let stride = n.div_ceil(64).max(1);
+        let bytes = n.saturating_mul(stride).saturating_mul(8);
+        let word_path_reachable = 2 * g.max_degree() > WORD_COST_FACTOR * stride;
+        let rows =
+            (bytes <= DENSE_ROWS_BUDGET_BYTES && word_path_reachable).then(|| RowBits::build(g));
+        IntersectKernel { g, rows }
+    }
+
+    /// Kernel without pinned bit-rows (merge/gallop only) — zero setup
+    /// cost, for callers issuing a handful of queries.
+    pub fn lean(g: &'g Graph) -> Self {
+        IntersectKernel { g, rows: None }
+    }
+
+    /// The underlying graph.
+    #[inline]
+    pub fn graph(&self) -> &'g Graph {
+        self.g
+    }
+
+    /// Whether the word-parallel bit-row path is available.
+    #[inline]
+    pub fn has_dense_rows(&self) -> bool {
+        self.rows.is_some()
+    }
+
+    /// Exact `|N(a) ∩ N(b)|` — adaptive equivalent of
+    /// [`Graph::common_neighbors_count`].
+    pub fn count(&self, a: NodeId, b: NodeId) -> usize {
+        let (small, large) = ordered(self.g.neighbors(a), self.g.neighbors(b));
+        if small.is_empty() {
+            return 0;
+        }
+        if small.len() * GALLOP_SKEW < large.len() {
+            return gallop_count(small, large);
+        }
+        if let Some(rows) = &self.rows {
+            if small.len() + large.len() > WORD_COST_FACTOR * rows.stride {
+                return words_count(rows.row(a), rows.row(b));
+            }
+        }
+        merge_count(small, large)
+    }
+
+    /// Threshold early-exit test: `|N(a) ∩ N(b)| ≥ k`. Stops scanning as
+    /// soon as `k` hits are found *or* the unscanned remainder cannot
+    /// reach `k`. `k = 0` is vacuously true.
+    pub fn count_at_least(&self, a: NodeId, b: NodeId, k: usize) -> bool {
+        if k == 0 {
+            return true;
+        }
+        let (small, large) = ordered(self.g.neighbors(a), self.g.neighbors(b));
+        if small.len() < k {
+            return false;
+        }
+        if small.len() * GALLOP_SKEW < large.len() {
+            return gallop_at_least(small, large, k);
+        }
+        if let Some(rows) = &self.rows {
+            if small.len() + large.len() > WORD_COST_FACTOR * rows.stride {
+                return words_at_least(rows.row(a), rows.row(b), k);
+            }
+        }
+        merge_at_least(small, large, k)
+    }
+
+    /// Collect `N(a) ∩ N(b)` into `out` (cleared first), in ascending
+    /// node order — adaptive equivalent of [`Graph::common_neighbors`].
+    pub fn common_into(&self, a: NodeId, b: NodeId, out: &mut Vec<NodeId>) {
+        out.clear();
+        let (small, large) = ordered(self.g.neighbors(a), self.g.neighbors(b));
+        if small.is_empty() {
+            return;
+        }
+        // Membership scan against the longer side's bit-row: O(|small|)
+        // probes, and ascending because `small` is sorted.
+        if let Some(rows) = &self.rows {
+            let large_node = if small.len() == self.g.degree(a) {
+                b
+            } else {
+                a
+            };
+            let row = rows.row(large_node);
+            for &x in small {
+                if row[x as usize / 64] & (1u64 << (x as usize % 64)) != 0 {
+                    out.push(x);
+                }
+            }
+            return;
+        }
+        if small.len() * GALLOP_SKEW < large.len() {
+            gallop_collect(small, large, out);
+            return;
+        }
+        merge_collect(small, large, out);
+    }
+}
+
+/// Order two slices by length (shorter first).
+#[inline]
+fn ordered<'a>(x: &'a [NodeId], y: &'a [NodeId]) -> (&'a [NodeId], &'a [NodeId]) {
+    if x.len() <= y.len() {
+        (x, y)
+    } else {
+        (y, x)
+    }
+}
+
+/// Linear-merge exact count over two sorted slices.
+fn merge_count(na: &[NodeId], nb: &[NodeId]) -> usize {
+    let (mut i, mut j, mut count) = (0usize, 0usize, 0usize);
+    while i < na.len() && j < nb.len() {
+        match na[i].cmp(&nb[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                count += 1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    count
+}
+
+/// Linear merge with two-sided early exit: true iff ≥ `k` matches.
+fn merge_at_least(na: &[NodeId], nb: &[NodeId], k: usize) -> bool {
+    let (mut i, mut j, mut count) = (0usize, 0usize, 0usize);
+    while i < na.len() && j < nb.len() {
+        // Failure exit: even matching every remaining element falls short.
+        if count + (na.len() - i).min(nb.len() - j) < k {
+            return false;
+        }
+        match na[i].cmp(&nb[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                count += 1;
+                if count >= k {
+                    return true;
+                }
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    false
+}
+
+/// Lowest index in (sorted) `hay[from..]` whose value is ≥ `needle`,
+/// found by exponential probing then binary search — `O(log gap)` rather
+/// than `O(log |hay|)` when consecutive needles land close together.
+#[inline]
+fn gallop_to(hay: &[NodeId], from: usize, needle: NodeId) -> usize {
+    let mut hi = from + 1;
+    while hi < hay.len() && hay[hi] < needle {
+        hi = from + 2 * (hi - from);
+    }
+    let hi = hi.min(hay.len());
+    let lo = from + (hi - from) / 2; // last probe known < needle (or `from`)
+    lo + hay[lo..hi].partition_point(|&x| x < needle)
+}
+
+/// Galloping exact count: iterate `small`, search forward in `large`.
+fn gallop_count(small: &[NodeId], large: &[NodeId]) -> usize {
+    let (mut pos, mut count) = (0usize, 0usize);
+    for &x in small {
+        if pos >= large.len() {
+            break;
+        }
+        pos = gallop_to(large, pos, x);
+        if pos < large.len() && large[pos] == x {
+            count += 1;
+            pos += 1;
+        }
+    }
+    count
+}
+
+/// Galloping with two-sided early exit: true iff ≥ `k` matches.
+fn gallop_at_least(small: &[NodeId], large: &[NodeId], k: usize) -> bool {
+    let (mut pos, mut count) = (0usize, 0usize);
+    for (idx, &x) in small.iter().enumerate() {
+        if count + (small.len() - idx) < k || pos >= large.len() {
+            return false;
+        }
+        pos = gallop_to(large, pos, x);
+        if pos < large.len() && large[pos] == x {
+            count += 1;
+            if count >= k {
+                return true;
+            }
+            pos += 1;
+        }
+    }
+    false
+}
+
+/// Word-parallel exact count: AND + popcount over two bit-rows.
+fn words_count(ra: &[u64], rb: &[u64]) -> usize {
+    ra.iter()
+        .zip(rb)
+        .map(|(a, b)| (a & b).count_ones() as usize)
+        .sum()
+}
+
+/// Word-parallel with success early exit: true iff ≥ `k` bits in common.
+fn words_at_least(ra: &[u64], rb: &[u64], k: usize) -> bool {
+    let mut count = 0usize;
+    for (a, b) in ra.iter().zip(rb) {
+        count += (a & b).count_ones() as usize;
+        if count >= k {
+            return true;
+        }
+    }
+    false
+}
+
+/// Merge-collect (ascending) — mirrors [`merge_count`].
+fn merge_collect(na: &[NodeId], nb: &[NodeId], out: &mut Vec<NodeId>) {
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < na.len() && j < nb.len() {
+        match na[i].cmp(&nb[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                out.push(na[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+}
+
+/// Gallop-collect (ascending) — mirrors [`gallop_count`].
+fn gallop_collect(small: &[NodeId], large: &[NodeId], out: &mut Vec<NodeId>) {
+    let mut pos = 0usize;
+    for &x in small {
+        if pos >= large.len() {
+            break;
+        }
+        pos = gallop_to(large, pos, x);
+        if pos < large.len() && large[pos] == x {
+            out.push(x);
+            pos += 1;
+        }
+    }
+}
+
+/// True iff at least `k` elements of the sorted `list` are members of
+/// `bits`, with two-sided early exit — the "scan a neighbour list against
+/// a pinned neighbourhood bitset" primitive for callers that hold one
+/// side as a [`BitSet`].
+pub fn members_at_least(bits: &BitSet, list: &[NodeId], k: usize) -> bool {
+    if k == 0 {
+        return true;
+    }
+    let mut count = 0usize;
+    for (idx, &x) in list.iter().enumerate() {
+        if count + (list.len() - idx) < k {
+            return false;
+        }
+        if bits.contains(x as usize) {
+            count += 1;
+            if count >= k {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+/// The pair-deduplicated support table for a fixed strength `a`: records,
+/// for every unordered pair `{u, z}` with at least one common neighbour,
+/// whether the pair is **strong** — `|N(u) ∩ N(z)| > a` (i.e. the base
+/// `{u, z}` is `(a+1)`-supported in the Section 4 terminology).
+///
+/// Built once per support sweep; each base pair's count is computed
+/// exactly once (per-node wedge batches, parallel over the smaller
+/// endpoint), instead of once per common neighbour as in the naive
+/// per-edge sweep. Pairs with no common neighbour are never strong for
+/// any `a ≥ 0` and are not stored.
+pub struct StrongPairTable {
+    lookup: PairLookup,
+}
+
+/// Dense `n × n` bit-matrix when it fits, CSR partner lists otherwise.
+enum PairLookup {
+    /// `bits[u·stride + z/64]` holds bit `z%64` iff `{u, z}` is strong
+    /// (stored symmetrically; O(1) lookup).
+    Dense { stride: usize, bits: Vec<u64> },
+    /// Row `u` = sorted strong partners `z > u` (canonical orientation;
+    /// lookup is a binary search).
+    Sparse {
+        offsets: Vec<usize>,
+        partners: Vec<NodeId>,
+    },
+}
+
+impl StrongPairTable {
+    /// Compute the table for threshold `a` over `kernel`'s graph.
+    /// Parallel over nodes; deterministic (rows are packed in node order).
+    pub fn build(kernel: &IntersectKernel<'_>, a: usize) -> StrongPairTable {
+        let g = kernel.graph();
+        let n = g.n();
+        let threshold = a.saturating_add(1);
+        // Wedge sweep: the 2-hop partners of `u` are exactly the `z` seen
+        // through some common neighbour `v`; dedup with a scratch bitset
+        // so each pair {u, z} (canonically z > u) is counted once.
+        // Parallelism is over node *chunks* so the scratch bitset is
+        // allocated once per task, not once per node; chunk boundaries
+        // never affect the output (rows are collected in node order).
+        let tasks = rayon::current_num_threads().saturating_mul(8).max(1);
+        let chunk = n.div_ceil(tasks).max(1);
+        let chunks: Vec<Vec<Vec<NodeId>>> = (0..n.div_ceil(chunk))
+            .into_par_iter()
+            .map(|c| {
+                let mut seen = BitSet::new(n);
+                let mut cands: Vec<NodeId> = Vec::new();
+                let lo = c * chunk;
+                let hi = ((c + 1) * chunk).min(n);
+                let mut out = Vec::with_capacity(hi - lo);
+                for u in lo as u32..hi as u32 {
+                    cands.clear();
+                    for &v in g.neighbors(u) {
+                        for &z in g.neighbors(v) {
+                            if z > u && seen.insert(z as usize) {
+                                cands.push(z);
+                            }
+                        }
+                    }
+                    cands.sort_unstable();
+                    let mut strong = Vec::new();
+                    for &z in &cands {
+                        seen.remove(z as usize);
+                        if kernel.count_at_least(u, z, threshold) {
+                            strong.push(z);
+                        }
+                    }
+                    out.push(strong);
+                }
+                out
+            })
+            .collect();
+        let rows: Vec<Vec<NodeId>> = chunks.into_iter().flatten().collect();
+        let stride = n.div_ceil(64).max(1);
+        let dense_bytes = n.saturating_mul(stride).saturating_mul(8);
+        let lookup = if dense_bytes <= DENSE_ROWS_BUDGET_BYTES {
+            let mut bits = vec![0u64; n * stride];
+            for (u, row) in rows.iter().enumerate() {
+                for &z in row {
+                    bits[u * stride + z as usize / 64] |= 1u64 << (z as usize % 64);
+                    bits[z as usize * stride + u / 64] |= 1u64 << (u % 64);
+                }
+            }
+            PairLookup::Dense { stride, bits }
+        } else {
+            let mut offsets = Vec::with_capacity(n + 1);
+            let mut partners = Vec::new();
+            offsets.push(0);
+            for row in &rows {
+                partners.extend_from_slice(row);
+                offsets.push(partners.len());
+            }
+            PairLookup::Sparse { offsets, partners }
+        };
+        StrongPairTable { lookup }
+    }
+
+    /// Is the base pair `{u, z}` strong (`|N(u) ∩ N(z)| > a`)?
+    /// `u = z` is never strong (a base needs two distinct endpoints).
+    #[inline]
+    pub fn is_strong(&self, u: NodeId, z: NodeId) -> bool {
+        if u == z {
+            return false;
+        }
+        let (lo, hi) = (u.min(z), u.max(z));
+        match &self.lookup {
+            PairLookup::Dense { stride, bits } => {
+                bits[lo as usize * stride + hi as usize / 64] & (1u64 << (hi as usize % 64)) != 0
+            }
+            PairLookup::Sparse { offsets, partners } => partners
+                [offsets[lo as usize]..offsets[lo as usize + 1]]
+                .binary_search(&hi)
+                .is_ok(),
+        }
+    }
+
+    /// Number of strong pairs stored.
+    pub fn strong_pairs(&self) -> usize {
+        match &self.lookup {
+            // Symmetric storage ⇒ every pair is two bits.
+            PairLookup::Dense { bits, .. } => {
+                bits.iter().map(|w| w.count_ones() as usize).sum::<usize>() / 2
+            }
+            PairLookup::Sparse { partners, .. } => partners.len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::Graph;
+
+    fn complete(n: usize) -> Graph {
+        Graph::from_edges(
+            n,
+            (0..n as u32).flat_map(|i| (i + 1..n as u32).map(move |j| (i, j))),
+        )
+    }
+
+    /// A skewed graph: hub 0 adjacent to everyone, plus a sparse cycle.
+    fn hub_cycle(n: usize) -> Graph {
+        let mut edges: Vec<(u32, u32)> = (1..n as u32).map(|i| (0, i)).collect();
+        for i in 1..n as u32 {
+            let j = if i + 1 < n as u32 { i + 1 } else { 1 };
+            if i != j {
+                edges.push((i, j));
+            }
+        }
+        Graph::from_edges(n, edges)
+    }
+
+    #[test]
+    fn strategies_agree_with_merge_reference() {
+        for g in [complete(40), hub_cycle(150)] {
+            let lean = IntersectKernel::lean(&g);
+            let full = IntersectKernel::new(&g);
+            for a in 0..g.n() as u32 {
+                for b in 0..g.n() as u32 {
+                    let reference = g.common_neighbors_count(a, b);
+                    assert_eq!(lean.count(a, b), reference, "lean count ({a},{b})");
+                    assert_eq!(full.count(a, b), reference, "full count ({a},{b})");
+                    for k in [0, 1, 2, reference, reference + 1, g.n()] {
+                        assert_eq!(
+                            lean.count_at_least(a, b, k),
+                            reference >= k,
+                            "lean at_least ({a},{b},{k})"
+                        );
+                        assert_eq!(
+                            full.count_at_least(a, b, k),
+                            reference >= k,
+                            "full at_least ({a},{b},{k})"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn common_into_matches_reference_in_order() {
+        for g in [complete(24), hub_cycle(80)] {
+            let lean = IntersectKernel::lean(&g);
+            let full = IntersectKernel::new(&g);
+            let mut buf = Vec::new();
+            for a in 0..g.n() as u32 {
+                for b in 0..g.n() as u32 {
+                    let reference = g.common_neighbors(a, b);
+                    lean.common_into(a, b, &mut buf);
+                    assert_eq!(buf, reference, "lean into ({a},{b})");
+                    full.common_into(a, b, &mut buf);
+                    assert_eq!(buf, reference, "full into ({a},{b})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dense_rows_gate_on_shape() {
+        // K40 is dense: word path reachable.
+        assert!(IntersectKernel::new(&complete(40)).has_dense_rows());
+        // A path graph has tiny degrees: never worth pinning.
+        let path = Graph::from_edges(300, (0u32..299).map(|i| (i, i + 1)));
+        assert!(!IntersectKernel::new(&path).has_dense_rows());
+        assert!(!IntersectKernel::lean(&complete(40)).has_dense_rows());
+    }
+
+    #[test]
+    fn gallop_to_finds_lower_bound() {
+        let hay: Vec<NodeId> = vec![2, 3, 5, 9, 14, 20, 21, 40];
+        for from in 0..hay.len() {
+            for needle in 0..45u32 {
+                let expect = hay.partition_point(|&x| x < needle).max(from);
+                assert_eq!(
+                    gallop_to(&hay, from, needle),
+                    expect,
+                    "from {from} needle {needle}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn members_at_least_early_exits_correctly() {
+        let mut bits = BitSet::new(100);
+        for i in (0..100).step_by(3) {
+            bits.insert(i);
+        }
+        let list: Vec<NodeId> = (0..50).collect();
+        let members = list.iter().filter(|&&x| x % 3 == 0).count();
+        for k in 0..members + 3 {
+            assert_eq!(members_at_least(&bits, &list, k), members >= k, "k={k}");
+        }
+        assert!(members_at_least(&bits, &[], 0));
+        assert!(!members_at_least(&bits, &[], 1));
+    }
+
+    #[test]
+    fn strong_pair_table_matches_naive_pairs() {
+        for g in [complete(12), hub_cycle(40)] {
+            for a in [0usize, 1, 2, 5] {
+                let kernel = IntersectKernel::new(&g);
+                let table = StrongPairTable::build(&kernel, a);
+                let mut expected = 0usize;
+                for u in 0..g.n() as u32 {
+                    for z in 0..g.n() as u32 {
+                        let strong = u != z && g.common_neighbors_count(u, z) > a;
+                        assert_eq!(table.is_strong(u, z), strong, "({u},{z}) a={a}");
+                        if strong && u < z {
+                            expected += 1;
+                        }
+                    }
+                }
+                assert_eq!(table.strong_pairs(), expected, "a={a}");
+            }
+        }
+    }
+
+    #[test]
+    fn strong_pair_table_huge_threshold_is_empty() {
+        let g = complete(10);
+        let kernel = IntersectKernel::lean(&g);
+        let table = StrongPairTable::build(&kernel, usize::MAX);
+        assert_eq!(table.strong_pairs(), 0);
+        assert!(!table.is_strong(0, 1));
+        assert!(!table.is_strong(3, 3));
+    }
+}

@@ -11,6 +11,10 @@
 //! * Bernoulli edge sampling used by both spanner algorithms ([`sample`]),
 //! * fixed-size bitsets and a fast integer hasher used throughout
 //!   ([`bitset`], [`hash`]),
+//! * the degree-adaptive triangle/intersection kernel behind every
+//!   common-neighbour hot path ([`intersect`]): merge / galloping /
+//!   word-parallel popcount with threshold early-exit, plus the
+//!   pair-deduplicated support table,
 //! * generic CSR-packed jagged tables for precomputed per-edge indexes
 //!   ([`csr`]),
 //! * runtime contract checks at algorithm boundaries ([`invariants`]),
@@ -34,6 +38,7 @@ pub mod coloring;
 pub mod csr;
 pub mod graph;
 pub mod hash;
+pub mod intersect;
 pub mod invariants;
 pub mod io;
 pub mod matching;
@@ -46,6 +51,7 @@ pub mod traversal;
 pub use bitset::BitSet;
 pub use csr::CsrTable;
 pub use graph::{Edge, Graph, GraphBuilder, NodeId};
+pub use intersect::{IntersectKernel, StrongPairTable};
 pub use paths::Path;
 
 /// Convenience alias for hash maps keyed by small integers.

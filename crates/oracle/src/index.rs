@@ -11,9 +11,11 @@
 //! which makes [`IndexedDetourRouter`] behaviourally identical to the
 //! naive router for every query and RNG stream.
 
+use dcspan_graph::intersect::IntersectKernel;
 use dcspan_graph::{invariants, CsrTable, Edge, Graph, NodeId};
 use dcspan_routing::detour::{
-    needs_three_hop, select_from_sets, three_hop_pairs, two_hop_midpoints,
+    needs_three_hop, select_from_sets, three_hop_pairs, three_hop_pairs_with, two_hop_midpoints,
+    two_hop_midpoints_with,
 };
 use dcspan_routing::replace::{DetourPolicy, EdgeRouter};
 use rand::rngs::SmallRng;
@@ -61,12 +63,42 @@ impl DetourIndex {
             .filter(|e| !h.has_edge(e.u, e.v))
             .copied()
             .collect();
-        let two = CsrTable::build_par(missing.len(), |i| {
-            two_hop_midpoints(h, missing[i].u, missing[i].v)
-        });
-        let three = CsrTable::build_par(missing.len(), |i| {
-            three_hop_pairs(h, missing[i].u, missing[i].v)
-        });
+        // One shared triangle kernel over H (pinned bit-rows when dense
+        // enough) serves every row; rows are built in parallel chunks so
+        // the intersection scratch is reused across the rows of a chunk.
+        // Chunk boundaries never affect the output: rows are packed in
+        // canonical missing-edge order either way.
+        let kernel = IntersectKernel::new(h);
+        let rows = missing.len();
+        let tasks = rayon::current_num_threads().saturating_mul(8).max(1);
+        let chunk = rows.div_ceil(tasks).max(1);
+        let two_chunks: Vec<Vec<Vec<NodeId>>> = (0..rows.div_ceil(chunk))
+            .into_par_iter()
+            .map(|c| {
+                let (lo, hi) = (c * chunk, ((c + 1) * chunk).min(rows));
+                let mut out = Vec::with_capacity(hi - lo);
+                for e in &missing[lo..hi] {
+                    let mut row = Vec::new();
+                    two_hop_midpoints_with(&kernel, e.u, e.v, &mut row);
+                    out.push(row);
+                }
+                out
+            })
+            .collect();
+        let two = CsrTable::from_rows(two_chunks.into_iter().flatten());
+        let three_chunks: Vec<Vec<Vec<(NodeId, NodeId)>>> = (0..rows.div_ceil(chunk))
+            .into_par_iter()
+            .map(|c| {
+                let (lo, hi) = (c * chunk, ((c + 1) * chunk).min(rows));
+                let mut scratch = Vec::new();
+                let mut out = Vec::with_capacity(hi - lo);
+                for e in &missing[lo..hi] {
+                    out.push(three_hop_pairs_with(&kernel, e.u, e.v, &mut scratch));
+                }
+                out
+            })
+            .collect();
+        let three = CsrTable::from_rows(three_chunks.into_iter().flatten());
         DetourIndex {
             missing,
             two,

@@ -11,6 +11,7 @@
 //! cross-thread determinism tests pin down.
 
 use crate::replace::DetourPolicy;
+use dcspan_graph::intersect::IntersectKernel;
 use dcspan_graph::{Graph, NodeId};
 use rand::rngs::SmallRng;
 use rand::Rng;
@@ -22,18 +23,75 @@ pub fn two_hop_midpoints(h: &Graph, a: NodeId, b: NodeId) -> Vec<NodeId> {
     h.common_neighbors(a, b)
 }
 
+/// [`two_hop_midpoints`] over a caller-held triangle kernel, collecting
+/// into `out` (cleared first). Same ascending midpoint order — the kernel
+/// strategies are exact and order-preserving — so selection RNG streams
+/// are unaffected.
+#[inline]
+pub fn two_hop_midpoints_with(
+    kernel: &IntersectKernel<'_>,
+    a: NodeId,
+    b: NodeId,
+    out: &mut Vec<NodeId>,
+) {
+    kernel.common_into(a, b, out);
+}
+
 /// All 3-hop detours `a → x → z → b` in `h` as `(x, z)` pairs, excluding
 /// degenerate midpoints (`x = b`, `z = a`, `x = z`). Enumeration order is
 /// deterministic: outer loop over `N_h(a)` ascending, inner loop over
 /// `N_h(x) ∩ N_h(b)` ascending.
 pub fn three_hop_pairs(h: &Graph, a: NodeId, b: NodeId) -> Vec<(NodeId, NodeId)> {
+    let mut scratch = Vec::new();
     let mut out = Vec::new();
+    three_hop_pairs_into(h, a, b, &mut scratch, &mut out);
+    out
+}
+
+/// [`three_hop_pairs`] collecting into `out` (cleared first) with a
+/// caller-held intersection scratch buffer — no allocation per inner
+/// intersection. Identical enumeration order.
+pub fn three_hop_pairs_into(
+    h: &Graph,
+    a: NodeId,
+    b: NodeId,
+    scratch: &mut Vec<NodeId>,
+    out: &mut Vec<(NodeId, NodeId)>,
+) {
+    out.clear();
     for &x in h.neighbors(a) {
         if x == b {
             continue;
         }
         // z ∈ N_h(x) ∩ N_h(b), z ∉ {a, b}.
-        for z in h.common_neighbors(x, b) {
+        h.common_neighbors_into(x, b, scratch);
+        for &z in scratch.iter() {
+            if z != a && z != b && x != z {
+                out.push((x, z));
+            }
+        }
+    }
+}
+
+/// [`three_hop_pairs`] over a caller-held triangle kernel and scratch
+/// buffer, for batch builders (the oracle `DetourIndex`) that enumerate
+/// detours for many missing edges: the kernel's pinned bit-rows turn each
+/// inner `N(x) ∩ N(b)` into a membership scan. Identical `(x, z)` order
+/// to [`three_hop_pairs`] — the kernel collects intersections ascending.
+pub fn three_hop_pairs_with(
+    kernel: &IntersectKernel<'_>,
+    a: NodeId,
+    b: NodeId,
+    scratch: &mut Vec<NodeId>,
+) -> Vec<(NodeId, NodeId)> {
+    let h = kernel.graph();
+    let mut out = Vec::new();
+    for &x in h.neighbors(a) {
+        if x == b {
+            continue;
+        }
+        kernel.common_into(x, b, scratch);
+        for &z in scratch.iter() {
             if z != a && z != b && x != z {
                 out.push((x, z));
             }
@@ -137,6 +195,39 @@ mod tests {
         }
         // Outer loop ascending in x.
         assert!(three.windows(2).all(|w| w[0].0 <= w[1].0));
+    }
+
+    #[test]
+    fn kernel_variants_preserve_enumeration_order() {
+        // Dense-enough graph that the full kernel pins bit-rows, plus the
+        // lean kernel: both must reproduce the naive enumeration exactly.
+        let g = Graph::from_edges(
+            40,
+            (0u32..40).flat_map(|i| (i + 1..40).map(move |j| (i, j))),
+        );
+        let h = g.filter_edges(|id, _| id % 3 != 0);
+        for kernel in [IntersectKernel::new(&h), IntersectKernel::lean(&h)] {
+            let mut two = Vec::new();
+            let mut scratch = Vec::new();
+            let mut three_buf = Vec::new();
+            for a in 0..6u32 {
+                for b in 0..6u32 {
+                    if a == b {
+                        continue;
+                    }
+                    two_hop_midpoints_with(&kernel, a, b, &mut two);
+                    assert_eq!(two, two_hop_midpoints(&h, a, b), "two ({a},{b})");
+                    let reference = three_hop_pairs(&h, a, b);
+                    assert_eq!(
+                        three_hop_pairs_with(&kernel, a, b, &mut scratch),
+                        reference,
+                        "three ({a},{b})"
+                    );
+                    three_hop_pairs_into(&h, a, b, &mut scratch, &mut three_buf);
+                    assert_eq!(three_buf, reference, "three_into ({a},{b})");
+                }
+            }
+        }
     }
 
     #[test]

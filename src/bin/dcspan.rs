@@ -7,6 +7,7 @@
 //! dcspan build      [--algo <theorem2|theorem3>] [--n N] [--delta D] [--seed S] [--out FILE]
 //! dcspan query      [--requests FILE] [oracle flags]       # JSONL {"u":..,"v":..} on stdin/file
 //! dcspan bench      [--smoke] [--out FILE] [--sizes N,N] [--threads T,T] [--queries Q]
+//! dcspan bench-build [--smoke] [--out FILE] [--sizes N,N] [--delta D] [--seed S]
 //! dcspan chaos      [--smoke] [--out FILE] [--n N] [--threads T] [--queries Q] [--seed S] [--cap-c C]
 //! ```
 //!
@@ -43,6 +44,9 @@ enum CliError {
     Serialize(std::io::Error),
     /// A chaos run finished but observed invariant/acceptance violations.
     ChaosViolations(u64),
+    /// A construction benchmark cell's kernel output diverged from the
+    /// naive reference.
+    KernelDivergence(u64),
 }
 
 impl std::fmt::Display for CliError {
@@ -59,6 +63,12 @@ impl std::fmt::Display for CliError {
             CliError::ChaosViolations(count) => {
                 write!(f, "chaos run observed {count} violation(s)")
             }
+            CliError::KernelDivergence(count) => {
+                write!(
+                    f,
+                    "construction bench: {count} cell(s) diverged from the naive reference"
+                )
+            }
         }
     }
 }
@@ -70,7 +80,7 @@ impl CliError {
     /// itself completed), 1 for everything else.
     fn exit_code(&self) -> u8 {
         match self {
-            CliError::ChaosViolations(_) => 2,
+            CliError::ChaosViolations(_) | CliError::KernelDivergence(_) => 2,
             _ => 1,
         }
     }
@@ -354,6 +364,14 @@ fn cmd_experiment(which: &str, quick: bool) -> Result<(), CliError> {
                 };
                 dcspan::experiments::e18_chaos::run(n, 0.15, 6.0, &cfg).text
             }
+            "e19" => {
+                let cells: &[(usize, usize)] = if quick {
+                    &[(96, 0), (128, 0)]
+                } else {
+                    &[(128, 0), (256, 0), (384, 0)]
+                };
+                dcspan::experiments::e19_build::run(cells, seed).1
+            }
             "sweep" => {
                 let (n, seeds) = if quick { (96, 3) } else { (256, 8) };
                 let mut out = dcspan::experiments::sweep::sweep_theorem2(n, 0.15, seeds, seed).1;
@@ -391,6 +409,7 @@ fn cmd_experiment(which: &str, quick: bool) -> Result<(), CliError> {
             "e16",
             "e17",
             "e18",
+            "e19",
             "sweep",
             "ablations",
         ] {
@@ -600,6 +619,41 @@ fn cmd_bench(flags: &HashMap<String, String>) -> Result<(), CliError> {
     Ok(())
 }
 
+/// `dcspan bench-build`: the E19 construction-side benchmark — kernel vs.
+/// naive support mask, serial vs. parallel safe-reinsert, full spanner and
+/// index build times — in the Theorem 3 regime `Δ = ⌈n^{2/3}⌉` (override
+/// with `--delta`). Exits nonzero if any cell's kernel output diverges
+/// from the naive reference.
+fn cmd_bench_build(flags: &HashMap<String, String>) -> Result<(), CliError> {
+    let smoke = flags.contains_key("smoke");
+    let seed = get_u64(flags, "seed", 20240619);
+    let default_sizes: &[usize] = if smoke { &[96, 128] } else { &[256, 512, 1000] };
+    let sizes = get_list(flags, "sizes", default_sizes);
+    let delta = get_usize(flags, "delta", 0);
+    let cells: Vec<(usize, usize)> = sizes.iter().map(|&n| (n, delta)).collect();
+    let (rows, text) = dcspan::experiments::e19_build::run(&cells, seed);
+    println!("{text}");
+    if let Some(out) = flags.get("out") {
+        let artifact = dcspan::experiments::record::ExperimentArtifact {
+            id: "E19",
+            reproduces: "construction cost: Algorithm 1 support sweep + index build",
+            seed,
+            rows: &rows,
+        };
+        let json = artifact.to_json().map_err(CliError::Serialize)?;
+        write_file(out, format!("{json}\n"))?;
+        println!("wrote {out}");
+    }
+    let diverged = rows
+        .iter()
+        .filter(|r| !r.masks_equal || !r.safe_equal)
+        .count();
+    if diverged > 0 {
+        return Err(CliError::KernelDivergence(diverged as u64));
+    }
+    Ok(())
+}
+
 /// `dcspan chaos`: drive the deterministic fault-injection schedule
 /// against a live oracle and fail (exit 2) on any invariant or
 /// acceptance violation. `--smoke` is the strict CI configuration.
@@ -646,7 +700,7 @@ fn cmd_chaos(flags: &HashMap<String, String>) -> Result<(), CliError> {
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  dcspan gen --family <regular|gnp|gabber-galil|fan|two-clique|lower-bound> [--n N] [--delta D] [--seed S]\n  dcspan spanner --algo <regular|expander|baswana-sen|greedy|koutis-xu|d-out> [--n N] [--delta D] [--seed S]\n  dcspan experiment <e1..e18|sweep|ablations|all> [--quick]\n  dcspan build [--algo <theorem2|theorem3>] [--n N] [--delta D] [--seed S] [--out FILE]\n  dcspan query [--requests FILE] [--policy <uniform-shortest|uniform-up-to-3|first-found>] [oracle flags]\n  dcspan bench [--smoke] [--out FILE] [--sizes N,N] [--threads T,T] [--queries Q]\n  dcspan chaos [--smoke] [--out FILE] [--n N] [--threads T] [--queries Q] [--seed S] [--cap-c C]"
+        "usage:\n  dcspan gen --family <regular|gnp|gabber-galil|fan|two-clique|lower-bound> [--n N] [--delta D] [--seed S]\n  dcspan spanner --algo <regular|expander|baswana-sen|greedy|koutis-xu|d-out> [--n N] [--delta D] [--seed S]\n  dcspan experiment <e1..e19|sweep|ablations|all> [--quick]\n  dcspan build [--algo <theorem2|theorem3>] [--n N] [--delta D] [--seed S] [--out FILE]\n  dcspan query [--requests FILE] [--policy <uniform-shortest|uniform-up-to-3|first-found>] [oracle flags]\n  dcspan bench [--smoke] [--out FILE] [--sizes N,N] [--threads T,T] [--queries Q]\n  dcspan bench-build [--smoke] [--out FILE] [--sizes N,N] [--delta D] [--seed S]\n  dcspan chaos [--smoke] [--out FILE] [--n N] [--threads T] [--queries Q] [--seed S] [--cap-c C]"
     );
     ExitCode::FAILURE
 }
@@ -667,6 +721,7 @@ fn main() -> ExitCode {
         "build" => cmd_build(&flags),
         "query" => cmd_query(&flags),
         "bench" => cmd_bench(&flags),
+        "bench-build" => cmd_bench_build(&flags),
         "chaos" => cmd_chaos(&flags),
         _ => Err(CliError::Usage),
     };
