@@ -1,0 +1,71 @@
+//! Criterion benchmarks for the artifact store: `SpannerArtifact`
+//! encode/save, checksum verify, load/decode, and `Oracle::from_artifact`
+//! restore, against the `Oracle::from_algo` rebuild they replace, in the
+//! Theorem 3 regime `Δ = ⌈n^{2/3}⌉`.
+//!
+//! The acceptance headline lives at `n = 2000`: serving from a persisted
+//! artifact (`load + from_artifact`) must amortise the spanner + index
+//! build — ≥ 10× faster than the rebuild (recorded by
+//! `dcspan bench-store` into `BENCH_store.json`; here the same paths are
+//! measured under Criterion).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dcspan_core::serve::SpannerAlgo;
+use dcspan_experiments::workloads::theorem3_degree;
+use dcspan_gen::regular::random_regular;
+use dcspan_oracle::{Oracle, OracleConfig};
+use dcspan_store::SpannerArtifact;
+use std::hint::black_box;
+use std::path::PathBuf;
+
+/// A Theorem 3 regime instance and its persisted artifact on disk.
+fn setup(n: usize) -> (dcspan_graph::Graph, SpannerArtifact, PathBuf) {
+    let delta = theorem3_degree(n);
+    let g = random_regular(n, delta, 42);
+    let artifact = Oracle::build_artifact(&g, SpannerAlgo::Theorem3, 42);
+    let path =
+        std::env::temp_dir().join(format!("dcspan-bench-store-{}-{n}.bin", std::process::id()));
+    artifact.save(&path).expect("save artifact");
+    (g, artifact, path)
+}
+
+/// Save (encode + write) and verify (header + every section checksum).
+fn bench_save_verify(c: &mut Criterion) {
+    let mut group = c.benchmark_group("store_save_verify");
+    group.sample_size(10);
+    for &n in &[500usize, 1000, 2000] {
+        let (_, artifact, path) = setup(n);
+        group.bench_with_input(BenchmarkId::new("save", n), &artifact, |b, a| {
+            b.iter(|| a.save(black_box(&path)).expect("save"));
+        });
+        group.bench_with_input(BenchmarkId::new("verify", n), &path, |b, p| {
+            b.iter(|| dcspan_store::verify_file(black_box(p)).expect("verify"));
+        });
+        let _ = std::fs::remove_file(&path);
+    }
+    group.finish();
+}
+
+/// The cold-start comparison: load + restore vs. the full rebuild.
+fn bench_load_vs_rebuild(c: &mut Criterion) {
+    let mut group = c.benchmark_group("store_load_vs_rebuild");
+    group.sample_size(10);
+    for &n in &[500usize, 1000, 2000] {
+        let (g, _, path) = setup(n);
+        let config = OracleConfig::default();
+        group.bench_with_input(BenchmarkId::new("load_restore", n), &path, |b, p| {
+            b.iter(|| {
+                let artifact = SpannerArtifact::load(black_box(p)).expect("load");
+                Oracle::from_artifact(artifact, config).expect("restore")
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("rebuild", n), &g, |b, g| {
+            b.iter(|| Oracle::from_algo(black_box(g), SpannerAlgo::Theorem3, config));
+        });
+        let _ = std::fs::remove_file(&path);
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_save_verify, bench_load_vs_rebuild);
+criterion_main!(benches);

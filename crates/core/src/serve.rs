@@ -70,6 +70,48 @@ impl SpannerAlgo {
             _ => None,
         }
     }
+
+    /// Canonical CLI name (inverse of [`SpannerAlgo::parse`] up to
+    /// aliases): `theorem2`, `theorem2-prob`, or `theorem3` for the paper's
+    /// Theorem 2 / Theorem 3 constructions.
+    pub fn name(self) -> &'static str {
+        match self {
+            SpannerAlgo::Theorem2 => "theorem2",
+            SpannerAlgo::Theorem2WithProb(_) => "theorem2-prob",
+            SpannerAlgo::Theorem3 => "theorem3",
+        }
+    }
+
+    /// Stable `(tag, bits)` encoding for artifact metadata: Theorem 2 is
+    /// `(0, 0)`, Theorem 2 with an explicit survival probability is
+    /// `(1, p.to_bits())`, Theorem 3 / Algorithm 1 is `(2, 0)`.
+    pub fn code(self) -> (u8, u64) {
+        match self {
+            SpannerAlgo::Theorem2 => (0, 0),
+            SpannerAlgo::Theorem2WithProb(p) => (1, p.to_bits()),
+            SpannerAlgo::Theorem3 => (2, 0),
+        }
+    }
+
+    /// Inverse of [`SpannerAlgo::code`] (Theorem 2 / Theorem 3 dispatch).
+    /// Rejects any `(tag, bits)` pair that `code` cannot produce: unknown
+    /// tags, nonzero `bits` for parameterless variants, and probabilities
+    /// outside `[0, 1]` or non-finite.
+    pub fn from_code(tag: u8, bits: u64) -> Option<SpannerAlgo> {
+        match (tag, bits) {
+            (0, 0) => Some(SpannerAlgo::Theorem2),
+            (1, bits) => {
+                let p = f64::from_bits(bits);
+                if p.is_finite() && (0.0..=1.0).contains(&p) {
+                    Some(SpannerAlgo::Theorem2WithProb(p))
+                } else {
+                    None
+                }
+            }
+            (2, 0) => Some(SpannerAlgo::Theorem3),
+            _ => None,
+        }
+    }
 }
 
 /// Build the chosen DC-spanner for `g` and hand back `H` (Theorem 2 or
@@ -126,5 +168,25 @@ mod tests {
         assert_eq!(SpannerAlgo::parse("expander"), Some(SpannerAlgo::Theorem2));
         assert_eq!(SpannerAlgo::parse("regular"), Some(SpannerAlgo::Theorem3));
         assert_eq!(SpannerAlgo::parse("nope"), None);
+    }
+
+    #[test]
+    fn algo_codes_roundtrip() {
+        for algo in [
+            SpannerAlgo::Theorem2,
+            SpannerAlgo::Theorem2WithProb(0.0),
+            SpannerAlgo::Theorem2WithProb(0.375),
+            SpannerAlgo::Theorem2WithProb(1.0),
+            SpannerAlgo::Theorem3,
+        ] {
+            let (tag, bits) = algo.code();
+            assert_eq!(SpannerAlgo::from_code(tag, bits), Some(algo));
+            assert_eq!(SpannerAlgo::parse(algo.name()).is_some(), tag != 1);
+        }
+        assert_eq!(SpannerAlgo::from_code(3, 0), None);
+        assert_eq!(SpannerAlgo::from_code(0, 1), None);
+        assert_eq!(SpannerAlgo::from_code(2, 7), None);
+        assert_eq!(SpannerAlgo::from_code(1, f64::NAN.to_bits()), None);
+        assert_eq!(SpannerAlgo::from_code(1, 2.0f64.to_bits()), None);
     }
 }

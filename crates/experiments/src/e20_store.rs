@@ -1,0 +1,206 @@
+//! **E20 — artifact store**: build-once/serve-forever economics of the
+//! versioned spanner artifact (`dcspan-store`).
+//!
+//! The paper's object is built once (Theorems 2–3) and then *stands in*
+//! for `G` at query time (Definition 3). This experiment measures the
+//! split: build a Theorem 3 oracle, persist it as a checksummed binary
+//! artifact, then compare the cold-start paths — `save → verify → load →
+//! Oracle::from_artifact` against a full `Oracle::from_algo` rebuild —
+//! and replay an identical query stream through both oracles to check
+//! that loaded-artifact serving is answer-for-answer identical to
+//! in-process construction.
+
+use crate::table::{f2, Table};
+use crate::workloads;
+use dcspan_core::serve::SpannerAlgo;
+use dcspan_oracle::{Oracle, OracleConfig};
+use dcspan_routing::RoutingProblem;
+use dcspan_store::{SpannerArtifact, StoreError};
+use std::time::Instant;
+
+/// One measured row: the store-vs-rebuild ledger for a single `n`.
+#[derive(Clone, Debug, serde::Serialize)]
+pub struct StoreBenchRow {
+    /// Nodes.
+    pub n: usize,
+    /// Degree Δ (Theorem 3 regime, `n^{2/3}`).
+    pub delta: usize,
+    /// Edges of `G`.
+    pub m: usize,
+    /// Edges of `G` missing from `H` (indexed universe).
+    pub missing_edges: usize,
+    /// Encoded artifact size on disk, bytes.
+    pub artifact_bytes: usize,
+    /// Wall time to build the artifact (spanner + index + pack), ms.
+    pub build_ms: f64,
+    /// Wall time to encode + write the artifact, ms.
+    pub save_ms: f64,
+    /// Wall time for `verify_file` (header + every section checksum), ms.
+    pub verify_ms: f64,
+    /// Wall time to read + decode the artifact, ms.
+    pub load_ms: f64,
+    /// Wall time for `Oracle::from_artifact` (validate + assemble), ms.
+    pub restore_ms: f64,
+    /// Wall time for the `Oracle::from_algo` rebuild it replaces, ms.
+    pub rebuild_ms: f64,
+    /// `rebuild_ms / (load_ms + restore_ms)` — the cold-start speedup of
+    /// serving from the artifact instead of rebuilding.
+    pub load_speedup: f64,
+    /// Queries replayed through both oracles.
+    pub queries: usize,
+    /// Whether every replayed response (including rejections) was
+    /// identical between the rebuilt and the loaded oracle.
+    pub bit_identical: bool,
+}
+
+fn ms(t: Instant) -> f64 {
+    t.elapsed().as_secs_f64() * 1e3
+}
+
+/// Replay `problem` sequentially through both oracles with identical
+/// query ids and compare every outcome exactly.
+fn replay_identical(a: &Oracle, b: &Oracle, problem: &RoutingProblem) -> bool {
+    problem
+        .pairs()
+        .iter()
+        .enumerate()
+        .all(|(q, &(u, v))| a.route(u, v, q as u64) == b.route(u, v, q as u64))
+}
+
+/// Run the store sweep: for each `n` (Theorem 3 regime) build an
+/// artifact, time the persistence round trip against a rebuild, and
+/// replay `queries` random-pair queries through both serving paths.
+///
+/// Uses one scratch file under the system temp dir per cell; the file is
+/// removed before returning. Fails with the first [`StoreError`] the
+/// round trip hits (an IO failure or — never expected — corruption).
+pub fn run(
+    sizes: &[usize],
+    queries: usize,
+    seed: u64,
+) -> Result<(Vec<StoreBenchRow>, String), StoreError> {
+    let mut rows = Vec::new();
+    for (i, &n) in sizes.iter().enumerate() {
+        let seed = seed.wrapping_add(i as u64 * 1000);
+        let delta = workloads::theorem3_degree(n);
+        let g = workloads::regime_expander(n, delta, seed);
+        // The config seed must equal the artifact's build seed: `from_algo`
+        // rebuilds the spanner from `config.seed`, so any other choice
+        // compares two different spanners instead of two serving paths.
+        let config = OracleConfig {
+            seed,
+            ..OracleConfig::default()
+        };
+
+        let t0 = Instant::now();
+        let artifact = Oracle::build_artifact(&g, SpannerAlgo::Theorem3, seed);
+        let build_ms = ms(t0);
+        let missing_edges = artifact.missing.len();
+
+        let path =
+            std::env::temp_dir().join(format!("dcspan-e20-{}-{n}-{seed}.bin", std::process::id()));
+        let result = (|| -> Result<StoreBenchRow, StoreError> {
+            let t0 = Instant::now();
+            artifact.save(&path)?;
+            let save_ms = ms(t0);
+            let artifact_bytes = std::fs::metadata(&path)?.len() as usize;
+
+            let t0 = Instant::now();
+            dcspan_store::verify_file(&path)?;
+            let verify_ms = ms(t0);
+
+            let t0 = Instant::now();
+            let loaded = SpannerArtifact::load(&path)?;
+            let load_ms = ms(t0);
+
+            let t0 = Instant::now();
+            let served = Oracle::from_artifact(loaded, config)?;
+            let restore_ms = ms(t0);
+
+            let t0 = Instant::now();
+            let rebuilt = Oracle::from_algo(&g, SpannerAlgo::Theorem3, config);
+            let rebuild_ms = ms(t0);
+
+            let problem = RoutingProblem::random_pairs(g.n(), queries, seed ^ 0x51013E);
+            let bit_identical = replay_identical(&rebuilt, &served, &problem);
+
+            Ok(StoreBenchRow {
+                n,
+                delta,
+                m: g.m(),
+                missing_edges,
+                artifact_bytes,
+                build_ms,
+                save_ms,
+                verify_ms,
+                load_ms,
+                restore_ms,
+                rebuild_ms,
+                load_speedup: rebuild_ms / (load_ms + restore_ms).max(1e-9),
+                queries,
+                bit_identical,
+            })
+        })();
+        let _ = std::fs::remove_file(&path);
+        rows.push(result?);
+    }
+    let mut t = Table::new([
+        "n",
+        "Δ",
+        "m",
+        "missing",
+        "bytes",
+        "build ms",
+        "save ms",
+        "verify ms",
+        "load ms",
+        "restore ms",
+        "rebuild ms",
+        "speedup",
+        "identical",
+    ]);
+    for r in &rows {
+        t.add_row([
+            r.n.to_string(),
+            r.delta.to_string(),
+            r.m.to_string(),
+            r.missing_edges.to_string(),
+            r.artifact_bytes.to_string(),
+            f2(r.build_ms),
+            f2(r.save_ms),
+            f2(r.verify_ms),
+            f2(r.load_ms),
+            f2(r.restore_ms),
+            f2(r.rebuild_ms),
+            f2(r.load_speedup),
+            r.bit_identical.to_string(),
+        ]);
+    }
+    let text = format!(
+        "{}{}\nStore contract: loaded-artifact serving is answer-for-answer \
+         identical to a same-seed in-process rebuild, and the cold-start \
+         path (load + restore) amortises the whole spanner+index build.\n",
+        crate::banner("E20", "artifact store: build once, serve forever"),
+        t.render()
+    );
+    Ok((rows, text))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_sweep_round_trips_bit_identically() {
+        let (rows, text) = run(&[64, 96], 300, 7).expect("round trip");
+        assert_eq!(rows.len(), 2);
+        for r in &rows {
+            assert!(r.bit_identical, "n={}: loaded serving diverged", r.n);
+            assert!(r.artifact_bytes > 0);
+            assert!(r.queries == 300);
+            assert!(r.load_speedup > 0.0);
+        }
+        assert!(text.contains("E20"));
+        assert!(text.contains("identical"));
+    }
+}

@@ -27,6 +27,7 @@
 //! | [`e17_oracle`] | serving: oracle throughput/latency (Definition 3 at query time) |
 //! | [`e18_chaos`] | serving robustness: fault injection, degraded-mode routing, admission control |
 //! | [`e19_build`] | construction cost: triangle-kernel build pipeline vs. naive (Theorem 3 regime) |
+//! | [`e20_store`] | artifact store: build once, serve forever (save/verify/load vs rebuild, bit-identical serving) |
 //! | [`table1`] | the complete Table 1, measured |
 //! | [`ablations`] | design-choice ablations (A1–A3) |
 
@@ -45,6 +46,7 @@ pub mod e17_oracle;
 pub mod e18_chaos;
 pub mod e19_build;
 pub mod e1_expander;
+pub mod e20_store;
 pub mod e2_becchetti;
 pub mod e3_koutis_xu;
 pub mod e4_regular;

@@ -205,8 +205,9 @@ impl Graph {
         Ok(builder.build())
     }
 
-    /// Build from already-canonical, sorted, deduplicated edges.
-    fn from_canonical_edges(n: usize, edges: Vec<Edge>) -> Self {
+    /// Build from already-canonical, sorted, deduplicated edges (the
+    /// binary decoder in [`crate::io`] re-validates and reuses this).
+    pub(crate) fn from_canonical_edges(n: usize, edges: Vec<Edge>) -> Self {
         debug_assert!(
             edges.windows(2).all(|w| w[0] < w[1]),
             "edges must be sorted+dedup"

@@ -1,11 +1,20 @@
-//! Graph serialisation: a plain edge-list text format and a DIMACS-like
-//! variant, so spanners and workloads can be exchanged with external tools.
+//! Graph serialisation: a plain edge-list text format, a DIMACS-like
+//! variant, and the little-endian binary codec primitives used by the
+//! versioned `dcspan-store` artifact format.
 //!
 //! Edge-list format (`.el`): first line `n m`, then one `u v` pair per
 //! line. DIMACS format: `p edge <n> <m>` header and `e <u+1> <v+1>` lines
-//! (DIMACS is 1-indexed).
+//! (DIMACS is 1-indexed). Both parsers reject self-loops, out-of-range
+//! endpoints, and duplicate edges, so `write → read` is a bijection on
+//! canonical graphs.
+//!
+//! The binary codec ([`ByteReader`], [`FixedCodec`], [`encode_seq`] /
+//! [`decode_seq`]) is deliberately minimal: fixed-width little-endian
+//! fields, length-prefixed sequences, and fully bounds-checked fallible
+//! decoding — corruption degrades to a typed [`CodecError`], never a panic
+//! or an unbounded allocation.
 
-use crate::graph::{Graph, GraphBuilder};
+use crate::graph::{Edge, Graph, GraphBuilder};
 use std::io::{BufRead, Write};
 
 /// Errors arising while parsing a graph file.
@@ -59,6 +68,7 @@ pub fn read_edge_list<R: BufRead>(r: R) -> Result<Graph, ParseError> {
         .and_then(|t| t.parse().ok())
         .ok_or_else(|| ParseError::Format("bad edge count".into()))?;
     let mut builder = GraphBuilder::with_capacity(n, m);
+    let mut seen: crate::FxHashSet<Edge> = crate::FxHashSet::default();
     let mut count = 0usize;
     for line in lines {
         let line = line?;
@@ -80,6 +90,9 @@ pub fn read_edge_list<R: BufRead>(r: R) -> Result<Graph, ParseError> {
         }
         if u == v {
             return Err(ParseError::Format(format!("self-loop at {u}")));
+        }
+        if !seen.insert(Edge::new(u, v)) {
+            return Err(ParseError::Format(format!("duplicate edge ({u}, {v})")));
         }
         builder.add_edge(u, v);
         count += 1;
@@ -104,7 +117,10 @@ pub fn write_dimacs<W: Write>(g: &Graph, mut w: W) -> std::io::Result<()> {
 /// Read the DIMACS format (1-indexed; `c` comment lines allowed).
 pub fn read_dimacs<R: BufRead>(r: R) -> Result<Graph, ParseError> {
     let mut builder: Option<GraphBuilder> = None;
+    let mut seen: crate::FxHashSet<Edge> = crate::FxHashSet::default();
     let mut n = 0usize;
+    let mut m = 0usize;
+    let mut count = 0usize;
     for line in r.lines() {
         let line = line?;
         let trimmed = line.trim();
@@ -117,7 +133,7 @@ pub fn read_dimacs<R: BufRead>(r: R) -> Result<Graph, ParseError> {
                 .next()
                 .and_then(|t| t.parse().ok())
                 .ok_or_else(|| ParseError::Format("bad p line".into()))?;
-            let m: usize = parts
+            m = parts
                 .next()
                 .and_then(|t| t.parse().ok())
                 .ok_or_else(|| ParseError::Format("bad p line".into()))?;
@@ -141,14 +157,246 @@ pub fn read_dimacs<R: BufRead>(r: R) -> Result<Graph, ParseError> {
             if u == v {
                 return Err(ParseError::Format(format!("self-loop at {u}")));
             }
+            if !seen.insert(Edge::new(u - 1, v - 1)) {
+                return Err(ParseError::Format(format!("duplicate edge ({u}, {v})")));
+            }
             b.add_edge(u - 1, v - 1);
+            count += 1;
         } else {
             return Err(ParseError::Format(format!("unrecognised line: {trimmed}")));
         }
     }
+    if builder.is_some() && count != m {
+        return Err(ParseError::Format(format!(
+            "expected {m} edges, found {count}"
+        )));
+    }
     builder
         .map(GraphBuilder::build)
         .ok_or_else(|| ParseError::Format("missing p line".into()))
+}
+
+// ---------------------------------------------------------------------------
+// Binary codec primitives (used by the dcspan-store artifact format)
+// ---------------------------------------------------------------------------
+
+/// Errors from decoding the fixed-width little-endian binary codec.
+///
+/// Decoding is total: every byte sequence maps to either a value or a
+/// `CodecError`; no input can cause a panic or an allocation larger than
+/// the input itself.
+#[derive(Debug, PartialEq, Eq)]
+pub enum CodecError {
+    /// The input ended before the announced structure was complete.
+    Truncated,
+    /// The input is structurally invalid (message describes the violation).
+    Malformed(String),
+}
+
+impl std::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CodecError::Truncated => write!(f, "input truncated"),
+            CodecError::Malformed(msg) => write!(f, "malformed input: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// Bounds-checked cursor over a byte slice for fallible little-endian reads.
+///
+/// All reads return [`CodecError::Truncated`] instead of panicking when the
+/// slice is exhausted, keeping decode paths compatible with the `no_panic`
+/// lint.
+pub struct ByteReader<'a> {
+    buf: &'a [u8],
+}
+
+impl<'a> ByteReader<'a> {
+    /// Wrap a byte slice.
+    pub fn new(buf: &'a [u8]) -> Self {
+        ByteReader { buf }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when every byte has been consumed.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Consume exactly `n` bytes, or fail with `Truncated`.
+    pub fn take(&mut self, n: usize) -> Result<&'a [u8], CodecError> {
+        if n > self.buf.len() {
+            return Err(CodecError::Truncated);
+        }
+        let (head, tail) = self.buf.split_at(n);
+        self.buf = tail;
+        Ok(head)
+    }
+
+    /// Read one byte.
+    pub fn read_u8(&mut self) -> Result<u8, CodecError> {
+        let b = self.take(1)?;
+        Ok(b[0])
+    }
+
+    /// Read a little-endian `u32`.
+    pub fn read_u32(&mut self) -> Result<u32, CodecError> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    /// Read a little-endian `u64`.
+    pub fn read_u64(&mut self) -> Result<u64, CodecError> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+}
+
+/// Values encodable at a fixed little-endian byte width.
+///
+/// Implementors must keep `encode_into`/`decode_from` symmetric: decoding
+/// the encoded bytes yields the original value, and `decode_from` must
+/// reject any byte pattern that `encode_into` cannot produce.
+pub trait FixedCodec: Copy {
+    /// Encoded width in bytes.
+    const BYTES: usize;
+
+    /// Append the little-endian encoding of `self` to `out`.
+    fn encode_into(self, out: &mut Vec<u8>);
+
+    /// Decode one value, validating representation invariants.
+    fn decode_from(r: &mut ByteReader<'_>) -> Result<Self, CodecError>
+    where
+        Self: Sized;
+}
+
+impl FixedCodec for u32 {
+    const BYTES: usize = 4;
+
+    fn encode_into(self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.to_le_bytes());
+    }
+
+    fn decode_from(r: &mut ByteReader<'_>) -> Result<Self, CodecError> {
+        r.read_u32()
+    }
+}
+
+impl FixedCodec for u64 {
+    const BYTES: usize = 8;
+
+    fn encode_into(self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.to_le_bytes());
+    }
+
+    fn decode_from(r: &mut ByteReader<'_>) -> Result<Self, CodecError> {
+        r.read_u64()
+    }
+}
+
+impl FixedCodec for (u32, u32) {
+    const BYTES: usize = 8;
+
+    fn encode_into(self, out: &mut Vec<u8>) {
+        self.0.encode_into(out);
+        self.1.encode_into(out);
+    }
+
+    fn decode_from(r: &mut ByteReader<'_>) -> Result<Self, CodecError> {
+        Ok((r.read_u32()?, r.read_u32()?))
+    }
+}
+
+impl FixedCodec for Edge {
+    const BYTES: usize = 8;
+
+    fn encode_into(self, out: &mut Vec<u8>) {
+        self.u.encode_into(out);
+        self.v.encode_into(out);
+    }
+
+    fn decode_from(r: &mut ByteReader<'_>) -> Result<Self, CodecError> {
+        let u = r.read_u32()?;
+        let v = r.read_u32()?;
+        if u >= v {
+            return Err(CodecError::Malformed(format!(
+                "edge ({u}, {v}) violates u < v"
+            )));
+        }
+        Ok(Edge::new(u, v))
+    }
+}
+
+/// Append a length-prefixed sequence (`u64` count, then fixed-width items).
+pub fn encode_seq<T: FixedCodec>(items: &[T], out: &mut Vec<u8>) {
+    (items.len() as u64).encode_into(out);
+    for &item in items {
+        item.encode_into(out);
+    }
+}
+
+/// Decode a length-prefixed sequence written by [`encode_seq`].
+///
+/// The announced length is validated against the remaining input before any
+/// allocation, so a corrupted count cannot trigger an out-of-memory abort.
+pub fn decode_seq<T: FixedCodec>(r: &mut ByteReader<'_>) -> Result<Vec<T>, CodecError> {
+    let len = r.read_u64()?;
+    let len: usize = usize::try_from(len).map_err(|_| CodecError::Truncated)?;
+    let need = len.checked_mul(T::BYTES).ok_or(CodecError::Truncated)?;
+    if need > r.remaining() {
+        return Err(CodecError::Truncated);
+    }
+    let mut items = Vec::with_capacity(len);
+    for _ in 0..len {
+        items.push(T::decode_from(r)?);
+    }
+    Ok(items)
+}
+
+impl Graph {
+    /// Append the graph's binary encoding: `n` as `u64`, then the canonical
+    /// sorted edge list as a length-prefixed sequence of `(u, v)` pairs.
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        (self.n() as u64).encode_into(out);
+        encode_seq(self.edges(), out);
+    }
+
+    /// Decode a graph written by [`Graph::encode_into`], validating that the
+    /// edge list is strictly increasing (canonical, duplicate-free) with all
+    /// endpoints in `0..n` before reconstructing the CSR arrays.
+    pub fn decode_from(r: &mut ByteReader<'_>) -> Result<Graph, CodecError> {
+        let n = r.read_u64()?;
+        if n > u64::from(u32::MAX) + 1 {
+            return Err(CodecError::Malformed(format!(
+                "node count {n} exceeds u32 address space"
+            )));
+        }
+        let n = n as usize;
+        let edges: Vec<Edge> = decode_seq(r)?;
+        for pair in edges.windows(2) {
+            if pair[0] >= pair[1] {
+                return Err(CodecError::Malformed(format!(
+                    "edge list not strictly increasing at ({}, {})",
+                    pair[1].u, pair[1].v
+                )));
+            }
+        }
+        if let Some(e) = edges.iter().find(|e| e.v as usize >= n) {
+            return Err(CodecError::Malformed(format!(
+                "edge ({}, {}) out of range for n = {n}",
+                e.u, e.v
+            )));
+        }
+        Ok(Graph::from_canonical_edges(n, edges))
+    }
 }
 
 #[cfg(test)]
@@ -243,5 +491,95 @@ mod tests {
     fn error_display() {
         let e = ParseError::Format("boom".into());
         assert!(e.to_string().contains("boom"));
+    }
+
+    #[test]
+    fn edge_list_rejects_duplicate_edges() {
+        let text = "3 2\n0 1\n1 0\n";
+        assert!(matches!(
+            read_edge_list(text.as_bytes()),
+            Err(ParseError::Format(_))
+        ));
+    }
+
+    #[test]
+    fn dimacs_rejects_duplicate_edges() {
+        let text = "p edge 3 2\ne 1 2\ne 2 1\n";
+        assert!(matches!(
+            read_dimacs(text.as_bytes()),
+            Err(ParseError::Format(_))
+        ));
+    }
+
+    #[test]
+    fn dimacs_rejects_bad_counts() {
+        let text = "p edge 3 2\ne 1 2\n";
+        assert!(matches!(
+            read_dimacs(text.as_bytes()),
+            Err(ParseError::Format(_))
+        ));
+    }
+
+    #[test]
+    fn graph_codec_roundtrips() {
+        let g = sample();
+        let mut buf = Vec::new();
+        g.encode_into(&mut buf);
+        let mut r = ByteReader::new(&buf);
+        let decoded = Graph::decode_from(&mut r).unwrap();
+        assert!(r.is_empty());
+        assert_eq!(decoded, g);
+    }
+
+    #[test]
+    fn graph_codec_rejects_unsorted_edges() {
+        let mut buf = Vec::new();
+        4u64.encode_into(&mut buf);
+        encode_seq(&[Edge::new(1, 2), Edge::new(0, 1)], &mut buf);
+        let mut r = ByteReader::new(&buf);
+        assert!(matches!(
+            Graph::decode_from(&mut r),
+            Err(CodecError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn graph_codec_rejects_out_of_range() {
+        let mut buf = Vec::new();
+        2u64.encode_into(&mut buf);
+        encode_seq(&[Edge::new(0, 3)], &mut buf);
+        let mut r = ByteReader::new(&buf);
+        assert!(matches!(
+            Graph::decode_from(&mut r),
+            Err(CodecError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn edge_codec_rejects_non_canonical() {
+        let mut buf = Vec::new();
+        3u32.encode_into(&mut buf);
+        1u32.encode_into(&mut buf);
+        let mut r = ByteReader::new(&buf);
+        assert!(matches!(
+            Edge::decode_from(&mut r),
+            Err(CodecError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn decode_seq_caps_allocation_by_remaining_input() {
+        let mut buf = Vec::new();
+        u64::MAX.encode_into(&mut buf);
+        let mut r = ByteReader::new(&buf);
+        assert_eq!(decode_seq::<u64>(&mut r), Err(CodecError::Truncated));
+    }
+
+    #[test]
+    fn byte_reader_truncates_cleanly() {
+        let mut r = ByteReader::new(&[1, 2, 3]);
+        assert_eq!(r.read_u32(), Err(CodecError::Truncated));
+        assert_eq!(r.remaining(), 3);
+        assert_eq!(r.read_u8().unwrap(), 1);
     }
 }

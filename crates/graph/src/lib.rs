@@ -52,6 +52,7 @@ pub use bitset::BitSet;
 pub use csr::CsrTable;
 pub use graph::{Edge, Graph, GraphBuilder, NodeId};
 pub use intersect::{IntersectKernel, StrongPairTable};
+pub use io::{decode_seq, encode_seq, ByteReader, CodecError, FixedCodec};
 pub use paths::Path;
 
 /// Convenience alias for hash maps keyed by small integers.

@@ -10,7 +10,7 @@ use dcspan_graph::matching::{
     greedy_maximal_matching, is_valid_bipartite_matching, max_bipartite_matching,
 };
 use dcspan_graph::traversal::{bfs_distances, connected_components, shortest_path, UNREACHABLE};
-use dcspan_graph::{BitSet, Graph, NodeId, Path};
+use dcspan_graph::{BitSet, ByteReader, Graph, NodeId, Path};
 use proptest::prelude::*;
 use std::collections::HashSet;
 
@@ -55,6 +55,76 @@ proptest! {
         dcspan_graph::io::write_dimacs(&g, &mut buf).unwrap();
         let parsed = dcspan_graph::io::read_dimacs(buf.as_slice()).unwrap();
         prop_assert_eq!(parsed, g);
+    }
+
+    #[test]
+    fn io_parsers_reject_duplicate_edges_consistently(g in arb_graph()) {
+        // Appending any existing edge (in either orientation) to a written
+        // file must be rejected by both text parsers, not silently deduped.
+        let Some(e) = g.edges().first().copied() else { return Ok(()) };
+
+        let mut el = Vec::new();
+        dcspan_graph::io::write_edge_list(&g, &mut el).unwrap();
+        let mut text = format!("{} {}\n", g.n(), g.m() + 1);
+        text.push_str(std::str::from_utf8(&el).unwrap().split_once('\n').unwrap().1);
+        text.push_str(&format!("{} {}\n", e.v, e.u));
+        prop_assert!(dcspan_graph::io::read_edge_list(text.as_bytes()).is_err());
+
+        let mut dm = Vec::new();
+        dcspan_graph::io::write_dimacs(&g, &mut dm).unwrap();
+        let mut text = format!("p edge {} {}\n", g.n(), g.m() + 1);
+        text.push_str(std::str::from_utf8(&dm).unwrap().split_once('\n').unwrap().1);
+        text.push_str(&format!("e {} {}\n", e.v + 1, e.u + 1));
+        prop_assert!(dcspan_graph::io::read_dimacs(text.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn graph_codec_roundtrips_bit_identically(g in arb_graph()) {
+        let mut buf = Vec::new();
+        g.encode_into(&mut buf);
+        let mut r = ByteReader::new(&buf);
+        let decoded = Graph::decode_from(&mut r).unwrap();
+        prop_assert!(r.is_empty());
+        prop_assert_eq!(&decoded, &g);
+        // Re-encoding the decoded graph reproduces the exact bytes.
+        let mut buf2 = Vec::new();
+        decoded.encode_into(&mut buf2);
+        prop_assert_eq!(buf2, buf);
+    }
+
+    #[test]
+    fn graph_codec_never_panics_on_corruption(g in arb_graph(), flip in 0usize..4096, bit in 0u8..8) {
+        let mut buf = Vec::new();
+        g.encode_into(&mut buf);
+        // Single-bit flip anywhere: decode returns Ok or a typed error,
+        // and on Ok the result re-encodes to the mutated bytes (i.e. the
+        // flip produced a different but valid graph).
+        let i = flip % buf.len();
+        buf[i] ^= 1 << bit;
+        let mut r = ByteReader::new(&buf);
+        if let Ok(decoded) = Graph::decode_from(&mut r) {
+            if r.is_empty() {
+                let mut buf2 = Vec::new();
+                decoded.encode_into(&mut buf2);
+                prop_assert_eq!(buf2, buf);
+            }
+        }
+        // Every strict prefix must fail with a typed error, never panic.
+        for cut in 0..buf.len().min(64) {
+            let mut r = ByteReader::new(&buf[..cut]);
+            let _ = Graph::decode_from(&mut r);
+        }
+    }
+
+    #[test]
+    fn csr_codec_roundtrips(rows in proptest::collection::vec(proptest::collection::vec((0u32..50, 0u32..50), 0..6), 0..10)) {
+        let t = dcspan_graph::CsrTable::from_rows(rows);
+        let mut buf = Vec::new();
+        t.encode_into(&mut buf);
+        let mut r = ByteReader::new(&buf);
+        let decoded = dcspan_graph::CsrTable::<(u32, u32)>::decode_from(&mut r).unwrap();
+        prop_assert!(r.is_empty());
+        prop_assert_eq!(decoded, t);
     }
 
     #[test]

@@ -169,6 +169,71 @@ impl DetourIndex {
             .collect()
     }
 
+    /// Surrender the packed rows for artifact persistence: the canonical
+    /// missing-edge list and both CSR tables, row order preserved, no
+    /// copying. Inverse of [`DetourIndex::from_parts`].
+    pub fn into_parts(self) -> (Vec<Edge>, CsrTable<NodeId>, CsrTable<(NodeId, NodeId)>) {
+        (self.missing, self.two, self.three)
+    }
+
+    /// Reassemble an index from packed rows without recomputing any
+    /// detours (the zero-rebuild load path). Validates structure against
+    /// the `(g, h)` pair the artifact claims to serve: the missing-edge
+    /// list must be exactly `E(G) \ E(H)` in canonical order and both
+    /// tables must have one row per missing edge. Row *contents* are
+    /// trusted — the artifact checksums already guarantee they are the
+    /// bytes [`DetourIndex::build`] produced.
+    pub fn from_parts(
+        g: &Graph,
+        h: &Graph,
+        missing: Vec<Edge>,
+        two: CsrTable<NodeId>,
+        three: CsrTable<(NodeId, NodeId)>,
+    ) -> Result<DetourIndex, String> {
+        for pair in missing.windows(2) {
+            if pair[0] >= pair[1] {
+                return Err(format!(
+                    "missing-edge list not canonical at ({}, {})",
+                    pair[1].u, pair[1].v
+                ));
+            }
+        }
+        for e in &missing {
+            if !g.has_edge(e.u, e.v) {
+                return Err(format!(
+                    "missing edge ({}, {}) is not an edge of G",
+                    e.u, e.v
+                ));
+            }
+            if h.has_edge(e.u, e.v) {
+                return Err(format!(
+                    "missing edge ({}, {}) is present in the spanner",
+                    e.u, e.v
+                ));
+            }
+        }
+        let expected = g.m() - h.m();
+        if missing.len() != expected {
+            return Err(format!(
+                "{} missing edges listed, E(G) \\ E(H) has {expected}",
+                missing.len()
+            ));
+        }
+        if two.rows() != missing.len() || three.rows() != missing.len() {
+            return Err(format!(
+                "detour tables have {} / {} rows for {} missing edges",
+                two.rows(),
+                three.rows(),
+                missing.len()
+            ));
+        }
+        Ok(DetourIndex {
+            missing,
+            two,
+            three,
+        })
+    }
+
     /// Size/shape summary.
     pub fn stats(&self) -> IndexStats {
         let uncovered = (0..self.missing.len())
@@ -367,6 +432,33 @@ mod tests {
             .filter(|&x| x != dead)
             .collect();
         assert_eq!(filtered, expected);
+    }
+
+    #[test]
+    fn parts_roundtrip_and_validate() {
+        let (g, h) = setup();
+        let idx = DetourIndex::build(&g, &h);
+        let stats = idx.stats();
+        let (missing, two, three) = idx.into_parts();
+        let rebuilt =
+            DetourIndex::from_parts(&g, &h, missing.clone(), two.clone(), three.clone()).unwrap();
+        assert_eq!(rebuilt.stats(), stats);
+        assert_eq!(rebuilt.missing_edges(), missing.as_slice());
+
+        // Unsorted missing list is rejected.
+        let mut rev = missing.clone();
+        rev.reverse();
+        assert!(DetourIndex::from_parts(&g, &h, rev, two.clone(), three.clone()).is_err());
+        // A kept edge smuggled into the list is rejected.
+        let mut extra = missing.clone();
+        extra.insert(0, Edge::new(0, 2));
+        extra.sort_unstable();
+        assert!(DetourIndex::from_parts(&g, &h, extra, two.clone(), three.clone()).is_err());
+        // Short list (incomplete cover) is rejected.
+        let short = missing[..1].to_vec();
+        assert!(DetourIndex::from_parts(&g, &h, short, two.clone(), three.clone()).is_err());
+        // Row-count mismatch is rejected.
+        assert!(DetourIndex::from_parts(&g, &h, missing, CsrTable::empty(), three).is_err());
     }
 
     #[test]

@@ -23,7 +23,11 @@
 //!   ([`RouteError`]), plus β-budget admission control,
 //! * [`chaos`] — a deterministic multi-threaded chaos harness driving
 //!   seeded fault schedules (edge kills, node crashes, heal waves, burst
-//!   overload) against a live oracle and validating every answer.
+//!   overload) against a live oracle and validating every answer,
+//! * [`snapshot`] — [`SnapshotSlot`]: epoch-versioned hot swap between a
+//!   running oracle and a freshly loaded `dcspan-store` artifact without
+//!   draining in-flight queries (`Oracle::from_artifact` is the
+//!   zero-rebuild load path).
 
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
@@ -33,6 +37,7 @@ pub mod chaos;
 pub mod fault;
 pub mod index;
 pub mod oracle;
+pub mod snapshot;
 
 pub use cache::ShardedLru;
 pub use chaos::{ChaosConfig, ChaosReport, ChaosStepStats, RetryPolicy};
@@ -42,3 +47,4 @@ pub use oracle::{
     Oracle, OracleConfig, OracleStatsSnapshot, RouteError, RouteKind, RouteResponse,
     SubstituteReport,
 };
+pub use snapshot::SnapshotSlot;

@@ -41,6 +41,7 @@ use dcspan_graph::{invariants, Graph, NodeId, Path};
 use dcspan_routing::detour::select_from_sets;
 use dcspan_routing::replace::DetourPolicy;
 use dcspan_routing::{Routing, RoutingProblem};
+use dcspan_store::{ArtifactMeta, SpannerArtifact, StoreError};
 use rayon::prelude::*;
 use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 
@@ -400,7 +401,15 @@ impl Oracle {
         invariants::assert_graph_contract(&h, "Oracle::build: spanner");
         invariants::assert_subgraph(&h, g, "Oracle::build");
         let index = DetourIndex::build(g, &h);
-        let load = (0..g.n()).map(|_| AtomicU32::new(0)).collect();
+        Self::assemble(h, index, config)
+    }
+
+    /// Wire up serving state around an already-validated `(H, index)`
+    /// pair; the single constructor tail shared by the build-from-scratch
+    /// and load-from-artifact paths, so both produce byte-identical
+    /// serving state.
+    fn assemble(h: Graph, index: DetourIndex, config: OracleConfig) -> Oracle {
+        let load = (0..h.n()).map(|_| AtomicU32::new(0)).collect();
         let faults = FaultState::new(h.n(), h.m());
         Oracle {
             index,
@@ -424,6 +433,77 @@ impl Oracle {
     /// Build an oracle from any construction's output record.
     pub fn from_built<S: BuiltSpanner>(g: &Graph, built: S, config: OracleConfig) -> Oracle {
         Self::build(g, built.into_spanner(), config)
+    }
+
+    /// Run the full build pipeline and package the result for
+    /// persistence: the base graph, the spanner, the packed detour rows,
+    /// and the build provenance (`algo`, `seed`, `n`, `Δ`). Serving the
+    /// saved artifact via [`Oracle::from_artifact`] with the same seed in
+    /// the config is bit-identical to [`Oracle::from_algo`].
+    pub fn build_artifact(g: &Graph, algo: SpannerAlgo, seed: u64) -> SpannerArtifact {
+        let h = build_spanner(g, algo, seed);
+        invariants::assert_graph_contract(g, "Oracle::build_artifact: host");
+        let index = DetourIndex::build(g, &h);
+        let (missing, two, three) = index.into_parts();
+        SpannerArtifact {
+            meta: ArtifactMeta {
+                algo,
+                seed,
+                n: g.n(),
+                delta: g.max_degree(),
+            },
+            graph: g.clone(),
+            spanner: h,
+            missing,
+            two,
+            three,
+        }
+    }
+
+    /// Reconstruct a serving oracle from a loaded artifact without
+    /// re-running spanner construction or detour enumeration (the
+    /// zero-rebuild path). Structural claims are re-validated — the
+    /// spanner must be a subgraph of the graph on the same node set, the
+    /// metadata must match, and the packed rows must cover exactly
+    /// `E(G) \ E(H)` — so a forged-but-checksum-valid artifact degrades
+    /// to a typed error, never a wrong answer. Query randomness comes
+    /// from `config.seed` exactly as in [`Oracle::from_algo`], so serving
+    /// a loaded artifact with the seed it was built under is
+    /// bit-identical to in-process construction.
+    pub fn from_artifact(
+        artifact: SpannerArtifact,
+        config: OracleConfig,
+    ) -> Result<Oracle, StoreError> {
+        let SpannerArtifact {
+            graph,
+            spanner,
+            missing,
+            two,
+            three,
+            meta,
+        } = artifact;
+        if meta.n != graph.n() {
+            return Err(StoreError::Malformed(format!(
+                "meta records n = {} but graph has {} nodes",
+                meta.n,
+                graph.n()
+            )));
+        }
+        if meta.delta != graph.max_degree() {
+            return Err(StoreError::Malformed(format!(
+                "meta records Δ = {} but graph has max degree {}",
+                meta.delta,
+                graph.max_degree()
+            )));
+        }
+        if spanner.n() != graph.n() || !spanner.is_subgraph_of(&graph) {
+            return Err(StoreError::Malformed(
+                "spanner is not a subgraph of the stored graph".into(),
+            ));
+        }
+        let index = DetourIndex::from_parts(&graph, &spanner, missing, two, three)
+            .map_err(StoreError::Malformed)?;
+        Ok(Self::assemble(spanner, index, config))
     }
 
     /// The spanner being served.

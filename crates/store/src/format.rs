@@ -1,0 +1,495 @@
+//! The versioned `.dcspan` artifact format: typed errors, the section
+//! table, and `SpannerArtifact` encode/decode/save/load/verify.
+//!
+//! ## Layout (all integers little-endian)
+//!
+//! ```text
+//! offset  size  field
+//! 0       8     magic  b"DCSPANA1"
+//! 8       4     format version (u32)
+//! 12      8     header checksum: xxh64(section count ‖ section table, seed 0)
+//! 20      4     section count (u32)
+//! 24      28·k  section table: (id u32, offset u64, len u64, checksum u64)
+//! 24+28k  ...   payload sections, contiguous, in table order
+//! ```
+//!
+//! Section offsets are relative to the end of the table; sections must
+//! tile the payload exactly (offset 0, contiguous, no trailing bytes), so
+//! **every byte of a valid artifact is covered** by the magic, the version
+//! field, the header checksum, or exactly one section checksum
+//! (`xxh64(payload, seed = section id)`). Corrupting any byte therefore
+//! surfaces as a typed [`StoreError`]; no input can cause a panic.
+
+use crate::xxh::xxh64;
+use dcspan_core::serve::SpannerAlgo;
+use dcspan_graph::{
+    decode_seq, encode_seq, ByteReader, CodecError, CsrTable, Edge, FixedCodec, Graph, NodeId,
+};
+use std::io::{Read, Write};
+use std::path::Path;
+
+/// Magic bytes opening every artifact file.
+pub const MAGIC: [u8; 8] = *b"DCSPANA1";
+
+/// Current artifact format version. Bump on ANY layout or semantic change
+/// (see CONTRIBUTING.md); readers reject every other version.
+pub const FORMAT_VERSION: u32 = 1;
+
+/// Maximum sections a header may announce (the format defines 6; the cap
+/// bounds header allocation under corruption).
+const MAX_SECTIONS: u32 = 64;
+
+/// Bytes per section-table entry: id u32 + offset u64 + len u64 + checksum u64.
+const ENTRY_BYTES: usize = 28;
+
+/// Section ids, in required file order.
+const SEC_META: u32 = 1;
+const SEC_GRAPH: u32 = 2;
+const SEC_SPANNER: u32 = 3;
+const SEC_MISSING: u32 = 4;
+const SEC_TWO: u32 = 5;
+const SEC_THREE: u32 = 6;
+
+const SECTION_IDS: [u32; 6] = [
+    SEC_META,
+    SEC_GRAPH,
+    SEC_SPANNER,
+    SEC_MISSING,
+    SEC_TWO,
+    SEC_THREE,
+];
+
+fn section_name(id: u32) -> &'static str {
+    match id {
+        SEC_META => "meta",
+        SEC_GRAPH => "graph",
+        SEC_SPANNER => "spanner",
+        SEC_MISSING => "missing",
+        SEC_TWO => "two-hop",
+        SEC_THREE => "three-hop",
+        _ => "unknown",
+    }
+}
+
+/// Typed failures from reading, writing, or verifying an artifact.
+///
+/// Corruption always degrades to one of these; decode paths never panic
+/// and never allocate more than the input size.
+#[derive(Debug)]
+pub enum StoreError {
+    /// The file does not begin with [`MAGIC`].
+    BadMagic,
+    /// The file's format version differs from [`FORMAT_VERSION`].
+    VersionMismatch {
+        /// Version found in the file.
+        found: u32,
+        /// Version this reader understands.
+        expected: u32,
+    },
+    /// A stored checksum does not match the recomputed one.
+    ChecksumMismatch {
+        /// Which region failed: `header` or a section name.
+        section: &'static str,
+    },
+    /// The input ended before the announced structure was complete.
+    Truncated,
+    /// The input is structurally invalid (message describes the violation).
+    Malformed(String),
+    /// Underlying filesystem failure.
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::BadMagic => write!(f, "bad magic: not a dcspan artifact"),
+            StoreError::VersionMismatch { found, expected } => {
+                write!(f, "format version {found} (this reader expects {expected})")
+            }
+            StoreError::ChecksumMismatch { section } => {
+                write!(f, "checksum mismatch in {section} section")
+            }
+            StoreError::Truncated => write!(f, "artifact truncated"),
+            StoreError::Malformed(msg) => write!(f, "malformed artifact: {msg}"),
+            StoreError::Io(e) => write!(f, "io error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+impl From<std::io::Error> for StoreError {
+    fn from(e: std::io::Error) -> Self {
+        StoreError::Io(e)
+    }
+}
+
+impl From<CodecError> for StoreError {
+    fn from(e: CodecError) -> Self {
+        match e {
+            CodecError::Truncated => StoreError::Truncated,
+            CodecError::Malformed(msg) => StoreError::Malformed(msg),
+        }
+    }
+}
+
+/// Build provenance stored alongside the packed index: enough to re-run
+/// the identical construction (`SpannerAlgo` + seed) and to sanity-check
+/// the artifact against the serving graph.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ArtifactMeta {
+    /// Which construction produced the spanner.
+    pub algo: SpannerAlgo,
+    /// Seed the construction ran under (drives all RNG streams).
+    pub seed: u64,
+    /// Node count of the base graph.
+    pub n: usize,
+    /// Maximum degree of the base graph at build time.
+    pub delta: usize,
+}
+
+impl ArtifactMeta {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        let (tag, bits) = self.algo.code();
+        u32::from(tag).encode_into(out);
+        bits.encode_into(out);
+        self.seed.encode_into(out);
+        (self.n as u64).encode_into(out);
+        (self.delta as u64).encode_into(out);
+    }
+
+    fn decode_from(r: &mut ByteReader<'_>) -> Result<Self, StoreError> {
+        let tag = r.read_u32()?;
+        let bits = r.read_u64()?;
+        let tag = u8::try_from(tag)
+            .map_err(|_| StoreError::Malformed(format!("algo tag {tag} out of range")))?;
+        let algo = SpannerAlgo::from_code(tag, bits)
+            .ok_or_else(|| StoreError::Malformed(format!("unknown algo code ({tag}, {bits})")))?;
+        let seed = r.read_u64()?;
+        let n = usize::try_from(r.read_u64()?).map_err(|_| StoreError::Truncated)?;
+        let delta = usize::try_from(r.read_u64()?).map_err(|_| StoreError::Truncated)?;
+        Ok(ArtifactMeta {
+            algo,
+            seed,
+            n,
+            delta,
+        })
+    }
+}
+
+/// Everything serving needs, persisted: the base graph `G`, the spanner
+/// `H`, and the packed detour-index rows (missing edges plus their 2-hop
+/// midpoint and 3-hop `(x, z)` tables in canonical missing-edge order),
+/// with build provenance in [`ArtifactMeta`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct SpannerArtifact {
+    /// The base graph `G` queries are posed against.
+    pub graph: Graph,
+    /// The spanner `H ⊆ G` routes are served from.
+    pub spanner: Graph,
+    /// Missing edges `E(G) \ E(H)` in canonical (sorted) order.
+    pub missing: Vec<Edge>,
+    /// Row `i`: 2-hop detour midpoints for `missing[i]`.
+    pub two: CsrTable<NodeId>,
+    /// Row `i`: 3-hop detour `(x, z)` pairs for `missing[i]`.
+    pub three: CsrTable<(NodeId, NodeId)>,
+    /// Build provenance.
+    pub meta: ArtifactMeta,
+}
+
+struct SectionEntry {
+    id: u32,
+    offset: usize,
+    len: usize,
+    checksum: u64,
+}
+
+/// Parse and validate everything up to the payload: magic, version,
+/// header checksum, section table shape (known ids in order, contiguous
+/// offsets tiling the payload exactly). Returns the entries and the
+/// payload byte range.
+fn parse_header(bytes: &[u8]) -> Result<(Vec<SectionEntry>, usize), StoreError> {
+    let mut r = ByteReader::new(bytes);
+    let magic = r.take(8).map_err(|_| StoreError::Truncated)?;
+    if magic != MAGIC {
+        return Err(StoreError::BadMagic);
+    }
+    let version = r.read_u32()?;
+    if version != FORMAT_VERSION {
+        return Err(StoreError::VersionMismatch {
+            found: version,
+            expected: FORMAT_VERSION,
+        });
+    }
+    let header_checksum = r.read_u64()?;
+    // The checksum covers the raw count + table bytes, so corrupted
+    // counts/entries are caught before any entry is trusted.
+    let count_and_table = &bytes[20..];
+    let mut cr = ByteReader::new(count_and_table);
+    let count = cr.read_u32()?;
+    if count > MAX_SECTIONS {
+        return Err(StoreError::Malformed(format!(
+            "section count {count} exceeds cap {MAX_SECTIONS}"
+        )));
+    }
+    let table_bytes = (count as usize)
+        .checked_mul(ENTRY_BYTES)
+        .ok_or(StoreError::Truncated)?;
+    let covered = count_and_table
+        .get(..4 + table_bytes)
+        .ok_or(StoreError::Truncated)?;
+    if xxh64(covered, 0) != header_checksum {
+        return Err(StoreError::ChecksumMismatch { section: "header" });
+    }
+    let mut entries = Vec::with_capacity(count as usize);
+    let mut next_offset = 0usize;
+    for _ in 0..count {
+        let id = cr.read_u32()?;
+        let offset = usize::try_from(cr.read_u64()?).map_err(|_| StoreError::Truncated)?;
+        let len = usize::try_from(cr.read_u64()?).map_err(|_| StoreError::Truncated)?;
+        let checksum = cr.read_u64()?;
+        if offset != next_offset {
+            return Err(StoreError::Malformed(format!(
+                "section {} at offset {offset}, expected {next_offset} (sections must tile)",
+                section_name(id)
+            )));
+        }
+        next_offset = offset.checked_add(len).ok_or(StoreError::Truncated)?;
+        entries.push(SectionEntry {
+            id,
+            offset,
+            len,
+            checksum,
+        });
+    }
+    let payload_start = 24 + table_bytes;
+    let payload_len = bytes.len().saturating_sub(payload_start);
+    if next_offset > payload_len {
+        return Err(StoreError::Truncated);
+    }
+    if next_offset < payload_len {
+        return Err(StoreError::Malformed(format!(
+            "{} trailing bytes after last section",
+            payload_len - next_offset
+        )));
+    }
+    // Version 1 defines exactly these six sections in this order; anything
+    // else (duplicates, strangers, omissions) is malformed. This also
+    // guarantees every payload byte is covered by exactly one checksum.
+    let found: Vec<u32> = entries.iter().map(|e| e.id).collect();
+    if found != SECTION_IDS {
+        return Err(StoreError::Malformed(format!(
+            "section ids {found:?}, expected {SECTION_IDS:?}"
+        )));
+    }
+    Ok((entries, payload_start))
+}
+
+/// Locate section `id`, verify its checksum, and return its payload.
+fn section<'a>(
+    bytes: &'a [u8],
+    entries: &[SectionEntry],
+    payload_start: usize,
+    id: u32,
+) -> Result<&'a [u8], StoreError> {
+    let entry = entries
+        .iter()
+        .find(|e| e.id == id)
+        .ok_or_else(|| StoreError::Malformed(format!("missing {} section", section_name(id))))?;
+    let start = payload_start
+        .checked_add(entry.offset)
+        .ok_or(StoreError::Truncated)?;
+    let end = start.checked_add(entry.len).ok_or(StoreError::Truncated)?;
+    let payload = bytes.get(start..end).ok_or(StoreError::Truncated)?;
+    if xxh64(payload, u64::from(id)) != entry.checksum {
+        return Err(StoreError::ChecksumMismatch {
+            section: section_name(id),
+        });
+    }
+    Ok(payload)
+}
+
+/// Run `f` over a section's payload and require it to consume every byte.
+fn decode_section<T>(
+    bytes: &[u8],
+    entries: &[SectionEntry],
+    payload_start: usize,
+    id: u32,
+    f: impl FnOnce(&mut ByteReader<'_>) -> Result<T, StoreError>,
+) -> Result<T, StoreError> {
+    let payload = section(bytes, entries, payload_start, id)?;
+    let mut r = ByteReader::new(payload);
+    let value = f(&mut r)?;
+    if !r.is_empty() {
+        return Err(StoreError::Malformed(format!(
+            "{} section has {} unconsumed bytes",
+            section_name(id),
+            r.remaining()
+        )));
+    }
+    Ok(value)
+}
+
+impl SpannerArtifact {
+    /// Serialise to the versioned binary format described in the module
+    /// docs: header, checksummed section table, contiguous payloads.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut payloads: Vec<(u32, Vec<u8>)> = Vec::with_capacity(SECTION_IDS.len());
+        let mut buf = Vec::new();
+        self.meta.encode_into(&mut buf);
+        payloads.push((SEC_META, std::mem::take(&mut buf)));
+        self.graph.encode_into(&mut buf);
+        payloads.push((SEC_GRAPH, std::mem::take(&mut buf)));
+        self.spanner.encode_into(&mut buf);
+        payloads.push((SEC_SPANNER, std::mem::take(&mut buf)));
+        encode_seq(&self.missing, &mut buf);
+        payloads.push((SEC_MISSING, std::mem::take(&mut buf)));
+        self.two.encode_into(&mut buf);
+        payloads.push((SEC_TWO, std::mem::take(&mut buf)));
+        self.three.encode_into(&mut buf);
+        payloads.push((SEC_THREE, std::mem::take(&mut buf)));
+
+        let mut count_and_table = Vec::with_capacity(4 + payloads.len() * ENTRY_BYTES);
+        (payloads.len() as u32).encode_into(&mut count_and_table);
+        let mut offset = 0u64;
+        for (id, payload) in &payloads {
+            id.encode_into(&mut count_and_table);
+            offset.encode_into(&mut count_and_table);
+            (payload.len() as u64).encode_into(&mut count_and_table);
+            xxh64(payload, u64::from(*id)).encode_into(&mut count_and_table);
+            offset += payload.len() as u64;
+        }
+
+        let total: usize = 8
+            + 4
+            + 8
+            + count_and_table.len()
+            + payloads.iter().map(|(_, p)| p.len()).sum::<usize>();
+        let mut out = Vec::with_capacity(total);
+        out.extend_from_slice(&MAGIC);
+        FORMAT_VERSION.encode_into(&mut out);
+        xxh64(&count_and_table, 0).encode_into(&mut out);
+        out.extend_from_slice(&count_and_table);
+        for (_, payload) in &payloads {
+            out.extend_from_slice(payload);
+        }
+        out
+    }
+
+    /// Decode and fully validate an artifact: header + checksums (as in
+    /// [`verify`]), then all sections, then cross-section structure (node
+    /// counts agree with [`ArtifactMeta`], the spanner is defined on the
+    /// same node set, the missing-edge list is canonical and in range, and
+    /// both detour tables have one row per missing edge).
+    pub fn decode(bytes: &[u8]) -> Result<SpannerArtifact, StoreError> {
+        let (entries, payload_start) = parse_header(bytes)?;
+        let meta = decode_section(bytes, &entries, payload_start, SEC_META, |r| {
+            ArtifactMeta::decode_from(r)
+        })?;
+        let graph = decode_section(bytes, &entries, payload_start, SEC_GRAPH, |r| {
+            Graph::decode_from(r).map_err(StoreError::from)
+        })?;
+        let spanner = decode_section(bytes, &entries, payload_start, SEC_SPANNER, |r| {
+            Graph::decode_from(r).map_err(StoreError::from)
+        })?;
+        let missing: Vec<Edge> =
+            decode_section(bytes, &entries, payload_start, SEC_MISSING, |r| {
+                decode_seq(r).map_err(StoreError::from)
+            })?;
+        let two = decode_section(bytes, &entries, payload_start, SEC_TWO, |r| {
+            CsrTable::<NodeId>::decode_from(r).map_err(StoreError::from)
+        })?;
+        let three = decode_section(bytes, &entries, payload_start, SEC_THREE, |r| {
+            CsrTable::<(NodeId, NodeId)>::decode_from(r).map_err(StoreError::from)
+        })?;
+
+        let n = graph.n();
+        if meta.n != n {
+            return Err(StoreError::Malformed(format!(
+                "meta records n = {} but graph has {n} nodes",
+                meta.n
+            )));
+        }
+        if spanner.n() != n {
+            return Err(StoreError::Malformed(format!(
+                "spanner has {} nodes, graph has {n}",
+                spanner.n()
+            )));
+        }
+        for pair in missing.windows(2) {
+            if pair[0] >= pair[1] {
+                return Err(StoreError::Malformed(format!(
+                    "missing-edge list not canonical at ({}, {})",
+                    pair[1].u, pair[1].v
+                )));
+            }
+        }
+        if let Some(e) = missing.iter().find(|e| e.v as usize >= n) {
+            return Err(StoreError::Malformed(format!(
+                "missing edge ({}, {}) out of range for n = {n}",
+                e.u, e.v
+            )));
+        }
+        if two.rows() != missing.len() || three.rows() != missing.len() {
+            return Err(StoreError::Malformed(format!(
+                "detour tables have {} / {} rows for {} missing edges",
+                two.rows(),
+                three.rows(),
+                missing.len()
+            )));
+        }
+        Ok(SpannerArtifact {
+            graph,
+            spanner,
+            missing,
+            two,
+            three,
+            meta,
+        })
+    }
+
+    /// Encode and write to `path` via a buffered writer (no mmap; safe
+    /// code only). The write is not atomic; partial writes are caught on
+    /// load by the checksums.
+    pub fn save(&self, path: &Path) -> Result<(), StoreError> {
+        let bytes = self.encode();
+        let file = std::fs::File::create(path)?;
+        let mut w = std::io::BufWriter::new(file);
+        w.write_all(&bytes)?;
+        w.flush()?;
+        Ok(())
+    }
+
+    /// Read `path` via a buffered reader and [`decode`](Self::decode) it.
+    pub fn load(path: &Path) -> Result<SpannerArtifact, StoreError> {
+        SpannerArtifact::decode(&read_file(path)?)
+    }
+}
+
+fn read_file(path: &Path) -> Result<Vec<u8>, StoreError> {
+    let file = std::fs::File::open(path)?;
+    let mut r = std::io::BufReader::new(file);
+    let mut bytes = Vec::new();
+    r.read_to_end(&mut bytes)?;
+    Ok(bytes)
+}
+
+/// Verify an in-memory artifact without materialising the graphs: checks
+/// magic, version, header checksum, section-table shape (all six known
+/// sections, in order, no duplicates or strangers), every section
+/// checksum, and decodes only the metadata section. Returns the metadata
+/// on success.
+pub fn verify(bytes: &[u8]) -> Result<ArtifactMeta, StoreError> {
+    let (entries, payload_start) = parse_header(bytes)?;
+    for id in SECTION_IDS {
+        section(bytes, &entries, payload_start, id)?;
+    }
+    decode_section(bytes, &entries, payload_start, SEC_META, |r| {
+        ArtifactMeta::decode_from(r)
+    })
+}
+
+/// [`verify`] for a file on disk.
+pub fn verify_file(path: &Path) -> Result<ArtifactMeta, StoreError> {
+    verify(&read_file(path)?)
+}

@@ -1,0 +1,27 @@
+//! # dcspan-store
+//!
+//! The persistence boundary between spanner construction and serving:
+//! build once with `dcspan build --out`, then serve forever from the
+//! saved artifact (`Oracle::from_artifact` in `dcspan-oracle`).
+//!
+//! A [`SpannerArtifact`] packages everything the oracle needs — the base
+//! graph `G`, the spanner `H`, the packed detour-index rows, and build
+//! provenance ([`ArtifactMeta`]: algorithm, seed, `n`, `Δ`) — in a
+//! versioned little-endian binary format with a section table and
+//! per-section [XXH64](xxh::xxh64) checksums. Reads are fully
+//! bounds-checked safe code (no mmap, no `unsafe`); any corruption —
+//! truncation, bit flips, forged lengths — degrades to a typed
+//! [`StoreError`], never a panic or a silently wrong answer.
+//!
+//! Format spec: DESIGN.md §11. Version-bump policy: CONTRIBUTING.md.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+pub mod format;
+pub mod xxh;
+
+pub use format::{
+    verify, verify_file, ArtifactMeta, SpannerArtifact, StoreError, FORMAT_VERSION, MAGIC,
+};
+pub use xxh::xxh64;

@@ -1,0 +1,137 @@
+//! Property-based tests for the artifact format: arbitrary artifacts
+//! survive encode → decode bit-identically, and *every* single-byte
+//! corruption or truncation of the encoded bytes yields a typed
+//! [`StoreError`] — never a panic, never a silently-wrong artifact.
+
+use dcspan_core::serve::SpannerAlgo;
+use dcspan_graph::{CsrTable, Graph, NodeId};
+use dcspan_store::{verify, ArtifactMeta, SpannerArtifact, FORMAT_VERSION, MAGIC};
+use proptest::prelude::*;
+
+/// Strategy: a random graph on `n ∈ [2, 16]` nodes with arbitrary edges.
+fn arb_graph() -> impl Strategy<Value = Graph> {
+    (2usize..16).prop_flat_map(|n| {
+        let max_edges = n * (n - 1) / 2;
+        proptest::collection::vec((0..n as u32, 0..n as u32), 0..=max_edges)
+            .prop_map(move |pairs| Graph::from_edges(n, pairs.into_iter().filter(|(a, b)| a != b)))
+    })
+}
+
+/// Strategy: one of the three serving constructions.
+fn arb_algo() -> impl Strategy<Value = SpannerAlgo> {
+    (0u8..3, 0.0f64..1.0).prop_map(|(pick, p)| match pick {
+        0 => SpannerAlgo::Theorem2,
+        1 => SpannerAlgo::Theorem3,
+        _ => SpannerAlgo::Theorem2WithProb(p),
+    })
+}
+
+/// Strategy: a structurally valid artifact — a spanner that keeps an
+/// arbitrary subset of `G`'s edges, the induced missing-edge list, and
+/// arbitrary (content-untrusted) detour rows of matching row count.
+fn arb_artifact() -> impl Strategy<Value = SpannerArtifact> {
+    (arb_graph(), arb_algo(), 0u64..u64::MAX, 0u64..u64::MAX).prop_flat_map(
+        |(graph, algo, seed, keep_bits)| {
+            let kept: Vec<bool> = (0..graph.m())
+                .map(|i| keep_bits >> (i % 64) & 1 == 1)
+                .collect();
+            let spanner = Graph::from_edges(
+                graph.n(),
+                graph
+                    .edges()
+                    .iter()
+                    .enumerate()
+                    .filter(|&(i, _)| kept[i])
+                    .map(|(_, e)| (e.u, e.v)),
+            );
+            let missing: Vec<_> = graph
+                .edges()
+                .iter()
+                .enumerate()
+                .filter(|&(i, _)| !kept[i])
+                .map(|(_, &e)| e)
+                .collect();
+            let rows = missing.len();
+            let n = graph.n();
+            let meta = ArtifactMeta {
+                algo,
+                seed,
+                n,
+                delta: graph.max_degree(),
+            };
+            (
+                proptest::collection::vec(
+                    proptest::collection::vec(0..n.max(1) as NodeId, 0..3),
+                    rows..=rows,
+                ),
+                proptest::collection::vec(
+                    proptest::collection::vec((0..n.max(1) as NodeId, 0..n.max(1) as NodeId), 0..3),
+                    rows..=rows,
+                ),
+            )
+                .prop_map(move |(two_rows, three_rows)| SpannerArtifact {
+                    graph: graph.clone(),
+                    spanner: spanner.clone(),
+                    missing: missing.clone(),
+                    two: CsrTable::from_rows(two_rows),
+                    three: CsrTable::from_rows(three_rows),
+                    meta,
+                })
+        },
+    )
+}
+
+proptest! {
+    #[test]
+    fn encode_decode_is_bit_identical(artifact in arb_artifact()) {
+        let bytes = artifact.encode();
+        prop_assert!(bytes.starts_with(&MAGIC));
+        let meta = verify(&bytes).unwrap();
+        prop_assert_eq!(meta, artifact.meta);
+        let decoded = SpannerArtifact::decode(&bytes).unwrap();
+        prop_assert_eq!(&decoded, &artifact);
+        // Re-encoding the decoded artifact reproduces the exact bytes.
+        prop_assert_eq!(decoded.encode(), bytes);
+    }
+
+    #[test]
+    fn every_single_byte_flip_is_a_typed_error(artifact in arb_artifact(), delta in 1u8..=255) {
+        // Checksums cover every byte of the encoding: magic and version by
+        // direct comparison, the section table by the header checksum, and
+        // each payload by its per-section checksum. So *any* byte change
+        // must surface as a typed StoreError from both the full decode and
+        // the cheaper verify pass — never a panic, never an Ok.
+        let bytes = artifact.encode();
+        for i in 0..bytes.len() {
+            let mut corrupt = bytes.clone();
+            corrupt[i] = corrupt[i].wrapping_add(delta);
+            prop_assert!(SpannerArtifact::decode(&corrupt).is_err(), "flip at {i}");
+            prop_assert!(verify(&corrupt).is_err(), "verify flip at {i}");
+        }
+    }
+
+    #[test]
+    fn every_truncation_is_a_typed_error(artifact in arb_artifact()) {
+        let bytes = artifact.encode();
+        for cut in 0..bytes.len() {
+            prop_assert!(SpannerArtifact::decode(&bytes[..cut]).is_err(), "cut at {cut}");
+            prop_assert!(verify(&bytes[..cut]).is_err(), "verify cut at {cut}");
+        }
+        // Trailing garbage is equally fatal: every byte must be owned by
+        // the header or a checksummed section.
+        let mut extended = bytes;
+        extended.push(0);
+        prop_assert!(SpannerArtifact::decode(&extended).is_err());
+        prop_assert!(verify(&extended).is_err());
+    }
+
+    #[test]
+    fn future_format_versions_are_rejected(artifact in arb_artifact(), bump in 1u32..100) {
+        let mut bytes = artifact.encode();
+        bytes[8..12].copy_from_slice(&(FORMAT_VERSION + bump).to_le_bytes());
+        prop_assert!(matches!(
+            SpannerArtifact::decode(&bytes),
+            Err(dcspan_store::StoreError::VersionMismatch { .. })
+        ));
+    }
+}

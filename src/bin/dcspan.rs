@@ -3,119 +3,29 @@
 //! ```text
 //! dcspan gen        --family <regular|gnp|gabber-galil|fan|two-clique|lower-bound> [--n N] [--delta D] [--seed S]
 //! dcspan spanner    --algo <regular|expander|baswana-sen|greedy|koutis-xu|d-out> [--n N] [--delta D] [--seed S]
-//! dcspan experiment <e1|e2|e3|e4|e5|e6|e7|e8|e9|e10|e11|ablations|all> [--quick]
+//! dcspan experiment <e1..e20|sweep|ablations|all> [--quick]
 //! dcspan build      [--algo <theorem2|theorem3>] [--n N] [--delta D] [--seed S] [--out FILE]
+//! dcspan serve      --artifact FILE [--policy P] [--cache C] [--requests FILE]
+//! dcspan verify-artifact FILE
 //! dcspan query      [--requests FILE] [oracle flags]       # JSONL {"u":..,"v":..} on stdin/file
 //! dcspan bench      [--smoke] [--out FILE] [--sizes N,N] [--threads T,T] [--queries Q]
 //! dcspan bench-build [--smoke] [--out FILE] [--sizes N,N] [--delta D] [--seed S]
+//! dcspan bench-store [--smoke] [--out FILE] [--sizes N,N] [--queries Q] [--seed S]
 //! dcspan chaos      [--smoke] [--out FILE] [--n N] [--threads T] [--queries Q] [--seed S] [--cap-c C]
 //! ```
 //!
-//! Argument parsing is deliberately dependency-free. Every failure is a
-//! typed [`CliError`] mapped to a nonzero exit code in `main`.
+//! All flag parsing and name dispatch lives in [`dcspan::cli`]; this
+//! binary only sequences subcommands. Every failure is a typed
+//! [`CliError`] mapped to a nonzero exit code in `main`.
 
-use dcspan::oracle::{ChaosConfig, Oracle, OracleConfig};
-use std::collections::HashMap;
+use dcspan::cli::{
+    get_f64, get_list, get_u64, get_usize, parse_flags, write_file, BaselineAlgo, CliError, Flags,
+    GraphFamily, OracleArgs, POLICY_NAMES,
+};
+use dcspan::oracle::{ChaosConfig, Oracle, OracleConfig, SnapshotSlot};
+use dcspan::store::SpannerArtifact;
 use std::io::BufRead;
 use std::process::ExitCode;
-
-/// Everything that can go wrong in a `dcspan` invocation; `main` prints
-/// the error and maps it to a nonzero exit code.
-#[derive(Debug)]
-enum CliError {
-    /// Missing/unknown subcommand: print usage, exit 1.
-    Usage,
-    /// Unknown `--family` value.
-    UnknownFamily(String),
-    /// Unknown spanner algorithm name.
-    UnknownAlgorithm(String),
-    /// Unknown detour policy name.
-    UnknownPolicy(String),
-    /// Unknown experiment name.
-    UnknownExperiment(String),
-    /// A spanner construction failed to produce a valid output.
-    SpannerFailed(String),
-    /// A file could not be read or written.
-    Io {
-        path: String,
-        source: std::io::Error,
-    },
-    /// Artifact rows could not be serialised.
-    Serialize(std::io::Error),
-    /// A chaos run finished but observed invariant/acceptance violations.
-    ChaosViolations(u64),
-    /// A construction benchmark cell's kernel output diverged from the
-    /// naive reference.
-    KernelDivergence(u64),
-}
-
-impl std::fmt::Display for CliError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            CliError::Usage => write!(f, "missing or unknown subcommand"),
-            CliError::UnknownFamily(name) => write!(f, "unknown family: {name}"),
-            CliError::UnknownAlgorithm(name) => write!(f, "unknown spanner algorithm: {name}"),
-            CliError::UnknownPolicy(name) => write!(f, "unknown detour policy: {name}"),
-            CliError::UnknownExperiment(name) => write!(f, "unknown experiment: {name}"),
-            CliError::SpannerFailed(msg) => write!(f, "spanner construction failed: {msg}"),
-            CliError::Io { path, source } => write!(f, "cannot access {path}: {source}"),
-            CliError::Serialize(e) => write!(f, "cannot serialise artifact rows: {e}"),
-            CliError::ChaosViolations(count) => {
-                write!(f, "chaos run observed {count} violation(s)")
-            }
-            CliError::KernelDivergence(count) => {
-                write!(
-                    f,
-                    "construction bench: {count} cell(s) diverged from the naive reference"
-                )
-            }
-        }
-    }
-}
-
-impl std::error::Error for CliError {}
-
-impl CliError {
-    /// Nonzero process exit code: 2 for a failed chaos verdict (the run
-    /// itself completed), 1 for everything else.
-    fn exit_code(&self) -> u8 {
-        match self {
-            CliError::ChaosViolations(_) | CliError::KernelDivergence(_) => 2,
-            _ => 1,
-        }
-    }
-}
-
-fn parse_flags(args: &[String]) -> HashMap<String, String> {
-    let mut flags = HashMap::new();
-    let mut i = 0;
-    while i < args.len() {
-        if let Some(name) = args[i].strip_prefix("--") {
-            if i + 1 < args.len() && !args[i + 1].starts_with("--") {
-                flags.insert(name.to_string(), args[i + 1].clone());
-                i += 2;
-            } else {
-                flags.insert(name.to_string(), "true".to_string());
-                i += 1;
-            }
-        } else {
-            i += 1;
-        }
-    }
-    flags
-}
-
-fn get_usize(flags: &HashMap<String, String>, key: &str, default: usize) -> usize {
-    flags
-        .get(key)
-        .map_or(default, |v| v.parse().unwrap_or(default))
-}
-
-fn get_u64(flags: &HashMap<String, String>, key: &str, default: u64) -> u64 {
-    flags
-        .get(key)
-        .map_or(default, |v| v.parse().unwrap_or(default))
-}
 
 fn describe(g: &dcspan::Graph, label: &str) {
     let stats = dcspan::graph::stats::degree_stats(g);
@@ -129,13 +39,15 @@ fn describe(g: &dcspan::Graph, label: &str) {
     println!("  connected: {}", dcspan::graph::traversal::is_connected(g));
 }
 
-fn cmd_gen(flags: &HashMap<String, String>) -> Result<(), CliError> {
+fn cmd_gen(flags: &Flags) -> Result<(), CliError> {
     let n = get_usize(flags, "n", 256);
     let delta = get_usize(flags, "delta", 16);
     let seed = get_u64(flags, "seed", 1);
-    let family = flags.get("family").map_or("regular", String::as_str);
+    let name = flags.get("family").map_or("regular", String::as_str);
+    let family =
+        GraphFamily::parse(name).ok_or_else(|| CliError::UnknownFamily(name.to_string()))?;
     match family {
-        "regular" => {
+        GraphFamily::Regular => {
             let g = dcspan::gen::regular::random_regular(n, delta, seed);
             describe(&g, "random regular");
             let est = dcspan::spectral::expansion::spectral_expansion(&g, seed);
@@ -146,34 +58,33 @@ fn cmd_gen(flags: &HashMap<String, String>) -> Result<(), CliError> {
                 est.ratio()
             );
         }
-        "gnp" => {
-            let p = flags.get("p").map_or(0.1, |v| v.parse().unwrap_or(0.1));
+        GraphFamily::Gnp => {
+            let p = get_f64(flags, "p", 0.1);
             describe(&dcspan::gen::gnp::gnp(n, p, seed), "G(n, p)");
         }
-        "gabber-galil" => {
+        GraphFamily::GabberGalil => {
             let m = (n as f64).sqrt().ceil() as usize;
             describe(&dcspan::gen::margulis::gabber_galil(m), "Gabber–Galil");
         }
-        "fan" => {
+        GraphFamily::Fan => {
             let k = get_usize(flags, "k", 8);
             let fan = dcspan::gen::fan::FanGraph::new(k);
             describe(&fan.graph, "Lemma 18 fan");
         }
-        "two-clique" => {
+        GraphFamily::TwoClique => {
             let t = dcspan::gen::two_clique::TwoCliqueGraph::new(n / 2);
             describe(&t.graph, "Figure 1 two-cliques");
         }
-        "lower-bound" => {
+        GraphFamily::LowerBound => {
             let lb = dcspan::gen::lower_bound::LowerBoundGraph::for_target_n(n);
             describe(&lb.graph, "Theorem 4 composite");
             println!("  q = {}, k = {}, instances = {}", lb.q, lb.k, lb.instances);
         }
-        other => return Err(CliError::UnknownFamily(other.to_string())),
     }
     Ok(())
 }
 
-fn cmd_spanner(flags: &HashMap<String, String>) -> Result<(), CliError> {
+fn cmd_spanner(flags: &Flags) -> Result<(), CliError> {
     let n = get_usize(flags, "n", 256);
     let delta = get_usize(
         flags,
@@ -181,11 +92,13 @@ fn cmd_spanner(flags: &HashMap<String, String>) -> Result<(), CliError> {
         dcspan::experiments::workloads::theorem3_degree(256),
     );
     let seed = get_u64(flags, "seed", 1);
-    let algo = flags.get("algo").map_or("regular", String::as_str);
+    let name = flags.get("algo").map_or("regular", String::as_str);
+    let algo =
+        BaselineAlgo::parse(name).ok_or_else(|| CliError::UnknownAlgorithm(name.to_string()))?;
     let g = dcspan::gen::regular::random_regular(n, delta, seed);
     describe(&g, "input G");
     let h = match algo {
-        "regular" => {
+        BaselineAlgo::Regular => {
             let params = dcspan::core::regular::RegularSpannerParams::calibrated(n, delta);
             let sp = dcspan::core::regular::build_regular_spanner(&g, params, seed);
             println!(
@@ -194,12 +107,12 @@ fn cmd_spanner(flags: &HashMap<String, String>) -> Result<(), CliError> {
             );
             sp.h
         }
-        "expander" => {
+        BaselineAlgo::Expander => {
             let params = dcspan::core::expander::ExpanderSpannerParams::paper(n, delta);
             println!("Theorem 2 sampler: p = {:.3}", params.sample_prob);
             dcspan::core::expander::build_expander_spanner(&g, params, seed).h
         }
-        "baswana-sen" => {
+        BaselineAlgo::BaswanaSen => {
             let k = get_usize(flags, "k", 2);
             match dcspan::core::baswana_sen::baswana_sen_spanner_checked(&g, k, seed, 20) {
                 Some((h, attempts)) => {
@@ -217,16 +130,15 @@ fn cmd_spanner(flags: &HashMap<String, String>) -> Result<(), CliError> {
                 }
             }
         }
-        "greedy" => {
+        BaselineAlgo::Greedy => {
             let t = get_usize(flags, "t", 3) as u32;
             dcspan::core::greedy::greedy_spanner(&g, t)
         }
-        "koutis-xu" => dcspan::core::koutis_xu::koutis_xu_nlogn(&g, 2.0, seed).h,
-        "d-out" => {
+        BaselineAlgo::KoutisXu => dcspan::core::koutis_xu::koutis_xu_nlogn(&g, 2.0, seed).h,
+        BaselineAlgo::DOut => {
             let d = get_usize(flags, "d", 4);
             dcspan::core::becchetti::random_d_out_subgraph(&g, d, seed)
         }
-        other => return Err(CliError::UnknownAlgorithm(other.to_string())),
     };
     describe(&h, "spanner H");
     let rep = dcspan::core::eval::distance_stretch_edges(&g, &h, 10);
@@ -372,6 +284,14 @@ fn cmd_experiment(which: &str, quick: bool) -> Result<(), CliError> {
                 };
                 dcspan::experiments::e19_build::run(cells, seed).1
             }
+            "e20" => {
+                let sizes: &[usize] = if quick { &[96, 128] } else { &[128, 256, 512] };
+                let queries = if quick { 300 } else { 1000 };
+                match dcspan::experiments::e20_store::run(sizes, queries, seed) {
+                    Ok((_, text)) => text,
+                    Err(e) => format!("E20 store round trip failed: {e}\n"),
+                }
+            }
             "sweep" => {
                 let (n, seeds) = if quick { (96, 3) } else { (256, 8) };
                 let mut out = dcspan::experiments::sweep::sweep_theorem2(n, 0.15, seeds, seed).1;
@@ -410,6 +330,7 @@ fn cmd_experiment(which: &str, quick: bool) -> Result<(), CliError> {
             "e17",
             "e18",
             "e19",
+            "e20",
             "sweep",
             "ablations",
         ] {
@@ -428,89 +349,68 @@ fn cmd_experiment(which: &str, quick: bool) -> Result<(), CliError> {
     }
 }
 
-/// Parse a comma-separated `usize` list flag, falling back to `default`
-/// when absent or unparseable.
-fn get_list(flags: &HashMap<String, String>, key: &str, default: &[usize]) -> Vec<usize> {
-    flags.get(key).map_or_else(
-        || default.to_vec(),
-        |v| {
-            let parsed: Vec<usize> = v.split(',').filter_map(|s| s.trim().parse().ok()).collect();
-            if parsed.is_empty() {
-                default.to_vec()
-            } else {
-                parsed
-            }
-        },
-    )
-}
-
-/// Shared oracle construction for `build`/`query`: a Theorem 2 regime
-/// expander of the requested size, the chosen spanner construction, and
-/// the serving engine over them. Returns `(G, oracle, build millis)`.
-fn build_oracle(flags: &HashMap<String, String>) -> Result<(dcspan::Graph, Oracle, f64), CliError> {
-    let n = get_usize(flags, "n", 256);
-    let delta = get_usize(
-        flags,
-        "delta",
-        dcspan::experiments::workloads::theorem2_degree(n, 0.15),
-    );
-    let seed = get_u64(flags, "seed", 1);
-    let algo_name = flags.get("algo").map_or("theorem2", String::as_str);
-    let algo = dcspan::core::serve::SpannerAlgo::parse(algo_name)
-        .ok_or_else(|| CliError::UnknownAlgorithm(algo_name.to_string()))?;
-    let policy = match flags
-        .get("policy")
-        .map_or("uniform-shortest", String::as_str)
-    {
-        "uniform-shortest" => dcspan::routing::replace::DetourPolicy::UniformShortest,
-        "uniform-up-to-3" => dcspan::routing::replace::DetourPolicy::UniformUpTo3,
-        "first-found" => dcspan::routing::replace::DetourPolicy::FirstFound,
-        other => return Err(CliError::UnknownPolicy(other.to_string())),
-    };
-    let config = OracleConfig {
-        policy,
-        seed,
-        cache_capacity: get_usize(flags, "cache", 4096),
-        ..OracleConfig::default()
-    };
-    let g = dcspan::gen::regular::random_regular(n, delta, seed);
+/// `dcspan build`: run the chosen construction and either print the
+/// artifact summary (no `--out`) or persist the versioned binary
+/// artifact for `dcspan serve --artifact` / `dcspan verify-artifact`.
+fn cmd_build(flags: &Flags) -> Result<(), CliError> {
+    let args = OracleArgs::from_flags(flags)?;
+    let g = args.regime_graph();
     let start = std::time::Instant::now();
-    let oracle = Oracle::from_algo(&g, algo, config);
-    Ok((g, oracle, start.elapsed().as_secs_f64() * 1e3))
+    let artifact = Oracle::build_artifact(&g, args.algo, args.seed);
+    let build_ms = start.elapsed().as_secs_f64() * 1e3;
+    let json = format!(
+        "{{\"algo\":\"{}\",\"n\":{},\"delta\":{},\"edges_g\":{},\"edges_h\":{},\
+         \"missing_edges\":{},\"two_hop_entries\":{},\"three_hop_entries\":{},\
+         \"build_ms\":{:.3}}}",
+        artifact.meta.algo.name(),
+        artifact.meta.n,
+        artifact.meta.delta,
+        artifact.graph.m(),
+        artifact.spanner.m(),
+        artifact.missing.len(),
+        artifact.two.total_entries(),
+        artifact.three.total_entries(),
+        build_ms,
+    );
+    println!("{json}");
+    if let Some(out) = flags.get("out") {
+        artifact
+            .save(std::path::Path::new(out))
+            .map_err(|source| CliError::Store {
+                path: out.clone(),
+                source,
+            })?;
+        println!("wrote {out}");
+    }
+    Ok(())
 }
 
-/// Write `contents` to `path`, wrapping failures as [`CliError::Io`].
-fn write_file(path: &str, contents: String) -> Result<(), CliError> {
-    std::fs::write(path, contents).map_err(|source| CliError::Io {
+/// Load, checksum-verify, and decode the artifact at `path`, wrapping
+/// every failure as [`CliError::Store`].
+fn load_artifact(path: &str) -> Result<SpannerArtifact, CliError> {
+    SpannerArtifact::load(std::path::Path::new(path)).map_err(|source| CliError::Store {
         path: path.to_string(),
         source,
     })
 }
 
-fn cmd_build(flags: &HashMap<String, String>) -> Result<(), CliError> {
-    let (g, oracle, build_ms) = build_oracle(flags)?;
-    let stats = oracle.index().stats();
-    let json = format!(
-        "{{\"n\":{},\"delta\":{},\"edges_g\":{},\"edges_h\":{},\"missing_edges\":{},\
-         \"two_hop_entries\":{},\"three_hop_entries\":{},\"uncovered_edges\":{},\
-         \"index_heap_bytes\":{},\"build_ms\":{:.3}}}",
-        g.n(),
-        g.max_degree(),
-        g.m(),
-        oracle.spanner().m(),
-        stats.missing_edges,
-        stats.two_hop_entries,
-        stats.three_hop_entries,
-        stats.uncovered_edges,
-        stats.heap_bytes,
-        build_ms,
+/// `dcspan verify-artifact FILE`: exit 0 and print the provenance when
+/// every section checksum holds; print the typed [`StoreError`] and exit
+/// nonzero otherwise. Never panics on corrupt input.
+fn cmd_verify_artifact(path: &str) -> Result<(), CliError> {
+    let meta = dcspan::store::verify_file(std::path::Path::new(path)).map_err(|source| {
+        CliError::Store {
+            path: path.to_string(),
+            source,
+        }
+    })?;
+    println!(
+        "{{\"ok\":true,\"algo\":\"{}\",\"seed\":{},\"n\":{},\"delta\":{}}}",
+        meta.algo.name(),
+        meta.seed,
+        meta.n,
+        meta.delta
     );
-    if let Some(out) = flags.get("out") {
-        write_file(out, format!("{json}\n"))?;
-        println!("wrote {out}");
-    } else {
-        println!("{json}");
-    }
     Ok(())
 }
 
@@ -541,20 +441,29 @@ fn answer_request(oracle: &Oracle, id: u64, u: u32, v: u32) -> usize {
     }
 }
 
-fn cmd_query(flags: &HashMap<String, String>) -> Result<(), CliError> {
-    let (_, oracle, _) = build_oracle(flags)?;
-    let reader: Box<dyn BufRead> = match flags.get("requests") {
+/// The JSONL request reader shared by `query` and `serve`.
+fn request_reader(flags: &Flags) -> Result<Box<dyn BufRead>, CliError> {
+    match flags.get("requests") {
         Some(path) => match std::fs::File::open(path) {
-            Ok(f) => Box::new(std::io::BufReader::new(f)),
-            Err(source) => {
-                return Err(CliError::Io {
-                    path: path.clone(),
-                    source,
-                })
-            }
+            Ok(f) => Ok(Box::new(std::io::BufReader::new(f))),
+            Err(source) => Err(CliError::Io {
+                path: path.clone(),
+                source,
+            }),
         },
-        None => Box::new(std::io::BufReader::new(std::io::stdin())),
-    };
+        None => Ok(Box::new(std::io::BufReader::new(std::io::stdin()))),
+    }
+}
+
+/// Drive a JSONL request loop against `slot`, snapshotting per request so
+/// a concurrent (or inline `{"swap": "FILE"}`-triggered) hot swap never
+/// disturbs an answer in flight. Prints the summary of the last-snapshot
+/// oracle when the stream ends.
+fn serve_loop(
+    slot: &SnapshotSlot,
+    reader: Box<dyn BufRead>,
+    config: OracleConfig,
+) -> Result<(), CliError> {
     let mut max_hops = 0usize;
     let mut next_id = 0u64;
     for line in reader.lines() {
@@ -567,19 +476,35 @@ fn cmd_query(flags: &HashMap<String, String>) -> Result<(), CliError> {
             eprintln!("skipping malformed request: {line}");
             continue;
         };
+        if let Some(path) = value["swap"].as_str() {
+            // Control line: load a new artifact and publish it for every
+            // subsequent request; in-flight snapshots are unaffected.
+            let oracle = Oracle::from_artifact(load_artifact(path)?, config).map_err(|source| {
+                CliError::Store {
+                    path: path.to_string(),
+                    source,
+                }
+            })?;
+            let epoch = slot.swap(oracle);
+            println!("{{\"swapped\":true,\"artifact\":\"{path}\",\"epoch\":{epoch}}}");
+            continue;
+        }
         let (Some(u), Some(v)) = (value["u"].as_u64(), value["v"].as_u64()) else {
             eprintln!("skipping request without u/v: {line}");
             continue;
         };
         let id = value["id"].as_u64().unwrap_or(next_id);
         next_id = next_id.max(id) + 1;
-        max_hops = max_hops.max(answer_request(&oracle, id, u as u32, v as u32));
+        let snapshot = slot.snapshot();
+        max_hops = max_hops.max(answer_request(&snapshot, id, u as u32, v as u32));
     }
+    let oracle = slot.snapshot();
     let stats = oracle.stats();
     println!(
         "{{\"summary\":{{\"queries\":{},\"spanner_edge\":{},\"two_hop\":{},\"three_hop\":{},\
          \"filtered\":{},\"bfs\":{},\"degraded_bfs\":{},\"rejected\":{},\"shed\":{},\
-         \"cache_hit_rate\":{:.4},\"max_hops\":{max_hops},\"live_congestion\":{}}}}}",
+         \"cache_hit_rate\":{:.4},\"max_hops\":{max_hops},\"live_congestion\":{},\
+         \"swap_epoch\":{}}}}}",
         stats.queries,
         stats.spanner_edge,
         stats.two_hop,
@@ -591,11 +516,50 @@ fn cmd_query(flags: &HashMap<String, String>) -> Result<(), CliError> {
         stats.shed,
         stats.cache_hit_rate(),
         oracle.live_congestion(),
+        slot.epoch(),
     );
     Ok(())
 }
 
-fn cmd_bench(flags: &HashMap<String, String>) -> Result<(), CliError> {
+/// `dcspan serve --artifact FILE`: serve the JSONL request stream from a
+/// persisted artifact — no spanner or index construction happens; the
+/// oracle state is decoded, validated, and assembled from the file. The
+/// query seed defaults to the artifact's build seed so answers are
+/// bit-identical to an in-process build of the same instance.
+fn cmd_serve(flags: &Flags) -> Result<(), CliError> {
+    let Some(path) = flags.get("artifact") else {
+        return Err(CliError::Usage);
+    };
+    let artifact = load_artifact(path)?;
+    let policy_name = flags
+        .get("policy")
+        .map_or("uniform-shortest", String::as_str);
+    let policy = dcspan::cli::parse_policy(policy_name)
+        .ok_or_else(|| CliError::UnknownPolicy(policy_name.to_string()))?;
+    let config = OracleConfig {
+        policy,
+        seed: get_u64(flags, "seed", artifact.meta.seed),
+        cache_capacity: get_usize(flags, "cache", 4096),
+        ..OracleConfig::default()
+    };
+    let oracle = Oracle::from_artifact(artifact, config).map_err(|source| CliError::Store {
+        path: path.clone(),
+        source,
+    })?;
+    let slot = SnapshotSlot::new(oracle);
+    serve_loop(&slot, request_reader(flags)?, config)
+}
+
+/// `dcspan query`: build the oracle in process and serve the JSONL
+/// request stream (same loop as `serve`, including `{"swap": ...}`).
+fn cmd_query(flags: &Flags) -> Result<(), CliError> {
+    let args = OracleArgs::from_flags(flags)?;
+    let (_, oracle, _) = args.build_oracle();
+    let slot = SnapshotSlot::new(oracle);
+    serve_loop(&slot, request_reader(flags)?, args.config())
+}
+
+fn cmd_bench(flags: &Flags) -> Result<(), CliError> {
     let smoke = flags.contains_key("smoke");
     let seed = get_u64(flags, "seed", 20240617);
     let default_sizes: &[usize] = if smoke { &[64, 96] } else { &[128, 256] };
@@ -624,7 +588,7 @@ fn cmd_bench(flags: &HashMap<String, String>) -> Result<(), CliError> {
 /// index build times — in the Theorem 3 regime `Δ = ⌈n^{2/3}⌉` (override
 /// with `--delta`). Exits nonzero if any cell's kernel output diverges
 /// from the naive reference.
-fn cmd_bench_build(flags: &HashMap<String, String>) -> Result<(), CliError> {
+fn cmd_bench_build(flags: &Flags) -> Result<(), CliError> {
     let smoke = flags.contains_key("smoke");
     let seed = get_u64(flags, "seed", 20240619);
     let default_sizes: &[usize] = if smoke { &[96, 128] } else { &[256, 512, 1000] };
@@ -654,17 +618,54 @@ fn cmd_bench_build(flags: &HashMap<String, String>) -> Result<(), CliError> {
     Ok(())
 }
 
+/// `dcspan bench-store`: the E20 persistence benchmark — artifact
+/// save/verify/load/restore vs. a full rebuild, plus the bit-identical
+/// replay check — in the Theorem 3 regime. Exits nonzero (2) if any
+/// cell's loaded-artifact serving diverges from the same-seed rebuild.
+fn cmd_bench_store(flags: &Flags) -> Result<(), CliError> {
+    let smoke = flags.contains_key("smoke");
+    let seed = get_u64(flags, "seed", 20240620);
+    let default_sizes: &[usize] = if smoke {
+        &[96, 128]
+    } else {
+        &[500, 1000, 2000]
+    };
+    let sizes = get_list(flags, "sizes", default_sizes);
+    let queries = get_usize(flags, "queries", if smoke { 400 } else { 5000 });
+    let (rows, text) =
+        dcspan::experiments::e20_store::run(&sizes, queries, seed).map_err(|source| {
+            CliError::Store {
+                path: "<temp artifact>".to_string(),
+                source,
+            }
+        })?;
+    println!("{text}");
+    if let Some(out) = flags.get("out") {
+        let artifact = dcspan::experiments::record::ExperimentArtifact {
+            id: "E20",
+            reproduces: "artifact store: build once, serve forever",
+            seed,
+            rows: &rows,
+        };
+        let json = artifact.to_json().map_err(CliError::Serialize)?;
+        write_file(out, format!("{json}\n"))?;
+        println!("wrote {out}");
+    }
+    let diverged = rows.iter().filter(|r| !r.bit_identical).count();
+    if diverged > 0 {
+        return Err(CliError::ServeDivergence(diverged as u64));
+    }
+    Ok(())
+}
+
 /// `dcspan chaos`: drive the deterministic fault-injection schedule
 /// against a live oracle and fail (exit 2) on any invariant or
 /// acceptance violation. `--smoke` is the strict CI configuration.
-fn cmd_chaos(flags: &HashMap<String, String>) -> Result<(), CliError> {
+fn cmd_chaos(flags: &Flags) -> Result<(), CliError> {
     let smoke = flags.contains_key("smoke");
     let n = get_usize(flags, "n", if smoke { 384 } else { 600 });
     let seed = get_u64(flags, "seed", 18);
-    let cap_c = flags
-        .get("cap-c")
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(2.0);
+    let cap_c = get_f64(flags, "cap-c", 2.0);
     let mut config = ChaosConfig::smoke();
     config.seed = seed;
     config.threads = get_usize(flags, "threads", config.threads);
@@ -700,7 +701,10 @@ fn cmd_chaos(flags: &HashMap<String, String>) -> Result<(), CliError> {
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  dcspan gen --family <regular|gnp|gabber-galil|fan|two-clique|lower-bound> [--n N] [--delta D] [--seed S]\n  dcspan spanner --algo <regular|expander|baswana-sen|greedy|koutis-xu|d-out> [--n N] [--delta D] [--seed S]\n  dcspan experiment <e1..e19|sweep|ablations|all> [--quick]\n  dcspan build [--algo <theorem2|theorem3>] [--n N] [--delta D] [--seed S] [--out FILE]\n  dcspan query [--requests FILE] [--policy <uniform-shortest|uniform-up-to-3|first-found>] [oracle flags]\n  dcspan bench [--smoke] [--out FILE] [--sizes N,N] [--threads T,T] [--queries Q]\n  dcspan bench-build [--smoke] [--out FILE] [--sizes N,N] [--delta D] [--seed S]\n  dcspan chaos [--smoke] [--out FILE] [--n N] [--threads T] [--queries Q] [--seed S] [--cap-c C]"
+        "usage:\n  dcspan gen --family <{family}> [--n N] [--delta D] [--seed S]\n  dcspan spanner --algo <{algo}> [--n N] [--delta D] [--seed S]\n  dcspan experiment <e1..e20|sweep|ablations|all> [--quick]\n  dcspan build [--algo <theorem2|theorem3>] [--n N] [--delta D] [--seed S] [--out FILE]\n  dcspan serve --artifact FILE [--policy <{policy}>] [--cache C] [--requests FILE]\n  dcspan verify-artifact FILE\n  dcspan query [--requests FILE] [--policy <{policy}>] [oracle flags]\n  dcspan bench [--smoke] [--out FILE] [--sizes N,N] [--threads T,T] [--queries Q]\n  dcspan bench-build [--smoke] [--out FILE] [--sizes N,N] [--delta D] [--seed S]\n  dcspan bench-store [--smoke] [--out FILE] [--sizes N,N] [--queries Q] [--seed S]\n  dcspan chaos [--smoke] [--out FILE] [--n N] [--threads T] [--queries Q] [--seed S] [--cap-c C]",
+        family = GraphFamily::NAMES,
+        algo = BaselineAlgo::NAMES,
+        policy = POLICY_NAMES,
     );
     ExitCode::FAILURE
 }
@@ -719,9 +723,15 @@ fn main() -> ExitCode {
             cmd_experiment(which, flags.contains_key("quick"))
         }
         "build" => cmd_build(&flags),
+        "serve" => cmd_serve(&flags),
+        "verify-artifact" => match args.get(1) {
+            Some(path) if !path.starts_with("--") => cmd_verify_artifact(path),
+            _ => Err(CliError::Usage),
+        },
         "query" => cmd_query(&flags),
         "bench" => cmd_bench(&flags),
         "bench-build" => cmd_bench_build(&flags),
+        "bench-store" => cmd_bench_store(&flags),
         "chaos" => cmd_chaos(&flags),
         _ => Err(CliError::Usage),
     };

@@ -1,0 +1,394 @@
+//! Shared command-line parsing for the `dcspan` binary.
+//!
+//! Every subcommand used to carry its own copy of the flag parser, the
+//! graph-family and algorithm dispatch tables, and the oracle-flag
+//! handling; this module is the single home for all of them. The binary
+//! in `src/bin/dcspan.rs` only sequences subcommands — names are parsed
+//! here, in [`SpannerAlgo::parse`]-style helpers ([`GraphFamily::parse`],
+//! [`BaselineAlgo::parse`], [`parse_policy`]), so `gen`, `spanner`,
+//! `build`, `serve`, `query`, `verify-artifact` and the bench commands
+//! cannot drift apart.
+//!
+//! Argument parsing is deliberately dependency-free: `--key value` pairs
+//! and bare `--flag` switches collected into a map. Every failure is a
+//! typed [`CliError`] mapped to a nonzero exit code by the binary.
+
+use dcspan_core::serve::SpannerAlgo;
+use dcspan_oracle::{Oracle, OracleConfig};
+use dcspan_routing::replace::DetourPolicy;
+use dcspan_store::StoreError;
+use std::collections::HashMap;
+
+/// Parsed `--key value` / `--flag` arguments.
+pub type Flags = HashMap<String, String>;
+
+/// Everything that can go wrong in a `dcspan` invocation; the binary
+/// prints the error and maps it to a nonzero exit code.
+#[derive(Debug)]
+pub enum CliError {
+    /// Missing/unknown subcommand: print usage, exit 1.
+    Usage,
+    /// Unknown `--family` value.
+    UnknownFamily(String),
+    /// Unknown spanner algorithm name.
+    UnknownAlgorithm(String),
+    /// Unknown detour policy name.
+    UnknownPolicy(String),
+    /// Unknown experiment name.
+    UnknownExperiment(String),
+    /// A spanner construction failed to produce a valid output.
+    SpannerFailed(String),
+    /// A file could not be read or written.
+    Io {
+        /// Path that failed.
+        path: String,
+        /// Underlying error.
+        source: std::io::Error,
+    },
+    /// Artifact rows could not be serialised.
+    Serialize(std::io::Error),
+    /// A spanner artifact failed to save, load, or verify.
+    Store {
+        /// Artifact path involved.
+        path: String,
+        /// The typed store failure.
+        source: StoreError,
+    },
+    /// A chaos run finished but observed invariant/acceptance violations.
+    ChaosViolations(u64),
+    /// A construction benchmark cell's kernel output diverged from the
+    /// naive reference.
+    KernelDivergence(u64),
+    /// A store benchmark cell's loaded-artifact serving diverged from the
+    /// same-seed in-process rebuild.
+    ServeDivergence(u64),
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CliError::Usage => write!(f, "missing or unknown subcommand"),
+            CliError::UnknownFamily(name) => write!(f, "unknown family: {name}"),
+            CliError::UnknownAlgorithm(name) => write!(f, "unknown spanner algorithm: {name}"),
+            CliError::UnknownPolicy(name) => write!(f, "unknown detour policy: {name}"),
+            CliError::UnknownExperiment(name) => write!(f, "unknown experiment: {name}"),
+            CliError::SpannerFailed(msg) => write!(f, "spanner construction failed: {msg}"),
+            CliError::Io { path, source } => write!(f, "cannot access {path}: {source}"),
+            CliError::Serialize(e) => write!(f, "cannot serialise artifact rows: {e}"),
+            CliError::Store { path, source } => write!(f, "artifact {path}: {source}"),
+            CliError::ChaosViolations(count) => {
+                write!(f, "chaos run observed {count} violation(s)")
+            }
+            CliError::KernelDivergence(count) => {
+                write!(
+                    f,
+                    "construction bench: {count} cell(s) diverged from the naive reference"
+                )
+            }
+            CliError::ServeDivergence(count) => {
+                write!(
+                    f,
+                    "store bench: {count} cell(s) of loaded-artifact serving diverged from the rebuild"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl CliError {
+    /// Nonzero process exit code: 2 for a failed chaos/divergence verdict
+    /// (the run itself completed), 1 for everything else — including every
+    /// [`CliError::Store`] failure, so `dcspan verify-artifact` on a
+    /// corrupted file always exits nonzero with the typed error printed.
+    pub fn exit_code(&self) -> u8 {
+        match self {
+            CliError::ChaosViolations(_)
+            | CliError::KernelDivergence(_)
+            | CliError::ServeDivergence(_) => 2,
+            _ => 1,
+        }
+    }
+}
+
+/// Collect `--key value` pairs and bare `--flag` switches.
+pub fn parse_flags(args: &[String]) -> Flags {
+    let mut flags = Flags::new();
+    let mut i = 0;
+    while i < args.len() {
+        if let Some(name) = args[i].strip_prefix("--") {
+            if i + 1 < args.len() && !args[i + 1].starts_with("--") {
+                flags.insert(name.to_string(), args[i + 1].clone());
+                i += 2;
+            } else {
+                flags.insert(name.to_string(), "true".to_string());
+                i += 1;
+            }
+        } else {
+            i += 1;
+        }
+    }
+    flags
+}
+
+/// `usize` flag with a default (also used when unparseable).
+pub fn get_usize(flags: &Flags, key: &str, default: usize) -> usize {
+    flags
+        .get(key)
+        .map_or(default, |v| v.parse().unwrap_or(default))
+}
+
+/// `u64` flag with a default (also used when unparseable).
+pub fn get_u64(flags: &Flags, key: &str, default: u64) -> u64 {
+    flags
+        .get(key)
+        .map_or(default, |v| v.parse().unwrap_or(default))
+}
+
+/// `f64` flag with a default (also used when unparseable).
+pub fn get_f64(flags: &Flags, key: &str, default: f64) -> f64 {
+    flags
+        .get(key)
+        .map_or(default, |v| v.parse().unwrap_or(default))
+}
+
+/// Comma-separated `usize` list flag, falling back to `default` when
+/// absent or unparseable.
+pub fn get_list(flags: &Flags, key: &str, default: &[usize]) -> Vec<usize> {
+    flags.get(key).map_or_else(
+        || default.to_vec(),
+        |v| {
+            let parsed: Vec<usize> = v.split(',').filter_map(|s| s.trim().parse().ok()).collect();
+            if parsed.is_empty() {
+                default.to_vec()
+            } else {
+                parsed
+            }
+        },
+    )
+}
+
+/// Write `contents` to `path`, wrapping failures as [`CliError::Io`].
+pub fn write_file(path: &str, contents: String) -> Result<(), CliError> {
+    std::fs::write(path, contents).map_err(|source| CliError::Io {
+        path: path.to_string(),
+        source,
+    })
+}
+
+/// The graph families `dcspan gen` can produce.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum GraphFamily {
+    /// Uniform random Δ-regular graph.
+    Regular,
+    /// Erdős–Rényi `G(n, p)`.
+    Gnp,
+    /// Gabber–Galil explicit expander.
+    GabberGalil,
+    /// The Lemma 18 fan gadget.
+    Fan,
+    /// The Figure 1 two-cliques gadget.
+    TwoClique,
+    /// The Theorem 4 lower-bound composite.
+    LowerBound,
+}
+
+impl GraphFamily {
+    /// Parse a `--family` name.
+    pub fn parse(name: &str) -> Option<GraphFamily> {
+        match name {
+            "regular" => Some(GraphFamily::Regular),
+            "gnp" => Some(GraphFamily::Gnp),
+            "gabber-galil" => Some(GraphFamily::GabberGalil),
+            "fan" => Some(GraphFamily::Fan),
+            "two-clique" => Some(GraphFamily::TwoClique),
+            "lower-bound" => Some(GraphFamily::LowerBound),
+            _ => None,
+        }
+    }
+
+    /// Every accepted `--family` name, for usage text.
+    pub const NAMES: &str = "regular|gnp|gabber-galil|fan|two-clique|lower-bound";
+}
+
+/// The baseline spanner constructions `dcspan spanner` can run (a
+/// superset of the serving menu in [`SpannerAlgo`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BaselineAlgo {
+    /// Algorithm 1 / Theorem 3 sample-and-reinsert.
+    Regular,
+    /// Theorem 2 sampled expander spanner.
+    Expander,
+    /// Baswana–Sen `(2k−1)`-spanner.
+    BaswanaSen,
+    /// Greedy `t`-spanner.
+    Greedy,
+    /// Koutis–Xu `O(n log n)`-edge spanner.
+    KoutisXu,
+    /// Becchetti et al. random `d`-out subgraph.
+    DOut,
+}
+
+impl BaselineAlgo {
+    /// Parse an `--algo` name for the baseline menu.
+    pub fn parse(name: &str) -> Option<BaselineAlgo> {
+        match name {
+            "regular" => Some(BaselineAlgo::Regular),
+            "expander" => Some(BaselineAlgo::Expander),
+            "baswana-sen" => Some(BaselineAlgo::BaswanaSen),
+            "greedy" => Some(BaselineAlgo::Greedy),
+            "koutis-xu" => Some(BaselineAlgo::KoutisXu),
+            "d-out" => Some(BaselineAlgo::DOut),
+            _ => None,
+        }
+    }
+
+    /// Every accepted `--algo` name, for usage text.
+    pub const NAMES: &str = "regular|expander|baswana-sen|greedy|koutis-xu|d-out";
+}
+
+/// Parse a `--policy` name into a [`DetourPolicy`].
+pub fn parse_policy(name: &str) -> Option<DetourPolicy> {
+    match name {
+        "uniform-shortest" => Some(DetourPolicy::UniformShortest),
+        "uniform-up-to-3" => Some(DetourPolicy::UniformUpTo3),
+        "first-found" => Some(DetourPolicy::FirstFound),
+        _ => None,
+    }
+}
+
+/// Every accepted `--policy` name, for usage text.
+pub const POLICY_NAMES: &str = "uniform-shortest|uniform-up-to-3|first-found";
+
+/// The oracle-facing flags shared by `build`, `query`, `serve` and
+/// `bench-store`: instance shape (`--n`, `--delta`, `--seed`), the
+/// serving construction (`--algo`), and the serving configuration
+/// (`--policy`, `--cache`). One parse, one meaning, every subcommand.
+#[derive(Clone, Copy, Debug)]
+pub struct OracleArgs {
+    /// Nodes in the generated instance.
+    pub n: usize,
+    /// Degree of the generated instance (default: Theorem 2 regime).
+    pub delta: usize,
+    /// Master seed: drives generation, construction, and query streams.
+    pub seed: u64,
+    /// Which DC-spanner construction serves.
+    pub algo: SpannerAlgo,
+    /// Detour selection policy.
+    pub policy: DetourPolicy,
+    /// BFS cache capacity.
+    pub cache_capacity: usize,
+}
+
+impl OracleArgs {
+    /// Parse the shared oracle flags (typed errors for unknown names).
+    pub fn from_flags(flags: &Flags) -> Result<OracleArgs, CliError> {
+        let n = get_usize(flags, "n", 256);
+        let delta = get_usize(
+            flags,
+            "delta",
+            dcspan_experiments::workloads::theorem2_degree(n, 0.15),
+        );
+        let seed = get_u64(flags, "seed", 1);
+        let algo_name = flags.get("algo").map_or("theorem2", String::as_str);
+        let algo = SpannerAlgo::parse(algo_name)
+            .ok_or_else(|| CliError::UnknownAlgorithm(algo_name.to_string()))?;
+        let policy_name = flags
+            .get("policy")
+            .map_or("uniform-shortest", String::as_str);
+        let policy = parse_policy(policy_name)
+            .ok_or_else(|| CliError::UnknownPolicy(policy_name.to_string()))?;
+        Ok(OracleArgs {
+            n,
+            delta,
+            seed,
+            algo,
+            policy,
+            cache_capacity: get_usize(flags, "cache", 4096),
+        })
+    }
+
+    /// The serving configuration these flags describe.
+    pub fn config(&self) -> OracleConfig {
+        OracleConfig {
+            policy: self.policy,
+            seed: self.seed,
+            cache_capacity: self.cache_capacity,
+            ..OracleConfig::default()
+        }
+    }
+
+    /// Generate the Theorem 2 regime instance these flags describe.
+    pub fn regime_graph(&self) -> dcspan_graph::Graph {
+        dcspan_gen::regular::random_regular(self.n, self.delta, self.seed)
+    }
+
+    /// Build the in-process oracle these flags describe. Returns the
+    /// instance, the oracle, and the build wall time in milliseconds.
+    pub fn build_oracle(&self) -> (dcspan_graph::Graph, Oracle, f64) {
+        let g = self.regime_graph();
+        let start = std::time::Instant::now();
+        let oracle = Oracle::from_algo(&g, self.algo, self.config());
+        (g, oracle, start.elapsed().as_secs_f64() * 1e3)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flags_of(pairs: &[(&str, &str)]) -> Flags {
+        pairs
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.to_string()))
+            .collect()
+    }
+
+    #[test]
+    fn flag_parsing_and_getters() {
+        let args: Vec<String> = ["--n", "128", "--smoke", "--seed", "9"]
+            .iter()
+            .map(ToString::to_string)
+            .collect();
+        let flags = parse_flags(&args);
+        assert_eq!(get_usize(&flags, "n", 1), 128);
+        assert_eq!(get_u64(&flags, "seed", 0), 9);
+        assert_eq!(flags.get("smoke").map(String::as_str), Some("true"));
+        assert_eq!(get_usize(&flags, "absent", 7), 7);
+        assert_eq!(get_list(&flags, "absent", &[1, 2]), vec![1, 2]);
+    }
+
+    #[test]
+    fn family_and_algo_menus_parse() {
+        for name in GraphFamily::NAMES.split('|') {
+            assert!(GraphFamily::parse(name).is_some(), "family {name}");
+        }
+        for name in BaselineAlgo::NAMES.split('|') {
+            assert!(BaselineAlgo::parse(name).is_some(), "algo {name}");
+        }
+        for name in POLICY_NAMES.split('|') {
+            assert!(parse_policy(name).is_some(), "policy {name}");
+        }
+        assert_eq!(GraphFamily::parse("nope"), None);
+        assert_eq!(BaselineAlgo::parse("nope"), None);
+        assert_eq!(parse_policy("nope"), None);
+    }
+
+    #[test]
+    fn oracle_args_parse_and_reject() {
+        let args = OracleArgs::from_flags(&flags_of(&[("n", "64"), ("seed", "3")])).unwrap();
+        assert_eq!(args.n, 64);
+        assert_eq!(args.seed, 3);
+        assert_eq!(args.algo, SpannerAlgo::Theorem2);
+        assert_eq!(args.config().seed, 3);
+        assert!(matches!(
+            OracleArgs::from_flags(&flags_of(&[("algo", "nope")])),
+            Err(CliError::UnknownAlgorithm(_))
+        ));
+        assert!(matches!(
+            OracleArgs::from_flags(&flags_of(&[("policy", "nope")])),
+            Err(CliError::UnknownPolicy(_))
+        ));
+    }
+}

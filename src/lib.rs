@@ -18,5 +18,8 @@ pub use dcspan_local as local;
 pub use dcspan_oracle as oracle;
 pub use dcspan_routing as routing;
 pub use dcspan_spectral as spectral;
+pub use dcspan_store as store;
+
+pub mod cli;
 
 pub use dcspan_graph::{Graph, GraphBuilder, Path};

@@ -1,0 +1,136 @@
+//! Build/serve split acceptance test (ISSUE acceptance criteria): an
+//! `n = 2000` Theorem 3 artifact saved to disk, checksum-verified, and
+//! reloaded into a fresh [`Oracle`] answers 5 000 replayed queries
+//! byte-identically to a same-seed in-process `Oracle::from_algo` build —
+//! including under an injected fault schedule — and corrupting the file
+//! surfaces as a typed [`StoreError`], never a panic.
+
+use dcspan::core::serve::SpannerAlgo;
+use dcspan::experiments::workloads;
+use dcspan::oracle::{Oracle, OracleConfig};
+use dcspan::routing::RoutingProblem;
+use dcspan::store::{SpannerArtifact, StoreError};
+
+const N: usize = 2000;
+const SEED: u64 = 20240620;
+const QUERIES: usize = 5000;
+
+/// Replay `problem` sequentially through both oracles with identical
+/// query ids, asserting every outcome (answer or typed rejection) is
+/// identical, and return how many answered.
+fn assert_identical_replay(
+    rebuilt: &Oracle,
+    loaded: &Oracle,
+    problem: &RoutingProblem,
+    id_base: u64,
+) -> usize {
+    let mut answered = 0;
+    for (q, &(u, v)) in problem.pairs().iter().enumerate() {
+        let id = id_base + q as u64;
+        let a = rebuilt.route(u, v, id);
+        let b = loaded.route(u, v, id);
+        assert_eq!(a, b, "query {id} ({u}, {v}) diverged");
+        answered += usize::from(a.is_ok());
+    }
+    answered
+}
+
+#[test]
+fn loaded_artifact_serves_bit_identically_to_in_process_build() {
+    let delta = workloads::theorem3_degree(N);
+    let g = workloads::regime_expander(N, delta, SEED);
+    let config = OracleConfig {
+        seed: SEED,
+        ..OracleConfig::default()
+    };
+
+    // Build → save → verify → load → restore, through the real files.
+    let artifact = Oracle::build_artifact(&g, SpannerAlgo::Theorem3, SEED);
+    let path = std::env::temp_dir().join(format!(
+        "dcspan-artifact-serving-{}.bin",
+        std::process::id()
+    ));
+    artifact.save(&path).expect("save artifact");
+    let meta = dcspan::store::verify_file(&path).expect("verify artifact");
+    assert_eq!(meta.n, N);
+    assert_eq!(meta.seed, SEED);
+    assert_eq!(meta.algo, SpannerAlgo::Theorem3);
+    let loaded_artifact = SpannerArtifact::load(&path).expect("load artifact");
+    assert_eq!(loaded_artifact, artifact, "decode must be bit-faithful");
+
+    let loaded = Oracle::from_artifact(loaded_artifact, config).expect("restore oracle");
+    let rebuilt = Oracle::from_algo(&g, SpannerAlgo::Theorem3, config);
+    assert_eq!(rebuilt.spanner().edges(), loaded.spanner().edges());
+    assert_eq!(
+        rebuilt.index().stats().missing_edges,
+        loaded.index().stats().missing_edges
+    );
+
+    // Healthy replay: 5 000 random-pair queries, identical outcomes.
+    let problem = RoutingProblem::random_pairs(N, QUERIES, SEED ^ 0xD1FF);
+    let answered = assert_identical_replay(&rebuilt, &loaded, &problem, 0);
+    assert!(
+        answered * 10 >= QUERIES * 9,
+        "only {answered}/{QUERIES} healthy queries answered"
+    );
+
+    // Injected fault schedule: kill the same nodes and spanner edges on
+    // both oracles, replay again, heal, and replay once more. Degraded
+    // answers (filtered detours, survivor BFS) must match rung for rung.
+    for (fault_step, kill) in [(1u64, 17u32), (2, 63)].iter().enumerate() {
+        let stride = (N as u32) / (11 + fault_step as u32);
+        let mut node = kill.1;
+        for _ in 0..40 {
+            rebuilt.faults().fail_node(node);
+            loaded.faults().fail_node(node);
+            node = (node + stride) % N as u32;
+        }
+        for edge_id in (kill.1 as usize..rebuilt.spanner().m())
+            .step_by(97)
+            .take(60)
+        {
+            rebuilt.faults().fail_edge_id(edge_id);
+            loaded.faults().fail_edge_id(edge_id);
+        }
+        assert_eq!(rebuilt.faults().epoch(), loaded.faults().epoch());
+        let faulted = RoutingProblem::random_pairs(N, QUERIES / 2, SEED ^ kill.0);
+        assert_identical_replay(
+            &rebuilt,
+            &loaded,
+            &faulted,
+            (QUERIES * (fault_step + 1)) as u64,
+        );
+    }
+    rebuilt.faults().heal_all();
+    loaded.faults().heal_all();
+    let healed = RoutingProblem::random_pairs(N, QUERIES / 2, SEED ^ 0x8EA1);
+    assert_identical_replay(&rebuilt, &loaded, &healed, (QUERIES * 4) as u64);
+
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn corrupted_artifact_is_a_typed_error_never_a_panic() {
+    let n = 200;
+    let delta = workloads::theorem3_degree(n);
+    let g = workloads::regime_expander(n, delta, 7);
+    let artifact = Oracle::build_artifact(&g, SpannerAlgo::Theorem3, 7);
+    let bytes = artifact.encode();
+
+    // A representative byte in every region: magic, version, header
+    // checksum, section table, and each payload — all typed errors.
+    let mut probes = vec![0usize, 9, 21, 30];
+    let step = (bytes.len() - 64).max(1) / 16;
+    probes.extend((64..bytes.len()).step_by(step.max(1)));
+    for i in probes {
+        let mut corrupt = bytes.clone();
+        corrupt[i] ^= 0x40;
+        let decode = SpannerArtifact::decode(&corrupt);
+        assert!(decode.is_err(), "flip at byte {i} decoded successfully");
+        assert!(dcspan::store::verify(&corrupt).is_err(), "verify at {i}");
+    }
+    assert!(matches!(
+        SpannerArtifact::decode(&bytes[..bytes.len() / 2]),
+        Err(StoreError::Truncated) | Err(StoreError::ChecksumMismatch { .. })
+    ));
+}
