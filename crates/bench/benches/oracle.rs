@@ -112,55 +112,11 @@ fn bench_cache_capacity(c: &mut Criterion) {
     group.finish();
 }
 
-/// Healthy-path regression guard for the fault overlay: the same hot
-/// missing-edge workload routed through (a) a pristine oracle, (b) an
-/// oracle with admission control on and a fail/heal history (epoch > 0
-/// but no live fault — the overlay check must stay two relaxed loads),
-/// and (c) an oracle with ~1% of spanner edges killed, which prices the
-/// fault-filtered degraded rung.
-fn bench_fault_overlay(c: &mut Criterion) {
-    let mut group = c.benchmark_group("oracle_fault_overlay");
-    let n = 512;
-    let delta = dcspan_experiments::workloads::theorem2_degree(n, 0.15);
-    let g = random_regular(n, delta, 5);
-    let pristine = Oracle::from_algo(&g, SpannerAlgo::Theorem2, OracleConfig::default());
-    let hot: Vec<(u32, u32)> = pristine
-        .index()
-        .missing_edges()
-        .iter()
-        .take(64)
-        .map(|e| (e.u, e.v))
-        .collect();
-    let run = |oracle: &Oracle| {
-        oracle.reset_load();
-        for (i, &(u, v)) in hot.iter().enumerate() {
-            black_box(oracle.route(u, v, i as u64)).ok();
-        }
-    };
-    let guarded = Oracle::from_algo(
-        &g,
-        SpannerAlgo::Theorem2,
-        OracleConfig::default().with_beta_budget(n, delta, 8.0),
-    );
-    guarded.fail_node(0);
-    guarded.heal_all();
-    let degraded = Oracle::from_algo(&g, SpannerAlgo::Theorem2, OracleConfig::default());
-    let m = degraded.spanner().m();
-    for k in 0..(m / 100).max(1) {
-        degraded.faults().fail_edge_id((k * 97) % m);
-    }
-    group.bench_function("healthy_pristine", |b| b.iter(|| run(&pristine)));
-    group.bench_function("healthy_overlay_history", |b| b.iter(|| run(&guarded)));
-    group.bench_function("degraded_1pct_kills", |b| b.iter(|| run(&degraded)));
-    group.finish();
-}
-
 criterion_group!(
     benches,
     bench_index_build,
     bench_route_edge_repeated,
     bench_qps_threads,
-    bench_cache_capacity,
-    bench_fault_overlay
+    bench_cache_capacity
 );
 criterion_main!(benches);

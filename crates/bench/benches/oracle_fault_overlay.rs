@@ -1,0 +1,62 @@
+//! Healthy-fast-path regression guard for the fault overlay, split into
+//! its own bench target so the memory-ordering audit can run
+//! `cargo bench --bench oracle_fault_overlay` before and after touching
+//! `FaultState` (DESIGN.md §12): the `healthy_overlay_history` rung is
+//! the one that regresses if `faults_present` grows beyond its two
+//! acquire loads (plain loads on x86/TSO) or the stamp read gains a
+//! fence.
+//!
+//! Three rungs over the same hot missing-edge workload:
+//!
+//! - `healthy_pristine` — never-faulted oracle, epoch 0.
+//! - `healthy_overlay_history` — admission control on, a fail/heal
+//!   history (epoch > 0 but no live fault): the overlay check must stay
+//!   two plain-on-x86 acquire loads on the query path.
+//! - `degraded_1pct_kills` — ~1% of spanner edges killed, pricing the
+//!   fault-filtered degraded rung.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dcspan_core::serve::SpannerAlgo;
+use dcspan_gen::regular::random_regular;
+use dcspan_oracle::{Oracle, OracleConfig};
+use std::hint::black_box;
+
+fn bench_fault_overlay(c: &mut Criterion) {
+    let mut group = c.benchmark_group("oracle_fault_overlay");
+    let n = 512;
+    let delta = dcspan_experiments::workloads::theorem2_degree(n, 0.15);
+    let g = random_regular(n, delta, 5);
+    let pristine = Oracle::from_algo(&g, SpannerAlgo::Theorem2, OracleConfig::default());
+    let hot: Vec<(u32, u32)> = pristine
+        .index()
+        .missing_edges()
+        .iter()
+        .take(64)
+        .map(|e| (e.u, e.v))
+        .collect();
+    let run = |oracle: &Oracle| {
+        oracle.reset_load();
+        for (i, &(u, v)) in hot.iter().enumerate() {
+            black_box(oracle.route(u, v, i as u64)).ok();
+        }
+    };
+    let guarded = Oracle::from_algo(
+        &g,
+        SpannerAlgo::Theorem2,
+        OracleConfig::default().with_beta_budget(n, delta, 8.0),
+    );
+    guarded.fail_node(0);
+    guarded.heal_all();
+    let degraded = Oracle::from_algo(&g, SpannerAlgo::Theorem2, OracleConfig::default());
+    let m = degraded.spanner().m();
+    for k in 0..(m / 100).max(1) {
+        degraded.faults().fail_edge_id((k * 97) % m);
+    }
+    group.bench_function("healthy_pristine", |b| b.iter(|| run(&pristine)));
+    group.bench_function("healthy_overlay_history", |b| b.iter(|| run(&guarded)));
+    group.bench_function("degraded_1pct_kills", |b| b.iter(|| run(&degraded)));
+    group.finish();
+}
+
+criterion_group!(benches, bench_fault_overlay);
+criterion_main!(benches);

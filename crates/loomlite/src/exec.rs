@@ -1,0 +1,687 @@
+//! The execution core: a turnstile scheduler that serialises modeled
+//! threads one *visible operation* (atomic access, lock transition,
+//! spawn/join/yield) at a time, a decision tape explored depth-first (or
+//! by a seeded random walk), and an operational release/acquire memory
+//! model with per-location message histories.
+//!
+//! **Scheduling.** Every visible operation begins with [`Exec::op_begin`]
+//! (wait until the scheduler hands this thread the turn token) and ends
+//! with `op_end` (a *decision point*: choose, among runnable threads, who
+//! performs the next operation). Pure computation between operations runs
+//! unscheduled — it cannot touch model state, so it cannot perturb the
+//! exploration.
+//!
+//! **Memory model.** Each atomic location keeps its full modification
+//! order as a list of messages `(value, release-view)`. A load may read
+//! *any* message no older than the thread's view of that location — which
+//! message is a decision point, so stale `Relaxed` reads are genuinely
+//! explored, not just interleavings. An acquiring load of a releasing
+//! store joins the store's view into the reader's (the happens-before
+//! edge); RMWs always read the latest message (atomicity) and propagate
+//! release views along the RMW chain (release sequences). `SeqCst` is
+//! approximated: a shared `SeqCst` view is joined through every `SeqCst`
+//! operation and `SeqCst` loads cannot read messages older than the last
+//! `SeqCst` store to the location. That approximation is slightly weaker
+//! than the C11 total order — sound for verifying release/acquire
+//! protocols (this workspace's serving core uses nothing stronger), and
+//! documented so nobody verifies an SC-dependent algorithm against it.
+//!
+//! Panics are the reporting channel by design: a failing execution panics
+//! with the decision tape that reached it.
+
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+
+/// Panic payload used to tear down sibling threads once one modeled
+/// thread has failed; filtered from the panic output by the hook
+/// installed in [`crate::Builder::check`].
+pub(crate) const ABORT: &str = "loomlite: execution aborted (failure elsewhere)";
+
+/// Modeled threads per execution are capped: the state space is
+/// exponential in thread count, and a model this size has stopped being
+/// exhaustive long before the cap.
+pub(crate) const MAX_THREADS: usize = 8;
+
+/// Per-location message timestamps a thread has definitely observed
+/// (indexed by location id; missing entries are 0).
+pub(crate) type View = Vec<usize>;
+
+fn join_into(dst: &mut View, src: &View) {
+    if dst.len() < src.len() {
+        dst.resize(src.len(), 0);
+    }
+    for (d, s) in dst.iter_mut().zip(src) {
+        *d = (*d).max(*s);
+    }
+}
+
+fn view_get(v: &View, loc: usize) -> usize {
+    v.get(loc).copied().unwrap_or(0)
+}
+
+fn view_set(v: &mut View, loc: usize, ts: usize) {
+    if v.len() <= loc {
+        v.resize(loc + 1, 0);
+    }
+    v[loc] = v[loc].max(ts);
+}
+
+fn acquires(o: std::sync::atomic::Ordering) -> bool {
+    use std::sync::atomic::Ordering::*;
+    matches!(o, Acquire | AcqRel | SeqCst)
+}
+
+fn releases(o: std::sync::atomic::Ordering) -> bool {
+    use std::sync::atomic::Ordering::*;
+    matches!(o, Release | AcqRel | SeqCst)
+}
+
+/// One store in a location's modification order. `rel_view` is the view
+/// published by a releasing store (joined into acquiring readers), kept
+/// propagating along RMW chains (release sequences).
+struct Msg {
+    val: u64,
+    rel_view: Option<View>,
+}
+
+struct Location {
+    history: Vec<Msg>,
+    /// Timestamp of the latest `SeqCst` store (floor for `SeqCst` loads).
+    last_sc: usize,
+}
+
+#[derive(PartialEq, Eq, Clone, Copy, Debug)]
+enum ThreadState {
+    Runnable,
+    Blocked,
+    Finished,
+}
+
+/// Mutex (`readers` unused) or RwLock state plus the view handed from
+/// releasers to acquirers (the lock's happens-before edge).
+struct LockState {
+    writer: Option<usize>,
+    readers: usize,
+    sync_view: View,
+}
+
+/// How the decision tape is driven.
+#[derive(Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Mode {
+    /// Exhaustive depth-first search over the decision tape.
+    Dfs,
+    /// Seeded random walk (the "shuttle profile"): one schedule per run.
+    Random,
+}
+
+#[derive(Clone)]
+pub(crate) struct RunConfig {
+    pub(crate) mode: Mode,
+    /// SplitMix64 state for `Mode::Random`.
+    pub(crate) seed: u64,
+    /// Context-switch budget: `Some(k)` caps *preemptive* switches
+    /// (switching away from a still-runnable thread) at `k` per run.
+    pub(crate) max_preemptions: Option<usize>,
+    /// Safety valve on decisions per run (runaway-model detection).
+    pub(crate) max_decisions: usize,
+}
+
+/// One recorded decision: which of `options` alternatives was taken.
+#[derive(Clone, Debug)]
+pub(crate) struct Choice {
+    pub(crate) pick: usize,
+    pub(crate) options: usize,
+}
+
+struct Inner {
+    config: RunConfig,
+    /// Whose turn it is; `None` once every thread has finished.
+    active: Option<usize>,
+    threads: Vec<ThreadState>,
+    /// Snapshot of each thread's view at exit (joined by `join`).
+    final_views: Vec<Option<View>>,
+    views: Vec<View>,
+    sc_view: View,
+    locations: Vec<Location>,
+    locks: Vec<LockState>,
+    tape: Vec<Choice>,
+    cursor: usize,
+    preemptions: usize,
+    rng: u64,
+    failed: Option<String>,
+}
+
+impl Inner {
+    /// Resolve one decision point with `options` alternatives: replay the
+    /// tape prefix, extend it first-choice beyond (DFS), or draw from the
+    /// seeded stream (random walk). Forced choices are never recorded.
+    fn decide(&mut self, options: usize) -> usize {
+        if options <= 1 {
+            return 0;
+        }
+        match self.config.mode {
+            Mode::Random => {
+                // SplitMix64 (kept local: loomlite is dependency-free).
+                self.rng = self.rng.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = self.rng;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                ((z ^ (z >> 31)) % options as u64) as usize
+            }
+            Mode::Dfs => {
+                if self.cursor < self.tape.len() {
+                    let c = &self.tape[self.cursor];
+                    assert_eq!(
+                        c.options, options,
+                        "loomlite: decision point {} changed arity between replays — \
+                         the model closure must be deterministic (no ambient RNG, \
+                         clocks, or unmodeled shared state)",
+                        self.cursor
+                    );
+                    self.cursor += 1;
+                    c.pick
+                } else {
+                    assert!(
+                        self.tape.len() < self.config.max_decisions,
+                        "loomlite: more than {} decisions in one execution — \
+                         the model is too large to explore; shrink it",
+                        self.config.max_decisions
+                    );
+                    self.tape.push(Choice { pick: 0, options });
+                    self.cursor += 1;
+                    0
+                }
+            }
+        }
+    }
+
+    /// Choose who runs the next operation. `me` is the thread ending its
+    /// operation (it may be blocked or finished by now).
+    fn pick_next(&mut self, me: usize) {
+        let mut candidates: Vec<usize> = Vec::with_capacity(self.threads.len());
+        // `me` first when still runnable: the zeroth DFS branch is then the
+        // natural "run on" schedule, and forced choices stay unrecorded.
+        if self.threads.get(me) == Some(&ThreadState::Runnable) {
+            candidates.push(me);
+        }
+        for (t, state) in self.threads.iter().enumerate() {
+            if t != me && *state == ThreadState::Runnable {
+                candidates.push(t);
+            }
+        }
+        if candidates.is_empty() {
+            if self.threads.iter().all(|t| *t == ThreadState::Finished) {
+                self.active = None;
+            } else if self.failed.is_none() {
+                let blocked = self
+                    .threads
+                    .iter()
+                    .filter(|t| **t == ThreadState::Blocked)
+                    .count();
+                self.failed = Some(format!(
+                    "deadlock: {blocked} thread(s) blocked with no runnable thread"
+                ));
+            }
+            return;
+        }
+        let restricted = match self.config.max_preemptions {
+            Some(bound) if self.preemptions >= bound && candidates[0] == me => &candidates[..1],
+            _ => &candidates[..],
+        };
+        let chosen = restricted[self.decide(restricted.len())];
+        if chosen != me && self.threads.get(me) == Some(&ThreadState::Runnable) {
+            self.preemptions += 1;
+        }
+        self.active = Some(chosen);
+    }
+
+    /// Lazily wake every blocked thread (they re-check their condition and
+    /// re-block if it still does not hold). Called on lock releases and
+    /// thread exits — the only events that can unblock anyone.
+    fn wake_blocked(&mut self) {
+        for t in &mut self.threads {
+            if *t == ThreadState::Blocked {
+                *t = ThreadState::Runnable;
+            }
+        }
+    }
+}
+
+/// One modeled execution: the scheduler/memory-model state plus the
+/// condvar modeled threads park on between turns.
+pub(crate) struct Exec {
+    inner: Mutex<Inner>,
+    cv: Condvar,
+}
+
+impl Exec {
+    pub(crate) fn new(config: RunConfig, tape: Vec<Choice>) -> Exec {
+        let seed = config.seed;
+        Exec {
+            inner: Mutex::new(Inner {
+                config,
+                active: Some(0),
+                threads: vec![ThreadState::Runnable],
+                final_views: vec![None],
+                views: vec![View::new()],
+                sc_view: View::new(),
+                locations: Vec::new(),
+                locks: Vec::new(),
+                tape,
+                cursor: 0,
+                preemptions: 0,
+                rng: seed,
+                failed: None,
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Lock the model state, recovering from poisoning (a modeled thread
+    /// that panicked mid-operation has already recorded the failure).
+    fn lock_inner(&self) -> MutexGuard<'_, Inner> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Park until it is `me`'s turn (or the execution has failed, in
+    /// which case unwind so the controller can finish the run).
+    fn op_begin(&self, me: usize) -> MutexGuard<'_, Inner> {
+        let mut g = self.lock_inner();
+        loop {
+            if g.failed.is_some() {
+                drop(g);
+                panic!("{ABORT}");
+            }
+            if g.active == Some(me) {
+                return g;
+            }
+            g = self.cv.wait(g).unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// Finish `me`'s operation: decide who goes next and wake the world.
+    fn op_end(&self, mut g: MutexGuard<'_, Inner>, me: usize) {
+        g.pick_next(me);
+        drop(g);
+        self.cv.notify_all();
+    }
+
+    /// Block `me` until `ready` holds, yielding the turn while blocked.
+    /// Returns with the turn token held and `ready` true.
+    fn block_until<'a>(
+        &'a self,
+        me: usize,
+        mut g: MutexGuard<'a, Inner>,
+        ready: impl Fn(&Inner) -> bool,
+    ) -> MutexGuard<'a, Inner> {
+        loop {
+            if ready(&g) {
+                return g;
+            }
+            g.threads[me] = ThreadState::Blocked;
+            g.pick_next(me);
+            drop(g);
+            self.cv.notify_all();
+            g = self.op_begin(me);
+        }
+    }
+
+    // ---- thread lifecycle ------------------------------------------------
+
+    /// Register a new modeled thread (a visible operation of the parent).
+    /// The child inherits the parent's view: everything sequenced before
+    /// `spawn` happens-before the child's first step.
+    pub(crate) fn spawn_thread(&self, me: usize) -> usize {
+        let mut g = self.op_begin(me);
+        assert!(
+            g.threads.len() < MAX_THREADS,
+            "loomlite: more than {MAX_THREADS} modeled threads — shrink the model"
+        );
+        let tid = g.threads.len();
+        g.threads.push(ThreadState::Runnable);
+        let v = g.views[me].clone();
+        g.views.push(v);
+        g.final_views.push(None);
+        self.op_end(g, me);
+        tid
+    }
+
+    /// Mark `me` finished, publish its final view for joiners, and hand
+    /// the turn on.
+    pub(crate) fn thread_finished(&self, me: usize) {
+        let mut g = self.op_begin(me);
+        g.threads[me] = ThreadState::Finished;
+        let v = g.views[me].clone();
+        g.final_views[me] = Some(v);
+        g.wake_blocked();
+        self.op_end(g, me);
+    }
+
+    /// Block until `target` finishes, then join its final view (the
+    /// `join` happens-before edge).
+    pub(crate) fn join_wait(&self, me: usize, target: usize) {
+        let g = self.op_begin(me);
+        let mut g = self.block_until(me, g, |g| g.threads[target] == ThreadState::Finished);
+        let fv = g.final_views[target].clone();
+        if let Some(fv) = fv {
+            join_into(&mut g.views[me], &fv);
+        }
+        self.op_end(g, me);
+    }
+
+    /// A pure scheduling point (`yield_now`).
+    pub(crate) fn yield_op(&self, me: usize) {
+        let g = self.op_begin(me);
+        self.op_end(g, me);
+    }
+
+    /// Tear-down path for [`crate::rt::CtxGuard`]: record a panic (first
+    /// failure wins), mark the thread finished, and wake everyone so the
+    /// run can drain.
+    pub(crate) fn thread_aborted(&self, me: usize, panicked: bool) {
+        let mut g = self.lock_inner();
+        if g.threads[me] != ThreadState::Finished {
+            g.threads[me] = ThreadState::Finished;
+            if panicked && g.failed.is_none() {
+                g.failed = Some(format!(
+                    "modeled thread {me} panicked (assertion output above)"
+                ));
+            }
+            g.wake_blocked();
+            if g.active == Some(me) {
+                g.pick_next(me);
+            }
+        }
+        drop(g);
+        self.cv.notify_all();
+    }
+
+    // ---- atomic locations ------------------------------------------------
+
+    /// Register an atomic location holding `init` (a visible operation:
+    /// ids must be assigned in deterministic schedule order).
+    pub(crate) fn register_location(&self, me: usize, init: u64) -> usize {
+        let mut g = self.op_begin(me);
+        let loc = g.locations.len();
+        g.locations.push(Location {
+            history: vec![Msg {
+                val: init,
+                rel_view: None,
+            }],
+            last_sc: 0,
+        });
+        self.op_end(g, me);
+        loc
+    }
+
+    /// An atomic load: *which* admissible message it reads is a decision
+    /// point, so stale `Relaxed`/`Acquire` reads are explored.
+    pub(crate) fn atomic_load(
+        &self,
+        me: usize,
+        loc: usize,
+        ord: std::sync::atomic::Ordering,
+    ) -> u64 {
+        assert!(
+            !releases(ord),
+            "loomlite: load with a release ordering (matches std's panic)"
+        );
+        let mut g = self.op_begin(me);
+        let mut floor = view_get(&g.views[me], loc);
+        if ord == std::sync::atomic::Ordering::SeqCst {
+            floor = floor.max(g.locations[loc].last_sc);
+            floor = floor.max(view_get(&g.sc_view, loc));
+        }
+        let latest = g.locations[loc].history.len() - 1;
+        // pick 0 = the latest message: the zeroth DFS branch is the fully
+        // coherent execution; staler reads are explored behind it.
+        let pick = g.decide(latest - floor + 1);
+        let ts = latest - pick;
+        view_set(&mut g.views[me], loc, ts);
+        if acquires(ord) {
+            if let Some(rv) = g.locations[loc].history[ts].rel_view.clone() {
+                join_into(&mut g.views[me], &rv);
+            }
+        }
+        if ord == std::sync::atomic::Ordering::SeqCst {
+            let sc = g.sc_view.clone();
+            join_into(&mut g.views[me], &sc);
+            let v = g.views[me].clone();
+            join_into(&mut g.sc_view, &v);
+        }
+        let val = g.locations[loc].history[ts].val;
+        self.op_end(g, me);
+        val
+    }
+
+    /// An atomic store: appends to the modification order; releasing
+    /// stores publish the writer's view.
+    pub(crate) fn atomic_store(
+        &self,
+        me: usize,
+        loc: usize,
+        val: u64,
+        ord: std::sync::atomic::Ordering,
+    ) {
+        assert!(
+            !acquires(ord) || ord == std::sync::atomic::Ordering::SeqCst,
+            "loomlite: store with an acquire ordering (matches std's panic)"
+        );
+        let mut g = self.op_begin(me);
+        let ts = g.locations[loc].history.len();
+        view_set(&mut g.views[me], loc, ts);
+        if ord == std::sync::atomic::Ordering::SeqCst {
+            let sc = g.sc_view.clone();
+            join_into(&mut g.views[me], &sc);
+            let v = g.views[me].clone();
+            join_into(&mut g.sc_view, &v);
+            g.locations[loc].last_sc = ts;
+        }
+        let rel_view = releases(ord).then(|| g.views[me].clone());
+        g.locations[loc].history.push(Msg { val, rel_view });
+        self.op_end(g, me);
+    }
+
+    /// A read-modify-write: always reads the latest message (atomicity),
+    /// acquires its release view when `ord` acquires, and propagates the
+    /// release view along the RMW chain (release sequences) joined with
+    /// this writer's view when `ord` releases. Returns the previous value.
+    pub(crate) fn atomic_rmw(
+        &self,
+        me: usize,
+        loc: usize,
+        ord: std::sync::atomic::Ordering,
+        f: impl FnOnce(u64) -> u64,
+    ) -> u64 {
+        let mut g = self.op_begin(me);
+        let ts = g.locations[loc].history.len();
+        let prev = g.locations[loc].history[ts - 1].val;
+        let inherited = g.locations[loc].history[ts - 1].rel_view.clone();
+        view_set(&mut g.views[me], loc, ts);
+        if acquires(ord) {
+            if let Some(rv) = &inherited {
+                join_into(&mut g.views[me], rv);
+            }
+        }
+        if ord == std::sync::atomic::Ordering::SeqCst {
+            let sc = g.sc_view.clone();
+            join_into(&mut g.views[me], &sc);
+            let v = g.views[me].clone();
+            join_into(&mut g.sc_view, &v);
+            g.locations[loc].last_sc = ts;
+        }
+        let rel_view = if releases(ord) {
+            let mut rv = inherited.unwrap_or_default();
+            let v = g.views[me].clone();
+            join_into(&mut rv, &v);
+            Some(rv)
+        } else {
+            inherited
+        };
+        g.locations[loc].history.push(Msg {
+            val: f(prev),
+            rel_view,
+        });
+        self.op_end(g, me);
+        prev
+    }
+
+    /// Compare-exchange: reads the latest message; on match, behaves as an
+    /// RMW with `success` ordering; on mismatch, as a load of the latest
+    /// message with `failure` ordering.
+    pub(crate) fn atomic_cas(
+        &self,
+        me: usize,
+        loc: usize,
+        expected: u64,
+        new: u64,
+        success: std::sync::atomic::Ordering,
+        failure: std::sync::atomic::Ordering,
+    ) -> Result<u64, u64> {
+        let mut g = self.op_begin(me);
+        let ts = g.locations[loc].history.len();
+        let prev = g.locations[loc].history[ts - 1].val;
+        let inherited = g.locations[loc].history[ts - 1].rel_view.clone();
+        if prev != expected {
+            view_set(&mut g.views[me], loc, ts - 1);
+            if acquires(failure) {
+                if let Some(rv) = &inherited {
+                    join_into(&mut g.views[me], rv);
+                }
+            }
+            self.op_end(g, me);
+            return Err(prev);
+        }
+        view_set(&mut g.views[me], loc, ts);
+        if acquires(success) {
+            if let Some(rv) = &inherited {
+                join_into(&mut g.views[me], rv);
+            }
+        }
+        if success == std::sync::atomic::Ordering::SeqCst {
+            let sc = g.sc_view.clone();
+            join_into(&mut g.views[me], &sc);
+            let v = g.views[me].clone();
+            join_into(&mut g.sc_view, &v);
+            g.locations[loc].last_sc = ts;
+        }
+        let rel_view = if releases(success) {
+            let mut rv = inherited.unwrap_or_default();
+            let v = g.views[me].clone();
+            join_into(&mut rv, &v);
+            Some(rv)
+        } else {
+            inherited
+        };
+        g.locations[loc].history.push(Msg { val: new, rel_view });
+        self.op_end(g, me);
+        Ok(prev)
+    }
+
+    // ---- locks -----------------------------------------------------------
+
+    /// Register a lock (mutex or rwlock).
+    pub(crate) fn register_lock(&self, me: usize) -> usize {
+        let mut g = self.op_begin(me);
+        let id = g.locks.len();
+        g.locks.push(LockState {
+            writer: None,
+            readers: 0,
+            sync_view: View::new(),
+        });
+        self.op_end(g, me);
+        id
+    }
+
+    /// Acquire exclusively (mutex lock / rwlock write), blocking while
+    /// held; joins the lock's release view (the lock happens-before edge).
+    pub(crate) fn lock_write(&self, me: usize, lock: usize) {
+        let g = self.op_begin(me);
+        let mut g = self.block_until(me, g, |g| {
+            g.locks[lock].writer.is_none() && g.locks[lock].readers == 0
+        });
+        g.locks[lock].writer = Some(me);
+        let sv = g.locks[lock].sync_view.clone();
+        join_into(&mut g.views[me], &sv);
+        self.op_end(g, me);
+    }
+
+    /// Release an exclusive hold, publishing the holder's view.
+    pub(crate) fn unlock_write(&self, me: usize, lock: usize) {
+        let mut g = self.op_begin(me);
+        debug_assert_eq!(g.locks[lock].writer, Some(me));
+        g.locks[lock].writer = None;
+        let v = g.views[me].clone();
+        join_into(&mut g.locks[lock].sync_view, &v);
+        g.wake_blocked();
+        self.op_end(g, me);
+    }
+
+    /// Acquire shared (rwlock read), blocking while a writer holds.
+    pub(crate) fn lock_read(&self, me: usize, lock: usize) {
+        let g = self.op_begin(me);
+        let mut g = self.block_until(me, g, |g| g.locks[lock].writer.is_none());
+        g.locks[lock].readers += 1;
+        let sv = g.locks[lock].sync_view.clone();
+        join_into(&mut g.views[me], &sv);
+        self.op_end(g, me);
+    }
+
+    /// Release a shared hold. Readers also publish their view — slightly
+    /// stronger than C11 (reader→reader edges), never weaker, so it may
+    /// only hide bugs that require reader views to stay private; the
+    /// serving core's readers only clone out of the critical section.
+    pub(crate) fn unlock_read(&self, me: usize, lock: usize) {
+        let mut g = self.op_begin(me);
+        debug_assert!(g.locks[lock].readers > 0);
+        g.locks[lock].readers -= 1;
+        let v = g.views[me].clone();
+        join_into(&mut g.locks[lock].sync_view, &v);
+        g.wake_blocked();
+        self.op_end(g, me);
+    }
+}
+
+/// The outcome of one modeled execution.
+pub(crate) struct RunOutcome {
+    /// The (possibly extended) decision tape this run followed.
+    pub(crate) tape: Vec<Choice>,
+    /// `Some(reason)` when the run failed (assertion, deadlock, panic).
+    pub(crate) failed: Option<String>,
+}
+
+/// Drive one execution of the model closure under `config` along `tape`.
+pub(crate) fn run_once(
+    config: RunConfig,
+    tape: Vec<Choice>,
+    f: &Arc<dyn Fn() + Send + Sync>,
+) -> RunOutcome {
+    let exec = Arc::new(Exec::new(config, tape));
+    let f = Arc::clone(f);
+    let child_exec = Arc::clone(&exec);
+    let spawned = std::thread::Builder::new()
+        .name("loomlite-0".into())
+        .spawn(move || {
+            let _guard = crate::rt::enter(Arc::clone(&child_exec), 0);
+            f();
+            child_exec.thread_finished(0);
+        });
+    match spawned {
+        Ok(handle) => {
+            // Wait for every modeled thread (not just the root: the model
+            // may leak spawned threads without joining them).
+            let mut g = exec.lock_inner();
+            while !g.threads.iter().all(|t| *t == ThreadState::Finished) {
+                g = exec.cv.wait(g).unwrap_or_else(PoisonError::into_inner);
+            }
+            let failed = g.failed.clone();
+            let tape = std::mem::take(&mut g.tape);
+            drop(g);
+            let _ = handle.join();
+            RunOutcome { tape, failed }
+        }
+        Err(e) => RunOutcome {
+            tape: Vec::new(),
+            failed: Some(format!("could not spawn the root modeled thread: {e}")),
+        },
+    }
+}

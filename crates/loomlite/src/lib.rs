@@ -1,0 +1,501 @@
+#![deny(missing_docs)]
+//! **loomlite** — an in-tree, dependency-free concurrency model checker
+//! for the lock-free serving core, in the spirit of `loom` and `shuttle`.
+//!
+//! The vendored-registry environments this workspace must build in cannot
+//! fetch either of those crates, and the concurrency-verification gate is
+//! exactly the kind of check that must never be skippable for
+//! environmental reasons — so the checker lives in-tree, with the same
+//! zero-dependency contract as `xtask`.
+//!
+//! # What it checks
+//!
+//! [`model`] runs a closure repeatedly, exploring every schedule of its
+//! visible operations (atomic accesses, lock transitions, spawn/join) by
+//! depth-first search over a decision tape. Unlike a plain interleaving
+//! explorer, the memory model is *operational release/acquire*: each
+//! atomic location keeps its full modification order, and a load may read
+//! any message not ruled out by the reader's view — so stale `Relaxed`
+//! reads that no sequentially-consistent interleaving can produce are
+//! explored too (see `exec` module docs for the model and its documented
+//! `SeqCst` approximation). A failing execution panics with the decision
+//! tape that reached it.
+//!
+//! # How code gets modeled
+//!
+//! Types in [`sync`] and [`thread`] decide at construction time whether
+//! they are modeled (created inside a [`model`] closure) or plain `std`
+//! pass-throughs (created anywhere else). A crate compiled with
+//! `--cfg loom` can therefore swap its sync facade to loomlite wholesale:
+//! its ordinary tests still run unmodeled, while `#[cfg(loom)]` model
+//! tests get exhaustive exploration.
+//!
+//! ```
+//! use loomlite::sync::atomic::{AtomicU64, Ordering};
+//! use loomlite::sync::Arc;
+//!
+//! let stats = loomlite::model(|| {
+//!     let flag = Arc::new(AtomicU64::new(0));
+//!     let data = Arc::new(AtomicU64::new(0));
+//!     let (f2, d2) = (Arc::clone(&flag), Arc::clone(&data));
+//!     let t = loomlite::thread::spawn(move || {
+//!         d2.store(42, Ordering::Relaxed);
+//!         f2.store(1, Ordering::Release); // publish
+//!     });
+//!     if flag.load(Ordering::Acquire) == 1 {
+//!         assert_eq!(data.load(Ordering::Relaxed), 42);
+//!     }
+//!     t.join().unwrap();
+//! });
+//! assert!(stats.complete);
+//! ```
+//!
+//! Model closures must be deterministic: no ambient RNG, clocks, or
+//! shared state outside the modeled primitives. Exploration is
+//! exponential — models should stay at 2–4 threads and a handful of
+//! operations each, checking one protocol at a time.
+
+mod exec;
+mod rt;
+pub mod sync;
+pub mod thread;
+
+use exec::{run_once, Choice, Mode, RunConfig};
+use std::sync::Arc;
+
+/// What an exploration did: how many executions ran and whether the
+/// schedule space was exhausted (`complete` is always `false` for the
+/// randomized profile).
+#[derive(Debug, Clone, Copy)]
+pub struct Stats {
+    /// Executions of the model closure.
+    pub iterations: usize,
+    /// `true` iff every schedule (up to the configured bounds) was run.
+    pub complete: bool,
+}
+
+/// Configures an exploration; [`model`] is the all-defaults shorthand.
+#[derive(Debug, Clone)]
+pub struct Builder {
+    max_iterations: usize,
+    max_preemptions: Option<usize>,
+    randomized: Option<(u64, usize)>,
+}
+
+impl Default for Builder {
+    fn default() -> Self {
+        Builder::new()
+    }
+}
+
+impl Builder {
+    /// Exhaustive DFS, unbounded preemptions, iteration cap from
+    /// `LOOMLITE_MAX_ITERATIONS` (default 500 000).
+    pub fn new() -> Builder {
+        let max_iterations = std::env::var("LOOMLITE_MAX_ITERATIONS")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(500_000);
+        Builder {
+            max_iterations,
+            max_preemptions: None,
+            randomized: None,
+        }
+    }
+
+    /// Cap on executions before exploration gives up (a model that hits
+    /// this is too large to be called exhaustively checked — shrink it).
+    pub fn max_iterations(mut self, n: usize) -> Builder {
+        self.max_iterations = n;
+        self
+    }
+
+    /// Bound *preemptive* context switches per execution (CHESS-style):
+    /// most bugs need few preemptions, and the bound cuts the state
+    /// space combinatorially. `complete` then means "exhaustive up to
+    /// this bound".
+    pub fn max_preemptions(mut self, n: usize) -> Builder {
+        self.max_preemptions = Some(n);
+        self
+    }
+
+    /// Switch to the randomized-scheduler profile (the shuttle story):
+    /// `iterations` independent runs driven by a seeded PRNG instead of
+    /// DFS. For models whose full space is out of reach; reproducible
+    /// from the seed.
+    pub fn randomized(mut self, seed: u64, iterations: usize) -> Builder {
+        self.randomized = Some((seed, iterations));
+        self
+    }
+
+    /// Explore `f`. Panics — with the decision tape — on the first
+    /// failing execution (assertion, deadlock, or modeled-thread panic).
+    pub fn check<F>(&self, f: F) -> Stats
+    where
+        F: Fn() + Send + Sync + 'static,
+    {
+        install_abort_filter();
+        let f: Arc<dyn Fn() + Send + Sync> = Arc::new(f);
+        if let Some((seed, iterations)) = self.randomized {
+            for i in 0..iterations {
+                let cfg = RunConfig {
+                    mode: Mode::Random,
+                    // SplitMix64-style stream split so runs differ but stay
+                    // reproducible from (seed, i).
+                    seed: seed ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                    max_preemptions: self.max_preemptions,
+                    max_decisions: MAX_DECISIONS,
+                };
+                let out = run_once(cfg, Vec::new(), &f);
+                if let Some(msg) = out.failed {
+                    panic!(
+                        "loomlite: failing execution on randomized run {i} of {iterations} \
+                         (base seed {seed:#x}): {msg}"
+                    );
+                }
+            }
+            return Stats {
+                iterations,
+                complete: false,
+            };
+        }
+        let mut tape: Vec<Choice> = Vec::new();
+        let mut iterations = 0usize;
+        loop {
+            let cfg = RunConfig {
+                mode: Mode::Dfs,
+                seed: 0,
+                max_preemptions: self.max_preemptions,
+                max_decisions: MAX_DECISIONS,
+            };
+            let out = run_once(cfg, tape, &f);
+            iterations += 1;
+            if let Some(msg) = out.failed {
+                let trail: Vec<(usize, usize)> =
+                    out.tape.iter().map(|c| (c.pick, c.options)).collect();
+                panic!(
+                    "loomlite: failing execution after {iterations} iteration(s): {msg}; \
+                     decision tape (pick, options): {trail:?}"
+                );
+            }
+            tape = out.tape;
+            // Backtrack: bump the deepest unexhausted decision, drop the
+            // exhausted tail; an empty tape means the space is done.
+            loop {
+                match tape.last_mut() {
+                    None => {
+                        return Stats {
+                            iterations,
+                            complete: true,
+                        }
+                    }
+                    Some(c) if c.pick + 1 < c.options => {
+                        c.pick += 1;
+                        break;
+                    }
+                    Some(_) => {
+                        tape.pop();
+                    }
+                }
+            }
+            assert!(
+                iterations < self.max_iterations,
+                "loomlite: schedule space not exhausted after {iterations} executions — \
+                 the model is too large to check exhaustively; shrink it or use \
+                 Builder::randomized"
+            );
+        }
+    }
+}
+
+/// Safety valve on decisions per execution (runaway-model detection).
+const MAX_DECISIONS: usize = 20_000;
+
+/// Exhaustively check a model closure with default settings; see
+/// [`Builder`] for knobs.
+pub fn model<F>(f: F) -> Stats
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    Builder::new().check(f)
+}
+
+/// Install (once, process-wide) a panic hook that silences the internal
+/// "aborted because a sibling failed" panics, so the only panic output a
+/// failing model prints is the original assertion plus the controller's
+/// tape report.
+fn install_abort_filter() {
+    static HOOK: std::sync::Once = std::sync::Once::new();
+    HOOK.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if let Some(s) = info.payload().downcast_ref::<&str>() {
+                if *s == exec::ABORT {
+                    return;
+                }
+            }
+            if let Some(s) = info.payload().downcast_ref::<String>() {
+                if s == exec::ABORT {
+                    return;
+                }
+            }
+            prev(info);
+        }));
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::sync::atomic::{AtomicU64, Ordering};
+    use super::sync::{Arc, Mutex, PoisonError};
+    use super::{model, Builder};
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    fn fails(f: impl Fn() + Send + Sync + 'static) -> String {
+        let err = catch_unwind(AssertUnwindSafe(|| model(f)))
+            .expect_err("the checker should have found a failing execution");
+        err.downcast_ref::<String>()
+            .cloned()
+            .or_else(|| err.downcast_ref::<&str>().map(|s| (*s).to_string()))
+            .unwrap_or_default()
+    }
+
+    #[test]
+    fn catches_relaxed_publication() {
+        // The classic message-passing bug: publishing with Relaxed lets
+        // the reader see the flag before the data.
+        let msg = fails(|| {
+            let flag = Arc::new(AtomicU64::new(0));
+            let data = Arc::new(AtomicU64::new(0));
+            let (f2, d2) = (Arc::clone(&flag), Arc::clone(&data));
+            let t = super::thread::spawn(move || {
+                d2.store(42, Ordering::Relaxed);
+                f2.store(1, Ordering::Relaxed);
+            });
+            if flag.load(Ordering::Relaxed) == 1 {
+                assert_eq!(data.load(Ordering::Relaxed), 42);
+            }
+            t.join().unwrap();
+        });
+        assert!(msg.contains("decision tape"), "unexpected report: {msg}");
+    }
+
+    #[test]
+    fn passes_release_acquire_publication() {
+        let stats = model(|| {
+            let flag = Arc::new(AtomicU64::new(0));
+            let data = Arc::new(AtomicU64::new(0));
+            let (f2, d2) = (Arc::clone(&flag), Arc::clone(&data));
+            let t = super::thread::spawn(move || {
+                d2.store(42, Ordering::Relaxed);
+                f2.store(1, Ordering::Release);
+            });
+            if flag.load(Ordering::Acquire) == 1 {
+                assert_eq!(data.load(Ordering::Relaxed), 42);
+            }
+            t.join().unwrap();
+        });
+        assert!(stats.complete);
+        assert!(stats.iterations > 1, "should explore several schedules");
+    }
+
+    #[test]
+    fn explores_stale_relaxed_reads_not_just_interleavings() {
+        // x is stored before y in program order, so *no* interleaving of
+        // a sequentially-consistent explorer shows y=1, x=0 — only a
+        // memory-model-aware one does.
+        let msg = fails(|| {
+            let x = Arc::new(AtomicU64::new(0));
+            let y = Arc::new(AtomicU64::new(0));
+            let (x2, y2) = (Arc::clone(&x), Arc::clone(&y));
+            let t = super::thread::spawn(move || {
+                x2.store(1, Ordering::Relaxed);
+                y2.store(1, Ordering::Relaxed);
+            });
+            let r_y = y.load(Ordering::Relaxed);
+            let r_x = x.load(Ordering::Relaxed);
+            assert!(!(r_y == 1 && r_x == 0), "saw y's store but not x's");
+            t.join().unwrap();
+        });
+        assert!(msg.contains("decision tape"), "unexpected report: {msg}");
+    }
+
+    #[test]
+    fn catches_lost_update() {
+        let msg = fails(|| {
+            let c = Arc::new(AtomicU64::new(0));
+            let handles: Vec<_> = (0..2)
+                .map(|_| {
+                    let c = Arc::clone(&c);
+                    super::thread::spawn(move || {
+                        let v = c.load(Ordering::Relaxed);
+                        c.store(v + 1, Ordering::Relaxed);
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().unwrap();
+            }
+            assert_eq!(c.load(Ordering::Relaxed), 2, "an increment was lost");
+        });
+        assert!(msg.contains("decision tape"), "unexpected report: {msg}");
+    }
+
+    #[test]
+    fn fetch_add_never_loses_updates() {
+        let stats = model(|| {
+            let c = Arc::new(AtomicU64::new(0));
+            let handles: Vec<_> = (0..2)
+                .map(|_| {
+                    let c = Arc::clone(&c);
+                    super::thread::spawn(move || {
+                        c.fetch_add(1, Ordering::Relaxed);
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().unwrap();
+            }
+            assert_eq!(c.load(Ordering::Relaxed), 2);
+        });
+        assert!(stats.complete);
+    }
+
+    #[test]
+    fn rmw_chain_preserves_release_sequence() {
+        // A releases; B's *Relaxed* fetch_add sits in the middle of the
+        // chain; C acquires from B's message and must still see A's data.
+        let stats = model(|| {
+            let data = Arc::new(AtomicU64::new(0));
+            let sync = Arc::new(AtomicU64::new(0));
+            let (d_a, s_a) = (Arc::clone(&data), Arc::clone(&sync));
+            let a = super::thread::spawn(move || {
+                d_a.store(7, Ordering::Relaxed);
+                s_a.store(1, Ordering::Release);
+            });
+            let s_b = Arc::clone(&sync);
+            let b = super::thread::spawn(move || {
+                s_b.fetch_add(1, Ordering::Relaxed);
+            });
+            if sync.load(Ordering::Acquire) == 2 {
+                assert_eq!(data.load(Ordering::Relaxed), 7);
+            }
+            a.join().unwrap();
+            b.join().unwrap();
+        });
+        assert!(stats.complete);
+    }
+
+    #[test]
+    fn catches_deadlock() {
+        let msg = fails(|| {
+            let m1 = Arc::new(Mutex::new(0u32));
+            let m2 = Arc::new(Mutex::new(0u32));
+            let (a1, a2) = (Arc::clone(&m1), Arc::clone(&m2));
+            let t = super::thread::spawn(move || {
+                let _g1 = a1.lock().unwrap_or_else(PoisonError::into_inner);
+                let _g2 = a2.lock().unwrap_or_else(PoisonError::into_inner);
+            });
+            let _g2 = m2.lock().unwrap_or_else(PoisonError::into_inner);
+            let _g1 = m1.lock().unwrap_or_else(PoisonError::into_inner);
+            drop(_g1);
+            drop(_g2);
+            t.join().unwrap();
+        });
+        assert!(msg.contains("deadlock"), "unexpected report: {msg}");
+    }
+
+    #[test]
+    fn mutex_excludes_and_synchronizes() {
+        let stats = model(|| {
+            let c = Arc::new(Mutex::new(0u64));
+            let handles: Vec<_> = (0..2)
+                .map(|_| {
+                    let c = Arc::clone(&c);
+                    super::thread::spawn(move || {
+                        let mut g = c.lock().unwrap_or_else(PoisonError::into_inner);
+                        *g += 1;
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().unwrap();
+            }
+            let g = c.lock().unwrap_or_else(PoisonError::into_inner);
+            assert_eq!(*g, 2);
+        });
+        assert!(stats.complete);
+    }
+
+    #[test]
+    fn join_is_a_happens_before_edge() {
+        let stats = model(|| {
+            let x = Arc::new(AtomicU64::new(0));
+            let x2 = Arc::clone(&x);
+            super::thread::spawn(move || {
+                x2.store(5, Ordering::Relaxed);
+            })
+            .join()
+            .unwrap();
+            assert_eq!(x.load(Ordering::Relaxed), 5);
+        });
+        assert!(stats.complete);
+    }
+
+    #[test]
+    fn randomized_profile_finds_the_publication_bug() {
+        let err = catch_unwind(AssertUnwindSafe(|| {
+            Builder::new().randomized(0xD15C0, 2_000).check(|| {
+                let flag = Arc::new(AtomicU64::new(0));
+                let data = Arc::new(AtomicU64::new(0));
+                let (f2, d2) = (Arc::clone(&flag), Arc::clone(&data));
+                let t = super::thread::spawn(move || {
+                    d2.store(42, Ordering::Relaxed);
+                    f2.store(1, Ordering::Relaxed);
+                });
+                if flag.load(Ordering::Relaxed) == 1 {
+                    assert_eq!(data.load(Ordering::Relaxed), 42);
+                }
+                t.join().unwrap();
+            });
+        }));
+        assert!(err.is_err(), "2000 random schedules should hit the race");
+    }
+
+    #[test]
+    fn randomized_profile_reports_incomplete() {
+        let stats = Builder::new().randomized(7, 50).check(|| {
+            let x = Arc::new(AtomicU64::new(1));
+            assert_eq!(x.load(Ordering::Relaxed), 1);
+        });
+        assert_eq!(stats.iterations, 50);
+        assert!(!stats.complete);
+    }
+
+    #[test]
+    fn preemption_bound_still_explores() {
+        let stats = Builder::new().max_preemptions(2).check(|| {
+            let c = Arc::new(AtomicU64::new(0));
+            let c2 = Arc::clone(&c);
+            let t = super::thread::spawn(move || {
+                c2.fetch_add(1, Ordering::AcqRel);
+            });
+            c.fetch_add(1, Ordering::AcqRel);
+            t.join().unwrap();
+            assert_eq!(c.load(Ordering::Acquire), 2);
+        });
+        assert!(stats.complete);
+    }
+
+    #[test]
+    fn passthrough_outside_models() {
+        // Constructed outside any model closure: plain std semantics, no
+        // scheduler, usable from ordinary tests.
+        let a = AtomicU64::new(3);
+        assert_eq!(a.fetch_add(4, Ordering::SeqCst), 3);
+        assert_eq!(a.load(Ordering::SeqCst), 7);
+        let m = Mutex::new(1u32);
+        *m.lock().unwrap_or_else(PoisonError::into_inner) += 1;
+        assert_eq!(*m.lock().unwrap_or_else(PoisonError::into_inner), 2);
+    }
+}

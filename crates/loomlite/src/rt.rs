@@ -1,0 +1,56 @@
+//! Thread-local runtime context: which [`Exec`] a modeled OS thread
+//! belongs to and its modeled thread id. Primitives constructed while a
+//! context is live become *modeled*; outside a model they pass through to
+//! `std` untouched.
+
+use crate::exec::Exec;
+use std::cell::RefCell;
+use std::sync::Arc;
+
+/// The modeled identity of the current OS thread.
+#[derive(Clone)]
+pub(crate) struct Ctx {
+    pub(crate) exec: Arc<Exec>,
+    pub(crate) tid: usize,
+}
+
+thread_local! {
+    static CTX: RefCell<Option<Ctx>> = const { RefCell::new(None) };
+}
+
+/// The current modeled context, if this OS thread is inside a model.
+pub(crate) fn current() -> Option<Ctx> {
+    CTX.with(|c| c.borrow().clone())
+}
+
+/// Like [`current`], but panics with a pointed message: modeled
+/// primitives must only be touched from modeled threads.
+pub(crate) fn require() -> Ctx {
+    current().expect(
+        "loomlite: a modeled primitive was used outside its model \
+         (did a handle escape the model closure?)",
+    )
+}
+
+/// Enter the modeled context for this OS thread; the returned guard
+/// restores it (and reports panics to the scheduler) on drop.
+pub(crate) fn enter(exec: Arc<Exec>, tid: usize) -> CtxGuard {
+    CTX.with(|c| *c.borrow_mut() = Some(Ctx { exec: Arc::clone(&exec), tid }));
+    CtxGuard { exec, tid }
+}
+
+/// Clears the thread-local context on drop and — crucially — tells the
+/// scheduler this thread is gone, recording a failure when the exit was
+/// a panic unwinding through the model closure.
+pub(crate) struct CtxGuard {
+    exec: Arc<Exec>,
+    tid: usize,
+}
+
+impl Drop for CtxGuard {
+    fn drop(&mut self) {
+        CTX.with(|c| *c.borrow_mut() = None);
+        self.exec
+            .thread_aborted(self.tid, std::thread::panicking());
+    }
+}

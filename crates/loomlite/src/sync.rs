@@ -1,0 +1,445 @@
+//! Modeled drop-ins for `std::sync` primitives.
+//!
+//! Every type here has two personalities, chosen at *construction time*:
+//! created inside a model closure it registers with that execution's
+//! scheduler and every operation becomes a visible, explored step;
+//! created outside a model it passes straight through to the `std`
+//! primitive it wraps. That pass-through is what lets a whole crate be
+//! compiled with `--cfg loom` (swapping its facade to these types) while
+//! its ordinary unit tests keep running unmodeled.
+//!
+//! `Arc` is re-exported from `std` unmodeled: the serving core uses it
+//! only for shared ownership (never as a publication protocol), and its
+//! internal reference counting is `std`'s problem, not this model's.
+
+use crate::exec::Exec;
+use crate::rt;
+use std::sync::Arc as StdArc;
+
+pub use std::sync::{Arc, LockResult, PoisonError};
+
+/// Atomic memory orderings (the real `std` enum: the facade must agree
+/// on this type under both cfgs).
+pub mod atomic {
+    pub use std::sync::atomic::Ordering;
+
+    use super::StdArc;
+    use crate::exec::Exec;
+    use crate::rt;
+
+    macro_rules! modeled_int_atomic {
+        ($(#[$meta:meta])* $name:ident, $std:ty, $raw:ty) => {
+            $(#[$meta])*
+            pub struct $name {
+                real: $std,
+                model: Option<(StdArc<Exec>, usize)>,
+            }
+
+            impl $name {
+                /// Create the atomic; modeled when constructed inside a
+                /// model closure, a plain `std` atomic otherwise.
+                pub fn new(v: $raw) -> Self {
+                    match rt::current() {
+                        Some(ctx) => {
+                            let loc = ctx.exec.register_location(ctx.tid, v as u64);
+                            Self { real: <$std>::new(v), model: Some((ctx.exec, loc)) }
+                        }
+                        None => Self { real: <$std>::new(v), model: None },
+                    }
+                }
+
+                /// Atomic load. In a model, *which* admissible message is
+                /// read is an explored decision (stale `Relaxed` reads
+                /// included).
+                pub fn load(&self, ord: Ordering) -> $raw {
+                    match &self.model {
+                        None => self.real.load(ord),
+                        Some((e, loc)) => e.atomic_load(rt::require().tid, *loc, ord) as $raw,
+                    }
+                }
+
+                /// Atomic store.
+                pub fn store(&self, v: $raw, ord: Ordering) {
+                    match &self.model {
+                        None => self.real.store(v, ord),
+                        Some((e, loc)) => {
+                            e.atomic_store(rt::require().tid, *loc, v as u64, ord);
+                        }
+                    }
+                }
+
+                /// Atomic swap; returns the previous value.
+                pub fn swap(&self, v: $raw, ord: Ordering) -> $raw {
+                    match &self.model {
+                        None => self.real.swap(v, ord),
+                        Some((e, loc)) => {
+                            e.atomic_rmw(rt::require().tid, *loc, ord, |_| v as u64) as $raw
+                        }
+                    }
+                }
+
+                /// Wrapping add; returns the previous value.
+                pub fn fetch_add(&self, v: $raw, ord: Ordering) -> $raw {
+                    match &self.model {
+                        None => self.real.fetch_add(v, ord),
+                        Some((e, loc)) => e.atomic_rmw(rt::require().tid, *loc, ord, |p| {
+                            (p as $raw).wrapping_add(v) as u64
+                        }) as $raw,
+                    }
+                }
+
+                /// Wrapping subtract; returns the previous value.
+                pub fn fetch_sub(&self, v: $raw, ord: Ordering) -> $raw {
+                    match &self.model {
+                        None => self.real.fetch_sub(v, ord),
+                        Some((e, loc)) => e.atomic_rmw(rt::require().tid, *loc, ord, |p| {
+                            (p as $raw).wrapping_sub(v) as u64
+                        }) as $raw,
+                    }
+                }
+
+                /// Bitwise OR; returns the previous value.
+                pub fn fetch_or(&self, v: $raw, ord: Ordering) -> $raw {
+                    match &self.model {
+                        None => self.real.fetch_or(v, ord),
+                        Some((e, loc)) => e.atomic_rmw(rt::require().tid, *loc, ord, |p| {
+                            ((p as $raw) | v) as u64
+                        }) as $raw,
+                    }
+                }
+
+                /// Bitwise AND; returns the previous value.
+                pub fn fetch_and(&self, v: $raw, ord: Ordering) -> $raw {
+                    match &self.model {
+                        None => self.real.fetch_and(v, ord),
+                        Some((e, loc)) => e.atomic_rmw(rt::require().tid, *loc, ord, |p| {
+                            ((p as $raw) & v) as u64
+                        }) as $raw,
+                    }
+                }
+
+                /// Maximum; returns the previous value.
+                pub fn fetch_max(&self, v: $raw, ord: Ordering) -> $raw {
+                    match &self.model {
+                        None => self.real.fetch_max(v, ord),
+                        Some((e, loc)) => e.atomic_rmw(rt::require().tid, *loc, ord, |p| {
+                            (p as $raw).max(v) as u64
+                        }) as $raw,
+                    }
+                }
+
+                /// Compare-exchange; `Ok(previous)` on success.
+                pub fn compare_exchange(
+                    &self,
+                    current: $raw,
+                    new: $raw,
+                    success: Ordering,
+                    failure: Ordering,
+                ) -> Result<$raw, $raw> {
+                    match &self.model {
+                        None => self.real.compare_exchange(current, new, success, failure),
+                        Some((e, loc)) => e
+                            .atomic_cas(
+                                rt::require().tid,
+                                *loc,
+                                current as u64,
+                                new as u64,
+                                success,
+                                failure,
+                            )
+                            .map(|p| p as $raw)
+                            .map_err(|p| p as $raw),
+                    }
+                }
+            }
+
+            impl std::fmt::Debug for $name {
+                fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                    f.debug_struct(stringify!($name)).finish_non_exhaustive()
+                }
+            }
+
+            impl Default for $name {
+                fn default() -> Self {
+                    Self::new(<$raw>::default())
+                }
+            }
+        };
+    }
+
+    modeled_int_atomic!(
+        /// Modeled `AtomicU32`.
+        AtomicU32,
+        std::sync::atomic::AtomicU32,
+        u32
+    );
+    modeled_int_atomic!(
+        /// Modeled `AtomicU64`.
+        AtomicU64,
+        std::sync::atomic::AtomicU64,
+        u64
+    );
+    modeled_int_atomic!(
+        /// Modeled `AtomicUsize`.
+        AtomicUsize,
+        std::sync::atomic::AtomicUsize,
+        usize
+    );
+
+    /// Modeled `AtomicBool` (stored as 0/1 in the message history).
+    pub struct AtomicBool {
+        real: std::sync::atomic::AtomicBool,
+        model: Option<(StdArc<Exec>, usize)>,
+    }
+
+    impl AtomicBool {
+        /// Create the atomic; modeled inside a model closure.
+        pub fn new(v: bool) -> Self {
+            match rt::current() {
+                Some(ctx) => {
+                    let loc = ctx.exec.register_location(ctx.tid, u64::from(v));
+                    Self {
+                        real: std::sync::atomic::AtomicBool::new(v),
+                        model: Some((ctx.exec, loc)),
+                    }
+                }
+                None => Self {
+                    real: std::sync::atomic::AtomicBool::new(v),
+                    model: None,
+                },
+            }
+        }
+
+        /// Atomic load.
+        pub fn load(&self, ord: Ordering) -> bool {
+            match &self.model {
+                None => self.real.load(ord),
+                Some((e, loc)) => e.atomic_load(rt::require().tid, *loc, ord) != 0,
+            }
+        }
+
+        /// Atomic store.
+        pub fn store(&self, v: bool, ord: Ordering) {
+            match &self.model {
+                None => self.real.store(v, ord),
+                Some((e, loc)) => {
+                    e.atomic_store(rt::require().tid, *loc, u64::from(v), ord);
+                }
+            }
+        }
+
+        /// Atomic swap; returns the previous value.
+        pub fn swap(&self, v: bool, ord: Ordering) -> bool {
+            match &self.model {
+                None => self.real.swap(v, ord),
+                Some((e, loc)) => {
+                    e.atomic_rmw(rt::require().tid, *loc, ord, |_| u64::from(v)) != 0
+                }
+            }
+        }
+    }
+
+    impl std::fmt::Debug for AtomicBool {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.debug_struct("AtomicBool").finish_non_exhaustive()
+        }
+    }
+
+    impl Default for AtomicBool {
+        fn default() -> Self {
+            Self::new(false)
+        }
+    }
+}
+
+enum LockRef {
+    Real,
+    Modeled(StdArc<Exec>, usize),
+}
+
+impl LockRef {
+    fn new() -> LockRef {
+        match rt::current() {
+            Some(ctx) => {
+                let id = ctx.exec.register_lock(ctx.tid);
+                LockRef::Modeled(ctx.exec, id)
+            }
+            None => LockRef::Real,
+        }
+    }
+}
+
+/// Modeled `std::sync::Mutex`. Inside a model, acquisition blocks under
+/// the scheduler (deadlocks are detected, all interleavings explored)
+/// and carries the lock's happens-before edge through the model's views;
+/// the inner `std` mutex then only guards the data and is, by
+/// construction, uncontended.
+pub struct Mutex<T> {
+    data: std::sync::Mutex<T>,
+    state: LockRef,
+}
+
+impl<T> Mutex<T> {
+    /// Create the mutex; modeled when constructed inside a model closure.
+    pub fn new(value: T) -> Mutex<T> {
+        Mutex {
+            data: std::sync::Mutex::new(value),
+            state: LockRef::new(),
+        }
+    }
+
+    /// Acquire the mutex, blocking (under the model scheduler when
+    /// modeled) until it is free.
+    pub fn lock(&self) -> LockResult<MutexGuard<'_, T>> {
+        if let LockRef::Modeled(exec, id) = &self.state {
+            exec.lock_write(rt::require().tid, *id);
+        }
+        match self.data.lock() {
+            Ok(g) => Ok(MutexGuard {
+                std: Some(g),
+                lock: self,
+            }),
+            Err(p) => Err(PoisonError::new(MutexGuard {
+                std: Some(p.into_inner()),
+                lock: self,
+            })),
+        }
+    }
+}
+
+/// RAII guard for [`Mutex`]; releases the modeled lock on drop.
+pub struct MutexGuard<'a, T> {
+    std: Option<std::sync::MutexGuard<'a, T>>,
+    lock: &'a Mutex<T>,
+}
+
+impl<T> std::ops::Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.std.as_ref().expect("guard taken")
+    }
+}
+
+impl<T> std::ops::DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.std.as_mut().expect("guard taken")
+    }
+}
+
+impl<T> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        // Drop the data guard first so the release is a single visible
+        // step; skip the scheduler during unwinding (the context guard
+        // reports the failure and wakes any waiters).
+        self.std = None;
+        if let LockRef::Modeled(exec, id) = &self.lock.state {
+            if !std::thread::panicking() {
+                exec.unlock_write(rt::require().tid, *id);
+            }
+        }
+    }
+}
+
+/// Modeled `std::sync::RwLock`; see [`Mutex`] for the modeling contract.
+pub struct RwLock<T> {
+    data: std::sync::RwLock<T>,
+    state: LockRef,
+}
+
+impl<T> RwLock<T> {
+    /// Create the lock; modeled when constructed inside a model closure.
+    pub fn new(value: T) -> RwLock<T> {
+        RwLock {
+            data: std::sync::RwLock::new(value),
+            state: LockRef::new(),
+        }
+    }
+
+    /// Acquire shared access.
+    pub fn read(&self) -> LockResult<RwLockReadGuard<'_, T>> {
+        if let LockRef::Modeled(exec, id) = &self.state {
+            exec.lock_read(rt::require().tid, *id);
+        }
+        match self.data.read() {
+            Ok(g) => Ok(RwLockReadGuard {
+                std: Some(g),
+                lock: self,
+            }),
+            Err(p) => Err(PoisonError::new(RwLockReadGuard {
+                std: Some(p.into_inner()),
+                lock: self,
+            })),
+        }
+    }
+
+    /// Acquire exclusive access.
+    pub fn write(&self) -> LockResult<RwLockWriteGuard<'_, T>> {
+        if let LockRef::Modeled(exec, id) = &self.state {
+            exec.lock_write(rt::require().tid, *id);
+        }
+        match self.data.write() {
+            Ok(g) => Ok(RwLockWriteGuard {
+                std: Some(g),
+                lock: self,
+            }),
+            Err(p) => Err(PoisonError::new(RwLockWriteGuard {
+                std: Some(p.into_inner()),
+                lock: self,
+            })),
+        }
+    }
+}
+
+/// Shared-access guard for [`RwLock`].
+pub struct RwLockReadGuard<'a, T> {
+    std: Option<std::sync::RwLockReadGuard<'a, T>>,
+    lock: &'a RwLock<T>,
+}
+
+impl<T> std::ops::Deref for RwLockReadGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.std.as_ref().expect("guard taken")
+    }
+}
+
+impl<T> Drop for RwLockReadGuard<'_, T> {
+    fn drop(&mut self) {
+        self.std = None;
+        if let LockRef::Modeled(exec, id) = &self.lock.state {
+            if !std::thread::panicking() {
+                exec.unlock_read(rt::require().tid, *id);
+            }
+        }
+    }
+}
+
+/// Exclusive-access guard for [`RwLock`].
+pub struct RwLockWriteGuard<'a, T> {
+    std: Option<std::sync::RwLockWriteGuard<'a, T>>,
+    lock: &'a RwLock<T>,
+}
+
+impl<T> std::ops::Deref for RwLockWriteGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.std.as_ref().expect("guard taken")
+    }
+}
+
+impl<T> std::ops::DerefMut for RwLockWriteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.std.as_mut().expect("guard taken")
+    }
+}
+
+impl<T> Drop for RwLockWriteGuard<'_, T> {
+    fn drop(&mut self) {
+        self.std = None;
+        if let LockRef::Modeled(exec, id) = &self.lock.state {
+            if !std::thread::panicking() {
+                exec.unlock_write(rt::require().tid, *id);
+            }
+        }
+    }
+}

@@ -1,0 +1,71 @@
+//! Modeled `thread::spawn` / `join` / `yield_now`. Outside a model these
+//! are thin wrappers over `std::thread`; inside, spawn registers a
+//! modeled thread (inheriting the parent's view — the spawn
+//! happens-before edge) and join blocks under the scheduler, then joins
+//! the child's final view (the join edge).
+
+use crate::exec::Exec;
+use crate::rt;
+use std::sync::Arc;
+
+/// Handle to a spawned thread; mirrors `std::thread::JoinHandle`.
+pub struct JoinHandle<T> {
+    inner: std::thread::JoinHandle<T>,
+    modeled: Option<(Arc<Exec>, usize)>,
+}
+
+impl<T> JoinHandle<T> {
+    /// Wait for the thread to finish and return its result.
+    ///
+    /// In a model, blocking happens under the scheduler *before* the real
+    /// join (which is then immediate), so every interleaving around the
+    /// join point is explored.
+    pub fn join(self) -> std::thread::Result<T> {
+        if let Some((exec, tid)) = &self.modeled {
+            let me = rt::require();
+            exec.join_wait(me.tid, *tid);
+        }
+        self.inner.join()
+    }
+}
+
+/// Spawn a thread; modeled when called from inside a model closure.
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    match rt::current() {
+        None => JoinHandle {
+            inner: std::thread::spawn(f),
+            modeled: None,
+        },
+        Some(ctx) => {
+            let tid = ctx.exec.spawn_thread(ctx.tid);
+            let exec = Arc::clone(&ctx.exec);
+            let child_exec = Arc::clone(&ctx.exec);
+            let inner = std::thread::Builder::new()
+                .name(format!("loomlite-{tid}"))
+                .spawn(move || {
+                    let _guard = rt::enter(Arc::clone(&child_exec), tid);
+                    let out = f();
+                    child_exec.thread_finished(tid);
+                    out
+                })
+                .expect("loomlite: OS thread spawn failed");
+            JoinHandle {
+                inner,
+                modeled: Some((exec, tid)),
+            }
+        }
+    }
+}
+
+/// A pure scheduling point inside a model; `std::thread::yield_now`
+/// otherwise.
+pub fn yield_now() {
+    match rt::current() {
+        None => std::thread::yield_now(),
+        Some(ctx) => ctx.exec.yield_op(ctx.tid),
+    }
+}

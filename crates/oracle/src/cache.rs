@@ -12,10 +12,10 @@
 //! small last-use-stamped map; eviction scans the shard (shards are small
 //! by construction: total capacity / shard count).
 
+use crate::sync::atomic::{AtomicU64, Ordering};
+use crate::sync::{Mutex, MutexGuard, PoisonError};
 use dcspan_graph::rng::splitmix64;
 use dcspan_graph::{FxHashMap, NodeId};
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Mutex, PoisonError};
 
 /// A cached answer: the shortest path in `H` for a canonical pair, or
 /// `None` when the pair is disconnected in `H` (negative caching).
@@ -101,7 +101,7 @@ impl ShardedLru {
         (splitmix64(packed) as usize) % self.shards.len()
     }
 
-    fn lock(&self, idx: usize) -> std::sync::MutexGuard<'_, Shard> {
+    fn lock(&self, idx: usize) -> MutexGuard<'_, Shard> {
         // A poisoned shard only means another thread panicked mid-insert;
         // the map itself is still structurally sound, so recover it.
         self.shards[idx]
@@ -116,10 +116,13 @@ impl ShardedLru {
         let found = self.lock(self.shard_index(key)).get(key);
         match found {
             Some(hit) => {
+                // ord: Relaxed — statistics only; the cached value itself
+                // travels under the shard lock, never through this counter.
                 self.hits.fetch_add(1, Ordering::Relaxed);
                 Some(hit)
             }
             None => {
+                // ord: Relaxed — statistics only; see the hit counter.
                 self.misses.fetch_add(1, Ordering::Relaxed);
                 None
             }
@@ -145,11 +148,13 @@ impl ShardedLru {
 
     /// Lifetime cache hits.
     pub fn hits(&self) -> u64 {
+        // ord: Relaxed — monitoring read of a pure statistic.
         self.hits.load(Ordering::Relaxed)
     }
 
     /// Lifetime cache misses.
     pub fn misses(&self) -> u64 {
+        // ord: Relaxed — monitoring read of a pure statistic.
         self.misses.load(Ordering::Relaxed)
     }
 

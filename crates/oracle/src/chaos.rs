@@ -29,8 +29,11 @@ use crate::fault::{bounded_survivor_bfs, SurvivorSearch};
 use crate::oracle::{Oracle, RouteError, RouteKind, RouteResponse};
 use dcspan_graph::rng::{item_rng, splitmix64};
 use dcspan_graph::{Edge, NodeId, Path};
+use crate::sync::atomic::{AtomicU64, Ordering};
 use rand::Rng;
-use std::sync::atomic::{AtomicU64, Ordering};
+// Barrier stays `std`: the chaos harness's step discipline runs real OS
+// threads and is never compiled under the loom model (the facade has no
+// Barrier on purpose — modeled code must not use one).
 use std::sync::Barrier;
 use std::time::{Duration, Instant};
 
@@ -591,6 +594,9 @@ fn chaos_worker(ctx: &WorkerCtx<'_>, worker_id: usize) -> WorkerOut {
         let expected_epoch = ctx
             .epochs
             .get(step)
+            // ord: Acquire pairs with the driver's Release store below —
+            // a worker that reads step k's epoch also sees every fault
+            // mutation the driver applied before publishing it.
             .map_or(0, |e| e.load(Ordering::Acquire));
         let q_total = ctx.cfg.queries_per_step * plan.mult;
         // Hotspot steps draw from a 1/16 slice of the pool so demand
@@ -780,6 +786,10 @@ pub fn run(oracle: &Oracle, config: &ChaosConfig) -> ChaosReport {
             }
             last_epoch = epoch;
             if let Some(slot) = epochs.get(step) {
+                // ord: Release publishes the step's fault mutations with
+                // its epoch (workers read with Acquire above). The step
+                // barrier also orders this, but the pairing keeps the
+                // epoch channel self-sufficient.
                 slot.store(epoch, Ordering::Release);
             }
             if let Some(stats) = merged.get_mut(step) {

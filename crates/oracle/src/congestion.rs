@@ -1,0 +1,167 @@
+//! Per-node live-load accounting with capped admission.
+//!
+//! [`CongestionLedger`] is the oracle's congestion half, pulled out of
+//! `Oracle` so the `loom_models` integration test can exhaustively check
+//! the admission protocol on the *production* type at model scale (a
+//! handful of nodes) rather than on a test replica that could drift.
+//!
+//! The central invariant — **a committed load never exceeds the cap** —
+//! holds with fully `Relaxed` operations, by a modification-order
+//! argument that needs no happens-before at all: on any single counter,
+//! the RMWs form one total order. The k-th *admitted* `fetch_add` on a
+//! node observes a previous value ≥ k−1 (each earlier admitted add is
+//! before it in the modification order and was not yet rolled back when
+//! it ran, or was — in which case the observed value only drops and the
+//! add is still admitted with prev < cap). Since an add only commits when
+//! its observed previous value is `< cap`, at most `cap` adds on a node
+//! are ever simultaneously committed; a transient overshoot by in-flight
+//! losers is rolled back before their query is answered. The loom model
+//! checks exactly this: under every interleaving of concurrent `admit`
+//! calls, the post-quiescence committed load is ≤ cap.
+
+use crate::sync::atomic::{AtomicU32, Ordering};
+use dcspan_graph::NodeId;
+
+/// Live per-node load counters with optional capped admission.
+///
+/// All operations are lock-free; one ledger is shared by reference across
+/// every serving thread. Loads count *committed* answered paths — a shed
+/// query leaves no trace.
+pub struct CongestionLedger {
+    load: Vec<AtomicU32>,
+}
+
+impl CongestionLedger {
+    /// A zeroed ledger for `n` nodes.
+    pub fn new(n: usize) -> CongestionLedger {
+        CongestionLedger {
+            load: (0..n).map(|_| AtomicU32::new(0)).collect(),
+        }
+    }
+
+    /// Account one unit of load on each node of `nodes` (callers pass a
+    /// path's *distinct* nodes), enforcing `cap` when one is given.
+    /// Returns false — leaving the counters exactly as they were — when
+    /// admission would push any node past the cap.
+    ///
+    /// Out-of-range ids are the caller's bug; they panic by indexing, as
+    /// the ledger is always built with the spanner's node count.
+    pub fn admit(&self, nodes: &[NodeId], cap: Option<u32>) -> bool {
+        match cap {
+            None => {
+                for &w in nodes {
+                    // ord: Relaxed — pure accounting, no payload is
+                    // published through these counters; readers only ever
+                    // aggregate them (see `max`/`profile`).
+                    self.load[w as usize].fetch_add(1, Ordering::Relaxed);
+                }
+                true
+            }
+            Some(cap) => {
+                for (i, &w) in nodes.iter().enumerate() {
+                    // ord: Relaxed — cap enforcement is a per-location
+                    // modification-order argument (see the module docs):
+                    // the observed previous value alone decides admission,
+                    // so no acquire/release pairing is needed. Verified
+                    // exhaustively by the loom congestion model.
+                    if self.load[w as usize].fetch_add(1, Ordering::Relaxed) >= cap {
+                        // Would exceed the cap: roll back this prefix.
+                        for &x in &nodes[..=i] {
+                            // ord: Relaxed — undoing our own add; the RMW
+                            // total order per location makes the
+                            // cancellation exact regardless of ordering.
+                            self.load[x as usize].fetch_sub(1, Ordering::Relaxed);
+                        }
+                        return false;
+                    }
+                }
+                true
+            }
+        }
+    }
+
+    /// Live load of node `v` (0 for out-of-range ids).
+    pub fn get(&self, v: NodeId) -> u32 {
+        self.load
+            .get(v as usize)
+            // ord: Relaxed — statistics read; a racing admit's transient
+            // overshoot may be visible, which `Oracle::node_load`'s docs
+            // disclaim (quiescent reads are exact).
+            .map_or(0, |c| c.load(Ordering::Relaxed))
+    }
+
+    /// `max_v load(v)` — the live congestion `C(P')` of the traffic
+    /// accounted so far.
+    pub fn max(&self) -> u32 {
+        self.load
+            .iter()
+            // ord: Relaxed — see `get`.
+            .map(|c| c.load(Ordering::Relaxed))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Snapshot of the whole per-node load profile.
+    pub fn profile(&self) -> Vec<u32> {
+        self.load
+            .iter()
+            // ord: Relaxed — see `get`.
+            .map(|c| c.load(Ordering::Relaxed))
+            .collect()
+    }
+
+    /// Zero every counter (start a new accounting epoch). Callers must
+    /// quiesce admission first; a racing `admit` may straddle the reset.
+    pub fn reset(&self) {
+        for c in &self.load {
+            // ord: Relaxed — see `get`; the quiescence contract makes
+            // stronger ordering useless here.
+            c.store(0, Ordering::Relaxed);
+        }
+    }
+
+    /// Number of nodes the ledger tracks.
+    pub fn len(&self) -> usize {
+        self.load.len()
+    }
+
+    /// True when the ledger tracks no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.load.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uncapped_admission_always_commits() {
+        let l = CongestionLedger::new(4);
+        assert!(l.admit(&[0, 1, 2], None));
+        assert!(l.admit(&[1], None));
+        assert_eq!(l.get(1), 2);
+        assert_eq!(l.max(), 2);
+        assert_eq!(l.profile(), vec![1, 2, 1, 0]);
+    }
+
+    #[test]
+    fn capped_admission_sheds_and_rolls_back() {
+        let l = CongestionLedger::new(3);
+        assert!(l.admit(&[0, 1], Some(2)));
+        assert!(l.admit(&[0, 2], Some(2)));
+        // Node 0 is at the cap: the third path through it is shed and
+        // leaves every counter (including node 2's) untouched.
+        assert!(!l.admit(&[2, 0], Some(2)));
+        assert_eq!(l.profile(), vec![2, 1, 1]);
+        l.reset();
+        assert_eq!(l.max(), 0);
+        assert!(l.admit(&[2, 0], Some(2)));
+    }
+
+    #[test]
+    fn len_reports_node_count() {
+        assert_eq!(CongestionLedger::new(5).len(), 5);
+        assert!(CongestionLedger::new(0).is_empty());
+    }
+}

@@ -17,16 +17,25 @@
 //! an epoch bump, so a kill or revive is atomic per element and globally
 //! ordered by the epoch.
 //!
-//! **Epoch-stable reads.** A concurrent query observes the overlay at no
-//! single instant; what it gets is the guarantee that if the epoch did
-//! not change while the query ran, the query saw exactly the fault set
-//! of that epoch. Callers that need strict validation (the chaos
-//! harness, the stress tests) compare the epoch recorded in the response
-//! against the current epoch and only assert on epoch-stable responses.
+//! **Epoch-stable reads (seqlock discipline).** A concurrent query
+//! observes the overlay at no single instant; what it gets is the
+//! guarantee that if the raw [`FaultState::stamp`] was even and did not
+//! change across the query, the query saw exactly the fault set of that
+//! epoch. The stamp is a sequence counter in the classic seqlock shape:
+//! a mutation makes it odd on entry (`AcqRel`) and even again on exit
+//! (`Release`), and [`FaultState::epoch`] is `stamp >> 1`. Mutations
+//! serialize on a tiny writer mutex — they are control-plane events
+//! (chaos schedules, operator kills) at human rates, and writer
+//! serialization is what makes "stamp unchanged and even ⟹ no mutation
+//! overlapped the read window" sound; two unserialized writers could
+//! overlap with their odd phases summing back to even. Reads stay
+//! lock-free. The `loom_models` integration test checks this protocol
+//! exhaustively under `--cfg loom` (see DESIGN.md §12).
 
+use crate::sync::atomic::{AtomicU64, Ordering};
+use crate::sync::{Mutex, PoisonError};
 use dcspan_graph::traversal::bfs_distances;
 use dcspan_graph::{Graph, NodeId};
-use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Atomic bitset word width.
 const WORD: usize = 64;
@@ -41,8 +50,12 @@ fn word_count(bits: usize) -> usize {
 /// bump the [`FaultState::epoch`]. One instance is shared by reference
 /// across every serving thread.
 pub struct FaultState {
-    /// Monotone version: bumped (with `Release`) on every mutation.
-    epoch: AtomicU64,
+    /// Seqlock sequence counter: odd while a mutation is in flight, even
+    /// when stable; the public epoch is `seq >> 1`.
+    seq: AtomicU64,
+    /// Serializes mutators (control-plane rate). Readers never touch it;
+    /// see the module docs for why the seqlock needs a single writer.
+    writer: Mutex<()>,
     /// One bit per node; set = failed.
     node_bits: Vec<AtomicU64>,
     /// One bit per spanner edge id; set = failed.
@@ -58,7 +71,8 @@ impl FaultState {
     /// edges.
     pub fn new(n: usize, m: usize) -> FaultState {
         FaultState {
-            epoch: AtomicU64::new(0),
+            seq: AtomicU64::new(0),
+            writer: Mutex::new(()),
             node_bits: (0..word_count(n)).map(|_| AtomicU64::new(0)).collect(),
             edge_bits: (0..word_count(m)).map(|_| AtomicU64::new(0)).collect(),
             failed_nodes: AtomicU64::new(0),
@@ -66,35 +80,70 @@ impl FaultState {
         }
     }
 
-    /// Current epoch. Monotone non-decreasing; advances on every
-    /// successful `fail_*`/`heal_*` and on every `heal_all`.
+    /// Current epoch (`stamp >> 1`). Monotone non-decreasing; advances on
+    /// every successful `fail_*`/`heal_*` and on every `heal_all`.
     #[inline]
     pub fn epoch(&self) -> u64 {
-        self.epoch.load(Ordering::Acquire)
+        self.stamp() >> 1
+    }
+
+    /// The raw seqlock stamp: odd while a mutation is in flight, even
+    /// when stable. Validators (`Oracle::route`'s exit assert, the stress
+    /// tests) use it for the epoch-stable check: a read window bracketed
+    /// by two equal *even* stamps saw exactly that epoch's fault set.
+    #[inline]
+    pub fn stamp(&self) -> u64 {
+        // ord: Acquire pairs with `exit()`'s Release (and, through the
+        // seq RMW release sequence, every earlier exit): a reader that
+        // observes stamp 2k also observes every fault bit and counter
+        // written by mutations 1..k.
+        self.seq.load(Ordering::Acquire)
     }
 
     /// True when at least one node or edge is currently failed. One
-    /// branch + two relaxed loads — the healthy hot path's only cost.
+    /// branch + two acquire loads (plain loads on x86/TSO) — the healthy
+    /// hot path's only cost.
     #[inline]
     pub fn faults_present(&self) -> bool {
-        self.failed_nodes.load(Ordering::Relaxed) != 0
-            || self.failed_edges.load(Ordering::Relaxed) != 0
+        // ord: Acquire pairs with the Release half of the mutators'
+        // counter RMWs (and heal_all's Release zero-stores). The stale
+        // direction was always safe — the caller's preceding Acquire
+        // `stamp()` read pins every counter write up to that epoch — but
+        // Relaxed loads here would also be allowed to observe an
+        // *in-flight* heal's decrement without forcing the next `stamp()`
+        // read past the bracket, under-reporting the pinned epoch.
+        // Acquire closes that: observing the newer counter value
+        // synchronizes with its Release write, which is sequenced after
+        // the mutation's odd `enter()` stamp, so the bracketing re-read
+        // must see the stamp move and the caller discards the window.
+        // Found by `randomized_stress_fail_heal_swap_route`; see
+        // DESIGN.md §12.1.
+        self.failed_nodes.load(Ordering::Acquire) != 0
+            || self.failed_edges.load(Ordering::Acquire) != 0
     }
 
     /// Number of currently failed nodes.
     #[inline]
     pub fn failed_node_count(&self) -> u64 {
+        // ord: Relaxed — monitoring statistic only; no control-flow
+        // decision hangs on it, so a value from a torn moment is fine
+        // (exact after quiescence, e.g. past a thread join).
         self.failed_nodes.load(Ordering::Relaxed)
     }
 
     /// Number of currently failed spanner edges.
     #[inline]
     pub fn failed_edge_count(&self) -> u64 {
+        // ord: Relaxed — monitoring statistic; see `failed_node_count`.
         self.failed_edges.load(Ordering::Relaxed)
     }
 
     #[inline]
     fn bit_set(bits: &[AtomicU64], idx: usize) -> bool {
+        // ord: Acquire pairs with the Release half of `bit_raise`'s RMW:
+        // a reader that sees a raised bit also sees the mutation's odd
+        // `enter()` stamp, which is what lets `Oracle::route`'s exit
+        // assert order "saw the bit" before "re-read the stamp".
         bits.get(idx / WORD)
             .is_some_and(|w| w.load(Ordering::Acquire) & (1 << (idx % WORD)) != 0)
     }
@@ -102,6 +151,10 @@ impl FaultState {
     /// Set bit `idx`; returns true when the bit was previously clear.
     #[inline]
     fn bit_raise(bits: &[AtomicU64], idx: usize) -> bool {
+        // ord: the Release half publishes the in-flight (odd) stamp with
+        // the bit (see `bit_set`); the Acquire half chains this mutation
+        // after anything read earlier in the same writer-locked section.
+        // Mutation path only — never on the query hot path.
         bits.get(idx / WORD).is_some_and(|w| {
             w.fetch_or(1 << (idx % WORD), Ordering::AcqRel) & (1 << (idx % WORD)) == 0
         })
@@ -110,14 +163,37 @@ impl FaultState {
     /// Clear bit `idx`; returns true when the bit was previously set.
     #[inline]
     fn bit_clear(bits: &[AtomicU64], idx: usize) -> bool {
+        // ord: AcqRel for the same reasons as `bit_raise`.
         bits.get(idx / WORD).is_some_and(|w| {
             w.fetch_and(!(1 << (idx % WORD)), Ordering::AcqRel) & (1 << (idx % WORD)) != 0
         })
     }
 
+    /// Seqlock entry: make the stamp odd before touching any bit or
+    /// counter. Callers must hold the writer lock and pair with `exit`.
     #[inline]
-    fn bump(&self) {
-        self.epoch.fetch_add(1, Ordering::Release);
+    fn enter(&self) {
+        // ord: AcqRel — the Release half lets a stamp reader that sees
+        // the odd value know a mutation is in flight; the Acquire half
+        // chains this mutation after the previous one's `exit` so the
+        // release sequence on `seq` accumulates every prior fault write.
+        self.seq.fetch_add(1, Ordering::AcqRel);
+    }
+
+    /// Seqlock exit: make the stamp even again, publishing everything
+    /// this mutation wrote to subsequent `stamp()` readers.
+    #[inline]
+    fn exit(&self) {
+        // ord: Release pairs with `stamp()`'s Acquire — the even stamp
+        // carries all bit/counter writes of this mutation.
+        self.seq.fetch_add(1, Ordering::Release);
+    }
+
+    /// Take the writer lock (mutators only; recovered on poison because
+    /// the bitsets are always structurally sound).
+    #[inline]
+    fn writer_lock(&self) -> crate::sync::MutexGuard<'_, ()> {
+        self.writer.lock().unwrap_or_else(PoisonError::into_inner)
     }
 
     /// True when node `v` is currently failed (out-of-range ids read as
@@ -133,60 +209,117 @@ impl FaultState {
         Self::bit_set(&self.edge_bits, id)
     }
 
+    /// True when `idx` falls inside the bitset (out-of-range writes must
+    /// be no-ops that leave the epoch untouched).
+    #[inline]
+    fn in_range(bits: &[AtomicU64], idx: usize) -> bool {
+        idx / WORD < bits.len()
+    }
+
     /// Kill node `v`. Returns true when the state changed (the node was
     /// alive); a repeat kill is a no-op that does not advance the epoch.
     pub fn fail_node(&self, v: NodeId) -> bool {
-        let changed = Self::bit_raise(&self.node_bits, v as usize);
-        if changed {
-            self.failed_nodes.fetch_add(1, Ordering::Relaxed);
-            self.bump();
+        let idx = v as usize;
+        if !Self::in_range(&self.node_bits, idx) {
+            return false;
         }
-        changed
+        let _w = self.writer_lock();
+        if Self::bit_set(&self.node_bits, idx) {
+            return false;
+        }
+        self.enter();
+        Self::bit_raise(&self.node_bits, idx);
+        // ord: Release pairs with `faults_present`'s Acquire loads. The
+        // committed value is published by `exit()`'s Release; the Release
+        // here covers the *in-flight* window — a reader that observes
+        // this update mid-mutation also observes the odd `enter()` stamp
+        // sequenced before it, so its bracketing stamp re-read cannot
+        // still claim a stable pre-mutation epoch.
+        self.failed_nodes.fetch_add(1, Ordering::Release);
+        self.exit();
+        true
     }
 
     /// Revive node `v`. Returns true when the state changed.
     pub fn heal_node(&self, v: NodeId) -> bool {
-        let changed = Self::bit_clear(&self.node_bits, v as usize);
-        if changed {
-            self.failed_nodes.fetch_sub(1, Ordering::Relaxed);
-            self.bump();
+        let idx = v as usize;
+        if !Self::in_range(&self.node_bits, idx) {
+            return false;
         }
-        changed
+        let _w = self.writer_lock();
+        if !Self::bit_set(&self.node_bits, idx) {
+            return false;
+        }
+        self.enter();
+        Self::bit_clear(&self.node_bits, idx);
+        // ord: Release — see `fail_node`. The decrement is the critical
+        // direction: a Relaxed in-flight decrement could be observed by
+        // `faults_present` without the stamp bracket catching it, and the
+        // pinned epoch would under-report its faults (caught by the
+        // randomized loom stress model).
+        self.failed_nodes.fetch_sub(1, Ordering::Release);
+        self.exit();
+        true
     }
 
     /// Kill spanner edge `id`. Returns true when the state changed.
     pub fn fail_edge_id(&self, id: usize) -> bool {
-        let changed = Self::bit_raise(&self.edge_bits, id);
-        if changed {
-            self.failed_edges.fetch_add(1, Ordering::Relaxed);
-            self.bump();
+        if !Self::in_range(&self.edge_bits, id) {
+            return false;
         }
-        changed
+        let _w = self.writer_lock();
+        if Self::bit_set(&self.edge_bits, id) {
+            return false;
+        }
+        self.enter();
+        Self::bit_raise(&self.edge_bits, id);
+        // ord: Release — see `fail_node`.
+        self.failed_edges.fetch_add(1, Ordering::Release);
+        self.exit();
+        true
     }
 
     /// Revive spanner edge `id`. Returns true when the state changed.
     pub fn heal_edge_id(&self, id: usize) -> bool {
-        let changed = Self::bit_clear(&self.edge_bits, id);
-        if changed {
-            self.failed_edges.fetch_sub(1, Ordering::Relaxed);
-            self.bump();
+        if !Self::in_range(&self.edge_bits, id) {
+            return false;
         }
-        changed
+        let _w = self.writer_lock();
+        if !Self::bit_set(&self.edge_bits, id) {
+            return false;
+        }
+        self.enter();
+        Self::bit_clear(&self.edge_bits, id);
+        // ord: Release — see `heal_node`.
+        self.failed_edges.fetch_sub(1, Ordering::Release);
+        self.exit();
+        true
     }
 
     /// Revive everything in one wave. Always advances the epoch (a heal
     /// wave is an observable scheduling event even when nothing was
     /// dead).
     pub fn heal_all(&self) {
+        let _w = self.writer_lock();
+        self.enter();
         for w in &self.node_bits {
+            // ord: Release pairs with `bit_set`'s Acquire. The committed
+            // wave is published by `exit()`'s Release; the Release here
+            // covers the in-flight window — Relaxed zero-stores could be
+            // observed by a bracketed reader whose stamp re-read still
+            // returns the pre-heal even value, making a stable window
+            // under-report its pinned epoch's faults (caught by the
+            // randomized loom stress model).
             w.store(0, Ordering::Release);
         }
         for w in &self.edge_bits {
+            // ord: Release — see the node loop above.
             w.store(0, Ordering::Release);
         }
-        self.failed_nodes.store(0, Ordering::Relaxed);
-        self.failed_edges.store(0, Ordering::Relaxed);
-        self.bump();
+        // ord: Release — see `heal_node` (same in-flight decrement hole).
+        self.failed_nodes.store(0, Ordering::Release);
+        self.failed_edges.store(0, Ordering::Release);
+        self.exit();
     }
 
     /// True when the hop `a → b` is usable in spanner `h` under this

@@ -16,6 +16,9 @@
 //! * [`fault`] — [`FaultState`]: an epoch-versioned, lock-free overlay of
 //!   dead nodes and spanner edges (atomic kill/revive, readable from every
 //!   concurrent `route` call without a lock),
+//! * [`congestion`] — [`CongestionLedger`]: lock-free per-node live-load
+//!   counters with capped admission (committed loads never exceed the
+//!   cap under any interleaving),
 //! * [`oracle`] — [`Oracle`]: shared-immutable query state serving
 //!   `route(u, v)` and `substitute_routing(P)` across threads, with
 //!   deterministic per-query RNG streams, atomic per-node load counters,
@@ -28,19 +31,30 @@
 //!   running oracle and a freshly loaded `dcspan-store` artifact without
 //!   draining in-flight queries (`Oracle::from_artifact` is the
 //!   zero-rebuild load path).
+//!
+//! **Memory model.** Every lock-free protocol above is specified in
+//! DESIGN.md §12, carries a `// ord:` happens-before justification at
+//! each atomic call site (the `atomic_ordering` xtask lint enforces
+//! this), and is model-checked exhaustively by the `loom_models`
+//! integration test under `RUSTFLAGS="--cfg loom"` — all sync primitives
+//! route through the crate-private `sync` facade, which swaps `std` for
+//! the in-tree `loomlite` checker under that cfg.
 
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
 pub mod cache;
 pub mod chaos;
+pub mod congestion;
 pub mod fault;
 pub mod index;
 pub mod oracle;
 pub mod snapshot;
+mod sync;
 
 pub use cache::ShardedLru;
 pub use chaos::{ChaosConfig, ChaosReport, ChaosStepStats, RetryPolicy};
+pub use congestion::CongestionLedger;
 pub use fault::{bounded_survivor_bfs, FaultState, SurvivorSearch};
 pub use index::{DetourIndex, IndexStats, IndexedDetourRouter};
 pub use oracle::{

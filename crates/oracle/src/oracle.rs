@@ -32,6 +32,7 @@
 //! never-failed routing.
 
 use crate::cache::ShardedLru;
+use crate::congestion::CongestionLedger;
 use crate::fault::{bounded_survivor_bfs, FaultState, SurvivorSearch};
 use crate::index::DetourIndex;
 use dcspan_core::serve::{build_spanner, BuiltSpanner, SpannerAlgo};
@@ -43,7 +44,7 @@ use dcspan_routing::replace::DetourPolicy;
 use dcspan_routing::{Routing, RoutingProblem};
 use dcspan_store::{ArtifactMeta, SpannerArtifact, StoreError};
 use rayon::prelude::*;
-use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use crate::sync::atomic::{AtomicU64, Ordering};
 
 /// Construction-time configuration for an [`Oracle`].
 #[derive(Clone, Copy, Debug)]
@@ -388,7 +389,7 @@ pub struct Oracle {
     faults: FaultState,
     /// Live per-node load: how many answered paths touch each node — the
     /// running `C(P', v)` of everything routed since the last reset.
-    load: Vec<AtomicU32>,
+    load: CongestionLedger,
     counters: Counters,
 }
 
@@ -409,7 +410,7 @@ impl Oracle {
     /// and load-from-artifact paths, so both produce byte-identical
     /// serving state.
     fn assemble(h: Graph, index: DetourIndex, config: OracleConfig) -> Oracle {
-        let load = (0..h.n()).map(|_| AtomicU32::new(0)).collect();
+        let load = CongestionLedger::new(h.n());
         let faults = FaultState::new(h.n(), h.m());
         Oracle {
             index,
@@ -576,26 +577,37 @@ impl Oracle {
     /// the query descends the degradation ladder (see module docs) and
     /// unservable queries come back as a typed [`RouteError`].
     pub fn route(&self, u: NodeId, v: NodeId, query_id: u64) -> Result<RouteResponse, RouteError> {
+        // ord: Relaxed — lifetime statistic, never used to publish data.
         self.counters.queries.fetch_add(1, Ordering::Relaxed);
         let n = self.h.n();
         if u == v || u as usize >= n || v as usize >= n {
+            // ord: Relaxed — statistic; see the queries counter above.
             self.counters.invalid.fetch_add(1, Ordering::Relaxed);
             return Err(RouteError::InvalidQuery);
         }
-        let epoch = self.faults.epoch();
+        // Capture the raw seqlock stamp (Acquire), not the epoch: the
+        // exit assert in `finish` must tell a stable epoch (even,
+        // unchanged) apart from a mutation in flight at capture (odd).
+        // The Acquire pins every fault write up to the captured stamp, so
+        // `faults_present` cannot read staler counters than this epoch;
+        // its own Acquire loads handle the other direction (an in-flight
+        // heal it happens to observe forces the `finish` stamp re-read to
+        // move, voiding the window — see `FaultState::faults_present`).
+        let stamp = self.faults.stamp();
         let degraded = self.faults.faults_present();
         let outcome = if degraded {
             if self.faults.is_node_failed(u) || self.faults.is_node_failed(v) {
                 Err(RouteError::DeadEndpoint)
             } else {
-                self.answer_degraded(u, v, query_id, epoch)
+                self.answer_degraded(u, v, query_id, stamp)
             }
         } else {
-            self.answer_healthy(u, v, query_id, epoch)
+            self.answer_healthy(u, v, query_id, stamp)
         };
         match outcome {
             Ok(resp) => {
                 if !self.admit(&resp) {
+                    // ord: Relaxed — statistic; see the queries counter.
                     self.counters.shed.fetch_add(1, Ordering::Relaxed);
                     return Err(RouteError::Overloaded);
                 }
@@ -616,10 +628,10 @@ impl Oracle {
         u: NodeId,
         v: NodeId,
         query_id: u64,
-        epoch: u64,
+        stamp: u64,
     ) -> Result<RouteResponse, RouteError> {
         if self.h.has_edge(u, v) {
-            return Ok(self.finish(u, v, vec![u, v], RouteKind::SpannerEdge, false, epoch));
+            return Ok(self.finish(u, v, vec![u, v], RouteKind::SpannerEdge, false, stamp));
         }
         if let Some(id) = self.index.lookup(u, v) {
             let mut rng = item_rng(self.config.seed, query_id);
@@ -644,10 +656,10 @@ impl Oracle {
                 } else {
                     RouteKind::ThreeHop
                 };
-                return Ok(self.finish(u, v, nodes, kind, false, epoch));
+                return Ok(self.finish(u, v, nodes, kind, false, stamp));
             }
             // Uncovered edge (no ≤3-hop detour in H): BFS under budget.
-            return self.fallback_bfs(u, v, epoch, RouteKind::Bfs);
+            return self.fallback_bfs(u, v, stamp, RouteKind::Bfs);
         }
         // Non-adjacent pair: deterministic BFS in H, served from the cache.
         let (cached, hit) = match self.cache.get(u, v) {
@@ -664,7 +676,7 @@ impl Oracle {
         if nodes.first() != Some(&u) {
             nodes.reverse();
         }
-        Ok(self.finish(u, v, nodes, RouteKind::Bfs, hit, epoch))
+        Ok(self.finish(u, v, nodes, RouteKind::Bfs, hit, stamp))
     }
 
     /// The degradation ladder: healthy indexed selection → re-filtered
@@ -674,11 +686,11 @@ impl Oracle {
         u: NodeId,
         v: NodeId,
         query_id: u64,
-        epoch: u64,
+        stamp: u64,
     ) -> Result<RouteResponse, RouteError> {
         // Rung 1a: a surviving spanner edge still routes as itself.
         if self.h.has_edge(u, v) && self.faults.hop_usable(&self.h, u, v) {
-            return Ok(self.finish(u, v, vec![u, v], RouteKind::SpannerEdge, false, epoch));
+            return Ok(self.finish(u, v, vec![u, v], RouteKind::SpannerEdge, false, stamp));
         }
         if let Some(id) = self.index.lookup(u, v) {
             let mut rng = item_rng(self.config.seed, query_id);
@@ -703,7 +715,7 @@ impl Oracle {
                     } else {
                         RouteKind::ThreeHop
                     };
-                    return Ok(self.finish(u, v, nodes, kind, false, epoch));
+                    return Ok(self.finish(u, v, nodes, kind, false, stamp));
                 }
                 // Rung 2: re-filter the row to surviving candidates and
                 // re-select (continuing the same per-query RNG stream).
@@ -721,14 +733,14 @@ impl Oracle {
                     } else {
                         RouteKind::FilteredThreeHop
                     };
-                    return Ok(self.finish(u, v, nodes, kind, false, epoch));
+                    return Ok(self.finish(u, v, nodes, kind, false, stamp));
                 }
             }
         }
         // Rung 3: bounded-depth BFS over whatever of H survives. Covers
         // dead spanner edges, exhausted detour rows, and non-adjacent
         // pairs (the cache is bypassed: it only stores healthy answers).
-        self.fallback_bfs(u, v, epoch, RouteKind::DegradedBfs)
+        self.fallback_bfs(u, v, stamp, RouteKind::DegradedBfs)
     }
 
     /// The BFS fallback rung, honouring `bfs_fallback` and the per-query
@@ -737,14 +749,14 @@ impl Oracle {
         &self,
         u: NodeId,
         v: NodeId,
-        epoch: u64,
+        stamp: u64,
         kind: RouteKind,
     ) -> Result<RouteResponse, RouteError> {
         if !self.config.bfs_fallback {
             return Err(RouteError::BudgetExceeded);
         }
         match bounded_survivor_bfs(&self.h, &self.faults, u, v, self.config.fallback_depth) {
-            SurvivorSearch::Found(nodes) => Ok(self.finish(u, v, nodes, kind, false, epoch)),
+            SurvivorSearch::Found(nodes) => Ok(self.finish(u, v, nodes, kind, false, stamp)),
             SurvivorSearch::Disconnected => Err(RouteError::Partitioned),
             SurvivorSearch::Truncated => Err(RouteError::BudgetExceeded),
         }
@@ -757,7 +769,7 @@ impl Oracle {
         nodes: Vec<NodeId>,
         kind: RouteKind,
         cache_hit: bool,
-        epoch: u64,
+        stamp: u64,
     ) -> RouteResponse {
         let path = Path::new(nodes);
         // Exit contract: every answered path runs u → v inside H, and —
@@ -770,8 +782,16 @@ impl Oracle {
                 std::slice::from_ref(&path),
                 "Oracle::route",
             );
+            // Evaluation order is load-bearing: walk the path FIRST, then
+            // re-read the stamp. A mutation that lands between the walk
+            // and the stamp re-read moves the stamp and disclaims the
+            // window; the reverse order could re-read an unchanged stamp
+            // and then blame the "stable" window for a kill that raced
+            // the walk. An odd captured stamp means a mutation was in
+            // flight at capture, so no stability claim is made at all.
+            let clear = self.faults.path_clear(&self.h, path.nodes());
             assert!(
-                self.faults.epoch() != epoch || self.faults.path_clear(&self.h, path.nodes()),
+                clear || stamp & 1 == 1 || self.faults.stamp() != stamp,
                 "Oracle::route: epoch-stable answer traverses a failed element"
             );
         }
@@ -779,37 +799,19 @@ impl Oracle {
             path,
             kind,
             cache_hit,
-            epoch,
+            epoch: stamp >> 1,
         }
     }
 
     /// Account the response's load, enforcing the per-node cap when one
     /// is configured. Returns false (leaving the counters as they were)
     /// when admission control sheds the query. Committed loads never
-    /// exceed the cap: a concurrent over-admission is detected by the
-    /// `fetch_add` return value and rolled back.
+    /// exceed the cap under any interleaving — see [`CongestionLedger`]
+    /// for the modification-order argument and the loom model that
+    /// checks it.
     fn admit(&self, resp: &RouteResponse) -> bool {
-        let nodes = resp.path.distinct_nodes();
-        match self.config.per_node_cap {
-            None => {
-                for &w in &nodes {
-                    self.load[w as usize].fetch_add(1, Ordering::Relaxed);
-                }
-                true
-            }
-            Some(cap) => {
-                for (i, &w) in nodes.iter().enumerate() {
-                    if self.load[w as usize].fetch_add(1, Ordering::AcqRel) >= cap {
-                        // Would exceed the cap: roll back this prefix.
-                        for &x in &nodes[..=i] {
-                            self.load[x as usize].fetch_sub(1, Ordering::AcqRel);
-                        }
-                        return false;
-                    }
-                }
-                true
-            }
-        }
+        self.load
+            .admit(&resp.path.distinct_nodes(), self.config.per_node_cap)
     }
 
     fn tally(&self, kind: RouteKind) {
@@ -822,6 +824,7 @@ impl Oracle {
             RouteKind::Bfs => &self.counters.bfs,
             RouteKind::DegradedBfs => &self.counters.degraded_bfs,
         }
+        // ord: Relaxed — lifetime statistic, never publishes data.
         .fetch_add(1, Ordering::Relaxed);
     }
 
@@ -833,6 +836,7 @@ impl Oracle {
             RouteError::Overloaded => &self.counters.shed,
             RouteError::BudgetExceeded => &self.counters.budget_exceeded,
         }
+        // ord: Relaxed — lifetime statistic, never publishes data.
         .fetch_add(1, Ordering::Relaxed);
     }
 
@@ -869,40 +873,31 @@ impl Oracle {
     /// the last [`Oracle::reset_load`] — `C(P', v)` with `P'` the traffic
     /// so far.
     pub fn node_load(&self, v: NodeId) -> u32 {
-        self.load
-            .get(v as usize)
-            .map_or(0, |c| c.load(Ordering::Relaxed))
+        self.load.get(v)
     }
 
     /// Live congestion `C(P') = max_v C(P', v)` over all traffic routed so
     /// far. Safe to call while other threads are routing.
     pub fn live_congestion(&self) -> u32 {
-        self.load
-            .iter()
-            .map(|c| c.load(Ordering::Relaxed))
-            .max()
-            .unwrap_or(0)
+        self.load.max()
     }
 
     /// Snapshot of the whole per-node load profile.
     pub fn load_profile(&self) -> Vec<u32> {
-        self.load
-            .iter()
-            .map(|c| c.load(Ordering::Relaxed))
-            .collect()
+        self.load.profile()
     }
 
     /// Zero the live load counters (start a new accounting epoch).
     pub fn reset_load(&self) {
-        for c in &self.load {
-            c.store(0, Ordering::Relaxed);
-        }
+        self.load.reset();
     }
 
     /// Snapshot the lifetime query counters (merged with the cache's
     /// hit/miss counts).
     pub fn stats(&self) -> OracleStatsSnapshot {
         OracleStatsSnapshot {
+            // ord: Relaxed — monitoring snapshot; counters are pure
+            // statistics and each field is independently approximate.
             queries: self.counters.queries.load(Ordering::Relaxed),
             spanner_edge: self.counters.spanner_edge.load(Ordering::Relaxed),
             two_hop: self.counters.two_hop.load(Ordering::Relaxed),

@@ -13,50 +13,62 @@
 //! tag responses with the generation that served them.
 
 use crate::oracle::Oracle;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, PoisonError, RwLock};
+use crate::sync::atomic::{AtomicU64, Ordering};
+use crate::sync::{Arc, PoisonError, RwLock};
 
-/// A shared slot holding the current serving [`Oracle`], swappable while
-/// queries are in flight.
-pub struct SnapshotSlot {
-    current: RwLock<Arc<Oracle>>,
+/// A shared slot holding the current serving state (an [`Oracle`] by
+/// default), swappable while queries are in flight.
+///
+/// Generic over the payload so the `loom_models` integration test can
+/// exercise the exact production protocol with a model-sized payload
+/// (`SnapshotSlot<u64>`) instead of a full oracle; `dcspan` and the chaos
+/// harness use the `Oracle` default.
+pub struct SnapshotSlot<T = Oracle> {
+    current: RwLock<Arc<T>>,
     epoch: AtomicU64,
 }
 
-impl SnapshotSlot {
-    /// A slot initially serving `oracle`, at swap epoch 0.
-    pub fn new(oracle: Oracle) -> Self {
+impl<T> SnapshotSlot<T> {
+    /// A slot initially serving `state`, at swap epoch 0.
+    pub fn new(state: T) -> Self {
         SnapshotSlot {
-            current: RwLock::new(Arc::new(oracle)),
+            current: RwLock::new(Arc::new(state)),
             epoch: AtomicU64::new(0),
         }
     }
 
-    /// The current oracle, pinned: the returned [`Arc`] stays valid (and
+    /// The current state, pinned: the returned [`Arc`] stays valid (and
     /// answers from the same immutable index) however many swaps happen
     /// while the caller holds it.
-    pub fn snapshot(&self) -> Arc<Oracle> {
+    pub fn snapshot(&self) -> Arc<T> {
         let guard = self.current.read().unwrap_or_else(PoisonError::into_inner);
         Arc::clone(&guard)
     }
 
-    /// Publish `oracle` as the current serving state and bump the epoch.
+    /// Publish `state` as the current serving state and bump the epoch.
     /// Returns the new epoch. In-flight queries holding an older snapshot
-    /// are unaffected; the previous oracle is dropped once the last such
+    /// are unaffected; the previous state is dropped once the last such
     /// snapshot is released.
-    pub fn swap(&self, oracle: Oracle) -> u64 {
-        let fresh = Arc::new(oracle);
+    pub fn swap(&self, state: T) -> u64 {
+        let fresh = Arc::new(state);
         {
             let mut guard = self.current.write().unwrap_or_else(PoisonError::into_inner);
             *guard = fresh;
         }
-        // Bump after publication (Release), as FaultState does, so an
-        // Acquire epoch read ordered after the bump sees the new state.
+        // ord: Release, bumped strictly after the write-lock publication,
+        // so a thread whose Acquire `epoch()` read returns k is
+        // guaranteed that `snapshot()` yields generation ≥ k (the k-th
+        // swap's pointer store happens-before its epoch bump; the lock's
+        // own synchronization orders the pointer reads). The loom
+        // hot-swap model checks the combined protocol: no interleaving
+        // pairs a new payload with an old epoch claim.
         self.epoch.fetch_add(1, Ordering::Release) + 1
     }
 
-    /// The number of swaps published so far (Acquire).
+    /// The number of swaps published so far.
     pub fn epoch(&self) -> u64 {
+        // ord: Acquire pairs with `swap`'s Release bump: observing epoch
+        // k pins every swap up to k (see `swap`).
         self.epoch.load(Ordering::Acquire)
     }
 }

@@ -1,0 +1,76 @@
+//! The crate's single doorway to synchronization primitives.
+//!
+//! Every lock-free module in this crate (`fault`, `snapshot`, `cache`,
+//! `oracle`/`congestion`, `chaos`) imports its atomics, locks, and `Arc`
+//! from here, never from `std::sync` directly — the `sync_facade` xtask
+//! lint enforces it. Normally the facade is a zero-cost re-export of
+//! `std`; under `--cfg loom` it swaps to the in-tree `loomlite` model
+//! checker's drop-ins, so the `loom_models` integration test can
+//! exhaustively explore every interleaving *and* every release/acquire
+//! visibility outcome of the real production types. Routing all sync
+//! through one swappable module is what keeps that coverage from rotting:
+//! a new atomic added anywhere in the serving core is automatically a
+//! modeled atomic under `--cfg loom`.
+//!
+//! `Ordering` is `std`'s enum under both cfgs (loomlite re-exports it),
+//! so `// ord:` justifications and call sites are cfg-independent.
+//! `Barrier` is always `std`'s: it only appears in the chaos harness's
+//! step discipline, which runs real threads, never under a model.
+//!
+//! The `std_types_passthrough` unit test pins the zero-cost claim: in a
+//! normal build these aliases *are* the `std` types.
+
+/// Atomic integers and `Ordering`.
+pub(crate) mod atomic {
+    #[cfg(not(loom))]
+    pub(crate) use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+
+    #[cfg(loom)]
+    pub(crate) use loomlite::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+
+    // Part of the facade surface for future modules (sharded serving will
+    // index shards with it); unused today.
+    #[cfg(not(loom))]
+    #[allow(unused_imports)]
+    pub(crate) use std::sync::atomic::AtomicUsize;
+
+    #[cfg(loom)]
+    #[allow(unused_imports)]
+    pub(crate) use loomlite::sync::atomic::AtomicUsize;
+}
+
+#[cfg(not(loom))]
+pub(crate) use std::sync::{Arc, Mutex, MutexGuard, PoisonError, RwLock};
+
+#[cfg(loom)]
+pub(crate) use loomlite::sync::{Arc, Mutex, MutexGuard, PoisonError, RwLock};
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn std_types_passthrough() {
+        // The guard against `--cfg loom` leaking into normal builds: in a
+        // build without the cfg, the facade's types must literally be the
+        // std types (zero-cost re-exports, identical layout and codegen).
+        #[cfg(not(loom))]
+        {
+            use std::any::TypeId;
+            assert_eq!(
+                TypeId::of::<super::atomic::AtomicU64>(),
+                TypeId::of::<std::sync::atomic::AtomicU64>()
+            );
+            assert_eq!(
+                TypeId::of::<super::atomic::AtomicU32>(),
+                TypeId::of::<std::sync::atomic::AtomicU32>()
+            );
+            assert_eq!(
+                TypeId::of::<super::Mutex<u64>>(),
+                TypeId::of::<std::sync::Mutex<u64>>()
+            );
+            assert_eq!(
+                TypeId::of::<super::RwLock<u64>>(),
+                TypeId::of::<std::sync::RwLock<u64>>()
+            );
+        }
+    }
+}

@@ -1,0 +1,291 @@
+//! Exhaustive model checks of the serving core's lock-free protocols.
+//!
+//! Compiled only under `RUSTFLAGS="--cfg loom"`, which swaps the crate's
+//! `sync` facade onto the in-tree `loomlite` model checker; run with
+//!
+//! ```text
+//! RUSTFLAGS="--cfg loom" cargo test -p dcspan-oracle --test loom_models --release
+//! ```
+//!
+//! Each model constructs the *production* type (`FaultState`,
+//! `SnapshotSlot`, `CongestionLedger`) at model scale inside a `loomlite`
+//! closure, so the checker explores every thread interleaving *and* every
+//! release/acquire-admissible stale read of the exact code that serves
+//! queries. The three protocols from DESIGN.md §12:
+//!
+//! 1. **Fault epoch publication (seqlock):** a reader whose bracketing
+//!    [`FaultState::stamp`] reads return the same even value saw exactly
+//!    that epoch's fault set — never a half-applied mutation — and the
+//!    two-acquire-load [`FaultState::faults_present`] fast path never
+//!    under-reports relative to the pinned epoch. (The original
+//!    two-*relaxed*-load fast path failed here: the randomized stress
+//!    model found a schedule where a bracketed reader observed an
+//!    in-flight heal's counter decrement while its stamp re-read still
+//!    returned the old even value.)
+//! 2. **Snapshot hot-swap:** an epoch claim of `k` from
+//!    [`SnapshotSlot::epoch`] guarantees [`SnapshotSlot::snapshot`]
+//!    returns generation ≥ `k` — new payloads are never paired with an
+//!    epoch that postdates them.
+//! 3. **Congestion cap admission:** under any interleaving of concurrent
+//!    [`CongestionLedger::admit`] calls, committed per-node load never
+//!    exceeds the cap and equals exactly the winners' contributions
+//!    (transient overshoot is always rolled back).
+//!
+//! Small models run unbounded DFS (complete within loomlite's iteration
+//! cap); the larger two-mutation seqlock model uses a preemption bound of
+//! 3 (the CHESS result: almost all concurrency bugs manifest within two
+//! preemptions), and the shuttle-style randomized profile re-runs a mixed
+//! fail/heal/swap/route workload under thousands of seeded schedules.
+
+#![cfg(loom)]
+
+use dcspan_oracle::congestion::CongestionLedger;
+use dcspan_oracle::fault::FaultState;
+use dcspan_oracle::snapshot::SnapshotSlot;
+use loomlite::thread;
+use std::sync::Arc;
+
+/// Reader-side seqlock probe: one bracketed read of the two node bits.
+/// Returns `Some((epoch, bit1, bit2, present))` when the window was
+/// stable (equal even stamps), `None` when a mutation moved under it.
+fn stable_probe(f: &FaultState) -> Option<(u64, bool, bool, bool)> {
+    let s0 = f.stamp();
+    let present = f.faults_present();
+    let b1 = f.is_node_failed(1);
+    let b2 = f.is_node_failed(2);
+    let s1 = f.stamp();
+    (s0 == s1 && s0 % 2 == 0).then_some((s0 >> 1, b1, b2, present))
+}
+
+/// Protocol 1, single mutation, unbounded DFS: a stable window sees the
+/// fault set of its epoch exactly — epoch 0 is all-healthy, epoch 1 has
+/// node 1 failed — and `faults_present` never under-reports it.
+#[test]
+fn fault_epoch_publication_single_mutation() {
+    let stats = loomlite::model(|| {
+        let f = Arc::new(FaultState::new(4, 4));
+        let w = {
+            let f = Arc::clone(&f);
+            thread::spawn(move || {
+                assert!(f.fail_node(1));
+            })
+        };
+        // Lean probe (fewer scheduling points than `stable_probe`, so the
+        // unbounded DFS stays small): stamp, fast path, one bit, stamp.
+        let s0 = f.stamp();
+        let present = f.faults_present();
+        let b1 = f.is_node_failed(1);
+        let s1 = f.stamp();
+        if s0 == s1 && s0 % 2 == 0 {
+            let epoch = s0 >> 1;
+            assert_eq!(b1, epoch >= 1, "stable window shows a foreign bit");
+            if epoch >= 1 {
+                assert!(present, "faults_present missed the pinned epoch");
+            }
+        }
+        w.join().unwrap();
+        assert_eq!(f.epoch(), 1);
+    });
+    assert!(stats.complete, "single-mutation model must exhaust");
+}
+
+/// Protocol 1, two serialized mutations, preemption-bounded DFS: a stable
+/// window is never half-applied — it shows {}, {1}, or {1, 2}, matching
+/// its epoch exactly.
+#[test]
+fn fault_epoch_publication_never_half_applied() {
+    loomlite::Builder::new().max_preemptions(3).check(|| {
+        let f = Arc::new(FaultState::new(4, 4));
+        let w = {
+            let f = Arc::clone(&f);
+            thread::spawn(move || {
+                assert!(f.fail_node(1));
+                assert!(f.fail_node(2));
+            })
+        };
+        if let Some((epoch, b1, b2, present)) = stable_probe(&f) {
+            assert_eq!(b1, epoch >= 1, "stable window shows a foreign bit");
+            assert_eq!(b2, epoch >= 2, "stable window shows a foreign bit");
+            if epoch >= 1 {
+                assert!(present, "faults_present missed the pinned epoch");
+            }
+        }
+        w.join().unwrap();
+        assert_eq!(f.epoch(), 2);
+    });
+}
+
+/// Protocol 1, concurrent writers, preemption-bounded DFS: the writer
+/// mutex keeps the odd phases of two racing mutations from summing back
+/// to even (the classic broken-seqlock shape), so a stable window still
+/// counts exactly `epoch` failed nodes regardless of mutation order.
+#[test]
+fn fault_epoch_concurrent_writers_stay_serialized() {
+    loomlite::Builder::new().max_preemptions(3).check(|| {
+        let f = Arc::new(FaultState::new(4, 4));
+        let writers: Vec<_> = [1u32, 2u32]
+            .into_iter()
+            .map(|v| {
+                let f = Arc::clone(&f);
+                thread::spawn(move || {
+                    assert!(f.fail_node(v));
+                })
+            })
+            .collect();
+        if let Some((epoch, b1, b2, _)) = stable_probe(&f) {
+            // Order is up to the scheduler, but each mutation adds exactly
+            // one fault: the bit count must equal the epoch.
+            assert_eq!(
+                u64::from(b1) + u64::from(b2),
+                epoch,
+                "stable window saw a half-applied mutation"
+            );
+        }
+        for w in writers {
+            w.join().unwrap();
+        }
+        assert_eq!(f.epoch(), 2);
+        assert_eq!(f.failed_node_count(), 2);
+    });
+}
+
+/// Protocol 2, unbounded DFS: `SnapshotSlot` publishes payload before
+/// epoch, so an observed epoch `k` guarantees generation ≥ `k` from a
+/// subsequent `snapshot()`; epochs are monotone per thread.
+#[test]
+fn snapshot_hot_swap_never_pairs_new_epoch_with_old_payload() {
+    let stats = loomlite::model(|| {
+        // Payload IS the generation: swap g publishes the value g.
+        let slot = Arc::new(SnapshotSlot::new(0u64));
+        let swapper = {
+            let slot = Arc::clone(&slot);
+            thread::spawn(move || {
+                assert_eq!(slot.swap(1), 1);
+                assert_eq!(slot.swap(2), 2);
+            })
+        };
+        let e0 = slot.epoch();
+        let seen = *slot.snapshot();
+        assert!(
+            seen >= e0,
+            "epoch {e0} claimed but snapshot served generation {seen}"
+        );
+        let e1 = slot.epoch();
+        assert!(e1 >= e0, "slot epoch went backwards: {e1} after {e0}");
+        swapper.join().unwrap();
+        assert_eq!(slot.epoch(), 2);
+        assert_eq!(*slot.snapshot(), 2);
+    });
+    assert!(stats.complete, "hot-swap model must exhaust");
+}
+
+/// Protocol 3, unbounded DFS, disjoint contention: two admissions racing
+/// for one node under cap 1 — exactly one commits, and the committed load
+/// equals the winner count on every node.
+#[test]
+fn congestion_cap_exact_under_head_on_race() {
+    let stats = loomlite::model(|| {
+        let l = Arc::new(CongestionLedger::new(2));
+        let contenders: Vec<_> = (0..2)
+            .map(|_| {
+                let l = Arc::clone(&l);
+                thread::spawn(move || l.admit(&[0], Some(1)))
+            })
+            .collect();
+        let admitted: u32 = contenders
+            .into_iter()
+            .map(|h| u32::from(h.join().unwrap()))
+            .sum();
+        // The fetch_add total order picks exactly one winner.
+        assert_eq!(admitted, 1, "cap 1 with two contenders has one winner");
+        assert_eq!(l.get(0), 1, "committed load must equal the winner count");
+        assert_eq!(l.get(1), 0);
+    });
+    assert!(stats.complete, "head-on congestion model must exhaust");
+}
+
+/// Protocol 3, unbounded DFS, overlapping paths in opposite order (the
+/// deadly-embrace shape for rollback): whatever subset of admissions
+/// wins, every node's committed load is ≤ cap and exactly the winners'
+/// contribution — transient overshoot is always rolled back.
+#[test]
+fn congestion_rollback_leaves_exact_loads() {
+    let stats = loomlite::model(|| {
+        let l = Arc::new(CongestionLedger::new(2));
+        let a = {
+            let l = Arc::clone(&l);
+            thread::spawn(move || l.admit(&[0, 1], Some(1)))
+        };
+        let b = {
+            let l = Arc::clone(&l);
+            thread::spawn(move || l.admit(&[1, 0], Some(1)))
+        };
+        let (wa, wb) = (a.join().unwrap(), b.join().unwrap());
+        // Both may lose to each other's transient overshoot, but committed
+        // state is exact: each node carries one unit per winner.
+        let winners = u32::from(wa) + u32::from(wb);
+        assert!(winners <= 1, "cap 1 admits at most one overlapping path");
+        assert_eq!(l.get(0), winners, "node 0 must settle to the winner count");
+        assert_eq!(l.get(1), winners, "node 1 must settle to the winner count");
+    });
+    assert!(stats.complete, "rollback congestion model must exhaust");
+}
+
+/// The shuttle story (satellite of DESIGN.md §12): a randomized-scheduler
+/// stress run interleaving fail / heal / hot-swap / route-shaped probes
+/// against one `SnapshotSlot` + `FaultState` pair, asserting monotone
+/// epoch observation and the stable-window contract under thousands of
+/// seeded schedules. Catches ordering regressions too large for DFS.
+#[test]
+fn randomized_stress_fail_heal_swap_route() {
+    loomlite::Builder::new()
+        .randomized(0xDC5A_0006, 2_000)
+        .check(|| {
+            let slot = Arc::new(SnapshotSlot::new(0u64));
+            let faults = Arc::new(FaultState::new(4, 4));
+            let mutator = {
+                let (slot, faults) = (Arc::clone(&slot), Arc::clone(&faults));
+                thread::spawn(move || {
+                    assert!(faults.fail_node(1));
+                    slot.swap(1);
+                    assert!(faults.heal_node(1));
+                    slot.swap(2);
+                    faults.heal_all();
+                })
+            };
+            let router = {
+                let (slot, faults) = (Arc::clone(&slot), Arc::clone(&faults));
+                thread::spawn(move || {
+                    let mut last_slot_epoch = 0;
+                    let mut last_stamp = 0;
+                    for _ in 0..3 {
+                        // Route-shaped probe: pin a generation, consult the
+                        // overlay, re-validate the window — the same reads
+                        // `Oracle::route` + `finish` perform.
+                        let e = slot.epoch();
+                        assert!(*slot.snapshot() >= e, "payload older than epoch");
+                        assert!(e >= last_slot_epoch, "slot epoch regressed");
+                        last_slot_epoch = e;
+                        let s = faults.stamp();
+                        assert!(s >= last_stamp, "fault stamp regressed");
+                        last_stamp = s;
+                        if let Some((epoch, b1, _, present)) = stable_probe(&faults) {
+                            // Mutation k toggles node 1: after an odd number
+                            // of mutations it is failed.
+                            if epoch == 1 {
+                                assert!(b1 && present, "stable window missed the kill");
+                            }
+                            if epoch == 2 || epoch == 0 {
+                                assert!(!b1, "stable window missed the heal");
+                            }
+                        }
+                    }
+                })
+            };
+            mutator.join().unwrap();
+            router.join().unwrap();
+            assert_eq!(slot.epoch(), 2);
+            assert_eq!(faults.epoch(), 3);
+            assert!(!faults.faults_present());
+        });
+}

@@ -9,7 +9,7 @@ use dcspan::core::regular::{build_regular_spanner, RegularSpannerParams};
 use dcspan::core::serve::SpannerAlgo;
 use dcspan::gen::regular::random_regular;
 use dcspan::graph::rng::splitmix64;
-use dcspan::oracle::{Oracle, OracleConfig};
+use dcspan::oracle::{Oracle, OracleConfig, SnapshotSlot};
 use dcspan::spectral::expansion::spectral_expansion;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Barrier;
@@ -99,6 +99,114 @@ fn concurrent_fail_heal_route_interleaving() {
     // The final heal leaves a fault-free oracle that still serves.
     assert!(!oracle.faults().faults_present());
     assert!(oracle.route(0, 1, u64::MAX).is_ok());
+}
+
+/// Hot-swap churn on top of fault churn: one thread swaps fresh oracle
+/// generations into a [`SnapshotSlot`] while a mutator kills/heals
+/// elements of whatever generation is live and three workers route
+/// against pinned snapshots. The real-thread counterpart of the loomlite
+/// models in `crates/oracle/tests/loom_models.rs` (which explore the
+/// small-instance interleavings exhaustively; this runs the full oracle
+/// at scale under the OS scheduler). Invariants: slot epoch observations
+/// are monotone per worker, a pinned snapshot's answers stay valid in
+/// *its* spanner regardless of concurrent swaps, and the fault-overlay
+/// epoch observed through each snapshot never regresses for that
+/// generation.
+#[test]
+fn concurrent_swap_fail_heal_route_on_snapshot_slot() {
+    let n = 96usize;
+    let g = random_regular(n, 10, 11);
+    let make = |seed: u64| {
+        Oracle::from_algo(
+            &g,
+            SpannerAlgo::Theorem2WithProb(0.6),
+            OracleConfig {
+                seed,
+                ..OracleConfig::default()
+            },
+        )
+    };
+    let slot = SnapshotSlot::new(make(1));
+    let stop = AtomicBool::new(false);
+    let start = Barrier::new(5);
+    let total_served = std::thread::scope(|s| {
+        let swapper = {
+            let (slot, stop, start, make) = (&slot, &stop, &start, &make);
+            s.spawn(move || {
+                start.wait();
+                for generation in 2..12u64 {
+                    slot.swap(make(generation));
+                    std::thread::yield_now();
+                }
+                stop.store(true, Ordering::Release);
+            })
+        };
+        let mutator = {
+            let (slot, stop, start) = (&slot, &stop, &start);
+            s.spawn(move || {
+                start.wait();
+                let mut round = 0u64;
+                while !stop.load(Ordering::Acquire) {
+                    round += 1;
+                    let snap = slot.snapshot();
+                    let edges = snap.spanner().edges();
+                    let e = edges[splitmix64(round ^ 0x5AFE) as usize % edges.len()];
+                    snap.fail_edge(e.u, e.v);
+                    if round % 3 == 0 {
+                        snap.heal_all();
+                    }
+                    std::thread::yield_now();
+                }
+            })
+        };
+        let workers: Vec<_> = (0..3u64)
+            .map(|t| {
+                let (slot, stop, start) = (&slot, &stop, &start);
+                s.spawn(move || {
+                    start.wait();
+                    let mut last_slot_epoch = 0u64;
+                    let mut served = 0u64;
+                    let mut q = t << 48;
+                    while !stop.load(Ordering::Acquire) {
+                        q += 1;
+                        let slot_epoch = slot.epoch();
+                        assert!(
+                            slot_epoch >= last_slot_epoch,
+                            "slot epoch went backwards: {slot_epoch} after {last_slot_epoch}"
+                        );
+                        last_slot_epoch = slot_epoch;
+                        let snap = slot.snapshot();
+                        let a = (splitmix64(q) as usize % n) as u32;
+                        let b = (splitmix64(q ^ 0xB0B) as usize % n) as u32;
+                        if a == b {
+                            continue;
+                        }
+                        if let Ok(resp) = snap.route(a, b, q) {
+                            assert_eq!(resp.path.source(), a);
+                            assert_eq!(resp.path.destination(), b);
+                            assert!(
+                                resp.path.is_valid_in(snap.spanner()),
+                                "path left the snapshot that served it"
+                            );
+                            served += 1;
+                        }
+                    }
+                    served
+                })
+            })
+            .collect();
+        swapper.join().expect("swapper must not panic");
+        mutator.join().expect("mutator must not panic");
+        workers
+            .into_iter()
+            .map(|w| w.join().expect("worker must not panic"))
+            .sum::<u64>()
+    });
+    assert!(total_served > 0, "swap churn must not starve the routers");
+    assert_eq!(slot.epoch(), 10, "every swap must be counted exactly once");
+    // The final generation still serves after churn settles.
+    slot.snapshot().heal_all();
+    assert!(slot.snapshot().route(0, 1, u64::MAX).is_ok());
 }
 
 #[test]

@@ -3,8 +3,10 @@
 //! The only task so far is `lint`: a project-specific static-analysis pass
 //! enforcing rules a generic linter cannot express — panic-freedom in
 //! library code, the RNG determinism gate, checked CSR accessors in hot
-//! paths, and paper-anchor doc comments on the algorithm API. See
-//! `DESIGN.md` § Correctness tooling.
+//! paths, paper-anchor doc comments on the algorithm API, `// ord:`
+//! happens-before justifications on every atomic-ordering site, and the
+//! `crates/oracle` sync-facade boundary (no direct `std::sync` atomics).
+//! See `DESIGN.md` § Correctness tooling and §12 Memory model.
 //!
 //! Dependency-free by design so it builds offline.
 

@@ -19,14 +19,30 @@ pub(crate) fn print_text(violations: &[Violation], files_scanned: usize) {
 }
 
 /// Render the JSON report:
-/// `{"files_scanned":N,"violations":[{"file":..,"line":..,"rule":..,"message":..}],"total":N}`.
+/// `{"files_scanned":N,"total":N,"by_rule":{"<rule>":N,..},"violations":[{"file":..,"line":..,"rule":..,"message":..}]}`.
+///
+/// `by_rule` holds one entry per rule that fired (sorted by rule name, so
+/// the output is deterministic); rules with zero violations are omitted.
 pub(crate) fn to_json(violations: &[Violation], files_scanned: usize) -> String {
     let mut out = String::new();
     out.push_str("{\n  \"files_scanned\": ");
     out.push_str(&files_scanned.to_string());
     out.push_str(",\n  \"total\": ");
     out.push_str(&violations.len().to_string());
-    out.push_str(",\n  \"violations\": [");
+    out.push_str(",\n  \"by_rule\": {");
+    let mut rules: Vec<&str> = violations.iter().map(|v| v.rule).collect();
+    rules.sort_unstable();
+    rules.dedup();
+    for (i, rule) in rules.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        push_json_str(&mut out, rule);
+        out.push_str(": ");
+        let n = violations.iter().filter(|v| v.rule == *rule).count();
+        out.push_str(&n.to_string());
+    }
+    out.push_str("},\n  \"violations\": [");
     for (i, v) in violations.iter().enumerate() {
         if i > 0 {
             out.push(',');
@@ -83,6 +99,7 @@ mod tests {
         assert!(json.contains("\"total\": 1"));
         assert!(json.contains("\\\"no\\\""));
         assert!(json.contains("\"line\": 7"));
+        assert!(json.contains("\"by_rule\": {\"no_panic\": 1}"));
     }
 
     #[test]
@@ -90,5 +107,24 @@ mod tests {
         let json = to_json(&[], 5);
         assert!(json.contains("\"violations\": []"));
         assert!(json.contains("\"total\": 0"));
+        assert!(json.contains("\"by_rule\": {}"));
+    }
+
+    #[test]
+    fn json_by_rule_counts_are_sorted_and_exact() {
+        let mk = |rule: &'static str, line: u32| Violation {
+            file: "crates/x/src/a.rs".into(),
+            line: line as usize,
+            rule,
+            message: "m".into(),
+        };
+        let v = vec![
+            mk("sync_facade", 1),
+            mk("atomic_ordering", 2),
+            mk("atomic_ordering", 3),
+        ];
+        let json = to_json(&v, 2);
+        assert!(json.contains("\"by_rule\": {\"atomic_ordering\": 2, \"sync_facade\": 1}"));
+        assert!(json.contains("\"total\": 3"));
     }
 }

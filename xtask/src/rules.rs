@@ -1,14 +1,20 @@
-//! The four project-specific lint rules.
+//! The six project-specific lint rules.
 //!
 //! | rule            | scope                                   | enforces |
 //! |-----------------|------------------------------------------|----------|
-//! | `no_panic`      | all `crates/*/src`, non-test code        | no `.unwrap()` / `.expect(...)` / `panic!` family in library paths |
+//! | `no_panic`      | all `crates/*/src` except `loomlite`, non-test code | no `.unwrap()` / `.expect(...)` / `panic!` family in library paths |
 //! | `rng_gate`      | all `crates/*/src` except `graph/src/rng.rs`, non-test | RNG construction only via `dcspan_graph::rng` (determinism) |
 //! | `checked_index` | `crates/graph/src` (except `invariants.rs`), `crates/routing/src`, non-test | no direct `.adj[...]` / `.offsets[...]` CSR indexing outside the checked accessors |
 //! | `doc_anchor`    | `crates/core/src` algorithm modules      | every `pub fn` doc references a paper anchor (Theorem/Lemma/Algorithm/…) |
+//! | `atomic_ordering` | all `crates/*/src` except `loomlite`, non-test | every `Ordering::*` site carries a `// ord:` happens-before justification; `SeqCst` additionally must say why weaker orderings fail |
+//! | `sync_facade`   | `crates/oracle/src` except `sync.rs`, non-test | no direct `std::sync::atomic` / `std::sync::Arc` — all sync routes through the `--cfg loom`-swappable `crate::sync` facade |
 //!
 //! Deliberate exceptions carry an inline `// xtask: allow(<rule>) — why`
-//! directive; the directive is itself the audit trail.
+//! directive; the directive is itself the audit trail. `crates/loomlite`
+//! is exempt from `no_panic` and `atomic_ordering` wholesale: it is the
+//! model checker itself — its failure mode *is* a panic carrying the
+//! counterexample schedule, and its `Ordering::` matches are the modeled
+//! operations, not callsites choosing an ordering.
 
 use crate::scan::SourceFile;
 
@@ -98,6 +104,8 @@ pub(crate) fn check_file(file: &SourceFile, out: &mut Vec<Violation>) {
     rng_gate(file, out);
     checked_index(file, out);
     doc_anchor(file, out);
+    atomic_ordering(file, out);
+    sync_facade(file, out);
 }
 
 fn push(out: &mut Vec<Violation>, file: &SourceFile, idx: usize, rule: &'static str, msg: &str) {
@@ -114,6 +122,12 @@ fn allowed(file: &SourceFile, idx: usize, rule: &str) -> bool {
 }
 
 fn no_panic(file: &SourceFile, out: &mut Vec<Violation>) {
+    // The model checker reports counterexamples by panicking (its whole
+    // public contract) and recovers poisoned scheduler locks with
+    // unwraps that cannot fail by construction; see the module docs.
+    if file.rel.starts_with("crates/loomlite/src") {
+        return;
+    }
     for (idx, line) in file.lines.iter().enumerate() {
         if line.in_test || allowed(file, idx, "no_panic") {
             continue;
@@ -235,6 +249,159 @@ fn doc_anchor(file: &SourceFile, out: &mut Vec<Violation>) {
 
 fn contains_anchor(doc: &str) -> bool {
     ANCHOR_WORDS.iter().any(|w| doc.contains(w))
+}
+
+/// The five memory orderings — matched exactly so `cmp::Ordering::Less`
+/// and friends (ubiquitous in merge loops) never fire the rule.
+const ATOMIC_ORDERINGS: &[&str] = &[
+    "Ordering::Relaxed",
+    "Ordering::Acquire",
+    "Ordering::Release",
+    "Ordering::AcqRel",
+    "Ordering::SeqCst",
+];
+
+fn mentions_atomic_ordering(code: &str) -> bool {
+    ATOMIC_ORDERINGS.iter().any(|o| code.contains(o))
+}
+
+/// How many lines above an `Ordering::` site the justification search
+/// walks before giving up (bounds pathological files).
+const ORD_SEARCH_DEPTH: usize = 20;
+
+/// True when `comment` carries an `ord:` justification marker — `ord:`
+/// not glued to a preceding identifier character (so `record:` or
+/// `word:` never count).
+fn has_ord_marker(comment: &str) -> bool {
+    comment.match_indices("ord:").any(|(pos, _)| {
+        pos == 0
+            || !comment[..pos]
+                .chars()
+                .next_back()
+                .is_some_and(|c| c.is_ascii_alphanumeric() || c == '_')
+    })
+}
+
+/// Find the `// ord:` justification covering the `Ordering::` site at
+/// `idx`, searching the site line's own comment and then upward through
+/// the contiguous run of related lines: other `Ordering::` lines (one
+/// comment may justify a dense block like a stats snapshot),
+/// comment-only lines, and lines this statement visibly continues from
+/// (the site starts with `.`/`)`/`}`). Returns the comment text.
+fn find_ord_justification(file: &SourceFile, idx: usize) -> Option<String> {
+    let here = &file.lines[idx];
+    if has_ord_marker(&here.comment) {
+        return Some(here.comment.clone());
+    }
+    let mut continuing = here.code.trim_start().starts_with(['.', ')', '}', ']']);
+    let lo = idx.saturating_sub(ORD_SEARCH_DEPTH);
+    for j in (lo..idx).rev() {
+        let line = &file.lines[j];
+        let code = line.code.trim();
+        if has_ord_marker(&line.comment) {
+            return Some(line.comment.clone());
+        }
+        if code.is_empty() {
+            if line.comment.trim().is_empty() {
+                return None; // blank line ends the block
+            }
+            continue; // comment-only line without the marker: keep looking
+        }
+        if mentions_atomic_ordering(code) {
+            continuing = code.starts_with(['.', ')', '}', ']']);
+            continue; // same justified run (e.g. a stats snapshot block)
+        }
+        if continuing || code.ends_with(['{', '(', ',', '=']) {
+            // Either the line below started mid-expression, or this line
+            // ends with an opener — meaning the line below continues the
+            // statement this line belongs to (a multi-line closure or
+            // call). The search passes through the whole statement.
+            continuing = code.starts_with(['.', ')', '}', ']']);
+            continue;
+        }
+        return None; // unrelated statement ends the block
+    }
+    None
+}
+
+/// Every atomic-ordering choice must carry a happens-before
+/// justification: an `// ord: …` comment on the site line, directly
+/// above it, or heading the contiguous `Ordering::` block it belongs to.
+/// `SeqCst` is held to a higher bar — its justification must name
+/// `SeqCst` explicitly and say why weaker orderings fail, because an
+/// unexplained `SeqCst` is almost always a "not sure, go strongest"
+/// that hides the actual protocol.
+fn atomic_ordering(file: &SourceFile, out: &mut Vec<Violation>) {
+    // The model checker's `Ordering::` mentions are the modeled
+    // operations themselves, not ordering choices at a call site.
+    if file.rel.starts_with("crates/loomlite/src") {
+        return;
+    }
+    for (idx, line) in file.lines.iter().enumerate() {
+        if line.in_test
+            || allowed(file, idx, "atomic_ordering")
+            || !mentions_atomic_ordering(&line.code)
+        {
+            continue;
+        }
+        match find_ord_justification(file, idx) {
+            None => push(
+                out,
+                file,
+                idx,
+                "atomic_ordering",
+                "atomic ordering without a `// ord:` happens-before justification \
+                 (state what the ordering pairs with, or why Relaxed suffices)",
+            ),
+            Some(just) => {
+                if line.code.contains("Ordering::SeqCst") && !just.contains("SeqCst") {
+                    push(
+                        out,
+                        file,
+                        idx,
+                        "atomic_ordering",
+                        "bare `SeqCst` — the `// ord:` justification must name SeqCst \
+                         and explain why acquire/release orderings are insufficient",
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Sync primitives the facade re-exports; importing them straight from
+/// `std` bypasses the `--cfg loom` swap and silently exempts the code
+/// from model checking.
+const FACADE_BYPASS_PATTERNS: &[(&str, &str)] = &[
+    (
+        "std::sync::atomic",
+        "direct `std::sync::atomic` import in the serving core — route through \
+         `crate::sync::atomic` so the type is model-checked under `--cfg loom`",
+    ),
+    (
+        "std::sync::Arc",
+        "direct `std::sync::Arc` import in the serving core — route through \
+         `crate::sync::Arc` so the facade stays the single doorway",
+    ),
+];
+
+/// `crates/oracle` is the model-checked serving core: all of its sync
+/// primitives must flow through the `crate::sync` facade (the one place
+/// `--cfg loom` swaps std for `loomlite`). `sync.rs` is the facade.
+fn sync_facade(file: &SourceFile, out: &mut Vec<Violation>) {
+    if !file.rel.starts_with("crates/oracle/src") || file.rel == "crates/oracle/src/sync.rs" {
+        return;
+    }
+    for (idx, line) in file.lines.iter().enumerate() {
+        if line.in_test || allowed(file, idx, "sync_facade") {
+            continue;
+        }
+        for (pat, msg) in FACADE_BYPASS_PATTERNS {
+            if line.code.contains(pat) {
+                push(out, file, idx, "sync_facade", msg);
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -380,6 +547,166 @@ mod tests {
     #[test]
     fn doc_anchor_not_applied_outside_core() {
         let v = check("crates/graph/src/x.rs", "/// Plain docs.\npub fn f() {}\n");
+        assert!(v.is_empty());
+    }
+
+    #[test]
+    fn unjustified_ordering_flagged() {
+        let v = check(
+            "crates/oracle/src/x.rs",
+            "fn f(a: &AtomicU64) { a.load(Ordering::Acquire); }\n",
+        );
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, "atomic_ordering");
+        assert_eq!(v[0].line, 1);
+    }
+
+    #[test]
+    fn ord_comment_justifies_same_line_and_above() {
+        let same = check(
+            "crates/oracle/src/x.rs",
+            "fn f(a: &AtomicU64) { a.load(Ordering::Acquire); } // ord: pairs with store\n",
+        );
+        assert!(same.is_empty());
+        let above = check(
+            "crates/oracle/src/x.rs",
+            "fn f(a: &AtomicU64) {\n    // ord: Acquire pairs with the publish Release.\n    a.load(Ordering::Acquire);\n}\n",
+        );
+        assert!(above.is_empty());
+    }
+
+    #[test]
+    fn one_ord_comment_covers_a_dense_block() {
+        // The stats-snapshot shape: one justification heads a contiguous
+        // run of ordering sites.
+        let v = check(
+            "crates/oracle/src/x.rs",
+            "fn snap(c: &C) -> S {\n    S {\n        // ord: Relaxed — monitoring snapshot.\n        a: c.a.load(Ordering::Relaxed),\n        b: c.b.load(Ordering::Relaxed),\n        d: c.d.load(Ordering::Relaxed),\n    }\n}\n",
+        );
+        assert!(
+            v.is_empty(),
+            "{:?}",
+            v.iter().map(|v| v.line).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn ord_comment_covers_a_multiline_statement() {
+        // The ordering site sits inside a closure opened on the line
+        // above; the justification heads the whole statement.
+        let v = check(
+            "crates/oracle/src/x.rs",
+            "fn f(bits: &[AtomicU64], idx: usize) -> bool {\n    // ord: AcqRel — publishes the bit with the odd stamp.\n    bits.get(idx / 64).is_some_and(|w| {\n        w.fetch_or(1 << (idx % 64), Ordering::AcqRel) & 1 != 0\n    })\n}\n",
+        );
+        assert!(v.is_empty());
+    }
+
+    #[test]
+    fn ord_comment_does_not_leak_past_blank_or_unrelated_lines() {
+        let blank = check(
+            "crates/oracle/src/x.rs",
+            "// ord: Relaxed — for the other site.\nlet x = 1;\n\nfn f(a: &AtomicU64) { a.load(Ordering::Relaxed); }\n",
+        );
+        assert_eq!(blank.len(), 1, "a blank line must end the covered block");
+        // `record:` in a comment is not an `ord:` marker.
+        let word = check(
+            "crates/oracle/src/x.rs",
+            "fn f(a: &AtomicU64) { a.load(Ordering::Relaxed); } // see the record: above\n",
+        );
+        assert_eq!(word.len(), 1);
+    }
+
+    #[test]
+    fn ordering_in_tests_and_under_allow_ok() {
+        let test_code = check(
+            "crates/oracle/src/x.rs",
+            "#[cfg(test)]\nmod tests {\n    fn t(a: &AtomicU64) { a.load(Ordering::Relaxed); }\n}\n",
+        );
+        assert!(test_code.is_empty());
+        let allowed = check(
+            "crates/oracle/src/x.rs",
+            "// xtask: allow(atomic_ordering) — migration in flight\nfn f(a: &AtomicU64) { a.load(Ordering::Relaxed); }\n",
+        );
+        assert!(allowed.is_empty());
+    }
+
+    #[test]
+    fn seqcst_needs_a_justification_naming_it() {
+        let bare = check(
+            "crates/oracle/src/x.rs",
+            "fn f(a: &AtomicU64) {\n    // ord: strongest, just in case.\n    a.load(Ordering::SeqCst);\n}\n",
+        );
+        assert_eq!(bare.len(), 1, "a SeqCst alibi must name SeqCst");
+        assert!(bare[0].message.contains("SeqCst"));
+        let justified = check(
+            "crates/oracle/src/x.rs",
+            "fn f(a: &AtomicU64) {\n    // ord: SeqCst — the flag and the queue need a single total\n    // order; acquire/release alone allows both to observe each\n    // other's update as not-yet-happened (IRIW).\n    a.load(Ordering::SeqCst);\n}\n",
+        );
+        assert!(justified.is_empty());
+    }
+
+    #[test]
+    fn cmp_ordering_never_fires_the_atomic_rule() {
+        let v = check(
+            "crates/graph/src/x.rs",
+            "fn m(a: u32, b: u32) {\n    match a.cmp(&b) {\n        std::cmp::Ordering::Less => {}\n        std::cmp::Ordering::Greater => {}\n        std::cmp::Ordering::Equal => {}\n    }\n}\n",
+        );
+        assert!(v.is_empty());
+    }
+
+    #[test]
+    fn loomlite_exempt_from_panic_and_ordering_rules() {
+        let v = check(
+            "crates/loomlite/src/exec.rs",
+            "fn f(a: &AtomicU64) { a.load(Ordering::SeqCst); g().unwrap(); panic!(\"x\"); }\n",
+        );
+        assert!(v.is_empty(), "the model checker is the documented exception");
+    }
+
+    #[test]
+    fn facade_bypass_flagged_in_oracle_only() {
+        let bad = check(
+            "crates/oracle/src/fault.rs",
+            "use std::sync::atomic::{AtomicU64, Ordering};\n",
+        );
+        assert_eq!(bad.len(), 1);
+        assert_eq!(bad[0].rule, "sync_facade");
+        let arc = check(
+            "crates/oracle/src/snapshot.rs",
+            "use std::sync::Arc;\n",
+        );
+        assert_eq!(arc.len(), 1);
+        // Other crates keep importing std directly.
+        let other = check(
+            "crates/graph/src/x.rs",
+            "use std::sync::Arc;\n",
+        );
+        assert!(other.is_empty());
+    }
+
+    #[test]
+    fn facade_itself_tests_and_barrier_exempt_from_sync_facade() {
+        let facade = check(
+            "crates/oracle/src/sync.rs",
+            "pub(crate) use std::sync::atomic::AtomicU64;\npub(crate) use std::sync::Arc;\n",
+        );
+        assert!(facade.is_empty(), "the facade is the single allowed doorway");
+        let test_code = check(
+            "crates/oracle/src/snapshot.rs",
+            "#[cfg(test)]\nmod tests {\n    use std::sync::Arc;\n}\n",
+        );
+        assert!(test_code.is_empty());
+        // `std::sync::Barrier` is deliberately outside the facade.
+        let barrier = check("crates/oracle/src/chaos.rs", "use std::sync::Barrier;\n");
+        assert!(barrier.is_empty());
+    }
+
+    #[test]
+    fn sync_facade_allow_escape_works() {
+        let v = check(
+            "crates/oracle/src/x.rs",
+            "// xtask: allow(sync_facade) — never reached by models\nuse std::sync::Arc;\n",
+        );
         assert!(v.is_empty());
     }
 }

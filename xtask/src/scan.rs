@@ -31,6 +31,10 @@ pub(crate) struct LineInfo {
     pub(crate) raw: String,
     /// The line with comments and literal contents blanked.
     pub(crate) code: String,
+    /// The comment text of the line (`//…` tail or block-comment body);
+    /// empty when the line has no comment. Used by `atomic_ordering` to
+    /// find `// ord:` justifications.
+    pub(crate) comment: String,
     /// True inside `#[cfg(test)]` items.
     pub(crate) in_test: bool,
     /// Rules allowed (suppressed) on this line.
@@ -114,11 +118,13 @@ pub(crate) fn parse_source(rel: String, text: &str) -> SourceFile {
     let lines = raw_lines
         .iter()
         .zip(code_lines)
+        .zip(comment_lines)
         .zip(in_test)
         .zip(allows)
-        .map(|(((raw, code), in_test), allows)| LineInfo {
+        .map(|((((raw, code), comment), in_test), allows)| LineInfo {
             raw: (*raw).to_string(),
             code,
+            comment,
             in_test,
             allows,
         })
@@ -413,6 +419,16 @@ mod tests {
         assert_eq!(f.lines[0].allows, vec!["no_panic"]);
         assert_eq!(f.lines[1].allows, vec!["no_panic"]);
         assert!(f.lines[2].allows.is_empty());
+    }
+
+    #[test]
+    fn comment_text_is_captured_per_line() {
+        let f = parse_source(
+            "x.rs".into(),
+            "let a = 1; // ord: Relaxed — statistic\nlet b = 2;\n",
+        );
+        assert!(f.lines[0].comment.contains("ord: Relaxed"));
+        assert!(f.lines[1].comment.is_empty());
     }
 
     #[test]
