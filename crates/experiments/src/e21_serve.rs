@@ -1,0 +1,185 @@
+//! **E21 — HTTP serving**: open-loop sustained-QPS sweep against the
+//! networked front-end (`dcspan-serve`).
+//!
+//! The paper's object earns its keep at query time; E17/E20 measured the
+//! oracle in-process, and this experiment measures it behind a socket:
+//! build a Theorem 3 artifact, boot the threaded HTTP server with
+//! β-budget admission control (`cap = ⌈c·√Δ·ln n⌉`), and drive an
+//! open-loop Poisson load generator at several target rates. Latency is
+//! charged from the *scheduled* arrival (no coordinated omission), so a
+//! server past saturation shows its backlog as p99 — and, past the
+//! admission budget, as an explicit `429` shed rate instead of queue
+//! collapse. `dcspan bench-serve` writes these rows into
+//! `BENCH_serve.json`.
+
+use crate::table::{f2, Table};
+use crate::workloads;
+use dcspan_core::serve::SpannerAlgo;
+use dcspan_oracle::Oracle;
+use dcspan_serve::loadgen::{self, SweepCell, SweepError};
+use dcspan_serve::ServerConfig;
+use std::time::Duration;
+
+/// One measured sweep cell: a `(artifact, target rate)` pair.
+#[derive(Clone, Debug, serde::Serialize)]
+pub struct ServeBenchRow {
+    /// Nodes in the serving artifact.
+    pub n: usize,
+    /// Degree Δ (Theorem 3 regime, `n^{2/3}`).
+    pub delta: usize,
+    /// β-budget admission cap in force (`⌈c·√Δ·ln n⌉`).
+    pub cap: u32,
+    /// Target arrival rate, queries/second.
+    pub target_qps: f64,
+    /// Scheduled arrival horizon, seconds.
+    pub duration_s: f64,
+    /// Concurrent client connections.
+    pub connections: usize,
+    /// Arrivals scheduled.
+    pub scheduled: usize,
+    /// `200` responses.
+    pub ok: usize,
+    /// `429` responses (admission or queue shed).
+    pub shed: usize,
+    /// Other typed rejections (`400`/`422`).
+    pub rejected: usize,
+    /// Connects, writes, or reads that failed outright.
+    pub transport_errors: usize,
+    /// Completed responses per second of wall time.
+    pub achieved_qps: f64,
+    /// Fraction of completed responses shed with `429`.
+    pub shed_rate: f64,
+    /// Median latency (scheduled arrival → response complete), ms.
+    pub p50_ms: f64,
+    /// 90th percentile latency, ms.
+    pub p90_ms: f64,
+    /// 99th percentile latency, ms.
+    pub p99_ms: f64,
+    /// Worst observed latency, ms.
+    pub max_ms: f64,
+}
+
+/// Flatten sweep cells into serialisable rows.
+fn rows_from_cells(cells: &[SweepCell], delta: usize, connections: usize) -> Vec<ServeBenchRow> {
+    cells
+        .iter()
+        .map(|c| ServeBenchRow {
+            n: c.n,
+            delta,
+            cap: c.cap,
+            target_qps: c.target_qps,
+            duration_s: c.duration_s,
+            connections,
+            scheduled: c.report.scheduled,
+            ok: c.report.ok,
+            shed: c.report.shed,
+            rejected: c.report.rejected,
+            transport_errors: c.report.transport_errors,
+            achieved_qps: c.report.achieved_qps,
+            shed_rate: c.report.shed_rate(),
+            p50_ms: c.report.p50_ms,
+            p90_ms: c.report.p90_ms,
+            p99_ms: c.report.p99_ms,
+            max_ms: c.report.max_ms,
+        })
+        .collect()
+}
+
+/// Run the serving sweep: build a Theorem 3 artifact for `n`, boot the
+/// HTTP server with β-budget constant `cap_c`, and measure one open-loop
+/// pass per target rate. Uses one scratch artifact under the system temp
+/// dir; the file is removed before returning.
+pub fn run(
+    n: usize,
+    rates: &[f64],
+    duration_s: f64,
+    connections: usize,
+    cap_c: f64,
+    seed: u64,
+) -> Result<(Vec<ServeBenchRow>, String), SweepError> {
+    let delta = workloads::theorem3_degree(n);
+    let g = workloads::regime_expander(n, delta, seed);
+    let artifact = Oracle::build_artifact(&g, SpannerAlgo::Theorem3, seed);
+    let path =
+        std::env::temp_dir().join(format!("dcspan-e21-{}-{n}-{seed}.bin", std::process::id()));
+    artifact.save(&path).map_err(SweepError::Store)?;
+    let result = loadgen::sweep(
+        &path,
+        rates,
+        Duration::from_secs_f64(duration_s),
+        connections,
+        cap_c,
+        seed,
+        ServerConfig::default(),
+    );
+    let _ = std::fs::remove_file(&path);
+    let cells = result?;
+    let rows = rows_from_cells(&cells, delta, connections);
+
+    let mut t = Table::new([
+        "n",
+        "Δ",
+        "cap",
+        "target qps",
+        "achieved",
+        "ok",
+        "shed",
+        "rejected",
+        "errors",
+        "shed rate",
+        "p50 ms",
+        "p90 ms",
+        "p99 ms",
+        "max ms",
+    ]);
+    for r in &rows {
+        t.add_row([
+            r.n.to_string(),
+            r.delta.to_string(),
+            r.cap.to_string(),
+            f2(r.target_qps),
+            f2(r.achieved_qps),
+            r.ok.to_string(),
+            r.shed.to_string(),
+            r.rejected.to_string(),
+            r.transport_errors.to_string(),
+            f2(r.shed_rate),
+            f2(r.p50_ms),
+            f2(r.p90_ms),
+            f2(r.p99_ms),
+            f2(r.max_ms),
+        ]);
+    }
+    let text = format!(
+        "E21 — HTTP serving: open-loop target-QPS sweep (β-budget admission, \
+         {connections} connections, {duration_s:.1} s per rate)\n{}",
+        t.render()
+    );
+    Ok((rows, text))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_sweep_sheds_past_the_budget() {
+        let (rows, text) = run(120, &[200.0, 3000.0], 0.4, 4, 0.3, 7).unwrap();
+        assert_eq!(rows.len(), 2);
+        for r in &rows {
+            assert_eq!(
+                r.transport_errors, 0,
+                "transport errors at {}",
+                r.target_qps
+            );
+            assert!(r.scheduled > 0);
+            assert_eq!(r.ok + r.shed + r.rejected, r.scheduled);
+            assert!(r.cap >= 1);
+        }
+        // Over-admission at the top rate degrades by shedding, not by
+        // queue collapse: explicit 429s appear.
+        assert!(rows[1].shed > 0, "no shedding at the over-admission rate");
+        assert!(rows[1].shed_rate > rows[0].shed_rate);
+        assert!(text.contains("E21"));
+    }
+}

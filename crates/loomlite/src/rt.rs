@@ -35,7 +35,12 @@ pub(crate) fn require() -> Ctx {
 /// Enter the modeled context for this OS thread; the returned guard
 /// restores it (and reports panics to the scheduler) on drop.
 pub(crate) fn enter(exec: Arc<Exec>, tid: usize) -> CtxGuard {
-    CTX.with(|c| *c.borrow_mut() = Some(Ctx { exec: Arc::clone(&exec), tid }));
+    CTX.with(|c| {
+        *c.borrow_mut() = Some(Ctx {
+            exec: Arc::clone(&exec),
+            tid,
+        })
+    });
     CtxGuard { exec, tid }
 }
 
@@ -50,7 +55,6 @@ pub(crate) struct CtxGuard {
 impl Drop for CtxGuard {
     fn drop(&mut self) {
         CTX.with(|c| *c.borrow_mut() = None);
-        self.exec
-            .thread_aborted(self.tid, std::thread::panicking());
+        self.exec.thread_aborted(self.tid, std::thread::panicking());
     }
 }

@@ -232,9 +232,7 @@ pub mod atomic {
         pub fn swap(&self, v: bool, ord: Ordering) -> bool {
             match &self.model {
                 None => self.real.swap(v, ord),
-                Some((e, loc)) => {
-                    e.atomic_rmw(rt::require().tid, *loc, ord, |_| u64::from(v)) != 0
-                }
+                Some((e, loc)) => e.atomic_rmw(rt::require().tid, *loc, ord, |_| u64::from(v)) != 0,
             }
         }
     }

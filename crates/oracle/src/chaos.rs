@@ -27,9 +27,9 @@
 
 use crate::fault::{bounded_survivor_bfs, SurvivorSearch};
 use crate::oracle::{Oracle, RouteError, RouteKind, RouteResponse};
+use crate::sync::atomic::{AtomicU64, Ordering};
 use dcspan_graph::rng::{item_rng, splitmix64};
 use dcspan_graph::{Edge, NodeId, Path};
-use crate::sync::atomic::{AtomicU64, Ordering};
 use rand::Rng;
 // Barrier stays `std`: the chaos harness's step discipline runs real OS
 // threads and is never compiled under the loom model (the facade has no

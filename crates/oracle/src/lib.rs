@@ -30,7 +30,12 @@
 //! * [`snapshot`] — [`SnapshotSlot`]: epoch-versioned hot swap between a
 //!   running oracle and a freshly loaded `dcspan-store` artifact without
 //!   draining in-flight queries (`Oracle::from_artifact` is the
-//!   zero-rebuild load path).
+//!   zero-rebuild load path),
+//! * [`wire`] — the serving wire schema: the one JSONL/JSON
+//!   request/response definition ([`RouteRequest`], [`WireResponse`],
+//!   stable `{code, message}` error bodies) shared by the file-serve
+//!   loop and the `dcspan-serve` HTTP front-end, so the transports
+//!   cannot drift.
 //!
 //! **Memory model.** Every lock-free protocol above is specified in
 //! DESIGN.md §12, carries a `// ord:` happens-before justification at
@@ -51,6 +56,7 @@ pub mod index;
 pub mod oracle;
 pub mod snapshot;
 mod sync;
+pub mod wire;
 
 pub use cache::ShardedLru;
 pub use chaos::{ChaosConfig, ChaosReport, ChaosStepStats, RetryPolicy};
@@ -62,3 +68,4 @@ pub use oracle::{
     SubstituteReport,
 };
 pub use snapshot::SnapshotSlot;
+pub use wire::{ErrorBody, RequestLine, RouteRequest, SwapAck, WireError, WireResponse};

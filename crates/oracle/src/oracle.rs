@@ -35,6 +35,7 @@ use crate::cache::ShardedLru;
 use crate::congestion::CongestionLedger;
 use crate::fault::{bounded_survivor_bfs, FaultState, SurvivorSearch};
 use crate::index::DetourIndex;
+use crate::sync::atomic::{AtomicU64, Ordering};
 use dcspan_core::serve::{build_spanner, BuiltSpanner, SpannerAlgo};
 use dcspan_graph::rng::item_rng;
 use dcspan_graph::traversal::shortest_path;
@@ -44,7 +45,6 @@ use dcspan_routing::replace::DetourPolicy;
 use dcspan_routing::{Routing, RoutingProblem};
 use dcspan_store::{ArtifactMeta, SpannerArtifact, StoreError};
 use rayon::prelude::*;
-use crate::sync::atomic::{AtomicU64, Ordering};
 
 /// Construction-time configuration for an [`Oracle`].
 #[derive(Clone, Copy, Debug)]
@@ -181,7 +181,18 @@ pub enum RouteError {
 }
 
 impl RouteError {
-    /// Stable lowercase label (CLI/JSON output).
+    /// Every variant, in a fixed order — the stable error-code table
+    /// consumed by the wire schema and the metrics exporter.
+    pub const ALL: [RouteError; 5] = [
+        RouteError::InvalidQuery,
+        RouteError::DeadEndpoint,
+        RouteError::Partitioned,
+        RouteError::Overloaded,
+        RouteError::BudgetExceeded,
+    ];
+
+    /// Stable machine-readable error code (CLI/JSON/HTTP output; the
+    /// code table is documented in DESIGN.md §13.4).
     pub fn as_str(self) -> &'static str {
         match self {
             RouteError::InvalidQuery => "invalid_query",
@@ -189,6 +200,27 @@ impl RouteError {
             RouteError::Partitioned => "partitioned",
             RouteError::Overloaded => "overloaded",
             RouteError::BudgetExceeded => "budget_exceeded",
+        }
+    }
+
+    /// Inverse of [`RouteError::as_str`]: resolve a stable code back to
+    /// the variant (`None` for codes outside the table, e.g. the
+    /// transport-minted `bad_request` family).
+    pub fn from_code(code: &str) -> Option<RouteError> {
+        RouteError::ALL.into_iter().find(|e| e.as_str() == code)
+    }
+
+    /// Human-readable description for the wire `{code, message}` body.
+    /// Not stable — clients branch on [`RouteError::as_str`], never this.
+    pub fn message(self) -> &'static str {
+        match self {
+            RouteError::InvalidQuery => "degenerate request: u == v or an endpoint out of range",
+            RouteError::DeadEndpoint => "an endpoint is currently a failed node",
+            RouteError::Partitioned => "no path exists in the surviving spanner",
+            RouteError::Overloaded => {
+                "admission control shed the query: a node on its path is at the congestion cap"
+            }
+            RouteError::BudgetExceeded => "the per-query search budget expired before an answer",
         }
     }
 
@@ -292,6 +324,36 @@ impl OracleStatsSnapshot {
     /// Queries rejected with a [`RouteError`] (any variant).
     pub fn rejected(&self) -> u64 {
         self.invalid + self.dead_endpoint + self.partitioned + self.shed + self.budget_exceeded
+    }
+
+    /// Per-rung served counts as `(stable label, count)` pairs in ladder
+    /// order — the metrics hook the HTTP exporter iterates so a new rung
+    /// shows up in `/metrics` without touching the exporter.
+    pub fn tier_counts(&self) -> [(&'static str, u64); 7] {
+        [
+            (RouteKind::SpannerEdge.as_str(), self.spanner_edge),
+            (RouteKind::TwoHop.as_str(), self.two_hop),
+            (RouteKind::ThreeHop.as_str(), self.three_hop),
+            (RouteKind::FilteredTwoHop.as_str(), self.filtered_two_hop),
+            (
+                RouteKind::FilteredThreeHop.as_str(),
+                self.filtered_three_hop,
+            ),
+            (RouteKind::Bfs.as_str(), self.bfs),
+            (RouteKind::DegradedBfs.as_str(), self.degraded_bfs),
+        ]
+    }
+
+    /// Per-code rejection counts as `(stable code, count)` pairs in
+    /// [`RouteError::ALL`] order — the rejection-side metrics hook.
+    pub fn rejection_counts(&self) -> [(&'static str, u64); 5] {
+        [
+            (RouteError::InvalidQuery.as_str(), self.invalid),
+            (RouteError::DeadEndpoint.as_str(), self.dead_endpoint),
+            (RouteError::Partitioned.as_str(), self.partitioned),
+            (RouteError::Overloaded.as_str(), self.shed),
+            (RouteError::BudgetExceeded.as_str(), self.budget_exceeded),
+        ]
     }
 
     /// Fraction of served queries answered by the healthy indexed rungs

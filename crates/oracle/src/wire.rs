@@ -1,0 +1,578 @@
+//! The serving wire schema — one parse, one serialisation, every front-end.
+//!
+//! `dcspan serve`/`dcspan query` (JSONL over a file or stdin) and
+//! `dcspan serve-http` (JSON over HTTP, single and batch) answer the same
+//! kind of request; this module is the single definition of that request
+//! and its response so the two transports cannot drift: both parse with
+//! [`RequestLine::parse`] / [`parse_route_value`] and both serialise with
+//! [`WireResponse::from_result`] / [`WireResponse::to_json`]. A response
+//! produced by the HTTP server for `(u, v, id)` is byte-identical to the
+//! line the file loop prints for the same request against the same oracle
+//! state — the differential test in `dcspan-serve` holds the two
+//! transports to exactly that.
+//!
+//! **Serialisation is hand-rolled on purpose.** Responses are built with
+//! an explicit field order (`id, u, v, ok, …`) rather than through a
+//! serde map so the byte layout is locked by this module alone — it
+//! cannot shift under a serde feature flag (e.g. `preserve_order`) or a
+//! derive reorder, which would silently break the byte-identical
+//! contract above. Parsing still goes through `serde_json`, so anything
+//! we emit round-trips through ordinary JSON tooling.
+//!
+//! **Error codes.** Every rejection carries a machine-readable
+//! [`ErrorBody`] `{code, message}`. The `code` strings are stable API
+//! (documented in DESIGN.md §13.4): [`RouteError::as_str`] is the code
+//! for routing rejections, and transport-level failures use the
+//! `bad_request`-family codes minted by the front-end. `retryable`
+//! mirrors [`RouteError::is_retryable`] so clients can back off without
+//! parsing the code.
+
+use crate::oracle::{RouteError, RouteResponse};
+use serde_json::Value;
+
+/// Append `s` to `out` as a JSON string literal, quotes included.
+fn push_json_str(out: &mut String, s: &str) {
+    const HEX: &[u8; 16] = b"0123456789abcdef";
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let code = c as u32;
+                out.push_str("\\u00");
+                out.push(HEX[(code >> 4) as usize] as char);
+                out.push(HEX[(code & 0xf) as usize] as char);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// A machine-readable rejection body: stable `code`, human `message`.
+///
+/// The code table for routing errors lives on [`RouteError::as_str`];
+/// transports add their own codes (e.g. `bad_request`, `queue_full`) for
+/// failures that happen before a query reaches the oracle.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ErrorBody {
+    /// Stable machine-readable error code (e.g. `overloaded`).
+    pub code: String,
+    /// Human-readable description; not stable, never parse it.
+    pub message: String,
+}
+
+impl ErrorBody {
+    /// The body for a typed routing rejection.
+    pub fn from_route_error(err: RouteError) -> ErrorBody {
+        ErrorBody {
+            code: err.as_str().to_string(),
+            message: err.message().to_string(),
+        }
+    }
+
+    /// A transport-minted body (code outside the [`RouteError`] table).
+    pub fn new(code: &str, message: impl Into<String>) -> ErrorBody {
+        ErrorBody {
+            code: code.to_string(),
+            message: message.into(),
+        }
+    }
+
+    /// Append the `{"code":..,"message":..}` object to `out`.
+    fn push_json(&self, out: &mut String) {
+        out.push_str("{\"code\":");
+        push_json_str(out, &self.code);
+        out.push_str(",\"message\":");
+        push_json_str(out, &self.message);
+        out.push('}');
+    }
+
+    /// One compact JSON object.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(32 + self.code.len() + self.message.len());
+        self.push_json(&mut out);
+        out
+    }
+
+    /// Read an error body back out of a decoded JSON value.
+    pub fn from_value(value: &Value) -> Option<ErrorBody> {
+        Some(ErrorBody {
+            code: value.get("code")?.as_str()?.to_string(),
+            message: value.get("message")?.as_str()?.to_string(),
+        })
+    }
+}
+
+/// One routing request: route a substitute path for the pair `{u, v}`.
+///
+/// `id` individualises the query's RNG stream (see `Oracle::route`);
+/// when absent the front-end assigns the next sequential id. Clients that
+/// need reproducible answers send explicit ids.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RouteRequest {
+    /// One endpoint.
+    pub u: u32,
+    /// The other endpoint.
+    pub v: u32,
+    /// Optional explicit query id (RNG stream selector).
+    pub id: Option<u64>,
+}
+
+impl RouteRequest {
+    /// One compact JSON line — what a client sends (`id` omitted when
+    /// unset, matching what [`parse_route_value`] accepts).
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(40);
+        out.push_str("{\"u\":");
+        out.push_str(&self.u.to_string());
+        out.push_str(",\"v\":");
+        out.push_str(&self.v.to_string());
+        if let Some(id) = self.id {
+            out.push_str(",\"id\":");
+            out.push_str(&id.to_string());
+        }
+        out.push('}');
+        out
+    }
+}
+
+/// One line of a JSONL request stream: either a routing request or the
+/// `{"swap": "artifact-path"}` control line that hot-swaps serving state.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RequestLine {
+    /// Route a pair.
+    Route(RouteRequest),
+    /// Load the artifact at this path and publish it for subsequent
+    /// requests (in-flight snapshots are unaffected).
+    Swap(String),
+}
+
+/// Why a wire payload could not be understood.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WireError {
+    /// The payload is not valid JSON.
+    Json(String),
+    /// Valid JSON, but neither a `{u, v}` request nor a `{swap}` control
+    /// line.
+    NotARequest(String),
+    /// Valid JSON, but not a [`WireResponse`] object.
+    NotAResponse(String),
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Json(msg) => write!(f, "malformed JSON: {msg}"),
+            WireError::NotARequest(msg) => write!(f, "not a request: {msg}"),
+            WireError::NotAResponse(msg) => write!(f, "not a response: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl RequestLine {
+    /// Parse one JSONL line. Accepts `{"u": .., "v": .., "id"?: ..}` and
+    /// `{"swap": "path"}`; everything else is a typed [`WireError`].
+    pub fn parse(line: &str) -> Result<RequestLine, WireError> {
+        let value: Value =
+            serde_json::from_str(line).map_err(|e| WireError::Json(e.to_string()))?;
+        match value.get("swap") {
+            Some(path) => match path.as_str() {
+                Some(path) => Ok(RequestLine::Swap(path.to_string())),
+                None => Err(WireError::NotARequest(
+                    "\"swap\" must be an artifact path string".to_string(),
+                )),
+            },
+            None => Ok(RequestLine::Route(parse_route_value(&value)?)),
+        }
+    }
+}
+
+/// Parse an already-decoded JSON value as a [`RouteRequest`] (the HTTP
+/// batch path decodes an array once and converts each element).
+pub fn parse_route_value(value: &Value) -> Result<RouteRequest, WireError> {
+    let endpoint = |key: &str| -> Result<u32, WireError> {
+        let raw = value
+            .get(key)
+            .and_then(Value::as_u64)
+            .ok_or_else(|| WireError::NotARequest(format!("missing or non-integer \"{key}\"")))?;
+        u32::try_from(raw)
+            .map_err(|_| WireError::NotARequest(format!("\"{key}\" is out of node-id range")))
+    };
+    let u = endpoint("u")?;
+    let v = endpoint("v")?;
+    let id = match value.get("id").filter(|x| !x.is_null()) {
+        None => None,
+        Some(x) => Some(x.as_u64().ok_or_else(|| {
+            WireError::NotARequest("\"id\" must be an unsigned integer".to_string())
+        })?),
+    };
+    Ok(RouteRequest { u, v, id })
+}
+
+/// The response for one routing request — the one serialisation every
+/// front-end emits. Success carries the path and its provenance; failure
+/// carries the machine-readable [`ErrorBody`] plus the retry hint.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WireResponse {
+    /// Query id that was served (echoed or assigned).
+    pub id: u64,
+    /// Requested endpoint.
+    pub u: u32,
+    /// Requested endpoint.
+    pub v: u32,
+    /// Whether a path was served.
+    pub ok: bool,
+    /// Path length in hops (present iff `ok`).
+    pub hops: Option<usize>,
+    /// Degradation-ladder rung that answered (present iff `ok`).
+    pub kind: Option<String>,
+    /// Whether the BFS cache answered (present iff `ok`).
+    pub cache_hit: Option<bool>,
+    /// Fault-overlay epoch observed by the query (present iff `ok`).
+    pub epoch: Option<u64>,
+    /// The served path's nodes (present iff `ok`).
+    pub path: Option<Vec<u32>>,
+    /// The typed rejection (present iff `!ok`).
+    pub error: Option<ErrorBody>,
+    /// Whether retrying later can succeed without topology changes
+    /// (present iff `!ok`).
+    pub retryable: Option<bool>,
+}
+
+impl WireResponse {
+    /// Package a routing outcome for the wire. This is the single
+    /// success/failure serialisation point shared by the JSONL loop and
+    /// the HTTP server.
+    pub fn from_result(
+        id: u64,
+        u: u32,
+        v: u32,
+        result: &Result<RouteResponse, RouteError>,
+    ) -> WireResponse {
+        match result {
+            Ok(resp) => WireResponse {
+                id,
+                u,
+                v,
+                ok: true,
+                hops: Some(resp.hops()),
+                kind: Some(resp.kind.as_str().to_string()),
+                cache_hit: Some(resp.cache_hit),
+                epoch: Some(resp.epoch),
+                path: Some(resp.path.nodes().to_vec()),
+                error: None,
+                retryable: None,
+            },
+            Err(err) => WireResponse {
+                id,
+                u,
+                v,
+                ok: false,
+                hops: None,
+                kind: None,
+                cache_hit: None,
+                epoch: None,
+                path: None,
+                error: Some(ErrorBody::from_route_error(*err)),
+                retryable: Some(err.is_retryable()),
+            },
+        }
+    }
+
+    /// The routing error this response reports, when it is a rejection
+    /// whose code is in the [`RouteError`] table.
+    pub fn route_error(&self) -> Option<RouteError> {
+        RouteError::from_code(self.error.as_ref()?.code.as_str())
+    }
+
+    /// One compact JSON line (no trailing newline), fields in the fixed
+    /// order `id, u, v, ok, hops, kind, cache_hit, epoch, path, error,
+    /// retryable` with absent options omitted. This exact byte layout is
+    /// the cross-transport contract; see the module docs.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(96);
+        out.push_str("{\"id\":");
+        out.push_str(&self.id.to_string());
+        out.push_str(",\"u\":");
+        out.push_str(&self.u.to_string());
+        out.push_str(",\"v\":");
+        out.push_str(&self.v.to_string());
+        out.push_str(",\"ok\":");
+        out.push_str(if self.ok { "true" } else { "false" });
+        if let Some(hops) = self.hops {
+            out.push_str(",\"hops\":");
+            out.push_str(&hops.to_string());
+        }
+        if let Some(kind) = &self.kind {
+            out.push_str(",\"kind\":");
+            push_json_str(&mut out, kind);
+        }
+        if let Some(hit) = self.cache_hit {
+            out.push_str(",\"cache_hit\":");
+            out.push_str(if hit { "true" } else { "false" });
+        }
+        if let Some(epoch) = self.epoch {
+            out.push_str(",\"epoch\":");
+            out.push_str(&epoch.to_string());
+        }
+        if let Some(path) = &self.path {
+            out.push_str(",\"path\":[");
+            for (i, node) in path.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(&node.to_string());
+            }
+            out.push(']');
+        }
+        if let Some(err) = &self.error {
+            out.push_str(",\"error\":");
+            err.push_json(&mut out);
+        }
+        if let Some(retryable) = self.retryable {
+            out.push_str(",\"retryable\":");
+            out.push_str(if retryable { "true" } else { "false" });
+        }
+        out.push('}');
+        out
+    }
+
+    /// Parse a response line back into structured form (load generators
+    /// and test clients use this; the serving path never does).
+    pub fn from_json(json: &str) -> Result<WireResponse, WireError> {
+        let value: Value =
+            serde_json::from_str(json).map_err(|e| WireError::Json(e.to_string()))?;
+        Self::from_value(&value)
+    }
+
+    /// Parse an already-decoded JSON value as a response (the batch HTTP
+    /// path decodes the array once and converts each element).
+    pub fn from_value(value: &Value) -> Result<WireResponse, WireError> {
+        let field = |key: &str| -> Result<u64, WireError> {
+            value
+                .get(key)
+                .and_then(Value::as_u64)
+                .ok_or_else(|| WireError::NotAResponse(format!("missing or non-integer \"{key}\"")))
+        };
+        let id = field("id")?;
+        let u = u32::try_from(field("u")?)
+            .map_err(|_| WireError::NotAResponse("\"u\" is out of node-id range".to_string()))?;
+        let v = u32::try_from(field("v")?)
+            .map_err(|_| WireError::NotAResponse("\"v\" is out of node-id range".to_string()))?;
+        let ok = value
+            .get("ok")
+            .and_then(Value::as_bool)
+            .ok_or_else(|| WireError::NotAResponse("missing or non-boolean \"ok\"".to_string()))?;
+        let path = match value.get("path").and_then(Value::as_array) {
+            None => None,
+            Some(nodes) => {
+                let mut out = Vec::with_capacity(nodes.len());
+                for node in nodes {
+                    let raw = node.as_u64().ok_or_else(|| {
+                        WireError::NotAResponse("non-integer node in \"path\"".to_string())
+                    })?;
+                    out.push(u32::try_from(raw).map_err(|_| {
+                        WireError::NotAResponse("node in \"path\" out of range".to_string())
+                    })?);
+                }
+                Some(out)
+            }
+        };
+        Ok(WireResponse {
+            id,
+            u,
+            v,
+            ok,
+            hops: value
+                .get("hops")
+                .and_then(Value::as_u64)
+                .map(|h| h as usize),
+            kind: value
+                .get("kind")
+                .and_then(Value::as_str)
+                .map(str::to_string),
+            cache_hit: value.get("cache_hit").and_then(Value::as_bool),
+            epoch: value.get("epoch").and_then(Value::as_u64),
+            path,
+            error: value.get("error").and_then(ErrorBody::from_value),
+            retryable: value.get("retryable").and_then(Value::as_bool),
+        })
+    }
+}
+
+/// Acknowledgement of a `{"swap": ..}` control line / `POST /admin/swap`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SwapAck {
+    /// Always true (failures are typed errors, not acks).
+    pub swapped: bool,
+    /// The artifact path that was loaded.
+    pub artifact: String,
+    /// The snapshot-slot epoch after the swap.
+    pub epoch: u64,
+}
+
+impl SwapAck {
+    /// One compact JSON line (no trailing newline).
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(48 + self.artifact.len());
+        out.push_str("{\"swapped\":");
+        out.push_str(if self.swapped { "true" } else { "false" });
+        out.push_str(",\"artifact\":");
+        push_json_str(&mut out, &self.artifact);
+        out.push_str(",\"epoch\":");
+        out.push_str(&self.epoch.to_string());
+        out.push('}');
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcspan_graph::Path;
+
+    #[test]
+    fn parses_route_and_swap_lines() {
+        assert_eq!(
+            RequestLine::parse("{\"u\":3,\"v\":9}").unwrap(),
+            RequestLine::Route(RouteRequest {
+                u: 3,
+                v: 9,
+                id: None
+            })
+        );
+        assert_eq!(
+            RequestLine::parse("{\"u\":3,\"v\":9,\"id\":77}").unwrap(),
+            RequestLine::Route(RouteRequest {
+                u: 3,
+                v: 9,
+                id: Some(77)
+            })
+        );
+        assert_eq!(
+            RequestLine::parse("{\"swap\":\"spanner.bin\"}").unwrap(),
+            RequestLine::Swap("spanner.bin".to_string())
+        );
+    }
+
+    #[test]
+    fn rejects_malformed_lines_with_typed_errors() {
+        assert!(matches!(
+            RequestLine::parse("not json"),
+            Err(WireError::Json(_))
+        ));
+        assert!(matches!(
+            RequestLine::parse("{\"u\":1}"),
+            Err(WireError::NotARequest(_))
+        ));
+        assert!(matches!(
+            RequestLine::parse("{\"swap\":7}"),
+            Err(WireError::NotARequest(_))
+        ));
+        assert!(matches!(
+            RequestLine::parse("{\"u\":1,\"v\":99999999999}"),
+            Err(WireError::NotARequest(_))
+        ));
+        assert!(matches!(
+            RequestLine::parse("{\"u\":1,\"v\":2,\"id\":\"x\"}"),
+            Err(WireError::NotARequest(_))
+        ));
+    }
+
+    #[test]
+    fn request_to_json_round_trips() {
+        for req in [
+            RouteRequest {
+                u: 3,
+                v: 9,
+                id: None,
+            },
+            RouteRequest {
+                u: 0,
+                v: 41,
+                id: Some(7),
+            },
+        ] {
+            let line = req.to_json();
+            assert_eq!(RequestLine::parse(&line).unwrap(), RequestLine::Route(req));
+        }
+    }
+
+    #[test]
+    fn success_response_round_trips() {
+        let resp = RouteResponse {
+            path: Path::new(vec![4, 1, 7]),
+            kind: crate::oracle::RouteKind::TwoHop,
+            cache_hit: false,
+            epoch: 3,
+        };
+        let wire = WireResponse::from_result(12, 4, 7, &Ok(resp));
+        let json = wire.to_json();
+        assert_eq!(
+            json,
+            "{\"id\":12,\"u\":4,\"v\":7,\"ok\":true,\"hops\":2,\"kind\":\"two_hop\",\
+             \"cache_hit\":false,\"epoch\":3,\"path\":[4,1,7]}"
+        );
+        let back = WireResponse::from_json(&json).unwrap();
+        assert_eq!(back, wire);
+        assert_eq!(back.route_error(), None);
+    }
+
+    #[test]
+    fn error_response_carries_code_and_retry_hint() {
+        let wire = WireResponse::from_result(5, 1, 2, &Err(RouteError::Overloaded));
+        let json = wire.to_json();
+        assert!(json.contains("\"code\":\"overloaded\""));
+        assert!(json.contains("\"retryable\":true"));
+        assert!(!json.contains("\"path\""));
+        let back = WireResponse::from_json(&json).unwrap();
+        assert_eq!(back.route_error(), Some(RouteError::Overloaded));
+        assert_eq!(back.retryable, Some(true));
+        assert_eq!(back, wire);
+    }
+
+    #[test]
+    fn every_route_error_has_a_round_tripping_code() {
+        for err in RouteError::ALL {
+            assert_eq!(RouteError::from_code(err.as_str()), Some(err));
+            assert!(!err.message().is_empty());
+            let body = ErrorBody::from_route_error(err);
+            assert_eq!(body.code, err.as_str());
+        }
+        assert_eq!(RouteError::from_code("nope"), None);
+    }
+
+    #[test]
+    fn string_escaping_survives_hostile_payloads() {
+        let body = ErrorBody::new("bad_request", "quote \" slash \\ newline \n ctl \u{1}");
+        let json = body.to_json();
+        assert_eq!(
+            json,
+            "{\"code\":\"bad_request\",\
+             \"message\":\"quote \\\" slash \\\\ newline \\n ctl \\u0001\"}"
+        );
+        let value: serde_json::Value = serde_json::from_str(&json).unwrap();
+        let back = ErrorBody::from_value(&value).unwrap();
+        assert_eq!(back, body);
+    }
+
+    #[test]
+    fn swap_ack_serialises() {
+        let ack = SwapAck {
+            swapped: true,
+            artifact: "a.bin".to_string(),
+            epoch: 2,
+        };
+        assert_eq!(
+            ack.to_json(),
+            "{\"swapped\":true,\"artifact\":\"a.bin\",\"epoch\":2}"
+        );
+    }
+}

@@ -1,0 +1,450 @@
+//! Minimal HTTP/1.1 codec: deadline-guarded request-head reading, fixed
+//! content-length bodies, and response writing — just enough protocol
+//! for the serving front-end, with every abuse path mapped to a typed
+//! outcome instead of a hang or a panic.
+//!
+//! The server never reads more than it has been promised: the head is
+//! capped at a configured byte budget, the body at a configured length,
+//! and both reads carry wall-clock deadlines so a slowloris client
+//! (bytes trickling in below the deadline) is answered with 408 and
+//! disconnected instead of pinning a worker. Chunked transfer encoding
+//! is deliberately not implemented (501): every dcspan payload has a
+//! known length.
+
+use std::io::{ErrorKind, Read, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+/// A parsed request head: method, path (query string stripped), and the
+/// raw header list.
+#[derive(Debug, Clone)]
+pub struct RequestHead {
+    /// Request method, as sent (`GET`, `POST`, …).
+    pub method: String,
+    /// Request path with any `?query` suffix removed.
+    pub path: String,
+    /// Header `(name, value)` pairs in arrival order, values trimmed.
+    pub headers: Vec<(String, String)>,
+}
+
+impl RequestHead {
+    /// First header value whose name matches case-insensitively.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The declared body length: `Some(0)` when absent, `None` when
+    /// present but not a decimal integer.
+    pub fn content_length(&self) -> Option<usize> {
+        match self.header("content-length") {
+            None => Some(0),
+            Some(v) => v.trim().parse::<usize>().ok(),
+        }
+    }
+
+    /// True when the client declared `Transfer-Encoding: chunked`.
+    pub fn is_chunked(&self) -> bool {
+        self.header("transfer-encoding")
+            .is_some_and(|v| v.to_ascii_lowercase().contains("chunked"))
+    }
+
+    /// True when the client asked for the connection to close after
+    /// this exchange.
+    pub fn wants_close(&self) -> bool {
+        self.header("connection")
+            .is_some_and(|v| v.to_ascii_lowercase().contains("close"))
+    }
+
+    /// True when the client sent `Expect: 100-continue` and is waiting
+    /// for the interim response before transmitting the body.
+    pub fn expects_continue(&self) -> bool {
+        self.header("expect")
+            .is_some_and(|v| v.to_ascii_lowercase().contains("100-continue"))
+    }
+
+    /// Parse the bytes of one head (everything before `CRLF CRLF`).
+    fn parse(bytes: &[u8]) -> Option<RequestHead> {
+        let text = std::str::from_utf8(bytes).ok()?;
+        let mut lines = text.split("\r\n");
+        let request_line = lines.next()?;
+        let mut parts = request_line.split_whitespace();
+        let method = parts.next()?.to_string();
+        let target = parts.next()?;
+        let version = parts.next()?;
+        if !version.starts_with("HTTP/1.") || parts.next().is_some() {
+            return None;
+        }
+        let path = match target.split_once('?') {
+            Some((p, _)) => p.to_string(),
+            None => target.to_string(),
+        };
+        let mut headers = Vec::new();
+        for line in lines {
+            if line.is_empty() {
+                continue;
+            }
+            let (name, value) = line.split_once(':')?;
+            headers.push((name.trim().to_string(), value.trim().to_string()));
+        }
+        Some(RequestHead {
+            method,
+            path,
+            headers,
+        })
+    }
+}
+
+/// What came of waiting for a request head on a connection.
+#[derive(Debug)]
+pub enum HeadOutcome {
+    /// A complete head plus any body bytes read past it.
+    Request(RequestHead, Vec<u8>),
+    /// The client closed (or sent nothing within the idle window) with
+    /// no partial request on the wire — close silently.
+    Idle,
+    /// The client vanished or errored mid-head — close silently.
+    Disconnect,
+    /// Bytes arrived but the head did not complete before the deadline
+    /// (slowloris) — answer 408 and close.
+    Partial,
+    /// The head exceeded the byte cap — answer 431 and close.
+    TooLarge,
+    /// A complete head that does not parse as HTTP/1.x — answer 400
+    /// and close.
+    Malformed,
+}
+
+/// Position just past the first `CRLF CRLF` in `buf`, if present.
+fn head_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n").map(|p| p + 4)
+}
+
+/// Arm `stream`'s read timeout, flooring at 1 ms (a zero timeout is an
+/// error to the OS, and we want "expired" to surface as `Partial`, not
+/// as a config mistake).
+fn arm_timeout(stream: &TcpStream, remaining: Duration) -> bool {
+    stream
+        .set_read_timeout(Some(remaining.max(Duration::from_millis(1))))
+        .is_ok()
+}
+
+/// True when a read error means "timeout expired" rather than "peer
+/// gone" (portably, timeouts surface as `WouldBlock` or `TimedOut`).
+fn is_timeout(kind: ErrorKind) -> bool {
+    matches!(kind, ErrorKind::WouldBlock | ErrorKind::TimedOut)
+}
+
+/// Wait for one request head. The first byte may take up to `idle`
+/// (keep-alive gap between requests); once bytes start arriving the
+/// whole head must complete within `deadline` and `max_bytes`.
+pub fn read_head(
+    stream: &mut TcpStream,
+    max_bytes: usize,
+    idle: Duration,
+    deadline: Duration,
+) -> HeadOutcome {
+    let mut buf: Vec<u8> = Vec::with_capacity(256);
+    let mut chunk = [0u8; 1024];
+    let mut deadline_at: Option<Instant> = None;
+    loop {
+        let remaining = match deadline_at {
+            None => idle,
+            Some(at) => match at.checked_duration_since(Instant::now()) {
+                Some(rem) if rem > Duration::ZERO => rem,
+                _ => return HeadOutcome::Partial,
+            },
+        };
+        if !arm_timeout(stream, remaining) {
+            return HeadOutcome::Disconnect;
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => {
+                return if buf.is_empty() {
+                    HeadOutcome::Idle
+                } else {
+                    HeadOutcome::Disconnect
+                };
+            }
+            Ok(n) => {
+                if deadline_at.is_none() {
+                    deadline_at = Some(Instant::now() + deadline);
+                }
+                buf.extend_from_slice(&chunk[..n]);
+                if let Some(end) = head_end(&buf) {
+                    let leftover = buf[end..].to_vec();
+                    return match RequestHead::parse(&buf[..end - 4]) {
+                        Some(head) => HeadOutcome::Request(head, leftover),
+                        None => HeadOutcome::Malformed,
+                    };
+                }
+                if buf.len() > max_bytes {
+                    return HeadOutcome::TooLarge;
+                }
+            }
+            Err(e) if is_timeout(e.kind()) => {
+                return if buf.is_empty() {
+                    HeadOutcome::Idle
+                } else {
+                    HeadOutcome::Partial
+                };
+            }
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(_) => return HeadOutcome::Disconnect,
+        }
+    }
+}
+
+/// Read a `len`-byte body, seeded with the bytes already pulled past the
+/// head. `None` means the client stalled past the deadline or vanished.
+pub fn read_body(
+    stream: &mut TcpStream,
+    leftover: Vec<u8>,
+    len: usize,
+    deadline: Duration,
+) -> Option<Vec<u8>> {
+    let mut body = leftover;
+    if body.len() >= len {
+        body.truncate(len);
+        return Some(body);
+    }
+    let deadline_at = Instant::now() + deadline;
+    let mut chunk = [0u8; 4096];
+    while body.len() < len {
+        let remaining = deadline_at.checked_duration_since(Instant::now())?;
+        if remaining == Duration::ZERO || !arm_timeout(stream, remaining) {
+            return None;
+        }
+        let want = (len - body.len()).min(chunk.len());
+        match stream.read(&mut chunk[..want]) {
+            Ok(0) => return None,
+            Ok(n) => body.extend_from_slice(&chunk[..n]),
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(_) => return None,
+        }
+    }
+    Some(body)
+}
+
+/// Canonical reason phrase for every status the server emits.
+pub fn reason(status: u16) -> &'static str {
+    match status {
+        100 => "Continue",
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        413 => "Payload Too Large",
+        422 => "Unprocessable Entity",
+        429 => "Too Many Requests",
+        431 => "Request Header Fields Too Large",
+        500 => "Internal Server Error",
+        501 => "Not Implemented",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+/// Write one fixed-length response. `extra` headers are emitted verbatim
+/// (e.g. `Retry-After` on 429).
+pub fn write_response(
+    stream: &mut TcpStream,
+    status: u16,
+    content_type: &str,
+    body: &[u8],
+    keep_alive: bool,
+    extra: &[(&str, String)],
+) -> std::io::Result<()> {
+    let mut head = String::with_capacity(128);
+    head.push_str("HTTP/1.1 ");
+    head.push_str(&status.to_string());
+    head.push(' ');
+    head.push_str(reason(status));
+    head.push_str("\r\nContent-Type: ");
+    head.push_str(content_type);
+    head.push_str("\r\nContent-Length: ");
+    head.push_str(&body.len().to_string());
+    head.push_str("\r\nConnection: ");
+    head.push_str(if keep_alive { "keep-alive" } else { "close" });
+    head.push_str("\r\n");
+    for (name, value) in extra {
+        head.push_str(name);
+        head.push_str(": ");
+        head.push_str(value);
+        head.push_str("\r\n");
+    }
+    head.push_str("\r\n");
+    // One write per response: a split head/body write stalls on
+    // Nagle + delayed ACK (~40 ms per exchange) under keep-alive.
+    let mut message = head.into_bytes();
+    message.extend_from_slice(body);
+    stream.write_all(&message)?;
+    stream.flush()
+}
+
+/// Write the `100 Continue` interim response.
+pub fn write_continue(stream: &mut TcpStream) -> std::io::Result<()> {
+    stream.write_all(b"HTTP/1.1 100 Continue\r\n\r\n")
+}
+
+/// A response as seen by a client (the load generator and the tests).
+#[derive(Debug, Clone)]
+pub struct ClientResponse {
+    /// Status code from the status line.
+    pub status: u16,
+    /// Header `(name, value)` pairs.
+    pub headers: Vec<(String, String)>,
+    /// The full body.
+    pub body: Vec<u8>,
+}
+
+impl ClientResponse {
+    /// First header value whose name matches case-insensitively.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The body as UTF-8 (lossless for everything this server emits).
+    pub fn text(&self) -> String {
+        String::from_utf8_lossy(&self.body).into_owned()
+    }
+}
+
+/// Client side: read one complete response (status line, headers,
+/// `Content-Length` body) within `deadline`. `None` on timeout, close,
+/// or malformed response. Interim `100 Continue` responses are skipped.
+pub fn read_response(stream: &mut TcpStream, deadline: Duration) -> Option<ClientResponse> {
+    let deadline_at = Instant::now() + deadline;
+    loop {
+        let resp = read_one_response(stream, deadline_at)?;
+        if resp.status != 100 {
+            return Some(resp);
+        }
+    }
+}
+
+fn read_one_response(stream: &mut TcpStream, deadline_at: Instant) -> Option<ClientResponse> {
+    let mut buf: Vec<u8> = Vec::with_capacity(256);
+    let mut chunk = [0u8; 1024];
+    let end = loop {
+        if let Some(end) = head_end(&buf) {
+            break end;
+        }
+        let remaining = deadline_at.checked_duration_since(Instant::now())?;
+        if remaining == Duration::ZERO || !arm_timeout(stream, remaining) {
+            return None;
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => return None,
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(_) => return None,
+        }
+    };
+    let head_text = std::str::from_utf8(&buf[..end - 4]).ok()?;
+    let mut lines = head_text.split("\r\n");
+    let status_line = lines.next()?;
+    let mut parts = status_line.splitn(3, ' ');
+    let _version = parts.next()?;
+    let status: u16 = parts.next()?.parse().ok()?;
+    let mut headers = Vec::new();
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let (name, value) = line.split_once(':')?;
+        headers.push((name.trim().to_string(), value.trim().to_string()));
+    }
+    let len: usize = headers
+        .iter()
+        .find(|(n, _)| n.eq_ignore_ascii_case("content-length"))
+        .and_then(|(_, v)| v.trim().parse().ok())
+        .unwrap_or(0);
+    let mut body = buf[end..].to_vec();
+    while body.len() < len {
+        let remaining = deadline_at.checked_duration_since(Instant::now())?;
+        if remaining == Duration::ZERO || !arm_timeout(stream, remaining) {
+            return None;
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => return None,
+            Ok(n) => body.extend_from_slice(&chunk[..n]),
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(_) => return None,
+        }
+    }
+    body.truncate(len);
+    Some(ClientResponse {
+        status,
+        headers,
+        body,
+    })
+}
+
+/// Client side: send one request with an optional body. The path is sent
+/// verbatim; callers keep the connection for keep-alive reuse.
+pub fn write_request(
+    stream: &mut TcpStream,
+    method: &str,
+    path: &str,
+    body: &[u8],
+) -> std::io::Result<()> {
+    let mut head = String::with_capacity(96);
+    head.push_str(method);
+    head.push(' ');
+    head.push_str(path);
+    head.push_str(" HTTP/1.1\r\nHost: dcspan\r\nContent-Length: ");
+    head.push_str(&body.len().to_string());
+    head.push_str("\r\n\r\n");
+    // Single write for the same reason as `write_response`: two small
+    // writes per request interact badly with Nagle on the return path.
+    let mut message = head.into_bytes();
+    message.extend_from_slice(body);
+    stream.write_all(&message)?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_request_head() {
+        let head = RequestHead::parse(
+            b"POST /route?x=1 HTTP/1.1\r\nHost: h\r\nContent-Length: 12\r\nExpect: 100-continue",
+        )
+        .unwrap();
+        assert_eq!(head.method, "POST");
+        assert_eq!(head.path, "/route");
+        assert_eq!(head.content_length(), Some(12));
+        assert!(head.expects_continue());
+        assert!(!head.is_chunked());
+        assert!(!head.wants_close());
+    }
+
+    #[test]
+    fn rejects_garbage_heads() {
+        assert!(RequestHead::parse(b"nonsense").is_none());
+        assert!(RequestHead::parse(b"GET /x HTTP/1.1 extra\r\n").is_none());
+        assert!(RequestHead::parse(b"GET /x SPDY/3\r\n").is_none());
+        assert!(RequestHead::parse(b"GET /x HTTP/1.1\r\nno-colon-line").is_none());
+    }
+
+    #[test]
+    fn bad_content_length_is_typed() {
+        let head = RequestHead::parse(b"POST / HTTP/1.1\r\nContent-Length: banana").unwrap();
+        assert_eq!(head.content_length(), None);
+    }
+
+    #[test]
+    fn head_end_finds_boundary() {
+        assert_eq!(head_end(b"a\r\n\r\nbody"), Some(5));
+        assert_eq!(head_end(b"a\r\n\r"), None);
+    }
+}

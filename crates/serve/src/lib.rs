@@ -1,0 +1,47 @@
+//! # dcspan-serve
+//!
+//! The network front-end for the substitute-routing oracle: a
+//! dependency-free threaded HTTP/1.1 server over `std::net` (in-tree
+//! like `loomlite` — no async runtime, no framework) that exposes the
+//! oracle's query, health, metrics, and hot-swap surfaces over sockets,
+//! plus the open-loop load generator that measures it:
+//!
+//! * [`http`] — a minimal HTTP/1.1 codec: request-head parsing with
+//!   size/deadline guards (slowloris ⇒ 408, oversized head ⇒ 431,
+//!   oversized body ⇒ 413, chunked ⇒ 501), fixed-length response
+//!   writing, and the client-side response reader used by the load
+//!   generator and the tests,
+//! * [`metrics`] — lock-free serving counters and a fixed-bucket
+//!   latency histogram rendered in Prometheus text format
+//!   (`GET /metrics`),
+//! * [`server`] — [`Server`]: bounded acceptor + worker pool with
+//!   keep-alive, queue-full load shedding (429 + `Retry-After` at
+//!   accept time, never an unbounded backlog), per-request oracle
+//!   snapshots (a hot swap is never observed mid-request), and graceful
+//!   drain on shutdown,
+//! * [`loadgen`] — [`loadgen::run`] / [`loadgen::sweep`]: an open-loop
+//!   Poisson load generator (latency measured from *scheduled* arrival,
+//!   so queueing delay is charged to the server) and the target-QPS
+//!   sweep harness behind experiment E21 / `BENCH_serve.json`.
+//!
+//! ## Protocol
+//!
+//! The wire schema is *not defined here*: requests parse with
+//! `dcspan_oracle::wire` and responses serialise with
+//! [`dcspan_oracle::WireResponse::to_json`], the same functions the
+//! JSONL file loop uses, so the two transports cannot drift — the
+//! differential test in `tests/http_serving.rs` asserts byte-identical
+//! bodies against an offline replay. Endpoints, status mapping, and
+//! metric names are documented in DESIGN.md §13.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+pub mod http;
+pub mod loadgen;
+pub mod metrics;
+pub mod server;
+
+pub use loadgen::{LoadReport, LoadgenConfig, SweepCell};
+pub use metrics::Metrics;
+pub use server::{Server, ServerConfig};

@@ -1,0 +1,393 @@
+//! Open-loop load generation and the target-QPS sweep harness.
+//!
+//! The generator is *open-loop*: arrivals are pre-scheduled from a
+//! Poisson process at the target rate, and each query's latency is
+//! measured from its **scheduled** arrival time, not from when the
+//! client got around to sending it. A server that falls behind
+//! therefore shows the backlog as latency — the honest measurement for
+//! capacity work; a closed-loop client would silently throttle itself
+//! to whatever the server sustains (coordinated omission).
+//!
+//! All randomness (inter-arrival gaps, query pairs) flows from
+//! `dcspan_graph::rng::item_rng` streams keyed by the master seed and
+//! the event index, so a sweep is exactly reproducible.
+
+use crate::http;
+use crate::server::Server;
+use dcspan_graph::rng::{derive_seed, item_rng};
+use dcspan_oracle::{Oracle, OracleConfig, RouteRequest, SnapshotSlot};
+use dcspan_store::{SpannerArtifact, StoreError};
+use rand::Rng;
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// One load-generation run against a live server.
+#[derive(Clone, Debug)]
+pub struct LoadgenConfig {
+    /// Server address.
+    pub addr: SocketAddr,
+    /// Client connections driven in parallel.
+    pub connections: usize,
+    /// Target arrival rate (queries/second) across all connections.
+    pub target_qps: f64,
+    /// How long to schedule arrivals for.
+    pub duration: Duration,
+    /// Master seed for arrival gaps and query pairs.
+    pub seed: u64,
+    /// Node-id space to draw query pairs from (`0..nodes`).
+    pub nodes: u32,
+    /// Per-response client deadline.
+    pub response_deadline: Duration,
+}
+
+/// What one run measured.
+#[derive(Clone, Debug, Default)]
+pub struct LoadReport {
+    /// Arrivals scheduled.
+    pub scheduled: usize,
+    /// `200` responses.
+    pub ok: usize,
+    /// `429` responses (admission or queue shed).
+    pub shed: usize,
+    /// Other `4xx`/`5xx` responses (typed rejections).
+    pub rejected: usize,
+    /// Connects, writes, or reads that failed outright.
+    pub transport_errors: usize,
+    /// Completed responses per second of wall time.
+    pub achieved_qps: f64,
+    /// Wall time from first scheduled arrival to last completion.
+    pub wall_s: f64,
+    /// Latency percentiles (scheduled arrival → response complete), ms.
+    pub p50_ms: f64,
+    /// 90th percentile, ms.
+    pub p90_ms: f64,
+    /// 99th percentile, ms.
+    pub p99_ms: f64,
+    /// Worst observed, ms.
+    pub max_ms: f64,
+}
+
+impl LoadReport {
+    /// Responses of any kind (everything that completed the protocol).
+    pub fn completed(&self) -> usize {
+        self.ok + self.shed + self.rejected
+    }
+
+    /// Fraction of completed responses that were shed with `429`.
+    pub fn shed_rate(&self) -> f64 {
+        let completed = self.completed();
+        if completed == 0 {
+            0.0
+        } else {
+            self.shed as f64 / completed as f64
+        }
+    }
+}
+
+/// One pre-scheduled arrival.
+#[derive(Clone, Copy, Debug)]
+struct Event {
+    /// Offset from run start.
+    at: Duration,
+    /// Query id (doubles as the RNG stream key server-side).
+    id: u64,
+    u: u32,
+    v: u32,
+}
+
+/// Pre-generate the Poisson schedule: exponential inter-arrival gaps at
+/// `target_qps`, pairs uniform over `0..nodes`, one RNG stream per
+/// event index.
+fn schedule(cfg: &LoadgenConfig) -> Vec<Event> {
+    let rate = cfg.target_qps.max(1e-9);
+    let mut events = Vec::new();
+    let mut at = 0.0f64;
+    let horizon = cfg.duration.as_secs_f64();
+    let mut index = 0u64;
+    loop {
+        let mut rng = item_rng(cfg.seed, index);
+        let gap: f64 = -(1.0 - rng.gen_range(0.0..1.0)).ln() / rate;
+        at += gap;
+        if at >= horizon {
+            return events;
+        }
+        let u = rng.gen_range(0..cfg.nodes);
+        let mut v = rng.gen_range(0..cfg.nodes);
+        if v == u {
+            v = (v + 1) % cfg.nodes.max(2);
+        }
+        events.push(Event {
+            at: Duration::from_secs_f64(at),
+            id: index,
+            u,
+            v,
+        });
+        index += 1;
+    }
+}
+
+/// Per-thread tallies merged into the final report.
+#[derive(Default)]
+struct Tally {
+    ok: usize,
+    shed: usize,
+    rejected: usize,
+    transport_errors: usize,
+    latencies_micros: Vec<u64>,
+}
+
+/// Drive one connection's slice of the schedule (already sorted by
+/// Connect with Nagle disabled: the generator writes one small request
+/// per exchange and a batched send stalls behind the server's delayed
+/// ACK, inflating every measured latency by the ACK timer.
+fn connect_nodelay(addr: SocketAddr) -> Option<TcpStream> {
+    let conn = TcpStream::connect(addr).ok()?;
+    let _ = conn.set_nodelay(true);
+    Some(conn)
+}
+
+/// arrival time). Reconnects after transport errors.
+fn drive(addr: SocketAddr, start: Instant, events: &[Event], deadline: Duration) -> Tally {
+    let mut tally = Tally {
+        latencies_micros: Vec::with_capacity(events.len()),
+        ..Tally::default()
+    };
+    let mut conn: Option<TcpStream> = connect_nodelay(addr);
+    for event in events {
+        if let Some(wait) = event.at.checked_sub(start.elapsed()) {
+            if wait > Duration::ZERO {
+                std::thread::sleep(wait);
+            }
+        }
+        if conn.is_none() {
+            conn = connect_nodelay(addr);
+        }
+        let Some(stream) = conn.as_mut() else {
+            tally.transport_errors += 1;
+            continue;
+        };
+        let body = RouteRequest {
+            u: event.u,
+            v: event.v,
+            id: Some(event.id),
+        }
+        .to_json();
+        if http::write_request(stream, "POST", "/route", body.as_bytes()).is_err() {
+            tally.transport_errors += 1;
+            conn = None;
+            continue;
+        }
+        match http::read_response(stream, deadline) {
+            Some(resp) => {
+                let micros = u64::try_from(start.elapsed().saturating_sub(event.at).as_micros())
+                    .unwrap_or(u64::MAX);
+                tally.latencies_micros.push(micros);
+                match resp.status {
+                    200 => tally.ok += 1,
+                    429 => tally.shed += 1,
+                    _ => tally.rejected += 1,
+                }
+                // The server closes after shedding or erroring; honour it.
+                if resp
+                    .header("connection")
+                    .is_some_and(|v| v.eq_ignore_ascii_case("close"))
+                {
+                    conn = None;
+                }
+            }
+            None => {
+                tally.transport_errors += 1;
+                conn = None;
+            }
+        }
+    }
+    tally
+}
+
+/// Exact percentile over the merged latency samples (µs → ms).
+fn percentile_ms(sorted_micros: &[u64], q: f64) -> f64 {
+    if sorted_micros.is_empty() {
+        return 0.0;
+    }
+    let rank = ((q * sorted_micros.len() as f64).ceil() as usize).clamp(1, sorted_micros.len());
+    sorted_micros[rank - 1] as f64 / 1e3
+}
+
+/// Run one open-loop load generation pass and collect the report.
+pub fn run(cfg: &LoadgenConfig) -> LoadReport {
+    let events = schedule(cfg);
+    let scheduled = events.len();
+    let connections = cfg.connections.max(1);
+    // Deal events round-robin so every connection sees the same rate.
+    let mut slices: Vec<Vec<Event>> = vec![Vec::new(); connections];
+    for (idx, event) in events.iter().enumerate() {
+        slices[idx % connections].push(*event);
+    }
+    let start = Instant::now();
+    let deadline = cfg.response_deadline;
+    let addr = cfg.addr;
+    let handles: Vec<_> = slices
+        .into_iter()
+        .map(|slice| std::thread::spawn(move || drive(addr, start, &slice, deadline)))
+        .collect();
+    let mut merged = Tally::default();
+    for handle in handles {
+        if let Ok(tally) = handle.join() {
+            merged.ok += tally.ok;
+            merged.shed += tally.shed;
+            merged.rejected += tally.rejected;
+            merged.transport_errors += tally.transport_errors;
+            merged.latencies_micros.extend(tally.latencies_micros);
+        }
+    }
+    let wall_s = start.elapsed().as_secs_f64().max(1e-9);
+    merged.latencies_micros.sort_unstable();
+    let completed = merged.ok + merged.shed + merged.rejected;
+    LoadReport {
+        scheduled,
+        ok: merged.ok,
+        shed: merged.shed,
+        rejected: merged.rejected,
+        transport_errors: merged.transport_errors,
+        achieved_qps: completed as f64 / wall_s,
+        wall_s,
+        p50_ms: percentile_ms(&merged.latencies_micros, 0.50),
+        p90_ms: percentile_ms(&merged.latencies_micros, 0.90),
+        p99_ms: percentile_ms(&merged.latencies_micros, 0.99),
+        max_ms: merged
+            .latencies_micros
+            .last()
+            .map_or(0.0, |&m| m as f64 / 1e3),
+    }
+}
+
+/// One cell of a target-QPS sweep (the E21 / `BENCH_serve.json` row
+/// shape).
+#[derive(Clone, Debug)]
+pub struct SweepCell {
+    /// Nodes in the serving artifact.
+    pub n: usize,
+    /// β-budget admission cap in force.
+    pub cap: u32,
+    /// Target arrival rate for this cell.
+    pub target_qps: f64,
+    /// Scheduled arrival horizon, seconds.
+    pub duration_s: f64,
+    /// The measured outcome.
+    pub report: LoadReport,
+}
+
+/// Why a sweep could not run.
+#[derive(Debug)]
+pub enum SweepError {
+    /// The artifact failed to load or validate.
+    Store(StoreError),
+    /// The server could not bind or start.
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for SweepError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SweepError::Store(e) => write!(f, "artifact: {e}"),
+            SweepError::Io(e) => write!(f, "server: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SweepError {}
+
+/// Boot a server from `artifact_path` (β-budget admission control with
+/// constant `cap_c`) and drive one open-loop run per target rate,
+/// resetting the congestion ledger between rates so cells are
+/// independent. This is experiment E21's engine and what
+/// `dcspan bench-serve` writes into `BENCH_serve.json`.
+pub fn sweep(
+    artifact_path: &std::path::Path,
+    rates: &[f64],
+    duration: Duration,
+    connections: usize,
+    cap_c: f64,
+    seed: u64,
+    server: crate::ServerConfig,
+) -> Result<Vec<SweepCell>, SweepError> {
+    let artifact = SpannerArtifact::load(artifact_path).map_err(SweepError::Store)?;
+    let n = artifact.meta.n;
+    let delta = artifact.meta.delta;
+    let config = OracleConfig {
+        seed: artifact.meta.seed,
+        ..OracleConfig::default()
+    }
+    .with_beta_budget(n, delta, cap_c);
+    let cap = config.per_node_cap.unwrap_or(0);
+    let oracle = Oracle::from_artifact(artifact, config).map_err(SweepError::Store)?;
+    let slot = Arc::new(SnapshotSlot::new(oracle));
+    let handle =
+        Server::start("127.0.0.1:0", Arc::clone(&slot), config, server).map_err(SweepError::Io)?;
+    let mut cells = Vec::with_capacity(rates.len());
+    for (idx, &rate) in rates.iter().enumerate() {
+        // Independent cells: drain the congestion ledger accumulated by
+        // the previous rate before measuring the next one.
+        slot.snapshot().reset_load();
+        let report = run(&LoadgenConfig {
+            addr: handle.addr(),
+            connections,
+            target_qps: rate,
+            duration,
+            seed: derive_seed(seed, idx as u64),
+            nodes: n as u32,
+            response_deadline: Duration::from_secs(10),
+        });
+        cells.push(SweepCell {
+            n,
+            cap,
+            target_qps: rate,
+            duration_s: duration.as_secs_f64(),
+            report,
+        });
+    }
+    handle.shutdown();
+    Ok(cells)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedule_is_deterministic_and_poisson_shaped() {
+        let cfg = LoadgenConfig {
+            addr: "127.0.0.1:1".parse().unwrap(),
+            connections: 2,
+            target_qps: 1000.0,
+            duration: Duration::from_millis(500),
+            seed: 42,
+            nodes: 100,
+            response_deadline: Duration::from_secs(1),
+        };
+        let a = schedule(&cfg);
+        let b = schedule(&cfg);
+        assert_eq!(a.len(), b.len());
+        assert!(!a.is_empty());
+        // ~1000 qps over 0.5 s ⇒ about 500 events; Poisson noise is a
+        // few √500, so a wide band is still a real check.
+        assert!((300..700).contains(&a.len()), "got {}", a.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.at, y.at);
+            assert_eq!((x.u, x.v, x.id), (y.u, y.v, y.id));
+            assert!(x.u != x.v);
+            assert!(x.u < 100 && x.v < 100);
+        }
+        // Arrival times are sorted by construction.
+        assert!(a.windows(2).all(|w| w[0].at <= w[1].at));
+    }
+
+    #[test]
+    fn percentiles_are_exact_on_small_samples() {
+        let sorted = [1_000, 2_000, 3_000, 4_000, 10_000];
+        assert_eq!(percentile_ms(&sorted, 0.5), 3.0);
+        assert_eq!(percentile_ms(&sorted, 0.99), 10.0);
+        assert_eq!(percentile_ms(&[], 0.5), 0.0);
+    }
+}

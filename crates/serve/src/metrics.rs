@@ -1,0 +1,398 @@
+//! Serving metrics: lock-free counters and a fixed-bucket latency
+//! histogram, rendered in Prometheus text exposition format by
+//! `GET /metrics`.
+//!
+//! Everything here is monotonic counters read with relaxed atomics — a
+//! scrape is a statistical snapshot, not a linearisable one, which is
+//! exactly the Prometheus contract. Oracle-side tier/rejection counts
+//! are not duplicated: the renderer pulls them live from the serving
+//! snapshot's `OracleStatsSnapshot` so the ladder counters always match
+//! what the oracle itself reports.
+
+use dcspan_oracle::OracleStatsSnapshot;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// Upper bounds (µs) of the latency histogram's finite buckets; the
+/// implicit final bucket is `+Inf`. Spans 50 µs – 5 s, log-ish spaced.
+pub const BUCKET_BOUNDS_MICROS: [u64; 16] = [
+    50, 100, 200, 500, 1_000, 2_000, 5_000, 10_000, 20_000, 50_000, 100_000, 200_000, 500_000,
+    1_000_000, 2_000_000, 5_000_000,
+];
+
+/// Response statuses tracked with dedicated counters (everything else
+/// lands in `other`).
+const TRACKED_STATUSES: [u16; 11] = [200, 400, 404, 405, 408, 413, 422, 429, 431, 500, 501];
+
+/// A fixed-bucket latency histogram (cumulative counts are computed at
+/// render time, so `observe` is a single relaxed increment).
+#[derive(Debug, Default)]
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKET_BOUNDS_MICROS.len() + 1],
+    sum_micros: AtomicU64,
+    count: AtomicU64,
+}
+
+impl Histogram {
+    /// Record one observation.
+    pub fn observe(&self, micros: u64) {
+        let idx = BUCKET_BOUNDS_MICROS
+            .iter()
+            .position(|&b| micros <= b)
+            .unwrap_or(BUCKET_BOUNDS_MICROS.len());
+        // ord: independent monotonic counters; scrapes tolerate any
+        // interleaving, so Relaxed suffices for all three.
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.sum_micros.fetch_add(micros, Ordering::Relaxed); // ord: see above
+        self.count.fetch_add(1, Ordering::Relaxed); // ord: see above
+    }
+
+    /// Total observations.
+    pub fn count(&self) -> u64 {
+        // ord: statistical read of a monotonic counter.
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Approximate quantile (`0.0 < q <= 1.0`) in seconds: the upper
+    /// bound of the bucket where the cumulative count crosses `q`.
+    pub fn quantile_seconds(&self, q: f64) -> f64 {
+        let total = self.count();
+        if total == 0 {
+            return 0.0;
+        }
+        let threshold = (q * total as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (idx, bucket) in self.buckets.iter().enumerate() {
+            // ord: statistical read of a monotonic counter.
+            seen += bucket.load(Ordering::Relaxed);
+            if seen >= threshold {
+                let bound = BUCKET_BOUNDS_MICROS
+                    .get(idx)
+                    .copied()
+                    .unwrap_or(BUCKET_BOUNDS_MICROS[BUCKET_BOUNDS_MICROS.len() - 1]);
+                return bound as f64 / 1e6;
+            }
+        }
+        BUCKET_BOUNDS_MICROS[BUCKET_BOUNDS_MICROS.len() - 1] as f64 / 1e6
+    }
+}
+
+/// All serving-side counters, shared across the worker pool.
+#[derive(Debug)]
+pub struct Metrics {
+    start: Instant,
+    /// Single-pair `POST /route` requests.
+    route_single: AtomicU64,
+    /// Batch `POST /route` requests (array bodies).
+    route_batch: AtomicU64,
+    /// Total items across all batch requests.
+    batch_items: AtomicU64,
+    /// `GET /healthz` requests.
+    healthz: AtomicU64,
+    /// `GET /metrics` requests.
+    metrics: AtomicU64,
+    /// `POST /admin/swap` requests.
+    swap: AtomicU64,
+    /// Connections accepted into the queue.
+    accepted: AtomicU64,
+    /// Connections shed at accept time because the queue was full.
+    queue_shed: AtomicU64,
+    /// Responses by status code, aligned with `TRACKED_STATUSES`.
+    statuses: [AtomicU64; TRACKED_STATUSES.len()],
+    /// Responses with a status outside `TRACKED_STATUSES`.
+    other_status: AtomicU64,
+    /// End-to-end routing latency (per routed item, µs).
+    latency: Histogram,
+}
+
+impl Default for Metrics {
+    fn default() -> Self {
+        Metrics::new()
+    }
+}
+
+impl Metrics {
+    /// Fresh counters; `start` anchors the uptime/qps gauges.
+    pub fn new() -> Metrics {
+        Metrics {
+            start: Instant::now(),
+            route_single: AtomicU64::new(0),
+            route_batch: AtomicU64::new(0),
+            batch_items: AtomicU64::new(0),
+            healthz: AtomicU64::new(0),
+            metrics: AtomicU64::new(0),
+            swap: AtomicU64::new(0),
+            accepted: AtomicU64::new(0),
+            queue_shed: AtomicU64::new(0),
+            statuses: Default::default(),
+            other_status: AtomicU64::new(0),
+            latency: Histogram::default(),
+        }
+    }
+
+    /// Count one request against its endpoint counter; `batch_items`
+    /// is nonzero only for array-bodied `/route` requests.
+    pub fn on_request(&self, endpoint: Endpoint, batch_items: u64) {
+        let counter = match endpoint {
+            Endpoint::Route => &self.route_single,
+            Endpoint::RouteBatch => &self.route_batch,
+            Endpoint::Healthz => &self.healthz,
+            Endpoint::MetricsPage => &self.metrics,
+            Endpoint::Swap => &self.swap,
+        };
+        // ord: independent monotonic counters (statistical scrape reads).
+        counter.fetch_add(1, Ordering::Relaxed);
+        if batch_items > 0 {
+            // ord: see above.
+            self.batch_items.fetch_add(batch_items, Ordering::Relaxed);
+        }
+    }
+
+    /// Count one response by status code.
+    pub fn on_response(&self, status: u16) {
+        let counter = TRACKED_STATUSES
+            .iter()
+            .position(|&s| s == status)
+            .map_or(&self.other_status, |idx| &self.statuses[idx]);
+        // ord: independent monotonic counter (statistical scrape reads).
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count one accepted connection.
+    pub fn on_accept(&self) {
+        // ord: independent monotonic counter (statistical scrape reads).
+        self.accepted.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count one connection shed at accept time (queue full).
+    pub fn on_queue_shed(&self) {
+        // ord: independent monotonic counter (statistical scrape reads).
+        self.queue_shed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record one routed item's end-to-end latency.
+    pub fn observe_latency_micros(&self, micros: u64) {
+        self.latency.observe(micros);
+    }
+
+    /// The latency histogram (tests and the renderer).
+    pub fn latency(&self) -> &Histogram {
+        &self.latency
+    }
+
+    /// Connections shed at accept time so far.
+    pub fn queue_shed_total(&self) -> u64 {
+        // ord: statistical read of a monotonic counter.
+        self.queue_shed.load(Ordering::Relaxed)
+    }
+
+    /// Render the Prometheus text page. Oracle-side numbers (ladder
+    /// tiers, typed rejections, live congestion) come from the caller's
+    /// current serving snapshot so they can never drift from the
+    /// oracle's own accounting.
+    pub fn render(
+        &self,
+        stats: &OracleStatsSnapshot,
+        snapshot_epoch: u64,
+        live_congestion: u32,
+        nodes: usize,
+    ) -> String {
+        // ord: all loads below are statistical reads of monotonic counters.
+        let load = |c: &AtomicU64| c.load(Ordering::Relaxed);
+        let uptime = self.start.elapsed().as_secs_f64().max(1e-9);
+        let mut out = String::with_capacity(4096);
+
+        out.push_str("# HELP dcspan_uptime_seconds Seconds since the server started.\n");
+        out.push_str("# TYPE dcspan_uptime_seconds gauge\n");
+        out.push_str(&format!("dcspan_uptime_seconds {uptime:.3}\n"));
+
+        out.push_str("# HELP dcspan_http_requests_total Requests by endpoint.\n");
+        out.push_str("# TYPE dcspan_http_requests_total counter\n");
+        for (label, counter) in [
+            ("route", &self.route_single),
+            ("route_batch", &self.route_batch),
+            ("healthz", &self.healthz),
+            ("metrics", &self.metrics),
+            ("swap", &self.swap),
+        ] {
+            out.push_str(&format!(
+                "dcspan_http_requests_total{{endpoint=\"{label}\"}} {}\n",
+                load(counter)
+            ));
+        }
+
+        out.push_str("# HELP dcspan_http_batch_items_total Route items inside batch requests.\n");
+        out.push_str("# TYPE dcspan_http_batch_items_total counter\n");
+        out.push_str(&format!(
+            "dcspan_http_batch_items_total {}\n",
+            load(&self.batch_items)
+        ));
+
+        out.push_str("# HELP dcspan_http_responses_total Responses by status code.\n");
+        out.push_str("# TYPE dcspan_http_responses_total counter\n");
+        for (idx, &status) in TRACKED_STATUSES.iter().enumerate() {
+            out.push_str(&format!(
+                "dcspan_http_responses_total{{status=\"{status}\"}} {}\n",
+                load(&self.statuses[idx])
+            ));
+        }
+        out.push_str(&format!(
+            "dcspan_http_responses_total{{status=\"other\"}} {}\n",
+            load(&self.other_status)
+        ));
+
+        out.push_str(
+            "# HELP dcspan_http_accepted_connections_total Connections admitted to the queue.\n",
+        );
+        out.push_str("# TYPE dcspan_http_accepted_connections_total counter\n");
+        out.push_str(&format!(
+            "dcspan_http_accepted_connections_total {}\n",
+            load(&self.accepted)
+        ));
+
+        out.push_str(
+            "# HELP dcspan_http_queue_shed_total Connections shed at accept (queue full).\n",
+        );
+        out.push_str("# TYPE dcspan_http_queue_shed_total counter\n");
+        out.push_str(&format!(
+            "dcspan_http_queue_shed_total {}\n",
+            load(&self.queue_shed)
+        ));
+
+        let served = self.latency.count();
+        out.push_str("# HELP dcspan_http_qps Routed items per second since start.\n");
+        out.push_str("# TYPE dcspan_http_qps gauge\n");
+        out.push_str(&format!("dcspan_http_qps {:.3}\n", served as f64 / uptime));
+
+        out.push_str("# HELP dcspan_route_latency_seconds Routing latency per item.\n");
+        out.push_str("# TYPE dcspan_route_latency_seconds histogram\n");
+        let mut cumulative = 0u64;
+        for (idx, &bound) in BUCKET_BOUNDS_MICROS.iter().enumerate() {
+            cumulative += load(&self.latency.buckets[idx]);
+            out.push_str(&format!(
+                "dcspan_route_latency_seconds_bucket{{le=\"{}\"}} {cumulative}\n",
+                bound as f64 / 1e6
+            ));
+        }
+        cumulative += load(&self.latency.buckets[BUCKET_BOUNDS_MICROS.len()]);
+        out.push_str(&format!(
+            "dcspan_route_latency_seconds_bucket{{le=\"+Inf\"}} {cumulative}\n"
+        ));
+        out.push_str(&format!(
+            "dcspan_route_latency_seconds_sum {:.6}\n",
+            load(&self.latency.sum_micros) as f64 / 1e6
+        ));
+        out.push_str(&format!("dcspan_route_latency_seconds_count {served}\n"));
+
+        out.push_str("# HELP dcspan_route_latency_quantile_seconds Bucket-resolution quantiles.\n");
+        out.push_str("# TYPE dcspan_route_latency_quantile_seconds gauge\n");
+        for (label, q) in [("0.5", 0.5), ("0.9", 0.9), ("0.99", 0.99)] {
+            out.push_str(&format!(
+                "dcspan_route_latency_quantile_seconds{{quantile=\"{label}\"}} {:.6}\n",
+                self.latency.quantile_seconds(q)
+            ));
+        }
+
+        out.push_str(
+            "# HELP dcspan_route_tier_total Queries served by each degradation-ladder rung.\n",
+        );
+        out.push_str("# TYPE dcspan_route_tier_total counter\n");
+        for (kind, count) in stats.tier_counts() {
+            out.push_str(&format!(
+                "dcspan_route_tier_total{{kind=\"{kind}\"}} {count}\n"
+            ));
+        }
+
+        out.push_str("# HELP dcspan_route_rejected_total Typed routing rejections by code.\n");
+        out.push_str("# TYPE dcspan_route_rejected_total counter\n");
+        for (code, count) in stats.rejection_counts() {
+            out.push_str(&format!(
+                "dcspan_route_rejected_total{{code=\"{code}\"}} {count}\n"
+            ));
+        }
+
+        out.push_str("# HELP dcspan_snapshot_epoch Artifact hot-swap epoch now serving.\n");
+        out.push_str("# TYPE dcspan_snapshot_epoch gauge\n");
+        out.push_str(&format!("dcspan_snapshot_epoch {snapshot_epoch}\n"));
+
+        out.push_str("# HELP dcspan_live_congestion Maximum live per-node load.\n");
+        out.push_str("# TYPE dcspan_live_congestion gauge\n");
+        out.push_str(&format!("dcspan_live_congestion {live_congestion}\n"));
+
+        out.push_str("# HELP dcspan_nodes Node count of the serving spanner.\n");
+        out.push_str("# TYPE dcspan_nodes gauge\n");
+        out.push_str(&format!("dcspan_nodes {nodes}\n"));
+
+        out
+    }
+}
+
+/// The endpoints the server exposes (request-counter keys).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Endpoint {
+    /// `POST /route` with a single-object body.
+    Route,
+    /// `POST /route` with an array body.
+    RouteBatch,
+    /// `GET /healthz`.
+    Healthz,
+    /// `GET /metrics`.
+    MetricsPage,
+    /// `POST /admin/swap`.
+    Swap,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_and_quantiles() {
+        let h = Histogram::default();
+        for micros in [40, 60, 150, 900, 3_000, 40_000, 7_000_000] {
+            h.observe(micros);
+        }
+        assert_eq!(h.count(), 7);
+        // 4/7 of the mass is at or below the 1ms bucket.
+        assert!(h.quantile_seconds(0.5) <= 1e-3);
+        // The top observation overflows every finite bucket.
+        assert!(h.quantile_seconds(1.0) >= 5.0);
+    }
+
+    #[test]
+    fn render_contains_every_metric_family() {
+        let m = Metrics::new();
+        m.on_request(Endpoint::Route, 0);
+        m.on_request(Endpoint::RouteBatch, 8);
+        m.on_response(200);
+        m.on_response(429);
+        m.on_response(777);
+        m.on_accept();
+        m.on_queue_shed();
+        m.observe_latency_micros(250);
+        let stats = OracleStatsSnapshot::default();
+        let page = m.render(&stats, 3, 17, 2000);
+        for needle in [
+            "dcspan_uptime_seconds",
+            "dcspan_http_requests_total{endpoint=\"route\"} 1",
+            "dcspan_http_requests_total{endpoint=\"route_batch\"} 1",
+            "dcspan_http_batch_items_total 8",
+            "dcspan_http_responses_total{status=\"200\"} 1",
+            "dcspan_http_responses_total{status=\"429\"} 1",
+            "dcspan_http_responses_total{status=\"other\"} 1",
+            "dcspan_http_accepted_connections_total 1",
+            "dcspan_http_queue_shed_total 1",
+            "dcspan_http_qps",
+            "dcspan_route_latency_seconds_bucket{le=\"+Inf\"} 1",
+            "dcspan_route_latency_seconds_count 1",
+            "dcspan_route_latency_quantile_seconds{quantile=\"0.99\"}",
+            "dcspan_route_tier_total{kind=\"two_hop\"} 0",
+            "dcspan_route_rejected_total{code=\"overloaded\"} 0",
+            "dcspan_snapshot_epoch 3",
+            "dcspan_live_congestion 17",
+            "dcspan_nodes 2000",
+        ] {
+            assert!(page.contains(needle), "missing {needle} in:\n{page}");
+        }
+    }
+}

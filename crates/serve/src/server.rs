@@ -1,0 +1,711 @@
+//! The threaded HTTP/1.1 serving front-end: bounded acceptor + worker
+//! pool over `std::net::TcpListener`, keep-alive connections, queue-full
+//! load shedding, and graceful drain.
+//!
+//! ## Threading model (DESIGN.md §13.3)
+//!
+//! One acceptor thread accepts connections and pushes them onto a
+//! bounded queue; `threads` worker threads pop connections and own them
+//! until close or idle timeout (keep-alive: one worker serves many
+//! requests per connection, one connection at a time). When the queue is
+//! full the acceptor answers `429` with `Retry-After` *at accept time*
+//! and closes — overload degrades by shedding, never by growing an
+//! unbounded backlog. Shutdown flips the stop flag, wakes the acceptor
+//! with a self-connection, closes the queue, and joins every worker
+//! after it drains the connections already admitted.
+//!
+//! ## Swap safety
+//!
+//! Every request takes one `SnapshotSlot::snapshot()` and serves
+//! entirely from it, so a concurrent `POST /admin/swap` is never
+//! observed mid-request — the same per-request snapshot discipline as
+//! the JSONL file loop.
+
+use crate::http::{self, HeadOutcome, RequestHead};
+use crate::metrics::{Endpoint, Metrics};
+use dcspan_oracle::wire::parse_route_value;
+use dcspan_oracle::{
+    ErrorBody, Oracle, OracleConfig, RequestLine, RouteError, SnapshotSlot, SwapAck, WireResponse,
+};
+use dcspan_store::SpannerArtifact;
+use serde_json::Value;
+use std::collections::VecDeque;
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Tunables for [`Server::start`]. The defaults suit tests and smoke
+/// runs; the CLI maps `--threads` etc. onto this.
+#[derive(Clone, Copy, Debug)]
+pub struct ServerConfig {
+    /// Worker threads (connections served concurrently).
+    pub threads: usize,
+    /// Bound on connections waiting for a worker; beyond it the
+    /// acceptor sheds with `429`.
+    pub queue_depth: usize,
+    /// Request-head byte cap (`431` above it).
+    pub max_head_bytes: usize,
+    /// Body byte cap (`413` above it).
+    pub max_body_bytes: usize,
+    /// Wall-clock budget for a started head or a declared body to
+    /// finish arriving (slowloris guard, `408` on expiry).
+    pub head_deadline: Duration,
+    /// Keep-alive idle window: how long a connection may sit quiet
+    /// between requests before the server closes it.
+    pub keep_alive_idle: Duration,
+    /// `Retry-After` seconds advertised on every `429`.
+    pub retry_after_secs: u32,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            threads: 4,
+            queue_depth: 64,
+            max_head_bytes: 8 * 1024,
+            max_body_bytes: 1024 * 1024,
+            head_deadline: Duration::from_secs(2),
+            keep_alive_idle: Duration::from_secs(5),
+            retry_after_secs: 1,
+        }
+    }
+}
+
+/// HTTP status for a typed routing rejection: overload-shaped errors
+/// are `429` (clients back off and retry), topology-shaped ones `422`,
+/// degenerate requests `400`.
+pub fn status_for(err: RouteError) -> u16 {
+    match err {
+        RouteError::InvalidQuery => 400,
+        RouteError::DeadEndpoint | RouteError::Partitioned => 422,
+        RouteError::Overloaded | RouteError::BudgetExceeded => 429,
+    }
+}
+
+/// Pending-connection queue guarded by `Shared::queue`.
+struct Queue {
+    conns: VecDeque<TcpStream>,
+    closed: bool,
+}
+
+/// State shared by the acceptor, the workers, and the handle.
+struct Shared {
+    slot: Arc<SnapshotSlot>,
+    base: OracleConfig,
+    cfg: ServerConfig,
+    metrics: Arc<Metrics>,
+    queue: Mutex<Queue>,
+    ready: Condvar,
+    stop: AtomicBool,
+    next_id: AtomicU64,
+}
+
+/// Recover from lock poisoning: a panicking worker must not wedge the
+/// whole server, and every structure under these locks is valid at
+/// every instruction boundary.
+fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+impl Shared {
+    fn stopped(&self) -> bool {
+        // ord: cooperative flag; the queue mutex (and for the acceptor,
+        // the wake-up connection) provides the actual synchronisation,
+        // so Relaxed suffices.
+        self.stop.load(Ordering::Relaxed)
+    }
+}
+
+/// A running server. Dropping the handle without calling
+/// [`Server::shutdown`] detaches the threads (the process exit reaps
+/// them); tests and the CLI always drain explicitly.
+pub struct Server {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Bind `addr` (e.g. `127.0.0.1:0` for an ephemeral port) and start
+    /// the acceptor and worker pool serving `slot`. `base` is the
+    /// oracle configuration applied to artifacts loaded by
+    /// `POST /admin/swap`.
+    pub fn start(
+        addr: &str,
+        slot: Arc<SnapshotSlot>,
+        base: OracleConfig,
+        cfg: ServerConfig,
+    ) -> io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            slot,
+            base,
+            cfg,
+            metrics: Arc::new(Metrics::new()),
+            queue: Mutex::new(Queue {
+                conns: VecDeque::new(),
+                closed: false,
+            }),
+            ready: Condvar::new(),
+            stop: AtomicBool::new(false),
+            next_id: AtomicU64::new(0),
+        });
+        let workers = (0..cfg.threads.max(1))
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || worker_loop(&shared))
+            })
+            .collect();
+        let acceptor = {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || acceptor_loop(&listener, &shared))
+        };
+        Ok(Server {
+            addr: local,
+            shared,
+            acceptor: Some(acceptor),
+            workers,
+        })
+    }
+
+    /// The bound address (resolves the ephemeral port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The serving counters (shared with the workers).
+    pub fn metrics(&self) -> Arc<Metrics> {
+        Arc::clone(&self.shared.metrics)
+    }
+
+    /// Graceful drain: stop accepting, wake the acceptor, close the
+    /// queue, and join every thread after the admitted connections are
+    /// served to completion.
+    pub fn shutdown(mut self) {
+        // ord: cooperative flag; the self-connection below and the
+        // queue mutex publish the decision to the threads.
+        self.shared.stop.store(true, Ordering::Relaxed);
+        // Wake the acceptor out of its blocking accept.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+        {
+            let mut queue = lock(&self.shared.queue);
+            queue.closed = true;
+        }
+        self.shared.ready.notify_all();
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+/// Accept until stopped; shed with `429` when the queue is full.
+fn acceptor_loop(listener: &TcpListener, shared: &Shared) {
+    for conn in listener.incoming() {
+        if shared.stopped() {
+            break;
+        }
+        let Ok(mut conn) = conn else { continue };
+        // Disable Nagle: responses are small and latency-bound, and the
+        // algorithm's batching stalls keep-alive exchanges behind
+        // delayed ACKs. Best-effort — a failed setsockopt still serves.
+        let _ = conn.set_nodelay(true);
+        {
+            let mut queue = lock(&shared.queue);
+            if queue.conns.len() < shared.cfg.queue_depth {
+                queue.conns.push_back(conn);
+                drop(queue);
+                shared.metrics.on_accept();
+                shared.ready.notify_one();
+                continue;
+            }
+        }
+        // Shed at accept time: tell the client to back off, then close.
+        // The write is best-effort — the point is not to queue.
+        shared.metrics.on_queue_shed();
+        shared.metrics.on_response(429);
+        let body = ErrorBody::new(
+            "queue_full",
+            "the server's pending-connection queue is full; retry after a backoff",
+        )
+        .to_json();
+        let _ = http::write_response(
+            &mut conn,
+            429,
+            "application/json",
+            body.as_bytes(),
+            false,
+            &[("Retry-After", shared.cfg.retry_after_secs.to_string())],
+        );
+    }
+    let mut queue = lock(&shared.queue);
+    queue.closed = true;
+    shared.ready.notify_all();
+}
+
+/// Pop connections until the queue is closed *and* drained.
+fn worker_loop(shared: &Shared) {
+    loop {
+        let conn = {
+            let mut queue = lock(&shared.queue);
+            loop {
+                if let Some(conn) = queue.conns.pop_front() {
+                    break Some(conn);
+                }
+                if queue.closed {
+                    break None;
+                }
+                queue = shared
+                    .ready
+                    .wait(queue)
+                    .unwrap_or_else(PoisonError::into_inner);
+            }
+        };
+        match conn {
+            Some(conn) => handle_connection(conn, shared),
+            None => return,
+        }
+    }
+}
+
+/// Whether to keep the connection after a response.
+enum Next {
+    KeepAlive,
+    Close,
+}
+
+/// Serve one connection until close, idle timeout, abuse, or drain.
+fn handle_connection(mut conn: TcpStream, shared: &Shared) {
+    loop {
+        let outcome = http::read_head(
+            &mut conn,
+            shared.cfg.max_head_bytes,
+            shared.cfg.keep_alive_idle,
+            shared.cfg.head_deadline,
+        );
+        let next = match outcome {
+            HeadOutcome::Idle | HeadOutcome::Disconnect => return,
+            HeadOutcome::Partial => {
+                let _ = respond_error(
+                    &mut conn,
+                    shared,
+                    408,
+                    "request_timeout",
+                    "the request head or body did not arrive within the deadline",
+                    false,
+                );
+                return;
+            }
+            HeadOutcome::TooLarge => {
+                let _ = respond_error(
+                    &mut conn,
+                    shared,
+                    431,
+                    "header_too_large",
+                    "request head exceeds the configured byte cap",
+                    false,
+                );
+                return;
+            }
+            HeadOutcome::Malformed => {
+                let _ = respond_error(
+                    &mut conn,
+                    shared,
+                    400,
+                    "bad_request",
+                    "request head is not parseable HTTP/1.x",
+                    false,
+                );
+                return;
+            }
+            HeadOutcome::Request(head, leftover) => {
+                serve_request(&mut conn, shared, &head, leftover)
+            }
+        };
+        match next {
+            Next::KeepAlive => {}
+            Next::Close => return,
+        }
+    }
+}
+
+/// Read the body (with caps and deadline) and dispatch one request.
+fn serve_request(
+    conn: &mut TcpStream,
+    shared: &Shared,
+    head: &RequestHead,
+    leftover: Vec<u8>,
+) -> Next {
+    if head.is_chunked() {
+        let _ = respond_error(
+            conn,
+            shared,
+            501,
+            "not_implemented",
+            "chunked transfer encoding is not supported; send Content-Length",
+            false,
+        );
+        return Next::Close;
+    }
+    let Some(len) = head.content_length() else {
+        let _ = respond_error(
+            conn,
+            shared,
+            400,
+            "bad_request",
+            "Content-Length is not a decimal integer",
+            false,
+        );
+        return Next::Close;
+    };
+    if len > shared.cfg.max_body_bytes {
+        let _ = respond_error(
+            conn,
+            shared,
+            413,
+            "payload_too_large",
+            "body exceeds the configured byte cap",
+            false,
+        );
+        return Next::Close;
+    }
+    if head.expects_continue() && len > 0 && http::write_continue(conn).is_err() {
+        return Next::Close;
+    }
+    let Some(body) = http::read_body(conn, leftover, len, shared.cfg.head_deadline) else {
+        let _ = respond_error(
+            conn,
+            shared,
+            408,
+            "request_timeout",
+            "the declared body did not arrive within the deadline",
+            false,
+        );
+        return Next::Close;
+    };
+    // Drain mode: answer this request, then close instead of idling.
+    let keep_alive = !head.wants_close() && !shared.stopped();
+    let sent = match (head.method.as_str(), head.path.as_str()) {
+        ("POST", "/route") => route_endpoint(conn, shared, &body, keep_alive),
+        ("GET", "/healthz") => healthz_endpoint(conn, shared, keep_alive),
+        ("GET", "/metrics") => metrics_endpoint(conn, shared, keep_alive),
+        ("POST", "/admin/swap") => swap_endpoint(conn, shared, &body, keep_alive),
+        (_, "/route" | "/healthz" | "/metrics" | "/admin/swap") => {
+            let allow = if head.path == "/route" || head.path == "/admin/swap" {
+                "POST"
+            } else {
+                "GET"
+            };
+            respond_with(
+                conn,
+                shared,
+                405,
+                "application/json",
+                ErrorBody::new("method_not_allowed", "wrong method for this endpoint")
+                    .to_json()
+                    .as_bytes(),
+                keep_alive,
+                &[("Allow", allow.to_string())],
+            )
+        }
+        _ => respond_error(
+            conn,
+            shared,
+            404,
+            "not_found",
+            "unknown endpoint; see /healthz, /metrics, /route, /admin/swap",
+            keep_alive,
+        ),
+    };
+    match (sent, keep_alive) {
+        (Ok(()), true) => Next::KeepAlive,
+        _ => Next::Close,
+    }
+}
+
+/// `POST /route`: a single `{u, v, id?}` object or an array of them.
+/// Single requests map the routing outcome onto the HTTP status; batch
+/// requests are always `200` with per-item outcomes embedded.
+fn route_endpoint(
+    conn: &mut TcpStream,
+    shared: &Shared,
+    body: &[u8],
+    keep_alive: bool,
+) -> io::Result<()> {
+    let Ok(text) = std::str::from_utf8(body) else {
+        return respond_error(
+            conn,
+            shared,
+            400,
+            "bad_request",
+            "body is not UTF-8",
+            keep_alive,
+        );
+    };
+    let value: Value = match serde_json::from_str(text) {
+        Ok(v) => v,
+        Err(e) => {
+            return respond_error(
+                conn,
+                shared,
+                400,
+                "bad_request",
+                format!("body is not valid JSON: {e}"),
+                keep_alive,
+            );
+        }
+    };
+    let snapshot = shared.slot.snapshot();
+    if let Some(items) = value.as_array() {
+        shared
+            .metrics
+            .on_request(Endpoint::RouteBatch, items.len() as u64);
+        // Validate the whole batch first: a malformed item rejects the
+        // request, it never silently drops entries.
+        let mut requests = Vec::with_capacity(items.len());
+        for (idx, item) in items.iter().enumerate() {
+            match parse_route_value(item) {
+                Ok(req) => requests.push(req),
+                Err(e) => {
+                    return respond_error(
+                        conn,
+                        shared,
+                        400,
+                        "bad_request",
+                        format!("batch item {idx}: {e}"),
+                        keep_alive,
+                    );
+                }
+            }
+        }
+        let mut out = String::with_capacity(64 * requests.len() + 2);
+        out.push('[');
+        for (idx, req) in requests.iter().enumerate() {
+            if idx > 0 {
+                out.push(',');
+            }
+            out.push_str(&answer(shared, &snapshot, *req).1.to_json());
+        }
+        out.push(']');
+        return respond_with(
+            conn,
+            shared,
+            200,
+            "application/json",
+            out.as_bytes(),
+            keep_alive,
+            &[],
+        );
+    }
+    shared.metrics.on_request(Endpoint::Route, 0);
+    match parse_route_value(&value) {
+        Ok(req) => {
+            let (status, wire) = answer(shared, &snapshot, req);
+            let retry: Vec<(&str, String)> = if status == 429 {
+                vec![("Retry-After", shared.cfg.retry_after_secs.to_string())]
+            } else {
+                Vec::new()
+            };
+            respond_with(
+                conn,
+                shared,
+                status,
+                "application/json",
+                wire.to_json().as_bytes(),
+                keep_alive,
+                &retry,
+            )
+        }
+        Err(e) => respond_error(conn, shared, 400, "bad_request", e.to_string(), keep_alive),
+    }
+}
+
+/// Route one request against the snapshot, recording latency; returns
+/// the HTTP status a *single* request would get plus the wire body.
+fn answer(
+    shared: &Shared,
+    snapshot: &Oracle,
+    req: dcspan_oracle::RouteRequest,
+) -> (u16, WireResponse) {
+    let id = req.id.unwrap_or_else(|| {
+        // ord: id uniqueness only; no ordering with other state.
+        shared.next_id.fetch_add(1, Ordering::Relaxed)
+    });
+    let started = Instant::now();
+    let result = snapshot.route(req.u, req.v, id);
+    let micros = u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX);
+    shared.metrics.observe_latency_micros(micros);
+    let status = match &result {
+        Ok(_) => 200,
+        Err(err) => status_for(*err),
+    };
+    (status, WireResponse::from_result(id, req.u, req.v, &result))
+}
+
+/// `GET /healthz`: liveness plus the serving instance's shape.
+fn healthz_endpoint(conn: &mut TcpStream, shared: &Shared, keep_alive: bool) -> io::Result<()> {
+    shared.metrics.on_request(Endpoint::Healthz, 0);
+    let snapshot = shared.slot.snapshot();
+    let body = format!(
+        "{{\"ok\":true,\"n\":{},\"epoch\":{},\"threads\":{}}}",
+        snapshot.spanner().n(),
+        shared.slot.epoch(),
+        shared.cfg.threads.max(1),
+    );
+    respond_with(
+        conn,
+        shared,
+        200,
+        "application/json",
+        body.as_bytes(),
+        keep_alive,
+        &[],
+    )
+}
+
+/// `GET /metrics`: the Prometheus text page.
+fn metrics_endpoint(conn: &mut TcpStream, shared: &Shared, keep_alive: bool) -> io::Result<()> {
+    shared.metrics.on_request(Endpoint::MetricsPage, 0);
+    let snapshot = shared.slot.snapshot();
+    let page = shared.metrics.render(
+        &snapshot.stats(),
+        shared.slot.epoch(),
+        snapshot.live_congestion(),
+        snapshot.spanner().n(),
+    );
+    respond_with(
+        conn,
+        shared,
+        200,
+        "text/plain; version=0.0.4; charset=utf-8",
+        page.as_bytes(),
+        keep_alive,
+        &[],
+    )
+}
+
+/// `POST /admin/swap`: `{"swap": "artifact-path"}` — the same control
+/// schema as the JSONL loop. Loads, validates, and publishes the
+/// artifact; in-flight requests keep their snapshot.
+fn swap_endpoint(
+    conn: &mut TcpStream,
+    shared: &Shared,
+    body: &[u8],
+    keep_alive: bool,
+) -> io::Result<()> {
+    shared.metrics.on_request(Endpoint::Swap, 0);
+    let text = String::from_utf8_lossy(body);
+    let path = match RequestLine::parse(text.trim()) {
+        Ok(RequestLine::Swap(path)) => path,
+        Ok(RequestLine::Route(_)) | Err(_) => {
+            return respond_error(
+                conn,
+                shared,
+                400,
+                "bad_request",
+                "body must be {\"swap\": \"artifact-path\"}",
+                keep_alive,
+            );
+        }
+    };
+    let loaded = SpannerArtifact::load(std::path::Path::new(&path))
+        .and_then(|artifact| Oracle::from_artifact(artifact, shared.base));
+    match loaded {
+        Ok(oracle) => {
+            let epoch = shared.slot.swap(oracle);
+            let ack = SwapAck {
+                swapped: true,
+                artifact: path,
+                epoch,
+            };
+            respond_with(
+                conn,
+                shared,
+                200,
+                "application/json",
+                ack.to_json().as_bytes(),
+                keep_alive,
+                &[],
+            )
+        }
+        Err(e) => respond_error(
+            conn,
+            shared,
+            422,
+            "swap_failed",
+            format!("artifact {path:?} could not be served: {e}"),
+            keep_alive,
+        ),
+    }
+}
+
+/// Write a response and count its status.
+fn respond_with(
+    conn: &mut TcpStream,
+    shared: &Shared,
+    status: u16,
+    content_type: &str,
+    body: &[u8],
+    keep_alive: bool,
+    extra: &[(&str, String)],
+) -> io::Result<()> {
+    shared.metrics.on_response(status);
+    http::write_response(conn, status, content_type, body, keep_alive, extra)
+}
+
+/// Write an [`ErrorBody`] response (`429` additionally advertises
+/// `Retry-After`).
+fn respond_error(
+    conn: &mut TcpStream,
+    shared: &Shared,
+    status: u16,
+    code: &str,
+    message: impl Into<String>,
+    keep_alive: bool,
+) -> io::Result<()> {
+    let body = ErrorBody::new(code, message).to_json();
+    let retry: Vec<(&str, String)> = if status == 429 {
+        vec![("Retry-After", shared.cfg.retry_after_secs.to_string())]
+    } else {
+        Vec::new()
+    };
+    respond_with(
+        conn,
+        shared,
+        status,
+        "application/json",
+        body.as_bytes(),
+        keep_alive,
+        &retry,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn status_mapping_matches_the_ladder() {
+        assert_eq!(status_for(RouteError::InvalidQuery), 400);
+        assert_eq!(status_for(RouteError::DeadEndpoint), 422);
+        assert_eq!(status_for(RouteError::Partitioned), 422);
+        assert_eq!(status_for(RouteError::Overloaded), 429);
+        assert_eq!(status_for(RouteError::BudgetExceeded), 429);
+    }
+
+    #[test]
+    fn default_config_is_bounded() {
+        let cfg = ServerConfig::default();
+        assert!(cfg.queue_depth > 0);
+        assert!(cfg.max_head_bytes > 0);
+        assert!(cfg.max_body_bytes >= cfg.max_head_bytes);
+        assert!(cfg.retry_after_secs > 0);
+    }
+}

@@ -1,0 +1,480 @@
+//! End-to-end tests for the HTTP serving front-end.
+//!
+//! The centerpiece is the cross-transport differential contract: every
+//! body the server emits over a socket must be byte-identical to
+//! [`WireResponse::to_json`] of an offline [`Oracle`] replay of the same
+//! requests (same artifact, same config, same explicit query ids), across
+//! fault injection and `/admin/swap` — including a swap fired *mid-burst*
+//! with concurrent clients, where each response must match exactly one of
+//! the two published snapshots and never a blend. The remaining tests
+//! cover the abuse surface (malformed heads, oversized bodies, slowloris,
+//! chunked), β-budget shedding as typed `429`s, queue-full shedding at
+//! accept time, keep-alive reuse, and shutdown.
+
+use dcspan_core::serve::SpannerAlgo;
+use dcspan_gen::regular::random_regular;
+use dcspan_graph::rng::item_rng;
+use dcspan_oracle::{
+    Oracle, OracleConfig, RouteError, RouteRequest, SnapshotSlot, SwapAck, WireResponse,
+};
+use dcspan_serve::http::{self, ClientResponse};
+use dcspan_serve::server::{status_for, Server, ServerConfig};
+use dcspan_store::SpannerArtifact;
+use rand::Rng;
+use std::io::Write;
+use std::net::{SocketAddr, TcpStream};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Generous client-side deadline: tests fail on wrong bytes, not races.
+const DEADLINE: Duration = Duration::from_secs(10);
+
+fn temp_path(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("dcspan-http-test-{}-{tag}.bin", std::process::id()))
+}
+
+/// Build a Theorem 3 artifact over a Δ-regular expander and save it.
+fn build_artifact(n: usize, graph_seed: u64, build_seed: u64, tag: &str) -> PathBuf {
+    let delta = (((n as f64).powf(2.0 / 3.0).ceil() as usize) + 1) & !1;
+    let g = random_regular(n, delta, graph_seed);
+    let artifact = Oracle::build_artifact(&g, SpannerAlgo::Theorem3, build_seed);
+    let path = temp_path(tag);
+    artifact.save(&path).unwrap();
+    path
+}
+
+/// The deterministic serving config the differential tests rely on:
+/// caching off (every answer recomputed from the per-id derived stream)
+/// and no admission cap (the congestion ledger never affects answers),
+/// so a response depends only on `(artifact, faults, u, v, id)`.
+fn base_config() -> OracleConfig {
+    OracleConfig {
+        cache_capacity: 0,
+        seed: 7,
+        ..OracleConfig::default()
+    }
+}
+
+fn boot(path: &Path, base: OracleConfig, cfg: ServerConfig) -> (Server, Arc<SnapshotSlot>) {
+    let artifact = SpannerArtifact::load(path).unwrap();
+    let oracle = Oracle::from_artifact(artifact, base).unwrap();
+    let slot = Arc::new(SnapshotSlot::new(oracle));
+    let server = Server::start("127.0.0.1:0", Arc::clone(&slot), base, cfg).unwrap();
+    (server, slot)
+}
+
+/// One request on a fresh connection.
+fn call(addr: SocketAddr, method: &str, path: &str, body: &[u8]) -> ClientResponse {
+    let mut conn = TcpStream::connect(addr).unwrap();
+    http::write_request(&mut conn, method, path, body).unwrap();
+    http::read_response(&mut conn, DEADLINE).unwrap()
+}
+
+/// Deterministic query pairs with explicit ids `base_id..base_id+count`.
+fn phase_requests(master: u64, base_id: u64, count: usize, n: u32) -> Vec<(u64, u32, u32)> {
+    (0..count)
+        .map(|i| {
+            let id = base_id + i as u64;
+            let mut rng = item_rng(master, id);
+            let u = rng.gen_range(0..n);
+            let v = (u + 1 + rng.gen_range(0..n - 1)) % n;
+            (id, u, v)
+        })
+        .collect()
+}
+
+/// Fire a phase from `threads` concurrent keep-alive clients; results
+/// come back sorted by id.
+fn fire_phase(
+    addr: SocketAddr,
+    reqs: &[(u64, u32, u32)],
+    threads: usize,
+) -> Vec<(u64, u16, String)> {
+    // The collect is load-bearing: without it the lazy map would join
+    // each thread before spawning the next, serialising the phase.
+    #[allow(clippy::needless_collect)]
+    let handles: Vec<_> = (0..threads)
+        .map(|t| {
+            let chunk: Vec<(u64, u32, u32)> =
+                reqs.iter().copied().skip(t).step_by(threads).collect();
+            std::thread::spawn(move || {
+                let mut conn = TcpStream::connect(addr).unwrap();
+                let mut out = Vec::with_capacity(chunk.len());
+                for (id, u, v) in chunk {
+                    let body = RouteRequest { u, v, id: Some(id) }.to_json();
+                    http::write_request(&mut conn, "POST", "/route", body.as_bytes()).unwrap();
+                    let resp = http::read_response(&mut conn, DEADLINE).unwrap();
+                    out.push((id, resp.status, resp.text()));
+                }
+                out
+            })
+        })
+        .collect();
+    let mut all: Vec<(u64, u16, String)> = handles
+        .into_iter()
+        .flat_map(|h| h.join().unwrap())
+        .collect();
+    all.sort_by_key(|r| r.0);
+    all
+}
+
+/// Offline replay: the exact `(status, body)` the server must have sent.
+fn expected(oracle: &Oracle, reqs: &[(u64, u32, u32)]) -> Vec<(u64, u16, String)> {
+    reqs.iter()
+        .map(|&(id, u, v)| {
+            let result = oracle.route(u, v, id);
+            let status = match &result {
+                Ok(_) => 200,
+                Err(e) => status_for(*e),
+            };
+            (
+                id,
+                status,
+                WireResponse::from_result(id, u, v, &result).to_json(),
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn differential_replay_with_faults_and_swap() {
+    let n = 60u32;
+    let p1 = build_artifact(60, 1, 11, "diff-a");
+    let p2 = build_artifact(60, 2, 22, "diff-b");
+    let base = base_config();
+    let cfg = ServerConfig {
+        threads: 3,
+        ..ServerConfig::default()
+    };
+    let (server, slot) = boot(&p1, base, cfg);
+    let addr = server.addr();
+
+    // Phase A: pristine artifact 1.
+    let reqs_a = phase_requests(5, 0, 120, n);
+    let got_a = fire_phase(addr, &reqs_a, 3);
+
+    // Inject faults on the serving oracle through the in-process handle;
+    // the replay below mirrors the same sequence exactly.
+    let served = slot.snapshot();
+    let dead_node = 3u32;
+    let edge = served
+        .spanner()
+        .edges()
+        .iter()
+        .copied()
+        .find(|e| e.u != dead_node && e.v != dead_node)
+        .unwrap();
+    assert!(served.fail_node(dead_node));
+    assert!(served.fail_edge(edge.u, edge.v));
+
+    // Phase B: degraded serving (dead endpoints answer 422, survivors
+    // reroute) must still match the replay byte for byte.
+    let reqs_b = phase_requests(6, 1000, 120, n);
+    let got_b = fire_phase(addr, &reqs_b, 3);
+
+    // Hot swap to artifact 2 at a quiesce point; the ack carries the
+    // published epoch.
+    let resp = call(
+        addr,
+        "POST",
+        "/admin/swap",
+        format!("{{\"swap\":\"{}\"}}", p2.display()).as_bytes(),
+    );
+    assert_eq!(resp.status, 200);
+    let ack = SwapAck {
+        swapped: true,
+        artifact: p2.display().to_string(),
+        epoch: 1,
+    };
+    assert_eq!(resp.text(), ack.to_json());
+
+    // Phase C: artifact 2, no faults (a swap installs a fresh oracle).
+    let reqs_c = phase_requests(7, 2000, 120, n);
+    let got_c = fire_phase(addr, &reqs_c, 3);
+
+    // Phase D: swap back to artifact 1 *mid-burst*. Every concurrent
+    // response must equal the replay against exactly one of the two
+    // published snapshots — the per-request snapshot discipline forbids
+    // a blend.
+    let reqs_d = phase_requests(8, 3000, 240, n);
+    let swap_back = format!("{{\"swap\":\"{}\"}}", p1.display());
+    let burst_reqs = reqs_d.clone();
+    let burst = std::thread::spawn(move || fire_phase(addr, &burst_reqs, 3));
+    std::thread::sleep(Duration::from_millis(2));
+    assert_eq!(
+        call(addr, "POST", "/admin/swap", swap_back.as_bytes()).status,
+        200
+    );
+    let got_d = burst.join().unwrap();
+
+    server.shutdown();
+
+    // Offline replay with the same artifacts, config, fault sequence,
+    // and ids.
+    let r1 = Oracle::from_artifact(SpannerArtifact::load(&p1).unwrap(), base).unwrap();
+    let want_a = expected(&r1, &reqs_a);
+    assert!(r1.fail_node(dead_node));
+    assert!(r1.fail_edge(edge.u, edge.v));
+    let want_b = expected(&r1, &reqs_b);
+    let r2 = Oracle::from_artifact(SpannerArtifact::load(&p2).unwrap(), base).unwrap();
+    let want_c = expected(&r2, &reqs_c);
+    let r1_fresh = Oracle::from_artifact(SpannerArtifact::load(&p1).unwrap(), base).unwrap();
+    let want_d_before = expected(&r2, &reqs_d);
+    let want_d_after = expected(&r1_fresh, &reqs_d);
+
+    assert_eq!(got_a, want_a);
+    assert_eq!(got_b, want_b);
+    assert_eq!(got_c, want_c);
+    assert!(want_b.iter().any(|(_, status, _)| *status == 422));
+    for (i, got) in got_d.iter().enumerate() {
+        assert!(
+            *got == want_d_before[i] || *got == want_d_after[i],
+            "mid-swap response for id {} matches neither snapshot: {:?}",
+            got.0,
+            got
+        );
+    }
+
+    let _ = std::fs::remove_file(&p1);
+    let _ = std::fs::remove_file(&p2);
+}
+
+#[test]
+fn rejects_malformed_oversized_and_slow_requests() {
+    let p = build_artifact(24, 3, 33, "abuse");
+    let cfg = ServerConfig {
+        threads: 2,
+        max_head_bytes: 512,
+        max_body_bytes: 256,
+        head_deadline: Duration::from_millis(250),
+        keep_alive_idle: Duration::from_millis(500),
+        ..ServerConfig::default()
+    };
+    let (server, _slot) = boot(&p, base_config(), cfg);
+    let addr = server.addr();
+
+    // Not JSON at all.
+    let resp = call(addr, "POST", "/route", b"not json");
+    assert_eq!(resp.status, 400);
+    assert!(resp.text().contains("bad_request"));
+
+    // Missing field.
+    assert_eq!(call(addr, "POST", "/route", b"{\"u\":1}").status, 400);
+
+    // Out-of-range endpoint: a typed ladder rejection, not a 500.
+    let resp = call(addr, "POST", "/route", b"{\"u\":9999,\"v\":1}");
+    assert_eq!(resp.status, 400);
+    assert!(resp.text().contains("invalid_query"));
+
+    // One malformed batch item rejects the whole batch, by index.
+    let resp = call(addr, "POST", "/route", b"[{\"u\":0,\"v\":1},{\"u\":5}]");
+    assert_eq!(resp.status, 400);
+    assert!(resp.text().contains("batch item 1"));
+
+    // Wrong method and unknown path.
+    let resp = call(addr, "GET", "/route", b"");
+    assert_eq!(resp.status, 405);
+    assert_eq!(resp.header("Allow"), Some("POST"));
+    assert_eq!(call(addr, "GET", "/nope", b"").status, 404);
+
+    // A body declared over the cap is refused before it is read.
+    let mut conn = TcpStream::connect(addr).unwrap();
+    conn.write_all(b"POST /route HTTP/1.1\r\nHost: t\r\nContent-Length: 1000\r\n\r\n")
+        .unwrap();
+    assert_eq!(
+        http::read_response(&mut conn, DEADLINE).unwrap().status,
+        413
+    );
+
+    // Chunked transfer encoding is refused, never mis-framed.
+    let mut conn = TcpStream::connect(addr).unwrap();
+    conn.write_all(b"POST /route HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n")
+        .unwrap();
+    assert_eq!(
+        http::read_response(&mut conn, DEADLINE).unwrap().status,
+        501
+    );
+
+    // Unparseable Content-Length.
+    let mut conn = TcpStream::connect(addr).unwrap();
+    conn.write_all(b"POST /route HTTP/1.1\r\nContent-Length: banana\r\n\r\n")
+        .unwrap();
+    assert_eq!(
+        http::read_response(&mut conn, DEADLINE).unwrap().status,
+        400
+    );
+
+    // A head over the byte cap.
+    let mut conn = TcpStream::connect(addr).unwrap();
+    let mut huge = b"GET /healthz HTTP/1.1\r\nX-Pad: ".to_vec();
+    huge.resize(huge.len() + 600, b'a');
+    conn.write_all(&huge).unwrap();
+    assert_eq!(
+        http::read_response(&mut conn, DEADLINE).unwrap().status,
+        431
+    );
+
+    // Slowloris: a head that never completes is answered 408 when the
+    // deadline expires, instead of pinning the worker forever.
+    let mut conn = TcpStream::connect(addr).unwrap();
+    conn.write_all(b"POST /route HTTP/1.1\r\nContent-Le")
+        .unwrap();
+    let resp = http::read_response(&mut conn, DEADLINE).unwrap();
+    assert_eq!(resp.status, 408);
+    assert!(resp.text().contains("request_timeout"));
+
+    server.shutdown();
+    let _ = std::fs::remove_file(&p);
+}
+
+#[test]
+fn sheds_with_429_and_retry_after_when_capped() {
+    let p = build_artifact(24, 4, 44, "shed");
+    // A zero β-budget: admission control sheds every query.
+    let base = OracleConfig {
+        per_node_cap: Some(0),
+        ..base_config()
+    };
+    let cfg = ServerConfig {
+        threads: 2,
+        ..ServerConfig::default()
+    };
+    let (server, _slot) = boot(&p, base, cfg);
+    let addr = server.addr();
+
+    let resp = call(addr, "POST", "/route", b"{\"u\":0,\"v\":1,\"id\":9}");
+    assert_eq!(resp.status, 429);
+    assert_eq!(resp.header("Retry-After"), Some("1"));
+    let wire = WireResponse::from_json(&resp.text()).unwrap();
+    assert_eq!(wire.route_error(), Some(RouteError::Overloaded));
+    assert_eq!(wire.retryable, Some(true));
+
+    // A batch stays 200 with the per-item outcomes embedded.
+    let resp = call(
+        addr,
+        "POST",
+        "/route",
+        b"[{\"u\":0,\"v\":1},{\"u\":2,\"v\":3}]",
+    );
+    assert_eq!(resp.status, 200);
+    let items: serde_json::Value = serde_json::from_str(&resp.text()).unwrap();
+    let items = items.as_array().unwrap();
+    assert_eq!(items.len(), 2);
+    for item in items {
+        let wire = WireResponse::from_value(item).unwrap();
+        assert_eq!(wire.route_error(), Some(RouteError::Overloaded));
+    }
+
+    // The scrape shows both the HTTP and the ladder view of the shed.
+    let page = call(addr, "GET", "/metrics", b"").text();
+    assert!(page.contains("dcspan_http_responses_total{status=\"429\"} 1"));
+    assert!(page.contains("dcspan_route_rejected_total{code=\"overloaded\"} 3"));
+    assert!(page.contains("dcspan_snapshot_epoch 0"));
+
+    server.shutdown();
+    let _ = std::fs::remove_file(&p);
+}
+
+#[test]
+fn healthz_metrics_and_keep_alive_reuse() {
+    let p = build_artifact(24, 5, 55, "health");
+    let (server, _slot) = boot(&p, base_config(), ServerConfig::default());
+    let addr = server.addr();
+
+    // Three requests over one connection: keep-alive actually reuses it.
+    let mut conn = TcpStream::connect(addr).unwrap();
+    http::write_request(&mut conn, "GET", "/healthz", b"").unwrap();
+    let health = http::read_response(&mut conn, DEADLINE).unwrap();
+    assert_eq!(health.status, 200);
+    assert_eq!(
+        health.text(),
+        "{\"ok\":true,\"n\":24,\"epoch\":0,\"threads\":4}"
+    );
+
+    http::write_request(&mut conn, "POST", "/route", b"{\"u\":1,\"v\":2,\"id\":0}").unwrap();
+    assert_eq!(
+        http::read_response(&mut conn, DEADLINE).unwrap().status,
+        200
+    );
+
+    http::write_request(&mut conn, "GET", "/metrics", b"").unwrap();
+    let metrics = http::read_response(&mut conn, DEADLINE).unwrap();
+    assert_eq!(metrics.status, 200);
+    let page = metrics.text();
+    for needle in [
+        "dcspan_uptime_seconds",
+        "dcspan_http_requests_total{endpoint=\"healthz\"} 1",
+        "dcspan_http_requests_total{endpoint=\"route\"} 1",
+        "dcspan_route_latency_seconds_bucket",
+        "dcspan_route_latency_seconds_count 1",
+        "dcspan_route_latency_quantile_seconds{quantile=\"0.99\"}",
+        "dcspan_route_tier_total",
+        "dcspan_snapshot_epoch 0",
+        "dcspan_nodes 24",
+    ] {
+        assert!(page.contains(needle), "metrics page missing {needle}");
+    }
+
+    server.shutdown();
+    let _ = std::fs::remove_file(&p);
+}
+
+#[test]
+fn queue_full_sheds_at_accept_time() {
+    let p = build_artifact(24, 6, 66, "queue");
+    let cfg = ServerConfig {
+        threads: 1,
+        queue_depth: 1,
+        head_deadline: Duration::from_millis(1500),
+        keep_alive_idle: Duration::from_millis(1500),
+        ..ServerConfig::default()
+    };
+    let (server, _slot) = boot(&p, base_config(), cfg);
+    let addr = server.addr();
+
+    // Pin the single worker with a head that never completes...
+    let mut pin = TcpStream::connect(addr).unwrap();
+    pin.write_all(b"POST /route HTTP/1.1\r\nX-Stall: 1")
+        .unwrap();
+    std::thread::sleep(Duration::from_millis(300));
+    // ...fill the one queue slot...
+    let waiting = TcpStream::connect(addr).unwrap();
+    std::thread::sleep(Duration::from_millis(200));
+    // ...and the next connection is shed at accept time: 429 with
+    // Retry-After, never an unbounded backlog.
+    let mut shed = TcpStream::connect(addr).unwrap();
+    let resp = http::read_response(&mut shed, DEADLINE).unwrap();
+    assert_eq!(resp.status, 429);
+    assert_eq!(resp.header("Retry-After"), Some("1"));
+    assert!(resp.text().contains("queue_full"));
+    assert!(server.metrics().queue_shed_total() >= 1);
+
+    drop(pin);
+    drop(waiting);
+    server.shutdown();
+    let _ = std::fs::remove_file(&p);
+}
+
+#[test]
+fn shutdown_stops_accepting() {
+    let p = build_artifact(24, 7, 77, "drain");
+    let cfg = ServerConfig {
+        threads: 2,
+        ..ServerConfig::default()
+    };
+    let (server, _slot) = boot(&p, base_config(), cfg);
+    let addr = server.addr();
+    assert_eq!(call(addr, "GET", "/healthz", b"").status, 200);
+    server.shutdown();
+    // The listener is gone: a new connection is refused, or (if the OS
+    // briefly completes the handshake) never answered.
+    match TcpStream::connect(addr) {
+        Err(_) => {}
+        Ok(mut conn) => {
+            let _ = http::write_request(&mut conn, "GET", "/healthz", b"");
+            assert!(http::read_response(&mut conn, Duration::from_secs(2)).is_none());
+        }
+    }
+    let _ = std::fs::remove_file(&p);
+}

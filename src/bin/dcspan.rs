@@ -3,14 +3,17 @@
 //! ```text
 //! dcspan gen        --family <regular|gnp|gabber-galil|fan|two-clique|lower-bound> [--n N] [--delta D] [--seed S]
 //! dcspan spanner    --algo <regular|expander|baswana-sen|greedy|koutis-xu|d-out> [--n N] [--delta D] [--seed S]
-//! dcspan experiment <e1..e20|sweep|ablations|all> [--quick]
+//! dcspan experiment <e1..e21|sweep|ablations|all> [--quick]
 //! dcspan build      [--algo <theorem2|theorem3>] [--n N] [--delta D] [--seed S] [--out FILE]
 //! dcspan serve      --artifact FILE [--policy P] [--cache C] [--requests FILE]
+//! dcspan serve-http --artifact FILE [--addr HOST:PORT] [--threads T] [--cap-c C] [--policy P] [--cache C]
+//! dcspan loadgen    --addr HOST:PORT [--nodes N] [--qps Q] [--duration S] [--connections C] [--seed S]
 //! dcspan verify-artifact FILE
 //! dcspan query      [--requests FILE] [oracle flags]       # JSONL {"u":..,"v":..} on stdin/file
 //! dcspan bench      [--smoke] [--out FILE] [--sizes N,N] [--threads T,T] [--queries Q]
 //! dcspan bench-build [--smoke] [--out FILE] [--sizes N,N] [--delta D] [--seed S]
 //! dcspan bench-store [--smoke] [--out FILE] [--sizes N,N] [--queries Q] [--seed S]
+//! dcspan bench-serve [--smoke] [--out FILE] [--n N] [--rates R,R] [--duration S] [--cap-c C]
 //! dcspan chaos      [--smoke] [--out FILE] [--n N] [--threads T] [--queries Q] [--seed S] [--cap-c C]
 //! ```
 //!
@@ -22,10 +25,15 @@ use dcspan::cli::{
     get_f64, get_list, get_u64, get_usize, parse_flags, write_file, BaselineAlgo, CliError, Flags,
     GraphFamily, OracleArgs, POLICY_NAMES,
 };
-use dcspan::oracle::{ChaosConfig, Oracle, OracleConfig, SnapshotSlot};
+use dcspan::oracle::{
+    ChaosConfig, Oracle, OracleConfig, RequestLine, SnapshotSlot, SwapAck, WireResponse,
+};
+use dcspan::serve::{LoadgenConfig, Server, ServerConfig};
 use dcspan::store::SpannerArtifact;
 use std::io::BufRead;
 use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::Duration;
 
 fn describe(g: &dcspan::Graph, label: &str) {
     let stats = dcspan::graph::stats::degree_stats(g);
@@ -292,6 +300,17 @@ fn cmd_experiment(which: &str, quick: bool) -> Result<(), CliError> {
                     Err(e) => format!("E20 store round trip failed: {e}\n"),
                 }
             }
+            "e21" => {
+                let (n, rates, duration): (usize, &[f64], f64) = if quick {
+                    (120, &[200.0, 2500.0], 0.5)
+                } else {
+                    (400, &[300.0, 1200.0, 5000.0], 1.0)
+                };
+                match dcspan::experiments::e21_serve::run(n, rates, duration, 6, 0.3, seed) {
+                    Ok((_, text)) => text,
+                    Err(e) => format!("E21 serving sweep failed: {e}\n"),
+                }
+            }
             "sweep" => {
                 let (n, seeds) = if quick { (96, 3) } else { (256, 8) };
                 let mut out = dcspan::experiments::sweep::sweep_theorem2(n, 0.15, seeds, seed).1;
@@ -331,6 +350,7 @@ fn cmd_experiment(which: &str, quick: bool) -> Result<(), CliError> {
             "e18",
             "e19",
             "e20",
+            "e21",
             "sweep",
             "ablations",
         ] {
@@ -414,33 +434,6 @@ fn cmd_verify_artifact(path: &str) -> Result<(), CliError> {
     Ok(())
 }
 
-/// Answer one parsed JSONL request; returns the response hops (0 on a
-/// typed rejection) and prints one JSON object per request.
-fn answer_request(oracle: &Oracle, id: u64, u: u32, v: u32) -> usize {
-    match oracle.route(u, v, id) {
-        Ok(resp) => {
-            println!(
-                "{{\"id\":{id},\"u\":{u},\"v\":{v},\"ok\":true,\"hops\":{},\"kind\":\"{}\",\
-                 \"cache_hit\":{},\"epoch\":{},\"path\":{:?}}}",
-                resp.hops(),
-                resp.kind.as_str(),
-                resp.cache_hit,
-                resp.epoch,
-                resp.path.nodes(),
-            );
-            resp.hops()
-        }
-        Err(err) => {
-            println!(
-                "{{\"id\":{id},\"u\":{u},\"v\":{v},\"ok\":false,\"error\":\"{}\",\"retryable\":{}}}",
-                err.as_str(),
-                err.is_retryable(),
-            );
-            0
-        }
-    }
-}
-
 /// The JSONL request reader shared by `query` and `serve`.
 fn request_reader(flags: &Flags) -> Result<Box<dyn BufRead>, CliError> {
     match flags.get("requests") {
@@ -457,8 +450,10 @@ fn request_reader(flags: &Flags) -> Result<Box<dyn BufRead>, CliError> {
 
 /// Drive a JSONL request loop against `slot`, snapshotting per request so
 /// a concurrent (or inline `{"swap": "FILE"}`-triggered) hot swap never
-/// disturbs an answer in flight. Prints the summary of the last-snapshot
-/// oracle when the stream ends.
+/// disturbs an answer in flight. Requests parse and responses serialise
+/// through `dcspan::oracle::wire` — the same schema the HTTP front-end
+/// speaks, so the two transports cannot drift. Prints the summary of the
+/// last-snapshot oracle when the stream ends.
 fn serve_loop(
     slot: &SnapshotSlot,
     reader: Box<dyn BufRead>,
@@ -472,31 +467,43 @@ fn serve_loop(
         if line.is_empty() {
             continue;
         }
-        let Ok(value) = serde_json::from_str::<serde_json::Value>(line) else {
-            eprintln!("skipping malformed request: {line}");
-            continue;
-        };
-        if let Some(path) = value["swap"].as_str() {
-            // Control line: load a new artifact and publish it for every
-            // subsequent request; in-flight snapshots are unaffected.
-            let oracle = Oracle::from_artifact(load_artifact(path)?, config).map_err(|source| {
-                CliError::Store {
-                    path: path.to_string(),
-                    source,
+        match RequestLine::parse(line) {
+            Err(e) => {
+                eprintln!("skipping malformed request: {e}");
+            }
+            Ok(RequestLine::Swap(path)) => {
+                // Control line: load a new artifact and publish it for
+                // every subsequent request; in-flight snapshots are
+                // unaffected.
+                let oracle =
+                    Oracle::from_artifact(load_artifact(&path)?, config).map_err(|source| {
+                        CliError::Store {
+                            path: path.clone(),
+                            source,
+                        }
+                    })?;
+                let epoch = slot.swap(oracle);
+                let ack = SwapAck {
+                    swapped: true,
+                    artifact: path,
+                    epoch,
+                };
+                println!("{}", ack.to_json());
+            }
+            Ok(RequestLine::Route(req)) => {
+                let id = req.id.unwrap_or(next_id);
+                next_id = next_id.max(id) + 1;
+                let snapshot = slot.snapshot();
+                let result = snapshot.route(req.u, req.v, id);
+                if let Ok(resp) = &result {
+                    max_hops = max_hops.max(resp.hops());
                 }
-            })?;
-            let epoch = slot.swap(oracle);
-            println!("{{\"swapped\":true,\"artifact\":\"{path}\",\"epoch\":{epoch}}}");
-            continue;
+                println!(
+                    "{}",
+                    WireResponse::from_result(id, req.u, req.v, &result).to_json()
+                );
+            }
         }
-        let (Some(u), Some(v)) = (value["u"].as_u64(), value["v"].as_u64()) else {
-            eprintln!("skipping request without u/v: {line}");
-            continue;
-        };
-        let id = value["id"].as_u64().unwrap_or(next_id);
-        next_id = next_id.max(id) + 1;
-        let snapshot = slot.snapshot();
-        max_hops = max_hops.max(answer_request(&snapshot, id, u as u32, v as u32));
     }
     let oracle = slot.snapshot();
     let stats = oracle.stats();
@@ -658,6 +665,172 @@ fn cmd_bench_store(flags: &Flags) -> Result<(), CliError> {
     Ok(())
 }
 
+/// `dcspan serve-http --artifact FILE`: boot the threaded HTTP front-end
+/// (`dcspan-serve`) over a persisted artifact, print one JSON status
+/// line, and block until stdin reaches EOF; then drain the admitted
+/// connections and shut down. `--cap-c C` (> 0) arms the β-budget
+/// admission cap `β = ⌈C·√Δ·ln n⌉`, under which over-admitted queries
+/// are shed with HTTP 429 + `Retry-After` instead of queueing.
+fn cmd_serve_http(flags: &Flags) -> Result<(), CliError> {
+    let Some(path) = flags.get("artifact") else {
+        return Err(CliError::Usage);
+    };
+    let artifact = load_artifact(path)?;
+    let policy_name = flags
+        .get("policy")
+        .map_or("uniform-shortest", String::as_str);
+    let policy = dcspan::cli::parse_policy(policy_name)
+        .ok_or_else(|| CliError::UnknownPolicy(policy_name.to_string()))?;
+    let mut config = OracleConfig {
+        policy,
+        seed: get_u64(flags, "seed", artifact.meta.seed),
+        cache_capacity: get_usize(flags, "cache", 4096),
+        ..OracleConfig::default()
+    };
+    let cap_c = get_f64(flags, "cap-c", 0.0);
+    if cap_c > 0.0 {
+        config = config.with_beta_budget(artifact.meta.n, artifact.meta.delta, cap_c);
+    }
+    let oracle = Oracle::from_artifact(artifact, config).map_err(|source| CliError::Store {
+        path: path.clone(),
+        source,
+    })?;
+    let slot = Arc::new(SnapshotSlot::new(oracle));
+    let addr = flags.get("addr").map_or("127.0.0.1:8080", String::as_str);
+    let server_config = ServerConfig {
+        threads: get_usize(flags, "threads", 4),
+        ..ServerConfig::default()
+    };
+    let server =
+        Server::start(addr, Arc::clone(&slot), config, server_config).map_err(|source| {
+            CliError::Io {
+                path: addr.to_string(),
+                source,
+            }
+        })?;
+    println!(
+        "{{\"serving\":true,\"addr\":\"{}\",\"threads\":{},\"cap\":{}}}",
+        server.addr(),
+        get_usize(flags, "threads", 4),
+        config.per_node_cap.unwrap_or(0),
+    );
+    // Block until the controlling stream closes (CI holds a fifo open),
+    // then drain in-flight connections before exiting.
+    let stdin = std::io::stdin();
+    let mut line = String::new();
+    loop {
+        line.clear();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) | Err(_) => break,
+            Ok(_) => {}
+        }
+    }
+    server.shutdown();
+    println!("{{\"serving\":false}}");
+    Ok(())
+}
+
+/// `dcspan loadgen --addr HOST:PORT`: open-loop Poisson load generator
+/// against a running `serve-http` instance. Arrivals are scheduled ahead
+/// of time and latency is measured from the *scheduled* arrival, so a
+/// slow server cannot hide queueing delay (no coordinated omission).
+/// Prints one JSON report line; exits nonzero (2) on transport errors.
+fn cmd_loadgen(flags: &Flags) -> Result<(), CliError> {
+    let Some(addr) = flags.get("addr") else {
+        return Err(CliError::Usage);
+    };
+    let addr: std::net::SocketAddr = addr
+        .parse()
+        .map_err(|e| CliError::ServeHarness(format!("bad --addr {addr}: {e}")))?;
+    let target_qps = get_f64(flags, "qps", 1000.0);
+    let cfg = LoadgenConfig {
+        addr,
+        connections: get_usize(flags, "connections", 8),
+        target_qps,
+        duration: Duration::from_secs_f64(get_f64(flags, "duration", 2.0)),
+        seed: get_u64(flags, "seed", 20240621),
+        nodes: get_usize(flags, "nodes", 256) as u32,
+        response_deadline: Duration::from_secs(10),
+    };
+    let report = dcspan::serve::loadgen::run(&cfg);
+    println!(
+        "{{\"target_qps\":{target_qps},\"scheduled\":{},\"ok\":{},\"shed\":{},\
+         \"rejected\":{},\"transport_errors\":{},\"achieved_qps\":{:.2},\
+         \"shed_rate\":{:.4},\"p50_ms\":{:.3},\"p90_ms\":{:.3},\"p99_ms\":{:.3},\
+         \"max_ms\":{:.3}}}",
+        report.scheduled,
+        report.ok,
+        report.shed,
+        report.rejected,
+        report.transport_errors,
+        report.achieved_qps,
+        report.shed_rate(),
+        report.p50_ms,
+        report.p90_ms,
+        report.p99_ms,
+        report.max_ms,
+    );
+    if report.transport_errors > 0 {
+        return Err(CliError::ServeHarness(format!(
+            "{} transport error(s) against {addr}",
+            report.transport_errors
+        )));
+    }
+    Ok(())
+}
+
+/// `dcspan bench-serve`: the E21 serving benchmark — boot the HTTP
+/// front-end on an ephemeral port over a freshly built Theorem 3
+/// artifact and sweep open-loop target rates across the β-budget
+/// admission cap. Exits nonzero (2) if the harness saw transport
+/// errors or if the over-admission rate failed to shed (i.e. the
+/// server queued instead of returning 429s).
+fn cmd_bench_serve(flags: &Flags) -> Result<(), CliError> {
+    let smoke = flags.contains_key("smoke");
+    let seed = get_u64(flags, "seed", 20240621);
+    let n = get_usize(flags, "n", if smoke { 400 } else { 2000 });
+    let default_rates: &[usize] = if smoke {
+        &[300, 1200, 5000]
+    } else {
+        &[500, 2000, 8000]
+    };
+    let rates: Vec<f64> = get_list(flags, "rates", default_rates)
+        .into_iter()
+        .map(|r| r as f64)
+        .collect();
+    let duration = get_f64(flags, "duration", if smoke { 1.2 } else { 3.0 });
+    let connections = get_usize(flags, "connections", 8);
+    let cap_c = get_f64(flags, "cap-c", 0.3);
+    let (rows, text) =
+        dcspan::experiments::e21_serve::run(n, &rates, duration, connections, cap_c, seed)
+            .map_err(|e| CliError::ServeHarness(e.to_string()))?;
+    println!("{text}");
+    if let Some(out) = flags.get("out") {
+        let artifact = dcspan::experiments::record::ExperimentArtifact {
+            id: "E21",
+            reproduces:
+                "networked serving: sustained QPS, latency, and β-budget shedding over HTTP",
+            seed,
+            rows: &rows,
+        };
+        let json = artifact.to_json().map_err(CliError::Serialize)?;
+        write_file(out, format!("{json}\n"))?;
+        println!("wrote {out}");
+    }
+    let transport_errors: usize = rows.iter().map(|r| r.transport_errors).sum();
+    if transport_errors > 0 {
+        return Err(CliError::ServeHarness(format!(
+            "{transport_errors} transport error(s) across the sweep"
+        )));
+    }
+    if rows.last().is_some_and(|top| top.shed == 0) {
+        return Err(CliError::ServeHarness(
+            "no 429 shedding at the over-admission rate".to_string(),
+        ));
+    }
+    Ok(())
+}
+
 /// `dcspan chaos`: drive the deterministic fault-injection schedule
 /// against a live oracle and fail (exit 2) on any invariant or
 /// acceptance violation. `--smoke` is the strict CI configuration.
@@ -701,7 +874,7 @@ fn cmd_chaos(flags: &Flags) -> Result<(), CliError> {
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  dcspan gen --family <{family}> [--n N] [--delta D] [--seed S]\n  dcspan spanner --algo <{algo}> [--n N] [--delta D] [--seed S]\n  dcspan experiment <e1..e20|sweep|ablations|all> [--quick]\n  dcspan build [--algo <theorem2|theorem3>] [--n N] [--delta D] [--seed S] [--out FILE]\n  dcspan serve --artifact FILE [--policy <{policy}>] [--cache C] [--requests FILE]\n  dcspan verify-artifact FILE\n  dcspan query [--requests FILE] [--policy <{policy}>] [oracle flags]\n  dcspan bench [--smoke] [--out FILE] [--sizes N,N] [--threads T,T] [--queries Q]\n  dcspan bench-build [--smoke] [--out FILE] [--sizes N,N] [--delta D] [--seed S]\n  dcspan bench-store [--smoke] [--out FILE] [--sizes N,N] [--queries Q] [--seed S]\n  dcspan chaos [--smoke] [--out FILE] [--n N] [--threads T] [--queries Q] [--seed S] [--cap-c C]",
+        "usage:\n  dcspan gen --family <{family}> [--n N] [--delta D] [--seed S]\n  dcspan spanner --algo <{algo}> [--n N] [--delta D] [--seed S]\n  dcspan experiment <e1..e21|sweep|ablations|all> [--quick]\n  dcspan build [--algo <theorem2|theorem3>] [--n N] [--delta D] [--seed S] [--out FILE]\n  dcspan serve --artifact FILE [--policy <{policy}>] [--cache C] [--requests FILE]\n  dcspan serve-http --artifact FILE [--addr HOST:PORT] [--threads T] [--cap-c C] [--policy <{policy}>] [--cache C]\n  dcspan loadgen --addr HOST:PORT [--nodes N] [--qps Q] [--duration S] [--connections C] [--seed S]\n  dcspan bench-serve [--smoke] [--out FILE] [--n N] [--rates R,R] [--duration S] [--cap-c C]\n  dcspan verify-artifact FILE\n  dcspan query [--requests FILE] [--policy <{policy}>] [oracle flags]\n  dcspan bench [--smoke] [--out FILE] [--sizes N,N] [--threads T,T] [--queries Q]\n  dcspan bench-build [--smoke] [--out FILE] [--sizes N,N] [--delta D] [--seed S]\n  dcspan bench-store [--smoke] [--out FILE] [--sizes N,N] [--queries Q] [--seed S]\n  dcspan chaos [--smoke] [--out FILE] [--n N] [--threads T] [--queries Q] [--seed S] [--cap-c C]",
         family = GraphFamily::NAMES,
         algo = BaselineAlgo::NAMES,
         policy = POLICY_NAMES,
@@ -724,6 +897,9 @@ fn main() -> ExitCode {
         }
         "build" => cmd_build(&flags),
         "serve" => cmd_serve(&flags),
+        "serve-http" => cmd_serve_http(&flags),
+        "loadgen" => cmd_loadgen(&flags),
+        "bench-serve" => cmd_bench_serve(&flags),
         "verify-artifact" => match args.get(1) {
             Some(path) if !path.starts_with("--") => cmd_verify_artifact(path),
             _ => Err(CliError::Usage),

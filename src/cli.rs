@@ -62,6 +62,10 @@ pub enum CliError {
     /// A store benchmark cell's loaded-artifact serving diverged from the
     /// same-seed in-process rebuild.
     ServeDivergence(u64),
+    /// The HTTP serving benchmark completed but failed an acceptance
+    /// check (transport errors, or no shedding at the over-admission
+    /// rate), or its harness could not run at all.
+    ServeHarness(String),
 }
 
 impl std::fmt::Display for CliError {
@@ -91,6 +95,7 @@ impl std::fmt::Display for CliError {
                     "store bench: {count} cell(s) of loaded-artifact serving diverged from the rebuild"
                 )
             }
+            CliError::ServeHarness(msg) => write!(f, "serving bench: {msg}"),
         }
     }
 }
@@ -106,7 +111,8 @@ impl CliError {
         match self {
             CliError::ChaosViolations(_)
             | CliError::KernelDivergence(_)
-            | CliError::ServeDivergence(_) => 2,
+            | CliError::ServeDivergence(_)
+            | CliError::ServeHarness(_) => 2,
             _ => 1,
         }
     }

@@ -17,6 +17,7 @@ pub use dcspan_graph as graph;
 pub use dcspan_local as local;
 pub use dcspan_oracle as oracle;
 pub use dcspan_routing as routing;
+pub use dcspan_serve as serve;
 pub use dcspan_spectral as spectral;
 pub use dcspan_store as store;
 

@@ -152,7 +152,7 @@ fn concurrent_swap_fail_heal_route_on_snapshot_slot() {
                     let edges = snap.spanner().edges();
                     let e = edges[splitmix64(round ^ 0x5AFE) as usize % edges.len()];
                     snap.fail_edge(e.u, e.v);
-                    if round % 3 == 0 {
+                    if round.is_multiple_of(3) {
                         snap.heal_all();
                     }
                     std::thread::yield_now();

@@ -660,7 +660,10 @@ mod tests {
             "crates/loomlite/src/exec.rs",
             "fn f(a: &AtomicU64) { a.load(Ordering::SeqCst); g().unwrap(); panic!(\"x\"); }\n",
         );
-        assert!(v.is_empty(), "the model checker is the documented exception");
+        assert!(
+            v.is_empty(),
+            "the model checker is the documented exception"
+        );
     }
 
     #[test]
@@ -671,16 +674,10 @@ mod tests {
         );
         assert_eq!(bad.len(), 1);
         assert_eq!(bad[0].rule, "sync_facade");
-        let arc = check(
-            "crates/oracle/src/snapshot.rs",
-            "use std::sync::Arc;\n",
-        );
+        let arc = check("crates/oracle/src/snapshot.rs", "use std::sync::Arc;\n");
         assert_eq!(arc.len(), 1);
         // Other crates keep importing std directly.
-        let other = check(
-            "crates/graph/src/x.rs",
-            "use std::sync::Arc;\n",
-        );
+        let other = check("crates/graph/src/x.rs", "use std::sync::Arc;\n");
         assert!(other.is_empty());
     }
 
@@ -690,7 +687,10 @@ mod tests {
             "crates/oracle/src/sync.rs",
             "pub(crate) use std::sync::atomic::AtomicU64;\npub(crate) use std::sync::Arc;\n",
         );
-        assert!(facade.is_empty(), "the facade is the single allowed doorway");
+        assert!(
+            facade.is_empty(),
+            "the facade is the single allowed doorway"
+        );
         let test_code = check(
             "crates/oracle/src/snapshot.rs",
             "#[cfg(test)]\nmod tests {\n    use std::sync::Arc;\n}\n",
