@@ -45,6 +45,9 @@ pub struct ServeBenchRow {
     pub rejected: usize,
     /// Connects, writes, or reads that failed outright.
     pub transport_errors: usize,
+    /// Responses the client gave up waiting for (its own read deadline
+    /// expired) — a distinct class from transport failures.
+    pub deadline_exceeded: usize,
     /// Completed responses per second of wall time.
     pub achieved_qps: f64,
     /// Fraction of completed responses shed with `429`.
@@ -75,6 +78,7 @@ fn rows_from_cells(cells: &[SweepCell], delta: usize, connections: usize) -> Vec
             shed: c.report.shed,
             rejected: c.report.rejected,
             transport_errors: c.report.transport_errors,
+            deadline_exceeded: c.report.deadline_exceeded,
             achieved_qps: c.report.achieved_qps,
             shed_rate: c.report.shed_rate(),
             p50_ms: c.report.p50_ms,
@@ -126,6 +130,7 @@ pub fn run(
         "shed",
         "rejected",
         "errors",
+        "deadline",
         "shed rate",
         "p50 ms",
         "p90 ms",
@@ -143,6 +148,7 @@ pub fn run(
             r.shed.to_string(),
             r.rejected.to_string(),
             r.transport_errors.to_string(),
+            r.deadline_exceeded.to_string(),
             f2(r.shed_rate),
             f2(r.p50_ms),
             f2(r.p90_ms),
@@ -170,6 +176,11 @@ mod tests {
             assert_eq!(
                 r.transport_errors, 0,
                 "transport errors at {}",
+                r.target_qps
+            );
+            assert_eq!(
+                r.deadline_exceeded, 0,
+                "blown client deadlines at {}",
                 r.target_qps
             );
             assert!(r.scheduled > 0);

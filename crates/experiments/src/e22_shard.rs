@@ -1,0 +1,617 @@
+//! **E22 — sharded chaos serving**: replica and whole-shard outages
+//! against the replicated [`ShardedOracle`] fleet.
+//!
+//! E18 degrades the *spanner* under one oracle; E22 degrades the
+//! *fleet* that serves it (DESIGN.md §14). Four phases drive threaded
+//! load through the consistent-hash router and its robustness ladder
+//! (deadline → retry → failover → hedge → breaker → supervisor):
+//!
+//! 1. **healthy** — baseline availability and latency percentiles.
+//! 2. **replica-down** — one replica of the victim shard is killed
+//!    mid-load; the sibling absorbs its keys through fast failover.
+//!    Contract: availability ≥ 99.9 % and p99 within 3× the healthy
+//!    baseline (floored at [`P99_FLOOR_US`] to keep the ratio
+//!    meaningful at in-process microsecond scale).
+//! 3. **shard-down** — every replica of the victim shard is killed and
+//!    one panic is armed on a healthy shard. Contract: the fleet never
+//!    hangs or panics; pairs owned by the dead shard fail with the
+//!    typed [`RouteError::Unavailable`], every other pair is served
+//!    with a valid path, and a batched [`ShardedOracle::substitute_routing`]
+//!    call reports a partial result whose error sections name exactly
+//!    the victim shard.
+//! 4. **heal** — the injector clears, `supervise` respawns the
+//!    panicked replica from its artifact slice, and the healthy-phase
+//!    queries are replayed. Contract: availability back to 100 % and
+//!    every answer (path, rung) identical to the healthy baseline.
+
+use std::time::Instant;
+
+use crate::table::{f2, Table};
+use dcspan_core::serve::SpannerAlgo;
+use dcspan_gen::regular::random_regular;
+use dcspan_graph::Graph;
+use dcspan_oracle::{
+    Oracle, OracleConfig, RouteError, RouteResponse, ShardConfig, ShardLayerStats, ShardedOracle,
+};
+use dcspan_routing::problem::RoutingProblem;
+
+/// Latency floor (µs) for the replica-down p99 contract: below this the
+/// 3× ratio measures scheduler noise, not the robustness ladder.
+pub const P99_FLOOR_US: f64 = 200.0;
+
+/// Fleet and load shape for one run.
+#[derive(Clone, Copy, Debug)]
+pub struct ShardChaosConfig {
+    /// Shards in the fleet (K).
+    pub shards: usize,
+    /// Replicas per shard (R).
+    pub replicas: usize,
+    /// Loader threads per phase.
+    pub threads: usize,
+    /// Queries per phase.
+    pub queries_per_phase: usize,
+    /// Workload seed (graph, artifact, and pair streams derive from it).
+    pub seed: u64,
+}
+
+impl ShardChaosConfig {
+    /// CI-sized run: small fleet, hundreds of queries.
+    pub fn smoke() -> ShardChaosConfig {
+        ShardChaosConfig {
+            shards: 4,
+            replicas: 2,
+            threads: 4,
+            queries_per_phase: 400,
+            seed: 22,
+        }
+    }
+
+    /// The acceptance-scale run (`n = 2000`, `K = 4 × R = 2`).
+    pub fn full() -> ShardChaosConfig {
+        ShardChaosConfig {
+            threads: 8,
+            queries_per_phase: 4000,
+            ..ShardChaosConfig::smoke()
+        }
+    }
+}
+
+/// One serialisable row: a phase's merged observations.
+#[derive(Clone, Debug, serde::Serialize)]
+pub struct ShardRow {
+    /// Phase label (`healthy`, `replica-down`, `shard-down`, `heal`).
+    pub phase: String,
+    /// Queries issued.
+    pub queries: u64,
+    /// Queries answered with a path.
+    pub ok: u64,
+    /// Typed whole-shard outages observed by callers.
+    pub unavailable: u64,
+    /// Typed deadline expiries observed by callers.
+    pub deadline_exceeded: u64,
+    /// Deterministic typed rejections (e.g. a genuinely partitioned
+    /// pair). These are a property of the workload, not the fleet: a
+    /// passing run reproduces them bit-identically in every phase.
+    pub other_rejected: u64,
+    /// Fraction of queries that received a *definitive* answer — a path
+    /// or a deterministic typed rejection. Only shard faults
+    /// (`unavailable`, `deadline_exceeded`) count against it.
+    pub availability: f64,
+    /// Median per-query latency, microseconds.
+    pub p50_us: f64,
+    /// 99th-percentile per-query latency, microseconds.
+    pub p99_us: f64,
+    /// Slowest query, microseconds.
+    pub max_us: f64,
+    /// Shard-layer retries during the phase.
+    pub retries: u64,
+    /// Shard-layer failovers during the phase.
+    pub failovers: u64,
+    /// Hedged requests during the phase.
+    pub hedges: u64,
+    /// Breaker trips during the phase.
+    pub breaker_opens: u64,
+    /// Panics contained by the supervisor during the phase.
+    pub panics: u64,
+    /// Replicas respawned from their artifact slice during the phase.
+    pub respawns: u64,
+}
+
+/// Everything a caller needs from one run (the E22 artifact payload).
+#[derive(Clone, Debug)]
+pub struct RunOutput {
+    /// Per-phase serialisable rows.
+    pub rows: Vec<ShardRow>,
+    /// Rendered text report.
+    pub text: String,
+    /// Recorded violations (empty on a passing run).
+    pub violations: Vec<String>,
+    /// True when the run observed no violations.
+    pub passed: bool,
+}
+
+/// SplitMix64 — the dependency-free pair stream (deterministic across
+/// thread interleavings because pairs are keyed by query index alone).
+fn splitmix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The `id`-th query pair of a salted stream: two distinct nodes.
+fn pair_for(n: usize, salt: u64, id: u64) -> (u32, u32) {
+    let a = splitmix(salt ^ id.wrapping_mul(0x0123_4567_89AB_CDEF)) % n as u64;
+    let mut b = splitmix(salt ^ id.wrapping_mul(0xFEDC_BA98_7654_3210) ^ 0x22) % (n as u64 - 1);
+    if b >= a {
+        b += 1;
+    }
+    (a as u32, b as u32)
+}
+
+/// Outcomes of one driven phase, in query-index order.
+struct PhaseOutcome {
+    answers: Vec<Result<RouteResponse, RouteError>>,
+    latency_us: Vec<u64>,
+}
+
+impl PhaseOutcome {
+    fn percentile_us(&self, p: f64) -> f64 {
+        if self.latency_us.is_empty() {
+            return 0.0;
+        }
+        let mut sorted = self.latency_us.clone();
+        sorted.sort_unstable();
+        let rank = ((sorted.len() as f64 * p).ceil() as usize).clamp(1, sorted.len()) - 1;
+        sorted[rank] as f64
+    }
+
+    fn max_us(&self) -> f64 {
+        self.latency_us.iter().copied().max().unwrap_or(0) as f64
+    }
+}
+
+/// Drive `queries` route calls from `threads` loader threads. Thread 0
+/// fires `mid_action` (the chaos) a quarter of the way through its
+/// slice, so the fault always lands mid-load.
+fn drive(
+    fleet: &ShardedOracle,
+    n: usize,
+    salt: u64,
+    base_id: u64,
+    queries: usize,
+    threads: usize,
+    mid_action: Option<&(dyn Fn() + Sync)>,
+) -> PhaseOutcome {
+    let threads = threads.max(1);
+    let per_thread: Vec<Vec<(usize, Result<RouteResponse, RouteError>, u64)>> =
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads)
+                .map(|t| {
+                    scope.spawn(move || {
+                        let mut out = Vec::new();
+                        let my_items = (t..queries).step_by(threads).count();
+                        for (done, i) in (t..queries).step_by(threads).enumerate() {
+                            if t == 0 && done == my_items / 4 {
+                                if let Some(action) = mid_action {
+                                    action();
+                                }
+                            }
+                            let id = base_id + i as u64;
+                            let (u, v) = pair_for(n, salt, id);
+                            let started = Instant::now();
+                            let answer = fleet.route(u, v, id);
+                            let us = started.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
+                            out.push((i, answer, us));
+                        }
+                        out
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("loader thread panicked")) // xtask: allow(no_panic) — runner: a panic escaping the fleet is itself the violation
+                .collect()
+        });
+    let mut answers: Vec<Option<Result<RouteResponse, RouteError>>> = vec![None; queries];
+    let mut latency_us = vec![0u64; queries];
+    for (i, answer, us) in per_thread.into_iter().flatten() {
+        latency_us[i] = us;
+        answers[i] = Some(answer);
+    }
+    PhaseOutcome {
+        answers: answers
+            .into_iter()
+            .map(|a| a.unwrap_or(Err(RouteError::Unavailable)))
+            .collect(),
+        latency_us,
+    }
+}
+
+/// Check one served path: endpoints match the pair, every edge lies in
+/// the spanner, and detour rungs keep α ≤ 3.
+fn validate_path(
+    h: &Graph,
+    u: u32,
+    v: u32,
+    resp: &RouteResponse,
+    phase: &str,
+    i: usize,
+    violations: &mut Vec<String>,
+) {
+    let nodes = resp.path.nodes();
+    let forward = nodes.first() == Some(&u) && nodes.last() == Some(&v);
+    let backward = nodes.first() == Some(&v) && nodes.last() == Some(&u);
+    if !(forward || backward) {
+        violations.push(format!(
+            "{phase}: pair {i} path endpoints {:?}..{:?} do not match ({u}, {v})",
+            nodes.first(),
+            nodes.last()
+        ));
+        return;
+    }
+    for w in nodes.windows(2) {
+        if !h.has_edge(w[0], w[1]) {
+            violations.push(format!(
+                "{phase}: pair {i} uses edge ({}, {}) outside the spanner",
+                w[0], w[1]
+            ));
+            return;
+        }
+    }
+    if resp.kind.is_detour() && resp.path.len() > 3 {
+        violations.push(format!(
+            "{phase}: pair {i} detour rung {} served {} hops (α ≤ 3 violated)",
+            resp.kind.as_str(),
+            resp.path.len()
+        ));
+    }
+}
+
+fn delta(before: &ShardLayerStats, after: &ShardLayerStats) -> ShardLayerStats {
+    ShardLayerStats {
+        retries: after.retries - before.retries,
+        failovers: after.failovers - before.failovers,
+        hedges: after.hedges - before.hedges,
+        deadline_exceeded: after.deadline_exceeded - before.deadline_exceeded,
+        unavailable: after.unavailable - before.unavailable,
+        injected_errors: after.injected_errors - before.injected_errors,
+        breaker_opens: after.breaker_opens - before.breaker_opens,
+        panics: after.panics - before.panics,
+        respawns: after.respawns - before.respawns,
+    }
+}
+
+fn row_from(phase: &str, out: &PhaseOutcome, stats: ShardLayerStats) -> ShardRow {
+    let queries = out.answers.len() as u64;
+    let mut ok = 0u64;
+    let mut unavailable = 0u64;
+    let mut deadline = 0u64;
+    let mut other = 0u64;
+    for a in &out.answers {
+        match a {
+            Ok(_) => ok += 1,
+            Err(RouteError::Unavailable) => unavailable += 1,
+            Err(RouteError::DeadlineExceeded) => deadline += 1,
+            Err(_) => other += 1,
+        }
+    }
+    ShardRow {
+        phase: phase.to_string(),
+        queries,
+        ok,
+        unavailable,
+        deadline_exceeded: deadline,
+        other_rejected: other,
+        availability: if queries == 0 {
+            0.0
+        } else {
+            (queries - unavailable - deadline) as f64 / queries as f64
+        },
+        p50_us: out.percentile_us(0.50),
+        p99_us: out.percentile_us(0.99),
+        max_us: out.max_us(),
+        retries: stats.retries,
+        failovers: stats.failovers,
+        hedges: stats.hedges,
+        breaker_opens: stats.breaker_opens,
+        panics: stats.panics,
+        respawns: stats.respawns,
+    }
+}
+
+/// Run the four-phase shard chaos schedule against a fresh `n`-node
+/// fleet. An empty violation list is the pass condition.
+pub fn run(n: usize, config: &ShardChaosConfig) -> RunOutput {
+    let g = random_regular(n, 8, config.seed);
+    let artifact = Oracle::build_artifact(&g, SpannerAlgo::Theorem2WithProb(0.5), config.seed);
+    let h = artifact.spanner.clone();
+    let oracle_config = OracleConfig {
+        seed: config.seed,
+        ..OracleConfig::default()
+    };
+    let shard_config = ShardConfig {
+        shards: config.shards.max(1),
+        replicas: config.replicas.max(1),
+        ..ShardConfig::default()
+    };
+    let fleet = ShardedOracle::from_artifact(artifact, oracle_config, shard_config)
+        .expect("freshly built artifact is well-formed"); // xtask: allow(no_panic) — runner: infeasible experiment config is unrecoverable
+    let queries = config.queries_per_phase.max(config.threads.max(1) * 8);
+    let victim = 0usize;
+    let panic_shard = 1 % config.shards.max(1);
+    let mut violations = Vec::new();
+    let mut rows = Vec::new();
+    let started = Instant::now();
+
+    // Phase 1 — healthy baseline.
+    let before = fleet.shard_stats();
+    let healthy = drive(&fleet, n, config.seed, 0, queries, config.threads, None);
+    for (i, answer) in healthy.answers.iter().enumerate() {
+        let (u, v) = pair_for(n, config.seed, i as u64);
+        match answer {
+            Ok(resp) => validate_path(&h, u, v, resp, "healthy", i, &mut violations),
+            // Deterministic rejections (partitioned pairs) are definitive
+            // answers; only shard faults indict a fully healthy fleet.
+            Err(e) if e.is_shard_fault() => violations.push(format!(
+                "healthy: pair {i} failed with {e} on a fully healthy fleet"
+            )),
+            Err(_) => {}
+        }
+    }
+    rows.push(row_from(
+        "healthy",
+        &healthy,
+        delta(&before, &fleet.shard_stats()),
+    ));
+    let healthy_p99 = healthy.percentile_us(0.99);
+
+    // Phase 2 — one replica of the victim shard dies mid-load.
+    let before = fleet.shard_stats();
+    let kill_one = || fleet.injector().kill(victim, 0);
+    let replica_down = drive(
+        &fleet,
+        n,
+        config.seed ^ 0x2202,
+        1_000_000,
+        queries,
+        config.threads,
+        Some(&kill_one),
+    );
+    for (i, answer) in replica_down.answers.iter().enumerate() {
+        let (u, v) = pair_for(n, config.seed ^ 0x2202, 1_000_000 + i as u64);
+        if let Ok(resp) = answer {
+            validate_path(&h, u, v, resp, "replica-down", i, &mut violations);
+        }
+    }
+    let row = row_from(
+        "replica-down",
+        &replica_down,
+        delta(&before, &fleet.shard_stats()),
+    );
+    if row.availability < 0.999 {
+        violations.push(format!(
+            "replica-down: availability {:.5} < 0.999 with a live sibling",
+            row.availability
+        ));
+    }
+    let p99_cap = 3.0 * healthy_p99.max(P99_FLOOR_US);
+    if row.p99_us > p99_cap {
+        violations.push(format!(
+            "replica-down: p99 {:.0}µs exceeds 3× healthy baseline (cap {:.0}µs)",
+            row.p99_us, p99_cap
+        ));
+    }
+    rows.push(row);
+
+    // Phase 3 — the whole victim shard dies; a healthy-shard replica
+    // panics once and must be contained.
+    for r in 0..config.replicas {
+        fleet.injector().kill(victim, r);
+    }
+    if config.shards > 1 {
+        fleet.injector().arm_panics(panic_shard, 0, 1);
+    }
+    let before = fleet.shard_stats();
+    // The armed panic is contained by the supervisor; silence the
+    // default hook so the contained panic does not spray a backtrace.
+    let hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let shard_down = drive(
+        &fleet,
+        n,
+        config.seed ^ 0x2203,
+        2_000_000,
+        queries,
+        config.threads,
+        None,
+    );
+    std::panic::set_hook(hook);
+    for (i, answer) in shard_down.answers.iter().enumerate() {
+        let (u, v) = pair_for(n, config.seed ^ 0x2203, 2_000_000 + i as u64);
+        let owner = fleet.owner_shard(u, v);
+        match answer {
+            Ok(resp) => {
+                if owner == victim {
+                    violations.push(format!(
+                        "shard-down: pair {i} owned by dead shard {victim} was served"
+                    ));
+                }
+                validate_path(&h, u, v, resp, "shard-down", i, &mut violations);
+            }
+            Err(RouteError::Unavailable) if owner == victim => {}
+            Err(e) if owner != victim && !e.is_shard_fault() => {}
+            Err(e) => violations.push(format!(
+                "shard-down: pair {i} (owner {owner}) failed with {e} instead of serving, \
+                 a deterministic rejection, or the typed unavailable"
+            )),
+        }
+    }
+    let stats3 = delta(&before, &fleet.shard_stats());
+    if config.shards > 1 && stats3.panics == 0 {
+        violations.push("shard-down: armed panic was never triggered/contained".into());
+    }
+
+    // Batched fan-out against the dead shard: a typed partial result.
+    let batch: Vec<(u32, u32)> = (0..64)
+        .map(|i| pair_for(n, config.seed ^ 0x2204, i))
+        .collect();
+    let problem = RoutingProblem::from_pairs(batch);
+    let report = fleet.substitute_routing(&problem, 3_000_000);
+    let owned_by_victim = problem
+        .pairs()
+        .iter()
+        .filter(|&&(u, v)| fleet.owner_shard(u, v) == victim)
+        .count();
+    if owned_by_victim > 0 && !report.is_partial() {
+        violations.push("shard-down: batch over a dead shard did not report partial".into());
+    }
+    if report.shard_errors().iter().any(|s| s.shard != victim) {
+        violations.push("shard-down: partial sections name a shard other than the victim".into());
+    }
+    let section_pairs: usize = report.shard_errors().iter().map(|s| s.pairs.len()).sum();
+    if section_pairs != owned_by_victim {
+        violations.push(format!(
+            "shard-down: sections cover {section_pairs} pairs but the dead shard owns \
+             {owned_by_victim}"
+        ));
+    }
+    for (i, outcome) in report.responses().iter().enumerate() {
+        let (u, v) = problem.pairs()[i];
+        match outcome {
+            Ok(resp) => validate_path(&h, u, v, resp, "shard-down-batch", i, &mut violations),
+            Err(e) if fleet.owner_shard(u, v) == victim && *e == RouteError::Unavailable => {}
+            Err(e) if fleet.owner_shard(u, v) != victim && !e.is_shard_fault() => {}
+            Err(e) => violations.push(format!("shard-down-batch: pair {i} failed with {e}")),
+        }
+    }
+    rows.push(row_from("shard-down", &shard_down, stats3));
+
+    // Phase 4 — heal: restart kills, respawn the panicked replica,
+    // replay the healthy workload; answers must match bit-for-bit.
+    let before = fleet.shard_stats();
+    fleet.injector().clear_all();
+    let respawned = fleet.supervise();
+    if config.shards > 1 && respawned == 0 {
+        violations.push("heal: supervise respawned nothing after a contained panic".into());
+    }
+    fleet.reset_load();
+    let heal = drive(&fleet, n, config.seed, 0, queries, config.threads, None);
+    for (i, (was, now)) in healthy.answers.iter().zip(heal.answers.iter()).enumerate() {
+        match (was, now) {
+            (Ok(a), Ok(b)) => {
+                if a.path.nodes() != b.path.nodes() || a.kind != b.kind {
+                    violations.push(format!(
+                        "heal: pair {i} answer diverged from the healthy baseline \
+                         ({} vs {})",
+                        a.kind.as_str(),
+                        b.kind.as_str()
+                    ));
+                }
+            }
+            // A deterministic rejection must reproduce exactly.
+            (Err(a), Err(b)) if a == b => {}
+            (_, Err(e)) => violations.push(format!(
+                "heal: pair {i} rejected with {e} where the baseline answered differently"
+            )),
+            (Err(e), Ok(_)) => violations.push(format!(
+                "heal: pair {i} served where the baseline rejected with {e}"
+            )),
+        }
+    }
+    let row = row_from("heal", &heal, delta(&before, &fleet.shard_stats()));
+    if row.availability < 1.0 {
+        violations.push(format!(
+            "heal: availability {:.5} < 1.0 after full recovery",
+            row.availability
+        ));
+    }
+    rows.push(row);
+
+    let alive = fleet.health().iter().filter(|r| r.alive).count();
+    let expected_alive = config.shards * config.replicas;
+    if alive != expected_alive {
+        violations.push(format!(
+            "heal: {alive}/{expected_alive} replicas alive after recovery"
+        ));
+    }
+
+    let mut t = Table::new([
+        "phase", "queries", "ok", "unavail", "deadline", "avail%", "p50 µs", "p99 µs", "max µs",
+        "retries", "failover", "panics", "respawn",
+    ]);
+    for r in &rows {
+        t.add_row([
+            r.phase.clone(),
+            r.queries.to_string(),
+            r.ok.to_string(),
+            r.unavailable.to_string(),
+            r.deadline_exceeded.to_string(),
+            format!("{:.3}", 100.0 * r.availability),
+            f2(r.p50_us),
+            f2(r.p99_us),
+            f2(r.max_us),
+            r.retries.to_string(),
+            r.failovers.to_string(),
+            r.panics.to_string(),
+            r.respawns.to_string(),
+        ]);
+    }
+    let passed = violations.is_empty();
+    let text = format!(
+        "{}{}\nn = {n}, K = {} shards × R = {} replicas, {} queries/phase, {} ms — {}\n\
+         Contract: a dead replica costs < 0.1% availability and ≤ 3× p99; a dead shard \
+         degrades to typed partial results naming the victim; heal-then-route is \
+         bit-identical to the healthy baseline.\n",
+        crate::banner(
+            "E22",
+            "sharded serving robustness: replica/shard outages and partial results"
+        ),
+        t.render(),
+        config.shards,
+        config.replicas,
+        queries,
+        started.elapsed().as_millis(),
+        if passed { "PASS" } else { "FAIL" },
+    );
+    RunOutput {
+        rows,
+        text,
+        violations,
+        passed,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_shard_chaos_run_passes() {
+        let cfg = ShardChaosConfig {
+            shards: 2,
+            replicas: 2,
+            threads: 2,
+            queries_per_phase: 120,
+            seed: 22,
+        };
+        let out = run(160, &cfg);
+        assert!(out.passed, "violations: {:#?}", out.violations);
+        assert_eq!(out.rows.len(), 4);
+        assert!(out.text.contains("E22"));
+        assert!(out.text.contains("PASS"));
+        assert_eq!(out.rows[0].phase, "healthy");
+        assert_eq!(out.rows[0].availability, 1.0);
+        // The replica kill forces failovers, not failures.
+        assert!(out.rows[1].availability >= 0.999);
+        assert!(out.rows[1].failovers > 0);
+        // The dead shard's keys are typed unavailable, the rest served.
+        assert!(out.rows[2].unavailable > 0);
+        assert!(out.rows[2].ok > 0);
+        assert_eq!(out.rows[2].panics, 1);
+        // Recovery is total.
+        assert_eq!(out.rows[3].availability, 1.0);
+        assert!(out.rows[3].respawns >= 1);
+    }
+}

@@ -575,6 +575,17 @@ fn validate_rejection(
                 format!("invariant: step {step} ({u},{v}): workload query rejected as invalid"),
             );
         }
+        RouteError::DeadlineExceeded | RouteError::Unavailable => {
+            // Shard-layer rejections (DESIGN.md §14) can never surface from
+            // a bare oracle: the chaos harness drives `Oracle::route`
+            // directly, below the deadline/failover machinery.
+            record_violation(
+                out,
+                format!(
+                    "invariant: step {step} ({u},{v}): shard-layer error {err} from a bare oracle"
+                ),
+            );
+        }
     }
 }
 

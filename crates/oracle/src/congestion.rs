@@ -120,6 +120,31 @@ impl CongestionLedger {
         }
     }
 
+    /// Merge several per-shard ledgers into one combined per-node
+    /// profile: entry `v` is the *sum* of every shard's live load on `v`
+    /// (a node's total congestion is additive across shards, which each
+    /// account only the paths they served). The sharded serving layer
+    /// reports `max` of this merged profile as the fleet-wide `C(P')`
+    /// and enforces the global β-cap on a dedicated global ledger
+    /// (DESIGN.md §14.2) — merging is for observation, admission is for
+    /// control.
+    pub fn merged_profile(ledgers: &[&CongestionLedger]) -> Vec<u32> {
+        let n = ledgers.iter().map(|l| l.len()).max().unwrap_or(0);
+        let mut total = vec![0u32; n];
+        for ledger in ledgers {
+            for (slot, add) in total.iter_mut().zip(ledger.profile()) {
+                *slot = slot.saturating_add(add);
+            }
+        }
+        total
+    }
+
+    /// `max` of [`CongestionLedger::merged_profile`] — the fleet-wide
+    /// live congestion across a set of per-shard ledgers.
+    pub fn merged_max(ledgers: &[&CongestionLedger]) -> u32 {
+        Self::merged_profile(ledgers).into_iter().max().unwrap_or(0)
+    }
+
     /// Number of nodes the ledger tracks.
     pub fn len(&self) -> usize {
         self.load.len()
@@ -163,5 +188,17 @@ mod tests {
     fn len_reports_node_count() {
         assert_eq!(CongestionLedger::new(5).len(), 5);
         assert!(CongestionLedger::new(0).is_empty());
+    }
+
+    #[test]
+    fn merged_profile_sums_across_shards() {
+        let a = CongestionLedger::new(3);
+        let b = CongestionLedger::new(3);
+        assert!(a.admit(&[0, 1], None));
+        assert!(b.admit(&[1, 2], None));
+        assert!(b.admit(&[1], None));
+        assert_eq!(CongestionLedger::merged_profile(&[&a, &b]), vec![1, 3, 1]);
+        assert_eq!(CongestionLedger::merged_max(&[&a, &b]), 3);
+        assert_eq!(CongestionLedger::merged_max(&[]), 0);
     }
 }

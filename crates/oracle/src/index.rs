@@ -234,6 +234,59 @@ impl DetourIndex {
         })
     }
 
+    /// Reassemble a *partial* index holding one shard's slice of the
+    /// missing-edge row space (DESIGN.md §14). Identical validation to
+    /// [`DetourIndex::from_parts`] except the coverage check: a slice
+    /// deliberately lists a subset of `E(G) \ E(H)` (the ids a
+    /// [`ShardRing`](crate::router::ShardRing) assigns to one shard), so
+    /// only canonical order, edge membership, and row-count agreement are
+    /// enforced. Queries for pairs outside the slice fall through
+    /// `lookup` to the non-adjacent path, which is why the sharded
+    /// router must send every missing-edge query to its owning shard.
+    pub fn from_slice(
+        g: &Graph,
+        h: &Graph,
+        missing: Vec<Edge>,
+        two: CsrTable<NodeId>,
+        three: CsrTable<(NodeId, NodeId)>,
+    ) -> Result<DetourIndex, String> {
+        for pair in missing.windows(2) {
+            if pair[0] >= pair[1] {
+                return Err(format!(
+                    "slice missing-edge list not canonical at ({}, {})",
+                    pair[1].u, pair[1].v
+                ));
+            }
+        }
+        for e in &missing {
+            if !g.has_edge(e.u, e.v) {
+                return Err(format!(
+                    "slice missing edge ({}, {}) is not an edge of G",
+                    e.u, e.v
+                ));
+            }
+            if h.has_edge(e.u, e.v) {
+                return Err(format!(
+                    "slice missing edge ({}, {}) is present in the spanner",
+                    e.u, e.v
+                ));
+            }
+        }
+        if two.rows() != missing.len() || three.rows() != missing.len() {
+            return Err(format!(
+                "slice detour tables have {} / {} rows for {} missing edges",
+                two.rows(),
+                three.rows(),
+                missing.len()
+            ));
+        }
+        Ok(DetourIndex {
+            missing,
+            two,
+            three,
+        })
+    }
+
     /// Size/shape summary.
     pub fn stats(&self) -> IndexStats {
         let uncovered = (0..self.missing.len())

@@ -31,6 +31,18 @@
 //!   running oracle and a freshly loaded `dcspan-store` artifact without
 //!   draining in-flight queries (`Oracle::from_artifact` is the
 //!   zero-rebuild load path),
+//! * [`router`] — [`ShardRing`]: the seeded consistent-hash ring mapping
+//!   missing-edge ids to shards (vnode points independent of the shard
+//!   count, so resizing `K → K+1` remaps only `~1/(K+1)` of the ids),
+//! * [`shard`] — [`ShardedOracle`]: `K` shards × `R` replicas of the
+//!   oracle behind the ring, with per-request deadline budgets, bounded
+//!   jittered retries failing over to the sibling replica, latency-
+//!   percentile hedging, per-replica circuit breakers, supervised panic
+//!   containment with respawn-from-artifact, typed partial-result
+//!   degradation, and atomic prepare-then-commit topology swaps
+//!   (DESIGN.md §14),
+//! * [`supervisor`] — the `catch_unwind` boundary around every replica
+//!   call plus the monotone panic/respawn accounting,
 //! * [`wire`] — the serving wire schema: the one JSONL/JSON
 //!   request/response definition ([`RouteRequest`], [`WireResponse`],
 //!   stable `{code, message}` error bodies) shared by the file-serve
@@ -54,7 +66,10 @@ pub mod congestion;
 pub mod fault;
 pub mod index;
 pub mod oracle;
+pub mod router;
+pub mod shard;
 pub mod snapshot;
+pub mod supervisor;
 mod sync;
 pub mod wire;
 
@@ -65,7 +80,13 @@ pub use fault::{bounded_survivor_bfs, FaultState, SurvivorSearch};
 pub use index::{DetourIndex, IndexStats, IndexedDetourRouter};
 pub use oracle::{
     Oracle, OracleConfig, OracleStatsSnapshot, RouteError, RouteKind, RouteResponse,
-    SubstituteReport,
+    ShardErrorSection, SubstituteReport,
+};
+pub use router::ShardRing;
+pub use shard::{
+    BreakerState, FaultInjector, PreparedSwap, ReplicaHealth, ShardConfig, ShardLayerStats,
+    ShardedOracle, SwapError,
 };
 pub use snapshot::SnapshotSlot;
+pub use supervisor::{Supervisor, WorkerPanicked};
 pub use wire::{ErrorBody, RequestLine, RouteRequest, SwapAck, WireError, WireResponse};

@@ -178,17 +178,28 @@ pub enum RouteError {
     /// fallback disabled, or its depth budget exhausted). The pair may
     /// still be connected.
     BudgetExceeded,
+    /// The request's deadline budget expired inside the sharded serving
+    /// layer before any replica answered (DESIGN.md §14). Never emitted
+    /// by a single [`Oracle`] — `route` has no wall-clock budget.
+    DeadlineExceeded,
+    /// No live replica of the owning shard could take the query: every
+    /// replica was killed, stuck, or breaker-open. The typed partial
+    /// degradation of a whole-shard outage; retry once the supervisor
+    /// respawns a replica.
+    Unavailable,
 }
 
 impl RouteError {
     /// Every variant, in a fixed order — the stable error-code table
     /// consumed by the wire schema and the metrics exporter.
-    pub const ALL: [RouteError; 5] = [
+    pub const ALL: [RouteError; 7] = [
         RouteError::InvalidQuery,
         RouteError::DeadEndpoint,
         RouteError::Partitioned,
         RouteError::Overloaded,
         RouteError::BudgetExceeded,
+        RouteError::DeadlineExceeded,
+        RouteError::Unavailable,
     ];
 
     /// Stable machine-readable error code (CLI/JSON/HTTP output; the
@@ -200,6 +211,8 @@ impl RouteError {
             RouteError::Partitioned => "partitioned",
             RouteError::Overloaded => "overloaded",
             RouteError::BudgetExceeded => "budget_exceeded",
+            RouteError::DeadlineExceeded => "deadline_exceeded",
+            RouteError::Unavailable => "unavailable",
         }
     }
 
@@ -221,14 +234,26 @@ impl RouteError {
                 "admission control shed the query: a node on its path is at the congestion cap"
             }
             RouteError::BudgetExceeded => "the per-query search budget expired before an answer",
+            RouteError::DeadlineExceeded => {
+                "the request deadline expired before any shard replica answered"
+            }
+            RouteError::Unavailable => "no live replica of the owning shard could serve the query",
         }
     }
 
     /// True when retrying later can succeed without topology changes
-    /// (only load has to drain).
+    /// (only load has to drain, or a replica has to come back).
     #[inline]
     pub fn is_retryable(self) -> bool {
-        matches!(self, RouteError::Overloaded)
+        matches!(self, RouteError::Overloaded | RouteError::Unavailable)
+    }
+
+    /// True for the shard-layer failure classes (deadline expiry, shard
+    /// outage) that make a batch a *partial* result — the single-oracle
+    /// rejections are complete, typed answers, not partial failures.
+    #[inline]
+    pub fn is_shard_fault(self) -> bool {
+        matches!(self, RouteError::DeadlineExceeded | RouteError::Unavailable)
     }
 }
 
@@ -385,18 +410,72 @@ struct Counters {
     budget_exceeded: AtomicU64,
 }
 
+/// One shard's contribution to a partial batch outcome: which pairs the
+/// shard failed to serve for a *shard-layer* reason (deadline expiry or
+/// a whole-shard outage), as opposed to a typed routing rejection. The
+/// wire layer renders these as the 206-style partial-result sections
+/// (DESIGN.md §14.4).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ShardErrorSection {
+    /// Which shard failed.
+    pub shard: usize,
+    /// The shard-layer failure class ([`RouteError::is_shard_fault`]).
+    pub error: RouteError,
+    /// Problem indices of the pairs lost to this failure, ascending.
+    pub pairs: Vec<usize>,
+}
+
 /// Per-pair outcomes of a batched [`Oracle::substitute_routing`] call —
-/// failed pairs are aggregated, never silently dropped.
+/// failed pairs are aggregated, never silently dropped. The sharded
+/// fan-out path additionally attaches per-shard error sections
+/// ([`SubstituteReport::shard_errors`]) when shard-layer failures made
+/// the batch partial; the single-oracle path always leaves them empty.
 #[derive(Clone, Debug)]
 pub struct SubstituteReport {
     responses: Vec<Result<RouteResponse, RouteError>>,
+    shard_errors: Vec<ShardErrorSection>,
 }
 
 impl SubstituteReport {
+    /// Wrap per-pair outcomes with no shard-layer failures (the
+    /// single-oracle path).
+    pub(crate) fn new(responses: Vec<Result<RouteResponse, RouteError>>) -> SubstituteReport {
+        SubstituteReport {
+            responses,
+            shard_errors: Vec::new(),
+        }
+    }
+
+    /// Wrap per-pair outcomes together with the shard-layer failure
+    /// sections the fan-out observed (the sharded path).
+    pub(crate) fn with_shard_errors(
+        responses: Vec<Result<RouteResponse, RouteError>>,
+        shard_errors: Vec<ShardErrorSection>,
+    ) -> SubstituteReport {
+        SubstituteReport {
+            responses,
+            shard_errors,
+        }
+    }
+
     /// Per-pair outcomes, in problem order.
     #[inline]
     pub fn responses(&self) -> &[Result<RouteResponse, RouteError>] {
         &self.responses
+    }
+
+    /// Shard-layer failure sections (empty unless the sharded fan-out
+    /// degraded to a partial result).
+    #[inline]
+    pub fn shard_errors(&self) -> &[ShardErrorSection] {
+        &self.shard_errors
+    }
+
+    /// True when shard-layer failures made this batch a partial result
+    /// (the HTTP layer maps this to a 206 body).
+    #[inline]
+    pub fn is_partial(&self) -> bool {
+        !self.shard_errors.is_empty()
     }
 
     /// Pairs that were served with a path.
@@ -468,10 +547,10 @@ impl Oracle {
     }
 
     /// Wire up serving state around an already-validated `(H, index)`
-    /// pair; the single constructor tail shared by the build-from-scratch
-    /// and load-from-artifact paths, so both produce byte-identical
-    /// serving state.
-    fn assemble(h: Graph, index: DetourIndex, config: OracleConfig) -> Oracle {
+    /// pair; the single constructor tail shared by the build-from-scratch,
+    /// load-from-artifact, and shard-slice paths, so all produce
+    /// byte-identical serving state.
+    pub(crate) fn assemble(h: Graph, index: DetourIndex, config: OracleConfig) -> Oracle {
         let load = CongestionLedger::new(h.n());
         let faults = FaultState::new(h.n(), h.m());
         Oracle {
@@ -591,6 +670,13 @@ impl Oracle {
     #[inline]
     pub fn faults(&self) -> &FaultState {
         &self.faults
+    }
+
+    /// The live congestion ledger (crate-internal: the sharded serving
+    /// layer merges per-replica ledgers for fleet-wide observation).
+    #[inline]
+    pub(crate) fn ledger(&self) -> &CongestionLedger {
+        &self.load
     }
 
     /// Kill spanner edge `{a, b}`. Returns false (and changes nothing)
@@ -897,6 +983,10 @@ impl Oracle {
             RouteError::Partitioned => &self.counters.partitioned,
             RouteError::Overloaded => &self.counters.shed,
             RouteError::BudgetExceeded => &self.counters.budget_exceeded,
+            // Shard-layer classes never originate inside a single
+            // oracle's `route`; the arms keep the match exhaustive and
+            // fold any defensive caller tally into the shed counter.
+            RouteError::DeadlineExceeded | RouteError::Unavailable => &self.counters.shed,
         }
         // ord: Relaxed — lifetime statistic, never publishes data.
         .fetch_add(1, Ordering::Relaxed);
@@ -928,7 +1018,7 @@ impl Oracle {
                 }
             }
         }
-        SubstituteReport { responses }
+        SubstituteReport::new(responses)
     }
 
     /// Live load of one node: how many answered paths touched `v` since

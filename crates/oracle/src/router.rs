@@ -1,0 +1,201 @@
+//! Consistent-hash routing of missing-edge ids onto oracle shards.
+//!
+//! The sharded serving layer (DESIGN.md §14) partitions the
+//! [`DetourIndex`](crate::DetourIndex) row space — one row per missing
+//! edge of `G \ H` — across `K` in-process shards. The partition is a
+//! classic consistent-hash ring: every shard owns `VNODES` pseudo-random
+//! points on a `u64` circle, and a missing-edge id is owned by the shard
+//! whose point is the id's hash's clockwise successor. Two properties
+//! carry the serving layer:
+//!
+//! * **Determinism** — the ring is a pure function of `(shards, seed)`;
+//!   every replica, the swap prepare path, and the respawn path all
+//!   derive the identical partition, so a query is never routed to a
+//!   shard that does not hold its detour row.
+//! * **Minimal disruption** — growing `K → K+1` shards with the same
+//!   seed leaves every existing shard's points in place; only the keys
+//!   that land on the new shard's arcs move, an expected `1/(K+1)`
+//!   fraction (the proptest in `tests/shard_router.rs` pins this to at
+//!   most twice the expectation).
+//!
+//! Pairs that are *not* missing edges (surviving spanner edges and
+//! non-adjacent pairs) are servable by any shard — every replica holds
+//! the full spanner — and are spread by hashing the canonical pair onto
+//! the same ring.
+
+use dcspan_graph::rng::splitmix64;
+use dcspan_graph::NodeId;
+
+/// Virtual nodes per shard on the ring. 64 points keeps the arc-length
+/// imbalance (and therefore the remap bound) within a few percent of the
+/// ideal `1/K` without measurable lookup cost (lookup is a binary search
+/// over `K · 64` points).
+const VNODES: usize = 64;
+
+/// Domain separator for ring-point hashes (shard placement).
+const RING_DOMAIN: u64 = 0x51A2_D00B_0000_0003;
+
+/// Domain separator for key hashes (missing-edge ids / pair spreading).
+const KEY_DOMAIN: u64 = 0x51A2_D00B_0000_0004;
+
+/// A consistent-hash ring mapping missing-edge ids to shard indices.
+#[derive(Clone, Debug)]
+pub struct ShardRing {
+    /// `(point, shard)` sorted by point; ties broken by shard id so the
+    /// ring is a deterministic function of `(shards, seed)`.
+    points: Vec<(u64, u32)>,
+    shards: usize,
+    seed: u64,
+}
+
+impl ShardRing {
+    /// Build the ring for `shards` shards. `shards` is clamped to at
+    /// least 1 (a zero-shard ring cannot own anything).
+    pub fn new(shards: usize, seed: u64) -> ShardRing {
+        let shards = shards.max(1);
+        let mut points = Vec::with_capacity(shards * VNODES);
+        for shard in 0..shards {
+            for vnode in 0..VNODES {
+                // Point position depends only on (seed, shard, vnode):
+                // adding shard K+1 never moves shard ≤ K's points.
+                let h = splitmix64(seed ^ RING_DOMAIN ^ ((shard as u64) << 32) ^ (vnode as u64));
+                points.push((h, shard as u32));
+            }
+        }
+        points.sort_unstable();
+        ShardRing {
+            points,
+            shards,
+            seed,
+        }
+    }
+
+    /// Number of shards the ring partitions across.
+    #[inline]
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// Seed the ring was derived from.
+    #[inline]
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Owning shard of missing-edge id `id`.
+    #[inline]
+    pub fn owner_of_id(&self, id: usize) -> usize {
+        self.owner_of_hash(splitmix64(self.seed ^ KEY_DOMAIN ^ id as u64))
+    }
+
+    /// Spread a non-missing pair `(u, v)` onto a shard: any shard can
+    /// serve it (the full spanner is replicated), so this is pure load
+    /// spreading, canonical in `(min, max)` so both query orientations
+    /// land on the same shard (and the same caches).
+    #[inline]
+    pub fn owner_of_pair(&self, u: NodeId, v: NodeId) -> usize {
+        let (a, b) = (u.min(v), u.max(v));
+        self.owner_of_hash(splitmix64(
+            self.seed ^ KEY_DOMAIN ^ 0x9E37_79B9_7F4A_7C15 ^ ((a as u64) << 32 | b as u64),
+        ))
+    }
+
+    /// Owning shard of an arbitrary key hash: the shard of the first ring
+    /// point at or clockwise-after `h` (wrapping to the first point).
+    fn owner_of_hash(&self, h: u64) -> usize {
+        let i = self.points.partition_point(|&(p, _)| p < h);
+        // Wrap: past the last point, the successor is the first point.
+        let idx = if i == self.points.len() { 0 } else { i };
+        self.points.get(idx).map_or(0, |&(_, shard)| shard as usize)
+    }
+
+    /// The partition of `0..ids` into per-shard id lists, in ascending id
+    /// order within each shard — the build-time slicing of the detour
+    /// index row space.
+    pub fn partition(&self, ids: usize) -> Vec<Vec<usize>> {
+        let mut owned: Vec<Vec<usize>> = vec![Vec::new(); self.shards];
+        for id in 0..ids {
+            let shard = self.owner_of_id(id);
+            if let Some(list) = owned.get_mut(shard) {
+                list.push(id);
+            }
+        }
+        owned
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn partition_covers_every_id_exactly_once() {
+        let ring = ShardRing::new(4, 7);
+        let parts = ring.partition(1000);
+        let mut seen = vec![false; 1000];
+        for (shard, ids) in parts.iter().enumerate() {
+            for &id in ids {
+                assert!(!seen[id], "id {id} owned twice");
+                seen[id] = true;
+                assert_eq!(ring.owner_of_id(id), shard);
+            }
+        }
+        assert!(seen.iter().all(|&s| s), "some id unowned");
+    }
+
+    #[test]
+    fn ring_is_deterministic_and_seed_sensitive() {
+        let a = ShardRing::new(4, 7).partition(500);
+        let b = ShardRing::new(4, 7).partition(500);
+        let c = ShardRing::new(4, 8).partition(500);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn load_is_roughly_balanced() {
+        let ring = ShardRing::new(4, 1);
+        let parts = ring.partition(8000);
+        for ids in &parts {
+            // Expected 2000 per shard; consistent hashing with 64 vnodes
+            // stays well within 2× of the ideal share.
+            assert!(
+                ids.len() > 500 && ids.len() < 4000,
+                "shard owns {} of 8000 ids",
+                ids.len()
+            );
+        }
+    }
+
+    #[test]
+    fn pair_spreading_is_orientation_invariant() {
+        let ring = ShardRing::new(4, 3);
+        for (u, v) in [(0u32, 9u32), (17, 4), (100, 101)] {
+            assert_eq!(ring.owner_of_pair(u, v), ring.owner_of_pair(v, u));
+        }
+    }
+
+    #[test]
+    fn growing_the_ring_moves_few_ids() {
+        let ids = 4000;
+        for seed in [1u64, 2, 3] {
+            let before = ShardRing::new(4, seed);
+            let after = ShardRing::new(5, seed);
+            let moved = (0..ids)
+                .filter(|&id| before.owner_of_id(id) != after.owner_of_id(id))
+                .count();
+            // Expectation is ids/5; allow 2× slack for arc-length noise.
+            assert!(
+                moved <= 2 * ids / 5,
+                "seed {seed}: {moved} of {ids} ids moved"
+            );
+        }
+    }
+
+    #[test]
+    fn single_shard_owns_everything() {
+        let ring = ShardRing::new(1, 42);
+        assert!((0..100).all(|id| ring.owner_of_id(id) == 0));
+        assert_eq!(ring.owner_of_pair(3, 8), 0);
+    }
+}

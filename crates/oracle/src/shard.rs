@@ -1,0 +1,1612 @@
+//! Resilient sharded serving: replicated oracle shards behind a
+//! consistent-hash router, with deadlines, retries, hedging, circuit
+//! breakers, and typed partial-result degradation (DESIGN.md §14).
+//!
+//! A [`ShardedOracle`] partitions the missing-edge row space of one
+//! serving instance across `K` shards × `R` replicas. Each replica is a
+//! full [`Oracle`] over the *shared spanner* plus its shard's slice of
+//! the [`DetourIndex`](crate::DetourIndex), so any replica answers
+//! spanner-edge and non-adjacent queries, while missing-edge queries
+//! must reach their owning shard (the [`ShardRing`] decides ownership,
+//! identically on every code path). With all shards healthy the fan-out
+//! is *report-identical* to a single oracle on the same RNG streams —
+//! the differential test in `tests/shard_router.rs` pins this.
+//!
+//! The moment routing fans out, partial failure is the common case, so
+//! every replica call is wrapped in the robustness ladder:
+//!
+//! 1. **Deadline budget** — each request carries a wall-clock budget;
+//!    every retry, backoff sleep, and hedge is debited against it, and
+//!    expiry surfaces as the typed [`RouteError::DeadlineExceeded`].
+//! 2. **Bounded retries + failover** — a failed call retries with
+//!    jittered exponential backoff ([`RetryPolicy`]) on the *sibling*
+//!    replica; fast failures (killed / down / breaker-open replicas)
+//!    fail over immediately without burning backoff budget.
+//! 3. **Hedging** — the first call is budgeted at a latency-percentile
+//!    hedge delay; overrunning it abandons the straggler and fires the
+//!    sibling with the remaining budget.
+//! 4. **Circuit breaker** — per replica, closed → open after an error
+//!    streak → half-open single probe after a cooldown; an open breaker
+//!    sheds calls before they are attempted.
+//! 5. **Supervision** — a panicking replica worker is contained by
+//!    [`supervisor::call_supervised`](crate::supervisor), marked down,
+//!    and respawned from its retained artifact slice.
+//! 6. **Typed partial results** — shard-layer failures degrade a batch
+//!    to a [`SubstituteReport`] with per-shard error sections instead of
+//!    failing (or hanging) the whole batch.
+//!
+//! Congestion is accounted twice, deliberately: each replica's internal
+//! [`CongestionLedger`] counts the paths *it* answered (per-shard
+//! observation, merged via [`CongestionLedger::merged_profile`]), while
+//! a single global ledger enforces the β-cap on *admitted* answers —
+//! merging is for observation, admission is for control (§14.2).
+//!
+//! Swaps are prepare-then-commit: [`ShardedOracle::prepare_swap`] builds
+//! the complete `K × R` replica topology off the serving path, then
+//! [`ShardedOracle::commit_swap`] publishes it through one
+//! [`SnapshotSlot`] swap — a fan-out pins one snapshot for its whole
+//! batch, so no request ever sees a mixed-epoch topology (§14.5).
+
+use crate::chaos::RetryPolicy;
+use crate::congestion::CongestionLedger;
+use crate::index::DetourIndex;
+use crate::oracle::{
+    Oracle, OracleConfig, OracleStatsSnapshot, RouteError, RouteResponse, ShardErrorSection,
+    SubstituteReport,
+};
+use crate::router::ShardRing;
+use crate::snapshot::SnapshotSlot;
+use crate::supervisor::{call_supervised, Supervisor};
+use crate::sync::atomic::{AtomicU32, AtomicU64, AtomicUsize, Ordering};
+use crate::sync::Arc;
+use dcspan_graph::rng::item_rng;
+use dcspan_graph::{CsrTable, Edge, Graph, NodeId};
+use dcspan_routing::RoutingProblem;
+use dcspan_store::{SpannerArtifact, StoreError};
+use rand::Rng;
+use rayon::prelude::*;
+use std::time::{Duration, Instant};
+
+/// Domain separator for injected-fault sampling streams.
+const INJECT_DOMAIN: u64 = 0x1D1E_C70F_0000_0005;
+
+/// Domain separator for retry-backoff jitter streams.
+const BACKOFF_DOMAIN: u64 = 0x1D1E_C70F_0000_0006;
+
+/// Latency histogram bucket bounds in microseconds (upper-inclusive),
+/// spanning in-process calls (tens of µs) through injected stalls.
+const LATENCY_BOUNDS_US: [u64; 12] = [
+    50, 100, 250, 500, 1_000, 2_500, 5_000, 10_000, 25_000, 50_000, 100_000, 250_000,
+];
+
+/// Topology and robustness configuration for a [`ShardedOracle`].
+#[derive(Clone, Copy, Debug)]
+pub struct ShardConfig {
+    /// Shards `K` the missing-edge space is partitioned across (≥ 1).
+    pub shards: usize,
+    /// Replicas `R` per shard (≥ 1). With `R = 1` there is no failover
+    /// target and no hedging.
+    pub replicas: usize,
+    /// Per-request wall-clock budget; every retry, backoff, and hedge is
+    /// debited against it.
+    pub deadline: Duration,
+    /// Bounded retry/failover policy for faulted replica calls.
+    pub retry: RetryPolicy,
+    /// Latency percentile (in `[0, 1]`) after which the first call is
+    /// abandoned and the sibling is hedged.
+    pub hedge_percentile: f64,
+    /// Floor for the hedge delay, so cold histograms and µs-fast healthy
+    /// calls do not hedge spuriously.
+    pub hedge_min: Duration,
+    /// Consecutive failures that trip a replica's breaker open.
+    pub breaker_threshold: u32,
+    /// How long an open breaker waits before admitting one half-open
+    /// probe.
+    pub breaker_cooldown: Duration,
+}
+
+impl Default for ShardConfig {
+    fn default() -> ShardConfig {
+        ShardConfig {
+            shards: 4,
+            replicas: 2,
+            deadline: Duration::from_millis(250),
+            retry: RetryPolicy::jittered(2, 100),
+            hedge_percentile: 0.95,
+            hedge_min: Duration::from_millis(2),
+            breaker_threshold: 5,
+            breaker_cooldown: Duration::from_millis(50),
+        }
+    }
+}
+
+impl ShardConfig {
+    /// A degenerate 1×1 topology: one shard, one replica — the sharded
+    /// plumbing with single-oracle semantics.
+    pub fn single() -> ShardConfig {
+        ShardConfig {
+            shards: 1,
+            replicas: 1,
+            ..ShardConfig::default()
+        }
+    }
+}
+
+/// Circuit-breaker state of one replica.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Healthy: calls flow through.
+    Closed,
+    /// Tripped: calls are shed until the cooldown elapses.
+    Open,
+    /// Probing: exactly one call is admitted; its outcome closes or
+    /// re-opens the breaker.
+    HalfOpen,
+}
+
+impl BreakerState {
+    /// Stable lowercase label (metrics/JSON output).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            BreakerState::Closed => "closed",
+            BreakerState::Open => "open",
+            BreakerState::HalfOpen => "half_open",
+        }
+    }
+
+    /// Stable numeric gauge value (0 closed, 1 open, 2 half-open).
+    pub fn code(self) -> u32 {
+        match self {
+            BreakerState::Closed => 0,
+            BreakerState::Open => 1,
+            BreakerState::HalfOpen => 2,
+        }
+    }
+}
+
+const BREAKER_CLOSED: u32 = 0;
+const BREAKER_OPEN: u32 = 1;
+const BREAKER_HALF_OPEN: u32 = 2;
+
+/// Per-replica circuit breaker: closed → open after an error streak →
+/// half-open single probe after a cooldown. Purely advisory health
+/// gating — no data is published through these atomics, so every
+/// operation is `Relaxed`; the worst race outcome is one extra probe or
+/// a marginally late trip, never a correctness violation.
+#[derive(Debug)]
+pub struct CircuitBreaker {
+    state: AtomicU32,
+    consecutive: AtomicU32,
+    opened_at_us: AtomicU64,
+}
+
+impl Default for CircuitBreaker {
+    fn default() -> CircuitBreaker {
+        CircuitBreaker {
+            state: AtomicU32::new(BREAKER_CLOSED),
+            consecutive: AtomicU32::new(0),
+            opened_at_us: AtomicU64::new(0),
+        }
+    }
+}
+
+impl CircuitBreaker {
+    /// Current state (monitoring read).
+    pub fn state(&self) -> BreakerState {
+        // ord: Relaxed — advisory health gauge; see the type docs.
+        match self.state.load(Ordering::Relaxed) {
+            BREAKER_OPEN => BreakerState::Open,
+            BREAKER_HALF_OPEN => BreakerState::HalfOpen,
+            _ => BreakerState::Closed,
+        }
+    }
+
+    /// May a call be attempted now? Open breakers admit one half-open
+    /// probe once `cooldown_us` has elapsed since the trip.
+    fn admit(&self, now_us: u64, cooldown_us: u64) -> bool {
+        // ord: Relaxed — advisory health gate; see the type docs.
+        match self.state.load(Ordering::Relaxed) {
+            BREAKER_CLOSED => true,
+            BREAKER_HALF_OPEN => false,
+            _ => {
+                // ord: Relaxed — the timestamp travels with the state
+                // word in the same advisory protocol.
+                let opened = self.opened_at_us.load(Ordering::Relaxed);
+                now_us.saturating_sub(opened) >= cooldown_us
+                    && self
+                        .state
+                        // ord: Relaxed — winning the CAS only elects the
+                        // single prober; losers see HalfOpen and shed.
+                        .compare_exchange(
+                            BREAKER_OPEN,
+                            BREAKER_HALF_OPEN,
+                            Ordering::Relaxed,
+                            Ordering::Relaxed,
+                        )
+                        .is_ok()
+            }
+        }
+    }
+
+    /// A call succeeded: close the breaker and clear the streak.
+    fn on_success(&self) {
+        // ord: Relaxed — advisory health gate; see the type docs.
+        self.consecutive.store(0, Ordering::Relaxed);
+        // ord: Relaxed — see above.
+        self.state.store(BREAKER_CLOSED, Ordering::Relaxed);
+    }
+
+    /// A call faulted. Returns true when this failure tripped the
+    /// breaker open (closed → open, or a failed half-open probe).
+    fn on_failure(&self, threshold: u32, now_us: u64) -> bool {
+        // ord: Relaxed — advisory health gate; see the type docs.
+        let state = self.state.load(Ordering::Relaxed);
+        // ord: Relaxed — streak counter, same advisory protocol.
+        let streak = self.consecutive.fetch_add(1, Ordering::Relaxed) + 1;
+        let trip = state == BREAKER_HALF_OPEN || (state == BREAKER_CLOSED && streak >= threshold);
+        if trip {
+            // ord: Relaxed — see above; the timestamp is read back only
+            // through the same advisory gate.
+            self.opened_at_us.store(now_us, Ordering::Relaxed);
+            // ord: Relaxed — see above.
+            self.state.store(BREAKER_OPEN, Ordering::Relaxed);
+        }
+        trip
+    }
+
+    /// Force the breaker open (supervisor marking a replica down).
+    fn force_open(&self, now_us: u64) {
+        // ord: Relaxed — advisory health gate; see the type docs.
+        self.opened_at_us.store(now_us, Ordering::Relaxed);
+        // ord: Relaxed — see above.
+        self.state.store(BREAKER_OPEN, Ordering::Relaxed);
+    }
+}
+
+/// What the shard-boundary fault injector does to one replica call.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Injection {
+    /// No injected fault.
+    None,
+    /// Add serving latency (debited against the call budget).
+    Latency(Duration),
+    /// Fail the call with a synthetic replica error.
+    Error,
+    /// Wedge the worker: the caller waits out its budget, never longer.
+    Stuck,
+    /// Panic inside the worker (contained by the supervisor).
+    Panic,
+}
+
+/// Per-replica fault knobs.
+#[derive(Debug, Default)]
+struct FaultCell {
+    killed: AtomicU32,
+    stuck: AtomicU32,
+    latency_us: AtomicU64,
+    error_permille: AtomicU32,
+    panics_armed: AtomicUsize,
+}
+
+/// The shard-boundary fault injector: per-replica added latency,
+/// injected errors, kills/restarts, stuck workers, and armed panics.
+/// Deterministic — whether query `q` draws an injected error is a pure
+/// function of `(seed, shard, replica, q)` — and shared across swaps, so
+/// an experiment's fault schedule survives a topology swap.
+#[derive(Debug)]
+pub struct FaultInjector {
+    shards: usize,
+    replicas: usize,
+    seed: u64,
+    cells: Vec<FaultCell>,
+}
+
+impl FaultInjector {
+    fn new(shards: usize, replicas: usize, seed: u64) -> FaultInjector {
+        FaultInjector {
+            shards,
+            replicas,
+            seed,
+            cells: (0..shards * replicas)
+                .map(|_| FaultCell::default())
+                .collect(),
+        }
+    }
+
+    fn cell(&self, shard: usize, replica: usize) -> Option<&FaultCell> {
+        if shard >= self.shards || replica >= self.replicas {
+            return None;
+        }
+        self.cells.get(shard * self.replicas + replica)
+    }
+
+    /// Kill a replica: every call to it fails fast until
+    /// [`FaultInjector::restart`].
+    pub fn kill(&self, shard: usize, replica: usize) {
+        if let Some(c) = self.cell(shard, replica) {
+            // ord: Relaxed — fault-schedule flag; readers only gate calls
+            // on it, no data is published through it.
+            c.killed.store(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Restart a killed replica.
+    pub fn restart(&self, shard: usize, replica: usize) {
+        if let Some(c) = self.cell(shard, replica) {
+            // ord: Relaxed — see `kill`.
+            c.killed.store(0, Ordering::Relaxed);
+        }
+    }
+
+    /// Is the replica currently killed?
+    pub fn is_killed(&self, shard: usize, replica: usize) -> bool {
+        self.cell(shard, replica)
+            // ord: Relaxed — see `kill`.
+            .is_some_and(|c| c.killed.load(Ordering::Relaxed) != 0)
+    }
+
+    /// Wedge (or un-wedge) a replica worker: calls consume their whole
+    /// budget and time out instead of answering.
+    pub fn set_stuck(&self, shard: usize, replica: usize, stuck: bool) {
+        if let Some(c) = self.cell(shard, replica) {
+            // ord: Relaxed — see `kill`.
+            c.stuck.store(u32::from(stuck), Ordering::Relaxed);
+        }
+    }
+
+    /// Add fixed serving latency to every call to the replica.
+    pub fn set_latency(&self, shard: usize, replica: usize, latency: Duration) {
+        if let Some(c) = self.cell(shard, replica) {
+            // ord: Relaxed — see `kill`.
+            c.latency_us.store(
+                latency.as_micros().min(u128::from(u64::MAX)) as u64,
+                Ordering::Relaxed,
+            );
+        }
+    }
+
+    /// Fail roughly `permille`/1000 of calls to the replica with a
+    /// synthetic error (deterministic per query id).
+    pub fn set_error_permille(&self, shard: usize, replica: usize, permille: u32) {
+        if let Some(c) = self.cell(shard, replica) {
+            // ord: Relaxed — see `kill`.
+            c.error_permille
+                .store(permille.min(1000), Ordering::Relaxed);
+        }
+    }
+
+    /// Arm the next `count` calls to the replica to panic inside the
+    /// worker (each armed panic fires exactly once).
+    pub fn arm_panics(&self, shard: usize, replica: usize, count: usize) {
+        if let Some(c) = self.cell(shard, replica) {
+            // ord: Relaxed — see `kill`.
+            c.panics_armed.store(count, Ordering::Relaxed);
+        }
+    }
+
+    /// Clear every fault on every replica.
+    pub fn clear_all(&self) {
+        for c in &self.cells {
+            // ord: Relaxed — see `kill`.
+            c.killed.store(0, Ordering::Relaxed);
+            // ord: Relaxed — see `kill`.
+            c.stuck.store(0, Ordering::Relaxed);
+            // ord: Relaxed — see `kill`.
+            c.latency_us.store(0, Ordering::Relaxed);
+            // ord: Relaxed — see `kill`.
+            c.error_permille.store(0, Ordering::Relaxed);
+            // ord: Relaxed — see `kill`.
+            c.panics_armed.store(0, Ordering::Relaxed);
+        }
+    }
+
+    /// Decide what happens to one call (killed replicas are gated before
+    /// this is consulted). Armed panics consume one arming atomically;
+    /// error injection draws deterministically from the query id.
+    fn decide(&self, shard: usize, replica: usize, query_id: u64) -> Injection {
+        let Some(c) = self.cell(shard, replica) else {
+            return Injection::None;
+        };
+        // ord: Relaxed — the armed count is a fault-schedule counter; the
+        // CAS loop only guarantees each arming fires once.
+        let mut armed = c.panics_armed.load(Ordering::Relaxed);
+        while armed > 0 {
+            match c.panics_armed.compare_exchange(
+                armed,
+                armed - 1,
+                // ord: Relaxed — see the load above; exact-once consumption
+                // follows from the per-location RMW total order.
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return Injection::Panic,
+                Err(cur) => armed = cur,
+            }
+        }
+        // ord: Relaxed — see `kill`.
+        if c.stuck.load(Ordering::Relaxed) != 0 {
+            return Injection::Stuck;
+        }
+        // ord: Relaxed — see `kill`.
+        let permille = c.error_permille.load(Ordering::Relaxed);
+        if permille > 0 {
+            let cell_id = (shard as u64) << 32 | replica as u64;
+            let mut rng = item_rng(self.seed ^ INJECT_DOMAIN ^ cell_id, query_id);
+            if rng.gen_range(0..1000u32) < permille {
+                return Injection::Error;
+            }
+        }
+        // ord: Relaxed — see `kill`.
+        let latency = c.latency_us.load(Ordering::Relaxed);
+        if latency > 0 {
+            return Injection::Latency(Duration::from_micros(latency));
+        }
+        Injection::None
+    }
+}
+
+/// Fixed-bucket latency histogram for the hedge-delay percentile.
+#[derive(Debug)]
+struct LatencyBuckets {
+    counts: Vec<AtomicU64>,
+}
+
+impl LatencyBuckets {
+    fn new() -> LatencyBuckets {
+        LatencyBuckets {
+            counts: (0..LATENCY_BOUNDS_US.len() + 1)
+                .map(|_| AtomicU64::new(0))
+                .collect(),
+        }
+    }
+
+    fn observe(&self, micros: u64) {
+        let idx = LATENCY_BOUNDS_US.partition_point(|&b| b < micros);
+        if let Some(c) = self.counts.get(idx) {
+            // ord: Relaxed — pure statistic feeding an advisory hedge
+            // delay; no data is published through it.
+            c.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Upper bound of the bucket holding quantile `q` (µs); 0 when the
+    /// histogram is empty. The overflow bucket reports the top bound.
+    fn percentile_us(&self, q: f64) -> u64 {
+        let counts: Vec<u64> = self
+            .counts
+            .iter()
+            // ord: Relaxed — see `observe`.
+            .map(|c| c.load(Ordering::Relaxed))
+            .collect();
+        let total: u64 = counts.iter().sum();
+        if total == 0 {
+            return 0;
+        }
+        let rank = (q.clamp(0.0, 1.0) * total as f64).ceil() as u64;
+        let mut seen = 0u64;
+        for (i, &c) in counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return LATENCY_BOUNDS_US
+                    .get(i)
+                    .copied()
+                    .unwrap_or(LATENCY_BOUNDS_US[LATENCY_BOUNDS_US.len() - 1]);
+            }
+        }
+        LATENCY_BOUNDS_US[LATENCY_BOUNDS_US.len() - 1]
+    }
+}
+
+/// The retained artifact slice a shard's replicas are (re)built from.
+#[derive(Clone, Debug)]
+struct SliceParts {
+    missing: Vec<Edge>,
+    two: CsrTable<NodeId>,
+    three: CsrTable<(NodeId, NodeId)>,
+}
+
+/// One replica: a hot-swappable oracle cell (respawn swaps a fresh
+/// oracle in without touching the topology), its breaker, and its
+/// down-marker.
+struct Replica {
+    cell: SnapshotSlot<Oracle>,
+    breaker: CircuitBreaker,
+    /// 1 after the supervisor marked the replica down (worker panic);
+    /// cleared by respawn.
+    down: AtomicU32,
+}
+
+impl Replica {
+    fn new(oracle: Oracle) -> Replica {
+        Replica {
+            cell: SnapshotSlot::new(oracle),
+            breaker: CircuitBreaker::default(),
+            down: AtomicU32::new(0),
+        }
+    }
+
+    fn is_down(&self) -> bool {
+        // ord: Relaxed — advisory health flag; the respawned oracle
+        // itself is published through the cell's SnapshotSlot protocol,
+        // not through this flag.
+        self.down.load(Ordering::Relaxed) != 0
+    }
+}
+
+/// One shard: its slice parts (the respawn source) and its replicas.
+struct Shard {
+    parts: SliceParts,
+    replicas: Vec<Replica>,
+}
+
+/// One immutable serving topology generation: everything a fan-out needs,
+/// pinned together so a batch never sees a mixed-epoch view.
+struct ShardSet {
+    n: usize,
+    delta: usize,
+    g: Graph,
+    h: Graph,
+    /// Full canonical missing-edge list — the ownership lookup table.
+    missing: Vec<Edge>,
+    ring: ShardRing,
+    shards: Vec<Shard>,
+    /// Global admission ledger enforcing the β-cap across all shards.
+    load: CongestionLedger,
+    cap: Option<u32>,
+}
+
+impl ShardSet {
+    /// Owning shard of pair `(u, v)`: the ring owner of its missing-edge
+    /// id when the pair is a missing edge, else hash-spread (any shard
+    /// serves non-missing pairs identically).
+    fn owner(&self, u: NodeId, v: NodeId) -> usize {
+        if u != v {
+            if let Ok(id) = self.missing.binary_search(&Edge::new(u, v)) {
+                return self.ring.owner_of_id(id);
+            }
+        }
+        self.ring.owner_of_pair(u, v)
+    }
+}
+
+/// Liveness and breaker state of one replica (metrics surface).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ReplicaHealth {
+    /// Shard index.
+    pub shard: usize,
+    /// Replica index within the shard.
+    pub replica: usize,
+    /// False when the replica is killed by the injector or marked down
+    /// by the supervisor.
+    pub alive: bool,
+    /// Current breaker state.
+    pub breaker: BreakerState,
+    /// Missing-edge rows in the shard's slice.
+    pub slice_rows: usize,
+}
+
+/// Monotone shard-layer counters (retries, hedges, breaker trips, …),
+/// snapshotted by [`ShardedOracle::shard_stats`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ShardLayerStats {
+    /// Retry attempts after a faulted call.
+    pub retries: u64,
+    /// Failovers to a sibling replica (fast failures + retries).
+    pub failovers: u64,
+    /// Hedged requests fired after the latency-percentile delay.
+    pub hedges: u64,
+    /// Requests that exhausted their deadline budget.
+    pub deadline_exceeded: u64,
+    /// Requests that found no live replica (typed shard outage).
+    pub unavailable: u64,
+    /// Synthetic errors delivered by the fault injector.
+    pub injected_errors: u64,
+    /// Breaker trips (closed/half-open → open).
+    pub breaker_opens: u64,
+    /// Worker panics contained by the supervisor.
+    pub panics: u64,
+    /// Replicas respawned from their artifact slice.
+    pub respawns: u64,
+}
+
+#[derive(Debug, Default)]
+struct ShardCounters {
+    retries: AtomicU64,
+    failovers: AtomicU64,
+    hedges: AtomicU64,
+    deadline_exceeded: AtomicU64,
+    unavailable: AtomicU64,
+    injected_errors: AtomicU64,
+    breaker_opens: AtomicU64,
+}
+
+/// Why a replica call did not produce an oracle answer.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum CallFault {
+    /// Replica killed by the injector — fast failure.
+    Killed,
+    /// Replica marked down by the supervisor — fast failure.
+    Down,
+    /// Replica breaker is open — fast failure.
+    BreakerOpen,
+    /// Injected synthetic error.
+    Injected,
+    /// The call consumed its whole budget (stuck worker or injected
+    /// latency past the budget).
+    TimedOut,
+    /// The worker panicked (already contained and marked down).
+    Panicked,
+}
+
+impl CallFault {
+    /// Fast failures fail over immediately without burning backoff.
+    fn is_fast(self) -> bool {
+        matches!(
+            self,
+            CallFault::Killed | CallFault::Down | CallFault::BreakerOpen
+        )
+    }
+}
+
+enum CallOutcome {
+    /// The oracle answered (served or typed routing rejection).
+    Answer(Result<RouteResponse, RouteError>),
+    Fault(CallFault),
+}
+
+/// A fully built next-generation topology, ready to commit (see
+/// [`ShardedOracle::prepare_swap`]).
+pub struct PreparedSwap {
+    set: ShardSet,
+}
+
+impl PreparedSwap {
+    /// `(n, Δ)` meta of the prepared topology.
+    pub fn meta(&self) -> (usize, usize) {
+        (self.set.n, self.set.delta)
+    }
+}
+
+impl std::fmt::Debug for PreparedSwap {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "PreparedSwap(n = {}, Δ = {})",
+            self.set.n, self.set.delta
+        )
+    }
+}
+
+/// Why a topology swap was refused.
+#[derive(Debug)]
+pub enum SwapError {
+    /// The artifact verifies but belongs to a different serving
+    /// instance: its `(n, Δ)` meta mismatches the live topology. Mapped
+    /// to HTTP 409 by the serving layer.
+    Incompatible {
+        /// `(n, Δ)` of the live topology.
+        expected: (usize, usize),
+        /// `(n, Δ)` of the offered artifact.
+        found: (usize, usize),
+    },
+    /// The artifact failed to load or validate.
+    Store(StoreError),
+}
+
+impl std::fmt::Display for SwapError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SwapError::Incompatible { expected, found } => write!(
+                f,
+                "incompatible artifact: serving (n = {}, Δ = {}) but artifact has (n = {}, Δ = {})",
+                expected.0, expected.1, found.0, found.1
+            ),
+            SwapError::Store(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for SwapError {}
+
+/// A consistent-hash-routed fleet of `K × R` replica oracles with the
+/// full robustness ladder around every call (module docs).
+pub struct ShardedOracle {
+    state: SnapshotSlot<ShardSet>,
+    base: OracleConfig,
+    shard_config: ShardConfig,
+    injector: FaultInjector,
+    supervisor: Supervisor,
+    latency: LatencyBuckets,
+    counters: ShardCounters,
+    started: Instant,
+}
+
+impl ShardedOracle {
+    /// Build a sharded topology from a host graph and an already-built
+    /// spanner (the in-process twin of [`ShardedOracle::from_artifact`]).
+    pub fn build(
+        g: &Graph,
+        h: Graph,
+        config: OracleConfig,
+        shard_config: ShardConfig,
+    ) -> Result<ShardedOracle, StoreError> {
+        let index = DetourIndex::build(g, &h);
+        let (missing, two, three) = index.into_parts();
+        let set = Self::shard_set(g.clone(), h, missing, two, three, config, &shard_config)?;
+        Ok(Self::assemble_sharded(set, config, shard_config))
+    }
+
+    /// Reconstruct a sharded serving topology from a loaded artifact:
+    /// the same structural validation as [`Oracle::from_artifact`], then
+    /// the row space is partitioned by the [`ShardRing`] and every
+    /// replica oracle is assembled from its shard's slice.
+    pub fn from_artifact(
+        artifact: SpannerArtifact,
+        config: OracleConfig,
+        shard_config: ShardConfig,
+    ) -> Result<ShardedOracle, StoreError> {
+        let SpannerArtifact {
+            graph,
+            spanner,
+            missing,
+            two,
+            three,
+            meta,
+        } = artifact;
+        if meta.n != graph.n() {
+            return Err(StoreError::Malformed(format!(
+                "meta records n = {} but graph has {} nodes",
+                meta.n,
+                graph.n()
+            )));
+        }
+        if meta.delta != graph.max_degree() {
+            return Err(StoreError::Malformed(format!(
+                "meta records Δ = {} but graph has max degree {}",
+                meta.delta,
+                graph.max_degree()
+            )));
+        }
+        if spanner.n() != graph.n() || !spanner.is_subgraph_of(&graph) {
+            return Err(StoreError::Malformed(
+                "spanner is not a subgraph of the stored graph".into(),
+            ));
+        }
+        // Full-coverage validation through the single-oracle path, then
+        // take the rows back for slicing.
+        let index = DetourIndex::from_parts(&graph, &spanner, missing, two, three)
+            .map_err(StoreError::Malformed)?;
+        let (missing, two, three) = index.into_parts();
+        let set = Self::shard_set(graph, spanner, missing, two, three, config, &shard_config)?;
+        Ok(Self::assemble_sharded(set, config, shard_config))
+    }
+
+    /// Partition the validated full rows into per-shard slices and
+    /// assemble every replica.
+    fn shard_set(
+        g: Graph,
+        h: Graph,
+        missing: Vec<Edge>,
+        two: CsrTable<NodeId>,
+        three: CsrTable<(NodeId, NodeId)>,
+        base: OracleConfig,
+        shard_config: &ShardConfig,
+    ) -> Result<ShardSet, StoreError> {
+        let ring = ShardRing::new(shard_config.shards, base.seed);
+        let partition = ring.partition(missing.len());
+        // Replicas never shed internally: the global ledger owns the
+        // β-cap (merging is observation, admission is control).
+        let replica_config = OracleConfig {
+            per_node_cap: None,
+            ..base
+        };
+        let replicas_per_shard = shard_config.replicas.max(1);
+        let mut shards = Vec::with_capacity(partition.len());
+        for ids in &partition {
+            let slice_missing: Vec<Edge> = ids
+                .iter()
+                .filter_map(|&i| missing.get(i).copied())
+                .collect();
+            let slice_two = CsrTable::from_rows(ids.iter().map(|&i| two.row(i).to_vec()));
+            let slice_three = CsrTable::from_rows(ids.iter().map(|&i| three.row(i).to_vec()));
+            let parts = SliceParts {
+                missing: slice_missing,
+                two: slice_two,
+                three: slice_three,
+            };
+            let mut replicas = Vec::with_capacity(replicas_per_shard);
+            for _ in 0..replicas_per_shard {
+                let oracle = Self::oracle_from_slice(&g, &h, &parts, replica_config)
+                    .map_err(StoreError::Malformed)?;
+                replicas.push(Replica::new(oracle));
+            }
+            shards.push(Shard { parts, replicas });
+        }
+        Ok(ShardSet {
+            n: g.n(),
+            delta: g.max_degree(),
+            load: CongestionLedger::new(g.n()),
+            cap: base.per_node_cap,
+            missing,
+            ring,
+            shards,
+            g,
+            h,
+        })
+    }
+
+    /// Assemble one replica oracle from a shard slice — also the respawn
+    /// path, so a respawned replica is answer-identical to the original.
+    fn oracle_from_slice(
+        g: &Graph,
+        h: &Graph,
+        parts: &SliceParts,
+        config: OracleConfig,
+    ) -> Result<Oracle, String> {
+        let index = DetourIndex::from_slice(
+            g,
+            h,
+            parts.missing.clone(),
+            parts.two.clone(),
+            parts.three.clone(),
+        )?;
+        Ok(Oracle::assemble(h.clone(), index, config))
+    }
+
+    fn assemble_sharded(
+        set: ShardSet,
+        base: OracleConfig,
+        shard_config: ShardConfig,
+    ) -> ShardedOracle {
+        let injector = FaultInjector::new(
+            shard_config.shards.max(1),
+            shard_config.replicas.max(1),
+            base.seed,
+        );
+        ShardedOracle {
+            state: SnapshotSlot::new(set),
+            base,
+            shard_config,
+            injector,
+            supervisor: Supervisor::new(),
+            latency: LatencyBuckets::new(),
+            counters: ShardCounters::default(),
+            started: Instant::now(),
+        }
+    }
+
+    /// The topology configuration.
+    pub fn shard_config(&self) -> &ShardConfig {
+        &self.shard_config
+    }
+
+    /// The base per-replica oracle configuration.
+    pub fn config(&self) -> &OracleConfig {
+        &self.base
+    }
+
+    /// `(n, Δ)` of the live topology.
+    pub fn meta(&self) -> (usize, usize) {
+        let set = self.state.snapshot();
+        (set.n, set.delta)
+    }
+
+    /// Node count of the live topology.
+    pub fn n(&self) -> usize {
+        self.state.snapshot().n
+    }
+
+    /// Swap generations published so far (bumped by every committed
+    /// swap).
+    pub fn epoch(&self) -> u64 {
+        self.state.epoch()
+    }
+
+    /// The shard-boundary fault injector (chaos harness surface).
+    pub fn injector(&self) -> &FaultInjector {
+        &self.injector
+    }
+
+    /// The supervisor's panic/respawn accounting.
+    pub fn supervisor(&self) -> &Supervisor {
+        &self.supervisor
+    }
+
+    /// Owning shard of pair `(u, v)` in the live topology.
+    pub fn owner_shard(&self, u: NodeId, v: NodeId) -> usize {
+        self.state.snapshot().owner(u, v)
+    }
+
+    /// The missing edges owned by shard `k` (experiment surface: pick
+    /// queries that must cross a given shard).
+    pub fn shard_missing_edges(&self, k: usize) -> Vec<Edge> {
+        let set = self.state.snapshot();
+        set.shards
+            .get(k)
+            .map(|s| s.parts.missing.clone())
+            .unwrap_or_default()
+    }
+
+    /// Liveness and breaker state of every replica, shard-major.
+    pub fn health(&self) -> Vec<ReplicaHealth> {
+        let set = self.state.snapshot();
+        let mut rows = Vec::new();
+        for (k, shard) in set.shards.iter().enumerate() {
+            for (r, replica) in shard.replicas.iter().enumerate() {
+                rows.push(ReplicaHealth {
+                    shard: k,
+                    replica: r,
+                    alive: !replica.is_down() && !self.injector.is_killed(k, r),
+                    breaker: replica.breaker.state(),
+                    slice_rows: shard.parts.missing.len(),
+                });
+            }
+        }
+        rows
+    }
+
+    /// Sum of every replica's lifetime oracle counters.
+    pub fn stats(&self) -> OracleStatsSnapshot {
+        let set = self.state.snapshot();
+        let mut total = OracleStatsSnapshot::default();
+        for shard in &set.shards {
+            for replica in &shard.replicas {
+                let s = replica.cell.snapshot().stats();
+                total.queries += s.queries;
+                total.spanner_edge += s.spanner_edge;
+                total.two_hop += s.two_hop;
+                total.three_hop += s.three_hop;
+                total.filtered_two_hop += s.filtered_two_hop;
+                total.filtered_three_hop += s.filtered_three_hop;
+                total.bfs += s.bfs;
+                total.degraded_bfs += s.degraded_bfs;
+                total.invalid += s.invalid;
+                total.dead_endpoint += s.dead_endpoint;
+                total.partitioned += s.partitioned;
+                total.shed += s.shed;
+                total.budget_exceeded += s.budget_exceeded;
+                total.cache_hits += s.cache_hits;
+                total.cache_misses += s.cache_misses;
+            }
+        }
+        total
+    }
+
+    /// Shard-layer robustness counters.
+    pub fn shard_stats(&self) -> ShardLayerStats {
+        ShardLayerStats {
+            // ord: Relaxed — monitoring snapshot of pure statistics.
+            retries: self.counters.retries.load(Ordering::Relaxed),
+            failovers: self.counters.failovers.load(Ordering::Relaxed),
+            hedges: self.counters.hedges.load(Ordering::Relaxed),
+            deadline_exceeded: self.counters.deadline_exceeded.load(Ordering::Relaxed),
+            unavailable: self.counters.unavailable.load(Ordering::Relaxed),
+            injected_errors: self.counters.injected_errors.load(Ordering::Relaxed),
+            breaker_opens: self.counters.breaker_opens.load(Ordering::Relaxed),
+            panics: self.supervisor.panics(),
+            respawns: self.supervisor.respawns(),
+        }
+    }
+
+    /// Fleet-wide live congestion: the max of the globally *admitted*
+    /// load (the ledger the β-cap is enforced on).
+    pub fn live_congestion(&self) -> u32 {
+        self.state.snapshot().load.max()
+    }
+
+    /// Merged per-shard observation profile: per-node sums of every
+    /// replica's own ledger (see [`CongestionLedger::merged_profile`]).
+    pub fn merged_load_profile(&self) -> Vec<u32> {
+        let set = self.state.snapshot();
+        let oracles: Vec<Arc<Oracle>> = set
+            .shards
+            .iter()
+            .flat_map(|s| s.replicas.iter().map(|r| r.cell.snapshot()))
+            .collect();
+        let ledgers: Vec<&CongestionLedger> = oracles.iter().map(|o| o.ledger()).collect();
+        CongestionLedger::merged_profile(&ledgers)
+    }
+
+    /// Zero the global admission ledger and every replica ledger (start
+    /// a new accounting epoch; callers quiesce traffic first).
+    pub fn reset_load(&self) {
+        let set = self.state.snapshot();
+        set.load.reset();
+        for shard in &set.shards {
+            for replica in &shard.replicas {
+                replica.cell.snapshot().reset_load();
+            }
+        }
+    }
+
+    /// Respawn every replica marked down by the supervisor from its
+    /// retained artifact slice, close its breaker, and clear its down
+    /// flag. Returns the number respawned. Cheap when nothing is down.
+    pub fn supervise(&self) -> usize {
+        let set = self.state.snapshot();
+        let replica_config = OracleConfig {
+            per_node_cap: None,
+            ..self.base
+        };
+        let mut respawned = 0;
+        for shard in &set.shards {
+            for replica in &shard.replicas {
+                if !replica.is_down() {
+                    continue;
+                }
+                let Ok(fresh) =
+                    Self::oracle_from_slice(&set.g, &set.h, &shard.parts, replica_config)
+                else {
+                    // Respawn from retained, previously validated parts
+                    // cannot fail structurally; leave the replica down if
+                    // it somehow does — the sibling keeps serving.
+                    continue;
+                };
+                replica.cell.swap(fresh);
+                replica.breaker.on_success();
+                // ord: Relaxed — advisory health flag; the fresh oracle
+                // itself was published by the cell swap above.
+                replica.down.store(0, Ordering::Relaxed);
+                self.supervisor.record_respawn();
+                respawned += 1;
+            }
+        }
+        respawned
+    }
+
+    /// Validate an artifact against the live topology and build the full
+    /// next-generation `K × R` topology off the serving path. Refuses
+    /// artifacts whose `(n, Δ)` meta mismatches the live serving
+    /// instance with the typed [`SwapError::Incompatible`].
+    pub fn prepare_swap(&self, artifact: SpannerArtifact) -> Result<PreparedSwap, SwapError> {
+        let current = self.state.snapshot();
+        let expected = (current.n, current.delta);
+        let found = (artifact.meta.n, artifact.meta.delta);
+        if expected != found {
+            return Err(SwapError::Incompatible { expected, found });
+        }
+        let SpannerArtifact {
+            graph,
+            spanner,
+            missing,
+            two,
+            three,
+            meta: _,
+        } = artifact;
+        if spanner.n() != graph.n() || !spanner.is_subgraph_of(&graph) {
+            return Err(SwapError::Store(StoreError::Malformed(
+                "spanner is not a subgraph of the stored graph".into(),
+            )));
+        }
+        let index = DetourIndex::from_parts(&graph, &spanner, missing, two, three)
+            .map_err(|e| SwapError::Store(StoreError::Malformed(e)))?;
+        let (missing, two, three) = index.into_parts();
+        let set = Self::shard_set(
+            graph,
+            spanner,
+            missing,
+            two,
+            three,
+            self.base,
+            &self.shard_config,
+        )
+        .map_err(SwapError::Store)?;
+        Ok(PreparedSwap { set })
+    }
+
+    /// Commit a prepared topology: one atomic publication — every
+    /// subsequent fan-out pins the new generation whole, and fan-outs
+    /// already in flight finish entirely on the old one. Returns the new
+    /// epoch.
+    pub fn commit_swap(&self, prepared: PreparedSwap) -> u64 {
+        self.state.swap(prepared.set)
+    }
+
+    /// Prepare-then-commit in one call (the `/admin/swap` path).
+    pub fn swap_artifact(&self, artifact: SpannerArtifact) -> Result<u64, SwapError> {
+        let prepared = self.prepare_swap(artifact)?;
+        Ok(self.commit_swap(prepared))
+    }
+
+    /// Microseconds since this topology was created (breaker clock).
+    fn now_us(&self) -> u64 {
+        self.started.elapsed().as_micros().min(u128::from(u64::MAX)) as u64
+    }
+
+    /// The hedge delay: the configured percentile of observed replica
+    /// call latencies, floored at `hedge_min`.
+    fn hedge_delay(&self) -> Duration {
+        let observed = Duration::from_micros(
+            self.latency
+                .percentile_us(self.shard_config.hedge_percentile),
+        );
+        observed.max(self.shard_config.hedge_min)
+    }
+
+    /// Answer one query through the robustness ladder. Deterministic
+    /// with all shards healthy: pair `(u, v, query_id)` reaches its
+    /// owning shard's replica `query_id mod R`, which draws the same RNG
+    /// stream as a single oracle would.
+    pub fn route(&self, u: NodeId, v: NodeId, query_id: u64) -> Result<RouteResponse, RouteError> {
+        let set = self.state.snapshot();
+        self.route_on(&set, u, v, query_id)
+    }
+
+    fn route_on(
+        &self,
+        set: &ShardSet,
+        u: NodeId,
+        v: NodeId,
+        query_id: u64,
+    ) -> Result<RouteResponse, RouteError> {
+        let start = Instant::now();
+        let deadline = self.shard_config.deadline;
+        let shard_id = set.owner(u, v);
+        let Some(shard) = set.shards.get(shard_id) else {
+            // ord-free unreachable-in-practice guard: the ring only
+            // emits indices below K.
+            return Err(RouteError::Unavailable);
+        };
+        let r = shard.replicas.len().max(1);
+        let primary = (query_id as usize) % r;
+        let mut rng = item_rng(self.base.seed ^ BACKOFF_DOMAIN, query_id);
+        let hedge_delay = self.hedge_delay();
+        let mut hedged = false;
+        let mut offset = 0usize;
+        let mut attempt = 0u32;
+        loop {
+            let elapsed = start.elapsed();
+            if elapsed >= deadline {
+                // ord: Relaxed — statistic.
+                self.counters
+                    .deadline_exceeded
+                    .fetch_add(1, Ordering::Relaxed);
+                return Err(RouteError::DeadlineExceeded);
+            }
+            let remaining = deadline - elapsed;
+            let rep_idx = (primary + offset) % r;
+            let Some(replica) = shard.replicas.get(rep_idx) else {
+                return Err(RouteError::Unavailable);
+            };
+            // First attempt with a live sibling: budget at the hedge
+            // delay so a straggler is abandoned and the sibling hedged.
+            let hedging = !hedged && r > 1 && attempt == 0 && hedge_delay < remaining;
+            let budget = if hedging { hedge_delay } else { remaining };
+            let call_started = Instant::now();
+            match self.call_replica(shard_id, rep_idx, replica, u, v, query_id, budget) {
+                CallOutcome::Answer(Ok(resp)) => {
+                    replica.breaker.on_success();
+                    self.latency.observe(
+                        call_started.elapsed().as_micros().min(u128::from(u64::MAX)) as u64,
+                    );
+                    if !set.load.admit(&resp.path.distinct_nodes(), set.cap) {
+                        return Err(RouteError::Overloaded);
+                    }
+                    return Ok(resp);
+                }
+                CallOutcome::Answer(Err(err)) => {
+                    // A typed routing rejection is a *healthy* replica
+                    // answering; it never trips the breaker.
+                    replica.breaker.on_success();
+                    return Err(err);
+                }
+                CallOutcome::Fault(fault) => {
+                    if fault == CallFault::TimedOut && hedging {
+                        // The hedge: abandon the straggler, fire the
+                        // sibling with the remaining budget. Consumes no
+                        // retry and sleeps no backoff.
+                        // ord: Relaxed — statistic.
+                        self.counters.hedges.fetch_add(1, Ordering::Relaxed);
+                        hedged = true;
+                        offset += 1;
+                        continue;
+                    }
+                    if !fault.is_fast()
+                        && replica
+                            .breaker
+                            .on_failure(self.shard_config.breaker_threshold, self.now_us())
+                    {
+                        // ord: Relaxed — statistic.
+                        self.counters.breaker_opens.fetch_add(1, Ordering::Relaxed);
+                    }
+                    if fault == CallFault::TimedOut && !hedged {
+                        // The call consumed the full remaining budget.
+                        // ord: Relaxed — statistic.
+                        self.counters
+                            .deadline_exceeded
+                            .fetch_add(1, Ordering::Relaxed);
+                        return Err(RouteError::DeadlineExceeded);
+                    }
+                    if fault.is_fast() {
+                        // Fast failure: fail over immediately; once every
+                        // replica has been tried this way, the shard is
+                        // typed unavailable.
+                        offset += 1;
+                        // ord: Relaxed — statistic.
+                        self.counters.failovers.fetch_add(1, Ordering::Relaxed);
+                        if offset >= r {
+                            // ord: Relaxed — statistic.
+                            self.counters.unavailable.fetch_add(1, Ordering::Relaxed);
+                            return Err(RouteError::Unavailable);
+                        }
+                        continue;
+                    }
+                    // Retryable fault (injected error, post-hedge timeout,
+                    // contained panic): bounded jittered-backoff retry,
+                    // failing over to the sibling.
+                    if attempt >= self.shard_config.retry.max_retries {
+                        // ord: Relaxed — statistic.
+                        self.counters.unavailable.fetch_add(1, Ordering::Relaxed);
+                        return Err(RouteError::Unavailable);
+                    }
+                    attempt += 1;
+                    offset += 1;
+                    // ord: Relaxed — statistic.
+                    self.counters.retries.fetch_add(1, Ordering::Relaxed);
+                    // ord: Relaxed — statistic.
+                    self.counters.failovers.fetch_add(1, Ordering::Relaxed);
+                    let backoff = self.shard_config.retry.delay(attempt, &mut rng);
+                    let ceiling = deadline.saturating_sub(start.elapsed());
+                    let nap = backoff.min(ceiling);
+                    if !nap.is_zero() {
+                        std::thread::sleep(nap);
+                    }
+                }
+            }
+        }
+    }
+
+    /// One supervised, injected, breaker-gated replica call with a hard
+    /// wall-clock budget. Never blocks past `budget`.
+    #[allow(clippy::too_many_arguments)]
+    fn call_replica(
+        &self,
+        shard_id: usize,
+        rep_idx: usize,
+        replica: &Replica,
+        u: NodeId,
+        v: NodeId,
+        query_id: u64,
+        budget: Duration,
+    ) -> CallOutcome {
+        if replica.is_down() {
+            return CallOutcome::Fault(CallFault::Down);
+        }
+        if self.injector.is_killed(shard_id, rep_idx) {
+            return CallOutcome::Fault(CallFault::Killed);
+        }
+        if !replica.breaker.admit(
+            self.now_us(),
+            self.shard_config
+                .breaker_cooldown
+                .as_micros()
+                .min(u128::from(u64::MAX)) as u64,
+        ) {
+            return CallOutcome::Fault(CallFault::BreakerOpen);
+        }
+        let mut inject_panic = false;
+        match self.injector.decide(shard_id, rep_idx, query_id) {
+            Injection::None => {}
+            Injection::Stuck => {
+                // The wedged worker never answers: the caller waits out
+                // its budget — and only its budget — then times out.
+                std::thread::sleep(budget);
+                return CallOutcome::Fault(CallFault::TimedOut);
+            }
+            Injection::Latency(d) => {
+                if d >= budget {
+                    std::thread::sleep(budget);
+                    return CallOutcome::Fault(CallFault::TimedOut);
+                }
+                std::thread::sleep(d);
+            }
+            Injection::Error => {
+                // ord: Relaxed — statistic.
+                self.counters
+                    .injected_errors
+                    .fetch_add(1, Ordering::Relaxed);
+                return CallOutcome::Fault(CallFault::Injected);
+            }
+            Injection::Panic => inject_panic = true,
+        }
+        let oracle = replica.cell.snapshot();
+        match call_supervised(&oracle, u, v, query_id, inject_panic) {
+            Ok(answer) => CallOutcome::Answer(answer),
+            Err(_) => {
+                self.supervisor.record_panic();
+                // Mark the replica down: the sibling serves until the
+                // next `supervise` pass respawns this one.
+                // ord: Relaxed — advisory health flag; see Replica::is_down.
+                replica.down.store(1, Ordering::Relaxed);
+                replica.breaker.force_open(self.now_us());
+                CallOutcome::Fault(CallFault::Panicked)
+            }
+        }
+    }
+
+    /// Fan a whole problem out across the shards and merge per-shard
+    /// outcomes, pair `i` using query id `base_query_id + i` — the same
+    /// per-pair RNG streams as [`Oracle::substitute_routing`]. The whole
+    /// batch pins one topology snapshot (no mixed-epoch fan-out). Pairs
+    /// lost to shard-layer failures surface both as typed per-pair
+    /// errors and as per-shard [`ShardErrorSection`]s on the report.
+    pub fn substitute_routing(
+        &self,
+        problem: &RoutingProblem,
+        base_query_id: u64,
+    ) -> SubstituteReport {
+        let set = self.state.snapshot();
+        let pairs = problem.pairs();
+        let responses: Vec<Result<RouteResponse, RouteError>> = pairs
+            .par_iter()
+            .enumerate()
+            .map(|(i, &(u, v))| self.route_on(&set, u, v, base_query_id.wrapping_add(i as u64)))
+            .collect();
+        let mut sections: Vec<ShardErrorSection> = Vec::new();
+        for (i, outcome) in responses.iter().enumerate() {
+            let Err(err) = outcome else { continue };
+            if !err.is_shard_fault() {
+                continue;
+            }
+            let Some(&(u, v)) = pairs.get(i) else {
+                continue;
+            };
+            let shard = set.owner(u, v);
+            match sections
+                .iter_mut()
+                .find(|s| s.shard == shard && s.error == *err)
+            {
+                Some(section) => section.pairs.push(i),
+                None => sections.push(ShardErrorSection {
+                    shard,
+                    error: *err,
+                    pairs: vec![i],
+                }),
+            }
+        }
+        sections.sort_by_key(|s| (s.shard, s.error.as_str()));
+        SubstituteReport::with_shard_errors(responses, sections)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcspan_core::serve::SpannerAlgo;
+    use dcspan_gen::regular::random_regular;
+
+    fn sharded(n: usize, shards: usize, replicas: usize) -> (Graph, ShardedOracle) {
+        let g = random_regular(n, 8, 7);
+        let artifact = Oracle::build_artifact(&g, SpannerAlgo::Theorem2WithProb(0.5), 7);
+        let config = OracleConfig {
+            seed: 7,
+            ..OracleConfig::default()
+        };
+        let shard_config = ShardConfig {
+            shards,
+            replicas,
+            ..ShardConfig::default()
+        };
+        let oracle = ShardedOracle::from_artifact(artifact, config, shard_config)
+            .unwrap_or_else(|e| panic!("from_artifact: {e}"));
+        (g, oracle)
+    }
+
+    #[test]
+    fn healthy_sharded_routing_serves_missing_edges_from_owner_slices() {
+        let (g, sharded) = sharded(120, 3, 2);
+        let set = sharded.state.snapshot();
+        let total_rows: usize = set.shards.iter().map(|s| s.parts.missing.len()).sum();
+        assert_eq!(total_rows, set.missing.len());
+        // Missing edges route through their owning shard; detour-kind
+        // answers (≤ 3 hops) prove the query reached the shard that
+        // holds its index row rather than falling back to BFS.
+        let mut detours = 0;
+        for (q, e) in set.missing.iter().take(50).enumerate() {
+            let resp = sharded
+                .route(e.u, e.v, q as u64)
+                .unwrap_or_else(|err| panic!("missing edge ({}, {}): {err}", e.u, e.v));
+            assert!(resp.hops() >= 1);
+            if resp.kind.is_detour() {
+                assert!(resp.hops() <= 3, "detour kind with {} hops", resp.hops());
+                detours += 1;
+            }
+        }
+        assert!(detours > 0, "no missing edge was answered from the index");
+        drop(set);
+        let _ = g;
+    }
+
+    #[test]
+    fn killed_replica_fails_over_to_sibling() {
+        let (_, sharded) = sharded(80, 2, 2);
+        for s in 0..2 {
+            sharded.injector().kill(s, 0);
+            sharded.injector().kill(s, 1);
+        }
+        // Whole fleet down: typed unavailable, never a hang or panic.
+        assert_eq!(sharded.route(0, 1, 1), Err(RouteError::Unavailable));
+        // One replica per shard back: serving resumes via failover.
+        for s in 0..2 {
+            sharded.injector().restart(s, 1);
+        }
+        assert!(sharded.route(0, 1, 2).is_ok(), "failover did not serve");
+        let healthy = sharded.health().iter().filter(|h| h.alive).count();
+        assert_eq!(healthy, 2);
+        assert!(sharded.shard_stats().failovers > 0);
+    }
+
+    #[test]
+    fn stuck_worker_never_blocks_past_the_deadline() {
+        let g = random_regular(60, 6, 3);
+        let artifact = Oracle::build_artifact(&g, SpannerAlgo::Theorem2WithProb(0.5), 3);
+        let config = OracleConfig {
+            seed: 3,
+            ..OracleConfig::default()
+        };
+        let shard_config = ShardConfig {
+            shards: 1,
+            replicas: 1,
+            deadline: Duration::from_millis(20),
+            ..ShardConfig::default()
+        };
+        let sharded = ShardedOracle::from_artifact(artifact, config, shard_config)
+            .unwrap_or_else(|e| panic!("{e}"));
+        sharded.injector().set_stuck(0, 0, true);
+        let start = Instant::now();
+        let out = sharded.route(0, 1, 9);
+        assert!(matches!(
+            out,
+            Err(RouteError::DeadlineExceeded) | Err(RouteError::Unavailable)
+        ));
+        assert!(start.elapsed() < Duration::from_millis(500));
+    }
+
+    #[test]
+    fn panic_marks_down_and_supervise_respawns() {
+        let hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let (_, sharded) = sharded(60, 1, 2);
+        sharded.injector().arm_panics(0, 0, 1);
+        // Drive queries until the armed panic fires on replica 0
+        // (primary alternates with query id parity).
+        for q in 0..8u64 {
+            let _ = sharded.route(0, 1, q);
+        }
+        std::panic::set_hook(hook);
+        let stats = sharded.shard_stats();
+        assert_eq!(stats.panics, 1, "armed panic fired once");
+        assert!(sharded.health().iter().any(|h| !h.alive));
+        assert_eq!(sharded.supervise(), 1);
+        assert!(sharded.health().iter().all(|h| h.alive));
+        assert_eq!(sharded.shard_stats().respawns, 1);
+    }
+
+    #[test]
+    fn breaker_opens_on_error_streak_and_recovers() {
+        let g = random_regular(60, 6, 5);
+        let artifact = Oracle::build_artifact(&g, SpannerAlgo::Theorem2WithProb(0.5), 5);
+        let config = OracleConfig {
+            seed: 5,
+            ..OracleConfig::default()
+        };
+        let shard_config = ShardConfig {
+            shards: 1,
+            replicas: 2,
+            breaker_threshold: 3,
+            breaker_cooldown: Duration::from_millis(1),
+            retry: RetryPolicy::jittered(1, 10),
+            ..ShardConfig::default()
+        };
+        let sharded = ShardedOracle::from_artifact(artifact, config, shard_config)
+            .unwrap_or_else(|e| panic!("{e}"));
+        sharded.injector().set_error_permille(0, 0, 1000);
+        for q in 0..40u64 {
+            let _ = sharded.route(0, 1, q);
+        }
+        assert!(sharded.shard_stats().breaker_opens > 0);
+        assert!(sharded.shard_stats().retries > 0);
+        // Heal and wait out the cooldown: the half-open probe closes it.
+        sharded.injector().clear_all();
+        std::thread::sleep(Duration::from_millis(2));
+        for q in 100..140u64 {
+            let _ = sharded.route(0, 1, q);
+        }
+        assert!(sharded
+            .health()
+            .iter()
+            .all(|h| h.breaker == BreakerState::Closed));
+    }
+
+    #[test]
+    fn whole_shard_down_degrades_to_typed_partial_report() {
+        let (_, sharded) = sharded(120, 3, 2);
+        // Pick a victim and a healthy shard among those that own rows —
+        // the ring decides placement, so ownership is data-dependent.
+        let owning: Vec<usize> = (0..3)
+            .filter(|&k| !sharded.shard_missing_edges(k).is_empty())
+            .collect();
+        assert!(owning.len() >= 2, "need two owning shards, got {owning:?}");
+        let (victim, healthy) = (owning[0], owning[1]);
+        // Kill every replica of the victim shard.
+        sharded.injector().kill(victim, 0);
+        sharded.injector().kill(victim, 1);
+        let victims = sharded.shard_missing_edges(victim);
+        let mut pairs: Vec<(NodeId, NodeId)> = victims.iter().take(5).map(|e| (e.u, e.v)).collect();
+        let victim_pairs = pairs.len();
+        // And some pairs owned by a healthy shard.
+        for e in sharded.shard_missing_edges(healthy).iter().take(5) {
+            pairs.push((e.u, e.v));
+        }
+        let report = sharded.substitute_routing(&RoutingProblem::from_pairs(pairs), 900);
+        assert!(report.is_partial());
+        assert!(report.ok_count() >= 1, "healthy shards still serve");
+        assert!(report
+            .shard_errors()
+            .iter()
+            .all(|s| s.shard == victim && s.error == RouteError::Unavailable));
+        let failed: usize = report.shard_errors().iter().map(|s| s.pairs.len()).sum();
+        assert_eq!(failed, victim_pairs);
+    }
+
+    #[test]
+    fn swap_rejects_incompatible_meta_and_commits_compatible() {
+        let (_, sharded) = sharded(80, 2, 2);
+        // A different instance shape: typed incompatibility, no swap.
+        let other = random_regular(40, 6, 11);
+        let bad = Oracle::build_artifact(&other, SpannerAlgo::Theorem2WithProb(0.5), 11);
+        match sharded.prepare_swap(bad) {
+            Err(SwapError::Incompatible { expected, found }) => {
+                assert_eq!(expected.0, 80);
+                assert_eq!(found.0, 40);
+            }
+            other => panic!("expected Incompatible, got {other:?}"),
+        }
+        assert_eq!(sharded.epoch(), 0);
+        // Same shape, different build seed: prepare-then-commit bumps
+        // the epoch exactly once, atomically for the whole topology.
+        let same = random_regular(80, 8, 21);
+        let good = Oracle::build_artifact(&same, SpannerAlgo::Theorem2WithProb(0.5), 13);
+        let prepared = sharded
+            .prepare_swap(good)
+            .unwrap_or_else(|e| panic!("prepare: {e}"));
+        assert_eq!(sharded.epoch(), 0, "prepare publishes nothing");
+        assert_eq!(sharded.commit_swap(prepared), 1);
+        assert_eq!(sharded.epoch(), 1);
+        assert!(sharded.route(0, 1, 5).is_ok(), "post-swap serving broken");
+    }
+
+    #[test]
+    fn global_ledger_enforces_beta_cap_across_shards() {
+        let g = random_regular(100, 8, 9);
+        let artifact = Oracle::build_artifact(&g, SpannerAlgo::Theorem2WithProb(0.5), 9);
+        let config = OracleConfig {
+            seed: 9,
+            per_node_cap: Some(2),
+            ..OracleConfig::default()
+        };
+        let sharded = ShardedOracle::from_artifact(
+            artifact,
+            config,
+            ShardConfig {
+                shards: 4,
+                replicas: 1,
+                ..ShardConfig::default()
+            },
+        )
+        .unwrap_or_else(|e| panic!("{e}"));
+        let mut shed = 0;
+        for q in 0..400u64 {
+            let u = (q % 100) as NodeId;
+            let v = ((q * 37 + 1) % 100) as NodeId;
+            if u == v {
+                continue;
+            }
+            if sharded.route(u, v, q) == Err(RouteError::Overloaded) {
+                shed += 1;
+            }
+        }
+        assert!(sharded.live_congestion() <= 2, "global cap violated");
+        assert!(shed > 0, "cap 2 over 400 queries must shed");
+    }
+}

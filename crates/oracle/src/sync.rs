@@ -28,14 +28,10 @@ pub(crate) mod atomic {
     #[cfg(loom)]
     pub(crate) use loomlite::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 
-    // Part of the facade surface for future modules (sharded serving will
-    // index shards with it); unused today.
     #[cfg(not(loom))]
-    #[allow(unused_imports)]
     pub(crate) use std::sync::atomic::AtomicUsize;
 
     #[cfg(loom)]
-    #[allow(unused_imports)]
     pub(crate) use loomlite::sync::atomic::AtomicUsize;
 }
 

@@ -1,0 +1,228 @@
+//! Sharded-serving contracts (DESIGN.md §14): the consistent-hash ring
+//! moves few keys under resharding, and a healthy `K`-shard fleet is
+//! observationally identical to a single oracle.
+
+use dcspan_core::serve::SpannerAlgo;
+use dcspan_gen::regular::random_regular;
+use dcspan_oracle::{Oracle, OracleConfig, RouteError, ShardConfig, ShardRing, ShardedOracle};
+use dcspan_routing::problem::RoutingProblem;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Growing the ring `K → K+1` with the same seed moves at most twice
+    /// the expected `ids/(K+1)` fraction of keys — the minimal-disruption
+    /// property promised in `router.rs`.
+    #[test]
+    fn growing_the_ring_remaps_at_most_twice_the_expectation(
+        shards in 2usize..9,
+        seed in 0u64..1000,
+    ) {
+        let ids = 3000usize;
+        let before = ShardRing::new(shards, seed);
+        let after = ShardRing::new(shards + 1, seed);
+        let moved = (0..ids)
+            .filter(|&id| before.owner_of_id(id) != after.owner_of_id(id))
+            .count();
+        prop_assert!(
+            moved <= 2 * ids / (shards + 1),
+            "grow {shards}→{}: {moved} of {ids} ids moved (expected ≈ {})",
+            shards + 1,
+            ids / (shards + 1)
+        );
+        // Every moved id lands on the new shard: old shards never trade
+        // keys among themselves when one is added.
+        for id in 0..ids {
+            let (b, a) = (before.owner_of_id(id), after.owner_of_id(id));
+            if b != a {
+                prop_assert_eq!(a, shards, "id {} moved {}→{}, not to the new shard", id, b, a);
+            }
+        }
+    }
+
+    /// Shrinking the ring `K → K-1` likewise strands at most twice the
+    /// expected `ids/K` fraction (the removed shard's keys, and only
+    /// they, are redistributed).
+    #[test]
+    fn shrinking_the_ring_remaps_at_most_twice_the_expectation(
+        shards in 3usize..10,
+        seed in 0u64..1000,
+    ) {
+        let ids = 3000usize;
+        let before = ShardRing::new(shards, seed);
+        let after = ShardRing::new(shards - 1, seed);
+        let moved = (0..ids)
+            .filter(|&id| before.owner_of_id(id) != after.owner_of_id(id))
+            .count();
+        prop_assert!(
+            moved <= 2 * ids / shards,
+            "shrink {shards}→{}: {moved} of {ids} ids moved (expected ≈ {})",
+            shards - 1,
+            ids / shards
+        );
+        // Only keys of the removed shard move.
+        for id in 0..ids {
+            let (b, a) = (before.owner_of_id(id), after.owner_of_id(id));
+            if b != a {
+                prop_assert_eq!(b, shards - 1, "id {} moved off surviving shard {}", id, b);
+            }
+        }
+    }
+}
+
+/// A deterministic workload over `n` nodes: `count` distinct pairs.
+fn pairs(n: usize, count: usize, salt: u64) -> Vec<(u32, u32)> {
+    use dcspan_graph::rng::splitmix64;
+    (0..count as u64)
+        .map(|i| {
+            let a = splitmix64(salt ^ (i << 1)) % n as u64;
+            let mut b = splitmix64(salt ^ (i << 1) ^ 1) % (n as u64 - 1);
+            if b >= a {
+                b += 1;
+            }
+            (a as u32, b as u32)
+        })
+        .collect()
+}
+
+/// A healthy `K × R` fleet answers every single query identically to a
+/// lone oracle built from the same artifact — same path, same rung —
+/// pair for pair on the same `(u, v, query_id)` streams.
+#[test]
+fn healthy_fleet_routes_identically_to_a_single_oracle() {
+    let n = 220;
+    let g = random_regular(n, 8, 7);
+    let artifact = Oracle::build_artifact(&g, SpannerAlgo::Theorem2WithProb(0.5), 7);
+    let config = OracleConfig {
+        seed: 7,
+        ..OracleConfig::default()
+    };
+    let single = Oracle::from_artifact(artifact.clone(), config).expect("artifact is well-formed");
+    for shards in [2usize, 4] {
+        let fleet = ShardedOracle::from_artifact(
+            artifact.clone(),
+            config,
+            ShardConfig {
+                shards,
+                replicas: 2,
+                ..ShardConfig::default()
+            },
+        )
+        .expect("artifact is well-formed");
+        for (i, &(u, v)) in pairs(n, 300, 0xD1F).iter().enumerate() {
+            let id = 9000 + i as u64;
+            let lone = single.route(u, v, id);
+            let sharded = fleet.route(u, v, id);
+            match (&lone, &sharded) {
+                (Ok(a), Ok(b)) => {
+                    assert_eq!(a.path.nodes(), b.path.nodes(), "paths diverge on pair {i}");
+                    assert_eq!(a.kind, b.kind, "rungs diverge on pair {i}");
+                }
+                (Err(a), Err(b)) => assert_eq!(a, b, "errors diverge on pair {i}"),
+                _ => panic!("pair {i}: single={lone:?} sharded={sharded:?}"),
+            }
+        }
+        // reset the admission ledgers so the batched comparison below
+        // starts from the same state on both sides.
+        single.reset_load();
+        fleet.reset_load();
+    }
+}
+
+/// The batched fan-out merges to the same per-pair report as the
+/// single-oracle batch on the same base query id: every response equal,
+/// no shard-error sections, and the merged congestion observation
+/// matches the lone ledger.
+#[test]
+fn healthy_fanout_report_matches_single_oracle_batch() {
+    let n = 220;
+    let g = random_regular(n, 8, 7);
+    let artifact = Oracle::build_artifact(&g, SpannerAlgo::Theorem2WithProb(0.5), 7);
+    let config = OracleConfig {
+        seed: 7,
+        ..OracleConfig::default()
+    };
+    let single = Oracle::from_artifact(artifact.clone(), config).expect("artifact is well-formed");
+    let fleet = ShardedOracle::from_artifact(
+        artifact,
+        config,
+        ShardConfig {
+            shards: 4,
+            replicas: 2,
+            ..ShardConfig::default()
+        },
+    )
+    .expect("artifact is well-formed");
+    let problem = RoutingProblem::from_pairs(pairs(n, 200, 0xFA9));
+    let base = 50_000u64;
+    let lone = single.substitute_routing(&problem, base);
+    let fanned = fleet.substitute_routing(&problem, base);
+    assert!(!fanned.is_partial(), "healthy fan-out reported partial");
+    assert_eq!(fanned.shard_errors(), &[]);
+    assert_eq!(lone.responses().len(), fanned.responses().len());
+    for (i, (a, b)) in lone
+        .responses()
+        .iter()
+        .zip(fanned.responses().iter())
+        .enumerate()
+    {
+        match (a, b) {
+            (Ok(a), Ok(b)) => {
+                assert_eq!(a.path.nodes(), b.path.nodes(), "paths diverge on pair {i}");
+                assert_eq!(a.kind, b.kind, "rungs diverge on pair {i}");
+            }
+            (Err(a), Err(b)) => {
+                assert!(!a.is_shard_fault() && !b.is_shard_fault());
+                assert_eq!(a, b, "errors diverge on pair {i}");
+            }
+            _ => panic!("pair {i}: single={a:?} fleet={b:?}"),
+        }
+    }
+    assert_eq!(lone.ok_count(), fanned.ok_count());
+}
+
+/// The fleet's typed degradation never leaks through a healthy path: a
+/// dead shard's keys fail `Unavailable`, every other key still matches
+/// the single oracle bit for bit.
+#[test]
+fn dead_shard_degrades_only_its_own_keys() {
+    let n = 220;
+    let g = random_regular(n, 8, 7);
+    let artifact = Oracle::build_artifact(&g, SpannerAlgo::Theorem2WithProb(0.5), 7);
+    let config = OracleConfig {
+        seed: 7,
+        ..OracleConfig::default()
+    };
+    let single = Oracle::from_artifact(artifact.clone(), config).expect("artifact is well-formed");
+    let fleet = ShardedOracle::from_artifact(
+        artifact,
+        config,
+        ShardConfig {
+            shards: 3,
+            replicas: 2,
+            ..ShardConfig::default()
+        },
+    )
+    .expect("artifact is well-formed");
+    let victim = 1;
+    fleet.injector().kill(victim, 0);
+    fleet.injector().kill(victim, 1);
+    for (i, &(u, v)) in pairs(n, 200, 0xB0B).iter().enumerate() {
+        let id = 70_000 + i as u64;
+        let sharded = fleet.route(u, v, id);
+        if fleet.owner_shard(u, v) == victim {
+            assert_eq!(sharded, Err(RouteError::Unavailable), "pair {i}");
+        } else {
+            let lone = single.route(u, v, id);
+            match (&lone, &sharded) {
+                (Ok(a), Ok(b)) => {
+                    assert_eq!(a.path.nodes(), b.path.nodes(), "paths diverge on pair {i}");
+                    assert_eq!(a.kind, b.kind, "rungs diverge on pair {i}");
+                }
+                (Err(a), Err(b)) => assert_eq!(a, b, "errors diverge on pair {i}"),
+                _ => panic!("pair {i}: single={lone:?} sharded={sharded:?}"),
+            }
+        }
+    }
+}

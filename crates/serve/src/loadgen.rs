@@ -37,8 +37,13 @@ pub struct LoadgenConfig {
     pub seed: u64,
     /// Node-id space to draw query pairs from (`0..nodes`).
     pub nodes: u32,
-    /// Per-response client deadline.
+    /// Per-response client deadline: a response that has not completed
+    /// within this window is counted as `deadline_exceeded`, its own
+    /// class distinct from connects/writes/reads that fail outright.
     pub response_deadline: Duration,
+    /// TCP connect budget — a server that stops accepting shows up as a
+    /// bounded connect failure, not a hung generator thread.
+    pub connect_timeout: Duration,
 }
 
 /// What one run measured.
@@ -54,6 +59,10 @@ pub struct LoadReport {
     pub rejected: usize,
     /// Connects, writes, or reads that failed outright.
     pub transport_errors: usize,
+    /// Responses that did not complete within the client deadline — the
+    /// wait consumed the whole `response_deadline` budget, as opposed
+    /// to the peer vanishing early (a `transport_errors` case).
+    pub deadline_exceeded: usize,
     /// Completed responses per second of wall time.
     pub achieved_qps: f64,
     /// Wall time from first scheduled arrival to last completion.
@@ -107,7 +116,8 @@ fn schedule(cfg: &LoadgenConfig) -> Vec<Event> {
     let mut index = 0u64;
     loop {
         let mut rng = item_rng(cfg.seed, index);
-        let gap: f64 = -(1.0 - rng.gen_range(0.0..1.0)).ln() / rate;
+        let unit: f64 = rng.gen_range(0.0..1.0);
+        let gap = -(1.0 - unit).ln() / rate;
         at += gap;
         if at >= horizon {
             return events;
@@ -134,26 +144,41 @@ struct Tally {
     shed: usize,
     rejected: usize,
     transport_errors: usize,
+    deadline_exceeded: usize,
     latencies_micros: Vec<u64>,
 }
 
 /// Drive one connection's slice of the schedule (already sorted by
-/// Connect with Nagle disabled: the generator writes one small request
-/// per exchange and a batched send stalls behind the server's delayed
-/// ACK, inflating every measured latency by the ACK timer.
-fn connect_nodelay(addr: SocketAddr) -> Option<TcpStream> {
-    let conn = TcpStream::connect(addr).ok()?;
+/// Connect with a bounded budget and Nagle disabled: the generator
+/// writes one small request per exchange and a batched send stalls
+/// behind the server's delayed ACK, inflating every measured latency by
+/// the ACK timer. A write timeout bounds send-side stalls the same way
+/// `read_response`'s deadline bounds the receive side.
+fn connect_nodelay(
+    addr: SocketAddr,
+    connect_timeout: Duration,
+    deadline: Duration,
+) -> Option<TcpStream> {
+    let conn =
+        TcpStream::connect_timeout(&addr, connect_timeout.max(Duration::from_millis(1))).ok()?;
     let _ = conn.set_nodelay(true);
+    let _ = conn.set_write_timeout(Some(deadline.max(Duration::from_millis(1))));
     Some(conn)
 }
 
 /// arrival time). Reconnects after transport errors.
-fn drive(addr: SocketAddr, start: Instant, events: &[Event], deadline: Duration) -> Tally {
+fn drive(
+    addr: SocketAddr,
+    start: Instant,
+    events: &[Event],
+    deadline: Duration,
+    connect_timeout: Duration,
+) -> Tally {
     let mut tally = Tally {
         latencies_micros: Vec::with_capacity(events.len()),
         ..Tally::default()
     };
-    let mut conn: Option<TcpStream> = connect_nodelay(addr);
+    let mut conn: Option<TcpStream> = connect_nodelay(addr, connect_timeout, deadline);
     for event in events {
         if let Some(wait) = event.at.checked_sub(start.elapsed()) {
             if wait > Duration::ZERO {
@@ -161,7 +186,7 @@ fn drive(addr: SocketAddr, start: Instant, events: &[Event], deadline: Duration)
             }
         }
         if conn.is_none() {
-            conn = connect_nodelay(addr);
+            conn = connect_nodelay(addr, connect_timeout, deadline);
         }
         let Some(stream) = conn.as_mut() else {
             tally.transport_errors += 1;
@@ -178,6 +203,7 @@ fn drive(addr: SocketAddr, start: Instant, events: &[Event], deadline: Duration)
             conn = None;
             continue;
         }
+        let waited_from = Instant::now();
         match http::read_response(stream, deadline) {
             Some(resp) => {
                 let micros = u64::try_from(start.elapsed().saturating_sub(event.at).as_micros())
@@ -197,7 +223,15 @@ fn drive(addr: SocketAddr, start: Instant, events: &[Event], deadline: Duration)
                 }
             }
             None => {
-                tally.transport_errors += 1;
+                // Classify the miss: a wait that consumed the whole
+                // deadline budget is `deadline_exceeded` (the server is
+                // slow or wedged); anything quicker means the peer
+                // vanished or broke protocol (a transport error).
+                if waited_from.elapsed() >= deadline {
+                    tally.deadline_exceeded += 1;
+                } else {
+                    tally.transport_errors += 1;
+                }
                 conn = None;
             }
         }
@@ -226,10 +260,13 @@ pub fn run(cfg: &LoadgenConfig) -> LoadReport {
     }
     let start = Instant::now();
     let deadline = cfg.response_deadline;
+    let connect_timeout = cfg.connect_timeout;
     let addr = cfg.addr;
     let handles: Vec<_> = slices
         .into_iter()
-        .map(|slice| std::thread::spawn(move || drive(addr, start, &slice, deadline)))
+        .map(|slice| {
+            std::thread::spawn(move || drive(addr, start, &slice, deadline, connect_timeout))
+        })
         .collect();
     let mut merged = Tally::default();
     for handle in handles {
@@ -238,6 +275,7 @@ pub fn run(cfg: &LoadgenConfig) -> LoadReport {
             merged.shed += tally.shed;
             merged.rejected += tally.rejected;
             merged.transport_errors += tally.transport_errors;
+            merged.deadline_exceeded += tally.deadline_exceeded;
             merged.latencies_micros.extend(tally.latencies_micros);
         }
     }
@@ -250,6 +288,7 @@ pub fn run(cfg: &LoadgenConfig) -> LoadReport {
         shed: merged.shed,
         rejected: merged.rejected,
         transport_errors: merged.transport_errors,
+        deadline_exceeded: merged.deadline_exceeded,
         achieved_qps: completed as f64 / wall_s,
         wall_s,
         p50_ms: percentile_ms(&merged.latencies_micros, 0.50),
@@ -323,8 +362,8 @@ pub fn sweep(
     let cap = config.per_node_cap.unwrap_or(0);
     let oracle = Oracle::from_artifact(artifact, config).map_err(SweepError::Store)?;
     let slot = Arc::new(SnapshotSlot::new(oracle));
-    let handle =
-        Server::start("127.0.0.1:0", Arc::clone(&slot), config, server).map_err(SweepError::Io)?;
+    let handle = Server::start("127.0.0.1:0", Arc::clone(&slot), config, (n, delta), server)
+        .map_err(SweepError::Io)?;
     let mut cells = Vec::with_capacity(rates.len());
     for (idx, &rate) in rates.iter().enumerate() {
         // Independent cells: drain the congestion ledger accumulated by
@@ -338,6 +377,7 @@ pub fn sweep(
             seed: derive_seed(seed, idx as u64),
             nodes: n as u32,
             response_deadline: Duration::from_secs(10),
+            connect_timeout: Duration::from_secs(2),
         });
         cells.push(SweepCell {
             n,
@@ -365,6 +405,7 @@ mod tests {
             seed: 42,
             nodes: 100,
             response_deadline: Duration::from_secs(1),
+            connect_timeout: Duration::from_secs(1),
         };
         let a = schedule(&cfg);
         let b = schedule(&cfg);

@@ -9,7 +9,7 @@
 //! snapshot's `OracleStatsSnapshot` so the ladder counters always match
 //! what the oracle itself reports.
 
-use dcspan_oracle::OracleStatsSnapshot;
+use dcspan_oracle::{OracleStatsSnapshot, ReplicaHealth, ShardLayerStats};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
@@ -22,7 +22,9 @@ pub const BUCKET_BOUNDS_MICROS: [u64; 16] = [
 
 /// Response statuses tracked with dedicated counters (everything else
 /// lands in `other`).
-const TRACKED_STATUSES: [u16; 11] = [200, 400, 404, 405, 408, 413, 422, 429, 431, 500, 501];
+const TRACKED_STATUSES: [u16; 15] = [
+    200, 206, 400, 404, 405, 408, 409, 413, 422, 429, 431, 500, 501, 503, 504,
+];
 
 /// A fixed-bucket latency histogram (cumulative counts are computed at
 /// render time, so `observe` is a single relaxed increment).
@@ -327,6 +329,59 @@ impl Metrics {
     }
 }
 
+/// Render the shard-layer section appended to the Prometheus page when
+/// the server fronts a replicated fleet: per-replica liveness and
+/// breaker-state gauges plus the robustness-ladder event counters
+/// (DESIGN.md §14). Pure formatting — the numbers come from the fleet's
+/// own accounting so they can never drift from what it reports.
+pub fn render_shards(health: &[ReplicaHealth], stats: &ShardLayerStats) -> String {
+    let mut out = String::with_capacity(1024);
+
+    out.push_str("# HELP dcspan_shard_health Replica liveness (1 alive, 0 down).\n");
+    out.push_str("# TYPE dcspan_shard_health gauge\n");
+    for r in health {
+        out.push_str(&format!(
+            "dcspan_shard_health{{shard=\"{}\",replica=\"{}\"}} {}\n",
+            r.shard,
+            r.replica,
+            u32::from(r.alive)
+        ));
+    }
+
+    out.push_str(
+        "# HELP dcspan_shard_breaker_state Replica breaker (0 closed, 1 open, 2 half-open).\n",
+    );
+    out.push_str("# TYPE dcspan_shard_breaker_state gauge\n");
+    for r in health {
+        out.push_str(&format!(
+            "dcspan_shard_breaker_state{{shard=\"{}\",replica=\"{}\"}} {}\n",
+            r.shard,
+            r.replica,
+            r.breaker.code()
+        ));
+    }
+
+    out.push_str("# HELP dcspan_shard_events_total Shard-layer robustness events by kind.\n");
+    out.push_str("# TYPE dcspan_shard_events_total counter\n");
+    for (kind, count) in [
+        ("retry", stats.retries),
+        ("failover", stats.failovers),
+        ("hedge", stats.hedges),
+        ("deadline_exceeded", stats.deadline_exceeded),
+        ("unavailable", stats.unavailable),
+        ("injected_error", stats.injected_errors),
+        ("breaker_open", stats.breaker_opens),
+        ("panic", stats.panics),
+        ("respawn", stats.respawns),
+    ] {
+        out.push_str(&format!(
+            "dcspan_shard_events_total{{kind=\"{kind}\"}} {count}\n"
+        ));
+    }
+
+    out
+}
+
 /// The endpoints the server exposes (request-counter keys).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Endpoint {
@@ -391,6 +446,75 @@ mod tests {
             "dcspan_snapshot_epoch 3",
             "dcspan_live_congestion 17",
             "dcspan_nodes 2000",
+        ] {
+            assert!(page.contains(needle), "missing {needle} in:\n{page}");
+        }
+    }
+
+    #[test]
+    fn shard_section_renders_every_family() {
+        use dcspan_oracle::BreakerState;
+        let health = [
+            ReplicaHealth {
+                shard: 0,
+                replica: 0,
+                alive: true,
+                breaker: BreakerState::Closed,
+                slice_rows: 10,
+            },
+            ReplicaHealth {
+                shard: 1,
+                replica: 1,
+                alive: false,
+                breaker: BreakerState::Open,
+                slice_rows: 12,
+            },
+        ];
+        let stats = ShardLayerStats {
+            retries: 3,
+            failovers: 2,
+            hedges: 1,
+            deadline_exceeded: 4,
+            unavailable: 5,
+            injected_errors: 6,
+            breaker_opens: 7,
+            panics: 8,
+            respawns: 9,
+        };
+        let page = render_shards(&health, &stats);
+        for needle in [
+            "dcspan_shard_health{shard=\"0\",replica=\"0\"} 1",
+            "dcspan_shard_health{shard=\"1\",replica=\"1\"} 0",
+            "dcspan_shard_breaker_state{shard=\"0\",replica=\"0\"} 0",
+            "dcspan_shard_breaker_state{shard=\"1\",replica=\"1\"} 1",
+            "dcspan_shard_events_total{kind=\"retry\"} 3",
+            "dcspan_shard_events_total{kind=\"failover\"} 2",
+            "dcspan_shard_events_total{kind=\"hedge\"} 1",
+            "dcspan_shard_events_total{kind=\"deadline_exceeded\"} 4",
+            "dcspan_shard_events_total{kind=\"unavailable\"} 5",
+            "dcspan_shard_events_total{kind=\"injected_error\"} 6",
+            "dcspan_shard_events_total{kind=\"breaker_open\"} 7",
+            "dcspan_shard_events_total{kind=\"panic\"} 8",
+            "dcspan_shard_events_total{kind=\"respawn\"} 9",
+        ] {
+            assert!(page.contains(needle), "missing {needle} in:\n{page}");
+        }
+    }
+
+    #[test]
+    fn new_gateway_statuses_are_tracked() {
+        let m = Metrics::new();
+        for status in [206, 409, 503, 504] {
+            m.on_response(status);
+        }
+        let stats = OracleStatsSnapshot::default();
+        let page = m.render(&stats, 0, 0, 10);
+        for needle in [
+            "dcspan_http_responses_total{status=\"206\"} 1",
+            "dcspan_http_responses_total{status=\"409\"} 1",
+            "dcspan_http_responses_total{status=\"503\"} 1",
+            "dcspan_http_responses_total{status=\"504\"} 1",
+            "dcspan_http_responses_total{status=\"other\"} 0",
         ] {
             assert!(page.contains(needle), "missing {needle} in:\n{page}");
         }

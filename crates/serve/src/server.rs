@@ -20,16 +20,32 @@
 //! entirely from it, so a concurrent `POST /admin/swap` is never
 //! observed mid-request — the same per-request snapshot discipline as
 //! the JSONL file loop.
+//!
+//! ## Backends (DESIGN.md §14.5)
+//!
+//! The front-end serves from one of two backends. [`Server::start`]
+//! fronts a single hot-swappable oracle snapshot — the wire contract
+//! here is frozen (byte-identical bodies across transports).
+//! [`Server::start_sharded`] fronts a replicated [`ShardedOracle`]
+//! fleet: shard-layer rejections surface as `503`/`504`, batch
+//! requests degrade to `206` partial bodies with per-shard error
+//! sections instead of failing wholesale, `/healthz` and `/metrics`
+//! gain fleet shape and per-replica health, and `POST /admin/swap`
+//! applies atomically across every shard (prepare-then-commit) with a
+//! typed `409` when the artifact's `(n, Δ)` does not match the serving
+//! topology. The single backend gets the same `409` guard from boot
+//! metadata recorded at start-up.
 
 use crate::http::{self, HeadOutcome, RequestHead};
-use crate::metrics::{Endpoint, Metrics};
+use crate::metrics::{self, Endpoint, Metrics};
 use dcspan_oracle::wire::parse_route_value;
 use dcspan_oracle::{
-    ErrorBody, Oracle, OracleConfig, RequestLine, RouteError, SnapshotSlot, SwapAck, WireResponse,
+    ErrorBody, Oracle, OracleConfig, RequestLine, RouteError, RouteResponse, ShardedOracle,
+    SnapshotSlot, SwapAck, SwapError, WireResponse,
 };
 use dcspan_store::SpannerArtifact;
 use serde_json::Value;
-use std::collections::VecDeque;
+use std::collections::{BTreeMap, VecDeque};
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -76,12 +92,16 @@ impl Default for ServerConfig {
 
 /// HTTP status for a typed routing rejection: overload-shaped errors
 /// are `429` (clients back off and retry), topology-shaped ones `422`,
-/// degenerate requests `400`.
+/// degenerate requests `400`. The shard-layer rejections (DESIGN.md
+/// §14) map onto the gateway statuses: a blown deadline budget is
+/// `504`, an all-replicas-down shard is `503`.
 pub fn status_for(err: RouteError) -> u16 {
     match err {
         RouteError::InvalidQuery => 400,
         RouteError::DeadEndpoint | RouteError::Partitioned => 422,
         RouteError::Overloaded | RouteError::BudgetExceeded => 429,
+        RouteError::Unavailable => 503,
+        RouteError::DeadlineExceeded => 504,
     }
 }
 
@@ -91,9 +111,50 @@ struct Queue {
     closed: bool,
 }
 
+/// What the front-end serves from.
+enum Backend {
+    /// One oracle behind a [`SnapshotSlot`]; `meta` pins the boot
+    /// artifact's `(n, Δ)` so swaps can be compatibility-checked before
+    /// anything is published.
+    Single {
+        slot: Arc<SnapshotSlot>,
+        meta: (usize, usize),
+    },
+    /// A replicated shard fleet; swap compatibility and atomicity live
+    /// in the fleet's own prepare-then-commit protocol.
+    Sharded(Arc<ShardedOracle>),
+}
+
+/// A per-request serving view. Single-backend requests pin one snapshot
+/// for their whole lifetime (swap safety); sharded requests go through
+/// the fleet, whose own snapshot slots give the same guarantee per
+/// replica call.
+enum Serving {
+    Single(Arc<Oracle>),
+    Sharded(Arc<ShardedOracle>),
+}
+
+impl Serving {
+    /// Route one query.
+    fn route(&self, u: u32, v: u32, id: u64) -> Result<RouteResponse, RouteError> {
+        match self {
+            Serving::Single(snapshot) => snapshot.route(u, v, id),
+            Serving::Sharded(fleet) => fleet.route(u, v, id),
+        }
+    }
+
+    /// The shard that owns `{u, v}` when sharded (`None` for single).
+    fn owner_shard(&self, u: u32, v: u32) -> Option<usize> {
+        match self {
+            Serving::Single(_) => None,
+            Serving::Sharded(fleet) => Some(fleet.owner_shard(u, v)),
+        }
+    }
+}
+
 /// State shared by the acceptor, the workers, and the handle.
 struct Shared {
-    slot: Arc<SnapshotSlot>,
+    backend: Backend,
     base: OracleConfig,
     cfg: ServerConfig,
     metrics: Arc<Metrics>,
@@ -117,6 +178,14 @@ impl Shared {
         // so Relaxed suffices.
         self.stop.load(Ordering::Relaxed)
     }
+
+    /// Take this request's serving view (one snapshot per request).
+    fn serving(&self) -> Serving {
+        match &self.backend {
+            Backend::Single { slot, .. } => Serving::Single(slot.snapshot()),
+            Backend::Sharded(fleet) => Serving::Sharded(Arc::clone(fleet)),
+        }
+    }
 }
 
 /// A running server. Dropping the handle without calling
@@ -133,17 +202,49 @@ impl Server {
     /// Bind `addr` (e.g. `127.0.0.1:0` for an ephemeral port) and start
     /// the acceptor and worker pool serving `slot`. `base` is the
     /// oracle configuration applied to artifacts loaded by
-    /// `POST /admin/swap`.
+    /// `POST /admin/swap`; `boot_meta` is the boot artifact's
+    /// `(n, Δ)`, against which swap targets are compatibility-checked
+    /// (mismatch → typed `409`, nothing swapped).
     pub fn start(
         addr: &str,
         slot: Arc<SnapshotSlot>,
+        base: OracleConfig,
+        boot_meta: (usize, usize),
+        cfg: ServerConfig,
+    ) -> io::Result<Server> {
+        Server::boot(
+            addr,
+            Backend::Single {
+                slot,
+                meta: boot_meta,
+            },
+            base,
+            cfg,
+        )
+    }
+
+    /// Bind `addr` and serve a replicated shard fleet. Swap requests go
+    /// through the fleet's atomic prepare-then-commit protocol; routing
+    /// failures surface as `503`/`504`/`206` per DESIGN.md §14.5.
+    pub fn start_sharded(
+        addr: &str,
+        fleet: Arc<ShardedOracle>,
+        cfg: ServerConfig,
+    ) -> io::Result<Server> {
+        let base = *fleet.config();
+        Server::boot(addr, Backend::Sharded(fleet), base, cfg)
+    }
+
+    fn boot(
+        addr: &str,
+        backend: Backend,
         base: OracleConfig,
         cfg: ServerConfig,
     ) -> io::Result<Server> {
         let listener = TcpListener::bind(addr)?;
         let local = listener.local_addr()?;
         let shared = Arc::new(Shared {
-            slot,
+            backend,
             base,
             cfg,
             metrics: Arc::new(Metrics::new()),
@@ -462,7 +563,7 @@ fn route_endpoint(
             );
         }
     };
-    let snapshot = shared.slot.snapshot();
+    let serving = shared.serving();
     if let Some(items) = value.as_array() {
         shared
             .metrics
@@ -485,21 +586,59 @@ fn route_endpoint(
                 }
             }
         }
-        let mut out = String::with_capacity(64 * requests.len() + 2);
-        out.push('[');
+        let mut results = String::with_capacity(64 * requests.len() + 2);
+        results.push('[');
+        // Shard-fault attribution for partial results: item indexes
+        // grouped by `(owning shard, error code)`, sorted by key. A
+        // single backend never populates this (its batch bodies are a
+        // frozen cross-transport contract and stay plain `200` arrays).
+        let mut faults: BTreeMap<(usize, &'static str), Vec<usize>> = BTreeMap::new();
         for (idx, req) in requests.iter().enumerate() {
             if idx > 0 {
-                out.push(',');
+                results.push(',');
             }
-            out.push_str(&answer(shared, &snapshot, *req).1.to_json());
+            let (_, wire, fault) = answer(shared, &serving, *req);
+            if let Some((shard, err)) = fault {
+                faults.entry((shard, err.as_str())).or_default().push(idx);
+            }
+            results.push_str(&wire.to_json());
         }
-        out.push(']');
+        results.push(']');
+        if faults.is_empty() {
+            return respond_with(
+                conn,
+                shared,
+                200,
+                "application/json",
+                results.as_bytes(),
+                keep_alive,
+                &[],
+            );
+        }
+        // Partial degradation (DESIGN.md §14.4): the healthy shards'
+        // answers still ship, annotated with typed per-shard error
+        // sections, under a `206` so clients can tell full from partial
+        // without parsing the body.
+        let mut body = String::with_capacity(results.len() + 128);
+        body.push_str("{\"partial\":true,\"shard_errors\":[");
+        for (idx, ((shard, code), pairs)) in faults.iter().enumerate() {
+            if idx > 0 {
+                body.push(',');
+            }
+            body.push_str(&format!(
+                "{{\"shard\":{shard},\"code\":\"{code}\",\"pairs\":{}}}",
+                serde_json::to_string(pairs).unwrap_or_else(|_| "[]".into())
+            ));
+        }
+        body.push_str("],\"results\":");
+        body.push_str(&results);
+        body.push('}');
         return respond_with(
             conn,
             shared,
-            200,
+            206,
             "application/json",
-            out.as_bytes(),
+            body.as_bytes(),
             keep_alive,
             &[],
         );
@@ -507,7 +646,7 @@ fn route_endpoint(
     shared.metrics.on_request(Endpoint::Route, 0);
     match parse_route_value(&value) {
         Ok(req) => {
-            let (status, wire) = answer(shared, &snapshot, req);
+            let (status, wire, _) = answer(shared, &serving, req);
             let retry: Vec<(&str, String)> = if status == 429 {
                 vec![("Retry-After", shared.cfg.retry_after_secs.to_string())]
             } else {
@@ -527,38 +666,69 @@ fn route_endpoint(
     }
 }
 
-/// Route one request against the snapshot, recording latency; returns
-/// the HTTP status a *single* request would get plus the wire body.
+/// Route one request against the serving view, recording latency;
+/// returns the HTTP status a *single* request would get, the wire body,
+/// and — for sharded backends hitting a shard fault — the owning shard
+/// and error for partial-result attribution.
 fn answer(
     shared: &Shared,
-    snapshot: &Oracle,
+    serving: &Serving,
     req: dcspan_oracle::RouteRequest,
-) -> (u16, WireResponse) {
+) -> (u16, WireResponse, Option<(usize, RouteError)>) {
     let id = req.id.unwrap_or_else(|| {
         // ord: id uniqueness only; no ordering with other state.
         shared.next_id.fetch_add(1, Ordering::Relaxed)
     });
     let started = Instant::now();
-    let result = snapshot.route(req.u, req.v, id);
+    let result = serving.route(req.u, req.v, id);
     let micros = u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX);
     shared.metrics.observe_latency_micros(micros);
-    let status = match &result {
-        Ok(_) => 200,
-        Err(err) => status_for(*err),
+    let (status, fault) = match &result {
+        Ok(_) => (200, None),
+        Err(err) => {
+            let fault = if err.is_shard_fault() {
+                serving.owner_shard(req.u, req.v).map(|shard| (shard, *err))
+            } else {
+                None
+            };
+            (status_for(*err), fault)
+        }
     };
-    (status, WireResponse::from_result(id, req.u, req.v, &result))
+    (
+        status,
+        WireResponse::from_result(id, req.u, req.v, &result),
+        fault,
+    )
 }
 
-/// `GET /healthz`: liveness plus the serving instance's shape.
+/// `GET /healthz`: liveness plus the serving instance's shape. The
+/// single-backend body is a frozen contract; the sharded body extends
+/// it with fleet shape and the count of live replicas.
 fn healthz_endpoint(conn: &mut TcpStream, shared: &Shared, keep_alive: bool) -> io::Result<()> {
     shared.metrics.on_request(Endpoint::Healthz, 0);
-    let snapshot = shared.slot.snapshot();
-    let body = format!(
-        "{{\"ok\":true,\"n\":{},\"epoch\":{},\"threads\":{}}}",
-        snapshot.spanner().n(),
-        shared.slot.epoch(),
-        shared.cfg.threads.max(1),
-    );
+    let body = match &shared.backend {
+        Backend::Single { slot, .. } => {
+            let snapshot = slot.snapshot();
+            format!(
+                "{{\"ok\":true,\"n\":{},\"epoch\":{},\"threads\":{}}}",
+                snapshot.spanner().n(),
+                slot.epoch(),
+                shared.cfg.threads.max(1),
+            )
+        }
+        Backend::Sharded(fleet) => {
+            let alive = fleet.health().iter().filter(|r| r.alive).count();
+            format!(
+                "{{\"ok\":true,\"n\":{},\"epoch\":{},\"threads\":{},\"shards\":{},\"replicas\":{},\"alive\":{}}}",
+                fleet.n(),
+                fleet.epoch(),
+                shared.cfg.threads.max(1),
+                fleet.shard_config().shards,
+                fleet.shard_config().replicas,
+                alive,
+            )
+        }
+    };
     respond_with(
         conn,
         shared,
@@ -570,16 +740,34 @@ fn healthz_endpoint(conn: &mut TcpStream, shared: &Shared, keep_alive: bool) -> 
     )
 }
 
-/// `GET /metrics`: the Prometheus text page.
+/// `GET /metrics`: the Prometheus text page; sharded backends append
+/// the per-replica health/breaker gauges and shard event counters.
 fn metrics_endpoint(conn: &mut TcpStream, shared: &Shared, keep_alive: bool) -> io::Result<()> {
     shared.metrics.on_request(Endpoint::MetricsPage, 0);
-    let snapshot = shared.slot.snapshot();
-    let page = shared.metrics.render(
-        &snapshot.stats(),
-        shared.slot.epoch(),
-        snapshot.live_congestion(),
-        snapshot.spanner().n(),
-    );
+    let page = match &shared.backend {
+        Backend::Single { slot, .. } => {
+            let snapshot = slot.snapshot();
+            shared.metrics.render(
+                &snapshot.stats(),
+                slot.epoch(),
+                snapshot.live_congestion(),
+                snapshot.spanner().n(),
+            )
+        }
+        Backend::Sharded(fleet) => {
+            let mut page = shared.metrics.render(
+                &fleet.stats(),
+                fleet.epoch(),
+                fleet.live_congestion(),
+                fleet.n(),
+            );
+            page.push_str(&metrics::render_shards(
+                &fleet.health(),
+                &fleet.shard_stats(),
+            ));
+            page
+        }
+    };
     respond_with(
         conn,
         shared,
@@ -593,7 +781,12 @@ fn metrics_endpoint(conn: &mut TcpStream, shared: &Shared, keep_alive: bool) -> 
 
 /// `POST /admin/swap`: `{"swap": "artifact-path"}` — the same control
 /// schema as the JSONL loop. Loads, validates, and publishes the
-/// artifact; in-flight requests keep their snapshot.
+/// artifact; in-flight requests keep their snapshot. An artifact that
+/// loads and verifies but does not match the serving topology's
+/// `(n, Δ)` is refused with a typed `409` before anything is swapped;
+/// sharded backends additionally go through the fleet's atomic
+/// prepare-then-commit so no shard ever serves a different epoch than
+/// its siblings.
 fn swap_endpoint(
     conn: &mut TcpStream,
     shared: &Shared,
@@ -615,11 +808,40 @@ fn swap_endpoint(
             );
         }
     };
-    let loaded = SpannerArtifact::load(std::path::Path::new(&path))
-        .and_then(|artifact| Oracle::from_artifact(artifact, shared.base));
-    match loaded {
-        Ok(oracle) => {
-            let epoch = shared.slot.swap(oracle);
+    let artifact = match SpannerArtifact::load(std::path::Path::new(&path)) {
+        Ok(artifact) => artifact,
+        Err(e) => {
+            return respond_error(
+                conn,
+                shared,
+                422,
+                "swap_failed",
+                format!("artifact {path:?} could not be served: {e}"),
+                keep_alive,
+            );
+        }
+    };
+    let swapped = match &shared.backend {
+        Backend::Single { slot, meta } => {
+            let found = (artifact.meta.n, artifact.meta.delta);
+            if found != *meta {
+                return respond_incompatible(conn, shared, &path, *meta, found, keep_alive);
+            }
+            match Oracle::from_artifact(artifact, shared.base) {
+                Ok(oracle) => Ok(slot.swap(oracle)),
+                Err(e) => Err(format!("artifact {path:?} could not be served: {e}")),
+            }
+        }
+        Backend::Sharded(fleet) => match fleet.swap_artifact(artifact) {
+            Ok(epoch) => Ok(epoch),
+            Err(SwapError::Incompatible { expected, found }) => {
+                return respond_incompatible(conn, shared, &path, expected, found, keep_alive);
+            }
+            Err(SwapError::Store(e)) => Err(format!("artifact {path:?} could not be served: {e}")),
+        },
+    };
+    match swapped {
+        Ok(epoch) => {
             let ack = SwapAck {
                 swapped: true,
                 artifact: path,
@@ -635,15 +857,33 @@ fn swap_endpoint(
                 &[],
             )
         }
-        Err(e) => respond_error(
-            conn,
-            shared,
-            422,
-            "swap_failed",
-            format!("artifact {path:?} could not be served: {e}"),
-            keep_alive,
-        ),
+        Err(message) => respond_error(conn, shared, 422, "swap_failed", message, keep_alive),
     }
+}
+
+/// The typed `409` for a verifying-but-mismatched swap target: the
+/// artifact is fine as data, it just does not describe the graph this
+/// instance is serving, so nothing is swapped.
+fn respond_incompatible(
+    conn: &mut TcpStream,
+    shared: &Shared,
+    path: &str,
+    expected: (usize, usize),
+    found: (usize, usize),
+    keep_alive: bool,
+) -> io::Result<()> {
+    respond_error(
+        conn,
+        shared,
+        409,
+        "incompatible_artifact",
+        format!(
+            "artifact {path:?} serves n={}, delta={} but this instance serves n={}, delta={}; \
+             nothing was swapped",
+            found.0, found.1, expected.0, expected.1
+        ),
+        keep_alive,
+    )
 }
 
 /// Write a response and count its status.
@@ -698,6 +938,8 @@ mod tests {
         assert_eq!(status_for(RouteError::Partitioned), 422);
         assert_eq!(status_for(RouteError::Overloaded), 429);
         assert_eq!(status_for(RouteError::BudgetExceeded), 429);
+        assert_eq!(status_for(RouteError::Unavailable), 503);
+        assert_eq!(status_for(RouteError::DeadlineExceeded), 504);
     }
 
     #[test]

@@ -58,9 +58,10 @@ fn base_config() -> OracleConfig {
 
 fn boot(path: &Path, base: OracleConfig, cfg: ServerConfig) -> (Server, Arc<SnapshotSlot>) {
     let artifact = SpannerArtifact::load(path).unwrap();
+    let meta = (artifact.meta.n, artifact.meta.delta);
     let oracle = Oracle::from_artifact(artifact, base).unwrap();
     let slot = Arc::new(SnapshotSlot::new(oracle));
-    let server = Server::start("127.0.0.1:0", Arc::clone(&slot), base, cfg).unwrap();
+    let server = Server::start("127.0.0.1:0", Arc::clone(&slot), base, meta, cfg).unwrap();
     (server, slot)
 }
 

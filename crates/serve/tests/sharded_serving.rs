@@ -1,0 +1,256 @@
+//! End-to-end tests for the *sharded* HTTP serving backend
+//! (DESIGN.md §14): fleet-shaped `/healthz`, per-replica gauges on
+//! `/metrics`, typed degradation of single routes and batches when a
+//! whole shard dies, and the atomic `409` swap guard on both backends.
+
+use dcspan_core::serve::SpannerAlgo;
+use dcspan_gen::regular::random_regular;
+use dcspan_oracle::{Oracle, OracleConfig, ShardConfig, ShardedOracle, SnapshotSlot};
+use dcspan_serve::http::{self, ClientResponse};
+use dcspan_serve::server::{Server, ServerConfig};
+use dcspan_store::SpannerArtifact;
+use std::net::{SocketAddr, TcpStream};
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Generous client-side deadline: tests fail on wrong bytes, not races.
+const DEADLINE: Duration = Duration::from_secs(10);
+
+fn temp_path(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!(
+        "dcspan-sharded-test-{}-{tag}.bin",
+        std::process::id()
+    ))
+}
+
+/// A Theorem 2 artifact with plenty of missing edges (every shard slice
+/// non-trivial): Δ-8 regular expander, half the edges sampled out.
+fn build_artifact(n: usize, seed: u64) -> SpannerArtifact {
+    let g = random_regular(n, 8, seed);
+    Oracle::build_artifact(&g, SpannerAlgo::Theorem2WithProb(0.5), seed)
+}
+
+fn base_config() -> OracleConfig {
+    OracleConfig {
+        seed: 7,
+        ..OracleConfig::default()
+    }
+}
+
+/// Boot a sharded server; the fleet handle stays available for fault
+/// injection and ownership queries.
+fn boot_sharded(n: usize, shards: usize, replicas: usize) -> (Server, Arc<ShardedOracle>) {
+    let artifact = build_artifact(n, 7);
+    let fleet = Arc::new(
+        ShardedOracle::from_artifact(
+            artifact,
+            base_config(),
+            ShardConfig {
+                shards,
+                replicas,
+                ..ShardConfig::default()
+            },
+        )
+        .unwrap(),
+    );
+    let server =
+        Server::start_sharded("127.0.0.1:0", Arc::clone(&fleet), ServerConfig::default()).unwrap();
+    (server, fleet)
+}
+
+/// One request on a fresh connection.
+fn call(addr: SocketAddr, method: &str, path: &str, body: &[u8]) -> ClientResponse {
+    let mut conn = TcpStream::connect(addr).unwrap();
+    http::write_request(&mut conn, method, path, body).unwrap();
+    http::read_response(&mut conn, DEADLINE).unwrap()
+}
+
+/// A pair owned by `shard` (when `hit` is true) or by any other shard.
+fn pair_owned(fleet: &ShardedOracle, n: u32, shard: usize, hit: bool) -> (u32, u32) {
+    for u in 0..n {
+        for v in (u + 1)..n {
+            if (fleet.owner_shard(u, v) == shard) == hit {
+                return (u, v);
+            }
+        }
+    }
+    panic!("no pair with ownership {hit} for shard {shard}");
+}
+
+#[test]
+fn sharded_healthz_reports_fleet_shape() {
+    let (server, _fleet) = boot_sharded(80, 2, 2);
+    let resp = call(server.addr(), "GET", "/healthz", b"");
+    assert_eq!(resp.status, 200);
+    let text = resp.text();
+    assert!(text.contains("\"ok\":true"), "{text}");
+    assert!(text.contains("\"shards\":2"), "{text}");
+    assert!(text.contains("\"replicas\":2"), "{text}");
+    assert!(text.contains("\"alive\":4"), "{text}");
+    assert!(text.contains("\"epoch\":0"), "{text}");
+    server.shutdown();
+}
+
+#[test]
+fn metrics_exposes_shard_health_and_breaker_gauges() {
+    let (server, fleet) = boot_sharded(80, 2, 2);
+    fleet.injector().kill(1, 0);
+    let resp = call(server.addr(), "GET", "/metrics", b"");
+    assert_eq!(resp.status, 200);
+    let page = resp.text();
+    assert!(
+        page.contains("dcspan_shard_health{shard=\"0\",replica=\"0\"} 1"),
+        "{page}"
+    );
+    assert!(
+        page.contains("dcspan_shard_health{shard=\"1\",replica=\"0\"} 0"),
+        "{page}"
+    );
+    assert!(
+        page.contains("dcspan_shard_breaker_state{shard=\"0\",replica=\"0\"} 0"),
+        "{page}"
+    );
+    assert!(
+        page.contains("dcspan_shard_events_total{kind=\"failover\"}"),
+        "{page}"
+    );
+    server.shutdown();
+}
+
+#[test]
+fn dead_shard_single_route_is_typed_503() {
+    let (server, fleet) = boot_sharded(80, 2, 2);
+    let victim = 0;
+    fleet.injector().kill(victim, 0);
+    fleet.injector().kill(victim, 1);
+    let (u, v) = pair_owned(&fleet, 80, victim, true);
+    let resp = call(
+        server.addr(),
+        "POST",
+        "/route",
+        format!("{{\"u\":{u},\"v\":{v},\"id\":1}}").as_bytes(),
+    );
+    assert_eq!(resp.status, 503, "{}", resp.text());
+    assert!(resp.text().contains("\"unavailable\""), "{}", resp.text());
+    // A pair owned by the surviving shard still serves.
+    let (u, v) = pair_owned(&fleet, 80, victim, false);
+    let resp = call(
+        server.addr(),
+        "POST",
+        "/route",
+        format!("{{\"u\":{u},\"v\":{v},\"id\":2}}").as_bytes(),
+    );
+    assert_eq!(resp.status, 200, "{}", resp.text());
+    assert!(resp.text().contains("\"ok\":true"), "{}", resp.text());
+    server.shutdown();
+}
+
+#[test]
+fn dead_shard_batch_degrades_to_206_partial() {
+    let (server, fleet) = boot_sharded(80, 2, 2);
+    let victim = 0;
+    fleet.injector().kill(victim, 0);
+    fleet.injector().kill(victim, 1);
+    let (du, dv) = pair_owned(&fleet, 80, victim, true);
+    let (hu, hv) = pair_owned(&fleet, 80, victim, false);
+    let body = format!("[{{\"u\":{hu},\"v\":{hv},\"id\":10}},{{\"u\":{du},\"v\":{dv},\"id\":11}}]");
+    let resp = call(server.addr(), "POST", "/route", body.as_bytes());
+    assert_eq!(resp.status, 206, "{}", resp.text());
+    let text = resp.text();
+    assert!(text.contains("\"partial\":true"), "{text}");
+    assert!(
+        text.contains(&format!(
+            "{{\"shard\":{victim},\"code\":\"unavailable\",\"pairs\":[1]}}"
+        )),
+        "{text}"
+    );
+    // The healthy shard's answer still ships inside `results`.
+    assert!(text.contains("\"results\":[{\"id\":10,"), "{text}");
+    assert!(text.contains("\"ok\":true"), "{text}");
+    // A batch with only healthy-shard pairs stays a plain 200 array.
+    let body = format!("[{{\"u\":{hu},\"v\":{hv},\"id\":12}}]");
+    let resp = call(server.addr(), "POST", "/route", body.as_bytes());
+    assert_eq!(resp.status, 200, "{}", resp.text());
+    assert!(resp.text().starts_with('['), "{}", resp.text());
+    server.shutdown();
+}
+
+#[test]
+fn sharded_swap_rejects_mismatched_artifact_atomically() {
+    let (server, _fleet) = boot_sharded(80, 2, 2);
+    // Verifies as an artifact, but describes a different graph.
+    let wrong = build_artifact(60, 7);
+    let wrong_path = temp_path("wrong");
+    wrong.save(&wrong_path).unwrap();
+    let body = format!("{{\"swap\": {:?}}}", wrong_path.display().to_string());
+    let resp = call(server.addr(), "POST", "/admin/swap", body.as_bytes());
+    assert_eq!(resp.status, 409, "{}", resp.text());
+    assert!(
+        resp.text().contains("incompatible_artifact"),
+        "{}",
+        resp.text()
+    );
+    assert!(
+        resp.text().contains("nothing was swapped"),
+        "{}",
+        resp.text()
+    );
+    // Atomicity: no shard advanced its epoch.
+    let health = call(server.addr(), "GET", "/healthz", b"");
+    assert!(health.text().contains("\"epoch\":0"), "{}", health.text());
+    // A compatible artifact (same n, same Δ, new build seed) swaps to
+    // epoch 1 across the whole fleet.
+    let right = build_artifact(80, 8);
+    let right_path = temp_path("right");
+    right.save(&right_path).unwrap();
+    let body = format!("{{\"swap\": {:?}}}", right_path.display().to_string());
+    let resp = call(server.addr(), "POST", "/admin/swap", body.as_bytes());
+    assert_eq!(resp.status, 200, "{}", resp.text());
+    assert!(resp.text().contains("\"swapped\":true"), "{}", resp.text());
+    assert!(resp.text().contains("\"epoch\":1"), "{}", resp.text());
+    let health = call(server.addr(), "GET", "/healthz", b"");
+    assert!(health.text().contains("\"epoch\":1"), "{}", health.text());
+    assert!(health.text().contains("\"alive\":4"), "{}", health.text());
+    let _ = std::fs::remove_file(&wrong_path);
+    let _ = std::fs::remove_file(&right_path);
+    server.shutdown();
+}
+
+#[test]
+fn single_backend_swap_rejects_mismatched_artifact() {
+    let artifact = build_artifact(80, 7);
+    let meta = (artifact.meta.n, artifact.meta.delta);
+    let oracle = Oracle::from_artifact(artifact, base_config()).unwrap();
+    let slot = Arc::new(SnapshotSlot::new(oracle));
+    let server = Server::start(
+        "127.0.0.1:0",
+        Arc::clone(&slot),
+        base_config(),
+        meta,
+        ServerConfig::default(),
+    )
+    .unwrap();
+    let wrong = build_artifact(60, 7);
+    let wrong_path = temp_path("single-wrong");
+    wrong.save(&wrong_path).unwrap();
+    let body = format!("{{\"swap\": {:?}}}", wrong_path.display().to_string());
+    let resp = call(server.addr(), "POST", "/admin/swap", body.as_bytes());
+    assert_eq!(resp.status, 409, "{}", resp.text());
+    assert!(
+        resp.text().contains("incompatible_artifact"),
+        "{}",
+        resp.text()
+    );
+    assert_eq!(slot.epoch(), 0, "refused swap must not publish");
+    // The instance keeps serving its boot snapshot.
+    let resp = call(
+        server.addr(),
+        "POST",
+        "/route",
+        b"{\"u\":0,\"v\":1,\"id\":3}",
+    );
+    assert_eq!(resp.status, 200, "{}", resp.text());
+    let _ = std::fs::remove_file(&wrong_path);
+    server.shutdown();
+}

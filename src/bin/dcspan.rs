@@ -3,10 +3,10 @@
 //! ```text
 //! dcspan gen        --family <regular|gnp|gabber-galil|fan|two-clique|lower-bound> [--n N] [--delta D] [--seed S]
 //! dcspan spanner    --algo <regular|expander|baswana-sen|greedy|koutis-xu|d-out> [--n N] [--delta D] [--seed S]
-//! dcspan experiment <e1..e21|sweep|ablations|all> [--quick]
+//! dcspan experiment <e1..e22|sweep|ablations|all> [--quick]
 //! dcspan build      [--algo <theorem2|theorem3>] [--n N] [--delta D] [--seed S] [--out FILE]
 //! dcspan serve      --artifact FILE [--policy P] [--cache C] [--requests FILE]
-//! dcspan serve-http --artifact FILE [--addr HOST:PORT] [--threads T] [--cap-c C] [--policy P] [--cache C]
+//! dcspan serve-http --artifact FILE [--addr HOST:PORT] [--threads T] [--cap-c C] [--policy P] [--cache C] [--shards K] [--replicas R]
 //! dcspan loadgen    --addr HOST:PORT [--nodes N] [--qps Q] [--duration S] [--connections C] [--seed S]
 //! dcspan verify-artifact FILE
 //! dcspan query      [--requests FILE] [oracle flags]       # JSONL {"u":..,"v":..} on stdin/file
@@ -15,6 +15,7 @@
 //! dcspan bench-store [--smoke] [--out FILE] [--sizes N,N] [--queries Q] [--seed S]
 //! dcspan bench-serve [--smoke] [--out FILE] [--n N] [--rates R,R] [--duration S] [--cap-c C]
 //! dcspan chaos      [--smoke] [--out FILE] [--n N] [--threads T] [--queries Q] [--seed S] [--cap-c C]
+//! dcspan chaos-shard [--smoke] [--out FILE] [--n N] [--shards K] [--replicas R] [--threads T] [--queries Q] [--seed S]
 //! ```
 //!
 //! All flag parsing and name dispatch lives in [`dcspan::cli`]; this
@@ -26,7 +27,8 @@ use dcspan::cli::{
     GraphFamily, OracleArgs, POLICY_NAMES,
 };
 use dcspan::oracle::{
-    ChaosConfig, Oracle, OracleConfig, RequestLine, SnapshotSlot, SwapAck, WireResponse,
+    ChaosConfig, Oracle, OracleConfig, RequestLine, ShardConfig, ShardedOracle, SnapshotSlot,
+    SwapAck, WireResponse,
 };
 use dcspan::serve::{LoadgenConfig, Server, ServerConfig};
 use dcspan::store::SpannerArtifact;
@@ -311,6 +313,17 @@ fn cmd_experiment(which: &str, quick: bool) -> Result<(), CliError> {
                     Err(e) => format!("E21 serving sweep failed: {e}\n"),
                 }
             }
+            "e22" => {
+                let n = if quick { 160 } else { 384 };
+                let cfg = dcspan::experiments::e22_shard::ShardChaosConfig {
+                    shards: 2,
+                    replicas: 2,
+                    threads: 2,
+                    queries_per_phase: if quick { 120 } else { 400 },
+                    seed,
+                };
+                dcspan::experiments::e22_shard::run(n, &cfg).text
+            }
             "sweep" => {
                 let (n, seeds) = if quick { (96, 3) } else { (256, 8) };
                 let mut out = dcspan::experiments::sweep::sweep_theorem2(n, 0.15, seeds, seed).1;
@@ -351,6 +364,7 @@ fn cmd_experiment(which: &str, quick: bool) -> Result<(), CliError> {
             "e19",
             "e20",
             "e21",
+            "e22",
             "sweep",
             "ablations",
         ] {
@@ -671,11 +685,15 @@ fn cmd_bench_store(flags: &Flags) -> Result<(), CliError> {
 /// connections and shut down. `--cap-c C` (> 0) arms the β-budget
 /// admission cap `β = ⌈C·√Δ·ln n⌉`, under which over-admitted queries
 /// are shed with HTTP 429 + `Retry-After` instead of queueing.
+/// `--shards K` (> 1, with `--replicas R`) boots the replicated sharded
+/// backend instead: deadlines, retries, hedging, breakers, and 206
+/// partial results per DESIGN.md §14.
 fn cmd_serve_http(flags: &Flags) -> Result<(), CliError> {
     let Some(path) = flags.get("artifact") else {
         return Err(CliError::Usage);
     };
     let artifact = load_artifact(path)?;
+    let meta = (artifact.meta.n, artifact.meta.delta);
     let policy_name = flags
         .get("policy")
         .map_or("uniform-shortest", String::as_str);
@@ -691,28 +709,46 @@ fn cmd_serve_http(flags: &Flags) -> Result<(), CliError> {
     if cap_c > 0.0 {
         config = config.with_beta_budget(artifact.meta.n, artifact.meta.delta, cap_c);
     }
-    let oracle = Oracle::from_artifact(artifact, config).map_err(|source| CliError::Store {
-        path: path.clone(),
-        source,
-    })?;
-    let slot = Arc::new(SnapshotSlot::new(oracle));
     let addr = flags.get("addr").map_or("127.0.0.1:8080", String::as_str);
     let server_config = ServerConfig {
         threads: get_usize(flags, "threads", 4),
         ..ServerConfig::default()
     };
-    let server =
-        Server::start(addr, Arc::clone(&slot), config, server_config).map_err(|source| {
-            CliError::Io {
-                path: addr.to_string(),
-                source,
-            }
+    let shards = get_usize(flags, "shards", 1);
+    let replicas = get_usize(flags, "replicas", 2);
+    let bind_err = |source| CliError::Io {
+        path: addr.to_string(),
+        source,
+    };
+    let server = if shards > 1 {
+        let shard_config = ShardConfig {
+            shards,
+            replicas: replicas.max(1),
+            ..ShardConfig::default()
+        };
+        let fleet =
+            ShardedOracle::from_artifact(artifact, config, shard_config).map_err(|source| {
+                CliError::Store {
+                    path: path.clone(),
+                    source,
+                }
+            })?;
+        Server::start_sharded(addr, Arc::new(fleet), server_config).map_err(bind_err)?
+    } else {
+        let oracle = Oracle::from_artifact(artifact, config).map_err(|source| CliError::Store {
+            path: path.clone(),
+            source,
         })?;
+        let slot = Arc::new(SnapshotSlot::new(oracle));
+        Server::start(addr, Arc::clone(&slot), config, meta, server_config).map_err(bind_err)?
+    };
     println!(
-        "{{\"serving\":true,\"addr\":\"{}\",\"threads\":{},\"cap\":{}}}",
+        "{{\"serving\":true,\"addr\":\"{}\",\"threads\":{},\"cap\":{},\"shards\":{},\"replicas\":{}}}",
         server.addr(),
         get_usize(flags, "threads", 4),
         config.per_node_cap.unwrap_or(0),
+        if shards > 1 { shards } else { 1 },
+        if shards > 1 { replicas.max(1) } else { 1 },
     );
     // Block until the controlling stream closes (CI holds a fifo open),
     // then drain in-flight connections before exiting.
@@ -750,12 +786,14 @@ fn cmd_loadgen(flags: &Flags) -> Result<(), CliError> {
         duration: Duration::from_secs_f64(get_f64(flags, "duration", 2.0)),
         seed: get_u64(flags, "seed", 20240621),
         nodes: get_usize(flags, "nodes", 256) as u32,
-        response_deadline: Duration::from_secs(10),
+        response_deadline: Duration::from_secs_f64(get_f64(flags, "deadline", 10.0)),
+        connect_timeout: Duration::from_secs_f64(get_f64(flags, "connect-timeout", 2.0)),
     };
     let report = dcspan::serve::loadgen::run(&cfg);
     println!(
         "{{\"target_qps\":{target_qps},\"scheduled\":{},\"ok\":{},\"shed\":{},\
-         \"rejected\":{},\"transport_errors\":{},\"achieved_qps\":{:.2},\
+         \"rejected\":{},\"transport_errors\":{},\"deadline_exceeded\":{},\
+         \"achieved_qps\":{:.2},\
          \"shed_rate\":{:.4},\"p50_ms\":{:.3},\"p90_ms\":{:.3},\"p99_ms\":{:.3},\
          \"max_ms\":{:.3}}}",
         report.scheduled,
@@ -763,6 +801,7 @@ fn cmd_loadgen(flags: &Flags) -> Result<(), CliError> {
         report.shed,
         report.rejected,
         report.transport_errors,
+        report.deadline_exceeded,
         report.achieved_qps,
         report.shed_rate(),
         report.p50_ms,
@@ -770,10 +809,10 @@ fn cmd_loadgen(flags: &Flags) -> Result<(), CliError> {
         report.p99_ms,
         report.max_ms,
     );
-    if report.transport_errors > 0 {
+    if report.transport_errors > 0 || report.deadline_exceeded > 0 {
         return Err(CliError::ServeHarness(format!(
-            "{} transport error(s) against {addr}",
-            report.transport_errors
+            "{} transport error(s) and {} blown client deadline(s) against {addr}",
+            report.transport_errors, report.deadline_exceeded
         )));
     }
     Ok(())
@@ -872,9 +911,49 @@ fn cmd_chaos(flags: &Flags) -> Result<(), CliError> {
     }
 }
 
+/// `dcspan chaos-shard`: drive the four-phase replica/shard outage
+/// schedule (E22) against a replicated fleet and fail (exit 2) on any
+/// availability, latency, or partial-result contract violation.
+fn cmd_chaos_shard(flags: &Flags) -> Result<(), CliError> {
+    let smoke = flags.contains_key("smoke");
+    let n = get_usize(flags, "n", if smoke { 384 } else { 2000 });
+    let seed = get_u64(flags, "seed", 22);
+    let mut config = if smoke {
+        dcspan::experiments::e22_shard::ShardChaosConfig::smoke()
+    } else {
+        dcspan::experiments::e22_shard::ShardChaosConfig::full()
+    };
+    config.seed = seed;
+    config.shards = get_usize(flags, "shards", config.shards).max(1);
+    config.replicas = get_usize(flags, "replicas", config.replicas).max(1);
+    config.threads = get_usize(flags, "threads", config.threads).max(1);
+    config.queries_per_phase = get_usize(flags, "queries", config.queries_per_phase);
+    let out = dcspan::experiments::e22_shard::run(n, &config);
+    println!("{}", out.text);
+    for v in &out.violations {
+        eprintln!("{v}");
+    }
+    if let Some(path) = flags.get("out") {
+        let artifact = dcspan::experiments::record::ExperimentArtifact {
+            id: "E22",
+            reproduces: "sharded serving robustness: replica/shard outages, typed partial results",
+            seed,
+            rows: &out.rows,
+        };
+        let json = artifact.to_json().map_err(CliError::Serialize)?;
+        write_file(path, format!("{json}\n"))?;
+        println!("wrote {path}");
+    }
+    if out.passed {
+        Ok(())
+    } else {
+        Err(CliError::ChaosViolations(out.violations.len().max(1) as u64))
+    }
+}
+
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  dcspan gen --family <{family}> [--n N] [--delta D] [--seed S]\n  dcspan spanner --algo <{algo}> [--n N] [--delta D] [--seed S]\n  dcspan experiment <e1..e21|sweep|ablations|all> [--quick]\n  dcspan build [--algo <theorem2|theorem3>] [--n N] [--delta D] [--seed S] [--out FILE]\n  dcspan serve --artifact FILE [--policy <{policy}>] [--cache C] [--requests FILE]\n  dcspan serve-http --artifact FILE [--addr HOST:PORT] [--threads T] [--cap-c C] [--policy <{policy}>] [--cache C]\n  dcspan loadgen --addr HOST:PORT [--nodes N] [--qps Q] [--duration S] [--connections C] [--seed S]\n  dcspan bench-serve [--smoke] [--out FILE] [--n N] [--rates R,R] [--duration S] [--cap-c C]\n  dcspan verify-artifact FILE\n  dcspan query [--requests FILE] [--policy <{policy}>] [oracle flags]\n  dcspan bench [--smoke] [--out FILE] [--sizes N,N] [--threads T,T] [--queries Q]\n  dcspan bench-build [--smoke] [--out FILE] [--sizes N,N] [--delta D] [--seed S]\n  dcspan bench-store [--smoke] [--out FILE] [--sizes N,N] [--queries Q] [--seed S]\n  dcspan chaos [--smoke] [--out FILE] [--n N] [--threads T] [--queries Q] [--seed S] [--cap-c C]",
+        "usage:\n  dcspan gen --family <{family}> [--n N] [--delta D] [--seed S]\n  dcspan spanner --algo <{algo}> [--n N] [--delta D] [--seed S]\n  dcspan experiment <e1..e22|sweep|ablations|all> [--quick]\n  dcspan build [--algo <theorem2|theorem3>] [--n N] [--delta D] [--seed S] [--out FILE]\n  dcspan serve --artifact FILE [--policy <{policy}>] [--cache C] [--requests FILE]\n  dcspan serve-http --artifact FILE [--addr HOST:PORT] [--threads T] [--cap-c C] [--shards K] [--replicas R] [--policy <{policy}>] [--cache C]\n  dcspan loadgen --addr HOST:PORT [--nodes N] [--qps Q] [--duration S] [--connections C] [--deadline S] [--connect-timeout S] [--seed S]\n  dcspan bench-serve [--smoke] [--out FILE] [--n N] [--rates R,R] [--duration S] [--cap-c C]\n  dcspan verify-artifact FILE\n  dcspan query [--requests FILE] [--policy <{policy}>] [oracle flags]\n  dcspan bench [--smoke] [--out FILE] [--sizes N,N] [--threads T,T] [--queries Q]\n  dcspan bench-build [--smoke] [--out FILE] [--sizes N,N] [--delta D] [--seed S]\n  dcspan bench-store [--smoke] [--out FILE] [--sizes N,N] [--queries Q] [--seed S]\n  dcspan chaos [--smoke] [--out FILE] [--n N] [--threads T] [--queries Q] [--seed S] [--cap-c C]\n  dcspan chaos-shard [--smoke] [--out FILE] [--n N] [--shards K] [--replicas R] [--threads T] [--queries Q] [--seed S]",
         family = GraphFamily::NAMES,
         algo = BaselineAlgo::NAMES,
         policy = POLICY_NAMES,
@@ -909,6 +988,7 @@ fn main() -> ExitCode {
         "bench-build" => cmd_bench_build(&flags),
         "bench-store" => cmd_bench_store(&flags),
         "chaos" => cmd_chaos(&flags),
+        "chaos-shard" => cmd_chaos_shard(&flags),
         _ => Err(CliError::Usage),
     };
     match result {
