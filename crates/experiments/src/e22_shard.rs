@@ -172,6 +172,9 @@ impl PhaseOutcome {
     }
 }
 
+/// One loader thread's answers: `(query index, route outcome, latency µs)`.
+type ThreadAnswers = Vec<(usize, Result<RouteResponse, RouteError>, u64)>;
+
 /// Drive `queries` route calls from `threads` loader threads. Thread 0
 /// fires `mid_action` (the chaos) a quarter of the way through its
 /// slice, so the fault always lands mid-load.
@@ -185,8 +188,12 @@ fn drive(
     mid_action: Option<&(dyn Fn() + Sync)>,
 ) -> PhaseOutcome {
     let threads = threads.max(1);
-    let per_thread: Vec<Vec<(usize, Result<RouteResponse, RouteError>, u64)>> =
-        std::thread::scope(|scope| {
+    let per_thread: Vec<ThreadAnswers> = std::thread::scope(|scope| {
+        // The intermediate collect is load-bearing: spawning every
+        // handle before the first join is what makes the loaders run
+        // concurrently instead of one after another.
+        #[allow(clippy::needless_collect)]
+        {
             let handles: Vec<_> = (0..threads)
                 .map(|t| {
                     scope.spawn(move || {
@@ -213,7 +220,8 @@ fn drive(
                 .into_iter()
                 .map(|h| h.join().expect("loader thread panicked")) // xtask: allow(no_panic) — runner: a panic escaping the fleet is itself the violation
                 .collect()
-        });
+        }
+    });
     let mut answers: Vec<Option<Result<RouteResponse, RouteError>>> = vec![None; queries];
     let mut latency_us = vec![0u64; queries];
     for (i, answer, us) in per_thread.into_iter().flatten() {

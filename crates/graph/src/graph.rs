@@ -7,6 +7,7 @@
 //! stable integer ids — spanner constructions index per-edge state by id.
 
 use crate::bitset::BitSet;
+use crate::shared::{SharedSlice, SliceStore};
 
 /// Node identifier: an index in `0..n`.
 pub type NodeId = u32;
@@ -159,16 +160,23 @@ impl GraphBuilder {
 }
 
 /// An immutable undirected simple graph in CSR form.
+///
+/// The two large payload arrays (`adj`, `edges`) are [`SliceStore`]s:
+/// owned in the common case, or borrowed views into a mapped artifact
+/// buffer on the zero-copy serving path (see [`Graph::from_shared_csr`]).
+/// Equality is over the logical structure, so an owned graph and a view
+/// over identical bytes compare equal.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Graph {
     n: usize,
     /// CSR row offsets: neighbours of `u` are `adj[offsets[u]..offsets[u+1]]`.
     /// `pub(crate)` so [`crate::invariants`] can audit the raw structure.
+    /// Always owned: `n + 1` words, converted and validated at construction.
     pub(crate) offsets: Vec<usize>,
     /// Concatenated, per-node-sorted neighbour lists.
-    pub(crate) adj: Vec<NodeId>,
+    pub(crate) adj: SliceStore<NodeId>,
     /// Canonical edge list, sorted lexicographically; index = edge id.
-    pub(crate) edges: Vec<Edge>,
+    pub(crate) edges: SliceStore<Edge>,
 }
 
 impl Graph {
@@ -242,9 +250,145 @@ impl Graph {
         Graph {
             n,
             offsets,
-            adj,
-            edges,
+            adj: adj.into(),
+            edges: edges.into(),
         }
+    }
+
+    /// Assemble a graph whose adjacency and edge arrays are shared views
+    /// into an external buffer (the zero-copy artifact path), validating the
+    /// full CSR contract before handing out a `Graph`:
+    ///
+    /// - `offsets` has `n + 1` entries, starts at 0, is monotone, and ends
+    ///   at `adj.len()`;
+    /// - every adjacency row is strictly increasing with entries in `0..n`
+    ///   and no self-entry;
+    /// - the edge list is strictly increasing canonical (`u < v`, endpoints
+    ///   in range) with `adj.len() == 2 · edges.len()`;
+    /// - per-node degrees derived from the edge list match the row widths,
+    ///   and each edge appears in both endpoint rows — together with the
+    ///   strict row ordering this pins the adjacency array to be exactly
+    ///   the edge incidences, so the view is as trustworthy as a rebuild.
+    pub fn from_shared_csr(
+        n: usize,
+        offsets: &[u32],
+        adj: SharedSlice<NodeId>,
+        edges: SharedSlice<Edge>,
+    ) -> Result<Graph, String> {
+        {
+            let adj = (*adj).as_ref();
+            let edges = (*edges).as_ref();
+            if offsets.len() != n + 1 {
+                return Err(format!(
+                    "offset array has {} entries, expected n + 1 = {}",
+                    offsets.len(),
+                    n + 1
+                ));
+            }
+            if offsets[0] != 0 {
+                return Err(format!("first offset is {}, expected 0", offsets[0]));
+            }
+            if let Some(w) = offsets.windows(2).find(|w| w[0] > w[1]) {
+                return Err(format!("offsets decrease: {} then {}", w[0], w[1]));
+            }
+            let last = offsets[n] as usize;
+            if last != adj.len() {
+                return Err(format!(
+                    "final offset {last} does not match adjacency length {}",
+                    adj.len()
+                ));
+            }
+            if adj.len() != 2 * edges.len() {
+                return Err(format!(
+                    "adjacency length {} is not twice the edge count {}",
+                    adj.len(),
+                    edges.len()
+                ));
+            }
+            let mut degree = vec![0usize; n];
+            for (i, e) in edges.iter().enumerate() {
+                if e.u >= e.v {
+                    return Err(format!("edge {i} ({}, {}) violates u < v", e.u, e.v));
+                }
+                if e.v as usize >= n {
+                    return Err(format!(
+                        "edge {i} ({}, {}) out of range for n = {n}",
+                        e.u, e.v
+                    ));
+                }
+                if i > 0 && edges[i - 1] >= *e {
+                    return Err(format!(
+                        "edge list not strictly increasing at ({}, {})",
+                        e.u, e.v
+                    ));
+                }
+                degree[e.u as usize] += 1;
+                degree[e.v as usize] += 1;
+            }
+            for u in 0..n {
+                let row = &adj[offsets[u] as usize..offsets[u + 1] as usize];
+                if row.len() != degree[u] {
+                    return Err(format!(
+                        "node {u} has row width {} but degree {} in the edge list",
+                        row.len(),
+                        degree[u]
+                    ));
+                }
+                for pair in row.windows(2) {
+                    if pair[0] >= pair[1] {
+                        return Err(format!("row of node {u} not strictly increasing"));
+                    }
+                }
+                if let Some(&w) = row.iter().find(|&&w| w as usize >= n || w as usize == u) {
+                    return Err(format!("row of node {u} holds invalid neighbour {w}"));
+                }
+            }
+            for e in edges {
+                let row_u =
+                    &adj[offsets[e.u as usize] as usize..offsets[e.u as usize + 1] as usize];
+                let row_v =
+                    &adj[offsets[e.v as usize] as usize..offsets[e.v as usize + 1] as usize];
+                if row_u.binary_search(&e.v).is_err() || row_v.binary_search(&e.u).is_err() {
+                    return Err(format!(
+                        "edge ({}, {}) missing from an endpoint's adjacency row",
+                        e.u, e.v
+                    ));
+                }
+            }
+        }
+        Ok(Graph {
+            n,
+            offsets: offsets.iter().map(|&o| o as usize).collect(),
+            adj: SliceStore::Shared(adj),
+            edges: SliceStore::Shared(edges),
+        })
+    }
+
+    /// New graph with nodes renamed through the bijection `int_of_ext`
+    /// (`int_of_ext[old] = new`). The result is an isomorphic graph in
+    /// canonical form; edge ids are re-derived from the relabeled order.
+    pub fn relabel(&self, int_of_ext: &[NodeId]) -> Result<Graph, String> {
+        if int_of_ext.len() != self.n {
+            return Err(format!(
+                "permutation has {} entries, expected n = {}",
+                int_of_ext.len(),
+                self.n
+            ));
+        }
+        let mut seen = vec![false; self.n];
+        for &p in int_of_ext {
+            if p as usize >= self.n || seen[p as usize] {
+                return Err(format!("permutation is not a bijection at value {p}"));
+            }
+            seen[p as usize] = true;
+        }
+        let mut edges: Vec<Edge> = self
+            .edges()
+            .iter()
+            .map(|e| Edge::new(int_of_ext[e.u as usize], int_of_ext[e.v as usize]))
+            .collect();
+        edges.sort_unstable();
+        Ok(Graph::from_canonical_edges(self.n, edges))
     }
 
     /// An empty graph on `n` nodes.
@@ -273,7 +417,27 @@ impl Graph {
     #[inline]
     pub fn neighbors(&self, u: NodeId) -> &[NodeId] {
         // xtask: allow(checked_index) — this IS the checked accessor
-        &self.adj[self.offsets[u as usize]..self.offsets[u as usize + 1]]
+        &self.adj.as_slice()[self.offsets[u as usize]..self.offsets[u as usize + 1]]
+    }
+
+    /// Raw CSR row offsets (`n + 1` entries); exposed for the artifact
+    /// encoder, which persists the CSR arrays verbatim.
+    #[inline]
+    pub fn csr_offsets(&self) -> &[usize] {
+        &self.offsets
+    }
+
+    /// Raw concatenated adjacency array (`2m` entries, per-row sorted);
+    /// exposed for the artifact encoder.
+    #[inline]
+    pub fn csr_adjacency(&self) -> &[NodeId] {
+        self.adj.as_slice()
+    }
+
+    /// True when the payload arrays are borrowed views into a shared
+    /// buffer (the zero-copy artifact path) rather than owned heap.
+    pub fn uses_shared_storage(&self) -> bool {
+        self.adj.is_shared() || self.edges.is_shared()
     }
 
     /// Degree of `u`.
@@ -301,7 +465,7 @@ impl Graph {
     /// Canonical edge list (sorted; index = edge id).
     #[inline]
     pub fn edges(&self) -> &[Edge] {
-        &self.edges
+        self.edges.as_slice()
     }
 
     /// Stable id of edge `{a, b}` if present.
@@ -310,7 +474,7 @@ impl Graph {
             return None;
         }
         let e = Edge::new(a, b);
-        self.edges.binary_search(&e).ok()
+        self.edges.as_slice().binary_search(&e).ok()
     }
 
     /// Maximum degree.
@@ -397,7 +561,7 @@ impl Graph {
         F: FnMut(usize, Edge) -> bool,
     {
         let kept: Vec<Edge> = self
-            .edges
+            .edges()
             .iter()
             .enumerate()
             .filter(|(id, e)| pred(*id, **e))
@@ -412,7 +576,7 @@ impl Graph {
     where
         I: IntoIterator<Item = Edge>,
     {
-        let mut edges = self.edges.clone();
+        let mut edges = self.edges().to_vec();
         edges.extend(extra);
         edges.sort_unstable();
         edges.dedup();
@@ -422,7 +586,7 @@ impl Graph {
     /// True if every edge of `self` is also an edge of `other` (node counts
     /// must match — spanners share the node set by definition).
     pub fn is_subgraph_of(&self, other: &Graph) -> bool {
-        self.n == other.n && self.edges.iter().all(|e| other.has_edge(e.u, e.v))
+        self.n == other.n && self.edges().iter().all(|e| other.has_edge(e.u, e.v))
     }
 
     /// Sum of degrees (= 2m); sanity helper used in tests.
@@ -554,6 +718,67 @@ mod tests {
         assert_eq!(g.m(), 0);
         assert_eq!(g.max_degree(), 0);
         assert!(!g.is_subgraph_of(&triangle_plus_pendant().with_extra_edges([])));
+    }
+
+    #[test]
+    fn from_shared_csr_matches_owned_build() {
+        use std::sync::Arc;
+        let g = triangle_plus_pendant();
+        let offsets: Vec<u32> = g.csr_offsets().iter().map(|&o| o as u32).collect();
+        let adj: crate::shared::SharedSlice<NodeId> = Arc::new(g.csr_adjacency().to_vec());
+        let edges: crate::shared::SharedSlice<Edge> = Arc::new(g.edges().to_vec());
+        let view = Graph::from_shared_csr(g.n(), &offsets, adj, edges).unwrap();
+        assert!(view.uses_shared_storage());
+        assert!(!g.uses_shared_storage());
+        assert_eq!(view, g);
+        assert_eq!(view.neighbors(0), g.neighbors(0));
+        assert_eq!(view.edge_id(3, 0), g.edge_id(3, 0));
+        assert_eq!(view.clone(), g);
+    }
+
+    #[test]
+    fn from_shared_csr_rejects_inconsistent_parts() {
+        use std::sync::Arc;
+        let g = triangle_plus_pendant();
+        let offsets: Vec<u32> = g.csr_offsets().iter().map(|&o| o as u32).collect();
+        let adj = || -> crate::shared::SharedSlice<NodeId> { Arc::new(g.csr_adjacency().to_vec()) };
+        let edges = || -> crate::shared::SharedSlice<Edge> { Arc::new(g.edges().to_vec()) };
+
+        // Wrong offset count.
+        assert!(Graph::from_shared_csr(g.n(), &offsets[1..], adj(), edges()).is_err());
+        // Final offset disagrees with the adjacency length.
+        let mut bad = offsets.clone();
+        bad[g.n()] += 1;
+        assert!(Graph::from_shared_csr(g.n(), &bad, adj(), edges()).is_err());
+        // Adjacency entry tampered: row no longer matches the edge list.
+        let mut tampered = g.csr_adjacency().to_vec();
+        tampered[0] = 2;
+        let t: crate::shared::SharedSlice<NodeId> = Arc::new(tampered);
+        assert!(Graph::from_shared_csr(g.n(), &offsets, t, edges()).is_err());
+        // Edge list out of canonical order.
+        let mut swapped = g.edges().to_vec();
+        swapped.swap(0, 1);
+        let s: crate::shared::SharedSlice<Edge> = Arc::new(swapped);
+        assert!(Graph::from_shared_csr(g.n(), &offsets, adj(), s).is_err());
+    }
+
+    #[test]
+    fn relabel_produces_isomorphic_graph() {
+        let g = triangle_plus_pendant();
+        let perm = [2u32, 0, 3, 1]; // int_of_ext
+        let r = g.relabel(&perm).unwrap();
+        assert_eq!(r.n(), g.n());
+        assert_eq!(r.m(), g.m());
+        for e in g.edges() {
+            assert!(r.has_edge(perm[e.u as usize], perm[e.v as usize]));
+        }
+        assert_eq!(r.degree(perm[0] as NodeId), g.degree(0));
+        // Identity permutation is a no-op.
+        assert_eq!(g.relabel(&[0, 1, 2, 3]).unwrap(), g);
+        // Non-bijections are rejected.
+        assert!(g.relabel(&[0, 0, 1, 2]).is_err());
+        assert!(g.relabel(&[0, 1, 2, 9]).is_err());
+        assert!(g.relabel(&[0, 1]).is_err());
     }
 
     #[test]

@@ -83,7 +83,7 @@ pub fn check_csr_well_formed(g: &Graph) -> Result<(), InvariantError> {
         );
     }
     for u in 0..n {
-        let row = &g.adj[g.offsets[u]..g.offsets[u + 1]];
+        let row = &g.adj.as_slice()[g.offsets[u]..g.offsets[u + 1]];
         if row.iter().any(|&w| w as usize >= n) {
             return err(CHECK, format!("row {u} has a neighbour out of range"));
         }
@@ -94,10 +94,10 @@ pub fn check_csr_well_formed(g: &Graph) -> Result<(), InvariantError> {
             return err(CHECK, format!("row {u} contains a self-loop"));
         }
     }
-    if g.edges.windows(2).any(|w| w[0] >= w[1]) {
+    if g.edges.as_slice().windows(2).any(|w| w[0] >= w[1]) {
         return err(CHECK, "edge list is not strictly sorted".to_string());
     }
-    for e in &g.edges {
+    for e in g.edges.as_slice() {
         if !g.has_edge(e.u, e.v) {
             return err(
                 CHECK,

@@ -16,7 +16,10 @@
 //!   word-parallel popcount with threshold early-exit, plus the
 //!   pair-deduplicated support table,
 //! * generic CSR-packed jagged tables for precomputed per-edge indexes
-//!   ([`csr`]),
+//!   ([`csr`]), with owned-or-borrowed payload storage ([`shared`]) so the
+//!   same types serve zero-copy out of mapped artifact buffers,
+//! * cache-locality node reorderings (Reverse Cuthill–McKee and
+//!   degree-bucket) for relabeled artifacts ([`reorder`]),
 //! * runtime contract checks at algorithm boundaries ([`invariants`]),
 //!   active in debug builds or under the `strict-invariants` feature.
 //!
@@ -43,8 +46,10 @@ pub mod invariants;
 pub mod io;
 pub mod matching;
 pub mod paths;
+pub mod reorder;
 pub mod rng;
 pub mod sample;
+pub mod shared;
 pub mod stats;
 pub mod traversal;
 
@@ -54,6 +59,7 @@ pub use graph::{Edge, Graph, GraphBuilder, NodeId};
 pub use intersect::{IntersectKernel, StrongPairTable};
 pub use io::{decode_seq, encode_seq, ByteReader, CodecError, FixedCodec};
 pub use paths::Path;
+pub use shared::{SharedSlice, SliceStore};
 
 /// Convenience alias for hash maps keyed by small integers.
 pub type FxHashMap<K, V> = std::collections::HashMap<K, V, hash::FxBuildHasher>;

@@ -1,0 +1,154 @@
+//! Owned-or-borrowed backing storage for flat CSR payload arrays.
+//!
+//! [`SliceStore`] lets [`crate::graph::Graph`] and [`crate::csr::CsrTable`]
+//! keep their existing value semantics (clone, compare, debug) while
+//! optionally borrowing their large payload arrays from a reference-counted
+//! backing buffer — the zero-copy path used when an oracle is served
+//! straight out of a mapped artifact file. Equality, hashing-adjacent
+//! operations, and iteration all go through [`SliceStore::as_slice`], so an
+//! owned table and a view over identical bytes are indistinguishable to
+//! callers.
+//!
+//! The borrowed arm holds an `Arc<dyn AsRef<[T]>>`: the provider (e.g. the
+//! `dcspan-store` mapped-artifact section handles) keeps the backing buffer
+//! alive for as long as any view exists, and this crate never needs to know
+//! whether the bytes live in an `mmap`, an aligned heap block, or a plain
+//! `Vec`.
+
+use std::sync::Arc;
+
+/// A reference-counted handle to a slice whose bytes are owned elsewhere.
+///
+/// `Vec<T>` implements `AsRef<[T]>`, so an owned fallback copy can be
+/// shared through the same type as a true zero-copy section view.
+pub type SharedSlice<T> = Arc<dyn AsRef<[T]> + Send + Sync>;
+
+/// Backing storage for a flat array: an owned `Vec` or a shared view.
+pub enum SliceStore<T: 'static> {
+    /// Heap storage owned by the containing structure.
+    Owned(Vec<T>),
+    /// Borrowed view into a reference-counted backing buffer.
+    Shared(SharedSlice<T>),
+}
+
+impl<T> SliceStore<T> {
+    /// The stored elements, regardless of backing.
+    #[inline]
+    pub fn as_slice(&self) -> &[T] {
+        match self {
+            SliceStore::Owned(v) => v.as_slice(),
+            SliceStore::Shared(s) => (**s).as_ref(),
+        }
+    }
+
+    /// Number of stored elements.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.as_slice().len()
+    }
+
+    /// True when no elements are stored.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.as_slice().is_empty()
+    }
+
+    /// True when the backing is a shared view rather than an owned `Vec`.
+    pub fn is_shared(&self) -> bool {
+        matches!(self, SliceStore::Shared(_))
+    }
+
+    /// Bytes of heap memory attributable to *this* structure (a shared
+    /// view costs its holder nothing beyond the `Arc`).
+    pub fn heap_bytes(&self) -> usize {
+        match self {
+            SliceStore::Owned(v) => v.len() * std::mem::size_of::<T>(),
+            SliceStore::Shared(_) => 0,
+        }
+    }
+}
+
+impl<T: Clone> SliceStore<T> {
+    /// Extract an owned `Vec`, copying when the backing is shared.
+    pub fn into_vec(self) -> Vec<T> {
+        match self {
+            SliceStore::Owned(v) => v,
+            SliceStore::Shared(s) => (*s).as_ref().to_vec(),
+        }
+    }
+}
+
+impl<T> From<Vec<T>> for SliceStore<T> {
+    fn from(v: Vec<T>) -> Self {
+        SliceStore::Owned(v)
+    }
+}
+
+impl<T> Default for SliceStore<T> {
+    fn default() -> Self {
+        SliceStore::Owned(Vec::new())
+    }
+}
+
+impl<T: Clone> Clone for SliceStore<T> {
+    fn clone(&self) -> Self {
+        match self {
+            SliceStore::Owned(v) => SliceStore::Owned(v.clone()),
+            // Cloning a view clones the handle, not the bytes.
+            SliceStore::Shared(s) => SliceStore::Shared(Arc::clone(s)),
+        }
+    }
+}
+
+impl<T: std::fmt::Debug> std::fmt::Debug for SliceStore<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_list().entries(self.as_slice()).finish()
+    }
+}
+
+impl<T: PartialEq> PartialEq for SliceStore<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl<T: Eq> Eq for SliceStore<T> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn owned_and_shared_compare_equal() {
+        let owned: SliceStore<u32> = vec![1, 2, 3].into();
+        let shared: SliceStore<u32> = SliceStore::Shared(Arc::new(vec![1u32, 2, 3]));
+        assert_eq!(owned, shared);
+        assert!(!owned.is_shared());
+        assert!(shared.is_shared());
+        assert_eq!(owned.heap_bytes(), 12);
+        assert_eq!(shared.heap_bytes(), 0);
+    }
+
+    #[test]
+    fn clone_of_shared_is_cheap_handle_clone() {
+        let backing: Arc<Vec<u32>> = Arc::new(vec![5, 6]);
+        let view: SliceStore<u32> = SliceStore::Shared(backing.clone());
+        let copy = view.clone();
+        assert_eq!(Arc::strong_count(&backing), 3);
+        assert_eq!(copy.as_slice(), &[5, 6]);
+    }
+
+    #[test]
+    fn into_vec_copies_shared() {
+        let shared: SliceStore<u32> = SliceStore::Shared(Arc::new(vec![9u32, 8]));
+        assert_eq!(shared.into_vec(), vec![9, 8]);
+        let owned: SliceStore<u32> = vec![7].into();
+        assert_eq!(owned.into_vec(), vec![7]);
+    }
+
+    #[test]
+    fn debug_formats_as_slice() {
+        let s: SliceStore<u32> = vec![1, 2].into();
+        assert_eq!(format!("{s:?}"), "[1, 2]");
+    }
+}

@@ -39,7 +39,7 @@ pub(crate) fn enter(exec: Arc<Exec>, tid: usize) -> CtxGuard {
         *c.borrow_mut() = Some(Ctx {
             exec: Arc::clone(&exec),
             tid,
-        })
+        });
     });
     CtxGuard { exec, tid }
 }

@@ -30,7 +30,12 @@
 //! * [`snapshot`] — [`SnapshotSlot`]: epoch-versioned hot swap between a
 //!   running oracle and a freshly loaded `dcspan-store` artifact without
 //!   draining in-flight queries (`Oracle::from_artifact` is the
-//!   zero-rebuild load path),
+//!   zero-rebuild load path; `Oracle::from_mapped` the zero-*copy* one,
+//!   serving borrowed views of a v2 artifact's backing buffer),
+//! * [`perm`] — [`NodePerm`]: the external↔internal node-id bijection of
+//!   cache-locality-reordered artifacts ([`ReorderKind`]), applied once
+//!   at the oracle's wire boundary so reordered artifacts serve
+//!   semantically equivalent routes,
 //! * [`router`] — [`ShardRing`]: the seeded consistent-hash ring mapping
 //!   missing-edge ids to shards (vnode points independent of the shard
 //!   count, so resizing `K → K+1` remaps only `~1/(K+1)` of the ids),
@@ -66,6 +71,7 @@ pub mod congestion;
 pub mod fault;
 pub mod index;
 pub mod oracle;
+pub mod perm;
 pub mod router;
 pub mod shard;
 pub mod snapshot;
@@ -82,6 +88,7 @@ pub use oracle::{
     Oracle, OracleConfig, OracleStatsSnapshot, RouteError, RouteKind, RouteResponse,
     ShardErrorSection, SubstituteReport,
 };
+pub use perm::{NodePerm, ReorderKind};
 pub use router::ShardRing;
 pub use shard::{
     BreakerState, FaultInjector, PreparedSwap, ReplicaHealth, ShardConfig, ShardLayerStats,

@@ -35,15 +35,16 @@ use crate::cache::ShardedLru;
 use crate::congestion::CongestionLedger;
 use crate::fault::{bounded_survivor_bfs, FaultState, SurvivorSearch};
 use crate::index::DetourIndex;
+use crate::perm::{NodePerm, ReorderKind};
 use crate::sync::atomic::{AtomicU64, Ordering};
 use dcspan_core::serve::{build_spanner, BuiltSpanner, SpannerAlgo};
 use dcspan_graph::rng::item_rng;
 use dcspan_graph::traversal::shortest_path;
-use dcspan_graph::{invariants, Graph, NodeId, Path};
+use dcspan_graph::{invariants, reorder, Graph, NodeId, Path};
 use dcspan_routing::detour::select_from_sets;
 use dcspan_routing::replace::DetourPolicy;
 use dcspan_routing::{Routing, RoutingProblem};
-use dcspan_store::{ArtifactMeta, SpannerArtifact, StoreError};
+use dcspan_store::{ArtifactMeta, MappedArtifact, SpannerArtifact, StoreError};
 use rayon::prelude::*;
 
 /// Construction-time configuration for an [`Oracle`].
@@ -532,6 +533,11 @@ pub struct Oracle {
     /// running `C(P', v)` of everything routed since the last reset.
     load: CongestionLedger,
     counters: Counters,
+    /// `Some` when the served artifact was built with a cache-locality
+    /// reordering: every public entry point translates external ids to
+    /// the internal storage order here (and answered paths back), so
+    /// callers never see internal ids. See [`crate::perm`].
+    perm: Option<NodePerm>,
 }
 
 impl Oracle {
@@ -560,8 +566,16 @@ impl Oracle {
             faults,
             load,
             counters: Counters::default(),
+            perm: None,
             h,
         }
+    }
+
+    /// Attach the node-id translation of a reordered artifact (the
+    /// assemble tail for loaded artifacts that carry a `PERM` section).
+    pub(crate) fn with_perm(mut self, perm: Option<NodePerm>) -> Oracle {
+        self.perm = perm;
+        self
     }
 
     /// Build the chosen DC-spanner construction for `g`, then the oracle
@@ -599,7 +613,64 @@ impl Oracle {
             missing,
             two,
             three,
+            perm: None,
         }
+    }
+
+    /// [`Oracle::build_artifact`] with an optional cache-locality
+    /// relabeling: the spanner is built on the caller's graph, a
+    /// bandwidth-reducing order is computed *on the spanner* (the graph
+    /// the serving hot path actually walks), both graphs are relabeled,
+    /// and the detour index is built once over the relabeled pair — so
+    /// every stored CSR row is already in the locality order and the
+    /// permutation rides along as the artifact's `perm`. `n` and `Δ` are
+    /// relabeling-invariant, so the recorded meta still describes the
+    /// external instance; serving translates ids at the wire boundary
+    /// and answers semantically equivalent routes (same outcome, kind,
+    /// and hop count per query — the congestion *profile* permutes with
+    /// the ids, its maximum does not depend on them).
+    ///
+    /// `ReorderKind::None` produces an artifact byte-identical to
+    /// [`Oracle::build_artifact`]'s. The error arm is unreachable for
+    /// the by-construction-valid permutations built here; it exists so a
+    /// relabeling bug surfaces as a typed error instead of a panic.
+    pub fn build_artifact_reordered(
+        g: &Graph,
+        algo: SpannerAlgo,
+        seed: u64,
+        reorder_kind: ReorderKind,
+    ) -> Result<SpannerArtifact, StoreError> {
+        let h = build_spanner(g, algo, seed);
+        invariants::assert_graph_contract(g, "Oracle::build_artifact: host");
+        let meta = ArtifactMeta {
+            algo,
+            seed,
+            n: g.n(),
+            delta: g.max_degree(),
+        };
+        let (graph, spanner, perm) = match reorder_kind {
+            ReorderKind::None => (g.clone(), h, None),
+            kind => {
+                let int_of_ext = match kind {
+                    ReorderKind::Rcm => reorder::rcm_order(&h),
+                    _ => reorder::degree_order(&h),
+                };
+                let graph = g.relabel(&int_of_ext).map_err(StoreError::Malformed)?;
+                let spanner = h.relabel(&int_of_ext).map_err(StoreError::Malformed)?;
+                (graph, spanner, Some(int_of_ext))
+            }
+        };
+        let index = DetourIndex::build(&graph, &spanner);
+        let (missing, two, three) = index.into_parts();
+        Ok(SpannerArtifact {
+            meta,
+            graph,
+            spanner,
+            missing,
+            two,
+            three,
+            perm,
+        })
     }
 
     /// Reconstruct a serving oracle from a loaded artifact without
@@ -622,6 +693,7 @@ impl Oracle {
             missing,
             two,
             three,
+            perm,
             meta,
         } = artifact;
         if meta.n != graph.n() {
@@ -645,13 +717,125 @@ impl Oracle {
         }
         let index = DetourIndex::from_parts(&graph, &spanner, missing, two, three)
             .map_err(StoreError::Malformed)?;
-        Ok(Self::assemble(spanner, index, config))
+        let perm = Self::validate_perm(perm, graph.n())?;
+        Ok(Self::assemble(spanner, index, config).with_perm(perm))
     }
 
-    /// The spanner being served.
+    /// Validate a stored permutation against the graph it claims to
+    /// relabel (the store layer checks shape; the bijection is an oracle
+    /// concern because a non-bijective "perm" would scramble answers).
+    pub(crate) fn validate_perm(
+        perm: Option<Vec<NodeId>>,
+        n: usize,
+    ) -> Result<Option<NodePerm>, StoreError> {
+        let Some(p) = perm else { return Ok(None) };
+        if p.len() != n {
+            return Err(StoreError::Malformed(format!(
+                "perm covers {} nodes but the graph has {n}",
+                p.len()
+            )));
+        }
+        NodePerm::from_int_of_ext(p)
+            .map(Some)
+            .map_err(StoreError::Malformed)
+    }
+
+    /// Reconstruct a serving oracle over a zero-copy v2 view: the CSR
+    /// payloads stay borrowed slices of the artifact's single backing
+    /// buffer (an `mmap` under the store's default feature), so `N`
+    /// oracles opened from the same file share one page-cache copy of
+    /// the index instead of `N` decoded heaps. Validation is identical
+    /// to [`Oracle::from_artifact`] — checksums were verified when the
+    /// view was opened; the structural claims are re-checked here.
+    pub fn from_mapped(view: &MappedArtifact, config: OracleConfig) -> Result<Oracle, StoreError> {
+        let meta = view.meta();
+        let graph = view.graph()?;
+        let spanner = view.spanner()?;
+        if meta.n != graph.n() {
+            return Err(StoreError::Malformed(format!(
+                "meta records n = {} but graph has {} nodes",
+                meta.n,
+                graph.n()
+            )));
+        }
+        if meta.delta != graph.max_degree() {
+            return Err(StoreError::Malformed(format!(
+                "meta records Δ = {} but graph has max degree {}",
+                meta.delta,
+                graph.max_degree()
+            )));
+        }
+        if spanner.n() != graph.n() || !spanner.is_subgraph_of(&graph) {
+            return Err(StoreError::Malformed(
+                "spanner is not a subgraph of the stored graph".into(),
+            ));
+        }
+        let index = DetourIndex::from_parts(
+            &graph,
+            &spanner,
+            view.missing()?,
+            view.two()?,
+            view.three()?,
+        )
+        .map_err(StoreError::Malformed)?;
+        let perm = Self::validate_perm(view.perm()?, graph.n())?;
+        Ok(Self::assemble(spanner, index, config).with_perm(perm))
+    }
+
+    /// Open an artifact file in whichever format it is in — the magic
+    /// bytes decide — and build the oracle over it: v2 files go through
+    /// the zero-copy [`Oracle::from_mapped`] path, v1 files through the
+    /// owned-decode [`Oracle::from_artifact`] path. The serving API is
+    /// identical either way.
+    pub fn from_artifact_file(
+        path: &std::path::Path,
+        config: OracleConfig,
+    ) -> Result<Oracle, StoreError> {
+        if dcspan_store::file_version(path)? == dcspan_store::FORMAT_VERSION_V2 {
+            let view = MappedArtifact::open(path)?;
+            Self::from_mapped(&view, config)
+        } else {
+            Self::from_artifact(SpannerArtifact::load(path)?, config)
+        }
+    }
+
+    /// The spanner being served, in *internal* (storage-order) ids —
+    /// identical to the caller's ids unless [`Oracle::is_reordered`].
     #[inline]
     pub fn spanner(&self) -> &Graph {
         &self.h
+    }
+
+    /// The node-id translation of a reordered artifact, if one is live.
+    #[inline]
+    pub fn perm(&self) -> Option<&NodePerm> {
+        self.perm.as_ref()
+    }
+
+    /// True when the served artifact was built with a cache-locality
+    /// reordering (ids translate at the wire boundary).
+    #[inline]
+    pub fn is_reordered(&self) -> bool {
+        self.perm.is_some()
+    }
+
+    /// True when the spanner's CSR arrays are borrowed views over a
+    /// shared artifact buffer (the [`Oracle::from_mapped`] path) rather
+    /// than owned heap copies.
+    #[inline]
+    pub fn uses_shared_storage(&self) -> bool {
+        self.h.uses_shared_storage()
+    }
+
+    /// External → internal for one caller-supplied id; out-of-range ids
+    /// pass through to the downstream range check (see
+    /// [`NodePerm::to_internal_or_self`]).
+    #[inline]
+    fn to_int(&self, ext: NodeId) -> NodeId {
+        match &self.perm {
+            Some(p) => p.to_internal_or_self(ext),
+            None => ext,
+        }
     }
 
     /// The precomputed detour index.
@@ -685,6 +869,7 @@ impl Oracle {
         if a == b {
             return false;
         }
+        let (a, b) = (self.to_int(a), self.to_int(b));
         self.h
             .edge_id(a, b)
             .is_some_and(|id| self.faults.fail_edge_id(id))
@@ -695,6 +880,7 @@ impl Oracle {
         if a == b {
             return false;
         }
+        let (a, b) = (self.to_int(a), self.to_int(b));
         self.h
             .edge_id(a, b)
             .is_some_and(|id| self.faults.heal_edge_id(id))
@@ -703,12 +889,13 @@ impl Oracle {
     /// Kill node `v` (every query touching it will route around or be
     /// rejected). Returns false when out of range or already dead.
     pub fn fail_node(&self, v: NodeId) -> bool {
+        let v = self.to_int(v);
         (v as usize) < self.h.n() && self.faults.fail_node(v)
     }
 
     /// Revive node `v`. Returns false when it was not dead.
     pub fn heal_node(&self, v: NodeId) -> bool {
-        self.faults.heal_node(v)
+        self.faults.heal_node(self.to_int(v))
     }
 
     /// Revive every failed node and edge in one wave.
@@ -724,7 +911,34 @@ impl Oracle {
     /// Healthy overlays serve exactly the PR-2 fast path; under faults
     /// the query descends the degradation ladder (see module docs) and
     /// unservable queries come back as a typed [`RouteError`].
+    ///
+    /// For a reordered artifact this is the wire boundary: `(u, v)` is
+    /// translated to the internal storage order on entry, the answered
+    /// path back to external ids on exit, and everything between —
+    /// index rows, fault overlay, RNG draws (keyed on `query_id`, never
+    /// on ids), invariant checks — runs purely internal. The translated
+    /// query is semantically equivalent: same outcome, kind, and hop
+    /// count as the unreordered artifact would answer.
     pub fn route(&self, u: NodeId, v: NodeId, query_id: u64) -> Result<RouteResponse, RouteError> {
+        let Some(p) = &self.perm else {
+            return self.route_int(u, v, query_id);
+        };
+        let resp = self.route_int(p.to_internal_or_self(u), p.to_internal_or_self(v), query_id)?;
+        Ok(RouteResponse {
+            path: Path::new(
+                resp.path
+                    .nodes()
+                    .iter()
+                    .map(|&x| p.to_external(x))
+                    .collect(),
+            ),
+            ..resp
+        })
+    }
+
+    /// The routing engine in internal ids (the whole pipeline below the
+    /// wire boundary).
+    fn route_int(&self, u: NodeId, v: NodeId, query_id: u64) -> Result<RouteResponse, RouteError> {
         // ord: Relaxed — lifetime statistic, never used to publish data.
         self.counters.queries.fetch_add(1, Ordering::Relaxed);
         let n = self.h.n();
@@ -1025,7 +1239,7 @@ impl Oracle {
     /// the last [`Oracle::reset_load`] — `C(P', v)` with `P'` the traffic
     /// so far.
     pub fn node_load(&self, v: NodeId) -> u32 {
-        self.load.get(v)
+        self.load.get(self.to_int(v))
     }
 
     /// Live congestion `C(P') = max_v C(P', v)` over all traffic routed so
@@ -1034,9 +1248,18 @@ impl Oracle {
         self.load.max()
     }
 
-    /// Snapshot of the whole per-node load profile.
+    /// Snapshot of the whole per-node load profile, indexed by the
+    /// caller's (external) node ids.
     pub fn load_profile(&self) -> Vec<u32> {
-        self.load.profile()
+        let prof = self.load.profile();
+        match &self.perm {
+            None => prof,
+            Some(p) => p
+                .int_of_ext()
+                .iter()
+                .map(|&int| prof.get(int as usize).copied().unwrap_or(0))
+                .collect(),
+        }
     }
 
     /// Zero the live load counters (start a new accounting epoch).

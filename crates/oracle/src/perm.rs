@@ -1,0 +1,163 @@
+//! Node-identity translation for cache-locality-reordered artifacts.
+//!
+//! A v2 artifact built with `--reorder` stores its graph, spanner, and
+//! detour tables relabeled by a bandwidth-reducing permutation (RCM or
+//! degree order), so that a detour row's endpoints and the CSR rows they
+//! index land near each other in memory. Callers keep speaking the
+//! *external* ids the graph was generated with; the stored arrays use
+//! *internal* (storage-order) ids. A [`NodePerm`] is that bijection,
+//! applied exactly once at the oracle's wire boundary: query endpoints
+//! translate external → internal on entry, answered paths translate
+//! internal → external on exit, and nothing between ever sees a mixed
+//! id space. A reordered artifact therefore serves semantically
+//! equivalent routes — same outcome, kind, and hop count per
+//! `(u, v, query_id)` — while its storage layout is free to change.
+
+use dcspan_graph::NodeId;
+
+/// How (and whether) an artifact build relabels nodes for locality.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ReorderKind {
+    /// Keep the caller's node ids (no permutation section).
+    None,
+    /// Reverse Cuthill–McKee on the spanner: BFS layering from a
+    /// low-degree peripheral node, reversed — the classic
+    /// bandwidth-reducing order.
+    Rcm,
+    /// Ascending spanner degree: hubs land together at the top of the
+    /// id space. Cheaper than RCM, weaker locality.
+    Degree,
+}
+
+impl ReorderKind {
+    /// Stable lowercase label (CLI flags, experiment JSON).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ReorderKind::None => "none",
+            ReorderKind::Rcm => "rcm",
+            ReorderKind::Degree => "degree",
+        }
+    }
+
+    /// Parse a CLI label; `None` for unknown labels.
+    pub fn parse(s: &str) -> Option<ReorderKind> {
+        match s {
+            "none" => Some(ReorderKind::None),
+            "rcm" => Some(ReorderKind::Rcm),
+            "degree" => Some(ReorderKind::Degree),
+            _ => None,
+        }
+    }
+}
+
+/// A validated node-id bijection between the external (caller) and
+/// internal (storage-order) id spaces, stored in both directions so each
+/// translation is one array read.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct NodePerm {
+    /// `int_of_ext[external] = internal` — the orientation the v2 `PERM`
+    /// section stores and [`Graph::relabel`](dcspan_graph::Graph::relabel)
+    /// consumes.
+    int_of_ext: Vec<NodeId>,
+    /// The inverse: `ext_of_int[internal] = external`.
+    ext_of_int: Vec<NodeId>,
+}
+
+impl NodePerm {
+    /// Validate `int_of_ext` as a bijection on `0..len` and precompute
+    /// its inverse. Rejects out-of-range targets and repeats, so a
+    /// forged-but-checksum-valid permutation degrades to a typed error
+    /// upstream instead of scrambling answers.
+    pub fn from_int_of_ext(int_of_ext: Vec<NodeId>) -> Result<NodePerm, String> {
+        let n = int_of_ext.len();
+        let mut ext_of_int = vec![0 as NodeId; n];
+        let mut seen = vec![false; n];
+        for (ext, &int) in int_of_ext.iter().enumerate() {
+            let Some(hit) = seen.get_mut(int as usize) else {
+                return Err(format!(
+                    "perm maps external {ext} to out-of-range internal {int} (n = {n})"
+                ));
+            };
+            if *hit {
+                return Err(format!(
+                    "perm is not a bijection: internal {int} is hit twice"
+                ));
+            }
+            *hit = true;
+            ext_of_int[int as usize] = ext as NodeId;
+        }
+        Ok(NodePerm {
+            int_of_ext,
+            ext_of_int,
+        })
+    }
+
+    /// Number of nodes the permutation covers.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.int_of_ext.len()
+    }
+
+    /// The stored orientation, `perm[external] = internal`.
+    #[inline]
+    pub fn int_of_ext(&self) -> &[NodeId] {
+        &self.int_of_ext
+    }
+
+    /// External → internal; `None` when `ext` is out of range.
+    #[inline]
+    pub fn to_internal(&self, ext: NodeId) -> Option<NodeId> {
+        self.int_of_ext.get(ext as usize).copied()
+    }
+
+    /// External → internal, passing out-of-range ids through unchanged.
+    /// Out-of-range ids stay out of range under the bijection, so the
+    /// downstream range check rejects them with the same typed error an
+    /// unpermuted oracle would emit — one rejection path, no duplicate
+    /// bookkeeping.
+    #[inline]
+    pub(crate) fn to_internal_or_self(&self, ext: NodeId) -> NodeId {
+        self.to_internal(ext).unwrap_or(ext)
+    }
+
+    /// Internal → external; out-of-range ids pass through unchanged
+    /// (answered paths only contain in-range internal ids).
+    #[inline]
+    pub fn to_external(&self, int: NodeId) -> NodeId {
+        self.ext_of_int.get(int as usize).copied().unwrap_or(int)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrips_both_directions() {
+        let p = NodePerm::from_int_of_ext(vec![2, 0, 3, 1]).unwrap();
+        assert_eq!(p.n(), 4);
+        for ext in 0..4 {
+            let int = p.to_internal(ext).unwrap();
+            assert_eq!(p.to_external(int), ext);
+        }
+        assert_eq!(p.to_internal(4), None);
+        assert_eq!(p.to_internal_or_self(9), 9);
+        assert_eq!(p.to_external(9), 9);
+    }
+
+    #[test]
+    fn rejects_non_bijections() {
+        assert!(NodePerm::from_int_of_ext(vec![0, 0]).is_err());
+        assert!(NodePerm::from_int_of_ext(vec![0, 5]).is_err());
+        assert!(NodePerm::from_int_of_ext(vec![]).is_ok());
+    }
+
+    #[test]
+    fn parse_reorder_kinds() {
+        assert_eq!(ReorderKind::parse("rcm"), Some(ReorderKind::Rcm));
+        assert_eq!(ReorderKind::parse("degree"), Some(ReorderKind::Degree));
+        assert_eq!(ReorderKind::parse("none"), Some(ReorderKind::None));
+        assert_eq!(ReorderKind::parse("zigzag"), None);
+        assert_eq!(ReorderKind::Rcm.as_str(), "rcm");
+    }
+}

@@ -54,6 +54,7 @@ use crate::oracle::{
     Oracle, OracleConfig, OracleStatsSnapshot, RouteError, RouteResponse, ShardErrorSection,
     SubstituteReport,
 };
+use crate::perm::NodePerm;
 use crate::router::ShardRing;
 use crate::snapshot::SnapshotSlot;
 use crate::supervisor::{call_supervised, Supervisor};
@@ -546,20 +547,30 @@ struct ShardSet {
     delta: usize,
     g: Graph,
     h: Graph,
-    /// Full canonical missing-edge list — the ownership lookup table.
+    /// Full canonical missing-edge list (internal ids) — the ownership
+    /// lookup table.
     missing: Vec<Edge>,
     ring: ShardRing,
     shards: Vec<Shard>,
     /// Global admission ledger enforcing the β-cap across all shards.
     load: CongestionLedger,
     cap: Option<u32>,
+    /// Node-id translation of a reordered artifact; the replicas carry a
+    /// copy for their own wire boundaries, this one resolves ownership
+    /// (the missing-edge table is stored in internal ids).
+    perm: Option<NodePerm>,
 }
 
 impl ShardSet {
-    /// Owning shard of pair `(u, v)`: the ring owner of its missing-edge
-    /// id when the pair is a missing edge, else hash-spread (any shard
-    /// serves non-missing pairs identically).
+    /// Owning shard of (external) pair `(u, v)`: the ring owner of its
+    /// missing-edge id when the pair is a missing edge, else hash-spread
+    /// (any shard serves non-missing pairs identically). Ownership is
+    /// resolved in internal ids so it agrees with the sliced tables.
     fn owner(&self, u: NodeId, v: NodeId) -> usize {
+        let (u, v) = match &self.perm {
+            Some(p) => (p.to_internal_or_self(u), p.to_internal_or_self(v)),
+            None => (u, v),
+        };
         if u != v {
             if let Ok(id) = self.missing.binary_search(&Edge::new(u, v)) {
                 return self.ring.owner_of_id(id);
@@ -732,7 +743,16 @@ impl ShardedOracle {
     ) -> Result<ShardedOracle, StoreError> {
         let index = DetourIndex::build(g, &h);
         let (missing, two, three) = index.into_parts();
-        let set = Self::shard_set(g.clone(), h, missing, two, three, config, &shard_config)?;
+        let set = Self::shard_set(
+            g.clone(),
+            h,
+            missing,
+            two,
+            three,
+            None,
+            config,
+            &shard_config,
+        )?;
         Ok(Self::assemble_sharded(set, config, shard_config))
     }
 
@@ -751,6 +771,7 @@ impl ShardedOracle {
             missing,
             two,
             three,
+            perm,
             meta,
         } = artifact;
         if meta.n != graph.n() {
@@ -776,19 +797,44 @@ impl ShardedOracle {
         // take the rows back for slicing.
         let index = DetourIndex::from_parts(&graph, &spanner, missing, two, three)
             .map_err(StoreError::Malformed)?;
+        let perm = Oracle::validate_perm(perm, graph.n())?;
         let (missing, two, three) = index.into_parts();
-        let set = Self::shard_set(graph, spanner, missing, two, three, config, &shard_config)?;
+        let set = Self::shard_set(
+            graph,
+            spanner,
+            missing,
+            two,
+            three,
+            perm,
+            config,
+            &shard_config,
+        )?;
         Ok(Self::assemble_sharded(set, config, shard_config))
+    }
+
+    /// Load an artifact file in either format (the magic bytes decide)
+    /// and build the sharded topology over it. Sharding slices the
+    /// detour tables per shard, so the rows are decoded to owned storage
+    /// either way — the zero-copy open is the single-oracle
+    /// [`Oracle::from_mapped`] path.
+    pub fn from_artifact_file(
+        path: &std::path::Path,
+        config: OracleConfig,
+        shard_config: ShardConfig,
+    ) -> Result<ShardedOracle, StoreError> {
+        Self::from_artifact(SpannerArtifact::load(path)?, config, shard_config)
     }
 
     /// Partition the validated full rows into per-shard slices and
     /// assemble every replica.
+    #[allow(clippy::too_many_arguments)]
     fn shard_set(
         g: Graph,
         h: Graph,
         missing: Vec<Edge>,
         two: CsrTable<NodeId>,
         three: CsrTable<(NodeId, NodeId)>,
+        perm: Option<NodePerm>,
         base: OracleConfig,
         shard_config: &ShardConfig,
     ) -> Result<ShardSet, StoreError> {
@@ -816,7 +862,7 @@ impl ShardedOracle {
             };
             let mut replicas = Vec::with_capacity(replicas_per_shard);
             for _ in 0..replicas_per_shard {
-                let oracle = Self::oracle_from_slice(&g, &h, &parts, replica_config)
+                let oracle = Self::oracle_from_slice(&g, &h, &parts, perm.as_ref(), replica_config)
                     .map_err(StoreError::Malformed)?;
                 replicas.push(Replica::new(oracle));
             }
@@ -830,6 +876,7 @@ impl ShardedOracle {
             missing,
             ring,
             shards,
+            perm,
             g,
             h,
         })
@@ -841,6 +888,7 @@ impl ShardedOracle {
         g: &Graph,
         h: &Graph,
         parts: &SliceParts,
+        perm: Option<&NodePerm>,
         config: OracleConfig,
     ) -> Result<Oracle, String> {
         let index = DetourIndex::from_slice(
@@ -850,7 +898,7 @@ impl ShardedOracle {
             parts.two.clone(),
             parts.three.clone(),
         )?;
-        Ok(Oracle::assemble(h.clone(), index, config))
+        Ok(Oracle::assemble(h.clone(), index, config).with_perm(perm.cloned()))
     }
 
     fn assemble_sharded(
@@ -917,14 +965,23 @@ impl ShardedOracle {
         self.state.snapshot().owner(u, v)
     }
 
-    /// The missing edges owned by shard `k` (experiment surface: pick
-    /// queries that must cross a given shard).
+    /// The missing edges owned by shard `k`, in the caller's (external)
+    /// node ids (experiment surface: pick queries that must cross a
+    /// given shard).
     pub fn shard_missing_edges(&self, k: usize) -> Vec<Edge> {
         let set = self.state.snapshot();
-        set.shards
-            .get(k)
-            .map(|s| s.parts.missing.clone())
-            .unwrap_or_default()
+        let Some(shard) = set.shards.get(k) else {
+            return Vec::new();
+        };
+        match &set.perm {
+            None => shard.parts.missing.clone(),
+            Some(p) => shard
+                .parts
+                .missing
+                .iter()
+                .map(|e| Edge::new(p.to_external(e.u), p.to_external(e.v)))
+                .collect(),
+        }
     }
 
     /// Liveness and breaker state of every replica, shard-major.
@@ -995,7 +1052,8 @@ impl ShardedOracle {
     }
 
     /// Merged per-shard observation profile: per-node sums of every
-    /// replica's own ledger (see [`CongestionLedger::merged_profile`]).
+    /// replica's own ledger (see [`CongestionLedger::merged_profile`]),
+    /// indexed by the caller's (external) node ids.
     pub fn merged_load_profile(&self) -> Vec<u32> {
         let set = self.state.snapshot();
         let oracles: Vec<Arc<Oracle>> = set
@@ -1004,7 +1062,15 @@ impl ShardedOracle {
             .flat_map(|s| s.replicas.iter().map(|r| r.cell.snapshot()))
             .collect();
         let ledgers: Vec<&CongestionLedger> = oracles.iter().map(|o| o.ledger()).collect();
-        CongestionLedger::merged_profile(&ledgers)
+        let merged = CongestionLedger::merged_profile(&ledgers);
+        match &set.perm {
+            None => merged,
+            Some(p) => p
+                .int_of_ext()
+                .iter()
+                .map(|&int| merged.get(int as usize).copied().unwrap_or(0))
+                .collect(),
+        }
     }
 
     /// Zero the global admission ledger and every replica ledger (start
@@ -1034,9 +1100,13 @@ impl ShardedOracle {
                 if !replica.is_down() {
                     continue;
                 }
-                let Ok(fresh) =
-                    Self::oracle_from_slice(&set.g, &set.h, &shard.parts, replica_config)
-                else {
+                let Ok(fresh) = Self::oracle_from_slice(
+                    &set.g,
+                    &set.h,
+                    &shard.parts,
+                    set.perm.as_ref(),
+                    replica_config,
+                ) else {
                     // Respawn from retained, previously validated parts
                     // cannot fail structurally; leave the replica down if
                     // it somehow does — the sibling keeps serving.
@@ -1071,6 +1141,7 @@ impl ShardedOracle {
             missing,
             two,
             three,
+            perm,
             meta: _,
         } = artifact;
         if spanner.n() != graph.n() || !spanner.is_subgraph_of(&graph) {
@@ -1080,6 +1151,7 @@ impl ShardedOracle {
         }
         let index = DetourIndex::from_parts(&graph, &spanner, missing, two, three)
             .map_err(|e| SwapError::Store(StoreError::Malformed(e)))?;
+        let perm = Oracle::validate_perm(perm, graph.n()).map_err(SwapError::Store)?;
         let (missing, two, three) = index.into_parts();
         let set = Self::shard_set(
             graph,
@@ -1087,6 +1159,7 @@ impl ShardedOracle {
             missing,
             two,
             three,
+            perm,
             self.base,
             &self.shard_config,
         )

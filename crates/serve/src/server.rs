@@ -808,37 +808,56 @@ fn swap_endpoint(
             );
         }
     };
-    let artifact = match SpannerArtifact::load(std::path::Path::new(&path)) {
-        Ok(artifact) => artifact,
-        Err(e) => {
-            return respond_error(
-                conn,
-                shared,
-                422,
-                "swap_failed",
-                format!("artifact {path:?} could not be served: {e}"),
-                keep_alive,
-            );
-        }
-    };
     let swapped = match &shared.backend {
         Backend::Single { slot, meta } => {
-            let found = (artifact.meta.n, artifact.meta.delta);
+            // Cheap provenance peek for the compatibility gate, then the
+            // format-auto-detecting load — v2 artifacts open zero-copy
+            // instead of being decoded into owned tables.
+            let found = match dcspan_store::artifact_meta(std::path::Path::new(&path)) {
+                Ok((_, m)) => (m.n, m.delta),
+                Err(e) => {
+                    return respond_error(
+                        conn,
+                        shared,
+                        422,
+                        "swap_failed",
+                        format!("artifact {path:?} could not be served: {e}"),
+                        keep_alive,
+                    );
+                }
+            };
             if found != *meta {
                 return respond_incompatible(conn, shared, &path, *meta, found, keep_alive);
             }
-            match Oracle::from_artifact(artifact, shared.base) {
+            match Oracle::from_artifact_file(std::path::Path::new(&path), shared.base) {
                 Ok(oracle) => Ok(slot.swap(oracle)),
                 Err(e) => Err(format!("artifact {path:?} could not be served: {e}")),
             }
         }
-        Backend::Sharded(fleet) => match fleet.swap_artifact(artifact) {
-            Ok(epoch) => Ok(epoch),
-            Err(SwapError::Incompatible { expected, found }) => {
-                return respond_incompatible(conn, shared, &path, expected, found, keep_alive);
+        Backend::Sharded(fleet) => {
+            let artifact = match SpannerArtifact::load(std::path::Path::new(&path)) {
+                Ok(artifact) => artifact,
+                Err(e) => {
+                    return respond_error(
+                        conn,
+                        shared,
+                        422,
+                        "swap_failed",
+                        format!("artifact {path:?} could not be served: {e}"),
+                        keep_alive,
+                    );
+                }
+            };
+            match fleet.swap_artifact(artifact) {
+                Ok(epoch) => Ok(epoch),
+                Err(SwapError::Incompatible { expected, found }) => {
+                    return respond_incompatible(conn, shared, &path, expected, found, keep_alive);
+                }
+                Err(SwapError::Store(e)) => {
+                    Err(format!("artifact {path:?} could not be served: {e}"))
+                }
             }
-            Err(SwapError::Store(e)) => Err(format!("artifact {path:?} could not be served: {e}")),
-        },
+        }
     };
     match swapped {
         Ok(epoch) => {

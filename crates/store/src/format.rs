@@ -1,7 +1,11 @@
 //! The versioned `.dcspan` artifact format: typed errors, the section
 //! table, and `SpannerArtifact` encode/decode/save/load/verify.
 //!
-//! ## Layout (all integers little-endian)
+//! This module defines **format v1** plus the version auto-detection used
+//! by [`SpannerArtifact::decode`] / [`verify`]: the leading magic bytes
+//! select v1 (this module) or the zero-copy v2 layout in [`crate::v2`].
+//!
+//! ## v1 layout (all integers little-endian)
 //!
 //! ```text
 //! offset  size  field
@@ -149,7 +153,7 @@ pub struct ArtifactMeta {
 }
 
 impl ArtifactMeta {
-    fn encode_into(&self, out: &mut Vec<u8>) {
+    pub(crate) fn encode_into(&self, out: &mut Vec<u8>) {
         let (tag, bits) = self.algo.code();
         u32::from(tag).encode_into(out);
         bits.encode_into(out);
@@ -158,7 +162,7 @@ impl ArtifactMeta {
         (self.delta as u64).encode_into(out);
     }
 
-    fn decode_from(r: &mut ByteReader<'_>) -> Result<Self, StoreError> {
+    pub(crate) fn decode_from(r: &mut ByteReader<'_>) -> Result<Self, StoreError> {
         let tag = r.read_u32()?;
         let bits = r.read_u64()?;
         let tag = u8::try_from(tag)
@@ -193,6 +197,12 @@ pub struct SpannerArtifact {
     pub two: CsrTable<NodeId>,
     /// Row `i`: 3-hop detour `(x, z)` pairs for `missing[i]`.
     pub three: CsrTable<(NodeId, NodeId)>,
+    /// Cache-locality relabeling applied at build time, if any:
+    /// `perm[external] = internal` node id. The oracle translates queries
+    /// at the wire boundary so relabeled artifacts serve the external id
+    /// space unchanged. Only format v2 can store it; [`Self::encode`]
+    /// (v1) fails when it is present.
+    pub perm: Option<Vec<NodeId>>,
     /// Build provenance.
     pub meta: ArtifactMeta,
 }
@@ -331,57 +341,78 @@ fn decode_section<T>(
 }
 
 impl SpannerArtifact {
-    /// Serialise to the versioned binary format described in the module
-    /// docs: header, checksummed section table, contiguous payloads.
-    pub fn encode(&self) -> Vec<u8> {
-        let mut payloads: Vec<(u32, Vec<u8>)> = Vec::with_capacity(SECTION_IDS.len());
-        let mut buf = Vec::new();
-        self.meta.encode_into(&mut buf);
-        payloads.push((SEC_META, std::mem::take(&mut buf)));
-        self.graph.encode_into(&mut buf);
-        payloads.push((SEC_GRAPH, std::mem::take(&mut buf)));
-        self.spanner.encode_into(&mut buf);
-        payloads.push((SEC_SPANNER, std::mem::take(&mut buf)));
-        encode_seq(&self.missing, &mut buf);
-        payloads.push((SEC_MISSING, std::mem::take(&mut buf)));
-        self.two.encode_into(&mut buf);
-        payloads.push((SEC_TWO, std::mem::take(&mut buf)));
-        self.three.encode_into(&mut buf);
-        payloads.push((SEC_THREE, std::mem::take(&mut buf)));
-
-        let mut count_and_table = Vec::with_capacity(4 + payloads.len() * ENTRY_BYTES);
-        (payloads.len() as u32).encode_into(&mut count_and_table);
-        let mut offset = 0u64;
-        for (id, payload) in &payloads {
-            id.encode_into(&mut count_and_table);
-            offset.encode_into(&mut count_and_table);
-            (payload.len() as u64).encode_into(&mut count_and_table);
-            xxh64(payload, u64::from(*id)).encode_into(&mut count_and_table);
-            offset += payload.len() as u64;
+    /// Serialise to format v1: header, checksummed section table,
+    /// contiguous payloads. Byte-identical to what earlier releases
+    /// wrote, but built in a single pass — the header and table have a
+    /// fixed size, so payloads are encoded straight into the (exactly
+    /// pre-sized) output and the table is patched afterwards, instead of
+    /// staging every section in its own growing buffer and copying again.
+    ///
+    /// Fails if the artifact carries a node permutation: v1 has no
+    /// section for it — use [`encode_v2`](Self::encode_v2).
+    pub fn encode(&self) -> Result<Vec<u8>, StoreError> {
+        if self.perm.is_some() {
+            return Err(StoreError::Malformed(
+                "artifact carries a node permutation, which format v1 cannot store; write v2"
+                    .to_string(),
+            ));
         }
-
-        let total: usize = 8
-            + 4
-            + 8
-            + count_and_table.len()
-            + payloads.iter().map(|(_, p)| p.len()).sum::<usize>();
+        let header_len = 24 + SECTION_IDS.len() * ENTRY_BYTES;
+        let total = header_len
+            + 36
+            + (16 + self.graph.m() * 8)
+            + (16 + self.spanner.m() * 8)
+            + (8 + self.missing.len() * 8)
+            + (16 + (self.two.rows() + 1) * 8 + self.two.values().len() * 4)
+            + (16 + (self.three.rows() + 1) * 8 + self.three.values().len() * 8);
         let mut out = Vec::with_capacity(total);
         out.extend_from_slice(&MAGIC);
         FORMAT_VERSION.encode_into(&mut out);
-        xxh64(&count_and_table, 0).encode_into(&mut out);
-        out.extend_from_slice(&count_and_table);
-        for (_, payload) in &payloads {
-            out.extend_from_slice(payload);
+        // Header checksum + count + table are patched in below, once the
+        // payload offsets and checksums are known.
+        out.resize(header_len, 0);
+
+        let mut entries: Vec<(u32, usize)> = Vec::with_capacity(SECTION_IDS.len());
+        entries.push((SEC_META, out.len()));
+        self.meta.encode_into(&mut out);
+        entries.push((SEC_GRAPH, out.len()));
+        self.graph.encode_into(&mut out);
+        entries.push((SEC_SPANNER, out.len()));
+        self.spanner.encode_into(&mut out);
+        entries.push((SEC_MISSING, out.len()));
+        encode_seq(&self.missing, &mut out);
+        entries.push((SEC_TWO, out.len()));
+        self.two.encode_into(&mut out);
+        entries.push((SEC_THREE, out.len()));
+        self.three.encode_into(&mut out);
+
+        let mut count_and_table = Vec::with_capacity(header_len - 20);
+        (entries.len() as u32).encode_into(&mut count_and_table);
+        for (i, &(id, start)) in entries.iter().enumerate() {
+            let end = entries.get(i + 1).map_or(out.len(), |&(_, s)| s);
+            id.encode_into(&mut count_and_table);
+            ((start - header_len) as u64).encode_into(&mut count_and_table);
+            ((end - start) as u64).encode_into(&mut count_and_table);
+            xxh64(&out[start..end], u64::from(id)).encode_into(&mut count_and_table);
         }
-        out
+        out[12..20].copy_from_slice(&xxh64(&count_and_table, 0).to_le_bytes());
+        out[20..header_len].copy_from_slice(&count_and_table);
+        Ok(out)
     }
 
-    /// Decode and fully validate an artifact: header + checksums (as in
-    /// [`verify`]), then all sections, then cross-section structure (node
-    /// counts agree with [`ArtifactMeta`], the spanner is defined on the
-    /// same node set, the missing-edge list is canonical and in range, and
-    /// both detour tables have one row per missing edge).
+    /// Decode and fully validate an artifact of **either format**: the
+    /// leading magic selects v1 or v2 (unknown magic is [`StoreError::BadMagic`];
+    /// a recognised magic with an unexpected version field is
+    /// [`StoreError::VersionMismatch`]). Validation covers header +
+    /// checksums (as in [`verify`]), then all sections, then
+    /// cross-section structure (node counts agree with [`ArtifactMeta`],
+    /// the spanner is defined on the same node set, the missing-edge list
+    /// is canonical and in range, and both detour tables have one row per
+    /// missing edge).
     pub fn decode(bytes: &[u8]) -> Result<SpannerArtifact, StoreError> {
+        if bytes.get(..8) == Some(&crate::v2::MAGIC_V2) {
+            return crate::v2::decode_owned_bytes(bytes);
+        }
         let (entries, payload_start) = parse_header(bytes)?;
         let meta = decode_section(bytes, &entries, payload_start, SEC_META, |r| {
             ArtifactMeta::decode_from(r)
@@ -444,23 +475,24 @@ impl SpannerArtifact {
             missing,
             two,
             three,
+            perm: None,
             meta,
         })
     }
 
-    /// Encode and write to `path` via a buffered writer (no mmap; safe
-    /// code only). The write is not atomic; partial writes are caught on
-    /// load by the checksums.
+    /// Encode to format v1 and write to `path` in one `write_all` (the
+    /// encoder produces a single exactly-sized buffer, so there is
+    /// nothing for a `BufWriter` to batch). The write is not atomic;
+    /// partial writes are caught on load by the checksums.
     pub fn save(&self, path: &Path) -> Result<(), StoreError> {
-        let bytes = self.encode();
-        let file = std::fs::File::create(path)?;
-        let mut w = std::io::BufWriter::new(file);
-        w.write_all(&bytes)?;
-        w.flush()?;
+        let bytes = self.encode()?;
+        let mut file = std::fs::File::create(path)?;
+        file.write_all(&bytes)?;
         Ok(())
     }
 
-    /// Read `path` via a buffered reader and [`decode`](Self::decode) it.
+    /// Read `path` via a buffered reader and [`decode`](Self::decode) it
+    /// (either format, auto-detected).
     pub fn load(path: &Path) -> Result<SpannerArtifact, StoreError> {
         SpannerArtifact::decode(&read_file(path)?)
     }
@@ -474,12 +506,15 @@ fn read_file(path: &Path) -> Result<Vec<u8>, StoreError> {
     Ok(bytes)
 }
 
-/// Verify an in-memory artifact without materialising the graphs: checks
-/// magic, version, header checksum, section-table shape (all six known
-/// sections, in order, no duplicates or strangers), every section
-/// checksum, and decodes only the metadata section. Returns the metadata
-/// on success.
+/// Verify an in-memory artifact of either format (auto-detected from the
+/// magic) without materialising the graphs: checks magic, version, header
+/// checksum, section-table shape (all known sections, in order, no
+/// duplicates or strangers), every section checksum, and decodes only the
+/// metadata section. Returns the metadata on success.
 pub fn verify(bytes: &[u8]) -> Result<ArtifactMeta, StoreError> {
+    if bytes.get(..8) == Some(&crate::v2::MAGIC_V2) {
+        return crate::v2::verify_v2(bytes);
+    }
     let (entries, payload_start) = parse_header(bytes)?;
     for id in SECTION_IDS {
         section(bytes, &entries, payload_start, id)?;
@@ -492,4 +527,49 @@ pub fn verify(bytes: &[u8]) -> Result<ArtifactMeta, StoreError> {
 /// [`verify`] for a file on disk.
 pub fn verify_file(path: &Path) -> Result<ArtifactMeta, StoreError> {
     verify(&read_file(path)?)
+}
+
+/// Identify the artifact format version from the leading magic bytes:
+/// `Ok(1)` for v1, `Ok(2)` for v2, [`StoreError::BadMagic`] otherwise.
+pub fn detect_version(bytes: &[u8]) -> Result<u32, StoreError> {
+    let magic = bytes.get(..8).ok_or(StoreError::Truncated)?;
+    if magic == MAGIC {
+        Ok(1)
+    } else if magic == crate::v2::MAGIC_V2 {
+        Ok(2)
+    } else {
+        Err(StoreError::BadMagic)
+    }
+}
+
+/// [`detect_version`] for a file on disk (reads only the first 8 bytes).
+pub fn file_version(path: &Path) -> Result<u32, StoreError> {
+    let mut file = std::fs::File::open(path)?;
+    let mut magic = [0u8; 8];
+    file.read_exact(&mut magic).map_err(|e| {
+        if e.kind() == std::io::ErrorKind::UnexpectedEof {
+            StoreError::Truncated
+        } else {
+            StoreError::Io(e)
+        }
+    })?;
+    detect_version(&magic)
+}
+
+/// Cheap provenance peek for either format: the detected version and the
+/// decoded [`ArtifactMeta`], without materialising any graph. (v1 reads
+/// the file and checks only the header and meta-section checksums; v2
+/// runs the full open-time validation, which is already decode-free.)
+pub fn artifact_meta(path: &Path) -> Result<(u32, ArtifactMeta), StoreError> {
+    match file_version(path)? {
+        2 => Ok((2, crate::v2::MappedArtifact::open(path)?.meta())),
+        _ => {
+            let bytes = read_file(path)?;
+            let (entries, payload_start) = parse_header(&bytes)?;
+            let meta = decode_section(&bytes, &entries, payload_start, SEC_META, |r| {
+                ArtifactMeta::decode_from(r)
+            })?;
+            Ok((1, meta))
+        }
+    }
 }

@@ -5,23 +5,44 @@
 //! saved artifact (`Oracle::from_artifact` in `dcspan-oracle`).
 //!
 //! A [`SpannerArtifact`] packages everything the oracle needs — the base
-//! graph `G`, the spanner `H`, the packed detour-index rows, and build
-//! provenance ([`ArtifactMeta`]: algorithm, seed, `n`, `Δ`) — in a
-//! versioned little-endian binary format with a section table and
-//! per-section [XXH64](xxh::xxh64) checksums. Reads are fully
-//! bounds-checked safe code (no mmap, no `unsafe`); any corruption —
-//! truncation, bit flips, forged lengths — degrades to a typed
+//! graph `G`, the spanner `H`, the packed detour-index rows, an optional
+//! cache-locality node permutation, and build provenance
+//! ([`ArtifactMeta`]: algorithm, seed, `n`, `Δ`) — in a versioned
+//! little-endian binary format with a section table and per-section
+//! [XXH64](xxh::xxh64) checksums. Two format versions coexist, selected
+//! by magic bytes on read:
+//!
+//! * **v1** ([`format`]): element-wise streams, decoded into owned
+//!   structures. Fully bounds-checked safe code.
+//! * **v2** ([`v2`]): 64-byte-aligned sections of flat little-endian
+//!   `u32` arrays, opened via [`MappedArtifact`] as borrowed views over a
+//!   single backing buffer (a read-only `mmap` behind the default `mmap`
+//!   feature, else one aligned heap read) — checksums verified once at
+//!   open, zero per-element decode work, and N serving replicas share one
+//!   page-cache copy.
+//!
+//! All `unsafe` in the crate (the mapping syscalls and the audited
+//! byte-to-`u32` reinterpret casts) is confined to the private `region`
+//! module; the rest of the crate is `deny(unsafe_code)` and `cargo xtask
+//! lint` pins the keyword to that file. Any corruption — truncation, bit
+//! flips, forged lengths, misaligned offsets — degrades to a typed
 //! [`StoreError`], never a panic or a silently wrong answer.
 //!
-//! Format spec: DESIGN.md §11. Version-bump policy: CONTRIBUTING.md.
+//! Format specs: DESIGN.md §11 (v1) and §15 (v2). Version-bump policy:
+//! CONTRIBUTING.md.
 
-#![forbid(unsafe_code)]
+#![deny(unsafe_code)]
 #![deny(missing_docs)]
 
 pub mod format;
+#[allow(unsafe_code)]
+mod region;
+pub mod v2;
 pub mod xxh;
 
 pub use format::{
-    verify, verify_file, ArtifactMeta, SpannerArtifact, StoreError, FORMAT_VERSION, MAGIC,
+    artifact_meta, detect_version, file_version, verify, verify_file, ArtifactMeta,
+    SpannerArtifact, StoreError, FORMAT_VERSION, MAGIC,
 };
+pub use v2::{verify_v2, MappedArtifact, FORMAT_VERSION_V2, MAGIC_V2, SECTION_ALIGN};
 pub use xxh::xxh64;

@@ -1,0 +1,442 @@
+//! The crate's **only** `unsafe` module: page-cache-shared (or aligned
+//! heap) backing buffers and the `&[u8] → &[u32]`-family reinterpret
+//! casts behind the zero-copy v2 artifact views.
+//!
+//! ## Audit boundary
+//!
+//! Every `unsafe` block in `dcspan-store` lives in this file; the crate
+//! root carries `#![deny(unsafe_code)]` with a module-scoped allow on this
+//! module only, and `cargo xtask lint` (`unsafe_gate`) pins the `unsafe`
+//! keyword to this path. The invariants each block relies on:
+//!
+//! * **Backing immutability + pinning.** A [`Backing`] never moves,
+//!   shrinks, or mutates after construction: the mmap arm owns a fixed
+//!   `PROT_READ`/`MAP_SHARED` mapping until `Drop`, the heap arm owns a
+//!   `Vec` of 64-byte-aligned chunks that is never resized. Section
+//!   handles hold the backing in an `Arc`, so every derived slice's
+//!   memory outlives the slice.
+//! * **External file immutability.** Like every consumer of `mmap`, the
+//!   mapped arm assumes the artifact file is not truncated or rewritten
+//!   while mapped (truncation would turn later page faults into
+//!   `SIGBUS`). Checksums are verified once at open; the serving contract
+//!   (DESIGN.md §15) requires artifacts to be replaced atomically
+//!   (rename), never edited in place.
+//! * **Cast validity.** `u32` (and pairs/`Edge`, see below) admit every
+//!   bit pattern, so reinterpreting checksummed bytes can at worst yield
+//!   *wrong values*, never undefined behaviour; callers re-validate the
+//!   logical invariants (sortedness, ranges, `u < v`). Alignment and
+//!   length divisibility are checked at handle construction against the
+//!   same pinned backing the handle keeps alive.
+//! * **Layout probes.** `Edge` and `(u32, u32)` are `repr(Rust)`; their
+//!   field order is not guaranteed. A one-time runtime probe encodes
+//!   known values and compares the raw bytes against the little-endian
+//!   wire layout; if the probe fails (or the target is big-endian) the
+//!   caller falls back to an owned copying decode. The casts are thus
+//!   exercised only on targets where the probe has *observed* the layout
+//!   to match.
+//! * **Miri.** Under Miri the mmap arm is compiled out (`cfg(not(miri))`)
+//!   and opens read into the heap arm, so Miri executes — and checks —
+//!   the exact reinterpret casts used in production.
+
+use dcspan_graph::Edge;
+use std::path::Path;
+use std::sync::Arc;
+use std::sync::OnceLock;
+
+/// Alignment of every backing buffer and v2 section offset (one cache line).
+pub(crate) const ALIGN: usize = 64;
+
+/// A 64-byte-aligned heap chunk; a `Vec<Chunk>` is the portable backing.
+#[repr(C, align(64))]
+#[derive(Clone)]
+struct Chunk([u8; ALIGN]);
+
+/// Portable backing: one aligned allocation, filled once, never resized.
+pub(crate) struct HeapRegion {
+    chunks: Vec<Chunk>,
+    len: usize,
+}
+
+impl HeapRegion {
+    /// A zero-filled region of `len` bytes (rounded up to whole chunks).
+    fn with_len(len: usize) -> HeapRegion {
+        let chunk_count = len.div_ceil(ALIGN);
+        HeapRegion {
+            chunks: vec![Chunk([0u8; ALIGN]); chunk_count],
+            len,
+        }
+    }
+
+    fn bytes(&self) -> &[u8] {
+        // SAFETY: `chunks` holds `>= len` initialised bytes in one
+        // allocation; the pointer cast only drops the chunk structure.
+        unsafe { std::slice::from_raw_parts(self.chunks.as_ptr().cast::<u8>(), self.len) }
+    }
+
+    fn bytes_mut(&mut self) -> &mut [u8] {
+        // SAFETY: as `bytes`, plus exclusive access through `&mut self`.
+        unsafe { std::slice::from_raw_parts_mut(self.chunks.as_mut_ptr().cast::<u8>(), self.len) }
+    }
+}
+
+/// True read-only file mapping (unix, `mmap` feature, not under Miri).
+#[cfg(all(unix, target_pointer_width = "64", feature = "mmap", not(miri)))]
+mod sys {
+    use std::os::fd::AsRawFd;
+
+    // Hand-declared to avoid a libc dependency. Values are identical on
+    // every supported unix (Linux, macOS, BSDs): PROT_READ = 1,
+    // MAP_SHARED = 1, MAP_FAILED = !0 as pointer.
+    const PROT_READ: i32 = 1;
+    const MAP_SHARED: i32 = 1;
+
+    extern "C" {
+        fn mmap(
+            addr: *mut std::ffi::c_void,
+            len: usize,
+            prot: i32,
+            flags: i32,
+            fd: i32,
+            offset: i64,
+        ) -> *mut std::ffi::c_void;
+        fn munmap(addr: *mut std::ffi::c_void, len: usize) -> i32;
+    }
+
+    /// An owned `PROT_READ`/`MAP_SHARED` mapping of a whole file.
+    pub(crate) struct MmapRegion {
+        ptr: *const u8,
+        len: usize,
+    }
+
+    // SAFETY: the mapping is read-only and owned uniquely by this value;
+    // concurrent reads from multiple threads are race-free.
+    unsafe impl Send for MmapRegion {}
+    // SAFETY: same — shared `&self` access only ever reads.
+    unsafe impl Sync for MmapRegion {}
+
+    impl MmapRegion {
+        /// Map `file` (of size `len > 0`) read-only; `None` if the kernel
+        /// refuses (caller falls back to the heap path).
+        pub(crate) fn map(file: &std::fs::File, len: usize) -> Option<MmapRegion> {
+            if len == 0 {
+                return None;
+            }
+            // SAFETY: fd is valid for the duration of the call; a
+            // MAP_SHARED read-only mapping outlives the fd by POSIX.
+            let ptr = unsafe {
+                mmap(
+                    std::ptr::null_mut(),
+                    len,
+                    PROT_READ,
+                    MAP_SHARED,
+                    file.as_raw_fd(),
+                    0,
+                )
+            };
+            if ptr.is_null() || ptr as isize == -1 {
+                return None;
+            }
+            Some(MmapRegion {
+                ptr: ptr.cast_const().cast::<u8>(),
+                len,
+            })
+        }
+
+        pub(crate) fn bytes(&self) -> &[u8] {
+            // SAFETY: the mapping covers exactly `len` readable bytes and
+            // lives until `Drop`.
+            unsafe { std::slice::from_raw_parts(self.ptr, self.len) }
+        }
+    }
+
+    impl Drop for MmapRegion {
+        fn drop(&mut self) {
+            // SAFETY: `ptr`/`len` are the exact values returned by `mmap`;
+            // the mapping is unmapped exactly once.
+            unsafe {
+                munmap(self.ptr.cast_mut().cast::<std::ffi::c_void>(), self.len);
+            }
+        }
+    }
+}
+
+/// The backing buffer behind a mapped artifact: a page-cache-shared file
+/// mapping when available, else one aligned heap allocation. Immutable
+/// and pinned for its whole lifetime.
+pub(crate) enum Backing {
+    #[cfg(all(unix, target_pointer_width = "64", feature = "mmap", not(miri)))]
+    Map(sys::MmapRegion),
+    Heap(HeapRegion),
+}
+
+impl Backing {
+    /// Open `path`, preferring a true mapping; falls back to reading the
+    /// file into an aligned heap region. Returns the backing and whether
+    /// it is a real mapping.
+    pub(crate) fn open_file(path: &Path) -> std::io::Result<Backing> {
+        let mut file = std::fs::File::open(path)?;
+        let len = usize::try_from(file.metadata()?.len()).map_err(|_| {
+            std::io::Error::new(std::io::ErrorKind::InvalidData, "file too large for usize")
+        })?;
+        #[cfg(all(unix, target_pointer_width = "64", feature = "mmap", not(miri)))]
+        if let Some(map) = sys::MmapRegion::map(&file, len) {
+            return Ok(Backing::Map(map));
+        }
+        let mut heap = HeapRegion::with_len(len);
+        std::io::Read::read_exact(&mut file, heap.bytes_mut())?;
+        Ok(Backing::Heap(heap))
+    }
+
+    /// Copy `bytes` into an aligned heap backing (tests, in-memory opens).
+    pub(crate) fn from_bytes(bytes: &[u8]) -> Backing {
+        let mut heap = HeapRegion::with_len(bytes.len());
+        heap.bytes_mut().copy_from_slice(bytes);
+        Backing::Heap(heap)
+    }
+
+    /// The full backing contents.
+    pub(crate) fn bytes(&self) -> &[u8] {
+        match self {
+            #[cfg(all(unix, target_pointer_width = "64", feature = "mmap", not(miri)))]
+            Backing::Map(m) => m.bytes(),
+            Backing::Heap(h) => h.bytes(),
+        }
+    }
+
+    /// True when backed by a real file mapping (page-cache shared).
+    pub(crate) fn is_mapped(&self) -> bool {
+        match self {
+            #[cfg(all(unix, target_pointer_width = "64", feature = "mmap", not(miri)))]
+            Backing::Map(_) => true,
+            Backing::Heap(_) => false,
+        }
+    }
+}
+
+/// True when in-memory `(u32, u32)` bytes match the little-endian wire
+/// layout (probed once; `repr(Rust)` guarantees nothing).
+fn pair_layout_matches() -> bool {
+    static PROBE: OnceLock<bool> = OnceLock::new();
+    *PROBE.get_or_init(|| {
+        if cfg!(target_endian = "big") || std::mem::size_of::<(u32, u32)>() != 8 {
+            return false;
+        }
+        let sample: [(u32, u32); 2] = [(0x0102_0304, 0x0506_0708), (0x1122_3344, 0x5566_7788)];
+        let mut wire = [0u8; 16];
+        for (i, &(a, b)) in sample.iter().enumerate() {
+            wire[i * 8..i * 8 + 4].copy_from_slice(&a.to_le_bytes());
+            wire[i * 8 + 4..i * 8 + 8].copy_from_slice(&b.to_le_bytes());
+        }
+        // SAFETY: reading the raw bytes of initialised pairs; u32 fields
+        // have no padding when size_of == 8 (checked above).
+        let raw = unsafe { std::slice::from_raw_parts(sample.as_ptr().cast::<u8>(), 16) };
+        raw == wire
+    })
+}
+
+/// True when in-memory [`Edge`] bytes match the little-endian wire layout.
+fn edge_layout_matches() -> bool {
+    static PROBE: OnceLock<bool> = OnceLock::new();
+    *PROBE.get_or_init(|| {
+        if cfg!(target_endian = "big") || std::mem::size_of::<Edge>() != 8 {
+            return false;
+        }
+        let sample = [
+            Edge::new(0x0102_0304, 0x0506_0708),
+            Edge::new(1, 0x7fff_fffe),
+        ];
+        let mut wire = [0u8; 16];
+        for (i, e) in sample.iter().enumerate() {
+            wire[i * 8..i * 8 + 4].copy_from_slice(&e.u.to_le_bytes());
+            wire[i * 8 + 4..i * 8 + 8].copy_from_slice(&e.v.to_le_bytes());
+        }
+        // SAFETY: reading the raw bytes of initialised edges; no padding
+        // when size_of == 8 (checked above).
+        let raw = unsafe { std::slice::from_raw_parts(sample.as_ptr().cast::<u8>(), 16) };
+        raw == wire
+    })
+}
+
+/// Validate that `[off, off + len_bytes)` is inside the backing, aligned
+/// for `elem` bytes, and divides evenly; returns the element count.
+fn checked_range(backing: &Backing, off: usize, len_bytes: usize, elem: usize) -> Option<usize> {
+    let bytes = backing.bytes();
+    let end = off.checked_add(len_bytes)?;
+    if end > bytes.len() || !len_bytes.is_multiple_of(elem) {
+        return None;
+    }
+    // Alignment of the element start inside the (64-byte-aligned) backing.
+    if !(bytes.as_ptr() as usize + off).is_multiple_of(elem) {
+        return None;
+    }
+    Some(len_bytes / elem)
+}
+
+/// A zero-copy `&[u32]` view of a byte range of a pinned backing.
+///
+/// Constructed only after [`checked_range`] validation; `as_ref` re-derives
+/// the slice from the same immutable backing on every call.
+pub(crate) struct U32Section {
+    backing: Arc<Backing>,
+    off: usize,
+    count: usize,
+}
+
+impl U32Section {
+    /// `None` on misalignment, out-of-bounds, ragged length, or big-endian
+    /// targets (callers fall back to an owned decode).
+    pub(crate) fn new(backing: Arc<Backing>, off: usize, len_bytes: usize) -> Option<U32Section> {
+        if cfg!(target_endian = "big") {
+            return None;
+        }
+        let count = checked_range(&backing, off, len_bytes, 4)?;
+        Some(U32Section {
+            backing,
+            off,
+            count,
+        })
+    }
+}
+
+impl AsRef<[u32]> for U32Section {
+    fn as_ref(&self) -> &[u32] {
+        let base = self.backing.bytes();
+        debug_assert!(self.off + self.count * 4 <= base.len());
+        // SAFETY: `new` validated bounds, alignment, and length against
+        // this same pinned, immutable backing (kept alive by our Arc);
+        // every u32 bit pattern is valid.
+        unsafe { std::slice::from_raw_parts(base.as_ptr().add(self.off).cast::<u32>(), self.count) }
+    }
+}
+
+/// A zero-copy `&[(u32, u32)]` view; construction requires the layout probe.
+pub(crate) struct PairSection {
+    backing: Arc<Backing>,
+    off: usize,
+    count: usize,
+}
+
+impl PairSection {
+    /// `None` when the `(u32, u32)` layout probe fails or the range is
+    /// invalid (callers fall back to an owned decode).
+    pub(crate) fn new(backing: Arc<Backing>, off: usize, len_bytes: usize) -> Option<PairSection> {
+        if !pair_layout_matches() {
+            return None;
+        }
+        let count = checked_range(&backing, off, len_bytes, 8)?;
+        Some(PairSection {
+            backing,
+            off,
+            count,
+        })
+    }
+}
+
+impl AsRef<[(u32, u32)]> for PairSection {
+    fn as_ref(&self) -> &[(u32, u32)] {
+        let base = self.backing.bytes();
+        debug_assert!(self.off + self.count * 8 <= base.len());
+        // SAFETY: `new` validated bounds/alignment/length and the layout
+        // probe observed the in-memory pair layout to equal the wire
+        // layout; every bit pattern is a valid (u32, u32).
+        unsafe {
+            std::slice::from_raw_parts(base.as_ptr().add(self.off).cast::<(u32, u32)>(), self.count)
+        }
+    }
+}
+
+/// A zero-copy `&[Edge]` view; construction requires the layout probe.
+/// The `u < v` *logical* invariant is not a validity invariant (both
+/// fields are plain `u32`s) and is re-checked by every consumer.
+pub(crate) struct EdgeSection {
+    backing: Arc<Backing>,
+    off: usize,
+    count: usize,
+}
+
+impl EdgeSection {
+    /// `None` when the [`Edge`] layout probe fails or the range is invalid.
+    pub(crate) fn new(backing: Arc<Backing>, off: usize, len_bytes: usize) -> Option<EdgeSection> {
+        if !edge_layout_matches() {
+            return None;
+        }
+        let count = checked_range(&backing, off, len_bytes, 8)?;
+        Some(EdgeSection {
+            backing,
+            off,
+            count,
+        })
+    }
+}
+
+impl AsRef<[Edge]> for EdgeSection {
+    fn as_ref(&self) -> &[Edge] {
+        let base = self.backing.bytes();
+        debug_assert!(self.off + self.count * 8 <= base.len());
+        // SAFETY: `new` validated bounds/alignment/length and the layout
+        // probe observed the in-memory Edge layout to equal the wire
+        // layout; every bit pattern is structurally valid (two u32s).
+        unsafe {
+            std::slice::from_raw_parts(base.as_ptr().add(self.off).cast::<Edge>(), self.count)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn heap_region_roundtrips_and_is_aligned() {
+        let data: Vec<u8> = (0..200u8).collect();
+        let b = Backing::from_bytes(&data);
+        assert_eq!(b.bytes(), data.as_slice());
+        assert_eq!(b.bytes().as_ptr() as usize % ALIGN, 0);
+        assert!(!b.is_mapped());
+        let empty = Backing::from_bytes(&[]);
+        assert!(empty.bytes().is_empty());
+    }
+
+    #[test]
+    fn u32_section_views_little_endian_payload() {
+        let vals = [7u32, 0, u32::MAX, 123_456_789];
+        let mut bytes = Vec::new();
+        for v in vals {
+            bytes.extend_from_slice(&v.to_le_bytes());
+        }
+        let backing = Arc::new(Backing::from_bytes(&bytes));
+        let sec = U32Section::new(backing.clone(), 0, bytes.len()).unwrap();
+        assert_eq!(sec.as_ref(), &vals);
+        // Ragged length and out-of-bounds are rejected.
+        assert!(U32Section::new(backing.clone(), 0, 3).is_none());
+        assert!(U32Section::new(backing.clone(), 8, bytes.len()).is_none());
+        // Misaligned start is rejected.
+        assert!(U32Section::new(backing, 2, 8).is_none());
+    }
+
+    #[test]
+    fn pair_and_edge_sections_match_decoded_values() {
+        let pairs = [(1u32, 2u32), (30, 40), (5, 600)];
+        let mut bytes = Vec::new();
+        for (a, b) in pairs {
+            bytes.extend_from_slice(&a.to_le_bytes());
+            bytes.extend_from_slice(&b.to_le_bytes());
+        }
+        let backing = Arc::new(Backing::from_bytes(&bytes));
+        if let Some(sec) = PairSection::new(backing.clone(), 0, bytes.len()) {
+            assert_eq!(sec.as_ref(), &pairs);
+        }
+        if let Some(sec) = EdgeSection::new(backing, 0, bytes.len()) {
+            let edges: Vec<Edge> = pairs.iter().map(|&(a, b)| Edge::new(a, b)).collect();
+            assert_eq!(sec.as_ref(), edges.as_slice());
+        }
+    }
+
+    #[test]
+    fn probes_are_consistent() {
+        // On little-endian targets the derive layout of two u32 fields has
+        // matched in practice; either way the probe must be stable.
+        assert_eq!(pair_layout_matches(), pair_layout_matches());
+        assert_eq!(edge_layout_matches(), edge_layout_matches());
+    }
+}

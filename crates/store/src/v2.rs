@@ -1,0 +1,789 @@
+//! Artifact format **v2**: zero-copy, cache-line-aligned sections.
+//!
+//! ## Layout (all integers little-endian)
+//!
+//! ```text
+//! offset  size  field
+//! 0       8     magic  b"DCSPANA2"
+//! 8       4     format version (u32) = 2
+//! 12      8     header checksum: xxh64(section count ‖ section table, seed 0)
+//! 20      4     section count (u32): 12, or 13 with a permutation
+//! 24      28·k  section table: (id u32, offset u64, len u64, checksum u64)
+//! ...           payload sections, each starting at a 64-byte-aligned
+//!               FILE-ABSOLUTE offset, in section-id order
+//! ```
+//!
+//! Unlike v1 (length-prefixed streams of `u64`s that must be decoded
+//! element by element), every v2 payload is a flat array of fixed-width
+//! `u32`s — exactly the in-memory layout of the serving-side CSR arrays —
+//! so a reader can hand out `&[u32]` / `&[Edge]` views of the file bytes
+//! with no per-element work. Alignment rules make those views valid:
+//!
+//! * every section offset is `≡ 0 (mod 64)` (one cache line, and a
+//!   multiple of every element alignment used),
+//! * sections appear in ascending id order; the gap between one section's
+//!   end and the next section's start is `< 64` bytes and **zero-filled**
+//!   (validated at open, so every file byte is still covered: header
+//!   checksum, exactly one section checksum, or a mandatory-zero gap),
+//! * the last section ends exactly at the file size.
+//!
+//! ### Sections
+//!
+//! | id | name              | payload                                     |
+//! |----|-------------------|---------------------------------------------|
+//! | 1  | meta              | same 36-byte encoding as v1                 |
+//! | 2  | graph-offsets     | `u32[n+1]` CSR row offsets of `G`           |
+//! | 3  | graph-adjacency   | `u32[2m]` CSR adjacency of `G`              |
+//! | 4  | graph-edges       | `u32[2m]` canonical edges of `G` as `(u,v)` |
+//! | 5  | spanner-offsets   | as 2, for `H`                               |
+//! | 6  | spanner-adjacency | as 3, for `H`                               |
+//! | 7  | spanner-edges     | as 4, for `H`                               |
+//! | 8  | missing           | `u32[2k]` missing edges as `(u,v)`          |
+//! | 9  | two-starts        | `u32[k+1]` row offsets of the 2-hop table   |
+//! | 10 | two-values        | `u32[·]` concatenated 2-hop midpoints       |
+//! | 11 | three-starts      | `u32[k+1]` row offsets of the 3-hop table   |
+//! | 12 | three-values      | `u32[2·]` concatenated 3-hop `(x,z)` pairs  |
+//! | 13 | perm (optional)   | `u32[n]`: `perm[external] = internal` id    |
+//!
+//! [`MappedArtifact::open`] maps (or reads, see [`crate::region`]) the
+//! file, validates the header, the alignment/gap rules, and **every
+//! section checksum once**, then serves borrowed views: N serving
+//! replicas opening the same artifact share one page-cache copy of the
+//! big arrays. Corruption — bit flips, truncation, misaligned or
+//! overlapping offsets — degrades to a typed [`StoreError`] at open,
+//! never a panic.
+
+use crate::format::{ArtifactMeta, SpannerArtifact, StoreError};
+use crate::region::{self, Backing};
+use crate::xxh::xxh64;
+use dcspan_graph::{ByteReader, CsrTable, Edge, Graph, NodeId, SharedSlice};
+use std::io::Write;
+use std::path::Path;
+use std::sync::Arc;
+
+/// Magic bytes opening every v2 artifact file.
+pub const MAGIC_V2: [u8; 8] = *b"DCSPANA2";
+
+/// The format version stored in (and required of) v2 artifacts.
+pub const FORMAT_VERSION_V2: u32 = 2;
+
+/// Required alignment of every section offset.
+pub const SECTION_ALIGN: usize = region::ALIGN;
+
+/// Bytes per section-table entry (same shape as v1).
+const ENTRY_BYTES: usize = 28;
+
+/// Cap on the announced section count (bounds allocation under corruption).
+const MAX_SECTIONS: u32 = 64;
+
+const SEC_META: u32 = 1;
+const SEC_G_OFF: u32 = 2;
+const SEC_G_ADJ: u32 = 3;
+const SEC_G_EDGES: u32 = 4;
+const SEC_H_OFF: u32 = 5;
+const SEC_H_ADJ: u32 = 6;
+const SEC_H_EDGES: u32 = 7;
+const SEC_MISSING: u32 = 8;
+const SEC_TWO_STARTS: u32 = 9;
+const SEC_TWO_VALUES: u32 = 10;
+const SEC_THREE_STARTS: u32 = 11;
+const SEC_THREE_VALUES: u32 = 12;
+const SEC_PERM: u32 = 13;
+
+const REQUIRED_IDS: [u32; 12] = [
+    SEC_META,
+    SEC_G_OFF,
+    SEC_G_ADJ,
+    SEC_G_EDGES,
+    SEC_H_OFF,
+    SEC_H_ADJ,
+    SEC_H_EDGES,
+    SEC_MISSING,
+    SEC_TWO_STARTS,
+    SEC_TWO_VALUES,
+    SEC_THREE_STARTS,
+    SEC_THREE_VALUES,
+];
+
+fn section_name(id: u32) -> &'static str {
+    match id {
+        SEC_META => "meta",
+        SEC_G_OFF => "graph-offsets",
+        SEC_G_ADJ => "graph-adjacency",
+        SEC_G_EDGES => "graph-edges",
+        SEC_H_OFF => "spanner-offsets",
+        SEC_H_ADJ => "spanner-adjacency",
+        SEC_H_EDGES => "spanner-edges",
+        SEC_MISSING => "missing",
+        SEC_TWO_STARTS => "two-hop-starts",
+        SEC_TWO_VALUES => "two-hop-values",
+        SEC_THREE_STARTS => "three-hop-starts",
+        SEC_THREE_VALUES => "three-hop-values",
+        SEC_PERM => "perm",
+        _ => "unknown",
+    }
+}
+
+fn align_up(x: usize) -> usize {
+    x.div_ceil(SECTION_ALIGN) * SECTION_ALIGN
+}
+
+// ---------------------------------------------------------------------------
+// Encoding
+// ---------------------------------------------------------------------------
+
+fn u32_cell(value: usize, what: &str) -> Result<u32, StoreError> {
+    u32::try_from(value)
+        .map_err(|_| StoreError::Malformed(format!("{what} {value} does not fit format v2's u32")))
+}
+
+fn put_u32s_at<I: IntoIterator<Item = u32>>(out: &mut [u8], mut off: usize, vals: I) {
+    for v in vals {
+        out[off..off + 4].copy_from_slice(&v.to_le_bytes());
+        off += 4;
+    }
+}
+
+fn put_pairs_at<I: IntoIterator<Item = (u32, u32)>>(out: &mut [u8], off: usize, pairs: I) {
+    put_u32s_at(out, off, pairs.into_iter().flat_map(|(a, b)| [a, b]));
+}
+
+/// Serialise `artifact` to format v2. Fails (typed, no panic) if any array
+/// index exceeds `u32` range — v2 cells are fixed-width `u32`s.
+pub fn encode_v2(artifact: &SpannerArtifact) -> Result<Vec<u8>, StoreError> {
+    let n = artifact.graph.n();
+    let k = artifact.missing.len();
+    // The only usize-valued cells are CSR offsets; each array is monotone,
+    // so checking the final entry covers them all.
+    let g_last = artifact.graph.csr_offsets().last().copied().unwrap_or(0);
+    let h_last = artifact.spanner.csr_offsets().last().copied().unwrap_or(0);
+    let two_last = artifact.two.starts().last().copied().unwrap_or(0);
+    let three_last = artifact.three.starts().last().copied().unwrap_or(0);
+    u32_cell(n, "node count")?;
+    u32_cell(g_last, "graph adjacency length")?;
+    u32_cell(h_last, "spanner adjacency length")?;
+    u32_cell(two_last, "two-hop value count")?;
+    u32_cell(three_last, "three-hop value count")?;
+
+    let mut sections: Vec<(u32, usize)> = vec![
+        (SEC_META, 36),
+        (SEC_G_OFF, (n + 1) * 4),
+        (SEC_G_ADJ, artifact.graph.csr_adjacency().len() * 4),
+        (SEC_G_EDGES, artifact.graph.edges().len() * 8),
+        (SEC_H_OFF, (n + 1) * 4),
+        (SEC_H_ADJ, artifact.spanner.csr_adjacency().len() * 4),
+        (SEC_H_EDGES, artifact.spanner.edges().len() * 8),
+        (SEC_MISSING, k * 8),
+        (SEC_TWO_STARTS, (k + 1) * 4),
+        (SEC_TWO_VALUES, artifact.two.values().len() * 4),
+        (SEC_THREE_STARTS, (k + 1) * 4),
+        (SEC_THREE_VALUES, artifact.three.values().len() * 8),
+    ];
+    if let Some(perm) = &artifact.perm {
+        if perm.len() != n {
+            return Err(StoreError::Malformed(format!(
+                "permutation has {} entries for n = {n}",
+                perm.len()
+            )));
+        }
+        sections.push((SEC_PERM, n * 4));
+    }
+
+    // Lay the sections out: each starts at the next 64-byte boundary after
+    // the previous one ends; the file ends flush with the last section.
+    let header_len = 24 + sections.len() * ENTRY_BYTES;
+    let mut entries: Vec<(u32, usize, usize)> = Vec::with_capacity(sections.len());
+    let mut offset = align_up(header_len);
+    for &(id, len) in &sections {
+        entries.push((id, offset, len));
+        offset = align_up(offset + len);
+    }
+    let total = entries
+        .last()
+        .map_or(header_len, |&(_, off, len)| off + len);
+
+    // Zero-fill once so every inter-section gap is zeroed by construction,
+    // then write each payload in place.
+    let mut out = vec![0u8; total];
+    for &(id, off, _) in &entries {
+        match id {
+            SEC_META => {
+                let mut meta = Vec::with_capacity(36);
+                artifact.meta.encode_into(&mut meta);
+                out[off..off + meta.len()].copy_from_slice(&meta);
+            }
+            SEC_G_OFF => put_u32s_at(
+                &mut out,
+                off,
+                artifact.graph.csr_offsets().iter().map(|&s| s as u32),
+            ),
+            SEC_G_ADJ => put_u32s_at(
+                &mut out,
+                off,
+                artifact.graph.csr_adjacency().iter().copied(),
+            ),
+            SEC_G_EDGES => {
+                put_pairs_at(
+                    &mut out,
+                    off,
+                    artifact.graph.edges().iter().map(|e| (e.u, e.v)),
+                );
+            }
+            SEC_H_OFF => put_u32s_at(
+                &mut out,
+                off,
+                artifact.spanner.csr_offsets().iter().map(|&s| s as u32),
+            ),
+            SEC_H_ADJ => {
+                put_u32s_at(
+                    &mut out,
+                    off,
+                    artifact.spanner.csr_adjacency().iter().copied(),
+                );
+            }
+            SEC_H_EDGES => {
+                put_pairs_at(
+                    &mut out,
+                    off,
+                    artifact.spanner.edges().iter().map(|e| (e.u, e.v)),
+                );
+            }
+            SEC_MISSING => {
+                put_pairs_at(&mut out, off, artifact.missing.iter().map(|e| (e.u, e.v)));
+            }
+            SEC_TWO_STARTS => {
+                put_u32s_at(
+                    &mut out,
+                    off,
+                    artifact.two.starts().iter().map(|&s| s as u32),
+                );
+            }
+            SEC_TWO_VALUES => put_u32s_at(&mut out, off, artifact.two.values().iter().copied()),
+            SEC_THREE_STARTS => {
+                put_u32s_at(
+                    &mut out,
+                    off,
+                    artifact.three.starts().iter().map(|&s| s as u32),
+                );
+            }
+            SEC_THREE_VALUES => {
+                put_pairs_at(&mut out, off, artifact.three.values().iter().copied());
+            }
+            SEC_PERM => {
+                if let Some(perm) = &artifact.perm {
+                    put_u32s_at(&mut out, off, perm.iter().copied());
+                }
+            }
+            _ => {}
+        }
+    }
+
+    // Section table + header, checksummed exactly like v1 (but offsets are
+    // file-absolute).
+    let mut table = Vec::with_capacity(header_len - 20);
+    table.extend_from_slice(&(entries.len() as u32).to_le_bytes());
+    for &(id, off, len) in &entries {
+        table.extend_from_slice(&id.to_le_bytes());
+        table.extend_from_slice(&(off as u64).to_le_bytes());
+        table.extend_from_slice(&(len as u64).to_le_bytes());
+        table.extend_from_slice(&xxh64(&out[off..off + len], u64::from(id)).to_le_bytes());
+    }
+    out[0..8].copy_from_slice(&MAGIC_V2);
+    out[8..12].copy_from_slice(&FORMAT_VERSION_V2.to_le_bytes());
+    out[12..20].copy_from_slice(&xxh64(&table, 0).to_le_bytes());
+    out[20..header_len].copy_from_slice(&table);
+    Ok(out)
+}
+
+impl SpannerArtifact {
+    /// Serialise to [format v2](self) (zero-copy servable; required when
+    /// the artifact carries a permutation).
+    pub fn encode_v2(&self) -> Result<Vec<u8>, StoreError> {
+        encode_v2(self)
+    }
+
+    /// Encode to format v2 and write to `path`. Like v1 saves, the write
+    /// is not atomic; partial writes are caught at open by the checksums.
+    pub fn save_v2(&self, path: &Path) -> Result<(), StoreError> {
+        let bytes = self.encode_v2()?;
+        let mut file = std::fs::File::create(path)?;
+        file.write_all(&bytes)?;
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Open-time validation
+// ---------------------------------------------------------------------------
+
+struct Section {
+    id: u32,
+    offset: usize,
+    len: usize,
+}
+
+/// Parse the v2 header and validate the whole file once: magic, version,
+/// header checksum, section ids/order, 64-byte alignment, zero-filled
+/// sub-64-byte gaps, exact file-length coverage, every section checksum,
+/// section length shapes against [`ArtifactMeta`], and the meta decode.
+fn parse_and_verify(bytes: &[u8]) -> Result<(Vec<Section>, ArtifactMeta), StoreError> {
+    let mut r = ByteReader::new(bytes);
+    let magic = r.take(8).map_err(|_| StoreError::Truncated)?;
+    if magic != MAGIC_V2 {
+        return Err(StoreError::BadMagic);
+    }
+    let version = r.read_u32()?;
+    if version != FORMAT_VERSION_V2 {
+        return Err(StoreError::VersionMismatch {
+            found: version,
+            expected: FORMAT_VERSION_V2,
+        });
+    }
+    let header_checksum = r.read_u64()?;
+    let count_and_table = bytes.get(20..).ok_or(StoreError::Truncated)?;
+    let mut cr = ByteReader::new(count_and_table);
+    let count = cr.read_u32()?;
+    if count > MAX_SECTIONS {
+        return Err(StoreError::Malformed(format!(
+            "section count {count} exceeds cap {MAX_SECTIONS}"
+        )));
+    }
+    let table_bytes = (count as usize)
+        .checked_mul(ENTRY_BYTES)
+        .ok_or(StoreError::Truncated)?;
+    let covered = count_and_table
+        .get(..4 + table_bytes)
+        .ok_or(StoreError::Truncated)?;
+    if xxh64(covered, 0) != header_checksum {
+        return Err(StoreError::ChecksumMismatch { section: "header" });
+    }
+
+    let mut entries = Vec::with_capacity(count as usize);
+    let mut checksums = Vec::with_capacity(count as usize);
+    for _ in 0..count {
+        let id = cr.read_u32()?;
+        let offset = usize::try_from(cr.read_u64()?).map_err(|_| StoreError::Truncated)?;
+        let len = usize::try_from(cr.read_u64()?).map_err(|_| StoreError::Truncated)?;
+        checksums.push(cr.read_u64()?);
+        entries.push(Section { id, offset, len });
+    }
+    let ids: Vec<u32> = entries.iter().map(|e| e.id).collect();
+    let ids_ok = ids == REQUIRED_IDS
+        || (ids.len() == REQUIRED_IDS.len() + 1
+            && ids[..REQUIRED_IDS.len()] == REQUIRED_IDS
+            && ids[REQUIRED_IDS.len()] == SEC_PERM);
+    if !ids_ok {
+        return Err(StoreError::Malformed(format!(
+            "section ids {ids:?}, expected {REQUIRED_IDS:?} (+ optional {SEC_PERM})"
+        )));
+    }
+
+    // Alignment and coverage: 64-byte-aligned offsets, ascending, gaps
+    // shorter than the alignment and zero-filled, last section flush with
+    // the file end. Together with the checksums this covers every byte.
+    let header_len = 24 + table_bytes;
+    let mut prev_end = header_len;
+    for e in &entries {
+        let name = section_name(e.id);
+        if e.offset % SECTION_ALIGN != 0 {
+            return Err(StoreError::Malformed(format!(
+                "{name} section offset {} is not {SECTION_ALIGN}-byte aligned",
+                e.offset
+            )));
+        }
+        if e.offset < prev_end {
+            return Err(StoreError::Malformed(format!(
+                "{name} section at offset {} overlaps previous data ending at {prev_end}",
+                e.offset
+            )));
+        }
+        if e.offset - prev_end >= SECTION_ALIGN {
+            return Err(StoreError::Malformed(format!(
+                "{} byte gap before {name} section (alignment padding must be < {SECTION_ALIGN})",
+                e.offset - prev_end
+            )));
+        }
+        let gap = bytes.get(prev_end..e.offset).ok_or(StoreError::Truncated)?;
+        if gap.iter().any(|&b| b != 0) {
+            return Err(StoreError::Malformed(format!(
+                "non-zero padding before {name} section"
+            )));
+        }
+        prev_end = e.offset.checked_add(e.len).ok_or(StoreError::Truncated)?;
+        if prev_end > bytes.len() {
+            return Err(StoreError::Truncated);
+        }
+    }
+    if prev_end < bytes.len() {
+        return Err(StoreError::Malformed(format!(
+            "{} trailing bytes after last section",
+            bytes.len() - prev_end
+        )));
+    }
+
+    // Verify every section checksum now — the one and only integrity pass;
+    // all later accessors serve raw views of these bytes.
+    for (e, &sum) in entries.iter().zip(&checksums) {
+        let payload = bytes
+            .get(e.offset..e.offset + e.len)
+            .ok_or(StoreError::Truncated)?;
+        if xxh64(payload, u64::from(e.id)) != sum {
+            return Err(StoreError::ChecksumMismatch {
+                section: section_name(e.id),
+            });
+        }
+    }
+
+    // Shape checks: section lengths must agree with each other and with
+    // the metadata, so view accessors are infallible on counts.
+    let len_of = |id: u32| entries.iter().find(|e| e.id == id).map_or(0, |e| e.len);
+    for e in &entries {
+        if e.len % 4 != 0 {
+            return Err(StoreError::Malformed(format!(
+                "{} section length {} is not a multiple of 4",
+                section_name(e.id),
+                e.len
+            )));
+        }
+    }
+    for id in [SEC_G_EDGES, SEC_H_EDGES, SEC_MISSING, SEC_THREE_VALUES] {
+        if len_of(id) % 8 != 0 {
+            return Err(StoreError::Malformed(format!(
+                "{} section length {} is not a multiple of 8 (pairs)",
+                section_name(id),
+                len_of(id)
+            )));
+        }
+    }
+    if len_of(SEC_META) != 36 {
+        return Err(StoreError::Malformed(format!(
+            "meta section is {} bytes, expected 36",
+            len_of(SEC_META)
+        )));
+    }
+    let meta_entry = entries
+        .iter()
+        .find(|e| e.id == SEC_META)
+        .ok_or_else(|| StoreError::Malformed("missing meta section".to_string()))?;
+    let meta_bytes = bytes
+        .get(meta_entry.offset..meta_entry.offset + meta_entry.len)
+        .ok_or(StoreError::Truncated)?;
+    let mut mr = ByteReader::new(meta_bytes);
+    let meta = ArtifactMeta::decode_from(&mut mr)?;
+    if !mr.is_empty() {
+        return Err(StoreError::Malformed(format!(
+            "meta section has {} unconsumed bytes",
+            mr.remaining()
+        )));
+    }
+
+    let n = meta.n;
+    let k = len_of(SEC_MISSING) / 8;
+    let checks: [(u32, usize, &str); 4] = [
+        (SEC_G_OFF, (n + 1) * 4, "graph-offsets"),
+        (SEC_H_OFF, (n + 1) * 4, "spanner-offsets"),
+        (SEC_TWO_STARTS, (k + 1) * 4, "two-hop-starts"),
+        (SEC_THREE_STARTS, (k + 1) * 4, "three-hop-starts"),
+    ];
+    for (id, want, name) in checks {
+        if len_of(id) != want {
+            return Err(StoreError::Malformed(format!(
+                "{name} section is {} bytes, expected {want} (n = {n}, k = {k})",
+                len_of(id)
+            )));
+        }
+    }
+    if len_of(SEC_G_ADJ) != len_of(SEC_G_EDGES) {
+        return Err(StoreError::Malformed(format!(
+            "graph adjacency ({} bytes) and edges ({} bytes) disagree on m",
+            len_of(SEC_G_ADJ),
+            len_of(SEC_G_EDGES)
+        )));
+    }
+    if len_of(SEC_H_ADJ) != len_of(SEC_H_EDGES) {
+        return Err(StoreError::Malformed(format!(
+            "spanner adjacency ({} bytes) and edges ({} bytes) disagree on m",
+            len_of(SEC_H_ADJ),
+            len_of(SEC_H_EDGES)
+        )));
+    }
+    if entries.iter().any(|e| e.id == SEC_PERM) && len_of(SEC_PERM) != n * 4 {
+        return Err(StoreError::Malformed(format!(
+            "perm section is {} bytes, expected {} (n = {n})",
+            len_of(SEC_PERM),
+            n * 4
+        )));
+    }
+    Ok((entries, meta))
+}
+
+/// Verify an in-memory v2 artifact (header, layout, every checksum, meta
+/// decode) without materialising any graph. Returns the metadata.
+pub fn verify_v2(bytes: &[u8]) -> Result<ArtifactMeta, StoreError> {
+    parse_and_verify(bytes).map(|(_, meta)| meta)
+}
+
+// ---------------------------------------------------------------------------
+// MappedArtifact
+// ---------------------------------------------------------------------------
+
+/// A v2 artifact opened for zero-copy serving.
+///
+/// Holds the backing buffer (a read-only file mapping when available, else
+/// one aligned heap allocation — see [`crate::region`]) plus the validated
+/// section table. All integrity checks happen once in
+/// [`open`](MappedArtifact::open); the accessors hand out CSR types whose
+/// big arrays are borrowed views of the backing, so cloning them across
+/// serving replicas shares one physical copy.
+pub struct MappedArtifact {
+    backing: Arc<Backing>,
+    sections: Vec<Section>,
+    meta: ArtifactMeta,
+}
+
+fn read_u32s(bytes: &[u8]) -> Vec<u32> {
+    bytes
+        .chunks_exact(4)
+        .map(|c| u32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+        .collect()
+}
+
+impl MappedArtifact {
+    /// Open and fully validate `path` (see [`parse_and_verify`] for what
+    /// that covers). Prefers a true file mapping; falls back to reading
+    /// into an aligned heap buffer.
+    pub fn open(path: &Path) -> Result<MappedArtifact, StoreError> {
+        let backing = Backing::open_file(path).map_err(StoreError::Io)?;
+        MappedArtifact::from_backing(Arc::new(backing))
+    }
+
+    /// Open from in-memory bytes (copied into an aligned heap backing).
+    pub fn from_bytes(bytes: &[u8]) -> Result<MappedArtifact, StoreError> {
+        MappedArtifact::from_backing(Arc::new(Backing::from_bytes(bytes)))
+    }
+
+    fn from_backing(backing: Arc<Backing>) -> Result<MappedArtifact, StoreError> {
+        let (sections, meta) = parse_and_verify(backing.bytes())?;
+        Ok(MappedArtifact {
+            backing,
+            sections,
+            meta,
+        })
+    }
+
+    /// Build provenance (decoded and validated at open).
+    pub fn meta(&self) -> ArtifactMeta {
+        self.meta
+    }
+
+    /// True when backed by a real file mapping (page-cache shared across
+    /// processes); false on the portable read-into-heap fallback.
+    pub fn is_mmap(&self) -> bool {
+        self.backing.is_mapped()
+    }
+
+    /// Total size of the backing in bytes.
+    pub fn len_bytes(&self) -> usize {
+        self.backing.bytes().len()
+    }
+
+    /// True when the artifact carries a node permutation section.
+    pub fn has_perm(&self) -> bool {
+        self.sections.iter().any(|s| s.id == SEC_PERM)
+    }
+
+    fn sec(&self, id: u32) -> Option<&Section> {
+        self.sections.iter().find(|s| s.id == id)
+    }
+
+    fn sec_bytes(&self, id: u32) -> &[u8] {
+        match self.sec(id) {
+            // Ranges were bounds-checked at open.
+            Some(s) => &self.backing.bytes()[s.offset..s.offset + s.len],
+            None => &[],
+        }
+    }
+
+    fn u32s_owned(&self, id: u32) -> Vec<u32> {
+        read_u32s(self.sec_bytes(id))
+    }
+
+    /// Zero-copy `u32` view of a section; falls back to an owned decode on
+    /// targets where the cast is unavailable (big-endian).
+    fn u32_view(&self, id: u32) -> SharedSlice<u32> {
+        let (off, len) = self.sec(id).map_or((0, 0), |s| (s.offset, s.len));
+        match region::U32Section::new(self.backing.clone(), off, len) {
+            Some(view) => Arc::new(view),
+            None => Arc::new(self.u32s_owned(id)),
+        }
+    }
+
+    /// Zero-copy `Edge` view; owned fallback when the layout probe fails.
+    fn edge_view(&self, id: u32) -> SharedSlice<Edge> {
+        let (off, len) = self.sec(id).map_or((0, 0), |s| (s.offset, s.len));
+        match region::EdgeSection::new(self.backing.clone(), off, len) {
+            Some(view) => Arc::new(view),
+            None => {
+                let u32s = self.u32s_owned(id);
+                let edges: Vec<Edge> = u32s
+                    .chunks_exact(2)
+                    .map(|c| Edge { u: c[0], v: c[1] })
+                    .collect();
+                Arc::new(edges)
+            }
+        }
+    }
+
+    /// Zero-copy `(u32, u32)` view; owned fallback as above.
+    fn pair_view(&self, id: u32) -> SharedSlice<(u32, u32)> {
+        let (off, len) = self.sec(id).map_or((0, 0), |s| (s.offset, s.len));
+        match region::PairSection::new(self.backing.clone(), off, len) {
+            Some(view) => Arc::new(view),
+            None => {
+                let u32s = self.u32s_owned(id);
+                let pairs: Vec<(u32, u32)> = u32s.chunks_exact(2).map(|c| (c[0], c[1])).collect();
+                Arc::new(pairs)
+            }
+        }
+    }
+
+    fn shared_graph(
+        &self,
+        off_id: u32,
+        adj_id: u32,
+        edges_id: u32,
+        what: &str,
+    ) -> Result<Graph, StoreError> {
+        let offsets = self.u32s_owned(off_id);
+        Graph::from_shared_csr(
+            self.meta.n,
+            &offsets,
+            self.u32_view(adj_id),
+            self.edge_view(edges_id),
+        )
+        .map_err(|msg| StoreError::Malformed(format!("{what}: {msg}")))
+    }
+
+    /// The base graph `G`, with adjacency and edge arrays borrowed from
+    /// the backing. Fully re-validates CSR structure (the checksums attest
+    /// integrity, not well-formedness).
+    pub fn graph(&self) -> Result<Graph, StoreError> {
+        self.shared_graph(SEC_G_OFF, SEC_G_ADJ, SEC_G_EDGES, "graph section")
+    }
+
+    /// The spanner `H`, borrowed like [`graph`](Self::graph).
+    pub fn spanner(&self) -> Result<Graph, StoreError> {
+        self.shared_graph(SEC_H_OFF, SEC_H_ADJ, SEC_H_EDGES, "spanner section")
+    }
+
+    /// The missing-edge list, decoded owned (it is small — `k` edges —
+    /// and the oracle keeps a private sorted copy anyway). Validates
+    /// canonical order and node range exactly like the v1 decoder.
+    pub fn missing(&self) -> Result<Vec<Edge>, StoreError> {
+        let n = self.meta.n;
+        let u32s = self.u32s_owned(SEC_MISSING);
+        let mut missing = Vec::with_capacity(u32s.len() / 2);
+        for c in u32s.chunks_exact(2) {
+            let e = Edge { u: c[0], v: c[1] };
+            if e.u >= e.v || e.v as usize >= n {
+                return Err(StoreError::Malformed(format!(
+                    "missing edge ({}, {}) is not canonical in-range for n = {n}",
+                    e.u, e.v
+                )));
+            }
+            if let Some(prev) = missing.last() {
+                if *prev >= e {
+                    return Err(StoreError::Malformed(format!(
+                        "missing-edge list not canonical at ({}, {})",
+                        e.u, e.v
+                    )));
+                }
+            }
+            missing.push(e);
+        }
+        Ok(missing)
+    }
+
+    /// The 2-hop midpoint table, values borrowed from the backing.
+    pub fn two(&self) -> Result<CsrTable<NodeId>, StoreError> {
+        let starts = self.u32s_owned(SEC_TWO_STARTS);
+        CsrTable::from_shared_parts(&starts, self.u32_view(SEC_TWO_VALUES))
+            .map_err(|msg| StoreError::Malformed(format!("two-hop table: {msg}")))
+    }
+
+    /// The 3-hop `(x, z)` table, values borrowed from the backing.
+    pub fn three(&self) -> Result<CsrTable<(NodeId, NodeId)>, StoreError> {
+        let starts = self.u32s_owned(SEC_THREE_STARTS);
+        CsrTable::from_shared_parts(&starts, self.pair_view(SEC_THREE_VALUES))
+            .map_err(|msg| StoreError::Malformed(format!("three-hop table: {msg}")))
+    }
+
+    /// The node permutation (`perm[external] = internal`), if stored.
+    /// Validated to be a bijection on `0..n`.
+    pub fn perm(&self) -> Result<Option<Vec<NodeId>>, StoreError> {
+        if !self.has_perm() {
+            return Ok(None);
+        }
+        let n = self.meta.n;
+        let perm = self.u32s_owned(SEC_PERM);
+        let mut seen = vec![false; n];
+        for &p in &perm {
+            if (p as usize) >= n || seen[p as usize] {
+                return Err(StoreError::Malformed(format!(
+                    "perm section is not a bijection on 0..{n} (entry {p})"
+                )));
+            }
+            seen[p as usize] = true;
+        }
+        Ok(Some(perm))
+    }
+
+    /// Decode into a fully owned [`SpannerArtifact`] (no borrow of the
+    /// backing survives), applying the same cross-section validation as
+    /// the v1 decoder. Used by `migrate-artifact` and the sharded loader.
+    pub fn decode_owned(&self) -> Result<SpannerArtifact, StoreError> {
+        let shared_graph = self.graph()?;
+        let shared_spanner = self.spanner()?;
+        let graph = Graph::from_edges(self.meta.n, shared_graph.edges().iter().map(|e| (e.u, e.v)));
+        let spanner = Graph::from_edges(
+            self.meta.n,
+            shared_spanner.edges().iter().map(|e| (e.u, e.v)),
+        );
+        let missing = self.missing()?;
+        let two_starts = self.u32s_owned(SEC_TWO_STARTS);
+        let two: CsrTable<NodeId> =
+            CsrTable::from_shared_parts(&two_starts, Arc::new(self.u32s_owned(SEC_TWO_VALUES)))
+                .map_err(|msg| StoreError::Malformed(format!("two-hop table: {msg}")))?;
+        let three_vals: Vec<(u32, u32)> = self
+            .u32s_owned(SEC_THREE_VALUES)
+            .chunks_exact(2)
+            .map(|c| (c[0], c[1]))
+            .collect();
+        let three_starts = self.u32s_owned(SEC_THREE_STARTS);
+        let three: CsrTable<(NodeId, NodeId)> =
+            CsrTable::from_shared_parts(&three_starts, Arc::new(three_vals))
+                .map_err(|msg| StoreError::Malformed(format!("three-hop table: {msg}")))?;
+        if two.rows() != missing.len() || three.rows() != missing.len() {
+            return Err(StoreError::Malformed(format!(
+                "detour tables have {} / {} rows for {} missing edges",
+                two.rows(),
+                three.rows(),
+                missing.len()
+            )));
+        }
+        Ok(SpannerArtifact {
+            graph,
+            spanner,
+            missing,
+            two,
+            three,
+            perm: self.perm()?,
+            meta: self.meta,
+        })
+    }
+}
+
+/// Decode v2 bytes into an owned [`SpannerArtifact`] (one aligned copy).
+pub(crate) fn decode_owned_bytes(bytes: &[u8]) -> Result<SpannerArtifact, StoreError> {
+    MappedArtifact::from_bytes(bytes)?.decode_owned()
+}

@@ -1,11 +1,15 @@
-//! Property-based tests for the artifact format: arbitrary artifacts
-//! survive encode → decode bit-identically, and *every* single-byte
-//! corruption or truncation of the encoded bytes yields a typed
-//! [`StoreError`] — never a panic, never a silently-wrong artifact.
+//! Property-based tests for the artifact formats: arbitrary artifacts
+//! survive encode → decode bit-identically (v1 and v2), and *every*
+//! single-byte corruption, truncation, or forged section offset of the
+//! encoded bytes yields a typed [`StoreError`] — never a panic, never a
+//! silently-wrong artifact.
 
 use dcspan_core::serve::SpannerAlgo;
 use dcspan_graph::{CsrTable, Graph, NodeId};
-use dcspan_store::{verify, ArtifactMeta, SpannerArtifact, FORMAT_VERSION, MAGIC};
+use dcspan_store::{
+    verify, xxh64, ArtifactMeta, MappedArtifact, SpannerArtifact, StoreError, FORMAT_VERSION,
+    FORMAT_VERSION_V2, MAGIC, MAGIC_V2,
+};
 use proptest::prelude::*;
 
 /// Strategy: a random graph on `n ∈ [2, 16]` nodes with arbitrary edges.
@@ -75,23 +79,75 @@ fn arb_artifact() -> impl Strategy<Value = SpannerArtifact> {
                     missing: missing.clone(),
                     two: CsrTable::from_rows(two_rows),
                     three: CsrTable::from_rows(three_rows),
+                    perm: None,
                     meta,
                 })
         },
     )
 }
 
+/// A rotation is the cheapest non-trivial bijection on `0..n`.
+fn rotation_perm(n: usize, rot: usize) -> Vec<NodeId> {
+    (0..n).map(|i| ((i + rot) % n) as NodeId).collect()
+}
+
+/// Recompute the v2 header checksum after a test forges table bytes, so
+/// corruption probes reach the layout validation they target instead of
+/// stopping at the checksum gate.
+fn rehash_v2_header(bytes: &mut [u8]) {
+    let count = u32::from_le_bytes([bytes[20], bytes[21], bytes[22], bytes[23]]) as usize;
+    let end = 24 + count * 28;
+    let sum = xxh64(&bytes[20..end], 0);
+    bytes[12..20].copy_from_slice(&sum.to_le_bytes());
+}
+
 proptest! {
     #[test]
     fn encode_decode_is_bit_identical(artifact in arb_artifact()) {
-        let bytes = artifact.encode();
+        let bytes = artifact.encode().unwrap();
         prop_assert!(bytes.starts_with(&MAGIC));
         let meta = verify(&bytes).unwrap();
         prop_assert_eq!(meta, artifact.meta);
         let decoded = SpannerArtifact::decode(&bytes).unwrap();
         prop_assert_eq!(&decoded, &artifact);
         // Re-encoding the decoded artifact reproduces the exact bytes.
-        prop_assert_eq!(decoded.encode(), bytes);
+        prop_assert_eq!(decoded.encode().unwrap(), bytes);
+    }
+
+    #[test]
+    fn v2_encode_decode_is_bit_identical(artifact in arb_artifact(), rot in 0usize..16) {
+        // v2 roundtrips the permutation section too; v1 refuses it.
+        let mut artifact = artifact;
+        artifact.perm = Some(rotation_perm(artifact.graph.n(), rot));
+        prop_assert!(artifact.encode().is_err());
+        let bytes = artifact.encode_v2().unwrap();
+        prop_assert!(bytes.starts_with(&MAGIC_V2));
+        let meta = verify(&bytes).unwrap();
+        prop_assert_eq!(meta, artifact.meta);
+        let decoded = SpannerArtifact::decode(&bytes).unwrap();
+        prop_assert_eq!(&decoded, &artifact);
+        prop_assert_eq!(decoded.encode_v2().unwrap(), bytes);
+    }
+
+    #[test]
+    fn v2_mapped_views_match_owned_decode(artifact in arb_artifact()) {
+        let bytes = artifact.encode_v2().unwrap();
+        let mapped = MappedArtifact::from_bytes(&bytes).unwrap();
+        prop_assert!(!mapped.is_mmap()); // in-memory opens use the heap backing
+        prop_assert!(!mapped.has_perm());
+        prop_assert_eq!(mapped.meta(), artifact.meta);
+        prop_assert_eq!(mapped.len_bytes(), bytes.len());
+        let g = mapped.graph().unwrap();
+        prop_assert_eq!(&g, &artifact.graph);
+        prop_assert!(g.uses_shared_storage());
+        prop_assert_eq!(&mapped.spanner().unwrap(), &artifact.spanner);
+        prop_assert_eq!(mapped.missing().unwrap(), artifact.missing.clone());
+        let two = mapped.two().unwrap();
+        prop_assert!(two.is_shared());
+        prop_assert_eq!(&two, &artifact.two);
+        prop_assert_eq!(&mapped.three().unwrap(), &artifact.three);
+        prop_assert_eq!(mapped.perm().unwrap(), None);
+        prop_assert_eq!(&mapped.decode_owned().unwrap(), &artifact);
     }
 
     #[test]
@@ -101,7 +157,22 @@ proptest! {
         // each payload by its per-section checksum. So *any* byte change
         // must surface as a typed StoreError from both the full decode and
         // the cheaper verify pass — never a panic, never an Ok.
-        let bytes = artifact.encode();
+        let bytes = artifact.encode().unwrap();
+        for i in 0..bytes.len() {
+            let mut corrupt = bytes.clone();
+            corrupt[i] = corrupt[i].wrapping_add(delta);
+            prop_assert!(SpannerArtifact::decode(&corrupt).is_err(), "flip at {i}");
+            prop_assert!(verify(&corrupt).is_err(), "verify flip at {i}");
+        }
+    }
+
+    #[test]
+    fn v2_every_single_byte_flip_is_a_typed_error(artifact in arb_artifact(), delta in 1u8..=255, rot in 0usize..16) {
+        // Same full coverage for v2: even the sub-64-byte alignment gaps
+        // are validated (mandatory zero), so no byte is a free lunch.
+        let mut artifact = artifact;
+        artifact.perm = Some(rotation_perm(artifact.graph.n(), rot));
+        let bytes = artifact.encode_v2().unwrap();
         for i in 0..bytes.len() {
             let mut corrupt = bytes.clone();
             corrupt[i] = corrupt[i].wrapping_add(delta);
@@ -112,7 +183,7 @@ proptest! {
 
     #[test]
     fn every_truncation_is_a_typed_error(artifact in arb_artifact()) {
-        let bytes = artifact.encode();
+        let bytes = artifact.encode().unwrap();
         for cut in 0..bytes.len() {
             prop_assert!(SpannerArtifact::decode(&bytes[..cut]).is_err(), "cut at {cut}");
             prop_assert!(verify(&bytes[..cut]).is_err(), "verify cut at {cut}");
@@ -126,12 +197,73 @@ proptest! {
     }
 
     #[test]
+    fn v2_every_truncation_is_a_typed_error(artifact in arb_artifact()) {
+        let bytes = artifact.encode_v2().unwrap();
+        for cut in 0..bytes.len() {
+            prop_assert!(SpannerArtifact::decode(&bytes[..cut]).is_err(), "cut at {cut}");
+            prop_assert!(verify(&bytes[..cut]).is_err(), "verify cut at {cut}");
+        }
+        // The last section must end flush with the file: trailing bytes
+        // (even zeros) are malformed.
+        let mut extended = bytes;
+        extended.push(0);
+        prop_assert!(SpannerArtifact::decode(&extended).is_err());
+        prop_assert!(verify(&extended).is_err());
+    }
+
+    #[test]
+    fn v2_forged_section_offsets_are_typed_errors(
+        artifact in arb_artifact(),
+        sec in 0usize..12,
+        shift_idx in 0usize..5,
+    ) {
+        let shift = [4u64, 8, 60, 64, 4096][shift_idx];
+        // Forge one section offset (re-blessing the header checksum so the
+        // probe reaches the layout validation): misalignment, overlap, gap,
+        // and out-of-bounds forgeries must all degrade to typed errors.
+        let bytes = artifact.encode_v2().unwrap();
+        let pos = 24 + sec * 28 + 4;
+        let off = u64::from_le_bytes([
+            bytes[pos], bytes[pos + 1], bytes[pos + 2], bytes[pos + 3],
+            bytes[pos + 4], bytes[pos + 5], bytes[pos + 6], bytes[pos + 7],
+        ]);
+        for forged in [off + shift, off.saturating_sub(shift)] {
+            let mut corrupt = bytes.clone();
+            corrupt[pos..pos + 8].copy_from_slice(&forged.to_le_bytes());
+            rehash_v2_header(&mut corrupt);
+            if forged == off {
+                continue;
+            }
+            let decoded = SpannerArtifact::decode(&corrupt);
+            prop_assert!(
+                matches!(
+                    decoded,
+                    Err(StoreError::Malformed(_)
+                        | StoreError::Truncated
+                        | StoreError::ChecksumMismatch { .. })
+                ),
+                "section {sec} offset {off} forged to {forged}: {decoded:?}"
+            );
+            prop_assert!(verify(&corrupt).is_err());
+        }
+    }
+
+    #[test]
     fn future_format_versions_are_rejected(artifact in arb_artifact(), bump in 1u32..100) {
-        let mut bytes = artifact.encode();
+        // Version bumps under either magic must surface as VersionMismatch,
+        // not BadMagic or a decode attempt (auto-detection branches on the
+        // magic bytes alone).
+        let mut bytes = artifact.encode().unwrap();
         bytes[8..12].copy_from_slice(&(FORMAT_VERSION + bump).to_le_bytes());
         prop_assert!(matches!(
             SpannerArtifact::decode(&bytes),
-            Err(dcspan_store::StoreError::VersionMismatch { .. })
+            Err(StoreError::VersionMismatch { .. })
+        ));
+        let mut v2_bytes = artifact.encode_v2().unwrap();
+        v2_bytes[8..12].copy_from_slice(&(FORMAT_VERSION_V2 + bump).to_le_bytes());
+        prop_assert!(matches!(
+            SpannerArtifact::decode(&v2_bytes),
+            Err(StoreError::VersionMismatch { .. })
         ));
     }
 }

@@ -4,7 +4,8 @@
 //! dcspan gen        --family <regular|gnp|gabber-galil|fan|two-clique|lower-bound> [--n N] [--delta D] [--seed S]
 //! dcspan spanner    --algo <regular|expander|baswana-sen|greedy|koutis-xu|d-out> [--n N] [--delta D] [--seed S]
 //! dcspan experiment <e1..e22|sweep|ablations|all> [--quick]
-//! dcspan build      [--algo <theorem2|theorem3>] [--n N] [--delta D] [--seed S] [--out FILE]
+//! dcspan build      [--algo <theorem2|theorem3>] [--n N] [--delta D] [--seed S] [--format <v1|v2>] [--reorder <none|rcm|degree>] [--out FILE]
+//! dcspan migrate-artifact IN OUT [--format <v1|v2>]
 //! dcspan serve      --artifact FILE [--policy P] [--cache C] [--requests FILE]
 //! dcspan serve-http --artifact FILE [--addr HOST:PORT] [--threads T] [--cap-c C] [--policy P] [--cache C] [--shards K] [--replicas R]
 //! dcspan loadgen    --addr HOST:PORT [--nodes N] [--qps Q] [--duration S] [--connections C] [--seed S]
@@ -27,8 +28,8 @@ use dcspan::cli::{
     GraphFamily, OracleArgs, POLICY_NAMES,
 };
 use dcspan::oracle::{
-    ChaosConfig, Oracle, OracleConfig, RequestLine, ShardConfig, ShardedOracle, SnapshotSlot,
-    SwapAck, WireResponse,
+    ChaosConfig, Oracle, OracleConfig, ReorderKind, RequestLine, ShardConfig, ShardedOracle,
+    SnapshotSlot, SwapAck, WireResponse,
 };
 use dcspan::serve::{LoadgenConfig, Server, ServerConfig};
 use dcspan::store::SpannerArtifact;
@@ -383,19 +384,50 @@ fn cmd_experiment(which: &str, quick: bool) -> Result<(), CliError> {
     }
 }
 
+/// Parse `--format` into an artifact format version (default v2).
+fn parse_format(flags: &Flags) -> Result<u32, CliError> {
+    match flags.get("format").map_or("v2", String::as_str) {
+        "v2" => Ok(2),
+        "v1" => Ok(1),
+        other => Err(CliError::UnknownFormat(other.to_string())),
+    }
+}
+
+/// Save `artifact` at `path` in the requested format version.
+fn save_as(artifact: &SpannerArtifact, format: u32, path: &str) -> Result<(), CliError> {
+    let result = if format == 2 {
+        artifact.save_v2(std::path::Path::new(path))
+    } else {
+        artifact.save(std::path::Path::new(path))
+    };
+    result.map_err(|source| CliError::Store {
+        path: path.to_string(),
+        source,
+    })
+}
+
 /// `dcspan build`: run the chosen construction and either print the
 /// artifact summary (no `--out`) or persist the versioned binary
 /// artifact for `dcspan serve --artifact` / `dcspan verify-artifact`.
+/// `--format` picks the on-disk format (default v2: aligned, mmap-served
+/// sections); `--reorder` relabels nodes with a cache-locality
+/// permutation, stored as a v2 section (v1 cannot carry it and refuses
+/// to save with a typed error).
 fn cmd_build(flags: &Flags) -> Result<(), CliError> {
     let args = OracleArgs::from_flags(flags)?;
+    let format = parse_format(flags)?;
+    let reorder_name = flags.get("reorder").map_or("none", String::as_str);
+    let reorder = ReorderKind::parse(reorder_name)
+        .ok_or_else(|| CliError::UnknownReorder(reorder_name.to_string()))?;
     let g = args.regime_graph();
     let start = std::time::Instant::now();
-    let artifact = Oracle::build_artifact(&g, args.algo, args.seed);
+    let artifact = Oracle::build_artifact_reordered(&g, args.algo, args.seed, reorder)
+        .map_err(|source| CliError::SpannerFailed(source.to_string()))?;
     let build_ms = start.elapsed().as_secs_f64() * 1e3;
     let json = format!(
         "{{\"algo\":\"{}\",\"n\":{},\"delta\":{},\"edges_g\":{},\"edges_h\":{},\
          \"missing_edges\":{},\"two_hop_entries\":{},\"three_hop_entries\":{},\
-         \"build_ms\":{:.3}}}",
+         \"format\":\"v{format}\",\"reorder\":\"{}\",\"build_ms\":{:.3}}}",
         artifact.meta.algo.name(),
         artifact.meta.n,
         artifact.meta.delta,
@@ -404,18 +436,39 @@ fn cmd_build(flags: &Flags) -> Result<(), CliError> {
         artifact.missing.len(),
         artifact.two.total_entries(),
         artifact.three.total_entries(),
+        reorder.as_str(),
         build_ms,
     );
     println!("{json}");
     if let Some(out) = flags.get("out") {
-        artifact
-            .save(std::path::Path::new(out))
-            .map_err(|source| CliError::Store {
-                path: out.clone(),
-                source,
-            })?;
+        save_as(&artifact, format, out)?;
         println!("wrote {out}");
     }
+    Ok(())
+}
+
+/// `dcspan migrate-artifact IN OUT [--format <v1|v2>]`: decode the
+/// artifact at `IN` (either format, auto-detected and checksum-verified)
+/// and rewrite it at `OUT` in the requested format (default v2).
+/// Migrating a reordered (permutation-carrying) artifact down to v1 is a
+/// typed [`StoreError`]: v1 has no permutation section.
+fn cmd_migrate_artifact(input: &str, out: &str, flags: &Flags) -> Result<(), CliError> {
+    let format = parse_format(flags)?;
+    let from = dcspan::store::file_version(std::path::Path::new(input)).map_err(|source| {
+        CliError::Store {
+            path: input.to_string(),
+            source,
+        }
+    })?;
+    let artifact = load_artifact(input)?;
+    save_as(&artifact, format, out)?;
+    println!(
+        "{{\"migrated\":true,\"from\":\"v{from}\",\"to\":\"v{format}\",\"algo\":\"{}\",\
+         \"n\":{},\"reordered\":{},\"out\":\"{out}\"}}",
+        artifact.meta.algo.name(),
+        artifact.meta.n,
+        artifact.perm.is_some(),
+    );
     Ok(())
 }
 
@@ -432,14 +485,14 @@ fn load_artifact(path: &str) -> Result<SpannerArtifact, CliError> {
 /// every section checksum holds; print the typed [`StoreError`] and exit
 /// nonzero otherwise. Never panics on corrupt input.
 fn cmd_verify_artifact(path: &str) -> Result<(), CliError> {
-    let meta = dcspan::store::verify_file(std::path::Path::new(path)).map_err(|source| {
-        CliError::Store {
-            path: path.to_string(),
-            source,
-        }
-    })?;
+    let store_err = |source| CliError::Store {
+        path: path.to_string(),
+        source,
+    };
+    let version = dcspan::store::file_version(std::path::Path::new(path)).map_err(store_err)?;
+    let meta = dcspan::store::verify_file(std::path::Path::new(path)).map_err(store_err)?;
     println!(
-        "{{\"ok\":true,\"algo\":\"{}\",\"seed\":{},\"n\":{},\"delta\":{}}}",
+        "{{\"ok\":true,\"format\":\"v{version}\",\"algo\":\"{}\",\"seed\":{},\"n\":{},\"delta\":{}}}",
         meta.algo.name(),
         meta.seed,
         meta.n,
@@ -486,15 +539,13 @@ fn serve_loop(
                 eprintln!("skipping malformed request: {e}");
             }
             Ok(RequestLine::Swap(path)) => {
-                // Control line: load a new artifact and publish it for
-                // every subsequent request; in-flight snapshots are
-                // unaffected.
-                let oracle =
-                    Oracle::from_artifact(load_artifact(&path)?, config).map_err(|source| {
-                        CliError::Store {
-                            path: path.clone(),
-                            source,
-                        }
+                // Control line: load a new artifact (format auto-detected;
+                // v2 opens zero-copy) and publish it for every subsequent
+                // request; in-flight snapshots are unaffected.
+                let oracle = Oracle::from_artifact_file(std::path::Path::new(&path), config)
+                    .map_err(|source| CliError::Store {
+                        path: path.clone(),
+                        source,
                     })?;
                 let epoch = slot.swap(oracle);
                 let ack = SwapAck {
@@ -551,7 +602,13 @@ fn cmd_serve(flags: &Flags) -> Result<(), CliError> {
     let Some(path) = flags.get("artifact") else {
         return Err(CliError::Usage);
     };
-    let artifact = load_artifact(path)?;
+    let store_err = |source| CliError::Store {
+        path: path.clone(),
+        source,
+    };
+    // Provenance peek only — the full load below auto-detects the format
+    // and opens v2 artifacts zero-copy instead of decoding them.
+    let (_, meta) = dcspan::store::artifact_meta(std::path::Path::new(path)).map_err(store_err)?;
     let policy_name = flags
         .get("policy")
         .map_or("uniform-shortest", String::as_str);
@@ -559,14 +616,12 @@ fn cmd_serve(flags: &Flags) -> Result<(), CliError> {
         .ok_or_else(|| CliError::UnknownPolicy(policy_name.to_string()))?;
     let config = OracleConfig {
         policy,
-        seed: get_u64(flags, "seed", artifact.meta.seed),
+        seed: get_u64(flags, "seed", meta.seed),
         cache_capacity: get_usize(flags, "cache", 4096),
         ..OracleConfig::default()
     };
-    let oracle = Oracle::from_artifact(artifact, config).map_err(|source| CliError::Store {
-        path: path.clone(),
-        source,
-    })?;
+    let oracle =
+        Oracle::from_artifact_file(std::path::Path::new(path), config).map_err(store_err)?;
     let slot = SnapshotSlot::new(oracle);
     serve_loop(&slot, request_reader(flags)?, config)
 }
@@ -672,7 +727,10 @@ fn cmd_bench_store(flags: &Flags) -> Result<(), CliError> {
         write_file(out, format!("{json}\n"))?;
         println!("wrote {out}");
     }
-    let diverged = rows.iter().filter(|r| !r.bit_identical).count();
+    let diverged = rows
+        .iter()
+        .filter(|r| !r.bit_identical || !r.v2_bit_identical || !r.reorder_ok)
+        .count();
     if diverged > 0 {
         return Err(CliError::ServeDivergence(diverged as u64));
     }
@@ -692,8 +750,15 @@ fn cmd_serve_http(flags: &Flags) -> Result<(), CliError> {
     let Some(path) = flags.get("artifact") else {
         return Err(CliError::Usage);
     };
-    let artifact = load_artifact(path)?;
-    let meta = (artifact.meta.n, artifact.meta.delta);
+    let store_err = |source| CliError::Store {
+        path: path.clone(),
+        source,
+    };
+    // Provenance peek only — the backends below auto-detect the format
+    // and open v2 artifacts zero-copy instead of decoding them.
+    let (_, artifact_meta) =
+        dcspan::store::artifact_meta(std::path::Path::new(path)).map_err(store_err)?;
+    let meta = (artifact_meta.n, artifact_meta.delta);
     let policy_name = flags
         .get("policy")
         .map_or("uniform-shortest", String::as_str);
@@ -701,13 +766,13 @@ fn cmd_serve_http(flags: &Flags) -> Result<(), CliError> {
         .ok_or_else(|| CliError::UnknownPolicy(policy_name.to_string()))?;
     let mut config = OracleConfig {
         policy,
-        seed: get_u64(flags, "seed", artifact.meta.seed),
+        seed: get_u64(flags, "seed", artifact_meta.seed),
         cache_capacity: get_usize(flags, "cache", 4096),
         ..OracleConfig::default()
     };
     let cap_c = get_f64(flags, "cap-c", 0.0);
     if cap_c > 0.0 {
-        config = config.with_beta_budget(artifact.meta.n, artifact.meta.delta, cap_c);
+        config = config.with_beta_budget(artifact_meta.n, artifact_meta.delta, cap_c);
     }
     let addr = flags.get("addr").map_or("127.0.0.1:8080", String::as_str);
     let server_config = ServerConfig {
@@ -727,18 +792,12 @@ fn cmd_serve_http(flags: &Flags) -> Result<(), CliError> {
             ..ShardConfig::default()
         };
         let fleet =
-            ShardedOracle::from_artifact(artifact, config, shard_config).map_err(|source| {
-                CliError::Store {
-                    path: path.clone(),
-                    source,
-                }
-            })?;
+            ShardedOracle::from_artifact_file(std::path::Path::new(path), config, shard_config)
+                .map_err(store_err)?;
         Server::start_sharded(addr, Arc::new(fleet), server_config).map_err(bind_err)?
     } else {
-        let oracle = Oracle::from_artifact(artifact, config).map_err(|source| CliError::Store {
-            path: path.clone(),
-            source,
-        })?;
+        let oracle =
+            Oracle::from_artifact_file(std::path::Path::new(path), config).map_err(store_err)?;
         let slot = Arc::new(SnapshotSlot::new(oracle));
         Server::start(addr, Arc::clone(&slot), config, meta, server_config).map_err(bind_err)?
     };
@@ -953,7 +1012,7 @@ fn cmd_chaos_shard(flags: &Flags) -> Result<(), CliError> {
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  dcspan gen --family <{family}> [--n N] [--delta D] [--seed S]\n  dcspan spanner --algo <{algo}> [--n N] [--delta D] [--seed S]\n  dcspan experiment <e1..e22|sweep|ablations|all> [--quick]\n  dcspan build [--algo <theorem2|theorem3>] [--n N] [--delta D] [--seed S] [--out FILE]\n  dcspan serve --artifact FILE [--policy <{policy}>] [--cache C] [--requests FILE]\n  dcspan serve-http --artifact FILE [--addr HOST:PORT] [--threads T] [--cap-c C] [--shards K] [--replicas R] [--policy <{policy}>] [--cache C]\n  dcspan loadgen --addr HOST:PORT [--nodes N] [--qps Q] [--duration S] [--connections C] [--deadline S] [--connect-timeout S] [--seed S]\n  dcspan bench-serve [--smoke] [--out FILE] [--n N] [--rates R,R] [--duration S] [--cap-c C]\n  dcspan verify-artifact FILE\n  dcspan query [--requests FILE] [--policy <{policy}>] [oracle flags]\n  dcspan bench [--smoke] [--out FILE] [--sizes N,N] [--threads T,T] [--queries Q]\n  dcspan bench-build [--smoke] [--out FILE] [--sizes N,N] [--delta D] [--seed S]\n  dcspan bench-store [--smoke] [--out FILE] [--sizes N,N] [--queries Q] [--seed S]\n  dcspan chaos [--smoke] [--out FILE] [--n N] [--threads T] [--queries Q] [--seed S] [--cap-c C]\n  dcspan chaos-shard [--smoke] [--out FILE] [--n N] [--shards K] [--replicas R] [--threads T] [--queries Q] [--seed S]",
+        "usage:\n  dcspan gen --family <{family}> [--n N] [--delta D] [--seed S]\n  dcspan spanner --algo <{algo}> [--n N] [--delta D] [--seed S]\n  dcspan experiment <e1..e22|sweep|ablations|all> [--quick]\n  dcspan build [--algo <theorem2|theorem3>] [--n N] [--delta D] [--seed S] [--format <v1|v2>] [--reorder <none|rcm|degree>] [--out FILE]\n  dcspan migrate-artifact IN OUT [--format <v1|v2>]\n  dcspan serve --artifact FILE [--policy <{policy}>] [--cache C] [--requests FILE]\n  dcspan serve-http --artifact FILE [--addr HOST:PORT] [--threads T] [--cap-c C] [--shards K] [--replicas R] [--policy <{policy}>] [--cache C]\n  dcspan loadgen --addr HOST:PORT [--nodes N] [--qps Q] [--duration S] [--connections C] [--deadline S] [--connect-timeout S] [--seed S]\n  dcspan bench-serve [--smoke] [--out FILE] [--n N] [--rates R,R] [--duration S] [--cap-c C]\n  dcspan verify-artifact FILE\n  dcspan query [--requests FILE] [--policy <{policy}>] [oracle flags]\n  dcspan bench [--smoke] [--out FILE] [--sizes N,N] [--threads T,T] [--queries Q]\n  dcspan bench-build [--smoke] [--out FILE] [--sizes N,N] [--delta D] [--seed S]\n  dcspan bench-store [--smoke] [--out FILE] [--sizes N,N] [--queries Q] [--seed S]\n  dcspan chaos [--smoke] [--out FILE] [--n N] [--threads T] [--queries Q] [--seed S] [--cap-c C]\n  dcspan chaos-shard [--smoke] [--out FILE] [--n N] [--shards K] [--replicas R] [--threads T] [--queries Q] [--seed S]",
         family = GraphFamily::NAMES,
         algo = BaselineAlgo::NAMES,
         policy = POLICY_NAMES,
@@ -975,6 +1034,12 @@ fn main() -> ExitCode {
             cmd_experiment(which, flags.contains_key("quick"))
         }
         "build" => cmd_build(&flags),
+        "migrate-artifact" => match (args.get(1), args.get(2)) {
+            (Some(input), Some(out)) if !input.starts_with("--") && !out.starts_with("--") => {
+                cmd_migrate_artifact(input, out, &flags)
+            }
+            _ => Err(CliError::Usage),
+        },
         "serve" => cmd_serve(&flags),
         "serve-http" => cmd_serve_http(&flags),
         "loadgen" => cmd_loadgen(&flags),

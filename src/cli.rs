@@ -36,6 +36,10 @@ pub enum CliError {
     UnknownPolicy(String),
     /// Unknown experiment name.
     UnknownExperiment(String),
+    /// Unknown `--format` value (artifact format label).
+    UnknownFormat(String),
+    /// Unknown `--reorder` value (node-reordering label).
+    UnknownReorder(String),
     /// A spanner construction failed to produce a valid output.
     SpannerFailed(String),
     /// A file could not be read or written.
@@ -76,6 +80,15 @@ impl std::fmt::Display for CliError {
             CliError::UnknownAlgorithm(name) => write!(f, "unknown spanner algorithm: {name}"),
             CliError::UnknownPolicy(name) => write!(f, "unknown detour policy: {name}"),
             CliError::UnknownExperiment(name) => write!(f, "unknown experiment: {name}"),
+            CliError::UnknownFormat(name) => {
+                write!(f, "unknown artifact format: {name} (expected v1 or v2)")
+            }
+            CliError::UnknownReorder(name) => {
+                write!(
+                    f,
+                    "unknown reorder kind: {name} (expected none, rcm, or degree)"
+                )
+            }
             CliError::SpannerFailed(msg) => write!(f, "spanner construction failed: {msg}"),
             CliError::Io { path, source } => write!(f, "cannot access {path}: {source}"),
             CliError::Serialize(e) => write!(f, "cannot serialise artifact rows: {e}"),

@@ -115,7 +115,7 @@ fn corrupted_artifact_is_a_typed_error_never_a_panic() {
     let delta = workloads::theorem3_degree(n);
     let g = workloads::regime_expander(n, delta, 7);
     let artifact = Oracle::build_artifact(&g, SpannerAlgo::Theorem3, 7);
-    let bytes = artifact.encode();
+    let bytes = artifact.encode().expect("encode artifact");
 
     // A representative byte in every region: magic, version, header
     // checksum, section table, and each payload — all typed errors.

@@ -1,0 +1,205 @@
+//! Format-v2 acceptance tests (DESIGN.md §15): a v2 artifact without
+//! reordering serves **bit-identically** to the v1 encoding of the same
+//! build; an RCM-reordered v2 artifact serves **semantically
+//! equivalent** routes (valid paths, same outcome/kind/hops per query,
+//! comparable congestion) at `n = 2000`; and a second OS process
+//! serving the same v2 file pays almost no *private* RSS because the
+//! mapped sections stay in the shared page cache.
+
+use dcspan::core::serve::SpannerAlgo;
+use dcspan::experiments::workloads;
+use dcspan::oracle::{Oracle, OracleConfig, ReorderKind};
+use dcspan::routing::RoutingProblem;
+use dcspan::store::MappedArtifact;
+use std::io::{BufRead, BufReader, Write};
+use std::path::PathBuf;
+
+const N: usize = 2000;
+const SEED: u64 = 20240807;
+const QUERIES: usize = 5000;
+
+fn temp(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("dcspan-v2-{tag}-{}.bin", std::process::id()))
+}
+
+#[test]
+fn v2_serves_bit_identically_and_reordered_serves_equivalently() {
+    let delta = workloads::theorem3_degree(N);
+    let g = workloads::regime_expander(N, delta, SEED);
+    let config = OracleConfig {
+        seed: SEED,
+        ..OracleConfig::default()
+    };
+
+    // Same build, both encodings on disk.
+    let artifact = Oracle::build_artifact(&g, SpannerAlgo::Theorem3, SEED);
+    let (p1, p2) = (temp("v1"), temp("v2"));
+    artifact.save(&p1).expect("save v1");
+    artifact.save_v2(&p2).expect("save v2");
+    let from_v1 = Oracle::from_artifact_file(&p1, config).expect("load v1");
+    let from_v2 = Oracle::from_artifact_file(&p2, config).expect("open v2");
+    assert!(!from_v1.uses_shared_storage());
+
+    // v2 without reordering is bit-identical to v1 serving: every
+    // response — including cache_hit flags, both caches cold — matches.
+    let problem = RoutingProblem::random_pairs(N, QUERIES, SEED ^ 0xBEEF);
+    for (q, &(u, v)) in problem.pairs().iter().enumerate() {
+        let a = from_v1.route(u, v, q as u64);
+        let b = from_v2.route(u, v, q as u64);
+        assert_eq!(a, b, "query {q} ({u}, {v}) diverged between v1 and v2");
+    }
+
+    // RCM-reordered artifact of the same instance: answers are
+    // semantically equivalent and paths are valid walks in G between
+    // the queried (external) endpoints.
+    let reordered_artifact =
+        Oracle::build_artifact_reordered(&g, SpannerAlgo::Theorem3, SEED, ReorderKind::Rcm)
+            .expect("reordered build");
+    assert!(reordered_artifact.perm.is_some());
+    let pr = temp("v2r");
+    reordered_artifact.save_v2(&pr).expect("save reordered");
+    let reordered = Oracle::from_artifact_file(&pr, config).expect("open reordered");
+    assert!(reordered.is_reordered());
+
+    let mut answered = 0usize;
+    let mut load_plain = vec![0u64; N];
+    let mut load_reord = vec![0u64; N];
+    for (q, &(u, v)) in problem.pairs().iter().enumerate() {
+        let id = (QUERIES + q) as u64;
+        match (from_v2.route(u, v, id), reordered.route(u, v, id)) {
+            (Ok(a), Ok(b)) => {
+                assert_eq!(a.kind, b.kind, "query {q}: kind diverged");
+                assert_eq!(a.hops(), b.hops(), "query {q}: hop count diverged");
+                let nodes = b.path.nodes();
+                assert_eq!(nodes.first().copied(), Some(u), "query {q}: wrong source");
+                assert_eq!(nodes.last().copied(), Some(v), "query {q}: wrong target");
+                for w in nodes.windows(2) {
+                    assert!(
+                        g.has_edge(w[0], w[1]),
+                        "query {q}: reordered path uses non-edge ({}, {})",
+                        w[0],
+                        w[1]
+                    );
+                }
+                for &x in a.path.nodes() {
+                    load_plain[x as usize] += 1;
+                }
+                for &x in nodes {
+                    load_reord[x as usize] += 1;
+                }
+                answered += 1;
+            }
+            (Err(ea), Err(eb)) => assert_eq!(ea, eb, "query {q}: rejections diverged"),
+            (a, b) => panic!("query {q}: outcome diverged: {a:?} vs {b:?}"),
+        }
+    }
+    assert!(
+        answered * 10 >= QUERIES * 9,
+        "only {answered}/{QUERIES} queries answered"
+    );
+    // β-equivalence: identical hop counts bound total load exactly; the
+    // peak may shift between nodes with detour tie-breaks, but not blow
+    // up. (Both profiles were accumulated in external ids above.)
+    let (max_p, max_r) = (
+        load_plain.iter().copied().max().unwrap_or(0).max(1),
+        load_reord.iter().copied().max().unwrap_or(0).max(1),
+    );
+    assert_eq!(
+        load_plain.iter().sum::<u64>(),
+        load_reord.iter().sum::<u64>(),
+        "total load must match when every hop count matches"
+    );
+    assert!(
+        max_r <= 2 * max_p && max_p <= 2 * max_r,
+        "peak congestion diverged: {max_p} plain vs {max_r} reordered"
+    );
+
+    for p in [&p1, &p2, &pr] {
+        let _ = std::fs::remove_file(p);
+    }
+}
+
+/// Private (non-file-backed) and shared resident KiB of `pid`, from
+/// `/proc/<pid>/statm` (4 KiB pages); `None` off Linux.
+fn statm_kb(pid: u32) -> Option<(i64, i64)> {
+    let statm = std::fs::read_to_string(format!("/proc/{pid}/statm")).ok()?;
+    let mut fields = statm.split_whitespace();
+    let resident: i64 = fields.nth(1)?.parse().ok()?;
+    let shared: i64 = fields.next()?.parse().ok()?;
+    Some(((resident - shared) * 4, shared * 4))
+}
+
+/// Spawn `dcspan serve` on `artifact`, prove it is answering (one routed
+/// query), and return the live child plus its stdio handles.
+fn spawn_serve(
+    artifact: &std::path::Path,
+) -> (
+    std::process::Child,
+    std::process::ChildStdin,
+    BufReader<std::process::ChildStdout>,
+) {
+    let mut child = std::process::Command::new(env!("CARGO_BIN_EXE_dcspan"))
+        .args(["serve", "--artifact"])
+        .arg(artifact)
+        .stdin(std::process::Stdio::piped())
+        .stdout(std::process::Stdio::piped())
+        .spawn()
+        .expect("spawn dcspan serve");
+    let mut stdin = child.stdin.take().expect("child stdin");
+    let mut stdout = BufReader::new(child.stdout.take().expect("child stdout"));
+    stdin
+        .write_all(b"{\"u\":1,\"v\":200}\n")
+        .and_then(|()| stdin.flush())
+        .expect("write query");
+    let mut line = String::new();
+    stdout.read_line(&mut line).expect("read response");
+    assert!(line.contains("\"ok\""), "unexpected response: {line}");
+    (child, stdin, stdout)
+}
+
+#[test]
+fn second_serving_process_shares_the_mapped_artifact_pages() {
+    let n = 300;
+    let delta = workloads::theorem3_degree(n);
+    let g = workloads::regime_expander(n, delta, 11);
+    let artifact = Oracle::build_artifact(&g, SpannerAlgo::Theorem3, 11);
+    let path = temp("share");
+    artifact.save_v2(&path).expect("save v2");
+    let file_kb = std::fs::metadata(&path).expect("stat artifact").len() as i64 / 1024;
+    assert!(
+        file_kb > 512,
+        "artifact too small to measure ({file_kb} KiB)"
+    );
+
+    // Page sharing only exists on the real-mmap backing; the portable
+    // heap fallback (and non-Linux hosts) have nothing to measure.
+    let mapped = MappedArtifact::open(&path).expect("open v2");
+    if !mapped.is_mmap() || statm_kb(std::process::id()).is_none() {
+        let _ = std::fs::remove_file(&path);
+        return;
+    }
+    drop(mapped);
+
+    let (mut c1, in1, out1) = spawn_serve(&path);
+    let (mut c2, in2, out2) = spawn_serve(&path);
+    // Both children checksum-verified the whole file at open, so every
+    // artifact page is resident and file-backed: it must show up as
+    // shared, not private, in both — the "one page-cache copy,
+    // N replicas" contract.
+    for (who, child) in [("first", &c1), ("second", &c2)] {
+        let (private_kb, shared_kb) = statm_kb(child.id()).expect("child statm");
+        assert!(
+            shared_kb >= file_kb / 2,
+            "{who} serve process shares only {shared_kb} KiB of a {file_kb} KiB artifact"
+        );
+        assert!(
+            private_kb < file_kb / 2,
+            "{who} serve process holds {private_kb} KiB private against a {file_kb} KiB \
+             artifact — the mapped sections were copied, not shared"
+        );
+    }
+    drop((in1, in2));
+    let _ = (c1.wait(), c2.wait());
+    drop((out1, out2));
+    let _ = std::fs::remove_file(&path);
+}

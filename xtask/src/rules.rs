@@ -1,4 +1,4 @@
-//! The six project-specific lint rules.
+//! The seven project-specific lint rules.
 //!
 //! | rule            | scope                                   | enforces |
 //! |-----------------|------------------------------------------|----------|
@@ -8,6 +8,7 @@
 //! | `doc_anchor`    | `crates/core/src` algorithm modules      | every `pub fn` doc references a paper anchor (Theorem/Lemma/Algorithm/…) |
 //! | `atomic_ordering` | all `crates/*/src` except `loomlite`, non-test | every `Ordering::*` site carries a `// ord:` happens-before justification; `SeqCst` additionally must say why weaker orderings fail |
 //! | `sync_facade`   | `crates/oracle/src` except `sync.rs`, non-test | no direct `std::sync::atomic` / `std::sync::Arc` — all sync routes through the `--cfg loom`-swappable `crate::sync` facade |
+//! | `unsafe_gate`   | all `crates/*/src` except `store/src/region.rs` | no `unsafe` anywhere else — the whole unsafe surface (mmap + borrowed-section casts) lives in the one narrowly-audited module |
 //!
 //! Deliberate exceptions carry an inline `// xtask: allow(<rule>) — why`
 //! directive; the directive is itself the audit trail. `crates/loomlite`
@@ -106,6 +107,51 @@ pub(crate) fn check_file(file: &SourceFile, out: &mut Vec<Violation>) {
     doc_anchor(file, out);
     atomic_ordering(file, out);
     sync_facade(file, out);
+    unsafe_gate(file, out);
+}
+
+/// The single module permitted to contain `unsafe` code: the region/
+/// section layer of `dcspan-store` (mmap syscalls, aligned allocation,
+/// and the probed `&[u8] → &[u32]`-family casts). Everything else in the
+/// workspace lives under `forbid(unsafe_code)`; this rule is the
+/// belt-and-suspenders check that nobody relaxes a crate-level lint
+/// table to sneak a second unsafe island in.
+const UNSAFE_MODULE: &str = "crates/store/src/region.rs";
+
+fn unsafe_gate(file: &SourceFile, out: &mut Vec<Violation>) {
+    if file.rel == UNSAFE_MODULE {
+        return;
+    }
+    for (idx, line) in file.lines.iter().enumerate() {
+        if line.in_test || allowed(file, idx, "unsafe_gate") {
+            continue;
+        }
+        // Match the keyword `unsafe` as a whole word; `unsafe_code`
+        // (lint-table mentions like `#[allow(unsafe_code)]`) and other
+        // identifiers containing the substring never fire.
+        let bytes = line.code.as_bytes();
+        let fires = line.code.match_indices("unsafe").any(|(pos, m)| {
+            let before_ok =
+                pos == 0 || !(bytes[pos - 1].is_ascii_alphanumeric() || bytes[pos - 1] == b'_');
+            let after = pos + m.len();
+            let after_ok = after >= bytes.len()
+                || !(bytes[after].is_ascii_alphanumeric() || bytes[after] == b'_');
+            before_ok && after_ok
+        });
+        if fires {
+            push(
+                out,
+                file,
+                idx,
+                "unsafe_gate",
+                &format!(
+                    "`unsafe` outside `{UNSAFE_MODULE}` — all unsafe code is \
+                     confined to that one audited module; extend it there or \
+                     find a safe formulation"
+                ),
+            );
+        }
+    }
 }
 
 fn push(out: &mut Vec<Violation>, file: &SourceFile, idx: usize, rule: &'static str, msg: &str) {
@@ -414,6 +460,38 @@ mod tests {
         let mut out = Vec::new();
         check_file(&file, &mut out);
         out
+    }
+
+    #[test]
+    fn unsafe_outside_region_flagged() {
+        let v = check(
+            "crates/gen/src/x.rs",
+            "pub fn f(p: *const u32) -> u32 { unsafe { *p } }\n",
+        );
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, "unsafe_gate");
+    }
+
+    #[test]
+    fn unsafe_inside_region_module_ok() {
+        let v = check(
+            "crates/store/src/region.rs",
+            "pub fn f(p: *const u32) -> u32 { unsafe { *p } }\n",
+        );
+        assert!(v.iter().all(|v| v.rule != "unsafe_gate"));
+    }
+
+    #[test]
+    fn unsafe_code_lint_mention_ok() {
+        let v = check(
+            "crates/store/src/lib.rs",
+            "#![deny(unsafe_code)]\n#[allow(unsafe_code)]\nmod region;\n",
+        );
+        assert!(
+            v.is_empty(),
+            "lint-table mentions must not fire: {:?}",
+            v.iter().map(|v| &v.message).collect::<Vec<_>>()
+        );
     }
 
     #[test]
