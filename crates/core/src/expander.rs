@@ -12,7 +12,7 @@
 
 use dcspan_graph::invariants;
 use dcspan_graph::matching::max_bipartite_matching;
-use dcspan_graph::sample::sample_subgraph;
+use dcspan_graph::sample::{sample_subgraph, sample_subgraph_pair_keyed};
 use dcspan_graph::{Graph, NodeId};
 use dcspan_routing::replace::{DetourPolicy, EdgeRouter, SpannerDetourRouter};
 use rand::rngs::SmallRng;
@@ -69,6 +69,24 @@ pub fn build_expander_spanner(
     invariants::assert_graph_contract(g, "build_expander_spanner: input");
     let h = sample_subgraph(g, params.sample_prob, seed);
     invariants::assert_subgraph(&h, g, "build_expander_spanner: output");
+    ExpanderSpanner { h, params }
+}
+
+/// The Theorem 2 spanner with **pair-keyed** sampling: each edge's fate
+/// depends only on `(seed, {u, v})`, never on its position in the edge
+/// list. The construction and guarantees are identical to
+/// [`build_expander_spanner`] (each edge is still an independent
+/// Bernoulli trial); the keying is what makes the sample stable under
+/// graph mutation, so the serving pipeline's incremental updates can
+/// resample only where the graph actually changed.
+pub fn build_expander_spanner_pair_sampled(
+    g: &Graph,
+    params: ExpanderSpannerParams,
+    seed: u64,
+) -> ExpanderSpanner {
+    invariants::assert_graph_contract(g, "build_expander_spanner_pair_sampled: input");
+    let h = sample_subgraph_pair_keyed(g, params.sample_prob, seed);
+    invariants::assert_subgraph(&h, g, "build_expander_spanner_pair_sampled: output");
     ExpanderSpanner { h, params }
 }
 

@@ -27,7 +27,10 @@
 //! * [`certify`] — one-shot (α, β)-DC-spanner certification bundling the
 //!   structural, distance, and congestion checks,
 //! * [`serve`] — the serving-layer seam: uniform access to a built spanner
-//!   for the `dcspan-oracle` query engine.
+//!   for the `dcspan-oracle` query engine,
+//! * [`delta`] — incremental spanner maintenance: after an edge-mutation
+//!   batch, recompute `H` only inside the batch's blast radius,
+//!   bit-identical to a from-scratch rebuild.
 
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
@@ -35,6 +38,7 @@
 pub mod baswana_sen;
 pub mod becchetti;
 pub mod certify;
+pub mod delta;
 pub mod eval;
 pub mod exact;
 pub mod expander;
@@ -46,6 +50,7 @@ pub mod serve;
 pub mod support;
 pub mod vft;
 
+pub use delta::{update_spanner, SpannerUpdate};
 pub use eval::{DcEvaluation, DistanceStretchReport};
 pub use expander::{ExpanderSpanner, ExpanderSpannerParams};
 pub use regular::{RegularSpanner, RegularSpannerParams};

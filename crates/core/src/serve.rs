@@ -8,8 +8,10 @@
 //! duplicating dispatch. [`SpannerAlgo`]/[`build_spanner`] give callers a
 //! stringly-typed front door for the same dispatch.
 
-use crate::expander::{build_expander_spanner, ExpanderSpanner, ExpanderSpannerParams};
-use crate::regular::{build_regular_spanner, RegularSpanner, RegularSpannerParams};
+use crate::expander::{
+    build_expander_spanner_pair_sampled, ExpanderSpanner, ExpanderSpannerParams,
+};
+use crate::regular::{build_regular_spanner_pair_sampled, RegularSpanner, RegularSpannerParams};
 use dcspan_graph::{invariants, Graph};
 
 /// A spanner construction's output, reduced to what serving needs: the
@@ -116,18 +118,26 @@ impl SpannerAlgo {
 
 /// Build the chosen DC-spanner for `g` and hand back `H` (Theorem 2 or
 /// Theorem 3 per [`SpannerAlgo`]), checking the spanner exit contract.
+///
+/// All three constructions sample **pair-keyed** (an edge's survival
+/// depends only on `(seed, {u, v})`, never on its edge-list position), so
+/// a serving artifact built here can later absorb edge mutations
+/// incrementally: unchanged edges keep their sampling fate and only the
+/// mutation's blast radius needs recomputing (`Oracle::apply_delta`).
 pub fn build_spanner(g: &Graph, algo: SpannerAlgo, seed: u64) -> Graph {
     let n = g.n();
     let delta = g.max_degree();
     let h = match algo {
         SpannerAlgo::Theorem2 => {
-            build_expander_spanner(g, ExpanderSpannerParams::paper(n, delta), seed).into_spanner()
+            build_expander_spanner_pair_sampled(g, ExpanderSpannerParams::paper(n, delta), seed)
+                .into_spanner()
         }
         SpannerAlgo::Theorem2WithProb(p) => {
-            build_expander_spanner(g, ExpanderSpannerParams::with_prob(p), seed).into_spanner()
+            build_expander_spanner_pair_sampled(g, ExpanderSpannerParams::with_prob(p), seed)
+                .into_spanner()
         }
         SpannerAlgo::Theorem3 => {
-            build_regular_spanner(g, RegularSpannerParams::calibrated(n, delta), seed)
+            build_regular_spanner_pair_sampled(g, RegularSpannerParams::calibrated(n, delta), seed)
                 .into_spanner()
         }
     };
@@ -138,6 +148,7 @@ pub fn build_spanner(g: &Graph, algo: SpannerAlgo, seed: u64) -> Graph {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::expander::build_expander_spanner;
     use dcspan_gen::regular::random_regular;
 
     #[test]

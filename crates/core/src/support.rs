@@ -31,6 +31,7 @@
 //! sweep as the differential-test and benchmark reference; both produce
 //! bit-identical masks.
 
+use dcspan_graph::bitset::BitSet;
 use dcspan_graph::intersect::{IntersectKernel, StrongPairTable};
 use dcspan_graph::invariants;
 use dcspan_graph::{Graph, NodeId};
@@ -61,13 +62,28 @@ pub fn extension_support_profile(g: &Graph, u: NodeId, v: NodeId) -> Vec<usize> 
 /// Is edge `(u, v)` `(a, b)`-supported toward `v`? (One direction of the
 /// Algorithm 1, line 8 test.)
 pub fn is_supported_toward(g: &Graph, u: NodeId, v: NodeId, a: usize, b: usize) -> bool {
+    let kernel = IntersectKernel::lean(g);
+    supported_toward_with_kernel(&kernel, u, v, a, b)
+}
+
+/// One direction of the line 8 test over a caller-held kernel: counts
+/// `z ∈ N(v) \ {u}` with `|N(u) ∩ N(z)| ≥ a + 1`, with a two-sided early
+/// exit against `b`. `kernel.count_at_least(u, z, a + 1)` is exactly the
+/// [`StrongPairTable::is_strong`] predicate evaluated on demand, so this
+/// is boolean-identical to [`is_supported_toward_with`] per pair — the
+/// hinge that lets the localized recompute skip the table build.
+fn supported_toward_with_kernel(
+    kernel: &IntersectKernel<'_>,
+    u: NodeId,
+    v: NodeId,
+    a: usize,
+    b: usize,
+) -> bool {
     if b == 0 {
         return true;
     }
-    let kernel = IntersectKernel::lean(g);
     let threshold = a.saturating_add(1);
-    // Two-sided early exit against b.
-    let candidates = g.neighbors(v);
+    let candidates = kernel.graph().neighbors(v);
     let mut count = 0usize;
     for (idx, &z) in candidates.iter().enumerate() {
         if count + (candidates.len() - idx) < b {
@@ -81,6 +97,19 @@ pub fn is_supported_toward(g: &Graph, u: NodeId, v: NodeId, a: usize, b: usize) 
         }
     }
     false
+}
+
+/// Both directions of the line 8 test over a caller-held kernel —
+/// the per-edge verdict of [`supported_edge_mask`], evaluated on demand.
+pub(crate) fn supported_edge_with_kernel(
+    kernel: &IntersectKernel<'_>,
+    u: NodeId,
+    v: NodeId,
+    a: usize,
+    b: usize,
+) -> bool {
+    supported_toward_with_kernel(kernel, u, v, a, b)
+        || supported_toward_with_kernel(kernel, v, u, a, b)
 }
 
 /// Is edge `(u, v)` `(a, b)`-supported in at least one direction?
@@ -138,6 +167,48 @@ pub fn supported_edge_mask(g: &Graph, a: usize, b: usize) -> Vec<bool> {
         .map(|e| {
             is_supported_toward_with(&table, g, e.u, e.v, b)
                 || is_supported_toward_with(&table, g, e.v, e.u, b)
+        })
+        .collect()
+}
+
+/// Localized support recompute for incremental maintenance: the mask of
+/// [`supported_edge_mask`] over the *mutated* graph `g`, recomputing the
+/// line 8 test only for edges with an endpoint inside `region` and
+/// answering every other edge from `old_verdict`.
+///
+/// `region` must contain the closed 1-hop neighbourhood `N¹[M]` of the
+/// mutation batch's net-changed endpoints, taken over the union of the
+/// old and new graphs (see `dcspan_graph::delta::blast_radius`). For an
+/// edge `{u, v}` with neither endpoint in `N¹[M]`, every quantity the
+/// verdict reads — `N(v)`, `N(u)`, and `|N(u) ∩ N(z)|` for `z ∈ N(v)` —
+/// is identical in both graph versions (`z ∈ M` would force
+/// `v ∈ N¹[M]`), so the old verdict *is* the new verdict and the splice
+/// is exact: the result is bit-identical to `supported_edge_mask(g, a, b)`
+/// whenever `old_verdict` reports the old graph's true mask.
+///
+/// In-region edges are recomputed with on-demand `count_at_least` probes
+/// (boolean-identical to the [`StrongPairTable`] path), skipping the
+/// full-graph table build that dominates a from-scratch mask.
+pub fn recompute_mask_in<F>(
+    g: &Graph,
+    a: usize,
+    b: usize,
+    region: &BitSet,
+    old_verdict: F,
+) -> Vec<bool>
+where
+    F: Fn(NodeId, NodeId) -> bool + Sync,
+{
+    invariants::assert_graph_contract(g, "recompute_mask_in: input");
+    let kernel = IntersectKernel::new(g);
+    g.edges()
+        .par_iter()
+        .map(|e| {
+            if region.contains(e.u as usize) || region.contains(e.v as usize) {
+                supported_edge_with_kernel(&kernel, e.u, e.v, a, b)
+            } else {
+                old_verdict(e.u, e.v)
+            }
         })
         .collect()
 }
@@ -369,6 +440,27 @@ mod tests {
         // Candidates are respected: nothing flagged where candidate=false.
         let none = vec![false; g.m()];
         assert!(safe_reinsert_flags(&g, &h, &none).iter().all(|&f| !f));
+    }
+
+    #[test]
+    fn localized_recompute_matches_full_mask() {
+        use dcspan_graph::delta::{apply_mutations, blast_radius, EdgeMutation};
+        let g = dcspan_gen::regular::random_regular(60, 12, 3);
+        let batch = [
+            EdgeMutation::Remove(g.edges()[0].u, g.edges()[0].v),
+            EdgeMutation::Remove(g.edges()[30].u, g.edges()[30].v),
+            EdgeMutation::Insert(g.edges()[0].u, g.edges()[30].v),
+        ];
+        let (g2, diff) = apply_mutations(&g, &batch).unwrap();
+        let br = blast_radius(&g, &g2, &diff);
+        for (a, b) in [(1, 2), (2, 3), (3, 1)] {
+            let old_mask = supported_edge_mask(&g, a, b);
+            let verdict = |u: NodeId, v: NodeId| {
+                old_mask[g.edge_id(u, v).expect("out-of-region edge exists in g_old")]
+            };
+            let patched = recompute_mask_in(&g2, a, b, &br.one_hop, verdict);
+            assert_eq!(patched, supported_edge_mask(&g2, a, b), "a={a} b={b}");
+        }
     }
 
     #[test]

@@ -30,6 +30,7 @@
 //! | [`e20_store`] | artifact store: build once, serve forever (save/verify/load vs rebuild, bit-identical serving) |
 //! | [`e21_serve`] | networked serving: open-loop QPS sweep over HTTP with β-budget load shedding |
 //! | [`e22_shard`] | sharded serving robustness: replica/shard outages, typed partial results |
+//! | [`e23_delta`] | incremental maintenance: delta apply vs from-scratch rebuild, bit-identical |
 //! | [`table1`] | the complete Table 1, measured |
 //! | [`ablations`] | design-choice ablations (A1–A3) |
 
@@ -51,6 +52,7 @@ pub mod e1_expander;
 pub mod e20_store;
 pub mod e21_serve;
 pub mod e22_shard;
+pub mod e23_delta;
 pub mod e2_becchetti;
 pub mod e3_koutis_xu;
 pub mod e4_regular;

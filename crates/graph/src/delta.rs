@@ -1,0 +1,410 @@
+//! Edge mutation batches, overlay views, and blast-radius extraction.
+//!
+//! Incremental maintenance treats a graph change as a *batch* of
+//! [`EdgeMutation`]s applied with sequential set semantics: inserting an
+//! edge that is already present, or removing one that is absent, is a
+//! tolerated no-op, and an insert followed by a remove of the same edge
+//! cancels. The net effect of a batch is captured by a [`MutationDiff`]
+//! (edges added, edges removed — both canonical and sorted), which is what
+//! every downstream incremental pass keys on.
+//!
+//! The paper's construction is structurally local: an edge's support
+//! status depends only on common-neighbour counts among its endpoints'
+//! neighbourhoods, and a detour row on 2/3-hop reachability between its
+//! endpoints. [`blast_radius`] extracts exactly the node region a batch
+//! can influence — the mutated endpoints `M`, their closed 1-hop
+//! neighbourhood `N¹[M]`, and the closed 2-hop neighbourhood `N²[M]`, all
+//! over the *union* of the old and new graphs (an influence that exists in
+//! either version must be chased).
+
+use crate::bitset::BitSet;
+use crate::graph::{Edge, Graph, GraphError, NodeId};
+use crate::FxHashSet;
+
+/// A single edge mutation in the node-id space of the graph it targets.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum EdgeMutation {
+    /// Insert the undirected edge `{u, v}` (no-op if already present).
+    Insert(NodeId, NodeId),
+    /// Remove the undirected edge `{u, v}` (no-op if absent).
+    Remove(NodeId, NodeId),
+}
+
+impl EdgeMutation {
+    /// The mutation's endpoints as written (not canonicalised).
+    pub fn endpoints(self) -> (NodeId, NodeId) {
+        match self {
+            EdgeMutation::Insert(u, v) | EdgeMutation::Remove(u, v) => (u, v),
+        }
+    }
+
+    /// True for [`EdgeMutation::Insert`].
+    pub fn is_insert(self) -> bool {
+        matches!(self, EdgeMutation::Insert(..))
+    }
+
+    /// The canonical edge this mutation targets, validating the endpoints
+    /// against a graph on `n` nodes.
+    pub fn edge(self, n: usize) -> Result<Edge, GraphError> {
+        let (u, v) = self.endpoints();
+        if u == v {
+            return Err(GraphError::SelfLoop(u));
+        }
+        for node in [u, v] {
+            if node as usize >= n {
+                return Err(GraphError::OutOfRange { node, n });
+            }
+        }
+        Ok(Edge::new(u, v))
+    }
+}
+
+/// The net effect of a mutation batch: edges present only after, and edges
+/// present only before. Both lists are canonical (`u < v`) and sorted, so
+/// they diff and splice deterministically.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct MutationDiff {
+    /// Edges in the new graph that were not in the old one.
+    pub added: Vec<Edge>,
+    /// Edges in the old graph that are not in the new one.
+    pub removed: Vec<Edge>,
+}
+
+impl MutationDiff {
+    /// True when the batch had no net effect.
+    pub fn is_empty(&self) -> bool {
+        self.added.is_empty() && self.removed.is_empty()
+    }
+
+    /// Total number of net edge changes.
+    pub fn len(&self) -> usize {
+        self.added.len() + self.removed.len()
+    }
+
+    /// The diff between two graphs on the same node set, computed
+    /// directly from their canonical edge lists (two-pointer merge).
+    pub fn between(old: &Graph, new: &Graph) -> MutationDiff {
+        let (a, b) = (old.edges(), new.edges());
+        let mut diff = MutationDiff::default();
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < a.len() && j < b.len() {
+            match a[i].cmp(&b[j]) {
+                std::cmp::Ordering::Less => {
+                    diff.removed.push(a[i]);
+                    i += 1;
+                }
+                std::cmp::Ordering::Greater => {
+                    diff.added.push(b[j]);
+                    j += 1;
+                }
+                std::cmp::Ordering::Equal => {
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        diff.removed.extend_from_slice(&a[i..]);
+        diff.added.extend_from_slice(&b[j..]);
+        diff
+    }
+}
+
+/// A mutable overlay over an immutable CSR [`Graph`]: the base graph plus
+/// a set of pending inserts and removes, queryable without materialising a
+/// new CSR. Used to stage a batch, answer adjacency questions mid-batch,
+/// and then [`GraphOverlay::materialize`] once.
+#[derive(Clone, Debug)]
+pub struct GraphOverlay<'a> {
+    base: &'a Graph,
+    added: FxHashSet<Edge>,
+    removed: FxHashSet<Edge>,
+}
+
+impl<'a> GraphOverlay<'a> {
+    /// Start an overlay with no pending mutations.
+    pub fn new(base: &'a Graph) -> Self {
+        GraphOverlay {
+            base,
+            added: FxHashSet::default(),
+            removed: FxHashSet::default(),
+        }
+    }
+
+    /// The underlying immutable graph.
+    pub fn base(&self) -> &'a Graph {
+        self.base
+    }
+
+    /// Number of nodes (overlays never change the node set).
+    pub fn n(&self) -> usize {
+        self.base.n()
+    }
+
+    /// Number of edges in the overlaid graph.
+    pub fn m(&self) -> usize {
+        self.base.m() + self.added.len() - self.removed.len()
+    }
+
+    /// Whether `{a, b}` is an edge of the overlaid graph.
+    pub fn has_edge(&self, a: NodeId, b: NodeId) -> bool {
+        if a == b {
+            return false;
+        }
+        let e = Edge::new(a, b);
+        if self.added.contains(&e) {
+            return true;
+        }
+        if self.removed.contains(&e) {
+            return false;
+        }
+        self.base.has_edge(a, b)
+    }
+
+    /// Degree of `u` in the overlaid graph.
+    pub fn degree(&self, u: NodeId) -> usize {
+        let mut d = self.base.degree(u);
+        for e in &self.added {
+            if e.touches(u) {
+                d += 1;
+            }
+        }
+        for e in &self.removed {
+            if e.touches(u) {
+                d -= 1;
+            }
+        }
+        d
+    }
+
+    /// Apply one mutation with set semantics (no-ops tolerated), after
+    /// validating its endpoints.
+    pub fn apply(&mut self, mutation: EdgeMutation) -> Result<(), GraphError> {
+        let e = mutation.edge(self.base.n())?;
+        let in_base = self.base.has_edge(e.u, e.v);
+        if mutation.is_insert() {
+            if in_base {
+                self.removed.remove(&e);
+            } else {
+                self.added.insert(e);
+            }
+        } else if in_base {
+            self.removed.insert(e);
+        } else {
+            self.added.remove(&e);
+        }
+        Ok(())
+    }
+
+    /// The net effect of all mutations applied so far.
+    pub fn diff(&self) -> MutationDiff {
+        let mut added: Vec<Edge> = self.added.iter().copied().collect();
+        let mut removed: Vec<Edge> = self.removed.iter().copied().collect();
+        added.sort_unstable();
+        removed.sort_unstable();
+        MutationDiff { added, removed }
+    }
+
+    /// Materialise the overlaid graph as a fresh CSR [`Graph`].
+    pub fn materialize(&self) -> Graph {
+        if self.added.is_empty() && self.removed.is_empty() {
+            return self.base.clone();
+        }
+        self.base
+            .filter_edges(|_, e| !self.removed.contains(&e))
+            .with_extra_edges(self.added.iter().copied())
+    }
+}
+
+/// Apply a mutation batch to `g` with sequential set semantics and return
+/// the mutated graph together with the batch's net [`MutationDiff`].
+///
+/// Fails with a typed [`GraphError`] on the first self-loop or
+/// out-of-range endpoint; no-op inserts/removes are tolerated and an
+/// insert-then-remove of the same edge cancels exactly.
+pub fn apply_mutations(
+    g: &Graph,
+    batch: &[EdgeMutation],
+) -> Result<(Graph, MutationDiff), GraphError> {
+    let mut overlay = GraphOverlay::new(g);
+    for &m in batch {
+        overlay.apply(m)?;
+    }
+    Ok((overlay.materialize(), overlay.diff()))
+}
+
+/// The node region a mutation batch can influence, over `G_old ∪ G_new`.
+#[derive(Clone, Debug)]
+pub struct BlastRadius {
+    /// `M`: endpoints of net-changed edges, sorted and deduplicated.
+    pub touched: Vec<NodeId>,
+    /// `N¹[M]`: `M` plus every neighbour (in either graph version) of a
+    /// node in `M`. An edge's support status can change only if one of its
+    /// endpoints lies here.
+    pub one_hop: BitSet,
+    /// `N²[M]`: `N¹[M]` plus its neighbours. A pair's common-neighbour
+    /// count or detour row can change only if an endpoint lies here.
+    pub two_hop: BitSet,
+}
+
+impl BlastRadius {
+    /// True when neither endpoint of `{u, v}` lies in `N¹[M]`.
+    pub fn edge_outside_one_hop(&self, u: NodeId, v: NodeId) -> bool {
+        !self.one_hop.contains(u as usize) && !self.one_hop.contains(v as usize)
+    }
+}
+
+/// Grow `region` by one hop in `g`: insert every neighbour of every
+/// currently-set node. `seeds` lists the set nodes to expand from.
+fn expand_one_hop(g: &Graph, seeds: &[NodeId], region: &mut BitSet) {
+    for &u in seeds {
+        for &w in g.neighbors(u) {
+            region.insert(w as usize);
+        }
+    }
+}
+
+/// Compute the [`BlastRadius`] of `diff` over the union of `old` and
+/// `new`. Both graphs must share the node set; the diff is the output of
+/// [`apply_mutations`] or [`MutationDiff::between`] for that pair.
+pub fn blast_radius(old: &Graph, new: &Graph, diff: &MutationDiff) -> BlastRadius {
+    debug_assert_eq!(old.n(), new.n(), "blast radius requires one node set");
+    let n = old.n();
+    let mut touched: Vec<NodeId> = diff
+        .added
+        .iter()
+        .chain(diff.removed.iter())
+        .flat_map(|e| [e.u, e.v])
+        .collect();
+    touched.sort_unstable();
+    touched.dedup();
+
+    let mut one_hop = BitSet::new(n);
+    for &u in &touched {
+        one_hop.insert(u as usize);
+    }
+    expand_one_hop(old, &touched, &mut one_hop);
+    expand_one_hop(new, &touched, &mut one_hop);
+
+    let mut two_hop = one_hop.clone();
+    let frontier: Vec<NodeId> = one_hop.iter().map(|i| i as NodeId).collect();
+    expand_one_hop(old, &frontier, &mut two_hop);
+    expand_one_hop(new, &frontier, &mut two_hop);
+
+    BlastRadius {
+        touched,
+        one_hop,
+        two_hop,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path4() -> Graph {
+        Graph::from_edges(6, vec![(0, 1), (1, 2), (2, 3), (3, 4)])
+    }
+
+    #[test]
+    fn apply_insert_and_remove() {
+        let g = path4();
+        let batch = [EdgeMutation::Insert(4, 5), EdgeMutation::Remove(0, 1)];
+        let (g2, diff) = apply_mutations(&g, &batch).unwrap();
+        assert!(g2.has_edge(4, 5));
+        assert!(!g2.has_edge(0, 1));
+        assert_eq!(g2.m(), g.m());
+        assert_eq!(diff.added, vec![Edge::new(4, 5)]);
+        assert_eq!(diff.removed, vec![Edge::new(0, 1)]);
+        assert_eq!(diff, MutationDiff::between(&g, &g2));
+    }
+
+    #[test]
+    fn no_ops_are_tolerated() {
+        let g = path4();
+        let batch = [
+            EdgeMutation::Insert(0, 1), // already present
+            EdgeMutation::Remove(0, 5), // absent
+            EdgeMutation::Insert(2, 5), // new...
+            EdgeMutation::Remove(5, 2), // ...cancelled (either orientation)
+        ];
+        let (g2, diff) = apply_mutations(&g, &batch).unwrap();
+        assert_eq!(g2, g);
+        assert!(diff.is_empty());
+        assert_eq!(diff.len(), 0);
+    }
+
+    #[test]
+    fn remove_then_insert_cancels() {
+        let g = path4();
+        let batch = [EdgeMutation::Remove(1, 2), EdgeMutation::Insert(2, 1)];
+        let (g2, diff) = apply_mutations(&g, &batch).unwrap();
+        assert_eq!(g2, g);
+        assert!(diff.is_empty());
+    }
+
+    #[test]
+    fn typed_errors_on_bad_endpoints() {
+        let g = path4();
+        assert!(matches!(
+            apply_mutations(&g, &[EdgeMutation::Insert(3, 3)]),
+            Err(GraphError::SelfLoop(3))
+        ));
+        assert!(matches!(
+            apply_mutations(&g, &[EdgeMutation::Remove(0, 99)]),
+            Err(GraphError::OutOfRange { node: 99, n: 6 })
+        ));
+    }
+
+    #[test]
+    fn overlay_answers_adjacency_mid_batch() {
+        let g = path4();
+        let mut ov = GraphOverlay::new(&g);
+        ov.apply(EdgeMutation::Insert(0, 5)).unwrap();
+        ov.apply(EdgeMutation::Remove(2, 3)).unwrap();
+        assert!(ov.has_edge(0, 5));
+        assert!(!ov.has_edge(2, 3));
+        assert!(ov.has_edge(1, 2));
+        assert_eq!(ov.m(), g.m());
+        assert_eq!(ov.degree(5), 1);
+        assert_eq!(ov.degree(3), 1);
+        assert_eq!(
+            ov.materialize(),
+            apply_mutations(
+                &g,
+                &[EdgeMutation::Insert(0, 5), EdgeMutation::Remove(2, 3),]
+            )
+            .unwrap()
+            .0
+        );
+    }
+
+    #[test]
+    fn blast_radius_covers_both_versions() {
+        // Path 0-1-2-3-4 plus isolated 5; remove {2,3}, insert {4,5}.
+        let g = path4();
+        let batch = [EdgeMutation::Remove(2, 3), EdgeMutation::Insert(4, 5)];
+        let (g2, diff) = apply_mutations(&g, &batch).unwrap();
+        let br = blast_radius(&g, &g2, &diff);
+        assert_eq!(br.touched, vec![2, 3, 4, 5]);
+        // N¹[M] = {1,2,3,4,5}: 1 neighbours 2, and 5 joins via the new
+        // edge {4,5} (union semantics chase influence in either version).
+        for node in [1, 2, 3, 4, 5] {
+            assert!(br.one_hop.contains(node), "N¹ missing {node}");
+        }
+        // 0 is two hops from 2: in N² but not N¹.
+        assert!(!br.one_hop.contains(0));
+        assert!(br.two_hop.contains(0));
+        assert!(br.edge_outside_one_hop(0, 0));
+        assert!(!br.edge_outside_one_hop(0, 1));
+    }
+
+    #[test]
+    fn empty_diff_has_empty_radius() {
+        let g = path4();
+        let diff = MutationDiff::default();
+        let br = blast_radius(&g, &g, &diff);
+        assert!(br.touched.is_empty());
+        assert_eq!(br.one_hop.len(), 0);
+        assert_eq!(br.two_hop.len(), 0);
+    }
+}

@@ -14,7 +14,8 @@
 //! decoding — corruption degrades to a typed [`CodecError`], never a panic
 //! or an unbounded allocation.
 
-use crate::graph::{Edge, Graph, GraphBuilder};
+use crate::delta::EdgeMutation;
+use crate::graph::{Edge, Graph, GraphBuilder, NodeId};
 use std::io::{BufRead, Write};
 
 /// Errors arising while parsing a graph file.
@@ -52,9 +53,49 @@ pub fn write_edge_list<W: Write>(g: &Graph, mut w: W) -> std::io::Result<()> {
     Ok(())
 }
 
+/// The trimmed data lines of a pair-based text format: blank lines and
+/// `#`-prefixed comments are skipped, I/O errors propagate. Shared by the
+/// edge-list and mutations readers so both formats agree on comment and
+/// whitespace handling.
+fn data_lines<R: BufRead>(r: R) -> impl Iterator<Item = Result<String, ParseError>> {
+    r.lines().filter_map(|line| match line {
+        Err(e) => Some(Err(ParseError::Io(e))),
+        Ok(line) => {
+            let trimmed = line.trim();
+            if trimmed.is_empty() || trimmed.starts_with('#') {
+                None
+            } else {
+                Some(Ok(trimmed.to_string()))
+            }
+        }
+    })
+}
+
+/// Parse a pair of whitespace-separated `u v` endpoints from `tokens`,
+/// rejecting non-numeric tokens and self-loops with a typed error naming
+/// the offending line. Range validation is the caller's job (the mutations
+/// format carries no node count).
+fn parse_endpoint_pair(
+    tokens: &mut std::str::SplitWhitespace<'_>,
+    line: &str,
+) -> Result<(NodeId, NodeId), ParseError> {
+    let mut endpoint = || -> Result<NodeId, ParseError> {
+        tokens
+            .next()
+            .and_then(|t| t.parse().ok())
+            .ok_or_else(|| ParseError::Format(format!("bad edge line: {line}")))
+    };
+    let u = endpoint()?;
+    let v = endpoint()?;
+    if u == v {
+        return Err(ParseError::Format(format!("self-loop at {u}")));
+    }
+    Ok((u, v))
+}
+
 /// Read the edge-list format.
 pub fn read_edge_list<R: BufRead>(r: R) -> Result<Graph, ParseError> {
-    let mut lines = r.lines();
+    let mut lines = data_lines(r);
     let header = lines
         .next()
         .ok_or_else(|| ParseError::Format("empty input".into()))??;
@@ -72,24 +113,9 @@ pub fn read_edge_list<R: BufRead>(r: R) -> Result<Graph, ParseError> {
     let mut count = 0usize;
     for line in lines {
         let line = line?;
-        let trimmed = line.trim();
-        if trimmed.is_empty() || trimmed.starts_with('#') {
-            continue;
-        }
-        let mut parts = trimmed.split_whitespace();
-        let u: u32 = parts
-            .next()
-            .and_then(|t| t.parse().ok())
-            .ok_or_else(|| ParseError::Format(format!("bad edge line: {trimmed}")))?;
-        let v: u32 = parts
-            .next()
-            .and_then(|t| t.parse().ok())
-            .ok_or_else(|| ParseError::Format(format!("bad edge line: {trimmed}")))?;
+        let (u, v) = parse_endpoint_pair(&mut line.split_whitespace(), &line)?;
         if u as usize >= n || v as usize >= n {
             return Err(ParseError::Format(format!("edge ({u}, {v}) out of range")));
-        }
-        if u == v {
-            return Err(ParseError::Format(format!("self-loop at {u}")));
         }
         if !seen.insert(Edge::new(u, v)) {
             return Err(ParseError::Format(format!("duplicate edge ({u}, {v})")));
@@ -103,6 +129,44 @@ pub fn read_edge_list<R: BufRead>(r: R) -> Result<Graph, ParseError> {
         )));
     }
     Ok(builder.build())
+}
+
+/// Write a mutation batch in the mutations text format: one `+ u v`
+/// (insert) or `- u v` (remove) per line, applied in order.
+pub fn write_mutations<W: Write>(batch: &[EdgeMutation], mut w: W) -> std::io::Result<()> {
+    for m in batch {
+        let (u, v) = m.endpoints();
+        writeln!(w, "{} {u} {v}", if m.is_insert() { '+' } else { '-' })?;
+    }
+    Ok(())
+}
+
+/// Read a mutation batch written by [`write_mutations`]: `+ u v` /
+/// `- u v` lines (order preserved — the batch has sequential set
+/// semantics), with the same comment/blank-line handling and typed
+/// endpoint errors as [`read_edge_list`]. Endpoint *range* is validated
+/// when the batch is applied to a concrete graph, since the format
+/// carries no node count.
+pub fn read_mutations<R: BufRead>(r: R) -> Result<Vec<EdgeMutation>, ParseError> {
+    let mut batch = Vec::new();
+    for line in data_lines(r) {
+        let line = line?;
+        let mut tokens = line.split_whitespace();
+        let op = tokens
+            .next()
+            .ok_or_else(|| ParseError::Format(format!("bad mutation line: {line}")))?;
+        let (u, v) = parse_endpoint_pair(&mut tokens, &line)?;
+        match op {
+            "+" => batch.push(EdgeMutation::Insert(u, v)),
+            "-" => batch.push(EdgeMutation::Remove(u, v)),
+            other => {
+                return Err(ParseError::Format(format!(
+                    "unknown mutation op '{other}' (expected '+' or '-'): {line}"
+                )))
+            }
+        }
+    }
+    Ok(batch)
 }
 
 /// Write the DIMACS format (1-indexed).
@@ -573,6 +637,44 @@ mod tests {
         u64::MAX.encode_into(&mut buf);
         let mut r = ByteReader::new(&buf);
         assert_eq!(decode_seq::<u64>(&mut r), Err(CodecError::Truncated));
+    }
+
+    #[test]
+    fn mutations_roundtrip_preserving_order() {
+        let batch = vec![
+            EdgeMutation::Insert(3, 7),
+            EdgeMutation::Remove(7, 3),
+            EdgeMutation::Remove(0, 1),
+        ];
+        let mut buf = Vec::new();
+        write_mutations(&batch, &mut buf).unwrap();
+        assert_eq!(read_mutations(buf.as_slice()).unwrap(), batch);
+    }
+
+    #[test]
+    fn mutations_allow_comments_and_blanks() {
+        let text = "# batch 1\n+ 0 1\n\n- 2 3\n";
+        let batch = read_mutations(text.as_bytes()).unwrap();
+        assert_eq!(
+            batch,
+            vec![EdgeMutation::Insert(0, 1), EdgeMutation::Remove(2, 3)]
+        );
+    }
+
+    #[test]
+    fn mutations_reject_bad_ops_and_self_loops() {
+        assert!(matches!(
+            read_mutations("* 0 1\n".as_bytes()),
+            Err(ParseError::Format(_))
+        ));
+        assert!(matches!(
+            read_mutations("+ 4 4\n".as_bytes()),
+            Err(ParseError::Format(_))
+        ));
+        assert!(matches!(
+            read_mutations("+ 4\n".as_bytes()),
+            Err(ParseError::Format(_))
+        ));
     }
 
     #[test]

@@ -39,6 +39,7 @@
 pub mod bitset;
 pub mod coloring;
 pub mod csr;
+pub mod delta;
 pub mod graph;
 pub mod hash;
 pub mod intersect;
@@ -55,7 +56,10 @@ pub mod traversal;
 
 pub use bitset::BitSet;
 pub use csr::CsrTable;
-pub use graph::{Edge, Graph, GraphBuilder, NodeId};
+pub use delta::{
+    apply_mutations, blast_radius, BlastRadius, EdgeMutation, GraphOverlay, MutationDiff,
+};
+pub use graph::{Edge, Graph, GraphBuilder, GraphError, NodeId};
 pub use intersect::{IntersectKernel, StrongPairTable};
 pub use io::{decode_seq, encode_seq, ByteReader, CodecError, FixedCodec};
 pub use paths::Path;

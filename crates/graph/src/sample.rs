@@ -46,6 +46,15 @@ pub fn sample_mask_pair_keyed(g: &Graph, p: f64, seed: u64) -> Vec<bool> {
         .collect()
 }
 
+/// Subgraph of `g` (same node set) keeping each edge by the pair-keyed
+/// rule of [`edge_survives_pair`]. Because survival depends only on
+/// `(seed, {u, v})` — never on the edge's position in the edge list — the
+/// decision for an edge is stable across graph mutations, which is what
+/// makes incremental re-sampling a per-edge-local operation.
+pub fn sample_subgraph_pair_keyed(g: &Graph, p: f64, seed: u64) -> Graph {
+    g.filter_edges(|_, e| edge_survives_pair(seed, e.u, e.v, p))
+}
+
 /// The set of surviving edge ids when each edge of `g` is kept independently
 /// with probability `p`.
 pub fn sample_edge_ids(g: &Graph, p: f64, seed: u64) -> Vec<usize> {

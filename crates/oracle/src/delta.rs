@@ -1,0 +1,502 @@
+//! Incremental oracle maintenance: absorb an edge-mutation batch into a
+//! built artifact without rebuilding it from scratch.
+//!
+//! [`apply_delta_to_artifact`] is the build-once/update-forever engine:
+//! the spanner is updated inside the batch's blast radius
+//! ([`dcspan_core::update_spanner`], bit-identical to a fresh
+//! `build_spanner` on the mutated graph), and the detour index is patched
+//! **row-level** — only rows whose ≤3-hop candidate sets can have changed
+//! are re-enumerated; every other row is spliced verbatim from the old
+//! CSR tables. The result is structurally identical to
+//! `Oracle::build_artifact(g_new, algo, seed)`, so its v2 encoding is
+//! byte-identical too (the store layer's `--compact` relies on this).
+//!
+//! **Which rows can change?** A row `(a, b)` stores `N_H(a) ∩ N_H(b)`
+//! (2-hop midpoints) and `{(x, z) : x ∈ N_H(a), z ∈ N_H(b), (x,z) ∈ H}`
+//! (3-hop pairs). Let `T` be the endpoints of the spanner's edge diff
+//! `ΔH = E(H_old) Δ E(H_new)`. If neither `a` nor `b` lies in `T`, both
+//! neighbour sets the row reads are unchanged, so the row can differ
+//! only through the membership test on its 3-hop *middle* edges — and
+//! that test changed exactly on `ΔH`. Hence the row is dirty iff
+//! `a ∈ T`, `b ∈ T`, or some `ΔH` edge lies in `N_H(a) × N_H(b)` (in
+//! either orientation, over `H_old ∪ H_new`). The dirty set is
+//! enumerated per `ΔH` edge in `deg_H²` work on the sparse spanner —
+//! far tighter than rebuilding everything within a hop of `T`, which
+//! saturates at production densities. Newly missing edges (evicted from
+//! `H` or inserted into `G` outside `H`) always get fresh rows.
+//!
+//! **RNG-stream stability.** Query `q` draws from `item_rng(seed, q)`
+//! and consumes the stored candidate row in order. Untouched pairs keep
+//! byte-identical rows, so their per-query streams — and therefore their
+//! served paths — are identical before and after the delta. Only queries
+//! crossing rebuilt rows (or the mutated edges themselves) can answer
+//! differently, and those answer exactly as a from-scratch rebuild would.
+
+use crate::index::DetourIndex;
+use crate::oracle::Oracle;
+use dcspan_core::update_spanner;
+use dcspan_graph::delta::{apply_mutations, EdgeMutation, MutationDiff};
+use dcspan_graph::intersect::IntersectKernel;
+use dcspan_graph::{BitSet, CsrTable, Edge, GraphError, NodeId};
+use dcspan_routing::detour::{three_hop_pairs_with, two_hop_midpoints_with};
+use dcspan_store::SpannerArtifact;
+use rayon::prelude::*;
+use std::collections::HashSet;
+
+/// What an incremental update did — the observability record returned by
+/// [`apply_delta_to_artifact`] and [`Oracle::apply_delta`], surfaced in
+/// the CLI, the HTTP admin endpoint, and the `dcspan_delta_*` metrics.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DeltaReport {
+    /// Mutations in the submitted batch (including no-ops).
+    pub mutations: usize,
+    /// Net edges added to the base graph.
+    pub edges_added: usize,
+    /// Net edges removed from the base graph.
+    pub edges_removed: usize,
+    /// Net edges added to the spanner `H`.
+    pub spanner_edges_added: usize,
+    /// Net edges removed from the spanner `H`.
+    pub spanner_edges_removed: usize,
+    /// Edges whose spanner-membership verdict was recomputed.
+    pub mask_recomputed: usize,
+    /// Edges whose verdict was spliced from the old spanner.
+    pub mask_spliced: usize,
+    /// Detour rows re-enumerated against the updated spanner.
+    pub rows_rebuilt: usize,
+    /// Detour rows copied verbatim from the old index.
+    pub rows_copied: usize,
+}
+
+impl DeltaReport {
+    /// True when the batch was a pure no-op (graph unchanged).
+    pub fn is_noop(&self) -> bool {
+        self.edges_added == 0 && self.edges_removed == 0
+    }
+}
+
+/// Why a mutation batch could not be applied incrementally.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DeltaError {
+    /// The oracle has no build provenance (`algo`, `seed`) — it was
+    /// assembled from bare parts (e.g. a shard slice) and cannot replay
+    /// the construction incrementally.
+    Unsupported,
+    /// The batch changes a derived construction parameter: the spanner
+    /// algorithms read `(n, Δ)`, so a batch that alters the maximum
+    /// degree would silently change the sampling law for *every* edge.
+    /// Rebuild from scratch instead (`expected`/`found` are `(n, Δ)`).
+    Incompatible {
+        /// The `(n, Δ)` the artifact was built for.
+        expected: (usize, usize),
+        /// The `(n, Δ)` the mutated graph would have.
+        found: (usize, usize),
+    },
+    /// A mutation was malformed (self-loop or out-of-range endpoint).
+    Graph(GraphError),
+    /// The patched index failed structural revalidation — an internal
+    /// invariant was violated (this is a bug guard, not an input error).
+    Invalid(String),
+    /// Re-assembling the patched artifact into serving state failed.
+    Store(String),
+}
+
+impl std::fmt::Display for DeltaError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DeltaError::Unsupported => {
+                write!(f, "oracle has no build provenance; rebuild from scratch")
+            }
+            DeltaError::Incompatible { expected, found } => write!(
+                f,
+                "batch changes derived parameters: artifact built for (n, Δ) = \
+                 ({}, {}) but mutated graph has ({}, {})",
+                expected.0, expected.1, found.0, found.1
+            ),
+            DeltaError::Graph(e) => write!(f, "malformed mutation: {e}"),
+            DeltaError::Invalid(msg) => write!(f, "patched index failed revalidation: {msg}"),
+            DeltaError::Store(msg) => write!(f, "patched artifact failed to load: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for DeltaError {}
+
+impl From<GraphError> for DeltaError {
+    fn from(e: GraphError) -> DeltaError {
+        DeltaError::Graph(e)
+    }
+}
+
+/// External → internal translation with pass-through for out-of-range
+/// ids (they stay out of range, so the downstream range check rejects
+/// them with the same typed error an unpermuted artifact emits).
+fn to_internal(int_of_ext: &[NodeId], v: NodeId) -> NodeId {
+    int_of_ext.get(v as usize).copied().unwrap_or(v)
+}
+
+/// Apply an edge-mutation batch (external ids) to a built artifact,
+/// producing the patched artifact plus a [`DeltaReport`].
+///
+/// The output is structurally identical to
+/// `Oracle::build_artifact(g_new, meta.algo, meta.seed)` relabeled by the
+/// artifact's permutation — same graph, same spanner, same canonical
+/// missing-edge list, same CSR row bytes — which is what makes the store
+/// layer's delta compaction byte-identical to a direct build.
+pub fn apply_delta_to_artifact(
+    artifact: &SpannerArtifact,
+    batch: &[EdgeMutation],
+) -> Result<(SpannerArtifact, DeltaReport), DeltaError> {
+    let meta = artifact.meta;
+    // The artifact stores its graphs relabeled; mutations arrive in the
+    // caller's external ids and translate once, here.
+    let batch_int: Vec<EdgeMutation> = match &artifact.perm {
+        None => batch.to_vec(),
+        Some(p) => batch
+            .iter()
+            .map(|m| {
+                let (u, v) = m.endpoints();
+                let (u, v) = (to_internal(p, u), to_internal(p, v));
+                if m.is_insert() {
+                    EdgeMutation::Insert(u, v)
+                } else {
+                    EdgeMutation::Remove(u, v)
+                }
+            })
+            .collect(),
+    };
+    let g_old = &artifact.graph;
+    let h_old = &artifact.spanner;
+    let (g_new, diff) = apply_mutations(g_old, &batch_int)?;
+    if g_new.max_degree() != meta.delta {
+        return Err(DeltaError::Incompatible {
+            expected: (meta.n, meta.delta),
+            found: (g_new.n(), g_new.max_degree()),
+        });
+    }
+
+    let update = update_spanner(g_old, h_old, &g_new, &diff, meta.algo, meta.seed);
+    let h_new = update.h;
+    let h_diff = MutationDiff::between(h_old, &h_new);
+    // Exact row dirtiness (module docs): a row (a, b) with a, b ∉ T
+    // reads unchanged N_H sets, so it can only change through a ΔH edge
+    // serving as one of its 3-hop middle edges — i.e. lying in
+    // N_H(a) × N_H(b). Enumerate those pairs per ΔH edge (deg_H² work on
+    // the sparse spanner) instead of re-enumerating every row within a
+    // hop of T, which saturates at production densities.
+    let mut in_t = BitSet::new(g_new.n());
+    let pair_key = |a: NodeId, b: NodeId| ((a.min(b) as u64) << 32) | a.max(b) as u64;
+    let mut dirty_pairs: HashSet<u64> = HashSet::new();
+    for e in h_diff.added.iter().chain(h_diff.removed.iter()) {
+        in_t.insert(e.u as usize);
+        in_t.insert(e.v as usize);
+        for (x, z) in [(e.u, e.v), (e.v, e.u)] {
+            for &a in h_old.neighbors(x).iter().chain(h_new.neighbors(x)) {
+                for &b in h_old.neighbors(z).iter().chain(h_new.neighbors(z)) {
+                    if a != b {
+                        dirty_pairs.insert(pair_key(a, b));
+                    }
+                }
+            }
+        }
+    }
+
+    let missing_new: Vec<Edge> = g_new
+        .edges()
+        .par_iter()
+        .filter(|e| !h_new.has_edge(e.u, e.v))
+        .copied()
+        .collect();
+    // Row plan: `Some(old_row)` = splice, `None` = re-enumerate (the row
+    // is dirty or the edge is newly missing).
+    let plans: Vec<Option<usize>> = missing_new
+        .iter()
+        .map(|e| {
+            if in_t.contains(e.u as usize)
+                || in_t.contains(e.v as usize)
+                || dirty_pairs.contains(&pair_key(e.u, e.v))
+            {
+                None
+            } else {
+                artifact.missing.binary_search(e).ok()
+            }
+        })
+        .collect();
+    let kernel = IntersectKernel::new(&h_new);
+    let two_rows: Vec<Vec<NodeId>> = (0..missing_new.len())
+        .into_par_iter()
+        .map(|i| match plans[i] {
+            Some(pos) => artifact.two.row(pos).to_vec(),
+            None => {
+                let e = missing_new[i];
+                let mut row = Vec::new();
+                two_hop_midpoints_with(&kernel, e.u, e.v, &mut row);
+                row
+            }
+        })
+        .collect();
+    let three_rows: Vec<Vec<(NodeId, NodeId)>> = (0..missing_new.len())
+        .into_par_iter()
+        .map(|i| match plans[i] {
+            Some(pos) => artifact.three.row(pos).to_vec(),
+            None => {
+                let e = missing_new[i];
+                let mut scratch = Vec::new();
+                three_hop_pairs_with(&kernel, e.u, e.v, &mut scratch)
+            }
+        })
+        .collect();
+    let rows_rebuilt = plans.iter().filter(|p| p.is_none()).count();
+    let rows_copied = missing_new.len() - rows_rebuilt;
+
+    // Revalidate the patched rows under the same structural invariants
+    // the artifact-load path enforces (canonical order, exact coverage of
+    // E(G) \ E(H), one row per missing edge).
+    let index = DetourIndex::from_parts(
+        &g_new,
+        &h_new,
+        missing_new,
+        CsrTable::from_rows(two_rows),
+        CsrTable::from_rows(three_rows),
+    )
+    .map_err(DeltaError::Invalid)?;
+    let (missing, two, three) = index.into_parts();
+
+    let report = DeltaReport {
+        mutations: batch.len(),
+        edges_added: diff.added.len(),
+        edges_removed: diff.removed.len(),
+        spanner_edges_added: h_diff.added.len(),
+        spanner_edges_removed: h_diff.removed.len(),
+        mask_recomputed: update.recomputed_edges,
+        mask_spliced: update.spliced_edges,
+        rows_rebuilt,
+        rows_copied,
+    };
+    Ok((
+        SpannerArtifact {
+            meta,
+            graph: g_new,
+            spanner: h_new,
+            missing,
+            two,
+            three,
+            perm: artifact.perm.clone(),
+        },
+        report,
+    ))
+}
+
+impl Oracle {
+    /// Reconstruct this oracle's state as a persistable artifact: the
+    /// base graph is `E(H) ∪ missing` (exactly the `G` the index covers),
+    /// the tables are shared-storage clones (cheap for mapped oracles).
+    /// `None` when the oracle has no build provenance.
+    pub fn snapshot_artifact(&self) -> Option<SpannerArtifact> {
+        let meta = self.artifact_meta()?;
+        let (missing, two, three) = self.index().clone().into_parts();
+        let graph = self.spanner().with_extra_edges(missing.iter().copied());
+        Some(SpannerArtifact {
+            meta,
+            graph,
+            spanner: self.spanner().clone(),
+            missing,
+            two,
+            three,
+            perm: self.perm().map(|p| p.int_of_ext().to_vec()),
+        })
+    }
+
+    /// Absorb an edge-mutation batch (external ids) into a fresh oracle
+    /// without a from-scratch rebuild: the spanner is recomputed only
+    /// inside the batch's blast radius and untouched detour rows are
+    /// spliced, so untouched pairs keep bit-identical candidate rows and
+    /// per-query RNG streams. The returned oracle starts fully healthy
+    /// with empty counters — publish it through a
+    /// [`SnapshotSlot`](crate::snapshot::SnapshotSlot) swap exactly like
+    /// an artifact reload.
+    pub fn apply_delta(&self, batch: &[EdgeMutation]) -> Result<(Oracle, DeltaReport), DeltaError> {
+        let artifact = self.snapshot_artifact().ok_or(DeltaError::Unsupported)?;
+        let (next, report) = apply_delta_to_artifact(&artifact, batch)?;
+        let oracle = Oracle::from_artifact(next, *self.config())
+            .map_err(|e| DeltaError::Store(e.to_string()))?;
+        Ok((oracle, report))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle::OracleConfig;
+    use crate::perm::ReorderKind;
+    use dcspan_core::serve::SpannerAlgo;
+    use dcspan_gen::regular::random_regular;
+    use dcspan_graph::Graph;
+
+    /// Degree-preserving batch: remove `k` edges with pairwise disjoint
+    /// endpoints (cannot raise Δ; on a regular graph some node keeps full
+    /// degree, so Δ is unchanged).
+    fn removal_batch(g: &Graph, k: usize) -> Vec<EdgeMutation> {
+        let mut used = vec![false; g.n()];
+        let mut batch = Vec::new();
+        for e in g.edges() {
+            if batch.len() == k {
+                break;
+            }
+            if !used[e.u as usize] && !used[e.v as usize] {
+                used[e.u as usize] = true;
+                used[e.v as usize] = true;
+                batch.push(EdgeMutation::Remove(e.u, e.v));
+            }
+        }
+        batch
+    }
+
+    fn assert_artifacts_identical(a: &SpannerArtifact, b: &SpannerArtifact) {
+        assert_eq!(a.meta, b.meta);
+        assert_eq!(a.graph, b.graph);
+        assert_eq!(a.spanner, b.spanner);
+        assert_eq!(a.missing, b.missing);
+        assert_eq!(a.two, b.two);
+        assert_eq!(a.three, b.three);
+        assert_eq!(a.perm, b.perm);
+    }
+
+    #[test]
+    fn delta_artifact_matches_direct_rebuild() {
+        let g = random_regular(72, 14, 11);
+        for algo in [SpannerAlgo::Theorem3, SpannerAlgo::Theorem2WithProb(0.4)] {
+            let base = Oracle::build_artifact(&g, algo, 5);
+            let batch = removal_batch(&g, 3);
+            let (patched, report) = apply_delta_to_artifact(&base, &batch).unwrap();
+            let (g_new, _) = apply_mutations(&g, &batch).unwrap();
+            let direct = Oracle::build_artifact(&g_new, algo, 5);
+            assert_artifacts_identical(&patched, &direct);
+            assert_eq!(report.mutations, 3);
+            assert_eq!(report.edges_removed, 3);
+            assert_eq!(
+                report.rows_rebuilt + report.rows_copied,
+                patched.missing.len()
+            );
+            if algo == SpannerAlgo::Theorem3 {
+                assert!(report.rows_copied > 0, "small batch must splice rows");
+            }
+        }
+    }
+
+    #[test]
+    fn permuted_artifact_accepts_external_ids() {
+        let g = random_regular(56, 12, 8);
+        let base = Oracle::build_artifact_reordered(&g, SpannerAlgo::Theorem3, 2, ReorderKind::Rcm)
+            .unwrap();
+        assert!(base.perm.is_some());
+        // The batch speaks external ids; the engine must translate.
+        let batch = removal_batch(&g, 2);
+        let (patched, report) = apply_delta_to_artifact(&base, &batch).unwrap();
+        assert_eq!(report.edges_removed, 2);
+        assert_eq!(patched.perm, base.perm, "permutation must ride along");
+        // The patched artifact equals a direct reordered rebuild only up
+        // to the permutation (RCM on the new spanner differs); instead
+        // check it still loads and serves.
+        let oracle = Oracle::from_artifact(patched, OracleConfig::default()).unwrap();
+        assert!(oracle.is_reordered());
+        let (a, b) = batch[0].endpoints();
+        // The removed edge routes around itself (external ids in/out).
+        let resp = oracle.route(a, b, 7).unwrap();
+        assert!(resp.path.nodes().len() >= 3);
+    }
+
+    #[test]
+    fn degree_changing_batch_is_rejected_with_409_shape() {
+        let g = random_regular(40, 8, 3);
+        let base = Oracle::build_artifact(&g, SpannerAlgo::Theorem3, 1);
+        // Inserting an edge between two full-degree nodes raises Δ.
+        let (u, v) = (0u32, 1u32);
+        let batch = if g.has_edge(u, v) {
+            // Find a non-adjacent pair instead.
+            let w = (2..g.n() as u32).find(|&w| !g.has_edge(u, w)).unwrap();
+            vec![EdgeMutation::Insert(u, w)]
+        } else {
+            vec![EdgeMutation::Insert(u, v)]
+        };
+        let err = apply_delta_to_artifact(&base, &batch).unwrap_err();
+        assert!(matches!(err, DeltaError::Incompatible { .. }));
+    }
+
+    #[test]
+    fn malformed_mutations_are_typed() {
+        let g = random_regular(24, 6, 4);
+        let base = Oracle::build_artifact(&g, SpannerAlgo::Theorem3, 1);
+        let err = apply_delta_to_artifact(&base, &[EdgeMutation::Insert(3, 3)]).unwrap_err();
+        assert!(matches!(err, DeltaError::Graph(GraphError::SelfLoop(3))));
+        let err = apply_delta_to_artifact(&base, &[EdgeMutation::Remove(0, 999)]).unwrap_err();
+        assert!(matches!(
+            err,
+            DeltaError::Graph(GraphError::OutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn oracle_apply_delta_roundtrip_and_rng_stability() {
+        let g = random_regular(64, 12, 17);
+        let config = OracleConfig {
+            seed: 17,
+            ..OracleConfig::default()
+        };
+        let oracle = Oracle::from_algo(&g, SpannerAlgo::Theorem3, config);
+        let batch = removal_batch(&g, 2);
+        let (updated, report) = oracle.apply_delta(&batch).unwrap();
+        assert!(!report.is_noop());
+
+        // Differential: the updated oracle answers exactly like one built
+        // from scratch on the mutated graph.
+        let (g_new, _) = apply_mutations(&g, &batch).unwrap();
+        let rebuilt = Oracle::from_algo(&g_new, SpannerAlgo::Theorem3, config);
+        for q in 0..40u64 {
+            let (a, b) = ((q % 64) as u32, ((q * 7 + 3) % 64) as u32);
+            if a == b {
+                continue;
+            }
+            assert_eq!(
+                updated.route(a, b, q).is_ok(),
+                rebuilt.route(a, b, q).is_ok(),
+                "query ({a}, {b}, {q})"
+            );
+            if let (Ok(x), Ok(y)) = (updated.route(a, b, q), rebuilt.route(a, b, q)) {
+                assert_eq!(x.path.nodes(), y.path.nodes(), "query ({a}, {b}, {q})");
+            }
+        }
+    }
+
+    #[test]
+    fn assembled_oracle_has_no_provenance() {
+        let g = random_regular(32, 8, 1);
+        let h = dcspan_core::serve::build_spanner(&g, SpannerAlgo::Theorem3, 1);
+        let oracle = Oracle::build(&g, h, OracleConfig::default());
+        assert!(oracle.artifact_meta().is_none());
+        let Err(err) = oracle.apply_delta(&[]) else {
+            panic!("provenance-free oracle accepted a delta");
+        };
+        assert_eq!(err, DeltaError::Unsupported);
+    }
+
+    #[test]
+    fn snapshot_artifact_roundtrips_through_load() {
+        let g = random_regular(48, 10, 9);
+        let base = Oracle::build_artifact(&g, SpannerAlgo::Theorem3, 4);
+        let oracle = Oracle::from_artifact(base, OracleConfig::default()).unwrap();
+        let snap = oracle.snapshot_artifact().unwrap();
+        let direct = Oracle::build_artifact(&g, SpannerAlgo::Theorem3, 4);
+        assert_artifacts_identical(&snap, &direct);
+    }
+
+    #[test]
+    fn empty_batch_is_noop() {
+        let g = random_regular(32, 8, 6);
+        let base = Oracle::build_artifact(&g, SpannerAlgo::Theorem3, 2);
+        let (patched, report) = apply_delta_to_artifact(&base, &[]).unwrap();
+        assert!(report.is_noop());
+        assert_eq!(report.rows_rebuilt, 0);
+        assert_artifacts_identical(&patched, &base);
+    }
+}

@@ -24,6 +24,10 @@
 //!   deterministic per-query RNG streams, atomic per-node load counters,
 //!   a fault-degradation ladder ([`RouteKind`]) and typed rejections
 //!   ([`RouteError`]), plus β-budget admission control,
+//! * [`delta`] — incremental maintenance: [`Oracle::apply_delta`] absorbs
+//!   an edge-mutation batch by updating the spanner inside its blast
+//!   radius and patching only the affected detour rows, structurally
+//!   identical to a from-scratch rebuild on the mutated graph,
 //! * [`chaos`] — a deterministic multi-threaded chaos harness driving
 //!   seeded fault schedules (edge kills, node crashes, heal waves, burst
 //!   overload) against a live oracle and validating every answer,
@@ -68,6 +72,7 @@
 pub mod cache;
 pub mod chaos;
 pub mod congestion;
+pub mod delta;
 pub mod fault;
 pub mod index;
 pub mod oracle;
@@ -82,6 +87,7 @@ pub mod wire;
 pub use cache::ShardedLru;
 pub use chaos::{ChaosConfig, ChaosReport, ChaosStepStats, RetryPolicy};
 pub use congestion::CongestionLedger;
+pub use delta::{apply_delta_to_artifact, DeltaError, DeltaReport};
 pub use fault::{bounded_survivor_bfs, FaultState, SurvivorSearch};
 pub use index::{DetourIndex, IndexStats, IndexedDetourRouter};
 pub use oracle::{

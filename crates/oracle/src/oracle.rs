@@ -538,6 +538,12 @@ pub struct Oracle {
     /// the internal storage order here (and answered paths back), so
     /// callers never see internal ids. See [`crate::perm`].
     perm: Option<NodePerm>,
+    /// Build provenance (`algo`, `seed`, `n`, `Δ`) when it is known —
+    /// `Some` for oracles built from an algorithm or loaded from an
+    /// artifact, `None` for the bare `(H, index)` assembly paths (shard
+    /// slices). Only provenance-carrying oracles can absorb edge
+    /// mutations incrementally ([`Oracle::apply_delta`]).
+    meta: Option<ArtifactMeta>,
 }
 
 impl Oracle {
@@ -567,6 +573,7 @@ impl Oracle {
             load,
             counters: Counters::default(),
             perm: None,
+            meta: None,
             h,
         }
     }
@@ -578,12 +585,25 @@ impl Oracle {
         self
     }
 
+    /// Attach build provenance (the assemble tail for oracles whose
+    /// `(algo, seed)` lineage is known, enabling [`Oracle::apply_delta`]).
+    pub(crate) fn with_meta(mut self, meta: Option<ArtifactMeta>) -> Oracle {
+        self.meta = meta;
+        self
+    }
+
     /// Build the chosen DC-spanner construction for `g`, then the oracle
     /// over it (the `build → Oracle` path of the Theorem 2 / Theorem 3
     /// constructions).
     pub fn from_algo(g: &Graph, algo: SpannerAlgo, config: OracleConfig) -> Oracle {
         let h = build_spanner(g, algo, config.seed);
-        Self::build(g, h, config)
+        let meta = ArtifactMeta {
+            algo,
+            seed: config.seed,
+            n: g.n(),
+            delta: g.max_degree(),
+        };
+        Self::build(g, h, config).with_meta(Some(meta))
     }
 
     /// Build an oracle from any construction's output record.
@@ -718,7 +738,9 @@ impl Oracle {
         let index = DetourIndex::from_parts(&graph, &spanner, missing, two, three)
             .map_err(StoreError::Malformed)?;
         let perm = Self::validate_perm(perm, graph.n())?;
-        Ok(Self::assemble(spanner, index, config).with_perm(perm))
+        Ok(Self::assemble(spanner, index, config)
+            .with_perm(perm)
+            .with_meta(Some(meta)))
     }
 
     /// Validate a stored permutation against the graph it claims to
@@ -779,7 +801,9 @@ impl Oracle {
         )
         .map_err(StoreError::Malformed)?;
         let perm = Self::validate_perm(view.perm()?, graph.n())?;
-        Ok(Self::assemble(spanner, index, config).with_perm(perm))
+        Ok(Self::assemble(spanner, index, config)
+            .with_perm(perm)
+            .with_meta(Some(meta)))
     }
 
     /// Open an artifact file in whichever format it is in — the magic
@@ -810,6 +834,14 @@ impl Oracle {
     #[inline]
     pub fn perm(&self) -> Option<&NodePerm> {
         self.perm.as_ref()
+    }
+
+    /// Build provenance (`algo`, `seed`, `n`, `Δ`), when known. `Some`
+    /// exactly when this oracle can absorb edge mutations incrementally
+    /// via [`Oracle::apply_delta`].
+    #[inline]
+    pub fn artifact_meta(&self) -> Option<ArtifactMeta> {
+        self.meta
     }
 
     /// True when the served artifact was built with a cache-locality

@@ -49,6 +49,7 @@
 
 use crate::chaos::RetryPolicy;
 use crate::congestion::CongestionLedger;
+use crate::delta::{apply_delta_to_artifact, DeltaError, DeltaReport};
 use crate::index::DetourIndex;
 use crate::oracle::{
     Oracle, OracleConfig, OracleStatsSnapshot, RouteError, RouteResponse, ShardErrorSection,
@@ -60,10 +61,11 @@ use crate::snapshot::SnapshotSlot;
 use crate::supervisor::{call_supervised, Supervisor};
 use crate::sync::atomic::{AtomicU32, AtomicU64, AtomicUsize, Ordering};
 use crate::sync::Arc;
+use dcspan_graph::delta::EdgeMutation;
 use dcspan_graph::rng::item_rng;
 use dcspan_graph::{CsrTable, Edge, Graph, NodeId};
 use dcspan_routing::RoutingProblem;
-use dcspan_store::{SpannerArtifact, StoreError};
+use dcspan_store::{ArtifactMeta, SpannerArtifact, StoreError};
 use rand::Rng;
 use rayon::prelude::*;
 use std::time::{Duration, Instant};
@@ -559,6 +561,10 @@ struct ShardSet {
     /// copy for their own wire boundaries, this one resolves ownership
     /// (the missing-edge table is stored in internal ids).
     perm: Option<NodePerm>,
+    /// Build provenance when the topology came from an artifact (or a
+    /// previous delta) — `Some` exactly when the fleet can absorb
+    /// mutation batches via [`ShardedOracle::apply_delta`].
+    meta: Option<ArtifactMeta>,
 }
 
 impl ShardSet {
@@ -577,6 +583,41 @@ impl ShardSet {
             }
         }
         self.ring.owner_of_pair(u, v)
+    }
+
+    /// Reassemble the full artifact this topology serves, gluing the
+    /// per-shard detour slices back into full-coverage tables by
+    /// inverting the ring partition (the partition is deterministic in
+    /// `(seed, shards, row count)`, so the reconstruction is exact).
+    /// `None` when the topology has no build provenance.
+    fn to_artifact(&self) -> Option<SpannerArtifact> {
+        let meta = self.meta?;
+        let rows = self.missing.len();
+        let partition = self.ring.partition(rows);
+        // loc[global row id] = (owning shard, position inside its slice).
+        let mut loc = vec![(0usize, 0usize); rows];
+        for (k, ids) in partition.iter().enumerate() {
+            for (p, &i) in ids.iter().enumerate() {
+                if let Some(slot) = loc.get_mut(i) {
+                    *slot = (k, p);
+                }
+            }
+        }
+        let slice_row = |k: usize, p: usize| -> (&[NodeId], &[(NodeId, NodeId)]) {
+            let parts = &self.shards[k].parts;
+            (parts.two.row(p), parts.three.row(p))
+        };
+        let two = CsrTable::from_rows(loc.iter().map(|&(k, p)| slice_row(k, p).0.to_vec()));
+        let three = CsrTable::from_rows(loc.iter().map(|&(k, p)| slice_row(k, p).1.to_vec()));
+        Some(SpannerArtifact {
+            meta,
+            graph: self.g.clone(),
+            spanner: self.h.clone(),
+            missing: self.missing.clone(),
+            two,
+            three,
+            perm: self.perm.as_ref().map(|p| p.int_of_ext().to_vec()),
+        })
     }
 }
 
@@ -750,6 +791,7 @@ impl ShardedOracle {
             two,
             three,
             None,
+            None,
             config,
             &shard_config,
         )?;
@@ -806,6 +848,7 @@ impl ShardedOracle {
             two,
             three,
             perm,
+            Some(meta),
             config,
             &shard_config,
         )?;
@@ -835,6 +878,7 @@ impl ShardedOracle {
         two: CsrTable<NodeId>,
         three: CsrTable<(NodeId, NodeId)>,
         perm: Option<NodePerm>,
+        meta: Option<ArtifactMeta>,
         base: OracleConfig,
         shard_config: &ShardConfig,
     ) -> Result<ShardSet, StoreError> {
@@ -877,6 +921,7 @@ impl ShardedOracle {
             ring,
             shards,
             perm,
+            meta,
             g,
             h,
         })
@@ -1142,7 +1187,7 @@ impl ShardedOracle {
             two,
             three,
             perm,
-            meta: _,
+            meta,
         } = artifact;
         if spanner.n() != graph.n() || !spanner.is_subgraph_of(&graph) {
             return Err(SwapError::Store(StoreError::Malformed(
@@ -1160,6 +1205,7 @@ impl ShardedOracle {
             two,
             three,
             perm,
+            Some(meta),
             self.base,
             &self.shard_config,
         )
@@ -1179,6 +1225,39 @@ impl ShardedOracle {
     pub fn swap_artifact(&self, artifact: SpannerArtifact) -> Result<u64, SwapError> {
         let prepared = self.prepare_swap(artifact)?;
         Ok(self.commit_swap(prepared))
+    }
+
+    /// Absorb an edge-mutation batch into a full next-generation `K × R`
+    /// topology off the serving path, without committing it. The live
+    /// topology's slices are glued back into the full artifact, the
+    /// delta engine patches it incrementally
+    /// ([`apply_delta_to_artifact`]), and the patched artifact is sliced
+    /// and validated through the same [`ShardedOracle::prepare_swap`]
+    /// machinery an artifact reload uses — so a fleet delta inherits the
+    /// prepare-then-commit atomicity of §14.5.
+    pub fn prepare_delta(
+        &self,
+        batch: &[EdgeMutation],
+    ) -> Result<(PreparedSwap, DeltaReport), DeltaError> {
+        let current = self.state.snapshot();
+        let artifact = current.to_artifact().ok_or(DeltaError::Unsupported)?;
+        let (next, report) = apply_delta_to_artifact(&artifact, batch)?;
+        let prepared = self.prepare_swap(next).map_err(|e| match e {
+            SwapError::Incompatible { expected, found } => {
+                DeltaError::Incompatible { expected, found }
+            }
+            SwapError::Store(e) => DeltaError::Store(e.to_string()),
+        })?;
+        Ok((prepared, report))
+    }
+
+    /// Fleet-wide prepare-then-commit delta: build the patched topology
+    /// off the serving path, then publish it in one atomic swap. Returns
+    /// the new epoch and the delta report. In-flight fan-outs finish on
+    /// the old generation; every later fan-out pins the new one whole.
+    pub fn apply_delta(&self, batch: &[EdgeMutation]) -> Result<(u64, DeltaReport), DeltaError> {
+        let (prepared, report) = self.prepare_delta(batch)?;
+        Ok((self.commit_swap(prepared), report))
     }
 
     /// Microseconds since this topology was created (breaker clock).
@@ -1681,5 +1760,82 @@ mod tests {
         }
         assert!(sharded.live_congestion() <= 2, "global cap violated");
         assert!(shed > 0, "cap 2 over 400 queries must shed");
+    }
+
+    #[test]
+    fn fleet_delta_matches_single_oracle_rebuild() {
+        let (g, sharded) = sharded(96, 3, 2);
+        // Degree-preserving batch: remove two edges with disjoint
+        // endpoints.
+        let mut used = vec![false; g.n()];
+        let mut batch = Vec::new();
+        for e in g.edges() {
+            if batch.len() == 2 {
+                break;
+            }
+            if !used[e.u as usize] && !used[e.v as usize] {
+                used[e.u as usize] = true;
+                used[e.v as usize] = true;
+                batch.push(EdgeMutation::Remove(e.u, e.v));
+            }
+        }
+        let (epoch, report) = sharded
+            .apply_delta(&batch)
+            .unwrap_or_else(|e| panic!("fleet delta: {e}"));
+        assert_eq!(epoch, 1);
+        assert_eq!(report.edges_removed, 2);
+
+        // Differential: the patched fleet answers like a single oracle
+        // built from scratch on the mutated graph.
+        let (g_new, _) = dcspan_graph::delta::apply_mutations(&g, &batch)
+            .unwrap_or_else(|e| panic!("apply_mutations: {e}"));
+        let config = OracleConfig {
+            seed: 7,
+            ..OracleConfig::default()
+        };
+        let single = Oracle::from_algo(&g_new, SpannerAlgo::Theorem2WithProb(0.5), config);
+        for q in 0..60u64 {
+            let (u, v) = ((q % 96) as NodeId, ((q * 11 + 2) % 96) as NodeId);
+            if u == v {
+                continue;
+            }
+            assert_eq!(
+                sharded.route(u, v, q),
+                single.route(u, v, q),
+                "divergence at ({u}, {v}, {q})"
+            );
+        }
+
+        // A second delta applies on top of the first (the log keeps
+        // growing, the provenance rides along).
+        let (epoch2, report2) = sharded
+            .apply_delta(&[])
+            .unwrap_or_else(|e| panic!("second delta: {e}"));
+        assert_eq!(epoch2, 2);
+        assert!(report2.is_noop());
+    }
+
+    #[test]
+    fn fleet_delta_without_provenance_is_unsupported() {
+        let g = random_regular(48, 8, 3);
+        let h = dcspan_core::serve::build_spanner(&g, SpannerAlgo::Theorem2WithProb(0.5), 3);
+        let sharded = ShardedOracle::build(
+            &g,
+            h,
+            OracleConfig {
+                seed: 3,
+                ..OracleConfig::default()
+            },
+            ShardConfig {
+                shards: 2,
+                replicas: 1,
+                ..ShardConfig::default()
+            },
+        )
+        .unwrap_or_else(|e| panic!("{e}"));
+        assert_eq!(
+            sharded.apply_delta(&[]).map(|(e, _)| e),
+            Err(DeltaError::Unsupported)
+        );
     }
 }

@@ -1,0 +1,118 @@
+//! Property tests for incremental maintenance: an arbitrary mutation
+//! batch (removals, re-inserts, duplicate no-ops, insert-then-remove
+//! cancellations) applied through the delta path produces an artifact
+//! **bit-identical** to a from-scratch build of the mutated graph —
+//! same support mask, same detour rows, same encoded v2 bytes — every
+//! patched detour row revalidates against the new spanner, and the
+//! base + log `DELTA` representation replays to the same state.
+
+use dcspan_core::serve::SpannerAlgo;
+use dcspan_gen::regular::random_regular;
+use dcspan_graph::delta::{apply_mutations, EdgeMutation};
+use dcspan_graph::rng::splitmix64;
+use dcspan_oracle::{apply_delta_to_artifact, DeltaError, Oracle};
+use dcspan_store::{encode_v2_delta, MappedArtifact, SpannerArtifact};
+use proptest::prelude::*;
+
+/// A mutation batch over `g` derived from `seed`: `removals` spread-out
+/// edge removals, each followed with probability ~1/2 by a re-insert of
+/// the same edge (so net no-ops, insert ops, and remove→insert
+/// cancellations all occur), plus a duplicated (no-op) removal.
+fn arb_batch(g: &dcspan_graph::Graph, removals: usize, seed: u64) -> Vec<EdgeMutation> {
+    let edges = g.edges();
+    let step = (edges.len() / removals.max(1)).max(1);
+    let mut batch = Vec::new();
+    for (i, e) in edges.iter().step_by(step).take(removals).enumerate() {
+        batch.push(EdgeMutation::Remove(e.u, e.v));
+        if splitmix64(seed ^ i as u64).is_multiple_of(2) {
+            batch.push(EdgeMutation::Insert(e.u, e.v));
+        }
+    }
+    if let Some(&first) = batch.first() {
+        // A duplicate of an already-applied op is a tolerated no-op.
+        batch.push(first);
+    }
+    batch
+}
+
+/// Every detour row of `artifact` revalidates against its spanner: for
+/// the `i`-th missing edge `(a, b)`, each two-hop midpoint `w` satisfies
+/// `a–w, w–b ∈ H` and each three-hop pair `(x, y)` satisfies
+/// `a–x, x–y, y–b ∈ H`.
+fn rows_revalidate(artifact: &SpannerArtifact) -> bool {
+    let h = &artifact.spanner;
+    artifact.missing.iter().enumerate().all(|(i, e)| {
+        let (a, b) = (e.u, e.v);
+        artifact
+            .two
+            .row(i)
+            .iter()
+            .all(|&w| h.has_edge(a, w) && h.has_edge(w, b))
+            && artifact
+                .three
+                .row(i)
+                .iter()
+                .all(|&(x, y)| h.has_edge(a, x) && h.has_edge(x, y) && h.has_edge(y, b))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Delta apply ≡ from-scratch rebuild, for random regular instances
+    /// and random mixed mutation batches.
+    #[test]
+    fn delta_apply_matches_rebuild_bit_for_bit(
+        n in 16usize..40,
+        half_d in 2usize..5,
+        seed in 0u64..200,
+        batch_seed in 0u64..200,
+        removals in 1usize..4,
+    ) {
+        let g = random_regular(n, 2 * half_d, seed);
+        let base = Oracle::build_artifact(&g, SpannerAlgo::Theorem3, seed);
+        let batch = arb_batch(&g, removals, batch_seed);
+        match apply_delta_to_artifact(&base, &batch) {
+            Ok((patched, report)) => {
+                let (g_new, _) = apply_mutations(&g, &batch).unwrap();
+                let direct = Oracle::build_artifact(&g_new, SpannerAlgo::Theorem3, seed);
+                // Bit-identical artifact: support mask, rows, bytes.
+                prop_assert_eq!(patched.encode_v2().unwrap(), direct.encode_v2().unwrap());
+                prop_assert!(rows_revalidate(&patched));
+                prop_assert_eq!(
+                    report.rows_rebuilt + report.rows_copied,
+                    patched.missing.len()
+                );
+                // The base + log representation replays to the same state.
+                let bytes = encode_v2_delta(&base, &patched, &batch).unwrap();
+                let replayed = MappedArtifact::from_bytes(&bytes).unwrap();
+                prop_assert_eq!(replayed.decode_owned().unwrap(), patched);
+            }
+            // A batch that happens to lower the maximum degree changes
+            // the derived (n, Δ) contract and is refused atomically —
+            // the typed refusal is itself the correct behaviour.
+            Err(DeltaError::Incompatible { .. }) => {}
+            Err(e) => prop_assert!(false, "unexpected delta error: {}", e),
+        }
+    }
+
+    /// A batch that nets out to nothing (every removal re-inserted) is
+    /// reported as a no-op and leaves the artifact bit-identical.
+    #[test]
+    fn net_noop_batch_is_identity(
+        n in 16usize..32,
+        seed in 0u64..200,
+        removals in 1usize..4,
+    ) {
+        let g = random_regular(n, 6, seed);
+        let base = Oracle::build_artifact(&g, SpannerAlgo::Theorem3, seed);
+        let mut batch = Vec::new();
+        for e in g.edges().iter().take(removals) {
+            batch.push(EdgeMutation::Remove(e.u, e.v));
+            batch.push(EdgeMutation::Insert(e.u, e.v));
+        }
+        let (patched, report) = apply_delta_to_artifact(&base, &batch).unwrap();
+        prop_assert!(report.is_noop());
+        prop_assert_eq!(patched.encode_v2().unwrap(), base.encode_v2().unwrap());
+    }
+}

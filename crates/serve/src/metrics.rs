@@ -95,6 +95,16 @@ pub struct Metrics {
     metrics: AtomicU64,
     /// `POST /admin/swap` requests.
     swap: AtomicU64,
+    /// `POST /admin/delta` requests.
+    delta: AtomicU64,
+    /// Delta batches applied (published a new epoch).
+    delta_applied: AtomicU64,
+    /// Delta batches rejected (incompatible, malformed, or unsupported).
+    delta_rejected: AtomicU64,
+    /// Mutations inside applied batches.
+    delta_mutations: AtomicU64,
+    /// Detour rows rebuilt by applied batches.
+    delta_rows_patched: AtomicU64,
     /// Connections accepted into the queue.
     accepted: AtomicU64,
     /// Connections shed at accept time because the queue was full.
@@ -124,6 +134,11 @@ impl Metrics {
             healthz: AtomicU64::new(0),
             metrics: AtomicU64::new(0),
             swap: AtomicU64::new(0),
+            delta: AtomicU64::new(0),
+            delta_applied: AtomicU64::new(0),
+            delta_rejected: AtomicU64::new(0),
+            delta_mutations: AtomicU64::new(0),
+            delta_rows_patched: AtomicU64::new(0),
             accepted: AtomicU64::new(0),
             queue_shed: AtomicU64::new(0),
             statuses: Default::default(),
@@ -141,6 +156,7 @@ impl Metrics {
             Endpoint::Healthz => &self.healthz,
             Endpoint::MetricsPage => &self.metrics,
             Endpoint::Swap => &self.swap,
+            Endpoint::Delta => &self.delta,
         };
         // ord: independent monotonic counters (statistical scrape reads).
         counter.fetch_add(1, Ordering::Relaxed);
@@ -164,6 +180,21 @@ impl Metrics {
     pub fn on_accept(&self) {
         // ord: independent monotonic counter (statistical scrape reads).
         self.accepted.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count one applied delta batch with its size and patched-row count.
+    pub fn on_delta_applied(&self, mutations: u64, rows_patched: u64) {
+        // ord: independent monotonic counters (statistical scrape reads).
+        self.delta_applied.fetch_add(1, Ordering::Relaxed);
+        self.delta_mutations.fetch_add(mutations, Ordering::Relaxed); // ord: see above
+        self.delta_rows_patched // ord: see above
+            .fetch_add(rows_patched, Ordering::Relaxed);
+    }
+
+    /// Count one rejected delta batch.
+    pub fn on_delta_rejected(&self) {
+        // ord: independent monotonic counter (statistical scrape reads).
+        self.delta_rejected.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Count one connection shed at accept time (queue full).
@@ -216,6 +247,7 @@ impl Metrics {
             ("healthz", &self.healthz),
             ("metrics", &self.metrics),
             ("swap", &self.swap),
+            ("delta", &self.delta),
         ] {
             out.push_str(&format!(
                 "dcspan_http_requests_total{{endpoint=\"{label}\"}} {}\n",
@@ -313,6 +345,36 @@ impl Metrics {
             ));
         }
 
+        out.push_str("# HELP dcspan_delta_applied_total Delta batches applied.\n");
+        out.push_str("# TYPE dcspan_delta_applied_total counter\n");
+        out.push_str(&format!(
+            "dcspan_delta_applied_total {}\n",
+            load(&self.delta_applied)
+        ));
+
+        out.push_str("# HELP dcspan_delta_rejected_total Delta batches rejected.\n");
+        out.push_str("# TYPE dcspan_delta_rejected_total counter\n");
+        out.push_str(&format!(
+            "dcspan_delta_rejected_total {}\n",
+            load(&self.delta_rejected)
+        ));
+
+        out.push_str("# HELP dcspan_delta_mutations_total Mutations inside applied batches.\n");
+        out.push_str("# TYPE dcspan_delta_mutations_total counter\n");
+        out.push_str(&format!(
+            "dcspan_delta_mutations_total {}\n",
+            load(&self.delta_mutations)
+        ));
+
+        out.push_str(
+            "# HELP dcspan_delta_rows_patched_total Detour rows rebuilt by applied batches.\n",
+        );
+        out.push_str("# TYPE dcspan_delta_rows_patched_total counter\n");
+        out.push_str(&format!(
+            "dcspan_delta_rows_patched_total {}\n",
+            load(&self.delta_rows_patched)
+        ));
+
         out.push_str("# HELP dcspan_snapshot_epoch Artifact hot-swap epoch now serving.\n");
         out.push_str("# TYPE dcspan_snapshot_epoch gauge\n");
         out.push_str(&format!("dcspan_snapshot_epoch {snapshot_epoch}\n"));
@@ -395,6 +457,8 @@ pub enum Endpoint {
     MetricsPage,
     /// `POST /admin/swap`.
     Swap,
+    /// `POST /admin/delta`.
+    Delta,
 }
 
 #[cfg(test)]
@@ -419,6 +483,9 @@ mod tests {
         let m = Metrics::new();
         m.on_request(Endpoint::Route, 0);
         m.on_request(Endpoint::RouteBatch, 8);
+        m.on_request(Endpoint::Delta, 0);
+        m.on_delta_applied(5, 12);
+        m.on_delta_rejected();
         m.on_response(200);
         m.on_response(429);
         m.on_response(777);
@@ -431,6 +498,11 @@ mod tests {
             "dcspan_uptime_seconds",
             "dcspan_http_requests_total{endpoint=\"route\"} 1",
             "dcspan_http_requests_total{endpoint=\"route_batch\"} 1",
+            "dcspan_http_requests_total{endpoint=\"delta\"} 1",
+            "dcspan_delta_applied_total 1",
+            "dcspan_delta_rejected_total 1",
+            "dcspan_delta_mutations_total 5",
+            "dcspan_delta_rows_patched_total 12",
             "dcspan_http_batch_items_total 8",
             "dcspan_http_responses_total{status=\"200\"} 1",
             "dcspan_http_responses_total{status=\"429\"} 1",

@@ -40,8 +40,8 @@ use crate::http::{self, HeadOutcome, RequestHead};
 use crate::metrics::{self, Endpoint, Metrics};
 use dcspan_oracle::wire::parse_route_value;
 use dcspan_oracle::{
-    ErrorBody, Oracle, OracleConfig, RequestLine, RouteError, RouteResponse, ShardedOracle,
-    SnapshotSlot, SwapAck, SwapError, WireResponse,
+    DeltaError, ErrorBody, Oracle, OracleConfig, RequestLine, RouteError, RouteResponse,
+    ShardedOracle, SnapshotSlot, SwapAck, SwapError, WireResponse,
 };
 use dcspan_store::SpannerArtifact;
 use serde_json::Value;
@@ -498,11 +498,12 @@ fn serve_request(
         ("GET", "/healthz") => healthz_endpoint(conn, shared, keep_alive),
         ("GET", "/metrics") => metrics_endpoint(conn, shared, keep_alive),
         ("POST", "/admin/swap") => swap_endpoint(conn, shared, &body, keep_alive),
-        (_, "/route" | "/healthz" | "/metrics" | "/admin/swap") => {
-            let allow = if head.path == "/route" || head.path == "/admin/swap" {
-                "POST"
-            } else {
+        ("POST", "/admin/delta") => delta_endpoint(conn, shared, &body, keep_alive),
+        (_, "/route" | "/healthz" | "/metrics" | "/admin/swap" | "/admin/delta") => {
+            let allow = if head.path == "/healthz" || head.path == "/metrics" {
                 "GET"
+            } else {
+                "POST"
             };
             respond_with(
                 conn,
@@ -521,7 +522,7 @@ fn serve_request(
             shared,
             404,
             "not_found",
-            "unknown endpoint; see /healthz, /metrics, /route, /admin/swap",
+            "unknown endpoint; see /healthz, /metrics, /route, /admin/swap, /admin/delta",
             keep_alive,
         ),
     };
@@ -877,6 +878,123 @@ fn swap_endpoint(
             )
         }
         Err(message) => respond_error(conn, shared, 422, "swap_failed", message, keep_alive),
+    }
+}
+
+/// `POST /admin/delta`: `{"delta": "mutations-path"}` — read an edge-
+/// mutation batch (`+ u v` / `- u v` lines) and apply it to the live
+/// serving state **in place**: the spanner is updated inside the batch's
+/// blast radius, only affected detour rows are rebuilt, and the result
+/// is published as a new epoch; in-flight requests keep their snapshot.
+/// A batch that would change the serving topology's `(n, Δ)` is refused
+/// with a typed `409` and nothing is applied; sharded backends apply the
+/// delta through the fleet's atomic prepare-then-commit, so no shard
+/// ever serves a different epoch than its siblings. Like `/admin/swap`,
+/// concurrent admin calls are last-write-wins — callers serialise.
+fn delta_endpoint(
+    conn: &mut TcpStream,
+    shared: &Shared,
+    body: &[u8],
+    keep_alive: bool,
+) -> io::Result<()> {
+    shared.metrics.on_request(Endpoint::Delta, 0);
+    let path = std::str::from_utf8(body)
+        .ok()
+        .and_then(|text| serde_json::from_str::<Value>(text).ok())
+        .as_ref()
+        .and_then(|v| v.get("delta"))
+        .and_then(Value::as_str)
+        .map(str::to_string);
+    let Some(path) = path else {
+        return respond_error(
+            conn,
+            shared,
+            400,
+            "bad_request",
+            "body must be {\"delta\": \"mutations-path\"}",
+            keep_alive,
+        );
+    };
+    let batch = std::fs::File::open(std::path::Path::new(&path))
+        .map_err(|e| e.to_string())
+        .and_then(|file| {
+            dcspan_graph::io::read_mutations(std::io::BufReader::new(file))
+                .map_err(|e| e.to_string())
+        });
+    let batch = match batch {
+        Ok(batch) => batch,
+        Err(e) => {
+            shared.metrics.on_delta_rejected();
+            return respond_error(
+                conn,
+                shared,
+                422,
+                "delta_failed",
+                format!("mutation batch {path:?} could not be read: {e}"),
+                keep_alive,
+            );
+        }
+    };
+    let applied = match &shared.backend {
+        Backend::Single { slot, .. } => slot
+            .snapshot()
+            .apply_delta(&batch)
+            .map(|(oracle, report)| (slot.swap(oracle), report)),
+        Backend::Sharded(fleet) => fleet.apply_delta(&batch),
+    };
+    match applied {
+        Ok((epoch, report)) => {
+            shared
+                .metrics
+                .on_delta_applied(report.mutations as u64, report.rows_rebuilt as u64);
+            let body = format!(
+                "{{\"applied\":true,\"epoch\":{epoch},\"mutations\":{},\"edges_added\":{},\
+                 \"edges_removed\":{},\"spanner_edges_added\":{},\"spanner_edges_removed\":{},\
+                 \"rows_rebuilt\":{},\"rows_copied\":{}}}",
+                report.mutations,
+                report.edges_added,
+                report.edges_removed,
+                report.spanner_edges_added,
+                report.spanner_edges_removed,
+                report.rows_rebuilt,
+                report.rows_copied,
+            );
+            respond_with(
+                conn,
+                shared,
+                200,
+                "application/json",
+                body.as_bytes(),
+                keep_alive,
+                &[],
+            )
+        }
+        Err(DeltaError::Incompatible { expected, found }) => {
+            shared.metrics.on_delta_rejected();
+            respond_error(
+                conn,
+                shared,
+                409,
+                "incompatible_delta",
+                format!(
+                    "mutation batch {path:?} would change the serving topology from n={}, \
+                     delta={} to n={}, delta={}; nothing was applied",
+                    expected.0, expected.1, found.0, found.1
+                ),
+                keep_alive,
+            )
+        }
+        Err(e) => {
+            shared.metrics.on_delta_rejected();
+            respond_error(
+                conn,
+                shared,
+                422,
+                "delta_failed",
+                format!("mutation batch {path:?} could not be applied: {e}"),
+                keep_alive,
+            )
+        }
     }
 }
 

@@ -1,0 +1,221 @@
+//! End-to-end tests for `POST /admin/delta`: applying an edge-mutation
+//! batch to the live serving state publishes a new epoch whose answers
+//! are byte-identical to an offline `Oracle::apply_delta` of the same
+//! batch; an incompatible batch is refused with a typed `409` and
+//! changes nothing; malformed requests get typed `400`/`422`s; and the
+//! `dcspan_delta_*` metrics account for every outcome. The sharded
+//! backend applies deltas fleet-wide through the same endpoint.
+
+use dcspan_core::serve::SpannerAlgo;
+use dcspan_gen::regular::random_regular;
+use dcspan_graph::delta::EdgeMutation;
+use dcspan_graph::Graph;
+use dcspan_oracle::{
+    Oracle, OracleConfig, RouteRequest, ShardConfig, ShardedOracle, SnapshotSlot, WireResponse,
+};
+use dcspan_serve::http::{self, ClientResponse};
+use dcspan_serve::server::{Server, ServerConfig};
+use dcspan_store::SpannerArtifact;
+use std::net::{SocketAddr, TcpStream};
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Duration;
+
+const DEADLINE: Duration = Duration::from_secs(10);
+
+fn temp_path(tag: &str, ext: &str) -> PathBuf {
+    std::env::temp_dir().join(format!(
+        "dcspan-delta-test-{}-{tag}.{ext}",
+        std::process::id()
+    ))
+}
+
+/// Build a Theorem 3 artifact over a Δ-regular expander, save it, and
+/// return the path together with the instance.
+fn build_artifact(n: usize, seed: u64, tag: &str) -> (PathBuf, Graph) {
+    let delta = (((n as f64).powf(2.0 / 3.0).ceil() as usize) + 1) & !1;
+    let g = random_regular(n, delta, seed);
+    let artifact = Oracle::build_artifact(&g, SpannerAlgo::Theorem3, seed);
+    let path = temp_path(tag, "bin");
+    artifact.save_v2(&path).unwrap();
+    (path, g)
+}
+
+fn base_config() -> OracleConfig {
+    OracleConfig {
+        cache_capacity: 0,
+        seed: 7,
+        ..OracleConfig::default()
+    }
+}
+
+fn boot(path: &std::path::Path) -> (Server, Arc<SnapshotSlot>) {
+    let base = base_config();
+    let artifact = SpannerArtifact::load(path).unwrap();
+    let meta = (artifact.meta.n, artifact.meta.delta);
+    let oracle = Oracle::from_artifact(artifact, base).unwrap();
+    let slot = Arc::new(SnapshotSlot::new(oracle));
+    let server = Server::start(
+        "127.0.0.1:0",
+        Arc::clone(&slot),
+        base,
+        meta,
+        ServerConfig::default(),
+    )
+    .unwrap();
+    (server, slot)
+}
+
+fn call(addr: SocketAddr, method: &str, path: &str, body: &[u8]) -> ClientResponse {
+    let mut conn = TcpStream::connect(addr).unwrap();
+    http::write_request(&mut conn, method, path, body).unwrap();
+    http::read_response(&mut conn, DEADLINE).unwrap()
+}
+
+/// Write a mutations file and return the `/admin/delta` body targeting it.
+fn mutations_file(tag: &str, batch: &[EdgeMutation]) -> (PathBuf, String) {
+    let path = temp_path(tag, "txt");
+    let mut text = String::new();
+    for m in batch {
+        let (u, v) = m.endpoints();
+        let sign = if m.is_insert() { '+' } else { '-' };
+        text.push_str(&format!("{sign} {u} {v}\n"));
+    }
+    std::fs::write(&path, text).unwrap();
+    let body = format!("{{\"delta\": {:?}}}", path.display().to_string());
+    (path, body)
+}
+
+#[test]
+fn delta_endpoint_applies_batch_and_matches_offline_apply() {
+    let (artifact_path, g) = build_artifact(48, 11, "apply");
+    let (server, slot) = boot(&artifact_path);
+    let addr = server.addr();
+
+    let e = g.edges()[0];
+    let batch = [EdgeMutation::Remove(e.u, e.v)];
+    let (mut_path, body) = mutations_file("apply", &batch);
+
+    let resp = call(addr, "POST", "/admin/delta", body.as_bytes());
+    assert_eq!(resp.status, 200, "delta apply failed: {}", resp.text());
+    let ack = resp.text();
+    assert!(ack.contains("\"applied\":true"), "bad ack: {ack}");
+    assert!(ack.contains("\"epoch\":1"), "bad ack: {ack}");
+    assert!(ack.contains("\"edges_removed\":1"), "bad ack: {ack}");
+
+    // The published snapshot answers byte-identically to an offline
+    // apply_delta of the same batch on the same base oracle.
+    let base = Oracle::from_artifact(
+        SpannerArtifact::load(&artifact_path).unwrap(),
+        base_config(),
+    )
+    .unwrap();
+    let (expected, _) = base.apply_delta(&batch).unwrap();
+    assert_eq!(slot.epoch(), 1);
+    for (id, (u, v)) in [(0u64, (e.u, e.v)), (1, (1, 7)), (2, (3, 40))] {
+        let req = RouteRequest { u, v, id: Some(id) };
+        let got = call(addr, "POST", "/route", req.to_json().as_bytes());
+        let want = WireResponse::from_result(id, u, v, &expected.route(u, v, id)).to_json();
+        assert_eq!(got.text(), want, "query {id} diverged after delta");
+    }
+
+    let page = call(addr, "GET", "/metrics", b"").text();
+    for needle in [
+        "dcspan_http_requests_total{endpoint=\"delta\"} 1",
+        "dcspan_delta_applied_total 1",
+        "dcspan_delta_rejected_total 0",
+        "dcspan_delta_mutations_total 1",
+    ] {
+        assert!(page.contains(needle), "metrics page missing {needle}");
+    }
+
+    server.shutdown();
+    let _ = std::fs::remove_file(&artifact_path);
+    let _ = std::fs::remove_file(&mut_path);
+}
+
+#[test]
+fn incompatible_batch_is_a_409_and_changes_nothing() {
+    let (artifact_path, g) = build_artifact(40, 3, "409");
+    let (server, slot) = boot(&artifact_path);
+    let addr = server.addr();
+
+    // Inserting an edge between two full-degree nodes raises Δ: refused.
+    let u = 0u32;
+    let w = (1..g.n() as u32).find(|&w| !g.has_edge(u, w)).unwrap();
+    let batch = [EdgeMutation::Insert(u, w)];
+    let (mut_path, body) = mutations_file("409", &batch);
+
+    let resp = call(addr, "POST", "/admin/delta", body.as_bytes());
+    assert_eq!(resp.status, 409, "expected 409: {}", resp.text());
+    assert!(
+        resp.text().contains("incompatible_delta"),
+        "{}",
+        resp.text()
+    );
+    assert_eq!(slot.epoch(), 0, "refused delta must not publish an epoch");
+
+    // Malformed body and unreadable mutations file are typed too.
+    assert_eq!(call(addr, "POST", "/admin/delta", b"not json").status, 400);
+    let gone = call(
+        addr,
+        "POST",
+        "/admin/delta",
+        b"{\"delta\": \"/nonexistent/batch.txt\"}",
+    );
+    assert_eq!(gone.status, 422);
+    assert!(gone.text().contains("delta_failed"), "{}", gone.text());
+
+    let page = call(addr, "GET", "/metrics", b"").text();
+    assert!(
+        page.contains("dcspan_delta_rejected_total 2"),
+        "409 + 422 must both count as rejections"
+    );
+    assert!(page.contains("dcspan_delta_applied_total 0"));
+
+    server.shutdown();
+    let _ = std::fs::remove_file(&artifact_path);
+    let _ = std::fs::remove_file(&mut_path);
+}
+
+#[test]
+fn sharded_backend_applies_delta_fleet_wide() {
+    let (artifact_path, g) = build_artifact(48, 21, "shard");
+    let fleet = ShardedOracle::from_artifact_file(
+        &artifact_path,
+        base_config(),
+        ShardConfig {
+            shards: 2,
+            replicas: 2,
+            ..ShardConfig::default()
+        },
+    )
+    .unwrap();
+    let server =
+        Server::start_sharded("127.0.0.1:0", Arc::new(fleet), ServerConfig::default()).unwrap();
+    let addr = server.addr();
+
+    let e = g.edges()[0];
+    let (mut_path, body) = mutations_file("shard", &[EdgeMutation::Remove(e.u, e.v)]);
+    let resp = call(addr, "POST", "/admin/delta", body.as_bytes());
+    assert_eq!(resp.status, 200, "fleet delta failed: {}", resp.text());
+    assert!(resp.text().contains("\"applied\":true"));
+
+    // The fleet still routes after the commit (every replica swapped).
+    let req = RouteRequest {
+        u: e.u,
+        v: e.v,
+        id: Some(1),
+    };
+    let routed = call(addr, "POST", "/route", req.to_json().as_bytes());
+    assert_eq!(
+        routed.status,
+        200,
+        "route after fleet delta: {}",
+        routed.text()
+    );
+
+    server.shutdown();
+    let _ = std::fs::remove_file(&artifact_path);
+    let _ = std::fs::remove_file(&mut_path);
+}

@@ -1,0 +1,703 @@
+//! The v2 `DELTA` section: an append-only mutation log plus the
+//! base→current splice payload for incremental artifact maintenance.
+//!
+//! A delta-bearing artifact is the **base** artifact (the original build,
+//! byte-for-byte) followed by one extra section that records (a) every
+//! [`EdgeMutation`] ever applied, in order, in the artifact's *external*
+//! id space — the provenance log — and (b) the *net* base→current splice
+//! data in the internal id space: graph and spanner edge diffs plus the
+//! full payload of every detour row that differs from the base. Replay is
+//! therefore pure data splicing — no spanner or detour kernels run in this
+//! crate — and reconstructs the current artifact exactly as the delta
+//! engine (`dcspan-oracle`) produced it, so re-encoding the replayed state
+//! without the `DELTA` section (compaction) is byte-identical to a direct
+//! v2 build of the mutated graph.
+//!
+//! ## Payload layout (all integers little-endian `u32`)
+//!
+//! ```text
+//! op count ‖ ops (kind: 0 = remove / 1 = insert, u, v) …
+//! g-added count  ‖ edges (u, v) …        canonical, strictly ascending
+//! g-removed count ‖ edges …
+//! h-added count  ‖ edges …
+//! h-removed count ‖ edges …
+//! row count ‖ rows (u, v, two-len, three-len, two values …, three pairs …) …
+//! ```
+//!
+//! Rows are sorted by missing edge. Every field is 4 bytes, so the payload
+//! always satisfies the v2 section-length rules. Corruption degrades to a
+//! typed [`StoreError`]; decoding allocates no more than the input size.
+
+use crate::format::{SpannerArtifact, StoreError};
+use crate::v2::encode_v2_with;
+use dcspan_graph::{ByteReader, CsrTable, Edge, EdgeMutation, Graph, MutationDiff, NodeId};
+use std::io::Write;
+use std::path::Path;
+
+/// One pre-computed detour row carried in the delta payload: the full
+/// replacement row for a missing edge whose tables changed (or that did
+/// not exist in the base).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PatchedRow {
+    /// The missing edge this row indexes (internal ids, canonical).
+    pub edge: Edge,
+    /// Replacement 2-hop detour midpoints.
+    pub two: Vec<NodeId>,
+    /// Replacement 3-hop detour `(x, z)` pairs.
+    pub three: Vec<(NodeId, NodeId)>,
+}
+
+/// Decoded `DELTA` section: the cumulative mutation log plus the net
+/// base→current splice payload (see the [module docs](self)).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct DeltaLog {
+    /// Every mutation ever applied, in order, in the artifact's external
+    /// id space (exactly as submitted to `apply_delta`).
+    pub ops: Vec<EdgeMutation>,
+    /// Graph edges present only in the current graph (internal ids).
+    pub g_added: Vec<Edge>,
+    /// Graph edges present only in the base graph.
+    pub g_removed: Vec<Edge>,
+    /// Spanner edges present only in the current spanner.
+    pub h_added: Vec<Edge>,
+    /// Spanner edges present only in the base spanner.
+    pub h_removed: Vec<Edge>,
+    /// Detour rows of the current artifact that differ from the base,
+    /// sorted by missing edge.
+    pub rows: Vec<PatchedRow>,
+}
+
+fn push_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn count_cell(value: usize, what: &str) -> Result<u32, StoreError> {
+    u32::try_from(value)
+        .map_err(|_| StoreError::Malformed(format!("{what} {value} does not fit format v2's u32")))
+}
+
+fn push_edges(out: &mut Vec<u8>, edges: &[Edge], what: &str) -> Result<(), StoreError> {
+    push_u32(out, count_cell(edges.len(), what)?);
+    for e in edges {
+        push_u32(out, e.u);
+        push_u32(out, e.v);
+    }
+    Ok(())
+}
+
+/// Read a canonical, strictly ascending edge list (count-prefixed).
+fn read_edges(r: &mut ByteReader<'_>, what: &str) -> Result<Vec<Edge>, StoreError> {
+    let count = r.read_u32()? as usize;
+    let mut edges = Vec::new();
+    for _ in 0..count {
+        let e = Edge {
+            u: r.read_u32()?,
+            v: r.read_u32()?,
+        };
+        if e.u >= e.v {
+            return Err(StoreError::Malformed(format!(
+                "{what}: edge ({}, {}) is not canonical",
+                e.u, e.v
+            )));
+        }
+        if edges.last().is_some_and(|prev| *prev >= e) {
+            return Err(StoreError::Malformed(format!(
+                "{what}: edge list not strictly ascending at ({}, {})",
+                e.u, e.v
+            )));
+        }
+        edges.push(e);
+    }
+    Ok(edges)
+}
+
+impl DeltaLog {
+    /// Serialise to the section payload layout (see the [module docs](self)).
+    pub(crate) fn encode(&self) -> Result<Vec<u8>, StoreError> {
+        let mut out = Vec::new();
+        push_u32(&mut out, count_cell(self.ops.len(), "delta op count")?);
+        for op in &self.ops {
+            let (u, v) = op.endpoints();
+            push_u32(&mut out, u32::from(op.is_insert()));
+            push_u32(&mut out, u);
+            push_u32(&mut out, v);
+        }
+        push_edges(&mut out, &self.g_added, "delta graph-added count")?;
+        push_edges(&mut out, &self.g_removed, "delta graph-removed count")?;
+        push_edges(&mut out, &self.h_added, "delta spanner-added count")?;
+        push_edges(&mut out, &self.h_removed, "delta spanner-removed count")?;
+        push_u32(&mut out, count_cell(self.rows.len(), "delta row count")?);
+        for row in &self.rows {
+            push_u32(&mut out, row.edge.u);
+            push_u32(&mut out, row.edge.v);
+            push_u32(
+                &mut out,
+                count_cell(row.two.len(), "delta two-hop row length")?,
+            );
+            push_u32(
+                &mut out,
+                count_cell(row.three.len(), "delta three-hop row length")?,
+            );
+            for &m in &row.two {
+                push_u32(&mut out, m);
+            }
+            for &(x, z) in &row.three {
+                push_u32(&mut out, x);
+                push_u32(&mut out, z);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Decode and structurally validate a section payload. Truncation and
+    /// shape violations degrade to typed errors; the element-by-element
+    /// reads mean a forged count fails on [`StoreError::Truncated`] before
+    /// any oversized allocation.
+    pub(crate) fn decode(bytes: &[u8]) -> Result<DeltaLog, StoreError> {
+        let mut r = ByteReader::new(bytes);
+        let op_count = r.read_u32()? as usize;
+        let mut ops = Vec::new();
+        for _ in 0..op_count {
+            let kind = r.read_u32()?;
+            let u = r.read_u32()?;
+            let v = r.read_u32()?;
+            ops.push(match kind {
+                0 => EdgeMutation::Remove(u, v),
+                1 => EdgeMutation::Insert(u, v),
+                k => {
+                    return Err(StoreError::Malformed(format!(
+                        "delta op kind {k} is not 0 (remove) or 1 (insert)"
+                    )))
+                }
+            });
+        }
+        let g_added = read_edges(&mut r, "delta graph-added")?;
+        let g_removed = read_edges(&mut r, "delta graph-removed")?;
+        let h_added = read_edges(&mut r, "delta spanner-added")?;
+        let h_removed = read_edges(&mut r, "delta spanner-removed")?;
+        let row_count = r.read_u32()? as usize;
+        let mut rows: Vec<PatchedRow> = Vec::new();
+        for _ in 0..row_count {
+            let edge = Edge {
+                u: r.read_u32()?,
+                v: r.read_u32()?,
+            };
+            if edge.u >= edge.v {
+                return Err(StoreError::Malformed(format!(
+                    "delta row edge ({}, {}) is not canonical",
+                    edge.u, edge.v
+                )));
+            }
+            if rows.last().is_some_and(|prev| prev.edge >= edge) {
+                return Err(StoreError::Malformed(format!(
+                    "delta rows not strictly ascending at ({}, {})",
+                    edge.u, edge.v
+                )));
+            }
+            let two_len = r.read_u32()? as usize;
+            let three_len = r.read_u32()? as usize;
+            let mut two = Vec::new();
+            for _ in 0..two_len {
+                two.push(r.read_u32()?);
+            }
+            let mut three = Vec::new();
+            for _ in 0..three_len {
+                let x = r.read_u32()?;
+                let z = r.read_u32()?;
+                three.push((x, z));
+            }
+            rows.push(PatchedRow { edge, two, three });
+        }
+        if !r.is_empty() {
+            return Err(StoreError::Malformed(format!(
+                "delta section has {} unconsumed bytes",
+                r.remaining()
+            )));
+        }
+        Ok(DeltaLog {
+            ops,
+            g_added,
+            g_removed,
+            h_added,
+            h_removed,
+            rows,
+        })
+    }
+}
+
+/// Apply a sorted edge diff to a sorted base edge list. Every removed
+/// edge must be present and every added edge absent — the delta payload
+/// records a *net* diff, so anything else means the payload and base
+/// disagree.
+fn apply_edge_diff(
+    base: &[Edge],
+    added: &[Edge],
+    removed: &[Edge],
+    what: &str,
+) -> Result<Vec<Edge>, StoreError> {
+    let mut survivors = Vec::with_capacity(base.len());
+    let mut ri = 0usize;
+    for &e in base {
+        if removed.get(ri) == Some(&e) {
+            ri += 1;
+        } else {
+            survivors.push(e);
+        }
+    }
+    if let Some(e) = removed.get(ri) {
+        return Err(StoreError::Malformed(format!(
+            "{what}: removed edge ({}, {}) is not in the base",
+            e.u, e.v
+        )));
+    }
+    let mut out = Vec::with_capacity(survivors.len() + added.len());
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < survivors.len() && j < added.len() {
+        match survivors[i].cmp(&added[j]) {
+            std::cmp::Ordering::Less => {
+                out.push(survivors[i]);
+                i += 1;
+            }
+            std::cmp::Ordering::Greater => {
+                out.push(added[j]);
+                j += 1;
+            }
+            std::cmp::Ordering::Equal => {
+                return Err(StoreError::Malformed(format!(
+                    "{what}: added edge ({}, {}) is already in the base",
+                    added[j].u, added[j].v
+                )));
+            }
+        }
+    }
+    out.extend_from_slice(&survivors[i..]);
+    out.extend_from_slice(&added[j..]);
+    Ok(out)
+}
+
+/// Replay a delta payload against its base artifact: splice the graph and
+/// spanner edge diffs, recompute the missing-edge list as `E(G′) ∖ E(H′)`,
+/// and assemble the detour tables row by row — from the payload for
+/// patched rows, verbatim from the base for untouched ones. Pure data
+/// movement; no construction kernels run.
+pub(crate) fn splice(
+    base: &SpannerArtifact,
+    log: &DeltaLog,
+) -> Result<SpannerArtifact, StoreError> {
+    let n = base.meta.n;
+    let all_edges = log
+        .g_added
+        .iter()
+        .chain(&log.g_removed)
+        .chain(&log.h_added)
+        .chain(&log.h_removed)
+        .chain(log.rows.iter().map(|r| &r.edge));
+    for e in all_edges {
+        if e.v as usize >= n {
+            return Err(StoreError::Malformed(format!(
+                "delta edge ({}, {}) out of range for n = {n}",
+                e.u, e.v
+            )));
+        }
+    }
+    let g_edges = apply_edge_diff(
+        base.graph.edges(),
+        &log.g_added,
+        &log.g_removed,
+        "delta graph diff",
+    )?;
+    let h_edges = apply_edge_diff(
+        base.spanner.edges(),
+        &log.h_added,
+        &log.h_removed,
+        "delta spanner diff",
+    )?;
+    let graph = Graph::from_edges(n, g_edges.iter().map(|e| (e.u, e.v)));
+    let spanner = Graph::from_edges(n, h_edges.iter().map(|e| (e.u, e.v)));
+    if graph.max_degree() != base.meta.delta {
+        return Err(StoreError::Malformed(format!(
+            "delta-replayed graph has max degree {} but meta records Δ = {} (delta batches must preserve Δ)",
+            graph.max_degree(),
+            base.meta.delta
+        )));
+    }
+
+    // missing = E(G′) ∖ E(H′), by two-pointer over the sorted edge lists.
+    // A spanner edge outside the graph means the diffs are inconsistent.
+    let mut missing = Vec::with_capacity(g_edges.len().saturating_sub(h_edges.len()));
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < g_edges.len() {
+        match h_edges.get(j) {
+            Some(h) if *h < g_edges[i] => {
+                return Err(StoreError::Malformed(format!(
+                    "delta-replayed spanner edge ({}, {}) is not in the graph",
+                    h.u, h.v
+                )));
+            }
+            Some(h) if *h == g_edges[i] => {
+                i += 1;
+                j += 1;
+            }
+            _ => {
+                missing.push(g_edges[i]);
+                i += 1;
+            }
+        }
+    }
+    if let Some(h) = h_edges.get(j) {
+        return Err(StoreError::Malformed(format!(
+            "delta-replayed spanner edge ({}, {}) is not in the graph",
+            h.u, h.v
+        )));
+    }
+
+    for row in &log.rows {
+        if missing.binary_search(&row.edge).is_err() {
+            return Err(StoreError::Malformed(format!(
+                "delta payload carries a detour row for ({}, {}), which is not a missing edge",
+                row.edge.u, row.edge.v
+            )));
+        }
+    }
+    let mut two_rows: Vec<Vec<NodeId>> = Vec::with_capacity(missing.len());
+    let mut three_rows: Vec<Vec<(NodeId, NodeId)>> = Vec::with_capacity(missing.len());
+    for &e in &missing {
+        if let Ok(p) = log.rows.binary_search_by(|r| r.edge.cmp(&e)) {
+            two_rows.push(log.rows[p].two.clone());
+            three_rows.push(log.rows[p].three.clone());
+        } else if let Ok(p) = base.missing.binary_search(&e) {
+            two_rows.push(base.two.row(p).to_vec());
+            three_rows.push(base.three.row(p).to_vec());
+        } else {
+            return Err(StoreError::Malformed(format!(
+                "delta payload has no detour row for missing edge ({}, {})",
+                e.u, e.v
+            )));
+        }
+    }
+    Ok(SpannerArtifact {
+        graph,
+        spanner,
+        missing,
+        two: CsrTable::from_rows(two_rows),
+        three: CsrTable::from_rows(three_rows),
+        perm: base.perm.clone(),
+        meta: base.meta,
+    })
+}
+
+/// Compute the delta payload between `base` and `current`: the net graph
+/// and spanner edge diffs plus every detour row of `current` that differs
+/// from (or is absent in) `base`, carrying the cumulative `ops` log.
+/// The two artifacts must share provenance and permutation — a delta
+/// never changes `ArtifactMeta` or the node relabeling.
+pub(crate) fn delta_log_between(
+    base: &SpannerArtifact,
+    current: &SpannerArtifact,
+    ops: &[EdgeMutation],
+) -> Result<DeltaLog, StoreError> {
+    if base.meta != current.meta {
+        return Err(StoreError::Malformed(
+            "delta base and current artifacts disagree on provenance metadata".to_string(),
+        ));
+    }
+    if base.perm != current.perm {
+        return Err(StoreError::Malformed(
+            "delta base and current artifacts disagree on the node permutation".to_string(),
+        ));
+    }
+    let g_diff = MutationDiff::between(&base.graph, &current.graph);
+    let h_diff = MutationDiff::between(&base.spanner, &current.spanner);
+    let mut rows = Vec::new();
+    for (i, &e) in current.missing.iter().enumerate() {
+        let unchanged = match base.missing.binary_search(&e) {
+            Ok(j) => {
+                base.two.row(j) == current.two.row(i) && base.three.row(j) == current.three.row(i)
+            }
+            Err(_) => false,
+        };
+        if !unchanged {
+            rows.push(PatchedRow {
+                edge: e,
+                two: current.two.row(i).to_vec(),
+                three: current.three.row(i).to_vec(),
+            });
+        }
+    }
+    Ok(DeltaLog {
+        ops: ops.to_vec(),
+        g_added: g_diff.added,
+        g_removed: g_diff.removed,
+        h_added: h_diff.added,
+        h_removed: h_diff.removed,
+        rows,
+    })
+}
+
+/// Serialise `current` as a v2 artifact expressed as `base` plus a `DELTA`
+/// section (see the [module docs](self)): the base sections are encoded
+/// exactly as a plain v2 save of `base` would encode them, and `ops` is
+/// the **cumulative** mutation log (pass the previous log with the new
+/// batch appended when extending an already-delta'd artifact). Opening
+/// the result replays the delta transparently; compacting it re-encodes
+/// the replayed state without the section.
+pub fn encode_v2_delta(
+    base: &SpannerArtifact,
+    current: &SpannerArtifact,
+    ops: &[EdgeMutation],
+) -> Result<Vec<u8>, StoreError> {
+    let log = delta_log_between(base, current, ops)?;
+    let payload = log.encode()?;
+    encode_v2_with(base, Some(&payload))
+}
+
+/// [`encode_v2_delta`] + write to `path` (non-atomic, like every save;
+/// partial writes are caught at open by the checksums).
+pub fn save_v2_delta(
+    base: &SpannerArtifact,
+    current: &SpannerArtifact,
+    ops: &[EdgeMutation],
+    path: &Path,
+) -> Result<(), StoreError> {
+    let bytes = encode_v2_delta(base, current, ops)?;
+    let mut file = std::fs::File::create(path)?;
+    file.write_all(&bytes)?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::format::{section_report, ArtifactMeta};
+    use crate::v2::MappedArtifact;
+    use dcspan_core::serve::SpannerAlgo;
+
+    fn meta(n: usize, delta: usize) -> ArtifactMeta {
+        ArtifactMeta {
+            algo: SpannerAlgo::Theorem2,
+            seed: 42,
+            n,
+            delta,
+        }
+    }
+
+    /// One hand-built detour row: 2-hop midpoints plus 3-hop pairs.
+    type TestRow = (Vec<u32>, Vec<(u32, u32)>);
+
+    /// A small hand-built, structurally consistent artifact: the splice
+    /// layer moves rows without interpreting them, so the detour contents
+    /// only need the right shape.
+    fn artifact(
+        g_edges: &[(u32, u32)],
+        h_edges: &[(u32, u32)],
+        rows: &[TestRow],
+        perm: Option<Vec<u32>>,
+    ) -> SpannerArtifact {
+        let n = 5;
+        let graph = Graph::from_edges(n, g_edges.iter().copied());
+        let spanner = Graph::from_edges(n, h_edges.iter().copied());
+        let missing: Vec<Edge> = graph
+            .edges()
+            .iter()
+            .copied()
+            .filter(|e| !spanner.edges().contains(e))
+            .collect();
+        assert_eq!(missing.len(), rows.len(), "one detour row per missing edge");
+        SpannerArtifact {
+            meta: meta(n, graph.max_degree()),
+            graph,
+            spanner,
+            missing,
+            two: CsrTable::from_rows(rows.iter().map(|(two, _)| two.clone())),
+            three: CsrTable::from_rows(rows.iter().map(|(_, three)| three.clone())),
+            perm,
+        }
+    }
+
+    fn base_artifact(perm: Option<Vec<u32>>) -> SpannerArtifact {
+        // G has Δ = 3; missing = [(0,2), (1,3)].
+        artifact(
+            &[(0, 1), (0, 2), (1, 2), (1, 3), (2, 3), (3, 4)],
+            &[(0, 1), (1, 2), (2, 3), (3, 4)],
+            &[(vec![1], vec![]), (vec![2], vec![])],
+            perm,
+        )
+    }
+
+    fn mutated_artifact(perm: Option<Vec<u32>>) -> SpannerArtifact {
+        // Remove (3,4) from G and H, drop (0,1) from H only: missing
+        // becomes [(0,1), (0,2), (1,3)] and Δ stays 3.
+        artifact(
+            &[(0, 1), (0, 2), (1, 2), (1, 3), (2, 3)],
+            &[(1, 2), (2, 3)],
+            &[(vec![], vec![]), (vec![1], vec![]), (vec![2], vec![])],
+            perm,
+        )
+    }
+
+    fn ops() -> Vec<EdgeMutation> {
+        vec![EdgeMutation::Remove(3, 4), EdgeMutation::Remove(0, 1)]
+    }
+
+    #[test]
+    fn delta_log_codec_round_trips() {
+        let log = DeltaLog {
+            ops: vec![EdgeMutation::Insert(7, 3), EdgeMutation::Remove(0, 9)],
+            g_added: vec![Edge { u: 0, v: 3 }],
+            g_removed: vec![Edge { u: 1, v: 2 }, Edge { u: 3, v: 4 }],
+            h_added: vec![],
+            h_removed: vec![Edge { u: 3, v: 4 }],
+            rows: vec![
+                PatchedRow {
+                    edge: Edge { u: 0, v: 3 },
+                    two: vec![1, 2],
+                    three: vec![(1, 4)],
+                },
+                PatchedRow {
+                    edge: Edge { u: 2, v: 4 },
+                    two: vec![],
+                    three: vec![(0, 1), (1, 3)],
+                },
+            ],
+        };
+        let bytes = log.encode().unwrap();
+        assert_eq!(DeltaLog::decode(&bytes).unwrap(), log);
+    }
+
+    #[test]
+    fn delta_artifact_replays_and_compacts_byte_identically() {
+        let base = base_artifact(None);
+        let current = mutated_artifact(None);
+        let bytes = encode_v2_delta(&base, &current, &ops()).unwrap();
+        assert_eq!(crate::verify(&bytes).unwrap(), base.meta);
+
+        // The raw view exposes the stored base and the log.
+        let raw = MappedArtifact::from_bytes_raw(&bytes).unwrap();
+        assert!(raw.has_delta());
+        assert_eq!(raw.delta_ops().unwrap(), ops());
+        assert_eq!(raw.decode_owned().unwrap(), base);
+        assert_eq!(raw.current_artifact().unwrap(), current);
+
+        // The serving open replays the delta away.
+        let replayed = MappedArtifact::from_bytes(&bytes).unwrap();
+        assert!(!replayed.has_delta());
+        assert_eq!(replayed.decode_owned().unwrap(), current);
+
+        // Compaction (re-encode the replayed state without the section)
+        // is byte-identical to a direct v2 encode of the mutated state.
+        let compacted = replayed.decode_owned().unwrap().encode_v2().unwrap();
+        assert_eq!(compacted, current.encode_v2().unwrap());
+    }
+
+    #[test]
+    fn second_delta_merges_into_one_log() {
+        let base = base_artifact(None);
+        // A further batch on top of `mutated_artifact`: re-insert (3,4)
+        // into G only — it becomes missing and needs a payload row. Only
+        // base + cumulative log are stored, never intermediate states.
+        let current2 = artifact(
+            &[(0, 1), (0, 2), (1, 2), (1, 3), (2, 3), (3, 4)],
+            &[(1, 2), (2, 3)],
+            &[
+                (vec![], vec![]),
+                (vec![1], vec![]),
+                (vec![2], vec![]),
+                (vec![], vec![]),
+            ],
+            None,
+        );
+        let mut all_ops = ops();
+        all_ops.push(EdgeMutation::Insert(3, 4));
+        let bytes = encode_v2_delta(&base, &current2, &all_ops).unwrap();
+        let raw = MappedArtifact::from_bytes_raw(&bytes).unwrap();
+        assert_eq!(raw.delta_ops().unwrap(), all_ops);
+        assert_eq!(raw.decode_owned().unwrap(), base);
+        assert_eq!(raw.current_artifact().unwrap(), current2);
+    }
+
+    #[test]
+    fn delta_preserves_perm_through_replay() {
+        let perm = Some(vec![4u32, 3, 2, 1, 0]);
+        let base = base_artifact(perm.clone());
+        let current = mutated_artifact(perm.clone());
+        let bytes = encode_v2_delta(&base, &current, &ops()).unwrap();
+        let replayed = MappedArtifact::from_bytes(&bytes).unwrap();
+        assert_eq!(replayed.perm().unwrap(), perm);
+        assert_eq!(replayed.decode_owned().unwrap(), current);
+    }
+
+    #[test]
+    fn section_report_enumerates_delta_section() {
+        let base = base_artifact(None);
+        let current = mutated_artifact(None);
+        let bytes = encode_v2_delta(&base, &current, &ops()).unwrap();
+        let report = section_report(&bytes).unwrap();
+        assert_eq!(report.len(), 13);
+        let last = report.last().unwrap();
+        assert_eq!((last.id, last.name), (14, "delta"));
+        assert!(last.len > 0 && last.checksum != 0);
+
+        // v1 artifacts report their six sections with absolute offsets.
+        let v1 = base.encode().unwrap();
+        let v1_report = section_report(&v1).unwrap();
+        assert_eq!(v1_report.len(), 6);
+        assert_eq!(v1_report[0].name, "meta");
+        for w in v1_report.windows(2) {
+            assert_eq!(w[0].offset + w[0].len, w[1].offset);
+        }
+    }
+
+    #[test]
+    fn corrupt_delta_payload_is_typed() {
+        let base = base_artifact(None);
+        let current = mutated_artifact(None);
+        let bytes = encode_v2_delta(&base, &current, &ops()).unwrap();
+
+        // Bit flip inside the delta payload (the last section, which ends
+        // flush with the file): checksum mismatch naming the section.
+        let mut flipped = bytes.clone();
+        let last = flipped.len() - 1;
+        flipped[last] ^= 0x40;
+        match MappedArtifact::from_bytes(&flipped).err() {
+            Some(StoreError::ChecksumMismatch { section: "delta" }) => {}
+            other => panic!("expected delta checksum mismatch, got {other:?}"),
+        }
+
+        // Structurally bad payload (op kind 7) with a valid checksum:
+        // typed malformed error at parse time.
+        let mut garbage = Vec::new();
+        for v in [1u32, 7, 0, 1] {
+            garbage.extend_from_slice(&v.to_le_bytes());
+        }
+        let bad = encode_v2_with(&base, Some(&garbage)).unwrap();
+        match MappedArtifact::from_bytes(&bad).err() {
+            Some(StoreError::Malformed(msg)) => assert!(msg.contains("delta op kind")),
+            other => panic!("expected malformed delta payload, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn inconsistent_payload_is_rejected_at_splice() {
+        let base = base_artifact(None);
+        // A log that removes an edge the base does not have.
+        let log = DeltaLog {
+            ops: vec![EdgeMutation::Remove(0, 4)],
+            g_removed: vec![Edge { u: 0, v: 4 }],
+            ..DeltaLog::default()
+        };
+        match splice(&base, &log) {
+            Err(StoreError::Malformed(msg)) => assert!(msg.contains("not in the base")),
+            other => panic!("expected malformed splice, got {other:?}"),
+        }
+        // A log whose missing edge has no row anywhere.
+        let log = DeltaLog {
+            ops: vec![EdgeMutation::Remove(0, 1)],
+            h_removed: vec![Edge { u: 0, v: 1 }],
+            ..DeltaLog::default()
+        };
+        match splice(&base, &log) {
+            Err(StoreError::Malformed(msg)) => assert!(msg.contains("no detour row")),
+            other => panic!("expected missing-row error, got {other:?}"),
+        }
+    }
+}

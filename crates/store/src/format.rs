@@ -529,6 +529,53 @@ pub fn verify_file(path: &Path) -> Result<ArtifactMeta, StoreError> {
     verify(&read_file(path)?)
 }
 
+/// One row of a per-section artifact report: the section's id, name,
+/// **file-absolute** byte offset (v1 stores offsets relative to the end of
+/// the table; they are translated here), payload length, and stored
+/// checksum.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SectionInfo {
+    /// Section id as stored in the table.
+    pub id: u32,
+    /// Human-readable section name for the id, in this format version.
+    pub name: &'static str,
+    /// File-absolute byte offset of the payload.
+    pub offset: u64,
+    /// Payload length in bytes.
+    pub len: u64,
+    /// Stored XXH64 checksum (seeded with the section id).
+    pub checksum: u64,
+}
+
+/// Fully verify an artifact of either format and enumerate its sections —
+/// id, name, file-absolute offset, length, stored checksum — in file
+/// order. v2 reports include the optional `perm` and `delta` sections
+/// when present. Used by `dcspan verify-artifact`.
+pub fn section_report(bytes: &[u8]) -> Result<Vec<SectionInfo>, StoreError> {
+    if bytes.get(..8) == Some(&crate::v2::MAGIC_V2) {
+        return crate::v2::section_report_v2(bytes);
+    }
+    let (entries, payload_start) = parse_header(bytes)?;
+    for id in SECTION_IDS {
+        section(bytes, &entries, payload_start, id)?;
+    }
+    Ok(entries
+        .iter()
+        .map(|e| SectionInfo {
+            id: e.id,
+            name: section_name(e.id),
+            offset: (payload_start + e.offset) as u64,
+            len: e.len as u64,
+            checksum: e.checksum,
+        })
+        .collect())
+}
+
+/// [`section_report`] for a file on disk.
+pub fn section_report_file(path: &Path) -> Result<Vec<SectionInfo>, StoreError> {
+    section_report(&read_file(path)?)
+}
+
 /// Identify the artifact format version from the leading magic bytes:
 /// `Ok(1)` for v1, `Ok(2)` for v2, [`StoreError::BadMagic`] otherwise.
 pub fn detect_version(bytes: &[u8]) -> Result<u32, StoreError> {

@@ -21,6 +21,13 @@
 //!   open, zero per-element decode work, and N serving replicas share one
 //!   page-cache copy.
 //!
+//! v2 artifacts can additionally carry a `DELTA` section ([`delta`]): an
+//! append-only mutation log plus base→current splice payload that turns
+//! the file into *base + increments* for incremental maintenance —
+//! replayed transparently at open (serving state is byte-identical to the
+//! compacted artifact), folded back into a plain base artifact by
+//! `migrate-artifact --compact`.
+//!
 //! All `unsafe` in the crate (the mapping syscalls and the audited
 //! byte-to-`u32` reinterpret casts) is confined to the private `region`
 //! module; the rest of the crate is `deny(unsafe_code)` and `cargo xtask
@@ -28,21 +35,23 @@
 //! flips, forged lengths, misaligned offsets — degrades to a typed
 //! [`StoreError`], never a panic or a silently wrong answer.
 //!
-//! Format specs: DESIGN.md §11 (v1) and §15 (v2). Version-bump policy:
-//! CONTRIBUTING.md.
+//! Format specs: DESIGN.md §11 (v1), §15 (v2), and §16 (the `DELTA`
+//! section). Version-bump policy: CONTRIBUTING.md.
 
 #![deny(unsafe_code)]
 #![deny(missing_docs)]
 
+pub mod delta;
 pub mod format;
 #[allow(unsafe_code)]
 mod region;
 pub mod v2;
 pub mod xxh;
 
+pub use delta::{encode_v2_delta, save_v2_delta, DeltaLog, PatchedRow};
 pub use format::{
-    artifact_meta, detect_version, file_version, verify, verify_file, ArtifactMeta,
-    SpannerArtifact, StoreError, FORMAT_VERSION, MAGIC,
+    artifact_meta, detect_version, file_version, section_report, section_report_file, verify,
+    verify_file, ArtifactMeta, SectionInfo, SpannerArtifact, StoreError, FORMAT_VERSION, MAGIC,
 };
 pub use v2::{verify_v2, MappedArtifact, FORMAT_VERSION_V2, MAGIC_V2, SECTION_ALIGN};
 pub use xxh::xxh64;

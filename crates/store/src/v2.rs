@@ -7,7 +7,7 @@
 //! 0       8     magic  b"DCSPANA2"
 //! 8       4     format version (u32) = 2
 //! 12      8     header checksum: xxh64(section count ‖ section table, seed 0)
-//! 20      4     section count (u32): 12, or 13 with a permutation
+//! 20      4     section count (u32): 12 required + optional perm + optional delta
 //! 24      28·k  section table: (id u32, offset u64, len u64, checksum u64)
 //! ...           payload sections, each starting at a 64-byte-aligned
 //!               FILE-ABSOLUTE offset, in section-id order
@@ -44,6 +44,7 @@
 //! | 11 | three-starts      | `u32[k+1]` row offsets of the 3-hop table   |
 //! | 12 | three-values      | `u32[2·]` concatenated 3-hop `(x,z)` pairs  |
 //! | 13 | perm (optional)   | `u32[n]`: `perm[external] = internal` id    |
+//! | 14 | delta (optional)  | mutation log + splice payload ([`crate::delta`]) |
 //!
 //! [`MappedArtifact::open`] maps (or reads, see [`crate::region`]) the
 //! file, validates the header, the alignment/gap rules, and **every
@@ -52,6 +53,15 @@
 //! big arrays. Corruption — bit flips, truncation, misaligned or
 //! overlapping offsets — degrades to a typed [`StoreError`] at open,
 //! never a panic.
+//!
+//! A `delta` section (a minor-version extension: ids 1–13 are laid out
+//! exactly as before, so pre-delta readers of those sections see an
+//! unchanged base) turns the file into *base + append-only mutation log*.
+//! [`MappedArtifact::open`] **replays** the delta transparently — the
+//! sections 1–13 of the returned view describe the *current* (mutated)
+//! state, re-encoded into an owned backing — while
+//! [`MappedArtifact::open_raw`] exposes the stored base and the log for
+//! delta tooling (`apply-delta`, `migrate-artifact --compact`).
 
 use crate::format::{ArtifactMeta, SpannerArtifact, StoreError};
 use crate::region::{self, Backing};
@@ -89,6 +99,7 @@ const SEC_TWO_VALUES: u32 = 10;
 const SEC_THREE_STARTS: u32 = 11;
 const SEC_THREE_VALUES: u32 = 12;
 const SEC_PERM: u32 = 13;
+const SEC_DELTA: u32 = 14;
 
 const REQUIRED_IDS: [u32; 12] = [
     SEC_META,
@@ -120,6 +131,7 @@ fn section_name(id: u32) -> &'static str {
         SEC_THREE_STARTS => "three-hop-starts",
         SEC_THREE_VALUES => "three-hop-values",
         SEC_PERM => "perm",
+        SEC_DELTA => "delta",
         _ => "unknown",
     }
 }
@@ -151,6 +163,17 @@ fn put_pairs_at<I: IntoIterator<Item = (u32, u32)>>(out: &mut [u8], off: usize, 
 /// Serialise `artifact` to format v2. Fails (typed, no panic) if any array
 /// index exceeds `u32` range — v2 cells are fixed-width `u32`s.
 pub fn encode_v2(artifact: &SpannerArtifact) -> Result<Vec<u8>, StoreError> {
+    encode_v2_with(artifact, None)
+}
+
+/// [`encode_v2`] with an optional pre-encoded `DELTA` section payload
+/// appended after the base (and optional perm) sections. The base
+/// sections are laid out by the same deterministic rules either way;
+/// only the header, table, and section offsets differ.
+pub(crate) fn encode_v2_with(
+    artifact: &SpannerArtifact,
+    delta: Option<&[u8]>,
+) -> Result<Vec<u8>, StoreError> {
     let n = artifact.graph.n();
     let k = artifact.missing.len();
     // The only usize-valued cells are CSR offsets; each array is monotone,
@@ -187,6 +210,15 @@ pub fn encode_v2(artifact: &SpannerArtifact) -> Result<Vec<u8>, StoreError> {
             )));
         }
         sections.push((SEC_PERM, n * 4));
+    }
+    if let Some(payload) = delta {
+        if payload.len() % 4 != 0 {
+            return Err(StoreError::Malformed(format!(
+                "delta payload length {} is not a multiple of 4",
+                payload.len()
+            )));
+        }
+        sections.push((SEC_DELTA, payload.len()));
     }
 
     // Lay the sections out: each starts at the next 64-byte boundary after
@@ -274,6 +306,11 @@ pub fn encode_v2(artifact: &SpannerArtifact) -> Result<Vec<u8>, StoreError> {
                     put_u32s_at(&mut out, off, perm.iter().copied());
                 }
             }
+            SEC_DELTA => {
+                if let Some(payload) = delta {
+                    out[off..off + payload.len()].copy_from_slice(payload);
+                }
+            }
             _ => {}
         }
     }
@@ -320,6 +357,7 @@ struct Section {
     id: u32,
     offset: usize,
     len: usize,
+    checksum: u64,
 }
 
 /// Parse the v2 header and validate the whole file once: magic, version,
@@ -359,22 +397,32 @@ fn parse_and_verify(bytes: &[u8]) -> Result<(Vec<Section>, ArtifactMeta), StoreE
     }
 
     let mut entries = Vec::with_capacity(count as usize);
-    let mut checksums = Vec::with_capacity(count as usize);
     for _ in 0..count {
         let id = cr.read_u32()?;
         let offset = usize::try_from(cr.read_u64()?).map_err(|_| StoreError::Truncated)?;
         let len = usize::try_from(cr.read_u64()?).map_err(|_| StoreError::Truncated)?;
-        checksums.push(cr.read_u64()?);
-        entries.push(Section { id, offset, len });
+        let checksum = cr.read_u64()?;
+        entries.push(Section {
+            id,
+            offset,
+            len,
+            checksum,
+        });
     }
     let ids: Vec<u32> = entries.iter().map(|e| e.id).collect();
-    let ids_ok = ids == REQUIRED_IDS
-        || (ids.len() == REQUIRED_IDS.len() + 1
-            && ids[..REQUIRED_IDS.len()] == REQUIRED_IDS
-            && ids[REQUIRED_IDS.len()] == SEC_PERM);
+    // Required sections in order, then at most one perm, then at most one
+    // delta — the only shapes v2 defines.
+    let ids_ok = ids.len() >= REQUIRED_IDS.len()
+        && ids[..REQUIRED_IDS.len()] == REQUIRED_IDS
+        && match ids[REQUIRED_IDS.len()..] {
+            [] => true,
+            [tail] => tail == SEC_PERM || tail == SEC_DELTA,
+            [p, d] => p == SEC_PERM && d == SEC_DELTA,
+            _ => false,
+        };
     if !ids_ok {
         return Err(StoreError::Malformed(format!(
-            "section ids {ids:?}, expected {REQUIRED_IDS:?} (+ optional {SEC_PERM})"
+            "section ids {ids:?}, expected {REQUIRED_IDS:?} (+ optional {SEC_PERM}, {SEC_DELTA})"
         )));
     }
 
@@ -423,11 +471,11 @@ fn parse_and_verify(bytes: &[u8]) -> Result<(Vec<Section>, ArtifactMeta), StoreE
 
     // Verify every section checksum now — the one and only integrity pass;
     // all later accessors serve raw views of these bytes.
-    for (e, &sum) in entries.iter().zip(&checksums) {
+    for e in &entries {
         let payload = bytes
             .get(e.offset..e.offset + e.len)
             .ok_or(StoreError::Truncated)?;
-        if xxh64(payload, u64::from(e.id)) != sum {
+        if xxh64(payload, u64::from(e.id)) != e.checksum {
             return Err(StoreError::ChecksumMismatch {
                 section: section_name(e.id),
             });
@@ -514,6 +562,15 @@ fn parse_and_verify(bytes: &[u8]) -> Result<(Vec<Section>, ArtifactMeta), StoreE
             n * 4
         )));
     }
+    // The delta payload has internal structure (counts, edge lists, rows);
+    // decode it once here so verification rejects malformed payloads
+    // before any replay runs.
+    if let Some(e) = entries.iter().find(|e| e.id == SEC_DELTA) {
+        let payload = bytes
+            .get(e.offset..e.offset + e.len)
+            .ok_or(StoreError::Truncated)?;
+        crate::delta::DeltaLog::decode(payload)?;
+    }
     Ok((entries, meta))
 }
 
@@ -521,6 +578,24 @@ fn parse_and_verify(bytes: &[u8]) -> Result<(Vec<Section>, ArtifactMeta), StoreE
 /// decode) without materialising any graph. Returns the metadata.
 pub fn verify_v2(bytes: &[u8]) -> Result<ArtifactMeta, StoreError> {
     parse_and_verify(bytes).map(|(_, meta)| meta)
+}
+
+/// Fully verify a v2 artifact and enumerate its sections (including an
+/// optional `DELTA`) with file-absolute offsets and stored checksums.
+pub(crate) fn section_report_v2(
+    bytes: &[u8],
+) -> Result<Vec<crate::format::SectionInfo>, StoreError> {
+    let (entries, _) = parse_and_verify(bytes)?;
+    Ok(entries
+        .iter()
+        .map(|e| crate::format::SectionInfo {
+            id: e.id,
+            name: section_name(e.id),
+            offset: e.offset as u64,
+            len: e.len as u64,
+            checksum: e.checksum,
+        })
+        .collect())
 }
 
 // ---------------------------------------------------------------------------
@@ -551,18 +626,51 @@ fn read_u32s(bytes: &[u8]) -> Vec<u32> {
 impl MappedArtifact {
     /// Open and fully validate `path` (see [`parse_and_verify`] for what
     /// that covers). Prefers a true file mapping; falls back to reading
-    /// into an aligned heap buffer.
+    /// into an aligned heap buffer. If the file carries a `DELTA` section
+    /// the mutation log is **replayed** first: the returned view serves
+    /// the current (mutated) state, re-encoded into an owned backing —
+    /// byte-identical to opening the compacted artifact.
     pub fn open(path: &Path) -> Result<MappedArtifact, StoreError> {
         let backing = Backing::open_file(path).map_err(StoreError::Io)?;
         MappedArtifact::from_backing(Arc::new(backing))
     }
 
-    /// Open from in-memory bytes (copied into an aligned heap backing).
+    /// Open from in-memory bytes (copied into an aligned heap backing),
+    /// replaying any `DELTA` section like [`open`](Self::open).
     pub fn from_bytes(bytes: &[u8]) -> Result<MappedArtifact, StoreError> {
         MappedArtifact::from_backing(Arc::new(Backing::from_bytes(bytes)))
     }
 
+    /// Open `path` **without** replaying a `DELTA` section: the view's
+    /// accessors describe the stored *base* artifact, and
+    /// [`delta_ops`](Self::delta_ops) / [`current_artifact`](Self::current_artifact)
+    /// expose the log and the replayed state. This is the entry point for
+    /// delta tooling (`apply-delta`, `migrate-artifact --compact`);
+    /// serving paths want [`open`](Self::open).
+    pub fn open_raw(path: &Path) -> Result<MappedArtifact, StoreError> {
+        let backing = Backing::open_file(path).map_err(StoreError::Io)?;
+        MappedArtifact::from_backing_raw(Arc::new(backing))
+    }
+
+    /// [`open_raw`](Self::open_raw) for in-memory bytes.
+    pub fn from_bytes_raw(bytes: &[u8]) -> Result<MappedArtifact, StoreError> {
+        MappedArtifact::from_backing_raw(Arc::new(Backing::from_bytes(bytes)))
+    }
+
     fn from_backing(backing: Arc<Backing>) -> Result<MappedArtifact, StoreError> {
+        let raw = MappedArtifact::from_backing_raw(backing)?;
+        if !raw.has_delta() {
+            return Ok(raw);
+        }
+        // Replay: splice the log over the base and re-encode the current
+        // state. The recursion terminates because the re-encoded bytes
+        // carry no DELTA section.
+        let current = raw.current_artifact()?;
+        let bytes = encode_v2(&current)?;
+        MappedArtifact::from_backing_raw(Arc::new(Backing::from_bytes(&bytes)))
+    }
+
+    fn from_backing_raw(backing: Arc<Backing>) -> Result<MappedArtifact, StoreError> {
         let (sections, meta) = parse_and_verify(backing.bytes())?;
         Ok(MappedArtifact {
             backing,
@@ -590,6 +698,39 @@ impl MappedArtifact {
     /// True when the artifact carries a node permutation section.
     pub fn has_perm(&self) -> bool {
         self.sections.iter().any(|s| s.id == SEC_PERM)
+    }
+
+    /// True when this *view* still carries a `DELTA` section — i.e. it was
+    /// opened via [`open_raw`](Self::open_raw) on a delta-bearing file
+    /// ([`open`](Self::open) replays the delta away).
+    pub fn has_delta(&self) -> bool {
+        self.sections.iter().any(|s| s.id == SEC_DELTA)
+    }
+
+    fn delta_log(&self) -> Result<Option<crate::delta::DeltaLog>, StoreError> {
+        if !self.has_delta() {
+            return Ok(None);
+        }
+        crate::delta::DeltaLog::decode(self.sec_bytes(SEC_DELTA)).map(Some)
+    }
+
+    /// The cumulative mutation log stored in the `DELTA` section, in the
+    /// order the batches were applied, in the artifact's external id
+    /// space. Empty when the view carries no delta.
+    pub fn delta_ops(&self) -> Result<Vec<dcspan_graph::EdgeMutation>, StoreError> {
+        Ok(self.delta_log()?.map(|log| log.ops).unwrap_or_default())
+    }
+
+    /// The artifact state this file describes *after* replaying any
+    /// `DELTA` section: [`decode_owned`](Self::decode_owned) (the base on
+    /// a raw delta-bearing view) spliced with the stored log. On a
+    /// delta-free view this is just `decode_owned`.
+    pub fn current_artifact(&self) -> Result<SpannerArtifact, StoreError> {
+        let base = self.decode_owned()?;
+        match self.delta_log()? {
+            Some(log) => crate::delta::splice(&base, &log),
+            None => Ok(base),
+        }
     }
 
     fn sec(&self, id: u32) -> Option<&Section> {

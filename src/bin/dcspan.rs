@@ -3,9 +3,10 @@
 //! ```text
 //! dcspan gen        --family <regular|gnp|gabber-galil|fan|two-clique|lower-bound> [--n N] [--delta D] [--seed S]
 //! dcspan spanner    --algo <regular|expander|baswana-sen|greedy|koutis-xu|d-out> [--n N] [--delta D] [--seed S]
-//! dcspan experiment <e1..e22|sweep|ablations|all> [--quick]
+//! dcspan experiment <e1..e23|sweep|ablations|all> [--quick]
 //! dcspan build      [--algo <theorem2|theorem3>] [--n N] [--delta D] [--seed S] [--format <v1|v2>] [--reorder <none|rcm|degree>] [--out FILE]
-//! dcspan migrate-artifact IN OUT [--format <v1|v2>]
+//! dcspan migrate-artifact IN OUT [--format <v1|v2>] [--compact]
+//! dcspan apply-delta ART --mutations FILE [--out PATH | --in-place]
 //! dcspan serve      --artifact FILE [--policy P] [--cache C] [--requests FILE]
 //! dcspan serve-http --artifact FILE [--addr HOST:PORT] [--threads T] [--cap-c C] [--policy P] [--cache C] [--shards K] [--replicas R]
 //! dcspan loadgen    --addr HOST:PORT [--nodes N] [--qps Q] [--duration S] [--connections C] [--seed S]
@@ -14,6 +15,7 @@
 //! dcspan bench      [--smoke] [--out FILE] [--sizes N,N] [--threads T,T] [--queries Q]
 //! dcspan bench-build [--smoke] [--out FILE] [--sizes N,N] [--delta D] [--seed S]
 //! dcspan bench-store [--smoke] [--out FILE] [--sizes N,N] [--queries Q] [--seed S]
+//! dcspan bench-delta [--smoke] [--out FILE] [--sizes N,N] [--queries Q] [--seed S]
 //! dcspan bench-serve [--smoke] [--out FILE] [--n N] [--rates R,R] [--duration S] [--cap-c C]
 //! dcspan chaos      [--smoke] [--out FILE] [--n N] [--threads T] [--queries Q] [--seed S] [--cap-c C]
 //! dcspan chaos-shard [--smoke] [--out FILE] [--n N] [--shards K] [--replicas R] [--threads T] [--queries Q] [--seed S]
@@ -325,6 +327,14 @@ fn cmd_experiment(which: &str, quick: bool) -> Result<(), CliError> {
                 };
                 dcspan::experiments::e22_shard::run(n, &cfg).text
             }
+            "e23" => {
+                let sizes: &[usize] = if quick { &[96, 128] } else { &[128, 256, 500] };
+                let queries = if quick { 200 } else { 600 };
+                match dcspan::experiments::e23_delta::run(sizes, &[0.01], queries, seed) {
+                    Ok((_, text)) => text,
+                    Err(e) => format!("E23 delta differential failed: {e}\n"),
+                }
+            }
             "sweep" => {
                 let (n, seeds) = if quick { (96, 3) } else { (256, 8) };
                 let mut out = dcspan::experiments::sweep::sweep_theorem2(n, 0.15, seeds, seed).1;
@@ -366,6 +376,7 @@ fn cmd_experiment(which: &str, quick: bool) -> Result<(), CliError> {
             "e20",
             "e21",
             "e22",
+            "e23",
             "sweep",
             "ablations",
         ] {
@@ -447,27 +458,140 @@ fn cmd_build(flags: &Flags) -> Result<(), CliError> {
     Ok(())
 }
 
-/// `dcspan migrate-artifact IN OUT [--format <v1|v2>]`: decode the
-/// artifact at `IN` (either format, auto-detected and checksum-verified)
-/// and rewrite it at `OUT` in the requested format (default v2).
+/// `dcspan migrate-artifact IN OUT [--format <v1|v2>] [--compact]`:
+/// decode the artifact at `IN` (either format, auto-detected and
+/// checksum-verified) and rewrite it at `OUT` in the requested format
+/// (default v2). A v2→v2 migration preserves a `DELTA` section verbatim;
+/// `--compact` (or any cross-format migration, which must materialise
+/// the replayed state anyway) folds the mutation log into a plain base
+/// artifact — byte-identical to building the mutated graph directly.
 /// Migrating a reordered (permutation-carrying) artifact down to v1 is a
 /// typed [`StoreError`]: v1 has no permutation section.
 fn cmd_migrate_artifact(input: &str, out: &str, flags: &Flags) -> Result<(), CliError> {
     let format = parse_format(flags)?;
-    let from = dcspan::store::file_version(std::path::Path::new(input)).map_err(|source| {
-        CliError::Store {
-            path: input.to_string(),
-            source,
+    let compact = flags.contains_key("compact");
+    let store_err = |path: &str| {
+        let path = path.to_string();
+        move |source| CliError::Store { path, source }
+    };
+    let from =
+        dcspan::store::file_version(std::path::Path::new(input)).map_err(store_err(input))?;
+    if from == 2 && format == 2 && !compact {
+        let raw = dcspan::store::MappedArtifact::open_raw(std::path::Path::new(input))
+            .map_err(store_err(input))?;
+        if raw.has_delta() {
+            // Carry the base + increments representation across unchanged.
+            let base = raw.decode_owned().map_err(store_err(input))?;
+            let ops = raw.delta_ops().map_err(store_err(input))?;
+            let current = raw.current_artifact().map_err(store_err(input))?;
+            dcspan::store::save_v2_delta(&base, &current, &ops, std::path::Path::new(out))
+                .map_err(store_err(out))?;
+            println!(
+                "{{\"migrated\":true,\"from\":\"v2\",\"to\":\"v2\",\"algo\":\"{}\",\
+                 \"n\":{},\"reordered\":{},\"delta_ops\":{},\"compacted\":false,\"out\":\"{out}\"}}",
+                current.meta.algo.name(),
+                current.meta.n,
+                current.perm.is_some(),
+                ops.len(),
+            );
+            return Ok(());
         }
-    })?;
+    }
+    // `SpannerArtifact::load` replays any DELTA section, so this path
+    // always folds the log: the output is a plain base artifact.
     let artifact = load_artifact(input)?;
     save_as(&artifact, format, out)?;
     println!(
         "{{\"migrated\":true,\"from\":\"v{from}\",\"to\":\"v{format}\",\"algo\":\"{}\",\
-         \"n\":{},\"reordered\":{},\"out\":\"{out}\"}}",
+         \"n\":{},\"reordered\":{},\"delta_ops\":0,\"compacted\":{compact},\"out\":\"{out}\"}}",
         artifact.meta.algo.name(),
         artifact.meta.n,
         artifact.perm.is_some(),
+    );
+    Ok(())
+}
+
+/// Read an edge-mutation batch (`+ u v` / `- u v` lines, `#` comments)
+/// from `path`, wrapping open failures as [`CliError::Io`] and parse
+/// failures as [`CliError::Mutations`].
+fn read_mutation_batch(path: &str) -> Result<Vec<dcspan::graph::EdgeMutation>, CliError> {
+    let file = std::fs::File::open(path).map_err(|source| CliError::Io {
+        path: path.to_string(),
+        source,
+    })?;
+    dcspan::graph::io::read_mutations(std::io::BufReader::new(file)).map_err(|e| {
+        CliError::Mutations {
+            path: path.to_string(),
+            msg: e.to_string(),
+        }
+    })
+}
+
+/// `dcspan apply-delta ART --mutations FILE [--out PATH | --in-place]`:
+/// apply an edge-mutation batch to a persisted artifact *incrementally* —
+/// only detour rows inside the batch's blast radius are recomputed — and
+/// write the result as a v2 artifact carrying a `DELTA` section: the
+/// original base sections byte-for-byte plus the cumulative mutation log,
+/// so repeated applies keep one base and one (merged) log. Readers replay
+/// the log transparently at open; `migrate-artifact --compact` folds it.
+/// A batch that would change the derived `(n, Δ)` is refused with a typed
+/// error and nothing is written. A v1 input becomes the v2 base.
+fn cmd_apply_delta(input: &str, flags: &Flags) -> Result<(), CliError> {
+    let Some(mutations_path) = flags.get("mutations") else {
+        return Err(CliError::Usage);
+    };
+    let out = if flags.contains_key("in-place") {
+        input.to_string()
+    } else if let Some(out) = flags.get("out") {
+        out.clone()
+    } else {
+        return Err(CliError::Usage);
+    };
+    let store_err = |path: &str| {
+        let path = path.to_string();
+        move |source| CliError::Store { path, source }
+    };
+    let batch = read_mutation_batch(mutations_path)?;
+    let version =
+        dcspan::store::file_version(std::path::Path::new(input)).map_err(store_err(input))?;
+    // Scope the raw open so the mapping is dropped before an --in-place
+    // rewrite truncates the file underneath it.
+    let (base, prior_ops, current) = if version == 2 {
+        let raw = dcspan::store::MappedArtifact::open_raw(std::path::Path::new(input))
+            .map_err(store_err(input))?;
+        (
+            raw.decode_owned().map_err(store_err(input))?,
+            raw.delta_ops().map_err(store_err(input))?,
+            raw.current_artifact().map_err(store_err(input))?,
+        )
+    } else {
+        let base = load_artifact(input)?;
+        (base.clone(), Vec::new(), base)
+    };
+    let (next, report) =
+        dcspan::oracle::apply_delta_to_artifact(&current, &batch).map_err(|source| {
+            CliError::Delta {
+                path: input.to_string(),
+                source,
+            }
+        })?;
+    let mut ops = prior_ops;
+    ops.extend(batch.iter().copied());
+    dcspan::store::save_v2_delta(&base, &next, &ops, std::path::Path::new(&out))
+        .map_err(store_err(&out))?;
+    println!(
+        "{{\"applied\":true,\"artifact\":\"{input}\",\"base\":\"v{version}\",\
+         \"mutations\":{},\"delta_ops_total\":{},\"edges_added\":{},\"edges_removed\":{},\
+         \"spanner_edges_added\":{},\"spanner_edges_removed\":{},\"rows_rebuilt\":{},\
+         \"rows_copied\":{},\"out\":\"{out}\"}}",
+        report.mutations,
+        ops.len(),
+        report.edges_added,
+        report.edges_removed,
+        report.spanner_edges_added,
+        report.spanner_edges_removed,
+        report.rows_rebuilt,
+        report.rows_copied,
     );
     Ok(())
 }
@@ -481,9 +605,11 @@ fn load_artifact(path: &str) -> Result<SpannerArtifact, CliError> {
     })
 }
 
-/// `dcspan verify-artifact FILE`: exit 0 and print the provenance when
-/// every section checksum holds; print the typed [`StoreError`] and exit
-/// nonzero otherwise. Never panics on corrupt input.
+/// `dcspan verify-artifact FILE`: exit 0 and print the provenance plus a
+/// per-section report — id, name, file-absolute offset, payload length,
+/// and XXH64 checksum for every section, including an optional `DELTA`
+/// section — when every checksum holds; print the typed [`StoreError`]
+/// and exit nonzero otherwise. Never panics on corrupt input.
 fn cmd_verify_artifact(path: &str) -> Result<(), CliError> {
     let store_err = |source| CliError::Store {
         path: path.to_string(),
@@ -491,8 +617,21 @@ fn cmd_verify_artifact(path: &str) -> Result<(), CliError> {
     };
     let version = dcspan::store::file_version(std::path::Path::new(path)).map_err(store_err)?;
     let meta = dcspan::store::verify_file(std::path::Path::new(path)).map_err(store_err)?;
+    let sections =
+        dcspan::store::section_report_file(std::path::Path::new(path)).map_err(store_err)?;
+    let section_list = sections
+        .iter()
+        .map(|s| {
+            format!(
+                "{{\"id\":{},\"name\":\"{}\",\"offset\":{},\"len\":{},\"checksum\":\"{:016x}\"}}",
+                s.id, s.name, s.offset, s.len, s.checksum
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",");
     println!(
-        "{{\"ok\":true,\"format\":\"v{version}\",\"algo\":\"{}\",\"seed\":{},\"n\":{},\"delta\":{}}}",
+        "{{\"ok\":true,\"format\":\"v{version}\",\"algo\":\"{}\",\"seed\":{},\"n\":{},\"delta\":{},\
+         \"sections\":[{section_list}]}}",
         meta.algo.name(),
         meta.seed,
         meta.n,
@@ -877,6 +1016,55 @@ fn cmd_loadgen(flags: &Flags) -> Result<(), CliError> {
     Ok(())
 }
 
+/// `dcspan bench-delta`: the E23 incremental-maintenance benchmark —
+/// apply degree-preserving mutation batches (≤1% of edges) to a persisted
+/// artifact both incrementally and by from-scratch rebuild, and verify
+/// the results are byte-identical (support mask, detour rows, encoded
+/// artifact), that the v2 `DELTA` round trip compacts to the direct
+/// build's bytes, and that re-inserting the batch restores the base.
+/// Exits nonzero (2) if any cell diverges.
+fn cmd_bench_delta(flags: &Flags) -> Result<(), CliError> {
+    let smoke = flags.contains_key("smoke");
+    let seed = get_u64(flags, "seed", 20240623);
+    let default_sizes: &[usize] = if smoke {
+        &[96, 128]
+    } else {
+        &[500, 1000, 2000]
+    };
+    let sizes = get_list(flags, "sizes", default_sizes);
+    let queries = get_usize(flags, "queries", if smoke { 300 } else { 2000 });
+    let fracs = [0.00001, 0.0001, 0.001, 0.01];
+    let (rows, text) =
+        dcspan::experiments::e23_delta::run(&sizes, &fracs, queries, seed).map_err(|source| {
+            CliError::Store {
+                path: "<temp artifact>".to_string(),
+                source,
+            }
+        })?;
+    println!("{text}");
+    if let Some(out) = flags.get("out") {
+        let artifact = dcspan::experiments::record::ExperimentArtifact {
+            id: "E23",
+            reproduces: "incremental maintenance: delta apply vs from-scratch rebuild",
+            seed,
+            rows: &rows,
+        };
+        let json = artifact.to_json().map_err(CliError::Serialize)?;
+        write_file(out, format!("{json}\n"))?;
+        println!("wrote {out}");
+    }
+    let diverged = rows
+        .iter()
+        .filter(|r| {
+            !r.artifact_identical || !r.served_identical || !r.roundtrip_ok || !r.revert_identical
+        })
+        .count();
+    if diverged > 0 {
+        return Err(CliError::ServeDivergence(diverged as u64));
+    }
+    Ok(())
+}
+
 /// `dcspan bench-serve`: the E21 serving benchmark — boot the HTTP
 /// front-end on an ephemeral port over a freshly built Theorem 3
 /// artifact and sweep open-loop target rates across the β-budget
@@ -1012,7 +1200,7 @@ fn cmd_chaos_shard(flags: &Flags) -> Result<(), CliError> {
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  dcspan gen --family <{family}> [--n N] [--delta D] [--seed S]\n  dcspan spanner --algo <{algo}> [--n N] [--delta D] [--seed S]\n  dcspan experiment <e1..e22|sweep|ablations|all> [--quick]\n  dcspan build [--algo <theorem2|theorem3>] [--n N] [--delta D] [--seed S] [--format <v1|v2>] [--reorder <none|rcm|degree>] [--out FILE]\n  dcspan migrate-artifact IN OUT [--format <v1|v2>]\n  dcspan serve --artifact FILE [--policy <{policy}>] [--cache C] [--requests FILE]\n  dcspan serve-http --artifact FILE [--addr HOST:PORT] [--threads T] [--cap-c C] [--shards K] [--replicas R] [--policy <{policy}>] [--cache C]\n  dcspan loadgen --addr HOST:PORT [--nodes N] [--qps Q] [--duration S] [--connections C] [--deadline S] [--connect-timeout S] [--seed S]\n  dcspan bench-serve [--smoke] [--out FILE] [--n N] [--rates R,R] [--duration S] [--cap-c C]\n  dcspan verify-artifact FILE\n  dcspan query [--requests FILE] [--policy <{policy}>] [oracle flags]\n  dcspan bench [--smoke] [--out FILE] [--sizes N,N] [--threads T,T] [--queries Q]\n  dcspan bench-build [--smoke] [--out FILE] [--sizes N,N] [--delta D] [--seed S]\n  dcspan bench-store [--smoke] [--out FILE] [--sizes N,N] [--queries Q] [--seed S]\n  dcspan chaos [--smoke] [--out FILE] [--n N] [--threads T] [--queries Q] [--seed S] [--cap-c C]\n  dcspan chaos-shard [--smoke] [--out FILE] [--n N] [--shards K] [--replicas R] [--threads T] [--queries Q] [--seed S]",
+        "usage:\n  dcspan gen --family <{family}> [--n N] [--delta D] [--seed S]\n  dcspan spanner --algo <{algo}> [--n N] [--delta D] [--seed S]\n  dcspan experiment <e1..e23|sweep|ablations|all> [--quick]\n  dcspan build [--algo <theorem2|theorem3>] [--n N] [--delta D] [--seed S] [--format <v1|v2>] [--reorder <none|rcm|degree>] [--out FILE]\n  dcspan migrate-artifact IN OUT [--format <v1|v2>] [--compact]\n  dcspan apply-delta ART --mutations FILE [--out PATH | --in-place]\n  dcspan serve --artifact FILE [--policy <{policy}>] [--cache C] [--requests FILE]\n  dcspan serve-http --artifact FILE [--addr HOST:PORT] [--threads T] [--cap-c C] [--shards K] [--replicas R] [--policy <{policy}>] [--cache C]\n  dcspan loadgen --addr HOST:PORT [--nodes N] [--qps Q] [--duration S] [--connections C] [--deadline S] [--connect-timeout S] [--seed S]\n  dcspan bench-serve [--smoke] [--out FILE] [--n N] [--rates R,R] [--duration S] [--cap-c C]\n  dcspan verify-artifact FILE\n  dcspan query [--requests FILE] [--policy <{policy}>] [oracle flags]\n  dcspan bench [--smoke] [--out FILE] [--sizes N,N] [--threads T,T] [--queries Q]\n  dcspan bench-build [--smoke] [--out FILE] [--sizes N,N] [--delta D] [--seed S]\n  dcspan bench-store [--smoke] [--out FILE] [--sizes N,N] [--queries Q] [--seed S]\n  dcspan bench-delta [--smoke] [--out FILE] [--sizes N,N] [--queries Q] [--seed S]\n  dcspan chaos [--smoke] [--out FILE] [--n N] [--threads T] [--queries Q] [--seed S] [--cap-c C]\n  dcspan chaos-shard [--smoke] [--out FILE] [--n N] [--shards K] [--replicas R] [--threads T] [--queries Q] [--seed S]",
         family = GraphFamily::NAMES,
         algo = BaselineAlgo::NAMES,
         policy = POLICY_NAMES,
@@ -1040,6 +1228,10 @@ fn main() -> ExitCode {
             }
             _ => Err(CliError::Usage),
         },
+        "apply-delta" => match args.get(1) {
+            Some(input) if !input.starts_with("--") => cmd_apply_delta(input, &flags),
+            _ => Err(CliError::Usage),
+        },
         "serve" => cmd_serve(&flags),
         "serve-http" => cmd_serve_http(&flags),
         "loadgen" => cmd_loadgen(&flags),
@@ -1052,6 +1244,7 @@ fn main() -> ExitCode {
         "bench" => cmd_bench(&flags),
         "bench-build" => cmd_bench_build(&flags),
         "bench-store" => cmd_bench_store(&flags),
+        "bench-delta" => cmd_bench_delta(&flags),
         "chaos" => cmd_chaos(&flags),
         "chaos-shard" => cmd_chaos_shard(&flags),
         _ => Err(CliError::Usage),

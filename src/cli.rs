@@ -58,6 +58,20 @@ pub enum CliError {
         /// The typed store failure.
         source: StoreError,
     },
+    /// An edge-mutation batch file could not be parsed.
+    Mutations {
+        /// Mutations file involved.
+        path: String,
+        /// Parse failure description.
+        msg: String,
+    },
+    /// An edge-mutation batch could not be applied to an artifact.
+    Delta {
+        /// Artifact path involved.
+        path: String,
+        /// The typed delta failure.
+        source: dcspan_oracle::DeltaError,
+    },
     /// A chaos run finished but observed invariant/acceptance violations.
     ChaosViolations(u64),
     /// A construction benchmark cell's kernel output diverged from the
@@ -93,6 +107,8 @@ impl std::fmt::Display for CliError {
             CliError::Io { path, source } => write!(f, "cannot access {path}: {source}"),
             CliError::Serialize(e) => write!(f, "cannot serialise artifact rows: {e}"),
             CliError::Store { path, source } => write!(f, "artifact {path}: {source}"),
+            CliError::Mutations { path, msg } => write!(f, "mutation batch {path}: {msg}"),
+            CliError::Delta { path, source } => write!(f, "artifact {path}: {source}"),
             CliError::ChaosViolations(count) => {
                 write!(f, "chaos run observed {count} violation(s)")
             }

@@ -1,0 +1,127 @@
+//! Acceptance tests for the delta-driven artifact lifecycle on real
+//! builds (DESIGN.md §16): a v2 artifact carrying a `DELTA` section
+//! replays transparently at open and serves the *current* state; folding
+//! the log (`migrate-artifact --compact`'s code path) is byte-identical
+//! to building the mutated graph directly; and a permutation-carrying
+//! artifact keeps its `PERM` section through apply, replay, and compact.
+
+use dcspan::core::serve::SpannerAlgo;
+use dcspan::experiments::workloads;
+use dcspan::graph::delta::{apply_mutations, EdgeMutation};
+use dcspan::graph::Graph;
+use dcspan::oracle::{apply_delta_to_artifact, Oracle, OracleConfig, ReorderKind};
+use dcspan::routing::RoutingProblem;
+use dcspan::store::{save_v2_delta, MappedArtifact, SpannerArtifact};
+use std::path::PathBuf;
+
+const SEED: u64 = 20240808;
+
+fn temp(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("dcspan-delta-art-{tag}-{}.bin", std::process::id()))
+}
+
+/// A small degree-preserving removal batch: disjoint endpoints, so the
+/// untouched nodes keep full degree and `(n, Δ)` is invariant.
+fn removal_batch(g: &Graph, k: usize) -> Vec<EdgeMutation> {
+    let mut used = vec![false; g.n()];
+    let mut batch = Vec::new();
+    for e in g.edges() {
+        if batch.len() == k {
+            break;
+        }
+        if !used[e.u as usize] && !used[e.v as usize] {
+            used[e.u as usize] = true;
+            used[e.v as usize] = true;
+            batch.push(EdgeMutation::Remove(e.u, e.v));
+        }
+    }
+    batch
+}
+
+#[test]
+fn delta_file_serves_current_state_and_compacts_to_direct_build() {
+    let n = 300;
+    let delta = workloads::theorem3_degree(n);
+    let g = workloads::regime_expander(n, delta, SEED);
+    let config = OracleConfig {
+        seed: SEED,
+        ..OracleConfig::default()
+    };
+    let base = Oracle::build_artifact(&g, SpannerAlgo::Theorem3, SEED);
+    let batch = removal_batch(&g, 4);
+    let (patched, report) = apply_delta_to_artifact(&base, &batch).expect("delta apply");
+    assert_eq!(report.edges_removed, 4);
+
+    // Persist as base + log; every open path must see the current state.
+    let path = temp("replay");
+    save_v2_delta(&base, &patched, &batch, &path).expect("save delta");
+
+    let raw = MappedArtifact::open_raw(&path).expect("raw open");
+    assert!(raw.has_delta());
+    assert_eq!(raw.decode_owned().expect("raw decode"), base);
+    assert_eq!(raw.delta_ops().expect("ops"), batch);
+    assert_eq!(raw.current_artifact().expect("current"), patched);
+    drop(raw);
+
+    let loaded = SpannerArtifact::load(&path).expect("load replays");
+    assert_eq!(loaded, patched, "load must replay the DELTA section");
+
+    // Compacting (fold the log, re-encode without DELTA) is byte-identical
+    // to building the mutated graph directly.
+    let (g_new, _) = apply_mutations(&g, &batch).expect("mutate");
+    let direct = Oracle::build_artifact(&g_new, SpannerAlgo::Theorem3, SEED);
+    assert_eq!(
+        loaded.encode_v2().expect("compact encode"),
+        direct.encode_v2().expect("direct encode"),
+        "compacted delta artifact must equal the direct build byte-for-byte"
+    );
+
+    // Serving from the delta file equals serving the direct build.
+    let from_file = Oracle::from_artifact_file(&path, config).expect("serve delta file");
+    let rebuilt = Oracle::from_artifact(direct, config).expect("serve direct");
+    let problem = RoutingProblem::random_pairs(n, 500, SEED ^ 0xD17A);
+    for (q, &(u, v)) in problem.pairs().iter().enumerate() {
+        assert_eq!(
+            from_file.route(u, v, q as u64),
+            rebuilt.route(u, v, q as u64),
+            "query {q} ({u}, {v}) diverged between delta file and direct build"
+        );
+    }
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn permutation_rides_through_delta_save_replay_and_compact() {
+    let n = 200;
+    let delta = workloads::theorem3_degree(n);
+    let g = workloads::regime_expander(n, delta, SEED ^ 1);
+    let base = Oracle::build_artifact_reordered(&g, SpannerAlgo::Theorem3, SEED, ReorderKind::Rcm)
+        .expect("reordered build");
+    assert!(base.perm.is_some());
+
+    let batch = removal_batch(&g, 3);
+    let (patched, _) = apply_delta_to_artifact(&base, &batch).expect("delta apply");
+    assert_eq!(patched.perm, base.perm, "apply must keep the permutation");
+
+    let path = temp("perm");
+    save_v2_delta(&base, &patched, &batch, &path).expect("save delta");
+    let loaded = SpannerArtifact::load(&path).expect("load replays");
+    assert_eq!(loaded.perm, base.perm, "replay must keep the permutation");
+    assert_eq!(loaded, patched);
+
+    // Compact: re-encode without the DELTA section, PERM still aboard.
+    let compact_path = temp("perm-compact");
+    loaded.save_v2(&compact_path).expect("compact save");
+    let compacted = SpannerArtifact::load(&compact_path).expect("compact load");
+    assert_eq!(
+        compacted.perm, base.perm,
+        "compact must keep the permutation"
+    );
+    assert_eq!(compacted, patched);
+    let raw = MappedArtifact::open_raw(&compact_path).expect("raw open");
+    assert!(!raw.has_delta(), "compacted artifact carries no DELTA");
+    drop(raw);
+
+    let _ = std::fs::remove_file(&path);
+    let _ = std::fs::remove_file(&compact_path);
+}
